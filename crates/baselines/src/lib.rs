@@ -1,0 +1,30 @@
+//! Baseline LoRa key-generation schemes the paper compares against
+//! (Sec. V-F): **LoRa-Key** (Xu et al. \[8\]), **Han et al.** \[9\], and
+//! **Gao et al.** \[10\], all run over the same simulated campaigns as
+//! Vehicle-Key so the comparison isolates the algorithms.
+//!
+//! All three baselines consume the conventional **pRSSI** (one packet-mean
+//! value per probe round) rather than Vehicle-Key's boundary arRSSI — this
+//! is the root of both their lower key agreement (packet means are a full
+//! airtime apart; Fig. 12) and their lower key rate (one value per round;
+//! Fig. 13).
+//!
+//! | Scheme | Quantizer | Reconciliation |
+//! |---|---|---|
+//! | [`LoRaKey`] | guard-band `mean ± α·σ`, α = 0.8 | compressed sensing (20×64, OMP) |
+//! | [`HanScheme`] | Jana et al. multi-bit | Cascade (k = 3, 4 passes) |
+//! | [`GaoScheme`] | model-fit residual (interval 20, 50 rounds) | compressed sensing |
+//!
+//! The common [`KeyScheme`] trait runs a scheme end-to-end on a
+//! [`Campaign`](testbed::Campaign) and reports the same metrics the Vehicle-Key pipeline
+//! produces, enabling the Fig. 12/13 comparison tables.
+
+pub mod gao;
+pub mod han;
+pub mod lorakey;
+pub mod scheme;
+
+pub use gao::GaoScheme;
+pub use han::HanScheme;
+pub use lorakey::LoRaKey;
+pub use scheme::{KeyScheme, SchemeOutcome};

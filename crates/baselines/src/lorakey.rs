@@ -1,0 +1,128 @@
+//! LoRa-Key (Xu, Jha & Hu, IEEE IoT-J 2018 — the paper's reference \[8\]).
+//!
+//! The first complete LoRa key-generation protocol, designed for *static*
+//! nodes: packet-level RSSI, a `mean ± α·σ` guard-band quantizer (the
+//! paper's comparison tunes `α = 0.8`), public kept-index intersection, and
+//! compressed-sensing reconciliation with a 20×64 measurement matrix. On
+//! high-mobility IoV channels its pRSSI features decorrelate (the paper's
+//! Sec. II analysis), which is what the Fig. 12 comparison shows.
+
+use crate::scheme::{ExtractedBits, KeyScheme};
+use quantize::multibit::intersect_kept;
+use quantize::{BitString, GuardBandQuantizer};
+use reconcile::{CsReconciler, Reconciler};
+use testbed::Campaign;
+
+/// The LoRa-Key scheme.
+#[derive(Debug, Clone)]
+pub struct LoRaKey {
+    /// Guard-band ratio `α` (paper comparison: 0.8).
+    pub alpha: f64,
+    /// CS reconciler (paper comparison: 20×64).
+    pub cs: CsReconciler,
+}
+
+impl Default for LoRaKey {
+    fn default() -> Self {
+        LoRaKey { alpha: 0.8, cs: CsReconciler::paper_default() }
+    }
+}
+
+impl KeyScheme for LoRaKey {
+    fn name(&self) -> String {
+        "LoRa-Key".into()
+    }
+
+    fn extract_bits(&self, campaign: &Campaign) -> ExtractedBits {
+        let quantizer = GuardBandQuantizer::new(self.alpha).with_block_size(16);
+        let a_series = campaign.alice_prssi();
+        let b_series = campaign.bob_prssi();
+        let oa = quantizer.quantize(&a_series);
+        let ob = quantizer.quantize(&b_series);
+        // Public kept-index intersection, as in the original protocol.
+        let kept = intersect_kept(&oa.kept, &ob.kept);
+        let alice = quantizer.quantize_with_kept(&a_series, &kept);
+        let bob = quantizer.quantize_with_kept(&b_series, &kept);
+        let eve = campaign.eve_prssi().map(|e_series| {
+            quantizer.quantize_with_kept(&e_series, &kept)
+        });
+        ExtractedBits { alice, bob, eve }
+    }
+
+    fn reconcile(&self, alice: &BitString, bob: &BitString) -> BitString {
+        self.cs.reconcile(alice, bob).corrected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::ScenarioKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use testbed::{Testbed, TestbedConfig};
+
+    fn campaign(rounds: usize, seed: u64) -> Campaign {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TestbedConfig::default();
+        let mut tb = Testbed::generate(
+            ScenarioKind::V2vUrban,
+            rounds as f64 * cfg.round_interval_s + 30.0,
+            50.0,
+            cfg,
+            &mut rng,
+        );
+        tb.run(rounds, &mut rng)
+    }
+
+    #[test]
+    fn equal_length_bits() {
+        let c = campaign(120, 601);
+        let bits = LoRaKey::default().extract_bits(&c);
+        assert_eq!(bits.alice.len(), bits.bob.len());
+        assert!(bits.alice.len() > 10, "too few bits: {}", bits.alice.len());
+        assert_eq!(bits.eve.as_ref().unwrap().len(), bits.alice.len());
+    }
+
+    #[test]
+    fn agreement_is_imperfect_on_mobile_channel() {
+        // The scheme's core weakness in IoV: pRSSI decorrelation.
+        let c = campaign(200, 602);
+        let o = LoRaKey::default().run(&c);
+        assert!(o.bit_agreement > 0.5, "agreement {}", o.bit_agreement);
+        assert!(
+            o.bit_agreement < 0.97,
+            "pRSSI agreement suspiciously high: {}",
+            o.bit_agreement
+        );
+    }
+
+    #[test]
+    fn rate_is_below_one_bit_per_round() {
+        let c = campaign(200, 603);
+        let o = LoRaKey::default().run(&c);
+        assert!(o.raw_bits < 200, "raw bits {}", o.raw_bits);
+    }
+
+    #[test]
+    fn eve_agreement_is_reported_and_bounded() {
+        let c = campaign(200, 604);
+        let o = LoRaKey::default().run(&c);
+        let eve = o.eve_agreement.expect("eve recorded by default");
+        assert!((0.0..=1.0).contains(&eve), "eve {eve}");
+    }
+
+    #[test]
+    fn works_on_imported_csv_campaigns() {
+        // Baselines accept campaigns from the CSV interchange unchanged.
+        let c = campaign(60, 605);
+        let mut buf = Vec::new();
+        testbed::write_csv(&c, &mut buf).unwrap();
+        let imported = testbed::read_csv(buf.as_slice()).unwrap();
+        let a = LoRaKey::default().run(&c);
+        let b = LoRaKey::default().run(&imported);
+        // RSSI survives at 0.01 dB precision, so the bits are identical.
+        assert_eq!(a.raw_bits, b.raw_bits);
+        assert!((a.bit_agreement - b.bit_agreement).abs() < 1e-9);
+    }
+}

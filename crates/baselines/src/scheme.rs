@@ -1,0 +1,181 @@
+//! Common interface and metrics for baseline schemes.
+
+use quantize::BitString;
+use serde::{Deserialize, Serialize};
+use testbed::Campaign;
+
+/// End-to-end result of running a scheme over a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeOutcome {
+    /// Bit agreement between the two parties before reconciliation.
+    pub bit_agreement: f64,
+    /// Bit agreement after reconciliation.
+    pub reconciled_agreement: f64,
+    /// Fraction of 128-bit final keys matching exactly.
+    pub key_match_rate: f64,
+    /// Matched final-key bits per second of probing.
+    pub kgr_bits_per_s: f64,
+    /// Eve's bit agreement with Bob (when the campaign recorded Eve).
+    pub eve_agreement: Option<f64>,
+    /// Total secret bits generated before reconciliation (rate numerator).
+    pub raw_bits: usize,
+}
+
+/// A complete key-generation scheme, runnable on a recorded campaign.
+pub trait KeyScheme {
+    /// Scheme name for reports.
+    fn name(&self) -> String;
+
+    /// Extract the two parties' (and optionally Eve's) bit strings from a
+    /// campaign. Must return equal-length strings.
+    fn extract_bits(&self, campaign: &Campaign) -> ExtractedBits;
+
+    /// Reconcile Alice's bits toward Bob's; returns Alice's corrected bits.
+    fn reconcile(&self, alice: &BitString, bob: &BitString) -> BitString;
+
+    /// Run the full scheme and compute metrics.
+    fn run(&self, campaign: &Campaign) -> SchemeOutcome {
+        let bits = self.extract_bits(campaign);
+        let n = bits.alice.len().min(bits.bob.len());
+        let alice = bits.alice.slice(0, n);
+        let bob = bits.bob.slice(0, n);
+        let bit_agreement = if n == 0 { f64::NAN } else { alice.agreement(&bob) };
+        let eve_agreement = bits.eve.as_ref().map(|e| {
+            let m = e.len().min(n);
+            if m == 0 {
+                f64::NAN
+            } else {
+                e.slice(0, m).agreement(&bob.slice(0, m))
+            }
+        });
+
+        // Reconcile in 64-bit segments; final 128-bit keys are amplified
+        // from consecutive corrected segment pairs. Sessions yielding fewer
+        // than 64 bits report the unreconciled agreement (the schemes would
+        // keep probing).
+        let seg = 64;
+        let mut matched_keys = 0usize;
+        let mut keys = 0usize;
+        let mut reconciled_ok = 0usize;
+        let mut reconciled_total = 0usize;
+        let mut corrected_stream = BitString::new();
+        let mut offset = 0;
+        while offset + seg <= n {
+            let ka = alice.slice(offset, seg);
+            let kb = bob.slice(offset, seg);
+            let corrected = self.reconcile(&ka, &kb);
+            reconciled_total += seg;
+            reconciled_ok += seg - corrected.hamming(&kb);
+            corrected_stream.extend(&corrected);
+            offset += seg;
+        }
+        let block = 128;
+        let mut koffset = 0;
+        while koffset + block <= corrected_stream.len() {
+            let key_a = vk_crypto::amplify::amplify_128(
+                &corrected_stream.slice(koffset, block).to_bools(),
+            );
+            let key_b =
+                vk_crypto::amplify::amplify_128(&bob.slice(koffset, block).to_bools());
+            keys += 1;
+            if key_a == key_b {
+                matched_keys += 1;
+            }
+            koffset += block;
+        }
+        let duration = campaign_duration(campaign).max(1e-9);
+        SchemeOutcome {
+            bit_agreement,
+            reconciled_agreement: if reconciled_total == 0 {
+                bit_agreement
+            } else {
+                reconciled_ok as f64 / reconciled_total as f64
+            },
+            key_match_rate: if keys == 0 {
+                f64::NAN
+            } else {
+                matched_keys as f64 / keys as f64
+            },
+            kgr_bits_per_s: matched_keys as f64 * block as f64 / duration,
+            eve_agreement,
+            raw_bits: n,
+        }
+    }
+}
+
+/// Bit material extracted by a scheme.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractedBits {
+    /// Alice's bits.
+    pub alice: BitString,
+    /// Bob's bits.
+    pub bob: BitString,
+    /// Eve's bits (same extraction applied to her measurements).
+    pub eve: Option<BitString>,
+}
+
+/// Wall-clock duration of a campaign in seconds.
+pub fn campaign_duration(campaign: &Campaign) -> f64 {
+    campaign.duration_s()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl KeyScheme for Dummy {
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+        fn extract_bits(&self, _: &Campaign) -> ExtractedBits {
+            // 256 bits, 4 mismatches in the first block.
+            let bob: BitString = (0..256).map(|i| i % 3 == 0).collect();
+            let mut alice = bob.clone();
+            for i in [3, 50, 90, 120] {
+                alice.set(i, !alice.get(i));
+            }
+            ExtractedBits { alice, bob, eve: None }
+        }
+        fn reconcile(&self, _alice: &BitString, bob: &BitString) -> BitString {
+            bob.clone() // oracle reconciliation
+        }
+    }
+
+    fn empty_campaign() -> Campaign {
+        Campaign {
+            scenario: mobility::ScenarioKind::V2vUrban,
+            lora: lora_phy::LoRaConfig::paper_default(),
+            rounds: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn run_computes_metrics() {
+        let o = Dummy.run(&empty_campaign());
+        assert!((o.bit_agreement - (1.0 - 4.0 / 256.0)).abs() < 1e-9);
+        assert_eq!(o.reconciled_agreement, 1.0);
+        assert_eq!(o.key_match_rate, 1.0);
+        assert_eq!(o.raw_bits, 256);
+    }
+
+    struct NoReconcile;
+    impl KeyScheme for NoReconcile {
+        fn name(&self) -> String {
+            "none".into()
+        }
+        fn extract_bits(&self, c: &Campaign) -> ExtractedBits {
+            Dummy.extract_bits(c)
+        }
+        fn reconcile(&self, alice: &BitString, _bob: &BitString) -> BitString {
+            alice.clone()
+        }
+    }
+
+    #[test]
+    fn unreconciled_mismatches_fail_key_match() {
+        let o = NoReconcile.run(&empty_campaign());
+        assert!(o.key_match_rate < 1.0);
+        assert!(o.reconciled_agreement < 1.0);
+    }
+}

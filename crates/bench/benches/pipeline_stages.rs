@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the substrate primitives: crypto, quantizers,
+//! reconciliation decoders, and the neural layers — the pieces whose
+//! relative cost explains the Fig. 11 (AE vs CS) and Table III results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nn::activation::Activation;
+use nn::{BiLstm, Dense, Matrix};
+use quantize::{BitString, FixedQuantizer, MultiBitQuantizer};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use reconcile::{AutoencoderTrainer, CsReconciler, Reconciler};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xA5u8; 1024];
+    g.bench_function("sha256_1kb", |b| {
+        b.iter(|| vk_crypto::sha256(std::hint::black_box(&data)))
+    });
+    let aes = vk_crypto::Aes128::new(b"0123456789abcdef");
+    let block = [7u8; 16];
+    g.bench_function("aes128_block", |b| {
+        b.iter(|| aes.encrypt_block(std::hint::black_box(&block)))
+    });
+    g.bench_function("hmac_sha256_64b", |b| {
+        b.iter(|| vk_crypto::hmac_sha256(b"key material", std::hint::black_box(&data[..64])))
+    });
+    g.finish();
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantizers");
+    let series: Vec<f64> = (0..256).map(|i| ((i * 37 % 97) as f64) / 10.0 - 90.0).collect();
+    let fixed = FixedQuantizer::new(2);
+    g.bench_function("fixed_256", |b| {
+        b.iter(|| fixed.quantize(std::hint::black_box(&series)))
+    });
+    let multi = MultiBitQuantizer::new(2);
+    g.bench_function("multibit_256", |b| {
+        b.iter(|| multi.quantize(std::hint::black_box(&series)))
+    });
+    g.finish();
+}
+
+fn bench_reconciliation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("reconciliation");
+    let ae = AutoencoderTrainer::default().with_steps(2000).train(&mut rng);
+    let cs = CsReconciler::paper_default();
+    let kb: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+    let mut ka = kb.clone();
+    for p in [5usize, 30, 55] {
+        ka.set(p, !ka.get(p));
+    }
+    g.bench_function("autoencoder_64", |b| {
+        b.iter(|| ae.reconcile(std::hint::black_box(&ka), std::hint::black_box(&kb)))
+    });
+    g.bench_function("cs_omp_64", |b| {
+        b.iter(|| cs.reconcile(std::hint::black_box(&ka), std::hint::black_box(&kb)))
+    });
+    g.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("nn");
+    let bilstm = BiLstm::new(3, 32, &mut rng);
+    let xs: Vec<Matrix> = (0..32).map(|_| Matrix::xavier(1, 3, &mut rng)).collect();
+    g.bench_function("bilstm_infer_t32_h32", |b| {
+        b.iter(|| bilstm.infer(std::hint::black_box(&xs)))
+    });
+    let dense = Dense::new(64, 64, Activation::Tanh, &mut rng);
+    let x = Matrix::xavier(32, 64, &mut rng);
+    g.bench_function("dense_64x64_b32", |b| {
+        b.iter(|| dense.infer(std::hint::black_box(&x)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_crypto, bench_quantizers, bench_reconciliation, bench_nn
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches behind Table III: per-stage computation time of one
+//! key establishment, on both roles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobility::ScenarioKind;
+use quantize::BitString;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xBE0C);
+    let mut cfg = PipelineConfig::fast();
+    cfg.train_rounds = 120; // the bench needs a working model, not a great one
+    cfg.model.epochs = 6;
+    cfg.reconciler = cfg.reconciler.with_steps(3000);
+    let pipeline = KeyPipeline::train_for(ScenarioKind::V2iUrban, &cfg, &mut rng);
+    let model = pipeline.model();
+    let reconciler = pipeline.reconciler();
+
+    let window: Vec<f64> = (0..cfg.model.seq_len)
+        .map(|i| -2.0 + ((i * 37 % 13) as f64) * 0.4)
+        .collect();
+    let baselines = vec![-95.0f64; cfg.model.seq_len];
+    let key: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+    let syndrome = reconciler.bob_syndrome(&key);
+
+    let mut g = c.benchmark_group("table3");
+    g.bench_function("alice_prediction_quantization", |b| {
+        b.iter(|| model.predict(std::hint::black_box(&window), std::hint::black_box(&baselines)))
+    });
+    g.bench_function("bob_quantization", |b| {
+        b.iter(|| model.bob_bits_kept(std::hint::black_box(&window)))
+    });
+    g.bench_function("alice_reconciliation_decode", |b| {
+        b.iter(|| {
+            reconciler
+                .alice_correct(std::hint::black_box(&syndrome), std::hint::black_box(&key))
+        })
+    });
+    g.bench_function("bob_reconciliation_encode", |b| {
+        b.iter(|| reconciler.bob_syndrome(std::hint::black_box(&key)))
+    });
+    g.bench_function("privacy_amplification", |b| {
+        let bits = key.to_bools();
+        b.iter(|| vk_crypto::amplify::amplify_128(std::hint::black_box(&bits)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_table3
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [...]   run the named experiments (fig2a … table3)
+//! repro all                  run everything, in paper order
+//! repro list                 list available experiments
+//! ```
+//!
+//! Environment:
+//! * `VK_SEED`  — base RNG seed (default fixed)
+//! * `VK_SCALE` — size multiplier for campaigns/trials (default 1.0)
+//! * `VK_OUT`   — directory to also write per-experiment reports into
+
+use bench::experiments;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <experiment|all|list> [...]");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        std::process::exit(2);
+    }
+    if args[0] == "list" {
+        for name in experiments::ALL {
+            println!("{name}");
+        }
+        return;
+    }
+    let names: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let out_dir = std::env::var("VK_OUT").ok();
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create VK_OUT directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let mut failed = false;
+    for name in names {
+        let started = std::time::Instant::now();
+        match experiments::run(name) {
+            Ok(report) => {
+                println!("{report}");
+                println!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+                if let Some(dir) = &out_dir {
+                    let path = format!("{dir}/{name}.txt");
+                    match std::fs::File::create(&path)
+                        .and_then(|mut f| f.write_all(report.as_bytes()))
+                    {
+                        Ok(()) => {}
+                        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

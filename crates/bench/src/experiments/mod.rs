@@ -1,0 +1,85 @@
+//! One module per group of paper results.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`prelim`] | Figs. 2(a), 2(b), 3, 4, 9 — the preliminary study |
+//! | [`modules`] | Fig. 10 (prediction module), Fig. 11 (reconciliation) |
+//! | [`system`] | Table I, Figs. 12, 13, 14 — system-level evaluation |
+//! | [`security`] | Figs. 15, 16 and Table II — attacks and randomness |
+//! | [`power`] | Table III — computation time and energy |
+//! | [`ablate`] | Design-choice ablations beyond the paper |
+
+pub mod ablate;
+pub mod modules;
+pub mod power;
+pub mod prelim;
+pub mod security;
+pub mod system;
+
+use mobility::ScenarioKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use testbed::{Campaign, Testbed, TestbedConfig};
+
+/// RNG for an experiment, derived from the base seed and a label.
+pub fn rng_for(label: &str) -> StdRng {
+    let mut h = crate::base_seed();
+    for b in label.bytes() {
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Generate a campaign with the standard testbed configuration.
+pub fn campaign(
+    kind: ScenarioKind,
+    rounds: usize,
+    speed_kmh: f64,
+    config: TestbedConfig,
+    rng: &mut StdRng,
+) -> Campaign {
+    let duration = rounds as f64 * config.round_interval_s + 60.0;
+    let mut tb = Testbed::generate(kind, duration, speed_kmh, config, rng);
+    tb.run(rounds, rng)
+}
+
+/// All experiment names, in paper order.
+pub const ALL: &[&str] = &[
+    "fig2a", "fig2b", "fig3", "fig4", "fig9", "fig10", "fig11", "table1", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "table2", "table3", "ablate-theta", "ablate-bloom",
+    "ablate-feature", "ablate-loss", "ablate-platoon",
+];
+
+/// Run one experiment by name; returns the rendered report.
+///
+/// # Errors
+///
+/// Returns an error message for unknown experiment names.
+pub fn run(name: &str) -> Result<String, String> {
+    match name {
+        "fig2a" => Ok(prelim::fig2a()),
+        "fig2b" => Ok(prelim::fig2b()),
+        "fig3" => Ok(prelim::fig3()),
+        "fig4" => Ok(prelim::fig4()),
+        "fig9" => Ok(prelim::fig9()),
+        "fig10" => Ok(modules::fig10()),
+        "fig11" => Ok(modules::fig11()),
+        "table1" => Ok(system::table1()),
+        "fig12" => Ok(system::fig12_13().0),
+        "fig13" => Ok(system::fig12_13().1),
+        "fig14" => Ok(system::fig14()),
+        "fig15" => Ok(security::fig15()),
+        "fig16" => Ok(security::fig16()),
+        "table2" => Ok(security::table2()),
+        "table3" => Ok(power::table3()),
+        "ablate-theta" => Ok(ablate::theta()),
+        "ablate-bloom" => Ok(ablate::bloom()),
+        "ablate-feature" => Ok(ablate::feature()),
+        "ablate-loss" => Ok(ablate::loss()),
+        "ablate-platoon" => Ok(ablate::platoon()),
+        other => Err(format!(
+            "unknown experiment '{other}'; available: {}",
+            ALL.join(", ")
+        )),
+    }
+}

@@ -1,0 +1,171 @@
+//! Module-level evaluations: Fig. 10 (prediction) and Fig. 11
+//! (reconciliation).
+
+use super::{campaign, rng_for};
+use crate::table::{pct, Table};
+use crate::scaled;
+use mobility::ScenarioKind;
+use quantize::BitString;
+use rand::RngExt;
+use reconcile::{AutoencoderTrainer, BchReconciler, CsReconciler, Reconciler};
+use testbed::TestbedConfig;
+use vehicle_key::metrics::Summary;
+use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+
+/// Fig. 10: key agreement rate with and without the prediction module, per
+/// scenario. "Without" quantizes Alice's raw arRSSI window directly (the
+/// classic pipeline); "with" uses the trained joint model.
+pub fn fig10() -> String {
+    let mut t = Table::new(
+        "Fig. 10: impact of the prediction module",
+        &["scenario", "without prediction", "with prediction", "gain"],
+    );
+    let sessions = scaled(6, 3);
+    for kind in ScenarioKind::ALL {
+        let mut rng = rng_for(&format!("fig10-{kind}"));
+        let mut cfg = PipelineConfig::fast();
+        // Module-level study at the paper's 2-bit quantization density
+        // (64-bit key space per 32-sample window): the multi-bit Gray
+        // "band" bits are where prediction pays; the deployed pipeline
+        // defaults to 1 bit/sample for robustness (DESIGN.md §7.6).
+        cfg.model.key_bits = 64;
+        let pipeline = KeyPipeline::train_for(kind, &cfg, &mut rng);
+        let mut with = Vec::new();
+        let mut without = Vec::new();
+        for _ in 0..sessions {
+            let c = KeyPipeline::campaign(kind, &cfg, cfg.session_rounds, cfg.speed_kmh, &mut rng);
+            let outcome = pipeline.run_on_campaign(&c, &mut rng);
+            // Module-level comparison on full blocks (guard-band dropping
+            // masks the module difference; the deployed pipeline applies it
+            // on top of either path).
+            let streams = cfg.extractor.paired_streams(&c);
+            let model = pipeline.model();
+            let seq = cfg.model.seq_len;
+            let q = cfg.model.training_quantizer();
+            let (mut m_agree, mut r_agree, mut blocks) = (0.0f64, 0.0f64, 0.0f64);
+            let mut i = 0;
+            while i + seq <= streams.alice.len().min(streams.bob.len()) {
+                let bob_bits = model.bob_bits(&streams.bob[i..i + seq]);
+                let (_, a_bits) =
+                    model.predict(&streams.alice[i..i + seq], &streams.baseline[i..i + seq]);
+                m_agree += a_bits.agreement(&bob_bits);
+                r_agree += q
+                    .quantize(&streams.alice[i..i + seq])
+                    .bits
+                    .agreement(&bob_bits);
+                blocks += 1.0;
+                i += seq;
+            }
+            let _ = outcome;
+            with.push(m_agree / blocks.max(1.0));
+            without.push(r_agree / blocks.max(1.0));
+        }
+        let sw = Summary::of(&with);
+        let swo = Summary::of(&without);
+        t.row(&[
+            kind.to_string(),
+            format!("{} ± {}", pct(swo.mean), pct(swo.std)),
+            format!("{} ± {}", pct(sw.mean), pct(sw.std)),
+            format!("{:+.2}pp", (sw.mean - swo.mean) * 100.0),
+        ]);
+    }
+    t.render()
+        + "\nPaper: +5.4 to +11.7pp in every scenario. Reproduction finding: in this simulator the\n\
+           learned model MATCHES direct quantization (gain ~0±2pp) but does not beat it — the\n\
+           simulated Alice/Bob discrepancy is dominated by fading decorrelation, which is\n\
+           information-theoretically unpredictable; the paper's gain implies real LoRa channels\n\
+           carry predictable structure (hardware response, interference patterns) beyond this\n\
+           channel model. See EXPERIMENTS.md for the full discussion.\n"
+}
+
+/// Fig. 11: reconciliation comparison — the autoencoder at 16/32/64/128
+/// hidden units versus the CS method, on the same mismatch distribution.
+pub fn fig11() -> String {
+    let mut rng = rng_for("fig11");
+    let mut t = Table::new(
+        "Fig. 11: reconciliation methods",
+        &["method", "agreement after", "decode time (µs/key)", "messages"],
+    );
+    // Mismatch distribution representative of the pipeline: 1–6 errors per
+    // 64-bit segment.
+    let trials = scaled(120, 40);
+    let make_cases = |rng: &mut rand::rngs::StdRng| -> Vec<(BitString, BitString)> {
+        (0..trials)
+            .map(|i| {
+                let kb: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+                let mut ka = kb.clone();
+                let errors = 1 + i % 6;
+                let mut placed = 0;
+                while placed < errors {
+                    let p = (rng.random::<u32>() % 64) as usize;
+                    ka.set(p, !ka.get(p));
+                    placed += 1;
+                }
+                (ka, kb)
+            })
+            .collect()
+    };
+    let cases = make_cases(&mut rng);
+    let bench = |r: &dyn Reconciler, cases: &[(BitString, BitString)]| -> (f64, f64, f64) {
+        let start = std::time::Instant::now();
+        let mut agree = 0.0;
+        let mut messages = 0.0;
+        for (ka, kb) in cases {
+            let result = r.reconcile(ka, kb);
+            agree += result.corrected.agreement(kb);
+            messages += result.messages as f64;
+        }
+        let elapsed = start.elapsed().as_micros() as f64 / cases.len() as f64;
+        (agree / cases.len() as f64, elapsed, messages / cases.len() as f64)
+    };
+    for units in [16usize, 32, 64, 128] {
+        let ae = AutoencoderTrainer::default()
+            .with_hidden_units(units)
+            .with_steps(scaled(9000, 3000))
+            .train(&mut rng);
+        let (agree, us, msgs) = bench(&ae, &cases);
+        t.row(&[
+            format!("AE-{units}"),
+            pct(agree),
+            format!("{us:.1}"),
+            format!("{msgs:.0}"),
+        ]);
+    }
+    let cs = CsReconciler::paper_default();
+    let (agree, us, msgs) = bench(&cs, &cases);
+    t.row(&["CS 20x64".into(), pct(agree), format!("{us:.1}"), format!("{msgs:.0}")]);
+    // Extension beyond the paper's figure: classical BCH syndrome exchange.
+    let bch = BchReconciler::new(4);
+    let (agree, us, msgs) = bench(&bch, &cases);
+    t.row(&[
+        "BCH(63,t=4)".into(),
+        pct(agree),
+        format!("{us:.1}"),
+        format!("{msgs:.0}"),
+    ]);
+    t.render()
+        + "\nPaper shape: AE agreement grows with units and beats CS; AE decode is cheaper than\n\
+           CS-OMP. BCH (not in the paper's figure) is exact up to t errors then fails detectably.\n"
+}
+
+/// Shared helper: quantizer-only agreement on a fresh campaign (used by
+/// ablations as the "no model" reference).
+pub fn raw_agreement(kind: ScenarioKind, rounds: usize, seed_label: &str) -> f64 {
+    let mut rng = rng_for(seed_label);
+    let cfg = PipelineConfig::default();
+    let c = campaign(kind, rounds, 50.0, TestbedConfig::default(), &mut rng);
+    let streams = cfg.extractor.paired_streams(&c);
+    let q = cfg.model.bob_quantizer();
+    let mut agree = 0.0f64;
+    let mut blocks = 0.0f64;
+    let seq = cfg.model.seq_len;
+    let mut i = 0;
+    while i + seq <= streams.alice.len().min(streams.bob.len()) {
+        let ob = q.quantize(&streams.bob[i..i + seq]);
+        let ka = q.quantize_with_kept(&streams.alice[i..i + seq], &ob.kept);
+        agree += ka.agreement(&ob.bits);
+        blocks += 1.0;
+        i += seq;
+    }
+    agree / blocks.max(1.0)
+}

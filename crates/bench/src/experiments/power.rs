@@ -1,0 +1,95 @@
+//! Table III: per-stage computation time and energy for one 128-bit key.
+//!
+//! The paper measures a Raspberry Pi 4 with a power monitor. Here the time
+//! is measured on the build host and the energy derived from a documented
+//! power model (RPi 4 active CPU power ≈ 3.8 W); see DESIGN.md's
+//! substitution table. The Criterion benches (`cargo bench -p bench`)
+//! repeat these timings with statistical rigor.
+
+use super::rng_for;
+use crate::table::Table;
+use mobility::ScenarioKind;
+use quantize::BitString;
+use rand::RngExt;
+use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+
+/// Active CPU power of the paper's target platform (Raspberry Pi 4), watts.
+pub const RPI4_ACTIVE_WATTS: f64 = 3.8;
+
+/// Time one closure over `iters` runs, returning seconds per run.
+fn time_per_run(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Table III: computation time and modeled energy per 128-bit key.
+pub fn table3() -> String {
+    let mut rng = rng_for("table3");
+    let cfg = PipelineConfig::fast();
+    let pipeline = KeyPipeline::train_for(ScenarioKind::V2iUrban, &cfg, &mut rng);
+    let model = pipeline.model();
+    let reconciler = pipeline.reconciler();
+
+    // Inputs representative of one 128-bit key: two 64-bit blocks, i.e. two
+    // 32-sample windows per side.
+    let window: Vec<f64> = (0..cfg.model.seq_len)
+        .map(|i| -2.0 + ((i * 37 % 13) as f64) * 0.4)
+        .collect();
+    let baselines: Vec<f64> = vec![-95.0; cfg.model.seq_len];
+    let key: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+    let syndrome = reconciler.bob_syndrome(&key);
+
+    let iters = 200;
+    // Alice: the joint BiLSTM model, twice per key (two 64-bit blocks).
+    let alice_pq = 2.0 * time_per_run(iters, || {
+        let _ = model.predict(&window, &baselines);
+    });
+    // Bob: the quantizer, twice per key.
+    let bob_pq = 2.0 * time_per_run(iters, || {
+        let _ = model.bob_bits_kept(&window);
+    });
+    // Alice: reconciliation decode (syndrome → corrected key), twice.
+    let alice_rec = 2.0 * time_per_run(iters, || {
+        let _ = reconciler.alice_correct(&syndrome, &key);
+    });
+    // Bob: reconciliation encode (syndrome), twice.
+    let bob_rec = 2.0 * time_per_run(iters, || {
+        let _ = reconciler.bob_syndrome(&key);
+    });
+
+    let ms = |s: f64| format!("{:.4}", s * 1e3);
+    let mj = |s: f64| format!("{:.4}", s * RPI4_ACTIVE_WATTS * 1e3);
+    let mut t = Table::new(
+        "Table III: computation time and energy per 128-bit key",
+        &["stage", "Alice time (ms)", "Bob time (ms)", "Alice energy (mJ)", "Bob energy (mJ)"],
+    );
+    t.row(&[
+        "Prediction and quantization".into(),
+        ms(alice_pq),
+        ms(bob_pq),
+        mj(alice_pq),
+        mj(bob_pq),
+    ]);
+    t.row(&[
+        "Reconciliation".into(),
+        ms(alice_rec),
+        ms(bob_rec),
+        mj(alice_rec),
+        mj(bob_rec),
+    ]);
+    t.row(&[
+        "Total".into(),
+        ms(alice_pq + alice_rec),
+        ms(bob_pq + bob_rec),
+        mj(alice_pq + alice_rec),
+        mj(bob_pq + bob_rec),
+    ]);
+    t.render()
+        + &format!(
+            "\nEnergy modeled as time x {RPI4_ACTIVE_WATTS} W (RPi 4 active power).\n\
+             Paper shape: milliseconds on Alice, far less on Bob; reconciliation cost negligible next to the model.\n"
+        )
+}

@@ -1,0 +1,224 @@
+//! The preliminary study: Figs. 2(a), 2(b), 3, 4 and 9.
+
+use super::{campaign, rng_for};
+use crate::table::{f3, Table};
+use crate::scaled;
+use lora_phy::{Bandwidth, CodeRate, LoRaConfig, SpreadingFactor};
+use mobility::ScenarioKind;
+use testbed::{pearson, TestbedConfig};
+use vehicle_key::features::ArRssiExtractor;
+
+/// Correlation of the locally-detrended series: each series has its
+/// 7-round centered moving average removed before Pearson. Raw Pearson over
+/// a long drive is dominated by the shared distance trend (both sides
+/// measure the same path loss); the paper's correlation statistic reflects
+/// how well the round-scale *variations* agree, which local detrending
+/// isolates.
+fn diff_corr(a: &[f64], b: &[f64]) -> f64 {
+    fn detrend(v: &[f64]) -> Vec<f64> {
+        let w = 3usize; // half-window
+        (0..v.len())
+            .map(|i| {
+                let lo = i.saturating_sub(w);
+                let hi = (i + w + 1).min(v.len());
+                let mean = v[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+                v[i] - mean
+            })
+            .collect()
+    }
+    pearson(&detrend(a), &detrend(b))
+}
+
+/// Reciprocity that survives the probe exchange: the correlation of the
+/// detrended boundary-arRSSI features — the exact quantity the key pipeline
+/// consumes. The boundary window is a fixed *fraction* of the packet, so a
+/// lower data rate stretches it (and its gap) in time, degrading the
+/// correlation exactly as the paper's ΔT-vs-coherence-time analysis
+/// predicts.
+fn lag_corr(c: &testbed::Campaign) -> f64 {
+    let ex = ArRssiExtractor::default();
+    let s = ex.paired_streams(c);
+    pearson(&s.alice, &s.bob)
+}
+
+/// Fig. 2(a): Pearson correlation of the two parties' pRSSI series as the
+/// data rate falls (fixed 50 km/h). The paper's rates 23–1172 bps map to
+/// real SF/BW/CR combinations.
+pub fn fig2a() -> String {
+    let mut rng = rng_for("fig2a");
+    let configs: Vec<LoRaConfig> = vec![
+        LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz15_6, CodeRate::Cr4_8), // ≈23 bps
+        LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz31_25, CodeRate::Cr4_8), // ≈46
+        LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz62_5, CodeRate::Cr4_8), // ≈92
+        LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodeRate::Cr4_8),  // ≈183
+        LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodeRate::Cr4_5),  // ≈293
+        LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz250, CodeRate::Cr4_5),  // ≈586
+        LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz500, CodeRate::Cr4_5),  // ≈1172
+    ];
+    let rounds = scaled(150, 40);
+    let mut t = Table::new(
+        "Fig. 2(a): pRSSI correlation vs data rate (50 km/h)",
+        &["data rate (bps)", "airtime (s)", "boundary corr", "raw series corr"],
+    );
+    for cfg in configs {
+        let mut tb_cfg = TestbedConfig::default().with_lora(cfg);
+        // Faster rates allow denser probing.
+        tb_cfg.round_interval_s = (2.2 * cfg.airtime(16) + 0.1).max(0.5);
+        let runs = 4;
+        let mut raw = 0.0;
+        let mut det = 0.0;
+        for _ in 0..runs {
+            let c = campaign(ScenarioKind::V2vUrban, rounds, 50.0, tb_cfg, &mut rng);
+            raw += pearson(&c.alice_prssi(), &c.bob_prssi());
+            det += lag_corr(&c);
+        }
+        t.row(&[
+            format!("{:.0}", cfg.bit_rate_bps()),
+            format!("{:.2}", cfg.airtime(16)),
+            f3(det / f64::from(runs)),
+            f3(raw / f64::from(runs)),
+        ]);
+    }
+    t.render()
+        + "\nPaper: raw correlation falls monotonically as the data rate falls (< 0.6 below ~293 bps).\n\
+           Simulator note: the boundary column measures the reciprocity the key pipeline actually\n\
+           uses (detrended boundary arRSSI; the window is a fixed packet fraction, so low rates\n\
+           stretch it beyond coherence time). The raw column (series Pearson) instead mixes in the\n\
+           Eve-visible distance trend, which long packet averaging amplifies. See EXPERIMENTS.md.\n"
+}
+
+/// Fig. 2(b): pRSSI correlation as vehicle speed rises (fixed 183 bps).
+pub fn fig2b() -> String {
+    let mut rng = rng_for("fig2b");
+    let rounds = scaled(150, 40);
+    let mut t = Table::new(
+        "Fig. 2(b): pRSSI correlation vs speed (183 bps)",
+        &["speed (km/h)", "boundary corr", "raw series corr"],
+    );
+    for speed in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0] {
+        let runs = 4;
+        let mut raw = 0.0;
+        let mut det = 0.0;
+        for _ in 0..runs {
+            let c = campaign(
+                ScenarioKind::V2vUrban,
+                rounds,
+                speed,
+                TestbedConfig::default(),
+                &mut rng,
+            );
+            raw += pearson(&c.alice_prssi(), &c.bob_prssi());
+            det += lag_corr(&c);
+        }
+        t.row(&[
+            format!("{speed:.0}"),
+            f3(det / f64::from(runs)),
+            f3(raw / f64::from(runs)),
+        ]);
+    }
+    t.render()
+        + "\nPaper: correlation falls with speed (< 0.6 beyond ~30 km/h); the boundary column is the\n\
+           reciprocity-relevant statistic.\n"
+}
+
+/// Fig. 3: pRSSI vs boundary-arRSSI correlation in the four experiments.
+pub fn fig3() -> String {
+    let mut rng = rng_for("fig3");
+    let rounds = scaled(150, 40);
+    let ex = ArRssiExtractor::default();
+    let mut t = Table::new(
+        "Fig. 3: pRSSI vs arRSSI correlation by scenario",
+        &["experiment", "scenario", "pRSSI corr", "arRSSI corr"],
+    );
+    // Paper order: Exp.1 V2V rural, Exp.2 V2I rural, Exp.3 V2V urban,
+    // Exp.4 V2I urban.
+    let order = [
+        (1, ScenarioKind::V2vRural),
+        (2, ScenarioKind::V2iRural),
+        (3, ScenarioKind::V2vUrban),
+        (4, ScenarioKind::V2iUrban),
+    ];
+    for (idx, kind) in order {
+        let c = campaign(kind, rounds, 50.0, TestbedConfig::default(), &mut rng);
+        let r_p = diff_corr(&c.alice_prssi(), &c.bob_prssi());
+        let (a, b) = ex.boundary_series(&c);
+        let r_ar = pearson(&a, &b);
+        t.row(&[
+            format!("Exp.{idx}"),
+            kind.to_string(),
+            f3(r_p),
+            f3(r_ar),
+        ]);
+    }
+    t.render() + "\nPaper shape: arRSSI correlation well above pRSSI in every scenario.\n"
+}
+
+/// Fig. 4: rRSSI time series of one probe exchange (downsampled), showing
+/// Bob's tail close to Alice's head.
+pub fn fig4() -> String {
+    let mut rng = rng_for("fig4");
+    let c = campaign(
+        ScenarioKind::V2vUrban,
+        1,
+        50.0,
+        TestbedConfig::default(),
+        &mut rng,
+    );
+    let round = &c.rounds[0];
+    let mut out = String::from("== Fig. 4: rRSSI within one probe exchange ==\n");
+    let dump = |label: &str, readings: &[lora_phy::RssiReading]| -> String {
+        let step = (readings.len() / 16).max(1);
+        let series: Vec<String> = readings
+            .iter()
+            .step_by(step)
+            .map(|r| format!("{:.0}", r.rssi_dbm))
+            .collect();
+        format!("{label:<18} {}\n", series.join(" "))
+    };
+    out.push_str(&dump("Bob rRSSI (dBm):", &round.bob_rrssi));
+    out.push_str(&dump("Alice rRSSI (dBm):", &round.alice_rrssi));
+    let ex = ArRssiExtractor::default();
+    let (a, b) = ex.boundary_pair(round);
+    let base = ex.shared_baseline(round);
+    out.push_str(&format!(
+        "boundary arRSSI: Bob tail {:.1} dB vs Alice head {:.1} dB (detrended vs baseline {base:.1} dBm)\n",
+        b, a
+    ));
+    out.push_str(
+        "Paper shape: values vary within the packet; the end of the first reception is close to the start of the second.\n",
+    );
+    out
+}
+
+/// Fig. 9: boundary-window fraction sweep — correlation rises with
+/// averaging, then falls once the window exceeds the channel coherence.
+pub fn fig9() -> String {
+    let mut rng = rng_for("fig9");
+    let rounds = scaled(200, 60);
+    let c = campaign(
+        ScenarioKind::V2vUrban,
+        rounds,
+        50.0,
+        TestbedConfig::default(),
+        &mut rng,
+    );
+    let mut t = Table::new(
+        "Fig. 9: arRSSI window fraction vs correlation",
+        &["window %", "correlation"],
+    );
+    let mut best = (0.0f64, 0.0f64);
+    for pctage in [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 15.0, 20.0, 30.0, 50.0] {
+        let ex = ArRssiExtractor::new(pctage / 100.0, 1);
+        let (a, b) = ex.boundary_series(&c);
+        let r = pearson(&a, &b);
+        if r > best.1 {
+            best = (pctage, r);
+        }
+        t.row(&[format!("{pctage:.1}"), f3(r)]);
+    }
+    t.render()
+        + &format!(
+            "peak at {:.1}% (corr {:.3})\nPaper shape: rises then falls, peak near ~10%.\n",
+            best.0, best.1
+        )
+}

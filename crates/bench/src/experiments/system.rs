@@ -1,0 +1,215 @@
+//! System-level evaluation: Table I (devices × speeds), Figs. 12/13
+//! (state-of-the-art comparison) and Fig. 14 (generalization).
+
+use super::rng_for;
+use crate::scaled;
+use crate::table::{pct, Table};
+use baselines::{GaoScheme, HanScheme, KeyScheme, LoRaKey};
+use lora_phy::DeviceKind;
+use mobility::ScenarioKind;
+use vehicle_key::metrics::Summary;
+use vehicle_key::model::PredictionQuantizationModel;
+use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+
+/// Table I: key agreement rate per device type and speed.
+pub fn table1() -> String {
+    let mut t = Table::new(
+        "Table I: agreement rate by device and speed",
+        &["device", "30 km/h", "60 km/h", "90 km/h", "mean"],
+    );
+    let sessions = scaled(4, 2);
+    let mut col_totals = [0.0f64; 3];
+    let mut rows = 0.0;
+    for device in DeviceKind::ALL {
+        let mut rng = rng_for(&format!("table1-{device}"));
+        let mut cfg = PipelineConfig::fast();
+        cfg.testbed = cfg.testbed.with_devices(device);
+        let pipeline = KeyPipeline::train_for(ScenarioKind::V2iUrban, &cfg, &mut rng);
+        let mut cells = Vec::new();
+        let mut row_total = 0.0;
+        for (i, speed) in [30.0, 60.0, 90.0].iter().enumerate() {
+            let mut vals = Vec::new();
+            for _ in 0..sessions {
+                let c = KeyPipeline::campaign(
+                    ScenarioKind::V2iUrban,
+                    &cfg,
+                    cfg.session_rounds,
+                    *speed,
+                    &mut rng,
+                );
+                vals.push(pipeline.run_on_campaign(&c, &mut rng).reconciled_agreement);
+            }
+            let s = Summary::of(&vals);
+            col_totals[i] += s.mean;
+            row_total += s.mean;
+            cells.push(pct(s.mean));
+        }
+        rows += 1.0;
+        t.row(&[
+            device.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            pct(row_total / 3.0),
+        ]);
+    }
+    t.row(&[
+        "Mean".into(),
+        pct(col_totals[0] / rows),
+        pct(col_totals[1] / rows),
+        pct(col_totals[2] / rows),
+        pct(col_totals.iter().sum::<f64>() / (3.0 * rows)),
+    ]);
+    t.render()
+        + "\nPaper shape: agreement high for all three devices and degrades only slightly with speed.\n"
+}
+
+/// Figs. 12 and 13: Vehicle-Key vs LoRa-Key, Han et al. and Gao et al. —
+/// key agreement rate and key generation rate per scenario.
+pub fn fig12_13() -> (String, String) {
+    let mut kar = Table::new(
+        "Fig. 12: key agreement rate vs state of the art",
+        &["scenario", "Vehicle-Key", "LoRa-Key", "Han et al.", "Gao et al."],
+    );
+    let mut keys = Table::new(
+        "Fig. 12b: 128-bit key success rate (all bits must agree)",
+        &["scenario", "Vehicle-Key", "LoRa-Key", "Han et al.", "Gao et al."],
+    );
+    let mut kgr = Table::new(
+        "Fig. 13: key generation rate (bit/s) vs state of the art",
+        &["scenario", "Vehicle-Key", "LoRa-Key", "Han et al.", "Gao et al."],
+    );
+    let sessions = scaled(4, 2);
+    let mut vk_total = (0.0, 0.0);
+    let mut base_best = (0.0f64, 0.0f64);
+    for kind in ScenarioKind::ALL {
+        let mut rng = rng_for(&format!("fig12-{kind}"));
+        let cfg = PipelineConfig::fast();
+        let pipeline = KeyPipeline::train_for(kind, &cfg, &mut rng);
+        let (mut vk_a, mut vk_r, mut vk_k) = (Vec::new(), Vec::new(), Vec::new());
+        let mut base_a = [Vec::new(), Vec::new(), Vec::new()];
+        let mut base_r = [Vec::new(), Vec::new(), Vec::new()];
+        let mut base_k = [Vec::new(), Vec::new(), Vec::new()];
+        let schemes: [Box<dyn KeyScheme>; 3] = [
+            Box::new(LoRaKey::default()),
+            Box::new(HanScheme::default()),
+            Box::new(GaoScheme::default()),
+        ];
+        for _ in 0..sessions {
+            let c = KeyPipeline::campaign(kind, &cfg, cfg.session_rounds, cfg.speed_kmh, &mut rng);
+            let outcome = pipeline.run_on_campaign(&c, &mut rng);
+            vk_a.push(outcome.reconciled_agreement);
+            vk_r.push(outcome.raw_rate_bits_per_s());
+            vk_k.push(if outcome.key_match_rate.is_nan() { 0.0 } else { outcome.key_match_rate });
+            for (i, s) in schemes.iter().enumerate() {
+                let o = s.run(&c);
+                base_a[i].push(o.reconciled_agreement);
+                base_r[i].push(o.raw_bits as f64 / c.duration_s().max(1e-9));
+                base_k[i].push(if o.key_match_rate.is_nan() { 0.0 } else { o.key_match_rate });
+            }
+        }
+        let fmt = |v: &[f64]| {
+            let s = Summary::of(v);
+            format!("{} ± {}", pct(s.mean), pct(s.std))
+        };
+        let fmt_rate = |v: &[f64]| {
+            let s = Summary::of(v);
+            format!("{:.3} ± {:.3}", s.mean, s.std)
+        };
+        kar.row(&[
+            kind.to_string(),
+            fmt(&vk_a),
+            fmt(&base_a[0]),
+            fmt(&base_a[1]),
+            fmt(&base_a[2]),
+        ]);
+        kgr.row(&[
+            kind.to_string(),
+            fmt_rate(&vk_r),
+            fmt_rate(&base_r[0]),
+            fmt_rate(&base_r[1]),
+            fmt_rate(&base_r[2]),
+        ]);
+        keys.row(&[
+            kind.to_string(),
+            pct(Summary::of(&vk_k).mean),
+            pct(Summary::of(&base_k[0]).mean),
+            pct(Summary::of(&base_k[1]).mean),
+            pct(Summary::of(&base_k[2]).mean),
+        ]);
+        vk_total.0 += Summary::of(&vk_a).mean;
+        vk_total.1 += Summary::of(&vk_r).mean;
+        base_best.0 += Summary::of(&base_a[2]).mean; // Gao: best baseline KAR
+        base_best.1 += Summary::of(&base_r[0]).mean; // LoRa-Key: fastest baseline
+    }
+    let kar_str = kar.render()
+        + "\n"
+        + &keys.render()
+        + &format!(
+            "\nVehicle-Key bit-level mean {} (paper: +15.1% over Gao, +49.8% over LoRa-Key).\n\
+             Key-success is the all-or-nothing metric: baselines rarely complete an identical 128-bit key.\n",
+            pct(vk_total.0 / 4.0)
+        );
+    let _ = base_best.0;
+    let kgr_str = kgr.render()
+        + &format!(
+            "\nVehicle-Key mean {:.3} bit/s vs fastest baseline {:.3} bit/s — ratio {:.1}x (paper: 9–14x).\n",
+            vk_total.1 / 4.0,
+            base_best.1 / 4.0,
+            (vk_total.1 / 4.0) / (base_best.1 / 4.0).max(1e-9)
+        );
+    (kar_str, kgr_str)
+}
+
+/// Fig. 14: generalization — fine-tune the V2I-Urban (M1) base model on a
+/// fraction of a new scenario's data for 20 epochs vs training from
+/// scratch.
+pub fn fig14() -> String {
+    let mut rng = rng_for("fig14");
+    let cfg = PipelineConfig::fast();
+    let base = KeyPipeline::train_for(ScenarioKind::V2iUrban, &cfg, &mut rng);
+    let mut t = Table::new(
+        "Fig. 14: transfer learning from M1 (V2I-Urban)",
+        &["target", "scratch-20ep", "transfer-10%", "transfer-50%", "transfer-100%"],
+    );
+    for kind in [ScenarioKind::V2iRural, ScenarioKind::V2vUrban, ScenarioKind::V2vRural] {
+        // Target-scenario data.
+        let train_campaign =
+            KeyPipeline::campaign(kind, &cfg, scaled(240, 80), cfg.speed_kmh, &mut rng);
+        let streams = cfg.extractor.paired_streams(&train_campaign);
+        let dataset =
+            PredictionQuantizationModel::build_dataset_stride(&cfg.model, &streams, 2);
+        let eval_campaign =
+            KeyPipeline::campaign(kind, &cfg, cfg.session_rounds, cfg.speed_kmh, &mut rng);
+        let eval = |pipeline: &KeyPipeline, rng: &mut rand::rngs::StdRng| {
+            pipeline.run_on_campaign(&eval_campaign, rng).bit_agreement
+        };
+        // Scratch: fresh model, 20 epochs on the full target data.
+        let mut scratch_model = PredictionQuantizationModel::new(cfg.model, &mut rng);
+        scratch_model.train_epochs(&dataset, 20, &mut rng);
+        let scratch_pipe = KeyPipeline::from_parts(
+            cfg,
+            scratch_model,
+            base.reconciler().clone(),
+        );
+        let scratch = eval(&scratch_pipe, &mut rng);
+        // Transfer: base model fine-tuned 20 epochs on a fraction.
+        let mut cells = vec![pct(scratch)];
+        for frac in [0.10, 0.50, 1.0] {
+            let n = ((dataset.len() as f64) * frac) as usize;
+            let mut model = base.model().clone();
+            model.train_epochs(&dataset[..n.max(8).min(dataset.len())], 20, &mut rng);
+            let pipe = KeyPipeline::from_parts(cfg, model, base.reconciler().clone());
+            cells.push(pct(eval(&pipe, &mut rng)));
+        }
+        t.row(&[
+            format!("M1→{}", kind.model_name()),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            cells[3].clone(),
+        ]);
+    }
+    t.render()
+        + "\nPaper shape: 20-epoch fine-tuning with 10% of target data rivals or beats 20-epoch scratch training.\n"
+}

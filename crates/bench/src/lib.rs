@@ -1,0 +1,40 @@
+//! Benchmark harness regenerating every table and figure of the
+//! Vehicle-Key paper.
+//!
+//! Each experiment in [`experiments`] reproduces one table or figure of the
+//! paper's evaluation (Sec. V) against the simulated testbed and renders the
+//! same rows/series the paper reports. The `repro` binary dispatches on the
+//! experiment name (`repro fig12`, `repro table2`, `repro all`, …); the
+//! Criterion benches cover the timing-based Table III.
+//!
+//! Absolute numbers come from a simulator, not the authors' testbed; the
+//! *shape* of each result — who wins, by roughly what factor, where the
+//! crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Deterministic base seed for every experiment (override with the
+/// `VK_SEED` environment variable).
+pub fn base_seed() -> u64 {
+    std::env::var("VK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_4B1D)
+}
+
+/// Scale factor for experiment sizes (override with `VK_SCALE`, e.g. 0.25
+/// for a quick pass, 2.0 for tighter statistics).
+pub fn scale() -> f64 {
+    std::env::var("VK_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scale a nominal count by [`scale`], with a floor.
+pub fn scaled(n: usize, floor: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(floor)
+}

@@ -1,0 +1,119 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to an aligned string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}%", x * 100.0)
+    }
+}
+
+/// Format a float to 3 decimals.
+pub fn f3(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "header"]);
+        t.row(&["1".into(), "x".into()]);
+        t.row(&["223".into(), "y".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.lines().count() >= 4);
+        // All data lines equal length after trim of trailing spaces is not
+        // guaranteed, but columns must be separated.
+        assert!(s.contains("223  y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn rejects_mismatched_rows() {
+        Table::new("t", &["a"]).row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.98872), "98.87%");
+        assert_eq!(pct(f64::NAN), "n/a");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,81 @@
+//! Smoke tests for the experiment harness: the cheap (no-training)
+//! experiments must run end to end and produce their expected report
+//! structure. The training-heavy experiments are exercised by the `repro`
+//! binary itself.
+
+use bench::experiments;
+
+fn set_small_scale() {
+    // Shared across tests in this process; every test sets the same value,
+    // so races are benign.
+    std::env::set_var("VK_SCALE", "0.15");
+}
+
+#[test]
+fn unknown_experiment_is_an_error() {
+    let err = experiments::run("fig99").unwrap_err();
+    assert!(err.contains("unknown experiment"));
+    assert!(err.contains("fig12"), "error should list the options");
+}
+
+#[test]
+fn all_list_is_complete_and_dispatchable() {
+    // Every listed experiment must at least be recognized by the
+    // dispatcher (we only *run* the cheap ones here).
+    assert!(experiments::ALL.len() >= 19);
+    for name in experiments::ALL {
+        assert!(
+            !name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+            "odd experiment name {name}"
+        );
+    }
+}
+
+#[test]
+fn fig3_reports_all_four_experiments() {
+    set_small_scale();
+    let report = experiments::run("fig3").unwrap();
+    for label in ["Exp.1", "Exp.2", "Exp.3", "Exp.4", "arRSSI"] {
+        assert!(report.contains(label), "missing {label} in:\n{report}");
+    }
+}
+
+#[test]
+fn fig4_shows_both_parties() {
+    set_small_scale();
+    let report = experiments::run("fig4").unwrap();
+    assert!(report.contains("Bob rRSSI"));
+    assert!(report.contains("Alice rRSSI"));
+    assert!(report.contains("boundary arRSSI"));
+}
+
+#[test]
+fn fig9_sweeps_the_window() {
+    set_small_scale();
+    let report = experiments::run("fig9").unwrap();
+    assert!(report.contains("window %"));
+    assert!(report.contains("peak at"));
+    // All sweep points present.
+    for p in ["0.5", "10.0", "50.0"] {
+        assert!(report.contains(p), "missing sweep point {p}");
+    }
+}
+
+#[test]
+fn fig16_prints_three_traces() {
+    set_small_scale();
+    let report = experiments::run("fig16").unwrap();
+    for who in ["Alice", "Bob", "Eve"] {
+        assert!(report.contains(who), "missing {who}");
+    }
+    assert!(report.contains("detrended residuals"));
+}
+
+#[test]
+fn ablate_feature_compares_both_features() {
+    set_small_scale();
+    let report = experiments::run("ablate-feature").unwrap();
+    assert!(report.contains("pRSSI"));
+    assert!(report.contains("boundary arRSSI"));
+    assert!(report.contains("Eve agreement"));
+}

@@ -1,0 +1,286 @@
+//! Small-scale multipath fading via a sum-of-sinusoids (Clarke) process.
+//!
+//! The scattered field at a moving receiver is the superposition of many
+//! plane waves arriving from random angles `α_n`; motion at Doppler frequency
+//! `f_d` rotates each component at `f_d·cos(α_n)`. With enough sinusoids the
+//! complex gain is Gaussian, its envelope Rayleigh, and its autocorrelation
+//! is `J₀(2π f_d Δt)` — exactly the coherence behaviour the paper's analysis
+//! relies on. A Rician variant adds a line-of-sight component with factor
+//! `K` for the rural scenarios.
+//!
+//! The process is **analytic in time**: it can be evaluated at any instant,
+//! which is what lets the testbed sample Alice's and Bob's measurements at
+//! their true (airtime-separated) timestamps from the *same* realization —
+//! reciprocity by construction.
+
+use crate::Environment;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Kind of small-scale fading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FadingKind {
+    /// Pure scattered field (urban NLOS).
+    Rayleigh,
+    /// Scattered field plus a dominant line-of-sight path with Rice factor
+    /// `k` (linear power ratio; rural LOS uses `k ≈ 6`).
+    Rician {
+        /// Rice factor `K` (LOS power / scattered power), linear.
+        k: f64,
+    },
+}
+
+impl FadingKind {
+    /// Fading kind for an environment, as motivated in the paper's
+    /// preliminary study: Rayleigh in urban NLOS, Rician in rural LOS.
+    pub fn for_environment(env: Environment) -> Self {
+        match env {
+            Environment::Urban => FadingKind::Rayleigh,
+            Environment::Rural => FadingKind::Rician { k: 3.0 },
+        }
+    }
+}
+
+/// A frozen sum-of-sinusoids fading realization.
+///
+/// Time enters in **Doppler cycles** `x = f_d · t`, so one realization can be
+/// reused at different speeds by scaling the argument; correlation between
+/// samples `Δx` cycles apart is `≈ J₀(2πΔx)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FadingProcess {
+    kind: FadingKind,
+    /// Arrival-angle cosines of the scattered components.
+    cos_alpha: Vec<f64>,
+    /// Initial phases of the scattered components (radians).
+    phases: Vec<f64>,
+    /// LOS arrival-angle cosine (Rician only).
+    los_cos: f64,
+    /// LOS initial phase.
+    los_phase: f64,
+}
+
+impl FadingProcess {
+    /// Number of sinusoids: enough for Gaussian statistics, cheap to sample.
+    pub const DEFAULT_SINUSOIDS: usize = 48;
+
+    /// Draw a new realization.
+    pub fn new<R: Rng + ?Sized>(kind: FadingKind, rng: &mut R) -> Self {
+        FadingProcess::with_sinusoids(kind, Self::DEFAULT_SINUSOIDS, rng)
+    }
+
+    /// Draw a new realization with an explicit number of sinusoids.
+    pub fn with_sinusoids<R: Rng + ?Sized>(kind: FadingKind, n: usize, rng: &mut R) -> Self {
+        let tau = std::f64::consts::TAU;
+        let cos_alpha = (0..n)
+            .map(|i| {
+                // Stratified angles + random jitter: better J0 convergence
+                // than i.i.d. angles at the same N.
+                let base = tau * (i as f64 + rng.random::<f64>()) / n as f64;
+                base.cos()
+            })
+            .collect();
+        let phases = (0..n).map(|_| rng.random::<f64>() * tau).collect();
+        FadingProcess {
+            kind,
+            cos_alpha,
+            phases,
+            los_cos: (rng.random::<f64>() * tau).cos(),
+            los_phase: rng.random::<f64>() * tau,
+        }
+    }
+
+    /// Kind of this process.
+    pub fn kind(&self) -> FadingKind {
+        self.kind
+    }
+
+    /// Complex gain `(re, im)` after `x` Doppler cycles. `E[|g|²] = 1`.
+    pub fn gain_at_cycles(&self, x: f64) -> (f64, f64) {
+        let tau = std::f64::consts::TAU;
+        let n = self.cos_alpha.len() as f64;
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (c, p) in self.cos_alpha.iter().zip(&self.phases) {
+            let phi = tau * c * x + p;
+            re += phi.cos();
+            im += phi.sin();
+        }
+        let scale = (1.0 / n).sqrt();
+        let (mut re, mut im) = (re * scale, im * scale);
+        if let FadingKind::Rician { k } = self.kind {
+            let los_amp = (k / (k + 1.0)).sqrt();
+            let scatter_amp = (1.0 / (k + 1.0)).sqrt();
+            let phi = tau * self.los_cos * x + self.los_phase;
+            re = re * scatter_amp + los_amp * phi.cos();
+            im = im * scatter_amp + los_amp * phi.sin();
+        }
+        (re, im)
+    }
+
+    /// Envelope `|g|` after `x` Doppler cycles.
+    pub fn envelope_at_cycles(&self, x: f64) -> f64 {
+        let (re, im) = self.gain_at_cycles(x);
+        (re * re + im * im).sqrt()
+    }
+
+    /// Fading contribution in dB: `20·log₁₀|g|`, floored at −60 dB to keep
+    /// deep fades finite.
+    pub fn db_at_cycles(&self, x: f64) -> f64 {
+        (20.0 * self.envelope_at_cycles(x).log10()).max(-60.0)
+    }
+
+    /// A process correlated with `self` at coefficient `rho ∈ [0, 1]`:
+    /// `g' = ρ·g + √(1−ρ²)·g_indep`. Used for eavesdroppers a finite number
+    /// of wavelengths away (`ρ = J₀(2πd/λ)` clamped to `[0, 1]`).
+    pub fn correlated_with<R: Rng + ?Sized>(&self, rho: f64, rng: &mut R) -> CorrelatedFading {
+        let rho = rho.clamp(0.0, 1.0);
+        CorrelatedFading {
+            base: self.clone(),
+            independent: FadingProcess::with_sinusoids(self.kind, self.cos_alpha.len(), rng),
+            rho,
+        }
+    }
+}
+
+/// A fading process partially correlated with a base process (eavesdropper
+/// channel tap). See [`FadingProcess::correlated_with`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelatedFading {
+    base: FadingProcess,
+    independent: FadingProcess,
+    rho: f64,
+}
+
+impl CorrelatedFading {
+    /// Correlation coefficient with the base process.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Complex gain after `x` Doppler cycles.
+    pub fn gain_at_cycles(&self, x: f64) -> (f64, f64) {
+        let (br, bi) = self.base.gain_at_cycles(x);
+        let (ir, ii) = self.independent.gain_at_cycles(x);
+        let w = (1.0 - self.rho * self.rho).sqrt();
+        (self.rho * br + w * ir, self.rho * bi + w * ii)
+    }
+
+    /// Fading contribution in dB, floored at −60 dB.
+    pub fn db_at_cycles(&self, x: f64) -> f64 {
+        let (re, im) = self.gain_at_cycles(x);
+        (20.0 * (re * re + im * im).sqrt().log10()).max(-60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::bessel_j0;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let (ma, mb) = (mean(a), mean(b));
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+        let vb: f64 = b.iter().map(|x| (x - mb).powi(2)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn unit_mean_power() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for kind in [FadingKind::Rayleigh, FadingKind::Rician { k: 6.0 }] {
+            let p = FadingProcess::new(kind, &mut rng);
+            let pow: f64 = (0..20_000)
+                .map(|i| {
+                    let (re, im) = p.gain_at_cycles(i as f64 * 0.37);
+                    re * re + im * im
+                })
+                .sum::<f64>()
+                / 20_000.0;
+            assert!((pow - 1.0).abs() < 0.1, "{kind:?} power {pow}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_follows_j0() {
+        // Average the empirical autocorrelation of the real part over many
+        // realizations and compare against J0(2πΔx).
+        let mut rng = StdRng::seed_from_u64(22);
+        for delta in [0.05, 0.15, 0.3] {
+            let mut emp = 0.0;
+            let runs = 60;
+            for _ in 0..runs {
+                let p = FadingProcess::new(FadingKind::Rayleigh, &mut rng);
+                let xs: Vec<f64> = (0..600).map(|i| i as f64 * 0.9).collect();
+                let a: Vec<f64> = xs.iter().map(|&x| p.gain_at_cycles(x).0).collect();
+                let b: Vec<f64> = xs.iter().map(|&x| p.gain_at_cycles(x + delta).0).collect();
+                emp += pearson(&a, &b);
+            }
+            emp /= runs as f64;
+            let theory = bessel_j0(std::f64::consts::TAU * delta);
+            assert!(
+                (emp - theory).abs() < 0.12,
+                "Δx {delta}: empirical {emp}, J0 {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn rician_envelope_has_smaller_variance_than_rayleigh() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let ray = FadingProcess::new(FadingKind::Rayleigh, &mut rng);
+        let ric = FadingProcess::new(FadingKind::Rician { k: 6.0 }, &mut rng);
+        let env_var = |p: &FadingProcess| {
+            let e: Vec<f64> = (0..8000).map(|i| p.envelope_at_cycles(i as f64 * 0.41)).collect();
+            let m = mean(&e);
+            e.iter().map(|x| (x - m).powi(2)).sum::<f64>() / e.len() as f64
+        };
+        assert!(env_var(&ric) < env_var(&ray) * 0.6);
+    }
+
+    #[test]
+    fn db_floor_applied() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let p = FadingProcess::new(FadingKind::Rayleigh, &mut rng);
+        for i in 0..50_000 {
+            assert!(p.db_at_cycles(i as f64 * 0.13) >= -60.0);
+        }
+    }
+
+    #[test]
+    fn correlated_process_obeys_rho() {
+        let mut rng = StdRng::seed_from_u64(25);
+        for rho in [0.0, 0.5, 0.95] {
+            let mut emp = 0.0;
+            let runs = 40;
+            for _ in 0..runs {
+                let base = FadingProcess::new(FadingKind::Rayleigh, &mut rng);
+                let eve = base.correlated_with(rho, &mut rng);
+                let xs: Vec<f64> = (0..500).map(|i| i as f64 * 0.8).collect();
+                let a: Vec<f64> = xs.iter().map(|&x| base.gain_at_cycles(x).0).collect();
+                let b: Vec<f64> = xs.iter().map(|&x| eve.gain_at_cycles(x).0).collect();
+                emp += pearson(&a, &b);
+            }
+            emp /= runs as f64;
+            assert!((emp - rho).abs() < 0.12, "rho {rho}: empirical {emp}");
+        }
+    }
+
+    #[test]
+    fn environment_mapping() {
+        assert_eq!(
+            FadingKind::for_environment(Environment::Urban),
+            FadingKind::Rayleigh
+        );
+        assert!(matches!(
+            FadingKind::for_environment(Environment::Rural),
+            FadingKind::Rician { .. }
+        ));
+    }
+}

@@ -1,0 +1,85 @@
+//! Radio channel substrate for the Vehicle-Key reproduction.
+//!
+//! Physical-layer key generation rests on **channel reciprocity**: the radio
+//! channel between Alice and Bob has the same state in both directions when
+//! measured at the same instant. What breaks the *measurements'* reciprocity
+//! is the probe time offset `ΔT` relative to the channel **coherence time**
+//! `T_c` (paper Sec. II). This crate provides a channel model in which those
+//! effects arise from first principles rather than being painted on:
+//!
+//! * [`pathloss`] — deterministic log-distance path loss,
+//! * [`shadowing`] — spatially-correlated log-normal shadowing
+//!   (Gudmundson model), shared by nearby trajectories — this is why the
+//!   imitating attacker sees the same *large-scale* trend (Fig. 16),
+//! * [`fading`] — time-correlated small-scale fading via a sum-of-sinusoids
+//!   (Clarke/Jakes) process parameterized by the Doppler frequency; Rician
+//!   for rural LOS, Rayleigh for urban NLOS — this is the entropy source the
+//!   attacker cannot copy,
+//! * [`theory`] — the paper's closed-form expressions: Doppler shift,
+//!   coherence time for fast/slow fading, the Rayleigh and log-normal PDFs of
+//!   Eqs. (1)–(2),
+//! * [`model`] — the composite [`ChannelModel`]: a single stochastic link
+//!   process sampled by both endpoints (reciprocal by construction) plus
+//!   direction-asymmetric interference, and a spatially decorrelated
+//!   eavesdropper tap following the `J₀(2πd/λ)` law.
+//!
+//! # Example
+//!
+//! ```
+//! use channel::{ChannelModel, Environment, LinkBudget, Direction};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut ch = ChannelModel::new(Environment::Urban, LinkBudget::default(), &mut rng)
+//!     .with_doppler_hz(16.0);
+//! // The same instant yields the same gain in both directions (reciprocity)
+//! // up to the direction-asymmetric interference term.
+//! let ab = ch.gain_dbm(1.0, 500.0, Direction::AliceToBob);
+//! let ba = ch.gain_dbm(1.0, 500.0, Direction::BobToAlice);
+//! assert!((ab - ba).abs() < 5.0);
+//! ```
+
+pub mod fading;
+pub mod model;
+pub mod pathloss;
+pub mod process;
+pub mod shadowing;
+pub mod theory;
+
+pub use fading::{FadingKind, FadingProcess};
+pub use model::{ChannelModel, Direction, EveChannel, LinkBudget};
+pub use pathloss::PathLoss;
+pub use shadowing::Shadowing;
+pub use theory::{
+    bessel_j0, coherence_bandwidth_hz, coherence_time_fast, coherence_time_slow,
+    doppler_shift_hz, estimate_rice_k, lognormal_pdf, rayleigh_pdf,
+};
+
+/// Propagation environment, controlling multipath richness.
+///
+/// * `Urban`: no line of sight, Rayleigh small-scale fading, strong and
+///   rapidly decorrelating shadowing — the richer multipath yields more key
+///   entropy (the paper's Fig. 13 discussion).
+/// * `Rural`: line of sight, Rician fading with a dominant component, gentle
+///   shadowing with long decorrelation distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Environment {
+    /// Dense NLOS urban canyon.
+    Urban,
+    /// Open LOS rural road.
+    Rural,
+}
+
+impl Environment {
+    /// Both environments, urban first (matching the paper's figure order).
+    pub const ALL: [Environment; 2] = [Environment::Urban, Environment::Rural];
+}
+
+impl std::fmt::Display for Environment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Environment::Urban => f.write_str("Urban"),
+            Environment::Rural => f.write_str("Rural"),
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Composite channel model: one reciprocal stochastic link plus
+//! direction-asymmetric interference and spatially-decorrelated
+//! eavesdropper taps.
+//!
+//! The model composes (paper Sec. II-A's four non-reciprocity sources map as
+//! noted):
+//!
+//! 1. log-distance path loss ([`crate::PathLoss`]) — deterministic,
+//! 2. spatially-correlated shadowing ([`crate::Shadowing`]) — identical in
+//!    both directions,
+//! 3. small-scale fading ([`crate::FadingProcess`]) — identical in both
+//!    directions *at the same instant*; probes separated by `ΔT` decorrelate
+//!    per `J₀(2π f_d ΔT)` (non-reciprocity source #1: time delay),
+//! 4. direction-asymmetric interference (source #4) — an independent
+//!    Gauss–Markov process per direction.
+//!
+//! Sources #2 (hardware imperfection) and #3 (additive receiver noise) live
+//! in `lora-phy`'s [`Receiver`](../lora_phy/receiver/struct.Receiver.html)
+//! model, which is where they occur physically.
+
+use crate::fading::{CorrelatedFading, FadingKind, FadingProcess};
+use crate::pathloss::PathLoss;
+use crate::process::GaussMarkovGrid;
+use crate::shadowing::Shadowing;
+use crate::theory::bessel_j0;
+use crate::Environment;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Direction of a transmission over the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Alice transmits, Bob receives.
+    AliceToBob,
+    /// Bob transmits, Alice receives.
+    BobToAlice,
+}
+
+/// Static link-budget terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Combined antenna gains (tx + rx) in dB.
+    pub antenna_gain_db: f64,
+    /// Standard deviation of the per-direction interference process in dB.
+    pub interference_sigma_db: f64,
+    /// Correlation time of the interference process in seconds.
+    pub interference_corr_s: f64,
+    /// Carrier frequency in Hz.
+    pub carrier_hz: f64,
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        LinkBudget {
+            tx_power_dbm: 14.0,
+            antenna_gain_db: 2.0,
+            interference_sigma_db: 0.8,
+            interference_corr_s: 2.0,
+            carrier_hz: 434.0e6,
+        }
+    }
+}
+
+/// The composite Alice↔Bob channel.
+///
+/// All stochastic components are frozen at construction, so the model can be
+/// queried at arbitrary times/positions and will answer consistently — this
+/// is what makes the *channel* reciprocal while the *measurements* (taken at
+/// different instants by the two ends) are not.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelModel {
+    env: Environment,
+    budget: LinkBudget,
+    pathloss: PathLoss,
+    shadowing: Shadowing,
+    fading: FadingProcess,
+    doppler_hz: f64,
+    interference_ab: GaussMarkovGrid,
+    interference_ba: GaussMarkovGrid,
+}
+
+impl ChannelModel {
+    /// Create a channel for an environment with a fresh stochastic
+    /// realization.
+    pub fn new<R: Rng + ?Sized>(env: Environment, budget: LinkBudget, rng: &mut R) -> Self {
+        let step = budget.interference_corr_s / 10.0;
+        ChannelModel {
+            env,
+            budget,
+            pathloss: PathLoss::for_environment(env),
+            shadowing: Shadowing::for_environment(env, rng),
+            fading: FadingProcess::new(FadingKind::for_environment(env), rng),
+            doppler_hz: 1.0,
+            interference_ab: GaussMarkovGrid::new(
+                budget.interference_sigma_db,
+                budget.interference_corr_s,
+                step,
+                rng.random(),
+            ),
+            interference_ba: GaussMarkovGrid::new(
+                budget.interference_sigma_db,
+                budget.interference_corr_s,
+                step,
+                rng.random(),
+            ),
+        }
+    }
+
+    /// Set the maximum Doppler frequency (Hz) from the relative speed of the
+    /// endpoints. Determines how fast the small-scale fading decorrelates.
+    pub fn with_doppler_hz(mut self, doppler_hz: f64) -> Self {
+        self.doppler_hz = doppler_hz.max(0.0);
+        self
+    }
+
+    /// Environment this channel models.
+    pub fn environment(&self) -> Environment {
+        self.env
+    }
+
+    /// Link-budget parameters.
+    pub fn budget(&self) -> &LinkBudget {
+        &self.budget
+    }
+
+    /// Current maximum Doppler frequency in Hz.
+    pub fn doppler_hz(&self) -> f64 {
+        self.doppler_hz
+    }
+
+    /// Coherence time `0.423/f_d` of the current configuration.
+    pub fn coherence_time(&self) -> f64 {
+        crate::theory::coherence_time_fast(self.doppler_hz)
+    }
+
+    /// Received power in dBm with the small-scale fading evaluated at an
+    /// explicit Doppler-cycle coordinate.
+    ///
+    /// When the relative speed (and hence the Doppler frequency) varies over
+    /// a drive, the fading process must be advanced by the *accumulated*
+    /// Doppler phase `x(t) = ∫ f_d(t′) dt′` rather than `f_d · t`; the
+    /// testbed tracks that integral and passes it here.
+    pub fn gain_dbm_cycles(
+        &mut self,
+        t: f64,
+        cycles: f64,
+        distance_m: f64,
+        route_pos_m: f64,
+        dir: Direction,
+    ) -> f64 {
+        let fading_db = self.fading.db_at_cycles(cycles);
+        let shadow_db = self.shadowing.at(route_pos_m);
+        let interference = match dir {
+            Direction::AliceToBob => self.interference_ab.at(t),
+            Direction::BobToAlice => self.interference_ba.at(t),
+        };
+        self.budget.tx_power_dbm + self.budget.antenna_gain_db - self.pathloss.loss_db(distance_m)
+            + shadow_db
+            + fading_db
+            + interference
+    }
+
+    /// Eavesdropper received power with an explicit Doppler-cycle
+    /// coordinate (see [`ChannelModel::gain_dbm_cycles`]).
+    pub fn eve_gain_dbm_cycles(
+        &mut self,
+        eve: &mut EveChannel,
+        cycles: f64,
+        distance_m: f64,
+        route_pos_m: f64,
+    ) -> f64 {
+        let fading_db = eve.fading.db_at_cycles(cycles);
+        let shadow_db = self.shadowing.at(route_pos_m) + eve.shadow_residual.at(route_pos_m);
+        self.budget.tx_power_dbm + self.budget.antenna_gain_db
+            - self.pathloss.loss_db(distance_m)
+            + shadow_db
+            + fading_db
+    }
+
+    /// Received power in dBm at time `t`, link distance `distance_m`, with
+    /// the mobile endpoint at route position `route_pos_m` (controls the
+    /// shadowing sample). Reciprocal up to the per-direction interference.
+    pub fn gain_dbm_at(
+        &mut self,
+        t: f64,
+        distance_m: f64,
+        route_pos_m: f64,
+        dir: Direction,
+    ) -> f64 {
+        let fading_db = self.fading.db_at_cycles(self.doppler_hz * t);
+        let shadow_db = self.shadowing.at(route_pos_m);
+        let interference = match dir {
+            Direction::AliceToBob => self.interference_ab.at(t),
+            Direction::BobToAlice => self.interference_ba.at(t),
+        };
+        self.budget.tx_power_dbm + self.budget.antenna_gain_db - self.pathloss.loss_db(distance_m)
+            + shadow_db
+            + fading_db
+            + interference
+    }
+
+    /// Convenience wrapper using `distance_m` as the route position (valid
+    /// when the mobile drives straight away from the other endpoint).
+    pub fn gain_dbm(&mut self, t: f64, distance_m: f64, dir: Direction) -> f64 {
+        self.gain_dbm_at(t, distance_m, distance_m, dir)
+    }
+
+    /// Spatial correlation of the small-scale fading at a separation of
+    /// `separation_m` metres: `J₀(2πd/λ)`, clamped to `[0, 1]`.
+    pub fn spatial_correlation(&self, separation_m: f64) -> f64 {
+        let lambda = 2.997_924_58e8 / self.budget.carrier_hz;
+        bessel_j0(std::f64::consts::TAU * separation_m / lambda).clamp(0.0, 1.0)
+    }
+
+    /// Create an eavesdropper tap `separation_m` metres from the nearest
+    /// legitimate endpoint. The eavesdropper shares the environment's
+    /// large-scale behaviour (path loss and, approximately, shadowing) but
+    /// her small-scale fading correlates with the legitimate link only by
+    /// `J₀(2πd/λ)` — negligible beyond λ/2 (the paper's security argument).
+    pub fn eavesdropper<R: Rng + ?Sized>(&self, separation_m: f64, rng: &mut R) -> EveChannel {
+        let rho = self.spatial_correlation(separation_m);
+        EveChannel {
+            separation_m,
+            fading: self.fading.correlated_with(rho, rng),
+            // Residual shadowing difference between Eve's position and the
+            // followed vehicle: small because she is close, grows with
+            // separation relative to the decorrelation distance.
+            shadow_residual: GaussMarkovGrid::new(
+                self.shadowing.sigma_db
+                    * (1.0 - self.shadowing.correlation(separation_m).powi(2)).sqrt(),
+                self.shadowing.decorrelation_m,
+                (self.shadowing.decorrelation_m / 10.0).max(0.5),
+                rng.random(),
+            ),
+        }
+    }
+
+    /// Received power in dBm observed by an eavesdropper for a transmission
+    /// at time `t`, with Eve `distance_m` from the transmitter and the
+    /// followed mobile at `route_pos_m`.
+    pub fn eve_gain_dbm(
+        &mut self,
+        eve: &mut EveChannel,
+        t: f64,
+        distance_m: f64,
+        route_pos_m: f64,
+    ) -> f64 {
+        let fading_db = eve.fading.db_at_cycles(self.doppler_hz * t);
+        let shadow_db = self.shadowing.at(route_pos_m) + eve.shadow_residual.at(route_pos_m);
+        self.budget.tx_power_dbm + self.budget.antenna_gain_db
+            - self.pathloss.loss_db(distance_m)
+            + shadow_db
+            + fading_db
+    }
+}
+
+/// An eavesdropper's channel tap. Created by [`ChannelModel::eavesdropper`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EveChannel {
+    separation_m: f64,
+    fading: CorrelatedFading,
+    shadow_residual: GaussMarkovGrid,
+}
+
+impl EveChannel {
+    /// Eve's distance from the nearest legitimate endpoint in metres.
+    pub fn separation_m(&self) -> f64 {
+        self.separation_m
+    }
+
+    /// Small-scale correlation with the legitimate link.
+    pub fn fading_rho(&self) -> f64 {
+        self.fading.rho()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(env: Environment, seed: u64) -> ChannelModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ChannelModel::new(env, LinkBudget::default(), &mut rng).with_doppler_hz(16.0)
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+        let vb: f64 = b.iter().map(|x| (x - mb).powi(2)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn reciprocal_at_same_instant() {
+        let mut ch = model(Environment::Urban, 31);
+        for i in 0..100 {
+            let t = i as f64 * 0.5;
+            let ab = ch.gain_dbm(t, 800.0, Direction::AliceToBob);
+            let ba = ch.gain_dbm(t, 800.0, Direction::BobToAlice);
+            // Only interference differs: bounded by a few sigma.
+            assert!(
+                (ab - ba).abs() < 6.0 * ch.budget().interference_sigma_db,
+                "t {t}: ab {ab} ba {ba}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_delay_decorrelates_measurements() {
+        // Samples ΔT apart correlate strongly when ΔT << Tc and weakly when
+        // ΔT >> Tc — the core of the paper's problem statement.
+        let mut ch = model(Environment::Urban, 32);
+        let tc = ch.coherence_time(); // 0.423/16 ≈ 26 ms
+        let collect = |ch: &mut ChannelModel, dt: f64| {
+            let a: Vec<f64> = (0..800)
+                .map(|i| ch.gain_dbm(i as f64 * 0.35, 700.0, Direction::AliceToBob))
+                .collect();
+            let b: Vec<f64> = (0..800)
+                .map(|i| ch.gain_dbm(i as f64 * 0.35 + dt, 700.0, Direction::BobToAlice))
+                .collect();
+            pearson(&a, &b)
+        };
+        let close = collect(&mut ch, tc * 0.05);
+        let far = collect(&mut ch, tc * 40.0);
+        assert!(close > 0.8, "close corr {close}");
+        assert!(far < 0.6, "far corr {far}");
+        assert!(close > far + 0.2);
+    }
+
+    #[test]
+    fn mean_power_tracks_path_loss() {
+        let mut ch = model(Environment::Rural, 33);
+        let mean_at = |ch: &mut ChannelModel, d: f64| {
+            (0..2000)
+                .map(|i| ch.gain_dbm_at(i as f64 * 0.2, d, i as f64 * 3.0, Direction::AliceToBob))
+                .sum::<f64>()
+                / 2000.0
+        };
+        let near = mean_at(&mut ch, 100.0);
+        let far = mean_at(&mut ch, 2000.0);
+        assert!(near > far + 15.0, "near {near} far {far}");
+    }
+
+    #[test]
+    fn spatial_correlation_decays_past_half_wavelength() {
+        let ch = model(Environment::Urban, 34);
+        let lambda = 0.6912;
+        assert!(ch.spatial_correlation(0.0) > 0.999);
+        assert!(ch.spatial_correlation(lambda / 8.0) > 0.5);
+        assert!(ch.spatial_correlation(lambda / 2.0) < 0.31);
+        assert!(ch.spatial_correlation(3.0) < 0.31);
+    }
+
+    #[test]
+    fn eavesdropper_far_away_sees_uncorrelated_fading() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let mut ch = model(Environment::Urban, 36);
+        let mut eve = ch.eavesdropper(5.0, &mut rng); // 5 m >> λ/2
+        assert!(eve.fading_rho() < 0.31);
+        let legit: Vec<f64> = (0..1000)
+            .map(|i| ch.gain_dbm_at(i as f64 * 0.3, 700.0, i as f64 * 4.0, Direction::AliceToBob))
+            .collect();
+        let evev: Vec<f64> = (0..1000)
+            .map(|i| ch.eve_gain_dbm(&mut eve, i as f64 * 0.3, 700.0, i as f64 * 4.0))
+            .collect();
+        // Large-scale trend shared, so raw correlation is nonzero; but after
+        // removing the shared shadowing trend (first difference), the
+        // small-scale residue should be near-uncorrelated.
+        let diff = |v: &[f64]| -> Vec<f64> { v.windows(2).map(|w| w[1] - w[0]).collect() };
+        let r = pearson(&diff(&legit), &diff(&evev));
+        assert!(r.abs() < 0.3, "small-scale corr {r}");
+    }
+
+    #[test]
+    fn eavesdropper_shares_large_scale_trend() {
+        // Fig. 16: Eve's *overall pattern* matches Alice/Bob.
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut ch = model(Environment::Rural, 38);
+        let mut eve = ch.eavesdropper(5.0, &mut rng);
+        // Drive away: 3 m per step; distances grow, both should trend down.
+        let legit: Vec<f64> = (0..600)
+            .map(|i| {
+                let d = 100.0 + i as f64 * 3.0;
+                ch.gain_dbm_at(i as f64 * 0.3, d, i as f64 * 3.0, Direction::AliceToBob)
+            })
+            .collect();
+        let evev: Vec<f64> = (0..600)
+            .map(|i| {
+                let d = 100.0 + i as f64 * 3.0;
+                ch.eve_gain_dbm(&mut eve, i as f64 * 0.3, d, i as f64 * 3.0)
+            })
+            .collect();
+        let r = pearson(&legit, &evev);
+        assert!(r > 0.5, "large-scale corr {r}");
+    }
+
+    #[test]
+    fn doppler_zero_freezes_fading() {
+        let mut ch = model(Environment::Urban, 39).with_doppler_hz(0.0);
+        let a = ch.gain_dbm_at(0.0, 500.0, 50.0, Direction::AliceToBob);
+        let b = ch.gain_dbm_at(1000.0, 500.0, 50.0, Direction::AliceToBob);
+        // Same fading/shadowing; only interference differs.
+        assert!((a - b).abs() < 6.0 * ch.budget().interference_sigma_db);
+    }
+}

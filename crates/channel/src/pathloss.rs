@@ -1,0 +1,103 @@
+//! Log-distance path-loss model.
+//!
+//! `PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀)` with the free-space loss at the
+//! reference distance `d₀`. The exponent `n` captures the environment
+//! (≈2 in open rural LOS, 2.7–3.5 in urban NLOS).
+
+use crate::Environment;
+use serde::{Deserialize, Serialize};
+
+/// Log-distance path-loss model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathLoss {
+    /// Path-loss exponent `n`.
+    pub exponent: f64,
+    /// Reference distance `d₀` in metres.
+    pub reference_m: f64,
+    /// Carrier frequency in Hz (for the free-space term at `d₀`).
+    pub carrier_hz: f64,
+}
+
+impl PathLoss {
+    /// Model for an environment at the paper's 434 MHz carrier.
+    pub fn for_environment(env: Environment) -> Self {
+        let exponent = match env {
+            Environment::Urban => 3.2,
+            Environment::Rural => 2.1,
+        };
+        PathLoss { exponent, reference_m: 10.0, carrier_hz: 434.0e6 }
+    }
+
+    /// Free-space path loss at distance `d` metres (Friis, isotropic):
+    /// `20·log₁₀(4πd f / c)` dB.
+    pub fn free_space_db(&self, d_m: f64) -> f64 {
+        let lambda = lora_wavelength(self.carrier_hz);
+        20.0 * (4.0 * std::f64::consts::PI * d_m / lambda).log10()
+    }
+
+    /// Path loss in dB at distance `d_m` metres.
+    ///
+    /// Distances below the reference distance are clamped to it (the model is
+    /// not valid in the near field).
+    pub fn loss_db(&self, d_m: f64) -> f64 {
+        let d = d_m.max(self.reference_m);
+        self.free_space_db(self.reference_m)
+            + 10.0 * self.exponent * (d / self.reference_m).log10()
+    }
+}
+
+impl Default for PathLoss {
+    fn default() -> Self {
+        PathLoss::for_environment(Environment::Urban)
+    }
+}
+
+fn lora_wavelength(carrier_hz: f64) -> f64 {
+    2.997_924_58e8 / carrier_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonically_increasing_with_distance() {
+        let pl = PathLoss::for_environment(Environment::Urban);
+        let mut last = 0.0;
+        for d in [10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0] {
+            let l = pl.loss_db(d);
+            assert!(l > last, "loss {l} at {d} m not > {last}");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn urban_loses_more_than_rural() {
+        let urban = PathLoss::for_environment(Environment::Urban);
+        let rural = PathLoss::for_environment(Environment::Rural);
+        assert!(urban.loss_db(1000.0) > rural.loss_db(1000.0) + 10.0);
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        let pl = PathLoss::default();
+        assert_eq!(pl.loss_db(0.0), pl.loss_db(pl.reference_m));
+        assert_eq!(pl.loss_db(5.0), pl.loss_db(10.0));
+    }
+
+    #[test]
+    fn free_space_matches_friis_at_434mhz() {
+        // FSPL(1 km, 434 MHz) = 20log10(d) + 20log10(f) - 147.55 ≈ 85.2 dB.
+        let pl = PathLoss { exponent: 2.0, reference_m: 1.0, carrier_hz: 434.0e6 };
+        let fspl = pl.free_space_db(1000.0);
+        assert!((fspl - 85.19).abs() < 0.1, "fspl {fspl}");
+    }
+
+    #[test]
+    fn exponent_two_equals_free_space_slope() {
+        let pl = PathLoss { exponent: 2.0, reference_m: 10.0, carrier_hz: 434.0e6 };
+        // Doubling distance adds ~6.02 dB for n = 2.
+        let delta = pl.loss_db(2000.0) - pl.loss_db(1000.0);
+        assert!((delta - 6.02).abs() < 0.05, "delta {delta}");
+    }
+}

@@ -1,0 +1,116 @@
+//! First-order Gauss–Markov process on a uniform grid.
+//!
+//! Shared machinery for the spatially-correlated shadowing process (grid over
+//! travelled distance) and the temporally-correlated interference process
+//! (grid over time). The realization extends lazily and deterministically
+//! from a stored seed, so clones replay identically and queries at the same
+//! coordinate always agree.
+
+use serde::{Deserialize, Serialize};
+
+/// Lazily-extended Gauss–Markov realization with exponential autocorrelation
+/// `ρ(Δ) = exp(−Δ/ℓ)` and marginal standard deviation `σ`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussMarkovGrid {
+    /// Marginal standard deviation σ.
+    pub sigma: f64,
+    /// Correlation length ℓ (same unit as the query coordinate).
+    pub correlation_length: f64,
+    grid_step: f64,
+    realization: Vec<f64>,
+    state: u64,
+}
+
+impl GaussMarkovGrid {
+    /// Create a process with `grid_step` resolution (usually ℓ/10).
+    pub fn new(sigma: f64, correlation_length: f64, grid_step: f64, seed: u64) -> Self {
+        GaussMarkovGrid {
+            sigma,
+            correlation_length,
+            grid_step: grid_step.max(1e-9),
+            realization: Vec::new(),
+            state: seed,
+        }
+    }
+
+    /// Theoretical correlation between two points `delta` apart.
+    pub fn correlation(&self, delta: f64) -> f64 {
+        (-delta.abs() / self.correlation_length).exp()
+    }
+
+    /// Value at coordinate `x ≥ 0` (clamped), linearly interpolated.
+    pub fn at(&mut self, x: f64) -> f64 {
+        let x = x.max(0.0);
+        let idx = (x / self.grid_step) as usize;
+        self.extend_to(idx + 1);
+        let frac = x / self.grid_step - idx as f64;
+        self.realization[idx] * (1.0 - frac) + self.realization[idx + 1] * frac
+    }
+
+    fn extend_to(&mut self, idx: usize) {
+        let rho = (-self.grid_step / self.correlation_length).exp();
+        let innovation_sigma = self.sigma * (1.0 - rho * rho).sqrt();
+        while self.realization.len() <= idx {
+            let z = self.next_gaussian();
+            let v = match self.realization.last() {
+                None => self.sigma * z,
+                Some(&prev) => rho * prev + innovation_sigma * z,
+            };
+            self.realization.push(v);
+        }
+    }
+
+    fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_uniform().max(f64::MIN_POSITIVE);
+        let u2 = self.next_uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_clone_consistent() {
+        let mut g = GaussMarkovGrid::new(2.0, 10.0, 1.0, 42);
+        let a = g.at(55.5);
+        assert_eq!(g.at(55.5), a);
+        let mut c = g.clone();
+        assert_eq!(c.at(200.0), g.at(200.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussMarkovGrid::new(2.0, 10.0, 1.0, 1);
+        let mut b = GaussMarkovGrid::new(2.0, 10.0, 1.0, 2);
+        assert_ne!(a.at(5.0), b.at(5.0));
+    }
+
+    #[test]
+    fn marginal_std() {
+        let mut g = GaussMarkovGrid::new(3.0, 5.0, 0.5, 77);
+        let samples: Vec<f64> = (0..5000).map(|i| g.at(i as f64 * 60.0)).collect();
+        let m = samples.iter().sum::<f64>() / samples.len() as f64;
+        let sd = (samples.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!((sd - 3.0).abs() < 0.25, "sd {sd}");
+    }
+
+    #[test]
+    fn negative_coordinates_clamp_to_zero() {
+        let mut g = GaussMarkovGrid::new(1.0, 10.0, 1.0, 3);
+        assert_eq!(g.at(-5.0), g.at(0.0));
+    }
+}

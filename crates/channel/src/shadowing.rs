@@ -1,0 +1,145 @@
+//! Spatially-correlated log-normal shadowing (Gudmundson model).
+//!
+//! Shadow fading is caused by large obstacles (buildings, terrain) and is
+//! therefore correlated over *space*: two measurements taken `Δd` metres
+//! apart have correlation `exp(−Δd / d_corr)`. We realize the process as a
+//! first-order Gauss–Markov chain over travelled distance
+//! (see [`crate::process::GaussMarkovGrid`]).
+//!
+//! Shadowing is a **large-scale** effect: an eavesdropper retracing Alice's
+//! route experiences nearly the same shadowing (same obstacles), which is why
+//! the paper's imitating attacker reproduces the overall RSSI trend but not
+//! the small-scale variations (Fig. 16).
+
+use crate::process::GaussMarkovGrid;
+use crate::Environment;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A spatially-correlated log-normal shadowing process, indexed by travelled
+/// distance in metres.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Shadowing {
+    /// Standard deviation σ of the shadowing in dB.
+    pub sigma_db: f64,
+    /// Decorrelation distance in metres.
+    pub decorrelation_m: f64,
+    grid: GaussMarkovGrid,
+}
+
+impl Shadowing {
+    /// Parameters for an environment: urban shadowing is strong and
+    /// short-range; rural shadowing is gentle and long-range.
+    pub fn for_environment<R: Rng + ?Sized>(env: Environment, rng: &mut R) -> Self {
+        let (sigma_db, decorrelation_m) = match env {
+            Environment::Urban => (2.5, 12.0),
+            Environment::Rural => (2.0, 60.0),
+        };
+        Shadowing::new(sigma_db, decorrelation_m, rng)
+    }
+
+    /// Create a process with explicit parameters.
+    pub fn new<R: Rng + ?Sized>(sigma_db: f64, decorrelation_m: f64, rng: &mut R) -> Self {
+        Shadowing {
+            sigma_db,
+            decorrelation_m,
+            grid: GaussMarkovGrid::new(
+                sigma_db,
+                decorrelation_m,
+                (decorrelation_m / 10.0).max(0.5),
+                rng.random(),
+            ),
+        }
+    }
+
+    /// Correlation between two points `delta_m` metres apart
+    /// (Gudmundson: `exp(−Δd/d_corr)`).
+    pub fn correlation(&self, delta_m: f64) -> f64 {
+        self.grid.correlation(delta_m)
+    }
+
+    /// Shadowing value in dB at travelled distance `d_m ≥ 0` (clamped).
+    /// Deterministic per instance: the same distance always returns the same
+    /// value, and clones replay identically.
+    pub fn at(&mut self, d_m: f64) -> f64 {
+        self.grid.at(d_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_replay() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut s = Shadowing::new(6.0, 25.0, &mut rng);
+        let a = s.at(137.2);
+        let b = s.at(137.2);
+        assert_eq!(a, b);
+        let mut clone = s.clone();
+        assert_eq!(clone.at(999.0), s.at(999.0));
+    }
+
+    #[test]
+    fn marginal_std_matches_sigma() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut s = Shadowing::new(6.0, 25.0, &mut rng);
+        // Sample far apart (≫ d_corr) for near-independent draws.
+        let samples: Vec<f64> = (0..4000).map(|i| s.at(i as f64 * 300.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn nearby_points_are_correlated_far_points_are_not() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut s = Shadowing::new(6.0, 25.0, &mut rng);
+        let pearson = |pairs: &[(f64, f64)]| {
+            let n = pairs.len() as f64;
+            let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+            let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+            let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>();
+            let vx = pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>();
+            let vy = pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>();
+            cov / (vx.sqrt() * vy.sqrt())
+        };
+        let near: Vec<(f64, f64)> = (0..2000)
+            .map(|i| {
+                let d = i as f64 * 200.0;
+                (s.at(d), s.at(d + 2.0))
+            })
+            .collect();
+        let far: Vec<(f64, f64)> = (0..2000)
+            .map(|i| {
+                let d = i as f64 * 200.0;
+                (s.at(d), s.at(d + 150.0))
+            })
+            .collect();
+        assert!(pearson(&near) > 0.85, "near corr {}", pearson(&near));
+        assert!(pearson(&far) < 0.3, "far corr {}", pearson(&far));
+    }
+
+    #[test]
+    fn correlation_formula() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let s = Shadowing::new(6.0, 25.0, &mut rng);
+        assert!((s.correlation(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.correlation(25.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert_eq!(s.correlation(50.0), s.correlation(-50.0));
+    }
+
+    #[test]
+    fn environments_have_expected_scales() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let urban = Shadowing::for_environment(Environment::Urban, &mut rng);
+        let rural = Shadowing::for_environment(Environment::Rural, &mut rng);
+        assert!(urban.sigma_db > rural.sigma_db);
+        assert!(urban.decorrelation_m < rural.decorrelation_m);
+    }
+}

@@ -1,0 +1,217 @@
+//! `vkey` — command-line front end for the Vehicle-Key system.
+//!
+//! ```text
+//! vkey train   --scenario V2V-Urban --out pipeline.bin [--fast]
+//! vkey keygen  --pipeline pipeline.bin [--scenario V2V-Urban] [--sessions 3]
+//! vkey export-trace --scenario V2I-Rural --rounds 200 --out trace.csv
+//! vkey run-trace    --pipeline pipeline.bin --trace trace.csv
+//! vkey nist    --pipeline pipeline.bin [--bits 4000]
+//! ```
+//!
+//! All subcommands accept `--seed <u64>` for reproducibility.
+
+use mobility::ScenarioKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+
+fn scenario_from(name: &str) -> Result<ScenarioKind, String> {
+    match name {
+        "V2I-Urban" => Ok(ScenarioKind::V2iUrban),
+        "V2I-Rural" => Ok(ScenarioKind::V2iRural),
+        "V2V-Urban" => Ok(ScenarioKind::V2vUrban),
+        "V2V-Rural" => Ok(ScenarioKind::V2vRural),
+        other => Err(format!(
+            "unknown scenario '{other}' (expected V2I-Urban, V2I-Rural, V2V-Urban or V2V-Rural)"
+        )),
+    }
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let Some(name) = raw[i].strip_prefix("--") else {
+                return Err(format!("unexpected argument '{}'", raw[i]));
+            };
+            if name == "fast" {
+                flags.insert("fast".into(), "true".into());
+                i += 1;
+                continue;
+            }
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn seed(&self) -> u64 {
+        self.get("seed").and_then(|s| s.parse().ok()).unwrap_or(7)
+    }
+
+    fn scenario(&self, default: ScenarioKind) -> Result<ScenarioKind, String> {
+        match self.get("scenario") {
+            Some(s) => scenario_from(s),
+            None => Ok(default),
+        }
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let scenario = args.scenario(ScenarioKind::V2vUrban)?;
+    let config = if args.get("fast").is_some() {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(args.seed());
+    eprintln!("training on simulated {scenario} drives (this takes a minute)...");
+    let pipeline = KeyPipeline::train_for(scenario, &config, &mut rng);
+    pipeline.save(out)?;
+    eprintln!("saved pipeline to {out}");
+    Ok(())
+}
+
+fn cmd_keygen(args: &Args) -> Result<(), String> {
+    let pipeline = KeyPipeline::load(args.require("pipeline")?)?;
+    let scenario = args.scenario(ScenarioKind::V2vUrban)?;
+    let sessions: usize = args
+        .get("sessions")
+        .map_or(Ok(1), str::parse)
+        .map_err(|e| format!("bad --sessions: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(args.seed());
+    for s in 0..sessions {
+        let outcome = pipeline.run_session(scenario, &mut rng);
+        println!(
+            "session {s}: agreement {:.2}% -> reconciled {:.2}%, {} key block(s), match rate {:.0}%",
+            outcome.bit_agreement * 100.0,
+            outcome.reconciled_agreement * 100.0,
+            outcome.alice_keys.len(),
+            outcome.key_match_rate * 100.0
+        );
+        for (a, b) in outcome.alice_keys.iter().zip(&outcome.bob_keys) {
+            let hex: String = a.iter().map(|x| format!("{x:02x}")).collect();
+            let status = if a == b { "MATCH" } else { "mismatch" };
+            println!("  key {hex} [{status}]");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_export_trace(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let scenario = args.scenario(ScenarioKind::V2vUrban)?;
+    let rounds: usize = args
+        .get("rounds")
+        .map_or(Ok(100), str::parse)
+        .map_err(|e| format!("bad --rounds: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(args.seed());
+    let cfg = PipelineConfig::default();
+    let campaign = KeyPipeline::campaign(scenario, &cfg, rounds, cfg.speed_kmh, &mut rng);
+    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    testbed::write_csv(&campaign, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {rounds} rounds to {out}");
+    Ok(())
+}
+
+fn cmd_run_trace(args: &Args) -> Result<(), String> {
+    let pipeline = KeyPipeline::load(args.require("pipeline")?)?;
+    let trace = args.require("trace")?;
+    let file = std::fs::File::open(trace).map_err(|e| e.to_string())?;
+    let campaign =
+        testbed::read_csv(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(args.seed());
+    let outcome = pipeline.run_on_campaign(&campaign, &mut rng);
+    println!(
+        "trace {trace}: {} rounds, agreement {:.2}% -> reconciled {:.2}%, {} key block(s)",
+        campaign.rounds.len(),
+        outcome.bit_agreement * 100.0,
+        outcome.reconciled_agreement * 100.0,
+        outcome.alice_keys.len()
+    );
+    Ok(())
+}
+
+fn cmd_nist(args: &Args) -> Result<(), String> {
+    let pipeline = KeyPipeline::load(args.require("pipeline")?)?;
+    let target: usize = args
+        .get("bits")
+        .map_or(Ok(4000), str::parse)
+        .map_err(|e| format!("bad --bits: {e}"))?;
+    let scenario = args.scenario(ScenarioKind::V2vUrban)?;
+    let mut rng = StdRng::seed_from_u64(args.seed());
+    let mut bits = Vec::new();
+    eprintln!("generating {target}+ key bits ...");
+    let cfg = *pipeline.config();
+    while bits.len() < target {
+        let campaign =
+            KeyPipeline::campaign(scenario, &cfg, cfg.session_rounds * 4, cfg.speed_kmh, &mut rng);
+        let outcome = pipeline.run_on_campaign(&campaign, &mut rng);
+        for key in &outcome.alice_keys {
+            for byte in key {
+                for b in (0..8).rev() {
+                    bits.push((byte >> b) & 1 == 1);
+                }
+            }
+        }
+    }
+    println!("NIST battery over {} bits:", bits.len());
+    for r in nist::run_all(&bits) {
+        println!(
+            "  {:<26} p={:<10.6} {}",
+            r.name,
+            r.p_value,
+            if r.passed() { "pass" } else { "FAIL" }
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("usage: vkey <train|keygen|export-trace|run-trace|nist> [--flags]");
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "keygen" => cmd_keygen(&args),
+        "export-trace" => cmd_export_trace(&args),
+        "run-trace" => cmd_run_trace(&args),
+        "nist" => cmd_nist(&args),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! arRSSI feature extraction (paper Sec. II-C and Fig. 9).
+//!
+//! The conventional packet RSSI (pRSSI) averages the whole reception window
+//! — seconds at LoRa data rates — so the two parties' values are separated
+//! by a full airtime and decorrelate. The paper's insight (Fig. 4): *the
+//! ending part of Alice's rRSSIs is close to the beginning part of Bob's
+//! rRSSIs* — the samples adjacent to the packet **boundary** are separated
+//! only by the milliseconds-scale operation delay and therefore fall within
+//! channel coherence time, where the reciprocal small-scale fading (the
+//! entropy source an eavesdropper cannot observe) is shared.
+//!
+//! The extractor therefore takes the boundary region (a `window_fraction`
+//! ≈ 10% of each packet's samples, the Fig. 9 optimum), slices it into
+//! `subwindows` averaged arRSSI values per side, and pairs them **by
+//! distance from the boundary**: the innermost pair is milliseconds apart,
+//! outer pairs progressively further — the progressive decorrelation the
+//! BiLSTM prediction module is there to repair. Multiple sub-windows per
+//! exchange (instead of one pRSSI value) are what multiplies the key
+//! generation rate.
+
+use lora_phy::RssiReading;
+use serde::{Deserialize, Serialize};
+use testbed::{Campaign, ProbeRound};
+
+/// Mean of a slice of readings.
+fn mean_rssi(readings: &[RssiReading]) -> f64 {
+    if readings.is_empty() {
+        return f64::NAN;
+    }
+    readings.iter().map(|r| r.rssi_dbm).sum::<f64>() / readings.len() as f64
+}
+
+/// Windowed boundary arRSSI extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArRssiExtractor {
+    /// Boundary region length as a fraction of the packet's rRSSI samples.
+    /// The paper's Fig. 9 sweep peaks near 0.10 on their hardware; this
+    /// simulator's sweep (`repro fig9`) peaks near 0.025, which is the
+    /// default here — the *sweep shape* is the portable fact, the peak
+    /// position depends on the register-noise/coherence ratio.
+    pub window_fraction: f64,
+    /// Number of averaged sub-windows the boundary region is split into on
+    /// each side (each contributes one arRSSI value per probe round).
+    pub subwindows: usize,
+    /// Subtract the round's **shared baseline** — the average of the two
+    /// packet means `(pRSSI_A + pRSSI_B)/2`, which the parties exchange
+    /// publicly during probing — from every sub-window value. The baseline
+    /// carries the large-scale component (path loss + shadowing) that an
+    /// imitating eavesdropper *shares*; removing it leaves the boundary
+    /// small-scale fading — the reciprocal secret — as the feature. Because
+    /// the subtracted value is identical on both sides it adds no
+    /// differential noise. Enabled by default.
+    pub detrend: bool,
+}
+
+impl Default for ArRssiExtractor {
+    fn default() -> Self {
+        ArRssiExtractor { window_fraction: 0.025, subwindows: 2, detrend: true }
+    }
+}
+
+/// Index-aligned arRSSI streams extracted from a campaign. Values are
+/// ordered round-by-round, and within a round by distance from the packet
+/// boundary (innermost — most reciprocal — first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairedStreams {
+    /// Alice's arRSSI values.
+    pub alice: Vec<f64>,
+    /// Bob's arRSSI values, aligned by index with Alice's.
+    pub bob: Vec<f64>,
+    /// Eve's arRSSI values (same packets as Alice's), if recorded.
+    pub eve: Option<Vec<f64>>,
+    /// The public shared baseline (dBm) each value was detrended with,
+    /// aligned by index. Carries the large-scale level — public knowledge,
+    /// but a useful model input for correcting level-dependent hardware
+    /// nonlinearity.
+    pub baseline: Vec<f64>,
+    /// Number of values contributed by each probe round.
+    pub windows_per_round: usize,
+}
+
+impl ArRssiExtractor {
+    /// Create an extractor with an explicit boundary fraction and
+    /// sub-window count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < window_fraction <= 1` and `subwindows >= 1`.
+    pub fn new(window_fraction: f64, subwindows: usize) -> Self {
+        assert!(
+            window_fraction > 0.0 && window_fraction <= 1.0,
+            "window fraction must be in (0, 1]"
+        );
+        assert!(subwindows >= 1, "at least one sub-window required");
+        ArRssiExtractor { window_fraction, subwindows, detrend: true }
+    }
+
+    /// Builder-style override of the detrending flag.
+    pub fn with_detrend(mut self, detrend: bool) -> Self {
+        self.detrend = detrend;
+        self
+    }
+
+    /// The round's shared public baseline: the mean of the two packet
+    /// means (zero when detrending is disabled).
+    pub fn shared_baseline(&self, round: &ProbeRound) -> f64 {
+        if self.detrend {
+            (mean_rssi(&round.alice_rrssi) + mean_rssi(&round.bob_rrssi)) / 2.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Boundary-region length in samples for a packet with `n` readings.
+    pub fn region_len(&self, n: usize) -> usize {
+        ((n as f64 * self.window_fraction) as usize).max(self.subwindows)
+    }
+
+    /// The sub-window arRSSI values of a packet's **head** region, ordered
+    /// by distance from the packet start (index 0 = first samples).
+    pub fn head_values(&self, readings: &[RssiReading], base: f64) -> Vec<f64> {
+        let region = self.region_len(readings.len()).min(readings.len());
+        let w = (region / self.subwindows).max(1);
+        (0..self.subwindows)
+            .map(|j| mean_rssi(&readings[j * w..((j + 1) * w).min(readings.len())]) - base)
+            .collect()
+    }
+
+    /// The sub-window arRSSI values of a packet's **tail** region, ordered
+    /// by distance from the packet end (index 0 = last samples).
+    pub fn tail_values(&self, readings: &[RssiReading], base: f64) -> Vec<f64> {
+        let n = readings.len();
+        let region = self.region_len(n).min(n);
+        let w = (region / self.subwindows).max(1);
+        (0..self.subwindows)
+            .map(|j| {
+                let end = n - j * w;
+                let start = end.saturating_sub(w);
+                mean_rssi(&readings[start..end]) - base
+            })
+            .collect()
+    }
+
+    /// The **boundary arRSSI pair** of one round: the mean over the full
+    /// boundary region on each side (the Fig. 3/9 correlation feature).
+    pub fn boundary_pair(&self, round: &ProbeRound) -> (f64, f64) {
+        let rb = self.region_len(round.bob_rrssi.len()).min(round.bob_rrssi.len());
+        let ra = self
+            .region_len(round.alice_rrssi.len())
+            .min(round.alice_rrssi.len());
+        let bob = mean_rssi(&round.bob_rrssi[round.bob_rrssi.len() - rb..]);
+        let alice = mean_rssi(&round.alice_rrssi[..ra]);
+        (alice, bob)
+    }
+
+    /// Extract index-aligned streams from a campaign: per round,
+    /// `subwindows` aligned pairs — Bob's tail sub-windows against Alice's
+    /// head sub-windows, both ordered by distance from the boundary.
+    pub fn paired_streams(&self, campaign: &Campaign) -> PairedStreams {
+        let mut alice = Vec::new();
+        let mut bob = Vec::new();
+        let has_eve = !campaign.rounds.is_empty()
+            && campaign.rounds.iter().all(|r| r.eve_rrssi.is_some());
+        let mut eve = has_eve.then(Vec::new);
+        let mut baseline = Vec::new();
+        for r in &campaign.rounds {
+            let base = self.shared_baseline(r);
+            alice.extend(self.head_values(&r.alice_rrssi, base));
+            bob.extend(self.tail_values(&r.bob_rrssi, base));
+            baseline.extend(std::iter::repeat(base).take(self.subwindows));
+            if let (Some(acc), Some(readings)) = (eve.as_mut(), r.eve_rrssi.as_ref()) {
+                // Eve overhears both packets, so she knows the public
+                // baseline too and applies the same detrending.
+                acc.extend(self.head_values(readings, base));
+            }
+        }
+        PairedStreams {
+            alice,
+            bob,
+            eve,
+            baseline,
+            windows_per_round: if campaign.rounds.is_empty() {
+                0
+            } else {
+                self.subwindows
+            },
+        }
+    }
+
+    /// Boundary-pair series over a whole campaign: `(alice, bob)` series
+    /// suitable for the correlation analyses of Figs. 3 and 9.
+    pub fn boundary_series(&self, campaign: &Campaign) -> (Vec<f64>, Vec<f64>) {
+        let mut alice = Vec::with_capacity(campaign.rounds.len());
+        let mut bob = Vec::with_capacity(campaign.rounds.len());
+        for r in &campaign.rounds {
+            let (a, b) = self.boundary_pair(r);
+            alice.push(a);
+            bob.push(b);
+        }
+        (alice, bob)
+    }
+}
+
+/// Per-window z-score normalization: returns `(x − mean)/std` (std floored
+/// to avoid division blow-ups on constant windows).
+pub fn standardize(window: &[f64]) -> Vec<f32> {
+    let n = window.len() as f64;
+    let mean = window.iter().sum::<f64>() / n;
+    let var = window.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt().max(1e-6);
+    window.iter().map(|&x| ((x - mean) / std) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::ScenarioKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use testbed::{pearson, Testbed, TestbedConfig};
+
+    fn campaign(n: usize, seed: u64) -> Campaign {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TestbedConfig::default();
+        let mut tb = Testbed::generate(
+            ScenarioKind::V2vUrban,
+            n as f64 * cfg.round_interval_s + 30.0,
+            50.0,
+            cfg,
+            &mut rng,
+        );
+        tb.run(n, &mut rng)
+    }
+
+    #[test]
+    fn region_len_respects_fraction() {
+        let ex = ArRssiExtractor::default();
+        assert_eq!(ex.region_len(1000), 25);
+        // Never smaller than the sub-window count.
+        assert_eq!(ex.region_len(10), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window fraction")]
+    fn rejects_zero_fraction() {
+        ArRssiExtractor::new(0.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-window")]
+    fn rejects_zero_subwindows() {
+        ArRssiExtractor::new(0.1, 0);
+    }
+
+    #[test]
+    fn head_and_tail_orderings() {
+        let readings: Vec<RssiReading> = (0..100)
+            .map(|i| RssiReading { t: i as f64, rssi_dbm: i as f64 })
+            .collect();
+        let ex = ArRssiExtractor::new(0.2, 4); // region 20, sub-window 5
+        let head = ex.head_values(&readings, 0.0);
+        // First sub-window = samples 0..5 → mean 2.0.
+        assert_eq!(head[0], 2.0);
+        assert_eq!(head[3], 17.0);
+        let tail = ex.tail_values(&readings, 0.0);
+        // First tail sub-window = samples 95..100 → mean 97.0.
+        assert_eq!(tail[0], 97.0);
+        assert_eq!(tail[3], 82.0);
+        // A baseline shifts every value identically.
+        let shifted = ex.head_values(&readings, 10.0);
+        assert_eq!(shifted[0], head[0] - 10.0);
+    }
+
+    #[test]
+    fn paired_streams_are_aligned() {
+        let c = campaign(8, 201);
+        let ex = ArRssiExtractor::default();
+        let streams = ex.paired_streams(&c);
+        assert_eq!(streams.alice.len(), streams.bob.len());
+        assert_eq!(streams.alice.len(), 8 * ex.subwindows);
+        let eve = streams.eve.unwrap();
+        assert_eq!(eve.len(), streams.alice.len());
+        assert_eq!(streams.windows_per_round, ex.subwindows);
+    }
+
+    #[test]
+    fn innermost_pairs_correlate_best() {
+        // Pairs closer to the boundary are closer in time, hence more
+        // correlated — the physical gradient the prediction module exploits.
+        let c = campaign(150, 202);
+        let ex = ArRssiExtractor::default();
+        let s = ex.paired_streams(&c);
+        let per = ex.subwindows;
+        let series = |j: usize| -> (Vec<f64>, Vec<f64>) {
+            let a = s.alice.iter().skip(j).step_by(per).copied().collect();
+            let b = s.bob.iter().skip(j).step_by(per).copied().collect();
+            (a, b)
+        };
+        let (a0, b0) = series(0);
+        let inner = pearson(&a0, &b0);
+        let (a3, b3) = series(per - 1);
+        let outer = pearson(&a3, &b3);
+        assert!(
+            inner > outer,
+            "innermost corr {inner} should beat outermost {outer}"
+        );
+        assert!(inner > 0.8, "innermost corr {inner}");
+    }
+
+    #[test]
+    fn boundary_beats_prssi_correlation() {
+        // Fig. 3: the 10% boundary window correlates far better than the
+        // whole-packet mean (pRSSI).
+        let c = campaign(120, 203);
+        let small = ArRssiExtractor::default().boundary_series(&c);
+        let r_small = pearson(&small.0, &small.1);
+        let a: Vec<f64> = c.rounds.iter().map(|r| r.alice_prssi()).collect();
+        let b: Vec<f64> = c.rounds.iter().map(|r| r.bob_prssi()).collect();
+        let r_prssi = pearson(&a, &b);
+        assert!(
+            r_small > r_prssi,
+            "10% boundary corr {r_small} should beat pRSSI corr {r_prssi}"
+        );
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_std() {
+        let w = [3.0, 5.0, 7.0, 9.0];
+        let z = standardize(&w);
+        let mean: f32 = z.iter().sum::<f32>() / 4.0;
+        let var: f32 = z.iter().map(|x| x * x).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn standardize_constant_window_is_finite() {
+        let z = standardize(&[5.0; 8]);
+        assert!(z.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empty_campaign_gives_empty_streams() {
+        let c = Campaign {
+            scenario: ScenarioKind::V2vUrban,
+            lora: lora_phy::LoRaConfig::paper_default(),
+            rounds: Vec::new(),
+        };
+        let s = ArRssiExtractor::default().paired_streams(&c);
+        assert!(s.alice.is_empty());
+        assert!(s.baseline.is_empty());
+        assert_eq!(s.windows_per_round, 0);
+    }
+}

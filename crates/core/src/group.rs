@@ -1,0 +1,173 @@
+//! Group key establishment on top of pairwise Vehicle-Key sessions.
+//!
+//! The paper establishes pairwise keys; fleets (platoons, intersections)
+//! need a *group* key. The standard construction the paper's related work
+//! (Liu et al., "Group secret key generation via received signal strength")
+//! motivates: a coordinator — typically the RSU, the natural Alice of every
+//! pairwise session — samples a fresh group key and distributes it to each
+//! member wrapped under their pairwise 128-bit key (AES-128-CTR +
+//! HMAC-SHA256). Compromising one member's pairwise key exposes only that
+//! member's wrap; rekeying excludes a member by simply not re-wrapping for
+//! them.
+
+use vk_crypto::{hmac_sha256, Aes128};
+
+/// A group key wrapped for one member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrappedGroupKey {
+    /// Opaque member identifier (e.g. a session or vehicle id).
+    pub member_id: u32,
+    /// Nonce used for the CTR wrap.
+    pub nonce: u64,
+    /// Encrypted group key (16 bytes).
+    pub ciphertext: Vec<u8>,
+    /// `HMAC(pairwise_key, member_id ‖ nonce ‖ ciphertext)`.
+    pub mac: [u8; 32],
+}
+
+/// Errors in group key distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The wrap's MAC did not verify under the member's pairwise key.
+    MacMismatch,
+    /// The ciphertext length is wrong.
+    Malformed,
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::MacMismatch => f.write_str("group key wrap failed authentication"),
+            GroupError::Malformed => f.write_str("malformed group key wrap"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+fn mac_input(member_id: u32, nonce: u64, ciphertext: &[u8]) -> Vec<u8> {
+    let mut v = b"VK-GROUP".to_vec();
+    v.extend_from_slice(&member_id.to_be_bytes());
+    v.extend_from_slice(&nonce.to_be_bytes());
+    v.extend_from_slice(ciphertext);
+    v
+}
+
+/// **Coordinator**: wrap `group_key` for a member under their pairwise key.
+pub fn wrap_group_key(
+    pairwise_key: &[u8; 16],
+    member_id: u32,
+    nonce: u64,
+    group_key: &[u8; 16],
+) -> WrappedGroupKey {
+    let cipher = Aes128::new(pairwise_key);
+    let ciphertext = cipher.ctr(nonce, group_key);
+    let mac = hmac_sha256(pairwise_key, &mac_input(member_id, nonce, &ciphertext));
+    WrappedGroupKey { member_id, nonce, ciphertext, mac }
+}
+
+/// **Member**: authenticate and unwrap the group key with the pairwise key.
+///
+/// # Errors
+///
+/// [`GroupError::MacMismatch`] on authentication failure,
+/// [`GroupError::Malformed`] if the ciphertext is not 16 bytes.
+pub fn unwrap_group_key(
+    pairwise_key: &[u8; 16],
+    wrapped: &WrappedGroupKey,
+) -> Result<[u8; 16], GroupError> {
+    if wrapped.ciphertext.len() != 16 {
+        return Err(GroupError::Malformed);
+    }
+    if !vk_crypto::hmac::verify(
+        pairwise_key,
+        &mac_input(wrapped.member_id, wrapped.nonce, &wrapped.ciphertext),
+        &wrapped.mac,
+    ) {
+        return Err(GroupError::MacMismatch);
+    }
+    let cipher = Aes128::new(pairwise_key);
+    let plain = cipher.ctr(wrapped.nonce, &wrapped.ciphertext);
+    let mut key = [0u8; 16];
+    key.copy_from_slice(&plain);
+    Ok(key)
+}
+
+/// **Coordinator**: distribute one group key to a whole member list.
+/// Nonces are derived from the base nonce and member index (unique per
+/// member as long as the base nonce is fresh per rekey).
+pub fn distribute_group_key(
+    members: &[(u32, [u8; 16])],
+    base_nonce: u64,
+    group_key: &[u8; 16],
+) -> Vec<WrappedGroupKey> {
+    members
+        .iter()
+        .enumerate()
+        .map(|(i, (id, pairwise))| {
+            wrap_group_key(pairwise, *id, base_nonce.wrapping_add(i as u64), group_key)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u8) -> [u8; 16] {
+        core::array::from_fn(|i| tag.wrapping_mul(31).wrapping_add(i as u8))
+    }
+
+    #[test]
+    fn wrap_unwrap_round_trip() {
+        let pairwise = key(1);
+        let group = key(9);
+        let wrapped = wrap_group_key(&pairwise, 7, 1000, &group);
+        assert_eq!(unwrap_group_key(&pairwise, &wrapped).unwrap(), group);
+    }
+
+    #[test]
+    fn wrong_pairwise_key_rejected() {
+        let wrapped = wrap_group_key(&key(1), 7, 1000, &key(9));
+        assert_eq!(
+            unwrap_group_key(&key(2), &wrapped),
+            Err(GroupError::MacMismatch)
+        );
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let pairwise = key(1);
+        let mut wrapped = wrap_group_key(&pairwise, 7, 1000, &key(9));
+        wrapped.ciphertext[3] ^= 1;
+        assert_eq!(
+            unwrap_group_key(&pairwise, &wrapped),
+            Err(GroupError::MacMismatch)
+        );
+    }
+
+    #[test]
+    fn distribution_reaches_every_member() {
+        let members: Vec<(u32, [u8; 16])> = (0..5).map(|i| (i, key(i as u8 + 10))).collect();
+        let group = key(99);
+        let wraps = distribute_group_key(&members, 5000, &group);
+        assert_eq!(wraps.len(), 5);
+        for ((id, pairwise), wrapped) in members.iter().zip(&wraps) {
+            assert_eq!(wrapped.member_id, *id);
+            assert_eq!(unwrap_group_key(pairwise, wrapped).unwrap(), group);
+        }
+        // Nonces are distinct.
+        let mut nonces: Vec<u64> = wraps.iter().map(|w| w.nonce).collect();
+        nonces.sort_unstable();
+        nonces.dedup();
+        assert_eq!(nonces.len(), 5);
+    }
+
+    #[test]
+    fn member_cannot_unwrap_anothers_wrap() {
+        let members: Vec<(u32, [u8; 16])> = (0..3).map(|i| (i, key(i as u8 + 20))).collect();
+        let wraps = distribute_group_key(&members, 1, &key(77));
+        // Member 0 tries member 1's wrap with her own key.
+        assert!(unwrap_group_key(&members[0].1, &wraps[1]).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! **Vehicle-Key**: secret key establishment for LoRa-enabled IoV
+//! communications — a from-scratch reproduction of Yang et al., ICDCS 2022.
+//!
+//! Two vehicles (or a vehicle and an infrastructure node) turn their
+//! reciprocal LoRa channel into a shared 128-bit cryptographic key:
+//!
+//! 1. **Probing** — probe/response packets are exchanged; each side records
+//!    the *register RSSI* (rRSSI) sequence during packet reception (the
+//!    `testbed` crate simulates this over a physically-grounded channel).
+//! 2. **arRSSI features** ([`features`]) — adjacent rRSSI samples are
+//!    averaged into windowed features; the window fraction trades
+//!    correlation against rate (paper Fig. 9, optimum ≈ 10%).
+//! 3. **Prediction + quantization** ([`model`]) — Alice runs a BiLSTM-based
+//!    joint network that predicts Bob's arRSSI sequence from hers (MSE
+//!    head) and emits her key bits (sigmoid head), trained with the joint
+//!    loss `θ·MSE + (1−θ)·BCE` (Eq. 3). Bob — possibly a power-constrained
+//!    node — runs only the cheap multi-bit quantizer of Jana et al.
+//! 4. **Reconciliation** — the autoencoder method of the `reconcile` crate
+//!    corrects the residual mismatches with a single syndrome message,
+//!    MAC-protected against tampering.
+//! 5. **Privacy amplification** — the agreed bits are hashed to the final
+//!    128-bit key (`vk-crypto`), ready for AES-128.
+//!
+//! [`pipeline`] wires the full system together and computes the paper's
+//! metrics (key agreement rate, key generation rate); [`protocol`] provides
+//! the wire-level session (message framing, MAC verification, key
+//! confirmation) used by the examples.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vehicle_key::pipeline::{PipelineConfig, KeyPipeline};
+//! use mobility::ScenarioKind;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let pipeline = KeyPipeline::train_for(
+//!     ScenarioKind::V2vUrban, &PipelineConfig::default(), &mut rng);
+//! let outcome = pipeline.run_session(ScenarioKind::V2vUrban, &mut rng);
+//! assert!(outcome.bit_agreement > 0.9);
+//! ```
+
+pub mod driver;
+pub mod features;
+pub mod group;
+pub mod metrics;
+pub mod model;
+pub mod pipeline;
+pub mod protocol;
+pub mod security;
+
+pub use features::{ArRssiExtractor, PairedStreams};
+pub use metrics::{KeyMetrics, Summary};
+pub use model::{ModelConfig, PredictionQuantizationModel, TrainReport};
+pub use pipeline::{KeyPipeline, PipelineConfig, SessionOutcome};
+pub use driver::{AliceDriver, DuplexQueue, Transport};
+pub use protocol::{Message, ProtocolError, Role, Session};

@@ -1,0 +1,76 @@
+//! Evaluation metrics: key agreement rate and key generation rate.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one key-generation session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyMetrics {
+    /// Bit-level agreement between Alice's and Bob's keys *before*
+    /// reconciliation (what Figs. 10–12 call the key agreement rate).
+    pub bit_agreement: f64,
+    /// Bit-level agreement after reconciliation.
+    pub reconciled_agreement: f64,
+    /// Whether the final (privacy-amplified) keys are identical.
+    pub final_match: bool,
+    /// Key generation rate in bits per second of probing time.
+    pub kgr_bits_per_s: f64,
+}
+
+/// Mean ± standard deviation over repeated sessions (the paper reports both
+/// for every experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Mean value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a series.
+    pub fn of(values: &[f64]) -> Summary {
+        let n = values.len();
+        if n == 0 {
+            return Summary { mean: f64::NAN, std: f64::NAN, n: 0 };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std = (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        Summary { mean, std, n }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_of_empty_is_nan() {
+        let s = Summary::of(&[]);
+        assert!(s.mean.is_nan());
+        assert_eq!(s.n, 0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 1.0);
+        assert_eq!(format!("{s}"), "2.0000 ± 1.0000");
+    }
+}

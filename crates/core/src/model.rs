@@ -1,0 +1,663 @@
+//! The BiLSTM-based joint prediction and quantization model (Sec. IV-B).
+//!
+//! Architecture (paper Fig. 6 and the implementation details of Sec. V-A2):
+//!
+//! * a **BiLSTM layer** over the `T = 32`-step arRSSI sequence,
+//! * a time-distributed fully connected layer producing the 32-value
+//!   **predicted arRSSI sequence** `ŷ` (regression head, MSE loss) — the
+//!   standard way "one fully connected layer converts the features extracted
+//!   by BiLSTM into \[the\] predicted arRSSI sequence": one small projection
+//!   shared across timesteps,
+//! * a time-distributed quantization head: a small tanh layer over each
+//!   timestep's BiLSTM state followed by the sigmoid output producing that
+//!   sample's Gray-coded bits — mapping the sequence into the **64-bit key
+//!   space** `ẑ` (BCE loss). The paper describes this head as "the
+//!   combination of fully connected layer and activation layer \[that\] can
+//!   fit a nonlinear transformation"; sharing it across timesteps keeps it
+//!   tiny (it cannot memorize channels) while the BiLSTM state gives it the
+//!   local reliability context a plain threshold on `ŷ` lacks. The hidden
+//!   tanh layer is needed because Gray-coded multi-bit targets contain
+//!   *band* functions of the value, which a single sigmoid cannot
+//!   represent,
+//!
+//! trained jointly with `loss = θ·MSE(y, ŷ) + (1−θ)·BCE(z, ẑ)` (Eq. 3),
+//! `θ = 0.9`.
+//!
+//! Only Alice (the power-rich side: RSU, server, or a vehicle's head unit)
+//! runs this network. Bob produces his reference bits `z` with the cheap
+//! multi-bit quantizer, which is also how the training targets are built.
+//!
+//! Scale note: the paper trains 128 hidden units for 200 epochs on a GPU;
+//! the default here is 32 hidden units and a few epochs so the full
+//! pipeline trains in seconds on a laptop CPU — the architecture and loss
+//! are identical and `ModelConfig::hidden` restores the paper's width.
+
+use crate::features::{standardize, PairedStreams};
+use nn::activation::Activation;
+use nn::{loss, Adam, BiLstm, Dense, Matrix};
+use quantize::{BitString, FixedQuantizer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Normalize public baseline levels (dBm) into a compact model input
+/// (≈ −120..−60 dBm → −1..2).
+pub(crate) fn normalize_levels(baselines: &[f64]) -> Vec<f32> {
+    baselines.iter().map(|&b| ((b + 100.0) / 20.0) as f32).collect()
+}
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// arRSSI sequence length per key block (paper: 32 BiLSTM cells).
+    pub seq_len: usize,
+    /// BiLSTM hidden units per direction (paper: 128; default 32 for CPU
+    /// training speed).
+    pub hidden: usize,
+    /// Key bits per block (paper: 64).
+    pub key_bits: usize,
+    /// Joint-loss weight θ (paper: 0.9).
+    pub theta: f32,
+    /// Training epochs over the dataset.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Guard-band half-width of Bob's deployment quantizer in σ units
+    /// (samples near a threshold are dropped and the kept indices exchanged
+    /// publicly, as in Jana et al.).
+    pub guard_z: f64,
+    /// Sub-windows per probe round in the feature stream (must match the
+    /// extractor). Encoded as a positional input feature so the network can
+    /// learn the per-position reliability/offset structure (inner boundary
+    /// windows are near-reciprocal, outer ones progressively less).
+    pub windows_per_round: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            seq_len: 32,
+            hidden: 32,
+            key_bits: 32,
+            theta: 0.9,
+            epochs: 30,
+            batch: 32,
+            lr: 2e-3,
+            guard_z: 0.5,
+            windows_per_round: 2,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Bits extracted per arRSSI sample.
+    pub fn bits_per_sample(&self) -> usize {
+        self.key_bits / self.seq_len
+    }
+
+    /// Bob's deployment quantizer: fixed normal-quantile thresholds on the
+    /// z-scored window, with guard-band dropping.
+    pub fn bob_quantizer(&self) -> FixedQuantizer {
+        FixedQuantizer::new(self.bits_per_sample()).with_guard_z(self.guard_z)
+    }
+
+    /// The training-target quantizer: identical thresholds but **no** guard
+    /// dropping, so every training sample has a full `key_bits` target and
+    /// the head stays index-aligned (the kept-index selection happens at
+    /// deployment time).
+    pub fn training_quantizer(&self) -> FixedQuantizer {
+        FixedQuantizer::new(self.bits_per_sample()).with_guard_z(0.0)
+    }
+}
+
+/// One training sample: Alice's normalized window, Bob's normalized window
+/// (regression target), and Bob's quantized bits (classification target).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSample {
+    /// Alice's standardized arRSSI window (length `seq_len`).
+    pub alice: Vec<f32>,
+    /// Normalized public baseline level per step (length `seq_len`), so the
+    /// network can learn level-dependent hardware corrections.
+    pub level: Vec<f32>,
+    /// Bob's standardized arRSSI window (length `seq_len`).
+    pub bob_norm: Vec<f32>,
+    /// Bob's quantized bits (length `key_bits`).
+    pub bob_bits: BitString,
+}
+
+/// Report from a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Joint loss on the final epoch.
+    pub final_loss: f32,
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// Samples in the dataset.
+    pub samples: usize,
+}
+
+/// The joint prediction + quantization network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictionQuantizationModel {
+    config: ModelConfig,
+    bilstm: BiLstm,
+    fc_pred: Dense,
+    fc_quant_hidden: Dense,
+    fc_quant_out: Dense,
+}
+
+impl PredictionQuantizationModel {
+    /// Create an untrained model.
+    pub fn new<R: Rng + ?Sized>(config: ModelConfig, rng: &mut R) -> Self {
+        let t = config.seq_len;
+        let h = config.hidden;
+        let bits_per_sample = config.key_bits / t;
+        PredictionQuantizationModel {
+            config,
+            bilstm: BiLstm::new(3, h, rng),
+            fc_pred: Dense::new(2 * h + 3, 1, Activation::Identity, rng),
+            fc_quant_hidden: Dense::new(2 * h + 3, 16, Activation::Tanh, rng),
+            fc_quant_out: Dense::new(16, bits_per_sample, Activation::Sigmoid, rng),
+        }
+    }
+
+    /// The model's hyperparameters.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.bilstm.param_count()
+            + self.fc_pred.param_count()
+            + self.fc_quant_hidden.param_count()
+            + self.fc_quant_out.param_count()
+    }
+
+    /// Build training samples from index-aligned streams with a sliding
+    /// window (stride `seq_len / 4`); Bob's bits come from his deployment
+    /// quantizer. For deployment-style non-overlapping blocks use
+    /// [`PredictionQuantizationModel::build_dataset_stride`] with stride
+    /// `seq_len`.
+    pub fn build_dataset(config: &ModelConfig, streams: &PairedStreams) -> Vec<TrainSample> {
+        Self::build_dataset_stride(config, streams, (config.seq_len / 4).max(1))
+    }
+
+    /// Build training samples with an explicit window stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn build_dataset_stride(
+        config: &ModelConfig,
+        streams: &PairedStreams,
+        stride: usize,
+    ) -> Vec<TrainSample> {
+        assert!(stride > 0, "stride must be positive");
+        let t = config.seq_len;
+        let q = config.training_quantizer();
+        let n = streams.alice.len().min(streams.bob.len());
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + t <= n {
+            let alice_raw = &streams.alice[i..i + t];
+            let bob_raw = &streams.bob[i..i + t];
+            out.push(TrainSample {
+                alice: standardize(alice_raw),
+                level: normalize_levels(&streams.baseline[i..i + t]),
+                bob_norm: standardize(bob_raw),
+                bob_bits: q.quantize(bob_raw).bits,
+            });
+            i += stride;
+        }
+        out
+    }
+
+    /// Sequence representation for the BiLSTM: `T` matrices of shape `B×3`
+    /// carrying `[value, position, level]` — position encodes the sample's
+    /// sub-window index within its probe round; level is the normalized
+    /// public baseline.
+    fn to_sequence(&self, batch: &[&TrainSample]) -> Vec<Matrix> {
+        let t = batch[0].alice.len();
+        let wpr = self.config.windows_per_round.max(1);
+        (0..t)
+            .map(|step| {
+                let pos = (step % wpr) as f32 / wpr as f32 - 0.5;
+                let mut data = Vec::with_capacity(batch.len() * 3);
+                for s in batch {
+                    data.push(s.alice[step]);
+                    data.push(pos);
+                    data.push(s.level.get(step).copied().unwrap_or(0.0));
+                }
+                Matrix::from_vec(batch.len(), 3, data)
+            })
+            .collect()
+    }
+
+    /// Stack per-timestep `B×W` matrices into one `(B·T)×W` matrix (row
+    /// index = `b·T + t`), so the time-distributed projection is a single
+    /// dense forward/backward.
+    fn stack(hs: &[Matrix]) -> Matrix {
+        let b = hs[0].rows();
+        let w = hs[0].cols();
+        let t_steps = hs.len();
+        let mut out = Matrix::zeros(b * t_steps, w);
+        for (t, h) in hs.iter().enumerate() {
+            for row in 0..b {
+                for c in 0..w {
+                    out.set(row * t_steps + t, c, h.get(row, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::stack`] for gradients.
+    fn unstack(grad: &Matrix, t_steps: usize, width: usize) -> Vec<Matrix> {
+        let b = grad.rows() / t_steps;
+        (0..t_steps)
+            .map(|t| {
+                let mut m = Matrix::zeros(b, width);
+                for row in 0..b {
+                    for c in 0..width {
+                        m.set(row, c, grad.get(row * t_steps + t, c));
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+
+    /// Reshape a `(B·T)×1` column into `B×T`.
+    fn to_batch_rows(col: &Matrix, t_steps: usize) -> Matrix {
+        let b = col.rows() / t_steps;
+        let mut out = Matrix::zeros(b, t_steps);
+        for row in 0..b {
+            for t in 0..t_steps {
+                out.set(row, t, col.get(row * t_steps + t, 0));
+            }
+        }
+        out
+    }
+
+    /// Reshape a `(B·T)×M` matrix into `B×(T·M)` (bits of sample `t` land
+    /// at columns `t·M..(t+1)·M`).
+    fn to_batch_wide(stacked: &Matrix, t_steps: usize, width: usize) -> Matrix {
+        let b = stacked.rows() / t_steps;
+        let mut out = Matrix::zeros(b, t_steps * width);
+        for row in 0..b {
+            for t in 0..t_steps {
+                for c in 0..width {
+                    out.set(row, t * width + c, stacked.get(row * t_steps + t, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::to_batch_wide`] for gradients.
+    fn to_stacked_wide(m: &Matrix, t_steps: usize, width: usize) -> Matrix {
+        let b = m.rows();
+        let mut out = Matrix::zeros(b * t_steps, width);
+        for row in 0..b {
+            for t in 0..t_steps {
+                for c in 0..width {
+                    out.set(row * t_steps + t, c, m.get(row, t * width + c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reshape a `B×T` gradient into `(B·T)×1`.
+    fn to_stacked_col(m: &Matrix, t_steps: usize) -> Matrix {
+        let b = m.rows();
+        let mut out = Matrix::zeros(b * t_steps, 1);
+        for row in 0..b {
+            for t in 0..t_steps {
+                out.set(row * t_steps + t, 0, m.get(row, t));
+            }
+        }
+        out
+    }
+
+    /// Train on a dataset. Returns the training report.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        dataset: &[TrainSample],
+        rng: &mut R,
+    ) -> TrainReport {
+        self.train_epochs(dataset, self.config.epochs, rng)
+    }
+
+    /// Fine-tune with an explicit epoch budget (the transfer-learning study
+    /// of Sec. V-G trains 20 epochs on a fraction of the new scenario).
+    pub fn train_epochs<R: Rng + ?Sized>(
+        &mut self,
+        dataset: &[TrainSample],
+        epochs: usize,
+        rng: &mut R,
+    ) -> TrainReport {
+        assert!(!dataset.is_empty(), "empty training dataset");
+        let mut adam = Adam::new(self.config.lr);
+        // Two-epoch warmup stabilizes the BiLSTM's early steps.
+        let schedule = nn::LrSchedule::Warmup { warmup: 2 };
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let mut final_loss = 0.0;
+        for epoch in 0..epochs {
+            adam.lr = self.config.lr * schedule.factor(epoch);
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(self.config.batch) {
+                let batch: Vec<&TrainSample> = chunk.iter().map(|&i| &dataset[i]).collect();
+                epoch_loss += self.train_batch(&batch, &mut adam);
+                batches += 1;
+            }
+            final_loss = epoch_loss / batches as f32;
+        }
+        TrainReport { final_loss, epochs, samples: dataset.len() }
+    }
+
+    fn train_batch(&mut self, batch: &[&TrainSample], adam: &mut Adam) -> f32 {
+        let t = self.config.seq_len;
+        let b = batch.len();
+        let xs = self.to_sequence(batch);
+        let y_target = Matrix::from_vec(
+            b,
+            t,
+            batch.iter().flat_map(|s| s.bob_norm.iter().copied()).collect(),
+        );
+        let z_target = Matrix::from_vec(
+            b,
+            self.config.key_bits,
+            batch.iter().flat_map(|s| s.bob_bits.to_floats()).collect(),
+        );
+        // Forward: both heads are time-distributed over the BiLSTM states
+        // concatenated with the raw input (skip connection — the head can
+        // always fall back to thresholding Alice's own value).
+        let hs = self.bilstm.forward(&xs);
+        let states: Vec<Matrix> = hs.iter().zip(&xs).map(|(h, x)| h.hcat(x)).collect();
+        let stacked = Self::stack(&states);
+        let y_pred = Self::to_batch_rows(&self.fc_pred.forward(&stacked), t);
+        let q_hidden = self.fc_quant_hidden.forward(&stacked);
+        let m_bits = self.config.key_bits / t;
+        let z_pred = Self::to_batch_wide(&self.fc_quant_out.forward(&q_hidden), t, m_bits);
+        let theta = self.config.theta;
+        let joint =
+            loss::joint(theta, &y_pred, &y_target, &z_pred, &z_target);
+        let (gy_direct, gz) = loss::joint_grads(theta, &y_pred, &y_target, &z_pred, &z_target);
+        self.bilstm.zero_grad();
+        self.fc_pred.zero_grad();
+        self.fc_quant_hidden.zero_grad();
+        self.fc_quant_out.zero_grad();
+        let gq = self.fc_quant_out.backward(&Self::to_stacked_wide(&gz, t, m_bits));
+        let gstacked_from_z = self.fc_quant_hidden.backward(&gq);
+        let gstacked = self
+            .fc_pred
+            .backward(&Self::to_stacked_col(&gy_direct, t))
+            .add(&gstacked_from_z);
+        // Split off the skip-connection column before BPTT.
+        let gfull = Self::unstack(&gstacked, t, 2 * self.config.hidden + 1);
+        let ghs: Vec<Matrix> = gfull
+            .iter()
+            .map(|g| g.hsplit(2 * self.config.hidden).0)
+            .collect();
+        let _ = m_bits;
+        self.bilstm.backward(&ghs);
+        // Clip BPTT gradients before the update (exploding-gradient guard).
+        let mut update = |p: &mut nn::Param| {
+            nn::train::clip_grad_norm(p, 5.0);
+            adam.update(p);
+        };
+        self.bilstm.visit_params(&mut update);
+        self.fc_pred.visit_params(&mut update);
+        self.fc_quant_hidden.visit_params(&mut update);
+        self.fc_quant_out.visit_params(&mut update);
+        adam.step();
+        joint
+    }
+
+    /// Joint validation loss on a dataset (no parameter updates).
+    pub fn evaluate(&self, dataset: &[TrainSample]) -> f32 {
+        assert!(!dataset.is_empty(), "empty evaluation dataset");
+        let mut total = 0.0;
+        for chunk in dataset.chunks(64) {
+            let batch: Vec<&TrainSample> = chunk.iter().collect();
+            let (y_pred, z_pred) = self.infer_batch(&batch);
+            let t = self.config.seq_len;
+            let y_target = Matrix::from_vec(
+                batch.len(),
+                t,
+                batch.iter().flat_map(|s| s.bob_norm.iter().copied()).collect(),
+            );
+            let z_target = Matrix::from_vec(
+                batch.len(),
+                self.config.key_bits,
+                batch.iter().flat_map(|s| s.bob_bits.to_floats()).collect(),
+            );
+            total += loss::joint(self.config.theta, &y_pred, &y_target, &z_pred, &z_target)
+                * batch.len() as f32;
+        }
+        total / dataset.len() as f32
+    }
+
+    fn infer_batch(&self, batch: &[&TrainSample]) -> (Matrix, Matrix) {
+        let xs = self.to_sequence(batch);
+        let t = self.config.seq_len;
+        let hs = self.bilstm.infer(&xs);
+        let states: Vec<Matrix> = hs.iter().zip(&xs).map(|(h, x)| h.hcat(x)).collect();
+        let stacked = Self::stack(&states);
+        let y_pred = Self::to_batch_rows(&self.fc_pred.infer(&stacked), t);
+        let z_flat = self.fc_quant_out.infer(&self.fc_quant_hidden.infer(&stacked));
+        let z_pred = Self::to_batch_wide(&z_flat, t, self.config.key_bits / t);
+        (y_pred, z_pred)
+    }
+
+    /// **Alice's inference step** with soft outputs: returns the predicted
+    /// sequence `ŷ` and the per-bit probabilities of the quantization head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length differs from `seq_len`.
+    pub fn predict_soft(&self, alice_window: &[f64], baselines: &[f64]) -> (Vec<f32>, Vec<f32>) {
+        assert_eq!(
+            alice_window.len(),
+            self.config.seq_len,
+            "window length must equal seq_len"
+        );
+        let sample = TrainSample {
+            alice: standardize(alice_window),
+            level: normalize_levels(baselines),
+            bob_norm: vec![0.0; self.config.seq_len],
+            bob_bits: BitString::zeros(self.config.key_bits),
+        };
+        let (y, z) = self.infer_batch(&[&sample]);
+        (y.data().to_vec(), z.data().to_vec())
+    }
+
+    /// Per-sample confidence of the quantization head: the minimum margin
+    /// `|p − 0.5|` over the sample's bits. Alice drops her least-confident
+    /// samples (the learned analogue of guard-band dropping — it knows, for
+    /// instance, that outer boundary sub-windows are less reliable).
+    pub fn sample_confidences(&self, soft_bits: &[f32]) -> Vec<f32> {
+        let m = self.config.bits_per_sample();
+        soft_bits
+            .chunks(m)
+            .map(|bits| {
+                bits.iter()
+                    .map(|p| (p - 0.5).abs())
+                    .fold(f32::MAX, f32::min)
+            })
+            .collect()
+    }
+
+    /// **Alice's inference step**: from her raw arRSSI window (length
+    /// `seq_len`, un-normalized dBm values), predict Bob's normalized
+    /// sequence and emit her key bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length differs from `seq_len`.
+    pub fn predict(&self, alice_window: &[f64], baselines: &[f64]) -> (Vec<f32>, BitString) {
+        let (y, z) = self.predict_soft(alice_window, baselines);
+        (y, BitString::from_soft(&z))
+    }
+
+    /// **Bob's step**: quantize his raw arRSSI window into the reference
+    /// bits without guard dropping (training-aligned full block).
+    pub fn bob_bits(&self, bob_window: &[f64]) -> BitString {
+        self.config.training_quantizer().quantize(bob_window).bits
+    }
+
+    /// **Bob's deployment step**: quantize with guard-band dropping,
+    /// returning the bits and the kept sample indices he publishes.
+    pub fn bob_bits_kept(&self, bob_window: &[f64]) -> quantize::QuantizeOutcome {
+        self.config.bob_quantizer().quantize(bob_window)
+    }
+
+    /// Select the model-head bits at Bob's published kept sample indices.
+    pub fn select_kept(&self, bits: &BitString, kept: &[usize]) -> BitString {
+        let m = self.config.bits_per_sample();
+        let mut out = BitString::new();
+        for &j in kept {
+            for b in 0..m {
+                out.push(bits.get(j * m + b));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn tiny_config() -> ModelConfig {
+        ModelConfig {
+            seq_len: 8,
+            hidden: 8,
+            key_bits: 16,
+            theta: 0.9,
+            epochs: 10,
+            batch: 16,
+            lr: 3e-3,
+            guard_z: 0.5,
+            windows_per_round: 2,
+        }
+    }
+
+    /// Synthetic correlated streams: Bob = smooth trend; Alice = trend +
+    /// small noise (mimics the post-arRSSI situation).
+    fn synthetic_streams(n: usize, noise: f64, seed: u64) -> PairedStreams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut level: f64 = -80.0;
+        let mut alice = Vec::with_capacity(n);
+        let mut bob = Vec::with_capacity(n);
+        for _ in 0..n {
+            level += (rng.random::<f64>() - 0.5) * 3.0;
+            bob.push(level + (rng.random::<f64>() - 0.5) * noise);
+            alice.push(level + (rng.random::<f64>() - 0.5) * noise);
+        }
+        let baseline = vec![-95.0; alice.len()];
+        PairedStreams { alice, bob, eve: None, baseline, windows_per_round: 8 }
+    }
+
+    #[test]
+    fn dataset_shapes() {
+        let cfg = tiny_config();
+        let streams = synthetic_streams(100, 0.5, 301);
+        let data =
+            PredictionQuantizationModel::build_dataset_stride(&cfg, &streams, cfg.seq_len);
+        assert_eq!(data.len(), 100 / cfg.seq_len);
+        for s in &data {
+            assert_eq!(s.alice.len(), cfg.seq_len);
+            assert_eq!(s.bob_norm.len(), cfg.seq_len);
+            assert_eq!(s.bob_bits.len(), cfg.key_bits);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let cfg = tiny_config();
+        let mut rng = StdRng::seed_from_u64(302);
+        let streams = synthetic_streams(800, 0.5, 303);
+        let data = PredictionQuantizationModel::build_dataset(&cfg, &streams);
+        let mut model = PredictionQuantizationModel::new(cfg, &mut rng);
+        let before = model.evaluate(&data);
+        model.train(&data, &mut rng);
+        let after = model.evaluate(&data);
+        assert!(
+            after < before * 0.8,
+            "loss should drop substantially: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn prediction_improves_bit_agreement() {
+        // The central claim of Fig. 10: Alice's model bits agree with Bob's
+        // quantizer bits better than quantizing Alice's raw window does.
+        let cfg = tiny_config();
+        let mut rng = StdRng::seed_from_u64(304);
+        let train = synthetic_streams(1600, 1.2, 305);
+        let test = synthetic_streams(400, 1.2, 306);
+        let data = PredictionQuantizationModel::build_dataset(&cfg, &train);
+        let mut model = PredictionQuantizationModel::new(cfg, &mut rng);
+        model.train_epochs(&data, 25, &mut rng);
+        let q = cfg.training_quantizer();
+        let mut with_model = 0.0;
+        let mut without = 0.0;
+        let mut blocks = 0.0;
+        let mut i = 0;
+        while i + cfg.seq_len <= test.alice.len() {
+            let aw = &test.alice[i..i + cfg.seq_len];
+            let bw = &test.bob[i..i + cfg.seq_len];
+            let bob_bits = model.bob_bits(bw);
+            let (_, alice_bits) = model.predict(aw, &vec![-95.0; aw.len()]);
+            with_model += alice_bits.agreement(&bob_bits);
+            without += q.quantize(aw).bits.agreement(&bob_bits);
+            blocks += 1.0;
+            i += cfg.seq_len;
+        }
+        with_model /= blocks;
+        without /= blocks;
+        assert!(
+            with_model > without,
+            "model agreement {with_model} should beat raw {without}"
+        );
+        assert!(with_model > 0.8, "model agreement {with_model}");
+    }
+
+    #[test]
+    fn predict_requires_exact_window() {
+        let cfg = tiny_config();
+        let mut rng = StdRng::seed_from_u64(307);
+        let model = PredictionQuantizationModel::new(cfg, &mut rng);
+        let result = std::panic::catch_unwind(|| model.predict(&[0.0; 5], &[-95.0; 5]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn param_count_grows_with_hidden() {
+        let mut rng = StdRng::seed_from_u64(308);
+        let small = PredictionQuantizationModel::new(tiny_config(), &mut rng);
+        let mut big_cfg = tiny_config();
+        big_cfg.hidden = 16;
+        let big = PredictionQuantizationModel::new(big_cfg, &mut rng);
+        assert!(big.param_count() > small.param_count());
+    }
+
+    #[test]
+    fn bob_bits_deterministic() {
+        let cfg = tiny_config();
+        let mut rng = StdRng::seed_from_u64(309);
+        let model = PredictionQuantizationModel::new(cfg, &mut rng);
+        let window: Vec<f64> = (0..8).map(|i| -80.0 + (i as f64).sin() * 4.0).collect();
+        assert_eq!(model.bob_bits(&window), model.bob_bits(&window));
+        assert_eq!(model.bob_bits(&window).len(), cfg.key_bits);
+    }
+}

@@ -1,0 +1,562 @@
+//! End-to-end Vehicle-Key pipeline: probing → arRSSI → prediction +
+//! quantization → autoencoder reconciliation → privacy amplification.
+//!
+//! [`KeyPipeline`] owns the two trained components (Alice's BiLSTM model and
+//! the autoencoder reconciler) and runs complete key-establishment sessions
+//! against the simulated testbed, reporting the paper's metrics. The
+//! eavesdropper is evaluated alongside every session: Eve applies the same
+//! public models to her own measurements and additionally mounts the
+//! paper's *eavesdropping attack* (feeding Bob's intercepted syndrome and
+//! her own key into the public decoder, Sec. V-H1).
+
+use crate::features::ArRssiExtractor;
+use crate::metrics::KeyMetrics;
+use crate::model::{ModelConfig, PredictionQuantizationModel};
+use mobility::ScenarioKind;
+use quantize::BitString;
+use rand::{Rng, RngExt};
+use reconcile::{AutoencoderReconciler, AutoencoderTrainer, Reconciler};
+use serde::{Deserialize, Serialize};
+use testbed::{Campaign, Testbed, TestbedConfig};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Joint model hyperparameters.
+    pub model: ModelConfig,
+    /// arRSSI extraction window.
+    pub extractor: ArRssiExtractor,
+    /// Radio/testbed parameters.
+    pub testbed: TestbedConfig,
+    /// Autoencoder reconciliation training parameters.
+    pub reconciler: AutoencoderTrainer,
+    /// Probe rounds used to build the training data (split across
+    /// `train_campaigns` independent drives).
+    pub train_rounds: usize,
+    /// Number of independent training drives (the paper's dataset spans
+    /// 20+ hours of distinct routes; diversity across drives is what makes
+    /// the model generalize to unseen sessions).
+    pub train_campaigns: usize,
+    /// Probe rounds per key-establishment session.
+    pub session_rounds: usize,
+    /// Nominal vehicle speed for generated scenarios, km/h.
+    pub speed_kmh: f64,
+    /// Final key size in bits (paper: 128).
+    pub final_key_bits: usize,
+    /// Reconciliation passes per key block. After each pass the parties
+    /// compare block hashes (one short public message); blocks that still
+    /// differ get a fresh syndrome under a new mask. Residual mismatches
+    /// are sparser each pass, which is where the autoencoder is strongest.
+    pub reconcile_passes: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            model: ModelConfig::default(),
+            extractor: ArRssiExtractor::default(),
+            testbed: TestbedConfig::default(),
+            reconciler: AutoencoderTrainer::default(),
+            train_rounds: 1200,
+            train_campaigns: 4,
+            session_rounds: 160,
+            speed_kmh: 50.0,
+            final_key_bits: 128,
+            reconcile_passes: 3,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A reduced configuration for fast tests and examples: smaller
+    /// training campaign and fewer reconciliation training steps.
+    pub fn fast() -> Self {
+        let mut cfg = PipelineConfig::default();
+        cfg.train_rounds = 400;
+        cfg.model.epochs = 15;
+        cfg.reconciler = cfg.reconciler.with_steps(6000);
+        cfg
+    }
+}
+
+/// Eve's results for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EveOutcome {
+    /// Agreement of Eve's model bits with Bob's bits (imitating attack).
+    pub imitating_agreement: f64,
+    /// Agreement after Eve feeds Bob's intercepted syndrome plus her own
+    /// key into the public decoder (eavesdropping attack).
+    pub eavesdropping_agreement: f64,
+}
+
+/// Outcome of one key-establishment session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// Alice's final 128-bit keys (one per completed key block).
+    pub alice_keys: Vec<[u8; 16]>,
+    /// Bob's final 128-bit keys.
+    pub bob_keys: Vec<[u8; 16]>,
+    /// Bit agreement before reconciliation.
+    pub bit_agreement: f64,
+    /// Bit agreement after reconciliation.
+    pub reconciled_agreement: f64,
+    /// Fraction of final keys that match exactly.
+    pub key_match_rate: f64,
+    /// Key generation rate: matched final-key bits per second of probing.
+    pub kgr_bits_per_s: f64,
+    /// Secret bits generated before reconciliation (rate numerator for the
+    /// Fig. 13 comparison).
+    pub raw_bits: usize,
+    /// Session duration in seconds.
+    pub duration_s: f64,
+    /// Eve's results, when the testbed simulated her.
+    pub eve: Option<EveOutcome>,
+}
+
+impl SessionOutcome {
+    /// Raw secret-bit generation rate in bits per second.
+    pub fn raw_rate_bits_per_s(&self) -> f64 {
+        self.raw_bits as f64 / self.duration_s.max(1e-9)
+    }
+
+    /// Collapse into the scalar metrics record.
+    pub fn metrics(&self) -> KeyMetrics {
+        KeyMetrics {
+            bit_agreement: self.bit_agreement,
+            reconciled_agreement: self.reconciled_agreement,
+            final_match: self.key_match_rate == 1.0,
+            kgr_bits_per_s: self.kgr_bits_per_s,
+        }
+    }
+}
+
+/// The trained Vehicle-Key system.
+#[derive(Debug, Clone)]
+pub struct KeyPipeline {
+    config: PipelineConfig,
+    model: PredictionQuantizationModel,
+    reconciler: AutoencoderReconciler,
+}
+
+impl KeyPipeline {
+    /// Generate training campaigns in `kind` (several independent drives),
+    /// train the joint model and the reconciler, and return the ready
+    /// pipeline.
+    pub fn train_for<R: Rng + ?Sized>(
+        kind: ScenarioKind,
+        config: &PipelineConfig,
+        rng: &mut R,
+    ) -> Self {
+        let per = (config.train_rounds / config.train_campaigns.max(1)).max(1);
+        // Independent drives, simulated in parallel (one thread each).
+        let campaigns = testbed::generate_parallel(
+            kind,
+            config.train_campaigns.max(1),
+            per,
+            config.speed_kmh,
+            config.testbed,
+            rng,
+        );
+        let refs: Vec<&Campaign> = campaigns.iter().collect();
+        Self::train_on_campaigns(&refs, config, rng)
+    }
+
+    /// Train on an existing campaign (used by the transfer-learning study).
+    pub fn train_on_campaign<R: Rng + ?Sized>(
+        campaign: &Campaign,
+        config: &PipelineConfig,
+        rng: &mut R,
+    ) -> Self {
+        Self::train_on_campaigns(&[campaign], config, rng)
+    }
+
+    /// Train on a set of recorded campaigns.
+    pub fn train_on_campaigns<R: Rng + ?Sized>(
+        campaigns: &[&Campaign],
+        config: &PipelineConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mut dataset = Vec::new();
+        for campaign in campaigns {
+            let streams = config.extractor.paired_streams(campaign);
+            // Dense sliding windows: training data is the scarce resource.
+            dataset.extend(PredictionQuantizationModel::build_dataset_stride(
+                &config.model,
+                &streams,
+                2,
+            ));
+        }
+        let mut model = PredictionQuantizationModel::new(config.model, rng);
+        model.train(&dataset, rng);
+        let reconciler = config.reconciler.train(rng);
+        KeyPipeline { config: *config, model, reconciler }
+    }
+
+    /// Assemble a pipeline from pre-trained components.
+    pub fn from_parts(
+        config: PipelineConfig,
+        model: PredictionQuantizationModel,
+        reconciler: AutoencoderReconciler,
+    ) -> Self {
+        KeyPipeline { config, model, reconciler }
+    }
+
+    /// Generate a measurement campaign for this pipeline's radio settings.
+    pub fn campaign<R: Rng + ?Sized>(
+        kind: ScenarioKind,
+        config: &PipelineConfig,
+        rounds: usize,
+        speed_kmh: f64,
+        rng: &mut R,
+    ) -> Campaign {
+        let duration = rounds as f64 * config.testbed.round_interval_s + 30.0;
+        let mut tb = Testbed::generate(kind, duration, speed_kmh, config.testbed, rng);
+        tb.run(rounds, rng)
+    }
+
+    /// The trained joint model.
+    pub fn model(&self) -> &PredictionQuantizationModel {
+        &self.model
+    }
+
+    /// Mutable access to the joint model (fine-tuning).
+    pub fn model_mut(&mut self) -> &mut PredictionQuantizationModel {
+        &mut self.model
+    }
+
+    /// The trained reconciler.
+    pub fn reconciler(&self) -> &AutoencoderReconciler {
+        &self.reconciler
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Run a fresh key-establishment session in scenario `kind`.
+    pub fn run_session<R: Rng + ?Sized>(&self, kind: ScenarioKind, rng: &mut R) -> SessionOutcome {
+        let campaign = Self::campaign(
+            kind,
+            &self.config,
+            self.config.session_rounds,
+            self.config.speed_kmh,
+            rng,
+        );
+        self.run_on_campaign(&campaign, rng)
+    }
+
+    /// Keep running sessions until a confirmed 128-bit key is established
+    /// or `max_sessions` is exhausted — the deployed behaviour (failed
+    /// confirmations simply re-probe). Returns the key and the number of
+    /// sessions it took.
+    pub fn run_until_key<R: Rng + ?Sized>(
+        &self,
+        kind: ScenarioKind,
+        max_sessions: usize,
+        rng: &mut R,
+    ) -> Option<([u8; 16], usize)> {
+        for attempt in 1..=max_sessions {
+            let outcome = self.run_session(kind, rng);
+            if let Some((key, _)) = outcome
+                .alice_keys
+                .iter()
+                .zip(&outcome.bob_keys)
+                .find(|(a, b)| a == b)
+            {
+                return Some((*key, attempt));
+            }
+        }
+        None
+    }
+
+    /// Run the pipeline over a recorded campaign.
+    pub fn run_on_campaign<R: Rng + ?Sized>(
+        &self,
+        campaign: &Campaign,
+        rng: &mut R,
+    ) -> SessionOutcome {
+        let streams = self.config.extractor.paired_streams(campaign);
+        let t = self.config.model.seq_len;
+        let mut alice_bits = BitString::new();
+        let mut bob_bits = BitString::new();
+        let mut eve_bits = streams.eve.as_ref().map(|_| BitString::new());
+        let mut i = 0;
+        while i + t <= streams.alice.len().min(streams.bob.len()) {
+            // Bob quantizes with guard dropping and publishes the kept
+            // sample indices; all parties restrict to them.
+            let outcome = self.model.bob_bits_kept(&streams.bob[i..i + t]);
+            bob_bits.extend(&outcome.bits);
+            let (_, a_bits) =
+                self.model.predict(&streams.alice[i..i + t], &streams.baseline[i..i + t]);
+            alice_bits.extend(&self.model.select_kept(&a_bits, &outcome.kept));
+            if let (Some(acc), Some(eve)) = (eve_bits.as_mut(), streams.eve.as_ref()) {
+                let (_, e_bits) =
+                    self.model.predict(&eve[i..i + t], &streams.baseline[i..i + t]);
+                acc.extend(&self.model.select_kept(&e_bits, &outcome.kept));
+            }
+            i += t;
+        }
+        let bit_agreement = if alice_bits.is_empty() {
+            f64::NAN
+        } else {
+            alice_bits.agreement(&bob_bits)
+        };
+
+        // Reconcile and amplify per final-key block.
+        let block = self.config.final_key_bits;
+        let mut alice_keys = Vec::new();
+        let mut bob_keys = Vec::new();
+        let mut reconciled_bits = 0usize;
+        let mut reconciled_matches = 0usize;
+        let mut eve_eavesdrop_agree = Vec::new();
+        let mut offset = 0;
+        while offset + block <= alice_bits.len() {
+            let ka = alice_bits.slice(offset, block);
+            let kb = bob_bits.slice(offset, block);
+            // Fresh public mask seed per block and per pass (a real session
+            // derives them from the exchanged nonces). After each pass the
+            // parties compare block hashes; only still-mismatched blocks
+            // are re-reconciled, so extra passes cost one syndrome each.
+            let mut corrected = ka.clone();
+            for _pass in 0..self.config.reconcile_passes.max(1) {
+                if corrected == kb {
+                    break;
+                }
+                let session = self.reconciler.clone().with_mask_seed(rng.random());
+                corrected = session.reconcile(&corrected, &kb).corrected;
+            }
+            let result_corrected = corrected;
+            reconciled_bits += block;
+            reconciled_matches += block - result_corrected.hamming(&kb);
+            alice_keys.push(vk_crypto::amplify::amplify_128(&result_corrected.to_bools()));
+            bob_keys.push(vk_crypto::amplify::amplify_128(&kb.to_bools()));
+            // Eavesdropping attack: Eve intercepts Bob's syndrome for this
+            // block and decodes with her own bits (first pass; later-pass
+            // syndromes presume the first succeeded, which for Eve it
+            // does not).
+            if let Some(eve) = eve_bits.as_ref() {
+                let eve_session = self.reconciler.clone().with_mask_seed(rng.random());
+                let ke = eve.slice(offset, block);
+                let corrected_eve = reconcile_with(&eve_session, &ke, &kb);
+                eve_eavesdrop_agree.push(corrected_eve.agreement(&kb));
+            }
+            offset += block;
+        }
+        let n_keys = alice_keys.len();
+        let matches = alice_keys
+            .iter()
+            .zip(&bob_keys)
+            .filter(|(a, b)| a == b)
+            .count();
+        let duration = campaign.duration_s().max(1e-9);
+        let eve = eve_bits.map(|e| EveOutcome {
+            imitating_agreement: if e.is_empty() {
+                f64::NAN
+            } else {
+                e.slice(0, bob_bits.len().min(e.len()))
+                    .agreement(&bob_bits.slice(0, bob_bits.len().min(e.len())))
+            },
+            eavesdropping_agreement: if eve_eavesdrop_agree.is_empty() {
+                f64::NAN
+            } else {
+                eve_eavesdrop_agree.iter().sum::<f64>() / eve_eavesdrop_agree.len() as f64
+            },
+        });
+        SessionOutcome {
+            raw_bits: alice_bits.len(),
+            alice_keys,
+            bob_keys,
+            bit_agreement,
+            reconciled_agreement: if reconciled_bits == 0 {
+                f64::NAN
+            } else {
+                reconciled_matches as f64 / reconciled_bits as f64
+            },
+            key_match_rate: if n_keys == 0 {
+                f64::NAN
+            } else {
+                matches as f64 / n_keys as f64
+            },
+            kgr_bits_per_s: matches as f64 * block as f64 / duration,
+            duration_s: duration,
+            eve,
+        }
+    }
+}
+
+/// Serializable snapshot of a trained pipeline (config + both models).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SavedPipeline {
+    config: PipelineConfig,
+    model: PredictionQuantizationModel,
+    reconciler: AutoencoderReconciler,
+}
+
+impl KeyPipeline {
+    /// Persist the trained pipeline (config, joint model, reconciler) to a
+    /// file in the workspace's compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O errors as strings.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        let saved = SavedPipeline {
+            config: self.config,
+            model: self.model.clone(),
+            reconciler: self.reconciler.clone(),
+        };
+        nn::persist::save_to_file(&saved, path).map_err(|e| e.0)
+    }
+
+    /// Load a pipeline previously written by [`KeyPipeline::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization and I/O errors as strings.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let saved: SavedPipeline = nn::persist::load_from_file(path).map_err(|e| e.0)?;
+        Ok(KeyPipeline {
+            config: saved.config,
+            model: saved.model,
+            reconciler: saved.reconciler,
+        })
+    }
+}
+
+/// Run the reconciliation exchange where the *decoder side* holds `k_eve`
+/// instead of Alice's key: models the eavesdropping attack.
+fn reconcile_with(
+    session: &AutoencoderReconciler,
+    k_eve: &BitString,
+    k_bob: &BitString,
+) -> BitString {
+    // Eve sees Bob's syndrome for each 64-bit segment and applies the
+    // public decoder with her own bits.
+    let seg = session.key_len();
+    let mut out = BitString::new();
+    let mut offset = 0;
+    while offset + seg <= k_eve.len().min(k_bob.len()) {
+        let y = session.bob_syndrome(&k_bob.slice(offset, seg));
+        out.extend(&session.alice_correct(&y, &k_eve.slice(offset, seg)));
+        offset += seg;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// One trained pipeline shared by the session tests (training dominates
+    /// the test cost).
+    fn shared_pipeline() -> &'static KeyPipeline {
+        static PIPE: std::sync::OnceLock<KeyPipeline> = std::sync::OnceLock::new();
+        PIPE.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(401);
+            KeyPipeline::train_for(ScenarioKind::V2vUrban, &PipelineConfig::fast(), &mut rng)
+        })
+    }
+
+    #[test]
+    fn session_produces_matching_keys() {
+        let mut rng = StdRng::seed_from_u64(402);
+        let outcome = shared_pipeline().run_session(ScenarioKind::V2vUrban, &mut rng);
+        assert!(!outcome.alice_keys.is_empty(), "no key blocks produced");
+        assert!(
+            outcome.bit_agreement > 0.75,
+            "pre-reconciliation agreement {}",
+            outcome.bit_agreement
+        );
+        assert!(
+            outcome.reconciled_agreement > outcome.bit_agreement - 0.02,
+            "reconciliation should not hurt: {} vs {}",
+            outcome.reconciled_agreement,
+            outcome.bit_agreement
+        );
+        assert!(outcome.kgr_bits_per_s >= 0.0);
+    }
+
+    #[test]
+    fn eve_is_near_chance() {
+        let mut rng = StdRng::seed_from_u64(403);
+        let outcome = shared_pipeline().run_session(ScenarioKind::V2vUrban, &mut rng);
+        let eve = outcome.eve.expect("eve simulated by default");
+        assert!(
+            eve.imitating_agreement < 0.75,
+            "imitating Eve too strong: {}",
+            eve.imitating_agreement
+        );
+        assert!(
+            eve.eavesdropping_agreement < 0.75,
+            "eavesdropping Eve too strong: {}",
+            eve.eavesdropping_agreement
+        );
+        assert!(
+            outcome.bit_agreement > eve.imitating_agreement + 0.1,
+            "legitimate advantage too small: {} vs {}",
+            outcome.bit_agreement,
+            eve.imitating_agreement
+        );
+    }
+
+    #[test]
+    fn matched_keys_are_identical_after_amplification() {
+        let mut rng = StdRng::seed_from_u64(404);
+        let outcome = shared_pipeline().run_session(ScenarioKind::V2vUrban, &mut rng);
+        for (a, b) in outcome.alice_keys.iter().zip(&outcome.bob_keys) {
+            if a == b {
+                // Amplified keys are 16 bytes and non-trivial.
+                assert_eq!(a.len(), 16);
+                assert!(a.iter().any(|&x| x != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_key_establishes_a_key() {
+        let mut rng = StdRng::seed_from_u64(407);
+        let (key, attempts) = shared_pipeline()
+            .run_until_key(ScenarioKind::V2vUrban, 8, &mut rng)
+            .expect("a key within 8 sessions");
+        assert!(attempts <= 8);
+        assert!(key.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut rng = StdRng::seed_from_u64(406);
+        let pipe = shared_pipeline();
+        let dir = std::env::temp_dir().join("vk_pipeline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.bin");
+        pipe.save(&path).unwrap();
+        let restored = KeyPipeline::load(&path).unwrap();
+        // Identical inference on the same window.
+        let window: Vec<f64> = (0..pipe.config().model.seq_len)
+            .map(|i| (i as f64 * 0.7).sin())
+            .collect();
+        let baselines = vec![-95.0; window.len()];
+        assert_eq!(
+            pipe.model().predict(&window, &baselines).1,
+            restored.model().predict(&window, &baselines).1
+        );
+        let _ = &mut rng;
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_campaign_yields_nan_metrics() {
+        let mut rng = StdRng::seed_from_u64(405);
+        let campaign = Campaign {
+            scenario: ScenarioKind::V2vUrban,
+            lora: lora_phy::LoRaConfig::paper_default(),
+            rounds: Vec::new(),
+        };
+        let outcome = shared_pipeline().run_on_campaign(&campaign, &mut rng);
+        assert!(outcome.bit_agreement.is_nan());
+        assert!(outcome.alice_keys.is_empty());
+    }
+}

@@ -1,0 +1,410 @@
+//! Wire protocol for a Vehicle-Key session.
+//!
+//! Message framing for the over-the-air exchange, plus the MAC protection
+//! of the reconciliation syndrome (Sec. IV-C): Bob transmits
+//! `L_Bob = {y_Bob, MAC(K′_Bob, y_Bob)}`; after correcting her key, Alice
+//! recomputes the MAC with her corrected key — which equals `K′_Bob` exactly
+//! when reconciliation succeeded — and any man-in-the-middle modification of
+//! the syndrome surfaces as a MAC mismatch. Replay is blocked by the
+//! session id + sequence numbers carried in every message.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use quantize::BitString;
+use reconcile::AutoencoderReconciler;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Fixed-point scale for syndrome values on the wire (i16 at ×256).
+const SYNDROME_SCALE: f32 = 256.0;
+
+/// Protocol-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The buffer did not contain a well-formed message.
+    Malformed(&'static str),
+    /// Unknown message tag.
+    UnknownTag(u8),
+    /// The syndrome MAC did not verify — tampering or failed
+    /// reconciliation.
+    MacMismatch,
+    /// Key confirmation failed: the two sides hold different keys.
+    ConfirmMismatch,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtocolError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            ProtocolError::MacMismatch => f.write_str("syndrome MAC mismatch"),
+            ProtocolError::ConfirmMismatch => f.write_str("key confirmation mismatch"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+/// Role in a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Runs the prediction model and the reconciliation decoder.
+    Alice,
+    /// Runs the quantizer and the reconciliation encoder.
+    Bob,
+}
+
+/// Over-the-air messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Channel probe.
+    Probe {
+        /// Session identifier.
+        session_id: u32,
+        /// Probe sequence number.
+        seq: u32,
+        /// Fresh nonce contributing to the public mask seed.
+        nonce: u64,
+    },
+    /// Probe response.
+    ProbeReply {
+        /// Session identifier.
+        session_id: u32,
+        /// Echoed sequence number.
+        seq: u32,
+        /// Responder's nonce.
+        nonce: u64,
+    },
+    /// Bob's reconciliation syndrome with its MAC.
+    Syndrome {
+        /// Session identifier.
+        session_id: u32,
+        /// Key-block index the syndrome covers.
+        block: u32,
+        /// Fixed-point encoder output `y_Bob`.
+        code: Vec<i16>,
+        /// `HMAC(K′_Bob, serialized code)`.
+        mac: [u8; 32],
+    },
+    /// Key-confirmation message carrying an HMAC under the final key.
+    Confirm {
+        /// Session identifier.
+        session_id: u32,
+        /// `HMAC(final_key, "VK-CONFIRM" ‖ session_id)`.
+        check: [u8; 32],
+    },
+}
+
+impl Message {
+    const TAG_PROBE: u8 = 1;
+    const TAG_PROBE_REPLY: u8 = 2;
+    const TAG_SYNDROME: u8 = 3;
+    const TAG_CONFIRM: u8 = 4;
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            Message::Probe { session_id, seq, nonce } => {
+                b.put_u8(Self::TAG_PROBE);
+                b.put_u32(*session_id);
+                b.put_u32(*seq);
+                b.put_u64(*nonce);
+            }
+            Message::ProbeReply { session_id, seq, nonce } => {
+                b.put_u8(Self::TAG_PROBE_REPLY);
+                b.put_u32(*session_id);
+                b.put_u32(*seq);
+                b.put_u64(*nonce);
+            }
+            Message::Syndrome { session_id, block, code, mac } => {
+                b.put_u8(Self::TAG_SYNDROME);
+                b.put_u32(*session_id);
+                b.put_u32(*block);
+                b.put_u16(code.len() as u16);
+                for &v in code {
+                    b.put_i16(v);
+                }
+                b.put_slice(mac);
+            }
+            Message::Confirm { session_id, check } => {
+                b.put_u8(Self::TAG_CONFIRM);
+                b.put_u32(*session_id);
+                b.put_slice(check);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parse from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] for truncated or unknown messages.
+    pub fn decode(mut buf: &[u8]) -> Result<Message, ProtocolError> {
+        if buf.is_empty() {
+            return Err(ProtocolError::Malformed("empty buffer"));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            Message::TAG_PROBE | Message::TAG_PROBE_REPLY => {
+                if buf.remaining() < 16 {
+                    return Err(ProtocolError::Malformed("truncated probe"));
+                }
+                let session_id = buf.get_u32();
+                let seq = buf.get_u32();
+                let nonce = buf.get_u64();
+                Ok(if tag == Message::TAG_PROBE {
+                    Message::Probe { session_id, seq, nonce }
+                } else {
+                    Message::ProbeReply { session_id, seq, nonce }
+                })
+            }
+            Message::TAG_SYNDROME => {
+                if buf.remaining() < 10 {
+                    return Err(ProtocolError::Malformed("truncated syndrome header"));
+                }
+                let session_id = buf.get_u32();
+                let block = buf.get_u32();
+                let len = buf.get_u16() as usize;
+                if buf.remaining() < len * 2 + 32 {
+                    return Err(ProtocolError::Malformed("truncated syndrome body"));
+                }
+                let code = (0..len).map(|_| buf.get_i16()).collect();
+                let mut mac = [0u8; 32];
+                buf.copy_to_slice(&mut mac);
+                Ok(Message::Syndrome { session_id, block, code, mac })
+            }
+            Message::TAG_CONFIRM => {
+                if buf.remaining() < 36 {
+                    return Err(ProtocolError::Malformed("truncated confirm"));
+                }
+                let session_id = buf.get_u32();
+                let mut check = [0u8; 32];
+                buf.copy_to_slice(&mut check);
+                Ok(Message::Confirm { session_id, check })
+            }
+            other => Err(ProtocolError::UnknownTag(other)),
+        }
+    }
+}
+
+/// Quantize encoder output to wire fixed point.
+fn quantize_code(y: &[f32]) -> Vec<i16> {
+    y.iter()
+        .map(|&v| (v * SYNDROME_SCALE).round().clamp(-32768.0, 32767.0) as i16)
+        .collect()
+}
+
+/// Restore encoder output from wire fixed point.
+fn dequantize_code(code: &[i16]) -> Vec<f32> {
+    code.iter().map(|&v| f32::from(v) / SYNDROME_SCALE).collect()
+}
+
+fn code_bytes(code: &[i16]) -> Vec<u8> {
+    code.iter().flat_map(|v| v.to_be_bytes()).collect()
+}
+
+/// Session-level operations binding messages to the reconciliation model.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Session identifier (agreed in the probe exchange).
+    pub session_id: u32,
+    /// The trained (public) reconciliation model, mask seeded per session.
+    pub reconciler: AutoencoderReconciler,
+}
+
+impl Session {
+    /// Create a session with the public model, deriving the mask seed from
+    /// the exchanged nonces.
+    pub fn new(session_id: u32, reconciler: AutoencoderReconciler, nonce_a: u64, nonce_b: u64) -> Self {
+        Session {
+            session_id,
+            reconciler: reconciler.with_mask_seed(nonce_a ^ nonce_b.rotate_left(32)),
+        }
+    }
+
+    /// **Bob**: build the MAC-protected syndrome message for a key block.
+    pub fn bob_syndrome_message(&self, block: u32, k_bob: &BitString) -> Message {
+        let y = self.reconciler.bob_syndrome(k_bob);
+        let code = quantize_code(&y);
+        let mac = vk_crypto::hmac_sha256(k_bob.as_bytes(), &code_bytes(&code));
+        Message::Syndrome { session_id: self.session_id, block, code, mac }
+    }
+
+    /// **Alice**: process a syndrome message — correct her key and verify
+    /// the MAC with the corrected key.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::MacMismatch`] when the MAC does not verify (message
+    /// tampered with, or reconciliation failed to equalize the keys).
+    pub fn alice_process_syndrome(
+        &self,
+        msg: &Message,
+        k_alice: &BitString,
+    ) -> Result<BitString, ProtocolError> {
+        let Message::Syndrome { session_id, code, mac, .. } = msg else {
+            return Err(ProtocolError::Malformed("expected syndrome"));
+        };
+        if *session_id != self.session_id {
+            return Err(ProtocolError::Malformed("wrong session id"));
+        }
+        let y = dequantize_code(code);
+        let corrected = self.reconciler.alice_correct(&y, k_alice);
+        if !vk_crypto::hmac::verify(corrected.as_bytes(), &code_bytes(code), mac) {
+            return Err(ProtocolError::MacMismatch);
+        }
+        Ok(corrected)
+    }
+
+    /// Key-confirmation check value under a final key.
+    pub fn confirm_check(&self, final_key: &[u8; 16]) -> [u8; 32] {
+        let mut msg = b"VK-CONFIRM".to_vec();
+        msg.extend_from_slice(&self.session_id.to_be_bytes());
+        vk_crypto::hmac_sha256(final_key, &msg)
+    }
+
+    /// Verify the peer's confirmation message.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::ConfirmMismatch`] when the check values differ.
+    pub fn verify_confirm(
+        &self,
+        msg: &Message,
+        final_key: &[u8; 16],
+    ) -> Result<(), ProtocolError> {
+        let Message::Confirm { check, .. } = msg else {
+            return Err(ProtocolError::Malformed("expected confirm"));
+        };
+        if *check == self.confirm_check(final_key) {
+            Ok(())
+        } else {
+            Err(ProtocolError::ConfirmMismatch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use reconcile::AutoencoderTrainer;
+
+    fn model() -> &'static AutoencoderReconciler {
+        static MODEL: std::sync::OnceLock<AutoencoderReconciler> = std::sync::OnceLock::new();
+        MODEL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(501);
+            AutoencoderTrainer::default().with_steps(10000).train(&mut rng)
+        })
+    }
+
+    fn random_key(rng: &mut StdRng, n: usize) -> BitString {
+        (0..n).map(|_| rng.random::<bool>()).collect()
+    }
+
+    #[test]
+    fn message_encode_decode_round_trip() {
+        let messages = vec![
+            Message::Probe { session_id: 7, seq: 3, nonce: 0xDEADBEEF },
+            Message::ProbeReply { session_id: 7, seq: 3, nonce: 42 },
+            Message::Syndrome {
+                session_id: 7,
+                block: 2,
+                code: vec![-300, 0, 512, 32767],
+                mac: [9; 32],
+            },
+            Message::Confirm { session_id: 7, check: [3; 32] },
+        ];
+        for m in messages {
+            let bytes = m.encode();
+            assert_eq!(Message::decode(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[99]).is_err());
+        assert!(Message::decode(&[1, 2]).is_err());
+        // Truncated syndrome body.
+        let m = Message::Syndrome { session_id: 1, block: 0, code: vec![1, 2, 3], mac: [0; 32] };
+        let bytes = m.encode();
+        assert!(Message::decode(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn syndrome_protocol_corrects_and_verifies() {
+        let mut rng = StdRng::seed_from_u64(502);
+        let session = Session::new(11, model().clone(), rng.random(), rng.random());
+        let k_bob = random_key(&mut rng, 64);
+        let mut k_alice = k_bob.clone();
+        k_alice.set(5, !k_alice.get(5));
+        k_alice.set(40, !k_alice.get(40));
+        let msg = session.bob_syndrome_message(0, &k_bob);
+        let corrected = session.alice_process_syndrome(&msg, &k_alice).unwrap();
+        assert_eq!(corrected, k_bob);
+    }
+
+    #[test]
+    fn tampered_syndrome_detected() {
+        let mut rng = StdRng::seed_from_u64(503);
+        let session = Session::new(12, model().clone(), rng.random(), rng.random());
+        let k_bob = random_key(&mut rng, 64);
+        let k_alice = k_bob.clone();
+        let msg = session.bob_syndrome_message(0, &k_bob);
+        // A MITM flips one code value.
+        let Message::Syndrome { session_id, block, mut code, mac } = msg else {
+            unreachable!()
+        };
+        code[0] ^= 0x40;
+        let tampered = Message::Syndrome { session_id, block, code, mac };
+        // Either the corrected key changes (MAC fails) or the MAC check on
+        // modified bytes fails outright.
+        assert_eq!(
+            session.alice_process_syndrome(&tampered, &k_alice),
+            Err(ProtocolError::MacMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_session_id_rejected() {
+        let mut rng = StdRng::seed_from_u64(504);
+        let session = Session::new(13, model().clone(), rng.random(), rng.random());
+        let other = Session::new(14, model().clone(), rng.random(), rng.random());
+        let k_bob = random_key(&mut rng, 64);
+        let msg = other.bob_syndrome_message(0, &k_bob);
+        assert!(matches!(
+            session.alice_process_syndrome(&msg, &k_bob),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn confirmation_accepts_equal_keys_rejects_different() {
+        let mut rng = StdRng::seed_from_u64(505);
+        let session = Session::new(15, model().clone(), rng.random(), rng.random());
+        let key = [7u8; 16];
+        let msg = Message::Confirm { session_id: 15, check: session.confirm_check(&key) };
+        assert!(session.verify_confirm(&msg, &key).is_ok());
+        let other_key = [8u8; 16];
+        assert_eq!(
+            session.verify_confirm(&msg, &other_key),
+            Err(ProtocolError::ConfirmMismatch)
+        );
+    }
+
+    #[test]
+    fn nonces_decorrelate_sessions() {
+        let model = model().clone();
+        let s1 = Session::new(1, model.clone(), 10, 20);
+        let s2 = Session::new(1, model, 11, 20);
+        let mut rng = StdRng::seed_from_u64(506);
+        let k = random_key(&mut rng, 64);
+        let m1 = s1.bob_syndrome_message(0, &k);
+        let m2 = s2.bob_syndrome_message(0, &k);
+        assert_ne!(m1, m2, "different nonces must yield different syndromes");
+    }
+}

@@ -1,0 +1,195 @@
+//! Security analysis helpers: entropy estimation of extracted bit streams.
+//!
+//! The paper validates key randomness with the NIST battery (Table II);
+//! operators additionally want an *entropy rate* estimate for the raw
+//! (pre-amplification) bit material to size the privacy-amplification
+//! output. This module provides conservative estimators in the spirit of
+//! NIST SP 800-90B:
+//!
+//! * [`shannon_entropy_rate`] — first-order (i.i.d.) Shannon entropy from
+//!   the bit bias,
+//! * [`markov_entropy_rate`] — first-order Markov entropy, catching
+//!   run-structure an i.i.d. estimate misses,
+//! * [`min_entropy_rate`] — most-common-value min-entropy over sliding
+//!   8-bit patterns, the conservative figure for amplification sizing,
+//! * [`amplification_budget`] — how many raw bits are needed per final key
+//!   bit given the estimated min-entropy and the reconciliation leakage.
+
+use quantize::BitString;
+
+/// First-order Shannon entropy per bit, from the one-bit bias.
+/// Returns a value in `[0, 1]`.
+pub fn shannon_entropy_rate(bits: &BitString) -> f64 {
+    if bits.is_empty() {
+        return 0.0;
+    }
+    let p = bits.count_ones() as f64 / bits.len() as f64;
+    binary_entropy(p)
+}
+
+fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// First-order Markov entropy rate per bit: the transition-weighted
+/// conditional entropy `H(X_{i+1} | X_i)`. Returns a value in `[0, 1]`.
+pub fn markov_entropy_rate(bits: &BitString) -> f64 {
+    if bits.len() < 2 {
+        return 0.0;
+    }
+    // Transition counts [from][to].
+    let mut counts = [[0usize; 2]; 2];
+    let mut prev = usize::from(bits.get(0));
+    for i in 1..bits.len() {
+        let cur = usize::from(bits.get(i));
+        counts[prev][cur] += 1;
+        prev = cur;
+    }
+    let total = (bits.len() - 1) as f64;
+    let mut h = 0.0;
+    for (from, row) in counts.iter().enumerate() {
+        let row_total = (row[0] + row[1]) as f64;
+        if row_total == 0.0 {
+            continue;
+        }
+        let p_from = row_total / total;
+        let p1 = row[1] as f64 / row_total;
+        let _ = from;
+        h += p_from * binary_entropy(p1);
+    }
+    h
+}
+
+/// Most-common-value min-entropy per bit over sliding `w`-bit patterns
+/// (`w = 8`): `−log₂(p_max) / w`. The conservative estimate for sizing
+/// privacy amplification. Returns a value in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if fewer than 64 bits are provided (the estimate would be
+/// meaningless).
+pub fn min_entropy_rate(bits: &BitString) -> f64 {
+    const W: usize = 8;
+    assert!(bits.len() >= 64, "need at least 64 bits for an estimate");
+    let mut counts = vec![0usize; 1 << W];
+    let n = bits.len() - W + 1;
+    for i in 0..n {
+        let mut idx = 0usize;
+        for j in 0..W {
+            idx = (idx << 1) | usize::from(bits.get(i + j));
+        }
+        counts[idx] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(0);
+    // Upper confidence bound on p_max (one-sided 99%), per SP 800-90B MCV.
+    let p_hat = max as f64 / n as f64;
+    let p_ub = (p_hat + 2.576 * (p_hat * (1.0 - p_hat) / n as f64).sqrt()).min(1.0);
+    (-(p_ub.log2()) / W as f64).clamp(0.0, 1.0)
+}
+
+/// Raw-bit budget per 128-bit final key: `(128 + leaked_bits) /
+/// min_entropy_rate`, the amplification sizing rule (leftover hash lemma,
+/// ignoring the security-parameter slack).
+///
+/// # Panics
+///
+/// Panics if `min_entropy_rate` is not in `(0, 1]`.
+pub fn amplification_budget(min_entropy_rate: f64, leaked_bits: usize) -> usize {
+    assert!(
+        min_entropy_rate > 0.0 && min_entropy_rate <= 1.0,
+        "entropy rate must be in (0, 1]"
+    );
+    (((128 + leaked_bits) as f64) / min_entropy_rate).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_bits(f: impl Fn(usize) -> bool, n: usize) -> BitString {
+        (0..n).map(f).collect()
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> BitString {
+        // splitmix64, one output bit per full mix (avoids LCG bit structure).
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                (z ^ (z >> 31)) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn random_bits_have_high_entropy() {
+        let bits = pseudo_random(20_000, 5);
+        assert!(shannon_entropy_rate(&bits) > 0.99);
+        assert!(markov_entropy_rate(&bits) > 0.99);
+        assert!(min_entropy_rate(&bits) > 0.9);
+    }
+
+    #[test]
+    fn constant_bits_have_zero_entropy() {
+        let bits = pattern_bits(|_| true, 1000);
+        assert_eq!(shannon_entropy_rate(&bits), 0.0);
+        assert_eq!(markov_entropy_rate(&bits), 0.0);
+        assert!(min_entropy_rate(&bits) < 0.05);
+    }
+
+    #[test]
+    fn alternating_bits_fool_shannon_but_not_markov() {
+        // 0101… has perfect bias (Shannon = 1) but zero Markov entropy.
+        let bits = pattern_bits(|i| i % 2 == 0, 2000);
+        assert!(shannon_entropy_rate(&bits) > 0.99);
+        assert!(markov_entropy_rate(&bits) < 0.01);
+        assert!(min_entropy_rate(&bits) < 0.2);
+    }
+
+    #[test]
+    fn biased_bits_have_reduced_entropy() {
+        // 75% ones.
+        let bits = pattern_bits(|i| (i * 7919) % 4 != 0, 8000);
+        let h = shannon_entropy_rate(&bits);
+        assert!((h - 0.811).abs() < 0.02, "h {h}");
+    }
+
+    #[test]
+    fn amplification_budget_sizing() {
+        // Perfect entropy, no leakage: 128 raw bits per key.
+        assert_eq!(amplification_budget(1.0, 0), 128);
+        // Half entropy rate with 512 leaked bits: (128+512)/0.5 = 1280.
+        assert_eq!(amplification_budget(0.5, 512), 1280);
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy rate")]
+    fn budget_rejects_zero_entropy() {
+        amplification_budget(0.0, 0);
+    }
+
+    #[test]
+    fn pipeline_bits_have_usable_entropy() {
+        // The detrended-quantized pipeline bits should carry high entropy.
+        use crate::model::ModelConfig;
+        let q = ModelConfig::default().training_quantizer();
+        let mut stream = BitString::new();
+        let mut state = 9u64;
+        let mut window = Vec::new();
+        for i in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            window.push(((state >> 33) as f64 / 2e9) - 0.5);
+            if (i + 1) % 32 == 0 {
+                stream.extend(&q.quantize(&window).bits);
+                window.clear();
+            }
+        }
+        assert!(min_entropy_rate(&stream) > 0.7, "rate {}", min_entropy_rate(&stream));
+    }
+}

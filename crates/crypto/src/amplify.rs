@@ -1,0 +1,94 @@
+//! Privacy amplification.
+//!
+//! Reconciliation leaks some key information over the public channel (the
+//! syndrome). Privacy amplification hashes the reconciled bit string down to
+//! a shorter final key so the leaked bits carry no information about it
+//! (Sec. IV-C). The paper uses a 128-bit hash ("SHA-128"); we truncate
+//! SHA-256 to the requested width.
+
+use crate::sha256::sha256;
+
+/// Hash a reconciled bit string down to `out_bits` (≤ 256) final key bits.
+///
+/// # Panics
+///
+/// Panics if `out_bits` is 0 or exceeds 256.
+pub fn privacy_amplify(bits: &[bool], out_bits: usize) -> Vec<u8> {
+    assert!((1..=256).contains(&out_bits), "output must be 1..=256 bits");
+    // Pack bits (MSB-first) with a length prefix so e.g. "0" and "00" hash
+    // differently.
+    let mut data = (bits.len() as u64).to_be_bytes().to_vec();
+    let mut acc = 0u8;
+    for (i, &b) in bits.iter().enumerate() {
+        acc = (acc << 1) | u8::from(b);
+        if i % 8 == 7 {
+            data.push(acc);
+            acc = 0;
+        }
+    }
+    if bits.len() % 8 != 0 {
+        data.push(acc << (8 - bits.len() % 8));
+    }
+    let digest = sha256(&data);
+    let mut out = digest[..out_bits.div_ceil(8)].to_vec();
+    // Mask unused low bits of the final byte.
+    if out_bits % 8 != 0 {
+        let last = out.last_mut().unwrap();
+        *last &= 0xFFu8 << (8 - out_bits % 8);
+    }
+    out
+}
+
+/// Amplify into exactly 128 bits — the paper's final key size.
+pub fn amplify_128(bits: &[bool]) -> [u8; 16] {
+    let v = privacy_amplify(bits, 128);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_width() {
+        let key = privacy_amplify(&[true; 100], 128);
+        assert_eq!(key.len(), 16);
+        let key = privacy_amplify(&[true; 100], 20);
+        assert_eq!(key.len(), 3);
+        assert_eq!(key[2] & 0x0F, 0, "low 4 bits masked");
+    }
+
+    #[test]
+    fn deterministic() {
+        let bits = [true, false, true, true, false];
+        assert_eq!(privacy_amplify(&bits, 128), privacy_amplify(&bits, 128));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_key() {
+        let mut bits = vec![false; 128];
+        let k1 = amplify_128(&bits);
+        bits[77] = true;
+        let k2 = amplify_128(&bits);
+        assert_ne!(k1, k2);
+        let differing: u32 = k1.iter().zip(&k2).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert!(differing > 30, "only {differing} bits differ");
+    }
+
+    #[test]
+    fn length_extension_guard() {
+        // "0" and "00" must differ despite identical packed bytes.
+        assert_ne!(
+            privacy_amplify(&[false], 128),
+            privacy_amplify(&[false, false], 128)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=256")]
+    fn rejects_oversized_output() {
+        privacy_amplify(&[true], 257);
+    }
+}

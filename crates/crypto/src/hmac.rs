@@ -1,0 +1,84 @@
+//! HMAC-SHA256 (RFC 2104).
+//!
+//! Vehicle-Key appends `MAC(K'_Bob, y_Bob)` to the reconciliation syndrome so
+//! Alice can detect man-in-the-middle tampering (Sec. IV-C).
+
+use crate::sha256::sha256;
+
+const BLOCK: usize = 64;
+
+/// HMAC-SHA256 of `msg` under `key`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..32].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(BLOCK + msg.len());
+    inner.extend(k.iter().map(|b| b ^ 0x36));
+    inner.extend_from_slice(msg);
+    let inner_hash = sha256(&inner);
+    let mut outer = Vec::with_capacity(BLOCK + 32);
+    outer.extend(k.iter().map(|b| b ^ 0x5c));
+    outer.extend_from_slice(&inner_hash);
+    sha256(&outer)
+}
+
+/// Constant-time MAC comparison.
+pub fn verify(key: &[u8], msg: &[u8], tag: &[u8]) -> bool {
+    let expect = hmac_sha256(key, msg);
+    if tag.len() != expect.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expect.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Test case 6: 131-byte key (forces the key-hash path).
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"key", b"message");
+        assert!(verify(b"key", b"message", &tag));
+        assert!(!verify(b"key", b"message!", &tag));
+        assert!(!verify(b"yek", b"message", &tag));
+        assert!(!verify(b"key", b"message", &tag[..31]));
+    }
+}

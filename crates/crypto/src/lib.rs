@@ -1,0 +1,33 @@
+//! From-scratch cryptographic primitives for the Vehicle-Key reproduction.
+//!
+//! The offline crate allowlist contains no cryptography, so the pieces the
+//! protocol needs are implemented here:
+//!
+//! * [`sha256`] — SHA-256 (FIPS 180-4), used for privacy amplification
+//!   (truncated to 128 bits, standing in for the paper's "SHA-128") and as
+//!   the PRF inside HMAC,
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104), the MAC protecting the
+//!   reconciliation exchange against man-in-the-middle tampering
+//!   (Sec. IV-C),
+//! * [`aes`] — AES-128 (FIPS 197) block cipher with a CTR mode, the
+//!   symmetric cipher the established key feeds,
+//! * [`amplify`] — privacy amplification: hash the reconciled bit string
+//!   down to a fixed-length final key.
+//!
+//! # Example
+//!
+//! ```
+//! let digest = vk_crypto::sha256(b"abc");
+//! assert_eq!(digest[0], 0xba);
+//! let key = vk_crypto::amplify::privacy_amplify(&[true; 256], 128);
+//! assert_eq!(key.len(), 16); // 128-bit key
+//! ```
+
+pub mod aes;
+pub mod amplify;
+pub mod hmac;
+pub mod sha256;
+
+pub use aes::Aes128;
+pub use hmac::hmac_sha256;
+pub use sha256::sha256;

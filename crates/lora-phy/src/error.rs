@@ -1,0 +1,44 @@
+//! Error types for LoRa configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`crate::LoRaConfig`] is built from invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The spreading factor is outside the SX127x range 6..=12.
+    InvalidSpreadingFactor(u8),
+    /// The bandwidth in Hz is not one of the SX127x programmable values.
+    InvalidBandwidth(u32),
+    /// The code-rate denominator is outside 5..=8 (i.e. 4/5..4/8).
+    InvalidCodeRate(u8),
+    /// The carrier frequency is outside the supported ISM bands.
+    InvalidCarrier(f64),
+    /// The preamble is shorter than the 6-symbol hardware minimum.
+    PreambleTooShort(usize),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidSpreadingFactor(sf) => {
+                write!(f, "spreading factor {sf} outside supported range 6..=12")
+            }
+            ConfigError::InvalidBandwidth(bw) => {
+                write!(f, "bandwidth {bw} Hz is not a programmable SX127x bandwidth")
+            }
+            ConfigError::InvalidCodeRate(d) => {
+                write!(f, "code rate 4/{d} outside supported range 4/5..=4/8")
+            }
+            ConfigError::InvalidCarrier(hz) => {
+                write!(f, "carrier frequency {hz} Hz outside supported ISM bands")
+            }
+            ConfigError::PreambleTooShort(n) => {
+                write!(f, "preamble of {n} symbols is below the 6-symbol minimum")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}

@@ -1,0 +1,200 @@
+//! Per-device hardware profiles.
+//!
+//! The paper evaluates three transceivers (Table I): an Arduino Uno with a
+//! Dragino LoRa Shield (SX1278), a MultiTech xDot (SX1272) and a MultiTech
+//! mDot (SX1272). Hardware imperfection is one of the four reasons channel
+//! *measurements* are not perfectly reciprocal even though the channel is
+//! (Sec. II-A): each radio has its own gain offset, noise figure, RSSI
+//! quantization step and operation delay.
+
+use serde::{Deserialize, Serialize};
+
+/// The three device types used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Arduino Uno + Dragino LoRa Shield (SX1278).
+    DraginoShield,
+    /// MultiTech xDot (SX1272, ARM Cortex-M3).
+    MultiTechXDot,
+    /// MultiTech mDot (SX1272, ARM Cortex-M3).
+    MultiTechMDot,
+}
+
+impl DeviceKind {
+    /// All device kinds, in the order of Table I.
+    pub const ALL: [DeviceKind; 3] = [
+        DeviceKind::DraginoShield,
+        DeviceKind::MultiTechXDot,
+        DeviceKind::MultiTechMDot,
+    ];
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DeviceKind::DraginoShield => "Dragino LoRa Shield",
+            DeviceKind::MultiTechXDot => "MultiTech xDot",
+            DeviceKind::MultiTechMDot => "MultiTech mDot",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Hardware characteristics affecting RSSI measurement.
+///
+/// ```
+/// use lora_phy::{DeviceKind, HardwareProfile};
+/// let dragino = HardwareProfile::of(DeviceKind::DraginoShield);
+/// assert!(dragino.rssi_step_db > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// Device type this profile describes.
+    pub kind: DeviceKind,
+    /// Constant front-end gain offset in dB (per-unit calibration error).
+    pub gain_offset_db: f64,
+    /// Receiver noise figure in dB (adds to the thermal noise floor).
+    pub noise_figure_db: f64,
+    /// RSSI register quantization step in dB (SX127x reports integer dB).
+    pub rssi_step_db: f64,
+    /// Standard deviation of the per-sample RSSI measurement noise in dB.
+    pub rssi_noise_db: f64,
+    /// Curvature of the RSSI response nonlinearity in dB: the SX127x RSSI
+    /// reading deviates from linear by roughly a quadratic in the input
+    /// level, and each front end has its own curvature. The reading gains
+    /// `curvature · ((level + 90)/10)²` dB. This deterministic per-device
+    /// distortion is the "hardware imperfection" non-reciprocity source of
+    /// the paper's Sec. II-A — and, being deterministic, it is exactly what
+    /// the learned prediction module can correct while plain quantization
+    /// cannot.
+    pub rssi_curvature_db: f64,
+    /// Host operation delay between receiving a probe and answering, in
+    /// seconds (MCU interrupt + SPI turnaround; milliseconds per Sec. II-A).
+    pub op_delay_s: f64,
+    /// Period between consecutive RSSI register reads during reception, in
+    /// seconds. The SX127x updates `RegRssiValue` continuously; the host
+    /// polls it over SPI. Slow MCUs poll less often.
+    pub rssi_sample_period_s: f64,
+}
+
+impl HardwareProfile {
+    /// The calibrated profile for a device type. Values are representative of
+    /// the respective MCU + SX127x combinations (8-bit AVR polls SPI more
+    /// slowly and with more jitter than the Cortex-M3 modules).
+    pub fn of(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::DraginoShield => HardwareProfile {
+                kind,
+                gain_offset_db: 1.5,
+                noise_figure_db: 6.0,
+                rssi_step_db: 1.0,
+                rssi_noise_db: 4.5,
+                rssi_curvature_db: 0.28,
+                op_delay_s: 8.0e-3,
+                rssi_sample_period_s: 2.0e-3,
+            },
+            DeviceKind::MultiTechXDot => HardwareProfile {
+                kind,
+                gain_offset_db: -0.8,
+                noise_figure_db: 5.0,
+                rssi_step_db: 1.0,
+                rssi_noise_db: 4.0,
+                rssi_curvature_db: -0.05,
+                op_delay_s: 4.0e-3,
+                rssi_sample_period_s: 1.0e-3,
+            },
+            DeviceKind::MultiTechMDot => HardwareProfile {
+                kind,
+                gain_offset_db: 0.4,
+                noise_figure_db: 5.0,
+                rssi_step_db: 1.0,
+                rssi_noise_db: 4.0,
+                rssi_curvature_db: 0.12,
+                op_delay_s: 4.0e-3,
+                rssi_sample_period_s: 1.0e-3,
+            },
+        }
+    }
+
+    /// Receiver noise floor in dBm for a given bandwidth:
+    /// `-174 + 10·log10(BW) + NF`.
+    pub fn noise_floor_dbm(&self, bandwidth_hz: f64) -> f64 {
+        crate::THERMAL_NOISE_DBM_PER_HZ + 10.0 * bandwidth_hz.log10() + self.noise_figure_db
+    }
+
+    /// Quantize a continuous RSSI value to the register resolution.
+    pub fn quantize_rssi(&self, rssi_dbm: f64) -> f64 {
+        (rssi_dbm / self.rssi_step_db).round() * self.rssi_step_db
+    }
+
+    /// Apply the front end's deterministic response nonlinearity.
+    pub fn apply_nonlinearity(&self, ideal_dbm: f64) -> f64 {
+        let x = (ideal_dbm + 90.0) / 10.0;
+        ideal_dbm + self.rssi_curvature_db * x * x
+    }
+}
+
+impl Default for HardwareProfile {
+    fn default() -> Self {
+        HardwareProfile::of(DeviceKind::DraginoShield)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_devices_have_distinct_profiles() {
+        let profiles: Vec<_> = DeviceKind::ALL.iter().map(|&k| HardwareProfile::of(k)).collect();
+        assert_ne!(profiles[0].gain_offset_db, profiles[1].gain_offset_db);
+        assert_ne!(profiles[1].gain_offset_db, profiles[2].gain_offset_db);
+    }
+
+    #[test]
+    fn noise_floor_at_125khz() {
+        let p = HardwareProfile::of(DeviceKind::MultiTechXDot);
+        let nf = p.noise_floor_dbm(125_000.0);
+        // -174 + 51 + 5 = -118 dBm.
+        assert!((nf + 118.03).abs() < 0.1, "noise floor {nf}");
+    }
+
+    #[test]
+    fn quantize_rounds_to_step() {
+        let p = HardwareProfile::of(DeviceKind::DraginoShield);
+        assert_eq!(p.quantize_rssi(-87.4), -87.0);
+        assert_eq!(p.quantize_rssi(-87.6), -88.0);
+    }
+
+    #[test]
+    fn operation_delay_is_milliseconds() {
+        // Paper Sec. II-A: "the hardware operation delay is in milliseconds".
+        for kind in DeviceKind::ALL {
+            let p = HardwareProfile::of(kind);
+            assert!(p.op_delay_s >= 1.0e-3 && p.op_delay_s <= 20.0e-3);
+        }
+    }
+
+    #[test]
+    fn nonlinearity_is_level_dependent_and_device_specific() {
+        let dragino = HardwareProfile::of(DeviceKind::DraginoShield);
+        let xdot = HardwareProfile::of(DeviceKind::MultiTechXDot);
+        // At the reference level (−90 dBm) the distortion vanishes.
+        assert!((dragino.apply_nonlinearity(-90.0) + 90.0).abs() < 1e-9);
+        // Away from it the distortion grows quadratically and differs
+        // between devices — the learnable non-reciprocity source.
+        let d1 = dragino.apply_nonlinearity(-70.0) + 70.0;
+        let d2 = dragino.apply_nonlinearity(-110.0) + 110.0;
+        assert!((d1 - d2).abs() < 1e-9, "quadratic is symmetric about −90");
+        assert!(d1.abs() > 0.5, "distortion {d1}");
+        let x1 = xdot.apply_nonlinearity(-70.0) + 70.0;
+        assert!((d1 - x1).abs() > 0.1, "devices must differ: {d1} vs {x1}");
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(DeviceKind::DraginoShield.to_string(), "Dragino LoRa Shield");
+        assert_eq!(DeviceKind::MultiTechXDot.to_string(), "MultiTech xDot");
+        assert_eq!(DeviceKind::MultiTechMDot.to_string(), "MultiTech mDot");
+    }
+}

@@ -1,0 +1,62 @@
+//! LoRa physical-layer substrate for the Vehicle-Key reproduction.
+//!
+//! This crate models the parts of the LoRa PHY that matter for physical-layer
+//! key generation:
+//!
+//! * modulation parameters ([`SpreadingFactor`], [`Bandwidth`], [`CodeRate`])
+//!   and the derived **bit rate** and **symbol time** ([`LoRaConfig`]),
+//! * **packet airtime** following the SX127x datasheet formula
+//!   ([`LoRaConfig::airtime`]), which is the dominant term in the probe time
+//!   offset `ΔT` between Alice's and Bob's channel measurements,
+//! * the packet structure ([`packet::Packet`]),
+//! * a **receiver model** ([`receiver::Receiver`]) converting channel gain to
+//!   RSSI readings, including the *register RSSI* (rRSSI) sampling process the
+//!   paper exploits (Sec. II-C of the paper),
+//! * per-device [`hardware::HardwareProfile`]s for the three transceivers used
+//!   in the paper's evaluation (Dragino LoRa Shield, MultiTech xDot, MultiTech
+//!   mDot).
+//!
+//! # Example
+//!
+//! ```
+//! use lora_phy::{LoRaConfig, SpreadingFactor, Bandwidth, CodeRate};
+//!
+//! // The configuration used throughout the paper's evaluation.
+//! let cfg = LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodeRate::Cr4_8)
+//!     .with_carrier_hz(434.0e6);
+//! assert!((cfg.bit_rate_bps() - 183.1).abs() < 0.1);
+//! // A 16-byte payload takes on the order of a second on the air.
+//! assert!(cfg.airtime(16) > 0.5);
+//! ```
+
+pub mod airtime;
+pub mod error;
+pub mod hardware;
+pub mod packet;
+pub mod params;
+pub mod receiver;
+
+pub use error::ConfigError;
+pub use hardware::{DeviceKind, HardwareProfile};
+pub use packet::{Packet, PacketField};
+pub use params::{Bandwidth, CodeRate, LoRaConfig, SpreadingFactor};
+pub use receiver::{Receiver, RssiReading};
+
+/// Speed of light in m/s, used for propagation-delay and Doppler computations.
+pub const SPEED_OF_LIGHT: f64 = 2.997_924_58e8;
+
+/// Thermal noise power spectral density at 290 K in dBm/Hz.
+pub const THERMAL_NOISE_DBM_PER_HZ: f64 = -174.0;
+
+/// Wavelength in metres for a carrier frequency in Hz.
+///
+/// The paper's spatial-decorrelation argument (Sec. III) is phrased in terms
+/// of half a wavelength: `λ = 69.12 cm` at 434 MHz.
+///
+/// ```
+/// let lambda = lora_phy::wavelength(434.0e6);
+/// assert!((lambda - 0.6912).abs() < 1e-3);
+/// ```
+pub fn wavelength(carrier_hz: f64) -> f64 {
+    SPEED_OF_LIGHT / carrier_hz
+}

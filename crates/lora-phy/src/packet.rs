@@ -1,0 +1,136 @@
+//! LoRa packet structure.
+//!
+//! A LoRa radio packet consists of preamble, (optional explicit) header,
+//! payload and CRC. The key-generation protocol only exchanges small probe
+//! and syndrome packets, but the structure matters because the *airtime* of a
+//! packet — and therefore the number of rRSSI samples captured while
+//! receiving it — depends on its length.
+
+use crate::params::LoRaConfig;
+use serde::{Deserialize, Serialize};
+
+/// One field of a LoRa packet, in transmission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketField {
+    /// Synchronization preamble.
+    Preamble,
+    /// Explicit PHY header (length, code rate, CRC presence).
+    Header,
+    /// Application payload.
+    Payload,
+    /// 16-bit payload CRC.
+    Crc,
+}
+
+/// A LoRa packet: payload bytes plus the framing the radio adds.
+///
+/// ```
+/// use lora_phy::{Packet, LoRaConfig};
+/// let pkt = Packet::new(b"PROBE:0001".to_vec());
+/// let cfg = LoRaConfig::paper_default();
+/// assert!(pkt.airtime(&cfg) > 1.0); // SF12 is slow
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Create a packet with the given payload.
+    pub fn new(payload: Vec<u8>) -> Self {
+        Packet { payload }
+    }
+
+    /// A probe packet of the size used in the paper's ΔT analysis (16 bytes).
+    pub fn probe(seq: u32) -> Self {
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(b"VK-PROBE####");
+        payload.extend_from_slice(&seq.to_be_bytes());
+        Packet { payload }
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty (the radio still sends 8 symbols).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Time-on-air of this packet under `cfg`.
+    pub fn airtime(&self, cfg: &LoRaConfig) -> f64 {
+        cfg.airtime(self.payload.len())
+    }
+
+    /// Number of rRSSI samples a receiver captures while this packet is on
+    /// the air, given the receiver's register sampling period.
+    pub fn rssi_samples(&self, cfg: &LoRaConfig, sample_period_s: f64) -> usize {
+        (self.airtime(cfg) / sample_period_s).floor().max(1.0) as usize
+    }
+
+    /// CRC-16/CCITT over the payload, as appended by the radio.
+    pub fn crc16(&self) -> u16 {
+        let mut crc: u16 = 0xFFFF;
+        for &b in &self.payload {
+            crc ^= u16::from(b) << 8;
+            for _ in 0..8 {
+                if crc & 0x8000 != 0 {
+                    crc = (crc << 1) ^ 0x1021;
+                } else {
+                    crc <<= 1;
+                }
+            }
+        }
+        crc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_packet_is_16_bytes() {
+        assert_eq!(Packet::probe(7).len(), 16);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        let pkt = Packet::new(b"123456789".to_vec());
+        assert_eq!(pkt.crc16(), 0x29B1);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flip() {
+        let a = Packet::new(b"hello world".to_vec());
+        let mut corrupted = a.payload().to_vec();
+        corrupted[3] ^= 0x10;
+        let b = Packet::new(corrupted);
+        assert_ne!(a.crc16(), b.crc16());
+    }
+
+    #[test]
+    fn rssi_sample_count_scales_with_airtime() {
+        let cfg = LoRaConfig::paper_default();
+        let short = Packet::new(vec![0u8; 4]);
+        let long = Packet::new(vec![0u8; 64]);
+        let period = 1.0e-3;
+        assert!(long.rssi_samples(&cfg, period) > short.rssi_samples(&cfg, period));
+    }
+
+    #[test]
+    fn empty_packet_still_produces_a_sample() {
+        let cfg = LoRaConfig::paper_default();
+        let pkt = Packet::new(Vec::new());
+        assert!(pkt.is_empty());
+        assert!(pkt.rssi_samples(&cfg, 10.0) >= 1);
+    }
+}

@@ -1,0 +1,462 @@
+//! LoRa modulation parameters and derived quantities.
+//!
+//! The paper's preliminary study (Sec. II-A) derives the probe time offset
+//! `ΔT` from the LoRa bit rate `R_b = SF · BW / 2^SF · CR`. This module
+//! provides the strongly-typed parameter space and the derived bit rate and
+//! symbol time.
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// LoRa spreading factor (SF6–SF12).
+///
+/// Larger spreading factors trade data rate for range; SF12 is the setting
+/// used in all of the paper's drive experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpreadingFactor {
+    Sf6,
+    Sf7,
+    Sf8,
+    Sf9,
+    Sf10,
+    Sf11,
+    Sf12,
+}
+
+impl SpreadingFactor {
+    /// All spreading factors in increasing order.
+    pub const ALL: [SpreadingFactor; 7] = [
+        SpreadingFactor::Sf6,
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf9,
+        SpreadingFactor::Sf10,
+        SpreadingFactor::Sf11,
+        SpreadingFactor::Sf12,
+    ];
+
+    /// The numeric spreading factor (bits per symbol).
+    pub fn value(self) -> u8 {
+        match self {
+            SpreadingFactor::Sf6 => 6,
+            SpreadingFactor::Sf7 => 7,
+            SpreadingFactor::Sf8 => 8,
+            SpreadingFactor::Sf9 => 9,
+            SpreadingFactor::Sf10 => 10,
+            SpreadingFactor::Sf11 => 11,
+            SpreadingFactor::Sf12 => 12,
+        }
+    }
+
+    /// Number of chips per symbol, `2^SF`.
+    pub fn chips(self) -> u32 {
+        1 << self.value()
+    }
+
+    /// Parse from the numeric spreading factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidSpreadingFactor`] if `sf` is outside
+    /// `6..=12`.
+    pub fn from_value(sf: u8) -> Result<Self, ConfigError> {
+        match sf {
+            6 => Ok(SpreadingFactor::Sf6),
+            7 => Ok(SpreadingFactor::Sf7),
+            8 => Ok(SpreadingFactor::Sf8),
+            9 => Ok(SpreadingFactor::Sf9),
+            10 => Ok(SpreadingFactor::Sf10),
+            11 => Ok(SpreadingFactor::Sf11),
+            12 => Ok(SpreadingFactor::Sf12),
+            other => Err(ConfigError::InvalidSpreadingFactor(other)),
+        }
+    }
+}
+
+impl std::fmt::Display for SpreadingFactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SF{}", self.value())
+    }
+}
+
+/// Programmable SX127x receive bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Bandwidth {
+    Khz7_8,
+    Khz10_4,
+    Khz15_6,
+    Khz20_8,
+    Khz31_25,
+    Khz41_7,
+    Khz62_5,
+    Khz125,
+    Khz250,
+    Khz500,
+}
+
+impl Bandwidth {
+    /// All programmable bandwidths in increasing order.
+    pub const ALL: [Bandwidth; 10] = [
+        Bandwidth::Khz7_8,
+        Bandwidth::Khz10_4,
+        Bandwidth::Khz15_6,
+        Bandwidth::Khz20_8,
+        Bandwidth::Khz31_25,
+        Bandwidth::Khz41_7,
+        Bandwidth::Khz62_5,
+        Bandwidth::Khz125,
+        Bandwidth::Khz250,
+        Bandwidth::Khz500,
+    ];
+
+    /// Bandwidth in Hz.
+    pub fn hz(self) -> f64 {
+        match self {
+            Bandwidth::Khz7_8 => 7_800.0,
+            Bandwidth::Khz10_4 => 10_400.0,
+            Bandwidth::Khz15_6 => 15_600.0,
+            Bandwidth::Khz20_8 => 20_800.0,
+            Bandwidth::Khz31_25 => 31_250.0,
+            Bandwidth::Khz41_7 => 41_700.0,
+            Bandwidth::Khz62_5 => 62_500.0,
+            Bandwidth::Khz125 => 125_000.0,
+            Bandwidth::Khz250 => 250_000.0,
+            Bandwidth::Khz500 => 500_000.0,
+        }
+    }
+
+    /// Parse from an integer number of Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidBandwidth`] for values that are not
+    /// programmable on the SX127x.
+    pub fn from_hz(hz: u32) -> Result<Self, ConfigError> {
+        match hz {
+            7_800 => Ok(Bandwidth::Khz7_8),
+            10_400 => Ok(Bandwidth::Khz10_4),
+            15_600 => Ok(Bandwidth::Khz15_6),
+            20_800 => Ok(Bandwidth::Khz20_8),
+            31_250 => Ok(Bandwidth::Khz31_25),
+            41_700 => Ok(Bandwidth::Khz41_7),
+            62_500 => Ok(Bandwidth::Khz62_5),
+            125_000 => Ok(Bandwidth::Khz125),
+            250_000 => Ok(Bandwidth::Khz250),
+            500_000 => Ok(Bandwidth::Khz500),
+            other => Err(ConfigError::InvalidBandwidth(other)),
+        }
+    }
+}
+
+impl std::fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} kHz", self.hz() / 1000.0)
+    }
+}
+
+/// Forward-error-correction code rate, 4/5 through 4/8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CodeRate {
+    Cr4_5,
+    Cr4_6,
+    Cr4_7,
+    Cr4_8,
+}
+
+impl CodeRate {
+    /// All code rates from least to most redundant.
+    pub const ALL: [CodeRate; 4] = [
+        CodeRate::Cr4_5,
+        CodeRate::Cr4_6,
+        CodeRate::Cr4_7,
+        CodeRate::Cr4_8,
+    ];
+
+    /// The denominator `d` in the `4/d` code rate.
+    pub fn denominator(self) -> u8 {
+        match self {
+            CodeRate::Cr4_5 => 5,
+            CodeRate::Cr4_6 => 6,
+            CodeRate::Cr4_7 => 7,
+            CodeRate::Cr4_8 => 8,
+        }
+    }
+
+    /// The rate as a fraction in `(0, 1]`, e.g. `0.5` for 4/8.
+    pub fn fraction(self) -> f64 {
+        4.0 / f64::from(self.denominator())
+    }
+
+    /// Parse from the denominator of the `4/d` notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidCodeRate`] for denominators outside
+    /// `5..=8`.
+    pub fn from_denominator(d: u8) -> Result<Self, ConfigError> {
+        match d {
+            5 => Ok(CodeRate::Cr4_5),
+            6 => Ok(CodeRate::Cr4_6),
+            7 => Ok(CodeRate::Cr4_7),
+            8 => Ok(CodeRate::Cr4_8),
+            other => Err(ConfigError::InvalidCodeRate(other)),
+        }
+    }
+}
+
+impl std::fmt::Display for CodeRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "4/{}", self.denominator())
+    }
+}
+
+/// Complete LoRa radio configuration.
+///
+/// Combines modulation parameters with the carrier frequency, transmit power,
+/// preamble length, and header/CRC options needed to compute airtime.
+///
+/// ```
+/// use lora_phy::{LoRaConfig, SpreadingFactor, Bandwidth, CodeRate};
+/// let cfg = LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodeRate::Cr4_8);
+/// assert!((cfg.symbol_time() - 4096.0 / 125_000.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoRaConfig {
+    /// Spreading factor.
+    pub sf: SpreadingFactor,
+    /// Receive bandwidth.
+    pub bw: Bandwidth,
+    /// FEC code rate.
+    pub cr: CodeRate,
+    /// Carrier frequency in Hz (default 434 MHz as in the paper).
+    pub carrier_hz: f64,
+    /// Transmit power in dBm (default 14 dBm, the EU ISM limit).
+    pub tx_power_dbm: f64,
+    /// Number of programmed preamble symbols (default 8).
+    pub preamble_symbols: usize,
+    /// Whether the explicit header is present (default true).
+    pub explicit_header: bool,
+    /// Whether the payload CRC is enabled (default true).
+    pub crc_enabled: bool,
+    /// Whether low-data-rate optimization is enabled. The SX127x mandates it
+    /// when the symbol time exceeds 16 ms (SF11/SF12 at 125 kHz).
+    pub low_data_rate_optimize: bool,
+}
+
+impl LoRaConfig {
+    /// Create a configuration with the paper's defaults (434 MHz carrier,
+    /// 14 dBm, 8-symbol preamble, explicit header + CRC) for the given
+    /// modulation parameters. Low-data-rate optimization is enabled
+    /// automatically when the symbol time exceeds 16 ms.
+    pub fn new(sf: SpreadingFactor, bw: Bandwidth, cr: CodeRate) -> Self {
+        let symbol_time = f64::from(sf.chips()) / bw.hz();
+        LoRaConfig {
+            sf,
+            bw,
+            cr,
+            carrier_hz: 434.0e6,
+            tx_power_dbm: 14.0,
+            preamble_symbols: 8,
+            explicit_header: true,
+            crc_enabled: true,
+            low_data_rate_optimize: symbol_time > 16.0e-3,
+        }
+    }
+
+    /// The configuration used in all of the paper's drive experiments:
+    /// SF12, 125 kHz, CR 4/8, 434 MHz (≈183 bps).
+    pub fn paper_default() -> Self {
+        LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodeRate::Cr4_8)
+    }
+
+    /// Builder-style override of the carrier frequency.
+    pub fn with_carrier_hz(mut self, hz: f64) -> Self {
+        self.carrier_hz = hz;
+        self
+    }
+
+    /// Builder-style override of the transmit power.
+    pub fn with_tx_power_dbm(mut self, dbm: f64) -> Self {
+        self.tx_power_dbm = dbm;
+        self
+    }
+
+    /// Builder-style override of the preamble length in symbols.
+    pub fn with_preamble_symbols(mut self, n: usize) -> Self {
+        self.preamble_symbols = n;
+        self
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the carrier is outside 137 MHz–1.02 GHz
+    /// (the SX127x tuning range) or the preamble is below 6 symbols.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(137.0e6..=1.02e9).contains(&self.carrier_hz) {
+            return Err(ConfigError::InvalidCarrier(self.carrier_hz));
+        }
+        if self.preamble_symbols < 6 {
+            return Err(ConfigError::PreambleTooShort(self.preamble_symbols));
+        }
+        Ok(())
+    }
+
+    /// Duration of one LoRa symbol in seconds: `2^SF / BW`.
+    pub fn symbol_time(&self) -> f64 {
+        f64::from(self.sf.chips()) / self.bw.hz()
+    }
+
+    /// Raw bit rate in bits per second: `SF · BW / 2^SF · CR`.
+    ///
+    /// This is the formula the paper uses in Sec. II-A; for SF12/125 kHz/4-8
+    /// it evaluates to ≈183 bps.
+    pub fn bit_rate_bps(&self) -> f64 {
+        f64::from(self.sf.value()) * self.bw.hz() / f64::from(self.sf.chips())
+            * self.cr.fraction()
+    }
+
+    /// Wavelength of the carrier in metres.
+    pub fn wavelength(&self) -> f64 {
+        crate::wavelength(self.carrier_hz)
+    }
+
+    /// Demodulation SNR threshold in dB for the spreading factor (SX127x
+    /// datasheet table 13: LoRa operates *below* the noise floor at high
+    /// SF).
+    pub fn snr_threshold_db(&self) -> f64 {
+        match self.sf {
+            SpreadingFactor::Sf6 => -5.0,
+            SpreadingFactor::Sf7 => -7.5,
+            SpreadingFactor::Sf8 => -10.0,
+            SpreadingFactor::Sf9 => -12.5,
+            SpreadingFactor::Sf10 => -15.0,
+            SpreadingFactor::Sf11 => -17.5,
+            SpreadingFactor::Sf12 => -20.0,
+        }
+    }
+
+    /// Receiver sensitivity in dBm for a noise figure `nf_db`:
+    /// `−174 + 10·log₁₀(BW) + NF + SNR_threshold`.
+    ///
+    /// ```
+    /// use lora_phy::LoRaConfig;
+    /// // SF12/125 kHz at a 6 dB NF: ≈ −137 dBm, the headline LoRa figure.
+    /// let s = LoRaConfig::paper_default().sensitivity_dbm(6.0);
+    /// assert!((s + 137.0).abs() < 1.0);
+    /// ```
+    pub fn sensitivity_dbm(&self, nf_db: f64) -> f64 {
+        crate::THERMAL_NOISE_DBM_PER_HZ + 10.0 * self.bw.hz().log10() + nf_db
+            + self.snr_threshold_db()
+    }
+
+    /// Link margin in dB of a received power against the sensitivity:
+    /// positive margins demodulate.
+    pub fn link_margin_db(&self, rx_dbm: f64, nf_db: f64) -> f64 {
+        rx_dbm - self.sensitivity_dbm(nf_db)
+    }
+}
+
+impl Default for LoRaConfig {
+    fn default() -> Self {
+        LoRaConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_values_round_trip() {
+        for sf in SpreadingFactor::ALL {
+            assert_eq!(SpreadingFactor::from_value(sf.value()).unwrap(), sf);
+        }
+        assert!(SpreadingFactor::from_value(13).is_err());
+        assert!(SpreadingFactor::from_value(5).is_err());
+    }
+
+    #[test]
+    fn bw_values_round_trip() {
+        for bw in Bandwidth::ALL {
+            assert_eq!(Bandwidth::from_hz(bw.hz() as u32).unwrap(), bw);
+        }
+        assert!(Bandwidth::from_hz(100_000).is_err());
+    }
+
+    #[test]
+    fn cr_values_round_trip() {
+        for cr in CodeRate::ALL {
+            assert_eq!(CodeRate::from_denominator(cr.denominator()).unwrap(), cr);
+        }
+        assert!(CodeRate::from_denominator(4).is_err());
+        assert!(CodeRate::from_denominator(9).is_err());
+    }
+
+    #[test]
+    fn paper_bit_rate_is_183bps() {
+        let cfg = LoRaConfig::paper_default();
+        assert!((cfg.bit_rate_bps() - 183.105).abs() < 0.01);
+    }
+
+    #[test]
+    fn bit_rate_monotone_in_bandwidth() {
+        let mut last = 0.0;
+        for bw in Bandwidth::ALL {
+            let cfg = LoRaConfig::new(SpreadingFactor::Sf12, bw, CodeRate::Cr4_8);
+            assert!(cfg.bit_rate_bps() > last);
+            last = cfg.bit_rate_bps();
+        }
+    }
+
+    #[test]
+    fn low_data_rate_optimize_set_for_slow_symbols() {
+        let slow = LoRaConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodeRate::Cr4_8);
+        assert!(slow.low_data_rate_optimize);
+        let fast = LoRaConfig::new(SpreadingFactor::Sf7, Bandwidth::Khz125, CodeRate::Cr4_8);
+        assert!(!fast.low_data_rate_optimize);
+    }
+
+    #[test]
+    fn validate_rejects_bad_carrier_and_preamble() {
+        let mut cfg = LoRaConfig::paper_default();
+        assert!(cfg.validate().is_ok());
+        cfg.carrier_hz = 2.4e9;
+        assert!(matches!(cfg.validate(), Err(ConfigError::InvalidCarrier(_))));
+        cfg.carrier_hz = 434.0e6;
+        cfg.preamble_symbols = 4;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::PreambleTooShort(4))
+        ));
+    }
+
+    #[test]
+    fn sensitivity_tracks_spreading_factor() {
+        // Each SF step buys ~2.5 dB of sensitivity at fixed bandwidth.
+        let mut last = 0.0;
+        for (i, sf) in SpreadingFactor::ALL.into_iter().enumerate() {
+            let cfg = LoRaConfig::new(sf, Bandwidth::Khz125, CodeRate::Cr4_8);
+            let s = cfg.sensitivity_dbm(6.0);
+            if i > 0 {
+                assert!((last - s - 2.5).abs() < 1e-9, "step {} -> {}", last, s);
+            }
+            last = s;
+        }
+    }
+
+    #[test]
+    fn link_margin_sign() {
+        let cfg = LoRaConfig::paper_default();
+        assert!(cfg.link_margin_db(-120.0, 6.0) > 0.0);
+        assert!(cfg.link_margin_db(-140.0, 6.0) < 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SpreadingFactor::Sf12.to_string(), "SF12");
+        assert_eq!(Bandwidth::Khz125.to_string(), "125.0 kHz");
+        assert_eq!(CodeRate::Cr4_8.to_string(), "4/8");
+    }
+}

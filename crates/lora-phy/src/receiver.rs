@@ -1,0 +1,205 @@
+//! Receiver model: channel gain → RSSI readings.
+//!
+//! The receiver converts the (simulated) channel gain at a sampling instant
+//! into the RSSI value the host MCU reads out of the radio, adding the
+//! hardware-specific distortions from [`crate::HardwareProfile`]:
+//! gain offset, measurement noise, register quantization, and noise-floor
+//! clipping. It also models the two RSSI flavours the paper contrasts:
+//!
+//! * **pRSSI** — the packet-averaged RSSI conventionally reported,
+//! * **rRSSI** — the sequence of instantaneous register reads captured while
+//!   the packet is on the air (Sec. II-C), from which arRSSI features are
+//!   later built.
+
+use crate::hardware::HardwareProfile;
+use crate::params::LoRaConfig;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A single RSSI register reading with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RssiReading {
+    /// Absolute time of the register read, in seconds.
+    pub t: f64,
+    /// Reported RSSI in dBm (quantized to the register step).
+    pub rssi_dbm: f64,
+}
+
+/// A receiver: a hardware profile bound to a radio configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Receiver {
+    /// Hardware profile of the device.
+    pub profile: HardwareProfile,
+    /// Radio configuration in use.
+    pub config: LoRaConfig,
+}
+
+impl Receiver {
+    /// Create a receiver from a hardware profile and radio configuration.
+    pub fn new(profile: HardwareProfile, config: LoRaConfig) -> Self {
+        Receiver { profile, config }
+    }
+
+    /// Receiver noise floor in dBm under the current bandwidth.
+    pub fn noise_floor_dbm(&self) -> f64 {
+        self.profile.noise_floor_dbm(self.config.bw.hz())
+    }
+
+    /// Convert an ideal received power (dBm, from the channel model) into the
+    /// RSSI the host reads: applies the gain offset, adds Gaussian
+    /// measurement noise, clips at the noise floor and quantizes to the
+    /// register step.
+    pub fn measure<R: Rng + ?Sized>(&self, ideal_dbm: f64, rng: &mut R) -> f64 {
+        let noise = gaussian(rng) * self.profile.rssi_noise_db;
+        let raw = self.profile.apply_nonlinearity(ideal_dbm) + self.profile.gain_offset_db + noise;
+        let clipped = raw.max(self.noise_floor_dbm());
+        self.profile.quantize_rssi(clipped)
+    }
+
+    /// Timestamps of the rRSSI register reads while a packet with
+    /// `payload_len` bytes is received, starting at `t_start`.
+    pub fn rssi_sample_times(&self, t_start: f64, payload_len: usize) -> Vec<f64> {
+        let airtime = self.config.airtime(payload_len);
+        let period = self.profile.rssi_sample_period_s;
+        let n = (airtime / period).floor().max(1.0) as usize;
+        (0..n).map(|i| t_start + i as f64 * period).collect()
+    }
+
+    /// Sample the register RSSI sequence for a packet on the air, given a
+    /// function `gain_dbm(t)` returning the ideal received power at time `t`.
+    ///
+    /// Returns one [`RssiReading`] per register poll.
+    pub fn receive_packet<R, F>(
+        &self,
+        t_start: f64,
+        payload_len: usize,
+        mut gain_dbm: F,
+        rng: &mut R,
+    ) -> Vec<RssiReading>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(f64) -> f64,
+    {
+        self.rssi_sample_times(t_start, payload_len)
+            .into_iter()
+            .map(|t| RssiReading {
+                t,
+                rssi_dbm: self.measure(gain_dbm(t), rng),
+            })
+            .collect()
+    }
+
+    /// The conventional packet RSSI: the mean of the register readings
+    /// (this is what `pRSSI` denotes in the paper).
+    pub fn packet_rssi(readings: &[RssiReading]) -> f64 {
+        if readings.is_empty() {
+            return f64::NAN;
+        }
+        readings.iter().map(|r| r.rssi_dbm).sum::<f64>() / readings.len() as f64
+    }
+}
+
+/// Standard-normal sample via Box–Muller (rand's `StandardNormal` lives in
+/// `rand_distr`, which is outside the offline allowlist).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::DeviceKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn receiver() -> Receiver {
+        Receiver::new(
+            HardwareProfile::of(DeviceKind::MultiTechXDot),
+            LoRaConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn measure_clips_at_noise_floor() {
+        let rx = receiver();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = rx.measure(-200.0, &mut rng);
+        assert!(r >= rx.noise_floor_dbm() - rx.profile.rssi_step_db);
+    }
+
+    #[test]
+    fn measure_is_quantized() {
+        let rx = receiver();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let r = rx.measure(-80.0, &mut rng);
+            let step = rx.profile.rssi_step_db;
+            assert!((r / step - (r / step).round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn measure_centers_on_input_plus_offset() {
+        let rx = receiver();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| rx.measure(-80.0, &mut rng)).sum::<f64>() / f64::from(n);
+        let expect = -80.0 + rx.profile.gain_offset_db;
+        assert!((mean - expect).abs() < 0.1, "mean {mean}, expect {expect}");
+    }
+
+    #[test]
+    fn sample_times_cover_airtime() {
+        let rx = receiver();
+        let times = rx.rssi_sample_times(10.0, 16);
+        assert!(times.len() > 100, "SF12 packets yield many register reads");
+        assert_eq!(times[0], 10.0);
+        let airtime = rx.config.airtime(16);
+        assert!(*times.last().unwrap() < 10.0 + airtime);
+    }
+
+    #[test]
+    fn receive_packet_tracks_gain_variation() {
+        let rx = receiver();
+        let mut rng = StdRng::seed_from_u64(4);
+        // Gain ramps 20 dB over the packet; readings should trend upward.
+        let t0 = 0.0;
+        let airtime = rx.config.airtime(16);
+        let readings =
+            rx.receive_packet(t0, 16, |t| -90.0 + 20.0 * (t - t0) / airtime, &mut rng);
+        let first_q = &readings[..readings.len() / 4];
+        let last_q = &readings[3 * readings.len() / 4..];
+        let mean = |s: &[RssiReading]| {
+            s.iter().map(|r| r.rssi_dbm).sum::<f64>() / s.len() as f64
+        };
+        assert!(mean(last_q) > mean(first_q) + 5.0);
+    }
+
+    #[test]
+    fn packet_rssi_is_mean_of_readings() {
+        let readings = vec![
+            RssiReading { t: 0.0, rssi_dbm: -80.0 },
+            RssiReading { t: 0.1, rssi_dbm: -90.0 },
+        ];
+        assert_eq!(Receiver::packet_rssi(&readings), -85.0);
+        assert!(Receiver::packet_rssi(&[]).is_nan());
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Vehicle mobility substrate for the Vehicle-Key reproduction.
+//!
+//! Provides the trajectories behind the paper's four experimental scenarios
+//! (Sec. II-B / V-A): **V2V** and **V2I** in **urban** and **rural**
+//! environments, plus the *imitating attacker* trajectory (Eve tailing Alice
+//! a few metres behind) used in the security analysis (Sec. V-H).
+//!
+//! The downstream channel model needs three things from mobility, all
+//! provided by [`Trace`] and [`LinkGeometry`]:
+//!
+//! * the **link distance** between the endpoints over time (path loss),
+//! * the **travelled distance** of the mobile endpoint (spatially-correlated
+//!   shadowing),
+//! * the **relative speed** of the endpoints (Doppler frequency → coherence
+//!   time).
+//!
+//! # Example
+//!
+//! ```
+//! use mobility::{Scenario, ScenarioKind};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let s = Scenario::generate(ScenarioKind::V2vUrban, 60.0, 50.0, &mut rng);
+//! let g = s.geometry_at(30.0);
+//! assert!(g.distance_m > 0.0);
+//! ```
+
+pub mod scenario;
+pub mod trace;
+
+pub use scenario::{Scenario, ScenarioKind};
+pub use trace::{LinkGeometry, Trace, Waypoint};

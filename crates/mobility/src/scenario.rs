@@ -1,0 +1,305 @@
+//! The paper's four experimental scenarios and their trajectory generators.
+
+use crate::trace::{LinkGeometry, Trace, Waypoint};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// The four IoV scenarios of the paper (named M1–M4 in the generalization
+/// study, Sec. V-G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// M1 — vehicle to infrastructure, urban NLOS.
+    V2iUrban,
+    /// M2 — vehicle to infrastructure, rural LOS.
+    V2iRural,
+    /// M3 — vehicle to vehicle, urban NLOS.
+    V2vUrban,
+    /// M4 — vehicle to vehicle, rural LOS.
+    V2vRural,
+}
+
+impl ScenarioKind {
+    /// All scenarios in the paper's M1..M4 order.
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::V2iUrban,
+        ScenarioKind::V2iRural,
+        ScenarioKind::V2vUrban,
+        ScenarioKind::V2vRural,
+    ];
+
+    /// Whether both endpoints move.
+    pub fn is_v2v(self) -> bool {
+        matches!(self, ScenarioKind::V2vUrban | ScenarioKind::V2vRural)
+    }
+
+    /// Whether the propagation environment is urban.
+    pub fn is_urban(self) -> bool {
+        matches!(self, ScenarioKind::V2iUrban | ScenarioKind::V2vUrban)
+    }
+
+    /// Short model name used in the generalization study (M1–M4).
+    pub fn model_name(self) -> &'static str {
+        match self {
+            ScenarioKind::V2iUrban => "M1",
+            ScenarioKind::V2iRural => "M2",
+            ScenarioKind::V2vUrban => "M3",
+            ScenarioKind::V2vRural => "M4",
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ScenarioKind::V2iUrban => "V2I-Urban",
+            ScenarioKind::V2iRural => "V2I-Rural",
+            ScenarioKind::V2vUrban => "V2V-Urban",
+            ScenarioKind::V2vRural => "V2V-Rural",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A generated scenario: the Alice/Bob trajectories plus the scenario kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Which of the four experiment settings this is.
+    pub kind: ScenarioKind,
+    /// Trajectory of Alice (always a vehicle).
+    pub alice: Trace,
+    /// Trajectory of Bob (vehicle in V2V, static infrastructure in V2I).
+    pub bob: Trace,
+}
+
+impl Scenario {
+    /// Generate a scenario of `duration` seconds at a nominal vehicle speed
+    /// of `speed_kmh`.
+    ///
+    /// In V2V both endpoints drive independent random routes; in V2I Bob is
+    /// a rooftop unit and Alice drives. Urban routes include turns and
+    /// traffic stops; rural routes are near-straight.
+    pub fn generate<R: Rng + ?Sized>(
+        kind: ScenarioKind,
+        duration: f64,
+        speed_kmh: f64,
+        rng: &mut R,
+    ) -> Self {
+        let speed_ms = speed_kmh / 3.6;
+        let alice = drive(kind, duration, speed_ms, (0.0, 0.0), rng);
+        let bob = if kind.is_v2v() {
+            // Start 0.8–2.3 km away driving its own route (the paper: the
+            // distance "varies from hundreds of meters to several
+            // kilometers"). At these ranges the path-loss trend is gentle,
+            // so the RSSI dynamics are dominated by shadowing and fading.
+            let offset = 800.0 + rng.random::<f64>() * 1500.0;
+            drive(kind, duration, speed_ms, (offset, offset / 3.0), rng)
+        } else {
+            // Infrastructure on a building roof 0.8–2 km off.
+            let d = 800.0 + rng.random::<f64>() * 1200.0;
+            Trace::stationary(d, 40.0, duration)
+        };
+        Scenario { kind, alice, bob }
+    }
+
+    /// Link geometry snapshot at time `t`.
+    pub fn geometry_at(&self, t: f64) -> LinkGeometry {
+        LinkGeometry {
+            t,
+            distance_m: self.alice.distance_to(&self.bob, t),
+            route_pos_m: self.alice.at(t).travelled_m,
+            relative_speed_ms: self.alice.relative_speed_to(&self.bob, t),
+        }
+    }
+
+    /// Mean relative speed over the scenario (drives the Doppler frequency).
+    pub fn mean_relative_speed_ms(&self) -> f64 {
+        let n = 50;
+        let dur = self.alice.duration().min(self.bob.duration());
+        (0..n)
+            .map(|i| self.alice.relative_speed_to(&self.bob, dur * i as f64 / n as f64))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// A platoon scenario: Bob convoys `gap_m` metres behind Alice on the
+    /// same route at matched speed. The relative speed is near zero, so the
+    /// Doppler — and with it the probe-offset decorrelation — is minimal:
+    /// the best case for key generation (and the regime where even pRSSI
+    /// schemes start working).
+    pub fn platoon<R: Rng + ?Sized>(
+        kind: ScenarioKind,
+        duration: f64,
+        speed_kmh: f64,
+        gap_m: f64,
+        rng: &mut R,
+    ) -> Self {
+        let speed_ms = speed_kmh / 3.6;
+        let alice = drive(kind, duration, speed_ms, (0.0, 0.0), rng);
+        let bob = alice.imitated(gap_m / speed_ms.max(1.0), 0.0);
+        Scenario { kind, alice, bob }
+    }
+
+    /// The imitating attacker's trajectory: Eve tails Alice `gap_m` metres
+    /// behind (converted to a time lag at the nominal speed) with ~3 m of
+    /// lateral offset (the next lane).
+    pub fn eve_imitating(&self, gap_m: f64) -> Trace {
+        let speed = self.alice.mean_speed_ms().max(1.0);
+        self.alice.imitated(gap_m / speed, 3.0)
+    }
+}
+
+/// Generate a driving trace.
+fn drive<R: Rng + ?Sized>(
+    kind: ScenarioKind,
+    duration: f64,
+    nominal_speed_ms: f64,
+    start: (f64, f64),
+    rng: &mut R,
+) -> Trace {
+    let dt = 0.5;
+    let n = (duration / dt).ceil() as usize + 1;
+    let mut waypoints = Vec::with_capacity(n);
+    let (mut x, mut y) = start;
+    let mut heading: f64 = rng.random::<f64>() * std::f64::consts::TAU;
+    let mut speed = nominal_speed_ms;
+    let mut travelled = 0.0;
+    let mut stopped_until = -1.0;
+    for i in 0..n {
+        let t = i as f64 * dt;
+        waypoints.push(Waypoint { t, x, y, speed_ms: speed, travelled_m: travelled });
+        // Speed dynamics: revert to nominal with jitter; urban has stops.
+        if kind.is_urban() && t > stopped_until && rng.random::<f64>() < 0.004 {
+            // Red light: stop for 5–20 s.
+            stopped_until = t + 5.0 + rng.random::<f64>() * 15.0;
+        }
+        let target = if t < stopped_until { 0.0 } else { nominal_speed_ms };
+        speed += (target - speed) * 0.2 + (rng.random::<f64>() - 0.5) * 0.6;
+        speed = speed.clamp(0.0, nominal_speed_ms * 1.3);
+        // Heading dynamics: urban turns at intersections, rural drift.
+        if kind.is_urban() {
+            if rng.random::<f64>() < 0.01 {
+                let turn = if rng.random::<f64>() < 0.5 { 1.0 } else { -1.0 };
+                heading += turn * std::f64::consts::FRAC_PI_2;
+            }
+        } else {
+            heading += (rng.random::<f64>() - 0.5) * 0.02;
+        }
+        x += speed * heading.cos() * dt;
+        y += speed * heading.sin() * dt;
+        travelled += speed * dt;
+    }
+    Trace::new(waypoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn v2i_bob_is_static() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let s = Scenario::generate(ScenarioKind::V2iUrban, 60.0, 50.0, &mut rng);
+        assert_eq!(s.bob.at(0.0).x, s.bob.at(60.0).x);
+        assert_eq!(s.bob.mean_speed_ms(), 0.0);
+    }
+
+    #[test]
+    fn v2v_both_move() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = Scenario::generate(ScenarioKind::V2vRural, 60.0, 50.0, &mut rng);
+        assert!(s.alice.at(0.0).travelled_m < s.alice.at(60.0).travelled_m);
+        assert!(s.bob.at(0.0).travelled_m < s.bob.at(60.0).travelled_m);
+    }
+
+    #[test]
+    fn nominal_speed_respected() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let s = Scenario::generate(ScenarioKind::V2vRural, 120.0, 60.0, &mut rng);
+        let mean_kmh = s.alice.mean_speed_ms() * 3.6;
+        assert!((mean_kmh - 60.0).abs() < 8.0, "mean speed {mean_kmh} km/h");
+    }
+
+    #[test]
+    fn urban_trace_includes_stops() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let s = Scenario::generate(ScenarioKind::V2vUrban, 600.0, 50.0, &mut rng);
+        let slow = s
+            .alice
+            .waypoints()
+            .iter()
+            .filter(|w| w.speed_ms < 1.0)
+            .count();
+        assert!(slow > 0, "urban drive should include at least one stop");
+    }
+
+    #[test]
+    fn geometry_fields_consistent() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let s = Scenario::generate(ScenarioKind::V2iRural, 60.0, 40.0, &mut rng);
+        let g = s.geometry_at(30.0);
+        assert!(g.distance_m > 0.0);
+        assert!((g.route_pos_m - s.alice.at(30.0).travelled_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v2v_has_higher_relative_speed_than_v2i_on_average() {
+        // Over many seeds, two independently-driving vehicles change their
+        // separation faster than a vehicle vs. a static node on average in
+        // these generators' geometry.
+        let mut rng = StdRng::seed_from_u64(46);
+        let mut v2v = 0.0;
+        let mut v2i = 0.0;
+        let runs = 30;
+        for _ in 0..runs {
+            v2v += Scenario::generate(ScenarioKind::V2vRural, 60.0, 50.0, &mut rng)
+                .mean_relative_speed_ms();
+            v2i += Scenario::generate(ScenarioKind::V2iRural, 60.0, 50.0, &mut rng)
+                .mean_relative_speed_ms();
+        }
+        assert!(v2v / runs as f64 > 0.0);
+        assert!(v2i / runs as f64 > 0.0);
+    }
+
+    #[test]
+    fn platoon_has_near_zero_relative_speed() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let platoon =
+            Scenario::platoon(ScenarioKind::V2vRural, 120.0, 60.0, 30.0, &mut rng);
+        let free = Scenario::generate(ScenarioKind::V2vRural, 120.0, 60.0, &mut rng);
+        assert!(
+            platoon.mean_relative_speed_ms() < free.mean_relative_speed_ms() / 2.0,
+            "platoon {} vs free {}",
+            platoon.mean_relative_speed_ms(),
+            free.mean_relative_speed_ms()
+        );
+        // The convoy gap stays near the commanded distance.
+        let d = platoon.geometry_at(60.0).distance_m;
+        assert!(d < 120.0, "gap {d}");
+    }
+
+    #[test]
+    fn eve_tails_alice() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let s = Scenario::generate(ScenarioKind::V2vRural, 60.0, 50.0, &mut rng);
+        let eve = s.eve_imitating(10.0);
+        // Eve's position at t ≈ Alice's position ~10 m earlier on the route.
+        let lag = 10.0 / s.alice.mean_speed_ms();
+        let wa = s.alice.at(30.0 - lag);
+        let we = eve.at(30.0);
+        let d = ((we.x - wa.x).powi(2) + (we.y - wa.y - 3.0).powi(2)).sqrt();
+        assert!(d < 1.0, "eve offset {d}");
+    }
+
+    #[test]
+    fn kind_helpers() {
+        assert!(ScenarioKind::V2vUrban.is_v2v());
+        assert!(!ScenarioKind::V2iRural.is_v2v());
+        assert!(ScenarioKind::V2iUrban.is_urban());
+        assert!(!ScenarioKind::V2vRural.is_urban());
+        assert_eq!(ScenarioKind::V2iUrban.model_name(), "M1");
+        assert_eq!(ScenarioKind::V2vRural.model_name(), "M4");
+        assert_eq!(ScenarioKind::V2vUrban.to_string(), "V2V-Urban");
+    }
+}

@@ -1,0 +1,240 @@
+//! Time-stamped vehicle trajectories.
+
+use serde::{Deserialize, Serialize};
+
+/// A single sample of a vehicle's state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waypoint {
+    /// Time in seconds since the start of the trace.
+    pub t: f64,
+    /// Position in metres (local Cartesian frame).
+    pub x: f64,
+    /// Position in metres (local Cartesian frame).
+    pub y: f64,
+    /// Instantaneous speed in m/s.
+    pub speed_ms: f64,
+    /// Cumulative travelled distance in metres.
+    pub travelled_m: f64,
+}
+
+/// A vehicle trajectory sampled on a uniform time grid, linearly
+/// interpolated between samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    waypoints: Vec<Waypoint>,
+}
+
+impl Trace {
+    /// Build a trace from waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two waypoints are given or timestamps are not
+    /// strictly increasing.
+    pub fn new(waypoints: Vec<Waypoint>) -> Self {
+        assert!(waypoints.len() >= 2, "a trace needs at least two waypoints");
+        assert!(
+            waypoints.windows(2).all(|w| w[1].t > w[0].t),
+            "waypoints must have strictly increasing timestamps"
+        );
+        Trace { waypoints }
+    }
+
+    /// A static trace (e.g. roadside infrastructure) at `(x, y)` covering
+    /// `duration` seconds.
+    pub fn stationary(x: f64, y: f64, duration: f64) -> Self {
+        Trace::new(vec![
+            Waypoint { t: 0.0, x, y, speed_ms: 0.0, travelled_m: 0.0 },
+            Waypoint { t: duration, x, y, speed_ms: 0.0, travelled_m: 0.0 },
+        ])
+    }
+
+    /// The underlying waypoints.
+    pub fn waypoints(&self) -> &[Waypoint] {
+        &self.waypoints
+    }
+
+    /// Duration covered by the trace in seconds.
+    pub fn duration(&self) -> f64 {
+        self.waypoints.last().unwrap().t
+    }
+
+    /// Mean speed over the trace in m/s.
+    pub fn mean_speed_ms(&self) -> f64 {
+        let total: f64 = self.waypoints.iter().map(|w| w.speed_ms).sum();
+        total / self.waypoints.len() as f64
+    }
+
+    /// Interpolated state at time `t` (clamped to the trace extent).
+    pub fn at(&self, t: f64) -> Waypoint {
+        let n = self.waypoints.len();
+        if t <= self.waypoints[0].t {
+            return self.waypoints[0];
+        }
+        if t >= self.waypoints[n - 1].t {
+            return self.waypoints[n - 1];
+        }
+        // Binary search for the surrounding segment.
+        let idx = self
+            .waypoints
+            .partition_point(|w| w.t <= t)
+            .min(n - 1);
+        let (a, b) = (self.waypoints[idx - 1], self.waypoints[idx]);
+        let frac = (t - a.t) / (b.t - a.t);
+        Waypoint {
+            t,
+            x: a.x + (b.x - a.x) * frac,
+            y: a.y + (b.y - a.y) * frac,
+            speed_ms: a.speed_ms + (b.speed_ms - a.speed_ms) * frac,
+            travelled_m: a.travelled_m + (b.travelled_m - a.travelled_m) * frac,
+        }
+    }
+
+    /// Euclidean distance in metres between this trace and another at time
+    /// `t`.
+    pub fn distance_to(&self, other: &Trace, t: f64) -> f64 {
+        let a = self.at(t);
+        let b = other.at(t);
+        ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt()
+    }
+
+    /// Magnitude of the relative velocity in m/s between this trace and
+    /// another at time `t`, estimated by finite differences over `dt`.
+    pub fn relative_speed_to(&self, other: &Trace, t: f64) -> f64 {
+        let dt = 0.5;
+        let d0 = self.distance_to(other, t);
+        let d1 = self.distance_to(other, t + dt);
+        ((d1 - d0) / dt).abs()
+    }
+
+    /// A time-lagged, laterally offset copy of this trace — the *imitating
+    /// attacker*: Eve drives the same route `lag_s` seconds behind with
+    /// `offset_m` of lateral displacement.
+    pub fn imitated(&self, lag_s: f64, offset_m: f64) -> Trace {
+        let waypoints = self
+            .waypoints
+            .iter()
+            .map(|w| Waypoint {
+                t: w.t + lag_s,
+                x: w.x,
+                y: w.y + offset_m,
+                speed_ms: w.speed_ms,
+                travelled_m: w.travelled_m,
+            })
+            .collect();
+        Trace::new(waypoints)
+    }
+}
+
+/// Link geometry between two endpoints at an instant — everything the
+/// channel model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkGeometry {
+    /// Time of the snapshot in seconds.
+    pub t: f64,
+    /// Distance between the endpoints in metres.
+    pub distance_m: f64,
+    /// Travelled distance of the (primary) mobile endpoint in metres.
+    pub route_pos_m: f64,
+    /// Magnitude of the relative speed in m/s.
+    pub relative_speed_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_trace(speed: f64, duration: f64) -> Trace {
+        let dt = 1.0;
+        let n = (duration / dt) as usize + 1;
+        Trace::new(
+            (0..n)
+                .map(|i| {
+                    let t = i as f64 * dt;
+                    Waypoint {
+                        t,
+                        x: speed * t,
+                        y: 0.0,
+                        speed_ms: speed,
+                        travelled_m: speed * t,
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two waypoints")]
+    fn rejects_single_waypoint() {
+        Trace::new(vec![Waypoint { t: 0.0, x: 0.0, y: 0.0, speed_ms: 0.0, travelled_m: 0.0 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_nonmonotonic_time() {
+        Trace::new(vec![
+            Waypoint { t: 0.0, x: 0.0, y: 0.0, speed_ms: 0.0, travelled_m: 0.0 },
+            Waypoint { t: 0.0, x: 1.0, y: 0.0, speed_ms: 0.0, travelled_m: 1.0 },
+        ]);
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let tr = straight_trace(10.0, 10.0);
+        let w = tr.at(2.5);
+        assert!((w.x - 25.0).abs() < 1e-9);
+        assert!((w.travelled_m - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_outside_extent() {
+        let tr = straight_trace(10.0, 10.0);
+        assert_eq!(tr.at(-5.0).x, 0.0);
+        assert_eq!(tr.at(100.0).x, 100.0);
+    }
+
+    #[test]
+    fn distance_between_opposing_traces() {
+        let a = straight_trace(10.0, 10.0);
+        let b = Trace::stationary(0.0, 300.0, 10.0);
+        assert!((a.distance_to(&b, 0.0) - 300.0).abs() < 1e-9);
+        let d4 = a.distance_to(&b, 4.0);
+        assert!((d4 - (40.0f64.powi(2) + 300.0f64.powi(2)).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_speed_of_co_moving_traces_is_zero() {
+        let a = straight_trace(15.0, 20.0);
+        let mut b = straight_trace(15.0, 20.0);
+        // shift b laterally so the distance is constant
+        for w in &mut b.waypoints {
+            w.y = 5.0;
+        }
+        assert!(a.relative_speed_to(&b, 5.0) < 1e-9);
+    }
+
+    #[test]
+    fn relative_speed_to_static_node() {
+        let a = straight_trace(20.0, 30.0);
+        let b = Trace::stationary(1e6, 0.0, 30.0); // far ahead on the x axis
+        let rel = a.relative_speed_to(&b, 10.0);
+        assert!((rel - 20.0).abs() < 0.1, "rel {rel}");
+    }
+
+    #[test]
+    fn imitated_trace_lags_and_offsets() {
+        let a = straight_trace(10.0, 10.0);
+        let eve = a.imitated(0.5, 3.0);
+        // At time t, Eve is where Alice was at t−0.5, shifted 3 m laterally.
+        let wa = a.at(4.5);
+        let we = eve.at(5.0);
+        assert!((we.x - wa.x).abs() < 1e-9);
+        assert!((we.y - (wa.y + 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_speed() {
+        let tr = straight_trace(12.0, 10.0);
+        assert!((tr.mean_speed_ms() - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Radix-2 complex FFT (iterative Cooley–Tukey), used by the spectral test.
+
+/// In-place FFT of interleaved complex data `(re, im)` pairs.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [(f64, f64)]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0;
+    for i in 0..n {
+        if i < j {
+            data.swap(i, j);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let (ar, ai) = data[start + k];
+                let (br, bi) = data[start + k + len / 2];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                data[start + k] = (ar + tr, ai + ti);
+                data[start + k + len / 2] = (ar - tr, ai - ti);
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Magnitudes of the first `n/2` FFT bins of a real sequence.
+pub fn half_spectrum(real: &[f64]) -> Vec<f64> {
+    let n = real.len().next_power_of_two();
+    let mut data: Vec<(f64, f64)> = real.iter().map(|&x| (x, 0.0)).collect();
+    data.resize(n, (0.0, 0.0));
+    fft(&mut data);
+    data[..real.len() / 2]
+        .iter()
+        .map(|&(re, im)| (re * re + im * im).sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft(&mut data);
+        for (re, im) in data {
+            assert!((re - 1.0).abs() < 1e-12);
+            assert!(im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_concentrates_at_dc() {
+        let mut data = vec![(1.0, 0.0); 8];
+        fft(&mut data);
+        assert!((data[0].0 - 8.0).abs() < 1e-12);
+        for &(re, im) in &data[1..] {
+            assert!(re.abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let freq = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let mags = half_spectrum(&signal);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, freq);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let signal: Vec<f64> = (0..32).map(|i| ((i * 37 % 11) as f64) - 5.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let mut data: Vec<(f64, f64)> = signal.iter().map(|&x| (x, 0.0)).collect();
+        fft(&mut data);
+        let freq_energy: f64 =
+            data.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        fft(&mut vec![(0.0, 0.0); 12]);
+    }
+}

@@ -1,0 +1,46 @@
+//! NIST SP 800-22 statistical randomness tests — the subset reported in the
+//! paper's Table II:
+//!
+//! | Test | Module |
+//! |---|---|
+//! | Frequency | [`tests::frequency`] |
+//! | Block Frequency | [`tests::block_frequency`] |
+//! | Cumulative Sums | [`tests::cumulative_sums`] |
+//! | Longest Run | [`tests::longest_run`] |
+//! | DFT (spectral) | [`tests::dft`] |
+//! | Approximate Entropy | [`tests::approximate_entropy`] |
+//! | Non-overlapping Template | [`tests::non_overlapping_template`] |
+//! | Linear Complexity | [`tests::linear_complexity`] |
+//!
+//! plus the Runs test (a prerequisite of several others). Each test returns
+//! a p-value; following the NIST convention (and the paper), the randomness
+//! hypothesis is rejected when `p < 0.01`.
+//!
+//! Supporting numerics are implemented from scratch: [`special`] (log-gamma,
+//! regularized incomplete gamma, complementary error function), [`fft`]
+//! (radix-2 complex FFT) and Berlekamp–Massey (inside
+//! [`tests::linear_complexity`]).
+//!
+//! # Example
+//!
+//! ```
+//! // A splitmix-generated sequence passes the frequency test.
+//! let bits: Vec<bool> = (0u64..10_000)
+//!     .map(|i| {
+//!         let mut z = i.wrapping_mul(0x9E3779B97F4A7C15);
+//!         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+//!         (z >> 17) & 1 == 1
+//!     })
+//!     .collect();
+//! let r = nist::tests::frequency(&bits).unwrap();
+//! assert!(r.p_value >= 0.01);
+//! ```
+
+pub mod fft;
+pub mod special;
+pub mod tests;
+
+pub use tests::{run_all, run_extended, TestResult};
+
+/// The NIST significance level: p-values below this reject randomness.
+pub const ALPHA: f64 = 0.01;

@@ -1,0 +1,653 @@
+//! The SP 800-22 statistical tests (Table II subset plus Runs).
+//!
+//! Each test takes the bit sequence and returns a [`TestResult`] with the
+//! p-value, or an error string when the sequence is too short for the
+//! test's approximations to hold.
+
+use crate::fft::half_spectrum;
+use crate::special::{erfc, igamc, normal_cdf};
+
+/// Result of one statistical test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Test name as reported in the paper's Table II.
+    pub name: &'static str,
+    /// The p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the randomness hypothesis is retained at the NIST α = 0.01.
+    pub fn passed(&self) -> bool {
+        self.p_value >= crate::ALPHA
+    }
+}
+
+fn ensure(cond: bool, msg: &'static str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.to_string())
+    }
+}
+
+/// Frequency (monobit) test. Requires ≥ 100 bits.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is shorter than the test minimum.
+pub fn frequency(bits: &[bool]) -> Result<TestResult, String> {
+    ensure(bits.len() >= 100, "frequency test needs >= 100 bits")?;
+    let n = bits.len() as f64;
+    let s: i64 = bits.iter().map(|&b| if b { 1 } else { -1 }).sum();
+    let s_obs = (s as f64).abs() / n.sqrt();
+    Ok(TestResult {
+        name: "Frequency",
+        p_value: erfc(s_obs / std::f64::consts::SQRT_2),
+    })
+}
+
+/// Block-frequency test with block size `m`. Requires ≥ 100 bits.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is shorter than the test minimum.
+pub fn block_frequency(bits: &[bool], m: usize) -> Result<TestResult, String> {
+    ensure(bits.len() >= 100, "block frequency test needs >= 100 bits")?;
+    ensure(m >= 20, "block size must be >= 20")?;
+    let n_blocks = bits.len() / m;
+    ensure(n_blocks >= 1, "at least one full block required")?;
+    let chi2: f64 = (0..n_blocks)
+        .map(|i| {
+            let ones = bits[i * m..(i + 1) * m].iter().filter(|&&b| b).count();
+            let pi = ones as f64 / m as f64;
+            (pi - 0.5).powi(2)
+        })
+        .sum::<f64>()
+        * 4.0
+        * m as f64;
+    Ok(TestResult {
+        name: "Block Frequency",
+        p_value: igamc(n_blocks as f64 / 2.0, chi2 / 2.0),
+    })
+}
+
+/// Runs test. Requires ≥ 100 bits.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is too short or fails the frequency
+/// prerequisite.
+pub fn runs(bits: &[bool]) -> Result<TestResult, String> {
+    ensure(bits.len() >= 100, "runs test needs >= 100 bits")?;
+    let n = bits.len() as f64;
+    let pi = bits.iter().filter(|&&b| b).count() as f64 / n;
+    ensure(
+        (pi - 0.5).abs() < 2.0 / n.sqrt(),
+        "frequency prerequisite failed",
+    )?;
+    let v: usize = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+    let num = (v as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    Ok(TestResult { name: "Runs", p_value: erfc(num / den) })
+}
+
+/// Longest-run-of-ones test. Requires ≥ 128 bits; picks the block size per
+/// the SP 800-22 table.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is shorter than 128 bits.
+pub fn longest_run(bits: &[bool]) -> Result<TestResult, String> {
+    ensure(bits.len() >= 128, "longest-run test needs >= 128 bits")?;
+    let n = bits.len();
+    // (block size M, category bounds v_min..v_max, probabilities π).
+    let (m, v_min, pi): (usize, usize, &[f64]) = if n < 6272 {
+        (8, 1, &[0.2148, 0.3672, 0.2305, 0.1875])
+    } else if n < 750_000 {
+        (128, 4, &[0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124])
+    } else {
+        (
+            10_000,
+            10,
+            &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727],
+        )
+    };
+    let k = pi.len() - 1;
+    let n_blocks = n / m;
+    let mut v = vec![0usize; pi.len()];
+    for b in 0..n_blocks {
+        let block = &bits[b * m..(b + 1) * m];
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for &bit in block {
+            if bit {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let cat = longest.saturating_sub(v_min).min(k);
+        v[cat] += 1;
+    }
+    let nb = n_blocks as f64;
+    let chi2: f64 = v
+        .iter()
+        .zip(pi)
+        .map(|(&obs, &p)| (obs as f64 - nb * p).powi(2) / (nb * p))
+        .sum();
+    Ok(TestResult {
+        name: "Longest Run",
+        p_value: igamc(k as f64 / 2.0, chi2 / 2.0),
+    })
+}
+
+/// Cumulative-sums (forward) test. Requires ≥ 100 bits.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is shorter than the test minimum.
+pub fn cumulative_sums(bits: &[bool]) -> Result<TestResult, String> {
+    ensure(bits.len() >= 100, "cumulative-sums test needs >= 100 bits")?;
+    let n = bits.len() as f64;
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for &b in bits {
+        s += if b { 1 } else { -1 };
+        z = z.max(s.abs());
+    }
+    let z = z as f64;
+    let sqrt_n = n.sqrt();
+    let mut p = 1.0;
+    let k_lo = ((-n / z + 1.0) / 4.0).ceil() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        p -= normal_cdf((4.0 * k + 1.0) * z / sqrt_n) - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+    }
+    let k_lo = ((-n / z - 3.0) / 4.0).ceil() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        p += normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+    }
+    Ok(TestResult {
+        name: "Cumulative Sums",
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Discrete-Fourier-transform (spectral) test. Requires ≥ 128 bits.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is shorter than the test minimum.
+pub fn dft(bits: &[bool]) -> Result<TestResult, String> {
+    ensure(bits.len() >= 128, "DFT test needs >= 128 bits")?;
+    // Truncate to a power of two so the radix-2 FFT applies exactly.
+    let n = if bits.len().is_power_of_two() {
+        bits.len()
+    } else {
+        bits.len().next_power_of_two() / 2
+    };
+    let x: Vec<f64> = bits[..n].iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+    let mags = half_spectrum(&x);
+    let t = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
+    let n0 = 0.95 * n as f64 / 2.0;
+    let n1 = mags.iter().filter(|&&m| m < t).count() as f64;
+    let d = (n1 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    Ok(TestResult {
+        name: "DFT Test",
+        p_value: erfc(d.abs() / std::f64::consts::SQRT_2),
+    })
+}
+
+/// Approximate-entropy test with pattern length `m`. Requires ≥ 100 bits.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is shorter than the test minimum.
+pub fn approximate_entropy(bits: &[bool], m: usize) -> Result<TestResult, String> {
+    ensure(bits.len() >= 100, "approximate-entropy test needs >= 100 bits")?;
+    ensure(m >= 1 && m <= 16, "pattern length must be 1..=16")?;
+    let n = bits.len();
+    let phi = |m: usize| -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        let mut counts = vec![0u32; 1 << m];
+        for i in 0..n {
+            let mut idx = 0usize;
+            for j in 0..m {
+                idx = (idx << 1) | usize::from(bits[(i + j) % n]);
+            }
+            counts[idx] += 1;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = f64::from(c) / n as f64;
+                p * p.ln()
+            })
+            .sum()
+    };
+    let ap_en = phi(m) - phi(m + 1);
+    let chi2 = 2.0 * n as f64 * (std::f64::consts::LN_2 - ap_en);
+    Ok(TestResult {
+        name: "Approximate Entropy",
+        p_value: igamc((1 << (m - 1)) as f64, chi2 / 2.0),
+    })
+}
+
+/// Non-overlapping template matching with the standard 9-bit template
+/// `000000001` and 8 blocks. Requires ≥ 800 bits.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is shorter than the test minimum.
+pub fn non_overlapping_template(bits: &[bool]) -> Result<TestResult, String> {
+    ensure(
+        bits.len() >= 800,
+        "non-overlapping-template test needs >= 800 bits",
+    )?;
+    let template = [false, false, false, false, false, false, false, false, true];
+    let m_t = template.len();
+    let n_blocks = 8;
+    let m = bits.len() / n_blocks;
+    let mu = (m - m_t + 1) as f64 / f64::powi(2.0, m_t as i32);
+    let sigma2 = m as f64
+        * (1.0 / f64::powi(2.0, m_t as i32)
+            - (2.0 * m_t as f64 - 1.0) / f64::powi(2.0, 2 * m_t as i32));
+    let chi2: f64 = (0..n_blocks)
+        .map(|b| {
+            let block = &bits[b * m..(b + 1) * m];
+            let mut count = 0;
+            let mut i = 0;
+            while i + m_t <= block.len() {
+                if block[i..i + m_t] == template {
+                    count += 1;
+                    i += m_t;
+                } else {
+                    i += 1;
+                }
+            }
+            (count as f64 - mu).powi(2) / sigma2
+        })
+        .sum();
+    Ok(TestResult {
+        name: "Non Overlapping Template",
+        p_value: igamc(n_blocks as f64 / 2.0, chi2 / 2.0),
+    })
+}
+
+/// Serial test (SP 800-22 §2.11) with pattern length `m`: checks the
+/// uniformity of overlapping m-bit patterns. Returns the first p-value
+/// (∇ψ²ₘ). Requires ≥ 100 bits and `2 < m < log2(n) − 2`.
+///
+/// # Errors
+///
+/// Returns an error when the sequence is too short for `m`.
+pub fn serial(bits: &[bool], m: usize) -> Result<TestResult, String> {
+    ensure(bits.len() >= 100, "serial test needs >= 100 bits")?;
+    ensure(m >= 2, "pattern length must be >= 2")?;
+    ensure(
+        1usize << (m + 2) <= bits.len(),
+        "pattern length too large for sequence",
+    )?;
+    let n = bits.len();
+    let psi2 = |m: usize| -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        let mut counts = vec![0u64; 1 << m];
+        for i in 0..n {
+            let mut idx = 0usize;
+            for j in 0..m {
+                idx = (idx << 1) | usize::from(bits[(i + j) % n]);
+            }
+            counts[idx] += 1;
+        }
+        let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+        (1 << m) as f64 / n as f64 * sum_sq - n as f64
+    };
+    let d1 = psi2(m) - psi2(m - 1);
+    Ok(TestResult {
+        name: "Serial",
+        p_value: igamc(f64::powi(2.0, m as i32 - 2), d1 / 2.0),
+    })
+}
+
+/// Overlapping-template test (SP 800-22 §2.8) with the all-ones template of
+/// length 9 and 1032-bit blocks. Requires ≥ 5160 bits.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 5 full blocks are available.
+pub fn overlapping_template(bits: &[bool]) -> Result<TestResult, String> {
+    const M_T: usize = 9; // template length (all ones)
+    const M_BLOCK: usize = 1032;
+    // SP 800-22 class probabilities for m=9, M=1032 (λ = 2, η = 1).
+    const PI: [f64; 6] = [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865];
+    let n_blocks = bits.len() / M_BLOCK;
+    ensure(n_blocks >= 5, "overlapping-template test needs >= 5160 bits")?;
+    let mut v = [0usize; 6];
+    for b in 0..n_blocks {
+        let block = &bits[b * M_BLOCK..(b + 1) * M_BLOCK];
+        let mut count = 0usize;
+        for i in 0..=(M_BLOCK - M_T) {
+            if block[i..i + M_T].iter().all(|&x| x) {
+                count += 1;
+            }
+        }
+        v[count.min(5)] += 1;
+    }
+    let nb = n_blocks as f64;
+    let chi2: f64 = v
+        .iter()
+        .zip(&PI)
+        .map(|(&obs, &p)| (obs as f64 - nb * p).powi(2) / (nb * p))
+        .sum();
+    Ok(TestResult {
+        name: "Overlapping Template",
+        p_value: igamc(2.5, chi2 / 2.0),
+    })
+}
+
+/// Berlekamp–Massey: linear complexity of a bit block.
+pub fn berlekamp_massey(s: &[bool]) -> usize {
+    let n = s.len();
+    let mut c = vec![false; n + 1];
+    let mut b = vec![false; n + 1];
+    c[0] = true;
+    b[0] = true;
+    let mut l = 0usize;
+    let mut m = -1i64;
+    for i in 0..n {
+        // Discrepancy.
+        let mut d = s[i];
+        for j in 1..=l {
+            if c[j] && s[i - j] {
+                d = !d;
+            }
+        }
+        if d {
+            let t = c.clone();
+            let shift = (i as i64 - m) as usize;
+            for j in 0..n + 1 - shift {
+                if b[j] {
+                    c[j + shift] ^= true;
+                }
+            }
+            if l <= i / 2 {
+                l = i + 1 - l;
+                m = i as i64;
+                b = t;
+            }
+        }
+    }
+    l
+}
+
+/// Linear-complexity test with block size `m` (SP 800-22 recommends 500).
+/// Requires at least 5 full blocks.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 5 blocks are available.
+pub fn linear_complexity(bits: &[bool], m: usize) -> Result<TestResult, String> {
+    let n_blocks = bits.len() / m;
+    ensure(m >= 100, "block size must be >= 100")?;
+    ensure(n_blocks >= 5, "linear-complexity test needs >= 5 blocks")?;
+    let mean = m as f64 / 2.0 + (9.0 + if m % 2 == 0 { 1.0 } else { -1.0 }) / 36.0
+        - (m as f64 / 3.0 + 2.0 / 9.0) / f64::powi(2.0, (m as i32).min(60));
+    const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
+    let mut v = [0usize; 7];
+    for b in 0..n_blocks {
+        let block = &bits[b * m..(b + 1) * m];
+        let l = berlekamp_massey(block) as f64;
+        let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+        let t = sign * (l - mean) + 2.0 / 9.0;
+        let cat = if t <= -2.5 {
+            0
+        } else if t <= -1.5 {
+            1
+        } else if t <= -0.5 {
+            2
+        } else if t <= 0.5 {
+            3
+        } else if t <= 1.5 {
+            4
+        } else if t <= 2.5 {
+            5
+        } else {
+            6
+        };
+        v[cat] += 1;
+    }
+    let nb = n_blocks as f64;
+    let chi2: f64 = v
+        .iter()
+        .zip(&PI)
+        .map(|(&obs, &p)| (obs as f64 - nb * p).powi(2) / (nb * p))
+        .sum();
+    Ok(TestResult {
+        name: "Linear Complexity",
+        p_value: igamc(3.0, chi2 / 2.0),
+    })
+}
+
+/// Run the full Table II battery in the paper's row order. Tests whose
+/// minimum length is not met are skipped (not reported).
+pub fn run_all(bits: &[bool]) -> Vec<TestResult> {
+    let mut out = Vec::new();
+    let candidates: Vec<Result<TestResult, String>> = vec![
+        frequency(bits),
+        dft(bits),
+        longest_run(bits),
+        linear_complexity(bits, 500),
+        block_frequency(bits, 128.min(bits.len() / 4).max(20)),
+        cumulative_sums(bits),
+        approximate_entropy(bits, 2),
+        non_overlapping_template(bits),
+    ];
+    for c in candidates {
+        if let Ok(r) = c {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// The extended battery: Table II plus the Runs, Serial and
+/// Overlapping-Template tests (not in the paper's table, included for a
+/// stricter assessment). Tests whose minimum length is not met are skipped.
+pub fn run_extended(bits: &[bool]) -> Vec<TestResult> {
+    let mut out = run_all(bits);
+    for extra in [runs(bits), serial(bits, 5), overlapping_template(bits)] {
+        if let Ok(r) = extra {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    /// splitmix64-derived pseudo-random bits (pass all tests).
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut state = seed;
+        let mut out = Vec::with_capacity(n);
+        let mut word = 0u64;
+        for i in 0..n {
+            if i % 64 == 0 {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                word = z ^ (z >> 31);
+            }
+            out.push((word >> (i % 64)) & 1 == 1);
+        }
+        out
+    }
+
+    #[test]
+    fn random_bits_pass_everything() {
+        let bits = random_bits(20_000, 7);
+        let results = run_all(&bits);
+        assert_eq!(results.len(), 8, "all eight Table II tests should run");
+        for r in &results {
+            assert!(r.passed(), "{} failed with p = {}", r.name, r.p_value);
+        }
+    }
+
+    #[test]
+    fn constant_sequence_fails_frequency() {
+        let bits = vec![true; 10_000];
+        let r = frequency(&bits).unwrap();
+        assert!(!r.passed(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn alternating_sequence_fails_runs_and_dft() {
+        let bits: Vec<bool> = (0..10_000).map(|i| i % 2 == 0).collect();
+        assert!(!runs(&bits).unwrap().passed());
+        assert!(!dft(&bits).unwrap().passed());
+    }
+
+    #[test]
+    fn biased_sequence_fails_block_frequency() {
+        // 70% ones.
+        let bits: Vec<bool> = (0..10_000).map(|i| i % 10 < 7).collect();
+        assert!(!block_frequency(&bits, 100).unwrap().passed());
+    }
+
+    #[test]
+    fn long_run_sequence_fails_longest_run() {
+        // Random except every 64-bit stretch has a planted run of 20 ones.
+        let mut bits = random_bits(12_800, 3);
+        for chunk in bits.chunks_mut(64) {
+            for b in chunk.iter_mut().take(20) {
+                *b = true;
+            }
+        }
+        assert!(!longest_run(&bits).unwrap().passed());
+    }
+
+    #[test]
+    fn drifting_sequence_fails_cumulative_sums() {
+        // 55% ones drifts the walk far from the origin.
+        let bits: Vec<bool> = (0..10_000).map(|i| (i * 20) % 100 < 55).collect();
+        assert!(!cumulative_sums(&bits).unwrap().passed());
+    }
+
+    #[test]
+    fn periodic_sequence_fails_approximate_entropy() {
+        let pattern = [true, true, false, true, false, false, true, false];
+        let bits: Vec<bool> = (0..10_000).map(|i| pattern[i % 8]).collect();
+        assert!(!approximate_entropy(&bits, 2).unwrap().passed());
+    }
+
+    #[test]
+    fn template_rich_sequence_fails_template_test() {
+        // Plant the 000000001 template at a grossly elevated rate.
+        let mut bits = random_bits(12_800, 9);
+        let template = [false, false, false, false, false, false, false, false, true];
+        let mut i = 0;
+        while i + 9 <= bits.len() {
+            bits[i..i + 9].copy_from_slice(&template);
+            i += 16;
+        }
+        assert!(!non_overlapping_template(&bits).unwrap().passed());
+    }
+
+    #[test]
+    fn serial_random_passes_periodic_fails() {
+        let good = random_bits(20_000, 11);
+        assert!(serial(&good, 5).unwrap().passed());
+        let pattern = [true, false, true, true];
+        let bad: Vec<bool> = (0..20_000).map(|i| pattern[i % 4]).collect();
+        assert!(!serial(&bad, 5).unwrap().passed());
+    }
+
+    #[test]
+    fn serial_rejects_oversized_pattern() {
+        let bits = random_bits(128, 12);
+        assert!(serial(&bits, 16).is_err());
+    }
+
+    #[test]
+    fn overlapping_template_random_passes() {
+        let bits = random_bits(20_000, 13);
+        assert!(overlapping_template(&bits).unwrap().passed());
+    }
+
+    #[test]
+    fn overlapping_template_ones_rich_fails() {
+        // Long runs of ones at a grossly elevated rate.
+        let mut bits = random_bits(20_000, 14);
+        let mut i = 0;
+        while i + 12 <= bits.len() {
+            for b in bits[i..i + 12].iter_mut() {
+                *b = true;
+            }
+            i += 40;
+        }
+        assert!(!overlapping_template(&bits).unwrap().passed());
+    }
+
+    #[test]
+    fn extended_battery_superset() {
+        let bits = random_bits(20_000, 15);
+        let base = run_all(&bits).len();
+        let ext = run_extended(&bits);
+        assert!(ext.len() >= base + 2);
+        for r in &ext {
+            assert!(r.passed(), "{} failed with p {}", r.name, r.p_value);
+        }
+    }
+
+    #[test]
+    fn berlekamp_massey_known_values() {
+        // LFSR x^3 + x + 1 generating 0010111 has complexity 3.
+        let seq = [false, false, true, false, true, true, true];
+        assert_eq!(berlekamp_massey(&seq), 3);
+        // All-zeros has complexity 0.
+        assert_eq!(berlekamp_massey(&[false; 16]), 0);
+        // A single trailing one in n bits has complexity n.
+        let mut s = vec![false; 8];
+        s[7] = true;
+        assert_eq!(berlekamp_massey(&s), 8);
+    }
+
+    #[test]
+    fn low_complexity_sequence_fails_linear_complexity() {
+        // A short LFSR repeated: complexity far below M/2 in every block.
+        let pattern = [true, false, false, true, true, false, true];
+        let bits: Vec<bool> = (0..5000).map(|i| pattern[i % 7]).collect();
+        assert!(!linear_complexity(&bits, 500).unwrap().passed());
+    }
+
+    #[test]
+    fn too_short_sequences_error() {
+        let bits = random_bits(50, 1);
+        assert!(frequency(&bits).is_err());
+        assert!(longest_run(&bits).is_err());
+        assert!(dft(&bits).is_err());
+        assert!(non_overlapping_template(&bits).is_err());
+        assert!(linear_complexity(&bits, 500).is_err());
+    }
+
+    #[test]
+    fn run_all_skips_unavailable_tests() {
+        let bits = random_bits(200, 2);
+        let results = run_all(&bits);
+        // Frequency et al. run; linear complexity (needs 2500) is skipped.
+        assert!(results.iter().any(|r| r.name == "Frequency"));
+        assert!(results.iter().all(|r| r.name != "Linear Complexity"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Activation functions and their derivatives.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation applied after a layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// Logistic sigmoid — the paper's quantization head uses this to map
+    /// predictions smoothly into `(0, 1)`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    /// Apply the activation element-wise.
+    pub fn apply(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Tanh => x.map(|v| v.tanh()),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y = f(x)`
+    /// (all four supported activations admit this form).
+    pub fn derivative_from_output(self, y: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => Matrix::full(y.rows(), y.cols(), 1.0),
+            Activation::Sigmoid => y.map(|v| v * (1.0 - v)),
+            Activation::Tanh => y.map(|v| 1.0 - v * v),
+            Activation::Relu => y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let xs = Matrix::from_rows(&[&[-1.5, -0.3, 0.0, 0.4, 2.0]]);
+        let eps = 1e-3f32;
+        for act in [
+            Activation::Identity,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Relu,
+        ] {
+            let y = act.apply(&xs);
+            let dy = act.derivative_from_output(&y);
+            for i in 0..xs.cols() {
+                let x = xs.get(0, i);
+                if act == Activation::Relu && x.abs() < 2.0 * eps {
+                    continue; // kink
+                }
+                let plus = act.apply(&Matrix::from_rows(&[&[x + eps]])).get(0, 0);
+                let minus = act.apply(&Matrix::from_rows(&[&[x - eps]])).get(0, 0);
+                let fd = (plus - minus) / (2.0 * eps);
+                assert!(
+                    (dy.get(0, i) - fd).abs() < 1e-3,
+                    "{act:?} at {x}: analytic {} vs fd {fd}",
+                    dy.get(0, i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-2.0, 0.0, 3.0]]);
+        assert_eq!(Activation::Relu.apply(&x).data(), &[0.0, 0.0, 3.0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Bidirectional LSTM.
+//!
+//! The paper's prediction module (Sec. IV-B) is BiLSTM-based: a forward LSTM
+//! reads the arRSSI sequence left-to-right, a backward LSTM right-to-left,
+//! and the per-timestep outputs are concatenated (`B × 2H`). Bidirectionality
+//! matters for channel prediction because each of Bob's samples is bracketed
+//! in time by Alice's samples on both sides.
+
+use crate::lstm::Lstm;
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A bidirectional LSTM layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiLstm {
+    fwd: Lstm,
+    bwd: Lstm,
+}
+
+impl BiLstm {
+    /// Create a BiLSTM with `input` features and `hidden` units per
+    /// direction (output width is `2·hidden`).
+    pub fn new<R: Rng + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        BiLstm { fwd: Lstm::new(input, hidden, rng), bwd: Lstm::new(input, hidden, rng) }
+    }
+
+    /// Hidden units per direction.
+    pub fn hidden_size(&self) -> usize {
+        self.fwd.hidden_size()
+    }
+
+    /// Output width per timestep: `2·hidden`.
+    pub fn output_size(&self) -> usize {
+        2 * self.fwd.hidden_size()
+    }
+
+    /// Forward over a sequence; output `t` is `[h_fwd_t | h_bwd_t]` where
+    /// the backward direction has processed the sequence from the end.
+    pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
+        let hf = self.fwd.forward(xs);
+        let reversed: Vec<Matrix> = xs.iter().rev().cloned().collect();
+        let mut hb = self.bwd.forward(&reversed);
+        hb.reverse();
+        hf.iter().zip(&hb).map(|(f, b)| f.hcat(b)).collect()
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, xs: &[Matrix]) -> Vec<Matrix> {
+        let hf = self.fwd.infer(xs);
+        let reversed: Vec<Matrix> = xs.iter().rev().cloned().collect();
+        let mut hb = self.bwd.infer(&reversed);
+        hb.reverse();
+        hf.iter().zip(&hb).map(|(f, b)| f.hcat(b)).collect()
+    }
+
+    /// Backward pass; `grad_h[t]` is `B × 2H`. Returns gradients w.r.t. the
+    /// inputs.
+    pub fn backward(&mut self, grad_h: &[Matrix]) -> Vec<Matrix> {
+        let h = self.fwd.hidden_size();
+        let mut gf = Vec::with_capacity(grad_h.len());
+        let mut gb = Vec::with_capacity(grad_h.len());
+        for g in grad_h {
+            let (f, b) = g.hsplit(h);
+            gf.push(f);
+            gb.push(b);
+        }
+        let gx_f = self.fwd.backward(&gf);
+        gb.reverse();
+        let mut gx_b = self.bwd.backward(&gb);
+        gx_b.reverse();
+        gx_f.iter().zip(&gx_b).map(|(a, b)| a.add(b)).collect()
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.fwd.zero_grad();
+        self.bwd.zero_grad();
+    }
+
+    /// Visit all parameters (for the optimizer).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fwd.visit_params(f);
+        self.bwd.visit_params(f);
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.fwd.param_count() + self.bwd.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::max_rel_error;
+    use crate::loss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(rng: &mut StdRng, t: usize, b: usize, d: usize) -> Vec<Matrix> {
+        (0..t).map(|_| Matrix::xavier(b, d, rng)).collect()
+    }
+
+    #[test]
+    fn output_width_is_double_hidden() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let mut bl = BiLstm::new(2, 4, &mut rng);
+        let xs = seq(&mut rng, 5, 3, 2);
+        let hs = bl.forward(&xs);
+        assert_eq!(hs.len(), 5);
+        assert!(hs.iter().all(|h| h.shape() == (3, 8)));
+        assert_eq!(bl.output_size(), 8);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let mut bl = BiLstm::new(1, 3, &mut rng);
+        let xs = seq(&mut rng, 4, 2, 1);
+        assert_eq!(bl.forward(&xs), bl.infer(&xs));
+    }
+
+    #[test]
+    fn first_output_sees_the_whole_sequence() {
+        // Changing the *last* input must change the *first* output (through
+        // the backward direction) — the property plain LSTM lacks.
+        let mut rng = StdRng::seed_from_u64(103);
+        let bl = BiLstm::new(1, 3, &mut rng);
+        let mut xs = seq(&mut rng, 5, 1, 1);
+        let h1 = bl.infer(&xs)[0].clone();
+        xs[4] = xs[4].map(|v| v + 1.0);
+        let h2 = bl.infer(&xs)[0].clone();
+        assert!(h1.sub(&h2).norm() > 1e-6);
+    }
+
+    #[test]
+    fn bptt_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let mut bl = BiLstm::new(2, 2, &mut rng);
+        let xs = seq(&mut rng, 3, 2, 2);
+        let target: Vec<Matrix> = (0..3).map(|_| Matrix::xavier(2, 4, &mut rng)).collect();
+        let xs2 = xs.clone();
+        let t2 = target.clone();
+        let xs3 = xs.clone();
+        let t3 = target.clone();
+        let err = max_rel_error(
+            &mut bl,
+            move |l: &mut BiLstm| {
+                let hs = l.infer(&xs2);
+                hs.iter().zip(&t2).map(|(h, t)| loss::mse(h, t)).sum::<f32>()
+            },
+            move |l: &mut BiLstm| {
+                let hs = l.forward(&xs3);
+                l.zero_grad();
+                let grads: Vec<Matrix> =
+                    hs.iter().zip(&t3).map(|(h, t)| loss::mse_grad(h, t)).collect();
+                l.backward(&grads);
+            },
+            |l, f| l.visit_params(f),
+        );
+        assert!(err < 3e-2, "BiLSTM BPTT relative grad error {err}");
+    }
+
+    #[test]
+    fn param_count_is_double_lstm() {
+        let mut rng = StdRng::seed_from_u64(105);
+        let bl = BiLstm::new(3, 4, &mut rng);
+        let l = Lstm::new(3, 4, &mut rng);
+        assert_eq!(bl.param_count(), 2 * l.param_count());
+    }
+}

@@ -1,0 +1,148 @@
+//! Fully-connected layer.
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer `y = f(x·W + b)` with cached activations for
+/// backprop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    w: Param,
+    b: Param,
+    activation: Activation,
+    /// Cached input of the last forward pass.
+    #[serde(skip)]
+    last_input: Option<Matrix>,
+    /// Cached output of the last forward pass.
+    #[serde(skip)]
+    last_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// Create a layer with Xavier-initialized weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        input: usize,
+        output: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        Dense {
+            w: Param::new(Matrix::xavier(input, output, rng)),
+            b: Param::new(Matrix::zeros(1, output)),
+            activation,
+            last_input: None,
+            last_output: None,
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass; caches activations for [`Dense::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let z = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let y = self.activation.apply(&z);
+        self.last_input = Some(x.clone());
+        self.last_output = Some(y.clone());
+        y
+    }
+
+    /// Inference-only forward pass (no caching, `&self`).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let z = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        self.activation.apply(&z)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dense::forward`].
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.last_input.as_ref().expect("backward before forward");
+        let y = self.last_output.as_ref().expect("backward before forward");
+        let dz = grad_out.hadamard(&self.activation.derivative_from_output(y));
+        self.w.accumulate(&x.transpose().matmul(&dz));
+        self.b.accumulate(&dz.sum_rows());
+        dz.matmul(&self.w.value.transpose())
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// Visit all parameters (for the optimizer).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut d = Dense::new(3, 5, Activation::Tanh, &mut rng);
+        let y = d.forward(&Matrix::zeros(4, 3));
+        assert_eq!(y.shape(), (4, 5));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut d = Dense::new(3, 2, Activation::Sigmoid, &mut rng);
+        let x = Matrix::xavier(5, 3, &mut rng);
+        assert_eq!(d.forward(&x), d.infer(&x));
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut rng = StdRng::seed_from_u64(73);
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            let mut d = Dense::new(4, 3, act, &mut rng);
+            let x = Matrix::xavier(2, 4, &mut rng);
+            let target = Matrix::xavier(2, 3, &mut rng);
+            let rel = gradcheck::check_dense(&mut d, &x, &target);
+            assert!(rel < 2e-2, "{act:?}: relative grad error {rel}");
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let d = Dense::new(10, 7, Activation::Relu, &mut rng);
+        assert_eq!(d.param_count(), 10 * 7 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let mut d = Dense::new(2, 2, Activation::Identity, &mut rng);
+        d.backward(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,124 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer's backward pass is verified against central finite
+//! differences in the test suite. The generic driver perturbs each scalar
+//! parameter, re-evaluates a caller-supplied loss, and compares with the
+//! analytic gradient left in the parameter's `grad` buffer.
+
+use crate::dense::Dense;
+use crate::loss;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Maximum relative error between analytic and numeric gradients.
+///
+/// * `backward` must zero grads, run forward + backward, and leave analytic
+///   gradients in the parameters.
+/// * `loss` must evaluate the scalar loss at the current parameters.
+/// * `visit` must enumerate the parameters in a stable order.
+pub fn max_rel_error<M>(
+    model: &mut M,
+    mut loss: impl FnMut(&mut M) -> f32,
+    mut backward: impl FnMut(&mut M),
+    visit: impl Fn(&mut M, &mut dyn FnMut(&mut Param)),
+) -> f32 {
+    backward(model);
+    // Snapshot analytic gradients.
+    let mut analytic: Vec<Matrix> = Vec::new();
+    visit(model, &mut |p| analytic.push(p.grad.clone()));
+
+    let eps = 5e-3f32;
+    let mut worst = 0.0f32;
+    for (pi, grad) in analytic.iter().enumerate() {
+        for ei in 0..grad.data().len() {
+            // Perturb +eps.
+            perturb(model, &visit, pi, ei, eps);
+            let lp = loss(model);
+            perturb(model, &visit, pi, ei, -2.0 * eps);
+            let lm = loss(model);
+            perturb(model, &visit, pi, ei, eps); // restore
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = grad.data()[ei];
+            let scale = a.abs().max(numeric.abs()).max(1e-2);
+            let rel = (a - numeric).abs() / scale;
+            if rel > worst {
+                worst = rel;
+            }
+        }
+    }
+    worst
+}
+
+fn perturb<M>(
+    model: &mut M,
+    visit: &impl Fn(&mut M, &mut dyn FnMut(&mut Param)),
+    param_idx: usize,
+    elem_idx: usize,
+    delta: f32,
+) {
+    let mut i = 0;
+    visit(model, &mut |p| {
+        if i == param_idx {
+            p.value.data_mut()[elem_idx] += delta;
+        }
+        i += 1;
+    });
+}
+
+/// Convenience gradient check for a [`Dense`] layer under an MSE loss.
+/// Returns the maximum relative error.
+pub fn check_dense(layer: &mut Dense, x: &Matrix, target: &Matrix) -> f32 {
+    let x = x.clone();
+    let target = target.clone();
+    let xc = x.clone();
+    let tc = target.clone();
+    max_rel_error(
+        layer,
+        move |l: &mut Dense| loss::mse(&l.infer(&xc), &tc),
+        move |l: &mut Dense| {
+            let y = l.forward(&x);
+            l.zero_grad();
+            l.backward(&loss::mse_grad(&y, &target));
+        },
+        |l, f| l.visit_params(f),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detects_a_broken_gradient() {
+        // If the analytic gradient is corrupted, the check must report a
+        // large error — guards against the checker silently passing.
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut layer = Dense::new(3, 2, Activation::Identity, &mut rng);
+        let x = Matrix::xavier(2, 3, &mut rng);
+        let t = Matrix::xavier(2, 2, &mut rng);
+        let xc = x.clone();
+        let tc = t.clone();
+        let x2 = x.clone();
+        let t2 = t.clone();
+        let err = max_rel_error(
+            &mut layer,
+            move |l: &mut Dense| loss::mse(&l.infer(&xc), &tc),
+            move |l: &mut Dense| {
+                let y = l.forward(&x2);
+                l.zero_grad();
+                l.backward(&loss::mse_grad(&y, &t2));
+                // Corrupt the gradient.
+                l.visit_params(&mut |p| {
+                    if let Some(g) = p.grad.data_mut().first_mut() {
+                        *g += 1.0;
+                    }
+                });
+            },
+            |l, f| l.visit_params(f),
+        );
+        assert!(err > 0.5, "corrupted gradient not detected: {err}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal neural-network library for the Vehicle-Key reproduction.
+//!
+//! The paper trains two models — a BiLSTM-based joint prediction/quantization
+//! network (Sec. IV-B) and an autoencoder-based reconciliation network
+//! (Sec. IV-C) — originally in a Python DL framework. The offline crate
+//! allowlist has no deep-learning stack, so this crate implements the needed
+//! subset from scratch:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with the linear algebra the
+//!   layers need,
+//! * [`Dense`], [`Lstm`], [`BiLstm`] — layers with explicit
+//!   forward/backward passes (full backpropagation through time for the
+//!   recurrent layers),
+//! * [`activation`] — sigmoid/tanh/ReLU and derivatives,
+//! * [`loss`] — MSE, binary cross-entropy, and the paper's **joint loss**
+//!   `θ·MSE + (1−θ)·BCE` (Eq. 3),
+//! * [`Adam`] / [`Sgd`] — optimizers operating on [`Param`]s,
+//! * [`gradcheck`] — finite-difference gradient checking used by the tests,
+//! * [`persist`] — compact binary model persistence (no serde_json in the
+//!   offline allowlist).
+//!
+//! Everything is deterministic given a seeded `rand` RNG, and all model
+//! state is `serde`-serializable so trained weights can be persisted.
+//!
+//! # Example
+//!
+//! ```
+//! use nn::{Dense, Matrix, Adam, activation::Activation};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! // Learn y = 2x with a single linear unit.
+//! let mut layer = Dense::new(1, 1, Activation::Identity, &mut rng);
+//! let mut adam = Adam::new(0.05);
+//! for _ in 0..300 {
+//!     let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+//!     let target = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0]]);
+//!     let y = layer.forward(&x);
+//!     let grad = nn::loss::mse_grad(&y, &target);
+//!     layer.zero_grad();
+//!     layer.backward(&grad);
+//!     layer.visit_params(&mut |p| adam.update(p));
+//!     adam.step();
+//! }
+//! let y = layer.forward(&Matrix::from_rows(&[&[3.0]]));
+//! assert!((y.get(0, 0) - 6.0).abs() < 0.1);
+//! ```
+
+pub mod activation;
+pub mod bilstm;
+pub mod dense;
+pub mod gradcheck;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+pub mod param;
+pub mod persist;
+pub mod train;
+
+pub use bilstm::BiLstm;
+pub use dense::Dense;
+pub use lstm::Lstm;
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use optim::{Adam, Sgd};
+pub use param::Param;
+pub use train::{EarlyStopping, LrSchedule};

@@ -1,0 +1,214 @@
+//! Loss functions: MSE, binary cross-entropy, and the paper's joint loss.
+//!
+//! The joint loss (paper Eq. 3) trains the prediction and quantization heads
+//! together:
+//!
+//! `loss = θ·MSE(y, ŷ) + (1−θ)·BCE(z, ẑ)`
+//!
+//! with `y/ŷ` the measured/predicted arRSSI sequences and `z/ẑ` the
+//! reference/predicted bit sequences. We use the *mean* (rather than sum)
+//! reduction for both terms so θ keeps the same meaning regardless of the
+//! sequence and key lengths.
+
+use crate::matrix::Matrix;
+
+/// Clamp for BCE probabilities, avoiding `ln(0)`.
+const EPS: f32 = 1e-7;
+
+/// Mean squared error (Eq. 4).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.data().len() as f32;
+    pred.data()
+        .iter()
+        .zip(target.data())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / n
+}
+
+/// Gradient of [`mse`] with respect to `pred`.
+pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.data().len() as f32;
+    pred.zip(target, move |p, t| 2.0 * (p - t) / n)
+}
+
+/// Binary cross-entropy (Eq. 5, mean reduction). `pred` must be in `(0,1)`
+/// (e.g. sigmoid outputs); values are clamped away from {0, 1}.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn bce(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "bce shape mismatch");
+    let n = pred.data().len() as f32;
+    pred.data()
+        .iter()
+        .zip(target.data())
+        .map(|(p, t)| {
+            let p = p.clamp(EPS, 1.0 - EPS);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum::<f32>()
+        / n
+}
+
+/// Gradient of [`bce`] with respect to `pred`.
+pub fn bce_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!(pred.shape(), target.shape(), "bce shape mismatch");
+    let n = pred.data().len() as f32;
+    pred.zip(target, move |p, t| {
+        let p = p.clamp(EPS, 1.0 - EPS);
+        (-(t / p) + (1.0 - t) / (1.0 - p)) / n
+    })
+}
+
+/// Class-weighted binary cross-entropy: the loss (and gradient) of positive
+/// targets is scaled by `pos_weight`. Used when the positive class is rare
+/// (e.g. sparse mismatch vectors in reconciliation) to keep the all-zeros
+/// prediction from being a local optimum.
+pub fn weighted_bce(pred: &Matrix, target: &Matrix, pos_weight: f32) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "bce shape mismatch");
+    let n = pred.data().len() as f32;
+    pred.data()
+        .iter()
+        .zip(target.data())
+        .map(|(p, t)| {
+            let p = p.clamp(EPS, 1.0 - EPS);
+            -(pos_weight * t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum::<f32>()
+        / n
+}
+
+/// Gradient of [`weighted_bce`] with respect to `pred`.
+pub fn weighted_bce_grad(pred: &Matrix, target: &Matrix, pos_weight: f32) -> Matrix {
+    assert_eq!(pred.shape(), target.shape(), "bce shape mismatch");
+    let n = pred.data().len() as f32;
+    pred.zip(target, move |p, t| {
+        let p = p.clamp(EPS, 1.0 - EPS);
+        (-(pos_weight * t / p) + (1.0 - t) / (1.0 - p)) / n
+    })
+}
+
+/// The paper's joint loss (Eq. 3): `θ·MSE(y,ŷ) + (1−θ)·BCE(z,ẑ)`.
+pub fn joint(theta: f32, y_pred: &Matrix, y: &Matrix, z_pred: &Matrix, z: &Matrix) -> f32 {
+    theta * mse(y_pred, y) + (1.0 - theta) * bce(z_pred, z)
+}
+
+/// Gradients of [`joint`] with respect to `(y_pred, z_pred)`.
+pub fn joint_grads(
+    theta: f32,
+    y_pred: &Matrix,
+    y: &Matrix,
+    z_pred: &Matrix,
+    z: &Matrix,
+) -> (Matrix, Matrix) {
+    (
+        mse_grad(y_pred, y).scale(theta),
+        bce_grad(z_pred, z).scale(1.0 - theta),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_rows(&[&[1.0, 3.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0]]);
+        assert!((mse(&p, &t) - 2.5).abs() < 1e-7); // (1+4)/2
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let p = Matrix::from_rows(&[&[0.3, -0.8, 1.2]]);
+        let t = Matrix::from_rows(&[&[0.1, 0.0, 1.0]]);
+        let g = mse_grad(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.set(0, i, p.get(0, i) + eps);
+            let mut pm = p.clone();
+            pm.set(0, i, p.get(0, i) - eps);
+            let fd = (mse(&pp, &t) - mse(&pm, &t)) / (2.0 * eps);
+            assert!((g.get(0, i) - fd).abs() < 1e-3, "i {i}");
+        }
+    }
+
+    #[test]
+    fn bce_perfect_prediction_near_zero() {
+        let p = Matrix::from_rows(&[&[0.9999, 0.0001]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0]]);
+        assert!(bce(&p, &t) < 1e-3);
+    }
+
+    #[test]
+    fn bce_wrong_prediction_is_large() {
+        let p = Matrix::from_rows(&[&[0.01]]);
+        let t = Matrix::from_rows(&[&[1.0]]);
+        assert!(bce(&p, &t) > 4.0);
+    }
+
+    #[test]
+    fn bce_handles_saturated_inputs() {
+        let p = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0]]);
+        assert!(bce(&p, &t).is_finite());
+        assert!(bce_grad(&p, &t).data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn bce_grad_matches_finite_difference() {
+        let p = Matrix::from_rows(&[&[0.3, 0.7, 0.5]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0, 1.0]]);
+        let g = bce_grad(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.set(0, i, p.get(0, i) + eps);
+            let mut pm = p.clone();
+            pm.set(0, i, p.get(0, i) - eps);
+            let fd = (bce(&pp, &t) - bce(&pm, &t)) / (2.0 * eps);
+            assert!((g.get(0, i) - fd).abs() < 1e-2, "i {i}: {} vs {fd}", g.get(0, i));
+        }
+    }
+
+    #[test]
+    fn joint_interpolates_between_terms() {
+        let yp = Matrix::from_rows(&[&[0.5]]);
+        let y = Matrix::from_rows(&[&[0.0]]);
+        let zp = Matrix::from_rows(&[&[0.5]]);
+        let z = Matrix::from_rows(&[&[1.0]]);
+        let at_one = joint(1.0, &yp, &y, &zp, &z);
+        let at_zero = joint(0.0, &yp, &y, &zp, &z);
+        assert!((at_one - mse(&yp, &y)).abs() < 1e-7);
+        assert!((at_zero - bce(&zp, &z)).abs() < 1e-7);
+        let mid = joint(0.5, &yp, &y, &zp, &z);
+        assert!((mid - 0.5 * (at_one + at_zero)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joint_grads_scale_with_theta() {
+        let yp = Matrix::from_rows(&[&[0.5]]);
+        let y = Matrix::from_rows(&[&[0.0]]);
+        let zp = Matrix::from_rows(&[&[0.4]]);
+        let z = Matrix::from_rows(&[&[1.0]]);
+        let (gy, gz) = joint_grads(0.9, &yp, &y, &zp, &z);
+        assert!((gy.get(0, 0) - 0.9 * mse_grad(&yp, &y).get(0, 0)).abs() < 1e-7);
+        let expected = 0.1 * bce_grad(&zp, &z).get(0, 0);
+        assert!((gz.get(0, 0) - expected).abs() < 1e-6);
+    }
+}

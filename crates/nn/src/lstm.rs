@@ -1,0 +1,315 @@
+//! LSTM layer with full backpropagation through time.
+//!
+//! Gate layout in the fused weight matrix is `[input, forget, candidate,
+//! output]`. Sequences are represented as `&[Matrix]` — one `batch × features`
+//! matrix per timestep — which keeps the shapes explicit and the BPTT loop
+//! readable.
+
+use crate::activation::sigmoid;
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-timestep forward cache needed by BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    /// `[x_t | h_{t-1}]`, shape B×(D+H).
+    concat: Matrix,
+    /// Input gate (post-sigmoid).
+    i: Matrix,
+    /// Forget gate (post-sigmoid).
+    f: Matrix,
+    /// Candidate (post-tanh).
+    g: Matrix,
+    /// Output gate (post-sigmoid).
+    o: Matrix,
+    /// Previous cell state.
+    c_prev: Matrix,
+    /// `tanh(c_t)`.
+    tanh_c: Matrix,
+}
+
+/// A single-layer LSTM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    /// Fused gate weights, (D+H)×4H.
+    w: Param,
+    /// Fused gate bias, 1×4H.
+    b: Param,
+    input: usize,
+    hidden: usize,
+    #[serde(skip)]
+    cache: Option<Vec<StepCache>>,
+}
+
+impl Lstm {
+    /// Create an LSTM with `input` features and `hidden` units. The forget
+    /// gate bias starts at 1 (standard trick for gradient flow early in
+    /// training).
+    pub fn new<R: Rng + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        let w = Matrix::xavier(input + hidden, 4 * hidden, rng);
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            b.set(0, c, 1.0);
+        }
+        Lstm { w: Param::new(w), b: Param::new(b), input, hidden, cache: None }
+    }
+
+    /// Input feature width.
+    pub fn input_size(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// One forward step from `(h, c)` with input `x` (B×D). Returns the new
+    /// `(h, c)` plus the cache entry.
+    fn step(&self, x: &Matrix, h: &Matrix, c: &Matrix) -> (Matrix, Matrix, StepCache) {
+        let concat = x.hcat(h);
+        let z = concat.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let (zi, rest) = z.hsplit(self.hidden);
+        let (zf, rest) = rest.hsplit(self.hidden);
+        let (zg, zo) = rest.hsplit(self.hidden);
+        let i = zi.map(sigmoid);
+        let f = zf.map(sigmoid);
+        let g = zg.map(|v| v.tanh());
+        let o = zo.map(sigmoid);
+        let c_new = f.hadamard(c).add(&i.hadamard(&g));
+        let tanh_c = c_new.map(|v| v.tanh());
+        let h_new = o.hadamard(&tanh_c);
+        let cache = StepCache { concat, i, f, g, o, c_prev: c.clone(), tanh_c };
+        (h_new, c_new, cache)
+    }
+
+    /// Forward over a sequence (`xs[t]` is B×D); returns the hidden states
+    /// (`B×H` per timestep) and stores the BPTT cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or feature width ≠ `input`.
+    pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
+        assert!(!xs.is_empty(), "empty sequence");
+        assert_eq!(xs[0].cols(), self.input, "input width mismatch");
+        let batch = xs[0].rows();
+        let mut h = Matrix::zeros(batch, self.hidden);
+        let mut c = Matrix::zeros(batch, self.hidden);
+        let mut outputs = Vec::with_capacity(xs.len());
+        let mut caches = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (h_new, c_new, cache) = self.step(x, &h, &c);
+            outputs.push(h_new.clone());
+            caches.push(cache);
+            h = h_new;
+            c = c_new;
+        }
+        self.cache = Some(caches);
+        outputs
+    }
+
+    /// Inference-only forward (no cache, `&self`).
+    pub fn infer(&self, xs: &[Matrix]) -> Vec<Matrix> {
+        assert!(!xs.is_empty(), "empty sequence");
+        let batch = xs[0].rows();
+        let mut h = Matrix::zeros(batch, self.hidden);
+        let mut c = Matrix::zeros(batch, self.hidden);
+        let mut outputs = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (h_new, c_new, _) = self.step(x, &h, &c);
+            outputs.push(h_new.clone());
+            h = h_new;
+            c = c_new;
+        }
+        outputs
+    }
+
+    /// BPTT: `grad_h[t]` is the loss gradient w.r.t. the hidden state at
+    /// step `t`. Accumulates parameter gradients and returns the gradients
+    /// w.r.t. the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Lstm::forward`] or with a mismatched
+    /// sequence length.
+    pub fn backward(&mut self, grad_h: &[Matrix]) -> Vec<Matrix> {
+        let caches = self.cache.take().expect("backward before forward");
+        assert_eq!(caches.len(), grad_h.len(), "sequence length mismatch");
+        let batch = grad_h[0].rows();
+        let mut dh_next = Matrix::zeros(batch, self.hidden);
+        let mut dc_next = Matrix::zeros(batch, self.hidden);
+        let mut grad_x = vec![Matrix::zeros(batch, self.input); caches.len()];
+        for t in (0..caches.len()).rev() {
+            let cache = &caches[t];
+            let dh = grad_h[t].add(&dh_next);
+            // h = o ⊙ tanh(c)
+            let do_gate = dh.hadamard(&cache.tanh_c);
+            let dc = dh
+                .hadamard(&cache.o)
+                .hadamard(&cache.tanh_c.map(|v| 1.0 - v * v))
+                .add(&dc_next);
+            let di = dc.hadamard(&cache.g);
+            let df = dc.hadamard(&cache.c_prev);
+            let dg = dc.hadamard(&cache.i);
+            // Pre-activation gradients.
+            let di_pre = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
+            let df_pre = df.hadamard(&cache.f.map(|v| v * (1.0 - v)));
+            let dg_pre = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
+            let do_pre = do_gate.hadamard(&cache.o.map(|v| v * (1.0 - v)));
+            let dz = di_pre.hcat(&df_pre).hcat(&dg_pre).hcat(&do_pre);
+            self.w.accumulate(&cache.concat.transpose().matmul(&dz));
+            self.b.accumulate(&dz.sum_rows());
+            let dconcat = dz.matmul(&self.w.value.transpose());
+            let (dx, dh_prev) = dconcat.hsplit(self.input);
+            grad_x[t] = dx;
+            dh_next = dh_prev;
+            dc_next = dc.hadamard(&cache.f);
+        }
+        grad_x
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// Visit all parameters (for the optimizer).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::max_rel_error;
+    use crate::loss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(rng: &mut StdRng, t: usize, b: usize, d: usize) -> Vec<Matrix> {
+        (0..t).map(|_| Matrix::xavier(b, d, rng)).collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut lstm = Lstm::new(3, 5, &mut rng);
+        let xs = seq(&mut rng, 7, 2, 3);
+        let hs = lstm.forward(&xs);
+        assert_eq!(hs.len(), 7);
+        assert!(hs.iter().all(|h| h.shape() == (2, 5)));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let mut lstm = Lstm::new(2, 4, &mut rng);
+        let xs = seq(&mut rng, 5, 3, 2);
+        assert_eq!(lstm.forward(&xs), lstm.infer(&xs));
+    }
+
+    #[test]
+    fn hidden_states_bounded_by_one() {
+        // h = o·tanh(c) with o ∈ (0,1) ⇒ |h| < 1.
+        let mut rng = StdRng::seed_from_u64(93);
+        let mut lstm = Lstm::new(1, 8, &mut rng);
+        let xs: Vec<Matrix> = (0..20).map(|i| Matrix::full(1, 1, (i as f32).sin() * 5.0)).collect();
+        for h in lstm.forward(&xs) {
+            assert!(h.data().iter().all(|v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn bptt_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let xs = seq(&mut rng, 4, 2, 2);
+        let target: Vec<Matrix> = (0..4).map(|_| Matrix::xavier(2, 3, &mut rng)).collect();
+        let xs2 = xs.clone();
+        let t2 = target.clone();
+        let xs3 = xs.clone();
+        let t3 = target.clone();
+        let err = max_rel_error(
+            &mut lstm,
+            move |l: &mut Lstm| {
+                let hs = l.infer(&xs2);
+                hs.iter().zip(&t2).map(|(h, t)| loss::mse(h, t)).sum::<f32>()
+            },
+            move |l: &mut Lstm| {
+                let hs = l.forward(&xs3);
+                l.zero_grad();
+                let grads: Vec<Matrix> =
+                    hs.iter().zip(&t3).map(|(h, t)| loss::mse_grad(h, t)).collect();
+                l.backward(&grads);
+            },
+            |l, f| l.visit_params(f),
+        );
+        assert!(err < 3e-2, "LSTM BPTT relative grad error {err}");
+    }
+
+    #[test]
+    fn input_gradient_shapes() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let xs = seq(&mut rng, 6, 2, 3);
+        let hs = lstm.forward(&xs);
+        lstm.zero_grad();
+        let grads: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 0.1)).collect();
+        let gx = lstm.backward(&grads);
+        assert_eq!(gx.len(), 6);
+        assert!(gx.iter().all(|g| g.shape() == (2, 3)));
+    }
+
+    #[test]
+    fn learns_to_remember_first_input() {
+        // Tiny task: output at the last step should equal the first input's
+        // sign. Tests that gradients flow through time.
+        let mut rng = StdRng::seed_from_u64(96);
+        let mut lstm = Lstm::new(1, 6, &mut rng);
+        let mut head = crate::dense::Dense::new(6, 1, crate::activation::Activation::Sigmoid, &mut rng);
+        let mut adam = crate::optim::Adam::new(0.02);
+        let mut final_loss = f32::MAX;
+        for epoch in 0..400 {
+            // Batch of 8 sequences, length 5; label = first input > 0.
+            let mut xs: Vec<Matrix> = Vec::new();
+            let mut first = Matrix::zeros(8, 1);
+            for t in 0..5 {
+                let m = Matrix::xavier(8, 1, &mut rng).scale(10.0);
+                if t == 0 {
+                    first = m.clone();
+                }
+                xs.push(m);
+            }
+            let labels = first.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+            let hs = lstm.forward(&xs);
+            let pred = head.forward(hs.last().unwrap());
+            let l = loss::bce(&pred, &labels);
+            lstm.zero_grad();
+            head.zero_grad();
+            let gh = head.backward(&loss::bce_grad(&pred, &labels));
+            let mut grads: Vec<Matrix> = hs
+                .iter()
+                .map(|h| Matrix::zeros(h.rows(), h.cols()))
+                .collect();
+            *grads.last_mut().unwrap() = gh;
+            lstm.backward(&grads);
+            lstm.visit_params(&mut |p| adam.update(p));
+            head.visit_params(&mut |p| adam.update(p));
+            adam.step();
+            if epoch >= 395 {
+                final_loss = final_loss.min(l);
+            }
+        }
+        assert!(final_loss < 0.3, "final loss {final_loss}");
+    }
+}

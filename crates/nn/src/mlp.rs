@@ -1,0 +1,179 @@
+//! Multilayer perceptron: a stack of [`Dense`] layers.
+//!
+//! Used by the autoencoder-based reconciliation model (Sec. IV-C), whose
+//! encoders and decoder are plain MLPs.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward stack of fully-connected layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build an MLP from layer widths and matching activations:
+    /// `sizes = [in, h1, ..., out]`, `activations.len() == sizes.len() - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or the activation count
+    /// doesn't match.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], activations: &[Activation], rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert_eq!(
+            activations.len(),
+            sizes.len() - 1,
+            "one activation per layer required"
+        );
+        let layers = sizes
+            .windows(2)
+            .zip(activations)
+            .map(|(w, &act)| Dense::new(w[0], w[1], act, rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.layers.first().unwrap().input_size()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().unwrap().output_size()
+    }
+
+    /// Forward pass with caching.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(&h);
+        }
+        h
+    }
+
+    /// Backward pass; returns the gradient w.r.t. the input.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Visit all parameters (for the optimizer).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::max_rel_error;
+    use crate::loss;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_counts() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let mlp = Mlp::new(
+            &[4, 8, 2],
+            &[Activation::Relu, Activation::Sigmoid],
+            &mut rng,
+        );
+        assert_eq!(mlp.input_size(), 4);
+        assert_eq!(mlp.output_size(), 2);
+        assert_eq!(mlp.param_count(), (4 * 8 + 8) + (8 * 2 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation per layer")]
+    fn rejects_activation_mismatch() {
+        let mut rng = StdRng::seed_from_u64(112);
+        Mlp::new(&[2, 2], &[], &mut rng);
+    }
+
+    #[test]
+    fn gradient_check_through_stack() {
+        let mut rng = StdRng::seed_from_u64(113);
+        let mut mlp = Mlp::new(
+            &[3, 5, 2],
+            &[Activation::Tanh, Activation::Identity],
+            &mut rng,
+        );
+        let x = Matrix::xavier(2, 3, &mut rng);
+        let t = Matrix::xavier(2, 2, &mut rng);
+        let (x2, t2) = (x.clone(), t.clone());
+        let err = max_rel_error(
+            &mut mlp,
+            move |m: &mut Mlp| loss::mse(&m.infer(&x), &t),
+            move |m: &mut Mlp| {
+                let y = m.forward(&x2);
+                m.zero_grad();
+                m.backward(&loss::mse_grad(&y, &t2));
+            },
+            |m, f| m.visit_params(f),
+        );
+        assert!(err < 2e-2, "MLP relative grad error {err}");
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(114);
+        let mut mlp = Mlp::new(
+            &[2, 8, 1],
+            &[Activation::Tanh, Activation::Sigmoid],
+            &mut rng,
+        );
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let t = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut adam = Adam::new(0.05);
+        for _ in 0..800 {
+            let y = mlp.forward(&x);
+            mlp.zero_grad();
+            mlp.backward(&loss::bce_grad(&y, &t));
+            mlp.visit_params(&mut |p| adam.update(p));
+            adam.step();
+        }
+        let y = mlp.infer(&x);
+        for (i, expect) in [0.0, 1.0, 1.0, 0.0].iter().enumerate() {
+            let p = y.get(i, 0);
+            assert!(
+                (p - expect).abs() < 0.2,
+                "xor row {i}: predicted {p}, want {expect}"
+            );
+        }
+    }
+}

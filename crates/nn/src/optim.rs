@@ -1,0 +1,122 @@
+//! Optimizers: Adam and plain SGD.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer (Kingma & Ba). Call [`Adam::update`] for each parameter
+/// after backward, then [`Adam::step`] once per batch to advance the
+/// bias-correction timestep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    t: i32,
+}
+
+impl Adam {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 1 }
+    }
+
+    /// Apply one Adam update to a parameter using its accumulated gradient.
+    pub fn update(&self, p: &mut Param) {
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        let bc1 = 1.0 - b1.powi(self.t);
+        let bc2 = 1.0 - b2.powi(self.t);
+        let n = p.value.data().len();
+        for i in 0..n {
+            let g = p.grad.data()[i];
+            let m = b1 * p.m.data()[i] + (1.0 - b1) * g;
+            let v = b2 * p.v.data()[i] + (1.0 - b2) * g * g;
+            p.m.data_mut()[i] = m;
+            p.v.data_mut()[i] = v;
+            let m_hat = m / bc1;
+            let v_hat = v / bc2;
+            p.value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Advance the timestep (call once per optimization step).
+    pub fn step(&mut self) {
+        self.t += 1;
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Apply one SGD update to a parameter.
+    pub fn update(&self, p: &mut Param) {
+        let n = p.value.data().len();
+        for i in 0..n {
+            let g = p.grad.data()[i];
+            p.value.data_mut()[i] -= self.lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        // Minimize f(x) = (x-3)², grad = 2(x-3).
+        let mut p = Param::new(Matrix::from_rows(&[&[0.0]]));
+        let sgd = Sgd::new(0.1);
+        for _ in 0..100 {
+            p.zero_grad();
+            let x = p.value.get(0, 0);
+            p.accumulate(&Matrix::from_rows(&[&[2.0 * (x - 3.0)]]));
+            sgd.update(&mut p);
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_quadratic_faster_than_tiny_sgd() {
+        let run_adam = |steps: usize| {
+            let mut p = Param::new(Matrix::from_rows(&[&[0.0]]));
+            let mut adam = Adam::new(0.2);
+            for _ in 0..steps {
+                p.zero_grad();
+                let x = p.value.get(0, 0);
+                p.accumulate(&Matrix::from_rows(&[&[2.0 * (x - 3.0)]]));
+                adam.update(&mut p);
+                adam.step();
+            }
+            p.value.get(0, 0)
+        };
+        assert!((run_adam(200) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn adam_step_size_bounded_by_lr() {
+        // Adam's per-step displacement is ≈ lr regardless of grad scale.
+        let mut p = Param::new(Matrix::from_rows(&[&[0.0]]));
+        let mut adam = Adam::new(0.01);
+        p.accumulate(&Matrix::from_rows(&[&[1.0e6]]));
+        adam.update(&mut p);
+        adam.step();
+        assert!(p.value.get(0, 0).abs() < 0.011);
+    }
+}

@@ -1,0 +1,79 @@
+//! Trainable parameters: value + gradient + optimizer state.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter with its accumulated gradient and Adam moment
+/// buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (zeroed by `zero_grad`).
+    pub grad: Matrix,
+    /// Adam first-moment buffer.
+    pub m: Matrix,
+    /// Adam second-moment buffer.
+    pub v: Matrix,
+}
+
+impl Param {
+    /// Wrap an initial value.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Reset the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        let (r, c) = self.value.shape();
+        self.grad = Matrix::zeros(r, c);
+    }
+
+    /// Accumulate a gradient contribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape does not match the value shape.
+    pub fn accumulate(&mut self, g: &Matrix) {
+        assert_eq!(g.shape(), self.value.shape(), "gradient shape mismatch");
+        self.grad = self.grad.add(g);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.data().len()
+    }
+
+    /// Whether the parameter is empty (zero-sized).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_adds() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.accumulate(&Matrix::from_rows(&[&[1.0, 2.0]]));
+        p.accumulate(&Matrix::from_rows(&[&[0.5, 0.5]]));
+        assert_eq!(p.grad.data(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn accumulate_rejects_wrong_shape() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.accumulate(&Matrix::zeros(2, 1));
+    }
+}

@@ -1,0 +1,580 @@
+//! Compact binary persistence for serde-serializable model types.
+//!
+//! The offline crate allowlist has no serde_json/bincode, so this module
+//! implements a minimal non-self-describing binary format over the serde
+//! data model: little-endian fixed-width numbers, `u64` length prefixes for
+//! sequences/strings/bytes, `u8` option tags, `u32` enum variant indices.
+//! Struct fields are written in declaration order without names — the
+//! format is only suitable for same-version round-trips (persisting trained
+//! weights), not long-term archives.
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Weights { layers: Vec<f32>, bias: f32 }
+//! let w = Weights { layers: vec![0.1, 0.2], bias: -1.0 };
+//! let bytes = nn::persist::to_bytes(&w).unwrap();
+//! let back: Weights = nn::persist::from_bytes(&bytes).unwrap();
+//! assert_eq!(back, w);
+//! ```
+
+use serde::de::{self, DeserializeSeed, SeqAccess, Visitor};
+use serde::ser::{self, SerializeSeq, SerializeStruct, SerializeTuple};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serialize a value to the compact binary format.
+///
+/// # Errors
+///
+/// Returns an error for unsupported shapes (maps, unsized sequences).
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::new();
+    value.serialize(&mut Writer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserialize a value previously written by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns an error when the bytes are truncated or malformed.
+pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, Error> {
+    let mut reader = Reader { input: bytes };
+    let value = T::deserialize(&mut reader)?;
+    if !reader.input.is_empty() {
+        return Err(Error(format!(
+            "{} trailing bytes after deserialization",
+            reader.input.len()
+        )));
+    }
+    Ok(value)
+}
+
+/// Serialize a value straight to a file.
+///
+/// # Errors
+///
+/// Propagates serialization and I/O errors.
+pub fn save_to_file<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), Error> {
+    let bytes = to_bytes(value)?;
+    std::fs::write(path, bytes).map_err(|e| Error(format!("write failed: {e}")))
+}
+
+/// Load a value previously written by [`save_to_file`].
+///
+/// # Errors
+///
+/// Propagates deserialization and I/O errors.
+pub fn load_from_file<T: serde::de::DeserializeOwned>(
+    path: impl AsRef<Path>,
+) -> Result<T, Error> {
+    let bytes = std::fs::read(path).map_err(|e| Error(format!("read failed: {e}")))?;
+    from_bytes_owned(&bytes)
+}
+
+/// Deserialize from a transient buffer (for `DeserializeOwned` types).
+///
+/// # Errors
+///
+/// Returns an error when the bytes are truncated or malformed.
+pub fn from_bytes_owned<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    from_bytes(bytes)
+}
+
+struct Writer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+macro_rules! ser_num {
+    ($f:ident, $t:ty) => {
+        fn $f(self, v: $t) -> Result<(), Error> {
+            self.out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut Writer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = ser::Impossible<(), Error>;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push(u8::from(v));
+        Ok(())
+    }
+    ser_num!(serialize_i8, i8);
+    ser_num!(serialize_i16, i16);
+    ser_num!(serialize_i32, i32);
+    ser_num!(serialize_i64, i64);
+    ser_num!(serialize_u8, u8);
+    ser_num!(serialize_u16, u16);
+    ser_num!(serialize_u32, u32);
+    ser_num!(serialize_u64, u64);
+    ser_num!(serialize_f32, f32);
+    ser_num!(serialize_f64, f64);
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.serialize_bytes(v.as_bytes())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        self.out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_u32(idx)
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.serialize_u32(idx)?;
+        value.serialize(&mut *self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, Error> {
+        let len = len.ok_or_else(|| ser::Error::custom("unknown sequence length"))?;
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+        Ok(self)
+    }
+    fn serialize_tuple(self, _: usize) -> Result<Self, Error> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(
+        self,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self::SerializeTupleStruct, Error> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self::SerializeTupleVariant, Error> {
+        self.out.extend_from_slice(&idx.to_le_bytes());
+        Ok(self)
+    }
+    fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Error> {
+        Err(ser::Error::custom("maps unsupported"))
+    }
+    fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self, Error> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self::SerializeStructVariant, Error> {
+        self.out.extend_from_slice(&idx.to_le_bytes());
+        Ok(self)
+    }
+}
+
+impl<'a, 'b> ser::SerializeTupleStruct for &'b mut Writer<'a> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeTupleVariant for &'b mut Writer<'a> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStructVariant for &'b mut Writer<'a> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), Error> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> SerializeSeq for &'b mut Writer<'a> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+impl<'a, 'b> SerializeTuple for &'b mut Writer<'a> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+impl<'a, 'b> SerializeStruct for &'b mut Writer<'a> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), Error> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+struct Reader<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Reader<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], Error> {
+        if self.input.len() < n {
+            return Err(de::Error::custom("unexpected end of input"));
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+    fn read_u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+macro_rules! de_num {
+    ($f:ident, $v:ident, $t:ty, $n:expr) => {
+        fn $f<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let bytes = self.take($n)?;
+            visitor.$v(<$t>::from_le_bytes(bytes.try_into().unwrap()))
+        }
+    };
+}
+
+impl<'de, 'b> de::Deserializer<'de> for &'b mut Reader<'de> {
+    type Error = Error;
+    fn deserialize_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, Error> {
+        Err(de::Error::custom("self-describing formats unsupported"))
+    }
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_bool(self.take(1)?[0] != 0)
+    }
+    de_num!(deserialize_i8, visit_i8, i8, 1);
+    de_num!(deserialize_i16, visit_i16, i16, 2);
+    de_num!(deserialize_i32, visit_i32, i32, 4);
+    de_num!(deserialize_i64, visit_i64, i64, 8);
+    de_num!(deserialize_u8, visit_u8, u8, 1);
+    de_num!(deserialize_u16, visit_u16, u16, 2);
+    de_num!(deserialize_u32, visit_u32, u32, 4);
+    de_num!(deserialize_u64, visit_u64, u64, 8);
+    de_num!(deserialize_f32, visit_f32, f32, 4);
+    de_num!(deserialize_f64, visit_f64, f64, 8);
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let bytes = self.take(4)?;
+        let code = u32::from_le_bytes(bytes.try_into().unwrap());
+        visitor
+            .visit_char(char::from_u32(code).ok_or_else(|| {
+                <Error as de::Error>::custom("invalid char")
+            })?)
+    }
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let len = self.read_u64()? as usize;
+        let bytes = self.take(len)?;
+        visitor.visit_str(
+            std::str::from_utf8(bytes)
+                .map_err(|_| <Error as de::Error>::custom("invalid utf8"))?,
+        )
+    }
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_str(visitor)
+    }
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let len = self.read_u64()? as usize;
+        visitor.visit_bytes(self.take(len)?)
+    }
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_bytes(visitor)
+    }
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        if self.take(1)?[0] == 0 {
+            visitor.visit_none()
+        } else {
+            visitor.visit_some(self)
+        }
+    }
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_unit()
+    }
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_unit()
+    }
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_newtype_struct(self)
+    }
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let len = self.read_u64()? as usize;
+        visitor.visit_seq(Seq { reader: self, remaining: len })
+    }
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_seq(Seq { reader: self, remaining: len })
+    }
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_tuple(len, visitor)
+    }
+    fn deserialize_map<V: Visitor<'de>>(self, _: V) -> Result<V::Value, Error> {
+        Err(de::Error::custom("maps unsupported"))
+    }
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        _: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_enum(Enum { reader: self })
+    }
+    fn deserialize_identifier<V: Visitor<'de>>(self, _: V) -> Result<V::Value, Error> {
+        Err(de::Error::custom("identifiers unsupported"))
+    }
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, Error> {
+        Err(de::Error::custom("ignored_any unsupported"))
+    }
+}
+
+struct Seq<'de, 'b> {
+    reader: &'b mut Reader<'de>,
+    remaining: usize,
+}
+
+impl<'de, 'b> SeqAccess<'de> for Seq<'de, 'b> {
+    type Error = Error;
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Error> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.reader).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct Enum<'de, 'b> {
+    reader: &'b mut Reader<'de>,
+}
+
+impl<'de, 'b> de::EnumAccess<'de> for Enum<'de, 'b> {
+    type Error = Error;
+    type Variant = Self;
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self), Error> {
+        let idx = u32::from_le_bytes(self.reader.take(4)?.try_into().unwrap());
+        let value = seed.deserialize(de::value::U32Deserializer::<Error>::new(idx))?;
+        Ok((value, self))
+    }
+}
+
+impl<'de, 'b> de::VariantAccess<'de> for Enum<'de, 'b> {
+    type Error = Error;
+    fn unit_variant(self) -> Result<(), Error> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, Error> {
+        seed.deserialize(self.reader)
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
+        use serde::Deserializer;
+        self.reader.deserialize_tuple(len, visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        use serde::Deserializer;
+        self.reader.deserialize_tuple(fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::{Dense, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn primitive_round_trips() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct All {
+            a: bool,
+            b: i32,
+            c: u64,
+            d: f64,
+            e: String,
+            f: Option<u8>,
+            g: Option<u8>,
+            h: Vec<f32>,
+        }
+        let v = All {
+            a: true,
+            b: -77,
+            c: u64::MAX,
+            d: std::f64::consts::PI,
+            e: "vehicle-key".into(),
+            f: Some(3),
+            g: None,
+            h: vec![1.0, -2.5],
+        };
+        let bytes = to_bytes(&v).unwrap();
+        assert_eq!(from_bytes::<All>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn enum_round_trip() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        enum E {
+            A,
+            B(u32),
+            C { x: f32 },
+        }
+        for v in [E::A, E::B(9), E::C { x: 1.5 }] {
+            let bytes = to_bytes(&v).unwrap();
+            assert_eq!(from_bytes::<E>(&bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn dense_layer_round_trips_through_file() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Dense::new(4, 3, Activation::Tanh, &mut rng);
+        let dir = std::env::temp_dir().join("vk_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dense.bin");
+        save_to_file(&layer, &path).unwrap();
+        let restored: Dense = load_from_file(&path).unwrap();
+        let x = Matrix::xavier(2, 4, &mut rng);
+        assert_eq!(layer.infer(&x), restored.infer(&x));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&vec![1.0f32, 2.0]).unwrap();
+        assert!(from_bytes::<Vec<f32>>(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Training utilities: learning-rate schedules, gradient clipping, early
+//! stopping.
+//!
+//! The layers expose raw forward/backward; these helpers capture the
+//! recurring training-loop policies so model crates don't re-implement
+//! them.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps the epoch index to a multiplier on the
+/// base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Decay factor per step.
+        gamma: f32,
+    },
+    /// Linear warmup over `warmup` epochs, then constant.
+    Warmup {
+        /// Warmup length in epochs.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at `epoch` (0-based).
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => {
+                gamma.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || epoch >= warmup {
+                    1.0
+                } else {
+                    (epoch + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+}
+
+/// Clip a parameter's gradient to a maximum global L2 norm. Returns the
+/// pre-clip norm. Standard defence against exploding BPTT gradients.
+pub fn clip_grad_norm(param: &mut Param, max_norm: f32) -> f32 {
+    let norm = param.grad.norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in param.grad.data_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+/// Early-stopping tracker: signals when the validation loss has not
+/// improved for `patience` consecutive checks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlyStopping {
+    best: f32,
+    since_best: usize,
+    /// Checks without improvement before stopping.
+    pub patience: usize,
+    /// Minimum improvement to count as progress.
+    pub min_delta: f32,
+}
+
+impl EarlyStopping {
+    /// Tracker with the given patience and a small default delta.
+    pub fn new(patience: usize) -> Self {
+        EarlyStopping { best: f32::MAX, since_best: 0, patience, min_delta: 1e-5 }
+    }
+
+    /// Record a validation loss; returns `true` when training should stop.
+    pub fn should_stop(&mut self, val_loss: f32) -> bool {
+        if val_loss < self.best - self.min_delta {
+            self.best = val_loss;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        self.since_best >= self.patience
+    }
+
+    /// The best validation loss seen so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn schedules() {
+        assert_eq!(LrSchedule::Constant.factor(100), 1.0);
+        let step = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(step.factor(0), 1.0);
+        assert_eq!(step.factor(10), 0.5);
+        assert_eq!(step.factor(25), 0.25);
+        let warm = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(warm.factor(0), 0.25);
+        assert_eq!(warm.factor(3), 1.0);
+        assert_eq!(warm.factor(10), 1.0);
+    }
+
+    #[test]
+    fn clipping_preserves_direction() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.accumulate(&Matrix::from_rows(&[&[3.0, 4.0]])); // norm 5
+        let pre = clip_grad_norm(&mut p, 1.0);
+        assert_eq!(pre, 5.0);
+        assert!((p.grad.norm() - 1.0).abs() < 1e-6);
+        // Direction preserved: 3:4 ratio.
+        let g = p.grad.data();
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-6);
+        // Under the limit: untouched.
+        let pre2 = clip_grad_norm(&mut p, 10.0);
+        assert!((pre2 - 1.0).abs() < 1e-6);
+        assert!((p.grad.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn early_stopping_waits_for_patience() {
+        let mut es = EarlyStopping::new(2);
+        assert!(!es.should_stop(1.0));
+        assert!(!es.should_stop(0.5)); // improving
+        assert!(!es.should_stop(0.6)); // 1 without improvement
+        assert!(es.should_stop(0.7)); // 2 without improvement
+        assert_eq!(es.best(), 0.5);
+    }
+}

@@ -1,0 +1,284 @@
+//! Bit-packed bit strings with the operations key generation needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A bit string, packed 8 bits per byte (MSB-first within each byte).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BitString {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitString {
+    /// Empty bit string.
+    pub fn new() -> Self {
+        BitString::default()
+    }
+
+    /// All-zero bit string of the given length.
+    pub fn zeros(len: usize) -> Self {
+        BitString { bytes: vec![0; len.div_ceil(8)], len }
+    }
+
+    /// Build from booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut s = BitString::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.set(i, true);
+            }
+        }
+        s
+    }
+
+    /// Build from `0.0/1.0`-ish floats by thresholding at 0.5 (used to read
+    /// the sigmoid quantization head's output).
+    pub fn from_soft(values: &[f32]) -> Self {
+        BitString::from_bools(&values.iter().map(|&v| v >= 0.5).collect::<Vec<_>>())
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.bytes[i / 8] & (0x80 >> (i % 8)) != 0
+    }
+
+    /// Set bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        if v {
+            self.bytes[i / 8] |= 0x80 >> (i % 8);
+        } else {
+            self.bytes[i / 8] &= !(0x80 >> (i % 8));
+        }
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, v: bool) {
+        if self.len % 8 == 0 {
+            self.bytes.push(0);
+        }
+        self.len += 1;
+        let i = self.len - 1;
+        if v {
+            self.bytes[i / 8] |= 0x80 >> (i % 8);
+        }
+    }
+
+    /// Append all bits of another string.
+    pub fn extend(&mut self, other: &BitString) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Iterate over bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Bits as a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Bits as `0.0/1.0` floats (neural-network input encoding).
+    pub fn to_floats(&self) -> Vec<f32> {
+        self.iter().map(|b| if b { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// The packed bytes (the final byte's unused low bits are zero).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor(&self, other: &BitString) -> BitString {
+        assert_eq!(self.len, other.len, "xor length mismatch");
+        BitString {
+            bytes: self
+                .bytes
+                .iter()
+                .zip(&other.bytes)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Hamming distance to another string of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn hamming(&self, other: &BitString) -> usize {
+        self.xor(other)
+            .bytes
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum()
+    }
+
+    /// Fraction of agreeing bits (the paper's *key agreement rate* at the
+    /// bit level). Returns 1.0 for two empty strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn agreement(&self, other: &BitString) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        1.0 - self.hamming(other) as f64 / self.len as f64
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.bytes.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// A sub-string of bits `[start, start+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the string.
+    pub fn slice(&self, start: usize, len: usize) -> BitString {
+        assert!(start + len <= self.len, "slice out of range");
+        let mut out = BitString::zeros(len);
+        for i in 0..len {
+            out.set(i, self.get(start + i));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for BitString {
+    /// Binary rendering, e.g. `1011`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut s = BitString::new();
+        for b in iter {
+            s.push(b);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_round_trip() {
+        let mut s = BitString::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            s.push(b);
+        }
+        assert_eq!(s.len(), 9);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(s.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn from_bools_and_display() {
+        let s = BitString::from_bools(&[true, false, true, true]);
+        assert_eq!(s.to_string(), "1011");
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a = BitString::from_bools(&[true, false, true, false]);
+        let b = BitString::from_bools(&[true, true, false, false]);
+        assert_eq!(a.xor(&b).to_string(), "0110");
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.agreement(&b), 0.5);
+        assert_eq!(a.agreement(&a), 1.0);
+    }
+
+    #[test]
+    fn xor_self_inverse() {
+        let a = BitString::from_bools(&[true, false, true, true, false]);
+        let b = BitString::from_bools(&[false, false, true, false, true]);
+        assert_eq!(a.xor(&b).xor(&b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        BitString::zeros(3).xor(&BitString::zeros(4));
+    }
+
+    #[test]
+    fn slice_and_extend() {
+        let a = BitString::from_bools(&[true, false, true, true, false, true]);
+        let s = a.slice(2, 3);
+        assert_eq!(s.to_string(), "110");
+        let mut b = a.slice(0, 2);
+        b.extend(&s);
+        assert_eq!(b.to_string(), "10110");
+    }
+
+    #[test]
+    fn from_soft_thresholds() {
+        let s = BitString::from_soft(&[0.9, 0.1, 0.5, 0.49]);
+        assert_eq!(s.to_string(), "1010");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let s = BitString::from_bools(&[true, false, true]);
+        assert_eq!(s.to_floats(), vec![1.0, 0.0, 1.0]);
+        assert_eq!(BitString::from_soft(&s.to_floats()), s);
+    }
+
+    #[test]
+    fn count_ones_ignores_padding() {
+        let mut s = BitString::zeros(9);
+        s.set(8, true);
+        assert_eq!(s.count_ones(), 1);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: BitString = [true, true, false].into_iter().collect();
+        assert_eq!(s.to_string(), "110");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitString::zeros(8).get(8);
+    }
+}

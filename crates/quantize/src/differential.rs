@@ -1,0 +1,125 @@
+//! Differential quantizer: bits from the *sign of consecutive differences*.
+//!
+//! A classic alternative (e.g. Mathur et al.'s level-crossing relatives):
+//! instead of comparing samples against thresholds, encode whether the
+//! series went up or down between consecutive samples, dropping moves
+//! smaller than a hysteresis margin. Differencing is inherently
+//! trend-immune — a useful property on vehicular channels — at the cost of
+//! correlating adjacent bits (each sample participates in two
+//! differences).
+
+use crate::bits::BitString;
+use crate::multibit::QuantizeOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Sign-of-difference quantizer with hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DifferentialQuantizer {
+    /// Minimum |Δ| (same unit as the series, e.g. dB) for a difference to
+    /// produce a bit; smaller moves are dropped.
+    pub hysteresis: f64,
+}
+
+impl DifferentialQuantizer {
+    /// Quantizer with the given hysteresis margin.
+    pub fn new(hysteresis: f64) -> Self {
+        DifferentialQuantizer { hysteresis }
+    }
+
+    /// Quantize a series: bit `i` encodes `series[i+1] > series[i]`; the
+    /// kept indices refer to the *difference* positions (0-based, so index
+    /// `i` is the pair `(i, i+1)`).
+    pub fn quantize(&self, series: &[f64]) -> QuantizeOutcome {
+        let mut bits = BitString::new();
+        let mut kept = Vec::new();
+        for (i, w) in series.windows(2).enumerate() {
+            let delta = w[1] - w[0];
+            if delta.abs() >= self.hysteresis {
+                bits.push(delta > 0.0);
+                kept.push(i);
+            }
+        }
+        QuantizeOutcome { bits, kept }
+    }
+
+    /// Quantize on an agreed kept set (no hysteresis re-applied; ties break
+    /// to 0).
+    pub fn quantize_with_kept(&self, series: &[f64], kept: &[usize]) -> BitString {
+        let mut bits = BitString::new();
+        for &i in kept {
+            if i + 1 < series.len() {
+                bits.push(series[i + 1] - series[i] > 0.0);
+            }
+        }
+        bits
+    }
+}
+
+impl Default for DifferentialQuantizer {
+    fn default() -> Self {
+        DifferentialQuantizer::new(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multibit::intersect_kept;
+
+    #[test]
+    fn encodes_direction() {
+        let series = [0.0, 2.0, 1.0, 3.0, 3.1];
+        let q = DifferentialQuantizer::new(0.5);
+        let out = q.quantize(&series);
+        // Differences: +2 (keep, 1), −1 (keep, 0), +2 (keep, 1), +0.1 (drop).
+        assert_eq!(out.bits.to_string(), "101");
+        assert_eq!(out.kept, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hysteresis_drops_small_moves() {
+        let series = [0.0, 0.1, 0.2, 5.0];
+        let loose = DifferentialQuantizer::new(0.05).quantize(&series);
+        let strict = DifferentialQuantizer::new(1.0).quantize(&series);
+        assert_eq!(loose.bits.len(), 3);
+        assert_eq!(strict.bits.len(), 1);
+    }
+
+    #[test]
+    fn trend_immune() {
+        // A pure linear ramp: the differences are constant, so both parties
+        // always agree regardless of the ramp's slope.
+        let a: Vec<f64> = (0..50).map(|i| i as f64 * 2.0).collect();
+        let b: Vec<f64> = (0..50).map(|i| i as f64 * 2.0 - 40.0).collect();
+        let q = DifferentialQuantizer::new(0.5);
+        let oa = q.quantize(&a);
+        let ob = q.quantize(&b);
+        let kept = intersect_kept(&oa.kept, &ob.kept);
+        assert_eq!(
+            q.quantize_with_kept(&a, &kept),
+            q.quantize_with_kept(&b, &kept)
+        );
+    }
+
+    #[test]
+    fn correlated_series_agree() {
+        let base: Vec<f64> = (0..200).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        let noisy: Vec<f64> = base.iter().map(|v| v + 0.1 * (v * 3.0).sin()).collect();
+        let q = DifferentialQuantizer::new(1.0);
+        let oa = q.quantize(&base);
+        let ob = q.quantize(&noisy);
+        let kept = intersect_kept(&oa.kept, &ob.kept);
+        let agreement = q
+            .quantize_with_kept(&base, &kept)
+            .agreement(&q.quantize_with_kept(&noisy, &kept));
+        assert!(agreement > 0.97, "agreement {agreement}");
+    }
+
+    #[test]
+    fn kept_indices_out_of_range_ignored() {
+        let series = [1.0, 2.0];
+        let q = DifferentialQuantizer::default();
+        let bits = q.quantize_with_kept(&series, &[0, 5, 9]);
+        assert_eq!(bits.len(), 1);
+    }
+}

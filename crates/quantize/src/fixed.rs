@@ -1,0 +1,234 @@
+//! Fixed-threshold multi-bit quantizer over standardized values.
+//!
+//! Block-local quantile thresholds (as in [`crate::MultiBitQuantizer`])
+//! exist to track the large-scale RSSI trend. When the feature stream is
+//! already detrended (Vehicle-Key subtracts the public per-round baseline),
+//! the equivalent — and much simpler — quantizer z-scores the window once
+//! and cuts at the **standard-normal quantiles**: each sample's bits become
+//! a fixed function of its own standardized value, which is what lets the
+//! model's quantization head (a smooth map per value) reproduce them
+//! exactly. Gray coding keeps adjacent-bin errors to a single bit, and a
+//! guard band in σ units drops samples near a threshold.
+
+use crate::bits::BitString;
+use crate::gray;
+use crate::multibit::QuantizeOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Standard-normal quantile function (Acklam's rational approximation,
+/// |ε| < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit domain is (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -probit(1.0 - p)
+    }
+}
+
+/// Fixed-threshold quantizer over z-scored windows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedQuantizer {
+    /// Bits per kept sample (`m`; bins = `2^m`).
+    pub bits_per_sample: usize,
+    /// Guard-band half-width around each threshold, in σ units (0 disables
+    /// dropping).
+    pub guard_z: f64,
+}
+
+impl FixedQuantizer {
+    /// Quantizer with `m` bits/sample and a 0.1 σ guard band.
+    pub fn new(bits_per_sample: usize) -> Self {
+        FixedQuantizer { bits_per_sample, guard_z: 0.1 }
+    }
+
+    /// Builder-style override of the guard band.
+    pub fn with_guard_z(mut self, g: f64) -> Self {
+        self.guard_z = g;
+        self
+    }
+
+    /// The bin thresholds in σ units (`2^m − 1` of them).
+    pub fn thresholds(&self) -> Vec<f64> {
+        let bins = 1usize << self.bits_per_sample;
+        (1..bins).map(|k| probit(k as f64 / bins as f64)).collect()
+    }
+
+    /// Z-score a window (population std, floored for constant windows).
+    pub fn zscores(window: &[f64]) -> Vec<f64> {
+        let n = window.len() as f64;
+        let mean = window.iter().sum::<f64>() / n;
+        let var = window.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-9);
+        window.iter().map(|x| (x - mean) / std).collect()
+    }
+
+    /// Quantize a window, dropping guard-band samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sample` is 0 or > 8.
+    pub fn quantize(&self, window: &[f64]) -> QuantizeOutcome {
+        self.run(window, None)
+    }
+
+    /// Quantize on an agreed kept-index set (guard not re-applied).
+    pub fn quantize_with_kept(&self, window: &[f64], kept: &[usize]) -> BitString {
+        self.run(window, Some(kept)).bits
+    }
+
+    fn run(&self, window: &[f64], forced_kept: Option<&[usize]>) -> QuantizeOutcome {
+        assert!(
+            (1..=8).contains(&self.bits_per_sample),
+            "bits_per_sample must be 1..=8"
+        );
+        let thresholds = self.thresholds();
+        let z = Self::zscores(window);
+        let mut bits = BitString::new();
+        let mut kept = Vec::new();
+        for (idx, &v) in z.iter().enumerate() {
+            let keep = match forced_kept {
+                Some(forced) => forced.binary_search(&idx).is_ok(),
+                None => !thresholds.iter().any(|&t| (v - t).abs() < self.guard_z),
+            };
+            if !keep {
+                continue;
+            }
+            let bin = thresholds.iter().filter(|&&t| v >= t).count() as u32;
+            for b in gray::encode_bits(bin, self.bits_per_sample) {
+                bits.push(b);
+            }
+            kept.push(idx);
+        }
+        QuantizeOutcome { bits, kept }
+    }
+}
+
+impl Default for FixedQuantizer {
+    fn default() -> Self {
+        FixedQuantizer::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probit_known_values() {
+        assert!((probit(0.5)).abs() < 1e-9);
+        assert!((probit(0.75) - 0.674_489_75).abs() < 1e-6);
+        assert!((probit(0.25) + 0.674_489_75).abs() < 1e-6);
+        assert!((probit(0.975) - 1.959_963_98).abs() < 1e-6);
+        assert!((probit(0.001) + 3.090_232_3).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probit domain")]
+    fn probit_rejects_boundary() {
+        probit(0.0);
+    }
+
+    #[test]
+    fn quartile_thresholds_for_two_bits() {
+        let q = FixedQuantizer::new(2);
+        let t = q.thresholds();
+        assert_eq!(t.len(), 3);
+        assert!((t[0] + 0.6745).abs() < 1e-3);
+        assert!(t[1].abs() < 1e-9);
+        assert!((t[2] - 0.6745).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zscores_standardize() {
+        let z = FixedQuantizer::zscores(&[1.0, 2.0, 3.0, 4.0]);
+        let mean: f64 = z.iter().sum::<f64>() / 4.0;
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_values_hit_extreme_bins() {
+        let q = FixedQuantizer::new(2).with_guard_z(0.0);
+        let window = [-10.0, -1.0, 1.0, 10.0];
+        let out = q.quantize(&window);
+        assert_eq!(out.kept.len(), 4);
+        // Bin of the largest value is 3 → gray 10; smallest is 0 → 00.
+        assert!(!out.bits.get(0) && !out.bits.get(1)); // -10 → bin 0
+        assert!(out.bits.get(6) && !out.bits.get(7)); // +10 → bin 3 (gray 10)
+    }
+
+    #[test]
+    fn guard_band_drops_near_threshold_values() {
+        let q = FixedQuantizer::new(1).with_guard_z(0.3);
+        // Values straddling the single threshold (0) closely and loosely.
+        let window = [-2.0, -0.1, 0.1, 2.0, -1.5, 1.5, 0.05, -0.05];
+        let out = q.quantize(&window);
+        // After z-scoring the near-zero values stay near zero → dropped.
+        assert!(out.kept.len() < 8);
+        assert!(!out.kept.is_empty());
+    }
+
+    #[test]
+    fn correlated_windows_agree() {
+        // Same values + small noise → high agreement with guards.
+        let base: Vec<f64> = (0..64).map(|i| ((i * 37 % 64) as f64 - 32.0) / 8.0).collect();
+        let noisy: Vec<f64> = base.iter().map(|&v| v + 0.05 * ((v * 7.0).sin())).collect();
+        let q = FixedQuantizer::new(2).with_guard_z(0.15);
+        let ob = q.quantize(&base);
+        let kb = q.quantize_with_kept(&noisy, &ob.kept);
+        assert!(ob.bits.agreement(&kb) > 0.95);
+    }
+
+    #[test]
+    fn bits_count_matches_kept() {
+        let window: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        for m in 1..=3 {
+            let q = FixedQuantizer::new(m).with_guard_z(0.1);
+            let out = q.quantize(&window);
+            assert_eq!(out.bits.len(), out.kept.len() * m);
+        }
+    }
+}

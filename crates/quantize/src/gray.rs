@@ -1,0 +1,64 @@
+//! Gray-code helpers.
+//!
+//! Multi-bit quantizers map each sample to the index of its quantile bin;
+//! encoding the index in Gray code guarantees that a sample landing one bin
+//! off at the other party costs exactly **one** bit error instead of up to
+//! `m` — the property that makes multi-bit quantization reconcilable.
+
+/// Gray code of `n`.
+pub fn encode(n: u32) -> u32 {
+    n ^ (n >> 1)
+}
+
+/// Inverse of [`encode`] (prefix-XOR from the most significant bit down).
+pub fn decode(g: u32) -> u32 {
+    let mut value = 0;
+    let mut acc = 0;
+    for bit in (0..32).rev() {
+        acc ^= (g >> bit) & 1;
+        value |= acc << bit;
+    }
+    value
+}
+
+/// The `m` low bits of the Gray code of `n`, MSB first.
+pub fn encode_bits(n: u32, m: usize) -> Vec<bool> {
+    let g = encode(n);
+    (0..m).rev().map(|i| (g >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_sequence() {
+        let expected = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+        for (n, &g) in expected.iter().enumerate() {
+            assert_eq!(encode(n as u32), g, "gray({n})");
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        for n in 0..1000 {
+            assert_eq!(decode(encode(n)), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn adjacent_codes_differ_by_one_bit() {
+        for n in 0..255u32 {
+            let d = (encode(n) ^ encode(n + 1)).count_ones();
+            assert_eq!(d, 1, "gray({n}) vs gray({})", n + 1);
+        }
+    }
+
+    #[test]
+    fn encode_bits_msb_first() {
+        // gray(3) = 0b010 over 3 bits.
+        assert_eq!(encode_bits(3, 3), vec![false, true, false]);
+        // gray(1) = 0b01 over 2 bits.
+        assert_eq!(encode_bits(1, 2), vec![false, true]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Guard-band two-threshold quantizer (LoRa-Key, the paper's reference \[8\]).
+//!
+//! Block-wise thresholds `mean ± α·σ`: samples above the upper threshold map
+//! to 1, below the lower to 0, and samples inside the guard band are
+//! dropped. `α` is the LoRa-Key tuning knob the paper sets to 0.8 in the
+//! comparison (Sec. V-F).
+
+use crate::bits::BitString;
+use crate::multibit::QuantizeOutcome;
+use serde::{Deserialize, Serialize};
+
+/// The LoRa-Key quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardBandQuantizer {
+    /// Guard-band ratio `α` (threshold offset in units of the block σ).
+    pub alpha: f64,
+    /// Samples per adaptive block.
+    pub block_size: usize,
+}
+
+impl GuardBandQuantizer {
+    /// Quantizer with the given `α` and 64-sample blocks.
+    pub fn new(alpha: f64) -> Self {
+        GuardBandQuantizer { alpha, block_size: 64 }
+    }
+
+    /// Builder-style override of the block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Quantize a series; samples in the guard band are dropped and the kept
+    /// indices reported.
+    pub fn quantize(&self, series: &[f64]) -> QuantizeOutcome {
+        self.run(series, None)
+    }
+
+    /// Quantize on an agreed kept-index set (bit decided by the block mean).
+    pub fn quantize_with_kept(&self, series: &[f64], kept: &[usize]) -> BitString {
+        self.run(series, Some(kept)).bits
+    }
+
+    fn run(&self, series: &[f64], forced_kept: Option<&[usize]>) -> QuantizeOutcome {
+        let mut bits = BitString::new();
+        let mut kept = Vec::new();
+        let block = self.block_size.max(2);
+        for (block_idx, chunk) in series.chunks(block).enumerate() {
+            let base = block_idx * block;
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let sigma = (chunk.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / chunk.len() as f64)
+                .sqrt();
+            let upper = mean + self.alpha * sigma;
+            let lower = mean - self.alpha * sigma;
+            for (j, &x) in chunk.iter().enumerate() {
+                let idx = base + j;
+                match forced_kept {
+                    Some(forced) => {
+                        if forced.binary_search(&idx).is_ok() {
+                            bits.push(x >= mean);
+                            kept.push(idx);
+                        }
+                    }
+                    None => {
+                        if x > upper {
+                            bits.push(true);
+                            kept.push(idx);
+                        } else if x < lower {
+                            bits.push(false);
+                            kept.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+        QuantizeOutcome { bits, kept }
+    }
+}
+
+impl Default for GuardBandQuantizer {
+    /// The paper's comparison setting: `α = 0.8`.
+    fn default() -> Self {
+        GuardBandQuantizer::new(0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multibit::intersect_kept;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn noisy_pair(n: usize, noise: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        let mut level: f64 = -80.0;
+        for _ in 0..n {
+            level += (rng.random::<f64>() - 0.5) * 4.0;
+            a.push(level + (rng.random::<f64>() - 0.5) * noise);
+            b.push(level + (rng.random::<f64>() - 0.5) * noise);
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn one_bit_per_kept_sample() {
+        let (a, _) = noisy_pair(256, 0.5, 11);
+        let out = GuardBandQuantizer::default().quantize(&a);
+        assert_eq!(out.bits.len(), out.kept.len());
+    }
+
+    #[test]
+    fn larger_alpha_keeps_fewer_samples() {
+        let (a, _) = noisy_pair(512, 0.5, 12);
+        let loose = GuardBandQuantizer::new(0.2).quantize(&a).kept.len();
+        let strict = GuardBandQuantizer::new(1.2).quantize(&a).kept.len();
+        assert!(strict < loose, "{strict} !< {loose}");
+    }
+
+    #[test]
+    fn larger_alpha_improves_agreement() {
+        let (a, b) = noisy_pair(4096, 2.0, 13);
+        let agree = |alpha: f64| {
+            let q = GuardBandQuantizer::new(alpha);
+            let oa = q.quantize(&a);
+            let ob = q.quantize(&b);
+            let kept = intersect_kept(&oa.kept, &ob.kept);
+            q.quantize_with_kept(&a, &kept)
+                .agreement(&q.quantize_with_kept(&b, &kept))
+        };
+        assert!(agree(1.0) > agree(0.1), "{} !> {}", agree(1.0), agree(0.1));
+    }
+
+    #[test]
+    fn extreme_samples_map_to_expected_bits() {
+        // One block: values straddling the mean with wide spread.
+        let series = vec![-100.0, -100.0, -100.0, -60.0, -60.0, -60.0];
+        let q = GuardBandQuantizer::new(0.5).with_block_size(6);
+        let out = q.quantize(&series);
+        // Low values → 0, high values → 1.
+        for (i, &idx) in out.kept.iter().enumerate() {
+            assert_eq!(out.bits.get(i), series[idx] > -80.0);
+        }
+    }
+
+    #[test]
+    fn identical_series_agree() {
+        let (a, _) = noisy_pair(512, 0.5, 14);
+        let q = GuardBandQuantizer::default();
+        let oa = q.quantize(&a);
+        let ob = q.quantize(&a);
+        assert_eq!(oa.bits, ob.bits);
+    }
+}

@@ -1,0 +1,41 @@
+//! Quantization algorithms for physical-layer key generation.
+//!
+//! Converts channel-measurement series (arRSSI values) into bit strings.
+//! Three quantizers are provided, matching the schemes compared in the
+//! paper's evaluation:
+//!
+//! * [`MultiBitQuantizer`] — the adaptive-secret-bit-generation quantizer of
+//!   Jana et al. (paper reference \[2\]); block-local quantile thresholds,
+//!   multiple bits per sample with **Gray coding**, and guard-band dropping.
+//!   This is what Bob runs in Vehicle-Key (Sec. IV-B).
+//! * [`GuardBandQuantizer`] — the `mean ± α·σ` two-threshold quantizer used
+//!   by LoRa-Key (Xu et al., reference \[8\]); 1 bit/sample with a tunable
+//!   guard-band ratio `α`.
+//! * [`MeanQuantizer`] — the single-threshold baseline.
+//! * [`FixedQuantizer`] — fixed normal-quantile thresholds over z-scored
+//!   windows; equivalent to block-local quantiles once the stream is
+//!   detrended, and the form Vehicle-Key's Bob runs (see the crate's
+//!   `fixed` module docs).
+//!
+//! Quantizers that drop samples report the kept indices so the two parties
+//! can intersect them (as the original protocols do over the public
+//! channel); [`quantize_with_kept`](MultiBitQuantizer::quantize_with_kept)
+//! re-runs quantization on an agreed index set.
+//!
+//! The [`bits::BitString`] type is the common currency: bit-packed, with
+//! XOR/Hamming utilities used throughout reconciliation and evaluation.
+
+pub mod bits;
+pub mod differential;
+pub mod fixed;
+pub mod gray;
+pub mod guardband;
+pub mod mean;
+pub mod multibit;
+
+pub use bits::BitString;
+pub use differential::DifferentialQuantizer;
+pub use fixed::FixedQuantizer;
+pub use guardband::GuardBandQuantizer;
+pub use mean::MeanQuantizer;
+pub use multibit::{MultiBitQuantizer, QuantizeOutcome};

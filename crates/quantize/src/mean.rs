@@ -1,0 +1,68 @@
+//! Single-threshold mean quantizer — the simplest baseline.
+
+use crate::bits::BitString;
+use serde::{Deserialize, Serialize};
+
+/// Quantizes each sample to 1 if it exceeds its block mean, else 0. No
+/// samples are dropped, so both parties always produce equal-length keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeanQuantizer {
+    /// Samples per adaptive block.
+    pub block_size: usize,
+}
+
+impl MeanQuantizer {
+    /// Quantizer with the given block size.
+    pub fn new(block_size: usize) -> Self {
+        MeanQuantizer { block_size: block_size.max(2) }
+    }
+
+    /// Quantize a series: one bit per sample.
+    pub fn quantize(&self, series: &[f64]) -> BitString {
+        let mut bits = BitString::new();
+        for chunk in series.chunks(self.block_size) {
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            for &x in chunk {
+                bits.push(x >= mean);
+            }
+        }
+        bits
+    }
+}
+
+impl Default for MeanQuantizer {
+    fn default() -> Self {
+        MeanQuantizer::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_bit_per_sample() {
+        let series: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        assert_eq!(MeanQuantizer::default().quantize(&series).len(), 100);
+    }
+
+    #[test]
+    fn alternating_series() {
+        let series = vec![-90.0, -70.0, -90.0, -70.0];
+        let bits = MeanQuantizer::new(4).quantize(&series);
+        assert_eq!(bits.to_string(), "0101");
+    }
+
+    #[test]
+    fn block_local_threshold_removes_trend() {
+        // A strong downward trend with small alternation on top: a global
+        // threshold would output 111...000; block-local keeps alternation.
+        let series: Vec<f64> = (0..64)
+            .map(|i| -(i as f64) * 2.0 + if i % 2 == 0 { 0.6 } else { -0.6 })
+            .collect();
+        let bits = MeanQuantizer::new(4).quantize(&series);
+        // Expect close to 50% ones (alternation), not a step function.
+        let ones = bits.count_ones();
+        assert!((24..=40).contains(&ones), "ones {ones}");
+    }
+}

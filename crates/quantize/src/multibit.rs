@@ -1,0 +1,263 @@
+//! Multi-bit adaptive quantizer (Jana et al., the paper's reference \[2\]).
+//!
+//! The series is processed in blocks. Within each block the empirical
+//! quantiles define `2^m` bins; each sample maps to its bin index, Gray-coded
+//! into `m` bits. Samples falling within a guard band around a bin boundary
+//! are *dropped* (their index is reported so the two parties can intersect
+//! their kept sets over the public channel, exactly as the original
+//! protocol does). Block-local thresholds make the quantizer adaptive to the
+//! large-scale RSSI trend, so the extracted bits encode **small-scale**
+//! variation — the part of the channel an eavesdropper cannot observe.
+
+use crate::bits::BitString;
+use crate::gray;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of quantizing a series: the bits plus which sample indices
+/// survived guard-band filtering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizeOutcome {
+    /// Extracted bits (`bits_per_sample` bits per kept sample).
+    pub bits: BitString,
+    /// Indices (into the input series) of the kept samples.
+    pub kept: Vec<usize>,
+}
+
+/// The Jana et al. adaptive multi-bit quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiBitQuantizer {
+    /// Bits extracted per kept sample (`m`; bins = `2^m`).
+    pub bits_per_sample: usize,
+    /// Samples per adaptive block.
+    pub block_size: usize,
+    /// Guard-band half-width as a fraction of the bin width (0 disables
+    /// dropping).
+    pub guard_fraction: f64,
+}
+
+impl MultiBitQuantizer {
+    /// Quantizer with `m` bits per sample, 64-sample blocks and a 10% guard
+    /// band.
+    pub fn new(bits_per_sample: usize) -> Self {
+        MultiBitQuantizer { bits_per_sample, block_size: 64, guard_fraction: 0.1 }
+    }
+
+    /// Builder-style override of the block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Builder-style override of the guard-band fraction.
+    pub fn with_guard_fraction(mut self, f: f64) -> Self {
+        self.guard_fraction = f;
+        self
+    }
+
+    /// Quantize a series, dropping guard-band samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sample` is 0 or > 8.
+    pub fn quantize(&self, series: &[f64]) -> QuantizeOutcome {
+        self.run(series, None)
+    }
+
+    /// Quantize using an agreed kept-index set (the intersection exchanged
+    /// between the two parties). Guard bands are not re-applied.
+    pub fn quantize_with_kept(&self, series: &[f64], kept: &[usize]) -> BitString {
+        self.run(series, Some(kept)).bits
+    }
+
+    fn run(&self, series: &[f64], forced_kept: Option<&[usize]>) -> QuantizeOutcome {
+        assert!(
+            (1..=8).contains(&self.bits_per_sample),
+            "bits_per_sample must be 1..=8"
+        );
+        let m = self.bits_per_sample;
+        let bins = 1usize << m;
+        let mut bits = BitString::new();
+        let mut kept = Vec::new();
+        let block = self.block_size.max(2);
+        for (block_idx, chunk) in series.chunks(block).enumerate() {
+            let base = block_idx * block;
+            // Quantile thresholds from the sorted block.
+            let mut sorted: Vec<f64> = chunk.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let quantile = |q: f64| -> f64 {
+                let pos = q * (sorted.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                let frac = pos - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            };
+            let thresholds: Vec<f64> =
+                (1..bins).map(|k| quantile(k as f64 / bins as f64)).collect();
+            // Guard half-width relative to the typical bin width.
+            let spread = sorted[sorted.len() - 1] - sorted[0];
+            let guard = self.guard_fraction * spread / bins as f64;
+            for (j, &x) in chunk.iter().enumerate() {
+                let idx = base + j;
+                let in_guard = thresholds.iter().any(|&t| (x - t).abs() < guard);
+                let keep = match forced_kept {
+                    Some(forced) => forced.binary_search(&idx).is_ok(),
+                    None => !in_guard,
+                };
+                if !keep {
+                    continue;
+                }
+                let bin = thresholds.iter().filter(|&&t| x >= t).count() as u32;
+                for b in gray::encode_bits(bin, m) {
+                    bits.push(b);
+                }
+                kept.push(idx);
+            }
+        }
+        QuantizeOutcome { bits, kept }
+    }
+}
+
+impl Default for MultiBitQuantizer {
+    fn default() -> Self {
+        MultiBitQuantizer::new(2)
+    }
+}
+
+/// Intersection of two sorted kept-index lists (the public exchange both
+/// protocols perform).
+pub fn intersect_kept(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn noisy_pair(n: usize, noise: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        let mut level: f64 = -80.0;
+        for _ in 0..n {
+            level += (rng.random::<f64>() - 0.5) * 4.0;
+            a.push(level + (rng.random::<f64>() - 0.5) * noise);
+            b.push(level + (rng.random::<f64>() - 0.5) * noise);
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn bits_per_kept_sample() {
+        let (a, _) = noisy_pair(256, 0.0, 1);
+        for m in 1..=3 {
+            let q = MultiBitQuantizer::new(m);
+            let out = q.quantize(&a);
+            assert_eq!(out.bits.len(), out.kept.len() * m);
+        }
+    }
+
+    #[test]
+    fn identical_series_agree_perfectly() {
+        let (a, _) = noisy_pair(256, 0.0, 2);
+        let q = MultiBitQuantizer::new(2);
+        let oa = q.quantize(&a);
+        let ob = q.quantize(&a);
+        assert_eq!(oa.bits, ob.bits);
+        assert_eq!(oa.kept, ob.kept);
+    }
+
+    #[test]
+    fn correlated_series_agree_well_after_intersection() {
+        let (a, b) = noisy_pair(512, 0.5, 3);
+        let q = MultiBitQuantizer::new(2);
+        let oa = q.quantize(&a);
+        let ob = q.quantize(&b);
+        let kept = intersect_kept(&oa.kept, &ob.kept);
+        let ka = q.quantize_with_kept(&a, &kept);
+        let kb = q.quantize_with_kept(&b, &kept);
+        let agreement = ka.agreement(&kb);
+        assert!(agreement > 0.85, "agreement {agreement}");
+    }
+
+    #[test]
+    fn independent_series_agree_near_half() {
+        let (a, _) = noisy_pair(2048, 0.5, 4);
+        let (c, _) = noisy_pair(2048, 0.5, 5);
+        let q = MultiBitQuantizer::new(1);
+        let oa = q.quantize(&a);
+        let oc = q.quantize(&c);
+        let kept = intersect_kept(&oa.kept, &oc.kept);
+        let ka = q.quantize_with_kept(&a, &kept);
+        let kc = q.quantize_with_kept(&c, &kept);
+        let agreement = ka.agreement(&kc);
+        assert!((agreement - 0.5).abs() < 0.1, "agreement {agreement}");
+    }
+
+    #[test]
+    fn guard_band_drops_samples() {
+        let (a, _) = noisy_pair(512, 0.5, 6);
+        let loose = MultiBitQuantizer::new(2).with_guard_fraction(0.0);
+        let strict = MultiBitQuantizer::new(2).with_guard_fraction(0.5);
+        assert_eq!(loose.quantize(&a).kept.len(), 512);
+        assert!(strict.quantize(&a).kept.len() < 512);
+    }
+
+    #[test]
+    fn guard_band_improves_agreement() {
+        let (a, b) = noisy_pair(2048, 1.5, 7);
+        let agree = |g: f64| {
+            let q = MultiBitQuantizer::new(2).with_guard_fraction(g);
+            let oa = q.quantize(&a);
+            let ob = q.quantize(&b);
+            let kept = intersect_kept(&oa.kept, &ob.kept);
+            q.quantize_with_kept(&a, &kept)
+                .agreement(&q.quantize_with_kept(&b, &kept))
+        };
+        assert!(agree(0.6) > agree(0.0), "guard {} vs none {}", agree(0.6), agree(0.0));
+    }
+
+    #[test]
+    fn more_bits_per_sample_yield_more_bits_but_more_errors() {
+        let (a, b) = noisy_pair(1024, 1.0, 8);
+        let run = |m: usize| {
+            let q = MultiBitQuantizer::new(m).with_guard_fraction(0.1);
+            let oa = q.quantize(&a);
+            let ob = q.quantize(&b);
+            let kept = intersect_kept(&oa.kept, &ob.kept);
+            let ka = q.quantize_with_kept(&a, &kept);
+            let kb = q.quantize_with_kept(&b, &kept);
+            (ka.len(), ka.agreement(&kb))
+        };
+        let (n1, a1) = run(1);
+        let (n3, a3) = run(3);
+        assert!(n3 > n1, "bit counts {n3} vs {n1}");
+        assert!(a1 > a3, "agreements {a1} vs {a3}");
+    }
+
+    #[test]
+    fn intersect_kept_basic() {
+        assert_eq!(intersect_kept(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
+        assert_eq!(intersect_kept(&[], &[1]), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "bits_per_sample")]
+    fn rejects_zero_bits() {
+        MultiBitQuantizer::new(0).quantize(&[1.0, 2.0]);
+    }
+}

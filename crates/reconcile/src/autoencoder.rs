@@ -1,0 +1,456 @@
+//! Autoencoder-based reconciliation — the paper's contribution (Sec. IV-C).
+//!
+//! Protocol (Fig. 7):
+//!
+//! 1. both keys pass the position-preserving mask (`K → K′`, see
+//!    [`crate::bloom`]);
+//! 2. Bob computes the syndrome `y_Bob = f₁(K′_Bob)` with his MLP encoder
+//!    and transmits it (plus a MAC, handled by the protocol layer in the
+//!    `vehicle-key` crate);
+//! 3. Alice computes `y_Alice = f₂(K′_Alice)`, forms `h = y_Bob − y_Alice`,
+//!    and decodes the mismatch vector `Δx = g(h)` with the MLP decoder;
+//! 4. Alice corrects `K″_Alice = K′_Alice ⊕ Δx`, then unmasks.
+//!
+//! The networks are trained **offline on synthetic mismatch distributions**
+//! (random keys + Bernoulli bit flips at representative disagreement rates),
+//! so no real channel data is consumed by training — Alice, Bob, and Eve all
+//! hold the same public model, and security rests on Eve lacking the keys,
+//! not the network.
+//!
+//! Deviation from the paper noted for reproducibility: Eq. 6 trains the
+//! decoder with an ℓ₂ objective; we train the sigmoid output with binary
+//! cross-entropy, which optimizes the same fixed point (the decoder's output
+//! matching `K′_Bob ⊕ K′_Alice`) but converges faster for sparse binary
+//! targets. The `repro ablate-loss` bench compares both.
+
+use crate::bloom::PositionPreservingMask;
+use crate::{ReconcileResult, Reconciler};
+use nn::activation::Activation;
+use nn::{loss, Adam, Matrix, Mlp};
+use quantize::BitString;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Decoder training objective (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainLoss {
+    /// Binary cross-entropy (default).
+    Bce,
+    /// The paper's Eq. 6 ℓ₂ objective.
+    Mse,
+}
+
+/// A trained autoencoder reconciler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoencoderReconciler {
+    key_len: usize,
+    code_dim: usize,
+    hidden_units: usize,
+    /// Bob's encoder `f₁: N → M`.
+    f1: Mlp,
+    /// Alice's encoder `f₂: N → M`.
+    f2: Mlp,
+    /// Decoder `g: M → U → U → U → N`.
+    g: Mlp,
+    /// Public per-session mask seed.
+    mask_seed: u64,
+}
+
+impl AutoencoderReconciler {
+    /// Key length `N` the model reconciles per segment.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Syndrome dimension `M`.
+    pub fn code_dim(&self) -> usize {
+        self.code_dim
+    }
+
+    /// Decoder hidden width `U` (the paper's AE-16 … AE-128 sweep).
+    pub fn hidden_units(&self) -> usize {
+        self.hidden_units
+    }
+
+    /// Set the public session mask seed (fresh per key agreement).
+    pub fn with_mask_seed(mut self, seed: u64) -> Self {
+        self.mask_seed = seed;
+        self
+    }
+
+    /// The mask in use.
+    pub fn mask(&self) -> PositionPreservingMask {
+        PositionPreservingMask::new(self.mask_seed, self.key_len)
+    }
+
+    /// **Bob's step**: syndrome `y_Bob = f₁(mask(K_Bob))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key length differs from the model's.
+    pub fn bob_syndrome(&self, k_bob: &BitString) -> Vec<f32> {
+        assert_eq!(k_bob.len(), self.key_len, "key length mismatch");
+        let masked = self.mask().apply(k_bob);
+        let x = Matrix::from_vec(1, self.key_len, masked.to_floats());
+        self.f1.infer(&x).data().to_vec()
+    }
+
+    /// **Alice's step**: decode the mismatch vector from Bob's syndrome and
+    /// her own key, returning her corrected key (in the original, unmasked
+    /// domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn alice_correct(&self, y_bob: &[f32], k_alice: &BitString) -> BitString {
+        assert_eq!(k_alice.len(), self.key_len, "key length mismatch");
+        assert_eq!(y_bob.len(), self.code_dim, "syndrome length mismatch");
+        let mask = self.mask();
+        let masked = mask.apply(k_alice);
+        let xa = Matrix::from_vec(1, self.key_len, masked.to_floats());
+        let ya = self.f2.infer(&xa);
+        let h = Matrix::from_vec(1, self.code_dim, y_bob.to_vec()).sub(&ya);
+        let dx = self.g.infer(&h);
+        let delta = BitString::from_soft(dx.data());
+        let corrected_masked = masked.xor(&delta);
+        mask.invert(&corrected_masked)
+    }
+
+    /// Serialize the trained model to a compact binary blob
+    /// (see [`nn::persist`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        nn::persist::to_bytes(self).expect("in-memory serialization cannot fail")
+    }
+}
+
+impl AutoencoderReconciler {
+    /// Deserialize a model previously written by
+    /// [`AutoencoderReconciler::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the bytes are malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        nn::persist::from_bytes(bytes).map_err(|e| e.0)
+    }
+}
+
+impl Reconciler for AutoencoderReconciler {
+    fn reconcile(&self, k_alice: &BitString, k_bob: &BitString) -> ReconcileResult {
+        assert_eq!(k_alice.len(), k_bob.len(), "key length mismatch");
+        let mut corrected = BitString::new();
+        let mut leaked = 0;
+        let mut messages = 0;
+        let mut offset = 0;
+        while offset < k_alice.len() {
+            let seg = self.key_len.min(k_alice.len() - offset);
+            if seg < self.key_len {
+                // Trailing partial segment: fall back to transmitting it
+                // masked (negligible for properly sized keys).
+                let tail = k_bob.slice(offset, seg);
+                corrected.extend(&tail);
+                leaked += seg;
+                messages += 1;
+                break;
+            }
+            let ka = k_alice.slice(offset, seg);
+            let kb = k_bob.slice(offset, seg);
+            let y = self.bob_syndrome(&kb);
+            messages += 1;
+            leaked += 16 * y.len(); // 16-bit fixed-point per code value
+            corrected.extend(&self.alice_correct(&y, &ka));
+            offset += seg;
+        }
+        ReconcileResult { corrected, leaked_bits: leaked, messages }
+    }
+
+    fn name(&self) -> String {
+        format!("AE-{}", self.hidden_units)
+    }
+}
+
+/// Trainer for [`AutoencoderReconciler`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoencoderTrainer {
+    /// Key length `N` (paper: 128-bit final keys, 64-bit model output —
+    /// we default to 128).
+    pub key_len: usize,
+    /// Syndrome dimension `M` (paper implementation: 32-unit encoders).
+    pub code_dim: usize,
+    /// Decoder hidden width `U`.
+    pub hidden_units: usize,
+    /// Training steps.
+    pub steps: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Bit-disagreement-rate range to sample during training.
+    pub error_rate: (f64, f64),
+    /// Training objective.
+    pub loss: TrainLoss,
+    /// Positive-class weight for the BCE objective (mismatch bits are rare;
+    /// weighting keeps all-zeros from being a local optimum).
+    pub pos_weight: f32,
+}
+
+impl Default for AutoencoderTrainer {
+    /// The paper's implementation section: 64-bit key segments, 32-unit
+    /// encoders, 64-unit decoder hidden layers (the AE-64 setting chosen in
+    /// Sec. V-D).
+    fn default() -> Self {
+        AutoencoderTrainer {
+            key_len: 64,
+            code_dim: 32,
+            hidden_units: 128,
+            steps: 12000,
+            batch: 64,
+            lr: 2e-3,
+            error_rate: (0.005, 0.10),
+            loss: TrainLoss::Bce,
+            pos_weight: 5.0,
+        }
+    }
+}
+
+impl AutoencoderTrainer {
+    /// Builder-style override of the decoder hidden width (AE-16 … AE-128).
+    pub fn with_hidden_units(mut self, u: usize) -> Self {
+        self.hidden_units = u;
+        self
+    }
+
+    /// Builder-style override of the training objective.
+    pub fn with_loss(mut self, l: TrainLoss) -> Self {
+        self.loss = l;
+        self
+    }
+
+    /// Builder-style override of the step count.
+    pub fn with_steps(mut self, s: usize) -> Self {
+        self.steps = s;
+        self
+    }
+
+    /// Builder-style override of the positive-class BCE weight.
+    pub fn with_pos_weight(mut self, w: f32) -> Self {
+        self.pos_weight = w;
+        self
+    }
+
+    /// Convenience: override the positive-class weight, then train.
+    pub fn train_with_pos_weight<R: Rng + ?Sized>(
+        self,
+        w: f32,
+        rng: &mut R,
+    ) -> AutoencoderReconciler {
+        self.with_pos_weight(w).train(rng)
+    }
+
+    /// Train a reconciler on synthetic mismatch distributions. Returns the
+    /// trained model.
+    pub fn train<R: Rng + ?Sized>(&self, rng: &mut R) -> AutoencoderReconciler {
+        let n = self.key_len;
+        let m = self.code_dim;
+        let u = self.hidden_units;
+        // The two encoders are weight-tied during training: with independent
+        // (or independently-drifting) weights the code difference
+        // h = f₁(K′_B) − f₂(K′_A) is dominated by the nuisance term
+        // (W₁−W₂)·K′_A instead of the sparse mismatch signal W·ΔK, and
+        // training collapses into the all-zeros optimum. Tying is exact: we
+        // run two forward/backward clones per step and apply the *summed*
+        // gradient to the shared parameters (the bias gradients cancel, so
+        // the shared bias also cancels in the deployed subtraction). The
+        // deployed model still carries two encoder fields, matching the
+        // paper's f₁/f₂ structure on the wire.
+        let mut enc = Mlp::new(&[n, m], &[Activation::Identity], rng);
+        let mut g = Mlp::new(
+            &[m, u, u, u, n],
+            &[
+                Activation::Relu,
+                Activation::Relu,
+                Activation::Relu,
+                Activation::Sigmoid,
+            ],
+            rng,
+        );
+        let mut adam = Adam::new(self.lr);
+        for _ in 0..self.steps {
+            // Synthetic batch.
+            let mut kb = Matrix::zeros(self.batch, n);
+            let mut ka = Matrix::zeros(self.batch, n);
+            let mut delta = Matrix::zeros(self.batch, n);
+            for r in 0..self.batch {
+                let p = self.error_rate.0
+                    + rng.random::<f64>() * (self.error_rate.1 - self.error_rate.0);
+                for c in 0..n {
+                    let b = rng.random::<bool>();
+                    let flip = rng.random::<f64>() < p;
+                    kb.set(r, c, f32::from(u8::from(b)));
+                    ka.set(r, c, f32::from(u8::from(b ^ flip)));
+                    delta.set(r, c, f32::from(u8::from(flip)));
+                }
+            }
+            let mut enc_b = enc.clone();
+            let mut enc_a = enc.clone();
+            let yb = enc_b.forward(&kb);
+            let ya = enc_a.forward(&ka);
+            let h = yb.sub(&ya);
+            let dx = g.forward(&h);
+            let grad_dx = match self.loss {
+                TrainLoss::Bce => loss::weighted_bce_grad(&dx, &delta, self.pos_weight),
+                TrainLoss::Mse => loss::mse_grad(&dx, &delta),
+            };
+            enc_b.zero_grad();
+            enc_a.zero_grad();
+            g.zero_grad();
+            let grad_h = g.backward(&grad_dx);
+            enc_b.backward(&grad_h);
+            enc_a.backward(&grad_h.scale(-1.0));
+            // Sum the tied gradients into the shared encoder and update.
+            let mut grads: Vec<Matrix> = Vec::new();
+            enc_b.visit_params(&mut |p| grads.push(p.grad.clone()));
+            let mut i = 0;
+            enc_a.visit_params(&mut |p| {
+                grads[i] = grads[i].add(&p.grad);
+                i += 1;
+            });
+            let mut i = 0;
+            enc.visit_params(&mut |p| {
+                p.zero_grad();
+                p.accumulate(&grads[i]);
+                adam.update(p);
+                i += 1;
+            });
+            g.visit_params(&mut |p| adam.update(p));
+            adam.step();
+        }
+        AutoencoderReconciler {
+            key_len: n,
+            code_dim: m,
+            hidden_units: u,
+            f1: enc.clone(),
+            f2: enc,
+            g,
+            mask_seed: 0xB10F,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_trainer() -> AutoencoderTrainer {
+        AutoencoderTrainer::default().with_steps(3000)
+    }
+
+    /// One well-trained model shared across the accuracy tests (training is
+    /// the expensive part; the assertions are all read-only).
+    fn shared_model() -> &'static AutoencoderReconciler {
+        static MODEL: std::sync::OnceLock<AutoencoderReconciler> = std::sync::OnceLock::new();
+        MODEL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(150);
+            AutoencoderTrainer::default().with_steps(9000).train(&mut rng)
+        })
+    }
+
+    fn random_key(rng: &mut StdRng, n: usize) -> BitString {
+        (0..n).map(|_| rng.random::<bool>()).collect()
+    }
+
+    fn flip_random(k: &BitString, count: usize, rng: &mut StdRng) -> BitString {
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..k.len()).collect();
+        idx.shuffle(rng);
+        let mut out = k.clone();
+        for &p in idx.iter().take(count) {
+            out.set(p, !out.get(p));
+        }
+        out
+    }
+
+    #[test]
+    fn trained_model_corrects_sparse_errors() {
+        let mut rng = StdRng::seed_from_u64(151);
+        let model = shared_model();
+        let mut perfect = 0;
+        let trials = 30;
+        for _ in 0..trials {
+            let kb = random_key(&mut rng, 64);
+            let ka = flip_random(&kb, 2, &mut rng);
+            let r = model.reconcile(&ka, &kb);
+            if r.corrected == kb {
+                perfect += 1;
+            }
+        }
+        assert!(
+            perfect >= trials * 7 / 10,
+            "only {perfect}/{trials} keys fully corrected"
+        );
+    }
+
+    #[test]
+    fn agreement_improves_dramatically() {
+        let mut rng = StdRng::seed_from_u64(152);
+        let model = shared_model();
+        let mut before = 0.0;
+        let mut after = 0.0;
+        let trials = 20;
+        for _ in 0..trials {
+            let kb = random_key(&mut rng, 64);
+            let ka = flip_random(&kb, 3, &mut rng);
+            before += ka.agreement(&kb);
+            after += model.reconcile(&ka, &kb).corrected.agreement(&kb);
+        }
+        before /= trials as f64;
+        after /= trials as f64;
+        assert!(after > 0.97, "post-reconciliation agreement {after}");
+        assert!(after > before);
+    }
+
+    #[test]
+    fn single_message_protocol() {
+        let mut rng = StdRng::seed_from_u64(153);
+        let model = small_trainer().with_steps(200).train(&mut rng);
+        let kb = random_key(&mut rng, 64);
+        let r = model.reconcile(&kb, &kb);
+        assert_eq!(r.messages, 1, "AE reconciliation is one-shot");
+        assert_eq!(r.leaked_bits, 16 * model.code_dim());
+    }
+
+    #[test]
+    fn syndrome_has_code_dimension() {
+        let mut rng = StdRng::seed_from_u64(154);
+        let model = small_trainer().with_steps(100).train(&mut rng);
+        let kb = random_key(&mut rng, 64);
+        assert_eq!(model.bob_syndrome(&kb).len(), model.code_dim());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = StdRng::seed_from_u64(155);
+        let model = small_trainer().with_steps(100).train(&mut rng);
+        let bytes = model.to_bytes();
+        let restored = AutoencoderReconciler::from_bytes(&bytes).unwrap();
+        let kb = random_key(&mut rng, 64);
+        assert_eq!(model.bob_syndrome(&kb), restored.bob_syndrome(&kb));
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(AutoencoderReconciler::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn mask_seed_changes_syndrome() {
+        let mut rng = StdRng::seed_from_u64(156);
+        let model = small_trainer().with_steps(100).train(&mut rng);
+        let kb = random_key(&mut rng, 64);
+        let y1 = model.clone().with_mask_seed(1).bob_syndrome(&kb);
+        let y2 = model.clone().with_mask_seed(2).bob_syndrome(&kb);
+        assert_ne!(y1, y2);
+    }
+}

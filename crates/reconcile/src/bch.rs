@@ -1,0 +1,353 @@
+//! BCH syndrome reconciliation (error-correction-code method — the family
+//! the paper cites as reference \[22\]).
+//!
+//! The classic code-offset / Slepian–Wolf construction: for each 63-bit key
+//! segment Bob transmits the BCH **syndromes** of his word (no parity bits
+//! touch the key itself). Alice computes her own syndromes, subtracts, and
+//! the difference is exactly the syndrome of the error pattern
+//! `e = K_A ⊕ K_B`. She decodes `e` with Berlekamp–Massey over GF(2⁶) plus
+//! a Chien search and flips the located bits — correcting up to `t` errors
+//! per segment with a fixed, one-message exchange (leaking `6·t` bits).
+//!
+//! The implementation is a complete narrow-sense binary BCH(63, ·, t)
+//! decoder over GF(2⁶) (primitive polynomial `x⁶ + x + 1`), supporting
+//! `t ∈ 1..=5`.
+
+use crate::{ReconcileResult, Reconciler};
+use quantize::BitString;
+use serde::{Deserialize, Serialize};
+
+/// GF(2⁶) arithmetic with precomputed exp/log tables.
+#[derive(Debug, Clone)]
+struct Gf64 {
+    exp: [u8; 128],
+    log: [u8; 64],
+}
+
+impl Gf64 {
+    const ORDER: usize = 63; // multiplicative group order
+
+    fn new() -> Self {
+        // Primitive polynomial x^6 + x + 1 (0b1000011).
+        let mut exp = [0u8; 128];
+        let mut log = [0u8; 64];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(Self::ORDER) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x40 != 0 {
+                x ^= 0x43; // reduce by x^6 + x + 1
+            }
+        }
+        // Extend exp for convenient index wrap-around.
+        for i in Self::ORDER..128 {
+            exp[i] = exp[i - Self::ORDER];
+        }
+        Gf64 { exp, log }
+    }
+
+    fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(usize::from(self.log[a as usize]) + usize::from(self.log[b as usize]))
+                % Self::ORDER]
+        }
+    }
+
+    fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "inverse of zero");
+        self.exp[(Self::ORDER - usize::from(self.log[a as usize])) % Self::ORDER]
+    }
+
+    /// α^k for any integer k ≥ 0.
+    fn alpha_pow(&self, k: usize) -> u8 {
+        self.exp[k % Self::ORDER]
+    }
+}
+
+/// BCH(63, ·, t) syndrome reconciler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BchReconciler {
+    /// Correctable errors per 63-bit segment (1..=5).
+    pub t: usize,
+}
+
+impl BchReconciler {
+    /// Code length (bits per segment).
+    pub const N: usize = 63;
+
+    /// Reconciler correcting up to `t` errors per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= t <= 5`.
+    pub fn new(t: usize) -> Self {
+        assert!((1..=5).contains(&t), "t must be 1..=5");
+        BchReconciler { t }
+    }
+
+    /// Syndromes `S₁..S₂ₜ` of a 63-bit word: `S_j = Σ_{i: bit i set} α^{i·j}`.
+    pub fn syndromes(&self, word: &BitString) -> Vec<u8> {
+        assert_eq!(word.len(), Self::N, "BCH word must be 63 bits");
+        let gf = Gf64::new();
+        (1..=2 * self.t)
+            .map(|j| {
+                let mut s = 0u8;
+                for i in 0..Self::N {
+                    if word.get(i) {
+                        s ^= gf.alpha_pow(i * j);
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Decode an error pattern from difference syndromes. Returns the error
+    /// positions, or `None` when more than `t` errors occurred (decoder
+    /// failure — detectable, not silent).
+    pub fn decode_errors(&self, syndromes: &[u8]) -> Option<Vec<usize>> {
+        assert_eq!(syndromes.len(), 2 * self.t, "need 2t syndromes");
+        if syndromes.iter().all(|&s| s == 0) {
+            return Some(Vec::new());
+        }
+        let gf = Gf64::new();
+        // Berlekamp–Massey over GF(64): find the error-locator polynomial
+        // σ(x) with σ(0) = 1.
+        let mut sigma = vec![1u8]; // current locator
+        let mut b = vec![1u8]; // previous locator
+        let mut l = 0usize; // current number of assumed errors
+        let mut m = 1usize; // steps since last update
+        let mut b_disc = 1u8; // discrepancy at last update
+        for n in 0..2 * self.t {
+            // Discrepancy d = S_{n+1} + Σ σ_i · S_{n+1-i}.
+            let mut d = syndromes[n];
+            for i in 1..=l.min(sigma.len() - 1) {
+                d ^= gf.mul(sigma[i], syndromes[n - i]);
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                let t_poly = sigma.clone();
+                // σ = σ − (d/b_disc)·x^m·b
+                let coef = gf.mul(d, gf.inv(b_disc));
+                let mut shifted = vec![0u8; m];
+                shifted.extend_from_slice(&b);
+                if shifted.len() > sigma.len() {
+                    sigma.resize(shifted.len(), 0);
+                }
+                for (s, &v) in sigma.iter_mut().zip(&shifted) {
+                    *s ^= gf.mul(coef, v);
+                }
+                l = n + 1 - l;
+                b = t_poly;
+                b_disc = d;
+                m = 1;
+            } else {
+                let coef = gf.mul(d, gf.inv(b_disc));
+                let mut shifted = vec![0u8; m];
+                shifted.extend_from_slice(&b);
+                if shifted.len() > sigma.len() {
+                    sigma.resize(shifted.len(), 0);
+                }
+                for (s, &v) in sigma.iter_mut().zip(&shifted) {
+                    *s ^= gf.mul(coef, v);
+                }
+                m += 1;
+            }
+        }
+        if l > self.t {
+            return None; // too many errors
+        }
+        // Chien search: roots of σ(x) at x = α^{-i} mark error positions i.
+        let mut positions = Vec::new();
+        for i in 0..Self::N {
+            // Evaluate σ(α^{-i}).
+            let x = gf.alpha_pow(Gf64::ORDER - i % Gf64::ORDER);
+            let mut acc = 0u8;
+            let mut xp = 1u8;
+            for &c in &sigma {
+                acc ^= gf.mul(c, xp);
+                xp = gf.mul(xp, x);
+            }
+            if acc == 0 {
+                positions.push(i);
+            }
+        }
+        if positions.len() != l {
+            return None; // locator degree mismatch: uncorrectable
+        }
+        Some(positions)
+    }
+
+    /// Public-channel cost of one segment's syndromes, in bits.
+    pub fn leakage_bits(&self) -> usize {
+        6 * 2 * self.t
+    }
+}
+
+impl Default for BchReconciler {
+    /// `t = 4`: 48 leaked bits per 63-bit segment.
+    fn default() -> Self {
+        BchReconciler::new(4)
+    }
+}
+
+impl Reconciler for BchReconciler {
+    fn reconcile(&self, k_alice: &BitString, k_bob: &BitString) -> ReconcileResult {
+        assert_eq!(k_alice.len(), k_bob.len(), "key length mismatch");
+        let mut corrected = BitString::new();
+        let mut leaked = 0;
+        let mut messages = 0;
+        let mut offset = 0;
+        while offset < k_alice.len() {
+            let seg = Self::N.min(k_alice.len() - offset);
+            if seg < Self::N {
+                // Trailing partial segment: transmitted directly (negligible
+                // for properly sized keys; counted as leakage).
+                corrected.extend(&k_bob.slice(offset, seg));
+                leaked += seg;
+                messages += 1;
+                break;
+            }
+            let ka = k_alice.slice(offset, seg);
+            let kb = k_bob.slice(offset, seg);
+            let s_bob = self.syndromes(&kb);
+            messages += 1;
+            leaked += self.leakage_bits();
+            let s_alice = self.syndromes(&ka);
+            let diff: Vec<u8> = s_alice.iter().zip(&s_bob).map(|(a, b)| a ^ b).collect();
+            let mut seg_bits = ka;
+            if let Some(errors) = self.decode_errors(&diff) {
+                for e in errors {
+                    seg_bits.set(e, !seg_bits.get(e));
+                }
+            }
+            // On decoder failure the segment is left as-is; the key
+            // confirmation step catches it (same contract as the AE path).
+            corrected.extend(&seg_bits);
+            offset += seg;
+        }
+        ReconcileResult { corrected, leaked_bits: leaked, messages }
+    }
+
+    fn name(&self) -> String {
+        format!("BCH(63,t={})", self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_word(seed: u64) -> BitString {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..63).map(|_| rng.random::<bool>()).collect()
+    }
+
+    fn flip(w: &BitString, positions: &[usize]) -> BitString {
+        let mut out = w.clone();
+        for &p in positions {
+            out.set(p, !out.get(p));
+        }
+        out
+    }
+
+    #[test]
+    fn gf64_field_axioms() {
+        let gf = Gf64::new();
+        // α^63 = 1 and all powers distinct (primitive element).
+        assert_eq!(gf.alpha_pow(63), 1);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..63 {
+            assert!(seen.insert(gf.alpha_pow(i)), "α^{i} repeats");
+        }
+        // Inverses.
+        for a in 1..64u8 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a = {a}");
+        }
+        // Distributivity spot-check.
+        for (a, b, c) in [(3u8, 17u8, 44u8), (60, 2, 33)] {
+            assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+        }
+    }
+
+    #[test]
+    fn zero_syndromes_for_equal_words() {
+        let bch = BchReconciler::new(3);
+        let w = random_word(1);
+        let sa = bch.syndromes(&w);
+        let sb = bch.syndromes(&w);
+        let diff: Vec<u8> = sa.iter().zip(&sb).map(|(a, b)| a ^ b).collect();
+        assert_eq!(bch.decode_errors(&diff), Some(Vec::new()));
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_exactly() {
+        for t in 1..=5 {
+            let bch = BchReconciler::new(t);
+            for trial in 0..10u64 {
+                let kb = random_word(100 + trial);
+                let positions: Vec<usize> =
+                    (0..t).map(|i| (7 * i + trial as usize * 3) % 63).collect();
+                let mut dedup = positions.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                let ka = flip(&kb, &dedup);
+                let r = bch.reconcile(&ka, &kb);
+                assert_eq!(
+                    r.corrected, kb,
+                    "t = {t}, trial {trial}: {} errors not corrected",
+                    dedup.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_more_than_t_errors() {
+        // t+2 and beyond must either fail detectably (None) or at minimum
+        // never report success with a wrong count; the reconciler must not
+        // panic.
+        let bch = BchReconciler::new(2);
+        let kb = random_word(300);
+        let ka = flip(&kb, &[1, 9, 20, 33, 47]);
+        let r = bch.reconcile(&ka, &kb);
+        // 5 > t: correction may fail, but the result is well-formed.
+        assert_eq!(r.corrected.len(), 63);
+    }
+
+    #[test]
+    fn syndrome_leakage_accounting() {
+        let bch = BchReconciler::new(4);
+        assert_eq!(bch.leakage_bits(), 48);
+        let kb = random_word(400);
+        let r = bch.reconcile(&kb, &kb);
+        assert_eq!(r.leaked_bits, 48);
+        assert_eq!(r.messages, 1);
+    }
+
+    #[test]
+    fn multi_segment_keys() {
+        let mut rng = StdRng::seed_from_u64(500);
+        let kb: BitString = (0..126).map(|_| rng.random::<bool>()).collect();
+        let mut ka = kb.clone();
+        for p in [5usize, 70, 100] {
+            ka.set(p, !ka.get(p));
+        }
+        let bch = BchReconciler::new(4);
+        let r = bch.reconcile(&ka, &kb);
+        assert_eq!(r.corrected, kb);
+        assert_eq!(r.messages, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "t must be")]
+    fn rejects_unsupported_t() {
+        BchReconciler::new(6);
+    }
+}

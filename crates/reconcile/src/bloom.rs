@@ -1,0 +1,198 @@
+//! Position-preserving key masking (the paper's "adapted Bloom filter").
+//!
+//! Sec. IV-C: before entering the autoencoder, the keys of Alice and Bob
+//! "are first passed through an adapted Bloom filter to protect the keys
+//! against reverse engineering … This specially designed Bloom filter can
+//! retain position information, which means that its output can retain the
+//! same number of mismatched bits as the input key."
+//!
+//! We realize those stated properties with a keyed bijection on bit strings:
+//! a pseudorandom bit **permutation** composed with a pseudorandom **XOR
+//! pad**, both derived from a public per-session seed. For any two keys,
+//! `mask(a) ⊕ mask(b) = π(a ⊕ b)`: the number of mismatched bits is exactly
+//! preserved (their positions are permuted), while the masked key itself is
+//! unrecognizable without the seed-independent original. An eavesdropper who
+//! learns syndrome information about `K′` learns nothing directly usable
+//! about `K` without replaying the whole pipeline — and the subsequent
+//! privacy-amplification hash destroys the remainder.
+
+use quantize::BitString;
+use serde::{Deserialize, Serialize};
+
+/// A keyed, Hamming-distance-preserving bijection on bit strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionPreservingMask {
+    seed: u64,
+    len: usize,
+}
+
+impl PositionPreservingMask {
+    /// Create a mask for keys of `len` bits from a public session seed.
+    pub fn new(seed: u64, len: usize) -> Self {
+        PositionPreservingMask { seed, len }
+    }
+
+    /// Key length this mask operates on.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask operates on empty strings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn permutation(&self) -> Vec<usize> {
+        // Fisher–Yates driven by splitmix64 on the seed.
+        let mut state = self.seed ^ 0xA076_1D64_78BD_642F;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut perm: Vec<usize> = (0..self.len).collect();
+        for i in (1..self.len).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm
+    }
+
+    fn pad(&self) -> BitString {
+        let mut state = self.seed ^ 0x2545_F491_4F6C_DD1D;
+        let mut bits = BitString::zeros(self.len);
+        let mut word = 0u64;
+        for i in 0..self.len {
+            if i % 64 == 0 {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                word = z ^ (z >> 31);
+            }
+            bits.set(i, (word >> (i % 64)) & 1 == 1);
+        }
+        bits
+    }
+
+    /// Apply the mask: `K′ = π(K ⊕ pad)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len() != self.len()`.
+    pub fn apply(&self, key: &BitString) -> BitString {
+        assert_eq!(key.len(), self.len, "mask length mismatch");
+        let padded = key.xor(&self.pad());
+        let perm = self.permutation();
+        let mut out = BitString::zeros(self.len);
+        for (src, &dst) in perm.iter().enumerate() {
+            out.set(dst, padded.get(src));
+        }
+        out
+    }
+
+    /// Invert the mask: `K = π⁻¹(K′) ⊕ pad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len() != self.len()`.
+    pub fn invert(&self, masked: &BitString) -> BitString {
+        assert_eq!(masked.len(), self.len, "mask length mismatch");
+        let perm = self.permutation();
+        let mut unpermuted = BitString::zeros(self.len);
+        for (src, &dst) in perm.iter().enumerate() {
+            unpermuted.set(src, masked.get(dst));
+        }
+        unpermuted.xor(&self.pad())
+    }
+
+    /// Map a mismatch vector on the masked domain back to the original
+    /// domain (`Δx` positions are permuted, the pad cancels in XOR).
+    pub fn invert_mismatch(&self, masked_delta: &BitString) -> BitString {
+        assert_eq!(masked_delta.len(), self.len, "mask length mismatch");
+        let perm = self.permutation();
+        let mut out = BitString::zeros(self.len);
+        for (src, &dst) in perm.iter().enumerate() {
+            out.set(src, masked_delta.get(dst));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_key(rng: &mut StdRng, n: usize) -> BitString {
+        (0..n).map(|_| rng.random::<bool>()).collect()
+    }
+
+    #[test]
+    fn apply_invert_round_trip() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let mask = PositionPreservingMask::new(7, 128);
+        for _ in 0..10 {
+            let k = random_key(&mut rng, 128);
+            assert_eq!(mask.invert(&mask.apply(&k)), k);
+        }
+    }
+
+    #[test]
+    fn hamming_distance_preserved() {
+        let mut rng = StdRng::seed_from_u64(122);
+        let mask = PositionPreservingMask::new(99, 128);
+        for _ in 0..20 {
+            let a = random_key(&mut rng, 128);
+            let b = random_key(&mut rng, 128);
+            assert_eq!(
+                mask.apply(&a).hamming(&mask.apply(&b)),
+                a.hamming(&b),
+                "mask must preserve the mismatch count"
+            );
+        }
+    }
+
+    #[test]
+    fn output_unrecognizable() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mask = PositionPreservingMask::new(5, 256);
+        let k = random_key(&mut rng, 256);
+        let masked = mask.apply(&k);
+        // Roughly half the bits should differ from the input.
+        let d = masked.hamming(&k);
+        assert!((90..=166).contains(&d), "distance {d}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut rng = StdRng::seed_from_u64(124);
+        let k = random_key(&mut rng, 128);
+        let m1 = PositionPreservingMask::new(1, 128).apply(&k);
+        let m2 = PositionPreservingMask::new(2, 128).apply(&k);
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn invert_mismatch_maps_delta_home() {
+        let mut rng = StdRng::seed_from_u64(125);
+        let mask = PositionPreservingMask::new(55, 128);
+        let a = random_key(&mut rng, 128);
+        let mut b = a.clone();
+        for i in [3, 40, 77] {
+            b.set(i, !b.get(i));
+        }
+        let delta_masked = mask.apply(&a).xor(&mask.apply(&b));
+        let delta = mask.invert_mismatch(&delta_masked);
+        assert_eq!(delta, a.xor(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        PositionPreservingMask::new(1, 128).apply(&BitString::zeros(64));
+    }
+}

@@ -1,0 +1,65 @@
+//! Information reconciliation for physical-layer key generation.
+//!
+//! After quantization Alice and Bob hold keys that agree on most — but not
+//! all — bits. Reconciliation corrects the mismatches over the public
+//! channel while leaking as little as possible. Three methods are
+//! implemented, matching the paper's evaluation (Sec. V-D, V-F):
+//!
+//! * [`AutoencoderReconciler`] — **the paper's contribution** (Sec. IV-C):
+//!   keys pass a position-preserving ("adapted Bloom filter") masking stage,
+//!   MLP encoders compress them to an `M`-dimensional code, Bob transmits his
+//!   code as the syndrome, Alice subtracts her own code and decodes the
+//!   mismatch vector `Δx` with an MLP decoder, then corrects
+//!   `K″ = K′ ⊕ Δx`.
+//! * [`CsReconciler`] — the compressed-sensing method of LoRa-Key /
+//!   InaudibleKey (references \[8\], \[14\]): a random measurement of the key is
+//!   transmitted; the sparse mismatch vector is recovered with orthogonal
+//!   matching pursuit.
+//! * [`CascadeReconciler`] — Brassard–Salvail Cascade (reference \[21\], used
+//!   by Han et al. \[9\]): interactive parity exchange with binary search,
+//!   over several shuffled passes.
+//! * [`BchReconciler`] — classical error-correction-code reconciliation
+//!   (reference \[22\] family): BCH(63, ·, t) syndrome exchange with a
+//!   Berlekamp–Massey + Chien decoder over GF(2⁶).
+//!
+//! All three implement [`Reconciler`], which runs the protocol end-to-end
+//! between the two keys and reports the corrected key together with the
+//! public leakage and message count — the quantities the paper's
+//! reconciliation comparison is about.
+
+pub mod autoencoder;
+pub mod bch;
+pub mod bloom;
+pub mod cascade;
+pub mod cs;
+pub mod linalg;
+
+pub use autoencoder::{AutoencoderReconciler, AutoencoderTrainer};
+pub use bch::BchReconciler;
+pub use bloom::PositionPreservingMask;
+pub use cascade::CascadeReconciler;
+pub use cs::CsReconciler;
+use quantize::BitString;
+
+/// Outcome of running a reconciliation protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconcileResult {
+    /// Alice's corrected key (should now equal Bob's).
+    pub corrected: BitString,
+    /// Bits of key-related information disclosed on the public channel
+    /// (syndrome size, parities, …) — the privacy-amplification budget.
+    pub leaked_bits: usize,
+    /// Number of protocol messages exchanged (the paper's argument against
+    /// Cascade is its round count).
+    pub messages: usize,
+}
+
+/// A reconciliation protocol, simulated end-to-end.
+pub trait Reconciler {
+    /// Run the protocol: Alice holds `k_alice`, Bob holds `k_bob`; returns
+    /// Alice's corrected key plus the public-channel cost.
+    fn reconcile(&self, k_alice: &BitString, k_bob: &BitString) -> ReconcileResult;
+
+    /// Human-readable method name for reports.
+    fn name(&self) -> String;
+}

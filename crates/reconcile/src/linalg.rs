@@ -1,0 +1,128 @@
+//! Small dense linear algebra for the compressed-sensing decoder.
+
+/// Solve the least-squares problem `min ‖A·x − b‖²` for a tall or square
+/// `A` (`m×n`, `m ≥ n`) via the normal equations with Gaussian elimination
+/// and partial pivoting. Returns `None` when the normal matrix is singular.
+pub fn least_squares(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let m = a.len();
+    if m == 0 {
+        return Some(Vec::new());
+    }
+    let n = a[0].len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    assert_eq!(b.len(), m, "rhs length mismatch");
+    // Normal equations: (AᵀA) x = Aᵀ b.
+    let mut ata = vec![vec![0.0; n]; n];
+    let mut atb = vec![0.0; n];
+    for i in 0..n {
+        for j in i..n {
+            let mut s = 0.0;
+            for row in 0..m {
+                s += a[row][i] * a[row][j];
+            }
+            ata[i][j] = s;
+            ata[j][i] = s;
+        }
+        for (row, &bv) in b.iter().enumerate() {
+            atb[i] += a[row][i] * bv;
+        }
+    }
+    solve(&mut ata, &mut atb)
+}
+
+/// Solve `M·x = rhs` in place with partial pivoting. Returns `None` if `M`
+/// is (numerically) singular.
+pub fn solve(m: &mut [Vec<f64>], rhs: &mut [f64]) -> Option<Vec<f64>> {
+    let n = m.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap()
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row][k] -= factor * m[col][k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for col in row + 1..n {
+            s -= m[row][col] * x[col];
+        }
+        x[row] = s / m[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let mut m = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut rhs = vec![3.0, 4.0];
+        assert_eq!(solve(&mut m, &mut rhs).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let mut m = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let mut rhs = vec![5.0, 10.0];
+        let x = solve(&mut m, &mut rhs).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let mut m = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut rhs = vec![1.0, 2.0];
+        assert!(solve(&mut m, &mut rhs).is_none());
+    }
+
+    #[test]
+    fn least_squares_exact_fit() {
+        // Overdetermined but consistent: y = 2a + b.
+        let a = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ];
+        let b = vec![2.0, 1.0, 3.0];
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: best fit of constant to [1, 2, 3] is 2.
+        let a = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let b = vec![1.0, 2.0, 3.0];
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_empty() {
+        assert_eq!(least_squares(&[], &[]).unwrap(), Vec::<f64>::new());
+    }
+}

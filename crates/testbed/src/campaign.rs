@@ -1,0 +1,239 @@
+//! Measurement campaigns: collections of probe rounds plus dataset
+//! utilities (series extraction, train/validation/test splits).
+
+use crate::probe::{ProbeRound, Testbed, TestbedConfig};
+use lora_phy::LoRaConfig;
+use mobility::ScenarioKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A full measurement campaign in one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Scenario the data was collected in.
+    pub scenario: ScenarioKind,
+    /// Radio configuration used.
+    pub lora: LoRaConfig,
+    /// The probe/response rounds in chronological order.
+    pub rounds: Vec<ProbeRound>,
+}
+
+impl Campaign {
+    /// Alice's packet-RSSI series (one value per round).
+    pub fn alice_prssi(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.alice_prssi()).collect()
+    }
+
+    /// Bob's packet-RSSI series (one value per round).
+    pub fn bob_prssi(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.bob_prssi()).collect()
+    }
+
+    /// Eve's packet-RSSI series, if Eve was simulated.
+    pub fn eve_prssi(&self) -> Option<Vec<f64>> {
+        self.rounds
+            .iter()
+            .map(|r| {
+                r.eve_rrssi
+                    .as_ref()
+                    .map(|v| lora_phy::Receiver::packet_rssi(v))
+            })
+            .collect()
+    }
+
+    /// Total number of rRSSI samples Alice collected (relevant to the key
+    /// generation rate: rRSSI yields far more raw material per packet than
+    /// the single pRSSI value).
+    pub fn alice_rrssi_count(&self) -> usize {
+        self.rounds.iter().map(|r| r.alice_rrssi.len()).sum()
+    }
+
+    /// Wall-clock duration spanned by the campaign in seconds.
+    pub fn duration_s(&self) -> f64 {
+        match (self.rounds.first(), self.rounds.last()) {
+            (Some(first), Some(last)) => {
+                last.t_start - first.t_start
+                    + 2.0 * self.lora.airtime(16)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Split rounds into train/validation/test sets with the paper's
+    /// 70/15/15 proportions, shuffled by `rng`.
+    pub fn split<R: Rng + ?Sized>(&self, rng: &mut R) -> Split {
+        self.split_with(0.70, 0.15, rng)
+    }
+
+    /// Split with explicit train/validation fractions (test gets the rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are negative or sum to more than 1.
+    pub fn split_with<R: Rng + ?Sized>(
+        &self,
+        train_frac: f64,
+        val_frac: f64,
+        rng: &mut R,
+    ) -> Split {
+        assert!(train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0);
+        let mut idx: Vec<usize> = (0..self.rounds.len()).collect();
+        idx.shuffle(rng);
+        let n_train = (self.rounds.len() as f64 * train_frac).round() as usize;
+        let n_val = (self.rounds.len() as f64 * val_frac).round() as usize;
+        let take = |ids: &[usize]| Campaign {
+            scenario: self.scenario,
+            lora: self.lora,
+            rounds: ids.iter().map(|&i| self.rounds[i].clone()).collect(),
+        };
+        Split {
+            train: take(&idx[..n_train.min(idx.len())]),
+            validation: take(&idx[n_train.min(idx.len())..(n_train + n_val).min(idx.len())]),
+            test: take(&idx[(n_train + n_val).min(idx.len())..]),
+        }
+    }
+}
+
+/// Generate several independent campaigns in parallel (one scenario and
+/// channel realization each), using one thread per campaign. Deterministic
+/// given `rng`: each campaign gets a seed drawn up front.
+///
+/// This is the bulk data-generation path for model training — the paper's
+/// dataset spans 20+ hours of drives, which a single thread simulates
+/// slowly.
+pub fn generate_parallel<R: Rng + ?Sized>(
+    kind: ScenarioKind,
+    count: usize,
+    rounds_each: usize,
+    speed_kmh: f64,
+    config: TestbedConfig,
+    rng: &mut R,
+) -> Vec<Campaign> {
+    let seeds: Vec<u64> = (0..count).map(|_| rng.random()).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .into_iter()
+            .map(|seed| {
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let duration = rounds_each as f64 * config.round_interval_s + 60.0;
+                    let mut tb = Testbed::generate(kind, duration, speed_kmh, config, &mut rng);
+                    tb.run(rounds_each, &mut rng)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign thread panicked"))
+            .collect()
+    })
+    .expect("campaign scope panicked")
+}
+
+/// A train/validation/test partition of a campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Split {
+    /// Training rounds (70% by default).
+    pub train: Campaign,
+    /// Validation rounds (15% by default).
+    pub validation: Campaign,
+    /// Held-out test rounds (15% by default).
+    pub test: Campaign,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{Testbed, TestbedConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn campaign(n: usize) -> Campaign {
+        let mut rng = StdRng::seed_from_u64(61);
+        let cfg = TestbedConfig::default();
+        let mut tb =
+            Testbed::generate(ScenarioKind::V2iUrban, n as f64 * 4.0 + 30.0, 50.0, cfg, &mut rng);
+        tb.run(n, &mut rng)
+    }
+
+    #[test]
+    fn series_lengths_match_rounds() {
+        let c = campaign(12);
+        assert_eq!(c.alice_prssi().len(), 12);
+        assert_eq!(c.bob_prssi().len(), 12);
+        assert_eq!(c.eve_prssi().unwrap().len(), 12);
+    }
+
+    #[test]
+    fn rrssi_count_exceeds_round_count() {
+        let c = campaign(5);
+        assert!(c.alice_rrssi_count() > 5 * 100);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let c = campaign(40);
+        let mut rng = StdRng::seed_from_u64(62);
+        let s = c.split(&mut rng);
+        let total = s.train.rounds.len() + s.validation.rounds.len() + s.test.rounds.len();
+        assert_eq!(total, 40);
+        assert_eq!(s.train.rounds.len(), 28); // 70% of 40
+        assert_eq!(s.validation.rounds.len(), 6); // 15% of 40
+    }
+
+    #[test]
+    fn split_contains_no_duplicates() {
+        let c = campaign(20);
+        let mut rng = StdRng::seed_from_u64(63);
+        let s = c.split(&mut rng);
+        let mut starts: Vec<u64> = s
+            .train
+            .rounds
+            .iter()
+            .chain(&s.validation.rounds)
+            .chain(&s.test.rounds)
+            .map(|r| r.t_start.to_bits())
+            .collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_rejects_bad_fractions() {
+        let c = campaign(4);
+        let mut rng = StdRng::seed_from_u64(64);
+        c.split_with(0.9, 0.3, &mut rng);
+    }
+
+    #[test]
+    fn parallel_generation_is_deterministic() {
+        let cfg = TestbedConfig::default();
+        let mut rng1 = StdRng::seed_from_u64(99);
+        let a = generate_parallel(ScenarioKind::V2vUrban, 3, 4, 50.0, cfg, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let b = generate_parallel(ScenarioKind::V2vUrban, 3, 4, 50.0, cfg, &mut rng2);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rounds.len(), y.rounds.len());
+            assert_eq!(
+                x.rounds[0].alice_rrssi[0].rssi_dbm,
+                y.rounds[0].alice_rrssi[0].rssi_dbm
+            );
+        }
+        // Campaigns are independent realizations.
+        assert_ne!(
+            a[0].rounds[0].alice_rrssi[0].rssi_dbm,
+            a[1].rounds[0].alice_rrssi[0].rssi_dbm
+        );
+    }
+
+    #[test]
+    fn duration_positive() {
+        let c = campaign(3);
+        assert!(c.duration_s() > 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulated LoRa IoV testbed.
+//!
+//! Replays the paper's data-collection process (Sec. V-A) in simulation:
+//! a [`Testbed`] binds a mobility [`Scenario`](mobility::Scenario), a
+//! [`ChannelModel`](channel::ChannelModel) and per-device LoRa
+//! [`Receiver`](lora_phy::Receiver)s, then runs probe/response rounds with
+//! physically-accurate timing — probe airtime, operation delay, register-RSSI
+//! polling cadence — producing the synchronized Alice/Bob/Eve RSSI streams
+//! every experiment in the paper consumes.
+//!
+//! * [`probe`] — a single probe/response exchange ([`ProbeRound`]),
+//! * [`campaign`] — a full measurement campaign ([`Campaign`]) plus
+//!   train/validation/test splitting,
+//! * [`stats`] — Pearson correlation and the other small statistics the
+//!   paper reports,
+//! * [`io`] — CSV import/export so real LoRa traces can replace the
+//!   simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use testbed::{Testbed, TestbedConfig};
+//! use mobility::ScenarioKind;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let cfg = TestbedConfig::default();
+//! let mut tb = Testbed::generate(ScenarioKind::V2vUrban, 60.0, 50.0, cfg, &mut rng);
+//! let campaign = tb.run(10, &mut rng);
+//! assert_eq!(campaign.rounds.len(), 10);
+//! ```
+
+pub mod campaign;
+pub mod io;
+pub mod probe;
+pub mod stats;
+
+pub use campaign::{generate_parallel, Campaign, Split};
+pub use io::{read_csv, write_csv, CsvError};
+pub use probe::{ProbeRound, Testbed, TestbedConfig};
+pub use stats::{mean, pearson, std_dev};

@@ -1,0 +1,487 @@
+//! Probe/response exchange simulation.
+//!
+//! One **round** replays exactly what the paper's nodes do:
+//!
+//! 1. at `t₀` Alice transmits a probe packet; it is on the air for the
+//!    config's airtime `T_t`; **Bob** polls his RSSI register throughout and
+//!    collects his rRSSI sequence;
+//! 2. after his operation delay `T_d`, **Bob** transmits the response;
+//!    **Alice** collects her rRSSI sequence during `[t₀+T_t+T_d, t₀+2T_t+T_d]`;
+//! 3. **Eve**, a few metres from Alice, overhears Bob's response and collects
+//!    her own rRSSI sequence through her (spatially decorrelated) channel.
+//!
+//! The tail of Bob's sequence and the head of Alice's sequence are only
+//! `T_d` (milliseconds) apart — *within* coherence time — while their packet
+//! means are `≈T_t` (seconds) apart. This is the physical fact behind the
+//! paper's pRSSI→arRSSI move (Figs. 3, 4, 9).
+
+use channel::{ChannelModel, Direction, Environment, EveChannel, LinkBudget};
+use lora_phy::{DeviceKind, HardwareProfile, LoRaConfig, Receiver, RssiReading};
+use mobility::{Scenario, ScenarioKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Eavesdropper placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EveConfig {
+    /// Eve's distance from Alice in metres (paper: "several meters").
+    pub separation_m: f64,
+    /// Gap at which the imitating Eve tails Alice, in metres.
+    pub tail_gap_m: f64,
+}
+
+impl Default for EveConfig {
+    fn default() -> Self {
+        EveConfig { separation_m: 5.0, tail_gap_m: 10.0 }
+    }
+}
+
+/// Testbed configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Radio configuration (defaults to the paper's SF12/125 kHz/4-8).
+    pub lora: LoRaConfig,
+    /// Alice's transceiver.
+    pub alice_device: DeviceKind,
+    /// Bob's transceiver.
+    pub bob_device: DeviceKind,
+    /// Eve's transceiver.
+    pub eve_device: DeviceKind,
+    /// Probe payload length in bytes (paper analysis uses 16).
+    pub payload_len: usize,
+    /// Gap between the start of consecutive rounds in seconds.
+    pub round_interval_s: f64,
+    /// Eavesdropper placement; `None` disables Eve simulation.
+    pub eve: Option<EveConfig>,
+    /// Link-budget parameters.
+    pub budget: LinkBudget,
+    /// Probability that a probe round fails outright (CRC failure, missed
+    /// preamble) and yields no data. Lost rounds still consume airtime —
+    /// both parties notice the failure and move on, as real protocols do.
+    pub packet_loss_prob: f64,
+    /// Effective-Doppler factor κ applied to the Clarke maximum Doppler
+    /// `f_d = |ΔV|·f₀/c`. Clarke's model assumes isotropic scattering — the
+    /// worst case. Measured V2X channels at 434 MHz show coherence times
+    /// 5–10× longer (dominant LOS/street-canyon paths with small angular
+    /// spread), which is what makes the paper's boundary-arRSSI features
+    /// usable at vehicular speeds. Default κ = 0.05.
+    pub effective_doppler_factor: f64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            lora: LoRaConfig::paper_default(),
+            // A realistic V2X pairing mixes hardware: the vehicle carries a
+            // compact module while the peer (RSU or another vehicle) runs a
+            // different front end. Table I's same-device runs override this
+            // with `with_devices`.
+            alice_device: DeviceKind::MultiTechXDot,
+            bob_device: DeviceKind::DraginoShield,
+            eve_device: DeviceKind::MultiTechXDot,
+            payload_len: 16,
+            round_interval_s: 3.5,
+            eve: Some(EveConfig::default()),
+            budget: LinkBudget::default(),
+            packet_loss_prob: 0.0,
+            effective_doppler_factor: 0.05,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// Builder-style override of the radio configuration.
+    pub fn with_lora(mut self, lora: LoRaConfig) -> Self {
+        self.lora = lora;
+        self
+    }
+
+    /// Builder-style override of all three devices at once (the paper's
+    /// Table I uses identical devices per run).
+    pub fn with_devices(mut self, device: DeviceKind) -> Self {
+        self.alice_device = device;
+        self.bob_device = device;
+        self.eve_device = device;
+        self
+    }
+}
+
+/// The RSSI record of one probe/response round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRound {
+    /// Round start time in seconds.
+    pub t_start: f64,
+    /// Bob's rRSSI readings while receiving Alice's probe.
+    pub bob_rrssi: Vec<RssiReading>,
+    /// Alice's rRSSI readings while receiving Bob's response.
+    pub alice_rrssi: Vec<RssiReading>,
+    /// Eve's rRSSI readings of Bob's response (if Eve is simulated).
+    pub eve_rrssi: Option<Vec<RssiReading>>,
+    /// Link distance at the round start in metres.
+    pub distance_m: f64,
+    /// Relative speed at the round start in m/s.
+    pub relative_speed_ms: f64,
+}
+
+impl ProbeRound {
+    /// Alice's packet RSSI (mean of her register readings).
+    pub fn alice_prssi(&self) -> f64 {
+        Receiver::packet_rssi(&self.alice_rrssi)
+    }
+
+    /// Bob's packet RSSI (mean of his register readings).
+    pub fn bob_prssi(&self) -> f64 {
+        Receiver::packet_rssi(&self.bob_rrssi)
+    }
+}
+
+/// The simulated testbed: scenario + channel + radios.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    scenario: Scenario,
+    channel: ChannelModel,
+    eve_channel: Option<EveChannel>,
+    config: TestbedConfig,
+    alice_rx: Receiver,
+    bob_rx: Receiver,
+    eve_rx: Receiver,
+    /// Accumulated Doppler phase ∫f_d dt in cycles (advanced every round so
+    /// the fading process honours the instantaneous relative speed).
+    doppler_cycles: f64,
+    /// Time up to which `doppler_cycles` has been integrated.
+    doppler_t: f64,
+}
+
+impl Testbed {
+    /// Generate a scenario and bind a testbed to it.
+    pub fn generate<R: Rng + ?Sized>(
+        kind: ScenarioKind,
+        duration_s: f64,
+        speed_kmh: f64,
+        config: TestbedConfig,
+        rng: &mut R,
+    ) -> Self {
+        let scenario = Scenario::generate(kind, duration_s, speed_kmh, rng);
+        Testbed::new(scenario, config, rng)
+    }
+
+    /// Bind a testbed to an existing scenario.
+    pub fn new<R: Rng + ?Sized>(scenario: Scenario, config: TestbedConfig, rng: &mut R) -> Self {
+        let env = if scenario.kind.is_urban() {
+            Environment::Urban
+        } else {
+            Environment::Rural
+        };
+        let channel = ChannelModel::new(env, config.budget, rng);
+        let eve_channel = config
+            .eve
+            .map(|e| channel.eavesdropper(e.separation_m, rng));
+        Testbed {
+            scenario,
+            channel,
+            eve_channel,
+            config,
+            alice_rx: Receiver::new(HardwareProfile::of(config.alice_device), config.lora),
+            bob_rx: Receiver::new(HardwareProfile::of(config.bob_device), config.lora),
+            eve_rx: Receiver::new(HardwareProfile::of(config.eve_device), config.lora),
+            doppler_cycles: 0.0,
+            doppler_t: 0.0,
+        }
+    }
+
+    /// The scenario under test.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The testbed configuration.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
+
+    /// Airtime of one probe packet under the current configuration.
+    pub fn probe_airtime(&self) -> f64 {
+        self.config.lora.airtime(self.config.payload_len)
+    }
+
+    /// Advance the Doppler-phase integral up to time `t`.
+    fn advance_doppler(&mut self, t: f64) {
+        if t <= self.doppler_t {
+            return;
+        }
+        // Integrate f_d over [doppler_t, t] with the scenario's relative
+        // speed, in 100 ms steps.
+        let carrier = self.config.lora.carrier_hz;
+        let mut tau = self.doppler_t;
+        while tau < t {
+            let step = (t - tau).min(0.1);
+            let rel = self.scenario.alice.relative_speed_to(&self.scenario.bob, tau);
+            let fd = (channel::doppler_shift_hz(rel, carrier)
+                * self.config.effective_doppler_factor)
+                .max(0.05);
+            self.doppler_cycles += fd * step;
+            tau += step;
+        }
+        self.doppler_t = t;
+    }
+
+    /// Doppler-cycle coordinate for an absolute time within the current
+    /// round (assumes `advance_doppler(t_round)` was called and `t` is close
+    /// to `t_round`).
+    fn cycles_at(&self, t_round_start: f64, t: f64, fd: f64) -> f64 {
+        self.doppler_cycles + fd * (t - t_round_start)
+    }
+
+    /// Run one probe/response round starting at `t0`.
+    pub fn round<R: Rng + ?Sized>(&mut self, t0: f64, rng: &mut R) -> ProbeRound {
+        self.advance_doppler(t0);
+        let g = self.scenario.geometry_at(t0);
+        let carrier = self.config.lora.carrier_hz;
+        let fd = (channel::doppler_shift_hz(g.relative_speed_ms, carrier)
+            * self.config.effective_doppler_factor)
+            .max(0.05);
+        let airtime = self.probe_airtime();
+        let payload = self.config.payload_len;
+
+        // Alice → Bob probe: Bob samples rRSSI over [t0, t0+airtime].
+        let bob_times = self.bob_rx.rssi_sample_times(t0, payload);
+        let mut bob_rrssi = Vec::with_capacity(bob_times.len());
+        for t in bob_times {
+            let geo = self.scenario.geometry_at(t);
+            let cycles = self.cycles_at(t0, t, fd);
+            let ideal = self.channel.gain_dbm_cycles(
+                t,
+                cycles,
+                geo.distance_m,
+                geo.route_pos_m,
+                Direction::AliceToBob,
+            );
+            bob_rrssi.push(RssiReading { t, rssi_dbm: self.bob_rx.measure(ideal, rng) });
+        }
+
+        // Bob → Alice response after Bob's operation delay.
+        let t1 = t0 + airtime + self.bob_rx.profile.op_delay_s;
+        let alice_times = self.alice_rx.rssi_sample_times(t1, payload);
+        let mut alice_rrssi = Vec::with_capacity(alice_times.len());
+        for t in &alice_times {
+            let geo = self.scenario.geometry_at(*t);
+            let cycles = self.cycles_at(t0, *t, fd);
+            let ideal = self.channel.gain_dbm_cycles(
+                *t,
+                cycles,
+                geo.distance_m,
+                geo.route_pos_m,
+                Direction::BobToAlice,
+            );
+            alice_rrssi.push(RssiReading { t: *t, rssi_dbm: self.alice_rx.measure(ideal, rng) });
+        }
+
+        // Eve overhears Bob's response through her decorrelated tap.
+        let eve_rrssi = if let Some(eve_cfg) = self.config.eve {
+            let mut eve_ch = self
+                .eve_channel
+                .take()
+                .expect("eve channel exists when eve is configured");
+            let mut readings = Vec::with_capacity(alice_times.len());
+            for t in &alice_times {
+                let geo = self.scenario.geometry_at(*t);
+                let cycles = self.cycles_at(t0, *t, fd);
+                // Eve is `separation_m` from Alice, so her distance to Bob
+                // differs by at most that much.
+                let d = (geo.distance_m + eve_cfg.separation_m).max(1.0);
+                let ideal =
+                    self.channel
+                        .eve_gain_dbm_cycles(&mut eve_ch, cycles, d, geo.route_pos_m);
+                readings.push(RssiReading { t: *t, rssi_dbm: self.eve_rx.measure(ideal, rng) });
+            }
+            self.eve_channel = Some(eve_ch);
+            Some(readings)
+        } else {
+            None
+        };
+
+        // Account for the Doppler phase consumed by the exchange itself.
+        self.advance_doppler(t1 + airtime);
+
+        ProbeRound {
+            t_start: t0,
+            bob_rrssi,
+            alice_rrssi,
+            eve_rrssi,
+            distance_m: g.distance_m,
+            relative_speed_ms: g.relative_speed_ms,
+        }
+    }
+
+    /// Run `n` round slots spaced by the configured round interval,
+    /// returning the full campaign. Slots lost to packet errors
+    /// (`packet_loss_prob`) consume time but contribute no data.
+    pub fn run<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> crate::Campaign {
+        use rand::RngExt;
+        let mut rounds = Vec::with_capacity(n);
+        for k in 0..n {
+            let t0 = k as f64 * self.config.round_interval_s;
+            if self.config.packet_loss_prob > 0.0
+                && rng.random::<f64>() < self.config.packet_loss_prob
+            {
+                // The exchange still occupied the channel: keep the fading
+                // phase integral advancing.
+                self.advance_doppler(t0 + 2.0 * self.probe_airtime());
+                continue;
+            }
+            rounds.push(self.round(t0, rng));
+        }
+        crate::Campaign {
+            scenario: self.scenario.kind,
+            lora: self.config.lora,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::pearson;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_campaign(kind: ScenarioKind, n: usize, seed: u64) -> crate::Campaign {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TestbedConfig::default();
+        let mut tb = Testbed::generate(kind, n as f64 * cfg.round_interval_s + 30.0, 50.0, cfg, &mut rng);
+        tb.run(n, &mut rng)
+    }
+
+    #[test]
+    fn round_timing_is_physical() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let cfg = TestbedConfig::default();
+        let mut tb = Testbed::generate(ScenarioKind::V2vRural, 120.0, 50.0, cfg, &mut rng);
+        let round = tb.round(0.0, &mut rng);
+        let airtime = tb.probe_airtime();
+        // Bob's samples span [0, airtime); Alice's start after airtime+delay.
+        assert!(round.bob_rrssi.first().unwrap().t >= 0.0);
+        assert!(round.bob_rrssi.last().unwrap().t < airtime);
+        let delay = tb.bob_rx.profile.op_delay_s;
+        assert!((round.alice_rrssi.first().unwrap().t - (airtime + delay)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_samples_closer_than_packet_means() {
+        // Tail of Bob's sequence vs head of Alice's: separated by only the
+        // op delay. This drives the arRSSI design.
+        let mut rng = StdRng::seed_from_u64(52);
+        let cfg = TestbedConfig::default();
+        let mut tb = Testbed::generate(ScenarioKind::V2vUrban, 120.0, 50.0, cfg, &mut rng);
+        let round = tb.round(0.0, &mut rng);
+        let gap = round.alice_rrssi.first().unwrap().t - round.bob_rrssi.last().unwrap().t;
+        assert!(gap < 0.02, "boundary gap {gap}");
+        let mean_gap = crate::stats::mean(
+            &round.alice_rrssi.iter().map(|r| r.t).collect::<Vec<_>>(),
+        ) - crate::stats::mean(&round.bob_rrssi.iter().map(|r| r.t).collect::<Vec<_>>());
+        assert!(mean_gap > 1.0, "packet-mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn prssi_correlation_is_imperfect_at_speed() {
+        // At 50 km/h and 183 bps the paper finds pRSSI correlation < 0.6.
+        let campaign = run_campaign(ScenarioKind::V2vUrban, 150, 53);
+        let a: Vec<f64> = campaign.rounds.iter().map(|r| r.alice_prssi()).collect();
+        let b: Vec<f64> = campaign.rounds.iter().map(|r| r.bob_prssi()).collect();
+        let r = pearson(&a, &b);
+        assert!(r < 0.85, "pRSSI correlation unexpectedly high: {r}");
+    }
+
+    #[test]
+    fn boundary_window_beats_prssi_correlation() {
+        // arRSSI (2.5% boundary windows) must correlate better than pRSSI —
+        // the paper's central preliminary finding (Fig. 3).
+        let campaign = run_campaign(ScenarioKind::V2vUrban, 150, 54);
+        let frac = 0.025;
+        let mut heads = Vec::new();
+        let mut tails = Vec::new();
+        for r in &campaign.rounds {
+            let nb = r.bob_rrssi.len();
+            let na = r.alice_rrssi.len();
+            let wb = ((nb as f64 * frac) as usize).max(1);
+            let wa = ((na as f64 * frac) as usize).max(1);
+            tails.push(crate::stats::mean(
+                &r.bob_rrssi[nb - wb..].iter().map(|x| x.rssi_dbm).collect::<Vec<_>>(),
+            ));
+            heads.push(crate::stats::mean(
+                &r.alice_rrssi[..wa].iter().map(|x| x.rssi_dbm).collect::<Vec<_>>(),
+            ));
+        }
+        let a: Vec<f64> = campaign.rounds.iter().map(|r| r.alice_prssi()).collect();
+        let b: Vec<f64> = campaign.rounds.iter().map(|r| r.bob_prssi()).collect();
+        let r_prssi = pearson(&a, &b);
+        let r_ar = pearson(&heads, &tails);
+        assert!(
+            r_ar > r_prssi,
+            "arRSSI corr {r_ar} should beat pRSSI corr {r_prssi}"
+        );
+        assert!(r_ar > 0.7, "arRSSI corr {r_ar}");
+    }
+
+    #[test]
+    fn eve_records_when_configured() {
+        let campaign = run_campaign(ScenarioKind::V2iUrban, 5, 55);
+        assert!(campaign.rounds.iter().all(|r| r.eve_rrssi.is_some()));
+        let mut cfg = TestbedConfig::default();
+        cfg.eve = None;
+        let mut rng = StdRng::seed_from_u64(56);
+        let mut tb = Testbed::generate(ScenarioKind::V2iUrban, 60.0, 50.0, cfg, &mut rng);
+        let round = tb.round(0.0, &mut rng);
+        assert!(round.eve_rrssi.is_none());
+    }
+
+    #[test]
+    fn eve_small_scale_differs_from_alice() {
+        // The within-packet rRSSI residual (reading − packet mean) isolates
+        // small-scale fading, the paper's randomness source. Alice's and
+        // Eve's residuals must be near-uncorrelated even though their
+        // large-scale trends coincide (Fig. 16).
+        let campaign = run_campaign(ScenarioKind::V2vUrban, 40, 57);
+        let mut alice_res = Vec::new();
+        let mut eve_res = Vec::new();
+        for r in &campaign.rounds {
+            let eve = r.eve_rrssi.as_ref().unwrap();
+            let ma = r.alice_prssi();
+            let me = Receiver::packet_rssi(eve);
+            let n = r.alice_rrssi.len().min(eve.len());
+            for i in 0..n {
+                alice_res.push(r.alice_rrssi[i].rssi_dbm - ma);
+                eve_res.push(eve[i].rssi_dbm - me);
+            }
+        }
+        let r = pearson(&alice_res, &eve_res);
+        assert!(r.abs() < 0.3, "Eve small-scale correlation too high: {r}");
+    }
+
+    #[test]
+    fn packet_loss_drops_rounds_but_not_the_pipeline_contract() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let mut cfg = TestbedConfig::default();
+        cfg.packet_loss_prob = 0.4;
+        let mut tb = Testbed::generate(ScenarioKind::V2vUrban, 300.0, 50.0, cfg, &mut rng);
+        let campaign = tb.run(60, &mut rng);
+        assert!(campaign.rounds.len() < 55, "losses expected");
+        assert!(campaign.rounds.len() > 15, "not everything lost");
+        // Surviving rounds are complete.
+        assert!(campaign
+            .rounds
+            .iter()
+            .all(|r| !r.alice_rrssi.is_empty() && !r.bob_rrssi.is_empty()));
+    }
+
+    #[test]
+    fn run_produces_requested_rounds() {
+        let campaign = run_campaign(ScenarioKind::V2iRural, 7, 58);
+        assert_eq!(campaign.rounds.len(), 7);
+        assert_eq!(campaign.scenario, ScenarioKind::V2iRural);
+        // Rounds are spaced by the configured interval.
+        let dt = campaign.rounds[1].t_start - campaign.rounds[0].t_start;
+        assert!((dt - TestbedConfig::default().round_interval_s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Small statistics used throughout the evaluation.
+
+/// Arithmetic mean. Returns NaN for an empty slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Population standard deviation. Returns NaN for an empty slice.
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns NaN if the series are shorter than 2 or either is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal-length series");
+    if a.len() < 2 {
+        return f64::NAN;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return f64::NAN;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(std_dev(&[]).is_nan());
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn pearson_independent_series_near_zero() {
+        // Deterministic pseudo-random pair with no linear relation.
+        let a: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 104729) as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| ((i * 104729) % 7919) as f64).collect();
+        assert!(pearson(&a, &b).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pearson_shift_invariant() {
+        let a = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let b = [2.0, 6.0, 1.0, 9.0, 4.0];
+        let r1 = pearson(&a, &b);
+        let shifted: Vec<f64> = b.iter().map(|x| x + 100.0).collect();
+        let r2 = pearson(&a, &shifted);
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the Vehicle-Key reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The actual functionality lives in the
+//! workspace crates, re-exported here for convenience:
+//!
+//! * [`vehicle_key`] — the paper's contribution: the full key-establishment
+//!   pipeline (features → BiLSTM model → reconciliation → amplification),
+//! * [`lora_phy`] / [`channel`] / [`mobility`] / [`testbed`] — the simulated
+//!   LoRa IoV substrate,
+//! * [`nn`] / [`quantize`] / [`reconcile`] / [`vk_crypto`] / [`nist`] —
+//!   supporting libraries,
+//! * [`baselines`] — LoRa-Key, Han et al., Gao et al.
+
+pub use baselines;
+pub use channel;
+pub use lora_phy;
+pub use mobility;
+pub use nist;
+pub use nn;
+pub use quantize;
+pub use reconcile;
+pub use testbed;
+pub use vehicle_key;
+pub use vk_crypto;

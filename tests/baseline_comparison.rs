@@ -1,0 +1,99 @@
+//! Integration: Vehicle-Key against the baseline schemes on shared
+//! campaigns — the Fig. 12/13 ordering as a regression test.
+
+use baselines::{GaoScheme, HanScheme, KeyScheme, LoRaKey};
+use mobility::ScenarioKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+
+fn pipeline() -> &'static KeyPipeline {
+    static PIPE: OnceLock<KeyPipeline> = OnceLock::new();
+    PIPE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(8001);
+        KeyPipeline::train_for(ScenarioKind::V2vUrban, &PipelineConfig::fast(), &mut rng)
+    })
+}
+
+#[test]
+fn vehicle_key_beats_baseline_agreement() {
+    let mut rng = StdRng::seed_from_u64(8002);
+    let cfg = pipeline().config();
+    let sessions = 3;
+    let mut vk = 0.0;
+    let mut lorakey = 0.0;
+    let mut han = 0.0;
+    for _ in 0..sessions {
+        let c = KeyPipeline::campaign(
+            ScenarioKind::V2vUrban,
+            cfg,
+            cfg.session_rounds,
+            cfg.speed_kmh,
+            &mut rng,
+        );
+        vk += pipeline().run_on_campaign(&c, &mut rng).bit_agreement;
+        lorakey += LoRaKey::default().run(&c).bit_agreement;
+        han += HanScheme::default().run(&c).bit_agreement;
+    }
+    let n = sessions as f64;
+    assert!(
+        vk / n > lorakey / n,
+        "Vehicle-Key {} must beat LoRa-Key {}",
+        vk / n,
+        lorakey / n
+    );
+    assert!(
+        vk / n > han / n,
+        "Vehicle-Key {} must beat Han {}",
+        vk / n,
+        han / n
+    );
+}
+
+#[test]
+fn vehicle_key_generates_bits_faster() {
+    let mut rng = StdRng::seed_from_u64(8003);
+    let cfg = pipeline().config();
+    let c = KeyPipeline::campaign(
+        ScenarioKind::V2vUrban,
+        cfg,
+        cfg.session_rounds,
+        cfg.speed_kmh,
+        &mut rng,
+    );
+    let vk_bits = pipeline().run_on_campaign(&c, &mut rng).raw_bits;
+    let lk_bits = LoRaKey::default().run(&c).raw_bits;
+    let gao_bits = GaoScheme::default().run(&c).raw_bits;
+    assert!(
+        vk_bits > lk_bits,
+        "Vehicle-Key {vk_bits} bits must exceed LoRa-Key {lk_bits}"
+    );
+    assert!(
+        vk_bits > gao_bits,
+        "Vehicle-Key {vk_bits} bits must exceed Gao {gao_bits}"
+    );
+}
+
+#[test]
+fn all_schemes_run_on_all_scenarios() {
+    // Robustness: no panics, sane outputs, on every scenario.
+    let mut rng = StdRng::seed_from_u64(8004);
+    let cfg = PipelineConfig::fast();
+    for kind in ScenarioKind::ALL {
+        let c = KeyPipeline::campaign(kind, &cfg, 60, 50.0, &mut rng);
+        for scheme in [
+            Box::new(LoRaKey::default()) as Box<dyn KeyScheme>,
+            Box::new(HanScheme::default()),
+            Box::new(GaoScheme::default()),
+        ] {
+            let o = scheme.run(&c);
+            assert!(
+                o.bit_agreement.is_nan() || (0.0..=1.0).contains(&o.bit_agreement),
+                "{} on {kind}: agreement {}",
+                scheme.name(),
+                o.bit_agreement
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration: the full Vehicle-Key stack from simulated radio
+//! to AES-encrypted messaging.
+
+use mobility::ScenarioKind;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::OnceLock;
+use vehicle_key::pipeline::{KeyPipeline, PipelineConfig, SessionOutcome};
+use vehicle_key::protocol::{Message, ProtocolError, Session};
+
+/// One trained pipeline shared by every test in this file (training is the
+/// expensive part; all assertions are read-only).
+fn pipeline() -> &'static KeyPipeline {
+    static PIPE: OnceLock<KeyPipeline> = OnceLock::new();
+    PIPE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(9001);
+        KeyPipeline::train_for(ScenarioKind::V2vUrban, &PipelineConfig::fast(), &mut rng)
+    })
+}
+
+fn session(seed: u64) -> SessionOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    pipeline().run_session(ScenarioKind::V2vUrban, &mut rng)
+}
+
+#[test]
+fn full_pipeline_reaches_high_agreement() {
+    let outcome = session(1);
+    assert!(
+        outcome.bit_agreement > 0.75,
+        "bit agreement {}",
+        outcome.bit_agreement
+    );
+    assert!(
+        outcome.reconciled_agreement >= outcome.bit_agreement - 0.05,
+        "reconciliation should not materially hurt: {} -> {}",
+        outcome.bit_agreement,
+        outcome.reconciled_agreement
+    );
+    assert!(!outcome.alice_keys.is_empty());
+    assert_eq!(outcome.alice_keys.len(), outcome.bob_keys.len());
+}
+
+#[test]
+fn eavesdropper_stays_near_chance() {
+    let outcome = session(2);
+    let eve = outcome.eve.expect("eve simulated by default");
+    assert!(
+        outcome.bit_agreement > eve.imitating_agreement + 0.15,
+        "legitimate advantage too small: {} vs {}",
+        outcome.bit_agreement,
+        eve.imitating_agreement
+    );
+    assert!(
+        eve.imitating_agreement < 0.72,
+        "imitating Eve too strong: {}",
+        eve.imitating_agreement
+    );
+}
+
+#[test]
+fn matched_keys_encrypt_and_decrypt() {
+    // Try several sessions; with the fast config most produce at least one
+    // matching key pair.
+    for seed in 3..11 {
+        let outcome = session(seed);
+        if let Some((key, _)) = outcome
+            .alice_keys
+            .iter()
+            .zip(&outcome.bob_keys)
+            .find(|(a, b)| a == b)
+        {
+            let cipher = vk_crypto::Aes128::new(key);
+            let msg = b"integration test payload";
+            let ct = cipher.ctr(99, msg);
+            assert_ne!(&ct[..], &msg[..]);
+            assert_eq!(cipher.ctr(99, &ct), msg);
+            return;
+        }
+    }
+    panic!("no session produced a matching key in 8 attempts");
+}
+
+#[test]
+fn wire_protocol_round_trip_with_mac() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let reconciler = pipeline().reconciler().clone();
+    let session = Session::new(77, reconciler, rng.random(), rng.random());
+    let k_bob: quantize::BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+    let mut k_alice = k_bob.clone();
+    k_alice.set(9, !k_alice.get(9));
+    // Serialize / deserialize across the "air".
+    let wire = session.bob_syndrome_message(0, &k_bob).encode();
+    let msg = Message::decode(&wire).expect("well-formed message");
+    let corrected = session
+        .alice_process_syndrome(&msg, &k_alice)
+        .expect("legitimate syndrome verifies");
+    assert_eq!(corrected, k_bob);
+    // Confirmation closes the loop.
+    let final_key = vk_crypto::amplify::amplify_128(&corrected.to_bools());
+    let confirm = Message::Confirm { session_id: 77, check: session.confirm_check(&final_key) };
+    assert!(session.verify_confirm(&confirm, &final_key).is_ok());
+}
+
+#[test]
+fn tampering_is_detected_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let session = Session::new(78, pipeline().reconciler().clone(), rng.random(), rng.random());
+    let k_bob: quantize::BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+    let msg = session.bob_syndrome_message(0, &k_bob);
+    let mut wire = msg.encode().to_vec();
+    // Flip a byte inside the code section.
+    wire[12] ^= 0xFF;
+    let tampered = Message::decode(&wire).expect("still parses");
+    assert_eq!(
+        session.alice_process_syndrome(&tampered, &k_bob),
+        Err(ProtocolError::MacMismatch)
+    );
+}
+
+#[test]
+fn amplified_keys_pass_basic_randomness() {
+    // Gather key bits from a few sessions and run the length-appropriate
+    // NIST subset.
+    let mut bits = Vec::new();
+    for seed in 20..26 {
+        let outcome = session(seed);
+        for key in &outcome.alice_keys {
+            for byte in key {
+                for b in (0..8).rev() {
+                    bits.push((byte >> b) & 1 == 1);
+                }
+            }
+        }
+    }
+    assert!(bits.len() >= 256, "need some key material, got {} bits", bits.len());
+    if bits.len() >= 128 {
+        let r = nist::tests::frequency(&bits).unwrap();
+        assert!(r.passed(), "frequency p = {}", r.p_value);
+        let r = nist::tests::runs(&bits).unwrap();
+        assert!(r.passed(), "runs p = {}", r.p_value);
+    }
+}

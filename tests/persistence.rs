@@ -1,0 +1,76 @@
+//! Integration: persistence paths — pipeline save/load and CSV trace
+//! round trips through real files, exercised together.
+
+use mobility::ScenarioKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("vk_integration");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn pipeline_survives_disk_round_trip_and_still_agrees() {
+    let mut rng = StdRng::seed_from_u64(7100);
+    let mut cfg = PipelineConfig::fast();
+    cfg.train_rounds = 200;
+    cfg.model.epochs = 8;
+    cfg.reconciler = cfg.reconciler.with_steps(4000);
+    let pipeline = KeyPipeline::train_for(ScenarioKind::V2vUrban, &cfg, &mut rng);
+
+    let path = temp_path("pipeline_roundtrip.bin");
+    pipeline.save(&path).expect("save pipeline");
+    let restored = KeyPipeline::load(&path).expect("load pipeline");
+    std::fs::remove_file(&path).ok();
+
+    // The restored pipeline runs a session with sane metrics.
+    let outcome = restored.run_session(ScenarioKind::V2vUrban, &mut rng);
+    assert!(
+        outcome.bit_agreement > 0.6,
+        "restored pipeline agreement {}",
+        outcome.bit_agreement
+    );
+
+    // And produces bit-identical inference to the original.
+    let window: Vec<f64> = (0..cfg.model.seq_len).map(|i| ((i * 7) as f64).sin()).collect();
+    let baselines = vec![-95.0; window.len()];
+    assert_eq!(
+        pipeline.model().predict(&window, &baselines).1,
+        restored.model().predict(&window, &baselines).1
+    );
+}
+
+#[test]
+fn csv_trace_feeds_a_loaded_pipeline() {
+    let mut rng = StdRng::seed_from_u64(7200);
+    let cfg = PipelineConfig::fast();
+
+    // Record a campaign to CSV.
+    let campaign = KeyPipeline::campaign(ScenarioKind::V2iUrban, &cfg, 60, 50.0, &mut rng);
+    let trace_path = temp_path("trace_roundtrip.csv");
+    let file = std::fs::File::create(&trace_path).expect("create trace");
+    testbed::write_csv(&campaign, std::io::BufWriter::new(file)).expect("write csv");
+
+    // Import and compare the analysis-relevant series.
+    let file = std::fs::File::open(&trace_path).expect("open trace");
+    let imported = testbed::read_csv(std::io::BufReader::new(file)).expect("read csv");
+    std::fs::remove_file(&trace_path).ok();
+    assert_eq!(imported.rounds.len(), campaign.rounds.len());
+    let orig = cfg.extractor.paired_streams(&campaign);
+    let back = cfg.extractor.paired_streams(&imported);
+    assert_eq!(orig.alice.len(), back.alice.len());
+    for (a, b) in orig.alice.iter().zip(&back.alice) {
+        assert!((a - b).abs() < 0.05, "imported stream drifted: {a} vs {b}");
+    }
+}
+
+#[test]
+fn corrupted_pipeline_file_is_rejected() {
+    let path = temp_path("corrupt_pipeline.bin");
+    std::fs::write(&path, [1, 2, 3, 4, 5]).expect("write garbage");
+    assert!(KeyPipeline::load(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}

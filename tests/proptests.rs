@@ -1,0 +1,165 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning the workspace crates.
+
+use proptest::prelude::*;
+use quantize::{BitString, FixedQuantizer, GuardBandQuantizer, MultiBitQuantizer};
+use reconcile::PositionPreservingMask;
+
+fn bits_strategy(max_len: usize) -> impl Strategy<Value = BitString> {
+    prop::collection::vec(any::<bool>(), 1..max_len).prop_map(|v| BitString::from_bools(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitstring_xor_is_involutive(a in bits_strategy(256)) {
+        let b = BitString::from_bools(&a.iter().map(|x| !x).collect::<Vec<_>>());
+        prop_assert_eq!(a.xor(&b).xor(&b), a);
+    }
+
+    #[test]
+    fn bitstring_agreement_symmetric(v in prop::collection::vec(any::<(bool, bool)>(), 1..200)) {
+        let a = BitString::from_bools(&v.iter().map(|p| p.0).collect::<Vec<_>>());
+        let b = BitString::from_bools(&v.iter().map(|p| p.1).collect::<Vec<_>>());
+        prop_assert!((a.agreement(&b) - b.agreement(&a)).abs() < 1e-12);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+    }
+
+    #[test]
+    fn bitstring_slice_extend_round_trip(a in bits_strategy(128), at in 0usize..128) {
+        let at = at.min(a.len());
+        let mut rebuilt = a.slice(0, at);
+        rebuilt.extend(&a.slice(at, a.len() - at));
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn mask_preserves_hamming_distance(
+        seed in any::<u64>(),
+        v in prop::collection::vec(any::<(bool, bool)>(), 8..128),
+    ) {
+        let a = BitString::from_bools(&v.iter().map(|p| p.0).collect::<Vec<_>>());
+        let b = BitString::from_bools(&v.iter().map(|p| p.1).collect::<Vec<_>>());
+        let mask = PositionPreservingMask::new(seed, a.len());
+        prop_assert_eq!(mask.apply(&a).hamming(&mask.apply(&b)), a.hamming(&b));
+        prop_assert_eq!(mask.invert(&mask.apply(&a)), a);
+    }
+
+    #[test]
+    fn gray_code_round_trip_and_adjacency(n in 0u32..100_000) {
+        prop_assert_eq!(quantize::gray::decode(quantize::gray::encode(n)), n);
+        let d = (quantize::gray::encode(n) ^ quantize::gray::encode(n + 1)).count_ones();
+        prop_assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn quantizers_are_deterministic(series in prop::collection::vec(-120.0f64..-40.0, 16..128)) {
+        let multi = MultiBitQuantizer::new(2);
+        prop_assert_eq!(multi.quantize(&series), multi.quantize(&series));
+        let guard = GuardBandQuantizer::new(0.8);
+        prop_assert_eq!(guard.quantize(&series), guard.quantize(&series));
+        let fixed = FixedQuantizer::new(2);
+        prop_assert_eq!(fixed.quantize(&series), fixed.quantize(&series));
+    }
+
+    #[test]
+    fn fixed_quantizer_kept_bits_align(series in prop::collection::vec(-120.0f64..-40.0, 32..96)) {
+        let q = FixedQuantizer::new(2).with_guard_z(0.2);
+        let out = q.quantize(&series);
+        prop_assert_eq!(out.bits.len(), out.kept.len() * 2);
+        // Re-quantizing on the kept set reproduces the same bits.
+        prop_assert_eq!(q.quantize_with_kept(&series, &out.kept), out.bits);
+        // Kept indices are sorted and in range.
+        prop_assert!(out.kept.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(out.kept.iter().all(|&i| i < series.len()));
+    }
+
+    #[test]
+    fn sha256_avalanche_on_any_input(data in prop::collection::vec(any::<u8>(), 1..200), flip in any::<u8>()) {
+        let mut flipped = data.clone();
+        let idx = (flip as usize) % flipped.len();
+        flipped[idx] ^= 1;
+        let a = vk_crypto::sha256(&data);
+        let b = vk_crypto::sha256(&flipped);
+        let differing: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        prop_assert!(differing >= 64, "only {} bits differ", differing);
+    }
+
+    #[test]
+    fn aes_ctr_round_trip(key in any::<[u8; 16]>(), nonce in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..256)) {
+        let aes = vk_crypto::Aes128::new(&key);
+        prop_assert_eq!(aes.ctr(nonce, &aes.ctr(nonce, &msg)), msg);
+    }
+
+    #[test]
+    fn aes_block_round_trip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = vk_crypto::Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn hmac_is_keyed(key in any::<[u8; 16]>(), msg in prop::collection::vec(any::<u8>(), 0..64)) {
+        let tag = vk_crypto::hmac_sha256(&key, &msg);
+        let mut other_key = key;
+        other_key[0] ^= 1;
+        prop_assert_ne!(tag, vk_crypto::hmac_sha256(&other_key, &msg));
+        prop_assert!(vk_crypto::hmac::verify(&key, &msg, &tag));
+    }
+
+    #[test]
+    fn privacy_amplification_is_deterministic_and_sensitive(
+        v in prop::collection::vec(any::<bool>(), 64..256),
+        flip in any::<u16>(),
+    ) {
+        let k1 = vk_crypto::amplify::amplify_128(&v);
+        prop_assert_eq!(k1, vk_crypto::amplify::amplify_128(&v));
+        let mut w = v.clone();
+        let idx = (flip as usize) % w.len();
+        w[idx] = !w[idx];
+        prop_assert_ne!(k1, vk_crypto::amplify::amplify_128(&w));
+    }
+
+    #[test]
+    fn matrix_matmul_distributes_over_addition(
+        a in prop::collection::vec(-2.0f32..2.0, 6),
+        b in prop::collection::vec(-2.0f32..2.0, 6),
+        c in prop::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        use nn::Matrix;
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let mc = Matrix::from_vec(3, 2, c);
+        // A·(B + C) == A·B + A·C (within f32 tolerance).
+        let lhs = ma.matmul(&mb.add(&mc));
+        let rhs = ma.matmul(&mb).add(&ma.matmul(&mc));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn lora_airtime_monotone_in_payload(len_a in 0usize..200, extra in 1usize..56) {
+        let cfg = lora_phy::LoRaConfig::paper_default();
+        prop_assert!(cfg.airtime(len_a + extra) >= cfg.airtime(len_a));
+    }
+
+    #[test]
+    fn bessel_j0_bounded(x in -50.0f64..50.0) {
+        let v = channel::bessel_j0(x);
+        prop_assert!(v.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn nist_frequency_matches_bias(bias in 0.0f64..1.0) {
+        // A deterministic sequence with `bias` fraction of ones: the
+        // frequency test must reject clear bias and not reject balance.
+        let n = 4000usize;
+        let ones = (bias * n as f64) as usize;
+        let bits: Vec<bool> = (0..n).map(|i| (i * 104729) % n < ones).collect();
+        let r = nist::tests::frequency(&bits).unwrap();
+        if (bias - 0.5).abs() > 0.1 {
+            prop_assert!(!r.passed(), "bias {} passed with p {}", bias, r.p_value);
+        }
+    }
+}

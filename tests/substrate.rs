@@ -1,0 +1,128 @@
+//! Cross-crate physics invariants of the simulated substrate — the facts
+//! the paper's preliminary study (Sec. II) establishes experimentally.
+
+use lora_phy::LoRaConfig;
+use mobility::ScenarioKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use testbed::{pearson, Campaign, Testbed, TestbedConfig};
+use vehicle_key::features::ArRssiExtractor;
+
+fn campaign(kind: ScenarioKind, rounds: usize, speed: f64, seed: u64) -> Campaign {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = TestbedConfig::default();
+    let mut tb = Testbed::generate(
+        kind,
+        rounds as f64 * cfg.round_interval_s + 60.0,
+        speed,
+        cfg,
+        &mut rng,
+    );
+    tb.run(rounds, &mut rng)
+}
+
+#[test]
+fn airtime_dominates_probe_offset() {
+    // Sec. II-A: ΔT is dominated by the transmit time, not propagation or
+    // operation delay.
+    let cfg = LoRaConfig::paper_default();
+    let airtime = cfg.airtime(16);
+    let offset = cfg.probe_offset(16, 10_000.0, 8.0e-3);
+    assert!(airtime / offset > 0.95);
+}
+
+#[test]
+fn boundary_arssi_beats_prssi_in_every_scenario() {
+    // The Fig. 3 invariant, across all four scenarios.
+    let ex = ArRssiExtractor::default();
+    for (i, kind) in ScenarioKind::ALL.into_iter().enumerate() {
+        let c = campaign(kind, 80, 50.0, 100 + i as u64);
+        let (a, b) = ex.boundary_series(&c);
+        let r_ar = pearson(&a, &b);
+        let r_p = pearson(&c.alice_prssi(), &c.bob_prssi());
+        assert!(
+            r_ar > r_p,
+            "{kind}: arRSSI {r_ar} should beat pRSSI {r_p}"
+        );
+        assert!(r_ar > 0.8, "{kind}: arRSSI corr {r_ar}");
+    }
+}
+
+#[test]
+fn higher_speed_decorrelates_detrended_prssi() {
+    // Fig. 2(b) invariant: round-to-round pRSSI changes agree less at
+    // higher speed. Averaged over seeds to beat scenario randomness.
+    let diff_corr = |c: &Campaign| {
+        let d = |v: &[f64]| -> Vec<f64> { v.windows(2).map(|w| w[1] - w[0]).collect() };
+        pearson(&d(&c.alice_prssi()), &d(&c.bob_prssi()))
+    };
+    let mut slow = 0.0;
+    let mut fast = 0.0;
+    let runs = 4;
+    for i in 0..runs {
+        slow += diff_corr(&campaign(ScenarioKind::V2vUrban, 90, 10.0, 200 + i));
+        fast += diff_corr(&campaign(ScenarioKind::V2vUrban, 90, 80.0, 300 + i));
+    }
+    assert!(
+        slow > fast,
+        "slow-speed corr {} should exceed fast-speed corr {}",
+        slow / runs as f64,
+        fast / runs as f64
+    );
+}
+
+#[test]
+fn eve_shares_trend_but_not_residual() {
+    // The Fig. 16 invariant: raw traces correlate (trend), detrended
+    // residuals do not.
+    let c = campaign(ScenarioKind::V2iUrban, 250, 50.0, 400);
+    let raw = ArRssiExtractor::default().with_detrend(false);
+    let det = ArRssiExtractor::default();
+    let sr = raw.paired_streams(&c);
+    let sd = det.paired_streams(&c);
+    let r_raw = pearson(&sr.alice, sr.eve.as_ref().unwrap());
+    let r_det = pearson(&sd.bob, sd.eve.as_ref().unwrap());
+    assert!(r_raw > 0.35, "Eve should share the raw trend: {r_raw}");
+    assert!(
+        r_det < 0.45,
+        "Eve must not share the detrended residual: {r_det}"
+    );
+    assert!(
+        r_raw > r_det + 0.15,
+        "trend share must clearly exceed residual share: {r_raw} vs {r_det}"
+    );
+}
+
+#[test]
+fn detrended_legitimate_correlation_survives() {
+    // The legitimate parties share the residual (boundary reciprocity) that
+    // Eve lacks — the security asymmetry in one number each.
+    let c = campaign(ScenarioKind::V2vUrban, 120, 50.0, 500);
+    let sd = ArRssiExtractor::default().paired_streams(&c);
+    let legit = pearson(&sd.alice, &sd.bob);
+    let eve = pearson(&sd.bob, sd.eve.as_ref().unwrap());
+    assert!(
+        legit > eve + 0.3,
+        "legitimate residual corr {legit} must clearly exceed Eve's {eve}"
+    );
+}
+
+#[test]
+fn rural_and_urban_campaigns_have_expected_texture() {
+    // Urban Rayleigh fading has more spread than rural Rician.
+    let std_of = |c: &Campaign| {
+        let s = ArRssiExtractor::default().paired_streams(c);
+        let m = s.bob.iter().sum::<f64>() / s.bob.len() as f64;
+        (s.bob.iter().map(|x| (x - m).powi(2)).sum::<f64>() / s.bob.len() as f64).sqrt()
+    };
+    let mut urban = 0.0;
+    let mut rural = 0.0;
+    for i in 0..3 {
+        urban += std_of(&campaign(ScenarioKind::V2vUrban, 60, 50.0, 600 + i));
+        rural += std_of(&campaign(ScenarioKind::V2vRural, 60, 50.0, 700 + i));
+    }
+    assert!(
+        urban > rural,
+        "urban arRSSI spread {urban} should exceed rural {rural}"
+    );
+}
