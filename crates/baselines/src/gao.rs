@@ -32,7 +32,11 @@ pub struct GaoScheme {
 
 impl Default for GaoScheme {
     fn default() -> Self {
-        GaoScheme { interval: 20, rounds: 50, cs: CsReconciler::paper_default() }
+        GaoScheme {
+            interval: 20,
+            rounds: 50,
+            cs: CsReconciler::paper_default(),
+        }
     }
 }
 

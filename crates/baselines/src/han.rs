@@ -26,7 +26,9 @@ pub struct HanScheme {
 impl Default for HanScheme {
     fn default() -> Self {
         HanScheme {
-            quantizer: MultiBitQuantizer::new(2).with_block_size(32).with_guard_fraction(0.1),
+            quantizer: MultiBitQuantizer::new(2)
+                .with_block_size(32)
+                .with_guard_fraction(0.1),
             cascade: CascadeReconciler::paper_default(),
         }
     }

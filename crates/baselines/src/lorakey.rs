@@ -24,7 +24,10 @@ pub struct LoRaKey {
 
 impl Default for LoRaKey {
     fn default() -> Self {
-        LoRaKey { alpha: 0.8, cs: CsReconciler::paper_default() }
+        LoRaKey {
+            alpha: 0.8,
+            cs: CsReconciler::paper_default(),
+        }
     }
 }
 
@@ -43,9 +46,9 @@ impl KeyScheme for LoRaKey {
         let kept = intersect_kept(&oa.kept, &ob.kept);
         let alice = quantizer.quantize_with_kept(&a_series, &kept);
         let bob = quantizer.quantize_with_kept(&b_series, &kept);
-        let eve = campaign.eve_prssi().map(|e_series| {
-            quantizer.quantize_with_kept(&e_series, &kept)
-        });
+        let eve = campaign
+            .eve_prssi()
+            .map(|e_series| quantizer.quantize_with_kept(&e_series, &kept));
         ExtractedBits { alice, bob, eve }
     }
 

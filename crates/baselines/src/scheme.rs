@@ -39,7 +39,11 @@ pub trait KeyScheme {
         let n = bits.alice.len().min(bits.bob.len());
         let alice = bits.alice.slice(0, n);
         let bob = bits.bob.slice(0, n);
-        let bit_agreement = if n == 0 { f64::NAN } else { alice.agreement(&bob) };
+        let bit_agreement = if n == 0 {
+            f64::NAN
+        } else {
+            alice.agreement(&bob)
+        };
         let eve_agreement = bits.eve.as_ref().map(|e| {
             let m = e.len().min(n);
             if m == 0 {
@@ -72,11 +76,9 @@ pub trait KeyScheme {
         let block = 128;
         let mut koffset = 0;
         while koffset + block <= corrected_stream.len() {
-            let key_a = vk_crypto::amplify::amplify_128(
-                &corrected_stream.slice(koffset, block).to_bools(),
-            );
-            let key_b =
-                vk_crypto::amplify::amplify_128(&bob.slice(koffset, block).to_bools());
+            let key_a =
+                vk_crypto::amplify::amplify_128(&corrected_stream.slice(koffset, block).to_bools());
+            let key_b = vk_crypto::amplify::amplify_128(&bob.slice(koffset, block).to_bools());
             keys += 1;
             if key_a == key_b {
                 matched_keys += 1;
@@ -135,7 +137,11 @@ mod tests {
             for i in [3, 50, 90, 120] {
                 alice.set(i, !alice.get(i));
             }
-            ExtractedBits { alice, bob, eve: None }
+            ExtractedBits {
+                alice,
+                bob,
+                eve: None,
+            }
         }
         fn reconcile(&self, _alice: &BitString, bob: &BitString) -> BitString {
             bob.clone() // oracle reconciliation

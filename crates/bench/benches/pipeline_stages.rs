@@ -29,7 +29,9 @@ fn bench_crypto(c: &mut Criterion) {
 
 fn bench_quantizers(c: &mut Criterion) {
     let mut g = c.benchmark_group("quantizers");
-    let series: Vec<f64> = (0..256).map(|i| ((i * 37 % 97) as f64) / 10.0 - 90.0).collect();
+    let series: Vec<f64> = (0..256)
+        .map(|i| ((i * 37 % 97) as f64) / 10.0 - 90.0)
+        .collect();
     let fixed = FixedQuantizer::new(2);
     g.bench_function("fixed_256", |b| {
         b.iter(|| fixed.quantize(std::hint::black_box(&series)))
@@ -44,7 +46,9 @@ fn bench_quantizers(c: &mut Criterion) {
 fn bench_reconciliation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut g = c.benchmark_group("reconciliation");
-    let ae = AutoencoderTrainer::default().with_steps(2000).train(&mut rng);
+    let ae = AutoencoderTrainer::default()
+        .with_steps(2000)
+        .train(&mut rng);
     let cs = CsReconciler::paper_default();
     let kb: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
     let mut ka = kb.clone();

@@ -27,15 +27,19 @@ fn bench_table3(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table3");
     g.bench_function("alice_prediction_quantization", |b| {
-        b.iter(|| model.predict(std::hint::black_box(&window), std::hint::black_box(&baselines)))
+        b.iter(|| {
+            model.predict(
+                std::hint::black_box(&window),
+                std::hint::black_box(&baselines),
+            )
+        })
     });
     g.bench_function("bob_quantization", |b| {
         b.iter(|| model.bob_bits_kept(std::hint::black_box(&window)))
     });
     g.bench_function("alice_reconciliation_decode", |b| {
         b.iter(|| {
-            reconciler
-                .alice_correct(std::hint::black_box(&syndrome), std::hint::black_box(&key))
+            reconciler.alice_correct(std::hint::black_box(&syndrome), std::hint::black_box(&key))
         })
     });
     g.bench_function("bob_reconciliation_encode", |b| {

@@ -7,12 +7,30 @@
 //! ```
 //!
 //! Environment:
-//! * `VK_SEED`  — base RNG seed (default fixed)
-//! * `VK_SCALE` — size multiplier for campaigns/trials (default 1.0)
-//! * `VK_OUT`   — directory to also write per-experiment reports into
+//! * `VK_SEED`      — base RNG seed (default fixed)
+//! * `VK_SCALE`     — size multiplier for campaigns/trials (default 1.0)
+//! * `VK_OUT`       — directory to also write per-experiment reports into;
+//!   each experiment additionally gets a machine-readable
+//!   `<name>.manifest.json` (seed, scale, stage-time breakdown, wall time —
+//!   see `bench::manifest` for the schema)
+//! * `VK_TELEMETRY` — path for a JSON-lines telemetry trace of every
+//!   pipeline stage across the whole run (`-` for human-readable stderr)
 
-use bench::experiments;
+use bench::manifest::RunManifest;
+use bench::{base_seed, experiments, scale};
 use std::io::Write;
+use std::sync::Arc;
+use telemetry::Sink;
+
+/// Sink that discards events. Installed when only aggregated metrics are
+/// wanted (manifests need the registry's counters/histograms, not the event
+/// stream, and buffering every event of a full `repro all` would not be
+/// cheap).
+struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &telemetry::Event) {}
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,13 +57,17 @@ fn main() {
             std::process::exit(1);
         }
     }
+    let traced = install_telemetry(out_dir.is_some());
     let mut failed = false;
     for name in names {
+        telemetry::reset_metrics();
         let started = std::time::Instant::now();
         match experiments::run(name) {
             Ok(report) => {
-                println!("{report}");
-                println!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+                let elapsed = started.elapsed().as_secs_f64();
+                let report = format!("{report}\n[{name} finished in {elapsed:.1}s]\n");
+                print!("{report}");
+                println!();
                 if let Some(dir) = &out_dir {
                     let path = format!("{dir}/{name}.txt");
                     match std::fs::File::create(&path)
@@ -53,6 +75,17 @@ fn main() {
                     {
                         Ok(()) => {}
                         Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+                    }
+                    let manifest = RunManifest::new(
+                        name,
+                        base_seed(),
+                        scale(),
+                        elapsed,
+                        telemetry::snapshot(),
+                    );
+                    let mpath = format!("{dir}/{name}.manifest.json");
+                    if let Err(e) = manifest.write(&mpath) {
+                        eprintln!("warning: cannot write {mpath}: {e}");
                     }
                 }
             }
@@ -62,7 +95,41 @@ fn main() {
             }
         }
     }
+    if traced {
+        telemetry::uninstall();
+    }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Install the telemetry sink: a JSON-lines trace when `VK_TELEMETRY` is
+/// set, and at least a null sink when manifests are wanted (the registry
+/// only aggregates counters and stage timings while a sink is installed).
+/// Returns whether anything was installed.
+fn install_telemetry(want_manifests: bool) -> bool {
+    match std::env::var("VK_TELEMETRY").ok().filter(|t| !t.is_empty()) {
+        Some(target) if target == "-" => {
+            telemetry::install(Arc::new(telemetry::StderrSink::new()));
+            true
+        }
+        Some(target) => match telemetry::JsonLinesSink::create(&target) {
+            Ok(sink) => {
+                telemetry::install(Arc::new(sink));
+                true
+            }
+            Err(e) => {
+                eprintln!("warning: cannot create telemetry trace {target}: {e}");
+                if want_manifests {
+                    telemetry::install(Arc::new(NullSink));
+                }
+                want_manifests
+            }
+        },
+        None if want_manifests => {
+            telemetry::install(Arc::new(NullSink));
+            true
+        }
+        None => false,
     }
 }

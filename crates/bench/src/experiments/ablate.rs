@@ -37,8 +37,7 @@ pub fn theta() -> String {
     let streams = cfg.extractor.paired_streams(&train);
     let dataset = PredictionQuantizationModel::build_dataset_stride(&cfg.model, &streams, 2);
     let test_streams = cfg.extractor.paired_streams(&test);
-    let test_set =
-        PredictionQuantizationModel::build_dataset_stride(&cfg.model, &test_streams, 32);
+    let test_set = PredictionQuantizationModel::build_dataset_stride(&cfg.model, &test_streams, 32);
     let mut t = Table::new(
         "Ablation: joint-loss weight θ",
         &["theta", "held-out bit agreement"],
@@ -51,7 +50,11 @@ pub fn theta() -> String {
         let mut agree = 0.0;
         for s in &test_set {
             let xs: Vec<f64> = s.alice.iter().map(|&v| f64::from(v)).collect();
-            let bl: Vec<f64> = s.level.iter().map(|&v| f64::from(v) * 20.0 - 100.0).collect();
+            let bl: Vec<f64> = s
+                .level
+                .iter()
+                .map(|&v| f64::from(v) * 20.0 - 100.0)
+                .collect();
             let (_, bits) = model.predict(&xs, &bl);
             agree += bits.agreement(&s.bob_bits);
         }
@@ -73,7 +76,11 @@ pub fn bloom() -> String {
     let trials = scaled(150, 50);
     let mut t = Table::new(
         "Ablation: position-preserving mask in AE reconciliation",
-        &["configuration", "agreement after reconciliation", "syndrome reuse leak"],
+        &[
+            "configuration",
+            "agreement after reconciliation",
+            "syndrome reuse leak",
+        ],
     );
     // Accuracy with per-session masks.
     let mut agree = 0.0;
@@ -107,7 +114,10 @@ pub fn bloom() -> String {
     t.row(&[
         "fresh mask per session".into(),
         pct(agree / n),
-        format!("{:.3} (cross-session syndrome similarity)", linkability_masked / n),
+        format!(
+            "{:.3} (cross-session syndrome similarity)",
+            linkability_masked / n
+        ),
     ]);
     t.row(&[
         "fixed mask (no per-session Bloom stage)".into(),
@@ -134,7 +144,12 @@ pub fn feature() -> String {
     let q = cfg.model.bob_quantizer();
     let mut t = Table::new(
         "Ablation: pRSSI vs boundary arRSSI",
-        &["feature", "A-B agreement", "Eve agreement", "bits per round"],
+        &[
+            "feature",
+            "A-B agreement",
+            "Eve agreement",
+            "bits per round",
+        ],
     );
     // pRSSI path: one value per round.
     let a_series = c.alice_prssi();
@@ -249,7 +264,10 @@ pub fn loss() -> String {
         "Ablation: AE reconciliation training objective",
         &["objective", "agreement after reconciliation"],
     );
-    for (label, l) in [("BCE (default)", TrainLoss::Bce), ("MSE (paper Eq. 6)", TrainLoss::Mse)] {
+    for (label, l) in [
+        ("BCE (default)", TrainLoss::Bce),
+        ("MSE (paper Eq. 6)", TrainLoss::Mse),
+    ] {
         let model = AutoencoderTrainer::default()
             .with_loss(l)
             .with_steps(scaled(9000, 3000))

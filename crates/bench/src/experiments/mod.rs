@@ -45,9 +45,26 @@ pub fn campaign(
 
 /// All experiment names, in paper order.
 pub const ALL: &[&str] = &[
-    "fig2a", "fig2b", "fig3", "fig4", "fig9", "fig10", "fig11", "table1", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "table2", "table3", "ablate-theta", "ablate-bloom",
-    "ablate-feature", "ablate-loss", "ablate-platoon",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table1",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table2",
+    "table3",
+    "ablate-theta",
+    "ablate-bloom",
+    "ablate-feature",
+    "ablate-loss",
+    "ablate-platoon",
 ];
 
 /// Run one experiment by name; returns the rendered report.

@@ -2,8 +2,8 @@
 //! (reconciliation).
 
 use super::{campaign, rng_for};
-use crate::table::{pct, Table};
 use crate::scaled;
+use crate::table::{pct, Table};
 use mobility::ScenarioKind;
 use quantize::BitString;
 use rand::RngExt;
@@ -84,7 +84,12 @@ pub fn fig11() -> String {
     let mut rng = rng_for("fig11");
     let mut t = Table::new(
         "Fig. 11: reconciliation methods",
-        &["method", "agreement after", "decode time (µs/key)", "messages"],
+        &[
+            "method",
+            "agreement after",
+            "decode time (µs/key)",
+            "messages",
+        ],
     );
     // Mismatch distribution representative of the pipeline: 1–6 errors per
     // 64-bit segment.
@@ -116,7 +121,11 @@ pub fn fig11() -> String {
             messages += result.messages as f64;
         }
         let elapsed = start.elapsed().as_micros() as f64 / cases.len() as f64;
-        (agree / cases.len() as f64, elapsed, messages / cases.len() as f64)
+        (
+            agree / cases.len() as f64,
+            elapsed,
+            messages / cases.len() as f64,
+        )
     };
     for units in [16usize, 32, 64, 128] {
         let ae = AutoencoderTrainer::default()
@@ -133,7 +142,12 @@ pub fn fig11() -> String {
     }
     let cs = CsReconciler::paper_default();
     let (agree, us, msgs) = bench(&cs, &cases);
-    t.row(&["CS 20x64".into(), pct(agree), format!("{us:.1}"), format!("{msgs:.0}")]);
+    t.row(&[
+        "CS 20x64".into(),
+        pct(agree),
+        format!("{us:.1}"),
+        format!("{msgs:.0}"),
+    ]);
     // Extension beyond the paper's figure: classical BCH syndrome exchange.
     let bch = BchReconciler::new(4);
     let (agree, us, msgs) = bench(&bch, &cases);

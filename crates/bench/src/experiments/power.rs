@@ -44,27 +44,37 @@ pub fn table3() -> String {
 
     let iters = 200;
     // Alice: the joint BiLSTM model, twice per key (two 64-bit blocks).
-    let alice_pq = 2.0 * time_per_run(iters, || {
-        let _ = model.predict(&window, &baselines);
-    });
+    let alice_pq = 2.0
+        * time_per_run(iters, || {
+            let _ = model.predict(&window, &baselines);
+        });
     // Bob: the quantizer, twice per key.
-    let bob_pq = 2.0 * time_per_run(iters, || {
-        let _ = model.bob_bits_kept(&window);
-    });
+    let bob_pq = 2.0
+        * time_per_run(iters, || {
+            let _ = model.bob_bits_kept(&window);
+        });
     // Alice: reconciliation decode (syndrome → corrected key), twice.
-    let alice_rec = 2.0 * time_per_run(iters, || {
-        let _ = reconciler.alice_correct(&syndrome, &key);
-    });
+    let alice_rec = 2.0
+        * time_per_run(iters, || {
+            let _ = reconciler.alice_correct(&syndrome, &key);
+        });
     // Bob: reconciliation encode (syndrome), twice.
-    let bob_rec = 2.0 * time_per_run(iters, || {
-        let _ = reconciler.bob_syndrome(&key);
-    });
+    let bob_rec = 2.0
+        * time_per_run(iters, || {
+            let _ = reconciler.bob_syndrome(&key);
+        });
 
     let ms = |s: f64| format!("{:.4}", s * 1e3);
     let mj = |s: f64| format!("{:.4}", s * RPI4_ACTIVE_WATTS * 1e3);
     let mut t = Table::new(
         "Table III: computation time and energy per 128-bit key",
-        &["stage", "Alice time (ms)", "Bob time (ms)", "Alice energy (mJ)", "Bob energy (mJ)"],
+        &[
+            "stage",
+            "Alice time (ms)",
+            "Bob time (ms)",
+            "Alice energy (mJ)",
+            "Bob energy (mJ)",
+        ],
     );
     t.row(&[
         "Prediction and quantization".into(),

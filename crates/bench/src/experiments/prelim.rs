@@ -1,8 +1,8 @@
 //! The preliminary study: Figs. 2(a), 2(b), 3, 4 and 9.
 
 use super::{campaign, rng_for};
-use crate::table::{f3, Table};
 use crate::scaled;
+use crate::table::{f3, Table};
 use lora_phy::{Bandwidth, CodeRate, LoRaConfig, SpreadingFactor};
 use mobility::ScenarioKind;
 use testbed::{pearson, TestbedConfig};
@@ -58,7 +58,12 @@ pub fn fig2a() -> String {
     let rounds = scaled(150, 40);
     let mut t = Table::new(
         "Fig. 2(a): pRSSI correlation vs data rate (50 km/h)",
-        &["data rate (bps)", "airtime (s)", "boundary corr", "raw series corr"],
+        &[
+            "data rate (bps)",
+            "airtime (s)",
+            "boundary corr",
+            "raw series corr",
+        ],
     );
     for cfg in configs {
         let mut tb_cfg = TestbedConfig::default().with_lora(cfg);
@@ -143,12 +148,7 @@ pub fn fig3() -> String {
         let r_p = diff_corr(&c.alice_prssi(), &c.bob_prssi());
         let (a, b) = ex.boundary_series(&c);
         let r_ar = pearson(&a, &b);
-        t.row(&[
-            format!("Exp.{idx}"),
-            kind.to_string(),
-            f3(r_p),
-            f3(r_ar),
-        ]);
+        t.row(&[format!("Exp.{idx}"), kind.to_string(), f3(r_p), f3(r_ar)]);
     }
     t.render() + "\nPaper shape: arRSSI correlation well above pRSSI in every scenario.\n"
 }

@@ -15,10 +15,18 @@ use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
 pub fn fig15() -> String {
     let mut t = Table::new(
         "Fig. 15: attack resistance",
-        &["environment", "legitimate", "Eve (eavesdropping)", "Eve (imitating)"],
+        &[
+            "environment",
+            "legitimate",
+            "Eve (eavesdropping)",
+            "Eve (imitating)",
+        ],
     );
     let sessions = scaled(5, 3);
-    for (label, kind) in [("Urban", ScenarioKind::V2iUrban), ("Rural", ScenarioKind::V2iRural)] {
+    for (label, kind) in [
+        ("Urban", ScenarioKind::V2iUrban),
+        ("Rural", ScenarioKind::V2iRural),
+    ] {
         let mut rng = rng_for(&format!("fig15-{label}"));
         let cfg = PipelineConfig::fast();
         let pipeline = KeyPipeline::train_for(kind, &cfg, &mut rng);
@@ -40,8 +48,7 @@ pub fn fig15() -> String {
             pct(Summary::of(&imit).mean),
         ]);
     }
-    t.render()
-        + "\nPaper shape: legitimate parties near 99%, Eve near 50% under both attacks.\n"
+    t.render() + "\nPaper shape: legitimate parties near 99%, Eve near 50% under both attacks.\n"
 }
 
 /// Fig. 16: arRSSI traces of Alice, Bob and the imitating Eve — similar
@@ -124,7 +131,11 @@ pub fn table2() -> String {
         t.row(&[
             result.name.to_string(),
             format!("{:.6}", result.p_value),
-            if result.passed() { "pass".into() } else { "FAIL".into() },
+            if result.passed() {
+                "pass".into()
+            } else {
+                "FAIL".into()
+            },
         ]);
     }
     t.render() + "\nPaper shape: every test's p-value >= 0.01.\n"

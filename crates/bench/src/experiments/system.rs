@@ -69,15 +69,33 @@ pub fn table1() -> String {
 pub fn fig12_13() -> (String, String) {
     let mut kar = Table::new(
         "Fig. 12: key agreement rate vs state of the art",
-        &["scenario", "Vehicle-Key", "LoRa-Key", "Han et al.", "Gao et al."],
+        &[
+            "scenario",
+            "Vehicle-Key",
+            "LoRa-Key",
+            "Han et al.",
+            "Gao et al.",
+        ],
     );
     let mut keys = Table::new(
         "Fig. 12b: 128-bit key success rate (all bits must agree)",
-        &["scenario", "Vehicle-Key", "LoRa-Key", "Han et al.", "Gao et al."],
+        &[
+            "scenario",
+            "Vehicle-Key",
+            "LoRa-Key",
+            "Han et al.",
+            "Gao et al.",
+        ],
     );
     let mut kgr = Table::new(
         "Fig. 13: key generation rate (bit/s) vs state of the art",
-        &["scenario", "Vehicle-Key", "LoRa-Key", "Han et al.", "Gao et al."],
+        &[
+            "scenario",
+            "Vehicle-Key",
+            "LoRa-Key",
+            "Han et al.",
+            "Gao et al.",
+        ],
     );
     let sessions = scaled(4, 2);
     let mut vk_total = (0.0, 0.0);
@@ -100,12 +118,20 @@ pub fn fig12_13() -> (String, String) {
             let outcome = pipeline.run_on_campaign(&c, &mut rng);
             vk_a.push(outcome.reconciled_agreement);
             vk_r.push(outcome.raw_rate_bits_per_s());
-            vk_k.push(if outcome.key_match_rate.is_nan() { 0.0 } else { outcome.key_match_rate });
+            vk_k.push(if outcome.key_match_rate.is_nan() {
+                0.0
+            } else {
+                outcome.key_match_rate
+            });
             for (i, s) in schemes.iter().enumerate() {
                 let o = s.run(&c);
                 base_a[i].push(o.reconciled_agreement);
                 base_r[i].push(o.raw_bits as f64 / c.duration_s().max(1e-9));
-                base_k[i].push(if o.key_match_rate.is_nan() { 0.0 } else { o.key_match_rate });
+                base_k[i].push(if o.key_match_rate.is_nan() {
+                    0.0
+                } else {
+                    o.key_match_rate
+                });
             }
         }
         let fmt = |v: &[f64]| {
@@ -170,15 +196,24 @@ pub fn fig14() -> String {
     let base = KeyPipeline::train_for(ScenarioKind::V2iUrban, &cfg, &mut rng);
     let mut t = Table::new(
         "Fig. 14: transfer learning from M1 (V2I-Urban)",
-        &["target", "scratch-20ep", "transfer-10%", "transfer-50%", "transfer-100%"],
+        &[
+            "target",
+            "scratch-20ep",
+            "transfer-10%",
+            "transfer-50%",
+            "transfer-100%",
+        ],
     );
-    for kind in [ScenarioKind::V2iRural, ScenarioKind::V2vUrban, ScenarioKind::V2vRural] {
+    for kind in [
+        ScenarioKind::V2iRural,
+        ScenarioKind::V2vUrban,
+        ScenarioKind::V2vRural,
+    ] {
         // Target-scenario data.
         let train_campaign =
             KeyPipeline::campaign(kind, &cfg, scaled(240, 80), cfg.speed_kmh, &mut rng);
         let streams = cfg.extractor.paired_streams(&train_campaign);
-        let dataset =
-            PredictionQuantizationModel::build_dataset_stride(&cfg.model, &streams, 2);
+        let dataset = PredictionQuantizationModel::build_dataset_stride(&cfg.model, &streams, 2);
         let eval_campaign =
             KeyPipeline::campaign(kind, &cfg, cfg.session_rounds, cfg.speed_kmh, &mut rng);
         let eval = |pipeline: &KeyPipeline, rng: &mut rand::rngs::StdRng| {
@@ -187,11 +222,7 @@ pub fn fig14() -> String {
         // Scratch: fresh model, 20 epochs on the full target data.
         let mut scratch_model = PredictionQuantizationModel::new(cfg.model, &mut rng);
         scratch_model.train_epochs(&dataset, 20, &mut rng);
-        let scratch_pipe = KeyPipeline::from_parts(
-            cfg,
-            scratch_model,
-            base.reconciler().clone(),
-        );
+        let scratch_pipe = KeyPipeline::from_parts(cfg, scratch_model, base.reconciler().clone());
         let scratch = eval(&scratch_pipe, &mut rng);
         // Transfer: base model fine-tuned 20 epochs on a fraction.
         let mut cells = vec![pct(scratch)];

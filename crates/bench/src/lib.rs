@@ -12,6 +12,7 @@
 //! crossovers fall — is the reproduction target (see EXPERIMENTS.md).
 
 pub mod experiments;
+pub mod manifest;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,230 @@
+//! Machine-readable per-experiment run manifests.
+//!
+//! When `repro` runs with `VK_OUT` set, each experiment writes a
+//! `<name>.manifest.json` next to its text report: one JSON object carrying
+//! the inputs that determine the run (seed, scale) and the observed behaviour
+//! (wall time, per-stage time breakdown, pipeline counters) so sweeps can be
+//! compared across machines and revisions without parsing prose.
+//!
+//! Schema (all times in seconds):
+//!
+//! ```json
+//! {
+//!   "experiment": "fig12",
+//!   "seed": 1593985053,
+//!   "scale": 1.0,
+//!   "elapsed_s": 42.7,
+//!   "stages": {
+//!     "model.train": { "total_s": 30.1, "count": 1, "mean_s": 30.1 }
+//!   },
+//!   "counters": { "quantize.bits": 81920 },
+//!   "gauges": { "model.loss": 0.113 }
+//! }
+//! ```
+//!
+//! `stages` is derived from the telemetry registry's span-duration
+//! histograms: every span name that fired during the experiment appears with
+//! its total/count/mean. `counters` and `gauges` mirror the registry's
+//! aggregated metrics.
+
+use telemetry::{Json, MetricsSnapshot};
+
+/// One experiment's run manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Experiment name (e.g. `fig12`).
+    pub experiment: String,
+    /// Base RNG seed the run used (`VK_SEED`).
+    pub seed: u64,
+    /// Size multiplier the run used (`VK_SCALE`).
+    pub scale: f64,
+    /// Experiment wall time in seconds.
+    pub elapsed_s: f64,
+    /// Aggregated telemetry at the end of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Assemble a manifest from run metadata plus the registry snapshot.
+    pub fn new(
+        experiment: &str,
+        seed: u64,
+        scale: f64,
+        elapsed_s: f64,
+        metrics: MetricsSnapshot,
+    ) -> Self {
+        RunManifest {
+            experiment: experiment.to_string(),
+            seed,
+            scale,
+            elapsed_s,
+            metrics,
+        }
+    }
+
+    /// Render as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let stages: Vec<(String, Json)> = self
+            .metrics
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("total_s".into(), Json::Num(h.sum)),
+                        ("count".into(), Json::UInt(h.count)),
+                        ("mean_s".into(), Json::Num(h.mean())),
+                    ]),
+                )
+            })
+            .collect();
+        let counters: Vec<(String, Json)> = self
+            .metrics
+            .counters
+            .iter()
+            .map(|(name, &v)| (name.clone(), Json::UInt(v)))
+            .collect();
+        let gauges: Vec<(String, Json)> = self
+            .metrics
+            .gauges
+            .iter()
+            .map(|(name, &v)| (name.clone(), Json::Num(v)))
+            .collect();
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("scale".into(), Json::Num(self.scale)),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+            ("stages".into(), Json::Obj(stages)),
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+        ])
+    }
+
+    /// Serialize to the on-disk JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Write the manifest file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string() + "\n")
+    }
+
+    /// Parse a manifest back from its JSON text (stage summaries are folded
+    /// back into the snapshot's histograms with `min`/`max` unset).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not a valid manifest.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text)?;
+        let experiment = json
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing 'experiment'")?
+            .to_string();
+        let seed = json
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("manifest missing 'seed'")?;
+        let scale = json
+            .get("scale")
+            .and_then(Json::as_f64)
+            .ok_or("manifest missing 'scale'")?;
+        let elapsed_s = json
+            .get("elapsed_s")
+            .and_then(Json::as_f64)
+            .ok_or("manifest missing 'elapsed_s'")?;
+        let mut metrics = MetricsSnapshot::default();
+        for (name, stage) in json.get("stages").and_then(Json::entries).unwrap_or(&[]) {
+            let h = telemetry::HistogramSummary {
+                count: stage.get("count").and_then(Json::as_u64).unwrap_or(0),
+                sum: stage.get("total_s").and_then(Json::as_f64).unwrap_or(0.0),
+                ..Default::default()
+            };
+            metrics.histograms.insert(name.clone(), h);
+        }
+        for (name, v) in json.get("counters").and_then(Json::entries).unwrap_or(&[]) {
+            metrics
+                .counters
+                .insert(name.clone(), v.as_u64().unwrap_or(0));
+        }
+        for (name, v) in json.get("gauges").and_then(Json::entries).unwrap_or(&[]) {
+            metrics
+                .gauges
+                .insert(name.clone(), v.as_f64().unwrap_or(0.0));
+        }
+        Ok(RunManifest {
+            experiment,
+            seed,
+            scale,
+            elapsed_s,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::HistogramSummary;
+
+    fn sample() -> RunManifest {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("quantize.bits".into(), 81920);
+        metrics.counters.insert("reconcile.segments".into(), 12);
+        metrics.gauges.insert("model.loss".into(), 0.113);
+        let mut h = HistogramSummary::default();
+        h.observe(30.0);
+        h.observe(32.0);
+        metrics.histograms.insert("model.train".into(), h);
+        RunManifest::new("fig12", 1_593_985_053, 1.0, 42.75, metrics)
+    }
+
+    #[test]
+    fn json_has_the_documented_shape() {
+        let json = sample().to_json();
+        assert_eq!(json.get("experiment").and_then(Json::as_str), Some("fig12"));
+        assert_eq!(json.get("seed").and_then(Json::as_u64), Some(1_593_985_053));
+        assert_eq!(json.get("elapsed_s").and_then(Json::as_f64), Some(42.75));
+        let train = json
+            .get("stages")
+            .and_then(|s| s.get("model.train"))
+            .unwrap();
+        assert_eq!(train.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(train.get("total_s").and_then(Json::as_f64), Some(62.0));
+        assert_eq!(train.get("mean_s").and_then(Json::as_f64), Some(31.0));
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("quantize.bits"))
+                .and_then(Json::as_u64),
+            Some(81920)
+        );
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let manifest = sample();
+        let parsed = RunManifest::parse(&manifest.to_json_string()).unwrap();
+        assert_eq!(parsed.experiment, manifest.experiment);
+        assert_eq!(parsed.seed, manifest.seed);
+        assert_eq!(parsed.elapsed_s, manifest.elapsed_s);
+        assert_eq!(parsed.metrics.counters, manifest.metrics.counters);
+        let h = parsed.metrics.histograms.get("model.train").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 62.0);
+    }
+
+    #[test]
+    fn parse_rejects_non_manifests() {
+        assert!(RunManifest::parse("[]").is_err());
+        assert!(RunManifest::parse("{\"seed\": 1}").is_err());
+        assert!(RunManifest::parse("not json").is_err());
+    }
+}

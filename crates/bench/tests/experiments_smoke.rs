@@ -25,7 +25,10 @@ fn all_list_is_complete_and_dispatchable() {
     assert!(experiments::ALL.len() >= 19);
     for name in experiments::ALL {
         assert!(
-            !name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
             "odd experiment name {name}"
         );
     }

@@ -237,7 +237,9 @@ mod tests {
         let ray = FadingProcess::new(FadingKind::Rayleigh, &mut rng);
         let ric = FadingProcess::new(FadingKind::Rician { k: 6.0 }, &mut rng);
         let env_var = |p: &FadingProcess| {
-            let e: Vec<f64> = (0..8000).map(|i| p.envelope_at_cycles(i as f64 * 0.41)).collect();
+            let e: Vec<f64> = (0..8000)
+                .map(|i| p.envelope_at_cycles(i as f64 * 0.41))
+                .collect();
             let m = mean(&e);
             e.iter().map(|x| (x - m).powi(2)).sum::<f64>() / e.len() as f64
         };

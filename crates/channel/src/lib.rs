@@ -51,8 +51,8 @@ pub use model::{ChannelModel, Direction, EveChannel, LinkBudget};
 pub use pathloss::PathLoss;
 pub use shadowing::Shadowing;
 pub use theory::{
-    bessel_j0, coherence_bandwidth_hz, coherence_time_fast, coherence_time_slow,
-    doppler_shift_hz, estimate_rice_k, lognormal_pdf, rayleigh_pdf,
+    bessel_j0, coherence_bandwidth_hz, coherence_time_fast, coherence_time_slow, doppler_shift_hz,
+    estimate_rice_k, lognormal_pdf, rayleigh_pdf,
 };
 
 /// Propagation environment, controlling multipath richness.

@@ -173,8 +173,7 @@ impl ChannelModel {
     ) -> f64 {
         let fading_db = eve.fading.db_at_cycles(cycles);
         let shadow_db = self.shadowing.at(route_pos_m) + eve.shadow_residual.at(route_pos_m);
-        self.budget.tx_power_dbm + self.budget.antenna_gain_db
-            - self.pathloss.loss_db(distance_m)
+        self.budget.tx_power_dbm + self.budget.antenna_gain_db - self.pathloss.loss_db(distance_m)
             + shadow_db
             + fading_db
     }
@@ -249,8 +248,7 @@ impl ChannelModel {
     ) -> f64 {
         let fading_db = eve.fading.db_at_cycles(self.doppler_hz * t);
         let shadow_db = self.shadowing.at(route_pos_m) + eve.shadow_residual.at(route_pos_m);
-        self.budget.tx_power_dbm + self.budget.antenna_gain_db
-            - self.pathloss.loss_db(distance_m)
+        self.budget.tx_power_dbm + self.budget.antenna_gain_db - self.pathloss.loss_db(distance_m)
             + shadow_db
             + fading_db
     }

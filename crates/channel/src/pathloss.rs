@@ -25,7 +25,11 @@ impl PathLoss {
             Environment::Urban => 3.2,
             Environment::Rural => 2.1,
         };
-        PathLoss { exponent, reference_m: 10.0, carrier_hz: 434.0e6 }
+        PathLoss {
+            exponent,
+            reference_m: 10.0,
+            carrier_hz: 434.0e6,
+        }
     }
 
     /// Free-space path loss at distance `d` metres (Friis, isotropic):
@@ -41,8 +45,7 @@ impl PathLoss {
     /// not valid in the near field).
     pub fn loss_db(&self, d_m: f64) -> f64 {
         let d = d_m.max(self.reference_m);
-        self.free_space_db(self.reference_m)
-            + 10.0 * self.exponent * (d / self.reference_m).log10()
+        self.free_space_db(self.reference_m) + 10.0 * self.exponent * (d / self.reference_m).log10()
     }
 }
 
@@ -88,14 +91,22 @@ mod tests {
     #[test]
     fn free_space_matches_friis_at_434mhz() {
         // FSPL(1 km, 434 MHz) = 20log10(d) + 20log10(f) - 147.55 ≈ 85.2 dB.
-        let pl = PathLoss { exponent: 2.0, reference_m: 1.0, carrier_hz: 434.0e6 };
+        let pl = PathLoss {
+            exponent: 2.0,
+            reference_m: 1.0,
+            carrier_hz: 434.0e6,
+        };
         let fspl = pl.free_space_db(1000.0);
         assert!((fspl - 85.19).abs() < 0.1, "fspl {fspl}");
     }
 
     #[test]
     fn exponent_two_equals_free_space_slope() {
-        let pl = PathLoss { exponent: 2.0, reference_m: 10.0, carrier_hz: 434.0e6 };
+        let pl = PathLoss {
+            exponent: 2.0,
+            reference_m: 10.0,
+            carrier_hz: 434.0e6,
+        };
         // Doubling distance adds ~6.02 dB for n = 2.
         let delta = pl.loss_db(2000.0) - pl.loss_db(1000.0);
         assert!((delta - 6.02).abs() < 0.05, "delta {delta}");

@@ -102,9 +102,8 @@ mod tests {
         let mut g = GaussMarkovGrid::new(3.0, 5.0, 0.5, 77);
         let samples: Vec<f64> = (0..5000).map(|i| g.at(i as f64 * 60.0)).collect();
         let m = samples.iter().sum::<f64>() / samples.len() as f64;
-        let sd = (samples.iter().map(|x| (x - m).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!((sd - 3.0).abs() < 0.25, "sd {sd}");
     }
 

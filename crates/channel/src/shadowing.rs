@@ -90,8 +90,7 @@ mod tests {
         // Sample far apart (≫ d_corr) for near-independent draws.
         let samples: Vec<f64> = (0..4000).map(|i| s.at(i as f64 * 300.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var =
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.5, "mean {mean}");
         assert!((var.sqrt() - 6.0).abs() < 0.5, "std {}", var.sqrt());
     }

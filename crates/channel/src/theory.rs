@@ -179,7 +179,9 @@ mod tests {
     fn rayleigh_pdf_integrates_to_one() {
         let sigma = 1.3;
         let dx = 1e-3;
-        let integral: f64 = (0..20_000).map(|i| rayleigh_pdf(i as f64 * dx, sigma) * dx).sum();
+        let integral: f64 = (0..20_000)
+            .map(|i| rayleigh_pdf(i as f64 * dx, sigma) * dx)
+            .sum();
         assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
     }
 
@@ -200,8 +202,9 @@ mod tests {
     fn lognormal_pdf_integrates_to_one() {
         let sigma = 0.7;
         let dx = 1e-3;
-        let integral: f64 =
-            (1..60_000).map(|i| lognormal_pdf(i as f64 * dx, sigma) * dx).sum();
+        let integral: f64 = (1..60_000)
+            .map(|i| lognormal_pdf(i as f64 * dx, sigma) * dx)
+            .sum();
         assert!((integral - 1.0).abs() < 2e-3, "integral {integral}");
     }
 
@@ -231,8 +234,9 @@ mod tests {
                 FadingKind::Rician { k: k_true }
             };
             let p = FadingProcess::new(kind, &mut rng);
-            let samples: Vec<f64> =
-                (0..40_000).map(|i| p.envelope_at_cycles(i as f64 * 0.73)).collect();
+            let samples: Vec<f64> = (0..40_000)
+                .map(|i| p.envelope_at_cycles(i as f64 * 0.73))
+                .collect();
             let k_hat = estimate_rice_k(&samples);
             assert!(
                 (k_hat - k_true).abs() < 0.2 + 0.25 * k_true,
@@ -253,7 +257,10 @@ mod tests {
         ];
         for (x, expect) in cases {
             let got = bessel_j0(x);
-            assert!((got - expect).abs() < 1e-6, "J0({x}) = {got}, want {expect}");
+            assert!(
+                (got - expect).abs() < 1e-6,
+                "J0({x}) = {got}, want {expect}"
+            );
         }
     }
 

@@ -6,15 +6,20 @@
 //! vkey export-trace --scenario V2I-Rural --rounds 200 --out trace.csv
 //! vkey run-trace    --pipeline pipeline.bin --trace trace.csv
 //! vkey nist    --pipeline pipeline.bin [--bits 4000]
+//! vkey help
 //! ```
 //!
-//! All subcommands accept `--seed <u64>` for reproducibility.
+//! All subcommands accept `--seed <u64>` for reproducibility and
+//! `--telemetry <path>` (or the `VK_TELEMETRY` environment variable) to
+//! write a JSON-lines trace of every pipeline stage; the value `-` streams
+//! human-readable events to stderr instead.
 
 use mobility::ScenarioKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
 
 fn scenario_from(name: &str) -> Result<ScenarioKind, String> {
@@ -137,8 +142,7 @@ fn cmd_run_trace(args: &Args) -> Result<(), String> {
     let pipeline = KeyPipeline::load(args.require("pipeline")?)?;
     let trace = args.require("trace")?;
     let file = std::fs::File::open(trace).map_err(|e| e.to_string())?;
-    let campaign =
-        testbed::read_csv(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let campaign = testbed::read_csv(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(args.seed());
     let outcome = pipeline.run_on_campaign(&campaign, &mut rng);
     println!(
@@ -163,8 +167,13 @@ fn cmd_nist(args: &Args) -> Result<(), String> {
     eprintln!("generating {target}+ key bits ...");
     let cfg = *pipeline.config();
     while bits.len() < target {
-        let campaign =
-            KeyPipeline::campaign(scenario, &cfg, cfg.session_rounds * 4, cfg.speed_kmh, &mut rng);
+        let campaign = KeyPipeline::campaign(
+            scenario,
+            &cfg,
+            cfg.session_rounds * 4,
+            cfg.speed_kmh,
+            &mut rng,
+        );
         let outcome = pipeline.run_on_campaign(&campaign, &mut rng);
         for key in &outcome.alice_keys {
             for byte in key {
@@ -186,14 +195,84 @@ fn cmd_nist(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+const USAGE: &str = "usage: vkey <train|keygen|export-trace|run-trace|nist|help> [--flags]";
+
+fn print_help() {
+    println!(
+        "\
+vkey — Vehicle-Key secret key establishment (ICDCS 2022 reproduction)
+
+{USAGE}
+
+Subcommands:
+  train         Train the joint model + reconciler on simulated drives
+                  --out <file>          pipeline output path (required)
+                  --scenario <kind>     V2I-Urban | V2I-Rural | V2V-Urban | V2V-Rural
+                  --fast                reduced training configuration
+  keygen        Run key-establishment sessions with a trained pipeline
+                  --pipeline <file>     trained pipeline (required)
+                  --scenario <kind>     scenario to simulate
+                  --sessions <n>        number of sessions (default 1)
+  export-trace  Simulate a probing campaign and write it as CSV
+                  --out <file>          CSV output path (required)
+                  --scenario <kind>     scenario to simulate
+                  --rounds <n>          probe rounds (default 100)
+  run-trace     Run the pipeline over a recorded CSV campaign
+                  --pipeline <file>     trained pipeline (required)
+                  --trace <file>        CSV campaign (required)
+  nist          Generate key bits and run the NIST randomness battery
+                  --pipeline <file>     trained pipeline (required)
+                  --bits <n>            minimum key bits to test (default 4000)
+  help          Show this message
+
+Global flags (every subcommand):
+  --seed <u64>        RNG seed for reproducibility (default 7)
+  --telemetry <path>  write a JSON-lines telemetry trace of every pipeline
+                      stage to <path>; '-' streams human-readable events to
+                      stderr. The VK_TELEMETRY environment variable is the
+                      fallback when the flag is absent."
+    );
+}
+
+/// Install the telemetry sink requested by `--telemetry` / `VK_TELEMETRY`.
+/// Returns whether a sink was installed (so `main` knows to flush).
+fn setup_telemetry(args: &Args) -> Result<bool, String> {
+    let target = match args.get("telemetry").map(str::to_string) {
+        Some(t) => Some(t),
+        None => std::env::var("VK_TELEMETRY").ok().filter(|t| !t.is_empty()),
+    };
+    let Some(target) = target else {
+        return Ok(false);
+    };
+    if target == "-" {
+        telemetry::install(Arc::new(telemetry::StderrSink::new()));
+    } else {
+        let sink = telemetry::JsonLinesSink::create(&target)
+            .map_err(|e| format!("cannot create telemetry trace '{target}': {e}"))?;
+        telemetry::install(Arc::new(sink));
+    }
+    Ok(true)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        eprintln!("usage: vkey <train|keygen|export-trace|run-trace|nist> [--flags]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let traced = match setup_telemetry(&args) {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
@@ -205,8 +284,15 @@ fn main() -> ExitCode {
         "export-trace" => cmd_export_trace(&args),
         "run-trace" => cmd_run_trace(&args),
         "nist" => cmd_nist(&args),
-        other => Err(format!("unknown command '{other}'")),
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
     };
+    if traced {
+        telemetry::uninstall();
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

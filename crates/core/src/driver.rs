@@ -11,8 +11,8 @@
 use crate::protocol::{Message, ProtocolError, Session};
 use quantize::BitString;
 use reconcile::AutoencoderReconciler;
-use std::collections::VecDeque;
 use std::collections::HashSet;
+use std::collections::VecDeque;
 
 /// A frame-oriented transport between the two parties.
 pub trait Transport {
@@ -37,12 +37,18 @@ impl DuplexQueue {
 
     /// Endpoint view for Alice (sends into `a_to_b`, receives `b_to_a`).
     pub fn alice(&mut self) -> Endpoint<'_> {
-        Endpoint { tx: &mut self.a_to_b, rx: &mut self.b_to_a }
+        Endpoint {
+            tx: &mut self.a_to_b,
+            rx: &mut self.b_to_a,
+        }
     }
 
     /// Endpoint view for Bob.
     pub fn bob(&mut self) -> Endpoint<'_> {
-        Endpoint { tx: &mut self.b_to_a, rx: &mut self.a_to_b }
+        Endpoint {
+            tx: &mut self.b_to_a,
+            rx: &mut self.a_to_b,
+        }
     }
 }
 
@@ -149,6 +155,10 @@ pub fn run_exchange(
     k_bob: &BitString,
 ) -> Result<([u8; 16], [u8; 16]), ProtocolError> {
     assert_eq!(k_alice.len(), k_bob.len(), "key length mismatch");
+    let _exchange_span = telemetry::span("driver.exchange")
+        .field("session_id", u64::from(session_id))
+        .field("key_bits", k_bob.len() as u64)
+        .enter();
     let seg = reconciler.key_len();
     let session = Session::new(session_id, reconciler.clone(), nonces.0, nonces.1);
     // Bob: one syndrome frame per 64-bit block, then his confirmation.
@@ -166,9 +176,13 @@ pub fn run_exchange(
         }
     }
     let bob_key = vk_crypto::amplify::amplify_128(&bob_bits.to_bools());
-    queue
-        .bob()
-        .send(&Message::Confirm { session_id, check: session.confirm_check(&bob_key) }.encode());
+    queue.bob().send(
+        &Message::Confirm {
+            session_id,
+            check: session.confirm_check(&bob_key),
+        }
+        .encode(),
+    );
 
     // Alice: drain and process.
     let mut alice = AliceDriver::new(
@@ -184,22 +198,16 @@ pub fn run_exchange(
     while let Some(f) = queue.alice().recv() {
         frames.push(f);
     }
+    telemetry::counter("driver.frames", frames.len() as u64);
     let mut block_idx = 0u32;
     for frame in frames {
         match Message::decode(&frame)? {
             Message::Syndrome { .. } => {
                 let ka = k_alice.slice(block_idx as usize * seg, seg);
-                let mut sub = AliceDriver::new(
-                    session_id,
-                    reconciler.clone(),
-                    nonces.0,
-                    nonces.1,
-                    ka,
-                );
+                let mut sub =
+                    AliceDriver::new(session_id, reconciler.clone(), nonces.0, nonces.1, ka);
                 sub.handle_frame(&frame)?;
-                alice
-                    .corrected
-                    .push((block_idx, sub.corrected.remove(0).1));
+                alice.corrected.push((block_idx, sub.corrected.remove(0).1));
                 block_idx += 1;
             }
             Message::Confirm { .. } => {
@@ -225,7 +233,9 @@ mod tests {
         static MODEL: std::sync::OnceLock<AutoencoderReconciler> = std::sync::OnceLock::new();
         MODEL.get_or_init(|| {
             let mut rng = StdRng::seed_from_u64(7001);
-            AutoencoderTrainer::default().with_steps(6000).train(&mut rng)
+            AutoencoderTrainer::default()
+                .with_steps(6000)
+                .train(&mut rng)
         })
     }
 
@@ -253,9 +263,10 @@ mod tests {
         let (ka, kb) = keys(2, &[9]);
         let session = Session::new(9, model().clone(), 1, 2);
         let msg = session.bob_syndrome_message(0, &kb.slice(0, 64));
-        let mut alice =
-            AliceDriver::new(9, model().clone(), 1, 2, ka.slice(0, 64));
-        alice.handle_frame(&msg.encode()).expect("first delivery ok");
+        let mut alice = AliceDriver::new(9, model().clone(), 1, 2, ka.slice(0, 64));
+        alice
+            .handle_frame(&msg.encode())
+            .expect("first delivery ok");
         let err = alice.handle_frame(&msg.encode()).unwrap_err();
         assert!(matches!(err, ProtocolError::Malformed(m) if m.contains("replayed")));
     }

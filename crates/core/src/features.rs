@@ -55,7 +55,11 @@ pub struct ArRssiExtractor {
 
 impl Default for ArRssiExtractor {
     fn default() -> Self {
-        ArRssiExtractor { window_fraction: 0.025, subwindows: 2, detrend: true }
+        ArRssiExtractor {
+            window_fraction: 0.025,
+            subwindows: 2,
+            detrend: true,
+        }
     }
 }
 
@@ -92,7 +96,11 @@ impl ArRssiExtractor {
             "window fraction must be in (0, 1]"
         );
         assert!(subwindows >= 1, "at least one sub-window required");
-        ArRssiExtractor { window_fraction, subwindows, detrend: true }
+        ArRssiExtractor {
+            window_fraction,
+            subwindows,
+            detrend: true,
+        }
     }
 
     /// Builder-style override of the detrending flag.
@@ -144,7 +152,9 @@ impl ArRssiExtractor {
     /// The **boundary arRSSI pair** of one round: the mean over the full
     /// boundary region on each side (the Fig. 3/9 correlation feature).
     pub fn boundary_pair(&self, round: &ProbeRound) -> (f64, f64) {
-        let rb = self.region_len(round.bob_rrssi.len()).min(round.bob_rrssi.len());
+        let rb = self
+            .region_len(round.bob_rrssi.len())
+            .min(round.bob_rrssi.len());
         let ra = self
             .region_len(round.alice_rrssi.len())
             .min(round.alice_rrssi.len());
@@ -157,10 +167,14 @@ impl ArRssiExtractor {
     /// `subwindows` aligned pairs — Bob's tail sub-windows against Alice's
     /// head sub-windows, both ordered by distance from the boundary.
     pub fn paired_streams(&self, campaign: &Campaign) -> PairedStreams {
+        let _span = telemetry::span("features.extract")
+            .field("rounds", campaign.rounds.len() as u64)
+            .field("subwindows", self.subwindows as u64)
+            .enter();
         let mut alice = Vec::new();
         let mut bob = Vec::new();
-        let has_eve = !campaign.rounds.is_empty()
-            && campaign.rounds.iter().all(|r| r.eve_rrssi.is_some());
+        let has_eve =
+            !campaign.rounds.is_empty() && campaign.rounds.iter().all(|r| r.eve_rrssi.is_some());
         let mut eve = has_eve.then(Vec::new);
         let mut baseline = Vec::new();
         for r in &campaign.rounds {
@@ -174,6 +188,7 @@ impl ArRssiExtractor {
                 acc.extend(self.head_values(readings, base));
             }
         }
+        telemetry::counter("features.windows", alice.len() as u64);
         PairedStreams {
             alice,
             bob,
@@ -255,7 +270,10 @@ mod tests {
     #[test]
     fn head_and_tail_orderings() {
         let readings: Vec<RssiReading> = (0..100)
-            .map(|i| RssiReading { t: i as f64, rssi_dbm: i as f64 })
+            .map(|i| RssiReading {
+                t: i as f64,
+                rssi_dbm: i as f64,
+            })
             .collect();
         let ex = ArRssiExtractor::new(0.2, 4); // region 20, sub-window 5
         let head = ex.head_values(&readings, 0.0);

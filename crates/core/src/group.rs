@@ -63,7 +63,12 @@ pub fn wrap_group_key(
     let cipher = Aes128::new(pairwise_key);
     let ciphertext = cipher.ctr(nonce, group_key);
     let mac = hmac_sha256(pairwise_key, &mac_input(member_id, nonce, &ciphertext));
-    WrappedGroupKey { member_id, nonce, ciphertext, mac }
+    WrappedGroupKey {
+        member_id,
+        nonce,
+        ciphertext,
+        mac,
+    }
 }
 
 /// **Member**: authenticate and unwrap the group key with the pairwise key.

@@ -49,9 +49,9 @@ pub mod pipeline;
 pub mod protocol;
 pub mod security;
 
+pub use driver::{AliceDriver, DuplexQueue, Transport};
 pub use features::{ArRssiExtractor, PairedStreams};
 pub use metrics::{KeyMetrics, Summary};
 pub use model::{ModelConfig, PredictionQuantizationModel, TrainReport};
 pub use pipeline::{KeyPipeline, PipelineConfig, SessionOutcome};
-pub use driver::{AliceDriver, DuplexQueue, Transport};
 pub use protocol::{Message, ProtocolError, Role, Session};

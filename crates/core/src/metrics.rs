@@ -33,7 +33,11 @@ impl Summary {
     pub fn of(values: &[f64]) -> Summary {
         let n = values.len();
         if n == 0 {
-            return Summary { mean: f64::NAN, std: f64::NAN, n: 0 };
+            return Summary {
+                mean: f64::NAN,
+                std: f64::NAN,
+                n: 0,
+            };
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let std = (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
@@ -57,6 +61,15 @@ mod tests {
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.std, 0.0);
         assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_of_single_value_has_zero_std() {
+        // Population std of one observation is exactly 0, never NaN.
+        let s = Summary::of(&[0.73]);
+        assert_eq!(s.mean, 0.73);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.n, 1);
     }
 
     #[test]

@@ -43,7 +43,10 @@ use serde::{Deserialize, Serialize};
 /// Normalize public baseline levels (dBm) into a compact model input
 /// (≈ −120..−60 dBm → −1..2).
 pub(crate) fn normalize_levels(baselines: &[f64]) -> Vec<f32> {
-    baselines.iter().map(|&b| ((b + 100.0) / 20.0) as f32).collect()
+    baselines
+        .iter()
+        .map(|&b| ((b + 100.0) / 20.0) as f32)
+        .collect()
 }
 
 /// Model hyperparameters.
@@ -324,11 +327,7 @@ impl PredictionQuantizationModel {
     }
 
     /// Train on a dataset. Returns the training report.
-    pub fn train<R: Rng + ?Sized>(
-        &mut self,
-        dataset: &[TrainSample],
-        rng: &mut R,
-    ) -> TrainReport {
+    pub fn train<R: Rng + ?Sized>(&mut self, dataset: &[TrainSample], rng: &mut R) -> TrainReport {
         self.train_epochs(dataset, self.config.epochs, rng)
     }
 
@@ -341,6 +340,11 @@ impl PredictionQuantizationModel {
         rng: &mut R,
     ) -> TrainReport {
         assert!(!dataset.is_empty(), "empty training dataset");
+        let _train_span = telemetry::span("model.train")
+            .field("epochs", epochs as u64)
+            .field("samples", dataset.len() as u64)
+            .field("params", self.param_count() as u64)
+            .enter();
         let mut adam = Adam::new(self.config.lr);
         // Two-epoch warmup stabilizes the BiLSTM's early steps.
         let schedule = nn::LrSchedule::Warmup { warmup: 2 };
@@ -357,8 +361,19 @@ impl PredictionQuantizationModel {
                 batches += 1;
             }
             final_loss = epoch_loss / batches as f32;
+            if telemetry::enabled() {
+                telemetry::mark("model.epoch")
+                    .field("epoch", epoch as u64)
+                    .field("loss", f64::from(final_loss))
+                    .emit();
+                telemetry::gauge("model.loss", f64::from(final_loss));
+            }
         }
-        TrainReport { final_loss, epochs, samples: dataset.len() }
+        TrainReport {
+            final_loss,
+            epochs,
+            samples: dataset.len(),
+        }
     }
 
     fn train_batch(&mut self, batch: &[&TrainSample], adam: &mut Adam) -> f32 {
@@ -368,7 +383,10 @@ impl PredictionQuantizationModel {
         let y_target = Matrix::from_vec(
             b,
             t,
-            batch.iter().flat_map(|s| s.bob_norm.iter().copied()).collect(),
+            batch
+                .iter()
+                .flat_map(|s| s.bob_norm.iter().copied())
+                .collect(),
         );
         let z_target = Matrix::from_vec(
             b,
@@ -386,14 +404,15 @@ impl PredictionQuantizationModel {
         let m_bits = self.config.key_bits / t;
         let z_pred = Self::to_batch_wide(&self.fc_quant_out.forward(&q_hidden), t, m_bits);
         let theta = self.config.theta;
-        let joint =
-            loss::joint(theta, &y_pred, &y_target, &z_pred, &z_target);
+        let joint = loss::joint(theta, &y_pred, &y_target, &z_pred, &z_target);
         let (gy_direct, gz) = loss::joint_grads(theta, &y_pred, &y_target, &z_pred, &z_target);
         self.bilstm.zero_grad();
         self.fc_pred.zero_grad();
         self.fc_quant_hidden.zero_grad();
         self.fc_quant_out.zero_grad();
-        let gq = self.fc_quant_out.backward(&Self::to_stacked_wide(&gz, t, m_bits));
+        let gq = self
+            .fc_quant_out
+            .backward(&Self::to_stacked_wide(&gz, t, m_bits));
         let gstacked_from_z = self.fc_quant_hidden.backward(&gq);
         let gstacked = self
             .fc_pred
@@ -431,7 +450,10 @@ impl PredictionQuantizationModel {
             let y_target = Matrix::from_vec(
                 batch.len(),
                 t,
-                batch.iter().flat_map(|s| s.bob_norm.iter().copied()).collect(),
+                batch
+                    .iter()
+                    .flat_map(|s| s.bob_norm.iter().copied())
+                    .collect(),
             );
             let z_target = Matrix::from_vec(
                 batch.len(),
@@ -451,7 +473,9 @@ impl PredictionQuantizationModel {
         let states: Vec<Matrix> = hs.iter().zip(&xs).map(|(h, x)| h.hcat(x)).collect();
         let stacked = Self::stack(&states);
         let y_pred = Self::to_batch_rows(&self.fc_pred.infer(&stacked), t);
-        let z_flat = self.fc_quant_out.infer(&self.fc_quant_hidden.infer(&stacked));
+        let z_flat = self
+            .fc_quant_out
+            .infer(&self.fc_quant_hidden.infer(&stacked));
         let z_pred = Self::to_batch_wide(&z_flat, t, self.config.key_bits / t);
         (y_pred, z_pred)
     }
@@ -564,15 +588,20 @@ mod tests {
             alice.push(level + (rng.random::<f64>() - 0.5) * noise);
         }
         let baseline = vec![-95.0; alice.len()];
-        PairedStreams { alice, bob, eve: None, baseline, windows_per_round: 8 }
+        PairedStreams {
+            alice,
+            bob,
+            eve: None,
+            baseline,
+            windows_per_round: 8,
+        }
     }
 
     #[test]
     fn dataset_shapes() {
         let cfg = tiny_config();
         let streams = synthetic_streams(100, 0.5, 301);
-        let data =
-            PredictionQuantizationModel::build_dataset_stride(&cfg, &streams, cfg.seq_len);
+        let data = PredictionQuantizationModel::build_dataset_stride(&cfg, &streams, cfg.seq_len);
         assert_eq!(data.len(), 100 / cfg.seq_len);
         for s in &data {
             assert_eq!(s.alice.len(), cfg.seq_len);

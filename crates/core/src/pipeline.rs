@@ -176,20 +176,30 @@ impl KeyPipeline {
         config: &PipelineConfig,
         rng: &mut R,
     ) -> Self {
+        let _train_span = telemetry::span("pipeline.train")
+            .field("campaigns", campaigns.len() as u64)
+            .enter();
         let mut dataset = Vec::new();
-        for campaign in campaigns {
-            let streams = config.extractor.paired_streams(campaign);
-            // Dense sliding windows: training data is the scarce resource.
-            dataset.extend(PredictionQuantizationModel::build_dataset_stride(
-                &config.model,
-                &streams,
-                2,
-            ));
+        {
+            let _dataset_span = telemetry::span("pipeline.train.dataset").enter();
+            for campaign in campaigns {
+                let streams = config.extractor.paired_streams(campaign);
+                // Dense sliding windows: training data is the scarce resource.
+                dataset.extend(PredictionQuantizationModel::build_dataset_stride(
+                    &config.model,
+                    &streams,
+                    2,
+                ));
+            }
         }
         let mut model = PredictionQuantizationModel::new(config.model, rng);
         model.train(&dataset, rng);
         let reconciler = config.reconciler.train(rng);
-        KeyPipeline { config: *config, model, reconciler }
+        KeyPipeline {
+            config: *config,
+            model,
+            reconciler,
+        }
     }
 
     /// Assemble a pipeline from pre-trained components.
@@ -198,7 +208,11 @@ impl KeyPipeline {
         model: PredictionQuantizationModel,
         reconciler: AutoencoderReconciler,
     ) -> Self {
-        KeyPipeline { config, model, reconciler }
+        KeyPipeline {
+            config,
+            model,
+            reconciler,
+        }
     }
 
     /// Generate a measurement campaign for this pipeline's radio settings.
@@ -236,13 +250,20 @@ impl KeyPipeline {
 
     /// Run a fresh key-establishment session in scenario `kind`.
     pub fn run_session<R: Rng + ?Sized>(&self, kind: ScenarioKind, rng: &mut R) -> SessionOutcome {
-        let campaign = Self::campaign(
-            kind,
-            &self.config,
-            self.config.session_rounds,
-            self.config.speed_kmh,
-            rng,
-        );
+        let _session_span = telemetry::span("pipeline.session")
+            .field("scenario", format!("{kind:?}"))
+            .field("rounds", self.config.session_rounds as u64)
+            .enter();
+        let campaign = {
+            let _probe_span = telemetry::span("pipeline.probe").enter();
+            Self::campaign(
+                kind,
+                &self.config,
+                self.config.session_rounds,
+                self.config.speed_kmh,
+                rng,
+            )
+        };
         self.run_on_campaign(&campaign, rng)
     }
 
@@ -281,22 +302,31 @@ impl KeyPipeline {
         let mut alice_bits = BitString::new();
         let mut bob_bits = BitString::new();
         let mut eve_bits = streams.eve.as_ref().map(|_| BitString::new());
+        let quantize_span = telemetry::span("pipeline.quantize")
+            .field(
+                "windows",
+                (streams.alice.len().min(streams.bob.len()) / t.max(1)) as u64,
+            )
+            .enter();
         let mut i = 0;
         while i + t <= streams.alice.len().min(streams.bob.len()) {
             // Bob quantizes with guard dropping and publishes the kept
             // sample indices; all parties restrict to them.
             let outcome = self.model.bob_bits_kept(&streams.bob[i..i + t]);
             bob_bits.extend(&outcome.bits);
-            let (_, a_bits) =
-                self.model.predict(&streams.alice[i..i + t], &streams.baseline[i..i + t]);
+            let (_, a_bits) = self
+                .model
+                .predict(&streams.alice[i..i + t], &streams.baseline[i..i + t]);
             alice_bits.extend(&self.model.select_kept(&a_bits, &outcome.kept));
             if let (Some(acc), Some(eve)) = (eve_bits.as_mut(), streams.eve.as_ref()) {
-                let (_, e_bits) =
-                    self.model.predict(&eve[i..i + t], &streams.baseline[i..i + t]);
+                let (_, e_bits) = self
+                    .model
+                    .predict(&eve[i..i + t], &streams.baseline[i..i + t]);
                 acc.extend(&self.model.select_kept(&e_bits, &outcome.kept));
             }
             i += t;
         }
+        drop(quantize_span);
         let bit_agreement = if alice_bits.is_empty() {
             f64::NAN
         } else {
@@ -318,19 +348,47 @@ impl KeyPipeline {
             // derives them from the exchanged nonces). After each pass the
             // parties compare block hashes; only still-mismatched blocks
             // are re-reconciled, so extra passes cost one syndrome each.
+            let block_span = telemetry::span("reconcile.block")
+                .field("block", (offset / block) as u64)
+                .enter();
             let mut corrected = ka.clone();
-            for _pass in 0..self.config.reconcile_passes.max(1) {
+            for pass in 0..self.config.reconcile_passes.max(1) {
                 if corrected == kb {
                     break;
                 }
+                let _pass_span = telemetry::span("reconcile.pass")
+                    .field("block", (offset / block) as u64)
+                    .field("pass", pass as u64)
+                    .enter();
+                // Mismatch counts are telemetry-only work: gate the Hamming
+                // computations behind the enabled check.
+                let pre = telemetry::enabled().then(|| corrected.hamming(&kb));
                 let session = self.reconciler.clone().with_mask_seed(rng.random());
                 corrected = session.reconcile(&corrected, &kb).corrected;
+                if let Some(pre) = pre {
+                    let post = corrected.hamming(&kb);
+                    telemetry::counter("reconcile.pass_mismatch_in", pre as u64);
+                    telemetry::counter("reconcile.pass_mismatch_out", post as u64);
+                    telemetry::counter("reconcile.bits_corrected", pre.saturating_sub(post) as u64);
+                }
             }
+            drop(block_span);
             let result_corrected = corrected;
             reconciled_bits += block;
             reconciled_matches += block - result_corrected.hamming(&kb);
-            alice_keys.push(vk_crypto::amplify::amplify_128(&result_corrected.to_bools()));
-            bob_keys.push(vk_crypto::amplify::amplify_128(&kb.to_bools()));
+            if telemetry::enabled() {
+                telemetry::counter(
+                    "reconcile.residual_mismatch",
+                    result_corrected.hamming(&kb) as u64,
+                );
+            }
+            {
+                let _amplify_span = telemetry::span("pipeline.amplify").enter();
+                alice_keys.push(vk_crypto::amplify::amplify_128(
+                    &result_corrected.to_bools(),
+                ));
+                bob_keys.push(vk_crypto::amplify::amplify_128(&kb.to_bools()));
+            }
             // Eavesdropping attack: Eve intercepts Bob's syndrome for this
             // block and decodes with her own bits (first pass; later-pass
             // syndromes presume the first succeeded, which for Eve it

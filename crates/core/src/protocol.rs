@@ -105,19 +105,32 @@ impl Message {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
         match self {
-            Message::Probe { session_id, seq, nonce } => {
+            Message::Probe {
+                session_id,
+                seq,
+                nonce,
+            } => {
                 b.put_u8(Self::TAG_PROBE);
                 b.put_u32(*session_id);
                 b.put_u32(*seq);
                 b.put_u64(*nonce);
             }
-            Message::ProbeReply { session_id, seq, nonce } => {
+            Message::ProbeReply {
+                session_id,
+                seq,
+                nonce,
+            } => {
                 b.put_u8(Self::TAG_PROBE_REPLY);
                 b.put_u32(*session_id);
                 b.put_u32(*seq);
                 b.put_u64(*nonce);
             }
-            Message::Syndrome { session_id, block, code, mac } => {
+            Message::Syndrome {
+                session_id,
+                block,
+                code,
+                mac,
+            } => {
                 b.put_u8(Self::TAG_SYNDROME);
                 b.put_u32(*session_id);
                 b.put_u32(*block);
@@ -155,9 +168,17 @@ impl Message {
                 let seq = buf.get_u32();
                 let nonce = buf.get_u64();
                 Ok(if tag == Message::TAG_PROBE {
-                    Message::Probe { session_id, seq, nonce }
+                    Message::Probe {
+                        session_id,
+                        seq,
+                        nonce,
+                    }
                 } else {
-                    Message::ProbeReply { session_id, seq, nonce }
+                    Message::ProbeReply {
+                        session_id,
+                        seq,
+                        nonce,
+                    }
                 })
             }
             Message::TAG_SYNDROME => {
@@ -173,7 +194,12 @@ impl Message {
                 let code = (0..len).map(|_| buf.get_i16()).collect();
                 let mut mac = [0u8; 32];
                 buf.copy_to_slice(&mut mac);
-                Ok(Message::Syndrome { session_id, block, code, mac })
+                Ok(Message::Syndrome {
+                    session_id,
+                    block,
+                    code,
+                    mac,
+                })
             }
             Message::TAG_CONFIRM => {
                 if buf.remaining() < 36 {
@@ -198,7 +224,9 @@ fn quantize_code(y: &[f32]) -> Vec<i16> {
 
 /// Restore encoder output from wire fixed point.
 fn dequantize_code(code: &[i16]) -> Vec<f32> {
-    code.iter().map(|&v| f32::from(v) / SYNDROME_SCALE).collect()
+    code.iter()
+        .map(|&v| f32::from(v) / SYNDROME_SCALE)
+        .collect()
 }
 
 fn code_bytes(code: &[i16]) -> Vec<u8> {
@@ -217,7 +245,12 @@ pub struct Session {
 impl Session {
     /// Create a session with the public model, deriving the mask seed from
     /// the exchanged nonces.
-    pub fn new(session_id: u32, reconciler: AutoencoderReconciler, nonce_a: u64, nonce_b: u64) -> Self {
+    pub fn new(
+        session_id: u32,
+        reconciler: AutoencoderReconciler,
+        nonce_a: u64,
+        nonce_b: u64,
+    ) -> Self {
         Session {
             session_id,
             reconciler: reconciler.with_mask_seed(nonce_a ^ nonce_b.rotate_left(32)),
@@ -229,7 +262,12 @@ impl Session {
         let y = self.reconciler.bob_syndrome(k_bob);
         let code = quantize_code(&y);
         let mac = vk_crypto::hmac_sha256(k_bob.as_bytes(), &code_bytes(&code));
-        Message::Syndrome { session_id: self.session_id, block, code, mac }
+        Message::Syndrome {
+            session_id: self.session_id,
+            block,
+            code,
+            mac,
+        }
     }
 
     /// **Alice**: process a syndrome message — correct her key and verify
@@ -244,7 +282,13 @@ impl Session {
         msg: &Message,
         k_alice: &BitString,
     ) -> Result<BitString, ProtocolError> {
-        let Message::Syndrome { session_id, code, mac, .. } = msg else {
+        let Message::Syndrome {
+            session_id,
+            code,
+            mac,
+            ..
+        } = msg
+        else {
             return Err(ProtocolError::Malformed("expected syndrome"));
         };
         if *session_id != self.session_id {
@@ -270,11 +314,7 @@ impl Session {
     /// # Errors
     ///
     /// [`ProtocolError::ConfirmMismatch`] when the check values differ.
-    pub fn verify_confirm(
-        &self,
-        msg: &Message,
-        final_key: &[u8; 16],
-    ) -> Result<(), ProtocolError> {
+    pub fn verify_confirm(&self, msg: &Message, final_key: &[u8; 16]) -> Result<(), ProtocolError> {
         let Message::Confirm { check, .. } = msg else {
             return Err(ProtocolError::Malformed("expected confirm"));
         };
@@ -297,7 +337,9 @@ mod tests {
         static MODEL: std::sync::OnceLock<AutoencoderReconciler> = std::sync::OnceLock::new();
         MODEL.get_or_init(|| {
             let mut rng = StdRng::seed_from_u64(501);
-            AutoencoderTrainer::default().with_steps(10000).train(&mut rng)
+            AutoencoderTrainer::default()
+                .with_steps(10000)
+                .train(&mut rng)
         })
     }
 
@@ -308,15 +350,26 @@ mod tests {
     #[test]
     fn message_encode_decode_round_trip() {
         let messages = vec![
-            Message::Probe { session_id: 7, seq: 3, nonce: 0xDEADBEEF },
-            Message::ProbeReply { session_id: 7, seq: 3, nonce: 42 },
+            Message::Probe {
+                session_id: 7,
+                seq: 3,
+                nonce: 0xDEADBEEF,
+            },
+            Message::ProbeReply {
+                session_id: 7,
+                seq: 3,
+                nonce: 42,
+            },
             Message::Syndrome {
                 session_id: 7,
                 block: 2,
                 code: vec![-300, 0, 512, 32767],
                 mac: [9; 32],
             },
-            Message::Confirm { session_id: 7, check: [3; 32] },
+            Message::Confirm {
+                session_id: 7,
+                check: [3; 32],
+            },
         ];
         for m in messages {
             let bytes = m.encode();
@@ -330,7 +383,12 @@ mod tests {
         assert!(Message::decode(&[99]).is_err());
         assert!(Message::decode(&[1, 2]).is_err());
         // Truncated syndrome body.
-        let m = Message::Syndrome { session_id: 1, block: 0, code: vec![1, 2, 3], mac: [0; 32] };
+        let m = Message::Syndrome {
+            session_id: 1,
+            block: 0,
+            code: vec![1, 2, 3],
+            mac: [0; 32],
+        };
         let bytes = m.encode();
         assert!(Message::decode(&bytes[..bytes.len() - 5]).is_err());
     }
@@ -356,11 +414,22 @@ mod tests {
         let k_alice = k_bob.clone();
         let msg = session.bob_syndrome_message(0, &k_bob);
         // A MITM flips one code value.
-        let Message::Syndrome { session_id, block, mut code, mac } = msg else {
+        let Message::Syndrome {
+            session_id,
+            block,
+            mut code,
+            mac,
+        } = msg
+        else {
             unreachable!()
         };
         code[0] ^= 0x40;
-        let tampered = Message::Syndrome { session_id, block, code, mac };
+        let tampered = Message::Syndrome {
+            session_id,
+            block,
+            code,
+            mac,
+        };
         // Either the corrected key changes (MAC fails) or the MAC check on
         // modified bytes fails outright.
         assert_eq!(
@@ -387,7 +456,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(505);
         let session = Session::new(15, model().clone(), rng.random(), rng.random());
         let key = [7u8; 16];
-        let msg = Message::Confirm { session_id: 15, check: session.confirm_check(&key) };
+        let msg = Message::Confirm {
+            session_id: 15,
+            check: session.confirm_check(&key),
+        };
         assert!(session.verify_confirm(&msg, &key).is_ok());
         let other_key = [8u8; 16];
         assert_eq!(

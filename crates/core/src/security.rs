@@ -190,6 +190,10 @@ mod tests {
                 window.clear();
             }
         }
-        assert!(min_entropy_rate(&stream) > 0.7, "rate {}", min_entropy_rate(&stream));
+        assert!(
+            min_entropy_rate(&stream) > 0.7,
+            "rate {}",
+            min_entropy_rate(&stream)
+        );
     }
 }

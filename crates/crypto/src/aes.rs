@@ -130,7 +130,12 @@ impl Aes128 {
 
     fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
             state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
             state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
@@ -140,9 +145,13 @@ impl Aes128 {
 
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-            state[4 * c] =
-                gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
             state[4 * c + 1] =
                 gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
             state[4 * c + 2] =
@@ -239,7 +248,8 @@ mod tests {
     fn round_trip_random_blocks() {
         let aes = Aes128::new(b"vehicle-key-128!");
         for i in 0..32u8 {
-            let block: [u8; 16] = core::array::from_fn(|j| i.wrapping_mul(17).wrapping_add(j as u8));
+            let block: [u8; 16] =
+                core::array::from_fn(|j| i.wrapping_mul(17).wrapping_add(j as u8));
             assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
         }
     }

@@ -15,6 +15,10 @@ use crate::sha256::sha256;
 /// Panics if `out_bits` is 0 or exceeds 256.
 pub fn privacy_amplify(bits: &[bool], out_bits: usize) -> Vec<u8> {
     assert!((1..=256).contains(&out_bits), "output must be 1..=256 bits");
+    if telemetry::enabled() {
+        telemetry::counter("amplify.keys", 1);
+        telemetry::counter("amplify.input_bits", bits.len() as u64);
+    }
     // Pack bits (MSB-first) with a length prefix so e.g. "0" and "00" hash
     // differently.
     let mut data = (bits.len() as u64).to_be_bytes().to_vec();

@@ -99,7 +99,9 @@ mod tests {
             "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -129,11 +131,7 @@ mod tests {
     fn avalanche() {
         let a = sha256(b"vehicle-key");
         let b = sha256(b"vehicle-kez");
-        let differing: u32 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x ^ y).count_ones())
-            .sum();
+        let differing: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
         assert!(differing > 80, "only {differing} differing bits");
     }
 }

@@ -26,7 +26,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "spreading factor {sf} outside supported range 6..=12")
             }
             ConfigError::InvalidBandwidth(bw) => {
-                write!(f, "bandwidth {bw} Hz is not a programmable SX127x bandwidth")
+                write!(
+                    f,
+                    "bandwidth {bw} Hz is not a programmable SX127x bandwidth"
+                )
             }
             ConfigError::InvalidCodeRate(d) => {
                 write!(f, "code rate 4/{d} outside supported range 4/5..=4/8")

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn three_devices_have_distinct_profiles() {
-        let profiles: Vec<_> = DeviceKind::ALL.iter().map(|&k| HardwareProfile::of(k)).collect();
+        let profiles: Vec<_> = DeviceKind::ALL
+            .iter()
+            .map(|&k| HardwareProfile::of(k))
+            .collect();
         assert_ne!(profiles[0].gain_offset_db, profiles[1].gain_offset_db);
         assert_ne!(profiles[1].gain_offset_db, profiles[2].gain_offset_db);
     }

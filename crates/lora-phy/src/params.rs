@@ -313,8 +313,7 @@ impl LoRaConfig {
     /// This is the formula the paper uses in Sec. II-A; for SF12/125 kHz/4-8
     /// it evaluates to ≈183 bps.
     pub fn bit_rate_bps(&self) -> f64 {
-        f64::from(self.sf.value()) * self.bw.hz() / f64::from(self.sf.chips())
-            * self.cr.fraction()
+        f64::from(self.sf.value()) * self.bw.hz() / f64::from(self.sf.chips()) * self.cr.fraction()
     }
 
     /// Wavelength of the carrier in metres.
@@ -347,7 +346,9 @@ impl LoRaConfig {
     /// assert!((s + 137.0).abs() < 1.0);
     /// ```
     pub fn sensitivity_dbm(&self, nf_db: f64) -> f64 {
-        crate::THERMAL_NOISE_DBM_PER_HZ + 10.0 * self.bw.hz().log10() + nf_db
+        crate::THERMAL_NOISE_DBM_PER_HZ
+            + 10.0 * self.bw.hz().log10()
+            + nf_db
             + self.snr_threshold_db()
     }
 
@@ -423,7 +424,10 @@ mod tests {
         let mut cfg = LoRaConfig::paper_default();
         assert!(cfg.validate().is_ok());
         cfg.carrier_hz = 2.4e9;
-        assert!(matches!(cfg.validate(), Err(ConfigError::InvalidCarrier(_))));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidCarrier(_))
+        ));
         cfg.carrier_hz = 434.0e6;
         cfg.preamble_symbols = 4;
         assert!(matches!(

@@ -149,8 +149,7 @@ mod tests {
         let rx = receiver();
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| rx.measure(-80.0, &mut rng)).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n).map(|_| rx.measure(-80.0, &mut rng)).sum::<f64>() / f64::from(n);
         let expect = -80.0 + rx.profile.gain_offset_db;
         assert!((mean - expect).abs() < 0.1, "mean {mean}, expect {expect}");
     }
@@ -172,21 +171,24 @@ mod tests {
         // Gain ramps 20 dB over the packet; readings should trend upward.
         let t0 = 0.0;
         let airtime = rx.config.airtime(16);
-        let readings =
-            rx.receive_packet(t0, 16, |t| -90.0 + 20.0 * (t - t0) / airtime, &mut rng);
+        let readings = rx.receive_packet(t0, 16, |t| -90.0 + 20.0 * (t - t0) / airtime, &mut rng);
         let first_q = &readings[..readings.len() / 4];
         let last_q = &readings[3 * readings.len() / 4..];
-        let mean = |s: &[RssiReading]| {
-            s.iter().map(|r| r.rssi_dbm).sum::<f64>() / s.len() as f64
-        };
+        let mean = |s: &[RssiReading]| s.iter().map(|r| r.rssi_dbm).sum::<f64>() / s.len() as f64;
         assert!(mean(last_q) > mean(first_q) + 5.0);
     }
 
     #[test]
     fn packet_rssi_is_mean_of_readings() {
         let readings = vec![
-            RssiReading { t: 0.0, rssi_dbm: -80.0 },
-            RssiReading { t: 0.1, rssi_dbm: -90.0 },
+            RssiReading {
+                t: 0.0,
+                rssi_dbm: -80.0,
+            },
+            RssiReading {
+                t: 0.1,
+                rssi_dbm: -90.0,
+            },
         ];
         assert_eq!(Receiver::packet_rssi(&readings), -85.0);
         assert!(Receiver::packet_rssi(&[]).is_nan());

@@ -116,7 +116,10 @@ impl Scenario {
         let n = 50;
         let dur = self.alice.duration().min(self.bob.duration());
         (0..n)
-            .map(|i| self.alice.relative_speed_to(&self.bob, dur * i as f64 / n as f64))
+            .map(|i| {
+                self.alice
+                    .relative_speed_to(&self.bob, dur * i as f64 / n as f64)
+            })
             .sum::<f64>()
             / n as f64
     }
@@ -166,13 +169,23 @@ fn drive<R: Rng + ?Sized>(
     let mut stopped_until = -1.0;
     for i in 0..n {
         let t = i as f64 * dt;
-        waypoints.push(Waypoint { t, x, y, speed_ms: speed, travelled_m: travelled });
+        waypoints.push(Waypoint {
+            t,
+            x,
+            y,
+            speed_ms: speed,
+            travelled_m: travelled,
+        });
         // Speed dynamics: revert to nominal with jitter; urban has stops.
         if kind.is_urban() && t > stopped_until && rng.random::<f64>() < 0.004 {
             // Red light: stop for 5–20 s.
             stopped_until = t + 5.0 + rng.random::<f64>() * 15.0;
         }
-        let target = if t < stopped_until { 0.0 } else { nominal_speed_ms };
+        let target = if t < stopped_until {
+            0.0
+        } else {
+            nominal_speed_ms
+        };
         speed += (target - speed) * 0.2 + (rng.random::<f64>() - 0.5) * 0.6;
         speed = speed.clamp(0.0, nominal_speed_ms * 1.3);
         // Heading dynamics: urban turns at intersections, rural drift.
@@ -265,8 +278,7 @@ mod tests {
     #[test]
     fn platoon_has_near_zero_relative_speed() {
         let mut rng = StdRng::seed_from_u64(48);
-        let platoon =
-            Scenario::platoon(ScenarioKind::V2vRural, 120.0, 60.0, 30.0, &mut rng);
+        let platoon = Scenario::platoon(ScenarioKind::V2vRural, 120.0, 60.0, 30.0, &mut rng);
         let free = Scenario::generate(ScenarioKind::V2vRural, 120.0, 60.0, &mut rng);
         assert!(
             platoon.mean_relative_speed_ms() < free.mean_relative_speed_ms() / 2.0,

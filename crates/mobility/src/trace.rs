@@ -44,8 +44,20 @@ impl Trace {
     /// `duration` seconds.
     pub fn stationary(x: f64, y: f64, duration: f64) -> Self {
         Trace::new(vec![
-            Waypoint { t: 0.0, x, y, speed_ms: 0.0, travelled_m: 0.0 },
-            Waypoint { t: duration, x, y, speed_ms: 0.0, travelled_m: 0.0 },
+            Waypoint {
+                t: 0.0,
+                x,
+                y,
+                speed_ms: 0.0,
+                travelled_m: 0.0,
+            },
+            Waypoint {
+                t: duration,
+                x,
+                y,
+                speed_ms: 0.0,
+                travelled_m: 0.0,
+            },
         ])
     }
 
@@ -75,10 +87,7 @@ impl Trace {
             return self.waypoints[n - 1];
         }
         // Binary search for the surrounding segment.
-        let idx = self
-            .waypoints
-            .partition_point(|w| w.t <= t)
-            .min(n - 1);
+        let idx = self.waypoints.partition_point(|w| w.t <= t).min(n - 1);
         let (a, b) = (self.waypoints[idx - 1], self.waypoints[idx]);
         let frac = (t - a.t) / (b.t - a.t);
         Waypoint {
@@ -166,15 +175,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two waypoints")]
     fn rejects_single_waypoint() {
-        Trace::new(vec![Waypoint { t: 0.0, x: 0.0, y: 0.0, speed_ms: 0.0, travelled_m: 0.0 }]);
+        Trace::new(vec![Waypoint {
+            t: 0.0,
+            x: 0.0,
+            y: 0.0,
+            speed_ms: 0.0,
+            travelled_m: 0.0,
+        }]);
     }
 
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn rejects_nonmonotonic_time() {
         Trace::new(vec![
-            Waypoint { t: 0.0, x: 0.0, y: 0.0, speed_ms: 0.0, travelled_m: 0.0 },
-            Waypoint { t: 0.0, x: 1.0, y: 0.0, speed_ms: 0.0, travelled_m: 1.0 },
+            Waypoint {
+                t: 0.0,
+                x: 0.0,
+                y: 0.0,
+                speed_ms: 0.0,
+                travelled_m: 0.0,
+            },
+            Waypoint {
+                t: 0.0,
+                x: 1.0,
+                y: 0.0,
+                speed_ms: 0.0,
+                travelled_m: 1.0,
+            },
         ]);
     }
 

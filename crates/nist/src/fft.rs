@@ -103,8 +103,7 @@ mod tests {
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();
         let mut data: Vec<(f64, f64)> = signal.iter().map(|&x| (x, 0.0)).collect();
         fft(&mut data);
-        let freq_energy: f64 =
-            data.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 32.0;
+        let freq_energy: f64 = data.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 32.0;
         assert!((time_energy - freq_energy).abs() < 1e-9);
     }
 

@@ -89,7 +89,10 @@ pub fn runs(bits: &[bool]) -> Result<TestResult, String> {
     let v: usize = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
     let num = (v as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
     let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
-    Ok(TestResult { name: "Runs", p_value: erfc(num / den) })
+    Ok(TestResult {
+        name: "Runs",
+        p_value: erfc(num / den),
+    })
 }
 
 /// Longest-run-of-ones test. Requires ≥ 128 bits; picks the block size per
@@ -191,7 +194,10 @@ pub fn dft(bits: &[bool]) -> Result<TestResult, String> {
     } else {
         bits.len().next_power_of_two() / 2
     };
-    let x: Vec<f64> = bits[..n].iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+    let x: Vec<f64> = bits[..n]
+        .iter()
+        .map(|&b| if b { 1.0 } else { -1.0 })
+        .collect();
     let mags = half_spectrum(&x);
     let t = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
     let n0 = 0.95 * n as f64 / 2.0;
@@ -209,7 +215,10 @@ pub fn dft(bits: &[bool]) -> Result<TestResult, String> {
 ///
 /// Returns an error when the sequence is shorter than the test minimum.
 pub fn approximate_entropy(bits: &[bool], m: usize) -> Result<TestResult, String> {
-    ensure(bits.len() >= 100, "approximate-entropy test needs >= 100 bits")?;
+    ensure(
+        bits.len() >= 100,
+        "approximate-entropy test needs >= 100 bits",
+    )?;
     ensure(m >= 1 && m <= 16, "pattern length must be 1..=16")?;
     let n = bits.len();
     let phi = |m: usize| -> f64 {
@@ -331,7 +340,10 @@ pub fn overlapping_template(bits: &[bool]) -> Result<TestResult, String> {
     // SP 800-22 class probabilities for m=9, M=1032 (λ = 2, η = 1).
     const PI: [f64; 6] = [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865];
     let n_blocks = bits.len() / M_BLOCK;
-    ensure(n_blocks >= 5, "overlapping-template test needs >= 5160 bits")?;
+    ensure(
+        n_blocks >= 5,
+        "overlapping-template test needs >= 5160 bits",
+    )?;
     let mut v = [0usize; 6];
     for b in 0..n_blocks {
         let block = &bits[b * M_BLOCK..(b + 1) * M_BLOCK];

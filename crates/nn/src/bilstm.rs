@@ -23,7 +23,10 @@ impl BiLstm {
     /// Create a BiLSTM with `input` features and `hidden` units per
     /// direction (output width is `2·hidden`).
     pub fn new<R: Rng + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> Self {
-        BiLstm { fwd: Lstm::new(input, hidden, rng), bwd: Lstm::new(input, hidden, rng) }
+        BiLstm {
+            fwd: Lstm::new(input, hidden, rng),
+            bwd: Lstm::new(input, hidden, rng),
+        }
     }
 
     /// Hidden units per direction.
@@ -149,13 +152,19 @@ mod tests {
             &mut bl,
             move |l: &mut BiLstm| {
                 let hs = l.infer(&xs2);
-                hs.iter().zip(&t2).map(|(h, t)| loss::mse(h, t)).sum::<f32>()
+                hs.iter()
+                    .zip(&t2)
+                    .map(|(h, t)| loss::mse(h, t))
+                    .sum::<f32>()
             },
             move |l: &mut BiLstm| {
                 let hs = l.forward(&xs3);
                 l.zero_grad();
-                let grads: Vec<Matrix> =
-                    hs.iter().zip(&t3).map(|(h, t)| loss::mse_grad(h, t)).collect();
+                let grads: Vec<Matrix> = hs
+                    .iter()
+                    .zip(&t3)
+                    .map(|(h, t)| loss::mse_grad(h, t))
+                    .collect();
                 l.backward(&grads);
             },
             |l, f| l.visit_params(f),

@@ -182,7 +182,11 @@ mod tests {
             let mut pm = p.clone();
             pm.set(0, i, p.get(0, i) - eps);
             let fd = (bce(&pp, &t) - bce(&pm, &t)) / (2.0 * eps);
-            assert!((g.get(0, i) - fd).abs() < 1e-2, "i {i}: {} vs {fd}", g.get(0, i));
+            assert!(
+                (g.get(0, i) - fd).abs() < 1e-2,
+                "i {i}: {} vs {fd}",
+                g.get(0, i)
+            );
         }
     }
 

@@ -53,7 +53,13 @@ impl Lstm {
         for c in hidden..2 * hidden {
             b.set(0, c, 1.0);
         }
-        Lstm { w: Param::new(w), b: Param::new(b), input, hidden, cache: None }
+        Lstm {
+            w: Param::new(w),
+            b: Param::new(b),
+            input,
+            hidden,
+            cache: None,
+        }
     }
 
     /// Input feature width.
@@ -70,7 +76,9 @@ impl Lstm {
     /// `(h, c)` plus the cache entry.
     fn step(&self, x: &Matrix, h: &Matrix, c: &Matrix) -> (Matrix, Matrix, StepCache) {
         let concat = x.hcat(h);
-        let z = concat.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let z = concat
+            .matmul(&self.w.value)
+            .add_row_broadcast(&self.b.value);
         let (zi, rest) = z.hsplit(self.hidden);
         let (zf, rest) = rest.hsplit(self.hidden);
         let (zg, zo) = rest.hsplit(self.hidden);
@@ -81,7 +89,15 @@ impl Lstm {
         let c_new = f.hadamard(c).add(&i.hadamard(&g));
         let tanh_c = c_new.map(|v| v.tanh());
         let h_new = o.hadamard(&tanh_c);
-        let cache = StepCache { concat, i, f, g, o, c_prev: c.clone(), tanh_c };
+        let cache = StepCache {
+            concat,
+            i,
+            f,
+            g,
+            o,
+            c_prev: c.clone(),
+            tanh_c,
+        };
         (h_new, c_new, cache)
     }
 
@@ -223,7 +239,9 @@ mod tests {
         // h = o·tanh(c) with o ∈ (0,1) ⇒ |h| < 1.
         let mut rng = StdRng::seed_from_u64(93);
         let mut lstm = Lstm::new(1, 8, &mut rng);
-        let xs: Vec<Matrix> = (0..20).map(|i| Matrix::full(1, 1, (i as f32).sin() * 5.0)).collect();
+        let xs: Vec<Matrix> = (0..20)
+            .map(|i| Matrix::full(1, 1, (i as f32).sin() * 5.0))
+            .collect();
         for h in lstm.forward(&xs) {
             assert!(h.data().iter().all(|v| v.abs() < 1.0));
         }
@@ -243,13 +261,19 @@ mod tests {
             &mut lstm,
             move |l: &mut Lstm| {
                 let hs = l.infer(&xs2);
-                hs.iter().zip(&t2).map(|(h, t)| loss::mse(h, t)).sum::<f32>()
+                hs.iter()
+                    .zip(&t2)
+                    .map(|(h, t)| loss::mse(h, t))
+                    .sum::<f32>()
             },
             move |l: &mut Lstm| {
                 let hs = l.forward(&xs3);
                 l.zero_grad();
-                let grads: Vec<Matrix> =
-                    hs.iter().zip(&t3).map(|(h, t)| loss::mse_grad(h, t)).collect();
+                let grads: Vec<Matrix> = hs
+                    .iter()
+                    .zip(&t3)
+                    .map(|(h, t)| loss::mse_grad(h, t))
+                    .collect();
                 l.backward(&grads);
             },
             |l, f| l.visit_params(f),
@@ -264,7 +288,10 @@ mod tests {
         let xs = seq(&mut rng, 6, 2, 3);
         let hs = lstm.forward(&xs);
         lstm.zero_grad();
-        let grads: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 0.1)).collect();
+        let grads: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::full(h.rows(), h.cols(), 0.1))
+            .collect();
         let gx = lstm.backward(&grads);
         assert_eq!(gx.len(), 6);
         assert!(gx.iter().all(|g| g.shape() == (2, 3)));
@@ -276,7 +303,8 @@ mod tests {
         // sign. Tests that gradients flow through time.
         let mut rng = StdRng::seed_from_u64(96);
         let mut lstm = Lstm::new(1, 6, &mut rng);
-        let mut head = crate::dense::Dense::new(6, 1, crate::activation::Activation::Sigmoid, &mut rng);
+        let mut head =
+            crate::dense::Dense::new(6, 1, crate::activation::Activation::Sigmoid, &mut rng);
         let mut adam = crate::optim::Adam::new(0.02);
         let mut final_loss = f32::MAX;
         for epoch in 0..400 {

@@ -25,7 +25,10 @@ impl Mlp {
     /// Panics if fewer than two sizes are given or the activation count
     /// doesn't match.
     pub fn new<R: Rng + ?Sized>(sizes: &[usize], activations: &[Activation], rng: &mut R) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         assert_eq!(
             activations.len(),
             sizes.len() - 1,

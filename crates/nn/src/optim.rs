@@ -22,7 +22,13 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard β₁ = 0.9, β₂ = 0.999.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 1 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 1,
+        }
     }
 
     /// Apply one Adam update to a parameter using its accumulated gradient.

@@ -88,9 +88,7 @@ pub fn save_to_file<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(
 /// # Errors
 ///
 /// Propagates deserialization and I/O errors.
-pub fn load_from_file<T: serde::de::DeserializeOwned>(
-    path: impl AsRef<Path>,
-) -> Result<T, Error> {
+pub fn load_from_file<T: serde::de::DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, Error> {
     let bytes = std::fs::read(path).map_err(|e| Error(format!("read failed: {e}")))?;
     from_bytes_owned(&bytes)
 }
@@ -355,17 +353,15 @@ impl<'de, 'b> de::Deserializer<'de> for &'b mut Reader<'de> {
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         let bytes = self.take(4)?;
         let code = u32::from_le_bytes(bytes.try_into().unwrap());
-        visitor
-            .visit_char(char::from_u32(code).ok_or_else(|| {
-                <Error as de::Error>::custom("invalid char")
-            })?)
+        visitor.visit_char(
+            char::from_u32(code).ok_or_else(|| <Error as de::Error>::custom("invalid char"))?,
+        )
     }
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         let len = self.read_u64()? as usize;
         let bytes = self.take(len)?;
         visitor.visit_str(
-            std::str::from_utf8(bytes)
-                .map_err(|_| <Error as de::Error>::custom("invalid utf8"))?,
+            std::str::from_utf8(bytes).map_err(|_| <Error as de::Error>::custom("invalid utf8"))?,
         )
     }
     fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
@@ -404,10 +400,16 @@ impl<'de, 'b> de::Deserializer<'de> for &'b mut Reader<'de> {
     }
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         let len = self.read_u64()? as usize;
-        visitor.visit_seq(Seq { reader: self, remaining: len })
+        visitor.visit_seq(Seq {
+            reader: self,
+            remaining: len,
+        })
     }
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
-        visitor.visit_seq(Seq { reader: self, remaining: len })
+        visitor.visit_seq(Seq {
+            reader: self,
+            remaining: len,
+        })
     }
     fn deserialize_tuple_struct<V: Visitor<'de>>(
         self,

@@ -33,9 +33,7 @@ impl LrSchedule {
     pub fn factor(&self, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant => 1.0,
-            LrSchedule::StepDecay { every, gamma } => {
-                gamma.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::StepDecay { every, gamma } => gamma.powi((epoch / every.max(1)) as i32),
             LrSchedule::Warmup { warmup } => {
                 if warmup == 0 || epoch >= warmup {
                     1.0
@@ -75,7 +73,12 @@ pub struct EarlyStopping {
 impl EarlyStopping {
     /// Tracker with the given patience and a small default delta.
     pub fn new(patience: usize) -> Self {
-        EarlyStopping { best: f32::MAX, since_best: 0, patience, min_delta: 1e-5 }
+        EarlyStopping {
+            best: f32::MAX,
+            since_best: 0,
+            patience,
+            min_delta: 1e-5,
+        }
     }
 
     /// Record a validation loss; returns `true` when training should stop.
@@ -103,7 +106,10 @@ mod tests {
     #[test]
     fn schedules() {
         assert_eq!(LrSchedule::Constant.factor(100), 1.0);
-        let step = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        let step = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(step.factor(0), 1.0);
         assert_eq!(step.factor(10), 0.5);
         assert_eq!(step.factor(25), 0.25);

@@ -17,7 +17,10 @@ impl BitString {
 
     /// All-zero bit string of the given length.
     pub fn zeros(len: usize) -> Self {
-        BitString { bytes: vec![0; len.div_ceil(8)], len }
+        BitString {
+            bytes: vec![0; len.div_ceil(8)],
+            len,
+        }
     }
 
     /// Build from booleans.

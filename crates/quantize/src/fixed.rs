@@ -80,7 +80,10 @@ pub struct FixedQuantizer {
 impl FixedQuantizer {
     /// Quantizer with `m` bits/sample and a 0.1 σ guard band.
     pub fn new(bits_per_sample: usize) -> Self {
-        FixedQuantizer { bits_per_sample, guard_z: 0.1 }
+        FixedQuantizer {
+            bits_per_sample,
+            guard_z: 0.1,
+        }
     }
 
     /// Builder-style override of the guard band.
@@ -140,6 +143,13 @@ impl FixedQuantizer {
                 bits.push(b);
             }
             kept.push(idx);
+        }
+        if telemetry::enabled() {
+            telemetry::counter("quantize.bits", bits.len() as u64);
+            telemetry::counter(
+                "quantize.dropped_samples",
+                (window.len() - kept.len()) as u64,
+            );
         }
         QuantizeOutcome { bits, kept }
     }
@@ -214,7 +224,9 @@ mod tests {
     #[test]
     fn correlated_windows_agree() {
         // Same values + small noise → high agreement with guards.
-        let base: Vec<f64> = (0..64).map(|i| ((i * 37 % 64) as f64 - 32.0) / 8.0).collect();
+        let base: Vec<f64> = (0..64)
+            .map(|i| ((i * 37 % 64) as f64 - 32.0) / 8.0)
+            .collect();
         let noisy: Vec<f64> = base.iter().map(|&v| v + 0.05 * ((v * 7.0).sin())).collect();
         let q = FixedQuantizer::new(2).with_guard_z(0.15);
         let ob = q.quantize(&base);

@@ -21,7 +21,10 @@ pub struct GuardBandQuantizer {
 impl GuardBandQuantizer {
     /// Quantizer with the given `α` and 64-sample blocks.
     pub fn new(alpha: f64) -> Self {
-        GuardBandQuantizer { alpha, block_size: 64 }
+        GuardBandQuantizer {
+            alpha,
+            block_size: 64,
+        }
     }
 
     /// Builder-style override of the block size.
@@ -48,9 +51,8 @@ impl GuardBandQuantizer {
         for (block_idx, chunk) in series.chunks(block).enumerate() {
             let base = block_idx * block;
             let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
-            let sigma = (chunk.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                / chunk.len() as f64)
-                .sqrt();
+            let sigma =
+                (chunk.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / chunk.len() as f64).sqrt();
             let upper = mean + self.alpha * sigma;
             let lower = mean - self.alpha * sigma;
             for (j, &x) in chunk.iter().enumerate() {

@@ -14,7 +14,9 @@ pub struct MeanQuantizer {
 impl MeanQuantizer {
     /// Quantizer with the given block size.
     pub fn new(block_size: usize) -> Self {
-        MeanQuantizer { block_size: block_size.max(2) }
+        MeanQuantizer {
+            block_size: block_size.max(2),
+        }
     }
 
     /// Quantize a series: one bit per sample.

@@ -39,7 +39,11 @@ impl MultiBitQuantizer {
     /// Quantizer with `m` bits per sample, 64-sample blocks and a 10% guard
     /// band.
     pub fn new(bits_per_sample: usize) -> Self {
-        MultiBitQuantizer { bits_per_sample, block_size: 64, guard_fraction: 0.1 }
+        MultiBitQuantizer {
+            bits_per_sample,
+            block_size: 64,
+            guard_fraction: 0.1,
+        }
     }
 
     /// Builder-style override of the block size.
@@ -91,8 +95,9 @@ impl MultiBitQuantizer {
                 let frac = pos - lo as f64;
                 sorted[lo] * (1.0 - frac) + sorted[hi] * frac
             };
-            let thresholds: Vec<f64> =
-                (1..bins).map(|k| quantile(k as f64 / bins as f64)).collect();
+            let thresholds: Vec<f64> = (1..bins)
+                .map(|k| quantile(k as f64 / bins as f64))
+                .collect();
             // Guard half-width relative to the typical bin width.
             let spread = sorted[sorted.len() - 1] - sorted[0];
             let guard = self.guard_fraction * spread / bins as f64;
@@ -228,7 +233,12 @@ mod tests {
             q.quantize_with_kept(&a, &kept)
                 .agreement(&q.quantize_with_kept(&b, &kept))
         };
-        assert!(agree(0.6) > agree(0.0), "guard {} vs none {}", agree(0.6), agree(0.0));
+        assert!(
+            agree(0.6) > agree(0.0),
+            "guard {} vs none {}",
+            agree(0.6),
+            agree(0.0)
+        );
     }
 
     #[test]

@@ -161,7 +161,15 @@ impl Reconciler for AutoencoderReconciler {
             corrected.extend(&self.alice_correct(&y, &ka));
             offset += seg;
         }
-        ReconcileResult { corrected, leaked_bits: leaked, messages }
+        if telemetry::enabled() {
+            telemetry::counter("reconcile.syndrome_bits", leaked as u64);
+            telemetry::counter("reconcile.segments", messages as u64);
+        }
+        ReconcileResult {
+            corrected,
+            leaked_bits: leaked,
+            messages,
+        }
     }
 
     fn name(&self) -> String {
@@ -275,7 +283,13 @@ impl AutoencoderTrainer {
             rng,
         );
         let mut adam = Adam::new(self.lr);
-        for _ in 0..self.steps {
+        let _train_span = telemetry::span("reconcile.train")
+            .field("steps", self.steps as u64)
+            .field("hidden_units", u as u64)
+            .field("code_dim", m as u64)
+            .enter();
+        let loss_every = (self.steps / 10).max(1);
+        for step in 0..self.steps {
             // Synthetic batch.
             let mut kb = Matrix::zeros(self.batch, n);
             let mut ka = Matrix::zeros(self.batch, n);
@@ -301,6 +315,16 @@ impl AutoencoderTrainer {
                 TrainLoss::Bce => loss::weighted_bce_grad(&dx, &delta, self.pos_weight),
                 TrainLoss::Mse => loss::mse_grad(&dx, &delta),
             };
+            if telemetry::enabled() && (step % loss_every == 0 || step + 1 == self.steps) {
+                let train_loss = match self.loss {
+                    TrainLoss::Bce => loss::weighted_bce(&dx, &delta, self.pos_weight),
+                    TrainLoss::Mse => loss::mse(&dx, &delta),
+                };
+                telemetry::mark("reconcile.train.step")
+                    .field("step", step as u64)
+                    .field("loss", f64::from(train_loss))
+                    .emit();
+            }
             enc_b.zero_grad();
             enc_a.zero_grad();
             g.zero_grad();
@@ -353,7 +377,9 @@ mod tests {
         static MODEL: std::sync::OnceLock<AutoencoderReconciler> = std::sync::OnceLock::new();
         MODEL.get_or_init(|| {
             let mut rng = StdRng::seed_from_u64(150);
-            AutoencoderTrainer::default().with_steps(9000).train(&mut rng)
+            AutoencoderTrainer::default()
+                .with_steps(9000)
+                .train(&mut rng)
         })
     }
 

@@ -230,7 +230,11 @@ impl Reconciler for BchReconciler {
             corrected.extend(&seg_bits);
             offset += seg;
         }
-        ReconcileResult { corrected, leaked_bits: leaked, messages }
+        ReconcileResult {
+            corrected,
+            leaked_bits: leaked,
+            messages,
+        }
     }
 
     fn name(&self) -> String {
@@ -300,7 +304,8 @@ mod tests {
                 let ka = flip(&kb, &dedup);
                 let r = bch.reconcile(&ka, &kb);
                 assert_eq!(
-                    r.corrected, kb,
+                    r.corrected,
+                    kb,
                     "t = {t}, trial {trial}: {} errors not corrected",
                     dedup.len()
                 );

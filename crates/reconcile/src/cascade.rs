@@ -39,13 +39,23 @@ pub struct CascadeReconciler {
 impl CascadeReconciler {
     /// Cascade with initial block length `k` and `passes` passes.
     pub fn new(initial_block: usize, passes: usize) -> Self {
-        CascadeReconciler { initial_block, passes, backtrack: true, seed: 0xCA5C_ADE }
+        CascadeReconciler {
+            initial_block,
+            passes,
+            backtrack: true,
+            seed: 0xCA5C_ADE,
+        }
     }
 
     /// The paper's comparison configuration: `k = 3`, 4 passes, strictly
     /// pass-limited (no backtracking beyond the 4 iterations).
     pub fn paper_default() -> Self {
-        CascadeReconciler { initial_block: 3, passes: 4, backtrack: false, seed: 0xCA5C_ADE }
+        CascadeReconciler {
+            initial_block: 3,
+            passes: 4,
+            backtrack: false,
+            seed: 0xCA5C_ADE,
+        }
     }
 }
 
@@ -117,8 +127,7 @@ impl Reconciler for CascadeReconciler {
             while let Some(block) = queue.pop() {
                 session.messages += 2;
                 session.leaked_bits += 1;
-                if Session::parity(&session.alice, &block) != Session::parity(session.bob, &block)
-                {
+                if Session::parity(&session.alice, &block) != Session::parity(session.bob, &block) {
                     let fixed = session.confirm(&block);
                     // Cascade: earlier-pass blocks containing `fixed` now
                     // have odd parity again — re-check them (full protocol
@@ -182,10 +191,7 @@ mod tests {
         for errors in [1, 3, 6, 10] {
             let ka = flip_random(&kb, errors, 142 + errors as u64);
             let r = CascadeReconciler::new(3, 4).reconcile(&ka, &kb);
-            assert_eq!(
-                r.corrected, kb,
-                "{errors} errors should be fully corrected"
-            );
+            assert_eq!(r.corrected, kb, "{errors} errors should be fully corrected");
         }
     }
 
@@ -214,10 +220,8 @@ mod tests {
     #[test]
     fn interactive_cost_grows_with_errors() {
         let kb = random_key(144, 128);
-        let few = CascadeReconciler::paper_default()
-            .reconcile(&flip_random(&kb, 2, 1), &kb);
-        let many = CascadeReconciler::paper_default()
-            .reconcile(&flip_random(&kb, 12, 2), &kb);
+        let few = CascadeReconciler::paper_default().reconcile(&flip_random(&kb, 2, 1), &kb);
+        let many = CascadeReconciler::paper_default().reconcile(&flip_random(&kb, 12, 2), &kb);
         assert!(many.messages > few.messages);
         assert!(many.leaked_bits > few.leaked_bits);
     }

@@ -32,7 +32,12 @@ impl CsReconciler {
     /// Reconciler for `key_len`-bit keys with `measurements` rows, decoding
     /// up to `max_errors` mismatches.
     pub fn new(key_len: usize, measurements: usize, max_errors: usize) -> Self {
-        CsReconciler { key_len, measurements, max_errors, seed: 0x5EED_C5 }
+        CsReconciler {
+            key_len,
+            measurements,
+            max_errors,
+            seed: 0x5EED_C5,
+        }
     }
 
     /// The paper's comparison configuration: a 20×64 matrix applied per
@@ -101,11 +106,17 @@ impl CsReconciler {
             let a: Vec<Vec<f64>> = (0..m)
                 .map(|i| support.iter().map(|&s| phi[i][s]).collect())
                 .collect();
-            let Some(x) = least_squares(&a, target) else { break };
+            let Some(x) = least_squares(&a, target) else {
+                break;
+            };
             // New residual.
             for (i, r) in residual.iter_mut().enumerate() {
                 *r = target[i]
-                    - support.iter().zip(&x).map(|(&s, &v)| phi[i][s] * v).sum::<f64>();
+                    - support
+                        .iter()
+                        .zip(&x)
+                        .map(|(&s, &v)| phi[i][s] * v)
+                        .sum::<f64>();
             }
             let n = norm2(&residual);
             if n < best_norm {
@@ -144,7 +155,10 @@ impl Reconciler for CsReconciler {
             let seg_cs = if seg_len == self.key_len {
                 self.clone()
             } else {
-                CsReconciler { key_len: seg_len, ..self.clone() }
+                CsReconciler {
+                    key_len: seg_len,
+                    ..self.clone()
+                }
             };
             let ka = k_alice.slice(offset, seg_len);
             let kb = k_bob.slice(offset, seg_len);
@@ -166,7 +180,11 @@ impl Reconciler for CsReconciler {
             }
             offset += seg_len;
         }
-        ReconcileResult { corrected, leaked_bits: leaked, messages }
+        ReconcileResult {
+            corrected,
+            leaked_bits: leaked,
+            messages,
+        }
     }
 
     fn name(&self) -> String {
@@ -215,7 +233,10 @@ mod tests {
                 perfect += 1;
             }
         }
-        assert!(perfect >= trials * 9 / 10, "only {perfect}/{trials} corrected");
+        assert!(
+            perfect >= trials * 9 / 10,
+            "only {perfect}/{trials} corrected"
+        );
     }
 
     #[test]
@@ -236,7 +257,11 @@ mod tests {
         let kb = random_key(134, 128);
         let ka = flip(&kb, &[10, 100]);
         let r = cs.reconcile(&ka, &kb);
-        assert!(r.corrected.hamming(&kb) <= 1, "residual {}", r.corrected.hamming(&kb));
+        assert!(
+            r.corrected.hamming(&kb) <= 1,
+            "residual {}",
+            r.corrected.hamming(&kb)
+        );
         assert_eq!(r.messages, 2, "two 64-bit segments");
     }
 

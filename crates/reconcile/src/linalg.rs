@@ -38,9 +38,8 @@ pub fn solve(m: &mut [Vec<f64>], rhs: &mut [f64]) -> Option<Vec<f64>> {
     let n = m.len();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap()
-        })?;
+        let pivot =
+            (col..n).max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -101,11 +100,7 @@ mod tests {
     #[test]
     fn least_squares_exact_fit() {
         // Overdetermined but consistent: y = 2a + b.
-        let a = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ];
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
         let b = vec![2.0, 1.0, 3.0];
         let x = least_squares(&a, &b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-9);

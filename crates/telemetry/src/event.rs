@@ -1,0 +1,246 @@
+//! The wire format: every observation the registry produces is one
+//! [`Event`], and sinks only ever see events.
+
+use crate::json::Json;
+use crate::value::{Fields, Value};
+
+/// What an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span began (`span`/`parent` identify it).
+    SpanStart,
+    /// A span finished; `elapsed_us` carries its wall-clock duration.
+    SpanEnd,
+    /// A counter was incremented; `value` is the delta, the running total
+    /// rides in the `total` field.
+    Counter,
+    /// A gauge was set; `value` is the new level.
+    Gauge,
+    /// A histogram observation; `value` is the sample.
+    Histogram,
+    /// A point event (e.g. one training epoch) with arbitrary fields.
+    Mark,
+}
+
+impl EventKind {
+    /// Stable string used in the JSON-lines encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Histogram => "histogram",
+            EventKind::Mark => "mark",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown string back.
+    pub fn parse(s: &str) -> Result<EventKind, String> {
+        match s {
+            "span_start" => Ok(EventKind::SpanStart),
+            "span_end" => Ok(EventKind::SpanEnd),
+            "counter" => Ok(EventKind::Counter),
+            "gauge" => Ok(EventKind::Gauge),
+            "histogram" => Ok(EventKind::Histogram),
+            "mark" => Ok(EventKind::Mark),
+            other => Err(format!("unknown event kind '{other}'")),
+        }
+    }
+}
+
+/// One telemetry observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the registry's epoch (its creation).
+    pub ts_us: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Span, metric, or mark name (dotted, e.g. `reconcile.pass`).
+    pub name: String,
+    /// Span id, for span events.
+    pub span: Option<u64>,
+    /// Enclosing span id, if any.
+    pub parent: Option<u64>,
+    /// Span duration in microseconds, for [`EventKind::SpanEnd`].
+    pub elapsed_us: Option<u64>,
+    /// Metric value, for counter/gauge/histogram events.
+    pub value: Option<Value>,
+    /// Additional named fields.
+    pub fields: Fields,
+}
+
+impl Event {
+    /// Encode as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("ts_us".to_string(), Json::UInt(self.ts_us)),
+            (
+                "kind".to_string(),
+                Json::Str(self.kind.as_str().to_string()),
+            ),
+            ("name".to_string(), Json::Str(self.name.clone())),
+        ];
+        if let Some(span) = self.span {
+            pairs.push(("span".to_string(), Json::UInt(span)));
+        }
+        if let Some(parent) = self.parent {
+            pairs.push(("parent".to_string(), Json::UInt(parent)));
+        }
+        if let Some(elapsed) = self.elapsed_us {
+            pairs.push(("elapsed_us".to_string(), Json::UInt(elapsed)));
+        }
+        if let Some(value) = &self.value {
+            pairs.push(("value".to_string(), value.to_json()));
+        }
+        if !self.fields.is_empty() {
+            let fields = self
+                .fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect();
+            pairs.push(("fields".to_string(), Json::Obj(fields)));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Encode as one JSON-lines record (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Decode an event from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when required keys are missing or mistyped.
+    pub fn from_json(json: &Json) -> Result<Event, String> {
+        let ts_us = json
+            .get("ts_us")
+            .and_then(Json::as_u64)
+            .ok_or("missing ts_us")?;
+        let kind = EventKind::parse(
+            json.get("kind")
+                .and_then(Json::as_str)
+                .ok_or("missing kind")?,
+        )?;
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("missing name")?
+            .to_string();
+        let fields = match json.get("fields") {
+            None => Vec::new(),
+            Some(obj) => obj
+                .entries()
+                .ok_or("fields must be an object")?
+                .iter()
+                .map(|(k, v)| Value::from_json(v).map(|v| (k.clone(), v)))
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(Event {
+            ts_us,
+            kind,
+            name,
+            span: json.get("span").and_then(Json::as_u64),
+            parent: json.get("parent").and_then(Json::as_u64),
+            elapsed_us: json.get("elapsed_us").and_then(Json::as_u64),
+            value: json.get("value").map(Value::from_json).transpose()?,
+            fields,
+        })
+    }
+
+    /// Parse one JSON-lines record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax errors and shape errors.
+    pub fn from_json_line(line: &str) -> Result<Event, String> {
+        Event::from_json(&Json::parse(line)?)
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            ts_us: 1234,
+            kind: EventKind::SpanEnd,
+            name: "reconcile.pass".into(),
+            span: Some(7),
+            parent: Some(3),
+            elapsed_us: Some(4321),
+            value: None,
+            fields: vec![
+                ("block".into(), Value::U64(0)),
+                ("pass".into(), Value::U64(2)),
+                ("note".into(), Value::Str("tail \"quote\"".into())),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_line_round_trip() {
+        let e = sample();
+        let line = e.to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Event::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn minimal_event_round_trips() {
+        let e = Event {
+            ts_us: 0,
+            kind: EventKind::Counter,
+            name: "quantize.bits".into(),
+            span: None,
+            parent: None,
+            elapsed_us: None,
+            value: Some(Value::U64(64)),
+            fields: Vec::new(),
+        };
+        let back = Event::from_json_line(&e.to_json_line()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.value.as_ref().and_then(Value::as_u64), Some(64));
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [
+            EventKind::SpanStart,
+            EventKind::SpanEnd,
+            EventKind::Counter,
+            EventKind::Gauge,
+            EventKind::Histogram,
+            EventKind::Mark,
+        ] {
+            assert_eq!(EventKind::parse(kind.as_str()).unwrap(), kind);
+        }
+        assert!(EventKind::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(Event::from_json_line("{}").is_err());
+        assert!(Event::from_json_line("{\"ts_us\":1}").is_err());
+        assert!(Event::from_json_line("not json").is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = sample();
+        assert_eq!(e.field("pass").and_then(Value::as_u64), Some(2));
+        assert!(e.field("missing").is_none());
+    }
+}

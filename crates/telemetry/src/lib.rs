@@ -1,0 +1,145 @@
+//! `vk-telemetry` — structured tracing and metrics for the Vehicle-Key
+//! pipeline.
+//!
+//! The key-establishment pipeline (probing → arRSSI extraction → BiLSTM
+//! predict/quantize → autoencoder reconciliation → amplification) runs
+//! multi-minute training campaigns and paper-scale repro sweeps; this crate
+//! is the shared observability layer every stage reports into:
+//!
+//! * **hierarchical spans** with wall-clock timing ([`Registry::span`],
+//!   RAII guards, per-thread nesting),
+//! * **typed metrics** — monotonic counters, last-value gauges, and
+//!   count/sum/min/max histograms ([`Registry::counter_add`],
+//!   [`Registry::gauge_set`], [`Registry::histogram_record`]),
+//! * **point events** with arbitrary fields, e.g. one per training epoch
+//!   ([`Registry::mark`]),
+//! * pluggable [`Sink`] backends: human-readable stderr ([`StderrSink`]),
+//!   machine-readable JSON lines ([`JsonLinesSink`]), in-memory capture
+//!   ([`MemorySink`]) and fan-out ([`FanoutSink`]).
+//!
+//! # Overhead discipline
+//!
+//! Instrumentation sits on hot paths (per-window quantization, per-pass
+//! reconciliation), so everything funnels through a guarded fast path:
+//! with no sink installed, every entry point is a single relaxed atomic
+//! load and an early return — no clock reads, no allocation, no locks.
+//! Call sites that must *compute* something extra for telemetry (e.g. a
+//! mismatch Hamming weight) should guard on [`enabled`] themselves.
+//!
+//! # Global vs. private registries
+//!
+//! The instrumented crates report to the process-wide registry via the
+//! free functions below ([`span`], [`counter`], [`gauge`], [`histogram`],
+//! [`mark`]). Binaries install a sink at startup ([`install`]) and flush
+//! at exit. Tests and embedders that need isolation create their own
+//! [`Registry`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! let sink = Arc::new(telemetry::MemorySink::new());
+//! telemetry::install(sink.clone());
+//! {
+//!     let _session = telemetry::span("pipeline.session").field("rounds", 160u64).enter();
+//!     telemetry::counter("quantize.bits", 64);
+//! }
+//! telemetry::uninstall();
+//! assert_eq!(sink.events().len(), 3); // span_start, counter, span_end
+//! ```
+//!
+//! This crate is deliberately dependency-free (std only): it sits beneath
+//! every other crate in the workspace, including the zero-dependency
+//! crypto crate, and must never widen the build. JSON encoding is
+//! hand-rolled in [`json`].
+
+pub mod json;
+
+mod event;
+mod registry;
+mod sink;
+mod span;
+mod value;
+
+pub use event::{Event, EventKind};
+pub use json::Json;
+pub use registry::{EventBuilder, HistogramSummary, MetricsSnapshot, Registry};
+pub use sink::{FanoutSink, JsonLinesSink, MemorySink, Sink, StderrSink};
+pub use span::{SpanBuilder, SpanGuard};
+pub use value::{Fields, Value};
+
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide registry the instrumented pipeline reports to.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Whether the global registry has a sink installed. The fast path for
+/// call sites that would otherwise compute values only telemetry needs.
+#[inline]
+pub fn enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Install a sink on the global registry (replacing any previous one).
+pub fn install(sink: Arc<dyn Sink>) {
+    global().install(sink);
+}
+
+/// Remove (and flush) the global sink, disabling telemetry.
+pub fn uninstall() -> Option<Arc<dyn Sink>> {
+    global().uninstall()
+}
+
+/// Flush the global sink.
+pub fn flush() {
+    global().flush();
+}
+
+/// Build a span on the global registry: `telemetry::span("reconcile.pass")
+/// .field("pass", 1u64).enter()`.
+pub fn span(name: &str) -> SpanBuilder<'static> {
+    global().span(name)
+}
+
+/// Add to a counter on the global registry.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    let registry = global();
+    if registry.is_enabled() {
+        registry.counter_add(name, delta);
+    }
+}
+
+/// Set a gauge on the global registry.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    let registry = global();
+    if registry.is_enabled() {
+        registry.gauge_set(name, value);
+    }
+}
+
+/// Record a histogram observation on the global registry.
+#[inline]
+pub fn histogram(name: &str, value: f64) {
+    let registry = global();
+    if registry.is_enabled() {
+        registry.histogram_record(name, value);
+    }
+}
+
+/// Build a point event on the global registry.
+pub fn mark(name: &str) -> EventBuilder<'static> {
+    global().mark(name)
+}
+
+/// Snapshot the global registry's aggregated metrics.
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}
+
+/// Reset the global registry's aggregated metrics.
+pub fn reset_metrics() {
+    global().reset_metrics();
+}

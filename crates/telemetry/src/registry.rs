@@ -1,0 +1,432 @@
+//! The thread-safe registry: aggregates typed metrics, timestamps events,
+//! and forwards everything to the installed [`Sink`].
+
+use crate::event::{Event, EventKind};
+use crate::sink::Sink;
+use crate::span::SpanBuilder;
+use crate::value::{Fields, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Instant;
+
+/// Running summary of a histogram (count/sum/min/max — enough for stage
+/// breakdowns without bucket bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Fold one observation into the summary.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean observation (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Point-in-time copy of every aggregated metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-set gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name. Every finished span also contributes
+    /// its duration (in seconds) to the histogram of the span's name, which
+    /// is what run manifests use as the stage-time breakdown.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// A telemetry registry. One global instance (see [`crate::global`]) serves
+/// the instrumented pipeline; tests create private instances.
+pub struct Registry {
+    epoch: Instant,
+    enabled: AtomicBool,
+    sink: RwLock<Option<Arc<dyn Sink>>>,
+    next_span_id: AtomicU64,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, HistogramSummary>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// Create a registry with no sink (disabled fast path).
+    pub fn new() -> Self {
+        Registry {
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(false),
+            sink: RwLock::new(None),
+            next_span_id: AtomicU64::new(1),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Install a sink and enable the registry.
+    pub fn install(&self, sink: Arc<dyn Sink>) {
+        let mut slot = self.sink.write().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(sink);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Remove the sink (flushing it) and disable the registry. Returns the
+    /// removed sink, if any.
+    pub fn uninstall(&self) -> Option<Arc<dyn Sink>> {
+        self.enabled.store(false, Ordering::Release);
+        let removed = self
+            .sink
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(sink) = &removed {
+            sink.flush();
+        }
+        removed
+    }
+
+    /// Whether a sink is installed. This is the guarded fast path: a single
+    /// relaxed atomic load, checked before any other telemetry work.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flush the installed sink.
+    pub fn flush(&self) {
+        if let Some(sink) = self
+            .sink
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            sink.flush();
+        }
+    }
+
+    /// Microseconds since this registry was created.
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn allocate_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Forward a fully-formed event to the sink, if one is installed.
+    pub fn emit(&self, event: &Event) {
+        if let Some(sink) = self
+            .sink
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            sink.emit(event);
+        }
+    }
+
+    /// Start building a span. Free until [`SpanBuilder::enter`]; a no-op
+    /// guard results when the registry is disabled.
+    pub fn span(&self, name: &str) -> SpanBuilder<'_> {
+        SpanBuilder::new(self, name)
+    }
+
+    /// Start building a point event (emitted on [`EventBuilder::emit`]).
+    pub fn mark(&self, name: &str) -> EventBuilder<'_> {
+        EventBuilder {
+            registry: self,
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Add `delta` to the named counter and emit a counter event carrying
+    /// the delta plus the running total.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let total = {
+            let mut counters = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+            let slot = counters.entry(name.to_string()).or_insert(0);
+            *slot = slot.saturating_add(delta);
+            *slot
+        };
+        self.emit(&Event {
+            ts_us: self.now_us(),
+            kind: EventKind::Counter,
+            name: name.to_string(),
+            span: None,
+            parent: crate::span::current_span_id(),
+            elapsed_us: None,
+            value: Some(Value::U64(delta)),
+            fields: vec![("total".to_string(), Value::U64(total))],
+        });
+    }
+
+    /// Set the named gauge and emit a gauge event.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), value);
+        self.emit(&Event {
+            ts_us: self.now_us(),
+            kind: EventKind::Gauge,
+            name: name.to_string(),
+            span: None,
+            parent: crate::span::current_span_id(),
+            elapsed_us: None,
+            value: Some(Value::F64(value)),
+            fields: Vec::new(),
+        });
+    }
+
+    /// Record a histogram observation and emit a histogram event.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+        self.emit(&Event {
+            ts_us: self.now_us(),
+            kind: EventKind::Histogram,
+            name: name.to_string(),
+            span: None,
+            parent: crate::span::current_span_id(),
+            elapsed_us: None,
+            value: Some(Value::F64(value)),
+            fields: Vec::new(),
+        });
+    }
+
+    /// Aggregate a finished span's duration into the histogram of its name
+    /// (no event is emitted — the span-end event already carries the time).
+    pub(crate) fn record_span_secs(&self, name: &str, secs: f64) {
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name.to_string())
+            .or_default()
+            .observe(secs);
+    }
+
+    /// Copy out every aggregated metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    /// Clear all aggregated metrics (the sink is untouched). Used between
+    /// experiments so each run manifest starts from zero.
+    pub fn reset_metrics(&self) {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+}
+
+/// Builder for a point event ([`EventKind::Mark`]).
+#[derive(Debug)]
+pub struct EventBuilder<'r> {
+    registry: &'r Registry,
+    name: String,
+    fields: Fields,
+}
+
+impl EventBuilder<'_> {
+    /// Attach a field.
+    #[must_use]
+    pub fn field(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.fields.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Emit the event (no-op when the registry is disabled).
+    pub fn emit(self) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.emit(&Event {
+            ts_us: self.registry.now_us(),
+            kind: EventKind::Mark,
+            name: self.name,
+            span: None,
+            parent: crate::span::current_span_id(),
+            elapsed_us: None,
+            value: None,
+            fields: self.fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let registry = Registry::new();
+        assert!(!registry.is_enabled());
+        registry.counter_add("c", 5);
+        registry.gauge_set("g", 1.0);
+        registry.histogram_record("h", 2.0);
+        registry.mark("m").field("x", 1u64).emit();
+        let snapshot = registry.snapshot();
+        assert!(snapshot.counters.is_empty());
+        assert!(snapshot.gauges.is_empty());
+        assert!(snapshot.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_aggregate_and_carry_totals() {
+        let registry = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        registry.install(sink.clone());
+        registry.counter_add("bits", 10);
+        registry.counter_add("bits", 32);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters.get("bits"), Some(&42));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].value, Some(Value::U64(32)));
+        assert_eq!(events[1].field("total"), Some(&Value::U64(42)));
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let registry = Registry::new();
+        registry.install(Arc::new(MemorySink::new()));
+        registry.gauge_set("loss", 0.9);
+        registry.gauge_set("loss", 0.4);
+        assert_eq!(registry.snapshot().gauges.get("loss"), Some(&0.4));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let registry = Registry::new();
+        registry.install(Arc::new(MemorySink::new()));
+        for v in [1.0, 3.0, 2.0] {
+            registry.histogram_record("h", v);
+        }
+        let snapshot = registry.snapshot();
+        let h = snapshot.histograms.get("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 6.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uninstall_disables_and_returns_sink() {
+        let registry = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        registry.install(sink.clone());
+        assert!(registry.is_enabled());
+        let removed = registry.uninstall().expect("sink was installed");
+        assert!(!registry.is_enabled());
+        registry.counter_add("after", 1);
+        removed.emit(&crate::event::Event {
+            ts_us: 0,
+            kind: EventKind::Mark,
+            name: "direct".into(),
+            span: None,
+            parent: None,
+            elapsed_us: None,
+            value: None,
+            fields: Vec::new(),
+        });
+        assert_eq!(sink.len(), 1, "only the direct emit landed");
+    }
+
+    #[test]
+    fn reset_metrics_clears_aggregation() {
+        let registry = Registry::new();
+        registry.install(Arc::new(MemorySink::new()));
+        registry.counter_add("c", 1);
+        registry.reset_metrics();
+        assert!(registry.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let registry = Registry::new();
+        let a = registry.now_us();
+        let b = registry.now_us();
+        assert!(b >= a);
+    }
+}

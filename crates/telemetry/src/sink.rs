@@ -1,0 +1,262 @@
+//! Sink backends: where events go once the registry produces them.
+
+use crate::event::{Event, EventKind};
+use std::io::Write;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A telemetry backend. Implementations must be cheap per call — sinks run
+/// inline on the instrumented thread.
+pub trait Sink: Send + Sync {
+    /// Consume one event.
+    fn emit(&self, event: &Event);
+
+    /// Flush any buffered output (called on uninstall and on demand).
+    fn flush(&self) {}
+}
+
+/// Human-readable sink writing one line per event to stderr. Intended for
+/// interactive debugging (`VK_TELEMETRY=-`), not machine consumption.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl StderrSink {
+    /// Create the sink.
+    pub fn new() -> Self {
+        StderrSink
+    }
+
+    fn render(event: &Event) -> String {
+        let t = event.ts_us as f64 / 1e6;
+        let fields: String = event
+            .fields
+            .iter()
+            .map(|(k, v)| format!(" {k}={v}"))
+            .collect();
+        match event.kind {
+            EventKind::SpanStart => {
+                format!("[{t:10.3}s] > {name}{fields}", name = event.name)
+            }
+            EventKind::SpanEnd => format!(
+                "[{t:10.3}s] < {name}{fields} ({ms:.3} ms)",
+                name = event.name,
+                ms = event.elapsed_us.unwrap_or(0) as f64 / 1e3
+            ),
+            EventKind::Counter => format!(
+                "[{t:10.3}s] + {name} +{delta}{fields}",
+                name = event.name,
+                delta = event.value.as_ref().map_or(0, |v| v.as_u64().unwrap_or(0))
+            ),
+            EventKind::Gauge | EventKind::Histogram => format!(
+                "[{t:10.3}s] = {name} {value}{fields}",
+                name = event.name,
+                value = event
+                    .value
+                    .as_ref()
+                    .map_or_else(|| "?".to_string(), ToString::to_string)
+            ),
+            EventKind::Mark => {
+                format!("[{t:10.3}s] * {name}{fields}", name = event.name)
+            }
+        }
+    }
+}
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event) {
+        eprintln!("{}", Self::render(event));
+    }
+}
+
+/// Machine-readable sink writing one JSON object per line to any writer
+/// (usually a file opened with [`JsonLinesSink::create`]).
+pub struct JsonLinesSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// Wrap an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Create (truncate) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl std::fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonLinesSink")
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn emit(&self, event: &Event) {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // A failed trace write must never take down the pipeline.
+        let _ = writeln!(writer, "{}", event.to_json_line());
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writer.flush();
+    }
+}
+
+/// In-memory sink collecting events for later inspection — the backend for
+/// run manifests and tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Snapshot of the collected events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Drain the collected events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no events were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+/// Broadcast events to several sinks (e.g. a JSON-lines trace plus the
+/// in-memory recorder the run manifest is derived from).
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// Combine sinks.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn emit(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn event(kind: EventKind) -> Event {
+        Event {
+            ts_us: 1_500_000,
+            kind,
+            name: "pipeline.quantize".into(),
+            span: Some(1),
+            parent: None,
+            elapsed_us: (kind == EventKind::SpanEnd).then_some(2500),
+            value: matches!(kind, EventKind::Counter).then_some(Value::U64(64)),
+            fields: vec![("block".into(), Value::U64(3))],
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        sink.emit(&event(EventKind::SpanStart));
+        sink.emit(&event(EventKind::SpanEnd));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_parseable_lines() {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonLinesSink::new(Box::new(Shared(buffer.clone())));
+        sink.emit(&event(EventKind::Counter));
+        sink.emit(&event(EventKind::SpanEnd));
+        sink.flush();
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Event::from_json_line(line).expect("line parses back");
+        }
+    }
+
+    #[test]
+    fn fanout_reaches_all_sinks() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fanout = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fanout.emit(&event(EventKind::Mark));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn stderr_rendering_mentions_name_and_fields() {
+        let line = StderrSink::render(&event(EventKind::SpanEnd));
+        assert!(line.contains("pipeline.quantize"));
+        assert!(line.contains("block=3"));
+        assert!(line.contains("2.500 ms"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Hierarchical spans with RAII timing.
+//!
+//! A span covers a region of work: entering emits a `span_start` event,
+//! dropping the guard emits `span_end` with the wall-clock duration and
+//! folds that duration into the histogram of the span's name (the stage
+//! breakdown run manifests read). Nesting is tracked per thread: a span
+//! entered while another is active records it as its parent.
+
+use crate::event::{Event, EventKind};
+use crate::registry::Registry;
+use crate::value::{Fields, Value};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span on this thread, if any.
+pub(crate) fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|stack| stack.borrow().last().copied())
+}
+
+/// Builder returned by [`Registry::span`]; collect fields, then
+/// [`SpanBuilder::enter`].
+#[derive(Debug)]
+pub struct SpanBuilder<'r> {
+    registry: &'r Registry,
+    name: String,
+    fields: Fields,
+}
+
+impl<'r> SpanBuilder<'r> {
+    pub(crate) fn new(registry: &'r Registry, name: &str) -> Self {
+        SpanBuilder {
+            registry,
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a field (carried on both the start and end events).
+    #[must_use]
+    pub fn field(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.fields.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Open the span. When the registry is disabled this returns an inert
+    /// guard without touching the clock or the sink.
+    pub fn enter(self) -> SpanGuard<'r> {
+        if !self.registry.is_enabled() {
+            return SpanGuard { active: None };
+        }
+        let id = self.registry.allocate_span_id();
+        let parent = current_span_id();
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
+        self.registry.emit(&Event {
+            ts_us: self.registry.now_us(),
+            kind: EventKind::SpanStart,
+            name: self.name.clone(),
+            span: Some(id),
+            parent,
+            elapsed_us: None,
+            value: None,
+            fields: self.fields.clone(),
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                registry: self.registry,
+                name: self.name,
+                fields: self.fields,
+                id,
+                parent,
+                started: Instant::now(),
+            }),
+        }
+    }
+}
+
+struct ActiveSpan<'r> {
+    registry: &'r Registry,
+    name: String,
+    fields: Fields,
+    id: u64,
+    parent: Option<u64>,
+    started: Instant,
+}
+
+/// RAII guard for an open span; dropping it closes the span.
+pub struct SpanGuard<'r> {
+    active: Option<ActiveSpan<'r>>,
+}
+
+impl SpanGuard<'_> {
+    /// The span id, when the registry was enabled at entry.
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
+impl std::fmt::Debug for SpanGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.active {
+            Some(a) => write!(f, "SpanGuard({} #{})", a.name, a.id),
+            None => f.write_str("SpanGuard(inert)"),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Usually the top of the stack; be robust to out-of-order drops.
+            if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        let elapsed = active.started.elapsed();
+        let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        active
+            .registry
+            .record_span_secs(&active.name, elapsed.as_secs_f64());
+        active.registry.emit(&Event {
+            ts_us: active.registry.now_us(),
+            kind: EventKind::SpanEnd,
+            name: active.name.clone(),
+            span: Some(active.id),
+            parent: active.parent,
+            elapsed_us: Some(elapsed_us),
+            value: None,
+            fields: active.fields.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let registry = Registry::new();
+        let guard = registry.span("work").enter();
+        assert!(guard.id().is_none());
+        drop(guard);
+        assert!(current_span_id().is_none());
+    }
+
+    #[test]
+    fn span_emits_start_and_end_with_parentage() {
+        let registry = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        registry.install(sink.clone());
+        {
+            let outer = registry.span("outer").field("k", 1u64).enter();
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = registry.span("inner").enter();
+                assert_eq!(current_span_id(), inner.id());
+            }
+            assert_eq!(current_span_id(), Some(outer_id));
+        }
+        assert!(current_span_id().is_none());
+        let events = sink.events();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SpanStart, // outer
+                EventKind::SpanStart, // inner
+                EventKind::SpanEnd,   // inner
+                EventKind::SpanEnd,   // outer
+            ]
+        );
+        let outer_start = &events[0];
+        let inner_start = &events[1];
+        assert_eq!(inner_start.parent, outer_start.span);
+        assert_eq!(outer_start.parent, None);
+        assert_eq!(outer_start.field("k"), Some(&Value::U64(1)));
+    }
+
+    #[test]
+    fn span_durations_aggregate_into_histograms() {
+        let registry = Registry::new();
+        registry.install(Arc::new(MemorySink::new()));
+        for _ in 0..3 {
+            let _guard = registry.span("stage").enter();
+        }
+        let snapshot = registry.snapshot();
+        let h = snapshot.histograms.get("stage").unwrap();
+        assert_eq!(h.count, 3);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn nested_timing_is_monotonic() {
+        let registry = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        registry.install(sink.clone());
+        {
+            let _outer = registry.span("outer").enter();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = registry.span("inner").enter();
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = sink.events();
+        // Timestamps never decrease across the event stream.
+        for pair in events.windows(2) {
+            assert!(
+                pair[1].ts_us >= pair[0].ts_us,
+                "timestamps must be monotonic"
+            );
+        }
+        let end = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.kind == EventKind::SpanEnd && e.name == name)
+                .unwrap()
+        };
+        let inner = end("inner").elapsed_us.unwrap();
+        let outer = end("outer").elapsed_us.unwrap();
+        assert!(
+            outer >= inner,
+            "outer span ({outer} us) must contain inner ({inner} us)"
+        );
+        assert!(inner >= 2_000, "inner span covers its sleep: {inner} us");
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let registry = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        registry.install(sink.clone());
+        {
+            let parent = registry.span("parent").enter();
+            let parent_id = parent.id();
+            for _ in 0..2 {
+                let _child = registry.span("child").enter();
+            }
+            let events = sink.events();
+            let children: Vec<_> = events
+                .iter()
+                .filter(|e| e.kind == EventKind::SpanStart && e.name == "child")
+                .collect();
+            assert_eq!(children.len(), 2);
+            assert!(children.iter().all(|e| e.parent == parent_id));
+            assert_ne!(children[0].span, children[1].span, "unique span ids");
+        }
+    }
+}

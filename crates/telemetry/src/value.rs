@@ -1,0 +1,169 @@
+//! Typed field values attached to spans, events, and metrics.
+
+use crate::json::Json;
+
+/// A field value. Conversions exist from the common numeric types so call
+/// sites can write `.field("epoch", epoch)` without manual wrapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, ids, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (losses, rates, seconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form string (labels, scenario names).
+    Str(String),
+}
+
+/// Named fields carried by an event, in insertion order.
+pub type Fields = Vec<(String, Value)>;
+
+impl Value {
+    /// Convert into the JSON representation.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::U64(v) => Json::UInt(*v),
+            Value::I64(v) => Json::Int(*v),
+            Value::F64(v) => Json::Num(*v),
+            Value::Bool(v) => Json::Bool(*v),
+            Value::Str(v) => Json::Str(v.clone()),
+        }
+    }
+
+    /// Reconstruct from a JSON value (inverse of [`Value::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for JSON shapes that are not field values
+    /// (arrays, objects, null).
+    pub fn from_json(json: &Json) -> Result<Value, String> {
+        match json {
+            Json::UInt(v) => Ok(Value::U64(*v)),
+            Json::Int(v) => Ok(Value::I64(*v)),
+            Json::Num(v) => Ok(Value::F64(*v)),
+            Json::Bool(v) => Ok(Value::Bool(*v)),
+            Json::Str(v) => Ok(Value::Str(v.clone())),
+            other => Err(format!("not a field value: {other}")),
+        }
+    }
+
+    /// Numeric view (any integer or float variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.6}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_type() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-2i32), Value::I64(-2));
+        assert_eq!(Value::from(1.5f32), Value::F64(1.5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        for v in [
+            Value::U64(u64::MAX),
+            Value::I64(-5),
+            Value::F64(0.25),
+            Value::Bool(true),
+            Value::Str("scenario".into()),
+        ] {
+            assert_eq!(Value::from_json(&v.to_json()).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Integration tests for the telemetry crate: span nesting and timing,
+//! concurrent counter aggregation, and the JSON-lines round trip.
+
+use std::sync::Arc;
+use telemetry::{Event, EventKind, JsonLinesSink, MemorySink, Registry, Value};
+
+#[test]
+fn span_nesting_and_timing_monotonicity() {
+    let registry = Registry::new();
+    let sink = Arc::new(MemorySink::new());
+    registry.install(sink.clone());
+    {
+        let _session = registry.span("session").field("rounds", 4u64).enter();
+        for block in 0..2u64 {
+            let _block = registry.span("block").field("block", block).enter();
+            for pass in 0..2u64 {
+                let _pass = registry.span("pass").field("pass", pass).enter();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+    let events = sink.events();
+    // 1 session + 2 blocks + 4 passes, each with a start and an end.
+    assert_eq!(events.len(), 14);
+
+    // Timestamps never decrease over the stream, and every span's end
+    // timestamp is >= its start timestamp.
+    for pair in events.windows(2) {
+        assert!(pair[1].ts_us >= pair[0].ts_us);
+    }
+    let start_of = |id: u64| {
+        events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanStart && e.span == Some(id))
+            .expect("every end has a start")
+    };
+    for end in events.iter().filter(|e| e.kind == EventKind::SpanEnd) {
+        let start = start_of(end.span.unwrap());
+        assert!(end.ts_us >= start.ts_us);
+        assert_eq!(end.parent, start.parent, "parentage consistent");
+    }
+
+    // Nesting: pass spans parent to block spans, block spans to the session.
+    let session_id = events
+        .iter()
+        .find(|e| e.name == "session")
+        .and_then(|e| e.span)
+        .unwrap();
+    let block_ids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanStart && e.name == "block")
+        .map(|e| {
+            assert_eq!(e.parent, Some(session_id));
+            e.span.unwrap()
+        })
+        .collect();
+    for pass in events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanStart && e.name == "pass")
+    {
+        assert!(block_ids.contains(&pass.parent.unwrap()));
+    }
+
+    // A parent's duration contains the sum of its children's durations.
+    let elapsed = |name: &str| -> u64 {
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd && e.name == name)
+            .map(|e| e.elapsed_us.unwrap())
+            .sum()
+    };
+    assert!(elapsed("session") >= elapsed("block"));
+    assert!(elapsed("block") >= elapsed("pass"));
+    assert!(
+        elapsed("pass") >= 4_000,
+        "four 1 ms sleeps inside pass spans"
+    );
+
+    // The histogram aggregation saw every span.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.histograms.get("pass").unwrap().count, 4);
+    assert_eq!(snapshot.histograms.get("block").unwrap().count, 2);
+}
+
+#[test]
+fn counters_aggregate_under_concurrent_writers() {
+    let registry = Arc::new(Registry::new());
+    let sink = Arc::new(MemorySink::new());
+    registry.install(sink.clone());
+    let threads = 8;
+    let increments = 500u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for i in 0..increments {
+                    registry.counter_add("shared.bits", 2);
+                    if i % 100 == 0 {
+                        // Interleave other instrument types to stress the maps.
+                        registry.gauge_set(&format!("thread.{t}.progress"), i as f64);
+                        registry.histogram_record("latency", t as f64 + 0.5);
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread panicked");
+    }
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counters.get("shared.bits"),
+        Some(&(threads * increments * 2)),
+        "no lost counter updates"
+    );
+    assert_eq!(
+        snapshot.histograms.get("latency").unwrap().count,
+        threads * (increments / 100)
+    );
+    // Every counter event's running total is consistent: the final total
+    // equals the aggregate, and totals are positive multiples of the delta.
+    let counter_events: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::Counter)
+        .collect();
+    assert_eq!(counter_events.len() as u64, threads * increments);
+    let max_total = counter_events
+        .iter()
+        .filter_map(|e| e.field("total").and_then(Value::as_u64))
+        .max()
+        .unwrap();
+    assert_eq!(max_total, threads * increments * 2);
+}
+
+#[test]
+fn json_lines_round_trip_through_a_file() {
+    let dir = std::env::temp_dir().join("vk_telemetry_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
+
+    let registry = Registry::new();
+    let sink = Arc::new(JsonLinesSink::create(&path).unwrap());
+    registry.install(sink);
+    {
+        let _span = registry
+            .span("pipeline.session")
+            .field("scenario", "V2V-Urban")
+            .field("rounds", 160u64)
+            .enter();
+        registry.counter_add("quantize.bits", 64);
+        registry.gauge_set("model.loss", 0.125);
+        registry.histogram_record("reconcile.pass_time_s", 0.004);
+        registry
+            .mark("model.epoch")
+            .field("epoch", 3u64)
+            .field("loss", 0.5f64)
+            .emit();
+    }
+    registry.uninstall();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events: Vec<Event> = text
+        .lines()
+        .map(|line| Event::from_json_line(line).expect("every line parses"))
+        .collect();
+    assert_eq!(events.len(), 6);
+
+    let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            EventKind::SpanStart,
+            EventKind::Counter,
+            EventKind::Gauge,
+            EventKind::Histogram,
+            EventKind::Mark,
+            EventKind::SpanEnd,
+        ]
+    );
+
+    // Field fidelity through serialize → parse.
+    let start = &events[0];
+    assert_eq!(start.name, "pipeline.session");
+    assert_eq!(
+        start.field("scenario"),
+        Some(&Value::Str("V2V-Urban".into()))
+    );
+    assert_eq!(start.field("rounds"), Some(&Value::U64(160)));
+    assert_eq!(events[1].value, Some(Value::U64(64)));
+    assert_eq!(events[2].value, Some(Value::F64(0.125)));
+    assert_eq!(events[4].field("epoch"), Some(&Value::U64(3)));
+    assert_eq!(events[4].field("loss"), Some(&Value::F64(0.5)));
+    let end = &events[5];
+    assert_eq!(end.span, start.span);
+    assert!(end.elapsed_us.is_some());
+
+    // Inner events are attributed to the enclosing span.
+    assert_eq!(events[1].parent, start.span);
+    assert_eq!(events[4].parent, start.span);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn global_registry_fast_path_is_inert_without_a_sink() {
+    // The global registry in this test process has no sink installed:
+    // all free functions must be no-ops (and cheap).
+    assert!(!telemetry::enabled());
+    {
+        let guard = telemetry::span("never.recorded").enter();
+        assert!(guard.id().is_none());
+    }
+    telemetry::counter("never.recorded", 1);
+    telemetry::gauge("never.recorded", 1.0);
+    telemetry::histogram("never.recorded", 1.0);
+    telemetry::mark("never.recorded").emit();
+    let snapshot = telemetry::snapshot();
+    assert!(snapshot.counters.is_empty());
+    assert!(snapshot.gauges.is_empty());
+    assert!(snapshot.histograms.is_empty());
+}

@@ -53,10 +53,7 @@ impl Campaign {
     /// Wall-clock duration spanned by the campaign in seconds.
     pub fn duration_s(&self) -> f64 {
         match (self.rounds.first(), self.rounds.last()) {
-            (Some(first), Some(last)) => {
-                last.t_start - first.t_start
-                    + 2.0 * self.lora.airtime(16)
-            }
+            (Some(first), Some(last)) => last.t_start - first.t_start + 2.0 * self.lora.airtime(16),
             _ => 0.0,
         }
     }
@@ -153,8 +150,13 @@ mod tests {
     fn campaign(n: usize) -> Campaign {
         let mut rng = StdRng::seed_from_u64(61);
         let cfg = TestbedConfig::default();
-        let mut tb =
-            Testbed::generate(ScenarioKind::V2iUrban, n as f64 * 4.0 + 30.0, 50.0, cfg, &mut rng);
+        let mut tb = Testbed::generate(
+            ScenarioKind::V2iUrban,
+            n as f64 * 4.0 + 30.0,
+            50.0,
+            cfg,
+            &mut rng,
+        );
         tb.run(n, &mut rng)
     }
 

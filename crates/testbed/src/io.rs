@@ -107,14 +107,19 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Campaign, CsvError> {
     let mut header_seen = false;
     for (i, line) in r.lines().enumerate() {
         let lineno = i + 1;
-        let line = line.map_err(|e| CsvError { line: lineno, message: e.to_string() })?;
+        let line = line.map_err(|e| CsvError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
         if let Some(meta) = line.strip_prefix('#') {
             for kv in meta.split_whitespace() {
-                let Some((k, v)) = kv.split_once('=') else { continue };
+                let Some((k, v)) = kv.split_once('=') else {
+                    continue;
+                };
                 match k {
                     "scenario" => {
                         scenario = scenario_from(v).ok_or_else(|| CsvError {
@@ -221,7 +226,10 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Campaign, CsvError> {
         }
     }
     if !header_seen {
-        return Err(CsvError { line: 0, message: "missing header row".into() });
+        return Err(CsvError {
+            line: 0,
+            message: "missing header row".into(),
+        });
     }
     for (i, r) in rounds.iter().enumerate() {
         if r.alice_rrssi.is_empty() || r.bob_rrssi.is_empty() {
@@ -231,7 +239,11 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Campaign, CsvError> {
             });
         }
     }
-    Ok(Campaign { scenario, lora, rounds })
+    Ok(Campaign {
+        scenario,
+        lora,
+        rounds,
+    })
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ pub struct EveConfig {
 
 impl Default for EveConfig {
     fn default() -> Self {
-        EveConfig { separation_m: 5.0, tail_gap_m: 10.0 }
+        EveConfig {
+            separation_m: 5.0,
+            tail_gap_m: 10.0,
+        }
     }
 }
 
@@ -215,7 +218,10 @@ impl Testbed {
         let mut tau = self.doppler_t;
         while tau < t {
             let step = (t - tau).min(0.1);
-            let rel = self.scenario.alice.relative_speed_to(&self.scenario.bob, tau);
+            let rel = self
+                .scenario
+                .alice
+                .relative_speed_to(&self.scenario.bob, tau);
             let fd = (channel::doppler_shift_hz(rel, carrier)
                 * self.config.effective_doppler_factor)
                 .max(0.05);
@@ -256,7 +262,10 @@ impl Testbed {
                 geo.route_pos_m,
                 Direction::AliceToBob,
             );
-            bob_rrssi.push(RssiReading { t, rssi_dbm: self.bob_rx.measure(ideal, rng) });
+            bob_rrssi.push(RssiReading {
+                t,
+                rssi_dbm: self.bob_rx.measure(ideal, rng),
+            });
         }
 
         // Bob → Alice response after Bob's operation delay.
@@ -273,7 +282,10 @@ impl Testbed {
                 geo.route_pos_m,
                 Direction::BobToAlice,
             );
-            alice_rrssi.push(RssiReading { t: *t, rssi_dbm: self.alice_rx.measure(ideal, rng) });
+            alice_rrssi.push(RssiReading {
+                t: *t,
+                rssi_dbm: self.alice_rx.measure(ideal, rng),
+            });
         }
 
         // Eve overhears Bob's response through her decorrelated tap.
@@ -292,7 +304,10 @@ impl Testbed {
                 let ideal =
                     self.channel
                         .eve_gain_dbm_cycles(&mut eve_ch, cycles, d, geo.route_pos_m);
-                readings.push(RssiReading { t: *t, rssi_dbm: self.eve_rx.measure(ideal, rng) });
+                readings.push(RssiReading {
+                    t: *t,
+                    rssi_dbm: self.eve_rx.measure(ideal, rng),
+                });
             }
             self.eve_channel = Some(eve_ch);
             Some(readings)
@@ -318,7 +333,12 @@ impl Testbed {
     /// (`packet_loss_prob`) consume time but contribute no data.
     pub fn run<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> crate::Campaign {
         use rand::RngExt;
+        let _campaign_span = telemetry::span("testbed.campaign")
+            .field("rounds_requested", n as u64)
+            .field("scenario", format!("{:?}", self.scenario.kind))
+            .enter();
         let mut rounds = Vec::with_capacity(n);
+        let mut lost = 0u64;
         for k in 0..n {
             let t0 = k as f64 * self.config.round_interval_s;
             if self.config.packet_loss_prob > 0.0
@@ -327,9 +347,14 @@ impl Testbed {
                 // The exchange still occupied the channel: keep the fading
                 // phase integral advancing.
                 self.advance_doppler(t0 + 2.0 * self.probe_airtime());
+                lost += 1;
                 continue;
             }
             rounds.push(self.round(t0, rng));
+        }
+        if telemetry::enabled() {
+            telemetry::counter("testbed.rounds", rounds.len() as u64);
+            telemetry::counter("testbed.lost_rounds", lost);
         }
         crate::Campaign {
             scenario: self.scenario.kind,
@@ -349,7 +374,13 @@ mod tests {
     fn run_campaign(kind: ScenarioKind, n: usize, seed: u64) -> crate::Campaign {
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = TestbedConfig::default();
-        let mut tb = Testbed::generate(kind, n as f64 * cfg.round_interval_s + 30.0, 50.0, cfg, &mut rng);
+        let mut tb = Testbed::generate(
+            kind,
+            n as f64 * cfg.round_interval_s + 30.0,
+            50.0,
+            cfg,
+            &mut rng,
+        );
         tb.run(n, &mut rng)
     }
 
@@ -377,9 +408,9 @@ mod tests {
         let round = tb.round(0.0, &mut rng);
         let gap = round.alice_rrssi.first().unwrap().t - round.bob_rrssi.last().unwrap().t;
         assert!(gap < 0.02, "boundary gap {gap}");
-        let mean_gap = crate::stats::mean(
-            &round.alice_rrssi.iter().map(|r| r.t).collect::<Vec<_>>(),
-        ) - crate::stats::mean(&round.bob_rrssi.iter().map(|r| r.t).collect::<Vec<_>>());
+        let mean_gap =
+            crate::stats::mean(&round.alice_rrssi.iter().map(|r| r.t).collect::<Vec<_>>())
+                - crate::stats::mean(&round.bob_rrssi.iter().map(|r| r.t).collect::<Vec<_>>());
         assert!(mean_gap > 1.0, "packet-mean gap {mean_gap}");
     }
 
@@ -407,10 +438,16 @@ mod tests {
             let wb = ((nb as f64 * frac) as usize).max(1);
             let wa = ((na as f64 * frac) as usize).max(1);
             tails.push(crate::stats::mean(
-                &r.bob_rrssi[nb - wb..].iter().map(|x| x.rssi_dbm).collect::<Vec<_>>(),
+                &r.bob_rrssi[nb - wb..]
+                    .iter()
+                    .map(|x| x.rssi_dbm)
+                    .collect::<Vec<_>>(),
             ));
             heads.push(crate::stats::mean(
-                &r.alice_rrssi[..wa].iter().map(|x| x.rssi_dbm).collect::<Vec<_>>(),
+                &r.alice_rrssi[..wa]
+                    .iter()
+                    .map(|x| x.rssi_dbm)
+                    .collect::<Vec<_>>(),
             ));
         }
         let a: Vec<f64> = campaign.rounds.iter().map(|r| r.alice_prssi()).collect();

@@ -55,5 +55,8 @@ fn main() {
         "\nwith any residual disagreement, privacy amplification gives Eve a \
          completely different 128-bit key;\nguessing it has probability 2^-128."
     );
-    assert!(legit / n > imitating / n + 0.1, "legitimate advantage must be clear");
+    assert!(
+        legit / n > imitating / n + 0.1,
+        "legitimate advantage must be clear"
+    );
 }

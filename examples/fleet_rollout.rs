@@ -57,7 +57,5 @@ fn main() {
         overall.std * 100.0,
         overall.n
     );
-    println!(
-        "operators can fine-tune per region with ~10% local data (see `repro fig14`)."
-    );
+    println!("operators can fine-tune per region with ~10% local data (see `repro fig14`).");
 }

@@ -40,7 +40,13 @@ fn main() {
                 eve.imitating_agreement * 100.0
             );
         }
-        if outcome.alice_keys.iter().zip(&outcome.bob_keys).any(|(a, b)| a == b) || attempt >= 6 {
+        if outcome
+            .alice_keys
+            .iter()
+            .zip(&outcome.bob_keys)
+            .any(|(a, b)| a == b)
+            || attempt >= 6
+        {
             break;
         }
         outcome = pipeline.run_session(ScenarioKind::V2vUrban, &mut rng);

@@ -23,8 +23,14 @@ fn main() {
     let path = std::env::temp_dir().join("vehicle_key_trace.csv");
     let file = std::fs::File::create(&path).expect("create trace file");
     testbed::write_csv(&campaign, std::io::BufWriter::new(file)).expect("write trace");
-    let size_kb = std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0);
-    println!("wrote {} rounds ({size_kb} KiB) to {}", campaign.rounds.len(), path.display());
+    let size_kb = std::fs::metadata(&path)
+        .map(|m| m.len() / 1024)
+        .unwrap_or(0);
+    println!(
+        "wrote {} rounds ({size_kb} KiB) to {}",
+        campaign.rounds.len(),
+        path.display()
+    );
 
     // Train elsewhere (different scenario!) and replay the capture.
     println!("training on V2V-Urban drives (a different environment)...");

@@ -23,8 +23,16 @@ fn main() {
     let session_id: u32 = rng.random();
     let nonce_a: u64 = rng.random();
     let nonce_b: u64 = rng.random();
-    let probe = Message::Probe { session_id, seq: 0, nonce: nonce_a };
-    let reply = Message::ProbeReply { session_id, seq: 0, nonce: nonce_b };
+    let probe = Message::Probe {
+        session_id,
+        seq: 0,
+        nonce: nonce_a,
+    };
+    let reply = Message::ProbeReply {
+        session_id,
+        seq: 0,
+        nonce: nonce_b,
+    };
     println!(
         "probe ({} B on the wire) / reply ({} B): session {session_id:08x}",
         probe.encode().len(),
@@ -80,9 +88,19 @@ fn main() {
 
     // --- A man in the middle tampers with the syndrome ---
     let tampered = match syndrome_msg.clone() {
-        Message::Syndrome { session_id, block, mut code, mac } => {
+        Message::Syndrome {
+            session_id,
+            block,
+            mut code,
+            mac,
+        } => {
             code[0] = code[0].wrapping_add(500);
-            Message::Syndrome { session_id, block, code, mac }
+            Message::Syndrome {
+                session_id,
+                block,
+                code,
+                mac,
+            }
         }
         _ => unreachable!(),
     };

@@ -98,14 +98,22 @@ fn wire_protocol_round_trip_with_mac() {
     assert_eq!(corrected, k_bob);
     // Confirmation closes the loop.
     let final_key = vk_crypto::amplify::amplify_128(&corrected.to_bools());
-    let confirm = Message::Confirm { session_id: 77, check: session.confirm_check(&final_key) };
+    let confirm = Message::Confirm {
+        session_id: 77,
+        check: session.confirm_check(&final_key),
+    };
     assert!(session.verify_confirm(&confirm, &final_key).is_ok());
 }
 
 #[test]
 fn tampering_is_detected_end_to_end() {
     let mut rng = StdRng::seed_from_u64(43);
-    let session = Session::new(78, pipeline().reconciler().clone(), rng.random(), rng.random());
+    let session = Session::new(
+        78,
+        pipeline().reconciler().clone(),
+        rng.random(),
+        rng.random(),
+    );
     let k_bob: quantize::BitString = (0..64).map(|_| rng.random::<bool>()).collect();
     let msg = session.bob_syndrome_message(0, &k_bob);
     let mut wire = msg.encode().to_vec();
@@ -133,7 +141,11 @@ fn amplified_keys_pass_basic_randomness() {
             }
         }
     }
-    assert!(bits.len() >= 256, "need some key material, got {} bits", bits.len());
+    assert!(
+        bits.len() >= 256,
+        "need some key material, got {} bits",
+        bits.len()
+    );
     if bits.len() >= 128 {
         let r = nist::tests::frequency(&bits).unwrap();
         assert!(r.passed(), "frequency p = {}", r.p_value);

@@ -35,7 +35,9 @@ fn pipeline_survives_disk_round_trip_and_still_agrees() {
     );
 
     // And produces bit-identical inference to the original.
-    let window: Vec<f64> = (0..cfg.model.seq_len).map(|i| ((i * 7) as f64).sin()).collect();
+    let window: Vec<f64> = (0..cfg.model.seq_len)
+        .map(|i| ((i * 7) as f64).sin())
+        .collect();
     let baselines = vec![-95.0; window.len()];
     assert_eq!(
         pipeline.model().predict(&window, &baselines).1,

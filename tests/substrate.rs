@@ -40,10 +40,7 @@ fn boundary_arssi_beats_prssi_in_every_scenario() {
         let (a, b) = ex.boundary_series(&c);
         let r_ar = pearson(&a, &b);
         let r_p = pearson(&c.alice_prssi(), &c.bob_prssi());
-        assert!(
-            r_ar > r_p,
-            "{kind}: arRSSI {r_ar} should beat pRSSI {r_p}"
-        );
+        assert!(r_ar > r_p, "{kind}: arRSSI {r_ar} should beat pRSSI {r_p}");
         assert!(r_ar > 0.8, "{kind}: arRSSI corr {r_ar}");
     }
 }
