@@ -1,0 +1,99 @@
+//! Fleet throughput: the concurrent key-establishment server under load.
+//!
+//! Beyond the paper — the Vehicle-Key exchange running over real loopback
+//! TCP sockets, one in-process server against client fleets of increasing
+//! concurrency. Reports sessions/second, key-match rate, and latency
+//! percentiles per concurrency level; the numbers land in
+//! `BENCH_fleet.json` when run through `repro` with `VK_OUT` set.
+
+use super::rng_for;
+use crate::table::Table;
+use reconcile::AutoencoderTrainer;
+use std::sync::Arc;
+use std::time::Duration;
+use vk_server::{run_fleet, FleetConfig, FleetReport, RetryPolicy, Server, ServerConfig};
+
+/// Concurrency levels swept by the experiment.
+pub const CONCURRENCY_LEVELS: &[usize] = &[1, 8, 32];
+
+/// Sessions per concurrency level.
+const SESSIONS: u64 = 50;
+
+/// Run the sweep and return one report per concurrency level.
+///
+/// # Panics
+///
+/// Panics if the loopback server cannot start — a bench environment
+/// without loopback TCP is unusable anyway.
+pub fn sweep() -> Vec<(usize, FleetReport)> {
+    let mut rng = rng_for("fleet");
+    let reconciler = Arc::new(
+        AutoencoderTrainer::default()
+            .with_steps(6000)
+            .train(&mut rng),
+    );
+
+    let params = vk_server::SessionParams {
+        retry: RetryPolicy {
+            ack_timeout: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        },
+        ..vk_server::SessionParams::default()
+    };
+
+    let mut out = Vec::new();
+    for &concurrency in CONCURRENCY_LEVELS {
+        let server = Server::start(
+            ServerConfig {
+                workers: concurrency.max(4),
+                params,
+                ..ServerConfig::default()
+            },
+            Arc::clone(&reconciler),
+        )
+        .expect("loopback server must start");
+        let cfg = FleetConfig {
+            addr: server.local_addr().to_string(),
+            sessions: SESSIONS,
+            concurrency,
+            params,
+            poll: Duration::from_millis(5),
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&cfg, &reconciler).expect("loopback address resolves");
+        server.shutdown();
+        out.push((concurrency, report));
+    }
+    out
+}
+
+/// Fleet throughput table across `CONCURRENCY_LEVELS`.
+pub fn fleet() -> String {
+    let runs = sweep();
+    let mut t = Table::new(
+        "Fleet: concurrent key establishment over loopback TCP",
+        &[
+            "concurrency",
+            "sessions",
+            "match rate",
+            "sessions/s",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+        ],
+    );
+    for (concurrency, r) in &runs {
+        t.row(&[
+            concurrency.to_string(),
+            r.sessions.to_string(),
+            format!("{:.1}%", r.key_match_rate() * 100.0),
+            format!("{:.1}", r.sessions_per_sec()),
+            format!("{:.1}", r.latency.p50),
+            format!("{:.1}", r.latency.p95),
+            format!("{:.1}", r.latency.p99),
+        ]);
+    }
+    t.render()
+        + "\nOne in-process server (worker pool >= fleet concurrency); throughput should rise\n\
+           with concurrency until the worker pool or loopback round-trips saturate.\n"
+}

@@ -8,8 +8,10 @@
 //! | [`security`] | Figs. 15, 16 and Table II — attacks and randomness |
 //! | [`power`] | Table III — computation time and energy |
 //! | [`ablate`] | Design-choice ablations beyond the paper |
+//! | [`fleet`] | Beyond the paper: server throughput over loopback TCP |
 
 pub mod ablate;
+pub mod fleet;
 pub mod modules;
 pub mod power;
 pub mod prelim;
@@ -65,6 +67,7 @@ pub const ALL: &[&str] = &[
     "ablate-feature",
     "ablate-loss",
     "ablate-platoon",
+    "fleet",
 ];
 
 /// Run one experiment by name; returns the rendered report.
@@ -94,6 +97,7 @@ pub fn run(name: &str) -> Result<String, String> {
         "ablate-feature" => Ok(ablate::feature()),
         "ablate-loss" => Ok(ablate::loss()),
         "ablate-platoon" => Ok(ablate::platoon()),
+        "fleet" => Ok(fleet::fleet()),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -6,20 +6,92 @@
 //! (ids + nonces), the MAC-protected syndrome exchange, duplicate/replay
 //! rejection, and the final key confirmation. The transport is abstract —
 //! anything that moves byte frames ([`Transport`]) — so tests drive it over
-//! in-memory queues and a deployment would plug in the LoRa radio.
+//! in-memory queues, the `vk-server` crate plugs in length-prefixed TCP
+//! streams, and a deployment would plug in the LoRa radio.
+//!
+//! Transport operations are fallible ([`TransportError`]): an in-memory
+//! queue never fails, but a socket can close or error mid-exchange, and the
+//! driver surfaces that distinctly from protocol violations
+//! ([`DriverError`]).
 
 use crate::protocol::{Message, ProtocolError, Session};
 use quantize::BitString;
 use reconcile::AutoencoderReconciler;
 use std::collections::HashSet;
 use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// A transport-level failure: the byte pipe itself broke, as opposed to a
+/// well-delivered but protocol-invalid frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer closed the connection (or the channel was disconnected).
+    Closed,
+    /// Any other I/O failure, with the underlying error rendered to text.
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => f.write_str("transport closed by peer"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl Error for TransportError {}
+
+/// Either layer's failure during a driven exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// A frame arrived but violated the protocol.
+    Protocol(ProtocolError),
+    /// The transport failed underneath the exchange.
+    Transport(TransportError),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Protocol(e) => write!(f, "protocol error: {e}"),
+            DriverError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl Error for DriverError {}
+
+impl From<ProtocolError> for DriverError {
+    fn from(e: ProtocolError) -> Self {
+        DriverError::Protocol(e)
+    }
+}
+
+impl From<TransportError> for DriverError {
+    fn from(e: TransportError) -> Self {
+        DriverError::Transport(e)
+    }
+}
 
 /// A frame-oriented transport between the two parties.
 pub trait Transport {
     /// Send one frame to the peer.
-    fn send(&mut self, frame: &[u8]);
-    /// Receive the next frame, if any.
-    fn recv(&mut self) -> Option<Vec<u8>>;
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] when the underlying byte pipe fails.
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Receive the next frame. `Ok(None)` means no frame is available
+    /// within the transport's polling window (empty queue, read timeout);
+    /// callers that need to wait poll again.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] when the underlying byte pipe fails.
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError>;
 }
 
 /// A pair of in-memory queues — the test/simulation transport.
@@ -60,27 +132,36 @@ pub struct Endpoint<'a> {
 }
 
 impl Transport for Endpoint<'_> {
-    fn send(&mut self, frame: &[u8]) {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
         self.tx.push_back(frame.to_vec());
+        Ok(())
     }
-    fn recv(&mut self) -> Option<Vec<u8>> {
-        self.rx.pop_front()
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        Ok(self.rx.pop_front())
     }
 }
 
 /// Alice's driver state: decodes frames, rejects replays, corrects her key
-/// from Bob's syndrome and verifies the confirmation.
+/// from Bob's syndromes block by block and verifies the confirmation.
+///
+/// `k_alice` may span several reconciler blocks; the driver slices the
+/// block addressed by each syndrome's `block` index itself. A block is
+/// marked as seen only once it has been *successfully* processed, so a
+/// retransmission of a frame that failed (e.g. corrupted in flight, MAC
+/// mismatch) is re-processed, while a replay of an accepted block is
+/// rejected.
 #[derive(Debug)]
 pub struct AliceDriver {
     session: Session,
     k_alice: BitString,
     seen_blocks: HashSet<u32>,
-    /// Corrected key blocks, in block order.
+    /// Corrected key blocks, in arrival order (block index attached).
     pub corrected: Vec<(u32, BitString)>,
 }
 
 impl AliceDriver {
-    /// Create Alice's driver for a session.
+    /// Create Alice's driver for a session. `k_alice` is truncated to a
+    /// whole number of reconciler blocks.
     pub fn new(
         session_id: u32,
         reconciler: AutoencoderReconciler,
@@ -88,12 +169,24 @@ impl AliceDriver {
         nonce_b: u64,
         k_alice: BitString,
     ) -> Self {
+        let seg = reconciler.key_len();
+        let whole = (k_alice.len() / seg) * seg;
         AliceDriver {
             session: Session::new(session_id, reconciler, nonce_a, nonce_b),
-            k_alice,
+            k_alice: k_alice.slice(0, whole),
             seen_blocks: HashSet::new(),
             corrected: Vec::new(),
         }
+    }
+
+    /// Number of syndrome blocks the exchange must deliver.
+    pub fn expected_blocks(&self) -> usize {
+        self.k_alice.len() / self.session.reconciler.key_len()
+    }
+
+    /// Whether every expected block has been corrected.
+    pub fn is_complete(&self) -> bool {
+        self.corrected.len() == self.expected_blocks()
     }
 
     /// Process one incoming frame.
@@ -101,23 +194,40 @@ impl AliceDriver {
     /// # Errors
     ///
     /// * [`ProtocolError::Malformed`] for frames that do not parse, carry
-    ///   the wrong session id, or **replay** an already-processed block;
+    ///   the wrong session id, address a block out of range, or **replay**
+    ///   an already-accepted block;
     /// * [`ProtocolError::MacMismatch`] when the syndrome fails
     ///   authentication.
     pub fn handle_frame(&mut self, frame: &[u8]) -> Result<(), ProtocolError> {
-        let msg = Message::decode(frame)?;
-        match &msg {
+        self.handle_message(&Message::decode(frame)?)
+    }
+
+    /// Process one decoded message (the frame-less entry point used by the
+    /// server, which decodes frames itself for dispatch).
+    ///
+    /// # Errors
+    ///
+    /// As for [`AliceDriver::handle_frame`].
+    pub fn handle_message(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        match msg {
             Message::Syndrome { block, .. } => {
-                if !self.seen_blocks.insert(*block) {
+                let seg = self.session.reconciler.key_len();
+                let start = *block as usize * seg;
+                if start + seg > self.k_alice.len() {
+                    return Err(ProtocolError::Malformed("syndrome block out of range"));
+                }
+                if self.seen_blocks.contains(block) {
                     return Err(ProtocolError::Malformed("replayed syndrome block"));
                 }
-                let corrected = self.session.alice_process_syndrome(&msg, &self.k_alice)?;
+                let ka = self.k_alice.slice(start, seg);
+                let corrected = self.session.alice_process_syndrome(msg, &ka)?;
+                self.seen_blocks.insert(*block);
                 self.corrected.push((*block, corrected));
                 Ok(())
             }
             Message::Confirm { .. } => {
                 let key = self.final_key().ok_or(ProtocolError::ConfirmMismatch)?;
-                self.session.verify_confirm(&msg, &key)
+                self.session.verify_confirm(msg, &key)
             }
             _ => Err(ProtocolError::Malformed("unexpected message for Alice")),
         }
@@ -140,12 +250,13 @@ impl AliceDriver {
 }
 
 /// Run a complete exchange over a transport pair: Bob sends syndromes for
-/// each 64-bit block of his key plus a confirmation; Alice processes them.
-/// Returns the two final keys on success.
+/// each block of his key plus a confirmation; Alice processes them through
+/// a single multi-block [`AliceDriver`]. Returns the two final keys on
+/// success.
 ///
 /// # Errors
 ///
-/// Propagates the first protocol error Alice encounters.
+/// Propagates the first protocol or transport error encountered.
 pub fn run_exchange(
     queue: &mut DuplexQueue,
     reconciler: &AutoencoderReconciler,
@@ -153,7 +264,7 @@ pub fn run_exchange(
     nonces: (u64, u64),
     k_alice: &BitString,
     k_bob: &BitString,
-) -> Result<([u8; 16], [u8; 16]), ProtocolError> {
+) -> Result<([u8; 16], [u8; 16]), DriverError> {
     assert_eq!(k_alice.len(), k_bob.len(), "key length mismatch");
     let _exchange_span = telemetry::span("driver.exchange")
         .field("session_id", u64::from(session_id))
@@ -161,7 +272,7 @@ pub fn run_exchange(
         .enter();
     let seg = reconciler.key_len();
     let session = Session::new(session_id, reconciler.clone(), nonces.0, nonces.1);
-    // Bob: one syndrome frame per 64-bit block, then his confirmation.
+    // Bob: one syndrome frame per block, then his confirmation.
     let mut bob_bits = BitString::new();
     {
         let mut bob_tx = queue.bob();
@@ -169,7 +280,7 @@ pub fn run_exchange(
         let mut block = 0u32;
         while offset + seg <= k_bob.len() {
             let kb = k_bob.slice(offset, seg);
-            bob_tx.send(&session.bob_syndrome_message(block, &kb).encode());
+            bob_tx.send(&session.bob_syndrome_message(block, &kb).encode())?;
             bob_bits.extend(&kb);
             offset += seg;
             block += 1;
@@ -182,42 +293,22 @@ pub fn run_exchange(
             check: session.confirm_check(&bob_key),
         }
         .encode(),
-    );
+    )?;
 
-    // Alice: drain and process.
+    // Alice: drain and process through one driver.
     let mut alice = AliceDriver::new(
         session_id,
         reconciler.clone(),
         nonces.0,
         nonces.1,
-        k_alice.slice(0, (k_alice.len() / seg) * seg),
+        k_alice.clone(),
     );
-    // Alice's driver corrects per block, so hand it block-sized keys by
-    // tracking offsets internally: simplest is to re-slice on each frame.
-    let mut frames = Vec::new();
-    while let Some(f) = queue.alice().recv() {
-        frames.push(f);
+    let mut frames = 0u64;
+    while let Some(frame) = queue.alice().recv()? {
+        frames += 1;
+        alice.handle_frame(&frame)?;
     }
-    telemetry::counter("driver.frames", frames.len() as u64);
-    let mut block_idx = 0u32;
-    for frame in frames {
-        match Message::decode(&frame)? {
-            Message::Syndrome { .. } => {
-                let ka = k_alice.slice(block_idx as usize * seg, seg);
-                let mut sub =
-                    AliceDriver::new(session_id, reconciler.clone(), nonces.0, nonces.1, ka);
-                sub.handle_frame(&frame)?;
-                alice.corrected.push((block_idx, sub.corrected.remove(0).1));
-                block_idx += 1;
-            }
-            Message::Confirm { .. } => {
-                let key = alice.final_key().ok_or(ProtocolError::ConfirmMismatch)?;
-                Session::new(session_id, reconciler.clone(), nonces.0, nonces.1)
-                    .verify_confirm(&Message::decode(&frame)?, &key)?;
-            }
-            _ => return Err(ProtocolError::Malformed("unexpected frame")),
-        }
-    }
+    telemetry::counter("driver.frames", frames);
     let alice_key = alice.final_key().ok_or(ProtocolError::ConfirmMismatch)?;
     Ok((alice_key, bob_key))
 }
@@ -259,6 +350,34 @@ mod tests {
     }
 
     #[test]
+    fn one_driver_handles_multiple_blocks() {
+        let (ka, kb) = keys(6, &[3, 90]);
+        let session = Session::new(21, model().clone(), 5, 6);
+        let mut alice = AliceDriver::new(21, model().clone(), 5, 6, ka);
+        assert_eq!(alice.expected_blocks(), 2);
+        for block in 0..2u32 {
+            let kb_block = kb.slice(block as usize * 64, 64);
+            let msg = session.bob_syndrome_message(block, &kb_block);
+            alice.handle_frame(&msg.encode()).expect("block accepted");
+        }
+        assert!(alice.is_complete());
+        assert_eq!(
+            alice.final_key().unwrap(),
+            vk_crypto::amplify::amplify_128(&kb.to_bools())
+        );
+    }
+
+    #[test]
+    fn out_of_range_block_rejected() {
+        let (ka, kb) = keys(7, &[]);
+        let session = Session::new(22, model().clone(), 5, 6);
+        let mut alice = AliceDriver::new(22, model().clone(), 5, 6, ka);
+        let msg = session.bob_syndrome_message(9, &kb.slice(0, 64));
+        let err = alice.handle_frame(&msg.encode()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Malformed(m) if m.contains("out of range")));
+    }
+
+    #[test]
     fn replay_of_a_block_is_rejected() {
         let (ka, kb) = keys(2, &[9]);
         let session = Session::new(9, model().clone(), 1, 2);
@@ -269,6 +388,40 @@ mod tests {
             .expect("first delivery ok");
         let err = alice.handle_frame(&msg.encode()).unwrap_err();
         assert!(matches!(err, ProtocolError::Malformed(m) if m.contains("replayed")));
+    }
+
+    #[test]
+    fn failed_block_can_be_retransmitted() {
+        // A block whose first delivery was corrupted (MAC mismatch) must not
+        // be marked as seen: the clean retransmission has to succeed.
+        let (ka, kb) = keys(8, &[4]);
+        let session = Session::new(30, model().clone(), 3, 4);
+        let good = session.bob_syndrome_message(0, &kb.slice(0, 64));
+        let Message::Syndrome {
+            session_id,
+            block,
+            code,
+            mut mac,
+        } = good.clone()
+        else {
+            unreachable!()
+        };
+        mac[0] ^= 0xFF;
+        let corrupted = Message::Syndrome {
+            session_id,
+            block,
+            code,
+            mac,
+        };
+        let mut alice = AliceDriver::new(30, model().clone(), 3, 4, ka.slice(0, 64));
+        assert_eq!(
+            alice.handle_frame(&corrupted.encode()),
+            Err(ProtocolError::MacMismatch)
+        );
+        alice
+            .handle_frame(&good.encode())
+            .expect("retransmission after corruption succeeds");
+        assert!(alice.is_complete());
     }
 
     #[test]
@@ -294,7 +447,9 @@ mod tests {
         let result = run_exchange(&mut q, model(), 43, (7, 8), &ka, &kb);
         assert!(matches!(
             result,
-            Err(ProtocolError::ConfirmMismatch) | Err(ProtocolError::MacMismatch)
+            Err(DriverError::Protocol(
+                ProtocolError::ConfirmMismatch | ProtocolError::MacMismatch
+            ))
         ));
     }
 

@@ -49,7 +49,7 @@ pub mod pipeline;
 pub mod protocol;
 pub mod security;
 
-pub use driver::{AliceDriver, DuplexQueue, Transport};
+pub use driver::{AliceDriver, DriverError, DuplexQueue, Transport, TransportError};
 pub use features::{ArRssiExtractor, PairedStreams};
 pub use metrics::{KeyMetrics, Summary};
 pub use model::{ModelConfig, PredictionQuantizationModel, TrainReport};

@@ -93,6 +93,16 @@ pub enum Message {
         /// `HMAC(final_key, "VK-CONFIRM" ‖ session_id)`.
         check: [u8; 32],
     },
+    /// Delivery acknowledgement, used by retransmitting transports (the
+    /// `vk-server` crate's TCP sessions): the receiver confirms it has
+    /// accepted the frame numbered `seq` (a syndrome's block index), so the
+    /// sender can stop retrying it.
+    Ack {
+        /// Session identifier.
+        session_id: u32,
+        /// Sequence number of the acknowledged frame.
+        seq: u32,
+    },
 }
 
 impl Message {
@@ -100,6 +110,7 @@ impl Message {
     const TAG_PROBE_REPLY: u8 = 2;
     const TAG_SYNDROME: u8 = 3;
     const TAG_CONFIRM: u8 = 4;
+    const TAG_ACK: u8 = 5;
 
     /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
@@ -144,6 +155,11 @@ impl Message {
                 b.put_u8(Self::TAG_CONFIRM);
                 b.put_u32(*session_id);
                 b.put_slice(check);
+            }
+            Message::Ack { session_id, seq } => {
+                b.put_u8(Self::TAG_ACK);
+                b.put_u32(*session_id);
+                b.put_u32(*seq);
             }
         }
         b.freeze()
@@ -209,6 +225,14 @@ impl Message {
                 let mut check = [0u8; 32];
                 buf.copy_to_slice(&mut check);
                 Ok(Message::Confirm { session_id, check })
+            }
+            Message::TAG_ACK => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("truncated ack"));
+                }
+                let session_id = buf.get_u32();
+                let seq = buf.get_u32();
+                Ok(Message::Ack { session_id, seq })
             }
             other => Err(ProtocolError::UnknownTag(other)),
         }
@@ -369,6 +393,10 @@ mod tests {
             Message::Confirm {
                 session_id: 7,
                 check: [3; 32],
+            },
+            Message::Ack {
+                session_id: 7,
+                seq: 9,
             },
         ];
         for m in messages {

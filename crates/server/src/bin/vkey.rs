@@ -6,6 +6,8 @@
 //! vkey export-trace --scenario V2I-Rural --rounds 200 --out trace.csv
 //! vkey run-trace    --pipeline pipeline.bin --trace trace.csv
 //! vkey nist    --pipeline pipeline.bin [--bits 4000]
+//! vkey serve   --addr 127.0.0.1:7400 [--workers 4] [--max-sessions 100]
+//! vkey fleet   --addr 127.0.0.1:7400 --sessions 100 --concurrency 8
 //! vkey help
 //! ```
 //!
@@ -17,10 +19,16 @@
 use mobility::ScenarioKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use reconcile::{AutoencoderReconciler, AutoencoderTrainer};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
+use telemetry::Json;
 use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+use vk_server::{
+    run_fleet, FaultConfig, FleetConfig, RetryPolicy, Server, ServerConfig, SessionParams,
+};
 
 fn scenario_from(name: &str) -> Result<ScenarioKind, String> {
     match name {
@@ -68,6 +76,16 @@ impl Args {
         self.get(name).ok_or_else(|| format!("missing --{name}"))
     }
 
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e| format!("bad --{name}: {e}")),
+        }
+    }
+
     fn seed(&self) -> u64 {
         self.get("seed").and_then(|s| s.parse().ok()).unwrap_or(7)
     }
@@ -99,10 +117,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 fn cmd_keygen(args: &Args) -> Result<(), String> {
     let pipeline = KeyPipeline::load(args.require("pipeline")?)?;
     let scenario = args.scenario(ScenarioKind::V2vUrban)?;
-    let sessions: usize = args
-        .get("sessions")
-        .map_or(Ok(1), str::parse)
-        .map_err(|e| format!("bad --sessions: {e}"))?;
+    let sessions: usize = args.parsed("sessions", 1)?;
     let mut rng = StdRng::seed_from_u64(args.seed());
     for s in 0..sessions {
         let outcome = pipeline.run_session(scenario, &mut rng);
@@ -125,10 +140,7 @@ fn cmd_keygen(args: &Args) -> Result<(), String> {
 fn cmd_export_trace(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
     let scenario = args.scenario(ScenarioKind::V2vUrban)?;
-    let rounds: usize = args
-        .get("rounds")
-        .map_or(Ok(100), str::parse)
-        .map_err(|e| format!("bad --rounds: {e}"))?;
+    let rounds: usize = args.parsed("rounds", 100)?;
     let mut rng = StdRng::seed_from_u64(args.seed());
     let cfg = PipelineConfig::default();
     let campaign = KeyPipeline::campaign(scenario, &cfg, rounds, cfg.speed_kmh, &mut rng);
@@ -157,10 +169,7 @@ fn cmd_run_trace(args: &Args) -> Result<(), String> {
 
 fn cmd_nist(args: &Args) -> Result<(), String> {
     let pipeline = KeyPipeline::load(args.require("pipeline")?)?;
-    let target: usize = args
-        .get("bits")
-        .map_or(Ok(4000), str::parse)
-        .map_err(|e| format!("bad --bits: {e}"))?;
+    let target: usize = args.parsed("bits", 4000)?;
     let scenario = args.scenario(ScenarioKind::V2vUrban)?;
     let mut rng = StdRng::seed_from_u64(args.seed());
     let mut bits = Vec::new();
@@ -195,7 +204,175 @@ fn cmd_nist(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: vkey <train|keygen|export-trace|run-trace|nist|help> [--flags]";
+/// Load a cached reconciler model, or train one and (if a path was given)
+/// cache it. Both `serve` and `fleet` must use the same `--train-steps`
+/// and `--model-seed` (or share a `--reconciler` file) so the two sides
+/// hold the identical model.
+fn reconciler_from(args: &Args) -> Result<AutoencoderReconciler, String> {
+    let steps: usize = args.parsed("train-steps", 6000)?;
+    let model_seed: u64 = args.parsed("model-seed", 7001)?;
+    if let Some(path) = args.get("reconciler") {
+        if std::path::Path::new(path).exists() {
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            return AutoencoderReconciler::from_bytes(&bytes)
+                .map_err(|e| format!("bad reconciler file {path}: {e}"));
+        }
+        eprintln!("training reconciler ({steps} steps, seed {model_seed}) -> {path} ...");
+        let mut rng = StdRng::seed_from_u64(model_seed);
+        let model = AutoencoderTrainer::default()
+            .with_steps(steps)
+            .train(&mut rng);
+        std::fs::write(path, model.to_bytes()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        return Ok(model);
+    }
+    eprintln!("training reconciler ({steps} steps, seed {model_seed}; use --reconciler <file> to cache) ...");
+    let mut rng = StdRng::seed_from_u64(model_seed);
+    Ok(AutoencoderTrainer::default()
+        .with_steps(steps)
+        .train(&mut rng))
+}
+
+fn session_params_from(args: &Args) -> Result<SessionParams, String> {
+    let defaults = SessionParams::default();
+    Ok(SessionParams {
+        key_bits: args.parsed("key-bits", defaults.key_bits)?,
+        error_bits: args.parsed("error-bits", defaults.error_bits)?,
+        retry: RetryPolicy {
+            max_retries: args.parsed("max-retries", defaults.retry.max_retries)?,
+            ack_timeout: Duration::from_millis(args.parsed(
+                "ack-timeout-ms",
+                defaults.retry.ack_timeout.as_millis() as u64,
+            )?),
+            backoff: defaults.retry.backoff,
+        },
+        session_timeout: Duration::from_secs(
+            args.parsed("session-timeout-s", defaults.session_timeout.as_secs())?,
+        ),
+    })
+}
+
+fn fault_from(args: &Args) -> Result<Option<FaultConfig>, String> {
+    let fault = FaultConfig {
+        drop: args.parsed("drop", 0.0)?,
+        duplicate: args.parsed("dup", 0.0)?,
+        corrupt: args.parsed("corrupt", 0.0)?,
+        reorder: args.parsed("reorder", 0.0)?,
+        seed: args.parsed("fault-seed", 1)?,
+    };
+    for (name, p) in [
+        ("drop", fault.drop),
+        ("dup", fault.duplicate),
+        ("corrupt", fault.corrupt),
+        ("reorder", fault.reorder),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{name} must be in [0, 1], got {p}"));
+        }
+    }
+    Ok(if fault.is_noop() { None } else { Some(fault) })
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7400").to_string(),
+        workers: args.parsed("workers", 4)?,
+        params: session_params_from(args)?,
+        fault: fault_from(args)?,
+        max_sessions: match args.get("max-sessions") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|e| format!("bad --max-sessions: {e}"))?,
+            ),
+        },
+        nonce_seed: args.seed(),
+        ..ServerConfig::default()
+    };
+    let reconciler = Arc::new(reconciler_from(args)?);
+    let bounded = config.max_sessions;
+    let server = Server::start(config, reconciler).map_err(|e| format!("cannot start: {e}"))?;
+    eprintln!("vk-server listening on {}", server.local_addr());
+    match bounded {
+        Some(n) => eprintln!("serving up to {n} session(s), then exiting"),
+        None => eprintln!("serving until killed (pass --max-sessions for a bounded run)"),
+    }
+    let stats = server.join();
+    eprintln!(
+        "vk-server done: {} accepted, {} matched, {} mismatched, {} failed \
+         ({} duplicate frames answered, {} frames rejected)",
+        stats.accepted,
+        stats.completed,
+        stats.key_mismatches,
+        stats.failed,
+        stats.duplicate_frames,
+        stats.rejected_frames
+    );
+    Ok(())
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    let base = FleetConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7400").to_string(),
+        sessions: args.parsed("sessions", 100)?,
+        concurrency: args.parsed("concurrency", 8)?,
+        params: session_params_from(args)?,
+        fault: fault_from(args)?,
+        nonce_seed: args.seed() ^ 0xB0B,
+        ..FleetConfig::default()
+    };
+    let out = args.get("out").unwrap_or("fleet.manifest.json");
+    let min_match_rate: f64 = args.parsed("min-match-rate", 0.0)?;
+    let reconciler = reconciler_from(args)?;
+
+    let sweep: Vec<usize> = match args.get("sweep") {
+        None => vec![base.concurrency],
+        Some(raw) => raw
+            .split(',')
+            .map(|c| c.trim().parse().map_err(|e| format!("bad --sweep: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+
+    let mut runs = Vec::new();
+    for concurrency in sweep {
+        let cfg = FleetConfig {
+            concurrency,
+            ..base.clone()
+        };
+        let report = run_fleet(&cfg, &reconciler)?;
+        println!("{}", report.render());
+        runs.push(report);
+    }
+
+    let json = if runs.len() == 1 {
+        runs[0].to_json()
+    } else {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("fleet_sweep".into())),
+            (
+                "runs".into(),
+                Json::Arr(runs.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    };
+    std::fs::write(out, json.to_string() + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+
+    let worst = runs
+        .iter()
+        .map(|r| r.key_match_rate())
+        .fold(f64::INFINITY, f64::min);
+    if worst < min_match_rate {
+        return Err(format!(
+            "key-match rate {:.1}% below required {:.1}%",
+            worst * 100.0,
+            min_match_rate * 100.0
+        ));
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: vkey <train|keygen|export-trace|run-trace|nist|serve|fleet|help> [--flags]";
 
 fn print_help() {
     println!(
@@ -223,7 +400,33 @@ Subcommands:
   nist          Generate key bits and run the NIST randomness battery
                   --pipeline <file>     trained pipeline (required)
                   --bits <n>            minimum key bits to test (default 4000)
+  serve         Run the concurrent key-establishment server (Alice side)
+                  --addr <host:port>    bind address (default 127.0.0.1:7400)
+                  --workers <n>         worker threads (default 4)
+                  --max-sessions <n>    exit after n sessions (default: run forever)
+  fleet         Run a concurrent client fleet against a server (Bob side)
+                  --addr <host:port>    server address (default 127.0.0.1:7400)
+                  --sessions <n>        total sessions (default 100)
+                  --concurrency <n>     concurrent clients (default 8)
+                  --sweep <a,b,c>       run once per concurrency level
+                  --out <file>          manifest path (default fleet.manifest.json)
+                  --min-match-rate <p>  exit nonzero if the key-match rate
+                                        falls below p (for CI gates)
   help          Show this message
+
+Shared serve/fleet flags (both sides must agree on these):
+  --key-bits <n>        raw key bits per session (default 128)
+  --error-bits <n>      simulated channel disagreement bits (default 1;
+                        3+ stresses the reconciler and lowers match rate)
+  --reconciler <file>   cache file for the reconciler model: loaded when it
+                        exists, trained and saved otherwise
+  --train-steps <n>     reconciler training steps (default 6000)
+  --model-seed <u64>    reconciler training seed (default 7001)
+  --max-retries <n>     per-frame retransmission budget (default 8)
+  --ack-timeout-ms <n>  first retransmission timeout (default 250)
+  --drop / --dup / --corrupt / --reorder <p>
+                        fault-injection probabilities in [0, 1] (default 0)
+  --fault-seed <u64>    fault PRNG seed (default 1)
 
 Global flags (every subcommand):
   --seed <u64>        RNG seed for reproducibility (default 7)
@@ -284,6 +487,8 @@ fn main() -> ExitCode {
         "export-trace" => cmd_export_trace(&args),
         "run-trace" => cmd_run_trace(&args),
         "nist" => cmd_nist(&args),
+        "serve" => cmd_serve(&args),
+        "fleet" => cmd_fleet(&args),
         other => {
             eprintln!("error: unknown command '{other}'");
             eprintln!("{USAGE}");

@@ -1,0 +1,231 @@
+//! Deterministic fault injection around any [`Transport`].
+//!
+//! [`FaultyTransport`] perturbs *outgoing* frames — dropping, corrupting,
+//! duplicating, or reordering them with configured probabilities — while
+//! passing received frames through untouched. Wrapping one endpoint is
+//! therefore enough to disturb one direction of a link, and wrapping both
+//! endpoints disturbs both. All randomness comes from a seeded
+//! [`SplitMix64`], so a failing run replays exactly.
+
+use crate::sim::SplitMix64;
+use vehicle_key::{Transport, TransportError};
+
+/// Fault probabilities (each in `[0, 1]`) plus the seed that makes a run
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an outgoing frame is silently discarded.
+    pub drop: f64,
+    /// Probability an outgoing frame is sent twice.
+    pub duplicate: f64,
+    /// Probability one random bit of an outgoing frame is flipped.
+    pub corrupt: f64,
+    /// Probability an outgoing frame is held back and emitted after the
+    /// next one (adjacent-pair reordering).
+    pub reorder: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether every probability is zero (the wrapper would be a no-op).
+    pub fn is_noop(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.corrupt == 0.0 && self.reorder == 0.0
+    }
+}
+
+/// Counts of injected faults, for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames discarded.
+    pub dropped: u64,
+    /// Extra copies sent.
+    pub duplicated: u64,
+    /// Frames with a flipped bit.
+    pub corrupted: u64,
+    /// Frames delivered out of order.
+    pub reordered: u64,
+}
+
+/// A [`Transport`] wrapper injecting faults into the send path.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    config: FaultConfig,
+    rng: SplitMix64,
+    held: Option<Vec<u8>>,
+    stats: FaultStats,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wrap a transport.
+    pub fn new(inner: T, config: FaultConfig) -> Self {
+        FaultyTransport {
+            inner,
+            config,
+            rng: SplitMix64::new(config.seed),
+            held: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injected-fault counts so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Unwrap the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.next_f64() < p
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if self.chance(self.config.drop) {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        let mut frame = frame.to_vec();
+        if !frame.is_empty() && self.chance(self.config.corrupt) {
+            let bit = self.rng.below(frame.len() * 8);
+            frame[bit / 8] ^= 1 << (bit % 8);
+            self.stats.corrupted += 1;
+        }
+        if self.chance(self.config.reorder) && self.held.is_none() {
+            self.held = Some(frame);
+            self.stats.reordered += 1;
+            return Ok(());
+        }
+        self.inner.send(&frame)?;
+        if let Some(late) = self.held.take() {
+            self.inner.send(&late)?;
+        }
+        if self.chance(self.config.duplicate) {
+            self.stats.duplicated += 1;
+            self.inner.send(&frame)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        self.inner.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vehicle_key::DuplexQueue;
+
+    fn sent_through(config: FaultConfig, frames: usize) -> (Vec<Vec<u8>>, FaultStats) {
+        let mut q = DuplexQueue::new();
+        let stats;
+        {
+            let mut faulty = FaultyTransport::new(q.bob(), config);
+            for i in 0..frames {
+                faulty.send(&[i as u8; 8]).unwrap();
+            }
+            stats = faulty.stats();
+        }
+        let mut out = Vec::new();
+        while let Some(f) = q.alice().recv().unwrap() {
+            out.push(f);
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn noop_config_is_transparent() {
+        let (out, stats) = sent_through(FaultConfig::default(), 10);
+        assert_eq!(out.len(), 10);
+        assert_eq!(stats, FaultStats::default());
+        assert_eq!(out[3], vec![3u8; 8]);
+    }
+
+    #[test]
+    fn drop_rate_thins_the_stream() {
+        let cfg = FaultConfig {
+            drop: 0.5,
+            seed: 42,
+            ..FaultConfig::default()
+        };
+        let (out, stats) = sent_through(cfg, 400);
+        assert_eq!(out.len() as u64 + stats.dropped, 400);
+        // With p=0.5 over 400 frames, anything outside [120, 280] would be
+        // astronomically unlikely.
+        assert!(
+            (120..=280).contains(&out.len()),
+            "dropped {}",
+            stats.dropped
+        );
+    }
+
+    #[test]
+    fn duplicates_add_frames_deterministically() {
+        let cfg = FaultConfig {
+            duplicate: 0.3,
+            seed: 7,
+            ..FaultConfig::default()
+        };
+        let (out1, s1) = sent_through(cfg, 100);
+        let (out2, s2) = sent_through(cfg, 100);
+        assert_eq!(out1, out2, "same seed must replay the same faults");
+        assert_eq!(s1, s2);
+        assert_eq!(out1.len() as u64, 100 + s1.duplicated);
+        assert!(s1.duplicated > 0);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let cfg = FaultConfig {
+            corrupt: 1.0,
+            seed: 3,
+            ..FaultConfig::default()
+        };
+        let (out, stats) = sent_through(cfg, 20);
+        assert_eq!(stats.corrupted, 20);
+        for (i, f) in out.iter().enumerate() {
+            let clean = vec![i as u8; 8];
+            let flipped: u32 = f
+                .iter()
+                .zip(&clean)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1);
+        }
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_frames() {
+        let cfg = FaultConfig {
+            reorder: 1.0,
+            seed: 9,
+            ..FaultConfig::default()
+        };
+        // With p=1 every other frame is held and flushed by the next send:
+        // frames 0..4 arrive as 1,0,3,2.
+        let (out, stats) = sent_through(cfg, 4);
+        assert!(stats.reordered > 0);
+        assert_eq!(
+            out,
+            vec![vec![1u8; 8], vec![0u8; 8], vec![3u8; 8], vec![2u8; 8]]
+        );
+    }
+}

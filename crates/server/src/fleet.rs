@@ -1,0 +1,451 @@
+//! Concurrent load generator: N Bob endpoints against a running server.
+//!
+//! [`run_fleet`] spins up `concurrency` client threads that share a global
+//! session budget; each claimed session connects, runs
+//! [`run_bob_session`](crate::session::run_bob_session), and records its
+//! outcome, wall-clock latency, and retransmission count. The aggregate
+//! [`FleetReport`] carries the throughput, key-match rate, failure
+//! breakdown, and latency percentiles, and serializes to the
+//! `fleet.manifest.json` schema:
+//!
+//! ```json
+//! {
+//!   "kind": "fleet",
+//!   "sessions": 100, "concurrency": 8, "ok": 97,
+//!   "key_match_rate": 0.97, "elapsed_s": 1.8, "sessions_per_sec": 53.9,
+//!   "retransmissions": 12,
+//!   "failed": { "timeout": 3 },
+//!   "latency_ms": { "p50": 11.2, "p95": 19.8, "p99": 24.0,
+//!                    "min": 8.1, "max": 25.3, "mean": 12.4 }
+//! }
+//! ```
+
+use crate::fault::{FaultConfig, FaultyTransport};
+use crate::framing::TcpTransport;
+use crate::session::{run_bob_session, SessionError, SessionParams};
+use crate::sim::SplitMix64;
+use reconcile::AutoencoderReconciler;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use telemetry::Json;
+use vehicle_key::TransportError;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Server address.
+    pub addr: String,
+    /// Total sessions to run.
+    pub sessions: u64,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Session parameters (must match the server's).
+    pub params: SessionParams,
+    /// Optional fault injection on the clients' outgoing frames.
+    pub fault: Option<FaultConfig>,
+    /// Socket read poll window.
+    pub poll: Duration,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Seed for client handshake nonces (per-session nonces derive from
+    /// this and the session index).
+    pub nonce_seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            addr: "127.0.0.1:7400".into(),
+            sessions: 100,
+            concurrency: 8,
+            params: SessionParams::default(),
+            fault: None,
+            poll: Duration::from_millis(25),
+            connect_timeout: Duration::from_secs(5),
+            nonce_seed: 0xB0B,
+        }
+    }
+}
+
+/// Latency percentiles over the successful sessions, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Fastest session.
+    pub min: f64,
+    /// Slowest session.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over a sample set (empty samples give all
+    /// zeros).
+    pub fn from_samples(samples: &mut Vec<f64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = |p: f64| {
+            let idx = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+            samples[idx.clamp(1, samples.len()) - 1]
+        };
+        LatencyStats {
+            p50: rank(50.0),
+            p95: rank(95.0),
+            p99: rank(99.0),
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("p50".into(), Json::Num(self.p50)),
+            ("p95".into(), Json::Num(self.p95)),
+            ("p99".into(), Json::Num(self.p99)),
+            ("min".into(), Json::Num(self.min)),
+            ("max".into(), Json::Num(self.max)),
+            ("mean".into(), Json::Num(self.mean)),
+        ])
+    }
+}
+
+/// Aggregate outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Sessions attempted.
+    pub sessions: u64,
+    /// Concurrency level the run used.
+    pub concurrency: usize,
+    /// Sessions that confirmed a matching key.
+    pub ok: u64,
+    /// Failure counts by category (`connect`, `timeout`, `transport`,
+    /// `protocol`, `key_mismatch`).
+    pub failed: BTreeMap<String, u64>,
+    /// Wall time of the whole run in seconds.
+    pub elapsed_s: f64,
+    /// Total retransmissions across all sessions.
+    pub retransmissions: u64,
+    /// Latency percentiles over successful sessions.
+    pub latency: LatencyStats,
+}
+
+impl FleetReport {
+    /// `ok / sessions` (0 when no sessions ran).
+    pub fn key_match_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.ok as f64 / self.sessions as f64
+        }
+    }
+
+    /// Successful sessions per second of wall time.
+    pub fn sessions_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.ok as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Render as the manifest JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("fleet".into())),
+            ("sessions".into(), Json::UInt(self.sessions)),
+            ("concurrency".into(), Json::UInt(self.concurrency as u64)),
+            ("ok".into(), Json::UInt(self.ok)),
+            ("key_match_rate".into(), Json::Num(self.key_match_rate())),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+            (
+                "sessions_per_sec".into(),
+                Json::Num(self.sessions_per_sec()),
+            ),
+            ("retransmissions".into(), Json::UInt(self.retransmissions)),
+            (
+                "failed".into(),
+                Json::Obj(
+                    self.failed
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::UInt(v)))
+                        .collect(),
+                ),
+            ),
+            ("latency_ms".into(), self.latency.to_json()),
+        ])
+    }
+
+    /// Write the manifest file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string() + "\n")
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet: {}/{} sessions ok ({:.1}%) in {:.2}s — {:.1} sessions/s, {} retransmissions\n\
+             latency ms: p50 {:.1}  p95 {:.1}  p99 {:.1}  (min {:.1}, mean {:.1}, max {:.1})",
+            self.ok,
+            self.sessions,
+            self.key_match_rate() * 100.0,
+            self.elapsed_s,
+            self.sessions_per_sec(),
+            self.retransmissions,
+            self.latency.p50,
+            self.latency.p95,
+            self.latency.p99,
+            self.latency.min,
+            self.latency.mean,
+            self.latency.max,
+        );
+        for (reason, count) in &self.failed {
+            out.push_str(&format!("\n  failed/{reason}: {count}"));
+        }
+        out
+    }
+}
+
+fn failure_key(e: &SessionError) -> &'static str {
+    match e {
+        SessionError::Transport(TransportError::Closed) => "transport_closed",
+        SessionError::Transport(_) => "transport",
+        SessionError::Protocol(_) => "protocol",
+        SessionError::Timeout(_) => "timeout",
+    }
+}
+
+struct SessionRecord {
+    ok: bool,
+    failure: Option<&'static str>,
+    latency_ms: f64,
+    retransmissions: u32,
+}
+
+fn run_one(
+    addr: &SocketAddr,
+    cfg: &FleetConfig,
+    reconciler: &AutoencoderReconciler,
+    index: u64,
+) -> SessionRecord {
+    let started = Instant::now();
+    let mut record = SessionRecord {
+        ok: false,
+        failure: None,
+        latency_ms: 0.0,
+        retransmissions: 0,
+    };
+    let stream = match TcpStream::connect_timeout(addr, cfg.connect_timeout) {
+        Ok(s) => s,
+        Err(_) => {
+            record.failure = Some("connect");
+            return record;
+        }
+    };
+    let transport = match TcpTransport::new(stream, cfg.poll) {
+        Ok(t) => t,
+        Err(_) => {
+            record.failure = Some("connect");
+            return record;
+        }
+    };
+    let nonce_b = SplitMix64::new(cfg.nonce_seed ^ index).next_u64();
+    let outcome = match cfg.fault {
+        Some(fault) if !fault.is_noop() => {
+            let fault = FaultConfig {
+                seed: SplitMix64::new(fault.seed ^ index).next_u64(),
+                ..fault
+            };
+            let mut t = FaultyTransport::new(transport, fault);
+            run_bob_session(&mut t, reconciler, nonce_b, &cfg.params)
+        }
+        _ => {
+            let mut t = transport;
+            run_bob_session(&mut t, reconciler, nonce_b, &cfg.params)
+        }
+    };
+    record.latency_ms = started.elapsed().as_secs_f64() * 1000.0;
+    match outcome {
+        Ok(o) => {
+            record.retransmissions = o.retransmissions;
+            if o.key_matched {
+                record.ok = true;
+            } else {
+                record.failure = Some("key_mismatch");
+            }
+        }
+        Err(e) => record.failure = Some(failure_key(&e)),
+    }
+    record
+}
+
+/// Run the load generator against a server and aggregate the results.
+///
+/// # Errors
+///
+/// Returns an error when the address does not resolve; per-session
+/// failures are *not* errors — they land in the report.
+pub fn run_fleet(
+    cfg: &FleetConfig,
+    reconciler: &AutoencoderReconciler,
+) -> Result<FleetReport, String> {
+    let addr: SocketAddr = cfg
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {}: {e}", cfg.addr))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {}", cfg.addr))?;
+    let _span = telemetry::span("fleet.run")
+        .field("sessions", cfg.sessions)
+        .field("concurrency", cfg.concurrency as u64)
+        .enter();
+    let started = Instant::now();
+    let next = Arc::new(AtomicU64::new(0));
+    let records: Vec<SessionRecord> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.concurrency.max(1));
+        for _ in 0..cfg.concurrency.max(1) {
+            let next = Arc::clone(&next);
+            handles.push(scope.spawn({
+                let addr = addr;
+                move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= cfg.sessions {
+                            break mine;
+                        }
+                        let record = run_one(&addr, cfg, reconciler, index);
+                        telemetry::histogram("fleet.session_latency_ms", record.latency_ms);
+                        mine.push(record);
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fleet worker panicked"))
+            .collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut failed = BTreeMap::new();
+    let mut latencies = Vec::new();
+    let mut ok = 0u64;
+    let mut retransmissions = 0u64;
+    for r in &records {
+        retransmissions += u64::from(r.retransmissions);
+        if r.ok {
+            ok += 1;
+            latencies.push(r.latency_ms);
+        } else if let Some(reason) = r.failure {
+            *failed.entry(reason.to_string()).or_insert(0) += 1;
+        }
+    }
+    telemetry::counter("fleet.sessions_ok", ok);
+    telemetry::counter("fleet.sessions_failed", cfg.sessions - ok);
+    Ok(FleetReport {
+        sessions: cfg.sessions,
+        concurrency: cfg.concurrency,
+        ok,
+        failed,
+        elapsed_s,
+        retransmissions,
+        latency: LatencyStats::from_samples(&mut latencies),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let stats = LatencyStats::from_samples(&mut samples);
+        assert_eq!(stats.p50, 50.0);
+        assert_eq!(stats.p95, 95.0);
+        assert_eq!(stats.p99, 99.0);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 100.0);
+        assert!((stats.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_of_one_sample() {
+        let mut samples = vec![7.5];
+        let stats = LatencyStats::from_samples(&mut samples);
+        assert_eq!(stats.p50, 7.5);
+        assert_eq!(stats.p99, 7.5);
+    }
+
+    #[test]
+    fn empty_samples_do_not_panic() {
+        assert_eq!(
+            LatencyStats::from_samples(&mut Vec::new()),
+            LatencyStats::default()
+        );
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut failed = BTreeMap::new();
+        failed.insert("timeout".to_string(), 3u64);
+        let report = FleetReport {
+            sessions: 100,
+            concurrency: 8,
+            ok: 97,
+            failed,
+            elapsed_s: 2.0,
+            retransmissions: 12,
+            latency: LatencyStats {
+                p50: 10.0,
+                p95: 20.0,
+                p99: 30.0,
+                min: 5.0,
+                max: 31.0,
+                mean: 11.0,
+            },
+        };
+        let json = report.to_json();
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("fleet"));
+        assert_eq!(json.get("ok").and_then(Json::as_u64), Some(97));
+        assert_eq!(
+            json.get("key_match_rate").and_then(Json::as_f64),
+            Some(0.97)
+        );
+        assert_eq!(
+            json.get("sessions_per_sec").and_then(Json::as_f64),
+            Some(48.5)
+        );
+        assert_eq!(
+            json.get("failed")
+                .and_then(|f| f.get("timeout"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            json.get("latency_ms")
+                .and_then(|l| l.get("p95"))
+                .and_then(Json::as_f64),
+            Some(20.0)
+        );
+        // Round-trips through the hand-rolled JSON layer.
+        let parsed = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_u64), Some(97));
+    }
+}

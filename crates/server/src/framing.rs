@@ -1,0 +1,210 @@
+//! Length-prefixed framing over TCP.
+//!
+//! Wire format: each frame is a 4-byte big-endian length `n` followed by
+//! `n` bytes of payload (one encoded protocol
+//! [`Message`](vehicle_key::Message)). Frames longer than
+//! [`MAX_FRAME_LEN`] are rejected before any allocation of the stated
+//! size, so a malicious or corrupted length prefix cannot balloon memory.
+//!
+//! [`FrameDecoder`] is a pure incremental decoder (bytes in, frames out)
+//! so partial reads — the normal case on a socket with a read timeout —
+//! never lose data. [`TcpTransport`] pairs it with a `TcpStream` to
+//! implement the core [`Transport`] trait: `recv` polls for up to the
+//! configured timeout and returns `Ok(None)` when no complete frame
+//! arrived, which is what the retry layer in [`session`](crate::session)
+//! keys off.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use vehicle_key::{Transport, TransportError};
+
+/// Upper bound on a frame's payload length. The largest legitimate frame
+/// is a syndrome (tens of i16 code values plus a 32-byte MAC), far below
+/// this; anything bigger is garbage or an attack.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Prefix a payload with its big-endian u32 length.
+///
+/// # Panics
+///
+/// Panics if `frame` exceeds [`MAX_FRAME_LEN`]; senders control their own
+/// frame sizes, so this is a programming error, not an I/O condition.
+pub fn encode_frame(frame: &[u8]) -> Vec<u8> {
+    assert!(
+        frame.len() <= MAX_FRAME_LEN,
+        "frame of {} bytes exceeds MAX_FRAME_LEN",
+        frame.len()
+    );
+    let mut out = Vec::with_capacity(4 + frame.len());
+    out.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+    out.extend_from_slice(frame);
+    out
+}
+
+/// Incremental frame decoder: feed it byte chunks as they arrive, pop
+/// complete frames out.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Create an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (incomplete frame data).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] when the length prefix exceeds
+    /// [`MAX_FRAME_LEN`] — the stream is unsynchronized or hostile and the
+    /// connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(TransportError::Io(format!(
+                "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+}
+
+/// [`Transport`] over a `TcpStream` with length-prefixed frames.
+///
+/// `recv` blocks for at most the configured poll timeout; `Ok(None)` means
+/// no complete frame arrived in that window. A clean peer close surfaces
+/// as [`TransportError::Closed`].
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    chunk: [u8; 4096],
+}
+
+impl TcpTransport {
+    /// Wrap a connected stream, setting its read timeout to `poll` (used
+    /// as the `recv` polling window) and disabling Nagle so small protocol
+    /// frames are not batched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn new(stream: TcpStream, poll: Duration) -> std::io::Result<Self> {
+        stream.set_read_timeout(Some(poll))?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            decoder: FrameDecoder::new(),
+            chunk: [0u8; 4096],
+        })
+    }
+
+    /// The underlying stream (e.g. for `peer_addr`).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+fn io_error(e: std::io::Error) -> TransportError {
+    match e.kind() {
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe => TransportError::Closed,
+        _ => TransportError::Io(e.to_string()),
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.stream
+            .write_all(&encode_frame(frame))
+            .map_err(io_error)
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(Some(frame));
+            }
+            match self.stream.read(&mut self.chunk) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => self.decoder.push(&self.chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_error(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_then_decode_round_trips() {
+        let mut dec = FrameDecoder::new();
+        for payload in [&b""[..], &b"x"[..], &[0u8; 1000][..]] {
+            dec.push(&encode_frame(payload));
+            assert_eq!(dec.next_frame().unwrap().as_deref(), Some(payload));
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_delivery_reassembles() {
+        let frame = encode_frame(b"hello world");
+        let mut dec = FrameDecoder::new();
+        for chunk in frame.chunks(3) {
+            dec.push(chunk);
+        }
+        assert_eq!(
+            dec.next_frame().unwrap().as_deref(),
+            Some(&b"hello world"[..])
+        );
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_chunk() {
+        let mut bytes = encode_frame(b"a");
+        bytes.extend_from_slice(&encode_frame(b"bb"));
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"a"[..]));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"bb"[..]));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        assert!(matches!(dec.next_frame(), Err(TransportError::Io(_))));
+    }
+}

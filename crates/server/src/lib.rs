@@ -1,0 +1,51 @@
+//! `vk-server` — the Vehicle-Key exchange as a network service, plus the
+//! load generator that stresses it.
+//!
+//! The `vehicle-key` core computes sessions end-to-end but only in-process:
+//! its [`Transport`](vehicle_key::Transport) was exercised solely by
+//! in-memory queues. This crate runs the same protocol over real sockets
+//! and at scale:
+//!
+//! * [`framing`] — a length-prefixed TCP framing layer
+//!   ([`TcpTransport`]) implementing the core `Transport` trait, with an
+//!   incremental [`FrameDecoder`] that survives partial reads and rejects
+//!   oversized frames;
+//! * [`fault`] — [`FaultyTransport`], a deterministic (seeded)
+//!   fault-injection wrapper dropping, duplicating, corrupting, and
+//!   reordering frames, usable around any transport;
+//! * [`pipe`] — a thread-safe in-memory duplex transport for tests that
+//!   need two real threads without sockets;
+//! * [`session`] — the per-session state machines: the server's Alice side
+//!   ([`serve_session`]) with idempotent block acknowledgements, and the
+//!   client's Bob side ([`run_bob_session`]) with bounded retry/backoff
+//!   recovery;
+//! * [`server`] — [`Server`]: a listener plus worker-pool session manager
+//!   with graceful shutdown and atomic stats;
+//! * [`fleet`] — [`run_fleet`]: N concurrent Bob endpoints against a
+//!   server, recording per-session outcome, key-match rate, and latency
+//!   percentiles into a `fleet.manifest.json`;
+//! * [`sim`] — deterministic derivation of the correlated key material a
+//!   simulated session's two endpoints hold (the stand-in for the physical
+//!   LoRa channel when the exchange runs over TCP).
+//!
+//! Everything is instrumented with `vk-telemetry` spans and counters under
+//! the `server.*` and `fleet.*` namespaces.
+
+pub mod fault;
+pub mod fleet;
+pub mod framing;
+pub mod pipe;
+pub mod server;
+pub mod session;
+pub mod sim;
+
+pub use fault::{FaultConfig, FaultStats, FaultyTransport};
+pub use fleet::{run_fleet, FleetConfig, FleetReport, LatencyStats};
+pub use framing::{encode_frame, FrameDecoder, TcpTransport, MAX_FRAME_LEN};
+pub use pipe::PipeTransport;
+pub use server::{Server, ServerConfig, ServerStats, StatsSnapshot};
+pub use session::{
+    run_bob_session, serve_session, BobOutcome, RetryPolicy, ServeOutcome, SessionError,
+    SessionParams,
+};
+pub use sim::{derive_session_keys, SplitMix64};

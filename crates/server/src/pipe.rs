@@ -1,0 +1,92 @@
+//! Thread-safe in-memory duplex transport.
+//!
+//! The core's `DuplexQueue` is single-threaded (both endpoints borrow the
+//! same queue); tests that want a *concurrent* exchange — one thread per
+//! endpoint, as in the real server — use [`PipeTransport::pair`], which is
+//! two crossed `mpsc` channels. `recv` blocks for a bounded poll window
+//! like the TCP transport, and a hung-up peer surfaces as
+//! [`TransportError::Closed`].
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+use vehicle_key::{Transport, TransportError};
+
+/// One endpoint of an in-memory duplex link.
+#[derive(Debug)]
+pub struct PipeTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    poll: Duration,
+}
+
+impl PipeTransport {
+    /// Create a connected pair. `poll` bounds how long `recv` blocks
+    /// before reporting "no frame yet".
+    pub fn pair(poll: Duration) -> (PipeTransport, PipeTransport) {
+        let (a_tx, a_rx) = channel();
+        let (b_tx, b_rx) = channel();
+        (
+            PipeTransport {
+                tx: a_tx,
+                rx: b_rx,
+                poll,
+            },
+            PipeTransport {
+                tx: b_tx,
+                rx: a_rx,
+                poll,
+            },
+        )
+    }
+}
+
+impl Transport for PipeTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.rx.recv_timeout(self.poll) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_cross_between_threads() {
+        let (mut a, mut b) = PipeTransport::pair(Duration::from_millis(100));
+        let t = std::thread::spawn(move || {
+            b.send(b"ping").unwrap();
+            loop {
+                if let Some(f) = b.recv().unwrap() {
+                    return f;
+                }
+            }
+        });
+        let got = loop {
+            if let Some(f) = a.recv().unwrap() {
+                break f;
+            }
+        };
+        assert_eq!(got, b"ping");
+        a.send(b"pong").unwrap();
+        assert_eq!(t.join().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn hangup_is_closed_and_timeout_is_none() {
+        let (mut a, b) = PipeTransport::pair(Duration::from_millis(10));
+        assert_eq!(a.recv(), Ok(None));
+        drop(b);
+        assert_eq!(a.recv(), Err(TransportError::Closed));
+        assert_eq!(a.send(b"x"), Err(TransportError::Closed));
+    }
+}

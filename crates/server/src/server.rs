@@ -1,0 +1,322 @@
+//! The concurrent key-establishment server: a TCP listener feeding a
+//! fixed worker pool, one Vehicle-Key session per connection.
+//!
+//! The accept loop runs on its own thread with a non-blocking listener so
+//! shutdown is prompt; accepted streams flow through an `mpsc` channel to
+//! the workers, each of which runs [`serve_session`] to completion per
+//! connection. [`Server::shutdown`] stops accepting, lets in-flight
+//! sessions finish, and joins every thread — no session is ever torn down
+//! mid-exchange. All interesting events land in [`ServerStats`] (lock-free
+//! atomics) and the `server.*` telemetry namespace.
+
+use crate::fault::{FaultConfig, FaultyTransport};
+use crate::framing::TcpTransport;
+use crate::session::{serve_session, SessionError, SessionParams};
+use crate::sim::SplitMix64;
+use reconcile::AutoencoderReconciler;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vehicle_key::Transport;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (e.g. `127.0.0.1:7400`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads — the bound on concurrently served sessions.
+    pub workers: usize,
+    /// Parameters every session runs with (must match the clients').
+    pub params: SessionParams,
+    /// Optional fault injection on the server's outgoing frames.
+    pub fault: Option<FaultConfig>,
+    /// Socket read poll window.
+    pub poll: Duration,
+    /// Stop accepting after this many connections (`None` = unbounded);
+    /// used by bounded benchmark and CI runs.
+    pub max_sessions: Option<u64>,
+    /// Seed for the server's handshake nonces.
+    pub nonce_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            params: SessionParams::default(),
+            fault: None,
+            poll: Duration::from_millis(25),
+            max_sessions: None,
+            nonce_seed: 0x5eed,
+        }
+    }
+}
+
+/// Lock-free session counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Sessions that ran to a confirmed matching key.
+    pub completed: AtomicU64,
+    /// Sessions that ended in a confirmed *mismatched* key.
+    pub key_mismatches: AtomicU64,
+    /// Sessions that failed (transport, protocol, timeout).
+    pub failed: AtomicU64,
+    /// Duplicate frames answered idempotently across all sessions.
+    pub duplicate_frames: AtomicU64,
+    /// MAC-failing or undecodable frames left unacknowledged.
+    pub rejected_frames: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Sessions with a confirmed matching key.
+    pub completed: u64,
+    /// Sessions with a confirmed mismatched key.
+    pub key_mismatches: u64,
+    /// Sessions that failed outright.
+    pub failed: u64,
+    /// Duplicate frames answered idempotently.
+    pub duplicate_frames: u64,
+    /// Frames left unacknowledged.
+    pub rejected_frames: u64,
+}
+
+impl ServerStats {
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            key_mismatches: self.key_mismatches.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            duplicate_frames: self.duplicate_frames.load(Ordering::Relaxed),
+            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server: accept thread + worker pool.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+}
+
+impl Server {
+    /// Bind and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/socket-option failures.
+    pub fn start(
+        config: ServerConfig,
+        reconciler: Arc<AutoencoderReconciler>,
+    ) -> std::io::Result<Server> {
+        let listener =
+            TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(ErrorKind::InvalidInput, "unresolvable addr")
+            })?)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let session_ids = Arc::new(AtomicU32::new(1));
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let max = config.max_sessions;
+            std::thread::Builder::new()
+                .name("vk-accept".into())
+                .spawn(move || {
+                    let mut accepted = 0u64;
+                    while !shutdown.load(Ordering::Relaxed) {
+                        if max.is_some_and(|m| accepted >= m) {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                accepted += 1;
+                                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                telemetry::counter("server.accepted", 1);
+                                if conn_tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            Err(e) => {
+                                telemetry::counter("server.accept_errors", 1);
+                                eprintln!("vk-server: accept error: {e}");
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
+                        }
+                    }
+                    // Dropping the sender lets workers drain and exit.
+                })?
+        };
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let conn_rx = Arc::clone(&conn_rx);
+            let stats = Arc::clone(&stats);
+            let session_ids = Arc::clone(&session_ids);
+            let reconciler = Arc::clone(&reconciler);
+            let config = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("vk-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let rx = conn_rx.lock().expect("worker channel poisoned");
+                            match rx.recv() {
+                                Ok(stream) => stream,
+                                Err(_) => break, // accept loop gone, queue drained
+                            }
+                        };
+                        handle_connection(stream, &config, &reconciler, &session_ids, &stats);
+                    })?,
+            );
+        }
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            stats,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `:0` was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared session counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop accepting, let in-flight sessions finish, join every thread,
+    /// and return the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.join_threads();
+        self.stats.snapshot()
+    }
+
+    /// Wait for the server to exit on its own — only meaningful with
+    /// `max_sessions` set (otherwise this blocks until `shutdown` is
+    /// flagged by another handle). Returns the final counters.
+    pub fn join(mut self) -> StatsSnapshot {
+        self.join_threads();
+        self.stats.snapshot()
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped handle must not leave detached threads accepting
+        // connections forever.
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.join_threads();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    config: &ServerConfig,
+    reconciler: &AutoencoderReconciler,
+    session_ids: &AtomicU32,
+    stats: &ServerStats,
+) {
+    let session_id = session_ids.fetch_add(1, Ordering::Relaxed);
+    let nonce_a = SplitMix64::new(config.nonce_seed ^ u64::from(session_id)).next_u64();
+    let transport = match TcpTransport::new(stream, config.poll) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("vk-server: socket setup failed: {e}");
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let outcome = match config.fault {
+        Some(fault) if !fault.is_noop() => {
+            // Derive a per-session fault seed so sessions do not all replay
+            // the identical fault pattern.
+            let fault = FaultConfig {
+                seed: SplitMix64::new(fault.seed ^ u64::from(session_id)).next_u64(),
+                ..fault
+            };
+            let mut t = FaultyTransport::new(transport, fault);
+            serve_one(&mut t, reconciler, session_id, nonce_a, config, stats)
+        }
+        _ => {
+            let mut t = transport;
+            serve_one(&mut t, reconciler, session_id, nonce_a, config, stats)
+        }
+    };
+    match outcome {
+        Ok(()) => {}
+        Err(e) => {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("server.sessions_failed", 1);
+            if telemetry::enabled() {
+                telemetry::mark("server.session_error")
+                    .field("session_id", u64::from(session_id))
+                    .field("error", e.to_string())
+                    .emit();
+            }
+        }
+    }
+}
+
+fn serve_one<T: Transport>(
+    transport: &mut T,
+    reconciler: &AutoencoderReconciler,
+    session_id: u32,
+    nonce_a: u64,
+    config: &ServerConfig,
+    stats: &ServerStats,
+) -> Result<(), SessionError> {
+    let outcome = serve_session(transport, reconciler, session_id, nonce_a, &config.params)?;
+    stats
+        .duplicate_frames
+        .fetch_add(outcome.duplicate_frames, Ordering::Relaxed);
+    stats
+        .rejected_frames
+        .fetch_add(outcome.rejected_frames, Ordering::Relaxed);
+    if outcome.key_matched {
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.key_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! Deterministic simulation of the correlated key material a session's two
+//! endpoints hold.
+//!
+//! Over a real LoRa link the endpoints measure reciprocal channel state and
+//! quantize it into *almost*-agreeing bit strings; over TCP there is no
+//! physical channel, so the server and the load generator derive that
+//! material deterministically from the values both sides already share —
+//! the session id and the two handshake nonces. Bob's key is pseudorandom;
+//! Alice's is Bob's with `error_bits` distinct positions flipped, standing
+//! in for the residual channel-estimation mismatch the reconciler exists
+//! to repair. Both sides compute the pair independently and keep only
+//! their own half, so a genuine protocol failure (lost syndrome, MAC
+//! mismatch, failed correction) shows up as a key mismatch exactly as it
+//! would in deployment.
+
+use quantize::BitString;
+
+/// SplitMix64 — the small, seedable, dependency-free PRNG used everywhere
+/// this crate needs determinism (key material, nonces, fault injection).
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Mix the session identity into one seed. Both endpoints know all three
+/// inputs after the probe handshake.
+fn session_seed(session_id: u32, nonce_a: u64, nonce_b: u64) -> u64 {
+    let mut mix =
+        SplitMix64::new(u64::from(session_id) ^ nonce_a.rotate_left(17) ^ nonce_b.rotate_left(43));
+    mix.next_u64()
+}
+
+/// Derive `(k_alice, k_bob)` for a simulated session: `key_bits` of
+/// pseudorandom key with `error_bits` distinct disagreeing positions.
+///
+/// # Panics
+///
+/// Panics if `error_bits > key_bits`.
+pub fn derive_session_keys(
+    session_id: u32,
+    nonce_a: u64,
+    nonce_b: u64,
+    key_bits: usize,
+    error_bits: usize,
+) -> (BitString, BitString) {
+    assert!(error_bits <= key_bits, "more errors than key bits");
+    let mut rng = SplitMix64::new(session_seed(session_id, nonce_a, nonce_b));
+    let mut k_bob = BitString::new();
+    for _ in 0..key_bits {
+        k_bob.push(rng.next_u64() & 1 == 1);
+    }
+    let mut k_alice = k_bob.clone();
+    let mut flipped = std::collections::HashSet::new();
+    while flipped.len() < error_bits {
+        let p = rng.below(key_bits);
+        if flipped.insert(p) {
+            k_alice.set(p, !k_alice.get(p));
+        }
+    }
+    (k_alice, k_bob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sides_derive_identical_pairs() {
+        let a = derive_session_keys(7, 11, 22, 128, 3);
+        let b = derive_session_keys(7, 11, 22, 128, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exactly_the_requested_hamming_distance() {
+        for errors in [0, 1, 3, 16] {
+            let (ka, kb) = derive_session_keys(1, 2, 3, 128, errors);
+            assert_eq!(ka.hamming(&kb), errors);
+            assert_eq!(ka.len(), 128);
+        }
+    }
+
+    #[test]
+    fn different_sessions_differ() {
+        let (_, kb1) = derive_session_keys(1, 2, 3, 128, 0);
+        let (_, kb2) = derive_session_keys(2, 2, 3, 128, 0);
+        assert_ne!(kb1, kb2);
+    }
+
+    #[test]
+    fn splitmix_floats_are_in_unit_interval() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

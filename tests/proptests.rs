@@ -4,9 +4,44 @@
 use proptest::prelude::*;
 use quantize::{BitString, FixedQuantizer, GuardBandQuantizer, MultiBitQuantizer};
 use reconcile::PositionPreservingMask;
+use vehicle_key::Message;
 
 fn bits_strategy(max_len: usize) -> impl Strategy<Value = BitString> {
     prop::collection::vec(any::<bool>(), 1..max_len).prop_map(|v| BitString::from_bools(&v))
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(session_id, seq, nonce)| {
+            Message::Probe {
+                session_id,
+                seq,
+                nonce,
+            }
+        }),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(session_id, seq, nonce)| {
+            Message::ProbeReply {
+                session_id,
+                seq,
+                nonce,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(any::<i16>(), 0..64),
+            any::<[u8; 32]>(),
+        )
+            .prop_map(|(session_id, block, code, mac)| Message::Syndrome {
+                session_id,
+                block,
+                code,
+                mac,
+            }),
+        (any::<u32>(), any::<[u8; 32]>())
+            .prop_map(|(session_id, check)| Message::Confirm { session_id, check }),
+        (any::<u32>(), any::<u32>()).prop_map(|(session_id, seq)| Message::Ack { session_id, seq }),
+    ]
 }
 
 proptest! {
@@ -148,6 +183,32 @@ proptest! {
     fn bessel_j0_bounded(x in -50.0f64..50.0) {
         let v = channel::bessel_j0(x);
         prop_assert!(v.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn wire_message_codec_round_trips(msg in message_strategy()) {
+        let bytes = msg.encode();
+        prop_assert_eq!(Message::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn wire_decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Arbitrary byte soup must decode or error — never panic.
+        let _ = Message::decode(&data);
+    }
+
+    #[test]
+    fn wire_decoder_rejects_truncations(msg in message_strategy(), cut in 1usize..16) {
+        let bytes = msg.encode();
+        let cut = cut.min(bytes.len());
+        let truncated = &bytes[..bytes.len() - cut];
+        // Every strict prefix either errors or decodes to a *different*,
+        // shorter message (possible only for self-delimiting payloads) —
+        // and must never panic. Decoding the full frame stays exact.
+        if let Ok(decoded) = Message::decode(truncated) {
+            prop_assert_ne!(decoded, msg.clone());
+        }
+        prop_assert_eq!(Message::decode(&bytes), Ok(msg));
     }
 
     #[test]
