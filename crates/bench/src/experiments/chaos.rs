@@ -1,0 +1,233 @@
+//! Chaos soak: the escalation ladder under compound fault injection.
+//!
+//! Beyond the paper — a matrix sweep over simulated channel error bits ×
+//! transport fault mixes × client concurrency, each cell running a fleet
+//! of sessions against an in-process loopback server with faults injected
+//! in *both* directions. The cell must converge: the recovery ladder
+//! (iterated decode → Cascade parity exchange → block re-probe) repairs
+//! what the one-shot decode cannot, while retransmission repairs the
+//! wire. Per cell the experiment reports the convergence rate, how far
+//! the ladder climbed (cascade rounds, re-probes, exhausted blocks), the
+//! cumulative parity leakage debited from privacy amplification, and
+//! latency percentiles.
+//!
+//! The sweep is gated: every cell must converge at [`MIN_RATE`] or
+//! better, and the headline cell — `error_bits = 3` under 5% bidirectional
+//! drop — at [`HEADLINE_MIN_RATE`]. A gate violation is an `Err`, which
+//! `repro` turns into a nonzero exit for CI.
+
+use super::rng_for;
+use crate::table::Table;
+use reconcile::AutoencoderTrainer;
+use std::sync::Arc;
+use std::time::Duration;
+use vk_server::{
+    run_fleet, FaultConfig, FleetConfig, FleetReport, RetryPolicy, Server, ServerConfig,
+    SessionParams, StatsSnapshot,
+};
+
+/// Minimum key-match rate every cell of the matrix must reach.
+pub const MIN_RATE: f64 = 0.95;
+
+/// Minimum rate for the headline cell (`error_bits = 3`, 5% bidirectional
+/// drop) — the acceptance bar for the recovery ladder.
+pub const HEADLINE_MIN_RATE: f64 = 0.99;
+
+/// Simulated channel disagreement levels swept.
+const ERROR_BITS: &[usize] = &[1, 3, 5];
+
+/// Client concurrency levels swept.
+const CONCURRENCY: &[usize] = &[4, 16];
+
+/// Fault mixes, applied to both directions of every session.
+const FAULTS: &[(&str, FaultConfig)] = &[
+    (
+        "drop5",
+        FaultConfig {
+            drop: 0.05,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            seed: 0,
+        },
+    ),
+    (
+        "mixed",
+        FaultConfig {
+            drop: 0.03,
+            duplicate: 0.02,
+            corrupt: 0.01,
+            reorder: 0.02,
+            seed: 0,
+        },
+    ),
+];
+
+/// One cell of the matrix with its aggregated outcome.
+pub struct CellResult {
+    /// Simulated disagreement bits.
+    pub error_bits: usize,
+    /// Fault-mix label.
+    pub fault: &'static str,
+    /// Client concurrency.
+    pub concurrency: usize,
+    /// Client-side aggregate.
+    pub report: FleetReport,
+    /// Server-side counters for the cell.
+    pub server: StatsSnapshot,
+}
+
+impl CellResult {
+    fn is_headline(&self) -> bool {
+        self.error_bits == 3 && self.fault == "drop5"
+    }
+
+    fn min_rate(&self) -> f64 {
+        if self.is_headline() {
+            HEADLINE_MIN_RATE
+        } else {
+            MIN_RATE
+        }
+    }
+}
+
+/// Run the full matrix. Sessions per cell scale with `VK_SCALE`.
+///
+/// # Panics
+///
+/// Panics if the loopback server cannot start — a bench environment
+/// without loopback TCP is unusable anyway.
+pub fn run_matrix() -> Vec<CellResult> {
+    let mut rng = rng_for("chaos");
+    let reconciler = Arc::new(
+        AutoencoderTrainer::default()
+            .with_steps(6000)
+            .train(&mut rng),
+    );
+    let sessions = crate::scaled(40, 10) as u64;
+
+    let mut cells = Vec::new();
+    for &error_bits in ERROR_BITS {
+        for &(fault_name, fault) in FAULTS {
+            for &concurrency in CONCURRENCY {
+                let params = SessionParams {
+                    error_bits,
+                    retry: RetryPolicy {
+                        max_retries: 12,
+                        ack_timeout: Duration::from_millis(50),
+                        ..RetryPolicy::default()
+                    },
+                    ..SessionParams::default()
+                };
+                // Distinct deterministic fault streams per cell and side.
+                let cell_seed = crate::base_seed()
+                    ^ ((error_bits as u64) << 40)
+                    ^ ((concurrency as u64) << 24)
+                    ^ fault_name.len() as u64;
+                let server = Server::start(
+                    ServerConfig {
+                        workers: concurrency.max(4),
+                        params,
+                        fault: Some(FaultConfig {
+                            seed: cell_seed ^ 0xA11CE,
+                            ..fault
+                        }),
+                        ..ServerConfig::default()
+                    },
+                    Arc::clone(&reconciler),
+                )
+                .expect("loopback server must start");
+                let cfg = FleetConfig {
+                    addr: server.local_addr().to_string(),
+                    sessions,
+                    concurrency,
+                    params,
+                    fault: Some(FaultConfig {
+                        seed: cell_seed ^ 0xB0B,
+                        ..fault
+                    }),
+                    poll: Duration::from_millis(5),
+                    nonce_seed: cell_seed,
+                    ..FleetConfig::default()
+                };
+                let report = run_fleet(&cfg, &reconciler).expect("loopback address resolves");
+                let stats = server.shutdown();
+                telemetry::counter("chaos.sessions", report.sessions);
+                telemetry::counter("chaos.converged", report.ok);
+                telemetry::counter("chaos.cascade_rounds", report.cascade_rounds);
+                telemetry::counter("chaos.reprobes", report.reprobes);
+                telemetry::counter("chaos.leaked_bits", report.leaked_bits);
+                telemetry::counter("chaos.exhausted_blocks", stats.exhausted_blocks);
+                cells.push(CellResult {
+                    error_bits,
+                    fault: fault_name,
+                    concurrency,
+                    report,
+                    server: stats,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Chaos soak table plus convergence gates.
+///
+/// # Errors
+///
+/// Returns a description of every cell below its convergence gate; the
+/// report itself still renders (inside the error) so the failing run is
+/// diagnosable.
+pub fn chaos() -> Result<String, String> {
+    let cells = run_matrix();
+    let mut t = Table::new(
+        "Chaos soak: escalation ladder under bidirectional fault injection",
+        &[
+            "err", "fault", "conc", "ok/n", "rate", "cascade", "reprobe", "exhaust", "leaked",
+            "p50 ms", "p95 ms", "p99 ms",
+        ],
+    );
+    for c in &cells {
+        t.row(&[
+            c.error_bits.to_string(),
+            c.fault.to_string(),
+            c.concurrency.to_string(),
+            format!("{}/{}", c.report.ok, c.report.sessions),
+            format!("{:.3}", c.report.key_match_rate()),
+            c.report.cascade_rounds.to_string(),
+            c.report.reprobes.to_string(),
+            c.server.exhausted_blocks.to_string(),
+            c.report.leaked_bits.to_string(),
+            format!("{:.1}", c.report.latency.p50),
+            format!("{:.1}", c.report.latency.p95),
+            format!("{:.1}", c.report.latency.p99),
+        ]);
+    }
+    let report = t.render()
+        + "\nEvery cell injects its fault mix on BOTH directions. 'cascade'/'reprobe' count\n\
+           ladder rungs 2 and 3; 'leaked' is the cumulative parity leakage debited from\n\
+           privacy amplification across the cell's sessions.\n";
+
+    let mut violations = Vec::new();
+    for c in &cells {
+        let rate = c.report.key_match_rate();
+        if rate < c.min_rate() {
+            violations.push(format!(
+                "cell (error_bits={}, fault={}, concurrency={}) converged at {:.3} < {:.2}",
+                c.error_bits,
+                c.fault,
+                c.concurrency,
+                rate,
+                c.min_rate()
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!(
+            "chaos convergence gate failed:\n  {}\n\n{report}",
+            violations.join("\n  ")
+        ))
+    }
+}

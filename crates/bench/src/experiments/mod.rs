@@ -9,8 +9,10 @@
 //! | [`power`] | Table III — computation time and energy |
 //! | [`ablate`] | Design-choice ablations beyond the paper |
 //! | [`fleet`] | Beyond the paper: server throughput over loopback TCP |
+//! | [`chaos`] | Beyond the paper: escalation ladder under fault injection |
 
 pub mod ablate;
+pub mod chaos;
 pub mod fleet;
 pub mod modules;
 pub mod power;
@@ -68,6 +70,7 @@ pub const ALL: &[&str] = &[
     "ablate-loss",
     "ablate-platoon",
     "fleet",
+    "chaos",
 ];
 
 /// Run one experiment by name; returns the rendered report.
@@ -98,6 +101,7 @@ pub fn run(name: &str) -> Result<String, String> {
         "ablate-loss" => Ok(ablate::loss()),
         "ablate-platoon" => Ok(ablate::platoon()),
         "fleet" => Ok(fleet::fleet()),
+        "chaos" => chaos::chaos(),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -15,12 +15,15 @@
 //! ([`DriverError`]).
 
 use crate::protocol::{Message, ProtocolError, Session};
+use crate::recovery::{EscalationCounters, RecoveryPolicy};
 use quantize::BitString;
-use reconcile::AutoencoderReconciler;
+use reconcile::cascade::CascadeEngine;
+use reconcile::{AutoencoderReconciler, CascadeReconciler};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// A transport-level failure: the byte pipe itself broke, as opposed to a
 /// well-delivered but protocol-invalid frame.
@@ -61,7 +64,14 @@ impl fmt::Display for DriverError {
     }
 }
 
-impl Error for DriverError {}
+impl Error for DriverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DriverError::Protocol(e) => Some(e),
+            DriverError::Transport(e) => Some(e),
+        }
+    }
+}
 
 impl From<ProtocolError> for DriverError {
     fn from(e: ProtocolError) -> Self {
@@ -141,6 +151,48 @@ impl Transport for Endpoint<'_> {
     }
 }
 
+/// What the server should do with an escalation-aware frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// The block is accepted — acknowledge it.
+    Accepted,
+    /// An escalation query is pending — (re-)send
+    /// [`AliceDriver::pending_recovery`] instead of an ack.
+    Escalated,
+    /// Stale, replayed or unsolicited frame — answer idempotently (re-ack /
+    /// re-send the outstanding query) without touching state.
+    Duplicate,
+}
+
+/// Outcome of the local decode rungs (0 and 1).
+enum Decode {
+    /// The MAC verified: the block is corrected.
+    Recovered(BitString),
+    /// All local rounds failed; the best candidate seeds rung 2.
+    Failed(BitString),
+}
+
+/// In-flight recovery of a single block climbing the escalation ladder.
+#[derive(Debug)]
+struct Recovery {
+    block: u32,
+    /// Re-probe attempt (0 = original measurement).
+    attempt: u32,
+    /// Latest syndrome code/MAC for the block (replaced by re-probes).
+    code: Vec<i16>,
+    mac: [u8; 32],
+    /// Rung-2 engine over the current candidate, when active.
+    engine: Option<CascadeEngine>,
+    /// Parity rounds consumed by this block so far.
+    rounds_used: u32,
+    /// Monotonic round id — never reset, even across re-probes, so both
+    /// sides count each answered round exactly once.
+    round_id: u32,
+    /// The query the peer must answer next (re-sent on duplicates).
+    outstanding: Option<Message>,
+    deadline: Instant,
+}
+
 /// Alice's driver state: decodes frames, rejects replays, corrects her key
 /// from Bob's syndromes block by block and verifies the confirmation.
 ///
@@ -150,6 +202,16 @@ impl Transport for Endpoint<'_> {
 /// retransmission of a frame that failed (e.g. corrupted in flight, MAC
 /// mismatch) is re-processed, while a replay of an accepted block is
 /// rejected.
+///
+/// When a block's MAC check still fails after local decoding, the driver
+/// climbs the escalation ladder of its [`RecoveryPolicy`] (see the
+/// [`recovery`](crate::recovery) module): iterated decode → interactive
+/// Cascade ([`Message::CascadeParity`]) → re-probe
+/// ([`Message::ReprobeRequest`]). The interactive rungs are driven through
+/// [`AliceDriver::handle_syndrome`] and friends, which return a
+/// [`Disposition`] telling the server whether to ack, query, or re-answer.
+/// Parity bits revealed on rung 2 accumulate in
+/// [`AliceDriver::leaked_bits`] and are debited from the amplified key.
 #[derive(Debug)]
 pub struct AliceDriver {
     session: Session,
@@ -157,6 +219,10 @@ pub struct AliceDriver {
     seen_blocks: HashSet<u32>,
     /// Corrected key blocks, in arrival order (block index attached).
     pub corrected: Vec<(u32, BitString)>,
+    policy: RecoveryPolicy,
+    counters: EscalationCounters,
+    leaked_bits: usize,
+    recovery: Option<Recovery>,
 }
 
 impl AliceDriver {
@@ -176,7 +242,44 @@ impl AliceDriver {
             k_alice: k_alice.slice(0, whole),
             seen_blocks: HashSet::new(),
             corrected: Vec::new(),
+            policy: RecoveryPolicy::default(),
+            counters: EscalationCounters::default(),
+            leaked_bits: 0,
+            recovery: None,
         }
+    }
+
+    /// Replace the default [`RecoveryPolicy`].
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Per-rung escalation tallies so far.
+    pub fn counters(&self) -> EscalationCounters {
+        self.counters
+    }
+
+    /// Parity bits the peer has revealed on the public channel (rung 2),
+    /// to be debited from the amplification entropy budget.
+    pub fn leaked_bits(&self) -> usize {
+        self.leaked_bits
+    }
+
+    /// The block currently under recovery, if any.
+    pub fn recovering_block(&self) -> Option<u32> {
+        self.recovery.as_ref().map(|r| r.block)
+    }
+
+    /// The escalation query awaiting the peer's answer, if any. Idempotent:
+    /// the server re-sends this for duplicate or stale client frames.
+    pub fn pending_recovery(&self) -> Option<&Message> {
+        self.recovery.as_ref().and_then(|r| r.outstanding.as_ref())
     }
 
     /// Number of syndrome blocks the exchange must deliver.
@@ -202,28 +305,37 @@ impl AliceDriver {
         self.handle_message(&Message::decode(frame)?)
     }
 
-    /// Process one decoded message (the frame-less entry point used by the
-    /// server, which decodes frames itself for dispatch).
+    /// Process one decoded message — the non-interactive entry point used
+    /// by in-memory exchanges, where no return channel for escalation
+    /// queries exists. Rungs 0–1 (local decoding) still apply; a block they
+    /// cannot recover fails with [`ProtocolError::MacMismatch`] exactly as
+    /// before the ladder existed.
     ///
     /// # Errors
     ///
     /// As for [`AliceDriver::handle_frame`].
     pub fn handle_message(&mut self, msg: &Message) -> Result<(), ProtocolError> {
         match msg {
-            Message::Syndrome { block, .. } => {
-                let seg = self.session.reconciler.key_len();
-                let start = *block as usize * seg;
-                if start + seg > self.k_alice.len() {
-                    return Err(ProtocolError::Malformed("syndrome block out of range"));
+            Message::Syndrome {
+                session_id,
+                block,
+                code,
+                mac,
+            } => {
+                if *session_id != self.session.session_id {
+                    return Err(ProtocolError::Malformed("wrong session id"));
                 }
+                let ka = self.block_slice(*block)?;
                 if self.seen_blocks.contains(block) {
                     return Err(ProtocolError::Malformed("replayed syndrome block"));
                 }
-                let ka = self.k_alice.slice(start, seg);
-                let corrected = self.session.alice_process_syndrome(msg, &ka)?;
-                self.seen_blocks.insert(*block);
-                self.corrected.push((*block, corrected));
-                Ok(())
+                match self.decode_with_retries(&ka, code, mac)? {
+                    Decode::Recovered(k) => {
+                        self.accept_block(*block, k);
+                        Ok(())
+                    }
+                    Decode::Failed(_) => Err(ProtocolError::MacMismatch),
+                }
             }
             Message::Confirm { .. } => {
                 let key = self.final_key().ok_or(ProtocolError::ConfirmMismatch)?;
@@ -233,19 +345,333 @@ impl AliceDriver {
         }
     }
 
-    /// The amplified 128-bit key once at least one block is corrected.
-    pub fn final_key(&self) -> Option<[u8; 16]> {
+    /// Process a syndrome with the full escalation ladder available — the
+    /// server's entry point.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::Malformed`] for wrong session id / block range, or
+    ///   a new block arriving while another is mid-recovery (the client is
+    ///   strictly sequential);
+    /// * [`ProtocolError::MacMismatch`] when the ladder is disabled and the
+    ///   local rungs fail;
+    /// * [`ProtocolError::RecoveryExhausted`] / [`ProtocolError::DeadlineExpired`]
+    ///   when the ladder runs out.
+    pub fn handle_syndrome(
+        &mut self,
+        session_id: u32,
+        block: u32,
+        code: &[i16],
+        mac: &[u8; 32],
+    ) -> Result<Disposition, ProtocolError> {
+        if session_id != self.session.session_id {
+            return Err(ProtocolError::Malformed("wrong session id"));
+        }
+        let ka = self.block_slice(block)?;
+        if self.seen_blocks.contains(&block) {
+            return Ok(Disposition::Duplicate);
+        }
+        if let Some(rec) = &self.recovery {
+            if rec.block == block {
+                // The client is retransmitting the unacked syndrome while
+                // we await its answer to our escalation query: re-send the
+                // query rather than re-decode stale material.
+                self.check_deadline()?;
+                return Ok(Disposition::Escalated);
+            }
+            return Err(ProtocolError::Malformed(
+                "syndrome while another block is in recovery",
+            ));
+        }
+        match self.decode_with_retries(&ka, code, mac)? {
+            Decode::Recovered(k) => {
+                self.accept_block(block, k);
+                Ok(Disposition::Accepted)
+            }
+            Decode::Failed(candidate) => {
+                if !self.policy.escalates() {
+                    return Err(ProtocolError::MacMismatch);
+                }
+                self.recovery = Some(Recovery {
+                    block,
+                    attempt: 0,
+                    code: code.to_vec(),
+                    mac: *mac,
+                    engine: None,
+                    rounds_used: 0,
+                    round_id: 0,
+                    outstanding: None,
+                    deadline: Instant::now() + self.policy.block_deadline,
+                });
+                self.escalate(candidate)
+            }
+        }
+    }
+
+    /// Absorb the peer's answer to an outstanding [`Message::CascadeParity`]
+    /// round and advance the ladder.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AliceDriver::handle_syndrome`]; stale or unsolicited
+    /// replies are reported as [`Disposition::Duplicate`], not errors.
+    pub fn handle_cascade_reply(
+        &mut self,
+        session_id: u32,
+        block: u32,
+        round: u32,
+        parities: &[bool],
+    ) -> Result<Disposition, ProtocolError> {
+        if session_id != self.session.session_id {
+            return Err(ProtocolError::Malformed("wrong session id"));
+        }
+        self.check_deadline()?;
+        let Some(rec) = self.recovery.as_mut() else {
+            return Ok(Disposition::Duplicate);
+        };
+        if rec.block != block
+            || round != rec.round_id
+            || !matches!(rec.outstanding, Some(Message::CascadeParity { .. }))
+        {
+            return Ok(Disposition::Duplicate);
+        }
+        let Some(engine) = rec.engine.as_mut() else {
+            return Ok(Disposition::Duplicate);
+        };
+        if engine.absorb(parities).is_err() {
+            // Wrong parity count (corrupted in flight): the round stays
+            // outstanding and will be re-sent on the client's next
+            // retransmission.
+            return Ok(Disposition::Escalated);
+        }
+        self.leaked_bits += parities.len();
+        self.counters.cascade_rounds += 1;
+        rec.rounds_used += 1;
+        rec.round_id += 1;
+        rec.outstanding = None;
+        if self.session.code_mac_ok(&rec.code, &rec.mac, engine.key()) {
+            let key = engine.key().clone();
+            let via_reprobe = rec.attempt > 0;
+            self.accept_block(block, key);
+            self.counters.cascade_recoveries += 1;
+            if via_reprobe {
+                self.counters.reprobe_recoveries += 1;
+            }
+            return Ok(Disposition::Accepted);
+        }
+        self.issue_cascade_round()
+    }
+
+    /// Absorb a fresh syndrome answering an outstanding
+    /// [`Message::ReprobeRequest`]: `fresh_k_alice` is Alice's re-measured
+    /// material for the block (the caller re-probes the channel — or its
+    /// simulation — since the driver is measurement-agnostic).
+    ///
+    /// # Errors
+    ///
+    /// As for [`AliceDriver::handle_syndrome`]; stale or unsolicited
+    /// replies are reported as [`Disposition::Duplicate`], not errors.
+    pub fn handle_reprobe_reply(
+        &mut self,
+        session_id: u32,
+        block: u32,
+        attempt: u32,
+        code: &[i16],
+        mac: &[u8; 32],
+        fresh_k_alice: &BitString,
+    ) -> Result<Disposition, ProtocolError> {
+        if session_id != self.session.session_id {
+            return Err(ProtocolError::Malformed("wrong session id"));
+        }
+        self.check_deadline()?;
+        let Some(rec) = self.recovery.as_mut() else {
+            return Ok(Disposition::Duplicate);
+        };
+        if rec.block != block
+            || rec.attempt != attempt
+            || !matches!(rec.outstanding, Some(Message::ReprobeRequest { .. }))
+        {
+            return Ok(Disposition::Duplicate);
+        }
+        // Validate before mutating recovery state, so a malformed reply
+        // leaves the outstanding request intact for the retransmission.
+        if code.len() != self.session.reconciler.code_dim()
+            || fresh_k_alice.len() != self.session.reconciler.key_len()
+        {
+            return Err(ProtocolError::Malformed("reprobe code length mismatch"));
+        }
+        rec.code = code.to_vec();
+        rec.mac = *mac;
+        rec.outstanding = None;
+        rec.engine = None;
+        let fresh = fresh_k_alice.clone();
+        match self.decode_with_retries(&fresh, code, mac)? {
+            Decode::Recovered(k) => {
+                self.accept_block(block, k);
+                self.counters.reprobe_recoveries += 1;
+                Ok(Disposition::Accepted)
+            }
+            Decode::Failed(candidate) => self.escalate(candidate),
+        }
+    }
+
+    /// Slice Alice's key material for `block`, range-checked.
+    fn block_slice(&self, block: u32) -> Result<BitString, ProtocolError> {
+        let seg = self.session.reconciler.key_len();
+        let start = block as usize * seg;
+        if start + seg > self.k_alice.len() {
+            return Err(ProtocolError::Malformed("syndrome block out of range"));
+        }
+        Ok(self.k_alice.slice(start, seg))
+    }
+
+    /// Rungs 0–1: decode, then iterate the decoder over its own output up
+    /// to the policy's round budget, stopping at a fixed point.
+    fn decode_with_retries(
+        &mut self,
+        ka: &BitString,
+        code: &[i16],
+        mac: &[u8; 32],
+    ) -> Result<Decode, ProtocolError> {
+        let mut k = self.session.decode_once(code, ka)?;
+        if self.session.code_mac_ok(code, mac, &k) {
+            return Ok(Decode::Recovered(k));
+        }
+        for _ in 0..self.policy.decode_rounds {
+            self.counters.decode_retries += 1;
+            let next = self.session.decode_once(code, &k)?;
+            if self.session.code_mac_ok(code, mac, &next) {
+                self.counters.decode_recoveries += 1;
+                return Ok(Decode::Recovered(next));
+            }
+            if next == k {
+                break; // fixed point — further rounds cannot help
+            }
+            k = next;
+        }
+        Ok(Decode::Failed(k))
+    }
+
+    /// Enter rung 2 (or skip to rung 3) with `candidate` as Alice's best
+    /// guess for the block under recovery.
+    fn escalate(&mut self, candidate: BitString) -> Result<Disposition, ProtocolError> {
+        let Some(rec) = self.recovery.as_mut() else {
+            return Err(ProtocolError::Malformed("no recovery in progress"));
+        };
+        if self.policy.cascade && self.leaked_bits < self.policy.leakage_ceiling_bits {
+            let seed = (u64::from(self.session.session_id) << 32)
+                ^ (u64::from(rec.block) << 8)
+                ^ u64::from(rec.attempt);
+            let config = CascadeReconciler {
+                initial_block: self.policy.cascade_initial_block,
+                passes: self.policy.cascade_passes,
+                backtrack: true,
+                seed,
+            };
+            rec.engine = Some(CascadeEngine::new(config, candidate));
+            self.issue_cascade_round()
+        } else {
+            self.issue_reprobe()
+        }
+    }
+
+    /// Emit the next Cascade round if budgets allow, else descend to
+    /// rung 3.
+    fn issue_cascade_round(&mut self) -> Result<Disposition, ProtocolError> {
+        let session_id = self.session.session_id;
+        let policy = self.policy;
+        let leaked = self.leaked_bits;
+        let Some(rec) = self.recovery.as_mut() else {
+            return Err(ProtocolError::Malformed("no recovery in progress"));
+        };
+        if let Some(engine) = rec.engine.as_mut() {
+            if rec.rounds_used < policy.max_cascade_rounds {
+                if let Some(queries) = engine.next_round() {
+                    if leaked + queries.len() <= policy.leakage_ceiling_bits {
+                        let wire: Vec<Vec<u16>> = queries
+                            .iter()
+                            .map(|q| q.iter().map(|&p| p as u16).collect())
+                            .collect();
+                        rec.outstanding = Some(Message::CascadeParity {
+                            session_id,
+                            block: rec.block,
+                            round: rec.round_id,
+                            queries: wire,
+                        });
+                        return Ok(Disposition::Escalated);
+                    }
+                }
+            }
+            // Engine finished without a MAC match, round budget spent, or
+            // the next round would cross the leakage ceiling.
+            rec.engine = None;
+        }
+        self.issue_reprobe()
+    }
+
+    /// Rung 3: request a fresh measurement of the block, or abort with a
+    /// typed error once the re-probe budget is spent.
+    fn issue_reprobe(&mut self) -> Result<Disposition, ProtocolError> {
+        let session_id = self.session.session_id;
+        let max = self.policy.max_reprobes;
+        let Some(rec) = self.recovery.as_mut() else {
+            return Err(ProtocolError::Malformed("no recovery in progress"));
+        };
+        if rec.attempt >= max {
+            let block = rec.block;
+            self.recovery = None;
+            self.counters.exhausted += 1;
+            return Err(ProtocolError::RecoveryExhausted(block));
+        }
+        rec.attempt += 1;
+        rec.engine = None;
+        rec.outstanding = Some(Message::ReprobeRequest {
+            session_id,
+            block: rec.block,
+            attempt: rec.attempt,
+        });
+        self.counters.reprobes += 1;
+        Ok(Disposition::Escalated)
+    }
+
+    /// Abort the recovery if its wall-clock deadline has passed.
+    fn check_deadline(&mut self) -> Result<(), ProtocolError> {
+        if let Some(rec) = &self.recovery {
+            if Instant::now() >= rec.deadline {
+                let block = rec.block;
+                self.recovery = None;
+                self.counters.exhausted += 1;
+                return Err(ProtocolError::DeadlineExpired(block));
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a corrected block and clear any recovery state.
+    fn accept_block(&mut self, block: u32, corrected: BitString) {
+        self.seen_blocks.insert(block);
+        self.corrected.push((block, corrected));
+        self.recovery = None;
+    }
+
+    /// The amplified key and its effective entropy (bits), once at least
+    /// one block is corrected: parity bits leaked by rung 2 are debited
+    /// from the amplification input. `None` when nothing is corrected yet
+    /// or leakage consumed the whole budget.
+    pub fn final_key_with_entropy(&self) -> Option<([u8; 16], usize)> {
         let mut bits = BitString::new();
         let mut blocks: Vec<_> = self.corrected.iter().collect();
         blocks.sort_by_key(|(b, _)| *b);
         for (_, k) in blocks {
             bits.extend(k);
         }
-        if bits.is_empty() {
-            None
-        } else {
-            Some(vk_crypto::amplify::amplify_128(&bits.to_bools()))
-        }
+        vk_crypto::amplify::amplify_with_leakage(&bits.to_bools(), self.leaked_bits)
+    }
+
+    /// The amplified final key (see
+    /// [`AliceDriver::final_key_with_entropy`]).
+    pub fn final_key(&self) -> Option<[u8; 16]> {
+        self.final_key_with_entropy().map(|(k, _)| k)
     }
 }
 
@@ -265,7 +691,9 @@ pub fn run_exchange(
     k_alice: &BitString,
     k_bob: &BitString,
 ) -> Result<([u8; 16], [u8; 16]), DriverError> {
-    assert_eq!(k_alice.len(), k_bob.len(), "key length mismatch");
+    if k_alice.len() != k_bob.len() {
+        return Err(ProtocolError::Malformed("key length mismatch").into());
+    }
     let _exchange_span = telemetry::span("driver.exchange")
         .field("session_id", u64::from(session_id))
         .field("key_bits", k_bob.len() as u64)
@@ -286,7 +714,8 @@ pub fn run_exchange(
             block += 1;
         }
     }
-    let bob_key = vk_crypto::amplify::amplify_128(&bob_bits.to_bools());
+    let (bob_key, _) = vk_crypto::amplify::amplify_with_leakage(&bob_bits.to_bools(), 0)
+        .ok_or(DriverError::Protocol(ProtocolError::EntropyExhausted))?;
     queue.bob().send(
         &Message::Confirm {
             session_id,
@@ -460,5 +889,209 @@ mod tests {
         for garbage in [vec![], vec![0xFF], vec![3, 0, 0], vec![1; 64]] {
             assert!(alice.handle_frame(&garbage).is_err());
         }
+    }
+
+    /// One 64-bit block pair with `flips` disagreeing positions.
+    fn block_keys(seed: u64, flips: &[usize]) -> (BitString, BitString) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kb: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+        let mut ka = kb.clone();
+        for &p in flips {
+            ka.set(p, !ka.get(p));
+        }
+        (ka, kb)
+    }
+
+    /// Drive Alice's ladder to acceptance, answering Cascade queries from
+    /// `kb` and serving re-probes with perfectly agreeing fresh material.
+    /// Returns the parity bits the simulated Bob revealed.
+    fn serve_ladder(
+        alice: &mut AliceDriver,
+        session: &Session,
+        kb: &BitString,
+        mut disp: Disposition,
+    ) -> usize {
+        let mut answered = 0usize;
+        let mut guard = 0;
+        while disp != Disposition::Accepted {
+            guard += 1;
+            assert!(guard < 300, "ladder did not converge");
+            let msg = alice
+                .pending_recovery()
+                .expect("escalated without query")
+                .clone();
+            match msg {
+                Message::CascadeParity {
+                    block,
+                    round,
+                    queries,
+                    ..
+                } => {
+                    let qs: Vec<Vec<usize>> = queries
+                        .iter()
+                        .map(|q| q.iter().map(|&p| p as usize).collect())
+                        .collect();
+                    let answers = reconcile::cascade::parities(kb, &qs);
+                    answered += answers.len();
+                    disp = alice
+                        .handle_cascade_reply(session.session_id, block, round, &answers)
+                        .expect("cascade reply accepted");
+                }
+                Message::ReprobeRequest { block, attempt, .. } => {
+                    let mut rng = StdRng::seed_from_u64(9000 + u64::from(attempt));
+                    let fresh: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+                    let (code, mac) = session.bob_code_and_mac(&fresh);
+                    disp = alice
+                        .handle_reprobe_reply(
+                            session.session_id,
+                            block,
+                            attempt,
+                            &code,
+                            &mac,
+                            &fresh,
+                        )
+                        .expect("reprobe reply accepted");
+                }
+                other => panic!("unexpected escalation query {other:?}"),
+            }
+        }
+        answered
+    }
+
+    #[test]
+    fn ladder_recovers_block_beyond_the_autoencoder() {
+        // 10 flips in one 64-bit block is far beyond one-shot decoding; the
+        // ladder (cascade, then re-probe if the leakage ceiling bites) must
+        // still converge, and every revealed parity must be debited.
+        let (ka, kb) = block_keys(60, &[1, 7, 13, 21, 29, 35, 42, 50, 57, 63]);
+        let session = Session::new(88, model().clone(), 5, 6);
+        let mut alice = AliceDriver::new(88, model().clone(), 5, 6, ka);
+        let (code, mac) = session.bob_code_and_mac(&kb);
+        let disp = alice
+            .handle_syndrome(88, 0, &code, &mac)
+            .expect("ladder starts");
+        let answered = serve_ladder(&mut alice, &session, &kb, disp);
+        assert!(alice.is_complete());
+        assert!(alice.counters().any(), "no escalation rung fired");
+        assert_eq!(
+            alice.leaked_bits(),
+            answered,
+            "Alice and Bob disagree on revealed parities"
+        );
+        let (_, entropy) = alice.final_key_with_entropy().expect("key derivable");
+        assert_eq!(entropy, (64 - answered).min(128), "leak not debited");
+        // Replay of the now-accepted block is answered idempotently.
+        assert_eq!(
+            alice.handle_syndrome(88, 0, &code, &mac),
+            Ok(Disposition::Duplicate)
+        );
+    }
+
+    #[test]
+    fn reprobe_rung_recovers_when_cascade_is_disabled() {
+        let (ka, kb) = block_keys(61, &[0, 9, 18, 27, 36, 45, 54, 63]);
+        let policy = RecoveryPolicy {
+            cascade: false,
+            decode_rounds: 0,
+            max_reprobes: 1,
+            ..RecoveryPolicy::default()
+        };
+        let session = Session::new(89, model().clone(), 7, 8);
+        let mut alice = AliceDriver::new(89, model().clone(), 7, 8, ka).with_policy(policy);
+        let (code, mac) = session.bob_code_and_mac(&kb);
+        let disp = alice.handle_syndrome(89, 0, &code, &mac).unwrap();
+        assert_eq!(disp, Disposition::Escalated);
+        assert!(matches!(
+            alice.pending_recovery(),
+            Some(Message::ReprobeRequest { attempt: 1, .. })
+        ));
+        serve_ladder(&mut alice, &session, &kb, disp);
+        let c = alice.counters();
+        assert_eq!(c.reprobes, 1);
+        assert_eq!(c.reprobe_recoveries, 1);
+        assert_eq!(alice.leaked_bits(), 0);
+    }
+
+    #[test]
+    fn exhausted_ladder_aborts_with_typed_reason() {
+        let (ka, kb) = block_keys(62, &(0..24).map(|i| i * 2).collect::<Vec<_>>());
+        let policy = RecoveryPolicy {
+            cascade: false,
+            decode_rounds: 0,
+            max_reprobes: 1,
+            ..RecoveryPolicy::default()
+        };
+        let session = Session::new(90, model().clone(), 9, 10);
+        let mut alice = AliceDriver::new(90, model().clone(), 9, 10, ka).with_policy(policy);
+        let (code, mac) = session.bob_code_and_mac(&kb);
+        assert_eq!(
+            alice.handle_syndrome(90, 0, &code, &mac),
+            Ok(Disposition::Escalated)
+        );
+        // The re-probe is as hopeless as the original measurement.
+        let (fresh_ka, fresh_kb) = block_keys(63, &(0..20).map(|i| i * 3).collect::<Vec<_>>());
+        let (c2, m2) = session.bob_code_and_mac(&fresh_kb);
+        assert_eq!(
+            alice.handle_reprobe_reply(90, 0, 1, &c2, &m2, &fresh_ka),
+            Err(ProtocolError::RecoveryExhausted(0))
+        );
+        assert_eq!(alice.counters().exhausted, 1);
+        assert!(!alice.is_complete());
+    }
+
+    #[test]
+    fn disabled_policy_preserves_legacy_mac_failure() {
+        let (ka, kb) = block_keys(64, &(0..20).map(|i| i * 3).collect::<Vec<_>>());
+        let session = Session::new(91, model().clone(), 11, 12);
+        let mut alice = AliceDriver::new(91, model().clone(), 11, 12, ka)
+            .with_policy(RecoveryPolicy::disabled());
+        let (code, mac) = session.bob_code_and_mac(&kb);
+        assert_eq!(
+            alice.handle_syndrome(91, 0, &code, &mac),
+            Err(ProtocolError::MacMismatch)
+        );
+        assert!(alice.pending_recovery().is_none());
+    }
+
+    #[test]
+    fn leakage_ceiling_skips_cascade_for_reprobe() {
+        let (ka, kb) = block_keys(65, &(0..20).map(|i| i * 3).collect::<Vec<_>>());
+        let policy = RecoveryPolicy {
+            leakage_ceiling_bits: 0,
+            decode_rounds: 0,
+            ..RecoveryPolicy::default()
+        };
+        let session = Session::new(92, model().clone(), 13, 14);
+        let mut alice = AliceDriver::new(92, model().clone(), 13, 14, ka).with_policy(policy);
+        let (code, mac) = session.bob_code_and_mac(&kb);
+        assert_eq!(
+            alice.handle_syndrome(92, 0, &code, &mac),
+            Ok(Disposition::Escalated)
+        );
+        assert!(
+            matches!(
+                alice.pending_recovery(),
+                Some(Message::ReprobeRequest { .. })
+            ),
+            "a zero leakage budget must skip straight to re-probing"
+        );
+        assert_eq!(alice.leaked_bits(), 0);
+    }
+
+    #[test]
+    fn stale_escalation_replies_are_duplicates_not_errors() {
+        let (ka, _) = keys(66, &[]);
+        let mut alice = AliceDriver::new(93, model().clone(), 15, 16, ka.slice(0, 64));
+        // No recovery in progress: unsolicited/stale replies are ignored.
+        assert_eq!(
+            alice.handle_cascade_reply(93, 0, 0, &[true, false]),
+            Ok(Disposition::Duplicate)
+        );
+        let fresh: BitString = (0..64).map(|i| i % 2 == 0).collect();
+        let (code, mac) = Session::new(93, model().clone(), 15, 16).bob_code_and_mac(&fresh);
+        assert_eq!(
+            alice.handle_reprobe_reply(93, 0, 1, &code, &mac, &fresh),
+            Ok(Disposition::Duplicate)
+        );
     }
 }

@@ -47,11 +47,13 @@ pub mod metrics;
 pub mod model;
 pub mod pipeline;
 pub mod protocol;
+pub mod recovery;
 pub mod security;
 
-pub use driver::{AliceDriver, DriverError, DuplexQueue, Transport, TransportError};
+pub use driver::{AliceDriver, Disposition, DriverError, DuplexQueue, Transport, TransportError};
 pub use features::{ArRssiExtractor, PairedStreams};
 pub use metrics::{KeyMetrics, Summary};
 pub use model::{ModelConfig, PredictionQuantizationModel, TrainReport};
 pub use pipeline::{KeyPipeline, PipelineConfig, SessionOutcome};
 pub use protocol::{Message, ProtocolError, Role, Session};
+pub use recovery::{EscalationCounters, RecoveryPolicy};

@@ -30,6 +30,14 @@ pub enum ProtocolError {
     MacMismatch,
     /// Key confirmation failed: the two sides hold different keys.
     ConfirmMismatch,
+    /// The escalation ladder ran out for this block: iterated decode,
+    /// Cascade fallback, and re-probing all failed within their budgets.
+    RecoveryExhausted(u32),
+    /// A block's recovery overran its wall-clock deadline.
+    DeadlineExpired(u32),
+    /// Interactive reconciliation would leak past the point where privacy
+    /// amplification can still produce a useful key.
+    EntropyExhausted,
 }
 
 impl fmt::Display for ProtocolError {
@@ -39,6 +47,15 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             ProtocolError::MacMismatch => f.write_str("syndrome MAC mismatch"),
             ProtocolError::ConfirmMismatch => f.write_str("key confirmation mismatch"),
+            ProtocolError::RecoveryExhausted(block) => {
+                write!(f, "recovery exhausted for block {block}")
+            }
+            ProtocolError::DeadlineExpired(block) => {
+                write!(f, "recovery deadline expired for block {block}")
+            }
+            ProtocolError::EntropyExhausted => {
+                f.write_str("entropy budget exhausted by reconciliation leakage")
+            }
         }
     }
 }
@@ -103,6 +120,60 @@ pub enum Message {
         /// Sequence number of the acknowledged frame.
         seq: u32,
     },
+    /// Escalation rung 2 (Alice → Bob): one batched round of Cascade parity
+    /// queries over a block whose MAC check failed. Each query lists the
+    /// block-relative bit positions whose XOR Bob must report; positions are
+    /// explicit so Bob needs no shared permutation state.
+    CascadeParity {
+        /// Session identifier.
+        session_id: u32,
+        /// Key-block index under recovery.
+        block: u32,
+        /// Monotonic round number within this block's recovery (never
+        /// reset, so both sides agree on how many rounds were answered).
+        round: u32,
+        /// Parity queries, each a list of block-relative bit positions.
+        queries: Vec<Vec<u16>>,
+    },
+    /// Escalation rung 2 (Bob → Alice): the parities answering one
+    /// [`Message::CascadeParity`] round, in query order. Every answered
+    /// parity is one bit of public leakage both sides debit from the
+    /// privacy-amplification budget.
+    CascadeParityReply {
+        /// Session identifier.
+        session_id: u32,
+        /// Key-block index under recovery.
+        block: u32,
+        /// Echoed round number.
+        round: u32,
+        /// One parity per query of the round.
+        parities: Vec<bool>,
+    },
+    /// Escalation rung 3 (Alice → Bob): re-measure and re-quantize the
+    /// offending block; `attempt` numbers the re-probe so stale replies are
+    /// recognizable.
+    ReprobeRequest {
+        /// Session identifier.
+        session_id: u32,
+        /// Key-block index to re-probe.
+        block: u32,
+        /// Re-probe attempt (1-based; 0 is the original measurement).
+        attempt: u32,
+    },
+    /// Escalation rung 3 (Bob → Alice): a fresh MAC-protected syndrome over
+    /// the re-measured block.
+    ReprobeReply {
+        /// Session identifier.
+        session_id: u32,
+        /// Key-block index that was re-probed.
+        block: u32,
+        /// Echoed attempt number.
+        attempt: u32,
+        /// Fixed-point encoder output over the fresh measurement.
+        code: Vec<i16>,
+        /// `HMAC(fresh K′_Bob, serialized code)`.
+        mac: [u8; 32],
+    },
 }
 
 impl Message {
@@ -111,6 +182,16 @@ impl Message {
     const TAG_SYNDROME: u8 = 3;
     const TAG_CONFIRM: u8 = 4;
     const TAG_ACK: u8 = 5;
+    const TAG_CASCADE_PARITY: u8 = 6;
+    const TAG_CASCADE_PARITY_REPLY: u8 = 7;
+    const TAG_REPROBE_REQUEST: u8 = 8;
+    const TAG_REPROBE_REPLY: u8 = 9;
+
+    /// Caps on variable-length fields, so a malformed or hostile frame
+    /// cannot balloon allocations: at most this many parity queries per
+    /// round, and this many positions per query.
+    const MAX_PARITY_QUERIES: usize = 512;
+    const MAX_QUERY_POSITIONS: usize = 4096;
 
     /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
@@ -160,6 +241,75 @@ impl Message {
                 b.put_u8(Self::TAG_ACK);
                 b.put_u32(*session_id);
                 b.put_u32(*seq);
+            }
+            Message::CascadeParity {
+                session_id,
+                block,
+                round,
+                queries,
+            } => {
+                b.put_u8(Self::TAG_CASCADE_PARITY);
+                b.put_u32(*session_id);
+                b.put_u32(*block);
+                b.put_u32(*round);
+                b.put_u16(queries.len() as u16);
+                for q in queries {
+                    b.put_u16(q.len() as u16);
+                    for &p in q {
+                        b.put_u16(p);
+                    }
+                }
+            }
+            Message::CascadeParityReply {
+                session_id,
+                block,
+                round,
+                parities,
+            } => {
+                b.put_u8(Self::TAG_CASCADE_PARITY_REPLY);
+                b.put_u32(*session_id);
+                b.put_u32(*block);
+                b.put_u32(*round);
+                b.put_u16(parities.len() as u16);
+                // Bit-packed, MSB-first.
+                let mut acc = 0u8;
+                for (i, &p) in parities.iter().enumerate() {
+                    acc = (acc << 1) | u8::from(p);
+                    if i % 8 == 7 {
+                        b.put_u8(acc);
+                        acc = 0;
+                    }
+                }
+                if parities.len() % 8 != 0 {
+                    b.put_u8(acc << (8 - parities.len() % 8));
+                }
+            }
+            Message::ReprobeRequest {
+                session_id,
+                block,
+                attempt,
+            } => {
+                b.put_u8(Self::TAG_REPROBE_REQUEST);
+                b.put_u32(*session_id);
+                b.put_u32(*block);
+                b.put_u32(*attempt);
+            }
+            Message::ReprobeReply {
+                session_id,
+                block,
+                attempt,
+                code,
+                mac,
+            } => {
+                b.put_u8(Self::TAG_REPROBE_REPLY);
+                b.put_u32(*session_id);
+                b.put_u32(*block);
+                b.put_u32(*attempt);
+                b.put_u16(code.len() as u16);
+                for &v in code {
+                    b.put_i16(v);
+                }
+                b.put_slice(mac);
             }
         }
         b.freeze()
@@ -234,6 +384,98 @@ impl Message {
                 let seq = buf.get_u32();
                 Ok(Message::Ack { session_id, seq })
             }
+            Message::TAG_CASCADE_PARITY => {
+                if buf.remaining() < 14 {
+                    return Err(ProtocolError::Malformed("truncated cascade parity header"));
+                }
+                let session_id = buf.get_u32();
+                let block = buf.get_u32();
+                let round = buf.get_u32();
+                let count = buf.get_u16() as usize;
+                if count > Self::MAX_PARITY_QUERIES {
+                    return Err(ProtocolError::Malformed("too many parity queries"));
+                }
+                let mut queries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    if buf.remaining() < 2 {
+                        return Err(ProtocolError::Malformed("truncated parity query"));
+                    }
+                    let len = buf.get_u16() as usize;
+                    if len > Self::MAX_QUERY_POSITIONS {
+                        return Err(ProtocolError::Malformed("oversized parity query"));
+                    }
+                    if buf.remaining() < len * 2 {
+                        return Err(ProtocolError::Malformed("truncated parity query"));
+                    }
+                    queries.push((0..len).map(|_| buf.get_u16()).collect());
+                }
+                Ok(Message::CascadeParity {
+                    session_id,
+                    block,
+                    round,
+                    queries,
+                })
+            }
+            Message::TAG_CASCADE_PARITY_REPLY => {
+                if buf.remaining() < 14 {
+                    return Err(ProtocolError::Malformed("truncated parity reply header"));
+                }
+                let session_id = buf.get_u32();
+                let block = buf.get_u32();
+                let round = buf.get_u32();
+                let count = buf.get_u16() as usize;
+                if count > Self::MAX_PARITY_QUERIES {
+                    return Err(ProtocolError::Malformed("too many parities"));
+                }
+                if buf.remaining() < count.div_ceil(8) {
+                    return Err(ProtocolError::Malformed("truncated parity reply body"));
+                }
+                let packed: Vec<u8> = (0..count.div_ceil(8)).map(|_| buf.get_u8()).collect();
+                let parities = (0..count)
+                    .map(|i| packed[i / 8] >> (7 - i % 8) & 1 == 1)
+                    .collect();
+                Ok(Message::CascadeParityReply {
+                    session_id,
+                    block,
+                    round,
+                    parities,
+                })
+            }
+            Message::TAG_REPROBE_REQUEST => {
+                if buf.remaining() < 12 {
+                    return Err(ProtocolError::Malformed("truncated reprobe request"));
+                }
+                let session_id = buf.get_u32();
+                let block = buf.get_u32();
+                let attempt = buf.get_u32();
+                Ok(Message::ReprobeRequest {
+                    session_id,
+                    block,
+                    attempt,
+                })
+            }
+            Message::TAG_REPROBE_REPLY => {
+                if buf.remaining() < 14 {
+                    return Err(ProtocolError::Malformed("truncated reprobe reply header"));
+                }
+                let session_id = buf.get_u32();
+                let block = buf.get_u32();
+                let attempt = buf.get_u32();
+                let len = buf.get_u16() as usize;
+                if buf.remaining() < len * 2 + 32 {
+                    return Err(ProtocolError::Malformed("truncated reprobe reply body"));
+                }
+                let code = (0..len).map(|_| buf.get_i16()).collect();
+                let mut mac = [0u8; 32];
+                buf.copy_to_slice(&mut mac);
+                Ok(Message::ReprobeReply {
+                    session_id,
+                    block,
+                    attempt,
+                    code,
+                    mac,
+                })
+            }
             other => Err(ProtocolError::UnknownTag(other)),
         }
     }
@@ -281,17 +523,55 @@ impl Session {
         }
     }
 
-    /// **Bob**: build the MAC-protected syndrome message for a key block.
-    pub fn bob_syndrome_message(&self, block: u32, k_bob: &BitString) -> Message {
+    /// **Bob**: fixed-point syndrome code and MAC for a key block — the
+    /// payload of both the initial [`Message::Syndrome`] and any
+    /// [`Message::ReprobeReply`].
+    pub fn bob_code_and_mac(&self, k_bob: &BitString) -> (Vec<i16>, [u8; 32]) {
         let y = self.reconciler.bob_syndrome(k_bob);
         let code = quantize_code(&y);
         let mac = vk_crypto::hmac_sha256(k_bob.as_bytes(), &code_bytes(&code));
+        (code, mac)
+    }
+
+    /// **Bob**: build the MAC-protected syndrome message for a key block.
+    pub fn bob_syndrome_message(&self, block: u32, k_bob: &BitString) -> Message {
+        let (code, mac) = self.bob_code_and_mac(k_bob);
         Message::Syndrome {
             session_id: self.session_id,
             block,
             code,
             mac,
         }
+    }
+
+    /// One autoencoder decode of `code` against `k_alice`, without the MAC
+    /// verdict — the unit step of rung-1 iterated decoding.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] when the code or key length does not
+    /// match the model (a hostile peer must not be able to reach the
+    /// reconciler's internal assertions).
+    pub fn decode_once(
+        &self,
+        code: &[i16],
+        k_alice: &BitString,
+    ) -> Result<BitString, ProtocolError> {
+        if code.len() != self.reconciler.code_dim() {
+            return Err(ProtocolError::Malformed("syndrome code length mismatch"));
+        }
+        if k_alice.len() != self.reconciler.key_len() {
+            return Err(ProtocolError::Malformed("key block length mismatch"));
+        }
+        Ok(self
+            .reconciler
+            .alice_correct(&dequantize_code(code), k_alice))
+    }
+
+    /// Whether `code`'s MAC verifies under `key` — true exactly when `key`
+    /// equals the key Bob MAC'd the code with.
+    pub fn code_mac_ok(&self, code: &[i16], mac: &[u8; 32], key: &BitString) -> bool {
+        vk_crypto::hmac::verify(key.as_bytes(), &code_bytes(code), mac)
     }
 
     /// **Alice**: process a syndrome message — correct her key and verify
@@ -318,9 +598,8 @@ impl Session {
         if *session_id != self.session_id {
             return Err(ProtocolError::Malformed("wrong session id"));
         }
-        let y = dequantize_code(code);
-        let corrected = self.reconciler.alice_correct(&y, k_alice);
-        if !vk_crypto::hmac::verify(corrected.as_bytes(), &code_bytes(code), mac) {
+        let corrected = self.decode_once(code, k_alice)?;
+        if !self.code_mac_ok(code, mac, &corrected) {
             return Err(ProtocolError::MacMismatch);
         }
         Ok(corrected)
@@ -398,11 +677,97 @@ mod tests {
                 session_id: 7,
                 seq: 9,
             },
+            Message::CascadeParity {
+                session_id: 7,
+                block: 1,
+                round: 4,
+                queries: vec![vec![0, 5, 63], vec![], vec![17]],
+            },
+            Message::CascadeParityReply {
+                session_id: 7,
+                block: 1,
+                round: 4,
+                parities: vec![true, false, true, true, false, true, false, false, true],
+            },
+            Message::ReprobeRequest {
+                session_id: 7,
+                block: 1,
+                attempt: 2,
+            },
+            Message::ReprobeReply {
+                session_id: 7,
+                block: 1,
+                attempt: 2,
+                code: vec![-1, 0, 1],
+                mac: [0xAB; 32],
+            },
         ];
         for m in messages {
             let bytes = m.encode();
             assert_eq!(Message::decode(&bytes).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn escalation_decode_rejects_truncations_and_oversize() {
+        let m = Message::CascadeParity {
+            session_id: 1,
+            block: 0,
+            round: 0,
+            queries: vec![vec![1, 2, 3], vec![4]],
+        };
+        let bytes = m.encode();
+        for cut in 1..bytes.len() {
+            assert!(
+                Message::decode(&bytes[..bytes.len() - cut]).is_err(),
+                "prefix of len {} accepted",
+                bytes.len() - cut
+            );
+        }
+        // A hostile count field must not allocate unboundedly.
+        let mut hostile = vec![Message::TAG_CASCADE_PARITY];
+        hostile.extend_from_slice(&1u32.to_be_bytes());
+        hostile.extend_from_slice(&0u32.to_be_bytes());
+        hostile.extend_from_slice(&0u32.to_be_bytes());
+        hostile.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(
+            Message::decode(&hostile),
+            Err(ProtocolError::Malformed("too many parity queries"))
+        );
+        let reply = Message::CascadeParityReply {
+            session_id: 1,
+            block: 0,
+            round: 0,
+            parities: vec![true; 17],
+        };
+        let rb = reply.encode();
+        assert!(Message::decode(&rb[..rb.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn wrong_length_syndrome_is_an_error_not_a_panic() {
+        // A malformed peer can put any code length on the wire; the session
+        // must answer with a typed error instead of tripping the model's
+        // internal assertions.
+        let mut rng = StdRng::seed_from_u64(507);
+        let session = Session::new(16, model().clone(), rng.random(), rng.random());
+        let k_alice = random_key(&mut rng, 64);
+        for len in [0, 1, model().code_dim() - 1, model().code_dim() + 1] {
+            let msg = Message::Syndrome {
+                session_id: 16,
+                block: 0,
+                code: vec![0; len],
+                mac: [0; 32],
+            };
+            assert_eq!(
+                session.alice_process_syndrome(&msg, &k_alice),
+                Err(ProtocolError::Malformed("syndrome code length mismatch"))
+            );
+        }
+        assert_eq!(
+            session.decode_once(&vec![0; model().code_dim()], &random_key(&mut rng, 63)),
+            Err(ProtocolError::Malformed("key block length mismatch"))
+        );
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Recovery policy and escalation accounting (DESIGN §11).
+//!
+//! When a block's MAC check fails after the one-shot autoencoder decode, the
+//! session does not give up: it climbs an **escalation ladder** —
+//!
+//! 1. **Iterated decode** (local, free): run the autoencoder decoder again
+//!    over its own output; a partially-corrected key often decodes the rest
+//!    of the way on the next round.
+//! 2. **Cascade fallback** (interactive, leaks): run Brassard–Salvail parity
+//!    exchange over the candidate block. Every revealed parity is debited
+//!    from the privacy-amplification entropy budget, so the ladder only
+//!    climbs this rung while the session-wide leakage ceiling holds.
+//! 3. **Re-probe** (expensive, fresh entropy): ask the peer to re-measure
+//!    and re-quantize the offending block, then restart at rung 1 with the
+//!    fresh material.
+//!
+//! [`RecoveryPolicy`] bounds each rung; [`EscalationCounters`] records how
+//! far sessions actually climb, which the chaos harness aggregates into its
+//! convergence report.
+
+use std::time::Duration;
+
+/// Per-rung budgets for the reconciliation escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Extra local autoencoder decode rounds after the first failed decode
+    /// (rung 1). `0` disables iterated decoding.
+    pub decode_rounds: u32,
+    /// Whether the interactive Cascade fallback (rung 2) is enabled.
+    pub cascade: bool,
+    /// Cascade initial block length `k` for the fallback.
+    pub cascade_initial_block: usize,
+    /// Cascade passes for the fallback.
+    pub cascade_passes: usize,
+    /// Most parity-exchange rounds a single block may consume.
+    pub max_cascade_rounds: u32,
+    /// Session-wide ceiling on revealed parity bits. Once a further round
+    /// would cross it, the ladder skips ahead to re-probing: leaking more
+    /// would shrink the amplified key below its usefulness.
+    pub leakage_ceiling_bits: usize,
+    /// Most re-probe attempts (rung 3) per block. `0` disables re-probing.
+    pub max_reprobes: u32,
+    /// Wall-clock budget for recovering any single block; past it the
+    /// session aborts with a typed error rather than spinning.
+    pub block_deadline: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            decode_rounds: 2,
+            cascade: true,
+            cascade_initial_block: 16,
+            cascade_passes: 3,
+            max_cascade_rounds: 48,
+            leakage_ceiling_bits: 48,
+            max_reprobes: 2,
+            block_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy with every rung disabled: the pre-escalation behaviour
+    /// (single decode, MAC failure is final).
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            decode_rounds: 0,
+            cascade: false,
+            max_reprobes: 0,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// Whether any interactive rung (2 or 3) can ever fire.
+    pub fn escalates(&self) -> bool {
+        self.cascade || self.max_reprobes > 0
+    }
+}
+
+/// How often each rung of the ladder fired, and what it achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EscalationCounters {
+    /// Extra local decode rounds run (rung 1 attempts).
+    pub decode_retries: u64,
+    /// Blocks recovered by iterated decoding alone.
+    pub decode_recoveries: u64,
+    /// Interactive Cascade parity rounds absorbed (rung 2 traffic).
+    pub cascade_rounds: u64,
+    /// Blocks recovered by the Cascade fallback.
+    pub cascade_recoveries: u64,
+    /// Re-probe requests issued (rung 3 attempts).
+    pub reprobes: u64,
+    /// Blocks recovered after at least one re-probe.
+    pub reprobe_recoveries: u64,
+    /// Blocks that exhausted the whole ladder (session aborted).
+    pub exhausted: u64,
+}
+
+impl EscalationCounters {
+    /// Field-wise accumulate `other` (fleet/server aggregation).
+    pub fn merge(&mut self, other: &EscalationCounters) {
+        self.decode_retries += other.decode_retries;
+        self.decode_recoveries += other.decode_recoveries;
+        self.cascade_rounds += other.cascade_rounds;
+        self.cascade_recoveries += other.cascade_recoveries;
+        self.reprobes += other.reprobes;
+        self.reprobe_recoveries += other.reprobe_recoveries;
+        self.exhausted += other.exhausted;
+    }
+
+    /// Whether any rung beyond the plain one-shot decode fired.
+    pub fn any(&self) -> bool {
+        *self != EscalationCounters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_escalates_and_disabled_does_not() {
+        assert!(RecoveryPolicy::default().escalates());
+        assert!(!RecoveryPolicy::disabled().escalates());
+        assert_eq!(RecoveryPolicy::disabled().decode_rounds, 0);
+    }
+
+    #[test]
+    fn counters_merge_fieldwise() {
+        let mut a = EscalationCounters {
+            decode_retries: 1,
+            cascade_rounds: 2,
+            ..Default::default()
+        };
+        let b = EscalationCounters {
+            decode_retries: 3,
+            reprobes: 4,
+            exhausted: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.decode_retries, 4);
+        assert_eq!(a.cascade_rounds, 2);
+        assert_eq!(a.reprobes, 4);
+        assert_eq!(a.exhausted, 1);
+        assert!(a.any());
+        assert!(!EscalationCounters::default().any());
+    }
+}

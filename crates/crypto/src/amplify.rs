@@ -51,6 +51,30 @@ pub fn amplify_128(bits: &[bool]) -> [u8; 16] {
     out
 }
 
+/// Privacy amplification with an explicit information-leakage debit.
+///
+/// Interactive reconciliation (Cascade fallback) reveals parity bits on the
+/// public channel; each revealed parity is worth at most one bit of min
+/// entropy, so the amplified key must shrink accordingly. The effective
+/// output width is `min(128, bits.len() - leaked_bits)`; the key is packed
+/// into 16 bytes with unused low bytes zeroed so callers can compare fixed
+/// `[u8; 16]` values.
+///
+/// Returns `None` when the leakage consumed the whole entropy budget —
+/// callers must abort rather than derive a key an eavesdropper could
+/// enumerate. With `leaked_bits == 0` and `bits.len() >= 128` this is
+/// exactly [`amplify_128`].
+pub fn amplify_with_leakage(bits: &[bool], leaked_bits: usize) -> Option<([u8; 16], usize)> {
+    let effective = bits.len().saturating_sub(leaked_bits).min(128);
+    if effective == 0 {
+        return None;
+    }
+    let v = privacy_amplify(bits, effective);
+    let mut out = [0u8; 16];
+    out[..v.len()].copy_from_slice(&v);
+    Some((out, effective))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +118,35 @@ mod tests {
     #[should_panic(expected = "1..=256")]
     fn rejects_oversized_output() {
         privacy_amplify(&[true], 257);
+    }
+
+    #[test]
+    fn leakage_free_amplification_matches_amplify_128() {
+        let bits: Vec<bool> = (0..160).map(|i| i % 3 == 0).collect();
+        let (key, effective) = amplify_with_leakage(&bits, 0).unwrap();
+        assert_eq!(effective, 128);
+        assert_eq!(key, amplify_128(&bits));
+    }
+
+    #[test]
+    fn leakage_debits_the_entropy_budget() {
+        let bits: Vec<bool> = (0..160).map(|i| i % 5 == 0).collect();
+        // 160 raw - 40 leaked = 120 effective < 128: the key must shrink.
+        let (key, effective) = amplify_with_leakage(&bits, 40).unwrap();
+        assert_eq!(effective, 120);
+        assert_eq!(key[15], 0, "last byte zeroed for a 120-bit key");
+        assert_ne!(amplify_128(&bits), key);
+        // Leakage inside the slack (160 - 128 = 32) leaves 128 bits intact.
+        let (full, eff_full) = amplify_with_leakage(&bits, 32).unwrap();
+        assert_eq!(eff_full, 128);
+        assert_eq!(full, amplify_128(&bits));
+    }
+
+    #[test]
+    fn total_leakage_aborts() {
+        let bits = vec![true; 64];
+        assert!(amplify_with_leakage(&bits, 64).is_none());
+        assert!(amplify_with_leakage(&bits, 1000).is_none());
+        assert!(amplify_with_leakage(&[], 0).is_none());
     }
 }

@@ -11,7 +11,16 @@
 //!
 //! Cascade corrects efficiently but is **interactive**: each binary-search
 //! step is a round trip, which is exactly the overhead the paper's
-//! autoencoder reconciliation eliminates (one syndrome message).
+//! autoencoder reconciliation eliminates (one syndrome message). Two entry
+//! points expose it:
+//!
+//! * [`CascadeReconciler::reconcile`] — the offline simulation used by the
+//!   paper's comparison: both keys in hand, parities answered locally.
+//! * [`CascadeEngine`] — the Alice-side interactive engine behind the
+//!   escalation ladder (DESIGN §11): it emits batched rounds of parity
+//!   *queries* (explicit position lists) for the wire, absorbs Bob's parity
+//!   answers, and tracks the information leaked so privacy amplification can
+//!   debit it. Bob's side is stateless: [`parities`] over his fixed key.
 
 use crate::{ReconcileResult, Reconciler};
 use quantize::BitString;
@@ -59,96 +68,288 @@ impl CascadeReconciler {
     }
 }
 
-/// Running state of the simulated protocol between the two keys.
-struct Session<'a> {
-    alice: BitString,
-    bob: &'a BitString,
-    leaked_bits: usize,
-    messages: usize,
+/// One parity query: the key positions whose XOR the peer must report.
+pub type ParityQuery = Vec<usize>;
+
+/// Parity of `key` over the positions in `idx`.
+///
+/// # Panics
+///
+/// Panics if any position is out of range — callers answering wire queries
+/// must validate indices first.
+pub fn parity(key: &BitString, idx: &[usize]) -> bool {
+    idx.iter().fold(false, |acc, &i| acc ^ key.get(i))
 }
 
-impl Session<'_> {
-    fn parity(key: &BitString, idx: &[usize]) -> bool {
-        idx.iter().fold(false, |acc, &i| acc ^ key.get(i))
+/// Answer a batch of parity queries over a fixed key — Bob's entire role in
+/// interactive Cascade.
+///
+/// # Panics
+///
+/// Panics if any queried position is out of range.
+pub fn parities(key: &BitString, queries: &[ParityQuery]) -> Vec<bool> {
+    queries.iter().map(|q| parity(key, q)).collect()
+}
+
+/// An in-flight CONFIRM binary search over one odd-parity block.
+#[derive(Debug, Clone)]
+struct BinarySearch {
+    block: Vec<usize>,
+    lo: usize,
+    hi: usize,
+}
+
+/// What each query of an outstanding round corresponds to.
+#[derive(Debug, Clone, Copy)]
+enum RoundItem {
+    /// Halving probe of the binary search at this index in `searches`.
+    Probe(usize),
+    /// Top-level parity check of a (possibly re-queued) block.
+    Check,
+}
+
+#[derive(Debug, Clone)]
+struct Round {
+    queries: Vec<ParityQuery>,
+    items: Vec<RoundItem>,
+}
+
+/// Alice-side interactive Cascade: emits rounds of parity queries, absorbs
+/// the peer's answers, and corrects its key in place.
+///
+/// Queries within one round cover pairwise-disjoint position sets, so a bit
+/// flipped while absorbing one answer can never invalidate another answer of
+/// the same round; conflicting checks are simply held for a later round.
+/// [`next_round`](Self::next_round) is idempotent — until
+/// [`absorb`](Self::absorb) consumes the outstanding round it returns the
+/// same queries, matching the retransmission discipline of the wire layer.
+/// Leakage and message counts advance only when a round is absorbed, i.e.
+/// only for parities the peer actually revealed.
+#[derive(Debug, Clone)]
+pub struct CascadeEngine {
+    config: CascadeReconciler,
+    key: BitString,
+    rng: StdRng,
+    /// Next pass to start (0-based).
+    pass: usize,
+    /// Blocks of the in-progress pass, committed to history at pass end.
+    current_pass_blocks: Vec<Vec<usize>>,
+    /// Blocks of completed passes, for cascading re-checks.
+    history: Vec<Vec<usize>>,
+    /// Blocks whose parity must be (re-)checked.
+    pending: Vec<Vec<usize>>,
+    searches: Vec<BinarySearch>,
+    round: Option<Round>,
+    leaked_bits: usize,
+    messages: usize,
+    done: bool,
+}
+
+impl CascadeEngine {
+    /// Start an engine correcting `key` (Alice's noisy copy).
+    pub fn new(config: CascadeReconciler, key: BitString) -> Self {
+        let done = key.len() == 0 || config.passes == 0;
+        CascadeEngine {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            key,
+            pass: 0,
+            current_pass_blocks: Vec::new(),
+            history: Vec::new(),
+            pending: Vec::new(),
+            searches: Vec::new(),
+            round: None,
+            leaked_bits: 0,
+            messages: 0,
+            done,
+        }
     }
 
-    /// Binary search a block with odd error parity; flips exactly one of
-    /// Alice's bits. Returns the corrected position.
-    fn confirm(&mut self, block: &[usize]) -> usize {
-        let mut lo = 0;
-        let mut hi = block.len();
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            let half = &block[lo..mid];
-            // One parity exchange per halving step.
-            self.messages += 2;
-            self.leaked_bits += 1;
-            if Self::parity(&self.alice, half) != Self::parity(self.bob, half) {
-                hi = mid;
-            } else {
-                lo = mid;
+    /// The queries the peer must answer next, or `None` when the protocol
+    /// has run out of passes. Repeated calls without an intervening
+    /// [`absorb`](Self::absorb) return the same round.
+    pub fn next_round(&mut self) -> Option<Vec<ParityQuery>> {
+        loop {
+            if let Some(round) = &self.round {
+                return Some(round.queries.clone());
+            }
+            if self.done {
+                return None;
+            }
+            if !self.searches.is_empty() || !self.pending.is_empty() {
+                self.build_round();
+                continue;
+            }
+            // Pass drained: only now are its blocks eligible for cascading
+            // re-checks (a block must never re-queue itself mid-search).
+            self.history.append(&mut self.current_pass_blocks);
+            if self.pass >= self.config.passes {
+                self.done = true;
+                return None;
+            }
+            self.start_pass();
+        }
+    }
+
+    fn start_pass(&mut self) {
+        let n = self.key.len();
+        let block_len = (self.config.initial_block << self.pass).clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.pass > 0 {
+            order.shuffle(&mut self.rng);
+        }
+        let blocks: Vec<Vec<usize>> = order.chunks(block_len).map(<[usize]>::to_vec).collect();
+        self.current_pass_blocks.clone_from(&blocks);
+        self.pending = blocks;
+        self.pass += 1;
+    }
+
+    /// Assemble the next round from active searches and pending checks,
+    /// holding back anything whose positions overlap an earlier pick.
+    fn build_round(&mut self) {
+        let mut claimed = std::collections::HashSet::new();
+        let mut queries: Vec<ParityQuery> = Vec::new();
+        let mut items = Vec::new();
+        for (si, s) in self.searches.iter().enumerate() {
+            if s.block[s.lo..s.hi].iter().any(|p| claimed.contains(p)) {
+                continue;
+            }
+            claimed.extend(s.block[s.lo..s.hi].iter().copied());
+            let mid = s.lo + (s.hi - s.lo) / 2;
+            queries.push(s.block[s.lo..mid].to_vec());
+            items.push(RoundItem::Probe(si));
+        }
+        let mut held = Vec::new();
+        for check in self.pending.drain(..) {
+            if check.iter().any(|p| claimed.contains(p)) {
+                held.push(check);
+                continue;
+            }
+            claimed.extend(check.iter().copied());
+            queries.push(check);
+            items.push(RoundItem::Check);
+        }
+        self.pending = held;
+        debug_assert!(!queries.is_empty(), "round built from empty work set");
+        self.round = Some(Round { queries, items });
+    }
+
+    /// Flip `pos` and queue cascading re-checks of earlier-pass blocks that
+    /// contain it.
+    fn flip(&mut self, pos: usize) {
+        self.key.set(pos, !self.key.get(pos));
+        if self.config.backtrack {
+            for earlier in &self.history {
+                if earlier.contains(&pos) {
+                    self.pending.push(earlier.clone());
+                }
             }
         }
-        let pos = block[lo];
-        self.alice.set(pos, !self.alice.get(pos));
-        pos
+    }
+
+    /// Absorb the peer's answers to the outstanding round.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving the round outstanding, so it can be
+    /// re-emitted) when no round is outstanding or the answer count does not
+    /// match the query count.
+    pub fn absorb(&mut self, answers: &[bool]) -> Result<(), String> {
+        let Some(round) = self.round.take() else {
+            return Err("no outstanding cascade round".into());
+        };
+        if answers.len() != round.queries.len() {
+            let expected = round.queries.len();
+            self.round = Some(round);
+            return Err(format!(
+                "expected {expected} parities, got {}",
+                answers.len()
+            ));
+        }
+        // Every absorbed query is one revealed parity bit and one
+        // query/answer message pair.
+        self.leaked_bits += round.queries.len();
+        self.messages += 2 * round.queries.len();
+        let mut finished = Vec::new();
+        for ((item, query), &bob) in round.items.iter().zip(&round.queries).zip(answers) {
+            let mine = parity(&self.key, query);
+            match *item {
+                RoundItem::Probe(si) => {
+                    let s = &mut self.searches[si];
+                    let mid = s.lo + (s.hi - s.lo) / 2;
+                    if mine != bob {
+                        s.hi = mid;
+                    } else {
+                        s.lo = mid;
+                    }
+                    if s.hi - s.lo == 1 {
+                        let pos = s.block[s.lo];
+                        finished.push(si);
+                        self.flip(pos);
+                    }
+                }
+                RoundItem::Check => {
+                    if mine != bob {
+                        if query.len() == 1 {
+                            self.flip(query[0]);
+                        } else {
+                            self.searches.push(BinarySearch {
+                                block: query.clone(),
+                                lo: 0,
+                                hi: query.len(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for &si in finished.iter().rev() {
+            self.searches.remove(si);
+        }
+        Ok(())
+    }
+
+    /// Alice's key as corrected so far.
+    pub fn key(&self) -> &BitString {
+        &self.key
+    }
+
+    /// Consume the engine, yielding the corrected key.
+    pub fn into_key(self) -> BitString {
+        self.key
+    }
+
+    /// Parity bits revealed by the peer so far (absorbed rounds only).
+    pub fn leaked_bits(&self) -> usize {
+        self.leaked_bits
+    }
+
+    /// Protocol messages exchanged so far (one query + one answer per
+    /// absorbed parity).
+    pub fn messages(&self) -> usize {
+        self.messages
+    }
+
+    /// Whether every pass has completed.
+    pub fn is_done(&self) -> bool {
+        self.done && self.round.is_none()
     }
 }
 
 impl Reconciler for CascadeReconciler {
     fn reconcile(&self, k_alice: &BitString, k_bob: &BitString) -> ReconcileResult {
         assert_eq!(k_alice.len(), k_bob.len(), "key length mismatch");
-        let n = k_alice.len();
-        let mut session = Session {
-            alice: k_alice.clone(),
-            bob: k_bob,
-            leaked_bits: 0,
-            messages: 0,
-        };
-        if n == 0 {
-            return ReconcileResult {
-                corrected: session.alice,
-                leaked_bits: 0,
-                messages: 0,
-            };
-        }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        // Blocks of every earlier pass, for cascading re-checks.
-        let mut history: Vec<Vec<usize>> = Vec::new();
-        for pass in 0..self.passes {
-            let block_len = (self.initial_block << pass).min(n).max(1);
-            let mut order: Vec<usize> = (0..n).collect();
-            if pass > 0 {
-                order.shuffle(&mut rng);
-            }
-            let blocks: Vec<Vec<usize>> = order.chunks(block_len).map(<[usize]>::to_vec).collect();
-            // Queue of blocks whose parity must be (re-)checked.
-            let mut queue: Vec<Vec<usize>> = blocks.clone();
-            while let Some(block) = queue.pop() {
-                session.messages += 2;
-                session.leaked_bits += 1;
-                if Session::parity(&session.alice, &block) != Session::parity(session.bob, &block) {
-                    let fixed = session.confirm(&block);
-                    // Cascade: earlier-pass blocks containing `fixed` now
-                    // have odd parity again — re-check them (full protocol
-                    // only).
-                    if self.backtrack {
-                        for earlier in &history {
-                            if earlier.contains(&fixed) {
-                                queue.push(earlier.clone());
-                            }
-                        }
-                    }
-                }
-            }
-            for b in blocks {
-                history.push(b);
-            }
+        let mut engine = CascadeEngine::new(*self, k_alice.clone());
+        while let Some(queries) = engine.next_round() {
+            let answers = parities(k_bob, &queries);
+            engine
+                .absorb(&answers)
+                .expect("lockstep answers always match the round");
         }
         ReconcileResult {
-            corrected: session.alice,
-            leaked_bits: session.leaked_bits,
-            messages: session.messages,
+            leaked_bits: engine.leaked_bits(),
+            messages: engine.messages(),
+            corrected: engine.into_key(),
         }
     }
 
@@ -241,5 +442,66 @@ mod tests {
         let r = CascadeReconciler::paper_default().reconcile(&k, &k);
         assert_eq!(r.corrected.len(), 0);
         assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn engine_round_queries_are_disjoint_and_in_range() {
+        let kb = random_key(150, 128);
+        let ka = flip_random(&kb, 9, 151);
+        let mut engine = CascadeEngine::new(CascadeReconciler::new(4, 3), ka);
+        while let Some(queries) = engine.next_round() {
+            let mut seen = std::collections::HashSet::new();
+            for q in &queries {
+                assert!(!q.is_empty());
+                for &p in q {
+                    assert!(p < 128, "query position {p} out of range");
+                    assert!(seen.insert(p), "position {p} queried twice in one round");
+                }
+            }
+            engine.absorb(&parities(&kb, &queries)).unwrap();
+        }
+        assert_eq!(engine.into_key(), kb);
+    }
+
+    #[test]
+    fn engine_reemits_round_until_absorbed() {
+        let kb = random_key(152, 64);
+        let ka = flip_random(&kb, 4, 153);
+        let mut engine = CascadeEngine::new(CascadeReconciler::new(4, 2), ka);
+        let first = engine.next_round().unwrap();
+        // Retransmission: the same round comes back, nothing is double-counted.
+        assert_eq!(engine.next_round().unwrap(), first);
+        assert_eq!(engine.leaked_bits(), 0, "leak counted only on absorb");
+        engine.absorb(&parities(&kb, &first)).unwrap();
+        assert_eq!(engine.leaked_bits(), first.len());
+        assert_eq!(engine.messages(), 2 * first.len());
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_answer_counts() {
+        let kb = random_key(154, 64);
+        let ka = flip_random(&kb, 3, 155);
+        let mut engine = CascadeEngine::new(CascadeReconciler::new(4, 2), ka);
+        let round = engine.next_round().unwrap();
+        assert!(engine.absorb(&[]).is_err());
+        // The round survives a bad answer and can still be completed.
+        assert_eq!(engine.next_round().unwrap(), round);
+        engine.absorb(&parities(&kb, &round)).unwrap();
+    }
+
+    #[test]
+    fn engine_matches_simulated_reconcile_cost() {
+        let kb = random_key(156, 128);
+        let ka = flip_random(&kb, 6, 157);
+        let config = CascadeReconciler::new(3, 4);
+        let sim = config.reconcile(&ka, &kb);
+        let mut engine = CascadeEngine::new(config, ka);
+        while let Some(queries) = engine.next_round() {
+            engine.absorb(&parities(&kb, &queries)).unwrap();
+        }
+        assert!(engine.is_done());
+        assert_eq!(engine.leaked_bits(), sim.leaked_bits);
+        assert_eq!(engine.messages(), sim.messages);
+        assert_eq!(engine.into_key(), sim.corrected);
     }
 }

@@ -37,7 +37,7 @@ pub mod linalg;
 pub use autoencoder::{AutoencoderReconciler, AutoencoderTrainer};
 pub use bch::BchReconciler;
 pub use bloom::PositionPreservingMask;
-pub use cascade::CascadeReconciler;
+pub use cascade::{CascadeEngine, CascadeReconciler};
 pub use cs::CsReconciler;
 use quantize::BitString;
 

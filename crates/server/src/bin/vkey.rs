@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use telemetry::Json;
 use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
+use vehicle_key::RecoveryPolicy;
 use vk_server::{
     run_fleet, FaultConfig, FleetConfig, RetryPolicy, Server, ServerConfig, SessionParams,
 };
@@ -54,8 +55,8 @@ impl Args {
             let Some(name) = raw[i].strip_prefix("--") else {
                 return Err(format!("unexpected argument '{}'", raw[i]));
             };
-            if name == "fast" {
-                flags.insert("fast".into(), "true".into());
+            if matches!(name, "fast" | "no-recovery") {
+                flags.insert(name.to_string(), "true".into());
                 i += 1;
                 continue;
             }
@@ -234,6 +235,17 @@ fn reconciler_from(args: &Args) -> Result<AutoencoderReconciler, String> {
 
 fn session_params_from(args: &Args) -> Result<SessionParams, String> {
     let defaults = SessionParams::default();
+    let recovery = if args.get("no-recovery").is_some() {
+        RecoveryPolicy::disabled()
+    } else {
+        let base = defaults.recovery;
+        RecoveryPolicy {
+            decode_rounds: args.parsed("decode-rounds", base.decode_rounds)?,
+            leakage_ceiling_bits: args.parsed("leakage-ceiling", base.leakage_ceiling_bits)?,
+            max_reprobes: args.parsed("max-reprobes", base.max_reprobes)?,
+            ..base
+        }
+    };
     Ok(SessionParams {
         key_bits: args.parsed("key-bits", defaults.key_bits)?,
         error_bits: args.parsed("error-bits", defaults.error_bits)?,
@@ -248,6 +260,7 @@ fn session_params_from(args: &Args) -> Result<SessionParams, String> {
         session_timeout: Duration::from_secs(
             args.parsed("session-timeout-s", defaults.session_timeout.as_secs())?,
         ),
+        recovery,
     })
 }
 
@@ -299,13 +312,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let stats = server.join();
     eprintln!(
         "vk-server done: {} accepted, {} matched, {} mismatched, {} failed \
-         ({} duplicate frames answered, {} frames rejected)",
+         ({} duplicate frames answered, {} frames rejected)\n\
+         escalation: {} cascade rounds, {} reprobes, {} blocks exhausted, \
+         {} parity bits leaked",
         stats.accepted,
         stats.completed,
         stats.key_mismatches,
         stats.failed,
         stats.duplicate_frames,
-        stats.rejected_frames
+        stats.rejected_frames,
+        stats.cascade_rounds,
+        stats.reprobes,
+        stats.exhausted_blocks,
+        stats.leaked_bits
     );
     Ok(())
 }
@@ -338,7 +357,7 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
             concurrency,
             ..base.clone()
         };
-        let report = run_fleet(&cfg, &reconciler)?;
+        let report = run_fleet(&cfg, &reconciler).map_err(|e| e.to_string())?;
         println!("{}", report.render());
         runs.push(report);
     }
@@ -416,8 +435,15 @@ Subcommands:
 
 Shared serve/fleet flags (both sides must agree on these):
   --key-bits <n>        raw key bits per session (default 128)
-  --error-bits <n>      simulated channel disagreement bits (default 1;
-                        3+ stresses the reconciler and lowers match rate)
+  --error-bits <n>      simulated channel disagreement bits (default 3;
+                        the escalation ladder recovers what the one-shot
+                        decode cannot)
+  --no-recovery         disable the escalation ladder (pre-recovery wire
+                        behaviour: a MAC failure is final)
+  --decode-rounds <n>   extra local decode rounds, ladder rung 1 (default 2)
+  --leakage-ceiling <n> max Cascade parity bits revealed per session before
+                        the ladder skips to re-probing (default 48)
+  --max-reprobes <n>    re-probe attempts per block, rung 3 (default 2)
   --reconciler <file>   cache file for the reconciler model: loaded when it
                         exists, trained and saved otherwise
   --train-steps <n>     reconciler training steps (default 6000)

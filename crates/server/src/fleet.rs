@@ -26,12 +26,51 @@ use crate::session::{run_bob_session, SessionError, SessionParams};
 use crate::sim::SplitMix64;
 use reconcile::AutoencoderReconciler;
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use telemetry::Json;
-use vehicle_key::TransportError;
+use vehicle_key::{ProtocolError, TransportError};
+
+/// Why a fleet run could not start.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The server address did not resolve to a socket address.
+    Resolve {
+        /// The address as configured.
+        addr: String,
+        /// The resolver error, when it produced one (an address that
+        /// resolves to nothing yields `None`).
+        source: Option<std::io::Error>,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Resolve { addr, source: None } => {
+                write!(f, "cannot resolve {addr}")
+            }
+            FleetError::Resolve {
+                addr,
+                source: Some(e),
+            } => write!(f, "cannot resolve {addr}: {e}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Resolve { source, .. } => {
+                source.as_ref().map(|e| e as &(dyn Error + 'static))
+            }
+        }
+    }
+}
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -137,6 +176,13 @@ pub struct FleetReport {
     pub elapsed_s: f64,
     /// Total retransmissions across all sessions.
     pub retransmissions: u64,
+    /// Cascade parity rounds the clients answered (escalation rung 2).
+    pub cascade_rounds: u64,
+    /// Re-probe requests the clients served (escalation rung 3).
+    pub reprobes: u64,
+    /// Parity bits revealed across all sessions — the cumulative Cascade
+    /// leakage debited from the amplification inputs.
+    pub leaked_bits: u64,
     /// Latency percentiles over successful sessions.
     pub latency: LatencyStats,
 }
@@ -175,6 +221,14 @@ impl FleetReport {
             ),
             ("retransmissions".into(), Json::UInt(self.retransmissions)),
             (
+                "escalation".into(),
+                Json::Obj(vec![
+                    ("cascade_rounds".into(), Json::UInt(self.cascade_rounds)),
+                    ("reprobes".into(), Json::UInt(self.reprobes)),
+                    ("leaked_bits".into(), Json::UInt(self.leaked_bits)),
+                ]),
+            ),
+            (
                 "failed".into(),
                 Json::Obj(
                     self.failed
@@ -200,6 +254,7 @@ impl FleetReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "fleet: {}/{} sessions ok ({:.1}%) in {:.2}s — {:.1} sessions/s, {} retransmissions\n\
+             escalation: {} cascade rounds, {} reprobes, {} parity bits leaked\n\
              latency ms: p50 {:.1}  p95 {:.1}  p99 {:.1}  (min {:.1}, mean {:.1}, max {:.1})",
             self.ok,
             self.sessions,
@@ -207,6 +262,9 @@ impl FleetReport {
             self.elapsed_s,
             self.sessions_per_sec(),
             self.retransmissions,
+            self.cascade_rounds,
+            self.reprobes,
+            self.leaked_bits,
             self.latency.p50,
             self.latency.p95,
             self.latency.p99,
@@ -225,6 +283,9 @@ fn failure_key(e: &SessionError) -> &'static str {
     match e {
         SessionError::Transport(TransportError::Closed) => "transport_closed",
         SessionError::Transport(_) => "transport",
+        SessionError::Protocol(ProtocolError::RecoveryExhausted(_)) => "recovery_exhausted",
+        SessionError::Protocol(ProtocolError::DeadlineExpired(_)) => "recovery_deadline",
+        SessionError::Protocol(ProtocolError::EntropyExhausted) => "entropy_exhausted",
         SessionError::Protocol(_) => "protocol",
         SessionError::Timeout(_) => "timeout",
     }
@@ -235,6 +296,9 @@ struct SessionRecord {
     failure: Option<&'static str>,
     latency_ms: f64,
     retransmissions: u32,
+    cascade_rounds: u32,
+    reprobes: u32,
+    leaked_bits: usize,
 }
 
 fn run_one(
@@ -249,6 +313,9 @@ fn run_one(
         failure: None,
         latency_ms: 0.0,
         retransmissions: 0,
+        cascade_rounds: 0,
+        reprobes: 0,
+        leaked_bits: 0,
     };
     let stream = match TcpStream::connect_timeout(addr, cfg.connect_timeout) {
         Ok(s) => s,
@@ -283,6 +350,9 @@ fn run_one(
     match outcome {
         Ok(o) => {
             record.retransmissions = o.retransmissions;
+            record.cascade_rounds = o.cascade_rounds;
+            record.reprobes = o.reprobes;
+            record.leaked_bits = o.leaked_bits;
             if o.key_matched {
                 record.ok = true;
             } else {
@@ -303,13 +373,19 @@ fn run_one(
 pub fn run_fleet(
     cfg: &FleetConfig,
     reconciler: &AutoencoderReconciler,
-) -> Result<FleetReport, String> {
+) -> Result<FleetReport, FleetError> {
     let addr: SocketAddr = cfg
         .addr
         .to_socket_addrs()
-        .map_err(|e| format!("cannot resolve {}: {e}", cfg.addr))?
+        .map_err(|e| FleetError::Resolve {
+            addr: cfg.addr.clone(),
+            source: Some(e),
+        })?
         .next()
-        .ok_or_else(|| format!("cannot resolve {}", cfg.addr))?;
+        .ok_or_else(|| FleetError::Resolve {
+            addr: cfg.addr.clone(),
+            source: None,
+        })?;
     let _span = telemetry::span("fleet.run")
         .field("sessions", cfg.sessions)
         .field("concurrency", cfg.concurrency as u64)
@@ -347,8 +423,14 @@ pub fn run_fleet(
     let mut latencies = Vec::new();
     let mut ok = 0u64;
     let mut retransmissions = 0u64;
+    let mut cascade_rounds = 0u64;
+    let mut reprobes = 0u64;
+    let mut leaked_bits = 0u64;
     for r in &records {
         retransmissions += u64::from(r.retransmissions);
+        cascade_rounds += u64::from(r.cascade_rounds);
+        reprobes += u64::from(r.reprobes);
+        leaked_bits += r.leaked_bits as u64;
         if r.ok {
             ok += 1;
             latencies.push(r.latency_ms);
@@ -358,6 +440,7 @@ pub fn run_fleet(
     }
     telemetry::counter("fleet.sessions_ok", ok);
     telemetry::counter("fleet.sessions_failed", cfg.sessions - ok);
+    telemetry::counter("fleet.leaked_bits", leaked_bits);
     Ok(FleetReport {
         sessions: cfg.sessions,
         concurrency: cfg.concurrency,
@@ -365,6 +448,9 @@ pub fn run_fleet(
         failed,
         elapsed_s,
         retransmissions,
+        cascade_rounds,
+        reprobes,
+        leaked_bits,
         latency: LatencyStats::from_samples(&mut latencies),
     })
 }
@@ -402,6 +488,22 @@ mod tests {
     }
 
     #[test]
+    fn fleet_error_displays_and_chains() {
+        let plain = FleetError::Resolve {
+            addr: "nowhere.invalid:1".into(),
+            source: None,
+        };
+        assert_eq!(plain.to_string(), "cannot resolve nowhere.invalid:1");
+        assert!(plain.source().is_none());
+        let chained = FleetError::Resolve {
+            addr: "nowhere.invalid:1".into(),
+            source: Some(std::io::Error::other("dns down")),
+        };
+        assert!(chained.to_string().contains("dns down"));
+        assert!(chained.source().is_some());
+    }
+
+    #[test]
     fn report_json_shape() {
         let mut failed = BTreeMap::new();
         failed.insert("timeout".to_string(), 3u64);
@@ -412,6 +514,9 @@ mod tests {
             failed,
             elapsed_s: 2.0,
             retransmissions: 12,
+            cascade_rounds: 5,
+            reprobes: 1,
+            leaked_bits: 40,
             latency: LatencyStats {
                 p50: 10.0,
                 p95: 20.0,
@@ -443,6 +548,16 @@ mod tests {
                 .and_then(|l| l.get("p95"))
                 .and_then(Json::as_f64),
             Some(20.0)
+        );
+        let escalation = json.get("escalation").expect("escalation block present");
+        assert_eq!(
+            escalation.get("cascade_rounds").and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(escalation.get("reprobes").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            escalation.get("leaked_bits").and_then(Json::as_u64),
+            Some(40)
         );
         // Round-trips through the hand-rolled JSON layer.
         let parsed = Json::parse(&json.to_string()).unwrap();

@@ -40,7 +40,7 @@ pub mod session;
 pub mod sim;
 
 pub use fault::{FaultConfig, FaultStats, FaultyTransport};
-pub use fleet::{run_fleet, FleetConfig, FleetReport, LatencyStats};
+pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport, LatencyStats};
 pub use framing::{encode_frame, FrameDecoder, TcpTransport, MAX_FRAME_LEN};
 pub use pipe::PipeTransport;
 pub use server::{Server, ServerConfig, ServerStats, StatsSnapshot};
@@ -48,4 +48,4 @@ pub use session::{
     run_bob_session, serve_session, BobOutcome, RetryPolicy, ServeOutcome, SessionError,
     SessionParams,
 };
-pub use sim::{derive_session_keys, SplitMix64};
+pub use sim::{derive_block_keys, derive_session_keys, SplitMix64};

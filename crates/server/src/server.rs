@@ -72,6 +72,14 @@ pub struct ServerStats {
     pub duplicate_frames: AtomicU64,
     /// MAC-failing or undecodable frames left unacknowledged.
     pub rejected_frames: AtomicU64,
+    /// Cascade parity rounds absorbed across all sessions (rung 2).
+    pub cascade_rounds: AtomicU64,
+    /// Re-probe requests issued across all sessions (rung 3).
+    pub reprobes: AtomicU64,
+    /// Blocks that exhausted the escalation ladder.
+    pub exhausted_blocks: AtomicU64,
+    /// Parity bits revealed by Cascade recovery, summed over sessions.
+    pub leaked_bits: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -89,6 +97,14 @@ pub struct StatsSnapshot {
     pub duplicate_frames: u64,
     /// Frames left unacknowledged.
     pub rejected_frames: u64,
+    /// Cascade parity rounds absorbed (escalation rung 2).
+    pub cascade_rounds: u64,
+    /// Re-probe requests issued (escalation rung 3).
+    pub reprobes: u64,
+    /// Blocks that exhausted the escalation ladder.
+    pub exhausted_blocks: u64,
+    /// Parity bits revealed by Cascade recovery.
+    pub leaked_bits: u64,
 }
 
 impl ServerStats {
@@ -101,6 +117,10 @@ impl ServerStats {
             failed: self.failed.load(Ordering::Relaxed),
             duplicate_frames: self.duplicate_frames.load(Ordering::Relaxed),
             rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+            cascade_rounds: self.cascade_rounds.load(Ordering::Relaxed),
+            reprobes: self.reprobes.load(Ordering::Relaxed),
+            exhausted_blocks: self.exhausted_blocks.load(Ordering::Relaxed),
+            leaked_bits: self.leaked_bits.load(Ordering::Relaxed),
         }
     }
 }
@@ -313,6 +333,18 @@ fn serve_one<T: Transport>(
     stats
         .rejected_frames
         .fetch_add(outcome.rejected_frames, Ordering::Relaxed);
+    stats
+        .cascade_rounds
+        .fetch_add(outcome.escalation.cascade_rounds, Ordering::Relaxed);
+    stats
+        .reprobes
+        .fetch_add(outcome.escalation.reprobes, Ordering::Relaxed);
+    stats
+        .exhausted_blocks
+        .fetch_add(outcome.escalation.exhausted, Ordering::Relaxed);
+    stats
+        .leaked_bits
+        .fetch_add(outcome.leaked_bits as u64, Ordering::Relaxed);
     if outcome.key_matched {
         stats.completed.fetch_add(1, Ordering::Relaxed);
     } else {

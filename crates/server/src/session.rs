@@ -23,14 +23,28 @@
 //! *not* acknowledged and is *not* marked as seen, so the clean
 //! retransmission repairs the block. Key material on both ends comes from
 //! [`sim::derive_session_keys`](crate::sim::derive_session_keys).
+//!
+//! When a block's MAC still fails on *clean* material, the server climbs
+//! the escalation ladder of `vehicle_key::recovery` instead of acking:
+//! it answers the syndrome with a [`Message::CascadeParity`] round or a
+//! [`Message::ReprobeRequest`], and the client replies in kind — answering
+//! parity queries over its block (each answered round is public leakage
+//! both sides debit from the amplification budget) or re-deriving fresh
+//! block material via [`sim::derive_block_keys`](crate::sim::derive_block_keys).
+//! Escalation traffic follows the same discipline as the ack path: the
+//! client retransmits its latest message until the server's next
+//! instruction arrives, and the server answers duplicates idempotently.
 
-use crate::sim::derive_session_keys;
+use crate::sim::{derive_block_keys, derive_session_keys};
 use reconcile::AutoencoderReconciler;
 use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
-use vehicle_key::{AliceDriver, Message, ProtocolError, Session, Transport, TransportError};
-use vk_crypto::amplify::amplify_128;
+use vehicle_key::{
+    AliceDriver, Disposition, EscalationCounters, Message, ProtocolError, RecoveryPolicy, Session,
+    Transport, TransportError,
+};
+use vk_crypto::amplify::amplify_with_leakage;
 
 /// Retransmission policy for the client side.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,13 +74,13 @@ pub struct SessionParams {
     pub key_bits: usize,
     /// Disagreeing bit positions injected into the simulated key pair.
     ///
-    /// The default is deliberately mild (one flip): the server crate is
-    /// exercising transport, retry, and concurrency, and a single flip is
-    /// corrected essentially always, so every session failure observed at
-    /// the default points at the *wire* machinery. Raising this shifts the
-    /// load onto the reconciler, whose exact-correction rate is below 100%
-    /// for multi-flip blocks (see the `reconcile` crate's quality tests) —
-    /// expect honest sub-100% key-match rates from `--error-bits 3` up.
+    /// The default (three flips) deliberately exceeds what the one-shot
+    /// autoencoder decode corrects every time, so the escalation ladder
+    /// ([`RecoveryPolicy`]) sees real traffic under the default
+    /// configuration. Session failures at the default therefore exercise
+    /// *both* the wire machinery and the recovery rungs; set it to 1 to
+    /// confine failures to the transport layer, or raise it further to
+    /// stress the ladder until it exhausts.
     pub error_bits: usize,
     /// Client retransmission policy (the server only uses `ack_timeout`
     /// and `max_retries` to bound how long it tolerates a silent or
@@ -74,15 +88,21 @@ pub struct SessionParams {
     pub retry: RetryPolicy,
     /// Hard wall-clock bound on one session, handshake to confirmation.
     pub session_timeout: Duration,
+    /// Escalation ladder budgets for blocks whose MAC check fails after
+    /// decoding (both endpoints must enable/disable recovery together —
+    /// a server that escalates against a client that only understands
+    /// acks strands the session in retransmissions).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for SessionParams {
     fn default() -> Self {
         SessionParams {
             key_bits: 128,
-            error_bits: 1,
+            error_bits: 3,
             retry: RetryPolicy::default(),
             session_timeout: Duration::from_secs(30),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -109,7 +129,15 @@ impl fmt::Display for SessionError {
     }
 }
 
-impl Error for SessionError {}
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Transport(e) => Some(e),
+            SessionError::Protocol(e) => Some(e),
+            SessionError::Timeout(_) => None,
+        }
+    }
+}
 
 impl From<TransportError> for SessionError {
     fn from(e: TransportError) -> Self {
@@ -138,6 +166,14 @@ pub struct ServeOutcome {
     pub rejected_frames: u64,
     /// Whether the peers ended up holding the same key.
     pub key_matched: bool,
+    /// How far the escalation ladder climbed across the session's blocks.
+    pub escalation: EscalationCounters,
+    /// Parity bits revealed by Cascade recovery, debited from the
+    /// amplification input.
+    pub leaked_bits: usize,
+    /// Effective entropy (bits) fed into the final key after the leakage
+    /// debit.
+    pub entropy_bits: usize,
 }
 
 /// Client-side result of one session.
@@ -151,6 +187,15 @@ pub struct BobOutcome {
     pub retransmissions: u32,
     /// Syndrome blocks sent.
     pub blocks: u32,
+    /// Parity bits this client revealed answering Cascade rounds.
+    pub leaked_bits: usize,
+    /// Distinct Cascade parity rounds answered.
+    pub cascade_rounds: u32,
+    /// Distinct re-probe requests served.
+    pub reprobes: u32,
+    /// Effective entropy (bits) fed into the final key after the leakage
+    /// debit.
+    pub entropy_bits: usize,
 }
 
 /// Run the server (Alice) side of one session over an established
@@ -201,8 +246,10 @@ pub fn serve_session<T: Transport>(
         params.key_bits,
         params.error_bits,
     );
-    let mut driver = AliceDriver::new(session_id, reconciler.clone(), nonce_a, nonce_b, k_alice);
+    let mut driver = AliceDriver::new(session_id, reconciler.clone(), nonce_a, nonce_b, k_alice)
+        .with_policy(params.recovery);
     let session = Session::new(session_id, reconciler.clone(), nonce_a, nonce_b);
+    let error_rate = params.error_bits as f64 / params.key_bits.max(1) as f64;
 
     let mut outcome = ServeOutcome {
         session_id,
@@ -210,8 +257,10 @@ pub fn serve_session<T: Transport>(
         duplicate_frames: 0,
         rejected_frames: 0,
         key_matched: false,
+        escalation: EscalationCounters::default(),
+        leaked_bits: 0,
+        entropy_bits: 0,
     };
-    let mut acked = std::collections::HashSet::new();
     let mut confirm_reply: Option<Vec<u8>> = None;
     let mut linger_until: Option<Instant> = None;
 
@@ -248,36 +297,68 @@ pub fn serve_session<T: Transport>(
                 outcome.duplicate_frames += 1;
                 transport.send(&reply)?;
             }
-            Message::Syndrome { block, .. } => {
-                if acked.contains(&block) {
-                    outcome.duplicate_frames += 1;
-                    telemetry::counter("server.duplicate_frames", 1);
-                } else {
-                    match driver.handle_message(&msg) {
-                        Ok(()) => {
-                            acked.insert(block);
-                            outcome.blocks += 1;
-                        }
-                        Err(ProtocolError::MacMismatch) => {
-                            // Corruption in flight (or an unreconcilable
-                            // key): withhold the ack and let the client's
-                            // retransmission — or retry budget — decide.
-                            outcome.rejected_frames += 1;
-                            telemetry::counter("server.rejected_frames", 1);
-                            if outcome.rejected_frames > u64::from(params.retry.max_retries) {
-                                return Err(ProtocolError::MacMismatch.into());
-                            }
-                            continue;
-                        }
-                        Err(e) => return Err(e.into()),
-                    }
-                }
-                transport.send(
-                    &Message::Ack {
-                        session_id,
-                        seq: block,
-                    }
-                    .encode(),
+            Message::Syndrome {
+                session_id: sid,
+                block,
+                ref code,
+                ref mac,
+            } => {
+                let disposition = driver.handle_syndrome(sid, block, code, mac);
+                reply_for_disposition(
+                    transport,
+                    &mut driver,
+                    session_id,
+                    block,
+                    disposition,
+                    &mut outcome,
+                    params,
+                )?;
+            }
+            Message::CascadeParityReply {
+                session_id: sid,
+                block,
+                round,
+                ref parities,
+            } => {
+                let disposition = driver.handle_cascade_reply(sid, block, round, parities);
+                reply_for_disposition(
+                    transport,
+                    &mut driver,
+                    session_id,
+                    block,
+                    disposition,
+                    &mut outcome,
+                    params,
+                )?;
+            }
+            Message::ReprobeReply {
+                session_id: sid,
+                block,
+                attempt,
+                ref code,
+                ref mac,
+            } => {
+                // Re-measure our side of the block for this attempt; the
+                // client derived its half from the same shared identity.
+                let (fresh_k_alice, _) = derive_block_keys(
+                    session_id,
+                    nonce_a,
+                    nonce_b,
+                    block,
+                    attempt,
+                    reconciler.key_len(),
+                    error_rate,
+                );
+                let disposition =
+                    driver.handle_reprobe_reply(sid, block, attempt, code, mac, &fresh_k_alice);
+                reply_for_disposition(
+                    transport,
+                    &mut driver,
+                    session_id,
+                    block,
+                    disposition,
+                    &mut outcome,
+                    params,
                 )?;
             }
             Message::Confirm { .. } => {
@@ -299,7 +380,12 @@ pub fn serve_session<T: Transport>(
                         // Send our own confirmation either way: on a
                         // mismatch the client sees differing checks and
                         // records the failure symmetrically.
-                        let key = driver.final_key().ok_or(ProtocolError::ConfirmMismatch)?;
+                        let (key, entropy) = driver
+                            .final_key_with_entropy()
+                            .ok_or(ProtocolError::ConfirmMismatch)?;
+                        outcome.escalation = driver.counters();
+                        outcome.leaked_bits = driver.leaked_bits();
+                        outcome.entropy_bits = entropy;
                         let reply = Message::Confirm {
                             session_id,
                             check: session.confirm_check(&key),
@@ -313,9 +399,97 @@ pub fn serve_session<T: Transport>(
                 };
                 transport.send(&reply)?;
             }
-            _ => return Err(ProtocolError::Malformed("unexpected message for server").into()),
+            // Anything else reaching the server (a reply meant for the
+            // client, a probe for another handshake) is either corruption
+            // or a hostile peer: withhold any reply and let the bounded
+            // rejection budget decide, exactly like a MAC failure.
+            _ => {
+                reject_frame(&mut outcome, params, "unexpected message for server")?;
+            }
         }
     }
+}
+
+/// Translate a driver disposition into wire traffic: ack accepted (or
+/// already-seen) blocks, forward the outstanding escalation query for
+/// blocks in recovery, and withhold any reply for rejected frames so the
+/// client's retransmission repairs in-flight damage.
+fn reply_for_disposition<T: Transport>(
+    transport: &mut T,
+    driver: &mut AliceDriver,
+    session_id: u32,
+    block: u32,
+    disposition: Result<Disposition, ProtocolError>,
+    outcome: &mut ServeOutcome,
+    params: &SessionParams,
+) -> Result<(), SessionError> {
+    let ack = |transport: &mut T| {
+        transport.send(
+            &Message::Ack {
+                session_id,
+                seq: block,
+            }
+            .encode(),
+        )
+    };
+    match disposition {
+        Ok(Disposition::Accepted) => {
+            outcome.blocks += 1;
+            ack(transport)?;
+        }
+        Ok(Disposition::Escalated) => {
+            outcome.escalation = driver.counters();
+            if let Some(query) = driver.pending_recovery() {
+                let frame = query.encode();
+                transport.send(&frame)?;
+                telemetry::counter("server.escalation_queries", 1);
+            }
+        }
+        Ok(Disposition::Duplicate) => {
+            outcome.duplicate_frames += 1;
+            telemetry::counter("server.duplicate_frames", 1);
+            if driver.recovering_block() == Some(block) {
+                // A stale reply raced our outstanding query: re-send it.
+                if let Some(query) = driver.pending_recovery() {
+                    let frame = query.encode();
+                    transport.send(&frame)?;
+                }
+            } else {
+                ack(transport)?;
+            }
+        }
+        // MAC failure with escalation disabled, or a malformed frame
+        // (corruption can flip ids and payloads past the decoder): no
+        // reply, bounded by the rejection budget.
+        Err(ProtocolError::MacMismatch) => {
+            reject_frame(outcome, params, "syndrome MAC mismatch")?;
+        }
+        Err(ProtocolError::Malformed(what)) => {
+            reject_frame(outcome, params, what)?;
+        }
+        // The ladder ran out (or timed out): the session fails with the
+        // typed reason.
+        Err(e) => {
+            outcome.escalation = driver.counters();
+            return Err(e.into());
+        }
+    }
+    Ok(())
+}
+
+/// Count one withheld frame; past the rejection budget the session aborts
+/// (a peer persistently sending garbage is not worth serving).
+fn reject_frame(
+    outcome: &mut ServeOutcome,
+    params: &SessionParams,
+    what: &'static str,
+) -> Result<(), SessionError> {
+    outcome.rejected_frames += 1;
+    telemetry::counter("server.rejected_frames", 1);
+    if outcome.rejected_frames > u64::from(params.retry.max_retries) {
+        return Err(ProtocolError::Malformed(what).into());
+    }
+    Ok(())
 }
 
 /// Send `frame` and poll for the reply `accept` recognizes, retransmitting
@@ -403,28 +577,114 @@ pub fn run_bob_session<T: Transport>(
     let session = Session::new(session_id, reconciler.clone(), nonce_a, nonce_b);
     let seg = reconciler.key_len();
     let blocks = (k_bob.len() / seg) as u32;
+    let error_rate = params.error_bits as f64 / params.key_bits.max(1) as f64;
 
-    // Syndromes, each retransmitted until its ack arrives.
+    /// The server's next instruction for the block in flight.
+    enum BlockStep {
+        Acked,
+        Cascade { round: u32, queries: Vec<Vec<u16>> },
+        Reprobe { attempt: u32 },
+    }
+
+    // Syndromes, each retransmitted until its ack arrives — possibly via
+    // the escalation ladder: the server may answer with parity queries or
+    // a re-probe request instead of the ack, and the block is only done
+    // once the ack lands.
     let mut bob_bits = quantize::BitString::new();
+    let mut leaked_bits = 0usize;
+    let mut cascade_rounds = 0u32;
+    let mut reprobes = 0u32;
     for block in 0..blocks {
-        let kb = k_bob.slice(block as usize * seg, seg);
-        let frame = session.bob_syndrome_message(block, &kb).encode();
-        request_with_retry(
-            transport,
-            &frame,
-            &params.retry,
-            "syndrome ack",
-            &mut retransmissions,
-            |msg| match msg {
-                Message::Ack { seq, .. } if *seq == block => Some(()),
-                _ => None,
-            },
-        )?;
+        let mut kb = k_bob.slice(block as usize * seg, seg);
+        let mut frame = session.bob_syndrome_message(block, &kb).encode();
+        // Rounds already answered (and attempts already served): duplicates
+        // of the server's queries are re-answered without re-counting the
+        // leakage — mirroring the absorb-once accounting on Alice's side.
+        let mut answered_rounds = std::collections::HashSet::new();
+        let mut served_attempts = std::collections::HashSet::new();
+        loop {
+            let step = request_with_retry(
+                transport,
+                &frame,
+                &params.retry,
+                "syndrome ack",
+                &mut retransmissions,
+                |msg| match msg {
+                    Message::Ack { seq, .. } if *seq == block => Some(BlockStep::Acked),
+                    Message::CascadeParity {
+                        block: b,
+                        round,
+                        queries,
+                        ..
+                    } if *b == block => Some(BlockStep::Cascade {
+                        round: *round,
+                        queries: queries.clone(),
+                    }),
+                    Message::ReprobeRequest {
+                        block: b, attempt, ..
+                    } if *b == block => Some(BlockStep::Reprobe { attempt: *attempt }),
+                    _ => None,
+                },
+            )?;
+            match step {
+                BlockStep::Acked => break,
+                BlockStep::Cascade { round, queries } => {
+                    // Positions are block-relative; anything out of range is
+                    // in-flight corruption — ignore the round and let the
+                    // server's retransmission deliver it intact.
+                    let qs: Vec<Vec<usize>> = queries
+                        .iter()
+                        .map(|q| q.iter().map(|&p| usize::from(p)).collect())
+                        .collect();
+                    if qs.iter().flatten().any(|&p| p >= kb.len()) {
+                        continue;
+                    }
+                    let answers = reconcile::cascade::parities(&kb, &qs);
+                    if answered_rounds.insert(round) {
+                        leaked_bits += answers.len();
+                        cascade_rounds += 1;
+                        telemetry::counter("fleet.cascade_rounds", 1);
+                    }
+                    frame = Message::CascadeParityReply {
+                        session_id,
+                        block,
+                        round,
+                        parities: answers,
+                    }
+                    .encode();
+                }
+                BlockStep::Reprobe { attempt } => {
+                    // Re-measure the block: fresh material for this attempt,
+                    // derived from the shared session identity exactly like
+                    // the server's half.
+                    let (_, fresh) = derive_block_keys(
+                        session_id, nonce_a, nonce_b, block, attempt, seg, error_rate,
+                    );
+                    kb = fresh;
+                    if served_attempts.insert(attempt) {
+                        reprobes += 1;
+                        telemetry::counter("fleet.reprobes", 1);
+                    }
+                    let (code, mac) = session.bob_code_and_mac(&kb);
+                    frame = Message::ReprobeReply {
+                        session_id,
+                        block,
+                        attempt,
+                        code,
+                        mac,
+                    }
+                    .encode();
+                }
+            }
+        }
         bob_bits.extend(&kb);
     }
 
-    // Confirmation exchange.
-    let bob_key = amplify_128(&bob_bits.to_bools());
+    // Confirmation exchange. Every parity bit revealed during recovery is
+    // public knowledge now — debit it from the amplification input, as the
+    // server does on its side.
+    let (bob_key, entropy_bits) = amplify_with_leakage(&bob_bits.to_bools(), leaked_bits)
+        .ok_or(SessionError::Protocol(ProtocolError::EntropyExhausted))?;
     let check = session.confirm_check(&bob_key);
     let confirm = Message::Confirm { session_id, check }.encode();
     let key_matched = request_with_retry(
@@ -447,6 +707,10 @@ pub fn run_bob_session<T: Transport>(
         key_matched,
         retransmissions,
         blocks,
+        leaked_bits,
+        cascade_rounds,
+        reprobes,
+        entropy_bits,
     })
 }
 
@@ -496,6 +760,38 @@ mod tests {
         assert_eq!(bob.blocks, 2);
         assert_eq!(alice.blocks, 2);
         assert_eq!(bob.retransmissions, 0);
+    }
+
+    #[test]
+    fn escalation_recovers_heavy_errors_and_both_sides_agree_on_leakage() {
+        let (mut a, mut b) = PipeTransport::pair(Duration::from_millis(5));
+        // 10 disagreeing bits in 128 defeat the one-shot decode with near
+        // certainty; only the ladder (cascade parities, then re-probes)
+        // gets this session to a key.
+        let params = SessionParams {
+            error_bits: 10,
+            ..fast_params()
+        };
+        let server =
+            std::thread::spawn(move || serve_session(&mut a, model(), 31, 900, &params).unwrap());
+        let bob = run_bob_session(&mut b, model(), 901, &params).unwrap();
+        let alice = server.join().unwrap();
+        assert!(bob.key_matched, "client saw mismatched confirmation");
+        assert!(alice.key_matched, "server saw mismatched confirmation");
+        assert!(
+            alice.escalation.any(),
+            "10 error bits must climb the ladder: {:?}",
+            alice.escalation
+        );
+        assert_eq!(
+            alice.leaked_bits, bob.leaked_bits,
+            "endpoints disagree on revealed parity bits"
+        );
+        assert_eq!(
+            alice.entropy_bits, bob.entropy_bits,
+            "endpoints disagree on the amplification debit"
+        );
+        assert!(alice.entropy_bits <= 128 - alice.leaked_bits.min(128));
     }
 
     #[test]

@@ -84,6 +84,44 @@ pub fn derive_session_keys(
     (k_alice, k_bob)
 }
 
+/// Derive fresh `(k_alice, k_bob)` material for one re-probed block
+/// (escalation rung 3 — see `vehicle_key::recovery`).
+///
+/// Deterministic in the session identity plus the block and attempt
+/// numbers, so both endpoints independently compute the same pair while
+/// every attempt still yields a genuinely fresh "measurement". Each bit
+/// disagrees independently with probability `error_rate`: a re-probe is no
+/// cleaner on average than the original channel, it just rolls new dice —
+/// which is exactly what re-measuring a coherence-time-limited channel
+/// buys in deployment.
+pub fn derive_block_keys(
+    session_id: u32,
+    nonce_a: u64,
+    nonce_b: u64,
+    block: u32,
+    attempt: u32,
+    seg_bits: usize,
+    error_rate: f64,
+) -> (BitString, BitString) {
+    let mut rng = SplitMix64::new(
+        session_seed(session_id, nonce_a, nonce_b)
+            ^ (u64::from(block) << 32)
+            ^ u64::from(attempt).rotate_left(11)
+            ^ 0x5EED_B10C,
+    );
+    let mut k_bob = BitString::new();
+    for _ in 0..seg_bits {
+        k_bob.push(rng.next_u64() & 1 == 1);
+    }
+    let mut k_alice = k_bob.clone();
+    for p in 0..seg_bits {
+        if rng.next_f64() < error_rate {
+            k_alice.set(p, !k_alice.get(p));
+        }
+    }
+    (k_alice, k_bob)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +147,17 @@ mod tests {
         let (_, kb1) = derive_session_keys(1, 2, 3, 128, 0);
         let (_, kb2) = derive_session_keys(2, 2, 3, 128, 0);
         assert_ne!(kb1, kb2);
+    }
+
+    #[test]
+    fn block_reprobes_are_deterministic_and_fresh_per_attempt() {
+        let a = derive_block_keys(7, 11, 22, 1, 1, 64, 0.05);
+        let b = derive_block_keys(7, 11, 22, 1, 1, 64, 0.05);
+        assert_eq!(a, b, "both endpoints must derive the same re-probe");
+        let c = derive_block_keys(7, 11, 22, 1, 2, 64, 0.05);
+        assert_ne!(a.1, c.1, "a new attempt must re-measure");
+        let (ka, kb) = derive_block_keys(7, 11, 22, 1, 1, 64, 0.0);
+        assert_eq!(ka, kb, "zero error rate gives agreeing material");
     }
 
     #[test]

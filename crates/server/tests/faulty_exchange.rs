@@ -86,6 +86,56 @@ fn exchange_survives_drops_and_duplicates_on_both_directions() {
 }
 
 #[test]
+fn escalation_ladder_survives_a_lossy_link() {
+    // The recovery ladder and the retransmission machinery composed: 10
+    // disagreeing bits defeat the one-shot decode (forcing cascade parity
+    // rounds and possibly re-probes), while the link drops and duplicates
+    // frames in both directions — including rung queries and replies. The
+    // session must still converge, with both endpoints agreeing on the
+    // parity leakage debited from privacy amplification.
+    let (a, b) = PipeTransport::pair(Duration::from_millis(5));
+    let faults = FaultConfig {
+        drop: 0.15,
+        duplicate: 0.1,
+        ..FaultConfig::default()
+    };
+    let mut server_side = FaultyTransport::new(a, FaultConfig { seed: 21, ..faults });
+    let mut client_side = FaultyTransport::new(b, FaultConfig { seed: 22, ..faults });
+    let params = SessionParams {
+        error_bits: 10,
+        ..lossy_params()
+    };
+
+    let server = std::thread::spawn(move || {
+        let outcome = serve_session(&mut server_side, model(), 31, 900, &params).unwrap();
+        (outcome, server_side.stats())
+    });
+    let bob = run_bob_session(&mut client_side, model(), 901, &params).unwrap();
+    let (alice, server_faults) = server.join().unwrap();
+
+    assert!(bob.key_matched, "client saw mismatched keys: {bob:?}");
+    assert!(alice.key_matched, "server saw mismatched keys: {alice:?}");
+    assert!(
+        alice.escalation.any(),
+        "10 error bits must climb the ladder: {:?}",
+        alice.escalation
+    );
+    assert_eq!(
+        alice.leaked_bits, bob.leaked_bits,
+        "endpoints disagree on revealed parity bits"
+    );
+    assert_eq!(
+        alice.entropy_bits, bob.entropy_bits,
+        "endpoints disagree on the amplification debit"
+    );
+    let client_faults = client_side.stats();
+    assert!(
+        client_faults.dropped + server_faults.dropped > 0,
+        "fault injection never dropped a frame: {client_faults:?} / {server_faults:?}"
+    );
+}
+
+#[test]
 fn replayed_syndrome_is_rejected_after_acceptance() {
     // The driver-level guarantee the lossy test leans on, asserted
     // directly: once a block is accepted, the identical frame replayed is

@@ -3,8 +3,81 @@
 
 use proptest::prelude::*;
 use quantize::{BitString, FixedQuantizer, GuardBandQuantizer, MultiBitQuantizer};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use reconcile::PositionPreservingMask;
 use vehicle_key::Message;
+
+/// Helpers for the escalation-ladder interleaving property.
+mod escalation {
+    use quantize::BitString;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reconcile::{AutoencoderReconciler, AutoencoderTrainer};
+    use std::sync::OnceLock;
+    use vehicle_key::{AliceDriver, Disposition, ProtocolError};
+
+    pub fn model() -> &'static AutoencoderReconciler {
+        static MODEL: OnceLock<AutoencoderReconciler> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(4242);
+            AutoencoderTrainer::default()
+                .with_steps(6000)
+                .train(&mut rng)
+        })
+    }
+
+    /// A Bob-side rung reply, kept so faults can re-deliver it verbatim.
+    #[derive(Clone)]
+    pub enum Reply {
+        Cascade {
+            block: u32,
+            round: u32,
+            parities: Vec<bool>,
+        },
+        Reprobe {
+            block: u32,
+            attempt: u32,
+            code: Vec<i16>,
+            mac: [u8; 32],
+            fresh: BitString,
+        },
+    }
+
+    pub fn deliver(
+        alice: &mut AliceDriver,
+        sid: u32,
+        reply: &Reply,
+    ) -> Result<Disposition, ProtocolError> {
+        match reply {
+            Reply::Cascade {
+                block,
+                round,
+                parities,
+            } => alice.handle_cascade_reply(sid, *block, *round, parities),
+            Reply::Reprobe {
+                block,
+                attempt,
+                code,
+                mac,
+                fresh,
+            } => alice.handle_reprobe_reply(sid, *block, *attempt, code, mac, fresh),
+        }
+    }
+
+    /// Every legitimate abort the ladder can produce: either a recovery
+    /// budget ran out or authentication failed — never `Malformed`, which
+    /// would mean the driver mis-parsed its own well-formed replies.
+    pub fn is_typed_abort(e: &ProtocolError) -> bool {
+        matches!(
+            e,
+            ProtocolError::RecoveryExhausted(_)
+                | ProtocolError::DeadlineExpired(_)
+                | ProtocolError::EntropyExhausted
+                | ProtocolError::MacMismatch
+        )
+    }
+}
 
 fn bits_strategy(max_len: usize) -> impl Strategy<Value = BitString> {
     prop::collection::vec(any::<bool>(), 1..max_len).prop_map(|v| BitString::from_bools(&v))
@@ -41,6 +114,57 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         (any::<u32>(), any::<[u8; 32]>())
             .prop_map(|(session_id, check)| Message::Confirm { session_id, check }),
         (any::<u32>(), any::<u32>()).prop_map(|(session_id, seq)| Message::Ack { session_id, seq }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(prop::collection::vec(any::<u16>(), 0..16), 0..8),
+        )
+            .prop_map(
+                |(session_id, block, round, queries)| Message::CascadeParity {
+                    session_id,
+                    block,
+                    round,
+                    queries,
+                }
+            ),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(any::<bool>(), 0..32),
+        )
+            .prop_map(
+                |(session_id, block, round, parities)| Message::CascadeParityReply {
+                    session_id,
+                    block,
+                    round,
+                    parities,
+                },
+            ),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(session_id, block, attempt)| {
+            Message::ReprobeRequest {
+                session_id,
+                block,
+                attempt,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(any::<i16>(), 0..64),
+            any::<[u8; 32]>(),
+        )
+            .prop_map(
+                |(session_id, block, attempt, code, mac)| Message::ReprobeReply {
+                    session_id,
+                    block,
+                    attempt,
+                    code,
+                    mac,
+                }
+            ),
     ]
 }
 
@@ -156,6 +280,31 @@ proptest! {
     }
 
     #[test]
+    fn leakage_debit_shrinks_the_entropy_budget(
+        v in prop::collection::vec(any::<bool>(), 1..256),
+        leak in 0usize..300,
+    ) {
+        // Every revealed parity bit must come out of the amplified key's
+        // entropy budget, and full leakage must abort rather than derive
+        // an enumerable key.
+        match vk_crypto::amplify::amplify_with_leakage(&v, leak) {
+            Some((key, effective)) => {
+                prop_assert!(leak < v.len());
+                prop_assert_eq!(effective, (v.len() - leak).min(128));
+                // The debit is deterministic and the unused tail is zeroed,
+                // so both endpoints can compare fixed-width keys.
+                prop_assert_eq!(
+                    Some((key, effective)),
+                    vk_crypto::amplify::amplify_with_leakage(&v, leak)
+                );
+                let used = effective.div_ceil(8);
+                prop_assert!(key[used..].iter().all(|&b| b == 0));
+            }
+            None => prop_assert!(leak >= v.len()),
+        }
+    }
+
+    #[test]
     fn matrix_matmul_distributes_over_addition(
         a in prop::collection::vec(-2.0f32..2.0, 6),
         b in prop::collection::vec(-2.0f32..2.0, 6),
@@ -209,6 +358,110 @@ proptest! {
             prop_assert_ne!(decoded, msg.clone());
         }
         prop_assert_eq!(Message::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn escalation_interleavings_never_yield_mismatched_keys(
+        seed in any::<u64>(),
+        flips in prop::collection::btree_set(0usize..64, 0..12),
+        duplicate_replies in any::<bool>(),
+        replay_stale in any::<bool>(),
+    ) {
+        use vehicle_key::{AliceDriver, Disposition, Message, Session};
+
+        // Drive one block through the recovery ladder with rung replies
+        // duplicated and stale replies re-delivered. The invariant: either
+        // Alice accepts the block and both sides derive the *same* key with
+        // the *same* leakage debit, or she aborts with a typed reason —
+        // a mismatch must never be reported as success.
+        let model = escalation::model();
+        let sid = (seed % 1_000_000) as u32;
+        let (nonce_a, nonce_b) = (seed ^ 0xA, seed ^ 0xB);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kb: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+        let mut ka = kb.clone();
+        for &p in &flips {
+            ka.set(p, !ka.get(p));
+        }
+        let session = Session::new(sid, model.clone(), nonce_a, nonce_b);
+        let mut alice = AliceDriver::new(sid, model.clone(), nonce_a, nonce_b, ka);
+        let mut bob_kb = kb;
+        let (code, mac) = session.bob_code_and_mac(&bob_kb);
+        let mut answered = 0usize;
+        let mut last_reply: Option<escalation::Reply> = None;
+        let mut disp = match alice.handle_syndrome(sid, 0, &code, &mac) {
+            Ok(d) => d,
+            Err(e) => {
+                prop_assert!(escalation::is_typed_abort(&e), "untyped abort {e:?}");
+                return Ok(());
+            }
+        };
+        let mut guard = 0;
+        while disp != Disposition::Accepted {
+            guard += 1;
+            prop_assert!(guard < 400, "ladder neither converged nor aborted");
+            if replay_stale {
+                if let Some(stale) = &last_reply {
+                    // A re-delivered earlier reply must be absorbed as a
+                    // duplicate: no state change, no double-counted leakage.
+                    let r = escalation::deliver(&mut alice, sid, stale);
+                    prop_assert_eq!(r, Ok(Disposition::Duplicate));
+                }
+            }
+            let query = alice
+                .pending_recovery()
+                .expect("escalated driver must expose its pending query")
+                .clone();
+            let reply = match query {
+                Message::CascadeParity { block, round, queries, .. } => {
+                    let qs: Vec<Vec<usize>> = queries
+                        .iter()
+                        .map(|q| q.iter().map(|&p| p as usize).collect())
+                        .collect();
+                    let parities = reconcile::cascade::parities(&bob_kb, &qs);
+                    answered += parities.len();
+                    escalation::Reply::Cascade { block, round, parities }
+                }
+                Message::ReprobeRequest { block, attempt, .. } => {
+                    // A fresh, perfectly agreeing measurement: the ladder's
+                    // job here is ordering/idempotence, not channel noise.
+                    let mut fresh_rng = StdRng::seed_from_u64(seed ^ u64::from(attempt));
+                    let fresh: BitString = (0..64).map(|_| fresh_rng.random::<bool>()).collect();
+                    let (code, mac) = session.bob_code_and_mac(&fresh);
+                    bob_kb = fresh.clone();
+                    escalation::Reply::Reprobe { block, attempt, code, mac, fresh }
+                }
+                other => {
+                    prop_assert!(false, "unexpected escalation query {other:?}");
+                    unreachable!()
+                }
+            };
+            disp = match escalation::deliver(&mut alice, sid, &reply) {
+                Ok(d) => d,
+                Err(e) => {
+                    prop_assert!(escalation::is_typed_abort(&e), "untyped abort {e:?}");
+                    return Ok(());
+                }
+            };
+            if duplicate_replies {
+                // The duplicated frame arrives again whatever state the
+                // driver reached — it must always be a no-op.
+                let r = escalation::deliver(&mut alice, sid, &reply);
+                prop_assert_eq!(r, Ok(Disposition::Duplicate));
+            }
+            last_reply = Some(reply);
+        }
+        prop_assert_eq!(alice.leaked_bits(), answered, "leakage accounting diverged");
+        let bob_final = vk_crypto::amplify::amplify_with_leakage(&bob_kb.to_bools(), answered);
+        match alice.final_key_with_entropy() {
+            Some((alice_key, entropy)) => {
+                let (bob_key, bob_entropy) =
+                    bob_final.expect("Alice derived a key Bob could not");
+                prop_assert_eq!(alice_key, bob_key, "accepted block with mismatched keys");
+                prop_assert_eq!(entropy, bob_entropy);
+            }
+            None => prop_assert!(bob_final.is_none(), "Bob derived a key Alice could not"),
+        }
     }
 
     #[test]
