@@ -4,22 +4,37 @@
 //! repro <experiment> [...]   run the named experiments (fig2a … table3)
 //! repro all                  run everything, in paper order
 //! repro list                 list available experiments
+//! repro --jobs N <...>       run N experiments concurrently (or, for a
+//!                            single experiment, give its compute layer N
+//!                            worker threads)
 //! ```
 //!
 //! Environment:
 //! * `VK_SEED`      — base RNG seed (default fixed)
 //! * `VK_SCALE`     — size multiplier for campaigns/trials (default 1.0)
+//! * `VK_JOBS`      — compute-layer thread count (matmul row partitioning,
+//!   data-parallel training); any value is bit-identical, only wall-clock
+//!   changes. `--jobs` with a single experiment overrides this.
 //! * `VK_OUT`       — directory to also write per-experiment reports into;
 //!   each experiment additionally gets a machine-readable
 //!   `<name>.manifest.json` (seed, scale, stage-time breakdown, wall time —
 //!   see `bench::manifest` for the schema)
 //! * `VK_TELEMETRY` — path for a JSON-lines telemetry trace of every
 //!   pipeline stage across the whole run (`-` for human-readable stderr)
+//!
+//! With `--jobs N` and more than one experiment, each experiment runs with
+//! its own scoped telemetry registry (see `telemetry::scoped`) so spans,
+//! counters, and manifests stay attributed to the right experiment even
+//! while several run concurrently; the trace sink is shared, so a
+//! `VK_TELEMETRY` trace carries interleaved events from all of them.
+//! Reports and manifests are identical to a sequential run — experiments
+//! never share RNG state.
 
 use bench::manifest::RunManifest;
 use bench::{base_seed, experiments, scale};
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Instant;
 use telemetry::Sink;
 
 /// Sink that discards events. Installed when only aggregated metrics are
@@ -33,22 +48,43 @@ impl Sink for NullSink {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro <experiment|all|list> [...]");
+    let mut jobs = 1usize;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" || arg == "-j" {
+            jobs = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&j| j >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                });
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            jobs = v.parse().ok().filter(|&j| j >= 1).unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            });
+        } else {
+            rest.push(arg);
+        }
+    }
+    if rest.is_empty() || rest[0] == "help" || rest[0] == "--help" {
+        eprintln!("usage: repro [--jobs N] <experiment|all|list> [...]");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }
-    if args[0] == "list" {
+    if rest[0] == "list" {
         for name in experiments::ALL {
             println!("{name}");
         }
         return;
     }
-    let names: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let names: Vec<&str> = if rest.iter().any(|a| a == "all") {
         experiments::ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        rest.iter().map(String::as_str).collect()
     };
     let out_dir = std::env::var("VK_OUT").ok();
     if let Some(dir) = &out_dir {
@@ -57,37 +93,33 @@ fn main() {
             std::process::exit(1);
         }
     }
+    let failed = if jobs > 1 && names.len() > 1 {
+        run_concurrent(&names, jobs, out_dir.as_deref())
+    } else {
+        // A single experiment gets the whole `--jobs` budget as
+        // compute-layer threads (parallel matmul + data-parallel training;
+        // bit-identical results either way).
+        if jobs > 1 {
+            nn::pool::set_global_jobs(jobs);
+        }
+        run_sequential(&names, out_dir.as_deref())
+    };
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Classic one-at-a-time runner on the process-global telemetry registry.
+fn run_sequential(names: &[&str], out_dir: Option<&str>) -> bool {
     let traced = install_telemetry(out_dir.is_some());
     let mut failed = false;
     for name in names {
         telemetry::reset_metrics();
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         match experiments::run(name) {
             Ok(report) => {
                 let elapsed = started.elapsed().as_secs_f64();
-                let report = format!("{report}\n[{name} finished in {elapsed:.1}s]\n");
-                print!("{report}");
-                println!();
-                if let Some(dir) = &out_dir {
-                    let path = format!("{dir}/{name}.txt");
-                    match std::fs::File::create(&path)
-                        .and_then(|mut f| f.write_all(report.as_bytes()))
-                    {
-                        Ok(()) => {}
-                        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
-                    }
-                    let manifest = RunManifest::new(
-                        name,
-                        base_seed(),
-                        scale(),
-                        elapsed,
-                        telemetry::snapshot(),
-                    );
-                    let mpath = format!("{dir}/{name}.manifest.json");
-                    if let Err(e) = manifest.write(&mpath) {
-                        eprintln!("warning: cannot write {mpath}: {e}");
-                    }
-                }
+                emit_result(name, &report, elapsed, telemetry::snapshot(), out_dir);
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -98,36 +130,98 @@ fn main() {
     if traced {
         telemetry::uninstall();
     }
-    if failed {
-        std::process::exit(1);
+    failed
+}
+
+/// Concurrent runner: experiments execute on a worker pool, each inside its
+/// own scoped telemetry registry so metrics and manifests stay isolated.
+/// Reports are printed in request order once everything finishes (progress
+/// goes to stderr as experiments complete).
+fn run_concurrent(names: &[&str], jobs: usize, out_dir: Option<&str>) -> bool {
+    let sink = shared_sink(out_dir.is_some());
+    let results = nn::Pool::new(jobs).run(names.to_vec(), |_, name| {
+        let registry = Arc::new(telemetry::Registry::new());
+        if let Some(sink) = &sink {
+            registry.install(Arc::clone(sink));
+        }
+        let _scope = telemetry::scoped(Arc::clone(&registry));
+        let started = Instant::now();
+        let outcome = experiments::run(name);
+        let elapsed = started.elapsed().as_secs_f64();
+        match &outcome {
+            Ok(_) => eprintln!("[{name} finished in {elapsed:.1}s]"),
+            Err(e) => eprintln!("[{name} FAILED after {elapsed:.1}s: {e}]"),
+        }
+        (outcome, elapsed, registry.snapshot())
+    });
+    if let Some(sink) = sink {
+        sink.flush();
+    }
+    let mut failed = false;
+    for (name, (outcome, elapsed, snapshot)) in names.iter().zip(results) {
+        match outcome {
+            Ok(report) => emit_result(name, &report, elapsed, snapshot, out_dir),
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    failed
+}
+
+/// Print one experiment's report and, with `VK_OUT`, write its text report
+/// and run manifest.
+fn emit_result(
+    name: &str,
+    report: &str,
+    elapsed: f64,
+    snapshot: telemetry::MetricsSnapshot,
+    out_dir: Option<&str>,
+) {
+    let report = format!("{report}\n[{name} finished in {elapsed:.1}s]\n");
+    print!("{report}");
+    println!();
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/{name}.txt");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(report.as_bytes())) {
+            Ok(()) => {}
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+        let manifest = RunManifest::new(name, base_seed(), scale(), elapsed, snapshot);
+        let mpath = format!("{dir}/{name}.manifest.json");
+        if let Err(e) = manifest.write(&mpath) {
+            eprintln!("warning: cannot write {mpath}: {e}");
+        }
     }
 }
 
-/// Install the telemetry sink: a JSON-lines trace when `VK_TELEMETRY` is
-/// set, and at least a null sink when manifests are wanted (the registry
-/// only aggregates counters and stage timings while a sink is installed).
-/// Returns whether anything was installed.
-fn install_telemetry(want_manifests: bool) -> bool {
+/// The event sink the concurrent runner shares across per-experiment
+/// registries: a JSON-lines trace when `VK_TELEMETRY` is set, a null sink
+/// when manifests are wanted, nothing otherwise (registries stay disabled).
+fn shared_sink(want_manifests: bool) -> Option<Arc<dyn Sink>> {
     match std::env::var("VK_TELEMETRY").ok().filter(|t| !t.is_empty()) {
-        Some(target) if target == "-" => {
-            telemetry::install(Arc::new(telemetry::StderrSink::new()));
-            true
-        }
+        Some(target) if target == "-" => Some(Arc::new(telemetry::StderrSink::new())),
         Some(target) => match telemetry::JsonLinesSink::create(&target) {
-            Ok(sink) => {
-                telemetry::install(Arc::new(sink));
-                true
-            }
+            Ok(sink) => Some(Arc::new(sink)),
             Err(e) => {
                 eprintln!("warning: cannot create telemetry trace {target}: {e}");
-                if want_manifests {
-                    telemetry::install(Arc::new(NullSink));
-                }
-                want_manifests
+                want_manifests.then(|| Arc::new(NullSink) as Arc<dyn Sink>)
             }
         },
-        None if want_manifests => {
-            telemetry::install(Arc::new(NullSink));
+        None => want_manifests.then(|| Arc::new(NullSink) as Arc<dyn Sink>),
+    }
+}
+
+/// Install the telemetry sink on the global registry (sequential runner):
+/// a JSON-lines trace when `VK_TELEMETRY` is set, and at least a null sink
+/// when manifests are wanted (the registry only aggregates counters and
+/// stage timings while a sink is installed). Returns whether anything was
+/// installed.
+fn install_telemetry(want_manifests: bool) -> bool {
+    match shared_sink(want_manifests) {
+        Some(sink) => {
+            telemetry::install(sink);
             true
         }
         None => false,

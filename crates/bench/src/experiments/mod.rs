@@ -10,11 +10,13 @@
 //! | [`ablate`] | Design-choice ablations beyond the paper |
 //! | [`fleet`] | Beyond the paper: server throughput over loopback TCP |
 //! | [`chaos`] | Beyond the paper: escalation ladder under fault injection |
+//! | [`nnbench`] | Beyond the paper: compute-layer microbenchmarks (`BENCH_nn.json`) |
 
 pub mod ablate;
 pub mod chaos;
 pub mod fleet;
 pub mod modules;
+pub mod nnbench;
 pub mod power;
 pub mod prelim;
 pub mod security;
@@ -71,6 +73,7 @@ pub const ALL: &[&str] = &[
     "ablate-platoon",
     "fleet",
     "chaos",
+    "nnbench",
 ];
 
 /// Run one experiment by name; returns the rendered report.
@@ -102,6 +105,7 @@ pub fn run(name: &str) -> Result<String, String> {
         "ablate-platoon" => Ok(ablate::platoon()),
         "fleet" => Ok(fleet::fleet()),
         "chaos" => chaos::chaos(),
+        "nnbench" => nnbench::nnbench(),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

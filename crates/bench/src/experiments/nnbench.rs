@@ -1,0 +1,350 @@
+//! `nnbench` — compute-layer microbenchmarks tracking the perf trajectory.
+//!
+//! Beyond the paper: measures the pieces that dominate every `repro`
+//! experiment's wall clock and writes them to `BENCH_nn.json` so kernel and
+//! pool changes are visible run over run:
+//!
+//! * **GEMM** — GFLOP/s of the naive reference triple loop vs. the blocked
+//!   kernel (sequential) vs. the row-partitioned parallel kernel, at the
+//!   model's own shapes plus a larger square that clears the parallel
+//!   threshold.
+//! * **BiLSTM training** — wall time of `PredictionQuantizationModel`
+//!   epochs, sequential (`jobs = 1`) vs. data-parallel (`jobs = N`), with a
+//!   weight-digest assertion that both runs produced **bitwise identical**
+//!   parameters.
+//! * **System end-to-end** — `KeyPipeline::train_for` plus one session
+//!   campaign, sequential vs. parallel, with the derived keys compared for
+//!   exact equality.
+//!
+//! The JSON lands in `$VK_OUT/BENCH_nn.json` when `VK_OUT` is set, else
+//! `results/BENCH_nn.json`. The experiment **fails** (nonzero `repro` exit)
+//! if any parallel run diverges from its sequential reference — CI runs it
+//! at a small `VK_SCALE` as a determinism gate.
+
+use super::rng_for;
+use crate::table::Table;
+use crate::{base_seed, scale, scaled};
+use mobility::ScenarioKind;
+use nn::kernel;
+use nn::pool::{global_jobs, set_global_jobs};
+use quantize::BitString;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::time::Instant;
+use telemetry::Json;
+use vehicle_key::model::TrainSample;
+use vehicle_key::{KeyPipeline, ModelConfig, PipelineConfig, PredictionQuantizationModel};
+
+/// GEMM shapes: the BiLSTM gate product and the time-distributed dense
+/// product at default model dimensions, plus a square product big enough to
+/// clear [`kernel::PAR_FLOP_THRESHOLD`].
+fn gemm_shapes() -> Vec<(&'static str, usize, usize, usize)> {
+    let big = scaled(512, 96);
+    vec![
+        ("lstm.gate", 32, 35, 128),
+        ("dense.stacked", 1024, 65, 64),
+        ("square.big", big, big, big),
+    ]
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
+    (2 * m * k * n) as f64 / secs.max(1e-12) / 1e9
+}
+
+/// One GEMM shape's measurements.
+struct GemmRow {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    naive: f64,
+    blocked: f64,
+    parallel: f64,
+}
+
+fn bench_gemm(jobs: usize) -> Vec<GemmRow> {
+    let mut rng = rng_for("nnbench-gemm");
+    let mut rows = Vec::new();
+    for (name, m, k, n) in gemm_shapes() {
+        let a: Vec<f32> = (0..m * k).map(|_| rng.random::<f32>() - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.random::<f32>() - 0.5).collect();
+        let mut out = vec![0.0f32; m * n];
+        // Size the repeat count so each arm runs a few tens of ms.
+        let reps = (50_000_000 / (2 * m * k * n)).clamp(2, 50);
+        let naive = time_best(reps, || kernel::reference_matmul(m, k, n, &a, &b, &mut out));
+        set_global_jobs(1);
+        let blocked = time_best(reps, || kernel::matmul_into(m, k, n, &a, &b, &mut out));
+        set_global_jobs(jobs);
+        let parallel = time_best(reps, || kernel::matmul_into(m, k, n, &a, &b, &mut out));
+        set_global_jobs(1);
+        rows.push(GemmRow {
+            name,
+            m,
+            k,
+            n,
+            naive: gflops(m, k, n, naive),
+            blocked: gflops(m, k, n, blocked),
+            parallel: gflops(m, k, n, parallel),
+        });
+    }
+    rows
+}
+
+/// Synthetic training samples shaped like the system experiments' dataset.
+fn synth_dataset(count: usize, cfg: &ModelConfig, rng: &mut StdRng) -> Vec<TrainSample> {
+    (0..count)
+        .map(|_| TrainSample {
+            alice: (0..cfg.seq_len)
+                .map(|_| rng.random::<f32>() - 0.5)
+                .collect(),
+            level: (0..cfg.seq_len)
+                .map(|_| rng.random::<f32>() - 0.5)
+                .collect(),
+            bob_norm: (0..cfg.seq_len)
+                .map(|_| rng.random::<f32>() - 0.5)
+                .collect(),
+            bob_bits: (0..cfg.key_bits)
+                .map(|_| rng.random::<bool>())
+                .collect::<BitString>(),
+        })
+        .collect()
+}
+
+/// Train a fresh model for `epochs` with the given thread count; returns
+/// (wall seconds, weight digest, final loss bits).
+fn bilstm_run(jobs: usize, dataset: &[TrainSample], epochs: usize) -> (f64, u64, u32) {
+    set_global_jobs(jobs);
+    let cfg = ModelConfig::default();
+    let mut model = PredictionQuantizationModel::new(cfg, &mut rng_for("nnbench-model"));
+    let t = Instant::now();
+    let report = model.train_epochs(dataset, epochs, &mut rng_for("nnbench-train"));
+    let secs = t.elapsed().as_secs_f64();
+    set_global_jobs(1);
+    (secs, model.weights_digest(), report.final_loss.to_bits())
+}
+
+/// One reduced system end-to-end (train + one session campaign) with the
+/// given thread count; returns (wall seconds, pipeline digest, session keys).
+fn system_run(jobs: usize) -> (f64, u64, Vec<[u8; 16]>, Vec<[u8; 16]>) {
+    set_global_jobs(jobs);
+    let mut rng = rng_for("nnbench-system");
+    let mut cfg = PipelineConfig::fast();
+    // Floor keeps every one of the 4 training campaigns longer than the
+    // model's 32-round window even at tiny VK_SCALE (else: empty dataset).
+    cfg.train_rounds = scaled(400, 160);
+    cfg.model.epochs = scaled(15, 2).min(15);
+    cfg.reconciler = cfg.reconciler.with_steps(scaled(6000, 800));
+    let t = Instant::now();
+    let mut pipeline = KeyPipeline::train_for(ScenarioKind::V2iUrban, &cfg, &mut rng);
+    let campaign = KeyPipeline::campaign(
+        ScenarioKind::V2iUrban,
+        &cfg,
+        cfg.session_rounds,
+        60.0,
+        &mut rng,
+    );
+    let outcome = pipeline.run_on_campaign(&campaign, &mut rng);
+    let secs = t.elapsed().as_secs_f64();
+    set_global_jobs(1);
+    (
+        secs,
+        pipeline.weights_digest(),
+        outcome.alice_keys,
+        outcome.bob_keys,
+    )
+}
+
+/// Run the microbenchmarks, write `BENCH_nn.json`, and render the report.
+///
+/// # Errors
+///
+/// Returns an error if a parallel run diverges from its sequential
+/// reference (weights or keys not bitwise identical), or if the JSON cannot
+/// be written.
+pub fn nnbench() -> Result<String, String> {
+    let initial_jobs = global_jobs();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    // `repro --jobs N nnbench` routes N here; otherwise use every core.
+    let jobs = if initial_jobs > 1 {
+        initial_jobs
+    } else {
+        cores
+    };
+
+    let gemm = bench_gemm(jobs);
+
+    let samples = scaled(384, 32);
+    let epochs = scaled(2, 1).min(4);
+    let dataset = synth_dataset(
+        samples,
+        &ModelConfig::default(),
+        &mut rng_for("nnbench-data"),
+    );
+    let (seq_s, seq_digest, seq_loss) = bilstm_run(1, &dataset, epochs);
+    let (par_s, par_digest, par_loss) = bilstm_run(jobs, &dataset, epochs);
+    let bilstm_identical = seq_digest == par_digest && seq_loss == par_loss;
+
+    let (sys_seq_s, sys_seq_digest, sys_seq_alice, sys_seq_bob) = system_run(1);
+    let (sys_par_s, sys_par_digest, sys_par_alice, sys_par_bob) = system_run(jobs);
+    let system_identical = sys_seq_digest == sys_par_digest
+        && sys_seq_alice == sys_par_alice
+        && sys_seq_bob == sys_par_bob;
+
+    set_global_jobs(initial_jobs);
+
+    let json = render_json(
+        cores,
+        jobs,
+        &gemm,
+        samples,
+        epochs,
+        (seq_s, par_s, seq_digest, bilstm_identical),
+        (sys_seq_s, sys_par_s, sys_seq_digest, system_identical),
+    );
+    let dir = match std::env::var("VK_OUT") {
+        Ok(dir) if !dir.is_empty() => dir,
+        _ => "results".to_string(),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = format!("{dir}/BENCH_nn.json");
+    std::fs::write(&path, json.to_string() + "\n")
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+
+    let mut t = Table::new(
+        "nnbench: compute-layer microbenchmarks",
+        &["section", "metric", "sequential", "parallel", "speedup"],
+    );
+    for r in &gemm {
+        t.row(&[
+            format!("gemm {} {}x{}x{}", r.name, r.m, r.k, r.n),
+            "GFLOP/s (naive ref)".to_string(),
+            format!("{:.2}", r.naive),
+            String::new(),
+            String::new(),
+        ]);
+        t.row(&[
+            String::new(),
+            "GFLOP/s (blocked)".to_string(),
+            format!("{:.2}", r.blocked),
+            format!("{:.2}", r.parallel),
+            format!("{:.2}x", r.parallel / r.blocked.max(1e-12)),
+        ]);
+    }
+    t.row(&[
+        format!("bilstm train ({samples} samples x {epochs} epochs)"),
+        "seconds".to_string(),
+        format!("{seq_s:.2}"),
+        format!("{par_s:.2}"),
+        format!("{:.2}x", seq_s / par_s.max(1e-9)),
+    ]);
+    t.row(&[
+        "system end-to-end".to_string(),
+        "seconds".to_string(),
+        format!("{sys_seq_s:.2}"),
+        format!("{sys_par_s:.2}"),
+        format!("{:.2}x", sys_seq_s / sys_par_s.max(1e-9)),
+    ]);
+    let report = t.render()
+        + &format!(
+            "\ncores {cores}, parallel jobs {jobs}; BiLSTM weights bit-identical: {bilstm_identical}; \
+             system keys bit-identical: {system_identical}\nwrote {path}\n"
+        );
+
+    if !bilstm_identical {
+        return Err(format!(
+            "nnbench: data-parallel BiLSTM training diverged from sequential \
+             (digests {seq_digest:#018x} vs {par_digest:#018x}, \
+             loss bits {seq_loss:#010x} vs {par_loss:#010x})"
+        ));
+    }
+    if !system_identical {
+        return Err(
+            "nnbench: parallel system run diverged from sequential (weights or keys differ)"
+                .to_string(),
+        );
+    }
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    cores: usize,
+    jobs: usize,
+    gemm: &[GemmRow],
+    samples: usize,
+    epochs: usize,
+    (seq_s, par_s, digest, bilstm_identical): (f64, f64, u64, bool),
+    (sys_seq_s, sys_par_s, sys_digest, system_identical): (f64, f64, u64, bool),
+) -> Json {
+    let gemm_json: Vec<(String, Json)> = gemm
+        .iter()
+        .map(|r| {
+            (
+                r.name.to_string(),
+                Json::Obj(vec![
+                    ("m".into(), Json::UInt(r.m as u64)),
+                    ("k".into(), Json::UInt(r.k as u64)),
+                    ("n".into(), Json::UInt(r.n as u64)),
+                    ("naive_gflops".into(), Json::Num(r.naive)),
+                    ("blocked_gflops".into(), Json::Num(r.blocked)),
+                    ("parallel_gflops".into(), Json::Num(r.parallel)),
+                    (
+                        "blocked_speedup".into(),
+                        Json::Num(r.blocked / r.naive.max(1e-12)),
+                    ),
+                    (
+                        "parallel_speedup".into(),
+                        Json::Num(r.parallel / r.blocked.max(1e-12)),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("bench".into(), Json::Str("nn".into())),
+        ("seed".into(), Json::UInt(base_seed())),
+        ("scale".into(), Json::Num(scale())),
+        ("cores".into(), Json::UInt(cores as u64)),
+        ("jobs".into(), Json::UInt(jobs as u64)),
+        ("gemm".into(), Json::Obj(gemm_json)),
+        (
+            "bilstm_train".into(),
+            Json::Obj(vec![
+                ("samples".into(), Json::UInt(samples as u64)),
+                ("epochs".into(), Json::UInt(epochs as u64)),
+                ("sequential_s".into(), Json::Num(seq_s)),
+                ("parallel_s".into(), Json::Num(par_s)),
+                ("speedup".into(), Json::Num(seq_s / par_s.max(1e-9))),
+                (
+                    "weights_digest".into(),
+                    Json::Str(format!("{digest:#018x}")),
+                ),
+                ("bit_identical".into(), Json::Bool(bilstm_identical)),
+            ]),
+        ),
+        (
+            "system_experiment".into(),
+            Json::Obj(vec![
+                ("sequential_s".into(), Json::Num(sys_seq_s)),
+                ("parallel_s".into(), Json::Num(sys_par_s)),
+                ("speedup".into(), Json::Num(sys_seq_s / sys_par_s.max(1e-9))),
+                (
+                    "weights_digest".into(),
+                    Json::Str(format!("{sys_digest:#018x}")),
+                ),
+                ("bit_identical".into(), Json::Bool(system_identical)),
+            ]),
+        ),
+    ])
+}

@@ -376,7 +376,84 @@ impl PredictionQuantizationModel {
         }
     }
 
+    /// Fixed data-parallel shard width (in samples). The shard plan is a
+    /// function of the batch size **only** — never of the thread count — and
+    /// shard gradients are reduced in shard order, so training produces
+    /// bit-identical parameters for every `VK_JOBS` value: threads only
+    /// change which worker executes a shard, not what is computed.
+    const SHARD: usize = 8;
+
+    /// One minibatch step: forward/backward across fixed shards (executed on
+    /// the global worker pool), in-order gradient reduction, then the Adam
+    /// update. Returns the batch joint loss.
     fn train_batch(&mut self, batch: &[&TrainSample], adam: &mut Adam) -> f32 {
+        let b = batch.len();
+        let shards: Vec<&[&TrainSample]> = batch.chunks(Self::SHARD).collect();
+        let joint = if shards.len() == 1 {
+            self.forward_backward(batch)
+        } else {
+            let me: &Self = self;
+            let mut results = nn::Pool::global().run(shards, |_, shard| {
+                let mut replica = me.clone();
+                let loss = replica.forward_backward(shard);
+                (loss, shard.len(), replica)
+            });
+            // Reduce in shard order. Each shard's gradient is the mean over
+            // its own rows; weighting by |shard|/|batch| recovers exactly the
+            // full-batch mean gradient decomposition.
+            let mut total = 0.0;
+            self.visit_params(&mut |p| p.zero_grad());
+            for (loss, shard_b, replica) in &mut results {
+                let scale = *shard_b as f32 / b as f32;
+                total += *loss * scale;
+                let mut shard_grads: Vec<Matrix> = Vec::new();
+                replica.visit_params(&mut |p| shard_grads.push(std::mem::take(&mut p.grad)));
+                let mut idx = 0;
+                self.visit_params(&mut |p| {
+                    p.grad.zip_assign(&shard_grads[idx], |a, g| a + g * scale);
+                    idx += 1;
+                });
+            }
+            total
+        };
+        // Clip BPTT gradients before the update (exploding-gradient guard).
+        let mut update = |p: &mut nn::Param| {
+            nn::train::clip_grad_norm(p, 5.0);
+            adam.update(p);
+        };
+        self.visit_params(&mut update);
+        adam.step();
+        joint
+    }
+
+    /// FNV-1a digest over the exact bit patterns of every trainable
+    /// parameter, in the fixed [`Self::visit_params`] order. Two models
+    /// share a digest iff their weights are bitwise identical — the check
+    /// `repro -- nnbench` and the determinism tests use to prove
+    /// data-parallel training reproduces sequential training exactly.
+    pub fn weights_digest(&mut self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        self.visit_params(&mut |p| {
+            for &v in p.value.data() {
+                h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        });
+        h
+    }
+
+    /// Visit every trainable parameter in a fixed order (the reduction and
+    /// update order of [`Self::train_batch`]).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut nn::Param)) {
+        self.bilstm.visit_params(f);
+        self.fc_pred.visit_params(f);
+        self.fc_quant_hidden.visit_params(f);
+        self.fc_quant_out.visit_params(f);
+    }
+
+    /// Forward + backward over one shard: zeroes this model's gradients,
+    /// accumulates fresh ones, and returns the shard's joint loss. No
+    /// parameter update happens here.
+    fn forward_backward(&mut self, batch: &[&TrainSample]) -> f32 {
         let t = self.config.seq_len;
         let b = batch.len();
         let xs = self.to_sequence(batch);
@@ -424,18 +501,7 @@ impl PredictionQuantizationModel {
             .iter()
             .map(|g| g.hsplit(2 * self.config.hidden).0)
             .collect();
-        let _ = m_bits;
         self.bilstm.backward(&ghs);
-        // Clip BPTT gradients before the update (exploding-gradient guard).
-        let mut update = |p: &mut nn::Param| {
-            nn::train::clip_grad_norm(p, 5.0);
-            adam.update(p);
-        };
-        self.bilstm.visit_params(&mut update);
-        self.fc_pred.visit_params(&mut update);
-        self.fc_quant_hidden.visit_params(&mut update);
-        self.fc_quant_out.visit_params(&mut update);
-        adam.step();
         joint
     }
 

@@ -202,6 +202,13 @@ impl KeyPipeline {
         }
     }
 
+    /// Digest over the trained model's exact weight bits (see
+    /// [`PredictionQuantizationModel::weights_digest`]) — used to prove two
+    /// training runs produced bitwise-identical pipelines.
+    pub fn weights_digest(&mut self) -> u64 {
+        self.model.weights_digest()
+    }
+
     /// Assemble a pipeline from pre-trained components.
     pub fn from_parts(
         config: PipelineConfig,

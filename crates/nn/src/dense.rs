@@ -72,8 +72,11 @@ impl Dense {
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.last_input.as_ref().expect("backward before forward");
         let y = self.last_output.as_ref().expect("backward before forward");
-        let dz = grad_out.hadamard(&self.activation.derivative_from_output(y));
-        self.w.accumulate(&x.transpose().matmul(&dz));
+        let mut dz = self.activation.derivative_from_output(y);
+        dz.zip_assign(grad_out, |d, g| g * d);
+        // ΔW accumulates straight into the gradient via the transposed
+        // kernel — no Xᵀ materialisation, no intermediate product matrix.
+        x.tr_matmul_acc(&dz, &mut self.w.grad);
         self.b.accumulate(&dz.sum_rows());
         dz.matmul(&self.w.value.transpose())
     }

@@ -1,0 +1,360 @@
+//! Cache-blocked f32 GEMM kernels behind [`crate::Matrix`].
+//!
+//! Three primitives cover every product the layers compute:
+//!
+//! * [`matmul_acc`] — `C += A·B`, the workhorse. B is packed into
+//!   `KC × NC` panels so the inner loops stream over dense, cache-resident
+//!   rows; A rows are processed four at a time so each packed B row is
+//!   loaded once per four output rows; the innermost loops run over
+//!   [`chunks_exact`](slice::chunks_exact) blocks of 8 so they
+//!   autovectorise without a single branch in the hot path.
+//! * [`matmul_tn_acc`] — `C += Aᵀ·B` without materialising `Aᵀ`, used by
+//!   the backward passes (`ΔW += Xᵀ·ΔZ` per Dense call / LSTM timestep).
+//! * [`reference_matmul`] — the naive branch-free triple loop the blocked
+//!   kernels are tested against.
+//!
+//! # Bit-exactness
+//!
+//! Every kernel accumulates each output element strictly in increasing `k`
+//! (respectively batch-row) order, exactly like the reference triple loop,
+//! so blocking changes memory traffic but not one floating-point result:
+//! `matmul_acc == reference_matmul` **bitwise**, for every shape (enforced
+//! by proptest in `tests/parallel.rs`). There is deliberately no
+//! zero-skip branch: `0·NaN` must stay NaN and the inner loop must stay
+//! branch-free for the vectoriser.
+//!
+//! # Parallelism
+//!
+//! Above [`PAR_FLOP_THRESHOLD`] (and with [`crate::pool::global_jobs`]
+//! `> 1`) the output rows are partitioned across the worker pool. Each row
+//! is computed by exactly one worker with the identical instruction
+//! sequence, so the partition — and therefore the thread count — cannot
+//! change a single bit of the result.
+
+use crate::pool::{global_jobs, Pool};
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// FLOP count (`2·m·k·n`) above which a product is row-partitioned across
+/// the worker pool. Below it the spawn cost of scoped threads outweighs
+/// the work.
+pub const PAR_FLOP_THRESHOLD: usize = 4_000_000;
+
+/// Packed-panel height (rows of B per panel).
+const KC: usize = 128;
+/// Packed-panel width (columns of B per panel).
+const NC: usize = 512;
+/// A rows per micro-pass (each packed B row is reused this many times).
+const MR: usize = 4;
+
+/// FLOP count below which GEMM telemetry is skipped even when enabled —
+/// timing per-sample inference products would cost more than they measure.
+const TELEMETRY_FLOP_FLOOR: usize = 262_144;
+
+thread_local! {
+    /// Reused panel-packing scratch (one per thread; workers pack their own).
+    static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Naive branch-free triple loop: `out = A·B`. The order-defining
+/// reference the blocked kernels must match bitwise.
+pub fn reference_matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "C shape mismatch");
+    out.fill(0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out = A·B` (zeroes `out` first). Shapes: A is `m×k`, B is `k×n`.
+pub fn matmul_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(out.len(), m * n, "C shape mismatch");
+    out.fill(0.0);
+    matmul_acc(m, k, n, a, b, out);
+}
+
+/// `out += A·B`, blocked, packed, and parallel above the size threshold.
+pub fn matmul_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "C shape mismatch");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let timer = gemm_timer(m, k, n);
+    let jobs = global_jobs();
+    if jobs > 1 && 2 * m * k * n >= PAR_FLOP_THRESHOLD && m > 1 {
+        // Partition output rows; each chunk is an independent smaller GEMM
+        // over the same B, bit-identical to its slice of the sequential run.
+        let rows_per = m.div_ceil(jobs);
+        let tasks: Vec<(usize, &mut [f32])> = out
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .map(|(t, chunk)| (t * rows_per, chunk))
+            .collect();
+        Pool::new(jobs).run(tasks, |_, (row0, chunk)| {
+            let rows = chunk.len() / n;
+            matmul_acc_seq(rows, k, n, &a[row0 * k..(row0 + rows) * k], b, chunk);
+        });
+    } else {
+        matmul_acc_seq(m, k, n, a, b, out);
+    }
+    finish_gemm_timer(timer, m, k, n);
+}
+
+/// Sequential blocked `out += A·B` over packed B panels.
+fn matmul_acc_seq(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    PACK.with(|pack| {
+        let mut pack = pack.borrow_mut();
+        pack.resize(KC * NC.min(n.max(1)), 0.0);
+        for nb in (0..n).step_by(NC) {
+            let nc = NC.min(n - nb);
+            for kb in (0..k).step_by(KC) {
+                let kc = KC.min(k - kb);
+                // Pack the kc×nc panel of B into dense rows.
+                for kk in 0..kc {
+                    let src = &b[(kb + kk) * n + nb..(kb + kk) * n + nb + nc];
+                    pack[kk * nc..(kk + 1) * nc].copy_from_slice(src);
+                }
+                let panel = &pack[..kc * nc];
+                // Four A rows per pass over the panel.
+                let mut i = 0;
+                while i + MR <= m {
+                    let a0 = &a[i * k + kb..i * k + kb + kc];
+                    let a1 = &a[(i + 1) * k + kb..(i + 1) * k + kb + kc];
+                    let a2 = &a[(i + 2) * k + kb..(i + 2) * k + kb + kc];
+                    let a3 = &a[(i + 3) * k + kb..(i + 3) * k + kb + kc];
+                    let (r0, rest) = out[i * n + nb..].split_at_mut(n);
+                    let (r1, rest) = rest.split_at_mut(n);
+                    let (r2, r3) = rest.split_at_mut(n);
+                    let o0 = &mut r0[..nc];
+                    let o1 = &mut r1[..nc];
+                    let o2 = &mut r2[..nc];
+                    let o3 = &mut r3[..nc];
+                    for kk in 0..kc {
+                        let brow = &panel[kk * nc..(kk + 1) * nc];
+                        axpy(o0, a0[kk], brow);
+                        axpy(o1, a1[kk], brow);
+                        axpy(o2, a2[kk], brow);
+                        axpy(o3, a3[kk], brow);
+                    }
+                    i += MR;
+                }
+                // Remainder rows.
+                while i < m {
+                    let arow = &a[i * k + kb..i * k + kb + kc];
+                    let orow = &mut out[i * n + nb..i * n + nb + nc];
+                    for kk in 0..kc {
+                        axpy(orow, arow[kk], &panel[kk * nc..(kk + 1) * nc]);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    });
+}
+
+/// `out += Aᵀ·B` without materialising `Aᵀ`. A is `r×m`, B is `r×n`,
+/// out is `m×n`. Each out element accumulates over the shared dimension
+/// `r` in increasing order — the same order as transposing A and running
+/// the reference kernel.
+pub fn matmul_tn_acc(r: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), r * m, "A shape mismatch");
+    assert_eq!(b.len(), r * n, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "C shape mismatch");
+    if r == 0 || m == 0 || n == 0 {
+        return;
+    }
+    let timer = gemm_timer(m, r, n);
+    let jobs = global_jobs();
+    if jobs > 1 && 2 * r * m * n >= PAR_FLOP_THRESHOLD && m > 1 {
+        let rows_per = m.div_ceil(jobs);
+        let tasks: Vec<(usize, &mut [f32])> = out
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .map(|(t, chunk)| (t * rows_per, chunk))
+            .collect();
+        Pool::new(jobs).run(tasks, |_, (row0, chunk)| {
+            let rows = chunk.len() / n;
+            matmul_tn_acc_seq(r, m, n, a, b, chunk, row0, rows);
+        });
+    } else {
+        matmul_tn_acc_seq(r, m, n, a, b, out, 0, m);
+    }
+    finish_gemm_timer(timer, m, r, n);
+}
+
+/// Sequential `out[m0..m0+mc] += (Aᵀ·B)[m0..m0+mc]`; `out` starts at row
+/// `m0` of the full product.
+#[allow(clippy::too_many_arguments)]
+fn matmul_tn_acc_seq(
+    r: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m0: usize,
+    mc: usize,
+) {
+    for i in 0..r {
+        let arow = &a[i * m + m0..i * m + m0 + mc];
+        let brow = &b[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            axpy(&mut out[kk * n..(kk + 1) * n], av, brow);
+        }
+    }
+}
+
+/// Branch-free `o += a·b`. The zipped iterator form carries no bounds
+/// checks, so LLVM autovectorises it (manually unrolled index loops defeat
+/// the vectoriser here — measured ~5× slower).
+#[inline]
+fn axpy(o: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(o.len(), b.len());
+    for (ov, &bv) in o.iter_mut().zip(b) {
+        *ov += a * bv;
+    }
+}
+
+/// Start a GEMM timing observation when telemetry is on and the product is
+/// large enough to be worth measuring.
+fn gemm_timer(m: usize, k: usize, n: usize) -> Option<Instant> {
+    (2 * m * k * n >= TELEMETRY_FLOP_FLOOR && telemetry::enabled()).then(Instant::now)
+}
+
+/// Record a finished GEMM into the per-shape-class histogram
+/// (`nn.gemm.ms.<class>`, classes by FLOP decade).
+fn finish_gemm_timer(timer: Option<Instant>, m: usize, k: usize, n: usize) {
+    let Some(started) = timer else {
+        return;
+    };
+    let flops = 2 * m * k * n;
+    let class = match flops {
+        ..=1_048_575 => "small",
+        1_048_576..=16_777_215 => "medium",
+        _ => "large",
+    };
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    telemetry::histogram(&format!("nn.gemm.ms.{class}"), ms);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (32, 67, 128),
+            (17, 131, 260),
+            (5, 300, 9),
+            (130, 1, 33),
+            // n > NC and k > KC: multi-panel paths.
+            (6, 20, 600),
+            (9, 140, 530),
+        ] {
+            let a = random(&mut rng, m * k);
+            let b = random(&mut rng, k * n);
+            let mut want = vec![0.0; m * n];
+            reference_matmul(m, k, n, &a, &b, &mut want);
+            let mut got = vec![0.0; m * n];
+            matmul_into(m, k, n, &a, &b, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_rows_match_sequential_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (m, k, n) = (64, 90, 120);
+        let a = random(&mut rng, m * k);
+        let b = random(&mut rng, k * n);
+        let mut seq = vec![0.0; m * n];
+        matmul_into(m, k, n, &a, &b, &mut seq);
+        // Drive the partitioned path directly (the threshold would gate it).
+        let rows_per = m.div_ceil(4);
+        let mut par = vec![0.0f32; m * n];
+        let tasks: Vec<(usize, &mut [f32])> = par
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .map(|(t, c)| (t * rows_per, c))
+            .collect();
+        Pool::new(4).run(tasks, |_, (row0, chunk)| {
+            let rows = chunk.len() / n;
+            matmul_acc_seq(rows, k, n, &a[row0 * k..(row0 + rows) * k], &b, chunk);
+        });
+        assert_eq!(
+            seq.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            par.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tn_matches_transpose_then_reference() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for &(r, m, n) in &[(2, 3, 4), (32, 67, 128), (7, 1, 9), (1, 5, 5)] {
+            let a = random(&mut rng, r * m);
+            let b = random(&mut rng, r * n);
+            // Materialised transpose + reference.
+            let mut at = vec![0.0; m * r];
+            for i in 0..r {
+                for j in 0..m {
+                    at[j * r + i] = a[i * m + j];
+                }
+            }
+            let mut want = vec![0.0; m * n];
+            reference_matmul(m, r, n, &at, &b, &mut want);
+            let mut got = vec![0.0; m * n];
+            matmul_tn_acc(r, m, n, &a, &b, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{r}x{m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_propagates_through_zero_coefficients() {
+        // The old kernel skipped a == 0.0, silently losing 0·NaN = NaN.
+        let a = [0.0f32, 1.0];
+        let b = [f32::NAN, 2.0, 3.0, 4.0];
+        let mut out = vec![0.0; 2];
+        matmul_into(1, 2, 2, &a, &b, &mut out);
+        assert!(out[0].is_nan(), "0·NaN must propagate");
+        assert_eq!(out[1], 4.0);
+    }
+
+    #[test]
+    fn acc_accumulates_on_top() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut out = vec![10.0f32];
+        matmul_acc(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out[0], 10.0 + 3.0 + 8.0);
+    }
+}

@@ -17,7 +17,13 @@
 //! * [`Adam`] / [`Sgd`] — optimizers operating on [`Param`]s,
 //! * [`gradcheck`] — finite-difference gradient checking used by the tests,
 //! * [`persist`] — compact binary model persistence (no serde_json in the
-//!   offline allowlist).
+//!   offline allowlist),
+//! * [`kernel`] — cache-blocked, branch-free f32 GEMM kernels (bitwise
+//!   equal to the naive reference loop; row-parallel above a size
+//!   threshold),
+//! * [`pool`] — a scoped-thread worker pool (std only) with deterministic
+//!   in-order results; thread count comes from `VK_JOBS` /
+//!   [`pool::set_global_jobs`] and never changes numerics.
 //!
 //! Everything is deterministic given a seeded `rand` RNG, and all model
 //! state is `serde`-serializable so trained weights can be persisted.
@@ -50,6 +56,7 @@ pub mod activation;
 pub mod bilstm;
 pub mod dense;
 pub mod gradcheck;
+pub mod kernel;
 pub mod loss;
 pub mod lstm;
 pub mod matrix;
@@ -57,6 +64,7 @@ pub mod mlp;
 pub mod optim;
 pub mod param;
 pub mod persist;
+pub mod pool;
 pub mod train;
 
 pub use bilstm::BiLstm;
@@ -66,4 +74,5 @@ pub use matrix::Matrix;
 pub use mlp::Mlp;
 pub use optim::{Adam, Sgd};
 pub use param::Param;
+pub use pool::Pool;
 pub use train::{EarlyStopping, LrSchedule};

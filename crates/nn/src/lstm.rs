@@ -73,20 +73,40 @@ impl Lstm {
     }
 
     /// One forward step from `(h, c)` with input `x` (B×D). Returns the new
-    /// `(h, c)` plus the cache entry.
-    fn step(&self, x: &Matrix, h: &Matrix, c: &Matrix) -> (Matrix, Matrix, StepCache) {
+    /// `(h, c)` plus the cache entry. `z` is a reused B×4H scratch for the
+    /// pre-activations — the only per-step allocations left are the cache
+    /// entry itself and the returned states.
+    fn step(
+        &self,
+        x: &Matrix,
+        h: &Matrix,
+        c: &Matrix,
+        z: &mut Matrix,
+    ) -> (Matrix, Matrix, StepCache) {
+        let (batch, hid) = (x.rows(), self.hidden);
         let concat = x.hcat(h);
-        let z = concat
-            .matmul(&self.w.value)
-            .add_row_broadcast(&self.b.value);
-        let (zi, rest) = z.hsplit(self.hidden);
-        let (zf, rest) = rest.hsplit(self.hidden);
-        let (zg, zo) = rest.hsplit(self.hidden);
-        let i = zi.map(sigmoid);
-        let f = zf.map(sigmoid);
-        let g = zg.map(|v| v.tanh());
-        let o = zo.map(sigmoid);
-        let c_new = f.hadamard(c).add(&i.hadamard(&g));
+        concat.matmul_into(&self.w.value, z);
+        add_bias_rows(z, &self.b.value);
+        let mut i = Matrix::zeros(batch, hid);
+        let mut f = Matrix::zeros(batch, hid);
+        let mut g = Matrix::zeros(batch, hid);
+        let mut o = Matrix::zeros(batch, hid);
+        i.copy_col_block(0, z, 0, hid);
+        f.copy_col_block(0, z, hid, hid);
+        g.copy_col_block(0, z, 2 * hid, hid);
+        o.copy_col_block(0, z, 3 * hid, hid);
+        i.map_inplace(sigmoid);
+        f.map_inplace(sigmoid);
+        g.map_inplace(|v| v.tanh());
+        o.map_inplace(sigmoid);
+        let mut c_new = Matrix::zeros(batch, hid);
+        {
+            let cn = c_new.data_mut();
+            let (fd, cd, id, gd) = (f.data(), c.data(), i.data(), g.data());
+            for j in 0..cn.len() {
+                cn[j] = fd[j] * cd[j] + id[j] * gd[j];
+            }
+        }
         let tanh_c = c_new.map(|v| v.tanh());
         let h_new = o.hadamard(&tanh_c);
         let cache = StepCache {
@@ -113,10 +133,11 @@ impl Lstm {
         let batch = xs[0].rows();
         let mut h = Matrix::zeros(batch, self.hidden);
         let mut c = Matrix::zeros(batch, self.hidden);
+        let mut z = Matrix::zeros(batch, 4 * self.hidden);
         let mut outputs = Vec::with_capacity(xs.len());
         let mut caches = Vec::with_capacity(xs.len());
         for x in xs {
-            let (h_new, c_new, cache) = self.step(x, &h, &c);
+            let (h_new, c_new, cache) = self.step(x, &h, &c, &mut z);
             outputs.push(h_new.clone());
             caches.push(cache);
             h = h_new;
@@ -126,18 +147,47 @@ impl Lstm {
         outputs
     }
 
-    /// Inference-only forward (no cache, `&self`).
+    /// Inference-only forward (no cache, `&self`). All intermediate buffers
+    /// are allocated once and reused across timesteps; the per-element math
+    /// is the identical operation sequence to [`Lstm::forward`], so the two
+    /// agree bitwise.
     pub fn infer(&self, xs: &[Matrix]) -> Vec<Matrix> {
         assert!(!xs.is_empty(), "empty sequence");
-        let batch = xs[0].rows();
-        let mut h = Matrix::zeros(batch, self.hidden);
-        let mut c = Matrix::zeros(batch, self.hidden);
+        let (batch, hid) = (xs[0].rows(), self.hidden);
+        let mut h = Matrix::zeros(batch, hid);
+        let mut c = Matrix::zeros(batch, hid);
+        let mut concat = Matrix::zeros(batch, self.input + hid);
+        let mut z = Matrix::zeros(batch, 4 * hid);
+        let mut gates = Matrix::zeros(batch, 4 * hid);
         let mut outputs = Vec::with_capacity(xs.len());
         for x in xs {
-            let (h_new, c_new, _) = self.step(x, &h, &c);
-            outputs.push(h_new.clone());
-            h = h_new;
-            c = c_new;
+            x.hcat_into(&h, &mut concat);
+            concat.matmul_into(&self.w.value, &mut z);
+            add_bias_rows(&mut z, &self.b.value);
+            gates.copy_col_block(0, &z, 0, 4 * hid);
+            for r in 0..batch {
+                let grow = &mut gates.data_mut()[r * 4 * hid..(r + 1) * 4 * hid];
+                for v in &mut grow[..2 * hid] {
+                    *v = sigmoid(*v); // input + forget
+                }
+                for v in &mut grow[2 * hid..3 * hid] {
+                    *v = v.tanh(); // candidate
+                }
+                for v in &mut grow[3 * hid..] {
+                    *v = sigmoid(*v); // output
+                }
+            }
+            for r in 0..batch {
+                let grow = &gates.data()[r * 4 * hid..(r + 1) * 4 * hid];
+                for j in 0..hid {
+                    let (iv, fv, gv, ov) =
+                        (grow[j], grow[hid + j], grow[2 * hid + j], grow[3 * hid + j]);
+                    let cv = fv * c.get(r, j) + iv * gv;
+                    c.set(r, j, cv);
+                    h.set(r, j, ov * cv.tanh());
+                }
+            }
+            outputs.push(h.clone());
         }
         outputs
     }
@@ -153,35 +203,56 @@ impl Lstm {
     pub fn backward(&mut self, grad_h: &[Matrix]) -> Vec<Matrix> {
         let caches = self.cache.take().expect("backward before forward");
         assert_eq!(caches.len(), grad_h.len(), "sequence length mismatch");
-        let batch = grad_h[0].rows();
-        let mut dh_next = Matrix::zeros(batch, self.hidden);
-        let mut dc_next = Matrix::zeros(batch, self.hidden);
+        let (batch, hid) = (grad_h[0].rows(), self.hidden);
+        // All per-step buffers are hoisted out of the BPTT loop and reused;
+        // Wᵀ (for ΔZ·Wᵀ) is materialised once per call instead of once per
+        // timestep, and ΔW accumulates straight into the parameter gradient
+        // via the transposed kernel — the loop body allocates nothing.
+        let w_t = self.w.value.transpose();
+        let mut dh_next = Matrix::zeros(batch, hid);
+        let mut dc_next = Matrix::zeros(batch, hid);
+        let mut dz = Matrix::zeros(batch, 4 * hid);
+        let mut dconcat = Matrix::zeros(batch, self.input + hid);
         let mut grad_x = vec![Matrix::zeros(batch, self.input); caches.len()];
         for t in (0..caches.len()).rev() {
             let cache = &caches[t];
-            let dh = grad_h[t].add(&dh_next);
-            // h = o ⊙ tanh(c)
-            let do_gate = dh.hadamard(&cache.tanh_c);
-            let dc = dh
-                .hadamard(&cache.o)
-                .hadamard(&cache.tanh_c.map(|v| 1.0 - v * v))
-                .add(&dc_next);
-            let di = dc.hadamard(&cache.g);
-            let df = dc.hadamard(&cache.c_prev);
-            let dg = dc.hadamard(&cache.i);
-            // Pre-activation gradients.
-            let di_pre = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
-            let df_pre = df.hadamard(&cache.f.map(|v| v * (1.0 - v)));
-            let dg_pre = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
-            let do_pre = do_gate.hadamard(&cache.o.map(|v| v * (1.0 - v)));
-            let dz = di_pre.hcat(&df_pre).hcat(&dg_pre).hcat(&do_pre);
-            self.w.accumulate(&cache.concat.transpose().matmul(&dz));
-            self.b.accumulate(&dz.sum_rows());
-            let dconcat = dz.matmul(&self.w.value.transpose());
-            let (dx, dh_prev) = dconcat.hsplit(self.input);
-            grad_x[t] = dx;
-            dh_next = dh_prev;
-            dc_next = dc.hadamard(&cache.f);
+            // Fused element-wise pass: writes the four pre-activation gate
+            // gradients into the columns of ΔZ and advances ΔC in place.
+            for r in 0..batch {
+                let ghr = grad_h[t].row(r);
+                let dhr = dh_next.row(r);
+                let (ir, fr, gr, or) = (
+                    cache.i.row(r),
+                    cache.f.row(r),
+                    cache.g.row(r),
+                    cache.o.row(r),
+                );
+                let (tr, cpr) = (cache.tanh_c.row(r), cache.c_prev.row(r));
+                let dzr_start = r * 4 * hid;
+                let dzr = &mut dz.data_mut()[dzr_start..dzr_start + 4 * hid];
+                let dcr_start = r * hid;
+                for j in 0..hid {
+                    // h = o ⊙ tanh(c)
+                    let dh = ghr[j] + dhr[j];
+                    let dc = dh * or[j] * (1.0 - tr[j] * tr[j]) + dc_next.data()[dcr_start + j];
+                    dzr[j] = dc * gr[j] * (ir[j] * (1.0 - ir[j]));
+                    dzr[hid + j] = dc * cpr[j] * (fr[j] * (1.0 - fr[j]));
+                    dzr[2 * hid + j] = dc * ir[j] * (1.0 - gr[j] * gr[j]);
+                    dzr[3 * hid + j] = dh * tr[j] * (or[j] * (1.0 - or[j]));
+                    dc_next.data_mut()[dcr_start + j] = dc * fr[j];
+                }
+            }
+            // ΔW += concatᵀ·ΔZ, Δb += column sums of ΔZ, ΔX|ΔH = ΔZ·Wᵀ.
+            cache.concat.tr_matmul_acc(&dz, &mut self.w.grad);
+            for r in 0..batch {
+                let dzr = &dz.data()[r * 4 * hid..(r + 1) * 4 * hid];
+                for (bg, &v) in self.b.grad.data_mut().iter_mut().zip(dzr) {
+                    *bg += v;
+                }
+            }
+            dz.matmul_into(&w_t, &mut dconcat);
+            grad_x[t].copy_col_block(0, &dconcat, 0, self.input);
+            dh_next.copy_col_block(0, &dconcat, self.input, hid);
         }
         grad_x
     }
@@ -201,6 +272,18 @@ impl Lstm {
     /// Total number of scalar parameters.
     pub fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
+    }
+}
+
+/// `m[r] += bias` for every row, in place (`bias` is 1×cols).
+fn add_bias_rows(m: &mut Matrix, bias: &Matrix) {
+    let cols = m.cols();
+    assert_eq!(bias.shape(), (1, cols), "bias shape mismatch");
+    let b = bias.row(0);
+    for row in m.data_mut().chunks_exact_mut(cols) {
+        for (v, &bv) in row.iter_mut().zip(b) {
+            *v += bv;
+        }
     }
 }
 

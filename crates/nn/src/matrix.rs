@@ -11,6 +11,14 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty `0×0` matrix (the placeholder `std::mem::take` leaves behind
+    /// when gradient storage is moved out during shard reduction).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -125,32 +133,80 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other` via the blocked kernel
+    /// ([`crate::kernel::matmul_acc`]): branch-free (no zero-skip, so
+    /// `0·NaN` propagates), cache-blocked, and row-parallel above the size
+    /// threshold — bit-identical to the naive triple loop either way.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self · other` without allocating. Panics on shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.check_matmul_shapes(other, out);
+        out.data.fill(0.0);
+        self.matmul_acc(other, out);
+    }
+
+    /// `out += self · other` without allocating — the fused form backward
+    /// passes use to accumulate straight into gradient storage. Panics on
+    /// shape mismatch.
+    pub fn matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        self.check_matmul_shapes(other, out);
+        crate::kernel::matmul_acc(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    /// Panics on shape mismatch (`self.rows != other.rows`).
+    pub fn tr_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.tr_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `out += selfᵀ · other` without allocating or transposing — used for
+    /// weight gradients (`ΔW += Xᵀ·ΔZ`). Panics on shape mismatch.
+    pub fn tr_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "tr_matmul {}x{}ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "tr_matmul output shape"
+        );
+        crate::kernel::matmul_tn_acc(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    fn check_matmul_shapes(&self, other: &Matrix, out: &Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape");
     }
 
     /// Transpose.
@@ -203,6 +259,32 @@ impl Matrix {
         }
     }
 
+    /// Element-wise map in place (no allocation).
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// `self += other` element-wise, in place. Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.zip_assign(other, |a, b| a + b);
+    }
+
+    /// `self = f(self, other)` element-wise, in place. Panics on shape
+    /// mismatch.
+    pub fn zip_assign<F: Fn(f32, f32) -> f32>(&mut self, other: &Matrix, f: F) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in zip_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+    }
+
+    /// Reset every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
     /// Scale by a scalar.
     pub fn scale(&self, s: f32) -> Matrix {
         self.map(|x| x * s)
@@ -245,6 +327,46 @@ impl Matrix {
             rows: self.rows,
             cols,
             data,
+        }
+    }
+
+    /// Write `[self | other]` into `out` without allocating. Panics on
+    /// shape mismatch.
+    pub fn hcat_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, self.cols + other.cols),
+            "hcat output shape"
+        );
+        let cols = out.cols;
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
+        }
+    }
+
+    /// Copy the column block `[from, from + width)` of `src` into the same
+    /// rows of `self` starting at column `to`. Panics on any mismatch.
+    pub fn copy_col_block(&mut self, to: usize, src: &Matrix, from: usize, width: usize) {
+        assert_eq!(self.rows, src.rows, "copy_col_block row mismatch");
+        assert!(from + width <= src.cols, "source block beyond width");
+        assert!(to + width <= self.cols, "destination block beyond width");
+        for r in 0..self.rows {
+            let s = &src.data[r * src.cols + from..r * src.cols + from + width];
+            self.data[r * self.cols + to..r * self.cols + to + width].copy_from_slice(s);
+        }
+    }
+
+    /// Copy of the row block `[r0, r0 + rows)` as its own matrix (the
+    /// per-shard view data-parallel training hands to worker replicas).
+    /// Panics if the block reaches past the last row.
+    pub fn row_block(&self, r0: usize, rows: usize) -> Matrix {
+        assert!(r0 + rows <= self.rows, "row block beyond height");
+        Matrix {
+            rows,
+            cols: self.cols,
+            data: self.data[r0 * self.cols..(r0 + rows) * self.cols].to_vec(),
         }
     }
 
@@ -374,5 +496,75 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
         Matrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero() {
+        // Regression: the old kernel skipped a == 0.0 coefficients, so a
+        // NaN in B could be silently dropped instead of poisoning the row.
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[f32::NAN, 2.0], &[3.0, 4.0]]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan());
+        assert_eq!(c.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn matmul_acc_and_into_match_matmul() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::xavier(7, 13, &mut rng);
+        let b = Matrix::xavier(13, 5, &mut rng);
+        let want = a.matmul(&b);
+        let mut into = Matrix::full(7, 5, 9.0);
+        a.matmul_into(&b, &mut into);
+        assert_eq!(into, want);
+        // Small integers keep every partial sum exact, so accumulating on
+        // top of an existing value is exactly `previous + product`.
+        let ai = a.map(|v| (v * 4.0).round());
+        let bi = b.map(|v| (v * 4.0).round());
+        let wi = ai.matmul(&bi);
+        let mut acc = Matrix::full(7, 5, 9.0);
+        ai.matmul_acc(&bi, &mut acc);
+        assert_eq!(acc, wi.map(|v| v + 9.0));
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Matrix::xavier(9, 4, &mut rng);
+        let b = Matrix::xavier(9, 6, &mut rng);
+        assert_eq!(a.tr_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn inplace_ops_match_allocating_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut m = a.clone();
+        m.add_assign(&b);
+        assert_eq!(m, a.add(&b));
+        let mut m = a.clone();
+        m.zip_assign(&b, |x, y| x * y);
+        assert_eq!(m, a.hadamard(&b));
+        let mut m = a.clone();
+        m.map_inplace(|x| x * 2.0);
+        assert_eq!(m, a.scale(2.0));
+        m.fill_zero();
+        assert_eq!(m, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn hcat_into_and_col_block_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0], &[6.0]]);
+        let mut c = Matrix::full(2, 3, -1.0);
+        a.hcat_into(&b, &mut c);
+        assert_eq!(c, a.hcat(&b));
+        let mut left = Matrix::zeros(2, 2);
+        left.copy_col_block(0, &c, 0, 2);
+        assert_eq!(left, a);
+        let mut right = Matrix::zeros(2, 1);
+        right.copy_col_block(0, &c, 2, 1);
+        assert_eq!(right, b);
     }
 }

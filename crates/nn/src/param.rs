@@ -29,20 +29,19 @@ impl Param {
         }
     }
 
-    /// Reset the accumulated gradient to zero.
+    /// Reset the accumulated gradient to zero (keeps the allocation).
     pub fn zero_grad(&mut self) {
-        let (r, c) = self.value.shape();
-        self.grad = Matrix::zeros(r, c);
+        self.grad.fill_zero();
     }
 
-    /// Accumulate a gradient contribution.
+    /// Accumulate a gradient contribution in place.
     ///
     /// # Panics
     ///
     /// Panics if the gradient shape does not match the value shape.
     pub fn accumulate(&mut self, g: &Matrix) {
         assert_eq!(g.shape(), self.value.shape(), "gradient shape mismatch");
-        self.grad = self.grad.add(g);
+        self.grad.add_assign(g);
     }
 
     /// Number of scalar parameters.

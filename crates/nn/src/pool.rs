@@ -1,0 +1,220 @@
+//! Scoped-thread worker pool for the compute layer.
+//!
+//! The pool executes a batch of independent tasks on up to `threads` OS
+//! threads created with [`std::thread::scope`], so tasks may borrow from the
+//! caller's stack — no `'static` bounds, no unsafe, no queues that outlive
+//! the call. Threads are spawned per [`Pool::run`] invocation; callers keep
+//! the granularity coarse enough (a minibatch shard, a matmul row panel
+//! above [`crate::kernel::PAR_FLOP_THRESHOLD`], a whole experiment) that the
+//! ~tens-of-microseconds spawn cost disappears into the work.
+//!
+//! # Determinism
+//!
+//! [`Pool::run`] returns results **in task order** regardless of which
+//! worker ran which task or in what order they finished. Combined with the
+//! two invariants the compute layer maintains — row-partitioned matmul
+//! computes each output row with an identical instruction sequence on any
+//! partition, and data-parallel training reduces shard gradients in fixed
+//! shard order — every seeded run is bit-identical for any thread count.
+//!
+//! # Telemetry
+//!
+//! Workers re-enter the caller's scoped telemetry registry (see
+//! [`telemetry::scoped`]) so nested parallel work stays attributed to the
+//! right experiment, and each `run` with more than one thread records the
+//! pool utilisation (total busy time over `threads × wall`) into the
+//! `nn.pool.utilization` histogram.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-wide default thread count for the compute layer (see
+/// [`global_jobs`]).
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// The thread count implicit compute-layer parallelism uses (parallel
+/// matmul above the size threshold, data-parallel training). Initialized
+/// lazily from the `VK_JOBS` environment variable; defaults to 1
+/// (everything inline). Thanks to the determinism invariants above, any
+/// value produces bit-identical results — only wall-clock changes.
+pub fn global_jobs() -> usize {
+    match GLOBAL_JOBS.load(Ordering::Relaxed) {
+        0 => {
+            let jobs = std::env::var("VK_JOBS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&j| j >= 1)
+                .unwrap_or(1);
+            GLOBAL_JOBS.store(jobs, Ordering::Relaxed);
+            jobs
+        }
+        jobs => jobs,
+    }
+}
+
+/// Override the process-wide compute-layer thread count (e.g. from a
+/// `--jobs` flag). Values below 1 are clamped to 1.
+pub fn set_global_jobs(jobs: usize) {
+    GLOBAL_JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// A worker pool of bounded width. Cheap to construct; holds no threads
+/// between calls.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool running tasks on up to `threads` threads (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized from [`global_jobs`].
+    pub fn global() -> Self {
+        Pool::new(global_jobs())
+    }
+
+    /// Maximum concurrent threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(index, item)` for every item, with items claimed dynamically
+    /// by up to [`Pool::threads`] workers (the calling thread included).
+    /// Returns the outputs in item order. With one thread (or one item)
+    /// everything runs inline on the caller — the sequential reference path.
+    pub fn run<I, O, F>(&self, items: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let out: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let scope_registry = telemetry::current_scope();
+        let timed = telemetry::enabled();
+        let busy_us = AtomicUsize::new(0);
+        let wall = Instant::now();
+        let work = || {
+            let _scope = scope_registry.clone().map(telemetry::scoped);
+            let started = timed.then(Instant::now);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("task claimed twice");
+                let result = f(i, item);
+                *out[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+            }
+            if let Some(started) = started {
+                busy_us.fetch_add(started.elapsed().as_micros() as usize, Ordering::Relaxed);
+            }
+        };
+        std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(work);
+            }
+            work();
+        });
+        if timed {
+            let wall_us = wall.elapsed().as_micros() as f64;
+            if wall_us > 0.0 {
+                telemetry::histogram(
+                    "nn.pool.utilization",
+                    busy_us.load(Ordering::Relaxed) as f64 / (workers as f64 * wall_us),
+                );
+            }
+            telemetry::counter("nn.pool.tasks", n as u64);
+        }
+        out.into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("worker left a task unfinished")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let out = pool.run(items, |i, item| {
+            assert_eq!(i, item);
+            // Stagger finish order.
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            item * 2
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = Pool::new(1);
+        let caller = std::thread::current().id();
+        let out = pool.run(vec![(); 8], |i, ()| {
+            assert_eq!(std::thread::current().id(), caller);
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_may_borrow_from_the_caller() {
+        let data: Vec<u64> = (0..100).collect();
+        let pool = Pool::new(3);
+        let sums = pool.run(vec![0usize, 1, 2, 3], |_, q| {
+            data[q * 25..(q + 1) * 25].iter().sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let out: Vec<u32> = Pool::new(4).run(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn set_global_jobs_round_trips() {
+        set_global_jobs(3);
+        assert_eq!(global_jobs(), 3);
+        set_global_jobs(0);
+        assert_eq!(global_jobs(), 1);
+        set_global_jobs(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Bit-exactness properties of the blocked/parallel compute layer.
+//!
+//! The contract (see `nn::kernel`): blocking, packing, and row-partitioning
+//! change memory traffic and wall clock, **never** a single bit of the
+//! result. Every property here compares against the naive reference triple
+//! loop with `to_bits()` equality — approximate comparison would hide
+//! reassociation bugs that break seeded reproducibility.
+
+use nn::kernel;
+use nn::pool::{set_global_jobs, Pool};
+use nn::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_vec(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked `matmul_into` is bitwise the reference triple loop, for any
+    /// shape — including shapes that straddle the KC/NC panel boundaries.
+    #[test]
+    fn blocked_matmul_matches_reference(
+        m in 1usize..24,
+        k in 1usize..160,
+        n in 1usize..40,
+        wide in prop::bool::ANY,
+        seed in 0u64..1024,
+    ) {
+        // Occasionally stretch n past the NC=512 panel width (kept rare:
+        // the wide products dominate runtime).
+        let n = if wide { n + 500 } else { n };
+        let a = random_vec(seed, m * k);
+        let b = random_vec(seed ^ 0x9e37, k * n);
+        let mut want = vec![0.0f32; m * n];
+        kernel::reference_matmul(m, k, n, &a, &b, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        kernel::matmul_into(m, k, n, &a, &b, &mut got);
+        prop_assert_eq!(bits(&want), bits(&got), "{}x{}x{}", m, k, n);
+    }
+
+    /// Row-partitioning across any worker count is bitwise the sequential
+    /// blocked kernel (each row is owned by exactly one worker and computed
+    /// with the identical instruction sequence).
+    #[test]
+    fn partitioned_matmul_matches_sequential(
+        m in 2usize..48,
+        k in 1usize..64,
+        n in 1usize..64,
+        jobs in 2usize..9,
+        seed in 0u64..1024,
+    ) {
+        let a = random_vec(seed, m * k);
+        let b = random_vec(seed ^ 0x517c, k * n);
+        let mut seq = vec![0.0f32; m * n];
+        kernel::matmul_into(m, k, n, &a, &b, &mut seq);
+        // Partition exactly like `matmul_acc` does above the FLOP
+        // threshold, but at proptest-sized shapes.
+        let rows_per = m.div_ceil(jobs);
+        let mut par = vec![0.0f32; m * n];
+        let tasks: Vec<(usize, &mut [f32])> = par
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .map(|(t, c)| (t * rows_per, c))
+            .collect();
+        Pool::new(jobs).run(tasks, |_, (row0, chunk)| {
+            let rows = chunk.len() / n;
+            let mut slab = vec![0.0f32; rows * n];
+            kernel::matmul_into(rows, k, n, &a[row0 * k..(row0 + rows) * k], &b, &mut slab);
+            chunk.copy_from_slice(&slab);
+        });
+        prop_assert_eq!(bits(&seq), bits(&par), "{}x{}x{} jobs={}", m, k, n, jobs);
+    }
+
+    /// `matmul_tn_acc` (`C += Aᵀ·B` without materialising the transpose) is
+    /// bitwise transpose-then-reference.
+    #[test]
+    fn tn_matmul_matches_transposed_reference(
+        r in 1usize..48,
+        m in 1usize..24,
+        n in 1usize..32,
+        seed in 0u64..1024,
+    ) {
+        let a = random_vec(seed, r * m);
+        let b = random_vec(seed ^ 0x2ad1, r * n);
+        let mut at = vec![0.0f32; m * r];
+        for i in 0..r {
+            for j in 0..m {
+                at[j * r + i] = a[i * m + j];
+            }
+        }
+        let mut want = vec![0.0f32; m * n];
+        kernel::reference_matmul(m, r, n, &at, &b, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        kernel::matmul_tn_acc(r, m, n, &a, &b, &mut got);
+        prop_assert_eq!(bits(&want), bits(&got), "{}x{}x{}", r, m, n);
+    }
+
+    /// The `Matrix` wrapper (the API the layers actually call) keeps the
+    /// same guarantee end to end, whatever the global jobs setting. Runs
+    /// concurrently with the other properties, which also exercises jobs
+    /// changing mid-flight: results must not depend on it.
+    #[test]
+    fn matrix_matmul_ignores_job_count(
+        m in 1usize..16,
+        k in 1usize..32,
+        n in 1usize..32,
+        jobs in 1usize..9,
+        seed in 0u64..1024,
+    ) {
+        let a = Matrix::from_vec(m, k, random_vec(seed, m * k));
+        let b = Matrix::from_vec(k, n, random_vec(seed ^ 0x77, k * n));
+        set_global_jobs(1);
+        let seq = a.matmul(&b);
+        set_global_jobs(jobs);
+        let par = a.matmul(&b);
+        set_global_jobs(1);
+        prop_assert_eq!(bits(seq.data()), bits(par.data()));
+    }
+}
+
+/// Finite-difference gradient check of the full BiLSTM with the worker
+/// pool active: the parallel compute layer must leave analytic gradients
+/// exactly as correct as the sequential one.
+#[test]
+fn bilstm_gradcheck_with_parallel_pool() {
+    set_global_jobs(4);
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut bl = nn::BiLstm::new(2, 2, &mut rng);
+    let xs: Vec<Matrix> = (0..3).map(|_| Matrix::xavier(2, 2, &mut rng)).collect();
+    let target: Vec<Matrix> = (0..3).map(|_| Matrix::xavier(2, 4, &mut rng)).collect();
+    let (xs2, t2) = (xs.clone(), target.clone());
+    let (xs3, t3) = (xs, target);
+    let err = nn::gradcheck::max_rel_error(
+        &mut bl,
+        move |l: &mut nn::BiLstm| {
+            let hs = l.infer(&xs2);
+            hs.iter()
+                .zip(&t2)
+                .map(|(h, t)| nn::loss::mse(h, t))
+                .sum::<f32>()
+        },
+        move |l: &mut nn::BiLstm| {
+            let hs = l.forward(&xs3);
+            l.zero_grad();
+            let ghs: Vec<Matrix> = hs
+                .iter()
+                .zip(&t3)
+                .map(|(h, t)| nn::loss::mse_grad(h, t))
+                .collect();
+            l.backward(&ghs);
+        },
+        |l, f| l.visit_params(f),
+    );
+    set_global_jobs(1);
+    assert!(err < 2e-2, "gradcheck under parallel pool: rel err {err}");
+}

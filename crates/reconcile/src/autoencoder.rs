@@ -31,6 +31,11 @@ use quantize::BitString;
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
+/// Fixed data-parallel shard width in batch rows for
+/// [`AutoencoderTrainer::train`]. Part of the numerics (the gradient is
+/// reduced shard by shard), so it must not depend on the thread count.
+const SHARD_ROWS: usize = 16;
+
 /// Decoder training objective (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TrainLoss {
@@ -289,8 +294,18 @@ impl AutoencoderTrainer {
             .field("code_dim", m as u64)
             .enter();
         let loss_every = (self.steps / 10).max(1);
+        // Fixed data-parallel shard plan: a function of the batch size only,
+        // never of the thread count. Shard gradients are reduced in shard
+        // order below, so training is bit-identical for every `VK_JOBS`
+        // value — threads change which worker runs a shard, not what is
+        // computed.
+        let shard_plan: Vec<(usize, usize)> = (0..self.batch)
+            .step_by(SHARD_ROWS)
+            .map(|r0| (r0, SHARD_ROWS.min(self.batch - r0)))
+            .collect();
         for step in 0..self.steps {
-            // Synthetic batch.
+            // Synthetic batch. RNG consumption stays on this thread so the
+            // stream is identical for any thread count.
             let mut kb = Matrix::zeros(self.batch, n);
             let mut ka = Matrix::zeros(self.batch, n);
             let mut delta = Matrix::zeros(self.batch, n);
@@ -305,47 +320,78 @@ impl AutoencoderTrainer {
                     delta.set(r, c, f32::from(u8::from(flip)));
                 }
             }
-            let mut enc_b = enc.clone();
-            let mut enc_a = enc.clone();
-            let yb = enc_b.forward(&kb);
-            let ya = enc_a.forward(&ka);
-            let h = yb.sub(&ya);
-            let dx = g.forward(&h);
-            let grad_dx = match self.loss {
-                TrainLoss::Bce => loss::weighted_bce_grad(&dx, &delta, self.pos_weight),
-                TrainLoss::Mse => loss::mse_grad(&dx, &delta),
-            };
-            if telemetry::enabled() && (step % loss_every == 0 || step + 1 == self.steps) {
-                let train_loss = match self.loss {
-                    TrainLoss::Bce => loss::weighted_bce(&dx, &delta, self.pos_weight),
-                    TrainLoss::Mse => loss::mse(&dx, &delta),
+            let want_loss =
+                telemetry::enabled() && (step % loss_every == 0 || step + 1 == self.steps);
+            // Forward/backward per shard on per-worker replicas (weight-tied
+            // encoder clones plus a decoder clone), executed on the global
+            // worker pool. Results come back in shard order.
+            let (enc_ref, g_ref) = (&enc, &g);
+            let shard_out = nn::Pool::global().run(shard_plan.clone(), |_, (r0, rows)| {
+                let kb_s = kb.row_block(r0, rows);
+                let ka_s = ka.row_block(r0, rows);
+                let delta_s = delta.row_block(r0, rows);
+                let mut enc_b = enc_ref.clone();
+                let mut enc_a = enc_ref.clone();
+                let mut dec = g_ref.clone();
+                let yb = enc_b.forward(&kb_s);
+                let ya = enc_a.forward(&ka_s);
+                let h = yb.sub(&ya);
+                let dx = dec.forward(&h);
+                let grad_dx = match self.loss {
+                    TrainLoss::Bce => loss::weighted_bce_grad(&dx, &delta_s, self.pos_weight),
+                    TrainLoss::Mse => loss::mse_grad(&dx, &delta_s),
                 };
+                let shard_loss = want_loss.then(|| match self.loss {
+                    TrainLoss::Bce => loss::weighted_bce(&dx, &delta_s, self.pos_weight),
+                    TrainLoss::Mse => loss::mse(&dx, &delta_s),
+                });
+                enc_b.zero_grad();
+                enc_a.zero_grad();
+                dec.zero_grad();
+                let grad_h = dec.backward(&grad_dx);
+                enc_b.backward(&grad_h);
+                enc_a.backward(&grad_h.scale(-1.0));
+                // Sum the tied gradients (the deployed encoder is shared).
+                let mut enc_grads: Vec<Matrix> = Vec::new();
+                enc_b.visit_params(&mut |p| enc_grads.push(std::mem::take(&mut p.grad)));
+                let mut i = 0;
+                enc_a.visit_params(&mut |p| {
+                    enc_grads[i].add_assign(&p.grad);
+                    i += 1;
+                });
+                let mut dec_grads: Vec<Matrix> = Vec::new();
+                dec.visit_params(&mut |p| dec_grads.push(std::mem::take(&mut p.grad)));
+                (shard_loss, rows, enc_grads, dec_grads)
+            });
+            // Reduce in shard order. Each shard's gradient is the mean over
+            // its own rows; weighting by |shard|/|batch| recovers exactly
+            // the full-batch mean-gradient decomposition.
+            enc.visit_params(&mut |p| p.zero_grad());
+            g.visit_params(&mut |p| p.zero_grad());
+            let mut train_loss = 0.0f32;
+            for (shard_loss, rows, enc_grads, dec_grads) in &shard_out {
+                let scale = *rows as f32 / self.batch as f32;
+                if let Some(l) = shard_loss {
+                    train_loss += l * scale;
+                }
+                let mut i = 0;
+                enc.visit_params(&mut |p| {
+                    p.grad.zip_assign(&enc_grads[i], |a, gr| a + gr * scale);
+                    i += 1;
+                });
+                let mut i = 0;
+                g.visit_params(&mut |p| {
+                    p.grad.zip_assign(&dec_grads[i], |a, gr| a + gr * scale);
+                    i += 1;
+                });
+            }
+            if want_loss {
                 telemetry::mark("reconcile.train.step")
                     .field("step", step as u64)
                     .field("loss", f64::from(train_loss))
                     .emit();
             }
-            enc_b.zero_grad();
-            enc_a.zero_grad();
-            g.zero_grad();
-            let grad_h = g.backward(&grad_dx);
-            enc_b.backward(&grad_h);
-            enc_a.backward(&grad_h.scale(-1.0));
-            // Sum the tied gradients into the shared encoder and update.
-            let mut grads: Vec<Matrix> = Vec::new();
-            enc_b.visit_params(&mut |p| grads.push(p.grad.clone()));
-            let mut i = 0;
-            enc_a.visit_params(&mut |p| {
-                grads[i] = grads[i].add(&p.grad);
-                i += 1;
-            });
-            let mut i = 0;
-            enc.visit_params(&mut |p| {
-                p.zero_grad();
-                p.accumulate(&grads[i]);
-                adam.update(p);
-                i += 1;
-            });
+            enc.visit_params(&mut |p| adam.update(p));
             g.visit_params(&mut |p| adam.update(p));
             adam.step();
         }

@@ -66,6 +66,7 @@ pub use sink::{FanoutSink, JsonLinesSink, MemorySink, Sink, StderrSink};
 pub use span::{SpanBuilder, SpanGuard};
 pub use value::{Fields, Value};
 
+use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
 
 /// The process-wide registry the instrumented pipeline reports to.
@@ -74,11 +75,81 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
-/// Whether the global registry has a sink installed. The fast path for
+thread_local! {
+    /// Stack of scoped registry overrides for this thread (innermost last).
+    static SCOPE: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Reference to the registry a free function should report to: the
+/// innermost scoped override on this thread, or the global registry.
+#[derive(Debug, Clone)]
+pub(crate) enum Handle<'r> {
+    /// A borrowed registry (the global one, or a caller-owned instance).
+    Borrowed(&'r Registry),
+    /// A scoped registry shared across threads.
+    Shared(Arc<Registry>),
+}
+
+impl Handle<'_> {
+    pub(crate) fn registry(&self) -> &Registry {
+        match self {
+            Handle::Borrowed(r) => r,
+            Handle::Shared(r) => r,
+        }
+    }
+}
+
+/// The registry free functions currently report to on this thread.
+fn current() -> Handle<'static> {
+    SCOPE.with(|scope| match scope.borrow().last() {
+        Some(r) => Handle::Shared(Arc::clone(r)),
+        None => Handle::Borrowed(global()),
+    })
+}
+
+/// RAII guard for a scoped registry override; dropping it restores the
+/// previous scope.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|scope| {
+            scope.borrow_mut().pop();
+        });
+    }
+}
+
+/// Route this thread's telemetry (the free functions below) to `registry`
+/// until the returned guard drops. Scopes nest; the innermost wins.
+///
+/// Concurrent experiment runners use this to give each in-flight experiment
+/// an isolated registry — its spans, counters and histograms land in its own
+/// [`MetricsSnapshot`] even while other experiments run on sibling threads.
+/// Worker pools that fan work out on behalf of a scoped thread should
+/// capture [`current_scope`] and re-enter it on their workers so nested
+/// parallelism stays attributed to the right experiment.
+#[must_use = "the scope lasts until the returned guard is dropped"]
+pub fn scoped(registry: Arc<Registry>) -> ScopeGuard {
+    SCOPE.with(|scope| scope.borrow_mut().push(registry));
+    ScopeGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// The scoped registry active on this thread, if any (for propagation into
+/// worker threads — see [`scoped`]).
+pub fn current_scope() -> Option<Arc<Registry>> {
+    SCOPE.with(|scope| scope.borrow().last().map(Arc::clone))
+}
+
+/// Whether the current registry has a sink installed. The fast path for
 /// call sites that would otherwise compute values only telemetry needs.
 #[inline]
 pub fn enabled() -> bool {
-    global().is_enabled()
+    current().registry().is_enabled()
 }
 
 /// Install a sink on the global registry (replacing any previous one).
@@ -96,50 +167,53 @@ pub fn flush() {
     global().flush();
 }
 
-/// Build a span on the global registry: `telemetry::span("reconcile.pass")
-/// .field("pass", 1u64).enter()`.
+/// Build a span on the current registry (scoped override or global):
+/// `telemetry::span("reconcile.pass").field("pass", 1u64).enter()`.
 pub fn span(name: &str) -> SpanBuilder<'static> {
-    global().span(name)
+    SpanBuilder::with_handle(current(), name)
 }
 
-/// Add to a counter on the global registry.
+/// Add to a counter on the current registry.
 #[inline]
 pub fn counter(name: &str, delta: u64) {
-    let registry = global();
+    let handle = current();
+    let registry = handle.registry();
     if registry.is_enabled() {
         registry.counter_add(name, delta);
     }
 }
 
-/// Set a gauge on the global registry.
+/// Set a gauge on the current registry.
 #[inline]
 pub fn gauge(name: &str, value: f64) {
-    let registry = global();
+    let handle = current();
+    let registry = handle.registry();
     if registry.is_enabled() {
         registry.gauge_set(name, value);
     }
 }
 
-/// Record a histogram observation on the global registry.
+/// Record a histogram observation on the current registry.
 #[inline]
 pub fn histogram(name: &str, value: f64) {
-    let registry = global();
+    let handle = current();
+    let registry = handle.registry();
     if registry.is_enabled() {
         registry.histogram_record(name, value);
     }
 }
 
-/// Build a point event on the global registry.
+/// Build a point event on the current registry.
 pub fn mark(name: &str) -> EventBuilder<'static> {
-    global().mark(name)
+    EventBuilder::with_handle(current(), name)
 }
 
-/// Snapshot the global registry's aggregated metrics.
+/// Snapshot the current registry's aggregated metrics.
 pub fn snapshot() -> MetricsSnapshot {
-    global().snapshot()
+    current().registry().snapshot()
 }
 
-/// Reset the global registry's aggregated metrics.
+/// Reset the current registry's aggregated metrics.
 pub fn reset_metrics() {
-    global().reset_metrics();
+    current().registry().reset_metrics();
 }

@@ -173,11 +173,7 @@ impl Registry {
 
     /// Start building a point event (emitted on [`EventBuilder::emit`]).
     pub fn mark(&self, name: &str) -> EventBuilder<'_> {
-        EventBuilder {
-            registry: self,
-            name: name.to_string(),
-            fields: Vec::new(),
-        }
+        EventBuilder::with_handle(crate::Handle::Borrowed(self), name)
     }
 
     /// Add `delta` to the named counter and emit a counter event carrying
@@ -301,12 +297,20 @@ impl Registry {
 /// Builder for a point event ([`EventKind::Mark`]).
 #[derive(Debug)]
 pub struct EventBuilder<'r> {
-    registry: &'r Registry,
+    handle: crate::Handle<'r>,
     name: String,
     fields: Fields,
 }
 
-impl EventBuilder<'_> {
+impl<'r> EventBuilder<'r> {
+    pub(crate) fn with_handle(handle: crate::Handle<'r>, name: &str) -> Self {
+        EventBuilder {
+            handle,
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
     /// Attach a field.
     #[must_use]
     pub fn field(mut self, name: &str, value: impl Into<Value>) -> Self {
@@ -316,11 +320,12 @@ impl EventBuilder<'_> {
 
     /// Emit the event (no-op when the registry is disabled).
     pub fn emit(self) {
-        if !self.registry.is_enabled() {
+        let registry = self.handle.registry();
+        if !registry.is_enabled() {
             return;
         }
-        self.registry.emit(&Event {
-            ts_us: self.registry.now_us(),
+        registry.emit(&Event {
+            ts_us: registry.now_us(),
             kind: EventKind::Mark,
             name: self.name,
             span: None,

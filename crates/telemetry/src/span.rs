@@ -26,15 +26,19 @@ pub(crate) fn current_span_id() -> Option<u64> {
 /// [`SpanBuilder::enter`].
 #[derive(Debug)]
 pub struct SpanBuilder<'r> {
-    registry: &'r Registry,
+    handle: crate::Handle<'r>,
     name: String,
     fields: Fields,
 }
 
 impl<'r> SpanBuilder<'r> {
     pub(crate) fn new(registry: &'r Registry, name: &str) -> Self {
+        Self::with_handle(crate::Handle::Borrowed(registry), name)
+    }
+
+    pub(crate) fn with_handle(handle: crate::Handle<'r>, name: &str) -> Self {
         SpanBuilder {
-            registry,
+            handle,
             name: name.to_string(),
             fields: Vec::new(),
         }
@@ -50,14 +54,15 @@ impl<'r> SpanBuilder<'r> {
     /// Open the span. When the registry is disabled this returns an inert
     /// guard without touching the clock or the sink.
     pub fn enter(self) -> SpanGuard<'r> {
-        if !self.registry.is_enabled() {
+        let registry = self.handle.registry();
+        if !registry.is_enabled() {
             return SpanGuard { active: None };
         }
-        let id = self.registry.allocate_span_id();
+        let id = registry.allocate_span_id();
         let parent = current_span_id();
         SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
-        self.registry.emit(&Event {
-            ts_us: self.registry.now_us(),
+        registry.emit(&Event {
+            ts_us: registry.now_us(),
             kind: EventKind::SpanStart,
             name: self.name.clone(),
             span: Some(id),
@@ -68,7 +73,7 @@ impl<'r> SpanBuilder<'r> {
         });
         SpanGuard {
             active: Some(ActiveSpan {
-                registry: self.registry,
+                handle: self.handle,
                 name: self.name,
                 fields: self.fields,
                 id,
@@ -80,7 +85,7 @@ impl<'r> SpanBuilder<'r> {
 }
 
 struct ActiveSpan<'r> {
-    registry: &'r Registry,
+    handle: crate::Handle<'r>,
     name: String,
     fields: Fields,
     id: u64,
@@ -123,11 +128,10 @@ impl Drop for SpanGuard<'_> {
         });
         let elapsed = active.started.elapsed();
         let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        active
-            .registry
-            .record_span_secs(&active.name, elapsed.as_secs_f64());
-        active.registry.emit(&Event {
-            ts_us: active.registry.now_us(),
+        let registry = active.handle.registry();
+        registry.record_span_secs(&active.name, elapsed.as_secs_f64());
+        registry.emit(&Event {
+            ts_us: registry.now_us(),
             kind: EventKind::SpanEnd,
             name: active.name.clone(),
             span: Some(active.id),

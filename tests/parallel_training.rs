@@ -1,0 +1,89 @@
+//! Data-parallel training must be bit-identical to sequential training.
+//!
+//! The compute layer's contract (`nn::pool`, `nn::kernel`): the worker
+//! count changes wall clock only. Gradient shards are reduced in a fixed
+//! order determined by the batch — never by the thread schedule — so a
+//! seeded run produces the same weight bits at any `jobs` value. These
+//! tests train real models twice (sequential vs. parallel pool) and compare
+//! exact bit patterns, the same gate `repro -- nnbench` enforces at scale.
+
+use nn::pool::set_global_jobs;
+use quantize::BitString;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use reconcile::AutoencoderTrainer;
+use vehicle_key::model::TrainSample;
+use vehicle_key::{ModelConfig, PredictionQuantizationModel};
+
+fn synth_dataset(count: usize, cfg: &ModelConfig, seed: u64) -> Vec<TrainSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| TrainSample {
+            alice: (0..cfg.seq_len)
+                .map(|_| rng.random::<f32>() - 0.5)
+                .collect(),
+            level: (0..cfg.seq_len)
+                .map(|_| rng.random::<f32>() - 0.5)
+                .collect(),
+            bob_norm: (0..cfg.seq_len)
+                .map(|_| rng.random::<f32>() - 0.5)
+                .collect(),
+            bob_bits: (0..cfg.key_bits)
+                .map(|_| rng.random::<bool>())
+                .collect::<BitString>(),
+        })
+        .collect()
+}
+
+/// Train the BiLSTM prediction model with the given worker count; return
+/// (weight digest, final loss bits).
+fn train_model(jobs: usize) -> (u64, u32) {
+    set_global_jobs(jobs);
+    let cfg = ModelConfig::default();
+    let dataset = synth_dataset(48, &cfg, 7001);
+    let mut model = PredictionQuantizationModel::new(cfg, &mut StdRng::seed_from_u64(7002));
+    let report = model.train_epochs(&dataset, 2, &mut StdRng::seed_from_u64(7003));
+    set_global_jobs(1);
+    (model.weights_digest(), report.final_loss.to_bits())
+}
+
+#[test]
+fn bilstm_training_is_bit_identical_across_job_counts() {
+    let (seq_digest, seq_loss) = train_model(1);
+    for jobs in [2, 4, 7] {
+        let (par_digest, par_loss) = train_model(jobs);
+        assert_eq!(
+            seq_digest, par_digest,
+            "weights diverged at jobs={jobs}: {seq_digest:#018x} vs {par_digest:#018x}"
+        );
+        assert_eq!(seq_loss, par_loss, "loss bits diverged at jobs={jobs}");
+    }
+}
+
+/// Train the autoencoder reconciler with the given worker count; return its
+/// syndrome for a fixed key, bit for bit.
+fn train_reconciler(jobs: usize) -> Vec<u32> {
+    set_global_jobs(jobs);
+    let model = AutoencoderTrainer::default()
+        .with_steps(600)
+        .train(&mut StdRng::seed_from_u64(7010));
+    set_global_jobs(1);
+    let key: BitString = (0..model.key_len()).map(|i| i % 3 == 0).collect();
+    model
+        .bob_syndrome(&key)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn autoencoder_training_is_bit_identical_across_job_counts() {
+    let seq = train_reconciler(1);
+    for jobs in [2, 5] {
+        assert_eq!(
+            seq,
+            train_reconciler(jobs),
+            "reconciler diverged at jobs={jobs}"
+        );
+    }
+}
