@@ -1,0 +1,111 @@
+//! `lintbench` — static-analysis benchmark and gate (`BENCH_lint.json`).
+//!
+//! Beyond the paper: runs the vk-lint engine (crates/lint) over the
+//! workspace, times it, and records the finding profile so rule and
+//! lexer changes are visible run over run:
+//!
+//! * **Scan time** — best-of-3 wall time of a full workspace scan
+//!   (lex + all rules + suppression resolution) and derived files/sec.
+//! * **Finding profile** — per-rule hit counts, warn/deny totals, and
+//!   honored suppressions at the committed `lint.toml` severities.
+//! * **Gate** — the experiment **fails** (nonzero `repro` exit) if the
+//!   scan reports any deny-level finding or cannot run at all, so
+//!   `repro lintbench` doubles as the CI lint gate.
+//!
+//! The JSON lands in `$VK_OUT/BENCH_lint.json` when `VK_OUT` is set, else
+//! `results/BENCH_lint.json`.
+
+use crate::table::Table;
+use std::time::Instant;
+use telemetry::Json;
+use vk_lint::{LintOptions, LintReport};
+
+/// Scan repetitions; the best time is reported (I/O cache warm-up
+/// dominates the first pass).
+const REPS: usize = 3;
+
+fn render_json(report: &LintReport, best_s: f64) -> Json {
+    let rule_hits = report
+        .rule_hits
+        .iter()
+        .map(|(id, n)| (id.clone(), Json::UInt(*n as u64)))
+        .collect();
+    Json::Obj(vec![
+        ("bench".into(), Json::Str("lint".into())),
+        ("files".into(), Json::UInt(report.files as u64)),
+        ("deny".into(), Json::UInt(report.deny_count() as u64)),
+        ("warn".into(), Json::UInt(report.warn_count() as u64)),
+        (
+            "suppressions_used".into(),
+            Json::UInt(report.suppressions_used as u64),
+        ),
+        ("rule_hits".into(), Json::Obj(rule_hits)),
+        ("scan_s".into(), Json::Num(best_s)),
+        (
+            "files_per_s".into(),
+            Json::Num(report.files as f64 / best_s.max(1e-9)),
+        ),
+    ])
+}
+
+/// Run the workspace scan, write `BENCH_lint.json`, and gate on deny
+/// findings.
+///
+/// # Errors
+///
+/// Fails when the linter cannot run (config/parse error), when the output
+/// file cannot be written, or when the scan reports deny-level findings.
+pub fn lintbench() -> Result<String, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let opts = LintOptions::default();
+
+    let mut best_s = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = vk_lint::run(&cwd, &opts).map_err(|e| format!("vk-lint failed: {e}"))?;
+        best_s = best_s.min(t.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    // REPS >= 1, so the scan ran at least once.
+    let Some(report) = report else {
+        return Err("lint scan never ran".to_string());
+    };
+
+    let json = render_json(&report, best_s);
+    let dir = match std::env::var("VK_OUT") {
+        Ok(dir) if !dir.is_empty() => dir,
+        _ => "results".to_string(),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = format!("{dir}/BENCH_lint.json");
+    std::fs::write(&path, json.to_string() + "\n")
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+
+    let mut t = Table::new("lintbench: workspace static analysis", &["metric", "value"]);
+    t.row(&["files scanned".to_string(), report.files.to_string()]);
+    t.row(&["deny findings".to_string(), report.deny_count().to_string()]);
+    t.row(&["warn findings".to_string(), report.warn_count().to_string()]);
+    t.row(&[
+        "suppressions honored".to_string(),
+        report.suppressions_used.to_string(),
+    ]);
+    for (rule, hits) in &report.rule_hits {
+        t.row(&[format!("hits [{rule}]"), hits.to_string()]);
+    }
+    t.row(&["best scan time (s)".to_string(), format!("{best_s:.3}")]);
+    t.row(&[
+        "files/sec".to_string(),
+        format!("{:.0}", report.files as f64 / best_s.max(1e-9)),
+    ]);
+    let mut out = t.render();
+
+    if report.deny_count() > 0 {
+        return Err(format!(
+            "lint gate: {} deny-level finding(s) — run `vkey lint` for details",
+            report.deny_count()
+        ));
+    }
+    out.push_str("\nlint gate: clean (0 deny findings)\n");
+    Ok(out)
+}

@@ -11,10 +11,12 @@
 //! | [`fleet`] | Beyond the paper: server throughput over loopback TCP |
 //! | [`chaos`] | Beyond the paper: escalation ladder under fault injection |
 //! | [`nnbench`] | Beyond the paper: compute-layer microbenchmarks (`BENCH_nn.json`) |
+//! | [`lintbench`] | Beyond the paper: static-analysis benchmark and gate (`BENCH_lint.json`) |
 
 pub mod ablate;
 pub mod chaos;
 pub mod fleet;
+pub mod lintbench;
 pub mod modules;
 pub mod nnbench;
 pub mod power;
@@ -74,6 +76,7 @@ pub const ALL: &[&str] = &[
     "fleet",
     "chaos",
     "nnbench",
+    "lintbench",
 ];
 
 /// Run one experiment by name; returns the rendered report.
@@ -106,6 +109,7 @@ pub fn run(name: &str) -> Result<String, String> {
         "fleet" => Ok(fleet::fleet()),
         "chaos" => chaos::chaos(),
         "nnbench" => nnbench::nnbench(),
+        "lintbench" => lintbench::lintbench(),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -124,6 +124,7 @@ pub enum Message {
     /// queries over a block whose MAC check failed. Each query lists the
     /// block-relative bit positions whose XOR Bob must report; positions are
     /// explicit so Bob needs no shared permutation state.
+    // vk-lint: allow(leakage-accounting, "wire-type definitions only; the parity leakage is debited where rounds run (cascade engine, session driver)")
     CascadeParity {
         /// Session identifier.
         session_id: u32,

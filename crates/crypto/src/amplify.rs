@@ -37,8 +37,9 @@ pub fn privacy_amplify(bits: &[bool], out_bits: usize) -> Vec<u8> {
     let mut out = digest[..out_bits.div_ceil(8)].to_vec();
     // Mask unused low bits of the final byte.
     if out_bits % 8 != 0 {
-        let last = out.last_mut().unwrap();
-        *last &= 0xFFu8 << (8 - out_bits % 8);
+        if let Some(last) = out.last_mut() {
+            *last &= 0xFFu8 << (8 - out_bits % 8);
+        }
     }
     out
 }

@@ -1,0 +1,73 @@
+//! `vk-lint` — standalone entry point for the workspace linter.
+//!
+//! ```text
+//! vk-lint [--json] [--deny <allow|warn|deny>] [--self] [--root <dir>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 deny-level findings, 2 config/parse/usage error.
+//! The `vkey lint` subcommand is the same engine with the same flags; this
+//! binary exists so CI and the offline verify harness can run the linter
+//! without building the full server stack.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use vk_lint::{report, LintOptions};
+
+const USAGE: &str = "usage: vk-lint [--json] [--deny <allow|warn|deny>] [--self] [--root <dir>]";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut self_check = false;
+    let mut opts = LintOptions::default();
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--self" => self_check = true,
+            "--deny" => {
+                let Some(level) = args.next().as_deref().and_then(report::parse_deny_floor) else {
+                    eprintln!("error: --deny needs allow|warn|deny\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.deny_floor = Some(level);
+            }
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let started = Instant::now();
+    let result = if self_check {
+        vk_lint::run_self(&root, &opts)
+    } else {
+        vk_lint::run(&root, &opts)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vk-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    if json {
+        print!("{}", report::render_json(&report, elapsed_ms));
+    } else {
+        print!("{}", report::render_human(&report));
+    }
+    ExitCode::from(report::exit_code(&report))
+}

@@ -1,0 +1,259 @@
+//! `lint.toml` — per-crate severities and rule scoping.
+//!
+//! The offline build has no `toml` crate, so this parses a deliberate
+//! subset sufficient for lint configuration:
+//!
+//! ```toml
+//! # comments
+//! [severity.panic-freedom]
+//! default = "warn"
+//! core = "deny"
+//!
+//! [rule.determinism]
+//! paths = ["crates/nn/src/kernel.rs", "crates/nn/src/pool.rs"]
+//! ```
+//!
+//! Sections (`[a.b]`), string values, and string arrays. Anything else —
+//! including valid TOML outside this subset — is a configuration error
+//! (exit code 2), never a silent skip: a typo in `lint.toml` must not
+//! quietly disable a gate.
+
+use std::collections::BTreeMap;
+
+/// Finding severity, ordered: `Allow < Warn < Deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rule disabled for this crate.
+    Allow,
+    /// Reported, does not fail the build.
+    Warn,
+    /// Reported and fails the build (exit 1).
+    Deny,
+}
+
+impl Severity {
+    /// Parse `"allow" | "warn" | "deny"`.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+
+    /// Lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// Configuration error (malformed `lint.toml`).
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Per-rule severity map: a default plus per-crate overrides.
+#[derive(Debug, Clone, Default)]
+pub struct SeverityMap {
+    pub default: Option<Severity>,
+    pub per_crate: BTreeMap<String, Severity>,
+}
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// `[severity.<rule>]` tables.
+    severities: BTreeMap<String, SeverityMap>,
+    /// `[rule.<rule>] paths = […]` scoping tables (workspace-relative,
+    /// `/`-separated). Rules that are path-scoped only run on these files.
+    paths: BTreeMap<String, Vec<String>>,
+}
+
+impl LintConfig {
+    /// Parse `lint.toml` text.
+    ///
+    /// # Errors
+    ///
+    /// Any line outside the supported subset, unknown severity values, and
+    /// unknown top-level sections are errors.
+    pub fn parse(text: &str, known_rules: &[&str]) -> Result<LintConfig, ConfigError> {
+        let mut cfg = LintConfig::default();
+        let mut section: Option<(String, String)> = None;
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let line = match line.find('#') {
+                // A `#` inside quotes would be a value comment-stripping
+                // hazard; the subset forbids `#` in strings.
+                Some(idx) => line[..idx].trim_end(),
+                None => line,
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| ConfigError(format!("line {}: {}", no + 1, msg));
+            if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let (kind, rule) = inner.split_once('.').ok_or_else(|| {
+                    err(format!("section [{inner}] is not [severity.*] or [rule.*]"))
+                })?;
+                if !known_rules.contains(&rule) {
+                    return Err(err(format!("unknown rule '{rule}'")));
+                }
+                if !matches!(kind, "severity" | "rule") {
+                    return Err(err(format!("unknown section kind '{kind}'")));
+                }
+                section = Some((kind.to_string(), rule.to_string()));
+                continue;
+            }
+            let (entry, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected `name = value`, got '{line}'")))?;
+            let (entry, value) = (entry.trim(), value.trim());
+            let Some((kind, rule)) = &section else {
+                return Err(err(format!("entry '{entry}' outside any section")));
+            };
+            if kind == "severity" {
+                let sval = parse_string(value)
+                    .ok_or_else(|| err(format!("severity for '{entry}' must be a string")))?;
+                let sev = Severity::parse(&sval)
+                    .ok_or_else(|| err(format!("bad severity '{sval}' (allow|warn|deny)")))?;
+                let map = cfg.severities.entry(rule.clone()).or_default();
+                if entry == "default" {
+                    map.default = Some(sev);
+                } else {
+                    map.per_crate.insert(entry.to_string(), sev);
+                }
+            } else {
+                // `kind` can only be "rule" here (validated at the section
+                // header).
+                if entry != "paths" {
+                    return Err(err(format!("unknown rule entry '{entry}' (only 'paths')")));
+                }
+                let list = parse_string_array(value)
+                    .ok_or_else(|| err("paths must be an array of strings".to_string()))?;
+                cfg.paths.insert(rule.clone(), list);
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Effective severity of `rule` for `crate_id`, given the rule's
+    /// built-in default.
+    pub fn severity(&self, rule: &str, crate_id: &str, builtin_default: Severity) -> Severity {
+        match self.severities.get(rule) {
+            None => builtin_default,
+            Some(map) => map
+                .per_crate
+                .get(crate_id)
+                .copied()
+                .or(map.default)
+                .unwrap_or(builtin_default),
+        }
+    }
+
+    /// Path scope for a rule, if configured (workspace-relative paths).
+    pub fn rule_paths(&self, rule: &str) -> Option<&[String]> {
+        self.paths.get(rule).map(Vec::as_slice)
+    }
+
+    /// Override a rule's path scope (used by built-in defaults when the
+    /// config file does not pin one).
+    pub fn set_default_paths(&mut self, rule: &str, paths: &[&str]) {
+        self.paths
+            .entry(rule.to_string())
+            .or_insert_with(|| paths.iter().map(|p| (*p).to_string()).collect());
+    }
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    v.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::to_string)
+}
+
+fn parse_string_array(v: &str) -> Option<Vec<String>> {
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["panic-freedom", "determinism"];
+
+    #[test]
+    fn parses_severities_and_paths() {
+        let cfg = LintConfig::parse(
+            "# header\n\
+             [severity.panic-freedom]\n\
+             default = \"warn\"   # inline comment\n\
+             core = \"deny\"\n\
+             \n\
+             [rule.determinism]\n\
+             paths = [\"crates/nn/src/kernel.rs\", \"crates/nn/src/pool.rs\"]\n",
+            RULES,
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.severity("panic-freedom", "core", Severity::Warn),
+            Severity::Deny
+        );
+        assert_eq!(
+            cfg.severity("panic-freedom", "nn", Severity::Deny),
+            Severity::Warn,
+            "explicit default overrides the builtin"
+        );
+        assert_eq!(
+            cfg.severity("determinism", "nn", Severity::Deny),
+            Severity::Deny,
+            "unconfigured rule falls back to builtin"
+        );
+        assert_eq!(cfg.rule_paths("determinism").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        assert!(LintConfig::parse("[severity.typo-rule]\n", RULES).is_err());
+    }
+
+    #[test]
+    fn bad_severity_is_an_error() {
+        assert!(LintConfig::parse("[severity.panic-freedom]\ncore = \"fatal\"\n", RULES).is_err());
+    }
+
+    #[test]
+    fn keys_outside_sections_error() {
+        assert!(LintConfig::parse("core = \"deny\"\n", RULES).is_err());
+    }
+
+    #[test]
+    fn default_paths_do_not_override_config() {
+        let mut cfg =
+            LintConfig::parse("[rule.determinism]\npaths = [\"crates/a.rs\"]\n", RULES).unwrap();
+        cfg.set_default_paths("determinism", &["crates/b.rs"]);
+        assert_eq!(cfg.rule_paths("determinism").unwrap(), ["crates/a.rs"]);
+        cfg.set_default_paths("panic-freedom", &["crates/c.rs"]);
+        assert_eq!(cfg.rule_paths("panic-freedom").unwrap(), ["crates/c.rs"]);
+    }
+}

@@ -1,0 +1,324 @@
+//! The analysis driver: walk the workspace, run every rule on every file,
+//! resolve severities, apply suppressions.
+
+use crate::config::{ConfigError, LintConfig, Severity};
+use crate::rules::{self, RawFinding, Rule};
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// A resolved finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Effective severity (never `Allow`).
+    pub severity: Severity,
+    /// Human message.
+    pub message: String,
+}
+
+/// Whole-run report.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Files analyzed.
+    pub files: usize,
+    /// Suppressions that actually silenced a finding.
+    pub suppressions_used: usize,
+    /// Per-rule hit counts (post-suppression), in rule order.
+    pub rule_hits: Vec<(String, usize)>,
+}
+
+impl LintReport {
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+}
+
+/// Driver failure: unreadable tree, parse failure, bad config — exit 2.
+#[derive(Debug)]
+pub enum LintError {
+    /// `lint.toml` malformed.
+    Config(ConfigError),
+    /// I/O failure walking or reading the tree.
+    Io(String),
+    /// A source file failed to lex.
+    Parse { path: String, message: String },
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Config(e) => write!(f, "{e}"),
+            LintError::Io(m) => write!(f, "io: {m}"),
+            LintError::Parse { path, message } => write!(f, "{path}: parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for LintError {
+    fn from(e: ConfigError) -> Self {
+        LintError::Config(e)
+    }
+}
+
+/// Options for one run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Promote findings at or above this severity to deny (`--deny warn`).
+    pub deny_floor: Option<Severity>,
+    /// Restrict analysis to paths under this workspace-relative prefix
+    /// (`--self` uses `crates/lint`).
+    pub only_prefix: Option<String>,
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing `[workspace]` is found.
+///
+/// # Errors
+///
+/// Errors when no workspace root exists above `start`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| LintError::Io(format!("cannot canonicalize {}: {e}", start.display())))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| LintError::Io(format!("cannot read {}: {e}", manifest.display())))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        let Some(parent) = dir.parent() else {
+            return Err(LintError::Io(format!(
+                "no workspace Cargo.toml above {}",
+                start.display()
+            )));
+        };
+        dir = parent.to_path_buf();
+    }
+}
+
+/// Load `lint.toml` from the workspace root (built-in defaults if absent).
+///
+/// # Errors
+///
+/// Propagates parse errors — a malformed config must not silently disable
+/// gates.
+pub fn load_config(root: &Path) -> Result<LintConfig, LintError> {
+    let path = root.join("lint.toml");
+    let ids = rules::rule_ids();
+    let mut cfg = if path.is_file() {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| LintError::Io(format!("cannot read {}: {e}", path.display())))?;
+        LintConfig::parse(&text, &ids)?
+    } else {
+        LintConfig::default()
+    };
+    // Built-in scope defaults for the path-scoped rules, used when
+    // lint.toml does not pin its own list.
+    cfg.set_default_paths(
+        "determinism",
+        &[
+            "crates/nn/src/kernel.rs",
+            "crates/nn/src/pool.rs",
+            "crates/reconcile/src/autoencoder.rs",
+            "crates/core/src/model.rs",
+        ],
+    );
+    cfg.set_default_paths(
+        "wire-safety",
+        &[
+            "crates/server/src/framing.rs",
+            "crates/server/src/session.rs",
+        ],
+    );
+    Ok(cfg)
+}
+
+/// Run the linter over the workspace at `root`.
+///
+/// # Errors
+///
+/// Returns [`LintError`] for unreadable trees and unlexable files (exit 2
+/// territory); findings are *not* errors.
+pub fn lint_workspace(
+    root: &Path,
+    cfg: &LintConfig,
+    opts: &LintOptions,
+) -> Result<LintReport, LintError> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let rule_set = rules::all_rules();
+    let mut report = LintReport::default();
+    let mut hits: Vec<(String, usize)> = rules::rule_ids()
+        .into_iter()
+        .map(|id| (id.to_string(), 0))
+        .collect();
+
+    for rel in files {
+        if let Some(prefix) = &opts.only_prefix {
+            if !rel.starts_with(prefix.as_str()) {
+                continue;
+            }
+        }
+        let abs = root.join(&rel);
+        let text = std::fs::read_to_string(&abs)
+            .map_err(|e| LintError::Io(format!("cannot read {}: {e}", abs.display())))?;
+        let crate_id = crate_id_for(&rel);
+        let file = SourceFile::parse(&rel, &crate_id, text).map_err(|e| LintError::Parse {
+            path: rel.clone(),
+            message: e.to_string(),
+        })?;
+        report.files += 1;
+
+        // Engine-emitted rule: malformed suppressions are always deny —
+        // a suppression that does not parse must never look like it works.
+        for bad in &file.bad_suppressions {
+            push_finding(
+                &mut report,
+                &mut hits,
+                opts,
+                Finding {
+                    rule: "bad-suppression".to_string(),
+                    path: rel.clone(),
+                    line: bad.line,
+                    col: bad.col,
+                    severity: Severity::Deny,
+                    message: bad.message.clone(),
+                },
+            );
+        }
+
+        let mut raw: Vec<RawFinding> = Vec::new();
+        for rule in &rule_set {
+            if !rule_applies(rule.as_ref(), cfg, &rel) {
+                continue;
+            }
+            let before = raw.len();
+            rule.check(&file, &mut raw);
+            let severity = cfg.severity(rule.id(), &crate_id, rule.default_severity());
+            let new = raw.split_off(before);
+            for f in new {
+                if severity == Severity::Allow {
+                    continue;
+                }
+                if file.suppressed(f.rule, f.line).is_some() {
+                    report.suppressions_used += 1;
+                    continue;
+                }
+                push_finding(
+                    &mut report,
+                    &mut hits,
+                    opts,
+                    Finding {
+                        rule: f.rule.to_string(),
+                        path: rel.clone(),
+                        line: f.line,
+                        col: f.col,
+                        severity,
+                        message: f.message,
+                    },
+                );
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    report.rule_hits = hits;
+    Ok(report)
+}
+
+fn rule_applies(rule: &dyn Rule, cfg: &LintConfig, rel_path: &str) -> bool {
+    if !rule.path_scoped() {
+        return true;
+    }
+    cfg.rule_paths(rule.id())
+        .is_some_and(|paths| paths.iter().any(|p| p == rel_path))
+}
+
+fn push_finding(
+    report: &mut LintReport,
+    hits: &mut [(String, usize)],
+    opts: &LintOptions,
+    mut f: Finding,
+) {
+    if let Some(floor) = opts.deny_floor {
+        if f.severity >= floor {
+            f.severity = Severity::Deny;
+        }
+    }
+    if let Some(h) = hits.iter_mut().find(|(id, _)| *id == f.rule) {
+        h.1 += 1;
+    }
+    report.findings.push(f);
+}
+
+/// Crate config key for a workspace-relative path: the directory under
+/// `crates/`, else `root` (top-level `src/`, `tests/`, `examples/`).
+fn crate_id_for(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+/// Recursively collect `.rs` files, workspace-relative, skipping build
+/// output and hidden directories.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| LintError::Io(format!("cannot read {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(format!("walk {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" || name == "results" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| LintError::Io(format!("strip {}: {e}", path.display())))?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}

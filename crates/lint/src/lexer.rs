@@ -1,0 +1,535 @@
+//! Hand-rolled Rust lexer.
+//!
+//! `vk-lint` cannot use `syn`/`proc-macro2` (the offline build has no cargo
+//! registry), so it tokenizes Rust source directly. The lexer does not aim
+//! for full fidelity with rustc — it aims for *positional correctness* of
+//! the token classes the rules care about: identifiers must never be
+//! conjured out of string literals or comments, and comments must survive
+//! with exact positions so suppressions anchor to the right lines.
+//!
+//! The tricky corners it handles exactly:
+//!
+//! * cooked strings with escapes (`"a \" b"`), byte strings (`b"…"`)
+//! * raw strings `r"…"`, `r#"…"#`, … with any hash depth, and `br#"…"#`
+//! * char literals vs lifetimes (`'a'` vs `'a`), including `'\''` and
+//!   `'\u{1F600}'`
+//! * nested block comments `/* /* */ */` (Rust nests them; C does not)
+//! * doc comments (`///`, `//!`, `/** */`) — classified as comments
+//! * raw identifiers `r#type`
+//!
+//! Numbers are tokenized loosely (enough to not split `1.0e-5` into
+//! identifier-bearing fragments); the rules never inspect numeric values.
+
+/// Token classes. Comments are kept in the stream — the suppression pass
+/// needs them — and rules filter them out via [`TokenKind::is_comment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are normalized: `r#type`
+    /// yields text `type`).
+    Ident,
+    /// `'a` — a lifetime (or loop label).
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `"…"` or `b"…"` (cooked, escapes left as written).
+    Str,
+    /// `r"…"`, `r#"…"#`, `br"…"`, … — raw string of any hash depth.
+    RawStr,
+    /// Numeric literal.
+    Number,
+    /// Single punctuation character (`.`, `!`, `(`, `::` is two tokens).
+    Punct,
+    /// `// …` including doc line comments.
+    LineComment,
+    /// `/* … */` including doc block comments, nesting respected.
+    BlockComment,
+}
+
+impl TokenKind {
+    /// Whether this token is a comment (excluded from rule token streams).
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One token: kind plus byte span and 1-based line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column (in bytes) of `start`.
+    pub col: u32,
+}
+
+/// A lexing failure: unterminated string/comment/char.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+/// Tokenize `src`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings, chars, or block
+/// comments; everything else lexes (unknown bytes become `Punct`).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Whether the literal consumed by `raw_or_byte_string` was raw.
+    last_raw: bool,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            last_raw: false,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, maintaining line/col.
+    fn bump(&mut self) {
+        if let Some(&b) = self.src.get(self.pos) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn error(&self, message: &str) -> LexError {
+        LexError {
+            line: self.line,
+            col: self.col,
+            message: message.to_string(),
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        while let Some(b) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b if b.is_ascii_whitespace() => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|b| b != b'\n') {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment()?;
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'r' | b'b' if self.raw_or_byte_string()? => {
+                    // raw_or_byte_string consumed the literal and reports
+                    // which kind it was via `self.last_raw`.
+                    let kind = if self.last_raw {
+                        TokenKind::RawStr
+                    } else {
+                        TokenKind::Str
+                    };
+                    self.push(kind, start, line, col);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump(); // b
+                    self.char_literal()?;
+                    self.push(TokenKind::Char, start, line, col);
+                }
+                b'"' => {
+                    self.cooked_string()?;
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    if self.is_lifetime() {
+                        self.bump(); // '
+                        while self.peek(0).is_some_and(is_ident_continue) {
+                            self.bump();
+                        }
+                        self.push(TokenKind::Lifetime, start, line, col);
+                    } else {
+                        self.char_literal()?;
+                        self.push(TokenKind::Char, start, line, col);
+                    }
+                }
+                b if is_ident_start(b) => {
+                    // Raw identifier r#name: skip the prefix so the token
+                    // text equals the bare name.
+                    if b == b'r'
+                        && self.peek(1) == Some(b'#')
+                        && self.peek(2).is_some_and(is_ident_start)
+                    {
+                        self.bump_n(2);
+                    }
+                    let id_start = self.pos;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.out.push(Token {
+                        kind: TokenKind::Ident,
+                        start: id_start,
+                        end: self.pos,
+                        line,
+                        col,
+                    });
+                }
+                b if b.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Number, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    /// `'` starts a lifetime iff the next char is an identifier start and
+    /// the char after that is not a closing `'` (then it is `'x'`).
+    fn is_lifetime(&self) -> bool {
+        self.peek(1).is_some_and(is_ident_start) && self.peek(2) != Some(b'\'')
+    }
+
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        self.bump_n(2); // /*
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => return Err(self.error("unterminated block comment")),
+            }
+        }
+        Ok(())
+    }
+
+    fn cooked_string(&mut self) -> Result<(), LexError> {
+        self.bump(); // opening "
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => self.bump_n(2),
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => self.bump(),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn char_literal(&mut self) -> Result<(), LexError> {
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump(); // backslash
+                self.bump(); // escaped char (u of \u{…} handled below)
+                             // \u{…}
+                if self.peek(0) == Some(b'{') {
+                    while self.peek(0).is_some_and(|b| b != b'}') {
+                        self.bump();
+                    }
+                    self.bump(); // }
+                }
+            }
+            Some(_) => {
+                // A multi-byte UTF-8 scalar is fine: consume until the
+                // closing quote below.
+                self.bump();
+                while self.peek(0).is_some_and(|b| b != b'\'' && b != b'\n') {
+                    self.bump();
+                }
+            }
+            None => return Err(self.error("unterminated char literal")),
+        }
+        if self.peek(0) != Some(b'\'') {
+            return Err(self.error("unterminated char literal"));
+        }
+        self.bump(); // closing '
+        Ok(())
+    }
+
+    /// Number: digits, `_`, letters (suffixes, hex), `.` when followed by a
+    /// digit, and an exponent sign after `e`/`E`.
+    fn number(&mut self) {
+        let mut prev = 0u8;
+        while let Some(b) = self.peek(0) {
+            let take = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()))
+                || ((b == b'+' || b == b'-')
+                    && (prev == b'e' || prev == b'E')
+                    && self.peek(1).is_some_and(|n| n.is_ascii_digit()));
+            if !take {
+                break;
+            }
+            prev = b;
+            self.bump();
+        }
+    }
+
+    /// Attempt to consume a raw/byte string starting at the current `r`/`b`.
+    /// Returns whether a string literal was consumed; sets `last_raw`.
+    fn raw_or_byte_string(&mut self) -> Result<bool, LexError> {
+        let (prefix_len, raw) = match (self.peek(0), self.peek(1), self.peek(2)) {
+            (Some(b'r'), Some(b'"'), _) | (Some(b'r'), Some(b'#'), _) => (1, true),
+            (Some(b'b'), Some(b'"'), _) => (1, false),
+            (Some(b'b'), Some(b'r'), Some(b'"')) | (Some(b'b'), Some(b'r'), Some(b'#')) => {
+                (2, true)
+            }
+            _ => return Ok(false),
+        };
+        // For `r#…` make sure this is a raw string, not a raw identifier
+        // (`r#type`): after the hashes there must be a quote.
+        let mut hashes = 0usize;
+        while self.peek(prefix_len + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(prefix_len + hashes) != Some(b'"') {
+            return Ok(false);
+        }
+        self.last_raw = raw;
+        if !raw {
+            // b"…" is a cooked byte string.
+            self.bump(); // b
+            self.cooked_string()?;
+            return Ok(true);
+        }
+        self.bump_n(prefix_len + hashes + 1); // prefix, hashes, opening "
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    let mut close = 0usize;
+                    while close < hashes && self.peek(1 + close) == Some(b'#') {
+                        close += 1;
+                    }
+                    if close == hashes {
+                        self.bump_n(1 + hashes);
+                        return Ok(true);
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+                None => return Err(self.error("unterminated raw string literal")),
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, src[t.start..t.end].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "a", "unwrap"]);
+    }
+
+    #[test]
+    fn raw_identifier_normalized() {
+        let toks = kinds("r#type");
+        assert_eq!(toks, [(TokenKind::Ident, "type".to_string())]);
+    }
+
+    #[test]
+    fn cooked_string_with_escapes() {
+        let toks = kinds(r#"let s = "a \" unwrap() b";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        // The unwrap inside the string must NOT be an identifier token.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        for src in [
+            "r\"plain .unwrap()\"",
+            "r#\"one \" hash\"#",
+            "r##\"two \"# hashes\"##",
+            "br#\"byte raw\"#",
+            "b\"byte cooked\"",
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src} should be one literal: {toks:?}");
+            assert!(
+                matches!(toks[0].0, TokenKind::RawStr | TokenKind::Str),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_string_hash_mismatch_scans_past_lesser_closes() {
+        let toks = kinds("r##\"contains \"# inner\"##");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn quote_escape_char() {
+        let toks = kinds(r"let q = '\'';");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+    }
+
+    #[test]
+    fn unicode_escape_char() {
+        let toks = kinds(r"let e = '\u{1F600}';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* /* */").is_err());
+        assert!(lex("\"no close").is_err());
+        assert!(lex("r#\"no close\"").is_err());
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// doc with unwrap()\n//! inner doc\nfn f() {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::LineComment)
+                .count(),
+            2
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn numbers_stay_whole() {
+        let toks = kinds("let x = 1.0e-5 + 0xFF_u32 + 2.5; a.max(1)");
+        let numbers: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(numbers, ["1.0e-5", "0xFF_u32", "2.5", "1"]);
+        // `a.max(1)` must keep `max` as an ident, not glue into a number.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_exact() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,61 @@
+//! vk-lint — domain-aware static analysis for the Vehicle-Key workspace.
+//!
+//! The paper's security argument survives an eavesdropper only while three
+//! machine-checkable invariants hold in the implementation: key material
+//! never reaches an observable sink (secret hygiene), the exchange path
+//! degrades through typed errors instead of panics (panic-freedom), and
+//! the data-parallel compute layer stays bit-reproducible (determinism).
+//! PR 3 and PR 4 established those invariants by hand; this crate keeps
+//! them from silently regressing, on every commit.
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (no `syn` offline): raw strings,
+//!   nested block comments, lifetimes vs char literals, raw identifiers
+//! * [`source`] — per-file model: test regions, `vk-lint: allow` comments
+//! * [`config`] — `lint.toml`: per-crate severities, rule path scopes
+//! * [`rules`] — the catalogue (L1 panic-freedom … L5 leakage accounting)
+//! * [`engine`] — workspace walker + severity/suppression resolution
+//! * [`report`] — human and JSON-lines rendering (vk-telemetry's `Json`)
+//!
+//! Entry points: [`run`] (whole workspace) and [`run_self`] (the linter
+//! linting itself — `vkey lint --self`; the analyzer is not exempt from
+//! its own rules). Exit-code contract: 0 clean, 1 findings at deny, 2
+//! config/parse error.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use config::{LintConfig, Severity};
+pub use engine::{
+    find_workspace_root, lint_workspace, load_config, Finding, LintError, LintOptions, LintReport,
+};
+
+use std::path::Path;
+
+/// Lint the workspace containing `start` (any directory inside it).
+///
+/// # Errors
+///
+/// Returns [`LintError`] for config/parse/IO failures (exit 2); findings
+/// are reported in the `Ok` report, not as errors.
+pub fn run(start: &Path, opts: &LintOptions) -> Result<LintReport, LintError> {
+    let root = find_workspace_root(start)?;
+    let cfg = load_config(&root)?;
+    lint_workspace(&root, &cfg, opts)
+}
+
+/// Self-check: lint `crates/lint` itself with the same config.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_self(start: &Path, opts: &LintOptions) -> Result<LintReport, LintError> {
+    let opts = LintOptions {
+        only_prefix: Some("crates/lint".to_string()),
+        ..opts.clone()
+    };
+    run(start, &opts)
+}

@@ -1,0 +1,99 @@
+//! Rendering: human-readable findings and JSON lines.
+//!
+//! The JSON output reuses `vk-telemetry`'s hand-rolled [`Json`] value type
+//! so the whole workspace speaks one JSON dialect (same escaping, same
+//! number formatting as the telemetry traces and run manifests).
+
+use crate::config::Severity;
+use crate::engine::{Finding, LintReport};
+use telemetry::Json;
+
+/// Render one finding as `path:line:col: severity [rule] message`.
+pub fn render_finding(f: &Finding) -> String {
+    format!(
+        "{}:{}:{}: {} [{}] {}",
+        f.path,
+        f.line,
+        f.col,
+        f.severity.name(),
+        f.rule,
+        f.message
+    )
+}
+
+/// Render the human report (findings plus a one-line summary).
+pub fn render_human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&render_finding(f));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "vk-lint: {} file(s), {} deny, {} warn, {} suppression(s) honored\n",
+        report.files,
+        report.deny_count(),
+        report.warn_count(),
+        report.suppressions_used,
+    ));
+    out
+}
+
+/// One JSON object per finding.
+pub fn finding_json(f: &Finding) -> Json {
+    Json::Obj(vec![
+        ("kind".into(), Json::Str("finding".into())),
+        ("rule".into(), Json::Str(f.rule.clone())),
+        ("severity".into(), Json::Str(f.severity.name().into())),
+        ("path".into(), Json::Str(f.path.clone())),
+        ("line".into(), Json::Num(f64::from(f.line))),
+        ("col".into(), Json::Num(f64::from(f.col))),
+        ("message".into(), Json::Str(f.message.clone())),
+    ])
+}
+
+/// Trailing summary object.
+pub fn summary_json(report: &LintReport, elapsed_ms: f64) -> Json {
+    Json::Obj(vec![
+        ("kind".into(), Json::Str("summary".into())),
+        ("files".into(), Json::Num(report.files as f64)),
+        ("deny".into(), Json::Num(report.deny_count() as f64)),
+        ("warn".into(), Json::Num(report.warn_count() as f64)),
+        (
+            "suppressions_used".into(),
+            Json::Num(report.suppressions_used as f64),
+        ),
+        (
+            "rule_hits".into(),
+            Json::Obj(
+                report
+                    .rule_hits
+                    .iter()
+                    .map(|(id, n)| (id.clone(), Json::Num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+        ("elapsed_ms".into(), Json::Num(elapsed_ms)),
+    ])
+}
+
+/// Render the full JSON-lines report: one line per finding, summary last.
+pub fn render_json(report: &LintReport, elapsed_ms: f64) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&finding_json(f).to_string());
+        out.push('\n');
+    }
+    out.push_str(&summary_json(report, elapsed_ms).to_string());
+    out.push('\n');
+    out
+}
+
+/// Exit code for a finished run: 0 clean, 1 deny-level findings.
+pub fn exit_code(report: &LintReport) -> u8 {
+    u8::from(report.deny_count() > 0)
+}
+
+/// The severity type re-exported for callers building options.
+pub fn parse_deny_floor(s: &str) -> Option<Severity> {
+    Severity::parse(s)
+}

@@ -1,0 +1,93 @@
+//! L3 — determinism.
+//!
+//! PR 4's contract: seeded runs are bit-identical at ANY `VK_JOBS` value.
+//! That only holds while the compute kernels and shard-reduce paths keep
+//! wall-clock, thread identity, and unordered reductions out of the
+//! numerics. This rule is *path-scoped* (`[rule.determinism] paths` in
+//! `lint.toml`, defaulting to the GEMM kernel, the worker pool, and the two
+//! data-parallel trainers) and flags, outside test code:
+//!
+//! * `Instant::now(…)` / `SystemTime::now(…)` — wall-clock reads. Timing
+//!   that feeds *telemetry only* is fine but must say so with a
+//!   suppression, so every new clock read gets a human decision.
+//! * `thread::current()` — thread identity (ids, names) must never select
+//!   work or seed anything.
+//! * `.sum()` / `.product()` iterator reductions — float addition is not
+//!   associative; reductions in these files must be explicit
+//!   fixed-order loops (see `nn::kernel`'s increasing-k contract).
+//! * `HashMap` / `HashSet` — iteration order is randomized per process;
+//!   shard plans and reduce orders must come from `Vec`/`BTreeMap`.
+
+use super::{RawFinding, Rule};
+use crate::config::Severity;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no wall-clock/thread-id/unordered reductions in bit-reproducible paths"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn path_scoped(&self) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for i in 0..file.code.len() {
+            let Some(name) = file.ident_at(i) else {
+                continue;
+            };
+            let t = file.code[i];
+            if file.in_test_code(t.start) {
+                continue;
+            }
+            let mut hit = |message: String| {
+                out.push(RawFinding {
+                    rule: "determinism",
+                    offset: t.start,
+                    line: t.line,
+                    col: t.col,
+                    message,
+                });
+            };
+            match name {
+                "Instant" | "SystemTime"
+                    if file.is_path_sep(i + 1) && file.is_ident(i + 3, "now") =>
+                {
+                    hit(format!(
+                        "{name}::now in a bit-reproducible path — results must not depend on the clock"
+                    ));
+                }
+                "thread" if file.is_path_sep(i + 1) && file.is_ident(i + 3, "current") => {
+                    hit("thread::current in a bit-reproducible path — thread identity must not select work".to_string());
+                }
+                "sum" | "product"
+                    if i > 0 && file.is_punct(i - 1, b'.') && {
+                        // `.sum()` or `.sum::<f32>()`.
+                        file.is_punct(i + 1, b'(') || file.is_path_sep(i + 1)
+                    } =>
+                {
+                    hit(format!(
+                        ".{name}() reduction — float reduction order must be explicit in this path"
+                    ));
+                }
+                "HashMap" | "HashSet" => {
+                    hit(format!(
+                        "{name} has randomized iteration order — use Vec/BTreeMap in this path"
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}

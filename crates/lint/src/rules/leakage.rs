@@ -1,0 +1,77 @@
+//! L5 — leakage accounting.
+//!
+//! PR 3's entropy bookkeeping: every Cascade parity bit revealed on the
+//! wire is debited from privacy amplification (`amplify_with_leakage`), on
+//! both sides, or the final key silently over-claims entropy. The honest
+//! version of that invariant needs the *accounting to live next to the
+//! revealing*: a module that constructs or answers Cascade parity messages
+//! without referencing the leakage debit is exactly how the books drift.
+//!
+//! File-scoped heuristic: if a file's non-test code mentions the Cascade
+//! parity wire messages (`CascadeParity`, `CascadeParityReply`) or declares
+//! new wire-tag constants (identifiers starting `TAG_`), the same file must
+//! also reference the accounting vocabulary — `amplify_with_leakage`,
+//! `leaked_bits`, `leakage`, or `leaked`. One finding per file, anchored at
+//! the first unaccounted mention.
+//!
+//! This is deliberately coarse (module granularity, name-based): it cannot
+//! prove the debit is *correct*, only that the author had to think about
+//! it. Fixture tests pin both directions.
+
+use super::{RawFinding, Rule};
+use crate::config::Severity;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct LeakageAccounting;
+
+const PARITY_MARKERS: &[&str] = &["CascadeParity", "CascadeParityReply"];
+const ACCOUNTING: &[&str] = &["amplify_with_leakage", "leaked_bits", "leakage", "leaked"];
+
+impl Rule for LeakageAccounting {
+    fn id(&self) -> &'static str {
+        "leakage-accounting"
+    }
+
+    fn description(&self) -> &'static str {
+        "modules touching Cascade parity must reference the leakage debit"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let mut first_marker = None;
+        let mut accounted = false;
+        for i in 0..file.code.len() {
+            let Some(name) = file.ident_at(i) else {
+                continue;
+            };
+            let t = file.code[i];
+            if file.in_test_code(t.start) {
+                continue;
+            }
+            if ACCOUNTING.contains(&name) {
+                accounted = true;
+            } else if first_marker.is_none()
+                && (PARITY_MARKERS.contains(&name) || name.starts_with("TAG_"))
+            {
+                first_marker = Some(t);
+            }
+        }
+        if let (Some(t), false) = (first_marker, accounted) {
+            out.push(RawFinding {
+                rule: "leakage-accounting",
+                offset: t.start,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` used without any leakage accounting reference in this module \
+                     (amplify_with_leakage / leaked_bits)",
+                    file.tok(&t)
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The rule catalogue.
+//!
+//! Every rule is a pure function over one [`SourceFile`]: it emits raw
+//! findings (no severity — the engine resolves severity from `lint.toml`
+//! and applies suppressions afterwards). Rules never look at test code
+//! except where explicitly documented (leakage accounting is file-scoped).
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/`assert!` family in non-test code |
+//! | `secret-hygiene` | key-material identifiers must not flow into format/log/telemetry sinks |
+//! | `determinism` | no wall-clock, thread-id, or unordered reductions in bit-reproducible compute paths |
+//! | `wire-safety` | no truncating `as` casts or unchecked indexing in the wire codec |
+//! | `leakage-accounting` | modules touching Cascade parity must reference the leakage debit |
+//! | `bad-suppression` | suppressions must parse and carry a reason (engine-emitted) |
+
+pub mod determinism;
+pub mod leakage;
+pub mod panic_freedom;
+pub mod secret_hygiene;
+pub mod wire_safety;
+
+use crate::config::Severity;
+use crate::source::SourceFile;
+
+/// A raw finding (severity resolved later by the engine).
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Byte offset of the offending token (for test-region checks).
+    pub offset: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human message.
+    pub message: String,
+}
+
+/// A lint rule.
+pub trait Rule {
+    /// Stable id used in config, suppressions, and output.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+    /// Severity when `lint.toml` says nothing for a crate.
+    fn default_severity(&self) -> Severity;
+    /// Whether the rule only runs on config-listed paths.
+    fn path_scoped(&self) -> bool {
+        false
+    }
+    /// Emit findings for one file.
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>);
+}
+
+/// All built-in rules, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(panic_freedom::PanicFreedom),
+        Box::new(secret_hygiene::SecretHygiene),
+        Box::new(determinism::Determinism),
+        Box::new(wire_safety::WireSafety),
+        Box::new(leakage::LeakageAccounting),
+    ]
+}
+
+/// Ids of every rule, including the engine-emitted `bad-suppression`.
+pub fn rule_ids() -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
+    ids.push("bad-suppression");
+    ids
+}

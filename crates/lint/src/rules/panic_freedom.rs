@@ -1,0 +1,116 @@
+//! L1 — panic-freedom.
+//!
+//! The exchange path must degrade through typed errors, never panics: a
+//! panicking worker tears down a session (at best) or the whole server (at
+//! worst), and PR 3's recovery ladder only works if failures surface as
+//! `Result`s it can escalate on. This rule flags, outside test code:
+//!
+//! * `.unwrap()` / `.expect(…)` method calls
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!` macro invocations
+//! * *indexing-adjacent* asserts: an `assert!`-family macro whose body
+//!   contains an index expression (`assert!(buf[0] == MAGIC)`) is an abort
+//!   hiding a bounds assumption. Plain precondition asserts with documented
+//!   `# Panics` contracts (`assert_eq!(a.len(), b.len())`) are left alone —
+//!   they are part of the API surface, not accidents.
+//!
+//! Identifiers named `unwrap`/`expect` that are *not* call receivers
+//! (e.g. a local function `fn unwrap_group_key`) are not flagged: the
+//! pattern requires a preceding `.` and a following `(`.
+
+use super::{RawFinding, Rule};
+use crate::config::Severity;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct PanicFreedom;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const ASSERT_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+impl Rule for PanicFreedom {
+    fn id(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable!/todo!/assert! in non-test code"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for i in 0..file.code.len() {
+            let Some(name) = file.ident_at(i) else {
+                continue;
+            };
+            let t = file.code[i];
+            if file.in_test_code(t.start) {
+                continue;
+            }
+            // `.unwrap()` / `.expect(` — require the receiver dot and the
+            // call parenthesis so type/field names don't trip it.
+            if (name == "unwrap" || name == "expect")
+                && i > 0
+                && file.is_punct(i - 1, b'.')
+                && file.is_punct(i + 1, b'(')
+            {
+                out.push(finding(
+                    &t,
+                    format!(".{name}() can panic — return a typed error instead"),
+                ));
+                continue;
+            }
+            // Macro invocations: ident `!` ( or [ or {.
+            let is_macro_call = file.is_punct(i + 1, b'!')
+                && matches!(file.punct_at(i + 2), Some(b'(') | Some(b'[') | Some(b'{'));
+            if !is_macro_call {
+                continue;
+            }
+            if PANIC_MACROS.contains(&name) {
+                out.push(finding(
+                    &t,
+                    format!("{name}! aborts the session — escalate through a typed error"),
+                ));
+            } else if ASSERT_MACROS.contains(&name) && assert_body_indexes(file, i + 2) {
+                out.push(finding(
+                    &t,
+                    format!(
+                        "{name}! around an index expression — bounds-check and return an error"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether the macro group opening at `code[open]` contains an index
+/// expression: `[` directly following an identifier, `)`, or `]`.
+fn assert_body_indexes(file: &SourceFile, open: usize) -> bool {
+    let close = file.matching_close(open);
+    (open + 1..close).any(|j| {
+        file.is_punct(j, b'[')
+            && j > 0
+            && (file.ident_at(j - 1).is_some()
+                || file.is_punct(j - 1, b')')
+                || file.is_punct(j - 1, b']'))
+    })
+}
+
+fn finding(t: &crate::lexer::Token, message: String) -> RawFinding {
+    RawFinding {
+        rule: "panic-freedom",
+        offset: t.start,
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}

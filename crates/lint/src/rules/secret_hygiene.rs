@@ -1,0 +1,432 @@
+//! L2 — secret hygiene.
+//!
+//! Vehicle-Key's security argument assumes the 128-bit key and its
+//! precursors (quantized bit strings, mismatch vectors, amplification
+//! outputs) never appear on any observable channel except the protocol
+//! frames whose leakage is accounted for. A key that reaches a debug print,
+//! a log line, or a telemetry label is burned even if the wire protocol is
+//! perfect — and the LoRa-Key/channel-differencing line of attacks shows a
+//! few correlated bits suffice.
+//!
+//! ## Taint sources
+//!
+//! An identifier is key material when:
+//!
+//! * one of its snake_case segments is `key`, `keys`, `secret`, or
+//!   `secrets` — unless another segment marks it as *metadata about* keys
+//!   (`len`, `bits`, `rate`, `count`, `match`, `seed`, `id`, `idx`, `kind`,
+//!   `tag`, `name`, `size`, `dim`, `gen`), or
+//! * it is one of the exact domain names: `k_alice`, `k_bob`, `k_eve`,
+//!   `ka`, `kb`, `delta_x`, `pairwise`, `amplified`.
+//!
+//! ## Propagation
+//!
+//! `let x = <expr with tainted ident>;` and `for x in <tainted expr>`
+//! taint `x` for the rest of the file, in file order and transitively.
+//! This catches the common hex-dump pattern
+//! (`let hex = key.iter().map(…)`) but not flows through function
+//! returns or fields — see DESIGN.md §13 for the known false-negative
+//! envelope. Two scoping rules keep the transitive closure honest:
+//! bindings *inside test code* never taint (tests print keys
+//! legitimately, and test-local names must not poison production code
+//! sharing the file), and a binding whose initializer is a closure
+//! literal (`let bench = |r| { … key … }`) is skipped — defining a
+//! closure observes nothing; the leak, if any, is at its call site.
+//!
+//! ## Sinks
+//!
+//! * format-family macros (`format!`, `println!`, `eprintln!`, `write!`,
+//!   `panic!`, …): a tainted identifier among the arguments, or an inline
+//!   capture `{key}` / `{key:?}` / `{key:x}` inside the format string
+//! * `telemetry::counter/gauge/histogram/mark/span(…)` argument lists
+//! * `.to_string()` / `format!("{:?}")`-style Debug routing on a tainted
+//!   identifier
+//!
+//! A tainted identifier immediately followed by `.len(`, `.is_empty(`, or
+//! `.capacity(` is not a leak (size metadata, not content). Test code is
+//! skipped: tests print keys legitimately.
+
+use super::{RawFinding, Rule};
+use crate::config::Severity;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::collections::HashSet;
+
+/// See module docs.
+pub struct SecretHygiene;
+
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "log",
+    "trace",
+    "debug",
+    "info",
+    "warn",
+    "error",
+];
+
+const TELEMETRY_SINKS: &[&str] = &["counter", "gauge", "histogram", "mark", "span", "event"];
+
+/// Segments that make a `key`-bearing identifier metadata, not material.
+const BENIGN_SEGMENTS: &[&str] = &[
+    "len",
+    "bits",
+    "bit",
+    "rate",
+    "count",
+    "match",
+    "matches",
+    "matched",
+    "seed",
+    "id",
+    "idx",
+    "kind",
+    "tag",
+    "name",
+    "size",
+    "dim",
+    "gen",
+    "mismatch",
+    "mismatches",
+];
+
+const EXACT_SECRETS: &[&str] = &[
+    "k_alice",
+    "k_bob",
+    "k_eve",
+    "ka",
+    "kb",
+    "delta_x",
+    "pairwise",
+    "amplified",
+];
+
+/// Methods on a tainted value that expose only aggregate metadata: sizes,
+/// and the mismatch statistics (`hamming`, `agreement`) that are the
+/// paper's designed observables. A call to one of these neutralizes the
+/// receiver *and* its arguments (`a.hamming(&kb)` is a count, even though
+/// `kb` is key material).
+const BENIGN_METHODS: &[&str] = &["len", "is_empty", "capacity", "hamming", "agreement"];
+
+/// Whether an identifier names key material.
+pub fn is_secret_name(name: &str) -> bool {
+    if EXACT_SECRETS.contains(&name) {
+        return true;
+    }
+    let lower = name.to_ascii_lowercase();
+    let segments: Vec<&str> = lower.split('_').filter(|s| !s.is_empty()).collect();
+    let has_secret_segment = segments
+        .iter()
+        .any(|s| matches!(*s, "key" | "keys" | "secret" | "secrets"));
+    has_secret_segment && !segments.iter().any(|s| BENIGN_SEGMENTS.contains(s))
+}
+
+/// Whether any snake_case segment of `name` marks it as metadata.
+fn has_benign_segment(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.split('_').any(|s| BENIGN_SEGMENTS.contains(&s))
+}
+
+impl Rule for SecretHygiene {
+    fn id(&self) -> &'static str {
+        "secret-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "key material must not reach format/log/telemetry sinks"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let tainted = propagate_taint(file);
+        let is_tainted = |name: &str| is_secret_name(name) || tainted.contains(name);
+
+        let code = &file.code;
+        let mut i = 0;
+        while i < code.len() {
+            let t = code[i];
+            if file.in_test_code(t.start) {
+                i += 1;
+                continue;
+            }
+            let Some(name) = file.ident_at(i) else {
+                i += 1;
+                continue;
+            };
+            // Sink 1: format-family macro call.
+            if FORMAT_MACROS.contains(&name)
+                && file.is_punct(i + 1, b'!')
+                && matches!(file.punct_at(i + 2), Some(b'(') | Some(b'[') | Some(b'{'))
+            {
+                let close = file.matching_close(i + 2);
+                scan_sink_args(file, i + 2, close, name, &is_tainted, out);
+                i = close + 1;
+                continue;
+            }
+            // Sink 2: telemetry::<metric>(…) calls.
+            if name == "telemetry" && file.is_path_sep(i + 1) {
+                if let Some(method) = file.ident_at(i + 3) {
+                    if TELEMETRY_SINKS.contains(&method) && file.is_punct(i + 4, b'(') {
+                        let close = file.matching_close(i + 4);
+                        scan_sink_args(file, i + 4, close, "telemetry", &is_tainted, out);
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+            // Sink 3: <tainted>.to_string() — Display routing.
+            if is_tainted(name)
+                && file.is_punct(i + 1, b'.')
+                && file.is_ident(i + 2, "to_string")
+                && file.is_punct(i + 3, b'(')
+            {
+                out.push(RawFinding {
+                    rule: "secret-hygiene",
+                    offset: t.start,
+                    line: t.line,
+                    col: t.col,
+                    message: format!("key material `{name}` routed through .to_string()"),
+                });
+                i += 4;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// One-hop taint propagation: `let <pat> = <expr with secret>;` and
+/// `for <pat> in <expr with secret>` taint the bound identifiers.
+pub fn propagate_taint(file: &SourceFile) -> HashSet<String> {
+    let mut tainted: HashSet<String> = HashSet::new();
+    let code = &file.code;
+    let mut i = 0;
+    while i < code.len() {
+        let (is_let, is_for) = (file.is_ident(i, "let"), file.is_ident(i, "for"));
+        if !is_let && !is_for {
+            i += 1;
+            continue;
+        }
+        // Bindings inside test code never taint: tests bind production-y
+        // names (`block`, `msg`) from key-bearing fixtures, and letting
+        // those poison the non-test half of the file drowns the rule in
+        // false positives.
+        if file.in_test_code(code[i].start) {
+            i += 1;
+            continue;
+        }
+        // Collect pattern idents up to `=` (let) / `in` (for), then scan
+        // the initializer up to `;` (let) / `{` (for).
+        let mut j = i + 1;
+        let mut pat_idents: Vec<String> = Vec::new();
+        let stop_pat = |f: &SourceFile, j: usize| {
+            if is_let {
+                f.is_punct(j, b'=') || f.is_punct(j, b';')
+            } else {
+                f.is_ident(j, "in") || f.is_punct(j, b'{')
+            }
+        };
+        while j < code.len() && !stop_pat(file, j) {
+            if let Some(id) = file.ident_at(j) {
+                // Skip type-position identifiers loosely: `let x: Vec<u8>`
+                // — an ident right after a single `:` is a type, not a
+                // binding.
+                let after_colon =
+                    j >= 1 && file.is_punct(j - 1, b':') && !(j >= 2 && file.is_punct(j - 2, b':'));
+                if after_colon {
+                    j += 1;
+                    continue;
+                }
+                if !matches!(id, "mut" | "ref") {
+                    pat_idents.push(id.to_string());
+                }
+            }
+            j += 1;
+        }
+        if j >= code.len() || file.is_punct(j, b';') || file.is_punct(j, b'{') {
+            i = j + 1;
+            continue;
+        }
+        // Initializer scan. A closure literal (`let f = |x| …` /
+        // `let f = move |x| …`) is a definition, not an evaluation: skip
+        // it entirely — key idents in its body leak (or not) where the
+        // closure is *called*, and those sites are scanned on their own.
+        let mut k = j + 1;
+        if is_let
+            && (file.is_punct(k, b'|') || (file.is_ident(k, "move") && file.is_punct(k + 1, b'|')))
+        {
+            i = k + 1;
+            continue;
+        }
+        let mut rhs_tainted = false;
+        // `if let` / `while let` have no trailing `;` — their scrutinee
+        // ends at the block `{`, like a `for` loop's iterable. Scanning to
+        // the next `;` would swallow the first statement of the block,
+        // hiding its bindings from this pass.
+        let brace_ended =
+            !is_let || (i >= 1 && (file.is_ident(i - 1, "if") || file.is_ident(i - 1, "while")));
+        let end_rhs = |f: &SourceFile, k: usize| {
+            if brace_ended {
+                f.is_punct(k, b'{')
+            } else {
+                f.is_punct(k, b';')
+            }
+        };
+        let mut depth = 0usize;
+        while k < code.len() {
+            // A benign-method call group (`.hamming(&kb)`, `.len()`) is
+            // aggregate metadata — skip it wholesale, arguments included.
+            if file.is_punct(k, b'.')
+                && file
+                    .ident_at(k + 1)
+                    .is_some_and(|m| BENIGN_METHODS.contains(&m))
+                && file.is_punct(k + 2, b'(')
+            {
+                k = file.matching_close(k + 2) + 1;
+                continue;
+            }
+            match file.punct_at(k) {
+                Some(b'(') | Some(b'[') => depth += 1,
+                Some(b')') | Some(b']') => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            if depth == 0 && end_rhs(file, k) {
+                break;
+            }
+            if let Some(id) = file.ident_at(k) {
+                if is_secret_name(id) || tainted.contains(id) {
+                    // The receiver of a benign method does not taint.
+                    let benign = file.is_punct(k + 1, b'.')
+                        && file
+                            .ident_at(k + 2)
+                            .is_some_and(|m| BENIGN_METHODS.contains(&m));
+                    if !benign {
+                        rhs_tainted = true;
+                    }
+                }
+            }
+            k += 1;
+        }
+        if rhs_tainted {
+            for id in pat_idents {
+                // A bound name carrying a benign segment (`key_matched`,
+                // `mismatch_count`) declares itself metadata *about* keys;
+                // the rule is name-driven, so honor the convention.
+                if !has_benign_segment(&id) {
+                    tainted.insert(id);
+                }
+            }
+        }
+        i = k + 1;
+    }
+    tainted
+}
+
+/// Scan a sink's argument group `(open..close)` for tainted identifiers and
+/// tainted inline format captures.
+fn scan_sink_args(
+    file: &SourceFile,
+    open: usize,
+    close: usize,
+    sink: &str,
+    is_tainted: &dyn Fn(&str) -> bool,
+    out: &mut Vec<RawFinding>,
+) {
+    let mut j = open + 1;
+    while j < close {
+        // Skip benign-method call groups wholesale — `x.hamming(&kb)` is a
+        // count even though both operands are key material.
+        if file.is_punct(j, b'.')
+            && file
+                .ident_at(j + 1)
+                .is_some_and(|m| BENIGN_METHODS.contains(&m))
+            && file.is_punct(j + 2, b'(')
+        {
+            j = file.matching_close(j + 2) + 1;
+            continue;
+        }
+        let t = file.code[j];
+        if t.kind == TokenKind::Ident {
+            let name = file.tok(&t);
+            if !is_tainted(name) {
+                j += 1;
+                continue;
+            }
+            let benign = file.is_punct(j + 1, b'.')
+                && file
+                    .ident_at(j + 2)
+                    .is_some_and(|m| BENIGN_METHODS.contains(&m));
+            if benign {
+                j += 1;
+                continue;
+            }
+            out.push(RawFinding {
+                rule: "secret-hygiene",
+                offset: t.start,
+                line: t.line,
+                col: t.col,
+                message: format!("key material `{name}` flows into {sink} sink"),
+            });
+        } else if matches!(t.kind, TokenKind::Str | TokenKind::RawStr) {
+            // Inline captures: {ident}, {ident:?}, {ident:x}, …
+            let text = file.tok(&t);
+            for cap in inline_captures(text) {
+                if is_tainted(&cap) {
+                    out.push(RawFinding {
+                        rule: "secret-hygiene",
+                        offset: t.start,
+                        line: t.line,
+                        col: t.col,
+                        message: format!("key material `{cap}` captured in {sink} format string"),
+                    });
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Extract identifiers from `{ident…}` captures in a format string.
+fn inline_captures(s: &str) -> Vec<String> {
+    let mut caps = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2; // escaped {{
+                continue;
+            }
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if j > i + 1 && !bytes[i + 1].is_ascii_digit() {
+                caps.push(s[i + 1..j].to_string());
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    caps
+}

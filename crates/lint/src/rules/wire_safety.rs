@@ -1,0 +1,88 @@
+//! L4 — wire safety.
+//!
+//! The server codec parses attacker-controllable bytes. Two classes of
+//! silent wrongness are cheap to catch at the token level and expensive to
+//! catch in production:
+//!
+//! * **truncating `as` casts** — `frame.len() as u32` silently wraps for
+//!   lengths over 4 GiB; a wrapped length prefix desynchronizes the frame
+//!   stream. Use `try_from` with a typed error, or suppress with the bound
+//!   that makes the cast exact.
+//! * **unchecked indexing** — `buf[3]` panics on a short read; a panicking
+//!   worker is a remote DoS. Use `get(…)` or split APIs, or suppress with
+//!   the length check that guards the site.
+//!
+//! Path-scoped (`[rule.wire-safety] paths`), defaulting to the server's
+//! framing and session codec. Flags, outside test code:
+//!
+//! * `as u8` / `as u16` / `as u32` / `as i8` / `as i16` / `as i32`
+//! * index expressions: `[` directly following an identifier, `)`, or `]`
+
+use super::{RawFinding, Rule};
+use crate::config::Severity;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct WireSafety;
+
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+impl Rule for WireSafety {
+    fn id(&self) -> &'static str {
+        "wire-safety"
+    }
+
+    fn description(&self) -> &'static str {
+        "no truncating casts or unchecked indexing in the wire codec"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn path_scoped(&self) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for i in 0..file.code.len() {
+            let t = file.code[i];
+            if file.in_test_code(t.start) {
+                continue;
+            }
+            // Truncating cast: `as` followed by a narrow integer type.
+            if file.is_ident(i, "as") {
+                if let Some(ty) = file.ident_at(i + 1) {
+                    if NARROW_TYPES.contains(&ty) {
+                        out.push(RawFinding {
+                            rule: "wire-safety",
+                            offset: t.start,
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "`as {ty}` silently truncates — use {ty}::try_from with a typed error"
+                            ),
+                        });
+                    }
+                }
+                continue;
+            }
+            // Index expression: `[` directly after ident / `)` / `]`.
+            if file.is_punct(i, b'[')
+                && i > 0
+                && (file.ident_at(i - 1).is_some()
+                    || file.is_punct(i - 1, b')')
+                    || file.is_punct(i - 1, b']'))
+            {
+                out.push(RawFinding {
+                    rule: "wire-safety",
+                    offset: t.start,
+                    line: t.line,
+                    col: t.col,
+                    message: "unchecked index into wire data — use get(…) or document the guard"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Per-file source model: tokens, test regions, suppressions.
+//!
+//! Rules receive a [`SourceFile`] and work on `code` — the comment-free
+//! token stream — while suppressions are parsed from the comments the lexer
+//! kept. Test regions (`#[cfg(test)]`/`#[test]` items, files under a
+//! `tests/` directory) are precomputed as byte ranges so every rule can ask
+//! [`SourceFile::in_test_code`] cheaply.
+
+use crate::lexer::{self, LexError, Token, TokenKind};
+
+/// A suppression comment: `// vk-lint: allow(rule-id, "reason")`.
+///
+/// The reason is mandatory — a reason-less suppression does not suppress
+/// anything and is itself reported (rule `bad-suppression`).
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id being allowed (or `all`).
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line the comment starts on (1-based).
+    pub line: u32,
+}
+
+/// A malformed suppression (missing reason, unparseable form).
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Config key of the owning crate: the directory name under `crates/`
+    /// (`core`, `server`, …) or `root` for the top-level package.
+    pub crate_id: String,
+    /// Full source text.
+    pub text: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Comment-free token stream (what rules walk).
+    pub code: Vec<Token>,
+    /// Byte ranges that are test code.
+    test_regions: Vec<(usize, usize)>,
+    /// Parsed suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed suppressions (reported as findings).
+    pub bad_suppressions: Vec<BadSuppression>,
+}
+
+impl SourceFile {
+    /// Lex and analyze one file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexer failures (unterminated literals/comments).
+    pub fn parse(rel_path: &str, crate_id: &str, text: String) -> Result<SourceFile, LexError> {
+        let tokens = lexer::lex(&text)?;
+        let code: Vec<Token> = tokens
+            .iter()
+            .copied()
+            .filter(|t| !t.kind.is_comment())
+            .collect();
+        let whole_file_test = rel_path.split('/').any(|seg| seg == "tests");
+        let (suppressions, bad_suppressions) = parse_suppressions(&tokens, &text);
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_id: crate_id.to_string(),
+            text,
+            tokens,
+            code,
+            test_regions: Vec::new(),
+            suppressions,
+            bad_suppressions,
+        };
+        file.test_regions = if whole_file_test {
+            vec![(0, file.text.len())]
+        } else {
+            file.find_test_regions()
+        };
+        Ok(file)
+    }
+
+    /// Text of a token.
+    pub fn tok(&self, t: &Token) -> &str {
+        &self.text[t.start..t.end]
+    }
+
+    /// The identifier text at `code[i]`, if that token is an identifier.
+    pub fn ident_at(&self, i: usize) -> Option<&str> {
+        let t = self.code.get(i)?;
+        (t.kind == TokenKind::Ident).then(|| self.tok(t))
+    }
+
+    /// Whether `code[i]` is the identifier `name`.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.ident_at(i) == Some(name)
+    }
+
+    /// The punctuation byte at `code[i]`, if that token is punctuation.
+    pub fn punct_at(&self, i: usize) -> Option<u8> {
+        let t = self.code.get(i)?;
+        (t.kind == TokenKind::Punct).then(|| self.text.as_bytes()[t.start])
+    }
+
+    /// Whether `code[i]` is the punctuation byte `ch`.
+    pub fn is_punct(&self, i: usize, ch: u8) -> bool {
+        self.punct_at(i) == Some(ch)
+    }
+
+    /// Whether `code[i..]` starts with `::` (two `:` puncts).
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, b':') && self.is_punct(i + 1, b':')
+    }
+
+    /// Whether a byte offset falls inside test code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whether a finding for `rule` on `line` is silenced by a suppression.
+    /// A suppression covers its own line and the line after it (so it can
+    /// sit at the end of the offending line or alone on the line above).
+    pub fn suppressed(&self, rule: &str, line: u32) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| (s.rule == rule || s.rule == "all") && (s.line == line || s.line + 1 == line))
+    }
+
+    /// Given `code[open]` = `(`/`[`/`{`, return the index of its matching
+    /// close (or `code.len()` if unbalanced).
+    pub fn matching_close(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.code.len() {
+            match self.punct_at(i) {
+                Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                Some(b')') | Some(b']') | Some(b'}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.code.len()
+    }
+
+    /// Find `#[cfg(test)]` / `#[test]` item bodies as byte ranges.
+    ///
+    /// Token-level heuristic: an attribute whose bracket group contains the
+    /// identifier `test` (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`)
+    /// marks the next item; the region runs to the matching close of the
+    /// first `{` that follows. A `;` before any `{` cancels (e.g.
+    /// `#[cfg(test)] use foo;` — no body, nothing to skip).
+    fn find_test_regions(&self) -> Vec<(usize, usize)> {
+        let code = &self.code;
+        let mut regions = Vec::new();
+        let mut i = 0;
+        while i < code.len() {
+            if !(self.is_punct(i, b'#') && self.is_punct(i + 1, b'[')) {
+                i += 1;
+                continue;
+            }
+            // Scan the attribute group for the ident `test`.
+            let attr_close = self.matching_close(i + 1);
+            let has_test = (i + 2..attr_close).any(|j| self.is_ident(j, "test"));
+            if !has_test {
+                i = attr_close + 1;
+                continue;
+            }
+            // Find the item body: first `{` before a top-level `;`.
+            let mut k = attr_close + 1;
+            let mut body = None;
+            while k < code.len() {
+                match self.punct_at(k) {
+                    Some(b'{') => {
+                        body = Some(k);
+                        break;
+                    }
+                    Some(b';') => break,
+                    Some(b'#') if self.is_punct(k + 1, b'[') => {
+                        // Another attribute on the same item: skip it.
+                        k = self.matching_close(k + 1);
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(open) = body else {
+                i = attr_close + 1;
+                continue;
+            };
+            let close = self.matching_close(open);
+            let end = code.get(close).map_or(self.text.len(), |t| t.end);
+            regions.push((code[i].start, end));
+            i = close + 1;
+        }
+        regions
+    }
+}
+
+fn parse_suppressions(tokens: &[Token], text: &str) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if !t.kind.is_comment() {
+            continue;
+        }
+        let body = &text[t.start..t.end];
+        // A directive comment *starts* with `vk-lint:` once the comment
+        // syntax is stripped. Prose that merely mentions `vk-lint: allow`
+        // mid-sentence (docs, this file) is not a directive.
+        let stripped = body
+            .trim_start_matches('/')
+            .trim_start_matches(['*', '!'])
+            .trim_start();
+        let Some(rest) = stripped.strip_prefix("vk-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            bad.push(BadSuppression {
+                line: t.line,
+                col: t.col,
+                message:
+                    "unrecognized vk-lint directive (expected `vk-lint: allow(rule, \"reason\")`)"
+                        .to_string(),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let inner = rest
+            .strip_prefix('(')
+            .and_then(|r| r.rfind(')').map(|close| &r[..close]));
+        let Some(inner) = inner else {
+            bad.push(BadSuppression {
+                line: t.line,
+                col: t.col,
+                message: "malformed vk-lint allow: missing parentheses".to_string(),
+            });
+            continue;
+        };
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, rest)) => (r.trim(), rest.trim()),
+            None => (inner.trim(), ""),
+        };
+        let reason = reason.strip_prefix('"').and_then(|r| r.strip_suffix('"'));
+        match reason {
+            Some(reason) if !reason.trim().is_empty() => ok.push(Suppression {
+                rule: rule.to_string(),
+                reason: reason.to_string(),
+                line: t.line,
+            }),
+            _ => bad.push(BadSuppression {
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "vk-lint allow({rule}) without a reason — a quoted reason string is mandatory"
+                ),
+            }),
+        }
+    }
+    (ok, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/demo/src/lib.rs", "demo", src.to_string()).unwrap()
+    }
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live2() {}\n";
+        let f = file(src);
+        let live = src.find("x.unwrap").unwrap();
+        let test = src.find("y.unwrap").unwrap();
+        let live2 = src.find("live2").unwrap();
+        assert!(!f.in_test_code(live));
+        assert!(f.in_test_code(test));
+        assert!(!f.in_test_code(live2));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attribute() {
+        let src = "#[test]\n#[should_panic]\nfn t() { boom.unwrap(); }\nfn live() {}\n";
+        let f = file(src);
+        assert!(f.in_test_code(src.find("boom").unwrap()));
+        assert!(!f.in_test_code(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_is_ignored() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { x.unwrap(); }\n";
+        let f = file(src);
+        assert!(!f.in_test_code(src.find("x.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn tests_dir_is_all_test_code() {
+        let f =
+            SourceFile::parse("crates/demo/tests/it.rs", "demo", "fn f() {}".to_string()).unwrap();
+        assert!(f.in_test_code(0));
+    }
+
+    #[test]
+    fn suppression_with_reason_parses() {
+        let f = file("// vk-lint: allow(panic-freedom, \"checked above\")\nlet x = 1;\n");
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].rule, "panic-freedom");
+        assert_eq!(f.suppressions[0].reason, "checked above");
+        assert!(f.suppressed("panic-freedom", 2).is_some());
+        assert!(f.suppressed("panic-freedom", 3).is_none());
+        assert!(f.suppressed("secret-hygiene", 2).is_none());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_bad() {
+        let f = file("// vk-lint: allow(panic-freedom)\nlet x = 1;\n");
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.bad_suppressions.len(), 1);
+        assert!(f.bad_suppressions[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn allow_all_covers_every_rule() {
+        let f = file("// vk-lint: allow(all, \"fixture\")\nlet x = 1;\n");
+        assert!(f.suppressed("wire-safety", 1).is_some());
+        assert!(f.suppressed("determinism", 2).is_some());
+    }
+}

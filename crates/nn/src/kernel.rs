@@ -229,6 +229,7 @@ fn axpy(o: &mut [f32], a: f32, b: &[f32]) {
 /// Start a GEMM timing observation when telemetry is on and the product is
 /// large enough to be worth measuring.
 fn gemm_timer(m: usize, k: usize, n: usize) -> Option<Instant> {
+    // vk-lint: allow(determinism, "wall-clock feeds the GEMM telemetry histogram only, never the numeric result")
     (2 * m * k * n >= TELEMETRY_FLOP_FLOOR && telemetry::enabled()).then(Instant::now)
 }
 

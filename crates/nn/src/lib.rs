@@ -54,6 +54,7 @@
 
 pub mod activation;
 pub mod bilstm;
+pub mod codec;
 pub mod dense;
 pub mod gradcheck;
 pub mod kernel;

@@ -42,6 +42,20 @@ impl Mlp {
         Mlp { layers }
     }
 
+    /// The layer stack, in forward order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Rebuild from a layer stack (the binary model codec); `None` if
+    /// `layers` is empty.
+    pub fn from_layers(layers: Vec<Dense>) -> Option<Self> {
+        if layers.is_empty() {
+            return None;
+        }
+        Some(Mlp { layers })
+    }
+
     /// Input width.
     pub fn input_size(&self) -> usize {
         self.layers.first().unwrap().input_size()

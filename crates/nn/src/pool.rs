@@ -109,9 +109,11 @@ impl Pool {
         let scope_registry = telemetry::current_scope();
         let timed = telemetry::enabled();
         let busy_us = AtomicUsize::new(0);
+        // vk-lint: allow(determinism, "wall/busy clocks feed pool utilization telemetry; work items and their order are index-driven")
         let wall = Instant::now();
         let work = || {
             let _scope = scope_registry.clone().map(telemetry::scoped);
+            // vk-lint: allow(determinism, "per-worker busy timer is telemetry-only")
             let started = timed.then(Instant::now);
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);

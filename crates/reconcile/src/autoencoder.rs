@@ -26,7 +26,7 @@
 use crate::bloom::PositionPreservingMask;
 use crate::{ReconcileResult, Reconciler};
 use nn::activation::Activation;
-use nn::{loss, Adam, Matrix, Mlp};
+use nn::{codec, loss, Adam, Matrix, Mlp};
 use quantize::BitString;
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
@@ -121,22 +121,84 @@ impl AutoencoderReconciler {
         mask.invert(&corrected_masked)
     }
 
-    /// Serialize the trained model to a compact binary blob
-    /// (see [`nn::persist`]).
+    /// Serialize the trained model to a compact binary blob.
+    ///
+    /// Layout: magic `VKAE`, version byte, then `key_len` / `code_dim` /
+    /// `hidden_units` as little-endian u32, `mask_seed` as u64, and the
+    /// three MLPs `f1`, `f2`, `g` in [`nn::codec`]'s layout. The format is
+    /// self-describing enough to reject foreign bytes, and infallible to
+    /// write — no serde, no intermediate error path.
     pub fn to_bytes(&self) -> Vec<u8> {
-        nn::persist::to_bytes(self).expect("in-memory serialization cannot fail")
+        let mut w = codec::Writer::new();
+        w.put_bytes(Self::CODEC_MAGIC);
+        w.put_u8(Self::CODEC_VERSION);
+        w.put_u32(u32::try_from(self.key_len).unwrap_or(u32::MAX));
+        w.put_u32(u32::try_from(self.code_dim).unwrap_or(u32::MAX));
+        w.put_u32(u32::try_from(self.hidden_units).unwrap_or(u32::MAX));
+        w.put_u64(self.mask_seed);
+        codec::write_mlp(&mut w, &self.f1);
+        codec::write_mlp(&mut w, &self.f2);
+        codec::write_mlp(&mut w, &self.g);
+        w.into_bytes()
     }
 }
 
 impl AutoencoderReconciler {
+    /// Magic prefix of the serialized form.
+    const CODEC_MAGIC: &'static [u8; 4] = b"VKAE";
+    /// Format version. Caches written by the old serde-based format (no
+    /// magic) fail to decode; callers retrain or regenerate them.
+    const CODEC_VERSION: u8 = 1;
+
     /// Deserialize a model previously written by
     /// [`AutoencoderReconciler::to_bytes`].
     ///
     /// # Errors
     ///
-    /// Returns a message if the bytes are malformed.
+    /// Returns a message if the bytes are truncated, carry the wrong magic
+    /// or version, or encode MLPs whose shapes contradict the header.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
-        nn::persist::from_bytes(bytes).map_err(|e| e.0)
+        let mut r = codec::Reader::new(bytes);
+        let magic = r.get_array::<4>().map_err(|e| e.to_string())?;
+        if &magic != Self::CODEC_MAGIC {
+            return Err("not an autoencoder model (bad magic)".to_string());
+        }
+        let version = r.get_u8().map_err(|e| e.to_string())?;
+        if version != Self::CODEC_VERSION {
+            return Err(format!("unsupported model version {version}"));
+        }
+        let key_len = r.get_u32().map_err(|e| e.to_string())? as usize;
+        let code_dim = r.get_u32().map_err(|e| e.to_string())? as usize;
+        let hidden_units = r.get_u32().map_err(|e| e.to_string())? as usize;
+        let mask_seed = r.get_u64().map_err(|e| e.to_string())?;
+        let f1 = codec::read_mlp(&mut r).map_err(|e| e.to_string())?;
+        let f2 = codec::read_mlp(&mut r).map_err(|e| e.to_string())?;
+        let g = codec::read_mlp(&mut r).map_err(|e| e.to_string())?;
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing byte(s)", r.remaining()));
+        }
+        for (name, mlp, input, output) in [
+            ("f1", &f1, key_len, code_dim),
+            ("f2", &f2, key_len, code_dim),
+            ("g", &g, code_dim, key_len),
+        ] {
+            if mlp.input_size() != input || mlp.output_size() != output {
+                return Err(format!(
+                    "{name} is {}x{}, header says {input}x{output}",
+                    mlp.input_size(),
+                    mlp.output_size()
+                ));
+            }
+        }
+        Ok(AutoencoderReconciler {
+            key_len,
+            code_dim,
+            hidden_units,
+            f1,
+            f2,
+            g,
+            mask_seed,
+        })
     }
 }
 

@@ -38,8 +38,7 @@ pub fn solve(m: &mut [Vec<f64>], rhs: &mut [f64]) -> Option<Vec<f64>> {
     let n = m.len();
     for col in 0..n {
         // Pivot.
-        let pivot =
-            (col..n).max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())?;
+        let pivot = (col..n).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }

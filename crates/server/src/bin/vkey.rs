@@ -21,9 +21,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reconcile::{AutoencoderReconciler, AutoencoderTrainer};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use telemetry::Json;
 use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
 use vehicle_key::RecoveryPolicy;
@@ -55,7 +56,7 @@ impl Args {
             let Some(name) = raw[i].strip_prefix("--") else {
                 return Err(format!("unexpected argument '{}'", raw[i]));
             };
-            if matches!(name, "fast" | "no-recovery") {
+            if matches!(name, "fast" | "no-recovery" | "json" | "self") {
                 flags.insert(name.to_string(), "true".into());
                 i += 1;
                 continue;
@@ -132,6 +133,7 @@ fn cmd_keygen(args: &Args) -> Result<(), String> {
         for (a, b) in outcome.alice_keys.iter().zip(&outcome.bob_keys) {
             let hex: String = a.iter().map(|x| format!("{x:02x}")).collect();
             let status = if a == b { "MATCH" } else { "mismatch" };
+            // vk-lint: allow(secret-hygiene, "keygen prints the derived key because the operator asked for exactly that")
             println!("  key {hex} [{status}]");
         }
     }
@@ -390,8 +392,42 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `vkey lint` — the vk-lint engine behind the operator CLI. Same flags
+/// and exit codes as the standalone `vk-lint` binary.
+fn cmd_lint(args: &Args) -> ExitCode {
+    let mut opts = vk_lint::LintOptions::default();
+    if let Some(level) = args.get("deny") {
+        let Some(floor) = vk_lint::report::parse_deny_floor(level) else {
+            eprintln!("error: --deny needs allow|warn|deny");
+            return ExitCode::from(2);
+        };
+        opts.deny_floor = Some(floor);
+    }
+    let root = PathBuf::from(args.get("root").unwrap_or("."));
+    let started = Instant::now();
+    let result = if args.get("self").is_some() {
+        vk_lint::run_self(&root, &opts)
+    } else {
+        vk_lint::run(&root, &opts)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    if args.get("json").is_some() {
+        print!("{}", vk_lint::report::render_json(&report, elapsed_ms));
+    } else {
+        print!("{}", vk_lint::report::render_human(&report));
+    }
+    ExitCode::from(vk_lint::report::exit_code(&report))
+}
+
 const USAGE: &str =
-    "usage: vkey <train|keygen|export-trace|run-trace|nist|serve|fleet|help> [--flags]";
+    "usage: vkey <train|keygen|export-trace|run-trace|nist|serve|fleet|lint|help> [--flags]";
 
 fn print_help() {
     println!(
@@ -431,6 +467,13 @@ Subcommands:
                   --out <file>          manifest path (default fleet.manifest.json)
                   --min-match-rate <p>  exit nonzero if the key-match rate
                                         falls below p (for CI gates)
+  lint          Run the domain-aware workspace linter (vk-lint)
+                  --json                JSON-lines output instead of human
+                  --deny <level>        promote findings at/above allow|warn|deny
+                  --self                restrict the scan to crates/lint
+                  --root <dir>          workspace to scan (default: walk up
+                                        from the current directory)
+                exits 0 clean, 1 on deny-level findings, 2 on config errors
   help          Show this message
 
 Shared serve/fleet flags (both sides must agree on these):
@@ -508,6 +551,15 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
+        // `lint` owns its exit-code contract (0 clean / 1 deny findings /
+        // 2 config error), so it bypasses the Ok/Err mapping below.
+        "lint" => {
+            let code = cmd_lint(&args);
+            if traced {
+                telemetry::uninstall();
+            }
+            return code;
+        }
         "train" => cmd_train(&args),
         "keygen" => cmd_keygen(&args),
         "export-trace" => cmd_export_trace(&args),

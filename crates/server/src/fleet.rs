@@ -133,7 +133,7 @@ impl LatencyStats {
         if samples.is_empty() {
             return LatencyStats::default();
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        samples.sort_by(f64::total_cmp);
         let rank = |p: f64| {
             let idx = ((p / 100.0) * samples.len() as f64).ceil() as usize;
             samples[idx.clamp(1, samples.len()) - 1]
@@ -414,6 +414,7 @@ pub fn run_fleet(
         }
         handles
             .into_iter()
+            // vk-lint: allow(panic-freedom, "join fails only if a worker panicked; re-raising keeps its diagnostic")
             .flat_map(|h| h.join().expect("fleet worker panicked"))
             .collect()
     });

@@ -36,8 +36,11 @@ pub fn encode_frame(frame: &[u8]) -> Vec<u8> {
         "frame of {} bytes exceeds MAX_FRAME_LEN",
         frame.len()
     );
+    // The assert above bounds the length well under u32::MAX; a lying
+    // caller saturates rather than truncates.
+    let len = u32::try_from(frame.len()).unwrap_or(u32::MAX);
     let mut out = Vec::with_capacity(4 + frame.len());
-    out.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+    out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(frame);
     out
 }
@@ -73,19 +76,19 @@ impl FrameDecoder {
     /// [`MAX_FRAME_LEN`] — the stream is unsynchronized or hostile and the
     /// connection should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
-        if self.buf.len() < 4 {
+        let Some(prefix) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        };
+        let len = u32::from_be_bytes(*prefix) as usize;
         if len > MAX_FRAME_LEN {
             return Err(TransportError::Io(format!(
                 "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
             )));
         }
-        if self.buf.len() < 4 + len {
+        let Some(body) = self.buf.get(4..4 + len) else {
             return Ok(None);
-        }
-        let frame = self.buf[4..4 + len].to_vec();
+        };
+        let frame = body.to_vec();
         self.buf.drain(..4 + len);
         Ok(Some(frame))
     }
@@ -151,6 +154,7 @@ impl Transport for TcpTransport {
             }
             match self.stream.read(&mut self.chunk) {
                 Ok(0) => return Err(TransportError::Closed),
+                // vk-lint: allow(wire-safety, "Read contract guarantees n <= chunk.len()")
                 Ok(n) => self.decoder.push(&self.chunk[..n]),
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     return Ok(None)

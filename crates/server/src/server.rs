@@ -205,7 +205,10 @@ impl Server {
                     .name(format!("vk-worker-{i}"))
                     .spawn(move || loop {
                         let stream = {
-                            let rx = conn_rx.lock().expect("worker channel poisoned");
+                            // A poisoned lock means a sibling worker panicked
+                            // mid-recv; shut this worker down rather than
+                            // cascading the panic.
+                            let Ok(rx) = conn_rx.lock() else { break };
                             match rx.recv() {
                                 Ok(stream) => stream,
                                 Err(_) => break, // accept loop gone, queue drained

@@ -576,7 +576,7 @@ pub fn run_bob_session<T: Transport>(
     );
     let session = Session::new(session_id, reconciler.clone(), nonce_a, nonce_b);
     let seg = reconciler.key_len();
-    let blocks = (k_bob.len() / seg) as u32;
+    let blocks = u32::try_from(k_bob.len() / seg).unwrap_or(u32::MAX);
     let error_rate = params.error_bits as f64 / params.key_bits.max(1) as f64;
 
     /// The server's next instruction for the block in flight.

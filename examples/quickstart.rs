@@ -63,6 +63,7 @@ fn main() {
         return;
     };
     let hex: String = key.iter().map(|b| format!("{b:02x}")).collect();
+    // vk-lint: allow(secret-hygiene, "demo deliberately shows the agreed key")
     println!("shared 128-bit key: {hex}");
 
     let alice_cipher = Aes128::new(key);
@@ -72,6 +73,7 @@ fn main() {
 
     let bob_cipher = Aes128::new(key); // Bob derived the same key
     let decrypted = bob_cipher.ctr(1, &ciphertext);
+    // vk-lint: allow(secret-hygiene, "prints the decrypted demo message, not the key")
     println!("bob decrypts: {}", String::from_utf8_lossy(&decrypted));
-    assert_eq!(&decrypted, message);
+    assert_eq!(&decrypted, message); // vk-lint: allow(secret-hygiene, "round-trip check on the demo plaintext")
 }

@@ -77,6 +77,7 @@ fn main() {
     // --- Reconciliation over the wire, MAC-protected ---
     let session = Session::new(session_id, pipeline.reconciler().clone(), nonce_a, nonce_b);
     let syndrome_msg = session.bob_syndrome_message(0, &k_bob);
+    // vk-lint: allow(secret-hygiene, "prints the wire size of the public syndrome frame, not its contents")
     println!("bob -> alice: syndrome ({} B)", syndrome_msg.encode().len());
     let corrected = session
         .alice_process_syndrome(&syndrome_msg, &k_alice)
