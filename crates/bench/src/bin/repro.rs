@@ -7,6 +7,8 @@
 //! repro --jobs N <...>       run N experiments concurrently (or, for a
 //!                            single experiment, give its compute layer N
 //!                            worker threads)
+//! repro --telemetry <path>   write a JSON-lines telemetry trace ('-' for
+//!                            stderr); overrides VK_TELEMETRY
 //! ```
 //!
 //! Environment:
@@ -20,7 +22,9 @@
 //!   `<name>.manifest.json` (seed, scale, stage-time breakdown, wall time —
 //!   see `bench::manifest` for the schema)
 //! * `VK_TELEMETRY` — path for a JSON-lines telemetry trace of every
-//!   pipeline stage across the whole run (`-` for human-readable stderr)
+//!   pipeline stage across the whole run (`-` for human-readable stderr).
+//!   The `--telemetry` flag wins when both are given — same precedence as
+//!   `vkey serve` and `vkey fleet`.
 //!
 //! With `--jobs N` and more than one experiment, each experiment runs with
 //! its own scoped telemetry registry (see `telemetry::scoped`) so spans,
@@ -35,20 +39,11 @@ use bench::{base_seed, experiments, scale};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
-use telemetry::Sink;
-
-/// Sink that discards events. Installed when only aggregated metrics are
-/// wanted (manifests need the registry's counters/histograms, not the event
-/// stream, and buffering every event of a full `repro all` would not be
-/// cheap).
-struct NullSink;
-
-impl Sink for NullSink {
-    fn emit(&self, _event: &telemetry::Event) {}
-}
+use telemetry::{NullSink, Sink};
 
 fn main() {
     let mut jobs = 1usize;
+    let mut telemetry_flag: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,12 +61,19 @@ fn main() {
                 eprintln!("--jobs needs a positive integer");
                 std::process::exit(2);
             });
+        } else if arg == "--telemetry" {
+            telemetry_flag = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--telemetry needs a path (or '-')");
+                std::process::exit(2);
+            }));
+        } else if let Some(v) = arg.strip_prefix("--telemetry=") {
+            telemetry_flag = Some(v.to_string());
         } else {
             rest.push(arg);
         }
     }
     if rest.is_empty() || rest[0] == "help" || rest[0] == "--help" {
-        eprintln!("usage: repro [--jobs N] <experiment|all|list> [...]");
+        eprintln!("usage: repro [--jobs N] [--telemetry <path>] <experiment|all|list> [...]");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }
@@ -93,8 +95,9 @@ fn main() {
             std::process::exit(1);
         }
     }
+    let telemetry_target = telemetry_flag.as_deref();
     let failed = if jobs > 1 && names.len() > 1 {
-        run_concurrent(&names, jobs, out_dir.as_deref())
+        run_concurrent(&names, jobs, out_dir.as_deref(), telemetry_target)
     } else {
         // A single experiment gets the whole `--jobs` budget as
         // compute-layer threads (parallel matmul + data-parallel training;
@@ -102,7 +105,7 @@ fn main() {
         if jobs > 1 {
             nn::pool::set_global_jobs(jobs);
         }
-        run_sequential(&names, out_dir.as_deref())
+        run_sequential(&names, out_dir.as_deref(), telemetry_target)
     };
     if failed {
         std::process::exit(1);
@@ -110,8 +113,8 @@ fn main() {
 }
 
 /// Classic one-at-a-time runner on the process-global telemetry registry.
-fn run_sequential(names: &[&str], out_dir: Option<&str>) -> bool {
-    let traced = install_telemetry(out_dir.is_some());
+fn run_sequential(names: &[&str], out_dir: Option<&str>, telemetry_target: Option<&str>) -> bool {
+    let traced = install_telemetry(out_dir.is_some(), telemetry_target);
     let mut failed = false;
     for name in names {
         telemetry::reset_metrics();
@@ -137,8 +140,13 @@ fn run_sequential(names: &[&str], out_dir: Option<&str>) -> bool {
 /// own scoped telemetry registry so metrics and manifests stay isolated.
 /// Reports are printed in request order once everything finishes (progress
 /// goes to stderr as experiments complete).
-fn run_concurrent(names: &[&str], jobs: usize, out_dir: Option<&str>) -> bool {
-    let sink = shared_sink(out_dir.is_some());
+fn run_concurrent(
+    names: &[&str],
+    jobs: usize,
+    out_dir: Option<&str>,
+    telemetry_target: Option<&str>,
+) -> bool {
+    let sink = shared_sink(out_dir.is_some(), telemetry_target);
     let results = nn::Pool::new(jobs).run(names.to_vec(), |_, name| {
         let registry = Arc::new(telemetry::Registry::new());
         if let Some(sink) = &sink {
@@ -197,10 +205,15 @@ fn emit_result(
 }
 
 /// The event sink the concurrent runner shares across per-experiment
-/// registries: a JSON-lines trace when `VK_TELEMETRY` is set, a null sink
-/// when manifests are wanted, nothing otherwise (registries stay disabled).
-fn shared_sink(want_manifests: bool) -> Option<Arc<dyn Sink>> {
-    match std::env::var("VK_TELEMETRY").ok().filter(|t| !t.is_empty()) {
+/// registries: a JSON-lines trace when `--telemetry` (or, failing that,
+/// `VK_TELEMETRY`) names one, a null sink when manifests are wanted,
+/// nothing otherwise (registries stay disabled).
+fn shared_sink(want_manifests: bool, telemetry_target: Option<&str>) -> Option<Arc<dyn Sink>> {
+    let target = telemetry_target
+        .map(str::to_string)
+        .or_else(|| std::env::var("VK_TELEMETRY").ok())
+        .filter(|t| !t.is_empty());
+    match target {
         Some(target) if target == "-" => Some(Arc::new(telemetry::StderrSink::new())),
         Some(target) => match telemetry::JsonLinesSink::create(&target) {
             Ok(sink) => Some(Arc::new(sink)),
@@ -214,12 +227,12 @@ fn shared_sink(want_manifests: bool) -> Option<Arc<dyn Sink>> {
 }
 
 /// Install the telemetry sink on the global registry (sequential runner):
-/// a JSON-lines trace when `VK_TELEMETRY` is set, and at least a null sink
-/// when manifests are wanted (the registry only aggregates counters and
-/// stage timings while a sink is installed). Returns whether anything was
+/// a JSON-lines trace when requested, and at least a null sink when
+/// manifests are wanted (the registry only aggregates counters and stage
+/// timings while a sink is installed). Returns whether anything was
 /// installed.
-fn install_telemetry(want_manifests: bool) -> bool {
-    match shared_sink(want_manifests) {
+fn install_telemetry(want_manifests: bool, telemetry_target: Option<&str>) -> bool {
+    match shared_sink(want_manifests, telemetry_target) {
         Some(sink) => {
             telemetry::install(sink);
             true

@@ -3,14 +3,20 @@
 //! Beyond the paper — the Vehicle-Key exchange running over real loopback
 //! TCP sockets, one in-process server against client fleets of increasing
 //! concurrency. Reports sessions/second, key-match rate, and latency
-//! percentiles per concurrency level; the numbers land in
-//! `BENCH_fleet.json` when run through `repro` with `VK_OUT` set.
+//! percentiles per concurrency level, plus the price of the observability
+//! plane: the same fleet run with telemetry aggregation off and on, so the
+//! overhead of counters/histograms on the session hot path is a tracked
+//! number rather than folklore.
+//!
+//! The JSON lands in `$VK_OUT/BENCH_fleet.json` when `VK_OUT` is set, else
+//! `results/BENCH_fleet.json`.
 
 use super::rng_for;
 use crate::table::Table;
-use reconcile::AutoencoderTrainer;
+use reconcile::{AutoencoderReconciler, AutoencoderTrainer};
 use std::sync::Arc;
 use std::time::Duration;
+use telemetry::Json;
 use vk_server::{run_fleet, FleetConfig, FleetReport, RetryPolicy, Server, ServerConfig};
 
 /// Concurrency levels swept by the experiment.
@@ -19,6 +25,51 @@ pub const CONCURRENCY_LEVELS: &[usize] = &[1, 8, 32];
 /// Sessions per concurrency level.
 const SESSIONS: u64 = 50;
 
+/// Concurrency used for the telemetry-overhead A/B runs.
+const OVERHEAD_CONCURRENCY: usize = 8;
+
+fn session_params() -> vk_server::SessionParams {
+    vk_server::SessionParams {
+        retry: RetryPolicy {
+            ack_timeout: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        },
+        ..vk_server::SessionParams::default()
+    }
+}
+
+fn run_level(reconciler: &Arc<AutoencoderReconciler>, concurrency: usize) -> FleetReport {
+    let server = Server::start(
+        ServerConfig {
+            workers: concurrency.max(4),
+            params: session_params(),
+            ..ServerConfig::default()
+        },
+        Arc::clone(reconciler),
+    )
+    .expect("loopback server must start");
+    let cfg = FleetConfig {
+        addr: server.local_addr().to_string(),
+        sessions: SESSIONS,
+        concurrency,
+        params: session_params(),
+        poll: Duration::from_millis(5),
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&cfg, reconciler).expect("loopback address resolves");
+    server.shutdown();
+    report
+}
+
+fn trained_reconciler() -> Arc<AutoencoderReconciler> {
+    let mut rng = rng_for("fleet");
+    Arc::new(
+        AutoencoderTrainer::default()
+            .with_steps(6000)
+            .train(&mut rng),
+    )
+}
+
 /// Run the sweep and return one report per concurrency level.
 ///
 /// # Panics
@@ -26,50 +77,107 @@ const SESSIONS: u64 = 50;
 /// Panics if the loopback server cannot start — a bench environment
 /// without loopback TCP is unusable anyway.
 pub fn sweep() -> Vec<(usize, FleetReport)> {
-    let mut rng = rng_for("fleet");
-    let reconciler = Arc::new(
-        AutoencoderTrainer::default()
-            .with_steps(6000)
-            .train(&mut rng),
-    );
-
-    let params = vk_server::SessionParams {
-        retry: RetryPolicy {
-            ack_timeout: Duration::from_millis(50),
-            ..RetryPolicy::default()
-        },
-        ..vk_server::SessionParams::default()
-    };
-
-    let mut out = Vec::new();
-    for &concurrency in CONCURRENCY_LEVELS {
-        let server = Server::start(
-            ServerConfig {
-                workers: concurrency.max(4),
-                params,
-                ..ServerConfig::default()
-            },
-            Arc::clone(&reconciler),
-        )
-        .expect("loopback server must start");
-        let cfg = FleetConfig {
-            addr: server.local_addr().to_string(),
-            sessions: SESSIONS,
-            concurrency,
-            params,
-            poll: Duration::from_millis(5),
-            ..FleetConfig::default()
-        };
-        let report = run_fleet(&cfg, &reconciler).expect("loopback address resolves");
-        server.shutdown();
-        out.push((concurrency, report));
-    }
-    out
+    let reconciler = trained_reconciler();
+    CONCURRENCY_LEVELS
+        .iter()
+        .map(|&concurrency| (concurrency, run_level(&reconciler, concurrency)))
+        .collect()
 }
 
-/// Fleet throughput table across `CONCURRENCY_LEVELS`.
-pub fn fleet() -> String {
-    let runs = sweep();
+/// One arm of the telemetry-overhead comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadSample {
+    /// Fleet throughput.
+    pub sessions_per_sec: f64,
+    /// Median session latency (ms).
+    pub p50_ms: f64,
+}
+
+impl OverheadSample {
+    fn from_report(report: &FleetReport) -> OverheadSample {
+        OverheadSample {
+            sessions_per_sec: report.sessions_per_sec(),
+            p50_ms: report.latency.p50,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("sessions_per_sec".into(), Json::Num(self.sessions_per_sec)),
+            ("p50_ms".into(), Json::Num(self.p50_ms)),
+        ])
+    }
+}
+
+/// Run the identical fleet twice — once with the global telemetry registry
+/// disabled (no sink), once with aggregation enabled through a
+/// [`telemetry::NullSink`] (counters/gauges/histograms live, no event
+/// stream, which is exactly the admin `/metrics` configuration) — and
+/// return `(off, on)`. Whatever sink the caller had installed is restored.
+pub fn telemetry_overhead(
+    reconciler: &Arc<AutoencoderReconciler>,
+) -> (OverheadSample, OverheadSample) {
+    let saved = telemetry::uninstall();
+    let off = OverheadSample::from_report(&run_level(reconciler, OVERHEAD_CONCURRENCY));
+    telemetry::install(Arc::new(telemetry::NullSink::new()));
+    let on = OverheadSample::from_report(&run_level(reconciler, OVERHEAD_CONCURRENCY));
+    telemetry::uninstall();
+    if let Some(previous) = saved {
+        telemetry::install(previous);
+    }
+    (off, on)
+}
+
+/// Fleet throughput table across `CONCURRENCY_LEVELS`, the observability
+/// A/B, and the `BENCH_fleet.json` record of both.
+///
+/// # Errors
+///
+/// Returns an error if the benchmark file cannot be written.
+pub fn fleet() -> Result<String, String> {
+    let reconciler = trained_reconciler();
+    let runs: Vec<(usize, FleetReport)> = CONCURRENCY_LEVELS
+        .iter()
+        .map(|&concurrency| (concurrency, run_level(&reconciler, concurrency)))
+        .collect();
+    let (off, on) = telemetry_overhead(&reconciler);
+    let throughput_cost_pct = if off.sessions_per_sec > 0.0 {
+        (1.0 - on.sessions_per_sec / off.sessions_per_sec) * 100.0
+    } else {
+        0.0
+    };
+
+    let json = Json::Obj(vec![
+        ("kind".into(), Json::Str("fleet_bench".into())),
+        ("seed".into(), Json::UInt(crate::base_seed())),
+        ("scale".into(), Json::Num(crate::scale())),
+        ("sessions_per_level".into(), Json::UInt(SESSIONS)),
+        (
+            "runs".into(),
+            Json::Arr(runs.iter().map(|(_, r)| r.to_json()).collect()),
+        ),
+        (
+            "telemetry_overhead".into(),
+            Json::Obj(vec![
+                (
+                    "concurrency".into(),
+                    Json::UInt(OVERHEAD_CONCURRENCY as u64),
+                ),
+                ("off".into(), off.to_json()),
+                ("on".into(), on.to_json()),
+                ("throughput_cost_pct".into(), Json::Num(throughput_cost_pct)),
+            ]),
+        ),
+    ]);
+    let dir = match std::env::var("VK_OUT") {
+        Ok(dir) if !dir.is_empty() => dir,
+        _ => "results".to_string(),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = format!("{dir}/BENCH_fleet.json");
+    std::fs::write(&path, json.to_string() + "\n")
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+
     let mut t = Table::new(
         "Fleet: concurrent key establishment over loopback TCP",
         &[
@@ -93,7 +201,25 @@ pub fn fleet() -> String {
             format!("{:.1}", r.latency.p99),
         ]);
     }
-    t.render()
+    let mut o = Table::new(
+        "Observability overhead (fleet at fixed concurrency)",
+        &["telemetry", "sessions/s", "p50 (ms)"],
+    );
+    o.row(&[
+        "off".into(),
+        format!("{:.1}", off.sessions_per_sec),
+        format!("{:.1}", off.p50_ms),
+    ]);
+    o.row(&[
+        "on (aggregation)".into(),
+        format!("{:.1}", on.sessions_per_sec),
+        format!("{:.1}", on.p50_ms),
+    ]);
+    Ok(t.render()
         + "\nOne in-process server (worker pool >= fleet concurrency); throughput should rise\n\
-           with concurrency until the worker pool or loopback round-trips saturate.\n"
+           with concurrency until the worker pool or loopback round-trips saturate.\n\n"
+        + &o.render()
+        + &format!(
+            "\nMetrics aggregation costs {throughput_cost_pct:.1}% throughput at concurrency {OVERHEAD_CONCURRENCY} (recorded in {path}).\n"
+        ))
 }

@@ -8,7 +8,7 @@
 //! | [`security`] | Figs. 15, 16 and Table II — attacks and randomness |
 //! | [`power`] | Table III — computation time and energy |
 //! | [`ablate`] | Design-choice ablations beyond the paper |
-//! | [`fleet`] | Beyond the paper: server throughput over loopback TCP |
+//! | [`fleet`] | Beyond the paper: server throughput and observability overhead (`BENCH_fleet.json`) |
 //! | [`chaos`] | Beyond the paper: escalation ladder under fault injection |
 //! | [`nnbench`] | Beyond the paper: compute-layer microbenchmarks (`BENCH_nn.json`) |
 //! | [`lintbench`] | Beyond the paper: static-analysis benchmark and gate (`BENCH_lint.json`) |
@@ -106,7 +106,7 @@ pub fn run(name: &str) -> Result<String, String> {
         "ablate-feature" => Ok(ablate::feature()),
         "ablate-loss" => Ok(ablate::loss()),
         "ablate-platoon" => Ok(ablate::platoon()),
-        "fleet" => Ok(fleet::fleet()),
+        "fleet" => fleet::fleet(),
         "chaos" => chaos::chaos(),
         "nnbench" => nnbench::nnbench(),
         "lintbench" => lintbench::lintbench(),

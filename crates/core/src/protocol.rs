@@ -316,12 +316,32 @@ impl Message {
         b.freeze()
     }
 
-    /// Parse from wire bytes.
+    /// Parse from wire bytes. Trailing bytes after the encoded message are
+    /// ignored — that slack is the interop window optional frame
+    /// extensions (e.g. the observability trace context) ride in.
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError`] for truncated or unknown messages.
-    pub fn decode(mut buf: &[u8]) -> Result<Message, ProtocolError> {
+    pub fn decode(buf: &[u8]) -> Result<Message, ProtocolError> {
+        let mut cursor = buf;
+        Self::decode_cursor(&mut cursor)
+    }
+
+    /// Parse from wire bytes, also returning how many bytes the message
+    /// consumed. Extension-aware peers use this to locate the extension
+    /// region (`&buf[consumed..]`); [`Message::decode`] ignores it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] for truncated or unknown messages.
+    pub fn decode_prefix(buf: &[u8]) -> Result<(Message, usize), ProtocolError> {
+        let mut cursor = buf;
+        let message = Self::decode_cursor(&mut cursor)?;
+        Ok((message, buf.len() - cursor.len()))
+    }
+
+    fn decode_cursor(buf: &mut &[u8]) -> Result<Message, ProtocolError> {
         if buf.is_empty() {
             return Err(ProtocolError::Malformed("empty buffer"));
         }
@@ -706,6 +726,17 @@ mod tests {
         for m in messages {
             let bytes = m.encode();
             assert_eq!(Message::decode(&bytes).unwrap(), m);
+            // decode_prefix consumes exactly the message, and trailing
+            // bytes (an optional frame extension) change nothing.
+            let (back, consumed) = Message::decode_prefix(&bytes).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(consumed, bytes.len());
+            let mut extended = bytes.to_vec();
+            extended.extend_from_slice(&[0xC7, 0xFF, 0x00, 0x13, 0x37]);
+            assert_eq!(Message::decode(&extended).unwrap(), m);
+            let (back, consumed) = Message::decode_prefix(&extended).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(consumed, bytes.len());
         }
     }
 

@@ -39,6 +39,10 @@
 //!   `panic!`, …): a tainted identifier among the arguments, or an inline
 //!   capture `{key}` / `{key:?}` / `{key:x}` inside the format string
 //! * `telemetry::counter/gauge/histogram/mark/span(…)` argument lists
+//! * the observability export surfaces, which serialize straight to
+//!   operator-visible channels: `render_metrics(…)` (Prometheus
+//!   exposition), `chrome_trace(…)` (trace export), and `dump_json(…)`
+//!   (flight-recorder post-mortems)
 //! * `.to_string()` / `format!("{:?}")`-style Debug routing on a tainted
 //!   identifier
 //!
@@ -82,6 +86,13 @@ const FORMAT_MACROS: &[&str] = &[
 ];
 
 const TELEMETRY_SINKS: &[&str] = &["counter", "gauge", "histogram", "mark", "span", "event"];
+
+/// Export surfaces of the observability plane. Anything passed to these
+/// ends up in `/metrics` responses, Chrome trace files, or flight-recorder
+/// dumps — all operator-visible, none leakage-accounted. Matched as a bare
+/// call (`render_metrics(…)`) so both free-function and method spellings
+/// (`recorder.dump_json(…)`) are caught.
+const OBS_SINKS: &[&str] = &["render_metrics", "chrome_trace", "dump_json"];
 
 /// Segments that make a `key`-bearing identifier metadata, not material.
 const BENIGN_SEGMENTS: &[&str] = &[
@@ -193,7 +204,15 @@ impl Rule for SecretHygiene {
                     }
                 }
             }
-            // Sink 3: <tainted>.to_string() — Display routing.
+            // Sink 3: observability export calls (metrics exposition,
+            // trace export, flight-recorder dump).
+            if OBS_SINKS.contains(&name) && file.is_punct(i + 1, b'(') {
+                let close = file.matching_close(i + 1);
+                scan_sink_args(file, i + 1, close, name, &is_tainted, out);
+                i = close + 1;
+                continue;
+            }
+            // Sink 4: <tainted>.to_string() — Display routing.
             if is_tainted(name)
                 && file.is_punct(i + 1, b'.')
                 && file.is_ident(i + 2, "to_string")

@@ -155,6 +155,43 @@ fn taint_propagates_through_let_into_sink() {
 }
 
 #[test]
+fn key_into_observability_exports_is_deny() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn leak(session_key: &[u8], page: &mut String) {\n    render_metrics(page, session_key);\n    let doc = telemetry::chrome_trace(&events, session_key);\n    recorder.dump_json(7, session_key);\n    drop(doc);\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    let hygiene: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "secret-hygiene")
+        .collect();
+    assert_eq!(hygiene.len(), 3, "{:?}", report.findings);
+    for (finding, (line, sink)) in
+        hygiene
+            .iter()
+            .zip([(2, "render_metrics"), (3, "chrome_trace"), (4, "dump_json")])
+    {
+        assert_eq!(finding.line, line, "{finding:?}");
+        assert_eq!(finding.severity, Severity::Deny, "{finding:?}");
+        assert!(finding.message.contains(sink), "{finding:?}");
+    }
+    assert_eq!(report::exit_code(&report), 1);
+}
+
+#[test]
+fn observability_metadata_is_not_material() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn publish(snapshot: &Snapshot, key_match_count: u64, session_key: &[u8]) {\n    let page = render_metrics(snapshot, key_match_count);\n    recorder.dump_json(session_id, reason);\n    let body = chrome_trace(&events, session_key.len());\n    drop((page, body));\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
 fn key_length_is_metadata_not_material() {
     let fx = Fixture::new();
     fx.file(

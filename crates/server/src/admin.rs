@@ -1,0 +1,446 @@
+//! The admin plane: a second listener serving live operational state over
+//! a hand-rolled slice of HTTP/1.0.
+//!
+//! Three routes, all read-only:
+//!
+//! * `/healthz` — liveness probe, always `ok`;
+//! * `/metrics` — Prometheus text exposition of every counter, gauge, and
+//!   histogram in the telemetry registry, plus the server's own
+//!   [`ServerStats`](crate::server::ServerStats) atomics;
+//! * `/sessions` — JSON of the live session table: per-session state,
+//!   block counts, escalation rung counts, and leakage debits.
+//!
+//! The HTTP support is deliberately minimal (GET only, bounded request
+//! size, `Connection: close` on every response) because the crate is
+//! std-only and the endpoint exists for `curl` and a scraper, not for
+//! browsers. Nothing served here ever includes key material: the metrics
+//! path renders aggregated numbers and the session table carries outcome
+//! metadata only.
+
+use crate::server::ServerStats;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use telemetry::Json;
+
+/// Finished sessions retained for `/sessions` after leaving the live map.
+const RECENT_CAP: usize = 64;
+
+/// Largest request head we will buffer before giving up on a client.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// One session as the admin plane sees it.
+#[derive(Debug, Clone)]
+pub struct SessionEntry {
+    /// The server-assigned session id.
+    pub session_id: u32,
+    /// `"active"`, `"matched"`, `"mismatched"`, or `"failed"`.
+    pub state: &'static str,
+    /// Key blocks accepted so far.
+    pub blocks: u64,
+    /// Cascade parity rounds absorbed (escalation rung 2).
+    pub cascade_rounds: u64,
+    /// Re-probe requests issued (escalation rung 3).
+    pub reprobes: u64,
+    /// Parity bits revealed to recovery, debited against the key budget.
+    pub leaked_bits: u64,
+    /// The terminal error, for `"failed"` sessions.
+    pub error: Option<String>,
+}
+
+impl SessionEntry {
+    fn new(session_id: u32) -> SessionEntry {
+        SessionEntry {
+            session_id,
+            state: "active",
+            blocks: 0,
+            cascade_rounds: 0,
+            reprobes: 0,
+            leaked_bits: 0,
+            error: None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("session".into(), Json::UInt(u64::from(self.session_id))),
+            ("state".into(), Json::Str(self.state.into())),
+            ("blocks".into(), Json::UInt(self.blocks)),
+            ("cascade_rounds".into(), Json::UInt(self.cascade_rounds)),
+            ("reprobes".into(), Json::UInt(self.reprobes)),
+            ("leaked_bits".into(), Json::UInt(self.leaked_bits)),
+            (
+                "error".into(),
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct TableInner {
+    live: BTreeMap<u32, SessionEntry>,
+    recent: VecDeque<SessionEntry>,
+}
+
+/// Shared registry of in-flight and recently finished sessions, written by
+/// the worker threads and read by the `/sessions` route.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    inner: Mutex<TableInner>,
+}
+
+impl SessionTable {
+    /// Fresh, empty table.
+    pub fn new() -> SessionTable {
+        SessionTable::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TableInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record a session as live.
+    pub fn register(&self, session_id: u32) {
+        let mut inner = self.lock();
+        inner.live.insert(session_id, SessionEntry::new(session_id));
+    }
+
+    /// Apply `update` to a live session's entry (no-op if unknown).
+    pub fn update(&self, session_id: u32, update: impl FnOnce(&mut SessionEntry)) {
+        let mut inner = self.lock();
+        if let Some(entry) = inner.live.get_mut(&session_id) {
+            update(entry);
+        }
+    }
+
+    /// Retire a session from the live map into the bounded recent list,
+    /// applying `finalize` to stamp its terminal state first.
+    pub fn finish(&self, session_id: u32, finalize: impl FnOnce(&mut SessionEntry)) {
+        let mut inner = self.lock();
+        let mut entry = inner
+            .live
+            .remove(&session_id)
+            .unwrap_or_else(|| SessionEntry::new(session_id));
+        finalize(&mut entry);
+        if inner.recent.len() >= RECENT_CAP {
+            inner.recent.pop_front();
+        }
+        inner.recent.push_back(entry);
+    }
+
+    /// Live session count (for gauges and tests).
+    pub fn live_len(&self) -> usize {
+        self.lock().live.len()
+    }
+
+    /// The `/sessions` document.
+    pub fn to_json(&self) -> Json {
+        let inner = self.lock();
+        Json::Obj(vec![
+            ("live".into(), Json::UInt(inner.live.len() as u64)),
+            (
+                "sessions".into(),
+                Json::Arr(inner.live.values().map(SessionEntry::to_json).collect()),
+            ),
+            (
+                "recent".into(),
+                Json::Arr(inner.recent.iter().map(SessionEntry::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The running admin endpoint: one accept/serve thread on its own port.
+#[derive(Debug)]
+pub struct AdminServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Bind `addr` (port 0 picks a free port) and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/socket-option failures.
+    pub fn start(
+        addr: &str,
+        stats: Arc<ServerStats>,
+        sessions: Arc<SessionTable>,
+    ) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "unresolvable admin addr")
+        })?)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("vk-admin".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                // Requests are a handful of bytes; serve them
+                                // inline rather than spawning per connection.
+                                serve_client(stream, &stats, &sessions);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            Err(_) => {
+                                telemetry::counter("admin.accept_errors", 1);
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
+                        }
+                    }
+                })?
+        };
+        Ok(AdminServer {
+            local_addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `:0` was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop the serve thread and join it.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_client(mut stream: TcpStream, stats: &ServerStats, sessions: &SessionTable) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let Some(request) = read_request_head(&mut stream) else {
+        return;
+    };
+    telemetry::counter("admin.requests", 1);
+    let (status, content_type, body) = route(&request, stats, sessions);
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// Read until the blank line ending the request head, bounded in both size
+/// and (via the socket timeout) time. Returns the request line.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    while !contains_blank_line(&buf) && buf.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    head.lines().next().map(str::to_string)
+}
+
+fn contains_blank_line(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+fn route(
+    request_line: &str,
+    stats: &ServerStats,
+    sessions: &SessionTable,
+) -> (&'static str, &'static str, String) {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    // Ignore any query string: `/metrics?x=1` still scrapes.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
+        "/metrics" => {
+            let snapshot = telemetry::snapshot();
+            let s = stats.snapshot();
+            let extras = [
+                ("server.accepted", s.accepted),
+                ("server.completed", s.completed),
+                ("server.key_mismatches", s.key_mismatches),
+                ("server.failed", s.failed),
+                ("server.duplicate_frames", s.duplicate_frames),
+                ("server.rejected_frames", s.rejected_frames),
+                ("server.cascade_rounds", s.cascade_rounds),
+                ("server.reprobes", s.reprobes),
+                ("server.exhausted_blocks", s.exhausted_blocks),
+                ("server.leaked_bits", s.leaked_bits),
+            ];
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                telemetry::render_metrics(&snapshot, &extras),
+            )
+        }
+        "/sessions" => (
+            "200 OK",
+            "application/json",
+            format!("{}\n", sessions.to_json()),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect admin");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    fn split_body(response: &str) -> &str {
+        response.split_once("\r\n\r\n").map_or("", |(_, body)| body)
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let admin = AdminServer::start(
+            "127.0.0.1:0",
+            Arc::new(ServerStats::default()),
+            Arc::new(SessionTable::new()),
+        )
+        .expect("start admin");
+        let ok = get(admin.local_addr(), "/healthz");
+        assert!(ok.starts_with("HTTP/1.0 200 OK"), "got: {ok}");
+        assert_eq!(split_body(&ok), "ok\n");
+        let missing = get(admin.local_addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "got: {missing}");
+        admin.shutdown();
+    }
+
+    #[test]
+    fn metrics_exposes_server_stats() {
+        let stats = Arc::new(ServerStats::default());
+        stats.accepted.store(5, Ordering::Relaxed);
+        stats.completed.store(4, Ordering::Relaxed);
+        let admin = AdminServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&stats),
+            Arc::new(SessionTable::new()),
+        )
+        .expect("start admin");
+        let response = get(admin.local_addr(), "/metrics");
+        let body = split_body(&response);
+        assert!(response.starts_with("HTTP/1.0 200 OK"));
+        assert!(body.contains("# TYPE vk_server_accepted counter"));
+        assert!(body.contains("vk_server_accepted 5"));
+        assert!(body.contains("vk_server_completed 4"));
+        assert!(body.contains("vk_server_leaked_bits 0"));
+    }
+
+    #[test]
+    fn sessions_route_tracks_the_table() {
+        let table = Arc::new(SessionTable::new());
+        table.register(3);
+        table.update(3, |e| e.blocks = 2);
+        table.register(4);
+        table.finish(4, |e| {
+            e.state = "failed";
+            e.error = Some("deadline".into());
+        });
+        let admin = AdminServer::start(
+            "127.0.0.1:0",
+            Arc::new(ServerStats::default()),
+            Arc::clone(&table),
+        )
+        .expect("start admin");
+        let response = get(admin.local_addr(), "/sessions");
+        let doc = Json::parse(split_body(&response).trim()).expect("valid json");
+        assert_eq!(doc.get("live").and_then(Json::as_u64), Some(1));
+        let live = doc.get("sessions").and_then(Json::items).unwrap();
+        assert_eq!(live[0].get("session").and_then(Json::as_u64), Some(3));
+        assert_eq!(live[0].get("blocks").and_then(Json::as_u64), Some(2));
+        assert_eq!(live[0].get("state").and_then(Json::as_str), Some("active"));
+        let recent = doc.get("recent").and_then(Json::items).unwrap();
+        assert_eq!(
+            recent[0].get("state").and_then(Json::as_str),
+            Some("failed")
+        );
+        assert_eq!(
+            recent[0].get("error").and_then(Json::as_str),
+            Some("deadline")
+        );
+    }
+
+    #[test]
+    fn recent_list_is_bounded() {
+        let table = SessionTable::new();
+        for id in 0..(RECENT_CAP as u32 + 10) {
+            table.register(id);
+            table.finish(id, |e| e.state = "matched");
+        }
+        let doc = table.to_json();
+        let recent = doc.get("recent").and_then(Json::items).unwrap();
+        assert_eq!(recent.len(), RECENT_CAP);
+        // The oldest entries were evicted.
+        assert_eq!(recent[0].get("session").and_then(Json::as_u64), Some(10));
+        assert_eq!(table.live_len(), 0);
+    }
+
+    #[test]
+    fn oversized_and_non_get_requests_are_rejected() {
+        let admin = AdminServer::start(
+            "127.0.0.1:0",
+            Arc::new(ServerStats::default()),
+            Arc::new(SessionTable::new()),
+        )
+        .expect("start admin");
+        let mut stream = TcpStream::connect(admin.local_addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.0 405"), "got: {response}");
+    }
+}

@@ -7,14 +7,17 @@
 //! vkey run-trace    --pipeline pipeline.bin --trace trace.csv
 //! vkey nist    --pipeline pipeline.bin [--bits 4000]
 //! vkey serve   --addr 127.0.0.1:7400 [--workers 4] [--max-sessions 100]
+//!              [--admin 127.0.0.1:9100] [--flight-dir results]
 //! vkey fleet   --addr 127.0.0.1:7400 --sessions 100 --concurrency 8
+//! vkey trace-merge --inputs alice.jsonl,bob.jsonl --out trace.merged.json
 //! vkey help
 //! ```
 //!
 //! All subcommands accept `--seed <u64>` for reproducibility and
-//! `--telemetry <path>` (or the `VK_TELEMETRY` environment variable) to
-//! write a JSON-lines trace of every pipeline stage; the value `-` streams
-//! human-readable events to stderr instead.
+//! `--telemetry <path>` (or the `VK_TELEMETRY` environment variable — the
+//! flag wins when both are set) to write a JSON-lines trace of every
+//! pipeline stage; the value `-` streams human-readable events to stderr
+//! instead.
 
 use mobility::ScenarioKind;
 use rand::rngs::StdRng;
@@ -29,7 +32,8 @@ use telemetry::Json;
 use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
 use vehicle_key::RecoveryPolicy;
 use vk_server::{
-    run_fleet, FaultConfig, FleetConfig, RetryPolicy, Server, ServerConfig, SessionParams,
+    run_fleet, AdminServer, FaultConfig, FleetConfig, RetryPolicy, Server, ServerConfig,
+    SessionParams,
 };
 
 fn scenario_from(name: &str) -> Result<ScenarioKind, String> {
@@ -288,6 +292,7 @@ fn fault_from(args: &Args) -> Result<Option<FaultConfig>, String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    let flight = Arc::new(telemetry::FlightRecorder::default());
     let config = ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7400").to_string(),
         workers: args.parsed("workers", 4)?,
@@ -301,17 +306,44 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             ),
         },
         nonce_seed: args.seed(),
+        flight: Some(Arc::clone(&flight)),
+        flight_dir: args.get("flight-dir").unwrap_or("results").to_string(),
         ..ServerConfig::default()
     };
+    // Feed the flight recorder alongside whatever sink --telemetry
+    // installed. With no trace sink, the recorder alone keeps the registry
+    // enabled, so `/metrics` aggregation and post-mortems work even on an
+    // untraced server.
+    let sinks: Vec<Arc<dyn telemetry::Sink>> = match telemetry::uninstall() {
+        Some(previous) => vec![previous, flight],
+        None => vec![flight],
+    };
+    telemetry::install(Arc::new(telemetry::FanoutSink::new(sinks)));
     let reconciler = Arc::new(reconciler_from(args)?);
     let bounded = config.max_sessions;
     let server = Server::start(config, reconciler).map_err(|e| format!("cannot start: {e}"))?;
     eprintln!("vk-server listening on {}", server.local_addr());
+    let admin = match args.get("admin") {
+        Some(addr) => {
+            let admin = AdminServer::start(addr, server.stats_handle(), server.session_table())
+                .map_err(|e| format!("cannot start admin endpoint on {addr}: {e}"))?;
+            eprintln!(
+                "vk-admin listening on http://{} (/healthz /metrics /sessions)",
+                admin.local_addr()
+            );
+            Some(admin)
+        }
+        None => None,
+    };
     match bounded {
         Some(n) => eprintln!("serving up to {n} session(s), then exiting"),
         None => eprintln!("serving until killed (pass --max-sessions for a bounded run)"),
     }
     let stats = server.join();
+    if let Some(admin) = admin {
+        admin.shutdown();
+    }
+    telemetry::flush();
     eprintln!(
         "vk-server done: {} accepted, {} matched, {} mismatched, {} failed \
          ({} duplicate frames answered, {} frames rejected)\n\
@@ -392,6 +424,43 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `vkey trace-merge` — merge JSON-lines telemetry traces (e.g. one from
+/// `serve`, one from `fleet`) into a single Chrome trace-event document,
+/// loadable at ui.perfetto.dev or chrome://tracing. Spans sharing a trace
+/// id (the context `fleet` clients stamp on their frames) line up as one
+/// causal trace across both processes.
+fn cmd_trace_merge(args: &Args) -> Result<(), String> {
+    let inputs = args.require("inputs")?;
+    let out = args.get("out").unwrap_or("trace.merged.json");
+    // Locals here deliberately avoid the names `hex`/`filter`: the
+    // secret-hygiene taint engine is name-based and file-wide, and
+    // `keygen` above legitimately taints `hex` as key material.
+    let only = match args.get("trace") {
+        None => None,
+        Some(raw) => Some(telemetry::parse_trace_hex(raw).ok_or_else(|| {
+            format!(
+                "bad --trace '{raw}' (expected up to 32 hex digits, as exported in span fields)"
+            )
+        })?),
+    };
+    let mut files = Vec::new();
+    for path in inputs.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        files.push(telemetry::parse_events_jsonl(&text));
+    }
+    if files.is_empty() {
+        return Err("--inputs needs at least one JSON-lines trace file".into());
+    }
+    let events: usize = files.iter().map(Vec::len).sum();
+    let doc = telemetry::chrome_trace(&files, only);
+    std::fs::write(out, doc.to_string() + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "merged {events} event(s) from {} trace(s) into {out} (open at ui.perfetto.dev)",
+        files.len()
+    );
+    Ok(())
+}
+
 /// `vkey lint` — the vk-lint engine behind the operator CLI. Same flags
 /// and exit codes as the standalone `vk-lint` binary.
 fn cmd_lint(args: &Args) -> ExitCode {
@@ -426,8 +495,7 @@ fn cmd_lint(args: &Args) -> ExitCode {
     ExitCode::from(vk_lint::report::exit_code(&report))
 }
 
-const USAGE: &str =
-    "usage: vkey <train|keygen|export-trace|run-trace|nist|serve|fleet|lint|help> [--flags]";
+const USAGE: &str = "usage: vkey <train|keygen|export-trace|run-trace|nist|serve|fleet|trace-merge|lint|help> [--flags]";
 
 fn print_help() {
     println!(
@@ -459,6 +527,12 @@ Subcommands:
                   --addr <host:port>    bind address (default 127.0.0.1:7400)
                   --workers <n>         worker threads (default 4)
                   --max-sessions <n>    exit after n sessions (default: run forever)
+                  --admin <host:port>   also serve the admin endpoint there:
+                                        GET /healthz, /metrics (Prometheus
+                                        text), /sessions (JSON session table)
+                  --flight-dir <dir>    directory for flight-recorder
+                                        post-mortems written when a session
+                                        aborts (default results)
   fleet         Run a concurrent client fleet against a server (Bob side)
                   --addr <host:port>    server address (default 127.0.0.1:7400)
                   --sessions <n>        total sessions (default 100)
@@ -467,6 +541,11 @@ Subcommands:
                   --out <file>          manifest path (default fleet.manifest.json)
                   --min-match-rate <p>  exit nonzero if the key-match rate
                                         falls below p (for CI gates)
+  trace-merge   Merge JSON-lines telemetry traces into one Chrome trace
+                  --inputs <a,b,...>    trace files to merge (required)
+                  --out <file>          output path (default trace.merged.json)
+                  --trace <hex>         keep only events of this trace id
+                open the result at ui.perfetto.dev (or chrome://tracing)
   lint          Run the domain-aware workspace linter (vk-lint)
                   --json                JSON-lines output instead of human
                   --deny <level>        promote findings at/above allow|warn|deny
@@ -567,6 +646,7 @@ fn main() -> ExitCode {
         "nist" => cmd_nist(&args),
         "serve" => cmd_serve(&args),
         "fleet" => cmd_fleet(&args),
+        "trace-merge" => cmd_trace_merge(&args),
         other => {
             eprintln!("error: unknown command '{other}'");
             eprintln!("{USAGE}");

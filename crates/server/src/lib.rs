@@ -26,19 +26,26 @@
 //!   percentiles into a `fleet.manifest.json`;
 //! * [`sim`] — deterministic derivation of the correlated key material a
 //!   simulated session's two endpoints hold (the stand-in for the physical
-//!   LoRa channel when the exchange runs over TCP).
+//!   LoRa channel when the exchange runs over TCP);
+//! * [`obs`] — trace-context frame extensions stitching both peers of a
+//!   session into one exported causal trace;
+//! * [`admin`] — the hand-rolled HTTP/1.0 admin endpoint serving
+//!   `/metrics` (Prometheus text), `/healthz`, and `/sessions`.
 //!
 //! Everything is instrumented with `vk-telemetry` spans and counters under
 //! the `server.*` and `fleet.*` namespaces.
 
+pub mod admin;
 pub mod fault;
 pub mod fleet;
 pub mod framing;
+pub mod obs;
 pub mod pipe;
 pub mod server;
 pub mod session;
 pub mod sim;
 
+pub use admin::{AdminServer, SessionEntry, SessionTable};
 pub use fault::{FaultConfig, FaultStats, FaultyTransport};
 pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport, LatencyStats};
 pub use framing::{encode_frame, FrameDecoder, TcpTransport, MAX_FRAME_LEN};

@@ -1,0 +1,131 @@
+//! Wire-level observability glue: trace-context frame extensions.
+//!
+//! The session machinery in [`crate::session`] calls into this module to
+//! (a) append the thread's active trace context to outbound frames as the
+//! optional extension defined in [`telemetry::trace`], and (b) recover the
+//! context a peer attached to an inbound frame. Both directions are
+//! interop-safe by construction: [`vehicle_key::Message::decode`] ignores
+//! trailing bytes, so a peer that predates the extension never notices it,
+//! and a garbage extension degrades to "no trace" instead of an error.
+
+use crate::sim::SplitMix64;
+use telemetry::TraceContext;
+use vehicle_key::{Message, Transport, TransportError};
+
+/// Derive the deterministic 128-bit trace id for a session from the
+/// client's handshake nonce. The client (Bob) computes it before its first
+/// probe; the server adopts whatever arrives on the wire, so only this
+/// side ever derives. Deterministic by design: seeded fleet runs produce
+/// stable trace ids, and no entropy is drawn from the key path.
+pub fn trace_id_for_nonce(nonce_b: u64) -> u128 {
+    let mut rng = SplitMix64::new(nonce_b ^ 0x7472_6163); // "trac"
+    (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+}
+
+/// The extension to append to an outbound frame right now: present only
+/// when telemetry is enabled and a trace is active on this thread. The
+/// advertised parent is the innermost open span, so the receiving peer can
+/// record its remote causal parent.
+pub fn outbound_extension() -> Option<Vec<u8>> {
+    if !telemetry::enabled() {
+        return None;
+    }
+    let trace = telemetry::current_trace()?;
+    let ctx = TraceContext {
+        trace_id: trace.trace_id,
+        parent_span: telemetry::current_span_id().unwrap_or(0),
+    };
+    Some(ctx.encode_ext())
+}
+
+/// Send `frame`, appending the thread's trace extension when one is
+/// active. With telemetry disabled this is exactly `transport.send`.
+///
+/// # Errors
+///
+/// Propagates the transport's send error.
+pub fn send_traced<T: Transport>(transport: &mut T, frame: &[u8]) -> Result<(), TransportError> {
+    match outbound_extension() {
+        Some(ext) => {
+            let mut out = Vec::with_capacity(frame.len() + ext.len());
+            out.extend_from_slice(frame);
+            out.extend_from_slice(&ext);
+            transport.send(&out)
+        }
+        None => transport.send(frame),
+    }
+}
+
+/// Extract the trace context riding after the encoded message in `frame`.
+/// Returns `None` — never an error — when the message itself does not
+/// decode, when no extension is present, or when the extension is garbage
+/// (counted under `obs.trace_ext_garbage`); the session proceeds
+/// untraced either way.
+pub fn extract_trace(frame: &[u8]) -> Option<TraceContext> {
+    let (_, consumed) = Message::decode_prefix(frame).ok()?;
+    let ext = &frame[consumed..];
+    if ext.is_empty() {
+        return None;
+    }
+    let ctx = TraceContext::decode_ext(ext);
+    if ctx.is_none() {
+        telemetry::counter("obs.trace_ext_garbage", 1);
+    }
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe() -> Vec<u8> {
+        Message::Probe {
+            session_id: 0,
+            seq: 1,
+            nonce: 99,
+        }
+        .encode()
+        .to_vec()
+    }
+
+    #[test]
+    fn extension_survives_the_frame_round_trip() {
+        let ctx = TraceContext {
+            trace_id: trace_id_for_nonce(99),
+            parent_span: 12,
+        };
+        let mut frame = probe();
+        frame.extend_from_slice(&ctx.encode_ext());
+        // An extension-aware peer recovers the context…
+        assert_eq!(extract_trace(&frame), Some(ctx));
+        // …and a legacy peer decodes the identical message regardless.
+        assert_eq!(
+            Message::decode(&frame).unwrap(),
+            Message::decode(&probe()).unwrap()
+        );
+    }
+
+    #[test]
+    fn bare_and_garbage_frames_yield_no_trace() {
+        assert_eq!(extract_trace(&probe()), None);
+        let mut garbage = probe();
+        garbage.extend_from_slice(&[0xC7, 0xFF]); // truncated header
+        assert_eq!(extract_trace(&garbage), None);
+        let mut wrong_magic = probe();
+        wrong_magic.extend_from_slice(&[0x00, 0x00, 0x18]);
+        assert_eq!(extract_trace(&wrong_magic), None);
+        assert_eq!(extract_trace(&[0xFE, 0x01]), None, "undecodable message");
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        assert_eq!(trace_id_for_nonce(7), trace_id_for_nonce(7));
+        assert_ne!(trace_id_for_nonce(7), trace_id_for_nonce(8));
+        assert_ne!(trace_id_for_nonce(7), 0);
+    }
+
+    #[test]
+    fn no_extension_without_an_active_trace() {
+        assert_eq!(outbound_extension(), None);
+    }
+}

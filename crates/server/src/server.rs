@@ -9,9 +9,10 @@
 //! mid-exchange. All interesting events land in [`ServerStats`] (lock-free
 //! atomics) and the `server.*` telemetry namespace.
 
+use crate::admin::SessionTable;
 use crate::fault::{FaultConfig, FaultyTransport};
 use crate::framing::TcpTransport;
-use crate::session::{serve_session, SessionError, SessionParams};
+use crate::session::{serve_session, ServeOutcome, SessionError, SessionParams};
 use crate::sim::SplitMix64;
 use reconcile::AutoencoderReconciler;
 use std::io::ErrorKind;
@@ -21,7 +22,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use vehicle_key::Transport;
+use telemetry::FlightRecorder;
+use vehicle_key::{ProtocolError, Transport};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +43,12 @@ pub struct ServerConfig {
     pub max_sessions: Option<u64>,
     /// Seed for the server's handshake nonces.
     pub nonce_seed: u64,
+    /// Flight recorder holding recent telemetry history; when set, a
+    /// session ending in a typed abort (recovery/deadline/entropy
+    /// exhaustion) dumps it to `flight_dir/flightrec-<session>.json`.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// Directory flight-recorder post-mortems are written to.
+    pub flight_dir: String,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +61,8 @@ impl Default for ServerConfig {
             poll: Duration::from_millis(25),
             max_sessions: None,
             nonce_seed: 0x5eed,
+            flight: None,
+            flight_dir: "results".into(),
         }
     }
 }
@@ -133,6 +143,7 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ServerStats>,
+    sessions: Arc<SessionTable>,
 }
 
 impl Server {
@@ -153,6 +164,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
+        let sessions = Arc::new(SessionTable::new());
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
         let session_ids = Arc::new(AtomicU32::new(1));
@@ -197,6 +209,7 @@ impl Server {
         for i in 0..config.workers.max(1) {
             let conn_rx = Arc::clone(&conn_rx);
             let stats = Arc::clone(&stats);
+            let sessions = Arc::clone(&sessions);
             let session_ids = Arc::clone(&session_ids);
             let reconciler = Arc::clone(&reconciler);
             let config = config.clone();
@@ -214,7 +227,14 @@ impl Server {
                                 Err(_) => break, // accept loop gone, queue drained
                             }
                         };
-                        handle_connection(stream, &config, &reconciler, &session_ids, &stats);
+                        handle_connection(
+                            stream,
+                            &config,
+                            &reconciler,
+                            &session_ids,
+                            &stats,
+                            &sessions,
+                        );
                     })?,
             );
         }
@@ -225,6 +245,7 @@ impl Server {
             accept_thread: Some(accept_thread),
             workers,
             stats,
+            sessions,
         })
     }
 
@@ -236,6 +257,18 @@ impl Server {
     /// Shared session counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Handle on the live counters, for wiring an
+    /// [`AdminServer`](crate::admin::AdminServer) to this server.
+    pub fn stats_handle(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Handle on the live/recent session table the workers maintain, for
+    /// the admin `/sessions` route.
+    pub fn session_table(&self) -> Arc<SessionTable> {
+        Arc::clone(&self.sessions)
     }
 
     /// Stop accepting, let in-flight sessions finish, join every thread,
@@ -279,35 +312,48 @@ fn handle_connection(
     reconciler: &AutoencoderReconciler,
     session_ids: &AtomicU32,
     stats: &ServerStats,
+    sessions: &SessionTable,
 ) {
     let session_id = session_ids.fetch_add(1, Ordering::Relaxed);
+    sessions.register(session_id);
+    telemetry::gauge("server.sessions_live", sessions.live_len() as f64);
     let nonce_a = SplitMix64::new(config.nonce_seed ^ u64::from(session_id)).next_u64();
-    let transport = match TcpTransport::new(stream, config.poll) {
-        Ok(t) => t,
+    let outcome = match TcpTransport::new(stream, config.poll) {
+        Ok(transport) => match config.fault {
+            Some(fault) if !fault.is_noop() => {
+                // Derive a per-session fault seed so sessions do not all
+                // replay the identical fault pattern.
+                let fault = FaultConfig {
+                    seed: SplitMix64::new(fault.seed ^ u64::from(session_id)).next_u64(),
+                    ..fault
+                };
+                let mut t = FaultyTransport::new(transport, fault);
+                serve_one(&mut t, reconciler, session_id, nonce_a, config, stats)
+            }
+            _ => {
+                let mut t = transport;
+                serve_one(&mut t, reconciler, session_id, nonce_a, config, stats)
+            }
+        },
         Err(e) => {
             eprintln!("vk-server: socket setup failed: {e}");
-            stats.failed.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-    };
-    let outcome = match config.fault {
-        Some(fault) if !fault.is_noop() => {
-            // Derive a per-session fault seed so sessions do not all replay
-            // the identical fault pattern.
-            let fault = FaultConfig {
-                seed: SplitMix64::new(fault.seed ^ u64::from(session_id)).next_u64(),
-                ..fault
-            };
-            let mut t = FaultyTransport::new(transport, fault);
-            serve_one(&mut t, reconciler, session_id, nonce_a, config, stats)
-        }
-        _ => {
-            let mut t = transport;
-            serve_one(&mut t, reconciler, session_id, nonce_a, config, stats)
+            Err(SessionError::Transport(vehicle_key::TransportError::Io(
+                format!("socket setup failed: {e}"),
+            )))
         }
     };
     match outcome {
-        Ok(()) => {}
+        Ok(o) => sessions.finish(session_id, |entry| {
+            entry.state = if o.key_matched {
+                "matched"
+            } else {
+                "mismatched"
+            };
+            entry.blocks = u64::from(o.blocks);
+            entry.cascade_rounds = o.escalation.cascade_rounds;
+            entry.reprobes = o.escalation.reprobes;
+            entry.leaked_bits = o.leaked_bits as u64;
+        }),
         Err(e) => {
             stats.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("server.sessions_failed", 1);
@@ -317,7 +363,52 @@ fn handle_connection(
                     .field("error", e.to_string())
                     .emit();
             }
+            dump_flight(config, session_id, &e);
+            sessions.finish(session_id, |entry| {
+                entry.state = "failed";
+                entry.error = Some(e.to_string());
+            });
         }
+    }
+    telemetry::gauge("server.sessions_live", sessions.live_len() as f64);
+}
+
+/// Map a session error to a flight-recorder dump reason: only the typed
+/// aborts that indicate the protocol itself gave up (as opposed to a peer
+/// vanishing) earn a post-mortem.
+fn flight_abort_reason(error: &SessionError) -> Option<&'static str> {
+    match error {
+        SessionError::Protocol(ProtocolError::RecoveryExhausted(_)) => Some("recovery_exhausted"),
+        SessionError::Protocol(ProtocolError::DeadlineExpired(_)) => Some("deadline_expired"),
+        SessionError::Protocol(ProtocolError::EntropyExhausted) => Some("entropy_exhausted"),
+        _ => None,
+    }
+}
+
+fn dump_flight(config: &ServerConfig, session_id: u32, error: &SessionError) {
+    let Some(recorder) = &config.flight else {
+        return;
+    };
+    let Some(reason) = flight_abort_reason(error) else {
+        return;
+    };
+    let doc = recorder.dump_json(u64::from(session_id), reason);
+    let path =
+        std::path::Path::new(&config.flight_dir).join(format!("flightrec-{session_id}.json"));
+    match std::fs::create_dir_all(&config.flight_dir)
+        .and_then(|()| std::fs::write(&path, format!("{doc}\n")))
+    {
+        Ok(()) => {
+            telemetry::counter("server.flight_dumps", 1);
+            if telemetry::enabled() {
+                telemetry::mark("server.flight_dump")
+                    .field("session_id", u64::from(session_id))
+                    .field("reason", reason)
+                    .field("path", path.display().to_string())
+                    .emit();
+            }
+        }
+        Err(e) => eprintln!("vk-server: flight-recorder dump failed: {e}"),
     }
 }
 
@@ -328,7 +419,7 @@ fn serve_one<T: Transport>(
     nonce_a: u64,
     config: &ServerConfig,
     stats: &ServerStats,
-) -> Result<(), SessionError> {
+) -> Result<ServeOutcome, SessionError> {
     let outcome = serve_session(transport, reconciler, session_id, nonce_a, &config.params)?;
     stats
         .duplicate_frames
@@ -353,5 +444,88 @@ fn serve_one<T: Transport>(
     } else {
         stats.key_mismatches.fetch_add(1, Ordering::Relaxed);
     }
-    Ok(())
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::{Json, Sink};
+
+    #[test]
+    fn typed_aborts_map_to_dump_reasons() {
+        let typed = [
+            (
+                SessionError::Protocol(ProtocolError::RecoveryExhausted(3)),
+                "recovery_exhausted",
+            ),
+            (
+                SessionError::Protocol(ProtocolError::DeadlineExpired(1)),
+                "deadline_expired",
+            ),
+            (
+                SessionError::Protocol(ProtocolError::EntropyExhausted),
+                "entropy_exhausted",
+            ),
+        ];
+        for (error, reason) in typed {
+            assert_eq!(flight_abort_reason(&error), Some(reason), "{error:?}");
+        }
+        let untyped = [
+            SessionError::Transport(vehicle_key::TransportError::Closed),
+            SessionError::Protocol(ProtocolError::MacMismatch),
+            SessionError::Timeout("probe"),
+        ];
+        for error in untyped {
+            assert_eq!(flight_abort_reason(&error), None, "{error:?}");
+        }
+    }
+
+    #[test]
+    fn flight_dump_lands_only_on_typed_aborts() {
+        let dir = std::env::temp_dir().join(format!("vk-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = Arc::new(FlightRecorder::new(1, 8));
+        recorder.emit(&telemetry::Event {
+            ts_us: 1,
+            kind: telemetry::EventKind::Mark,
+            name: "server.session_stalled".into(),
+            span: None,
+            parent: None,
+            elapsed_us: None,
+            value: None,
+            fields: Vec::new(),
+        });
+        let config = ServerConfig {
+            flight: Some(Arc::clone(&recorder)),
+            flight_dir: dir.display().to_string(),
+            ..ServerConfig::default()
+        };
+        // A transport failure is not a typed abort: no post-mortem.
+        dump_flight(
+            &config,
+            6,
+            &SessionError::Transport(vehicle_key::TransportError::Closed),
+        );
+        assert!(!dir.join("flightrec-6.json").exists());
+        // A typed abort dumps the retained history.
+        dump_flight(
+            &config,
+            7,
+            &SessionError::Protocol(ProtocolError::RecoveryExhausted(2)),
+        );
+        let text = std::fs::read_to_string(dir.join("flightrec-7.json")).expect("dump written");
+        let doc = Json::parse(text.trim()).expect("valid json");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("flightrec"));
+        assert_eq!(doc.get("session").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            doc.get("reason").and_then(Json::as_str),
+            Some("recovery_exhausted")
+        );
+        assert_eq!(
+            doc.get("events").and_then(Json::items).map(<[Json]>::len),
+            Some(1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -212,32 +212,41 @@ pub fn serve_session<T: Transport>(
     nonce_a: u64,
     params: &SessionParams,
 ) -> Result<ServeOutcome, SessionError> {
-    let _span = telemetry::span("server.session")
-        .field("session_id", u64::from(session_id))
-        .enter();
     let deadline = Instant::now() + params.session_timeout;
 
-    // Handshake: wait for the client's probe.
-    let (probe_seq, nonce_b) = loop {
+    // Handshake: wait for the client's probe. The session span opens only
+    // after it arrives, so the span can join the trace the client's frame
+    // extension advertises and both peers export under one trace id.
+    let (probe_seq, nonce_b, inbound_trace) = loop {
         if Instant::now() >= deadline {
             return Err(SessionError::Timeout("probe"));
         }
         match transport.recv()? {
             Some(frame) => match Message::decode(&frame) {
-                Ok(Message::Probe { seq, nonce, .. }) => break (seq, nonce),
+                Ok(Message::Probe { seq, nonce, .. }) => {
+                    break (seq, nonce, crate::obs::extract_trace(&frame))
+                }
                 Ok(_) => return Err(ProtocolError::Malformed("expected probe").into()),
                 Err(_) => {} // corrupted frame pre-handshake: let the client retry
             },
             None => {}
         }
     };
+    let _trace = inbound_trace
+        .filter(|_| telemetry::enabled())
+        .map(|ctx| telemetry::push_trace(ctx.trace_id, "alice"));
+    let mut span = telemetry::span("server.session").field("session_id", u64::from(session_id));
+    if let Some(ctx) = inbound_trace {
+        span = span.field("remote_parent", ctx.parent_span);
+    }
+    let _span = span.enter();
     let reply = Message::ProbeReply {
         session_id,
         seq: probe_seq,
         nonce: nonce_a,
     }
     .encode();
-    transport.send(&reply)?;
+    crate::obs::send_traced(transport, &reply)?;
 
     let (k_alice, _) = derive_session_keys(
         session_id,
@@ -263,6 +272,15 @@ pub fn serve_session<T: Transport>(
     };
     let mut confirm_reply: Option<Vec<u8>> = None;
     let mut linger_until: Option<Instant> = None;
+    let mut rung_timer = RungTimer::default();
+
+    // Stall watchdog: "progress" is block-level — an accepted block, a
+    // ladder step, or the confirmation. Retransmissions and duplicates do
+    // not count, so a session grinding on one block past its
+    // `block_deadline` budget is flagged exactly once per stall episode.
+    let mut last_progress = Instant::now();
+    let mut last_state = (outcome.blocks, outcome.escalation, false);
+    let mut stall_flagged = false;
 
     loop {
         if let Some(t) = linger_until {
@@ -273,6 +291,23 @@ pub fn serve_session<T: Transport>(
             }
         } else if Instant::now() >= deadline {
             return Err(SessionError::Timeout("syndromes"));
+        }
+        let state = (outcome.blocks, outcome.escalation, confirm_reply.is_some());
+        if state != last_state {
+            last_state = state;
+            last_progress = Instant::now();
+            stall_flagged = false;
+        } else if !stall_flagged && last_progress.elapsed() > params.recovery.block_deadline {
+            stall_flagged = true;
+            telemetry::counter("server.stalls", 1);
+            telemetry::mark("server.session_stalled")
+                .field("session_id", u64::from(session_id))
+                .field("block", driver.recovering_block().map_or(-1i64, i64::from))
+                .field(
+                    "stalled_ms",
+                    u64::try_from(last_progress.elapsed().as_millis()).unwrap_or(u64::MAX),
+                )
+                .emit();
         }
         let frame = match transport.recv() {
             Ok(Some(frame)) => frame,
@@ -295,7 +330,7 @@ pub fn serve_session<T: Transport>(
             Message::Probe { seq, .. } if seq == probe_seq => {
                 // Our ProbeReply was lost; answer again.
                 outcome.duplicate_frames += 1;
-                transport.send(&reply)?;
+                crate::obs::send_traced(transport, &reply)?;
             }
             Message::Syndrome {
                 session_id: sid,
@@ -311,6 +346,7 @@ pub fn serve_session<T: Transport>(
                     block,
                     disposition,
                     &mut outcome,
+                    &mut rung_timer,
                     params,
                 )?;
             }
@@ -328,6 +364,7 @@ pub fn serve_session<T: Transport>(
                     block,
                     disposition,
                     &mut outcome,
+                    &mut rung_timer,
                     params,
                 )?;
             }
@@ -358,6 +395,7 @@ pub fn serve_session<T: Transport>(
                     block,
                     disposition,
                     &mut outcome,
+                    &mut rung_timer,
                     params,
                 )?;
             }
@@ -397,7 +435,7 @@ pub fn serve_session<T: Transport>(
                         reply
                     }
                 };
-                transport.send(&reply)?;
+                crate::obs::send_traced(transport, &reply)?;
             }
             // Anything else reaching the server (a reply meant for the
             // client, a probe for another handshake) is either corruption
@@ -407,6 +445,47 @@ pub fn serve_session<T: Transport>(
                 reject_frame(&mut outcome, params, "unexpected message for server")?;
             }
         }
+    }
+}
+
+/// Wall-clock timer for one block's trip through the escalation ladder:
+/// started when a block escalates, resolved when it is finally accepted.
+/// The elapsed time lands in a per-rung histogram chosen by which rung's
+/// recovery counter advanced — `server.recovery.decode_ms`,
+/// `server.recovery.cascade_ms`, or `server.recovery.reprobe_ms` — the
+/// per-rung latency breakdown `/metrics` exposes as quantiles.
+#[derive(Debug, Default)]
+struct RungTimer {
+    active: Option<(u32, Instant, EscalationCounters)>,
+}
+
+impl RungTimer {
+    fn on_escalated(&mut self, block: u32, counters: EscalationCounters) {
+        if self.active.is_none() {
+            self.active = Some((block, Instant::now(), counters));
+        }
+    }
+
+    fn on_accepted(&mut self, block: u32, counters: &EscalationCounters) {
+        let Some((started_block, started, before)) = self.active else {
+            return;
+        };
+        if started_block != block {
+            return;
+        }
+        self.active = None;
+        if !telemetry::enabled() {
+            return;
+        }
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        let rung = if counters.reprobe_recoveries > before.reprobe_recoveries {
+            "server.recovery.reprobe_ms"
+        } else if counters.cascade_recoveries > before.cascade_recoveries {
+            "server.recovery.cascade_ms"
+        } else {
+            "server.recovery.decode_ms"
+        };
+        telemetry::histogram(rung, ms);
     }
 }
 
@@ -421,10 +500,12 @@ fn reply_for_disposition<T: Transport>(
     block: u32,
     disposition: Result<Disposition, ProtocolError>,
     outcome: &mut ServeOutcome,
+    rung_timer: &mut RungTimer,
     params: &SessionParams,
 ) -> Result<(), SessionError> {
     let ack = |transport: &mut T| {
-        transport.send(
+        crate::obs::send_traced(
+            transport,
             &Message::Ack {
                 session_id,
                 seq: block,
@@ -435,13 +516,15 @@ fn reply_for_disposition<T: Transport>(
     match disposition {
         Ok(Disposition::Accepted) => {
             outcome.blocks += 1;
+            rung_timer.on_accepted(block, &driver.counters());
             ack(transport)?;
         }
         Ok(Disposition::Escalated) => {
             outcome.escalation = driver.counters();
+            rung_timer.on_escalated(block, outcome.escalation);
             if let Some(query) = driver.pending_recovery() {
                 let frame = query.encode();
-                transport.send(&frame)?;
+                crate::obs::send_traced(transport, &frame)?;
                 telemetry::counter("server.escalation_queries", 1);
             }
         }
@@ -452,7 +535,7 @@ fn reply_for_disposition<T: Transport>(
                 // A stale reply raced our outstanding query: re-send it.
                 if let Some(query) = driver.pending_recovery() {
                     let frame = query.encode();
-                    transport.send(&frame)?;
+                    crate::obs::send_traced(transport, &frame)?;
                 }
             } else {
                 ack(transport)?;
@@ -509,7 +592,7 @@ fn request_with_retry<T: Transport, R>(
             *retransmissions += 1;
             telemetry::counter("fleet.retransmissions", 1);
         }
-        transport.send(frame)?;
+        crate::obs::send_traced(transport, frame)?;
         let deadline = Instant::now() + wait;
         while Instant::now() < deadline {
             match transport.recv()? {
@@ -543,6 +626,11 @@ pub fn run_bob_session<T: Transport>(
     nonce_b: u64,
     params: &SessionParams,
 ) -> Result<BobOutcome, SessionError> {
+    // The client originates the session's trace: a deterministic id from
+    // its handshake nonce, activated before the session span opens so the
+    // span (and every outbound frame) carries it.
+    let _trace = telemetry::enabled()
+        .then(|| telemetry::push_trace(crate::obs::trace_id_for_nonce(nonce_b), "bob"));
     let _span = telemetry::span("fleet.session").enter();
     let mut retransmissions = 0u32;
 
@@ -792,6 +880,49 @@ mod tests {
             "endpoints disagree on the amplification debit"
         );
         assert!(alice.entropy_bits <= 128 - alice.leaked_bits.min(128));
+    }
+
+    #[test]
+    fn trace_context_stitches_both_peers() {
+        use telemetry::{EventKind, Value};
+        let sink = std::sync::Arc::new(telemetry::MemorySink::new());
+        telemetry::install(sink.clone());
+        let (mut a, mut b) = PipeTransport::pair(Duration::from_millis(5));
+        let params = fast_params();
+        let server =
+            std::thread::spawn(move || serve_session(&mut a, model(), 88, 4321, &params).unwrap());
+        let bob = run_bob_session(&mut b, model(), 8765, &params).unwrap();
+        let alice = server.join().unwrap();
+        telemetry::uninstall();
+        assert!(bob.key_matched && alice.key_matched);
+        // Both peers' session spans carry the client-derived trace id (the
+        // global sink may hold events from concurrently running tests; the
+        // unique id isolates this session's).
+        let expected = Value::Str(telemetry::trace_hex(crate::obs::trace_id_for_nonce(8765)));
+        let events = sink.events();
+        let node_of = |span_name: &str| -> Option<Value> {
+            events
+                .iter()
+                .find(|e| {
+                    e.kind == EventKind::SpanEnd
+                        && e.name == span_name
+                        && e.field("trace") == Some(&expected)
+                })
+                .and_then(|e| e.field("node").cloned())
+        };
+        assert_eq!(node_of("fleet.session"), Some(Value::Str("bob".into())));
+        assert_eq!(node_of("server.session"), Some(Value::Str("alice".into())));
+        // The server recorded its remote causal parent from the probe.
+        let remote_parent = events
+            .iter()
+            .find(|e| {
+                e.kind == EventKind::SpanEnd
+                    && e.name == "server.session"
+                    && e.field("trace") == Some(&expected)
+            })
+            .and_then(|e| e.field("remote_parent"))
+            .and_then(Value::as_u64);
+        assert!(remote_parent.is_some_and(|p| p > 0), "{remote_parent:?}");
     }
 
     #[test]

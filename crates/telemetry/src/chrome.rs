@@ -1,0 +1,236 @@
+//! Chrome trace-event export: turns JSON-lines span streams — possibly
+//! from several processes — into one `traceEvents` document loadable in
+//! Perfetto or `chrome://tracing`.
+//!
+//! Each input file is one process's telemetry stream. Spans that carry a
+//! `node` field (attached while a [`crate::trace`] context is active) are
+//! grouped onto a named process track (`alice`, `bob`, …); spans without
+//! one land on a per-file `proc<i>` track. Track-local thread lanes come
+//! from the root of each span's parent chain, so concurrent sessions in
+//! one process render as parallel lanes. Timestamps are re-based per input
+//! file (each stream starts at 0) because separate processes do not share
+//! a clock epoch — causality across nodes comes from the shared `trace`
+//! id, not from timestamp alignment.
+
+use crate::event::{Event, EventKind};
+use crate::json::Json;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Parse a JSON-lines telemetry stream, skipping blank or foreign lines
+/// (a trace file may be interleaved with other output).
+pub fn parse_events_jsonl(text: &str) -> Vec<Event> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| Event::from_json_line(line).ok())
+        .collect()
+}
+
+/// Root of a span's parent chain (cycle-guarded).
+fn root_span(span: u64, parent_of: &BTreeMap<u64, u64>) -> u64 {
+    let mut cur = span;
+    for _ in 0..64 {
+        match parent_of.get(&cur) {
+            Some(&p) => cur = p,
+            None => break,
+        }
+    }
+    cur
+}
+
+fn trace_of(event: &Event) -> Option<u128> {
+    match event.field("trace") {
+        Some(Value::Str(hex)) => crate::trace::parse_trace_hex(hex),
+        _ => None,
+    }
+}
+
+/// Build a Chrome trace-event document from one or more event streams.
+///
+/// `filter`: when set, only spans recorded under that trace id are
+/// exported; otherwise every finished span is.
+pub fn chrome_trace(inputs: &[Vec<Event>], filter: Option<u128>) -> Json {
+    fn pid_of(name: &str, tracks: &mut Vec<String>) -> u64 {
+        match tracks.iter().position(|t| t == name) {
+            Some(i) => i as u64 + 1,
+            None => {
+                tracks.push(name.to_string());
+                tracks.len() as u64
+            }
+        }
+    }
+    let mut out: Vec<Json> = Vec::new();
+    // Process track names, in first-seen order; index+1 becomes the pid.
+    let mut tracks: Vec<String> = Vec::new();
+    for (file_idx, events) in inputs.iter().enumerate() {
+        let mut parent_of: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in events {
+            if let (Some(span), Some(parent)) = (e.span, e.parent) {
+                parent_of.insert(span, parent);
+            }
+        }
+        let t0 = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd)
+            .map(|e| e.ts_us.saturating_sub(e.elapsed_us.unwrap_or(0)))
+            .min()
+            .unwrap_or(0);
+        let fallback = format!("proc{file_idx}");
+        for e in events {
+            if e.kind != EventKind::SpanEnd {
+                continue;
+            }
+            if let Some(want) = filter {
+                if trace_of(e) != Some(want) {
+                    continue;
+                }
+            }
+            let node = match e.field("node") {
+                Some(Value::Str(node)) => node.as_str(),
+                _ => fallback.as_str(),
+            };
+            let pid = pid_of(node, &mut tracks);
+            let dur = e.elapsed_us.unwrap_or(0);
+            let ts = e.ts_us.saturating_sub(dur).saturating_sub(t0);
+            let tid = e.span.map_or(0, |s| root_span(s, &parent_of));
+            let mut args: Vec<(String, Json)> = e
+                .fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect();
+            if let Some(span) = e.span {
+                args.push(("span".into(), Json::UInt(span)));
+            }
+            if let Some(parent) = e.parent {
+                args.push(("parent".into(), Json::UInt(parent)));
+            }
+            out.push(Json::Obj(vec![
+                ("name".into(), Json::Str(e.name.clone())),
+                ("cat".into(), Json::Str("vk".into())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::UInt(ts)),
+                ("dur".into(), Json::UInt(dur)),
+                ("pid".into(), Json::UInt(pid)),
+                ("tid".into(), Json::UInt(tid)),
+                ("args".into(), Json::Obj(args)),
+            ]));
+        }
+    }
+    for (i, name) in tracks.iter().enumerate() {
+        out.push(Json::Obj(vec![
+            ("name".into(), Json::Str("process_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::UInt(i as u64 + 1)),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::Str(name.clone()))]),
+            ),
+        ]));
+    }
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(out)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_hex;
+
+    fn span_end(ts_us: u64, name: &str, span: u64, parent: Option<u64>, trace: u128) -> Event {
+        Event {
+            ts_us,
+            kind: EventKind::SpanEnd,
+            name: name.into(),
+            span: Some(span),
+            parent,
+            elapsed_us: Some(100),
+            value: None,
+            fields: vec![
+                ("trace".into(), Value::Str(trace_hex(trace))),
+                (
+                    "node".into(),
+                    Value::Str(if name.starts_with("server") {
+                        "alice".into()
+                    } else {
+                        "bob".into()
+                    }),
+                ),
+            ],
+        }
+    }
+
+    fn events_of(doc: &Json) -> &[Json] {
+        doc.get("traceEvents").and_then(Json::items).unwrap()
+    }
+
+    #[test]
+    fn merges_two_nodes_under_one_trace() {
+        let alice = vec![span_end(900, "server.session", 3, None, 77)];
+        let bob = vec![span_end(2_000, "fleet.session", 3, None, 77)];
+        let doc = chrome_trace(&[alice, bob], Some(77));
+        let events = events_of(&doc);
+        let complete: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        let pids: Vec<u64> = complete
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+            .collect();
+        assert_ne!(pids[0], pids[1], "each node gets its own process track");
+        for e in &complete {
+            let args = e.get("args").unwrap();
+            assert_eq!(
+                args.get("trace").and_then(Json::as_str),
+                Some(trace_hex(77).as_str())
+            );
+            // Per-file re-basing: both spans start at ts 0.
+            assert_eq!(e.get("ts").and_then(Json::as_u64), Some(0));
+        }
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")))
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(names, vec!["alice", "bob"]);
+    }
+
+    #[test]
+    fn filter_drops_foreign_traces() {
+        let events = vec![
+            span_end(500, "server.session", 1, None, 1),
+            span_end(700, "server.session", 2, None, 2),
+        ];
+        let doc = chrome_trace(&[events], Some(2));
+        let complete = events_of(&doc)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .count();
+        assert_eq!(complete, 1);
+    }
+
+    #[test]
+    fn nested_spans_share_a_lane() {
+        let mut root = span_end(1_000, "server.session", 10, None, 5);
+        root.elapsed_us = Some(900);
+        let child = span_end(800, "server.handshake", 11, Some(10), 5);
+        let doc = chrome_trace(&[vec![child, root]], None);
+        let tids: Vec<u64> = events_of(&doc)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(tids, vec![10, 10], "children ride their root span's lane");
+    }
+
+    #[test]
+    fn jsonl_parsing_skips_foreign_lines() {
+        let line = span_end(1, "fleet.session", 1, None, 3).to_json_line();
+        let text = format!("{line}\nnot json\n\n{line}\n");
+        assert_eq!(parse_events_jsonl(&text).len(), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Flight recorder: bounded in-memory event history for post-mortems.
+//!
+//! The recorder is a [`Sink`] that keeps the most recent events in
+//! fixed-size ring buffers, sharded so concurrent session threads do not
+//! contend on one lock. It remembers, it never writes — when a session
+//! ends in a typed abort the server asks for a [`FlightRecorder::dump_json`]
+//! and persists that snapshot as `flightrec-<session>.json`, giving every
+//! chaos-soak failure a recent-history record without unbounded memory or
+//! per-event I/O.
+//!
+//! Memory is strictly bounded: `shards × capacity` events, oldest evicted
+//! first; evictions are counted so a dump can say how much history it lost.
+
+use crate::event::Event;
+use crate::json::Json;
+use crate::sink::Sink;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Default number of ring-buffer shards.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Default events retained per shard.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+thread_local! {
+    /// Process-wide shard slot for this thread, assigned on first emit.
+    static SLOT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Round-robin slot allocator shared by all recorders (a thread keeps one
+/// slot for its lifetime, so its events stay in order within a shard).
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+fn thread_slot() -> usize {
+    SLOT.with(|slot| match slot.get() {
+        Some(s) => s,
+        None => {
+            let s = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
+            slot.set(Some(s));
+            s
+        }
+    })
+}
+
+/// Sharded ring buffer of recent telemetry events.
+pub struct FlightRecorder {
+    shards: Vec<Mutex<VecDeque<Event>>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_SHARDS, DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Create a recorder with `shards` ring buffers of `capacity` events
+    /// each (both clamped to at least 1).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        FlightRecorder {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Events currently retained across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far to stay within the memory bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the retained history, merged across shards and sorted
+    /// by registry timestamp.
+    pub fn dump(&self) -> Vec<Event> {
+        let mut events: Vec<Event> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            events.extend(shard.iter().cloned());
+        }
+        events.sort_by_key(|e| e.ts_us);
+        events
+    }
+
+    /// Render a post-mortem document for one aborted session: the abort
+    /// reason plus the retained history as JSON event objects.
+    pub fn dump_json(&self, session_id: u64, reason: &str) -> Json {
+        let events = self.dump();
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("flightrec".into())),
+            ("session".into(), Json::UInt(session_id)),
+            ("reason".into(), Json::Str(reason.to_string())),
+            ("dropped".into(), Json::UInt(self.dropped())),
+            (
+                "events".into(),
+                Json::Arr(events.iter().map(Event::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn emit(&self, event: &Event) {
+        let shard = &self.shards[thread_slot() % self.shards.len()];
+        let mut ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn event(ts_us: u64, name: &str) -> Event {
+        Event {
+            ts_us,
+            kind: EventKind::Mark,
+            name: name.into(),
+            span: None,
+            parent: None,
+            elapsed_us: None,
+            value: None,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn retains_the_most_recent_events() {
+        let rec = FlightRecorder::new(1, 4);
+        for i in 0..10u64 {
+            rec.emit(&event(i, "tick"));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        let kept: Vec<u64> = rec.dump().iter().map(|e| e.ts_us).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn dump_merges_shards_in_timestamp_order() {
+        let rec = std::sync::Arc::new(FlightRecorder::new(4, 8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = std::sync::Arc::clone(&rec);
+                scope.spawn(move || {
+                    for i in 0..3u64 {
+                        rec.emit(&event(t * 10 + i, "tick"));
+                    }
+                });
+            }
+        });
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 12);
+        for pair in dump.windows(2) {
+            assert!(pair[0].ts_us <= pair[1].ts_us);
+        }
+    }
+
+    #[test]
+    fn dump_json_carries_reason_and_events() {
+        let rec = FlightRecorder::new(1, 8);
+        rec.emit(&event(5, "server.session_stalled"));
+        let doc = rec.dump_json(42, "recovery exhausted");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("flightrec"));
+        assert_eq!(doc.get("session").and_then(Json::as_u64), Some(42));
+        assert_eq!(
+            doc.get("reason").and_then(Json::as_str),
+            Some("recovery exhausted")
+        );
+        let events = doc.get("events").and_then(Json::items).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+}

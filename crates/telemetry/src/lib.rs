@@ -9,13 +9,18 @@
 //! * **hierarchical spans** with wall-clock timing ([`Registry::span`],
 //!   RAII guards, per-thread nesting),
 //! * **typed metrics** — monotonic counters, last-value gauges, and
-//!   count/sum/min/max histograms ([`Registry::counter_add`],
-//!   [`Registry::gauge_set`], [`Registry::histogram_record`]),
+//!   log-bucketed histograms with p50/p90/p99/p999 estimates
+//!   ([`Registry::counter_add`], [`Registry::gauge_set`],
+//!   [`Registry::histogram_record`]),
 //! * **point events** with arbitrary fields, e.g. one per training epoch
 //!   ([`Registry::mark`]),
 //! * pluggable [`Sink`] backends: human-readable stderr ([`StderrSink`]),
 //!   machine-readable JSON lines ([`JsonLinesSink`]), in-memory capture
-//!   ([`MemorySink`]) and fan-out ([`FanoutSink`]).
+//!   ([`MemorySink`]), event-discarding aggregation ([`NullSink`]),
+//!   fan-out ([`FanoutSink`]) and the bounded [`FlightRecorder`],
+//! * the **observability plane**: cross-node trace contexts ([`trace`]),
+//!   Chrome trace-event export ([`chrome`]) and Prometheus text
+//!   exposition ([`prometheus`]).
 //!
 //! # Overhead discipline
 //!
@@ -51,7 +56,11 @@
 //! crypto crate, and must never widen the build. JSON encoding is
 //! hand-rolled in [`json`].
 
+pub mod chrome;
+pub mod flight;
 pub mod json;
+pub mod prometheus;
+pub mod trace;
 
 mod event;
 mod registry;
@@ -59,11 +68,18 @@ mod sink;
 mod span;
 mod value;
 
+pub use chrome::{chrome_trace, parse_events_jsonl};
 pub use event::{Event, EventKind};
+pub use flight::FlightRecorder;
 pub use json::Json;
-pub use registry::{EventBuilder, HistogramSummary, MetricsSnapshot, Registry};
-pub use sink::{FanoutSink, JsonLinesSink, MemorySink, Sink, StderrSink};
+pub use prometheus::render_metrics;
+pub use registry::{EventBuilder, HistogramSummary, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS};
+pub use sink::{FanoutSink, JsonLinesSink, MemorySink, NullSink, Sink, StderrSink};
 pub use span::{SpanBuilder, SpanGuard};
+pub use trace::{
+    current_trace, parse_trace_hex, push_trace, trace_hex, ActiveTrace, TraceContext, TraceGuard,
+    TRACE_EXT_BODY_LEN, TRACE_EXT_LEN, TRACE_EXT_MAGIC,
+};
 pub use value::{Fields, Value};
 
 use std::cell::RefCell;
@@ -206,6 +222,12 @@ pub fn histogram(name: &str, value: f64) {
 /// Build a point event on the current registry.
 pub fn mark(name: &str) -> EventBuilder<'static> {
     EventBuilder::with_handle(current(), name)
+}
+
+/// The innermost span open on this thread, if any. Session code uses this
+/// to advertise a causal parent inside outbound trace extensions.
+pub fn current_span_id() -> Option<u64> {
+    span::current_span_id()
 }
 
 /// Snapshot the current registry's aggregated metrics.

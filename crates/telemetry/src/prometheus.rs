@@ -1,0 +1,126 @@
+//! Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+//!
+//! Hand-rolled like the JSON layer: the format is line-oriented and tiny,
+//! and this crate must stay dependency-free. Counters and gauges render as
+//! single samples; histograms render as Prometheus *summaries* — quantile
+//! series from the log buckets plus exact `_sum`/`_count`.
+//!
+//! Every metric name is prefixed `vk_` and sanitized (dots become
+//! underscores), so `server.sessions_matched` is scraped as
+//! `vk_server_sessions_matched`.
+
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Quantiles exported for each histogram.
+const QUANTILES: [(f64, &str); 4] = [
+    (0.50, "0.5"),
+    (0.90, "0.9"),
+    (0.99, "0.99"),
+    (0.999, "0.999"),
+];
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("vk_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot (plus caller-supplied extra counters, e.g. server
+/// accept/worker stats kept outside the registry) as Prometheus text.
+pub fn render_metrics(snapshot: &MetricsSnapshot, extra_counters: &[(&str, u64)]) -> String {
+    let mut out = String::new();
+    for (name, value) in extra_counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_f64(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (q, label) in QUANTILES {
+            let _ = writeln!(
+                out,
+                "{name}{{quantile=\"{label}\"}} {}",
+                fmt_f64(h.quantile(q))
+            );
+        }
+        let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum));
+        let _ = writeln!(out, "{name}_count {}", h.count);
+        let _ = writeln!(out, "{name}_min {}", fmt_f64(h.min));
+        let _ = writeln!(out, "{name}_max {}", fmt_f64(h.max));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::HistogramSummary;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .counters
+            .insert("server.sessions_matched".into(), 7);
+        snapshot.gauges.insert("fleet.inflight".into(), 3.0);
+        let mut h = HistogramSummary::default();
+        for v in [4.0, 8.0, 16.0] {
+            h.observe(v);
+        }
+        snapshot
+            .histograms
+            .insert("fleet.session_latency_ms".into(), h);
+        let text = render_metrics(&snapshot, &[("server.accepted", 9)]);
+        assert!(text.contains("# TYPE vk_server_accepted counter"));
+        assert!(text.contains("vk_server_accepted 9"));
+        assert!(text.contains("vk_server_sessions_matched 7"));
+        assert!(text.contains("vk_fleet_inflight 3"));
+        assert!(text.contains("vk_fleet_session_latency_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("vk_fleet_session_latency_ms_count 3"));
+        assert!(text.contains("vk_fleet_session_latency_ms_sum 28"));
+    }
+
+    #[test]
+    fn sanitizes_names_and_empty_histograms() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .histograms
+            .insert("weird name-with.dots".into(), HistogramSummary::default());
+        let text = render_metrics(&snapshot, &[]);
+        assert!(text.contains("# TYPE vk_weird_name_with_dots summary"));
+        assert!(text.contains("vk_weird_name_with_dots{quantile=\"0.5\"} NaN"));
+        assert!(text.contains("vk_weird_name_with_dots_min +Inf"));
+        assert!(text.contains("vk_weird_name_with_dots_count 0"));
+    }
+}

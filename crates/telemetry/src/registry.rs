@@ -10,8 +10,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
-/// Running summary of a histogram (count/sum/min/max — enough for stage
-/// breakdowns without bucket bookkeeping).
+/// Number of log-spaced buckets kept per histogram.
+pub const HISTOGRAM_BUCKETS: usize = 96;
+
+/// Buckets are half-octave wide: bucket `i` covers
+/// `[2^((i-48)/2), 2^((i-47)/2))`, spanning `2^-24 ..= 2^24` — sub-100 ns
+/// spans (in seconds) through multi-hour latencies (in milliseconds) at a
+/// worst-case relative error of ~±19%.
+const BUCKET_OFFSET: f64 = 48.0;
+const BUCKETS_PER_OCTAVE: f64 = 2.0;
+
+/// Running summary of a histogram: exact count/sum/min/max plus HDR-style
+/// log-spaced bucket counts, enough for p50/p90/p99/p999 without storing
+/// samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of observations.
@@ -22,6 +33,8 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Log-bucketed observation counts (see [`HistogramSummary::quantile`]).
+    pub buckets: [u32; HISTOGRAM_BUCKETS],
 }
 
 impl HistogramSummary {
@@ -31,11 +44,87 @@ impl HistogramSummary {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        let slot = &mut self.buckets[Self::bucket_index(value)];
+        *slot = slot.saturating_add(1);
     }
 
     /// Mean observation (NaN when empty).
     pub fn mean(&self) -> f64 {
         self.sum / self.count as f64
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if !value.is_finite() || value <= 0.0 {
+            return 0;
+        }
+        let raw = (value.log2() * BUCKETS_PER_OCTAVE).floor() + BUCKET_OFFSET;
+        if raw < 0.0 {
+            0
+        } else if raw >= HISTOGRAM_BUCKETS as f64 {
+            HISTOGRAM_BUCKETS - 1
+        } else {
+            raw as usize
+        }
+    }
+
+    /// Geometric midpoint of a bucket — the value a quantile estimate
+    /// reports for ranks landing in it.
+    fn bucket_value(index: usize) -> f64 {
+        ((index as f64 - BUCKET_OFFSET + 0.5) / BUCKETS_PER_OCTAVE).exp2()
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the log buckets, clamped
+    /// into the exact `[min, max]` envelope. NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen: u64 = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += u64::from(n);
+            if seen >= rank {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Fold another summary into this one (bucket-wise; min/max widen).
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (slot, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot = slot.saturating_add(n);
+        }
     }
 }
 
@@ -46,6 +135,7 @@ impl Default for HistogramSummary {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            buckets: [0; HISTOGRAM_BUCKETS],
         }
     }
 }
@@ -318,11 +408,20 @@ impl<'r> EventBuilder<'r> {
         self
     }
 
-    /// Emit the event (no-op when the registry is disabled).
+    /// Emit the event (no-op when the registry is disabled). Marks inherit
+    /// the thread's active trace context, like spans do.
     pub fn emit(self) {
         let registry = self.handle.registry();
         if !registry.is_enabled() {
             return;
+        }
+        let mut fields = self.fields;
+        if let Some(trace) = crate::trace::current_trace() {
+            fields.push((
+                "trace".to_string(),
+                Value::Str(crate::trace::trace_hex(trace.trace_id)),
+            ));
+            fields.push(("node".to_string(), Value::Str(trace.node.to_string())));
         }
         registry.emit(&Event {
             ts_us: registry.now_us(),
@@ -332,7 +431,7 @@ impl<'r> EventBuilder<'r> {
             parent: crate::span::current_span_id(),
             elapsed_us: None,
             value: None,
-            fields: self.fields,
+            fields,
         });
     }
 }
@@ -394,6 +493,60 @@ mod tests {
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 3.0);
         assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_ramp() {
+        let mut h = HistogramSummary::default();
+        for v in 1..=1000 {
+            h.observe(f64::from(v));
+        }
+        // Log buckets are ±19% wide; allow a generous envelope.
+        let p50 = h.p50();
+        assert!((350.0..=700.0).contains(&p50), "p50 off: {p50}");
+        let p99 = h.p99();
+        assert!((800.0..=1000.0).contains(&p99), "p99 off: {p99}");
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert!(h.p999() <= h.max && h.p999() >= h.p99());
+    }
+
+    #[test]
+    fn quantiles_degenerate_cases() {
+        let empty = HistogramSummary::default();
+        assert!(empty.p50().is_nan());
+        let mut single = HistogramSummary::default();
+        single.observe(7.5);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 7.5, "clamped to the only sample");
+        }
+        let mut weird = HistogramSummary::default();
+        weird.observe(0.0);
+        weird.observe(-3.0);
+        assert_eq!(weird.count, 2);
+        let p50 = weird.p50();
+        assert!(
+            (-3.0..=0.0).contains(&p50),
+            "non-positive samples clamp into [min, max]: {p50}"
+        );
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = HistogramSummary::default();
+        let mut b = HistogramSummary::default();
+        for v in [1.0, 2.0] {
+            a.observe(v);
+        }
+        for v in [10.0, 20.0] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 20.0);
+        assert_eq!(a.sum, 33.0);
+        assert!(a.p50() >= 1.0 && a.p50() <= 20.0);
     }
 
     #[test]

@@ -160,6 +160,25 @@ impl Sink for MemorySink {
     }
 }
 
+/// Discards every event while keeping the registry enabled, so counters,
+/// gauges and histograms still aggregate. This is what the admin endpoint
+/// installs when no trace sink is wanted — `/metrics` needs aggregation,
+/// not an event stream — and what the fleet benchmark uses to price the
+/// plane's overhead.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl NullSink {
+    /// Create the sink.
+    pub fn new() -> Self {
+        NullSink
+    }
+}
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
 /// Broadcast events to several sinks (e.g. a JSON-lines trace plus the
 /// in-memory recorder the run manifest is derived from).
 pub struct FanoutSink {

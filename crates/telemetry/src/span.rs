@@ -52,11 +52,22 @@ impl<'r> SpanBuilder<'r> {
     }
 
     /// Open the span. When the registry is disabled this returns an inert
-    /// guard without touching the clock or the sink.
+    /// guard without touching the clock or the sink. While a trace context
+    /// is active on this thread ([`crate::trace::push_trace`]) the span
+    /// also carries `trace` and `node` fields, which is how both peers of
+    /// a key exchange end up in one exported causal trace.
     pub fn enter(self) -> SpanGuard<'r> {
         let registry = self.handle.registry();
         if !registry.is_enabled() {
             return SpanGuard { active: None };
+        }
+        let mut fields = self.fields;
+        if let Some(trace) = crate::trace::current_trace() {
+            fields.push((
+                "trace".to_string(),
+                Value::Str(crate::trace::trace_hex(trace.trace_id)),
+            ));
+            fields.push(("node".to_string(), Value::Str(trace.node.to_string())));
         }
         let id = registry.allocate_span_id();
         let parent = current_span_id();
@@ -69,13 +80,13 @@ impl<'r> SpanBuilder<'r> {
             parent,
             elapsed_us: None,
             value: None,
-            fields: self.fields.clone(),
+            fields: fields.clone(),
         });
         SpanGuard {
             active: Some(ActiveSpan {
                 handle: self.handle,
                 name: self.name,
-                fields: self.fields,
+                fields,
                 id,
                 parent,
                 started: Instant::now(),
@@ -239,6 +250,29 @@ mod tests {
             "outer span ({outer} us) must contain inner ({inner} us)"
         );
         assert!(inner >= 2_000, "inner span covers its sleep: {inner} us");
+    }
+
+    #[test]
+    fn spans_carry_the_active_trace() {
+        let registry = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        registry.install(sink.clone());
+        {
+            let _trace = crate::trace::push_trace(0xabc, "alice");
+            let _span = registry.span("server.session").enter();
+        }
+        {
+            let _span = registry.span("untraced").enter();
+        }
+        let events = sink.events();
+        let start = &events[0];
+        assert_eq!(
+            start.field("trace"),
+            Some(&Value::Str(crate::trace::trace_hex(0xabc)))
+        );
+        assert_eq!(start.field("node"), Some(&Value::Str("alice".into())));
+        assert_eq!(events[1].field("trace"), start.field("trace"));
+        assert!(events[2].field("trace").is_none(), "guard dropped");
     }
 
     #[test]

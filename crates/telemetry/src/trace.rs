@@ -1,0 +1,208 @@
+//! Cross-node trace context: the glue that stitches an Alice-side span
+//! tree and its Bob-side counterpart into one causal session view.
+//!
+//! A trace is identified by a 128-bit id. The initiating peer derives the
+//! id deterministically from its session nonce, activates it on the session
+//! thread ([`push_trace`]), and advertises it to the remote peer inside a
+//! length-prefixed **frame extension** appended after the encoded protocol
+//! message (see [`TraceContext::encode_ext`]). The responding peer adopts
+//! the id from the first frame that carries one. While a trace is active on
+//! a thread, every span opened there records `trace` (the id in hex) and
+//! `node` (which peer) fields, which the Chrome exporter
+//! ([`crate::chrome`]) groups into per-process tracks.
+//!
+//! # Wire format
+//!
+//! ```text
+//! [magic 0xC7] [len: u16 BE] [trace_id: u128 BE] [parent_span: u64 BE]
+//! ```
+//!
+//! `len` counts the body bytes (today 24; larger values reserve room for
+//! future fields — readers ignore the excess). The extension is *optional*:
+//! the protocol decoder ignores trailing bytes, so peers that predate it
+//! interoperate unchanged, and anything malformed parses to `None` rather
+//! than an error — a corrupt extension must never abort a key exchange.
+
+use std::cell::RefCell;
+
+/// First byte of a trace-context frame extension.
+pub const TRACE_EXT_MAGIC: u8 = 0xC7;
+
+/// Body bytes a writer emits (readers accept more).
+pub const TRACE_EXT_BODY_LEN: usize = 24;
+
+/// Total bytes [`TraceContext::encode_ext`] appends to a frame.
+pub const TRACE_EXT_LEN: usize = 3 + TRACE_EXT_BODY_LEN;
+
+/// The trace identity one peer advertises to the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id shared by both peers of a session.
+    pub trace_id: u128,
+    /// Sender-side span id the frame was sent under (0 = none); lets the
+    /// receiver record its remote causal parent.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Serialize as a frame-extension suffix.
+    pub fn encode_ext(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TRACE_EXT_LEN);
+        out.push(TRACE_EXT_MAGIC);
+        out.extend_from_slice(&(TRACE_EXT_BODY_LEN as u16).to_be_bytes());
+        out.extend_from_slice(&self.trace_id.to_be_bytes());
+        out.extend_from_slice(&self.parent_span.to_be_bytes());
+        out
+    }
+
+    /// Parse the extension region of a frame (the bytes after the encoded
+    /// message). Returns `None` — never an error — for an empty region, a
+    /// wrong magic, a truncated body, or any other shape this reader does
+    /// not understand: garbage extensions degrade to "no trace", they do
+    /// not abort the session.
+    pub fn decode_ext(ext: &[u8]) -> Option<TraceContext> {
+        if ext.len() < 3 || ext[0] != TRACE_EXT_MAGIC {
+            return None;
+        }
+        let len = usize::from(u16::from_be_bytes([ext[1], ext[2]]));
+        if len < TRACE_EXT_BODY_LEN {
+            return None;
+        }
+        let body = ext.get(3..3 + len)?;
+        let trace_id = u128::from_be_bytes(body[..16].try_into().ok()?);
+        let parent_span = u64::from_be_bytes(body[16..24].try_into().ok()?);
+        Some(TraceContext {
+            trace_id,
+            parent_span,
+        })
+    }
+}
+
+/// A trace activated on the current thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveTrace {
+    /// The shared 128-bit trace id.
+    pub trace_id: u128,
+    /// Which peer this thread plays (`"alice"`, `"bob"`, …); becomes the
+    /// process track name in the Chrome export.
+    pub node: &'static str,
+}
+
+thread_local! {
+    /// Traces active on this thread, outermost first.
+    static TRACE_STACK: RefCell<Vec<ActiveTrace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Activate a trace on this thread until the returned guard drops. Spans
+/// and marks recorded while it is active carry `trace`/`node` fields.
+#[must_use = "the trace lasts until the returned guard is dropped"]
+pub fn push_trace(trace_id: u128, node: &'static str) -> TraceGuard {
+    TRACE_STACK.with(|stack| stack.borrow_mut().push(ActiveTrace { trace_id, node }));
+    TraceGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// The innermost trace active on this thread, if any.
+pub fn current_trace() -> Option<ActiveTrace> {
+    TRACE_STACK.with(|stack| stack.borrow().last().copied())
+}
+
+/// RAII guard returned by [`push_trace`]; dropping it deactivates the
+/// trace on this thread.
+#[derive(Debug)]
+pub struct TraceGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        TRACE_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Canonical 32-hex-digit rendering of a trace id.
+pub fn trace_hex(id: u128) -> String {
+    format!("{id:032x}")
+}
+
+/// Inverse of [`trace_hex`] (any hex string up to 32 digits).
+pub fn parse_trace_hex(s: &str) -> Option<u128> {
+    if s.is_empty() || s.len() > 32 {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_round_trips() {
+        let ctx = TraceContext {
+            trace_id: 0x0123_4567_89ab_cdef_0f1e_2d3c_4b5a_6978,
+            parent_span: 42,
+        };
+        let ext = ctx.encode_ext();
+        assert_eq!(ext.len(), TRACE_EXT_LEN);
+        assert_eq!(TraceContext::decode_ext(&ext), Some(ctx));
+    }
+
+    #[test]
+    fn longer_bodies_are_forward_compatible() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 9,
+        };
+        let mut ext = ctx.encode_ext();
+        // A future writer with a 32-byte body: bump len, append padding.
+        ext[1..3].copy_from_slice(&32u16.to_be_bytes());
+        ext.extend_from_slice(&[0xee; 8]);
+        assert_eq!(TraceContext::decode_ext(&ext), Some(ctx));
+    }
+
+    #[test]
+    fn garbage_degrades_to_none() {
+        assert_eq!(TraceContext::decode_ext(&[]), None);
+        assert_eq!(TraceContext::decode_ext(&[0xC7]), None);
+        assert_eq!(TraceContext::decode_ext(&[0x00, 0, 24]), None);
+        // Declared body longer than what is present.
+        assert_eq!(TraceContext::decode_ext(&[0xC7, 0, 24, 1, 2, 3]), None);
+        // Declared body shorter than the minimum.
+        let mut short = TraceContext {
+            trace_id: 1,
+            parent_span: 2,
+        }
+        .encode_ext();
+        short[1..3].copy_from_slice(&8u16.to_be_bytes());
+        assert_eq!(TraceContext::decode_ext(&short), None);
+    }
+
+    #[test]
+    fn thread_local_stack_nests() {
+        assert!(current_trace().is_none());
+        {
+            let _outer = push_trace(1, "alice");
+            assert_eq!(current_trace().map(|t| t.trace_id), Some(1));
+            {
+                let _inner = push_trace(2, "bob");
+                assert_eq!(current_trace().map(|t| t.trace_id), Some(2));
+            }
+            assert_eq!(current_trace().map(|t| t.trace_id), Some(1));
+        }
+        assert!(current_trace().is_none());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for id in [0u128, 1, u128::MAX, 0xdead_beef] {
+            assert_eq!(parse_trace_hex(&trace_hex(id)), Some(id));
+        }
+        assert_eq!(parse_trace_hex(""), None);
+        assert_eq!(parse_trace_hex("zz"), None);
+        assert_eq!(parse_trace_hex(&"f".repeat(33)), None);
+    }
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CI assertion for the observability smoke: the merged Chrome trace must
+contain spans from BOTH peers (the serve-side "alice" track and the
+fleet-side "bob" track) under at least one shared 128-bit trace id —
+i.e. the wire-level trace context actually stitched the two processes
+into one causal trace.
+
+Usage: check_merged_trace.py <trace.merged.json>
+"""
+
+import collections
+import json
+import sys
+
+
+def main(path: str) -> int:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    node_of_pid = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    nodes_of_trace = collections.defaultdict(set)
+    spans = 0
+    for e in events:
+        if e.get("ph") == "M":
+            continue
+        spans += 1
+        trace = e.get("args", {}).get("trace")
+        if trace:
+            nodes_of_trace[trace].add(node_of_pid.get(e["pid"], "?"))
+    shared = sorted(
+        t for t, nodes in nodes_of_trace.items() if {"alice", "bob"} <= nodes
+    )
+    if not shared:
+        print(
+            f"FAIL: no trace id spans both peers "
+            f"(spans={spans}, traces={dict(nodes_of_trace)})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {len(shared)} trace(s) span both peers out of "
+        f"{len(nodes_of_trace)} total ({spans} span events); "
+        f"e.g. {shared[0]}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))

@@ -79,6 +79,13 @@ mod escalation {
     }
 }
 
+fn trace_ctx_strategy() -> impl Strategy<Value = telemetry::TraceContext> {
+    (any::<u128>(), any::<u64>()).prop_map(|(trace_id, parent_span)| telemetry::TraceContext {
+        trace_id,
+        parent_span,
+    })
+}
+
 fn bits_strategy(max_len: usize) -> impl Strategy<Value = BitString> {
     prop::collection::vec(any::<bool>(), 1..max_len).prop_map(|v| BitString::from_bools(&v))
 }
@@ -358,6 +365,61 @@ proptest! {
             prop_assert_ne!(decoded, msg.clone());
         }
         prop_assert_eq!(Message::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn trace_extension_is_invisible_to_legacy_peers(
+        msg in message_strategy(),
+        ctx in trace_ctx_strategy(),
+    ) {
+        // A frame with the trace-context extension appended decodes to the
+        // identical message for a peer that predates the extension, while
+        // an extension-aware peer recovers exactly the advertised context.
+        let bare = msg.encode();
+        let mut framed = bare.to_vec();
+        framed.extend_from_slice(&ctx.encode_ext());
+        prop_assert_eq!(Message::decode(&framed), Ok(msg.clone()));
+        prop_assert_eq!(vk_server::obs::extract_trace(&framed), Some(ctx));
+        // Without the extension there is no phantom trace.
+        prop_assert_eq!(Message::decode(&bare), Ok(msg));
+        prop_assert_eq!(vk_server::obs::extract_trace(&bare), None);
+    }
+
+    #[test]
+    fn garbage_extensions_never_abort_the_exchange(
+        msg in message_strategy(),
+        junk in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // Arbitrary trailing bytes — a corrupt extension, a different
+        // extension, line noise — must leave the message intact and must
+        // degrade trace extraction to an Option, never an error or panic.
+        let mut framed = msg.encode().to_vec();
+        framed.extend_from_slice(&junk);
+        prop_assert_eq!(Message::decode(&framed), Ok(msg));
+        let _ = vk_server::obs::extract_trace(&framed);
+        // A region that does not even open with the magic byte is always
+        // rejected outright.
+        if junk[0] != telemetry::TRACE_EXT_MAGIC {
+            prop_assert_eq!(telemetry::TraceContext::decode_ext(&junk), None);
+        }
+    }
+
+    #[test]
+    fn trace_extension_bodies_are_forward_compatible(
+        ctx in trace_ctx_strategy(),
+        pad in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // A future writer may grow the body past 24 bytes; today's reader
+        // must still recover the leading fields it understands.
+        let mut ext = ctx.encode_ext();
+        let body_len = telemetry::TRACE_EXT_BODY_LEN + pad.len();
+        ext[1..3].copy_from_slice(&(body_len as u16).to_be_bytes());
+        ext.extend_from_slice(&pad);
+        prop_assert_eq!(telemetry::TraceContext::decode_ext(&ext), Some(ctx));
+        // Truncating the declared body below the minimum rejects cleanly.
+        let mut short = ctx.encode_ext();
+        short[1..3].copy_from_slice(&8u16.to_be_bytes());
+        prop_assert_eq!(telemetry::TraceContext::decode_ext(&short), None);
     }
 
     #[test]
