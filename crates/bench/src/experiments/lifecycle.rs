@@ -1,0 +1,353 @@
+//! Lifecycle plane under platoon churn: rekey throughput, group-key
+//! agreement latency, and epochs-to-convergence over real TCP.
+//!
+//! Beyond the paper — a platoon of vehicles establishes pairwise keys
+//! against an in-process loopback server, hands off into the
+//! authenticated lifecycle plane, and rides a deterministic
+//! [`ChurnScenario::Platoon`] schedule: everyone joins staggered, the two
+//! trailing vehicles peel off mid-run (each departure forcing a group
+//! rekey that excludes the leaver), and the rest depart at the horizon.
+//! The channel disagreement is set high enough that reconciliation leaks
+//! parity, so the leakage-driven rekey path (re-probe on a thin root)
+//! fires on the live wire rather than only in unit tests.
+//!
+//! Gated for CI: at least [`MIN_OK`] members must complete the full
+//! lifecycle, every completed member's group broadcast tag must match the
+//! coordinator's for the epoch it last held, at least two churn events
+//! must have rotated the group epoch, and at least one rotation must have
+//! been triggered by reconciliation leakage.
+//!
+//! The JSON lands in `$VK_OUT/BENCH_lifecycle.json` when `VK_OUT` is set,
+//! else `results/BENCH_lifecycle.json`.
+
+use super::rng_for;
+use crate::table::Table;
+use mobility::ChurnScenario;
+use reconcile::AutoencoderTrainer;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use telemetry::Json;
+use vk_server::{
+    run_bob_lifecycle, run_bob_session_keyed, BobLifecycleOutcome, ClientLifecycleCfg,
+    LatencyStats, LifecycleConfig, RekeyPolicy, RetryPolicy, Server, ServerConfig, SessionParams,
+    TcpTransport, AGREEMENT_PAYLOAD,
+};
+
+/// Members that must complete the full lifecycle (the paper's platoon
+/// sizes top out around this order).
+pub const MIN_OK: usize = 8;
+
+/// Wall-clock horizon of the churn schedule.
+const HORIZON: Duration = Duration::from_secs(3);
+
+fn session_params() -> SessionParams {
+    SessionParams {
+        // Enough disagreement that the ladder's Cascade rung leaks parity
+        // in (essentially) every session — the fuel for the
+        // leakage-triggered re-probe gate below.
+        error_bits: 5,
+        retry: RetryPolicy {
+            ack_timeout: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        },
+        ..SessionParams::default()
+    }
+}
+
+fn lifecycle_config() -> LifecycleConfig {
+    LifecycleConfig {
+        rekey: RekeyPolicy {
+            // Eight 32-bit frames exhaust the budget: every member that
+            // pushes its full app-frame quota forces a ratchet.
+            entropy_budget_bits: 256,
+            frame_cost_bits: 32,
+            // Any session whose reconciliation leaked more than two bits
+            // starts below the floor and re-probes before app traffic.
+            reprobe_below_bits: 126,
+            ..RekeyPolicy::default()
+        },
+        group: true,
+        max_duration: Duration::from_secs(20),
+    }
+}
+
+struct MemberResult {
+    member_index: usize,
+    outcome: Result<BobLifecycleOutcome, String>,
+}
+
+/// Run the platoon and return `(results, server, elapsed)` — the server
+/// handle still live so the caller can audit the plane and counters.
+///
+/// # Panics
+///
+/// Panics if the loopback server cannot start — a bench environment
+/// without loopback TCP is unusable anyway.
+fn run_platoon(members: usize) -> (Vec<MemberResult>, Server, f64) {
+    let mut rng = rng_for("lifecycle");
+    let reconciler = Arc::new(
+        AutoencoderTrainer::default()
+            .with_steps(6000)
+            .train(&mut rng),
+    );
+    let params = session_params();
+    let server = Server::start(
+        ServerConfig {
+            workers: members + 2,
+            params,
+            max_sessions: Some(members as u64),
+            nonce_seed: crate::base_seed(),
+            lifecycle: Some(lifecycle_config()),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&reconciler),
+    )
+    .expect("loopback server must start");
+    let addr = server.local_addr();
+    let plan = ChurnScenario::Platoon.plan(members, HORIZON);
+
+    let started = Instant::now();
+    let results: Vec<MemberResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = plan
+            .iter()
+            .map(|member| {
+                let reconciler = Arc::clone(&reconciler);
+                s.spawn(move || {
+                    std::thread::sleep(member.join_at.saturating_sub(started.elapsed()));
+                    let run = || -> Result<BobLifecycleOutcome, String> {
+                        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+                            .map_err(|e| format!("connect: {e}"))?;
+                        let mut t = TcpTransport::new(stream, Duration::from_millis(5))
+                            .map_err(|e| format!("socket setup: {e}"))?;
+                        let nonce_b = crate::base_seed() ^ (member.member_index as u64 + 1);
+                        let (outcome, root) =
+                            run_bob_session_keyed(&mut t, &reconciler, nonce_b, &params)
+                                .map_err(|e| format!("exchange: {e}"))?;
+                        let root = root.ok_or("key mismatch at confirmation")?;
+                        let hold = member
+                            .leave_at
+                            .unwrap_or(HORIZON)
+                            .saturating_sub(started.elapsed());
+                        let cfg = ClientLifecycleCfg {
+                            app_frames: member.app_frames,
+                            hold,
+                            leave: true,
+                            group: true,
+                        };
+                        run_bob_lifecycle(
+                            &mut t,
+                            outcome.session_id,
+                            root,
+                            &cfg,
+                            &params,
+                            nonce_b ^ 0x6C63,
+                        )
+                        .map_err(|e| format!("lifecycle: {e}"))
+                    };
+                    MemberResult {
+                        member_index: member.member_index,
+                        outcome: run(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // vk-lint: allow(panic-freedom, "join fails only if a member thread panicked; re-raising keeps its diagnostic")
+            .map(|h| h.join().expect("platoon member panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    (results, server, elapsed)
+}
+
+/// Platoon lifecycle table, convergence gates, and
+/// `BENCH_lifecycle.json`.
+///
+/// # Errors
+///
+/// Returns a description of every violated gate (agreement, churn,
+/// leakage-triggered rekey) or a benchmark-file write failure; the report
+/// still renders inside the error so a failing run is diagnosable.
+pub fn lifecycle() -> Result<String, String> {
+    let members = crate::scaled(10, MIN_OK);
+    let (results, server, elapsed) = run_platoon(members);
+    let lifecycle_stats = server.lifecycle_stats();
+    let plane = server.group_plane();
+    let final_epoch = plane.epoch();
+    let mut agreement_ms = lifecycle_stats.agreement_samples();
+    let agreement = LatencyStats::from_samples(&mut agreement_ms);
+    let server_stats = server.join();
+
+    let completed: Vec<(usize, &BobLifecycleOutcome)> = results
+        .iter()
+        .filter_map(|r| r.outcome.as_ref().ok().map(|o| (r.member_index, o)))
+        .collect();
+    let rekeys = lifecycle_stats.rekeys.load(Relaxed);
+    let leakage_rekeys = lifecycle_stats.leakage_rekeys.load(Relaxed);
+    let budget_rekeys = lifecycle_stats.budget_rekeys.load(Relaxed);
+    let rekeys_per_sec = if elapsed > 0.0 {
+        rekeys as f64 / elapsed
+    } else {
+        0.0
+    };
+
+    let mut violations = Vec::new();
+    for r in &results {
+        if let Err(e) = &r.outcome {
+            violations.push(format!("member {} failed: {e}", r.member_index));
+        }
+    }
+    if completed.len() < MIN_OK {
+        violations.push(format!(
+            "only {}/{} members completed the lifecycle (need {MIN_OK})",
+            completed.len(),
+            members
+        ));
+    }
+    for (index, o) in &completed {
+        let expected = plane.broadcast_tag_for_epoch(o.group_epoch, AGREEMENT_PAYLOAD);
+        if o.group_tag != Some(expected) {
+            violations.push(format!(
+                "member {index} disagrees with the coordinator on the epoch-{} group key",
+                o.group_epoch
+            ));
+        }
+        if o.group_installs == 0 {
+            violations.push(format!("member {index} never installed a group key"));
+        }
+    }
+    // Two mid-run departures plus the horizon departures each rotate the
+    // epoch once from the initial 1.
+    if final_epoch < 3 {
+        violations.push(format!(
+            "group epoch ended at {final_epoch} — fewer than two churn rotations"
+        ));
+    }
+    if leakage_rekeys == 0 {
+        violations.push("no leakage-triggered rekey fired (reprobe floor never hit)".into());
+    }
+    if agreement_ms.is_empty() {
+        violations.push("no group agreement latency samples recorded".into());
+    }
+
+    let json = Json::Obj(vec![
+        ("kind".into(), Json::Str("lifecycle_bench".into())),
+        ("seed".into(), Json::UInt(crate::base_seed())),
+        ("scale".into(), Json::Num(crate::scale())),
+        ("members".into(), Json::UInt(members as u64)),
+        ("completed".into(), Json::UInt(completed.len() as u64)),
+        ("horizon_s".into(), Json::Num(HORIZON.as_secs_f64())),
+        ("elapsed_s".into(), Json::Num(elapsed)),
+        (
+            "rekeys".into(),
+            Json::Obj(vec![
+                ("total".into(), Json::UInt(rekeys)),
+                (
+                    "ratchets".into(),
+                    Json::UInt(lifecycle_stats.ratchets.load(Relaxed)),
+                ),
+                (
+                    "reprobes".into(),
+                    Json::UInt(lifecycle_stats.reprobes.load(Relaxed)),
+                ),
+                ("budget_triggered".into(), Json::UInt(budget_rekeys)),
+                ("leakage_triggered".into(), Json::UInt(leakage_rekeys)),
+                ("per_sec".into(), Json::Num(rekeys_per_sec)),
+            ]),
+        ),
+        (
+            "group".into(),
+            Json::Obj(vec![
+                ("final_epoch".into(), Json::UInt(u64::from(final_epoch))),
+                (
+                    "graceful_leaves".into(),
+                    Json::UInt(lifecycle_stats.graceful_leaves.load(Relaxed)),
+                ),
+                (
+                    "evictions".into(),
+                    Json::UInt(lifecycle_stats.evictions.load(Relaxed)),
+                ),
+                (
+                    "agreement_samples".into(),
+                    Json::UInt(agreement_ms.len() as u64),
+                ),
+                (
+                    "agreement_ms".into(),
+                    Json::Obj(vec![
+                        ("p50".into(), Json::Num(agreement.p50)),
+                        ("p95".into(), Json::Num(agreement.p95)),
+                        ("p99".into(), Json::Num(agreement.p99)),
+                        ("mean".into(), Json::Num(agreement.mean)),
+                        ("max".into(), Json::Num(agreement.max)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "app_frames".into(),
+            Json::UInt(lifecycle_stats.app_frames.load(Relaxed)),
+        ),
+        ("leaked_bits".into(), Json::UInt(server_stats.leaked_bits)),
+    ]);
+    let dir = match std::env::var("VK_OUT") {
+        Ok(dir) if !dir.is_empty() => dir,
+        _ => "results".to_string(),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = format!("{dir}/BENCH_lifecycle.json");
+    std::fs::write(&path, json.to_string() + "\n")
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+
+    let mut t = Table::new(
+        "Lifecycle: platoon churn over loopback TCP",
+        &[
+            "member",
+            "frames",
+            "rekeys",
+            "ratchet",
+            "reprobe",
+            "group epoch",
+            "installs",
+        ],
+    );
+    for (index, o) in &completed {
+        t.row(&[
+            index.to_string(),
+            o.app_frames_acked.to_string(),
+            o.rekeys.to_string(),
+            o.ratchets.to_string(),
+            o.reprobes.to_string(),
+            o.group_epoch.to_string(),
+            o.group_installs.to_string(),
+        ]);
+    }
+    let report = t.render()
+        + &format!(
+            "\n{} members over a {:.0}s horizon: {} rekeys ({:.1}/s; {} budget-triggered, \
+             {} leakage-triggered), group epoch 1 -> {final_epoch}, agreement latency \
+             p50 {:.1} ms / p95 {:.1} ms over {} epochs ({} leaked parity bits fuelled \
+             the re-probes; recorded in {path}).\n",
+            completed.len(),
+            HORIZON.as_secs_f64(),
+            rekeys,
+            rekeys_per_sec,
+            budget_rekeys,
+            leakage_rekeys,
+            agreement.p50,
+            agreement.p95,
+            agreement_ms.len(),
+            server_stats.leaked_bits,
+        );
+
+    if violations.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!(
+            "lifecycle gate failed:\n  {}\n\n{report}",
+            violations.join("\n  ")
+        ))
+    }
+}

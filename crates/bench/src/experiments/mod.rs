@@ -10,12 +10,14 @@
 //! | [`ablate`] | Design-choice ablations beyond the paper |
 //! | [`fleet`] | Beyond the paper: server throughput and observability overhead (`BENCH_fleet.json`) |
 //! | [`chaos`] | Beyond the paper: escalation ladder under fault injection |
+//! | [`lifecycle`] | Beyond the paper: rekeying and platoon group keys under churn (`BENCH_lifecycle.json`) |
 //! | [`nnbench`] | Beyond the paper: compute-layer microbenchmarks (`BENCH_nn.json`) |
 //! | [`lintbench`] | Beyond the paper: static-analysis benchmark and gate (`BENCH_lint.json`) |
 
 pub mod ablate;
 pub mod chaos;
 pub mod fleet;
+pub mod lifecycle;
 pub mod lintbench;
 pub mod modules;
 pub mod nnbench;
@@ -75,6 +77,7 @@ pub const ALL: &[&str] = &[
     "ablate-platoon",
     "fleet",
     "chaos",
+    "lifecycle",
     "nnbench",
     "lintbench",
 ];
@@ -108,6 +111,7 @@ pub fn run(name: &str) -> Result<String, String> {
         "ablate-platoon" => Ok(ablate::platoon()),
         "fleet" => fleet::fleet(),
         "chaos" => chaos::chaos(),
+        "lifecycle" => lifecycle::lifecycle(),
         "nnbench" => nnbench::nnbench(),
         "lintbench" => lintbench::lintbench(),
         other => Err(format!(

@@ -45,6 +45,46 @@ impl std::fmt::Display for GroupError {
 
 impl std::error::Error for GroupError {}
 
+/// Monotonic per-coordinator nonce source for group-key wraps.
+///
+/// CTR-mode wraps are only safe while `(pairwise_key, nonce)` pairs never
+/// repeat. Callers used to pick nonces by hand (`base_nonce + i`), which
+/// silently reuses nonces across rekeys whenever two base nonces are closer
+/// together than the member count. A coordinator owns exactly one allocator
+/// for the lifetime of its pairwise keys and draws every wrap nonce from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonceAllocator {
+    next: u64,
+}
+
+impl NonceAllocator {
+    /// Start allocating from `start` (use 0 for a fresh coordinator).
+    #[must_use]
+    pub fn new(start: u64) -> Self {
+        Self { next: start }
+    }
+
+    /// Hand out the next nonce. Strictly increasing; saturates at `u64::MAX`
+    /// rather than wrapping back into already-issued values.
+    pub fn allocate(&mut self) -> u64 {
+        let n = self.next;
+        self.next = self.next.saturating_add(1);
+        n
+    }
+
+    /// The next nonce that `allocate` would return (for checkpointing).
+    #[must_use]
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for NonceAllocator {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 fn mac_input(member_id: u32, nonce: u64, ciphertext: &[u8]) -> Vec<u8> {
     let mut v = b"VK-GROUP".to_vec();
     v.extend_from_slice(&member_id.to_be_bytes());
@@ -99,19 +139,16 @@ pub fn unwrap_group_key(
 }
 
 /// **Coordinator**: distribute one group key to a whole member list.
-/// Nonces are derived from the base nonce and member index (unique per
-/// member as long as the base nonce is fresh per rekey).
+/// Every wrap draws its nonce from the coordinator's allocator, so repeated
+/// distributions (rekeys) can never reuse a `(pairwise_key, nonce)` pair.
 pub fn distribute_group_key(
     members: &[(u32, [u8; 16])],
-    base_nonce: u64,
+    nonces: &mut NonceAllocator,
     group_key: &[u8; 16],
 ) -> Vec<WrappedGroupKey> {
     members
         .iter()
-        .enumerate()
-        .map(|(i, (id, pairwise))| {
-            wrap_group_key(pairwise, *id, base_nonce.wrapping_add(i as u64), group_key)
-        })
+        .map(|(id, pairwise)| wrap_group_key(pairwise, *id, nonces.allocate(), group_key))
         .collect()
 }
 
@@ -155,7 +192,8 @@ mod tests {
     fn distribution_reaches_every_member() {
         let members: Vec<(u32, [u8; 16])> = (0..5).map(|i| (i, key(i as u8 + 10))).collect();
         let group = key(99);
-        let wraps = distribute_group_key(&members, 5000, &group);
+        let mut nonce_src = NonceAllocator::new(5000);
+        let wraps = distribute_group_key(&members, &mut nonce_src, &group);
         assert_eq!(wraps.len(), 5);
         for ((id, pairwise), wrapped) in members.iter().zip(&wraps) {
             assert_eq!(wrapped.member_id, *id);
@@ -171,8 +209,40 @@ mod tests {
     #[test]
     fn member_cannot_unwrap_anothers_wrap() {
         let members: Vec<(u32, [u8; 16])> = (0..3).map(|i| (i, key(i as u8 + 20))).collect();
-        let wraps = distribute_group_key(&members, 1, &key(77));
+        let wraps = distribute_group_key(&members, &mut NonceAllocator::default(), &key(77));
         // Member 0 tries member 1's wrap with her own key.
         assert!(unwrap_group_key(&members[0].1, &wraps[1]).is_err());
+    }
+
+    #[test]
+    fn repeated_wraps_for_same_member_never_share_a_nonce() {
+        // The historical bug: hand-picked base nonces collide across rekeys
+        // (rekey 1 at base=0, rekey 2 at base=1 with ≥2 members, …). Drawing
+        // from one allocator makes that impossible: re-wrapping the same
+        // member across many rekeys — interleaved with wraps for other
+        // members — always yields fresh nonces.
+        let members: Vec<(u32, [u8; 16])> = (0..4).map(|i| (i, key(i as u8 + 30))).collect();
+        let mut nonce_src = NonceAllocator::default();
+        let mut member0_nonces = Vec::new();
+        for rekey in 0..16u8 {
+            let wraps = distribute_group_key(&members, &mut nonce_src, &key(rekey));
+            member0_nonces.push(wraps[0].nonce);
+        }
+        let mut deduped = member0_nonces.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), member0_nonces.len(), "nonce reuse detected");
+        // And the allocator is strictly monotonic.
+        assert!(member0_nonces.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn allocator_saturates_instead_of_wrapping() {
+        let mut nonce_src = NonceAllocator::new(u64::MAX - 1);
+        assert_eq!(nonce_src.allocate(), u64::MAX - 1);
+        assert_eq!(nonce_src.allocate(), u64::MAX);
+        // Saturated: never wraps back to 0 and re-issues old nonces.
+        assert_eq!(nonce_src.allocate(), u64::MAX);
+        assert_eq!(nonce_src.peek(), u64::MAX);
     }
 }

@@ -1,0 +1,77 @@
+//! Typed failures of the lifecycle plane.
+
+use std::error::Error;
+use std::fmt;
+use vehicle_key::group::GroupError;
+
+/// Errors raised by the lifecycle state machines.
+///
+/// Benign retransmission artifacts are *not* errors: a re-delivered frame
+/// surfaces as [`vehicle_key::Disposition::Duplicate`] from the handler
+/// that absorbed it, with the identical reply re-sent. These variants
+/// cover genuine damage — tampering, truncation, or a peer that has
+/// desynchronized beyond what idempotent replies can repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// The buffer did not contain a well-formed lifecycle message.
+    Malformed(&'static str),
+    /// Unknown message tag (possibly a core-exchange frame; the caller
+    /// may retry the other codec).
+    UnknownTag(u8),
+    /// An authentication tag did not verify: a tampered frame, a wrap for
+    /// a different pairwise key, or traffic keyed under an evicted epoch.
+    MacMismatch,
+    /// The frame's epoch does not match the receiver's.
+    EpochMismatch {
+        /// Epoch carried by the frame.
+        got: u32,
+        /// Epoch the receiver is on.
+        want: u32,
+    },
+    /// A wrap addressed to a different member reached this one.
+    WrongMember {
+        /// Member id carried by the wrap.
+        got: u32,
+        /// This member's id.
+        want: u32,
+    },
+    /// The plaintext exceeds what one application frame may carry.
+    PayloadTooLarge(usize),
+    /// A group operation failed below the lifecycle layer.
+    Group(GroupError),
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::Malformed(what) => write!(f, "malformed lifecycle message: {what}"),
+            LifecycleError::UnknownTag(t) => write!(f, "unknown lifecycle message tag {t}"),
+            LifecycleError::MacMismatch => f.write_str("lifecycle frame failed authentication"),
+            LifecycleError::EpochMismatch { got, want } => {
+                write!(f, "epoch mismatch: frame at {got}, receiver at {want}")
+            }
+            LifecycleError::WrongMember { got, want } => {
+                write!(f, "wrap addressed to member {got} reached member {want}")
+            }
+            LifecycleError::PayloadTooLarge(n) => {
+                write!(f, "application payload of {n} bytes exceeds the frame cap")
+            }
+            LifecycleError::Group(e) => write!(f, "group: {e}"),
+        }
+    }
+}
+
+impl Error for LifecycleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LifecycleError::Group(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GroupError> for LifecycleError {
+    fn from(e: GroupError) -> Self {
+        LifecycleError::Group(e)
+    }
+}

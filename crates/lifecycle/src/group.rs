@@ -1,0 +1,540 @@
+//! Platoon group keys on the wire.
+//!
+//! The offline `vehicle_key::group` primitives wrap a group key for each
+//! member under their pairwise key. This module promotes them into a live
+//! coordinator/member pair: the coordinator (RSU) owns a master seed, a
+//! monotonically increasing *group epoch*, and the per-coordinator
+//! [`NonceAllocator`]; each epoch's group key is derived from the master
+//! seed, so an evicted member holding an old epoch's key can derive
+//! nothing about later epochs. Every departure advances the epoch and
+//! re-wraps for the remaining members only — eviction *is* rekeying.
+//!
+//! Members acknowledge each epoch they install; the coordinator tracks
+//! acknowledgements to measure agreement latency (epoch start → last live
+//! member acked) and to drive retransmission of unacked wraps.
+
+use crate::error::LifecycleError;
+use crate::wire::LifecycleMessage;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use vehicle_key::group::{unwrap_group_key, wrap_group_key, NonceAllocator, WrappedGroupKey};
+use vehicle_key::Disposition;
+use vk_crypto::hmac_sha256;
+
+fn epoch_wrap_material(master: &[u8; 32], epoch: u32) -> [u8; 16] {
+    let mut msg = b"VK-GROUP-EPOCH".to_vec();
+    msg.extend_from_slice(&epoch.to_be_bytes());
+    let d = hmac_sha256(master, &msg);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&d[..16]);
+    out
+}
+
+fn broadcast_mac(material: &[u8; 16], epoch: u32, payload: &[u8]) -> [u8; 32] {
+    let mut msg = b"VK-GROUP-DATA".to_vec();
+    msg.extend_from_slice(&epoch.to_be_bytes());
+    msg.extend_from_slice(payload);
+    hmac_sha256(material, &msg)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemberSlot {
+    pairwise: [u8; 16],
+    acked_epoch: Option<u32>,
+}
+
+/// The RSU side of the group plane.
+pub struct GroupCoordinator {
+    master: [u8; 32],
+    epoch: u32,
+    members: BTreeMap<u32, MemberSlot>,
+    nonces: NonceAllocator,
+    epoch_started: Instant,
+    agreement_recorded: bool,
+}
+
+impl std::fmt::Debug for GroupCoordinator {
+    // The master seed is deliberately absent from the debug form.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupCoordinator")
+            .field("epoch", &self.epoch)
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+impl GroupCoordinator {
+    /// New coordinator. Epochs start at 1 so `0` can mean "none yet" on
+    /// the member side.
+    #[must_use]
+    pub fn new(master: [u8; 32]) -> Self {
+        GroupCoordinator {
+            master,
+            epoch: 1,
+            members: BTreeMap::new(),
+            nonces: NonceAllocator::default(),
+            epoch_started: Instant::now(),
+            agreement_recorded: false,
+        }
+    }
+
+    /// Current group epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Live member count.
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Members that have acknowledged the current epoch.
+    #[must_use]
+    pub fn acked_count(&self) -> usize {
+        self.members
+            .values()
+            .filter(|m| m.acked_epoch == Some(self.epoch))
+            .count()
+    }
+
+    /// Has every live member acknowledged the current epoch?
+    #[must_use]
+    pub fn all_acked(&self) -> bool {
+        !self.members.is_empty() && self.acked_count() == self.members.len()
+    }
+
+    /// Is `member_id` currently in the group?
+    #[must_use]
+    pub fn contains(&self, member_id: u32) -> bool {
+        self.members.contains_key(&member_id)
+    }
+
+    /// Has `member_id` acknowledged the *current* epoch? (`false` for
+    /// absent members — drives per-session wrap retransmission.)
+    #[must_use]
+    pub fn member_acked_current(&self, member_id: u32) -> bool {
+        self.members
+            .get(&member_id)
+            .is_some_and(|m| m.acked_epoch == Some(self.epoch))
+    }
+
+    /// Admit a member mid-epoch: it immediately receives the *current*
+    /// epoch's wrap (joins do not rotate; departures do). Re-joining
+    /// refreshes the stored pairwise key.
+    pub fn join(
+        &mut self,
+        member_id: u32,
+        pairwise: [u8; 16],
+        session_id: u32,
+    ) -> LifecycleMessage {
+        self.members.insert(
+            member_id,
+            MemberSlot {
+                pairwise,
+                acked_epoch: None,
+            },
+        );
+        telemetry::counter("lifecycle.group.joins", 1);
+        // A join reopens the agreement window: the new member has not
+        // acked yet.
+        self.agreement_recorded = false;
+        let material = epoch_wrap_material(&self.master, self.epoch);
+        let wrapped = wrap_group_key(&pairwise, member_id, self.nonces.allocate(), &material);
+        LifecycleMessage::GroupKey {
+            session_id,
+            group_epoch: self.epoch,
+            member_id,
+            nonce: wrapped.nonce,
+            ciphertext: wrapped.ciphertext,
+            mac: wrapped.mac,
+        }
+    }
+
+    /// Evict a member: advance the epoch and re-wrap for everyone left.
+    /// Returns `(session_id_placeholder_free)` wraps — callers route each
+    /// wrap to the session serving that member. Idempotent: evicting an
+    /// absent member changes nothing and returns no wraps.
+    pub fn leave(&mut self, member_id: u32) -> Vec<(u32, WrappedGroupKey)> {
+        if self.members.remove(&member_id).is_none() {
+            return Vec::new();
+        }
+        telemetry::counter("lifecycle.group.leaves", 1);
+        self.epoch += 1;
+        self.epoch_started = Instant::now();
+        self.agreement_recorded = false;
+        telemetry::counter("lifecycle.group.epochs", 1);
+        let material = epoch_wrap_material(&self.master, self.epoch);
+        let mut wraps = Vec::with_capacity(self.members.len());
+        for (id, slot) in &mut self.members {
+            slot.acked_epoch = None;
+            wraps.push((
+                *id,
+                wrap_group_key(&slot.pairwise, *id, self.nonces.allocate(), &material),
+            ));
+        }
+        wraps
+    }
+
+    /// Wrap the current epoch's group key for one member (initial
+    /// delivery or retransmission; every wrap draws a fresh nonce).
+    pub fn wrap_for(&mut self, member_id: u32, session_id: u32) -> Option<LifecycleMessage> {
+        self.wrap_slot(member_id, session_id)
+    }
+
+    fn wrap_slot(&mut self, member_id: u32, session_id: u32) -> Option<LifecycleMessage> {
+        let slot = self.members.get(&member_id)?;
+        let material = epoch_wrap_material(&self.master, self.epoch);
+        let wrapped = wrap_group_key(&slot.pairwise, member_id, self.nonces.allocate(), &material);
+        Some(LifecycleMessage::GroupKey {
+            session_id,
+            group_epoch: self.epoch,
+            member_id,
+            nonce: wrapped.nonce,
+            ciphertext: wrapped.ciphertext,
+            mac: wrapped.mac,
+        })
+    }
+
+    /// Record a member's acknowledgement of `group_epoch`. The returned
+    /// agreement latency (milliseconds since the epoch opened) is present
+    /// exactly once per epoch: on the ack that completes the member set.
+    pub fn on_ack(&mut self, member_id: u32, group_epoch: u32) -> (Disposition, Option<f64>) {
+        let Some(slot) = self.members.get_mut(&member_id) else {
+            // Acks from evicted members race their departure; absorb.
+            return (Disposition::Duplicate, None);
+        };
+        if group_epoch != self.epoch || slot.acked_epoch == Some(self.epoch) {
+            return (Disposition::Duplicate, None);
+        }
+        slot.acked_epoch = Some(self.epoch);
+        let mut latency = None;
+        if self.all_acked() && !self.agreement_recorded {
+            self.agreement_recorded = true;
+            let ms = self.epoch_started.elapsed().as_secs_f64() * 1e3;
+            telemetry::histogram("lifecycle.group.agreement_ms", ms);
+            latency = Some(ms);
+        }
+        (Disposition::Accepted, latency)
+    }
+
+    /// Authentication tag over `payload` under the current epoch's group
+    /// key — what group broadcasts carry, and what agreement checks
+    /// compare against members.
+    #[must_use]
+    pub fn broadcast_tag(&self, payload: &[u8]) -> [u8; 32] {
+        self.broadcast_tag_for_epoch(self.epoch, payload)
+    }
+
+    /// Tag for an arbitrary epoch (agreement audits across churn).
+    #[must_use]
+    pub fn broadcast_tag_for_epoch(&self, epoch: u32, payload: &[u8]) -> [u8; 32] {
+        broadcast_mac(&epoch_wrap_material(&self.master, epoch), epoch, payload)
+    }
+}
+
+/// The vehicle side of the group plane.
+pub struct GroupMember {
+    member_id: u32,
+    pairwise: [u8; 16],
+    current: Option<(u32, [u8; 16])>,
+}
+
+impl std::fmt::Debug for GroupMember {
+    // Key material is deliberately absent from the debug form.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupMember")
+            .field("member_id", &self.member_id)
+            .field("epoch", &self.current.map(|(e, _)| e))
+            .finish()
+    }
+}
+
+impl GroupMember {
+    /// A member that will unwrap with `pairwise` (its established
+    /// session key with the coordinator).
+    #[must_use]
+    pub fn new(member_id: u32, pairwise: [u8; 16]) -> Self {
+        GroupMember {
+            member_id,
+            pairwise,
+            current: None,
+        }
+    }
+
+    /// Epoch of the installed group key, if any.
+    #[must_use]
+    pub fn epoch(&self) -> Option<u32> {
+        self.current.map(|(e, _)| e)
+    }
+
+    /// Authenticate and install an inbound wrap, producing the ack to
+    /// send. Wraps for an epoch at or below the installed one are
+    /// re-acked as duplicates without touching the installed key.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::WrongMember`] for a wrap addressed elsewhere;
+    /// [`LifecycleError::MacMismatch`] (via [`LifecycleError::Group`])
+    /// for a wrap that fails authentication under our pairwise key.
+    pub fn on_group_key(
+        &mut self,
+        msg: &LifecycleMessage,
+    ) -> Result<(Disposition, LifecycleMessage), LifecycleError> {
+        let LifecycleMessage::GroupKey {
+            session_id,
+            group_epoch,
+            member_id,
+            nonce,
+            ciphertext,
+            mac,
+        } = msg
+        else {
+            return Err(LifecycleError::Malformed("expected group key"));
+        };
+        if *member_id != self.member_id {
+            return Err(LifecycleError::WrongMember {
+                got: *member_id,
+                want: self.member_id,
+            });
+        }
+        let wrapped = WrappedGroupKey {
+            member_id: *member_id,
+            nonce: *nonce,
+            ciphertext: ciphertext.clone(),
+            mac: *mac,
+        };
+        let material = unwrap_group_key(&self.pairwise, &wrapped)?;
+        let ack = LifecycleMessage::GroupKeyAck {
+            session_id: *session_id,
+            group_epoch: *group_epoch,
+            member_id: self.member_id,
+        };
+        let disposition = match self.current {
+            Some((installed, _)) if *group_epoch <= installed => Disposition::Duplicate,
+            _ => {
+                self.current = Some((*group_epoch, material));
+                Disposition::Accepted
+            }
+        };
+        Ok((disposition, ack))
+    }
+
+    /// Verify a group broadcast tag under the installed key.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::EpochMismatch`] when the broadcast's epoch is
+    /// not the installed one (including "nothing installed");
+    /// [`LifecycleError::MacMismatch`] when the tag does not verify —
+    /// the fate of every post-eviction frame an evicted member tries to
+    /// authenticate with its stale key.
+    pub fn verify_broadcast(
+        &self,
+        epoch: u32,
+        payload: &[u8],
+        tag: &[u8; 32],
+    ) -> Result<(), LifecycleError> {
+        let Some((installed, material)) = self.current else {
+            return Err(LifecycleError::EpochMismatch {
+                got: epoch,
+                want: 0,
+            });
+        };
+        if epoch != installed {
+            return Err(LifecycleError::EpochMismatch {
+                got: epoch,
+                want: installed,
+            });
+        }
+        if broadcast_mac(&material, epoch, payload) != *tag {
+            return Err(LifecycleError::MacMismatch);
+        }
+        Ok(())
+    }
+
+    /// Tag a payload under the installed group key (symmetric group
+    /// broadcasts; also how agreement is audited in tests and benches).
+    #[must_use]
+    pub fn broadcast_tag(&self, payload: &[u8]) -> Option<[u8; 32]> {
+        self.current
+            .map(|(epoch, material)| broadcast_mac(&material, epoch, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairwise(tag: u8) -> [u8; 16] {
+        core::array::from_fn(|i| tag.wrapping_mul(41).wrapping_add(i as u8))
+    }
+
+    fn coordinator() -> GroupCoordinator {
+        GroupCoordinator::new(core::array::from_fn(|i| i as u8 ^ 0x5C))
+    }
+
+    #[test]
+    fn join_distribute_ack_reaches_agreement() {
+        let mut rsu = coordinator();
+        let mut vehicles: Vec<GroupMember> = (0..4)
+            .map(|i| GroupMember::new(i, pairwise(i as u8)))
+            .collect();
+        for (i, v) in vehicles.iter_mut().enumerate() {
+            let wrap = rsu.join(v.member_id, pairwise(i as u8), 100 + v.member_id);
+            let (disp, ack) = v.on_group_key(&wrap).unwrap();
+            assert_eq!(disp, Disposition::Accepted);
+            let LifecycleMessage::GroupKeyAck {
+                member_id,
+                group_epoch,
+                ..
+            } = ack
+            else {
+                panic!("expected ack")
+            };
+            let (d, _) = rsu.on_ack(member_id, group_epoch);
+            assert_eq!(d, Disposition::Accepted);
+        }
+        assert!(rsu.all_acked());
+        // Everyone authenticates the same broadcast.
+        let tag = rsu.broadcast_tag(b"convoy speed 80");
+        for v in &vehicles {
+            v.verify_broadcast(rsu.epoch(), b"convoy speed 80", &tag)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_wrap_and_ack_are_duplicates() {
+        let mut rsu = coordinator();
+        let mut v = GroupMember::new(3, pairwise(3));
+        let wrap = rsu.join(3, pairwise(3), 103);
+        let (d1, a1) = v.on_group_key(&wrap).unwrap();
+        let (d2, a2) = v.on_group_key(&wrap).unwrap();
+        assert_eq!(d1, Disposition::Accepted);
+        assert_eq!(d2, Disposition::Duplicate);
+        assert_eq!(a1, a2, "re-delivered wrap must re-ack identically");
+        let (da, _) = rsu.on_ack(3, rsu.epoch());
+        let (db, _) = rsu.on_ack(3, rsu.epoch());
+        assert_eq!(da, Disposition::Accepted);
+        assert_eq!(db, Disposition::Duplicate);
+        // A retransmitted wrap (fresh nonce, same epoch) is also a
+        // duplicate on the member: the installed key is not disturbed.
+        let rewrap = rsu.wrap_for(3, 103).unwrap();
+        assert_ne!(rewrap, wrap, "retransmitted wraps draw fresh nonces");
+        let (d3, _) = v.on_group_key(&rewrap).unwrap();
+        assert_eq!(d3, Disposition::Duplicate);
+    }
+
+    #[test]
+    fn eviction_advances_epoch_and_excludes_leaver() {
+        let mut rsu = coordinator();
+        let mut stayer = GroupMember::new(1, pairwise(1));
+        let mut leaver = GroupMember::new(2, pairwise(2));
+        let w1 = rsu.join(1, pairwise(1), 101);
+        let w2 = rsu.join(2, pairwise(2), 102);
+        stayer.on_group_key(&w1).unwrap();
+        leaver.on_group_key(&w2).unwrap();
+        let epoch_before = rsu.epoch();
+
+        let rewraps = rsu.leave(2);
+        assert_eq!(rsu.epoch(), epoch_before + 1, "departure must rotate");
+        assert_eq!(rewraps.len(), 1, "only the stayer is re-wrapped");
+        assert_eq!(rewraps[0].0, 1);
+        // The stayer installs the new epoch.
+        let (id, wrapped) = &rewraps[0];
+        let frame = LifecycleMessage::GroupKey {
+            session_id: 101,
+            group_epoch: rsu.epoch(),
+            member_id: *id,
+            nonce: wrapped.nonce,
+            ciphertext: wrapped.ciphertext.clone(),
+            mac: wrapped.mac,
+        };
+        let (disp, _) = stayer.on_group_key(&frame).unwrap();
+        assert_eq!(disp, Disposition::Accepted);
+
+        // Post-eviction broadcast: the stayer verifies, the leaver cannot.
+        let tag = rsu.broadcast_tag(b"post-eviction");
+        stayer
+            .verify_broadcast(rsu.epoch(), b"post-eviction", &tag)
+            .unwrap();
+        assert_eq!(
+            leaver.verify_broadcast(rsu.epoch(), b"post-eviction", &tag),
+            Err(LifecycleError::EpochMismatch {
+                got: rsu.epoch(),
+                want: epoch_before,
+            })
+        );
+        // Even lying about the epoch, the stale key fails the MAC.
+        assert_eq!(
+            leaver.verify_broadcast(epoch_before, b"post-eviction", &tag),
+            Err(LifecycleError::MacMismatch)
+        );
+        // And anything the leaver tags is rejected by the group.
+        let stale_tag = leaver.broadcast_tag(b"post-eviction").unwrap();
+        assert_ne!(stale_tag, tag);
+        // The stayer's wrap cannot be unwrapped by the leaver either.
+        let (d, _) = rsu.on_ack(1, rsu.epoch());
+        assert_eq!(d, Disposition::Accepted);
+        assert!(rsu.all_acked());
+    }
+
+    #[test]
+    fn evicting_an_absent_member_is_idempotent() {
+        let mut rsu = coordinator();
+        let _ = rsu.join(1, pairwise(1), 101);
+        let epoch = rsu.epoch();
+        assert!(rsu.leave(9).is_empty());
+        assert_eq!(rsu.epoch(), epoch, "evicting a stranger must not rotate");
+        let wraps = rsu.leave(1);
+        assert!(wraps.is_empty(), "last member out leaves nobody to re-wrap");
+        assert_eq!(rsu.epoch(), epoch + 1);
+        assert!(rsu.leave(1).is_empty());
+        assert_eq!(
+            rsu.epoch(),
+            epoch + 1,
+            "double eviction must not rotate twice"
+        );
+    }
+
+    #[test]
+    fn wrap_for_another_member_is_rejected() {
+        let mut rsu = coordinator();
+        let _ = rsu.join(1, pairwise(1), 101);
+        let wrap_other = rsu.join(2, pairwise(2), 102);
+        let mut v = GroupMember::new(1, pairwise(1));
+        assert_eq!(
+            v.on_group_key(&wrap_other),
+            Err(LifecycleError::WrongMember { got: 2, want: 1 })
+        );
+        // Forwarding member 2's wrap re-addressed to member 1 fails the
+        // wrap MAC (it binds the member id and the pairwise key).
+        let LifecycleMessage::GroupKey {
+            session_id,
+            group_epoch,
+            nonce,
+            ciphertext,
+            mac,
+            ..
+        } = wrap_other
+        else {
+            panic!("expected wrap")
+        };
+        let readdressed = LifecycleMessage::GroupKey {
+            session_id,
+            group_epoch,
+            member_id: 1,
+            nonce,
+            ciphertext,
+            mac,
+        };
+        assert_eq!(
+            v.on_group_key(&readdressed),
+            Err(LifecycleError::Group(
+                vehicle_key::group::GroupError::MacMismatch
+            ))
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Key lifecycle plane: what happens *after* Vehicle-Key establishes a
+//! pairwise 128-bit key.
+//!
+//! The paper stops at key confirmation; a deployed IoV stack has to keep
+//! the key alive. This crate turns an established key into a managed one:
+//!
+//! - [`channel`]: the key-confirmation handoff. A confirmed session key
+//!   becomes an authenticated application channel (AES-128-CTR +
+//!   HMAC-SHA256 from `vk-crypto`) with explicit per-direction nonce and
+//!   sequence discipline, mirroring the registration → login →
+//!   session-key shape of classic PHY-key bootstrapping stacks.
+//! - [`rekey`]: leakage-budget-driven rotation. The reconciliation
+//!   leakage debt measured by privacy amplification — which the exchange
+//!   records but never acts on — feeds a [`rekey::RekeyPolicy`] that
+//!   schedules either a cheap hash-ratchet refresh or a full re-probe,
+//!   through idempotent request/confirm/ack state machines that follow
+//!   the retransmit conventions of the wire exchange (duplicate delivery
+//!   is answered identically and never desynchronizes the keys).
+//! - [`group`]: platoon group keys. An RSU coordinator wraps a per-epoch
+//!   group key for every member under their pairwise key (the
+//!   `vehicle_key::group` primitives), advances the epoch on every
+//!   eviction so a leaver provably cannot authenticate post-eviction
+//!   traffic, and tracks per-member acknowledgement for agreement
+//!   latency.
+//! - [`wire`]: the frame formats for all of the above. Tags live above
+//!   the core exchange's range so the two codecs can share one
+//!   length-prefixed transport; decoding ignores trailing bytes to stay
+//!   inside the same frame-extension interop window.
+//!
+//! Everything here is std-only on top of the workspace crates, like the
+//! rest of the repository.
+
+pub mod channel;
+pub mod error;
+pub mod group;
+pub mod rekey;
+pub mod wire;
+
+pub use channel::{ChannelRole, SecureChannel};
+pub use error::LifecycleError;
+pub use group::{GroupCoordinator, GroupMember};
+pub use rekey::{RekeyInitiator, RekeyLedger, RekeyPolicy, RekeyResponder};
+pub use wire::{LifecycleMessage, RekeyMode, RekeyTrigger};

@@ -1,0 +1,574 @@
+//! Leakage-budget-driven key rotation.
+//!
+//! Privacy amplification (PR 3) measures how many bits of the session's
+//! entropy reconciliation leaked, and the exchange carries that debt in
+//! its outcome — but nothing ever acts on it. Here a [`RekeyPolicy`]
+//! consumes the debt: every application frame spends a configurable
+//! number of bits from a per-epoch budget, and when the budget runs out —
+//! or the root's effective entropy is below the policy floor to begin
+//! with — the initiator schedules a rotation. A root above the floor gets
+//! a cheap hash-ratchet refresh; a root dragged under the floor by
+//! reconciliation leakage needs fresh randomness, so it is re-probed
+//! (both peers contribute fresh nonces and the ledger resets to full
+//! entropy).
+//!
+//! The request → confirm → ack handshake is idempotent the same way the
+//! core exchange is: every handler answers a re-delivered frame with the
+//! identical reply and reports [`Disposition::Duplicate`], so duplicated
+//! or reordered delivery can never leave the two peers on different
+//! roots.
+
+use crate::channel::{ack_tag, confirm_tag, SecureChannel};
+use crate::error::LifecycleError;
+use crate::wire::{LifecycleMessage, RekeyMode, RekeyTrigger};
+use vehicle_key::Disposition;
+
+/// When and how a session root is rotated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RekeyPolicy {
+    /// Bits of the root's entropy the epoch may "spend" on traffic before
+    /// a rotation is scheduled.
+    pub entropy_budget_bits: u64,
+    /// Bits debited from the budget per application frame.
+    pub frame_cost_bits: u64,
+    /// Roots whose effective entropy (after the reconciliation leakage
+    /// debit) is below this floor are re-probed rather than ratcheted —
+    /// a ratchet cannot recover entropy that leakage already spent.
+    pub reprobe_below_bits: u64,
+    /// Hard ceiling on frames per epoch regardless of budget arithmetic.
+    pub max_epoch_frames: u64,
+}
+
+impl Default for RekeyPolicy {
+    fn default() -> Self {
+        RekeyPolicy {
+            entropy_budget_bits: 4096,
+            frame_cost_bits: 32,
+            reprobe_below_bits: 96,
+            max_epoch_frames: 1 << 20,
+        }
+    }
+}
+
+/// Running account of one session's entropy: what establishment delivered,
+/// what reconciliation leaked, and what traffic has spent this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RekeyLedger {
+    entropy_bits: u64,
+    leaked_bits: u64,
+    spent_bits: u64,
+    frames: u64,
+}
+
+impl RekeyLedger {
+    /// Open a ledger from the establishment outcome: the effective
+    /// entropy privacy amplification reported and the leakage it debited.
+    #[must_use]
+    pub fn new(entropy_bits: usize, leaked_bits: usize) -> Self {
+        RekeyLedger {
+            entropy_bits: entropy_bits as u64,
+            leaked_bits: leaked_bits as u64,
+            spent_bits: 0,
+            frames: 0,
+        }
+    }
+
+    /// Debit one application frame.
+    pub fn on_frame(&mut self, policy: &RekeyPolicy) {
+        self.spent_bits = self.spent_bits.saturating_add(policy.frame_cost_bits);
+        self.frames += 1;
+    }
+
+    /// Should the initiator rotate now, and how?
+    #[must_use]
+    pub fn decide(&self, policy: &RekeyPolicy) -> Option<(RekeyMode, RekeyTrigger)> {
+        if self.entropy_bits < policy.reprobe_below_bits {
+            // Leakage (or a short establishment) left the root under the
+            // floor: only fresh randomness helps.
+            return Some((RekeyMode::Reprobe, RekeyTrigger::Leakage));
+        }
+        if self.spent_bits >= policy.entropy_budget_bits || self.frames >= policy.max_epoch_frames {
+            return Some((RekeyMode::Ratchet, RekeyTrigger::Budget));
+        }
+        None
+    }
+
+    /// Reset for the epoch a completed rotation opened.
+    pub fn on_rekey(&mut self, mode: RekeyMode) {
+        self.spent_bits = 0;
+        self.frames = 0;
+        if mode == RekeyMode::Reprobe {
+            // A fresh probe delivers a clean full-entropy root.
+            self.entropy_bits = 128;
+            self.leaked_bits = 0;
+        }
+    }
+
+    /// Effective entropy of the current root.
+    #[must_use]
+    pub fn entropy_bits(&self) -> u64 {
+        self.entropy_bits
+    }
+
+    /// Cumulative reconciliation leakage debt behind the current root.
+    #[must_use]
+    pub fn leaked_bits(&self) -> u64 {
+        self.leaked_bits
+    }
+
+    /// Budget spent in the current epoch.
+    #[must_use]
+    pub fn spent_bits(&self) -> u64 {
+        self.spent_bits
+    }
+
+    /// Frames carried in the current epoch.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingRekey {
+    epoch: u32,
+    mode: RekeyMode,
+    trigger: RekeyTrigger,
+    fresh: u64,
+}
+
+/// Initiator half of the rotation handshake (the server / RSU).
+#[derive(Debug, Default)]
+pub struct RekeyInitiator {
+    pending: Option<PendingRekey>,
+    last_ack: Option<LifecycleMessage>,
+}
+
+impl RekeyInitiator {
+    /// Fresh state machine with no rotation in flight.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is a rotation awaiting its confirm?
+    #[must_use]
+    pub fn in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Mode and trigger of the rotation in flight, if any.
+    #[must_use]
+    pub fn pending_info(&self) -> Option<(RekeyMode, RekeyTrigger)> {
+        self.pending.map(|p| (p.mode, p.trigger))
+    }
+
+    /// Schedule a rotation into `channel.epoch() + 1` and produce the
+    /// request frame. Idempotent: while a rotation is in flight, the same
+    /// request is returned again (retransmission) regardless of the
+    /// arguments.
+    pub fn begin(
+        &mut self,
+        channel: &SecureChannel,
+        mode: RekeyMode,
+        trigger: RekeyTrigger,
+        fresh: u64,
+    ) -> LifecycleMessage {
+        let p = *self.pending.get_or_insert(PendingRekey {
+            epoch: channel.epoch() + 1,
+            mode,
+            trigger,
+            fresh,
+        });
+        LifecycleMessage::RekeyRequest {
+            session_id: channel.session_id(),
+            epoch: p.epoch,
+            mode: p.mode,
+            trigger: p.trigger,
+            fresh: p.fresh,
+        }
+    }
+
+    /// The in-flight request frame, for timer-driven retransmission.
+    #[must_use]
+    pub fn request_frame(&self, channel: &SecureChannel) -> Option<LifecycleMessage> {
+        self.pending.map(|p| LifecycleMessage::RekeyRequest {
+            session_id: channel.session_id(),
+            epoch: p.epoch,
+            mode: p.mode,
+            trigger: p.trigger,
+            fresh: p.fresh,
+        })
+    }
+
+    /// Handle the responder's `RekeyConfirm`. On acceptance the channel
+    /// advances to the new root, the ledger resets, and the returned ack
+    /// closes the handshake; a duplicate confirm for the already-installed
+    /// epoch re-sends the identical ack.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::MacMismatch`] if the confirm tag does not prove
+    /// the candidate root; [`LifecycleError::EpochMismatch`] for a
+    /// confirm that matches neither the pending nor the installed epoch.
+    pub fn on_confirm(
+        &mut self,
+        channel: &mut SecureChannel,
+        ledger: &mut RekeyLedger,
+        epoch: u32,
+        fresh_responder: u64,
+        check: &[u8; 32],
+    ) -> Result<(Disposition, LifecycleMessage), LifecycleError> {
+        if let Some(p) = self.pending {
+            if epoch == p.epoch {
+                let candidate = match p.mode {
+                    RekeyMode::Ratchet => channel.ratchet_root(),
+                    RekeyMode::Reprobe => channel.reprobe_root(p.fresh, fresh_responder),
+                };
+                if confirm_tag(&candidate, channel.session_id(), epoch) != *check {
+                    return Err(LifecycleError::MacMismatch);
+                }
+                channel.advance(candidate);
+                ledger.on_rekey(p.mode);
+                self.pending = None;
+                let ack = LifecycleMessage::RekeyAck {
+                    session_id: channel.session_id(),
+                    epoch,
+                    check: ack_tag(&candidate, channel.session_id(), epoch),
+                };
+                self.last_ack = Some(ack.clone());
+                telemetry::counter("lifecycle.rekeys", 1);
+                telemetry::counter(
+                    match p.mode {
+                        RekeyMode::Ratchet => "lifecycle.rekeys.ratchet",
+                        RekeyMode::Reprobe => "lifecycle.rekeys.reprobe",
+                    },
+                    1,
+                );
+                telemetry::counter(
+                    match p.trigger {
+                        RekeyTrigger::Budget => "lifecycle.rekeys.budget",
+                        RekeyTrigger::Leakage => "lifecycle.rekeys.leakage",
+                        RekeyTrigger::Manual => "lifecycle.rekeys.manual",
+                    },
+                    1,
+                );
+                return Ok((Disposition::Accepted, ack));
+            }
+        }
+        if epoch == channel.epoch() {
+            if let Some(ack) = &self.last_ack {
+                // The responder re-sent its confirm because our ack was
+                // lost: answer identically.
+                return Ok((Disposition::Duplicate, ack.clone()));
+            }
+        }
+        Err(LifecycleError::EpochMismatch {
+            got: epoch,
+            want: channel.epoch(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OfferedRekey {
+    epoch: u32,
+    candidate: [u8; 16],
+}
+
+/// Responder half of the rotation handshake (the vehicle).
+#[derive(Debug, Default)]
+pub struct RekeyResponder {
+    offered: Option<OfferedRekey>,
+    last_confirm: Option<LifecycleMessage>,
+}
+
+impl RekeyResponder {
+    /// Fresh state machine with no rotation in flight.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is an offered rotation awaiting its ack? While one is, the
+    /// responder must not seal fresh frames — they could land under an
+    /// epoch the initiator has already retired.
+    #[must_use]
+    pub fn in_flight(&self) -> bool {
+        self.offered.is_some()
+    }
+
+    /// Handle the initiator's `RekeyRequest`, producing the confirm to
+    /// send. Duplicated requests — for the epoch already offered or the
+    /// epoch already installed — are answered with the identical confirm.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::EpochMismatch`] for a request that skips epochs.
+    pub fn on_request(
+        &mut self,
+        channel: &SecureChannel,
+        epoch: u32,
+        mode: RekeyMode,
+        fresh_initiator: u64,
+        my_fresh: u64,
+    ) -> Result<(Disposition, LifecycleMessage), LifecycleError> {
+        if let Some(o) = self.offered {
+            if o.epoch == epoch {
+                if let Some(confirm) = &self.last_confirm {
+                    return Ok((Disposition::Duplicate, confirm.clone()));
+                }
+            }
+        }
+        if epoch == channel.epoch() {
+            // Request for an epoch we already installed: the initiator's
+            // retransmission raced the install. Re-answer identically so
+            // it can re-ack.
+            if let Some(confirm) = &self.last_confirm {
+                return Ok((Disposition::Duplicate, confirm.clone()));
+            }
+        }
+        if epoch != channel.epoch() + 1 {
+            return Err(LifecycleError::EpochMismatch {
+                got: epoch,
+                want: channel.epoch() + 1,
+            });
+        }
+        let candidate = match mode {
+            RekeyMode::Ratchet => channel.ratchet_root(),
+            RekeyMode::Reprobe => channel.reprobe_root(fresh_initiator, my_fresh),
+        };
+        let confirm = LifecycleMessage::RekeyConfirm {
+            session_id: channel.session_id(),
+            epoch,
+            fresh: my_fresh,
+            check: channel.confirm_tag_for(&candidate),
+        };
+        self.offered = Some(OfferedRekey { epoch, candidate });
+        self.last_confirm = Some(confirm.clone());
+        Ok((Disposition::Accepted, confirm))
+    }
+
+    /// The in-flight confirm frame, for timer-driven retransmission.
+    #[must_use]
+    pub fn confirm_frame(&self) -> Option<LifecycleMessage> {
+        self.offered.and(self.last_confirm.clone())
+    }
+
+    /// Handle the initiator's `RekeyAck`: verify it proves the offered
+    /// candidate, then install. A duplicate ack for the installed epoch
+    /// is reported as such and changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::MacMismatch`] if the ack tag does not prove the
+    /// candidate; [`LifecycleError::EpochMismatch`] otherwise.
+    pub fn on_ack(
+        &mut self,
+        channel: &mut SecureChannel,
+        epoch: u32,
+        check: &[u8; 32],
+    ) -> Result<Disposition, LifecycleError> {
+        if let Some(o) = self.offered {
+            if o.epoch == epoch {
+                if ack_tag(&o.candidate, channel.session_id(), epoch) != *check {
+                    return Err(LifecycleError::MacMismatch);
+                }
+                channel.advance(o.candidate);
+                self.offered = None;
+                return Ok(Disposition::Accepted);
+            }
+        }
+        if epoch == channel.epoch() {
+            return Ok(Disposition::Duplicate);
+        }
+        Err(LifecycleError::EpochMismatch {
+            got: epoch,
+            want: channel.epoch(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelRole;
+
+    fn peers() -> (SecureChannel, SecureChannel) {
+        let root = core::array::from_fn(|i| (i as u8).wrapping_mul(17));
+        (
+            SecureChannel::new(root, 9, ChannelRole::Initiator),
+            SecureChannel::new(root, 9, ChannelRole::Responder),
+        )
+    }
+
+    fn unpack_confirm(msg: &LifecycleMessage) -> (u32, u64, [u8; 32]) {
+        match msg {
+            LifecycleMessage::RekeyConfirm {
+                epoch,
+                fresh,
+                check,
+                ..
+            } => (*epoch, *fresh, *check),
+            other => panic!("expected confirm, got {other:?}"),
+        }
+    }
+
+    fn unpack_ack(msg: &LifecycleMessage) -> (u32, [u8; 32]) {
+        match msg {
+            LifecycleMessage::RekeyAck { epoch, check, .. } => (*epoch, *check),
+            other => panic!("expected ack, got {other:?}"),
+        }
+    }
+
+    fn run_handshake(
+        mode: RekeyMode,
+        alice: &mut SecureChannel,
+        bob: &mut SecureChannel,
+        ledger: &mut RekeyLedger,
+    ) {
+        let mut init = RekeyInitiator::new();
+        let mut resp = RekeyResponder::new();
+        let req = init.begin(alice, mode, RekeyTrigger::Manual, 111);
+        let LifecycleMessage::RekeyRequest {
+            epoch, mode, fresh, ..
+        } = req
+        else {
+            panic!("expected request")
+        };
+        let (_, confirm) = resp.on_request(bob, epoch, mode, fresh, 222).unwrap();
+        let (ce, cf, cc) = unpack_confirm(&confirm);
+        let (disp, ack) = init.on_confirm(alice, ledger, ce, cf, &cc).unwrap();
+        assert_eq!(disp, Disposition::Accepted);
+        let (ae, ac) = unpack_ack(&ack);
+        assert_eq!(resp.on_ack(bob, ae, &ac).unwrap(), Disposition::Accepted);
+    }
+
+    #[test]
+    fn ratchet_and_reprobe_handshakes_converge() {
+        for mode in [RekeyMode::Ratchet, RekeyMode::Reprobe] {
+            let (mut alice, mut bob) = peers();
+            let mut ledger = RekeyLedger::new(100, 28);
+            run_handshake(mode, &mut alice, &mut bob, &mut ledger);
+            assert_eq!(alice.epoch(), 1);
+            assert_eq!(bob.epoch(), 1);
+            // The rotated channel still carries traffic.
+            let frame = alice.seal(b"fresh epoch").unwrap();
+            let (disp, payload) = bob.open(&frame).unwrap();
+            assert_eq!(disp, Disposition::Accepted);
+            assert_eq!(payload, b"fresh epoch");
+            if mode == RekeyMode::Reprobe {
+                assert_eq!(ledger.entropy_bits(), 128);
+                assert_eq!(ledger.leaked_bits(), 0);
+            } else {
+                assert_eq!(ledger.entropy_bits(), 100);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_handshake_frames_are_idempotent() {
+        let (mut alice, mut bob) = peers();
+        let mut ledger = RekeyLedger::new(128, 0);
+        let mut init = RekeyInitiator::new();
+        let mut resp = RekeyResponder::new();
+        let req1 = init.begin(&alice, RekeyMode::Ratchet, RekeyTrigger::Budget, 5);
+        let req2 = init.begin(&alice, RekeyMode::Reprobe, RekeyTrigger::Manual, 999);
+        assert_eq!(req1, req2, "in-flight request must not change");
+        let LifecycleMessage::RekeyRequest {
+            epoch, mode, fresh, ..
+        } = req1
+        else {
+            panic!("expected request")
+        };
+        let (d1, c1) = resp.on_request(&bob, epoch, mode, fresh, 7).unwrap();
+        // The request is retransmitted: identical confirm, Duplicate.
+        let (d2, c2) = resp.on_request(&bob, epoch, mode, fresh, 1234).unwrap();
+        assert_eq!(d1, Disposition::Accepted);
+        assert_eq!(d2, Disposition::Duplicate);
+        assert_eq!(c1, c2);
+        let (ce, cf, cc) = unpack_confirm(&c1);
+        let (da, ack1) = init
+            .on_confirm(&mut alice, &mut ledger, ce, cf, &cc)
+            .unwrap();
+        assert_eq!(da, Disposition::Accepted);
+        // The confirm is retransmitted after install: identical ack.
+        let (db, ack2) = init
+            .on_confirm(&mut alice, &mut ledger, ce, cf, &cc)
+            .unwrap();
+        assert_eq!(db, Disposition::Duplicate);
+        assert_eq!(ack1, ack2);
+        let (ae, ac) = unpack_ack(&ack1);
+        assert_eq!(
+            resp.on_ack(&mut bob, ae, &ac).unwrap(),
+            Disposition::Accepted
+        );
+        // The ack is retransmitted after install: Duplicate, no change.
+        assert_eq!(
+            resp.on_ack(&mut bob, ae, &ac).unwrap(),
+            Disposition::Duplicate
+        );
+        assert_eq!(alice.epoch(), bob.epoch());
+        // Late duplicate of the original request after install: the
+        // responder re-answers, the initiator re-acks — still in sync.
+        let (dl, cl) = resp.on_request(&bob, epoch, mode, fresh, 7).unwrap();
+        assert_eq!(dl, Disposition::Duplicate);
+        let (cle, clf, clc) = unpack_confirm(&cl);
+        let (dm, _) = init
+            .on_confirm(&mut alice, &mut ledger, cle, clf, &clc)
+            .unwrap();
+        assert_eq!(dm, Disposition::Duplicate);
+        let frame = alice.seal(b"still in sync").unwrap();
+        assert_eq!(bob.open(&frame).unwrap().1, b"still in sync");
+    }
+
+    #[test]
+    fn forged_confirm_is_rejected_without_install() {
+        let (mut alice, bob) = peers();
+        let mut ledger = RekeyLedger::new(128, 0);
+        let mut init = RekeyInitiator::new();
+        let req = init.begin(&alice, RekeyMode::Ratchet, RekeyTrigger::Budget, 5);
+        let LifecycleMessage::RekeyRequest { epoch, .. } = req else {
+            panic!("expected request")
+        };
+        let bogus = [0x5A; 32];
+        assert_eq!(
+            init.on_confirm(&mut alice, &mut ledger, epoch, 0, &bogus),
+            Err(LifecycleError::MacMismatch)
+        );
+        assert_eq!(alice.epoch(), 0, "forged confirm must not install");
+        assert_eq!(alice.epoch(), bob.epoch());
+    }
+
+    #[test]
+    fn ledger_decides_budget_then_leakage() {
+        let policy = RekeyPolicy {
+            entropy_budget_bits: 64,
+            frame_cost_bits: 32,
+            reprobe_below_bits: 96,
+            max_epoch_frames: 1000,
+        };
+        // Healthy root: budget exhaustion schedules a ratchet.
+        let mut ledger = RekeyLedger::new(128, 0);
+        ledger.on_frame(&policy);
+        assert_eq!(ledger.decide(&policy), None);
+        ledger.on_frame(&policy);
+        assert_eq!(
+            ledger.decide(&policy),
+            Some((RekeyMode::Ratchet, RekeyTrigger::Budget))
+        );
+        ledger.on_rekey(RekeyMode::Ratchet);
+        assert_eq!(ledger.decide(&policy), None);
+        // Leaky root: under the floor, the decision is a re-probe
+        // regardless of spend.
+        let leaky = RekeyLedger::new(80, 48);
+        assert_eq!(
+            leaky.decide(&policy),
+            Some((RekeyMode::Reprobe, RekeyTrigger::Leakage))
+        );
+        let mut refreshed = leaky;
+        refreshed.on_rekey(RekeyMode::Reprobe);
+        assert_eq!(refreshed.entropy_bits(), 128);
+        assert_eq!(refreshed.decide(&policy), None);
+    }
+}

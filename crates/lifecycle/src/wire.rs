@@ -1,0 +1,563 @@
+//! Wire formats for the lifecycle plane.
+//!
+//! Lifecycle frames ride the same length-prefixed transport as the core
+//! exchange, after the key-confirmation handoff. Tags start at 16 —
+//! disjoint from the core exchange's 1..=9 — so a receiver can classify a
+//! frame by trying this codec first and falling back to
+//! [`vehicle_key::Message::decode`] on [`LifecycleError::UnknownTag`]
+//! (the handoff window still carries duplicate `Confirm` frames).
+//! Decoding ignores trailing bytes: the frame-extension interop window
+//! (e.g. the observability trace context) applies here too.
+
+use crate::error::LifecycleError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// How a scheduled rekey refreshes the session root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RekeyMode {
+    /// Hash-ratchet refresh: the next root is derived from the current
+    /// one. Cheap, but cannot recover entropy lost to reconciliation
+    /// leakage — it only limits how much traffic one root authenticates.
+    Ratchet,
+    /// Full re-probe: fresh nonces from both peers feed a new root,
+    /// modelling a fresh channel-probing round. Resets the leakage debt.
+    Reprobe,
+}
+
+impl RekeyMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            RekeyMode::Ratchet => 0,
+            RekeyMode::Reprobe => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, LifecycleError> {
+        match v {
+            0 => Ok(RekeyMode::Ratchet),
+            1 => Ok(RekeyMode::Reprobe),
+            _ => Err(LifecycleError::Malformed("unknown rekey mode")),
+        }
+    }
+}
+
+/// Why a rekey was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RekeyTrigger {
+    /// The per-epoch entropy spend budget ran out.
+    Budget,
+    /// Reconciliation leakage left the root below the entropy floor.
+    Leakage,
+    /// Operator- or test-requested rotation.
+    Manual,
+}
+
+impl RekeyTrigger {
+    fn to_u8(self) -> u8 {
+        match self {
+            RekeyTrigger::Budget => 0,
+            RekeyTrigger::Leakage => 1,
+            RekeyTrigger::Manual => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, LifecycleError> {
+        match v {
+            0 => Ok(RekeyTrigger::Budget),
+            1 => Ok(RekeyTrigger::Leakage),
+            2 => Ok(RekeyTrigger::Manual),
+            _ => Err(LifecycleError::Malformed("unknown rekey trigger")),
+        }
+    }
+}
+
+/// Lifecycle frames exchanged after the key-confirmation handoff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LifecycleMessage {
+    /// An authenticated application frame on the session channel.
+    AppData {
+        /// Session identifier.
+        session_id: u32,
+        /// Channel epoch the frame was sealed under.
+        epoch: u32,
+        /// Per-direction, per-epoch sequence number (also the CTR nonce).
+        seq: u64,
+        /// AES-128-CTR ciphertext.
+        ciphertext: Vec<u8>,
+        /// `HMAC(k_mac, "VK-APP" ‖ session_id ‖ epoch ‖ seq ‖ ciphertext)`.
+        mac: [u8; 32],
+    },
+    /// Receiver's acknowledgement of an application frame.
+    AppAck {
+        /// Session identifier.
+        session_id: u32,
+        /// Epoch of the acknowledged frame.
+        epoch: u32,
+        /// Sequence number of the acknowledged frame.
+        seq: u64,
+    },
+    /// Initiator schedules a rotation to `epoch`.
+    RekeyRequest {
+        /// Session identifier.
+        session_id: u32,
+        /// The epoch being proposed (current + 1).
+        epoch: u32,
+        /// How the next root is derived.
+        mode: RekeyMode,
+        /// Why the rotation was scheduled.
+        trigger: RekeyTrigger,
+        /// Initiator's fresh nonce (feeds the re-probe derivation).
+        fresh: u64,
+    },
+    /// Responder proves it derived the same candidate root.
+    RekeyConfirm {
+        /// Session identifier.
+        session_id: u32,
+        /// Echoed proposed epoch.
+        epoch: u32,
+        /// Responder's fresh nonce (feeds the re-probe derivation).
+        fresh: u64,
+        /// `HMAC(candidate_root, "VK-REKEY-OK" ‖ session_id ‖ epoch)`.
+        check: [u8; 32],
+    },
+    /// Initiator's final proof; both sides switch to the new root.
+    RekeyAck {
+        /// Session identifier.
+        session_id: u32,
+        /// Echoed installed epoch.
+        epoch: u32,
+        /// `HMAC(candidate_root, "VK-REKEY-ACK" ‖ session_id ‖ epoch)`.
+        check: [u8; 32],
+    },
+    /// A [`vehicle_key::group::WrappedGroupKey`] on the wire: the
+    /// coordinator's group key for `group_epoch`, wrapped for one member.
+    GroupKey {
+        /// Session identifier.
+        session_id: u32,
+        /// Group epoch this wrap distributes.
+        group_epoch: u32,
+        /// The member the wrap is addressed to.
+        member_id: u32,
+        /// CTR nonce from the coordinator's monotonic allocator.
+        nonce: u64,
+        /// Encrypted group key (16 bytes).
+        ciphertext: Vec<u8>,
+        /// Wrap MAC under the member's pairwise key.
+        mac: [u8; 32],
+    },
+    /// Member confirms it unwrapped the group key for an epoch.
+    GroupKeyAck {
+        /// Session identifier.
+        session_id: u32,
+        /// Acknowledged group epoch.
+        group_epoch: u32,
+        /// The acknowledging member.
+        member_id: u32,
+    },
+    /// Member announces departure (graceful churn).
+    Leave {
+        /// Session identifier.
+        session_id: u32,
+    },
+    /// Coordinator confirms the departure; the member may disconnect.
+    LeaveAck {
+        /// Session identifier.
+        session_id: u32,
+    },
+}
+
+impl LifecycleMessage {
+    // vk-lint: allow(leakage-accounting, "pure codec: no Cascade parity crosses this layer; the leakage debit is consumed by the RekeyLedger in rekey.rs")
+    const TAG_APP_DATA: u8 = 16;
+    const TAG_APP_ACK: u8 = 17;
+    const TAG_REKEY_REQUEST: u8 = 18;
+    const TAG_REKEY_CONFIRM: u8 = 19;
+    const TAG_REKEY_ACK: u8 = 20;
+    const TAG_GROUP_KEY: u8 = 21;
+    const TAG_GROUP_KEY_ACK: u8 = 22;
+    const TAG_LEAVE: u8 = 23;
+    const TAG_LEAVE_ACK: u8 = 24;
+
+    /// Cap on one application frame's ciphertext, so a hostile length
+    /// field cannot balloon allocations.
+    pub const MAX_APP_CIPHERTEXT: usize = 4096;
+    /// Cap on a wrapped group key's ciphertext (wraps are 16 bytes; the
+    /// slack tolerates future wrap formats without unbounded growth).
+    pub const MAX_GROUP_CIPHERTEXT: usize = 64;
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            LifecycleMessage::AppData {
+                session_id,
+                epoch,
+                seq,
+                ciphertext,
+                mac,
+            } => {
+                b.put_u8(Self::TAG_APP_DATA);
+                b.put_u32(*session_id);
+                b.put_u32(*epoch);
+                b.put_u64(*seq);
+                b.put_u16(ciphertext.len() as u16);
+                b.put_slice(ciphertext);
+                b.put_slice(mac);
+            }
+            LifecycleMessage::AppAck {
+                session_id,
+                epoch,
+                seq,
+            } => {
+                b.put_u8(Self::TAG_APP_ACK);
+                b.put_u32(*session_id);
+                b.put_u32(*epoch);
+                b.put_u64(*seq);
+            }
+            LifecycleMessage::RekeyRequest {
+                session_id,
+                epoch,
+                mode,
+                trigger,
+                fresh,
+            } => {
+                b.put_u8(Self::TAG_REKEY_REQUEST);
+                b.put_u32(*session_id);
+                b.put_u32(*epoch);
+                b.put_u8(mode.to_u8());
+                b.put_u8(trigger.to_u8());
+                b.put_u64(*fresh);
+            }
+            LifecycleMessage::RekeyConfirm {
+                session_id,
+                epoch,
+                fresh,
+                check,
+            } => {
+                b.put_u8(Self::TAG_REKEY_CONFIRM);
+                b.put_u32(*session_id);
+                b.put_u32(*epoch);
+                b.put_u64(*fresh);
+                b.put_slice(check);
+            }
+            LifecycleMessage::RekeyAck {
+                session_id,
+                epoch,
+                check,
+            } => {
+                b.put_u8(Self::TAG_REKEY_ACK);
+                b.put_u32(*session_id);
+                b.put_u32(*epoch);
+                b.put_slice(check);
+            }
+            LifecycleMessage::GroupKey {
+                session_id,
+                group_epoch,
+                member_id,
+                nonce,
+                ciphertext,
+                mac,
+            } => {
+                b.put_u8(Self::TAG_GROUP_KEY);
+                b.put_u32(*session_id);
+                b.put_u32(*group_epoch);
+                b.put_u32(*member_id);
+                b.put_u64(*nonce);
+                b.put_u16(ciphertext.len() as u16);
+                b.put_slice(ciphertext);
+                b.put_slice(mac);
+            }
+            LifecycleMessage::GroupKeyAck {
+                session_id,
+                group_epoch,
+                member_id,
+            } => {
+                b.put_u8(Self::TAG_GROUP_KEY_ACK);
+                b.put_u32(*session_id);
+                b.put_u32(*group_epoch);
+                b.put_u32(*member_id);
+            }
+            LifecycleMessage::Leave { session_id } => {
+                b.put_u8(Self::TAG_LEAVE);
+                b.put_u32(*session_id);
+            }
+            LifecycleMessage::LeaveAck { session_id } => {
+                b.put_u8(Self::TAG_LEAVE_ACK);
+                b.put_u32(*session_id);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parse from wire bytes. Trailing bytes are ignored (the frame
+    /// extension window).
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::UnknownTag`] for tags outside the lifecycle
+    /// range (the caller may fall back to the core codec) and
+    /// [`LifecycleError::Malformed`] for truncated or oversized frames.
+    pub fn decode(buf: &[u8]) -> Result<LifecycleMessage, LifecycleError> {
+        let mut cursor = buf;
+        Self::decode_cursor(&mut cursor)
+    }
+
+    fn decode_cursor(buf: &mut &[u8]) -> Result<LifecycleMessage, LifecycleError> {
+        if buf.is_empty() {
+            return Err(LifecycleError::Malformed("empty buffer"));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            Self::TAG_APP_DATA => {
+                if buf.remaining() < 18 {
+                    return Err(LifecycleError::Malformed("truncated app frame header"));
+                }
+                let session_id = buf.get_u32();
+                let epoch = buf.get_u32();
+                let seq = buf.get_u64();
+                let len = buf.get_u16() as usize;
+                if len > Self::MAX_APP_CIPHERTEXT {
+                    return Err(LifecycleError::Malformed("oversized app ciphertext"));
+                }
+                if buf.remaining() < len + 32 {
+                    return Err(LifecycleError::Malformed("truncated app frame body"));
+                }
+                let mut ciphertext = vec![0u8; len];
+                buf.copy_to_slice(&mut ciphertext);
+                let mut mac = [0u8; 32];
+                buf.copy_to_slice(&mut mac);
+                Ok(LifecycleMessage::AppData {
+                    session_id,
+                    epoch,
+                    seq,
+                    ciphertext,
+                    mac,
+                })
+            }
+            Self::TAG_APP_ACK => {
+                if buf.remaining() < 16 {
+                    return Err(LifecycleError::Malformed("truncated app ack"));
+                }
+                Ok(LifecycleMessage::AppAck {
+                    session_id: buf.get_u32(),
+                    epoch: buf.get_u32(),
+                    seq: buf.get_u64(),
+                })
+            }
+            Self::TAG_REKEY_REQUEST => {
+                if buf.remaining() < 18 {
+                    return Err(LifecycleError::Malformed("truncated rekey request"));
+                }
+                let session_id = buf.get_u32();
+                let epoch = buf.get_u32();
+                let mode = RekeyMode::from_u8(buf.get_u8())?;
+                let trigger = RekeyTrigger::from_u8(buf.get_u8())?;
+                let fresh = buf.get_u64();
+                Ok(LifecycleMessage::RekeyRequest {
+                    session_id,
+                    epoch,
+                    mode,
+                    trigger,
+                    fresh,
+                })
+            }
+            Self::TAG_REKEY_CONFIRM => {
+                if buf.remaining() < 48 {
+                    return Err(LifecycleError::Malformed("truncated rekey confirm"));
+                }
+                let session_id = buf.get_u32();
+                let epoch = buf.get_u32();
+                let fresh = buf.get_u64();
+                let mut check = [0u8; 32];
+                buf.copy_to_slice(&mut check);
+                Ok(LifecycleMessage::RekeyConfirm {
+                    session_id,
+                    epoch,
+                    fresh,
+                    check,
+                })
+            }
+            Self::TAG_REKEY_ACK => {
+                if buf.remaining() < 40 {
+                    return Err(LifecycleError::Malformed("truncated rekey ack"));
+                }
+                let session_id = buf.get_u32();
+                let epoch = buf.get_u32();
+                let mut check = [0u8; 32];
+                buf.copy_to_slice(&mut check);
+                Ok(LifecycleMessage::RekeyAck {
+                    session_id,
+                    epoch,
+                    check,
+                })
+            }
+            Self::TAG_GROUP_KEY => {
+                if buf.remaining() < 22 {
+                    return Err(LifecycleError::Malformed("truncated group key header"));
+                }
+                let session_id = buf.get_u32();
+                let group_epoch = buf.get_u32();
+                let member_id = buf.get_u32();
+                let nonce = buf.get_u64();
+                let len = buf.get_u16() as usize;
+                if len > Self::MAX_GROUP_CIPHERTEXT {
+                    return Err(LifecycleError::Malformed("oversized group ciphertext"));
+                }
+                if buf.remaining() < len + 32 {
+                    return Err(LifecycleError::Malformed("truncated group key body"));
+                }
+                let mut ciphertext = vec![0u8; len];
+                buf.copy_to_slice(&mut ciphertext);
+                let mut mac = [0u8; 32];
+                buf.copy_to_slice(&mut mac);
+                Ok(LifecycleMessage::GroupKey {
+                    session_id,
+                    group_epoch,
+                    member_id,
+                    nonce,
+                    ciphertext,
+                    mac,
+                })
+            }
+            Self::TAG_GROUP_KEY_ACK => {
+                if buf.remaining() < 12 {
+                    return Err(LifecycleError::Malformed("truncated group key ack"));
+                }
+                Ok(LifecycleMessage::GroupKeyAck {
+                    session_id: buf.get_u32(),
+                    group_epoch: buf.get_u32(),
+                    member_id: buf.get_u32(),
+                })
+            }
+            Self::TAG_LEAVE | Self::TAG_LEAVE_ACK => {
+                if buf.remaining() < 4 {
+                    return Err(LifecycleError::Malformed("truncated leave"));
+                }
+                let session_id = buf.get_u32();
+                Ok(if tag == Self::TAG_LEAVE {
+                    LifecycleMessage::Leave { session_id }
+                } else {
+                    LifecycleMessage::LeaveAck { session_id }
+                })
+            }
+            other => Err(LifecycleError::UnknownTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<LifecycleMessage> {
+        vec![
+            LifecycleMessage::AppData {
+                session_id: 7,
+                epoch: 3,
+                seq: 99,
+                ciphertext: vec![1, 2, 3, 4, 5],
+                mac: [0xAB; 32],
+            },
+            LifecycleMessage::AppAck {
+                session_id: 7,
+                epoch: 3,
+                seq: 99,
+            },
+            LifecycleMessage::RekeyRequest {
+                session_id: 7,
+                epoch: 4,
+                mode: RekeyMode::Reprobe,
+                trigger: RekeyTrigger::Leakage,
+                fresh: 0xDEAD_BEEF,
+            },
+            LifecycleMessage::RekeyConfirm {
+                session_id: 7,
+                epoch: 4,
+                fresh: 42,
+                check: [0x17; 32],
+            },
+            LifecycleMessage::RekeyAck {
+                session_id: 7,
+                epoch: 4,
+                check: [0x18; 32],
+            },
+            LifecycleMessage::GroupKey {
+                session_id: 7,
+                group_epoch: 2,
+                member_id: 11,
+                nonce: 1000,
+                ciphertext: vec![9; 16],
+                mac: [0x44; 32],
+            },
+            LifecycleMessage::GroupKeyAck {
+                session_id: 7,
+                group_epoch: 2,
+                member_id: 11,
+            },
+            LifecycleMessage::Leave { session_id: 7 },
+            LifecycleMessage::LeaveAck { session_id: 7 },
+        ]
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            assert_eq!(LifecycleMessage::decode(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_ignored() {
+        for msg in all_messages() {
+            let mut bytes = msg.encode().to_vec();
+            bytes.extend_from_slice(&[0xC7, 1, 2, 3]);
+            assert_eq!(LifecycleMessage::decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    LifecycleMessage::decode(&bytes[..cut]).is_err(),
+                    "truncation to {cut} bytes accepted for {msg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn core_tags_surface_as_unknown() {
+        // Tags 1..=9 belong to the core exchange; the lifecycle codec
+        // must hand them back so the caller can try the other decoder.
+        for tag in 1..=9u8 {
+            match LifecycleMessage::decode(&[tag, 0, 0, 0, 0]) {
+                Err(LifecycleError::UnknownTag(t)) => assert_eq!(t, tag),
+                other => panic!("core tag {tag} decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected() {
+        let mut frame = LifecycleMessage::AppData {
+            session_id: 1,
+            epoch: 1,
+            seq: 1,
+            ciphertext: vec![0; 8],
+            mac: [0; 32],
+        }
+        .encode()
+        .to_vec();
+        // Patch the u16 length field (offset 17) past the cap.
+        frame[17] = 0xFF;
+        frame[18] = 0xFF;
+        assert_eq!(
+            LifecycleMessage::decode(&frame),
+            Err(LifecycleError::Malformed("oversized app ciphertext"))
+        );
+    }
+}

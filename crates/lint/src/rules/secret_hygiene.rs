@@ -12,12 +12,19 @@
 //!
 //! An identifier is key material when:
 //!
-//! * one of its snake_case segments is `key`, `keys`, `secret`, or
-//!   `secrets` — unless another segment marks it as *metadata about* keys
-//!   (`len`, `bits`, `rate`, `count`, `match`, `seed`, `id`, `idx`, `kind`,
-//!   `tag`, `name`, `size`, `dim`, `gen`), or
+//! * one of its snake_case segments is `key`, `keys`, `secret`, `secrets`,
+//!   or `ratchet` (the lifecycle plane's rotating roots: `group_key`,
+//!   `session_key`, `epoch_key`, `ratchet_root`) — unless another segment
+//!   marks it as *metadata about* keys (`len`, `bits`, `rate`, `count`,
+//!   `match`, `seed`, `id`, `idx`, `kind`, `tag`, `name`, `size`, `dim`,
+//!   `gen`). The plural `ratchets` is deliberately *not* a seed: it names
+//!   rotation counts, which summaries print legitimately.
 //! * it is one of the exact domain names: `k_alice`, `k_bob`, `k_eve`,
-//!   `ka`, `kb`, `delta_x`, `pairwise`, `amplified`.
+//!   `ka`, `kb`, `delta_x`, `pairwise`, `amplified`, `ratchet`.
+//!
+//! PascalCase identifiers never taint: they are types, traits, or enum
+//! variants (`RekeyMode::Ratchet`), compile-time vocabulary rather than
+//! value bindings that could hold material.
 //!
 //! ## Propagation
 //!
@@ -126,6 +133,7 @@ const EXACT_SECRETS: &[&str] = &[
     "delta_x",
     "pairwise",
     "amplified",
+    "ratchet",
 ];
 
 /// Methods on a tainted value that expose only aggregate metadata: sizes,
@@ -137,6 +145,13 @@ const BENIGN_METHODS: &[&str] = &["len", "is_empty", "capacity", "hamming", "agr
 
 /// Whether an identifier names key material.
 pub fn is_secret_name(name: &str) -> bool {
+    // PascalCase names are types, traits, or enum variants — compile-time
+    // vocabulary, not value bindings that could hold material. Without this
+    // guard the `ratchet` seed would flag `RekeyMode::Ratchet` match arms
+    // inside telemetry calls.
+    if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+        return false;
+    }
     if EXACT_SECRETS.contains(&name) {
         return true;
     }
@@ -144,7 +159,7 @@ pub fn is_secret_name(name: &str) -> bool {
     let segments: Vec<&str> = lower.split('_').filter(|s| !s.is_empty()).collect();
     let has_secret_segment = segments
         .iter()
-        .any(|s| matches!(*s, "key" | "keys" | "secret" | "secrets"));
+        .any(|s| matches!(*s, "key" | "keys" | "secret" | "secrets" | "ratchet"));
     has_secret_segment && !segments.iter().any(|s| BENIGN_SEGMENTS.contains(s))
 }
 

@@ -203,6 +203,69 @@ fn key_length_is_metadata_not_material() {
 }
 
 #[test]
+fn lifecycle_material_reaching_sinks_is_deny() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn leak(group_key: &[u8], ratchet: &[u8; 16], epoch_key: &[u8]) {\n    println!(\"{group_key:?}\");\n    telemetry::counter(\"lifecycle.rekeys\", ratchet);\n    let dump = format!(\"{epoch_key:?}\");\n    drop(dump);\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    let hygiene: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "secret-hygiene")
+        .collect();
+    assert_eq!(hygiene.len(), 3, "{:?}", report.findings);
+    for (finding, line) in hygiene.iter().zip([2, 3, 4]) {
+        assert_eq!(finding.line, line, "{finding:?}");
+        assert_eq!(finding.severity, Severity::Deny, "{finding:?}");
+    }
+    assert_eq!(report::exit_code(&report), 1);
+}
+
+#[test]
+fn lifecycle_ratchet_taint_propagates_through_let() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn leak(ratchet_root: &[u8; 16]) {\n    let derived = ratchet_root.to_vec();\n    println!(\"{derived:?}\");\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "secret-hygiene" && f.line == 3),
+        "derived must inherit the ratchet taint: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn enum_variants_are_not_material() {
+    // `RekeyMode::Ratchet` is compile-time vocabulary: matching on it and
+    // routing the label into telemetry must not trip the `ratchet` seed.
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn count(mode: RekeyMode) {\n    let label = match mode {\n        RekeyMode::Ratchet => \"rotated\",\n        RekeyMode::Reprobe => \"reprobed\",\n    };\n    telemetry::counter(label, 1);\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn lifecycle_metadata_is_not_material() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn publish(group_key: &[u8], ratchets: u64, group_epoch: u32) {\n    println!(\"{} bytes after {ratchets} rotations\", group_key.len());\n    telemetry::counter(\"lifecycle.group.epoch\", group_epoch);\n    let epoch_key_id = group_epoch + 1;\n    println!(\"{epoch_key_id}\");\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
 fn lint_toml_promotes_per_crate_severity() {
     let fx = Fixture::new();
     fx.file(

@@ -1,0 +1,155 @@
+//! Deterministic membership-churn plans for platoon experiments.
+//!
+//! The lifecycle plane (vk-lifecycle / vk-server) needs realistic join and
+//! leave schedules to exercise group rekeying: vehicles enter a platoon,
+//! ride for a while, and peel off — each departure forcing a group-key
+//! rotation that excludes the leaver. This module turns a scenario shape
+//! into a concrete per-member plan the bench and CI harnesses replay
+//! byte-for-byte: everything derives from the member count and horizon, no
+//! RNG, so a failing run is reproducible from its parameters alone.
+
+use std::time::Duration;
+
+/// Membership-churn shapes for a platoon experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnScenario {
+    /// A stable highway platoon: everyone joins at the start (staggered
+    /// only by ramp-up), and the two trailing vehicles peel off at 40%
+    /// and 70% of the horizon.
+    Platoon,
+    /// A highway crossing: half the members are transient, joining late
+    /// and leaving before the horizon ends.
+    HighwayCrossing,
+    /// An urban canyon: joins spread over the first half, and every
+    /// third vehicle drops out early (short parking / turn-offs).
+    UrbanCanyon,
+}
+
+/// One member's schedule within a churn plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberPlan {
+    /// Index of this member within the plan (0-based).
+    pub member_index: usize,
+    /// When the member connects, relative to the experiment start.
+    pub join_at: Duration,
+    /// When the member departs gracefully; `None` rides to the horizon.
+    pub leave_at: Option<Duration>,
+    /// Application frames the member pushes while connected.
+    pub app_frames: u32,
+}
+
+impl ChurnScenario {
+    /// Build the deterministic plan for `members` vehicles over `horizon`.
+    ///
+    /// Invariants every scenario upholds: joins are staggered (no two
+    /// members share a join instant), every `leave_at` is strictly after
+    /// its `join_at` and strictly before `horizon`, and at least one
+    /// member stays to the end (the platoon never empties early).
+    #[must_use]
+    pub fn plan(self, members: usize, horizon: Duration) -> Vec<MemberPlan> {
+        let stagger = horizon / (4 * members.max(1) as u32);
+        (0..members)
+            .map(|i| {
+                let join_at = stagger * i as u32;
+                let (join_at, leave_at, app_frames) = match self {
+                    ChurnScenario::Platoon => {
+                        // The two trailing vehicles peel off mid-run.
+                        let leave_at = if members >= 2 && i == members - 1 {
+                            Some(horizon.mul_f64(0.4))
+                        } else if members >= 3 && i == members - 2 {
+                            Some(horizon.mul_f64(0.7))
+                        } else {
+                            None
+                        };
+                        (join_at, leave_at, 8)
+                    }
+                    ChurnScenario::HighwayCrossing => {
+                        if i % 2 == 1 {
+                            // Transient: joins in the middle third, gone
+                            // well before the end.
+                            let join_at = horizon.mul_f64(0.33) + stagger * i as u32;
+                            (join_at, Some(join_at + horizon.mul_f64(0.25)), 4)
+                        } else {
+                            (join_at, None, 8)
+                        }
+                    }
+                    ChurnScenario::UrbanCanyon => {
+                        let join_at = horizon.mul_f64(0.5) * i as u32 / members.max(1) as u32;
+                        let leave_at = (i % 3 == 2 && i != 0)
+                            .then(|| join_at + horizon.mul_f64(0.2) + stagger);
+                        (join_at, leave_at, 6)
+                    }
+                };
+                MemberPlan {
+                    member_index: i,
+                    join_at,
+                    leave_at,
+                    app_frames,
+                }
+            })
+            .collect()
+    }
+
+    /// How many members the plan departs before the horizon.
+    #[must_use]
+    pub fn leavers(self, members: usize, horizon: Duration) -> usize {
+        self.plan(members, horizon)
+            .iter()
+            .filter(|m| m.leave_at.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCENARIOS: [ChurnScenario; 3] = [
+        ChurnScenario::Platoon,
+        ChurnScenario::HighwayCrossing,
+        ChurnScenario::UrbanCanyon,
+    ];
+
+    #[test]
+    fn plans_are_deterministic() {
+        let horizon = Duration::from_secs(60);
+        for s in SCENARIOS {
+            assert_eq!(s.plan(8, horizon), s.plan(8, horizon));
+        }
+    }
+
+    #[test]
+    fn invariants_hold_across_sizes() {
+        let horizon = Duration::from_secs(30);
+        for s in SCENARIOS {
+            for members in 1..=12 {
+                let plan = s.plan(members, horizon);
+                assert_eq!(plan.len(), members);
+                assert!(
+                    plan.iter().any(|m| m.leave_at.is_none()),
+                    "{s:?}/{members}: someone must ride to the horizon"
+                );
+                for m in &plan {
+                    assert!(m.app_frames > 0);
+                    if let Some(leave) = m.leave_at {
+                        assert!(leave > m.join_at, "{s:?}/{members}: {m:?}");
+                        assert!(leave < horizon, "{s:?}/{members}: {m:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn platoon_has_two_leavers_at_eight() {
+        let horizon = Duration::from_secs(60);
+        let plan = ChurnScenario::Platoon.plan(8, horizon);
+        assert_eq!(ChurnScenario::Platoon.leavers(8, horizon), 2);
+        assert_eq!(plan[7].leave_at, Some(horizon.mul_f64(0.4)));
+        assert_eq!(plan[6].leave_at, Some(horizon.mul_f64(0.7)));
+        // Joins stagger: strictly increasing.
+        for w in plan.windows(2) {
+            assert!(w[0].join_at < w[1].join_at);
+        }
+    }
+}

@@ -26,8 +26,10 @@
 //! assert!(g.distance_m > 0.0);
 //! ```
 
+pub mod churn;
 pub mod scenario;
 pub mod trace;
 
+pub use churn::{ChurnScenario, MemberPlan};
 pub use scenario::{Scenario, ScenarioKind};
 pub use trace::{LinkGeometry, Trace, Waypoint};

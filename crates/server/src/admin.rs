@@ -381,6 +381,46 @@ mod tests {
     }
 
     #[test]
+    fn metrics_exposes_lifecycle_counters() {
+        // Emit through the real telemetry path. Retried because the sink
+        // is process-global and concurrent tests swap it: an emission that
+        // lands while no sink is installed is silently dropped, so loop
+        // until the registry actually aggregated the counter.
+        let sink = Arc::new(telemetry::MemorySink::new());
+        for _ in 0..64 {
+            telemetry::install(sink.clone());
+            telemetry::counter("lifecycle.rekeys", 1);
+            telemetry::counter("lifecycle.group.epochs", 1);
+            telemetry::histogram("lifecycle.group.agreement_ms", 4.0);
+            if telemetry::snapshot()
+                .counters
+                .contains_key("lifecycle.rekeys")
+            {
+                break;
+            }
+        }
+        telemetry::uninstall();
+        let admin = AdminServer::start(
+            "127.0.0.1:0",
+            Arc::new(ServerStats::default()),
+            Arc::new(SessionTable::new()),
+        )
+        .expect("start admin");
+        let response = get(admin.local_addr(), "/metrics");
+        let body = split_body(&response);
+        assert!(
+            body.contains("# TYPE vk_lifecycle_rekeys counter"),
+            "missing lifecycle counter exposition:\n{body}"
+        );
+        assert!(body.contains("vk_lifecycle_group_epochs"), "{body}");
+        assert!(
+            body.contains("vk_lifecycle_group_agreement_ms_count"),
+            "{body}"
+        );
+        admin.shutdown();
+    }
+
+    #[test]
     fn sessions_route_tracks_the_table() {
         let table = Arc::new(SessionTable::new());
         table.register(3);

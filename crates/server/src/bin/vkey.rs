@@ -32,8 +32,8 @@ use telemetry::Json;
 use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
 use vehicle_key::RecoveryPolicy;
 use vk_server::{
-    run_fleet, AdminServer, FaultConfig, FleetConfig, RetryPolicy, Server, ServerConfig,
-    SessionParams,
+    run_fleet, AdminServer, ClientLifecycleCfg, FaultConfig, FleetConfig, LifecycleConfig,
+    RekeyPolicy, RetryPolicy, Server, ServerConfig, SessionParams,
 };
 
 fn scenario_from(name: &str) -> Result<ScenarioKind, String> {
@@ -60,7 +60,10 @@ impl Args {
             let Some(name) = raw[i].strip_prefix("--") else {
                 return Err(format!("unexpected argument '{}'", raw[i]));
             };
-            if matches!(name, "fast" | "no-recovery" | "json" | "self") {
+            if matches!(
+                name,
+                "fast" | "no-recovery" | "json" | "self" | "lifecycle" | "group"
+            ) {
                 flags.insert(name.to_string(), "true".into());
                 i += 1;
                 continue;
@@ -291,6 +294,26 @@ fn fault_from(args: &Args) -> Result<Option<FaultConfig>, String> {
     Ok(if fault.is_noop() { None } else { Some(fault) })
 }
 
+/// Parse the lifecycle-plane flags shared by `serve` (full config) and
+/// `fleet` (client behaviour). `--lifecycle` turns the plane on;
+/// `--group` additionally runs platoon group keys over it.
+fn lifecycle_from(args: &Args) -> Result<Option<LifecycleConfig>, String> {
+    if args.get("lifecycle").is_none() && args.get("group").is_none() {
+        return Ok(None);
+    }
+    let base = RekeyPolicy::default();
+    Ok(Some(LifecycleConfig {
+        rekey: RekeyPolicy {
+            entropy_budget_bits: args.parsed("rekey-budget", base.entropy_budget_bits)?,
+            frame_cost_bits: args.parsed("rekey-frame-cost", base.frame_cost_bits)?,
+            reprobe_below_bits: args.parsed("rekey-min-entropy", base.reprobe_below_bits)?,
+            ..base
+        },
+        group: args.get("group").is_some(),
+        max_duration: Duration::from_secs(args.parsed("lifecycle-max-s", 30)?),
+    }))
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let flight = Arc::new(telemetry::FlightRecorder::default());
     let config = ServerConfig {
@@ -308,6 +331,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         nonce_seed: args.seed(),
         flight: Some(Arc::clone(&flight)),
         flight_dir: args.get("flight-dir").unwrap_or("results").to_string(),
+        lifecycle: lifecycle_from(args)?,
         ..ServerConfig::default()
     };
     // Feed the flight recorder alongside whatever sink --telemetry
@@ -321,6 +345,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     telemetry::install(Arc::new(telemetry::FanoutSink::new(sinks)));
     let reconciler = Arc::new(reconciler_from(args)?);
     let bounded = config.max_sessions;
+    let lifecycle_on = config.lifecycle.is_some();
     let server = Server::start(config, reconciler).map_err(|e| format!("cannot start: {e}"))?;
     eprintln!("vk-server listening on {}", server.local_addr());
     let admin = match args.get("admin") {
@@ -339,11 +364,30 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         Some(n) => eprintln!("serving up to {n} session(s), then exiting"),
         None => eprintln!("serving until killed (pass --max-sessions for a bounded run)"),
     }
+    let lifecycle_stats = server.lifecycle_stats();
     let stats = server.join();
     if let Some(admin) = admin {
         admin.shutdown();
     }
     telemetry::flush();
+    if lifecycle_on {
+        use std::sync::atomic::Ordering::Relaxed;
+        eprintln!(
+            "lifecycle: {} sessions, {} app frames, {} rekeys \
+             ({} ratchet / {} reprobe; {} budget / {} leakage), \
+             {} graceful leaves, {} evictions, {} errors",
+            lifecycle_stats.sessions.load(Relaxed),
+            lifecycle_stats.app_frames.load(Relaxed),
+            lifecycle_stats.rekeys.load(Relaxed),
+            lifecycle_stats.ratchets.load(Relaxed),
+            lifecycle_stats.reprobes.load(Relaxed),
+            lifecycle_stats.budget_rekeys.load(Relaxed),
+            lifecycle_stats.leakage_rekeys.load(Relaxed),
+            lifecycle_stats.graceful_leaves.load(Relaxed),
+            lifecycle_stats.evictions.load(Relaxed),
+            lifecycle_stats.errors.load(Relaxed),
+        );
+    }
     eprintln!(
         "vk-server done: {} accepted, {} matched, {} mismatched, {} failed \
          ({} duplicate frames answered, {} frames rejected)\n\
@@ -371,6 +415,16 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
         params: session_params_from(args)?,
         fault: fault_from(args)?,
         nonce_seed: args.seed() ^ 0xB0B,
+        lifecycle: if args.get("lifecycle").is_some() || args.get("group").is_some() {
+            Some(ClientLifecycleCfg {
+                app_frames: args.parsed("app-frames", 8)?,
+                hold: Duration::from_millis(args.parsed("hold-ms", 200)?),
+                leave: true,
+                group: args.get("group").is_some(),
+            })
+        } else {
+            None
+        },
         ..FleetConfig::default()
     };
     let out = args.get("out").unwrap_or("fleet.manifest.json");
@@ -533,6 +587,20 @@ Subcommands:
                   --flight-dir <dir>    directory for flight-recorder
                                         post-mortems written when a session
                                         aborts (default results)
+                  --lifecycle           after key confirmation, keep each
+                                        session in the authenticated
+                                        lifecycle plane (app traffic and
+                                        leakage-driven rekeying)
+                  --group               also run platoon group keys over
+                                        the plane (implies --lifecycle)
+                  --rekey-budget <n>    entropy bits an epoch may spend on
+                                        traffic before rotating (default 4096)
+                  --rekey-frame-cost <n> bits debited per app frame (default 32)
+                  --rekey-min-entropy <n> roots below this effective entropy
+                                        re-probe instead of ratcheting
+                                        (default 96)
+                  --lifecycle-max-s <n> wall-clock bound per lifecycle phase
+                                        (default 30)
   fleet         Run a concurrent client fleet against a server (Bob side)
                   --addr <host:port>    server address (default 127.0.0.1:7400)
                   --sessions <n>        total sessions (default 100)
@@ -541,6 +609,14 @@ Subcommands:
                   --out <file>          manifest path (default fleet.manifest.json)
                   --min-match-rate <p>  exit nonzero if the key-match rate
                                         falls below p (for CI gates)
+                  --lifecycle           continue confirmed sessions into the
+                                        lifecycle plane (server must run with
+                                        --lifecycle too)
+                  --group               participate in platoon group keys
+                                        (implies --lifecycle)
+                  --app-frames <n>      app frames per session (default 8)
+                  --hold-ms <n>         linger after the last ack, receiving
+                                        group rotations (default 200)
   trace-merge   Merge JSON-lines telemetry traces into one Chrome trace
                   --inputs <a,b,...>    trace files to merge (required)
                   --out <file>          output path (default trace.merged.json)

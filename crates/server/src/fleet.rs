@@ -22,7 +22,8 @@
 
 use crate::fault::{FaultConfig, FaultyTransport};
 use crate::framing::TcpTransport;
-use crate::session::{run_bob_session, SessionError, SessionParams};
+use crate::lifecycle::{run_bob_lifecycle, BobLifecycleOutcome, ClientLifecycleCfg};
+use crate::session::{run_bob_session, run_bob_session_keyed, SessionError, SessionParams};
 use crate::sim::SplitMix64;
 use reconcile::AutoencoderReconciler;
 use std::collections::BTreeMap;
@@ -92,6 +93,10 @@ pub struct FleetConfig {
     /// Seed for client handshake nonces (per-session nonces derive from
     /// this and the session index).
     pub nonce_seed: u64,
+    /// When set, each confirmed session continues into the lifecycle
+    /// phase with this client behaviour (the server must be running with
+    /// [`ServerConfig::lifecycle`](crate::server::ServerConfig) set too).
+    pub lifecycle: Option<ClientLifecycleCfg>,
 }
 
 impl Default for FleetConfig {
@@ -105,6 +110,7 @@ impl Default for FleetConfig {
             poll: Duration::from_millis(25),
             connect_timeout: Duration::from_secs(5),
             nonce_seed: 0xB0B,
+            lifecycle: None,
         }
     }
 }
@@ -160,6 +166,49 @@ impl LatencyStats {
     }
 }
 
+/// Aggregate lifecycle-phase statistics over a fleet run (present when
+/// [`FleetConfig::lifecycle`] was set).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetLifecycleStats {
+    /// Sessions that completed the lifecycle phase.
+    pub completed: u64,
+    /// Application frames acknowledged across all sessions.
+    pub app_frames_acked: u64,
+    /// Key rotations completed, any mode.
+    pub rekeys: u64,
+    /// Hash-ratchet rotations completed.
+    pub ratchets: u64,
+    /// Re-probe rotations completed.
+    pub reprobes: u64,
+    /// Group-key wraps installed across all members.
+    pub group_installs: u64,
+    /// Highest group epoch any member reached.
+    pub max_group_epoch: u32,
+    /// Members that departed gracefully.
+    pub left: u64,
+    /// Retransmissions inside the lifecycle phase.
+    pub retransmissions: u64,
+}
+
+impl FleetLifecycleStats {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("completed".into(), Json::UInt(self.completed)),
+            ("app_frames_acked".into(), Json::UInt(self.app_frames_acked)),
+            ("rekeys".into(), Json::UInt(self.rekeys)),
+            ("ratchets".into(), Json::UInt(self.ratchets)),
+            ("reprobes".into(), Json::UInt(self.reprobes)),
+            ("group_installs".into(), Json::UInt(self.group_installs)),
+            (
+                "max_group_epoch".into(),
+                Json::UInt(u64::from(self.max_group_epoch)),
+            ),
+            ("left".into(), Json::UInt(self.left)),
+            ("retransmissions".into(), Json::UInt(self.retransmissions)),
+        ])
+    }
+}
+
 /// Aggregate outcome of a fleet run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -185,6 +234,9 @@ pub struct FleetReport {
     pub leaked_bits: u64,
     /// Latency percentiles over successful sessions.
     pub latency: LatencyStats,
+    /// Lifecycle-phase aggregates (only when the run was configured with
+    /// [`FleetConfig::lifecycle`]).
+    pub lifecycle: Option<FleetLifecycleStats>,
 }
 
 impl FleetReport {
@@ -208,7 +260,7 @@ impl FleetReport {
 
     /// Render as the manifest JSON value.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut doc = Json::Obj(vec![
             ("kind".into(), Json::Str("fleet".into())),
             ("sessions".into(), Json::UInt(self.sessions)),
             ("concurrency".into(), Json::UInt(self.concurrency as u64)),
@@ -238,7 +290,11 @@ impl FleetReport {
                 ),
             ),
             ("latency_ms".into(), self.latency.to_json()),
-        ])
+        ]);
+        if let (Json::Obj(fields), Some(lc)) = (&mut doc, self.lifecycle) {
+            fields.push(("lifecycle".into(), lc.to_json()));
+        }
+        doc
     }
 
     /// Write the manifest file.
@@ -272,6 +328,20 @@ impl FleetReport {
             self.latency.mean,
             self.latency.max,
         );
+        if let Some(lc) = self.lifecycle {
+            out.push_str(&format!(
+                "\nlifecycle: {} completed, {} app frames acked, {} rekeys \
+                 ({} ratchet / {} reprobe), {} group installs (max epoch {}), {} left",
+                lc.completed,
+                lc.app_frames_acked,
+                lc.rekeys,
+                lc.ratchets,
+                lc.reprobes,
+                lc.group_installs,
+                lc.max_group_epoch,
+                lc.left,
+            ));
+        }
         for (reason, count) in &self.failed {
             out.push_str(&format!("\n  failed/{reason}: {count}"));
         }
@@ -299,6 +369,65 @@ struct SessionRecord {
     cascade_rounds: u32,
     reprobes: u32,
     leaked_bits: usize,
+    lifecycle: Option<BobLifecycleOutcome>,
+}
+
+/// Drive one connection: the key exchange, then — when configured — the
+/// lifecycle phase over the same transport.
+fn drive_client<T: vehicle_key::Transport>(
+    transport: &mut T,
+    cfg: &FleetConfig,
+    reconciler: &AutoencoderReconciler,
+    nonce_b: u64,
+    index: u64,
+    record: &mut SessionRecord,
+) {
+    let Some(lcfg) = cfg.lifecycle else {
+        match run_bob_session(transport, reconciler, nonce_b, &cfg.params) {
+            Ok(o) => {
+                record.retransmissions = o.retransmissions;
+                record.cascade_rounds = o.cascade_rounds;
+                record.reprobes = o.reprobes;
+                record.leaked_bits = o.leaked_bits;
+                if o.key_matched {
+                    record.ok = true;
+                } else {
+                    record.failure = Some("key_mismatch");
+                }
+            }
+            Err(e) => record.failure = Some(failure_key(&e)),
+        }
+        return;
+    };
+    match run_bob_session_keyed(transport, reconciler, nonce_b, &cfg.params) {
+        Ok((o, root)) => {
+            record.retransmissions = o.retransmissions;
+            record.cascade_rounds = o.cascade_rounds;
+            record.reprobes = o.reprobes;
+            record.leaked_bits = o.leaked_bits;
+            let Some(root) = root else {
+                record.failure = Some("key_mismatch");
+                return;
+            };
+            let lifecycle_seed = SplitMix64::new(cfg.nonce_seed ^ index.rotate_left(17)).next_u64();
+            match run_bob_lifecycle(
+                transport,
+                o.session_id,
+                root,
+                &lcfg,
+                &cfg.params,
+                lifecycle_seed,
+            ) {
+                Ok(lc) => {
+                    record.retransmissions += lc.retransmissions;
+                    record.lifecycle = Some(lc);
+                    record.ok = true;
+                }
+                Err(_) => record.failure = Some("lifecycle"),
+            }
+        }
+        Err(e) => record.failure = Some(failure_key(&e)),
+    }
 }
 
 fn run_one(
@@ -316,6 +445,7 @@ fn run_one(
         cascade_rounds: 0,
         reprobes: 0,
         leaked_bits: 0,
+        lifecycle: None,
     };
     let stream = match TcpStream::connect_timeout(addr, cfg.connect_timeout) {
         Ok(s) => s,
@@ -332,35 +462,21 @@ fn run_one(
         }
     };
     let nonce_b = SplitMix64::new(cfg.nonce_seed ^ index).next_u64();
-    let outcome = match cfg.fault {
+    match cfg.fault {
         Some(fault) if !fault.is_noop() => {
             let fault = FaultConfig {
                 seed: SplitMix64::new(fault.seed ^ index).next_u64(),
                 ..fault
             };
             let mut t = FaultyTransport::new(transport, fault);
-            run_bob_session(&mut t, reconciler, nonce_b, &cfg.params)
+            drive_client(&mut t, cfg, reconciler, nonce_b, index, &mut record);
         }
         _ => {
             let mut t = transport;
-            run_bob_session(&mut t, reconciler, nonce_b, &cfg.params)
+            drive_client(&mut t, cfg, reconciler, nonce_b, index, &mut record);
         }
-    };
-    record.latency_ms = started.elapsed().as_secs_f64() * 1000.0;
-    match outcome {
-        Ok(o) => {
-            record.retransmissions = o.retransmissions;
-            record.cascade_rounds = o.cascade_rounds;
-            record.reprobes = o.reprobes;
-            record.leaked_bits = o.leaked_bits;
-            if o.key_matched {
-                record.ok = true;
-            } else {
-                record.failure = Some("key_mismatch");
-            }
-        }
-        Err(e) => record.failure = Some(failure_key(&e)),
     }
+    record.latency_ms = started.elapsed().as_secs_f64() * 1000.0;
     record
 }
 
@@ -427,6 +543,7 @@ pub fn run_fleet(
     let mut cascade_rounds = 0u64;
     let mut reprobes = 0u64;
     let mut leaked_bits = 0u64;
+    let mut lifecycle = cfg.lifecycle.map(|_| FleetLifecycleStats::default());
     for r in &records {
         retransmissions += u64::from(r.retransmissions);
         cascade_rounds += u64::from(r.cascade_rounds);
@@ -437,6 +554,17 @@ pub fn run_fleet(
             latencies.push(r.latency_ms);
         } else if let Some(reason) = r.failure {
             *failed.entry(reason.to_string()).or_insert(0) += 1;
+        }
+        if let (Some(agg), Some(lc)) = (lifecycle.as_mut(), r.lifecycle.as_ref()) {
+            agg.completed += 1;
+            agg.app_frames_acked += u64::from(lc.app_frames_acked);
+            agg.rekeys += u64::from(lc.rekeys);
+            agg.ratchets += u64::from(lc.ratchets);
+            agg.reprobes += u64::from(lc.reprobes);
+            agg.group_installs += u64::from(lc.group_installs);
+            agg.max_group_epoch = agg.max_group_epoch.max(lc.group_epoch);
+            agg.left += u64::from(lc.left);
+            agg.retransmissions += u64::from(lc.retransmissions);
         }
     }
     telemetry::counter("fleet.sessions_ok", ok);
@@ -453,6 +581,7 @@ pub fn run_fleet(
         reprobes,
         leaked_bits,
         latency: LatencyStats::from_samples(&mut latencies),
+        lifecycle,
     })
 }
 
@@ -526,6 +655,7 @@ mod tests {
                 max: 31.0,
                 mean: 11.0,
             },
+            lifecycle: None,
         };
         let json = report.to_json();
         assert_eq!(json.get("kind").and_then(Json::as_str), Some("fleet"));

@@ -39,6 +39,7 @@ pub mod admin;
 pub mod fault;
 pub mod fleet;
 pub mod framing;
+pub mod lifecycle;
 pub mod obs;
 pub mod pipe;
 pub mod server;
@@ -47,12 +48,19 @@ pub mod sim;
 
 pub use admin::{AdminServer, SessionEntry, SessionTable};
 pub use fault::{FaultConfig, FaultStats, FaultyTransport};
-pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport, LatencyStats};
+pub use fleet::{
+    run_fleet, FleetConfig, FleetError, FleetLifecycleStats, FleetReport, LatencyStats,
+};
 pub use framing::{encode_frame, FrameDecoder, TcpTransport, MAX_FRAME_LEN};
+pub use lifecycle::{
+    run_bob_lifecycle, serve_lifecycle, BobLifecycleOutcome, ClientLifecycleCfg, GroupPlane,
+    LifecycleConfig, LifecycleServeOutcome, LifecycleStats, RekeyMode, RekeyPolicy, RekeyTrigger,
+    AGREEMENT_PAYLOAD,
+};
 pub use pipe::PipeTransport;
 pub use server::{Server, ServerConfig, ServerStats, StatsSnapshot};
 pub use session::{
-    run_bob_session, serve_session, BobOutcome, RetryPolicy, ServeOutcome, SessionError,
-    SessionParams,
+    run_bob_session, run_bob_session_keyed, serve_session, serve_session_keyed, BobOutcome,
+    RetryPolicy, ServeOutcome, SessionError, SessionHandoff, SessionParams,
 };
 pub use sim::{derive_block_keys, derive_session_keys, SplitMix64};

@@ -1,0 +1,1272 @@
+//! The key lifecycle plane: what happens to a session *after* key
+//! confirmation.
+//!
+//! [`serve_session_keyed`](crate::session::serve_session_keyed) ends with
+//! both peers holding the same confirmed 128-bit root. This module keeps
+//! the connection alive and promotes that root into `vk-lifecycle`'s
+//! authenticated application channel, then runs three intertwined loops
+//! over the same length-prefixed transport:
+//!
+//! * **Application traffic** — the client seals frames on its
+//!   [`SecureChannel`]; the server opens them, acks every accepted *and*
+//!   duplicated frame identically, and never acks a frame that fails
+//!   authentication.
+//! * **Leakage-driven rotation** — the server feeds the establishment's
+//!   entropy/leakage outcome into a [`RekeyLedger`] and debits it per
+//!   frame; when the [`RekeyPolicy`] trips, it schedules a ratchet or
+//!   re-probe over the wire. Epoch transitions are made retransmission
+//!   safe by remembering the previous epoch's receive high-water mark:
+//!   a stale-epoch duplicate is re-acked under its own epoch, never
+//!   surfaced as a key mismatch.
+//! * **Group keys** — every confirmed session joins the shared
+//!   [`GroupPlane`] (the RSU's [`GroupCoordinator`] behind a lock); each
+//!   serving thread watches the group epoch and re-wraps the current
+//!   group key for its own member whenever a departure rotates it, so
+//!   no cross-thread frame routing is needed. A graceful `Leave` — or an
+//!   abrupt disconnect — evicts the member and forces a group rekey that
+//!   excludes it.
+//!
+//! The client half ([`run_bob_lifecycle`]) mirrors the discipline: it
+//! stops sealing new frames while a rotation it confirmed is awaiting its
+//! ack (a frame sealed under a retiring epoch might never be processed),
+//! and re-seals any unacknowledged frame under the new epoch once the
+//! rotation installs — at-least-once delivery across rotations.
+
+use crate::session::{SessionError, SessionHandoff, SessionParams};
+use crate::sim::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use vehicle_key::{Disposition, Message, ProtocolError, Transport, TransportError};
+use vk_lifecycle::{
+    ChannelRole, GroupCoordinator, LifecycleError, LifecycleMessage, RekeyInitiator, RekeyLedger,
+    RekeyResponder, SecureChannel,
+};
+
+pub use vk_lifecycle::{GroupMember, RekeyMode, RekeyPolicy, RekeyTrigger};
+
+/// Canonical payload both benches and tests tag under the group key to
+/// audit agreement: every member holding the genuine key for an epoch
+/// produces the coordinator's tag for that epoch, and nobody else can.
+pub const AGREEMENT_PAYLOAD: &[u8] = b"vk-lifecycle-agreement";
+
+/// Withheld-frame budget for the post-handoff phase; a peer persistently
+/// sending unauthenticated garbage is disconnected past it.
+const REJECT_BUDGET: u64 = 256;
+
+/// Server-side lifecycle options (carried in
+/// [`ServerConfig`](crate::server::ServerConfig)).
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleConfig {
+    /// When and how session roots rotate.
+    pub rekey: RekeyPolicy,
+    /// Run the platoon group-key plane (every confirmed session joins;
+    /// departures force a group rekey).
+    pub group: bool,
+    /// Hard wall-clock bound on the post-handoff phase of one session.
+    pub max_duration: Duration,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            rekey: RekeyPolicy::default(),
+            group: true,
+            max_duration: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The shared RSU group coordinator, locked for concurrent session
+/// threads. Every accessor takes the lock briefly and never holds it
+/// across transport I/O, so a stalled session cannot block the plane.
+pub struct GroupPlane {
+    inner: Mutex<GroupCoordinator>,
+}
+
+impl std::fmt::Debug for GroupPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupPlane").finish_non_exhaustive()
+    }
+}
+
+impl GroupPlane {
+    /// A plane around a coordinator seeded with `master`.
+    #[must_use]
+    pub fn new(master: [u8; 32]) -> Self {
+        GroupPlane {
+            inner: Mutex::new(GroupCoordinator::new(master)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GroupCoordinator> {
+        // A panic while holding the lock poisons it; the coordinator's
+        // state stays internally consistent (every mutation is a single
+        // call), so absorb the poison rather than cascading panics.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Current group epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.lock().epoch()
+    }
+
+    /// Live member count.
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.lock().member_count()
+    }
+
+    /// Has every live member acknowledged the current epoch?
+    #[must_use]
+    pub fn all_acked(&self) -> bool {
+        self.lock().all_acked()
+    }
+
+    /// Admit a member and return `(group_epoch, wrap)` for it.
+    pub fn join(
+        &self,
+        member_id: u32,
+        pairwise: [u8; 16],
+        session_id: u32,
+    ) -> (u32, LifecycleMessage) {
+        let mut g = self.lock();
+        let wrap = g.join(member_id, pairwise, session_id);
+        (g.epoch(), wrap)
+    }
+
+    /// Evict a member (idempotent), reporting whether it was present —
+    /// and therefore whether the epoch rotated. Other sessions pick the
+    /// rotation up from their own epoch watch, so the re-wraps the
+    /// coordinator computes are deliberately dropped here.
+    pub fn evict(&self, member_id: u32) -> bool {
+        let mut g = self.lock();
+        let present = g.contains(member_id);
+        let _ = g.leave(member_id);
+        present
+    }
+
+    /// `(group_epoch, wrap)` of the current epoch for one member, if it
+    /// is live.
+    pub fn wrap_for(&self, member_id: u32, session_id: u32) -> Option<(u32, LifecycleMessage)> {
+        let mut g = self.lock();
+        let wrap = g.wrap_for(member_id, session_id)?;
+        Some((g.epoch(), wrap))
+    }
+
+    /// Record a member's epoch acknowledgement; the latency is present on
+    /// the ack completing the member set (see [`GroupCoordinator::on_ack`]).
+    pub fn on_ack(&self, member_id: u32, group_epoch: u32) -> (Disposition, Option<f64>) {
+        self.lock().on_ack(member_id, group_epoch)
+    }
+
+    /// Has `member_id` acknowledged the current epoch?
+    #[must_use]
+    pub fn member_acked_current(&self, member_id: u32) -> bool {
+        self.lock().member_acked_current(member_id)
+    }
+
+    /// The coordinator's authentication tag for `payload` under an
+    /// epoch's group key — the agreement oracle benches compare members
+    /// against.
+    #[must_use]
+    pub fn broadcast_tag_for_epoch(&self, epoch: u32, payload: &[u8]) -> [u8; 32] {
+        self.lock().broadcast_tag_for_epoch(epoch, payload)
+    }
+}
+
+/// Shared atomic counters for the lifecycle plane, aggregated across all
+/// session threads (the per-process mirror of the `lifecycle.*` telemetry
+/// counters, usable without a sink installed).
+#[derive(Debug, Default)]
+pub struct LifecycleStats {
+    /// Sessions that entered the lifecycle phase.
+    pub sessions: AtomicU64,
+    /// Application frames accepted.
+    pub app_frames: AtomicU64,
+    /// Duplicate lifecycle frames re-answered idempotently.
+    pub duplicate_frames: AtomicU64,
+    /// Frames withheld (failed authentication or out of place).
+    pub rejected_frames: AtomicU64,
+    /// Completed rotations, any mode.
+    pub rekeys: AtomicU64,
+    /// Completed hash-ratchet rotations.
+    pub ratchets: AtomicU64,
+    /// Completed re-probe rotations.
+    pub reprobes: AtomicU64,
+    /// Rotations triggered by budget exhaustion.
+    pub budget_rekeys: AtomicU64,
+    /// Rotations triggered by reconciliation leakage.
+    pub leakage_rekeys: AtomicU64,
+    /// Members that departed gracefully (`Leave`/`LeaveAck`).
+    pub graceful_leaves: AtomicU64,
+    /// Members evicted on abrupt disconnect.
+    pub evictions: AtomicU64,
+    /// Lifecycle phases that ended in a transport/protocol error.
+    pub errors: AtomicU64,
+    agreement_ms: Mutex<Vec<f64>>,
+}
+
+impl LifecycleStats {
+    /// Record one group agreement latency sample (epoch opened → last
+    /// member acked).
+    pub fn record_agreement(&self, ms: f64) {
+        self.agreement_ms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ms);
+    }
+
+    /// All agreement latency samples recorded so far.
+    #[must_use]
+    pub fn agreement_samples(&self) -> Vec<f64> {
+        self.agreement_ms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// Server-side result of one session's lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LifecycleServeOutcome {
+    /// Application frames accepted.
+    pub app_frames: u64,
+    /// Duplicate frames re-answered idempotently.
+    pub duplicate_frames: u64,
+    /// Frames withheld.
+    pub rejected_frames: u64,
+    /// Rotations completed on this session.
+    pub rekeys: u32,
+    /// Channel epoch at the end of the phase.
+    pub final_epoch: u32,
+    /// Whether the client departed gracefully (`Leave` handshake).
+    pub left: bool,
+}
+
+/// Client-side lifecycle behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientLifecycleCfg {
+    /// Application frames to send (each awaited until acked).
+    pub app_frames: u32,
+    /// After the last ack, stay connected this long — receiving group
+    /// rotations — before departing.
+    pub hold: Duration,
+    /// Depart gracefully (`Leave`/`LeaveAck`) instead of just closing.
+    pub leave: bool,
+    /// Participate in the group plane (install wraps, ack epochs).
+    pub group: bool,
+}
+
+impl Default for ClientLifecycleCfg {
+    fn default() -> Self {
+        ClientLifecycleCfg {
+            app_frames: 8,
+            hold: Duration::from_millis(200),
+            leave: true,
+            group: true,
+        }
+    }
+}
+
+/// Client-side result of the lifecycle phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BobLifecycleOutcome {
+    /// Application frames acknowledged.
+    pub app_frames_acked: u32,
+    /// Rotations installed, any mode.
+    pub rekeys: u32,
+    /// Hash-ratchet rotations installed.
+    pub ratchets: u32,
+    /// Re-probe rotations installed.
+    pub reprobes: u32,
+    /// Channel epoch at the end of the phase.
+    pub final_epoch: u32,
+    /// Last group epoch installed (0 = never joined the group plane).
+    pub group_epoch: u32,
+    /// Distinct group epochs installed.
+    pub group_installs: u32,
+    /// Tag over [`AGREEMENT_PAYLOAD`] under the last installed group key
+    /// (the member's side of the agreement audit).
+    pub group_tag: Option<[u8; 32]>,
+    /// Whether the departure was acknowledged.
+    pub left: bool,
+    /// Frames retransmitted (app frames and the leave).
+    pub retransmissions: u32,
+}
+
+/// Run the server side of the lifecycle phase over an established,
+/// confirmed session. Consumes the [`SessionHandoff`] the keyed exchange
+/// produced; `entropy_bits`/`leaked_bits` seed the rotation ledger from
+/// the establishment outcome. When `plane` is given, the session joins
+/// the group and is evicted on exit — graceful or not.
+///
+/// # Errors
+///
+/// [`SessionError`] on transport failure or a peer exceeding the
+/// rejection budget. The member is evicted from the group plane on every
+/// exit path.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_lifecycle<T: Transport>(
+    transport: &mut T,
+    session_id: u32,
+    handoff: &SessionHandoff,
+    entropy_bits: usize,
+    leaked_bits: usize,
+    config: &LifecycleConfig,
+    params: &SessionParams,
+    plane: Option<&GroupPlane>,
+    stats: &LifecycleStats,
+    fresh_seed: u64,
+) -> Result<LifecycleServeOutcome, SessionError> {
+    stats.sessions.fetch_add(1, Ordering::Relaxed);
+    telemetry::counter("lifecycle.sessions", 1);
+    let result = serve_lifecycle_inner(
+        transport,
+        session_id,
+        handoff,
+        entropy_bits,
+        leaked_bits,
+        config,
+        params,
+        plane,
+        stats,
+        fresh_seed,
+    );
+    match &result {
+        // Graceful departures evicted themselves in the Leave arm; an
+        // ended-without-leave session (deadline, disconnect, error) is
+        // evicted here so a dead member can never pin the group epoch.
+        Ok(outcome) if !outcome.left => {
+            if plane.is_some_and(|p| p.evict(session_id)) {
+                stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Err(_) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            if plane.is_some_and(|p| p.evict(session_id)) {
+                stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(_) => {}
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_lifecycle_inner<T: Transport>(
+    transport: &mut T,
+    session_id: u32,
+    handoff: &SessionHandoff,
+    entropy_bits: usize,
+    leaked_bits: usize,
+    config: &LifecycleConfig,
+    params: &SessionParams,
+    plane: Option<&GroupPlane>,
+    stats: &LifecycleStats,
+    fresh_seed: u64,
+) -> Result<LifecycleServeOutcome, SessionError> {
+    let mut channel = SecureChannel::new(handoff.root, session_id, ChannelRole::Initiator);
+    let mut ledger = RekeyLedger::new(entropy_bits, leaked_bits);
+    let mut initiator = RekeyInitiator::new();
+    let mut fresh = SplitMix64::new(fresh_seed ^ 0x6C69_6665); // "life"
+    let mut outcome = LifecycleServeOutcome::default();
+    let deadline = Instant::now() + config.max_duration;
+    let ack_timeout = params.retry.ack_timeout;
+
+    // The member id on the group plane is the session id: unique for the
+    // server's lifetime and already bound into the wrap MAC.
+    let mut group_epoch_sent = 0u32;
+    let mut last_group_send = Instant::now();
+    if let Some(plane) = plane {
+        let (epoch, wrap) = plane.join(session_id, handoff.root, session_id);
+        crate::obs::send_traced(transport, &wrap.encode())?;
+        group_epoch_sent = epoch;
+    }
+
+    // Receive high-water mark of the epoch the last rotation retired:
+    // late duplicates sealed under it are re-acked, never rejected.
+    let mut prev_acked: Option<(u32, u64)> = None;
+    let mut last_rekey_send = Instant::now();
+    let mut linger_until: Option<Instant> = None;
+
+    // A root already under the entropy floor rotates before any traffic.
+    begin_rekey_if_due(
+        transport,
+        &channel,
+        &mut initiator,
+        &ledger,
+        &config.rekey,
+        &mut fresh,
+        &mut last_rekey_send,
+    )?;
+
+    loop {
+        let now = Instant::now();
+        if let Some(t) = linger_until {
+            // Departure acknowledged; stay only to re-answer duplicates.
+            if now >= t {
+                break;
+            }
+        } else if now >= deadline {
+            break;
+        }
+
+        if linger_until.is_none() {
+            // Group epoch watch: a departure elsewhere rotated the key —
+            // deliver our member's re-wrap on our own transport. Unacked
+            // wraps are retransmitted on the ack timeout.
+            if let Some(plane) = plane {
+                let current = plane.epoch();
+                let unacked = !plane.member_acked_current(session_id)
+                    && last_group_send.elapsed() > ack_timeout;
+                if current != group_epoch_sent || unacked {
+                    if let Some((epoch, wrap)) = plane.wrap_for(session_id, session_id) {
+                        crate::obs::send_traced(transport, &wrap.encode())?;
+                        group_epoch_sent = epoch;
+                        last_group_send = Instant::now();
+                    }
+                }
+            }
+            // Rotation retransmission: the request until its confirm.
+            if initiator.in_flight() && last_rekey_send.elapsed() > ack_timeout {
+                if let Some(req) = initiator.request_frame(&channel) {
+                    crate::obs::send_traced(transport, &req.encode())?;
+                    last_rekey_send = Instant::now();
+                }
+            }
+        }
+
+        let frame = match transport.recv() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue,
+            // After the confirmation handoff, the client hanging up is an
+            // abrupt — but unexceptional — end; the caller evicts.
+            Err(TransportError::Closed) => break,
+            Err(e) => return Err(e.into()),
+        };
+        let msg = match LifecycleMessage::decode(&frame) {
+            Ok(msg) => msg,
+            Err(LifecycleError::UnknownTag(_)) => {
+                // The handoff window: the client's confirmation ack was
+                // lost and it retransmitted the core Confirm. Re-answer
+                // identically; anything else from the core codec is out
+                // of place here.
+                match Message::decode(&frame) {
+                    Ok(Message::Confirm { .. }) => {
+                        outcome.duplicate_frames += 1;
+                        stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
+                        crate::obs::send_traced(transport, &handoff.confirm_reply)?;
+                    }
+                    _ => reject(&mut outcome, stats)?,
+                }
+                continue;
+            }
+            Err(_) => {
+                reject(&mut outcome, stats)?;
+                continue;
+            }
+        };
+        match msg {
+            LifecycleMessage::AppData { epoch, seq, .. } => {
+                match channel.open(&msg) {
+                    Ok((disposition, _payload)) => {
+                        let ack = LifecycleMessage::AppAck {
+                            session_id,
+                            epoch,
+                            seq,
+                        };
+                        crate::obs::send_traced(transport, &ack.encode())?;
+                        if disposition == Disposition::Accepted {
+                            outcome.app_frames += 1;
+                            stats.app_frames.fetch_add(1, Ordering::Relaxed);
+                            telemetry::counter("lifecycle.app_frames", 1);
+                            ledger.on_frame(&config.rekey);
+                            begin_rekey_if_due(
+                                transport,
+                                &channel,
+                                &mut initiator,
+                                &ledger,
+                                &config.rekey,
+                                &mut fresh,
+                                &mut last_rekey_send,
+                            )?;
+                        } else {
+                            outcome.duplicate_frames += 1;
+                            stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // A frame sealed under the epoch the last rotation
+                    // retired, at or below its high-water mark, is a late
+                    // retransmission whose ack was lost: re-ack it under
+                    // its own epoch. (The channel cannot open it — the
+                    // subkeys are gone — but the ack only needs identity.)
+                    Err(LifecycleError::EpochMismatch { got, .. })
+                        if prev_acked.is_some_and(|(pe, high)| got == pe && seq <= high) =>
+                    {
+                        outcome.duplicate_frames += 1;
+                        stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
+                        let ack = LifecycleMessage::AppAck {
+                            session_id,
+                            epoch,
+                            seq,
+                        };
+                        crate::obs::send_traced(transport, &ack.encode())?;
+                    }
+                    Err(_) => reject(&mut outcome, stats)?,
+                }
+            }
+            LifecycleMessage::RekeyConfirm {
+                epoch,
+                fresh: fresh_responder,
+                check,
+                ..
+            } => {
+                // Snapshot before on_confirm: acceptance advances the
+                // channel, and the retiring epoch's high-water mark is
+                // what keeps late duplicates re-ackable.
+                let retiring = (channel.epoch(), channel.recv_high());
+                let info = initiator.pending_info();
+                match initiator.on_confirm(
+                    &mut channel,
+                    &mut ledger,
+                    epoch,
+                    fresh_responder,
+                    &check,
+                ) {
+                    Ok((disposition, ack)) => {
+                        if disposition == Disposition::Accepted {
+                            prev_acked = retiring.1.map(|high| (retiring.0, high));
+                            outcome.rekeys += 1;
+                            stats.rekeys.fetch_add(1, Ordering::Relaxed);
+                            if let Some((mode, trigger)) = info {
+                                match mode {
+                                    RekeyMode::Ratchet => &stats.ratchets,
+                                    RekeyMode::Reprobe => &stats.reprobes,
+                                }
+                                .fetch_add(1, Ordering::Relaxed);
+                                match trigger {
+                                    RekeyTrigger::Budget => {
+                                        stats.budget_rekeys.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    RekeyTrigger::Leakage => {
+                                        stats.leakage_rekeys.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    RekeyTrigger::Manual => {}
+                                }
+                            }
+                        } else {
+                            outcome.duplicate_frames += 1;
+                            stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                        crate::obs::send_traced(transport, &ack.encode())?;
+                    }
+                    Err(_) => reject(&mut outcome, stats)?,
+                }
+            }
+            LifecycleMessage::GroupKeyAck {
+                group_epoch,
+                member_id,
+                ..
+            } => {
+                if let Some(plane) = plane {
+                    let (disposition, latency) = plane.on_ack(member_id, group_epoch);
+                    if disposition == Disposition::Duplicate {
+                        outcome.duplicate_frames += 1;
+                        stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(ms) = latency {
+                        stats.record_agreement(ms);
+                    }
+                } else {
+                    reject(&mut outcome, stats)?;
+                }
+            }
+            LifecycleMessage::Leave { .. } => {
+                if !outcome.left {
+                    outcome.left = true;
+                    stats.graceful_leaves.fetch_add(1, Ordering::Relaxed);
+                    if let Some(plane) = plane {
+                        let _ = plane.evict(session_id);
+                    }
+                    linger_until = Some(Instant::now() + 2 * ack_timeout);
+                } else {
+                    outcome.duplicate_frames += 1;
+                    stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                let ack = LifecycleMessage::LeaveAck { session_id };
+                crate::obs::send_traced(transport, &ack.encode())?;
+            }
+            // Frames only the server originates (or acks meant for the
+            // client) arriving here are corruption or a hostile peer.
+            LifecycleMessage::AppAck { .. }
+            | LifecycleMessage::RekeyRequest { .. }
+            | LifecycleMessage::RekeyAck { .. }
+            | LifecycleMessage::GroupKey { .. }
+            | LifecycleMessage::LeaveAck { .. } => reject(&mut outcome, stats)?,
+        }
+    }
+    outcome.final_epoch = channel.epoch();
+    Ok(outcome)
+}
+
+fn reject(outcome: &mut LifecycleServeOutcome, stats: &LifecycleStats) -> Result<(), SessionError> {
+    outcome.rejected_frames += 1;
+    stats.rejected_frames.fetch_add(1, Ordering::Relaxed);
+    telemetry::counter("lifecycle.rejected_frames", 1);
+    if outcome.rejected_frames > REJECT_BUDGET {
+        return Err(ProtocolError::Malformed("lifecycle rejection budget exhausted").into());
+    }
+    Ok(())
+}
+
+fn begin_rekey_if_due<T: Transport>(
+    transport: &mut T,
+    channel: &SecureChannel,
+    initiator: &mut RekeyInitiator,
+    ledger: &RekeyLedger,
+    policy: &RekeyPolicy,
+    fresh: &mut SplitMix64,
+    last_send: &mut Instant,
+) -> Result<(), SessionError> {
+    if initiator.in_flight() {
+        return Ok(());
+    }
+    if let Some((mode, trigger)) = ledger.decide(policy) {
+        let request = initiator.begin(channel, mode, trigger, fresh.next_u64());
+        crate::obs::send_traced(transport, &request.encode())?;
+        *last_send = Instant::now();
+    }
+    Ok(())
+}
+
+/// An unacknowledged client application frame in flight.
+struct PendingApp {
+    payload: Vec<u8>,
+    epoch: u32,
+    seq: u64,
+    frame: bytes::Bytes,
+    sent: Instant,
+    wait: Duration,
+    tries: u32,
+}
+
+/// Run the client (vehicle) side of the lifecycle phase over the
+/// connection the keyed exchange confirmed `root` on.
+///
+/// # Errors
+///
+/// [`SessionError`] on transport failure, or when an application frame or
+/// the departure exhausts its retry budget.
+pub fn run_bob_lifecycle<T: Transport>(
+    transport: &mut T,
+    session_id: u32,
+    root: [u8; 16],
+    cfg: &ClientLifecycleCfg,
+    params: &SessionParams,
+    nonce_seed: u64,
+) -> Result<BobLifecycleOutcome, SessionError> {
+    let mut channel = SecureChannel::new(root, session_id, ChannelRole::Responder);
+    let mut responder = RekeyResponder::new();
+    let mut member = cfg.group.then(|| GroupMember::new(session_id, root));
+    let mut fresh = SplitMix64::new(nonce_seed ^ 0x7665_6869); // "vehi"
+    let mut outcome = BobLifecycleOutcome {
+        app_frames_acked: 0,
+        rekeys: 0,
+        ratchets: 0,
+        reprobes: 0,
+        final_epoch: 0,
+        group_epoch: 0,
+        group_installs: 0,
+        group_tag: None,
+        left: false,
+        retransmissions: 0,
+    };
+    let deadline = Instant::now() + params.session_timeout + cfg.hold;
+    let retry = params.retry;
+
+    let mut pending: Option<PendingApp> = None;
+    let mut frames_sent = 0u32;
+    // The mode of the rotation we confirmed, so installs are attributed.
+    let mut offered_mode: Option<RekeyMode> = None;
+    // While our confirm awaits its ack, retransmit it on the ack timeout
+    // (a lost RekeyAck must not strand the rotation).
+    let mut last_confirm_send = Instant::now();
+
+    #[derive(PartialEq)]
+    enum Phase {
+        Data,
+        Hold(Instant),
+        Leaving {
+            sent: Instant,
+            wait: Duration,
+            tries: u32,
+        },
+    }
+    let mut phase = Phase::Data;
+    let leave_frame = LifecycleMessage::Leave { session_id }.encode();
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(SessionError::Timeout("lifecycle phase"));
+        }
+        match phase {
+            Phase::Data => {
+                // Seal the next frame only when nothing is in flight and
+                // no rotation we confirmed awaits its ack — a frame
+                // sealed under a retiring epoch might never be processed.
+                if pending.is_none() && !responder.in_flight() {
+                    if frames_sent < cfg.app_frames {
+                        let payload = app_payload(frames_sent);
+                        let msg = channel
+                            .seal(&payload)
+                            .map_err(|_| ProtocolError::Malformed("app payload too large"))?;
+                        let (epoch, seq) = match &msg {
+                            LifecycleMessage::AppData { epoch, seq, .. } => (*epoch, *seq),
+                            _ => (channel.epoch(), 0),
+                        };
+                        let frame = msg.encode();
+                        crate::obs::send_traced(transport, &frame)?;
+                        pending = Some(PendingApp {
+                            payload,
+                            epoch,
+                            seq,
+                            frame,
+                            sent: Instant::now(),
+                            wait: retry.ack_timeout,
+                            tries: 0,
+                        });
+                        frames_sent += 1;
+                    } else {
+                        phase = Phase::Hold(Instant::now() + cfg.hold);
+                    }
+                }
+                if let Some(p) = &mut pending {
+                    if p.sent.elapsed() >= p.wait {
+                        if p.tries >= retry.max_retries {
+                            return Err(SessionError::Timeout("app frame ack"));
+                        }
+                        crate::obs::send_traced(transport, &p.frame)?;
+                        p.tries += 1;
+                        p.wait = p.wait.mul_f64(retry.backoff);
+                        p.sent = Instant::now();
+                        outcome.retransmissions += 1;
+                    }
+                }
+            }
+            Phase::Hold(until) => {
+                if now >= until {
+                    if cfg.leave {
+                        crate::obs::send_traced(transport, &leave_frame)?;
+                        phase = Phase::Leaving {
+                            sent: Instant::now(),
+                            wait: retry.ack_timeout,
+                            tries: 0,
+                        };
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Phase::Leaving { sent, wait, tries } => {
+                if sent.elapsed() >= wait {
+                    if tries >= retry.max_retries {
+                        return Err(SessionError::Timeout("leave ack"));
+                    }
+                    crate::obs::send_traced(transport, &leave_frame)?;
+                    outcome.retransmissions += 1;
+                    phase = Phase::Leaving {
+                        sent: Instant::now(),
+                        wait: wait.mul_f64(retry.backoff),
+                        tries: tries + 1,
+                    };
+                }
+            }
+        }
+
+        if responder.in_flight() && last_confirm_send.elapsed() > retry.ack_timeout {
+            if let Some(confirm) = responder.confirm_frame() {
+                crate::obs::send_traced(transport, &confirm.encode())?;
+                outcome.retransmissions += 1;
+                last_confirm_send = Instant::now();
+            }
+        }
+
+        let frame = match transport.recv() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue,
+            Err(e) => return Err(e.into()),
+        };
+        let msg = match LifecycleMessage::decode(&frame) {
+            Ok(msg) => msg,
+            // Straggling core frames (e.g. a duplicated Confirm the fault
+            // layer re-delivered) are not ours to answer anymore.
+            Err(_) => continue,
+        };
+        match msg {
+            LifecycleMessage::AppAck { epoch, seq, .. } => {
+                if pending
+                    .as_ref()
+                    .is_some_and(|p| p.epoch == epoch && p.seq == seq)
+                {
+                    pending = None;
+                    outcome.app_frames_acked += 1;
+                }
+            }
+            LifecycleMessage::RekeyRequest {
+                epoch,
+                mode,
+                fresh: fresh_initiator,
+                ..
+            } => {
+                let my_fresh = fresh.next_u64();
+                if let Ok((disposition, confirm)) =
+                    responder.on_request(&channel, epoch, mode, fresh_initiator, my_fresh)
+                {
+                    if disposition == Disposition::Accepted {
+                        offered_mode = Some(mode);
+                    }
+                    crate::obs::send_traced(transport, &confirm.encode())?;
+                    last_confirm_send = Instant::now();
+                }
+            }
+            LifecycleMessage::RekeyAck { epoch, check, .. } => {
+                if let Ok(Disposition::Accepted) = responder.on_ack(&mut channel, epoch, &check) {
+                    outcome.rekeys += 1;
+                    match offered_mode.take() {
+                        Some(RekeyMode::Ratchet) => outcome.ratchets += 1,
+                        Some(RekeyMode::Reprobe) => outcome.reprobes += 1,
+                        None => {}
+                    }
+                    // An unacked frame sealed under the retired epoch may
+                    // never be processed: re-seal it under the new epoch
+                    // (at-least-once delivery across rotations).
+                    if let Some(stale) = pending.take() {
+                        let msg = channel
+                            .seal(&stale.payload)
+                            .map_err(|_| ProtocolError::Malformed("app payload too large"))?;
+                        let (epoch, seq) = match &msg {
+                            LifecycleMessage::AppData { epoch, seq, .. } => (*epoch, *seq),
+                            _ => (channel.epoch(), 0),
+                        };
+                        let frame = msg.encode();
+                        crate::obs::send_traced(transport, &frame)?;
+                        outcome.retransmissions += 1;
+                        pending = Some(PendingApp {
+                            payload: stale.payload,
+                            epoch,
+                            seq,
+                            frame,
+                            sent: Instant::now(),
+                            wait: retry.ack_timeout,
+                            tries: stale.tries,
+                        });
+                    }
+                }
+            }
+            LifecycleMessage::GroupKey { .. } => {
+                if let Some(m) = member.as_mut() {
+                    if let Ok((disposition, ack)) = m.on_group_key(&msg) {
+                        crate::obs::send_traced(transport, &ack.encode())?;
+                        if disposition == Disposition::Accepted {
+                            outcome.group_installs += 1;
+                        }
+                    }
+                }
+            }
+            LifecycleMessage::LeaveAck { .. } => {
+                if matches!(phase, Phase::Leaving { .. }) {
+                    outcome.left = true;
+                    break;
+                }
+            }
+            // Frames only the client originates, or a server-side-only
+            // frame: ignore — the server's retransmission discipline owns
+            // repair on its side.
+            LifecycleMessage::AppData { .. }
+            | LifecycleMessage::RekeyConfirm { .. }
+            | LifecycleMessage::GroupKeyAck { .. }
+            | LifecycleMessage::Leave { .. } => {}
+        }
+    }
+
+    outcome.final_epoch = channel.epoch();
+    if let Some(m) = &member {
+        outcome.group_epoch = m.epoch().unwrap_or(0);
+        outcome.group_tag = m.broadcast_tag(AGREEMENT_PAYLOAD);
+    }
+    Ok(outcome)
+}
+
+/// Deterministic plaintext for the `i`-th application frame.
+fn app_payload(i: u32) -> Vec<u8> {
+    let mut payload = b"vk-app-frame-".to_vec();
+    payload.extend_from_slice(&i.to_be_bytes());
+    payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipe::PipeTransport;
+    use crate::session::RetryPolicy;
+    use vk_lifecycle::GroupCoordinator;
+
+    fn fast_params() -> SessionParams {
+        SessionParams {
+            retry: RetryPolicy {
+                max_retries: 8,
+                ack_timeout: Duration::from_millis(40),
+                backoff: 1.5,
+            },
+            session_timeout: Duration::from_secs(10),
+            ..SessionParams::default()
+        }
+    }
+
+    fn handoff(root: [u8; 16]) -> SessionHandoff {
+        SessionHandoff {
+            root,
+            confirm_reply: vec![9, 0, 0, 0, 1],
+        }
+    }
+
+    fn root(tag: u8) -> [u8; 16] {
+        core::array::from_fn(|i| tag.wrapping_mul(37).wrapping_add(i as u8))
+    }
+
+    #[test]
+    fn app_traffic_flows_and_budget_triggers_ratchets() {
+        let (mut a, mut b) = PipeTransport::pair(Duration::from_millis(5));
+        let params = fast_params();
+        // 32-bit frames against a 64-bit budget: a ratchet every 2 frames.
+        let config = LifecycleConfig {
+            rekey: RekeyPolicy {
+                entropy_budget_bits: 64,
+                frame_cost_bits: 32,
+                reprobe_below_bits: 96,
+                max_epoch_frames: 1 << 20,
+            },
+            group: false,
+            max_duration: Duration::from_secs(8),
+        };
+        let stats = std::sync::Arc::new(LifecycleStats::default());
+        let server_stats = stats.clone();
+        let h = handoff(root(1));
+        let server = std::thread::spawn(move || {
+            serve_lifecycle(
+                &mut a,
+                5,
+                &h,
+                128,
+                0,
+                &config,
+                &fast_params(),
+                None,
+                &server_stats,
+                99,
+            )
+            .unwrap()
+        });
+        let cfg = ClientLifecycleCfg {
+            app_frames: 6,
+            hold: Duration::from_millis(80),
+            leave: true,
+            group: false,
+        };
+        let bob = run_bob_lifecycle(&mut b, 5, root(1), &cfg, &params, 7).unwrap();
+        let alice = server.join().unwrap();
+        assert_eq!(bob.app_frames_acked, 6);
+        assert_eq!(alice.app_frames, 6);
+        assert!(bob.left, "graceful departure must be acknowledged");
+        assert!(alice.left);
+        assert!(
+            alice.rekeys >= 2,
+            "6 frames over a 2-frame budget must rotate repeatedly: {alice:?}"
+        );
+        assert_eq!(alice.rekeys, bob.rekeys);
+        assert_eq!(alice.final_epoch, bob.final_epoch);
+        assert_eq!(bob.reprobes, 0, "a healthy root must only ratchet");
+        assert_eq!(
+            stats.rekeys.load(Ordering::Relaxed),
+            u64::from(alice.rekeys)
+        );
+        assert!(stats.budget_rekeys.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn leaky_root_reprobes_before_traffic() {
+        let (mut a, mut b) = PipeTransport::pair(Duration::from_millis(5));
+        let params = fast_params();
+        let config = LifecycleConfig {
+            rekey: RekeyPolicy::default(), // floor at 96 effective bits
+            group: false,
+            max_duration: Duration::from_secs(8),
+        };
+        let stats = LifecycleStats::default();
+        let h = handoff(root(2));
+        std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                // Establishment leaked 48 bits: 80 effective, under the
+                // floor — the very first decision is a leakage re-probe.
+                serve_lifecycle(
+                    &mut a,
+                    6,
+                    &h,
+                    80,
+                    48,
+                    &config,
+                    &fast_params(),
+                    None,
+                    &stats,
+                    11,
+                )
+                .unwrap()
+            });
+            let cfg = ClientLifecycleCfg {
+                app_frames: 3,
+                hold: Duration::from_millis(60),
+                leave: true,
+                group: false,
+            };
+            let bob = run_bob_lifecycle(&mut b, 6, root(2), &cfg, &params, 8).unwrap();
+            let alice = server.join().unwrap();
+            assert!(bob.reprobes >= 1, "leaky root must re-probe: {bob:?}");
+            assert_eq!(alice.app_frames, 3);
+            assert_eq!(alice.final_epoch, bob.final_epoch);
+        });
+        assert!(stats.leakage_rekeys.load(Ordering::Relaxed) >= 1);
+        assert!(stats.reprobes.load(Ordering::Relaxed) >= 1);
+    }
+
+    /// Satellite churn test: a member joins mid-epoch, receives the
+    /// *current* group key, leaves, and afterwards cannot authenticate
+    /// post-eviction frames — the stale key fails the MAC, and the epoch
+    /// has advanced past it.
+    #[test]
+    fn group_churn_join_mid_epoch_then_eviction_rotates() {
+        let master: [u8; 32] = core::array::from_fn(|i| i as u8 ^ 0xA5);
+        let plane = GroupPlane::new(master);
+        let stats = LifecycleStats::default();
+        let config = LifecycleConfig {
+            rekey: RekeyPolicy::default(),
+            group: true,
+            max_duration: Duration::from_secs(8),
+        };
+        let (mut a1, mut b1) = PipeTransport::pair(Duration::from_millis(5));
+        let (mut a2, mut b2) = PipeTransport::pair(Duration::from_millis(5));
+        let (stayer, joiner) = std::thread::scope(|s| {
+            let h1 = handoff(root(11));
+            let h2 = handoff(root(12));
+            let plane = &plane;
+            let stats = &stats;
+            let config = &config;
+            s.spawn(move || {
+                serve_lifecycle(
+                    &mut a1,
+                    1,
+                    &h1,
+                    128,
+                    0,
+                    &config,
+                    &fast_params(),
+                    Some(&plane),
+                    &stats,
+                    21,
+                )
+                .unwrap()
+            });
+            let stayer_thread = s.spawn(|| {
+                let cfg = ClientLifecycleCfg {
+                    app_frames: 2,
+                    hold: Duration::from_millis(500),
+                    leave: true,
+                    group: true,
+                };
+                run_bob_lifecycle(&mut b1, 1, root(11), &cfg, &fast_params(), 31).unwrap()
+            });
+            // The joiner arrives mid-epoch: after the stayer's session is
+            // up and (typically) has installed epoch 1 already.
+            std::thread::sleep(Duration::from_millis(120));
+            s.spawn(move || {
+                serve_lifecycle(
+                    &mut a2,
+                    2,
+                    &h2,
+                    128,
+                    0,
+                    &config,
+                    &fast_params(),
+                    Some(&plane),
+                    &stats,
+                    22,
+                )
+                .unwrap()
+            });
+            let joiner_thread = s.spawn(|| {
+                let cfg = ClientLifecycleCfg {
+                    app_frames: 1,
+                    hold: Duration::from_millis(80),
+                    leave: true,
+                    group: true,
+                };
+                run_bob_lifecycle(&mut b2, 2, root(12), &cfg, &fast_params(), 32).unwrap()
+            });
+            (stayer_thread.join().unwrap(), joiner_thread.join().unwrap())
+        });
+
+        // The joiner received the then-current epoch (1 — joins do not
+        // rotate) and departed; its departure advanced the epoch. The
+        // stayer installed the post-eviction epoch (2) before its own
+        // departure advanced it again.
+        assert_eq!(joiner.group_epoch, 1, "{joiner:?}");
+        assert!(joiner.group_installs >= 1);
+        assert!(joiner.left);
+        assert_eq!(stayer.group_epoch, 2, "{stayer:?}");
+        assert!(stayer.group_installs >= 2, "{stayer:?}");
+        assert!(stayer.left);
+        assert_eq!(plane.epoch(), 3, "two departures from epoch 1");
+        assert_eq!(plane.member_count(), 0);
+        assert_eq!(stats.graceful_leaves.load(Ordering::Relaxed), 2);
+
+        // Agreement audit: each member's tag matches the coordinator's
+        // for the epoch it last held…
+        assert_eq!(
+            stayer.group_tag,
+            Some(plane.broadcast_tag_for_epoch(2, AGREEMENT_PAYLOAD))
+        );
+        assert_eq!(
+            joiner.group_tag,
+            Some(plane.broadcast_tag_for_epoch(1, AGREEMENT_PAYLOAD))
+        );
+        // …and the evicted member's stale key cannot authenticate a
+        // post-eviction frame: wrong epoch, and — even lying about the
+        // epoch — a MAC mismatch.
+        let mut scratch = GroupCoordinator::new(master);
+        let wrap1 = scratch.join(2, root(12), 2);
+        let mut stale = GroupMember::new(2, root(12));
+        stale.on_group_key(&wrap1).unwrap();
+        let post_tag = plane.broadcast_tag_for_epoch(2, AGREEMENT_PAYLOAD);
+        assert_eq!(
+            stale.verify_broadcast(2, AGREEMENT_PAYLOAD, &post_tag),
+            Err(LifecycleError::EpochMismatch { got: 2, want: 1 })
+        );
+        assert_eq!(
+            stale.verify_broadcast(1, AGREEMENT_PAYLOAD, &post_tag),
+            Err(LifecycleError::MacMismatch)
+        );
+    }
+
+    #[test]
+    fn abrupt_disconnect_evicts_and_rotates() {
+        let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(3));
+        let plane = GroupPlane::new(master);
+        let stats = LifecycleStats::default();
+        let config = LifecycleConfig {
+            rekey: RekeyPolicy::default(),
+            group: true,
+            max_duration: Duration::from_secs(8),
+        };
+        let (mut a, mut b) = PipeTransport::pair(Duration::from_millis(5));
+        let h = handoff(root(21));
+        std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                serve_lifecycle(
+                    &mut a,
+                    4,
+                    &h,
+                    128,
+                    0,
+                    &config,
+                    &fast_params(),
+                    Some(&plane),
+                    &stats,
+                    44,
+                )
+                .unwrap()
+            });
+            // No Leave: the client just vanishes after its traffic.
+            let cfg = ClientLifecycleCfg {
+                app_frames: 2,
+                hold: Duration::from_millis(50),
+                leave: false,
+                group: true,
+            };
+            let bob = run_bob_lifecycle(&mut b, 4, root(21), &cfg, &fast_params(), 45).unwrap();
+            assert!(!bob.left);
+            drop(b); // hang up
+            let alice = server.join().unwrap();
+            assert!(!alice.left);
+            assert_eq!(alice.app_frames, 2);
+        });
+        assert_eq!(stats.evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(plane.member_count(), 0);
+        assert_eq!(plane.epoch(), 2, "abrupt departure must still rotate");
+    }
+
+    #[test]
+    fn duplicated_lifecycle_frames_are_idempotent_on_the_wire() {
+        // A fault layer duplicating every client→server frame: every
+        // server handler must answer the re-delivery identically and no
+        // rotation or counter may double-fire.
+        let (mut a, b) = PipeTransport::pair(Duration::from_millis(5));
+        let fault = crate::fault::FaultConfig {
+            duplicate: 1.0,
+            ..crate::fault::FaultConfig::default()
+        };
+        let mut b = crate::fault::FaultyTransport::new(b, fault);
+        let params = fast_params();
+        let config = LifecycleConfig {
+            rekey: RekeyPolicy {
+                entropy_budget_bits: 64,
+                frame_cost_bits: 32,
+                reprobe_below_bits: 96,
+                max_epoch_frames: 1 << 20,
+            },
+            group: false,
+            max_duration: Duration::from_secs(8),
+        };
+        let stats = LifecycleStats::default();
+        let h = handoff(root(31));
+        std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                serve_lifecycle(
+                    &mut a,
+                    9,
+                    &h,
+                    128,
+                    0,
+                    &config,
+                    &fast_params(),
+                    None,
+                    &stats,
+                    61,
+                )
+                .unwrap()
+            });
+            let cfg = ClientLifecycleCfg {
+                app_frames: 4,
+                hold: Duration::from_millis(80),
+                leave: true,
+                group: false,
+            };
+            let bob = run_bob_lifecycle(&mut b, 9, root(31), &cfg, &params, 62).unwrap();
+            let alice = server.join().unwrap();
+            assert_eq!(alice.app_frames, 4, "{alice:?}");
+            assert_eq!(bob.app_frames_acked, 4);
+            assert_eq!(alice.final_epoch, bob.final_epoch);
+            assert!(
+                alice.duplicate_frames > 0,
+                "duplicating transport must surface duplicates: {alice:?}"
+            );
+            assert_eq!(
+                alice.rejected_frames, 0,
+                "duplicates must never be rejected as mismatches: {alice:?}"
+            );
+        });
+    }
+}

@@ -12,7 +12,8 @@
 use crate::admin::SessionTable;
 use crate::fault::{FaultConfig, FaultyTransport};
 use crate::framing::TcpTransport;
-use crate::session::{serve_session, ServeOutcome, SessionError, SessionParams};
+use crate::lifecycle::{serve_lifecycle, GroupPlane, LifecycleConfig, LifecycleStats};
+use crate::session::{serve_session_keyed, ServeOutcome, SessionError, SessionParams};
 use crate::sim::SplitMix64;
 use reconcile::AutoencoderReconciler;
 use std::io::ErrorKind;
@@ -49,6 +50,10 @@ pub struct ServerConfig {
     pub flight: Option<Arc<FlightRecorder>>,
     /// Directory flight-recorder post-mortems are written to.
     pub flight_dir: String,
+    /// When set, a confirmed session does not linger and close: it hands
+    /// off into the authenticated lifecycle plane (app traffic, rekeying,
+    /// and — with `group` — platoon group keys) until the client leaves.
+    pub lifecycle: Option<LifecycleConfig>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +68,7 @@ impl Default for ServerConfig {
             nonce_seed: 0x5eed,
             flight: None,
             flight_dir: "results".into(),
+            lifecycle: None,
         }
     }
 }
@@ -144,6 +150,8 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ServerStats>,
     sessions: Arc<SessionTable>,
+    lifecycle_stats: Arc<LifecycleStats>,
+    group_plane: Arc<GroupPlane>,
 }
 
 impl Server {
@@ -168,6 +176,17 @@ impl Server {
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
         let session_ids = Arc::new(AtomicU32::new(1));
+        let lifecycle_stats = Arc::new(LifecycleStats::default());
+        // The RSU group master is pinned to the nonce seed so a seeded run
+        // is reproducible end-to-end, group keys included.
+        let group_plane = {
+            let mut g = SplitMix64::new(config.nonce_seed ^ 0x6772_6f75_705f_6b65);
+            let mut master = [0u8; 32];
+            for chunk in master.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&g.next_u64().to_be_bytes());
+            }
+            Arc::new(GroupPlane::new(master))
+        };
 
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
@@ -212,6 +231,8 @@ impl Server {
             let sessions = Arc::clone(&sessions);
             let session_ids = Arc::clone(&session_ids);
             let reconciler = Arc::clone(&reconciler);
+            let lifecycle_stats = Arc::clone(&lifecycle_stats);
+            let group_plane = Arc::clone(&group_plane);
             let config = config.clone();
             workers.push(
                 std::thread::Builder::new()
@@ -234,6 +255,8 @@ impl Server {
                             &session_ids,
                             &stats,
                             &sessions,
+                            &lifecycle_stats,
+                            &group_plane,
                         );
                     })?,
             );
@@ -246,6 +269,8 @@ impl Server {
             workers,
             stats,
             sessions,
+            lifecycle_stats,
+            group_plane,
         })
     }
 
@@ -269,6 +294,17 @@ impl Server {
     /// the admin `/sessions` route.
     pub fn session_table(&self) -> Arc<SessionTable> {
         Arc::clone(&self.sessions)
+    }
+
+    /// Handle on the lifecycle-plane counters (all zero unless
+    /// [`ServerConfig::lifecycle`] is set).
+    pub fn lifecycle_stats(&self) -> Arc<LifecycleStats> {
+        Arc::clone(&self.lifecycle_stats)
+    }
+
+    /// Handle on the shared platoon group-key coordinator.
+    pub fn group_plane(&self) -> Arc<GroupPlane> {
+        Arc::clone(&self.group_plane)
     }
 
     /// Stop accepting, let in-flight sessions finish, join every thread,
@@ -306,6 +342,7 @@ impl Drop for Server {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     config: &ServerConfig,
@@ -313,6 +350,8 @@ fn handle_connection(
     session_ids: &AtomicU32,
     stats: &ServerStats,
     sessions: &SessionTable,
+    lifecycle_stats: &LifecycleStats,
+    group_plane: &GroupPlane,
 ) {
     let session_id = session_ids.fetch_add(1, Ordering::Relaxed);
     sessions.register(session_id);
@@ -328,11 +367,29 @@ fn handle_connection(
                     ..fault
                 };
                 let mut t = FaultyTransport::new(transport, fault);
-                serve_one(&mut t, reconciler, session_id, nonce_a, config, stats)
+                serve_one(
+                    &mut t,
+                    reconciler,
+                    session_id,
+                    nonce_a,
+                    config,
+                    stats,
+                    lifecycle_stats,
+                    group_plane,
+                )
             }
             _ => {
                 let mut t = transport;
-                serve_one(&mut t, reconciler, session_id, nonce_a, config, stats)
+                serve_one(
+                    &mut t,
+                    reconciler,
+                    session_id,
+                    nonce_a,
+                    config,
+                    stats,
+                    lifecycle_stats,
+                    group_plane,
+                )
             }
         },
         Err(e) => {
@@ -412,6 +469,7 @@ fn dump_flight(config: &ServerConfig, session_id: u32, error: &SessionError) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_one<T: Transport>(
     transport: &mut T,
     reconciler: &AutoencoderReconciler,
@@ -419,8 +477,17 @@ fn serve_one<T: Transport>(
     nonce_a: u64,
     config: &ServerConfig,
     stats: &ServerStats,
+    lifecycle_stats: &LifecycleStats,
+    group_plane: &GroupPlane,
 ) -> Result<ServeOutcome, SessionError> {
-    let outcome = serve_session(transport, reconciler, session_id, nonce_a, &config.params)?;
+    let (outcome, handoff) = serve_session_keyed(
+        transport,
+        reconciler,
+        session_id,
+        nonce_a,
+        &config.params,
+        config.lifecycle.is_some(),
+    )?;
     stats
         .duplicate_frames
         .fetch_add(outcome.duplicate_frames, Ordering::Relaxed);
@@ -444,13 +511,119 @@ fn serve_one<T: Transport>(
     } else {
         stats.key_mismatches.fetch_add(1, Ordering::Relaxed);
     }
+    if let (Some(lc), Some(handoff)) = (config.lifecycle.as_ref(), handoff) {
+        // The key exchange is already confirmed and counted above; a
+        // lifecycle failure afterwards is recorded in its own counters
+        // (`LifecycleStats::errors`) without retroactively failing the
+        // session.
+        let fresh_seed =
+            SplitMix64::new(config.nonce_seed ^ (u64::from(session_id) << 32)).next_u64();
+        let _ = serve_lifecycle(
+            transport,
+            session_id,
+            &handoff,
+            outcome.entropy_bits,
+            outcome.leaked_bits,
+            lc,
+            &config.params,
+            lc.group.then_some(group_plane),
+            lifecycle_stats,
+            fresh_seed,
+        );
+    }
     Ok(outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::{run_fleet, FleetConfig};
+    use crate::lifecycle::{ClientLifecycleCfg, RekeyPolicy};
+    use crate::session::RetryPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reconcile::AutoencoderTrainer;
     use telemetry::{Json, Sink};
+
+    /// Full stack over loopback TCP: key exchange hands off into the
+    /// lifecycle plane, every client pushes authenticated app traffic,
+    /// the budget forces mid-session rekeys, the platoon converges on
+    /// group keys, and graceful departures rotate the group epoch.
+    #[test]
+    fn lifecycle_fleet_over_tcp_full_stack() {
+        let reconciler = Arc::new({
+            let mut rng = StdRng::seed_from_u64(7001);
+            AutoencoderTrainer::default()
+                .with_steps(6000)
+                .train(&mut rng)
+        });
+        let params = SessionParams {
+            retry: RetryPolicy {
+                max_retries: 8,
+                ack_timeout: Duration::from_millis(40),
+                backoff: 1.5,
+            },
+            session_timeout: Duration::from_secs(10),
+            ..SessionParams::default()
+        };
+        let lifecycle = LifecycleConfig {
+            // Budget of four frames at 32 bits each: six app frames force
+            // at least one rotation per session.
+            rekey: RekeyPolicy {
+                entropy_budget_bits: 128,
+                frame_cost_bits: 32,
+                ..RekeyPolicy::default()
+            },
+            group: true,
+            max_duration: Duration::from_secs(10),
+        };
+        let server = Server::start(
+            ServerConfig {
+                workers: 3,
+                params,
+                max_sessions: Some(3),
+                lifecycle: Some(lifecycle),
+                ..ServerConfig::default()
+            },
+            Arc::clone(&reconciler),
+        )
+        .expect("loopback server must start");
+        let lifecycle_stats = server.lifecycle_stats();
+        let plane = server.group_plane();
+        let report = run_fleet(
+            &FleetConfig {
+                addr: server.local_addr().to_string(),
+                sessions: 3,
+                concurrency: 3,
+                params,
+                poll: Duration::from_millis(5),
+                lifecycle: Some(ClientLifecycleCfg {
+                    app_frames: 6,
+                    hold: Duration::from_millis(250),
+                    leave: true,
+                    group: true,
+                }),
+                ..FleetConfig::default()
+            },
+            &reconciler,
+        )
+        .expect("loopback address resolves");
+        let stats = server.join();
+
+        assert_eq!(report.ok, 3, "{report:?}");
+        assert_eq!(stats.completed, 3);
+        let lc = report.lifecycle.expect("lifecycle aggregates present");
+        assert_eq!(lc.completed, 3);
+        assert_eq!(lc.app_frames_acked, 18);
+        assert!(lc.rekeys >= 3, "one rotation per session: {lc:?}");
+        assert!(lc.group_installs >= 3, "{lc:?}");
+        assert_eq!(lc.left, 3);
+        assert_eq!(lifecycle_stats.sessions.load(Ordering::Relaxed), 3);
+        assert_eq!(lifecycle_stats.graceful_leaves.load(Ordering::Relaxed), 3);
+        assert_eq!(lifecycle_stats.app_frames.load(Ordering::Relaxed), 18);
+        assert_eq!(plane.epoch(), 4, "three departures from epoch 1");
+        assert_eq!(plane.member_count(), 0);
+    }
 
     #[test]
     fn typed_aborts_map_to_dump_reasons() {

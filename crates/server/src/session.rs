@@ -151,6 +151,27 @@ impl From<ProtocolError> for SessionError {
     }
 }
 
+/// What the server side carries out of a *matched* session when the
+/// caller asked for a key handoff: the confirmed root for the lifecycle
+/// plane, plus the encoded confirmation reply so the post-handoff loop
+/// can keep re-answering duplicate `Confirm` frames whose ack was lost.
+#[derive(Clone)]
+pub struct SessionHandoff {
+    /// The confirmed 128-bit session key.
+    pub root: [u8; 16],
+    /// The encoded `Confirm` reply, for idempotent re-answers.
+    pub confirm_reply: Vec<u8>,
+}
+
+impl fmt::Debug for SessionHandoff {
+    // The root is key material: deliberately absent from the debug form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionHandoff")
+            .field("confirm_reply_len", &self.confirm_reply.len())
+            .finish()
+    }
+}
+
 /// Server-side result of one session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeOutcome {
@@ -212,6 +233,28 @@ pub fn serve_session<T: Transport>(
     nonce_a: u64,
     params: &SessionParams,
 ) -> Result<ServeOutcome, SessionError> {
+    serve_session_keyed(transport, reconciler, session_id, nonce_a, params, false)
+        .map(|(outcome, _)| outcome)
+}
+
+/// [`serve_session`], but when `handoff` is set and the confirmation
+/// matches, the function returns *immediately after sending the server's
+/// confirmation* with the confirmed key in a [`SessionHandoff`] — instead
+/// of lingering for duplicate frames. The caller is expected to keep the
+/// connection alive (the lifecycle plane re-answers duplicate `Confirm`
+/// frames from the handoff), so no replay window is lost.
+///
+/// # Errors
+///
+/// [`SessionError`], exactly as [`serve_session`].
+pub fn serve_session_keyed<T: Transport>(
+    transport: &mut T,
+    reconciler: &AutoencoderReconciler,
+    session_id: u32,
+    nonce_a: u64,
+    params: &SessionParams,
+    handoff: bool,
+) -> Result<(ServeOutcome, Option<SessionHandoff>), SessionError> {
     let deadline = Instant::now() + params.session_timeout;
 
     // Handshake: wait for the client's probe. The session span opens only
@@ -287,7 +330,7 @@ pub fn serve_session<T: Transport>(
             // Confirmation answered; stay only to re-answer duplicates of
             // the client's final messages whose replies may have been lost.
             if Instant::now() >= t {
-                return Ok(outcome);
+                return Ok((outcome, None));
             }
         } else if Instant::now() >= deadline {
             return Err(SessionError::Timeout("syndromes"));
@@ -314,7 +357,7 @@ pub fn serve_session<T: Transport>(
             Ok(None) => continue,
             // Once the confirmation is out, the client hanging up is the
             // normal end of a session, not a failure.
-            Err(TransportError::Closed) if linger_until.is_some() => return Ok(outcome),
+            Err(TransportError::Closed) if linger_until.is_some() => return Ok((outcome, None)),
             Err(e) => return Err(e.into()),
         };
         let msg = match Message::decode(&frame) {
@@ -430,6 +473,19 @@ pub fn serve_session<T: Transport>(
                         }
                         .encode()
                         .to_vec();
+                        if handoff && outcome.key_matched {
+                            // The lifecycle plane takes over from here; it
+                            // re-answers duplicate Confirm frames itself,
+                            // so skipping the linger loses no idempotency.
+                            crate::obs::send_traced(transport, &reply)?;
+                            return Ok((
+                                outcome,
+                                Some(SessionHandoff {
+                                    root: key,
+                                    confirm_reply: reply,
+                                }),
+                            ));
+                        }
                         confirm_reply = Some(reply.clone());
                         linger_until = Some(Instant::now() + 2 * params.retry.ack_timeout);
                         reply
@@ -626,6 +682,22 @@ pub fn run_bob_session<T: Transport>(
     nonce_b: u64,
     params: &SessionParams,
 ) -> Result<BobOutcome, SessionError> {
+    run_bob_session_keyed(transport, reconciler, nonce_b, params).map(|(outcome, _)| outcome)
+}
+
+/// [`run_bob_session`], additionally returning the confirmed 128-bit key
+/// when the server's confirmation matched — the client-side half of the
+/// lifecycle handoff.
+///
+/// # Errors
+///
+/// [`SessionError`], exactly as [`run_bob_session`].
+pub fn run_bob_session_keyed<T: Transport>(
+    transport: &mut T,
+    reconciler: &AutoencoderReconciler,
+    nonce_b: u64,
+    params: &SessionParams,
+) -> Result<(BobOutcome, Option<[u8; 16]>), SessionError> {
     // The client originates the session's trace: a deterministic id from
     // its handshake nonce, activated before the session span opens so the
     // span (and every outbound frame) carries it.
@@ -790,16 +862,19 @@ pub fn run_bob_session<T: Transport>(
         },
     )?;
 
-    Ok(BobOutcome {
-        session_id,
-        key_matched,
-        retransmissions,
-        blocks,
-        leaked_bits,
-        cascade_rounds,
-        reprobes,
-        entropy_bits,
-    })
+    Ok((
+        BobOutcome {
+            session_id,
+            key_matched,
+            retransmissions,
+            blocks,
+            leaked_bits,
+            cascade_rounds,
+            reprobes,
+            entropy_bits,
+        },
+        key_matched.then_some(bob_key),
+    ))
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use reconcile::PositionPreservingMask;
 use vehicle_key::Message;
+use vk_lifecycle::{ChannelRole, LifecycleMessage, RekeyMode, RekeyTrigger, SecureChannel};
 
 /// Helpers for the escalation-ladder interleaving property.
 mod escalation {
@@ -172,6 +173,93 @@ fn message_strategy() -> impl Strategy<Value = Message> {
                     mac,
                 }
             ),
+    ]
+}
+
+fn lifecycle_message_strategy() -> impl Strategy<Value = LifecycleMessage> {
+    let mode = prop_oneof![Just(RekeyMode::Ratchet), Just(RekeyMode::Reprobe)];
+    let trigger = prop_oneof![
+        Just(RekeyTrigger::Budget),
+        Just(RekeyTrigger::Leakage),
+        Just(RekeyTrigger::Manual),
+    ];
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..128),
+            any::<[u8; 32]>(),
+        )
+            .prop_map(|(session_id, epoch, seq, ciphertext, mac)| {
+                LifecycleMessage::AppData {
+                    session_id,
+                    epoch,
+                    seq,
+                    ciphertext,
+                    mac,
+                }
+            }),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(session_id, epoch, seq)| {
+            LifecycleMessage::AppAck {
+                session_id,
+                epoch,
+                seq,
+            }
+        }),
+        (any::<u32>(), any::<u32>(), mode, trigger, any::<u64>()).prop_map(
+            |(session_id, epoch, mode, trigger, fresh)| LifecycleMessage::RekeyRequest {
+                session_id,
+                epoch,
+                mode,
+                trigger,
+                fresh,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<[u8; 32]>()).prop_map(
+            |(session_id, epoch, fresh, check)| LifecycleMessage::RekeyConfirm {
+                session_id,
+                epoch,
+                fresh,
+                check,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<[u8; 32]>()).prop_map(|(session_id, epoch, check)| {
+            LifecycleMessage::RekeyAck {
+                session_id,
+                epoch,
+                check,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..32),
+            any::<[u8; 32]>(),
+        )
+            .prop_map(
+                |(session_id, group_epoch, member_id, nonce, ciphertext, mac)| {
+                    LifecycleMessage::GroupKey {
+                        session_id,
+                        group_epoch,
+                        member_id,
+                        nonce,
+                        ciphertext,
+                        mac,
+                    }
+                }
+            ),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(session_id, group_epoch, member_id)| LifecycleMessage::GroupKeyAck {
+                session_id,
+                group_epoch,
+                member_id,
+            }
+        ),
+        any::<u32>().prop_map(|session_id| LifecycleMessage::Leave { session_id }),
+        any::<u32>().prop_map(|session_id| LifecycleMessage::LeaveAck { session_id }),
     ]
 }
 
@@ -365,6 +453,52 @@ proptest! {
             prop_assert_ne!(decoded, msg.clone());
         }
         prop_assert_eq!(Message::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn lifecycle_codec_round_trips(msg in lifecycle_message_strategy()) {
+        let bytes = msg.encode();
+        prop_assert_eq!(LifecycleMessage::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn lifecycle_decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Arbitrary byte soup must decode or error — never panic.
+        let _ = LifecycleMessage::decode(&data);
+    }
+
+    #[test]
+    fn lifecycle_decoder_rejects_truncations(msg in lifecycle_message_strategy(), cut in 1usize..16) {
+        let bytes = msg.encode();
+        let cut = cut.min(bytes.len());
+        let truncated = &bytes[..bytes.len() - cut];
+        if let Ok(decoded) = LifecycleMessage::decode(truncated) {
+            prop_assert_ne!(decoded, msg.clone());
+        }
+        prop_assert_eq!(LifecycleMessage::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn lifecycle_duplicate_frames_are_flagged_and_replayable(
+        root in any::<[u8; 16]>(),
+        sid in any::<u32>(),
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..8),
+    ) {
+        use vehicle_key::Disposition;
+        let mut tx = SecureChannel::new(root, sid, ChannelRole::Initiator);
+        let mut rx = SecureChannel::new(root, sid, ChannelRole::Responder);
+        for payload in &payloads {
+            let frame = tx.seal(payload).expect("payload under frame cap");
+            let (first, plain) = rx.open(&frame).expect("authentic frame opens");
+            prop_assert_eq!(first, Disposition::Accepted);
+            prop_assert_eq!(&plain, payload);
+            // Retransmission: same bytes re-delivered must flag Duplicate
+            // and yield the identical payload, so the receiver re-acks
+            // without double-processing.
+            let (again, replay) = rx.open(&frame).expect("replay still authenticates");
+            prop_assert_eq!(again, Disposition::Duplicate);
+            prop_assert_eq!(&replay, payload);
+        }
     }
 
     #[test]
