@@ -9,11 +9,20 @@
 //! all four subkeys, and resets both sequence spaces.
 //!
 //! Receive-side replay discipline matches the wire exchange's
-//! conventions: a frame at or below the high-water sequence that still
-//! authenticates is a retransmission — reported as
-//! [`Disposition::Duplicate`] so the caller re-acks it identically —
-//! while anything failing its MAC or carrying a foreign epoch is a typed
-//! error and is never acknowledged.
+//! conventions, with a sliding window for reordering links: the receiver
+//! tracks the high-water sequence plus a [`REPLAY_WINDOW`]-wide bitmap of
+//! recently seen sequences, so an out-of-order-but-new frame is still
+//! [`Disposition::Accepted`] while a true replay — or anything older than
+//! the window — is [`Disposition::Duplicate`] and re-acked identically.
+//! Anything failing its MAC or carrying a foreign epoch is a typed error
+//! and is never acknowledged.
+//!
+//! Control frames (acks, rekey requests, leave handshakes) carry no
+//! payload key material but do mutate state, so they are authenticated
+//! too: each direction holds a *control MAC key* derived from the handoff
+//! root, stable across rotations (control handlers are idempotent, so a
+//! replayed control frame is harmless — the key only has to stop
+//! forgery). See [`SecureChannel::authenticate`].
 
 use crate::error::LifecycleError;
 use crate::wire::LifecycleMessage;
@@ -56,6 +65,17 @@ fn derive_mac(root: &[u8; 16], dir: u8, session_id: u32, epoch: u32) -> [u8; 32]
     hmac_sha256(root, &derive_label(b"VK-APP-MAC", dir, session_id, epoch))
 }
 
+/// Control-plane MAC key for one direction, derived once from the handoff
+/// root (epoch 0) and *not* rotated: control frames carry no epoch field,
+/// and their handlers are idempotent, so stability beats freshness here.
+fn derive_ctrl(root: &[u8; 16], dir: u8, session_id: u32) -> [u8; 32] {
+    hmac_sha256(root, &derive_label(b"VK-CTL-MAC", dir, session_id, 0))
+}
+
+/// How far behind the high-water sequence a frame may arrive and still be
+/// accepted as new (the replay-window width, in sequence numbers).
+pub const REPLAY_WINDOW: u64 = 64;
+
 fn app_aad(session_id: u32, epoch: u32, seq: u64, ciphertext: &[u8]) -> Vec<u8> {
     let mut v = b"VK-APP".to_vec();
     v.extend_from_slice(&session_id.to_be_bytes());
@@ -95,8 +115,13 @@ pub struct SecureChannel {
     send_mac: [u8; 32],
     recv_enc: [u8; 16],
     recv_mac: [u8; 32],
+    ctrl_send: [u8; 32],
+    ctrl_recv: [u8; 32],
     send_seq: u64,
     recv_high: Option<u64>,
+    // Bit `i` set = sequence `recv_high - i` was seen this epoch (bit 0
+    // is `recv_high` itself); the sliding replay window.
+    recv_window: u64,
 }
 
 impl std::fmt::Debug for SecureChannel {
@@ -116,6 +141,10 @@ impl SecureChannel {
     /// Build a channel endpoint from a confirmed 128-bit root.
     #[must_use]
     pub fn new(root: [u8; 16], session_id: u32, role: ChannelRole) -> Self {
+        let (tx, rx) = match role {
+            ChannelRole::Initiator => (ChannelRole::Initiator, ChannelRole::Responder),
+            ChannelRole::Responder => (ChannelRole::Responder, ChannelRole::Initiator),
+        };
         let mut ch = SecureChannel {
             root,
             session_id,
@@ -125,8 +154,11 @@ impl SecureChannel {
             send_mac: [0; 32],
             recv_enc: [0; 16],
             recv_mac: [0; 32],
+            ctrl_send: derive_ctrl(&root, direction_byte(tx), session_id),
+            ctrl_recv: derive_ctrl(&root, direction_byte(rx), session_id),
             send_seq: 0,
             recv_high: None,
+            recv_window: 0,
         };
         ch.rederive();
         ch
@@ -210,7 +242,51 @@ impl SecureChannel {
         self.epoch += 1;
         self.send_seq = 0;
         self.recv_high = None;
+        self.recv_window = 0;
         self.rederive();
+    }
+
+    /// Fill in a control frame's MAC under this direction's control key.
+    /// Frames whose authentication lives elsewhere pass through unchanged.
+    #[must_use]
+    pub fn authenticate(&self, mut msg: LifecycleMessage) -> LifecycleMessage {
+        let Some(body) = msg.control_signable() else {
+            return msg;
+        };
+        let tag = hmac_sha256(&self.ctrl_send, &body);
+        match &mut msg {
+            LifecycleMessage::AppAck { mac, .. }
+            | LifecycleMessage::RekeyRequest { mac, .. }
+            | LifecycleMessage::Leave { mac, .. }
+            | LifecycleMessage::LeaveAck { mac, .. } => *mac = tag,
+            _ => {}
+        }
+        msg
+    }
+
+    /// Verify an inbound control frame's MAC under the peer direction's
+    /// control key.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::MacMismatch`] for a forged or tampered control
+    /// frame; [`LifecycleError::Malformed`] for a frame that carries no
+    /// control MAC at all.
+    pub fn verify_control(&self, msg: &LifecycleMessage) -> Result<(), LifecycleError> {
+        let body = msg
+            .control_signable()
+            .ok_or(LifecycleError::Malformed("not a control frame"))?;
+        let mac = match msg {
+            LifecycleMessage::AppAck { mac, .. }
+            | LifecycleMessage::RekeyRequest { mac, .. }
+            | LifecycleMessage::Leave { mac, .. }
+            | LifecycleMessage::LeaveAck { mac, .. } => mac,
+            _ => return Err(LifecycleError::Malformed("not a control frame")),
+        };
+        if !vk_crypto::hmac::verify(&self.ctrl_recv, &body, mac) {
+            return Err(LifecycleError::MacMismatch);
+        }
+        Ok(())
     }
 
     /// Seal a payload into an authenticated application frame, consuming
@@ -241,9 +317,12 @@ impl SecureChannel {
 
     /// Authenticate and open an inbound application frame.
     ///
-    /// A frame at or below the high-water sequence that still verifies is
-    /// a retransmission: the payload is returned again with
-    /// [`Disposition::Duplicate`] so the caller re-acks identically.
+    /// Replay suppression is a sliding window: a frame above the
+    /// high-water sequence — or behind it but within [`REPLAY_WINDOW`]
+    /// and not yet seen — is [`Disposition::Accepted`] even when it
+    /// arrives out of order. A frame already seen, or older than the
+    /// window allows, is a retransmission: the payload is returned again
+    /// with [`Disposition::Duplicate`] so the caller re-acks identically.
     ///
     /// # Errors
     ///
@@ -283,10 +362,32 @@ impl SecureChannel {
         }
         let payload = Aes128::new(&self.recv_enc).ctr(*seq, ciphertext);
         let disposition = match self.recv_high {
-            Some(high) if *seq <= high => Disposition::Duplicate,
-            _ => {
+            None => {
+                self.recv_high = Some(*seq);
+                self.recv_window = 1;
+                Disposition::Accepted
+            }
+            Some(high) if *seq > high => {
+                let shift = *seq - high;
+                self.recv_window = if shift >= REPLAY_WINDOW {
+                    0
+                } else {
+                    self.recv_window << shift
+                };
+                self.recv_window |= 1;
                 self.recv_high = Some(*seq);
                 Disposition::Accepted
+            }
+            Some(high) => {
+                let back = high - *seq;
+                if back >= REPLAY_WINDOW || (self.recv_window >> back) & 1 == 1 {
+                    // A true replay — or too old to distinguish from one.
+                    Disposition::Duplicate
+                } else {
+                    // Reordered but new: deliver it.
+                    self.recv_window |= 1 << back;
+                    Disposition::Accepted
+                }
             }
         };
         Ok((disposition, payload))
@@ -391,6 +492,104 @@ mod tests {
             bob.open(&stale),
             Err(LifecycleError::EpochMismatch { got: 0, want: 1 })
         );
+    }
+
+    #[test]
+    fn reordered_frames_are_accepted_and_replays_stay_duplicate() {
+        let (mut alice, mut bob) = pair();
+        let frames: Vec<_> = (0..5u8).map(|i| alice.seal(&[b'f', i]).unwrap()).collect();
+        // Deliver 0, 3, 1, 4, 2 — every frame is new despite reordering.
+        for &i in &[0usize, 3, 1, 4, 2] {
+            let (disp, payload) = bob.open(&frames[i]).unwrap();
+            assert_eq!(disp, Disposition::Accepted, "frame {i} must be new");
+            assert_eq!(payload, [b'f', i as u8]);
+        }
+        // Every re-delivery is now a duplicate, never an error.
+        for (i, frame) in frames.iter().enumerate() {
+            let (disp, payload) = bob.open(frame).unwrap();
+            assert_eq!(disp, Disposition::Duplicate, "frame {i} replay");
+            assert_eq!(payload, [b'f', i as u8]);
+        }
+    }
+
+    #[test]
+    fn frames_older_than_the_window_are_duplicates() {
+        let (mut alice, mut bob) = pair();
+        let old = alice.seal(b"ancient").unwrap();
+        // Advance the send sequence far past the window, then land one.
+        let mut latest = alice.seal(b"skip").unwrap();
+        for _ in 0..(REPLAY_WINDOW + 8) {
+            latest = alice.seal(b"skip").unwrap();
+        }
+        assert_eq!(bob.open(&latest).unwrap().0, Disposition::Accepted);
+        // Sequence 0 is beyond the window: absorbed as a duplicate, not
+        // an error — the sender's ack-driven retransmission already
+        // re-sealed anything that genuinely mattered.
+        assert_eq!(bob.open(&old).unwrap().0, Disposition::Duplicate);
+    }
+
+    #[test]
+    fn control_frames_authenticate_and_forgeries_fail() {
+        let (alice, bob) = pair();
+        let ack = alice.authenticate(LifecycleMessage::AppAck {
+            session_id: 42,
+            epoch: 0,
+            seq: 3,
+            mac: [0; 32],
+        });
+        bob.verify_control(&ack).unwrap();
+        // The MAC binds every field: a flipped seq fails.
+        let LifecycleMessage::AppAck {
+            session_id,
+            epoch,
+            mac,
+            ..
+        } = ack
+        else {
+            unreachable!()
+        };
+        let forged = LifecycleMessage::AppAck {
+            session_id,
+            epoch,
+            seq: 4,
+            mac,
+        };
+        assert_eq!(
+            bob.verify_control(&forged),
+            Err(LifecycleError::MacMismatch)
+        );
+        // An unMAC'd frame from an off-path attacker fails outright.
+        let injected = LifecycleMessage::Leave {
+            session_id: 42,
+            mac: [0; 32],
+        };
+        assert_eq!(
+            alice.verify_control(&injected),
+            Err(LifecycleError::MacMismatch)
+        );
+        // Direction keys differ: a frame reflected back at its sender
+        // does not verify under the other direction's key.
+        let leave = bob.authenticate(LifecycleMessage::Leave {
+            session_id: 42,
+            mac: [0; 32],
+        });
+        alice.verify_control(&leave).unwrap();
+        assert_eq!(bob.verify_control(&leave), Err(LifecycleError::MacMismatch));
+    }
+
+    #[test]
+    fn control_keys_survive_rotations() {
+        // A Leave sealed before a rotation still verifies after it: the
+        // control keys derive from the handoff root, not the epoch root.
+        let (mut alice, mut bob) = pair();
+        let leave = bob.authenticate(LifecycleMessage::Leave {
+            session_id: 42,
+            mac: [0; 32],
+        });
+        let next = alice.ratchet_root();
+        alice.advance(next);
+        bob.advance(bob.ratchet_root());
+        alice.verify_control(&leave).unwrap();
     }
 
     #[test]

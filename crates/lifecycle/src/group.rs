@@ -8,6 +8,10 @@
 //! seed, so an evicted member holding an old epoch's key can derive
 //! nothing about later epochs. Every departure advances the epoch and
 //! re-wraps for the remaining members only — eviction *is* rekeying.
+//! Wraps are keyed per epoch (a key derived from the pairwise key and the
+//! epoch number), which binds the wire `group_epoch` into the wrap MAC:
+//! a stale wrap replayed under a relabeled epoch fails authentication
+//! instead of installing old material under a new label.
 //!
 //! Members acknowledge each epoch they install; the coordinator tracks
 //! acknowledgements to measure agreement latency (epoch start → last live
@@ -28,6 +32,34 @@ fn epoch_wrap_material(master: &[u8; 32], epoch: u32) -> [u8; 16] {
     let mut out = [0u8; 16];
     out.copy_from_slice(&d[..16]);
     out
+}
+
+/// Per-epoch wrap key derived from a member's pairwise key. The core wrap
+/// MAC covers only `(member_id, nonce, ciphertext)`; keying the wrap on
+/// the epoch binds the wire `group_epoch` into authentication, so a valid
+/// old-epoch wrap replayed with a bumped epoch field fails the MAC
+/// instead of installing stale material under a fresh label.
+fn epoch_wrap_key(pairwise: &[u8; 16], epoch: u32) -> [u8; 16] {
+    let mut msg = b"VK-GROUP-WRAP".to_vec();
+    msg.extend_from_slice(&epoch.to_be_bytes());
+    let d = hmac_sha256(pairwise, &msg);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&d[..16]);
+    out
+}
+
+/// Tag a member's `GroupKeyAck` carries: keyed on the epoch's group
+/// material, it proves the member actually installed the key — a forged
+/// or replayed-across-epochs ack cannot mark a member agreed.
+fn group_ack_input(group_epoch: u32, member_id: u32) -> Vec<u8> {
+    let mut msg = b"VK-GROUP-ACK".to_vec();
+    msg.extend_from_slice(&group_epoch.to_be_bytes());
+    msg.extend_from_slice(&member_id.to_be_bytes());
+    msg
+}
+
+fn group_ack_mac(material: &[u8; 16], group_epoch: u32, member_id: u32) -> [u8; 32] {
+    hmac_sha256(material, &group_ack_input(group_epoch, member_id))
 }
 
 fn broadcast_mac(material: &[u8; 16], epoch: u32, payload: &[u8]) -> [u8; 32] {
@@ -141,7 +173,12 @@ impl GroupCoordinator {
         // acked yet.
         self.agreement_recorded = false;
         let material = epoch_wrap_material(&self.master, self.epoch);
-        let wrapped = wrap_group_key(&pairwise, member_id, self.nonces.allocate(), &material);
+        let wrapped = wrap_group_key(
+            &epoch_wrap_key(&pairwise, self.epoch),
+            member_id,
+            self.nonces.allocate(),
+            &material,
+        );
         LifecycleMessage::GroupKey {
             session_id,
             group_epoch: self.epoch,
@@ -171,7 +208,12 @@ impl GroupCoordinator {
             slot.acked_epoch = None;
             wraps.push((
                 *id,
-                wrap_group_key(&slot.pairwise, *id, self.nonces.allocate(), &material),
+                wrap_group_key(
+                    &epoch_wrap_key(&slot.pairwise, self.epoch),
+                    *id,
+                    self.nonces.allocate(),
+                    &material,
+                ),
             ));
         }
         wraps
@@ -186,7 +228,12 @@ impl GroupCoordinator {
     fn wrap_slot(&mut self, member_id: u32, session_id: u32) -> Option<LifecycleMessage> {
         let slot = self.members.get(&member_id)?;
         let material = epoch_wrap_material(&self.master, self.epoch);
-        let wrapped = wrap_group_key(&slot.pairwise, member_id, self.nonces.allocate(), &material);
+        let wrapped = wrap_group_key(
+            &epoch_wrap_key(&slot.pairwise, self.epoch),
+            member_id,
+            self.nonces.allocate(),
+            &material,
+        );
         Some(LifecycleMessage::GroupKey {
             session_id,
             group_epoch: self.epoch,
@@ -197,16 +244,33 @@ impl GroupCoordinator {
         })
     }
 
-    /// Record a member's acknowledgement of `group_epoch`. The returned
-    /// agreement latency (milliseconds since the epoch opened) is present
-    /// exactly once per epoch: on the ack that completes the member set.
-    pub fn on_ack(&mut self, member_id: u32, group_epoch: u32) -> (Disposition, Option<f64>) {
+    /// Record a member's acknowledgement of `group_epoch`. The ack must
+    /// carry the tag keyed on that epoch's group material — proof the
+    /// member installed the key — or it is rejected outright. The
+    /// returned agreement latency (milliseconds since the epoch opened)
+    /// is present exactly once per epoch: on the ack that completes the
+    /// member set.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::MacMismatch`] for an ack whose tag does not
+    /// prove the claimed epoch's key.
+    pub fn on_ack(
+        &mut self,
+        member_id: u32,
+        group_epoch: u32,
+        mac: &[u8; 32],
+    ) -> Result<(Disposition, Option<f64>), LifecycleError> {
+        let material = epoch_wrap_material(&self.master, group_epoch);
+        if !vk_crypto::hmac::verify(&material, &group_ack_input(group_epoch, member_id), mac) {
+            return Err(LifecycleError::MacMismatch);
+        }
         let Some(slot) = self.members.get_mut(&member_id) else {
             // Acks from evicted members race their departure; absorb.
-            return (Disposition::Duplicate, None);
+            return Ok((Disposition::Duplicate, None));
         };
         if group_epoch != self.epoch || slot.acked_epoch == Some(self.epoch) {
-            return (Disposition::Duplicate, None);
+            return Ok((Disposition::Duplicate, None));
         }
         slot.acked_epoch = Some(self.epoch);
         let mut latency = None;
@@ -216,7 +280,7 @@ impl GroupCoordinator {
             telemetry::histogram("lifecycle.group.agreement_ms", ms);
             latency = Some(ms);
         }
-        (Disposition::Accepted, latency)
+        Ok((Disposition::Accepted, latency))
     }
 
     /// Authentication tag over `payload` under the current epoch's group
@@ -273,11 +337,17 @@ impl GroupMember {
     /// send. Wraps for an epoch at or below the installed one are
     /// re-acked as duplicates without touching the installed key.
     ///
+    /// The unwrap key is derived from the pairwise key *and the wire
+    /// `group_epoch`*, so a valid wrap replayed with a relabeled epoch
+    /// fails authentication rather than installing old material under a
+    /// new epoch.
+    ///
     /// # Errors
     ///
     /// [`LifecycleError::WrongMember`] for a wrap addressed elsewhere;
     /// [`LifecycleError::MacMismatch`] (via [`LifecycleError::Group`])
-    /// for a wrap that fails authentication under our pairwise key.
+    /// for a wrap that fails authentication under our pairwise key — or
+    /// whose epoch field was tampered with.
     pub fn on_group_key(
         &mut self,
         msg: &LifecycleMessage,
@@ -305,11 +375,12 @@ impl GroupMember {
             ciphertext: ciphertext.clone(),
             mac: *mac,
         };
-        let material = unwrap_group_key(&self.pairwise, &wrapped)?;
+        let material = unwrap_group_key(&epoch_wrap_key(&self.pairwise, *group_epoch), &wrapped)?;
         let ack = LifecycleMessage::GroupKeyAck {
             session_id: *session_id,
             group_epoch: *group_epoch,
             member_id: self.member_id,
+            mac: group_ack_mac(&material, *group_epoch, self.member_id),
         };
         let disposition = match self.current {
             Some((installed, _)) if *group_epoch <= installed => Disposition::Duplicate,
@@ -388,12 +459,13 @@ mod tests {
             let LifecycleMessage::GroupKeyAck {
                 member_id,
                 group_epoch,
+                mac,
                 ..
             } = ack
             else {
                 panic!("expected ack")
             };
-            let (d, _) = rsu.on_ack(member_id, group_epoch);
+            let (d, _) = rsu.on_ack(member_id, group_epoch, &mac).unwrap();
             assert_eq!(d, Disposition::Accepted);
         }
         assert!(rsu.all_acked());
@@ -415,10 +487,19 @@ mod tests {
         assert_eq!(d1, Disposition::Accepted);
         assert_eq!(d2, Disposition::Duplicate);
         assert_eq!(a1, a2, "re-delivered wrap must re-ack identically");
-        let (da, _) = rsu.on_ack(3, rsu.epoch());
-        let (db, _) = rsu.on_ack(3, rsu.epoch());
+        let LifecycleMessage::GroupKeyAck { mac: ack_mac, .. } = a1 else {
+            panic!("expected ack")
+        };
+        let (da, _) = rsu.on_ack(3, rsu.epoch(), &ack_mac).unwrap();
+        let (db, _) = rsu.on_ack(3, rsu.epoch(), &ack_mac).unwrap();
         assert_eq!(da, Disposition::Accepted);
         assert_eq!(db, Disposition::Duplicate);
+        // A forged ack — right fields, wrong tag — is rejected, never
+        // counted toward agreement.
+        assert_eq!(
+            rsu.on_ack(3, rsu.epoch(), &[0xEE; 32]),
+            Err(LifecycleError::MacMismatch)
+        );
         // A retransmitted wrap (fresh nonce, same epoch) is also a
         // duplicate on the member: the installed key is not disturbed.
         let rewrap = rsu.wrap_for(3, 103).unwrap();
@@ -452,7 +533,7 @@ mod tests {
             ciphertext: wrapped.ciphertext.clone(),
             mac: wrapped.mac,
         };
-        let (disp, _) = stayer.on_group_key(&frame).unwrap();
+        let (disp, stayer_ack) = stayer.on_group_key(&frame).unwrap();
         assert_eq!(disp, Disposition::Accepted);
 
         // Post-eviction broadcast: the stayer verifies, the leaver cannot.
@@ -476,9 +557,82 @@ mod tests {
         let stale_tag = leaver.broadcast_tag(b"post-eviction").unwrap();
         assert_ne!(stale_tag, tag);
         // The stayer's wrap cannot be unwrapped by the leaver either.
-        let (d, _) = rsu.on_ack(1, rsu.epoch());
+        let LifecycleMessage::GroupKeyAck { mac, .. } = stayer_ack else {
+            panic!("expected ack")
+        };
+        let (d, _) = rsu.on_ack(1, rsu.epoch(), &mac).unwrap();
         assert_eq!(d, Disposition::Accepted);
         assert!(rsu.all_acked());
+    }
+
+    #[test]
+    fn relabeled_epoch_replay_fails_the_wrap_mac() {
+        // REVIEW finding: the wire `group_epoch` used to sit outside the
+        // wrap MAC, so an old epoch's valid wrap replayed with a bumped
+        // epoch field installed stale material under the new label. The
+        // epoch-keyed wrap closes it: relabeling fails authentication.
+        let mut rsu = coordinator();
+        let mut stayer = GroupMember::new(1, pairwise(1));
+        let wrap_e1 = rsu.join(1, pairwise(1), 101);
+        let _ = rsu.join(2, pairwise(2), 102);
+        stayer.on_group_key(&wrap_e1).unwrap();
+        assert_eq!(stayer.epoch(), Some(1));
+
+        // Member 2 is evicted: the genuine plane moves to epoch 2.
+        let rewraps = rsu.leave(2);
+        assert_eq!(rsu.epoch(), 2);
+
+        // Attacker replays the member's own epoch-1 wrap relabeled as
+        // epoch 2 (and as a future epoch): both fail the MAC, and the
+        // installed key is untouched.
+        let LifecycleMessage::GroupKey {
+            session_id,
+            member_id,
+            nonce,
+            ciphertext,
+            mac,
+            ..
+        } = wrap_e1
+        else {
+            panic!("expected wrap")
+        };
+        for bogus_epoch in [2u32, 7] {
+            let relabeled = LifecycleMessage::GroupKey {
+                session_id,
+                group_epoch: bogus_epoch,
+                member_id,
+                nonce,
+                ciphertext: ciphertext.clone(),
+                mac,
+            };
+            assert_eq!(
+                stayer.on_group_key(&relabeled),
+                Err(LifecycleError::Group(
+                    vehicle_key::group::GroupError::MacMismatch
+                )),
+                "relabeled replay to epoch {bogus_epoch} must fail"
+            );
+            assert_eq!(stayer.epoch(), Some(1), "installed key must be untouched");
+        }
+
+        // The genuine epoch-2 re-wrap still installs, and the member now
+        // authenticates the coordinator's post-eviction broadcasts.
+        let (id, wrapped) = &rewraps[0];
+        let frame = LifecycleMessage::GroupKey {
+            session_id: 101,
+            group_epoch: rsu.epoch(),
+            member_id: *id,
+            nonce: wrapped.nonce,
+            ciphertext: wrapped.ciphertext.clone(),
+            mac: wrapped.mac,
+        };
+        let (disp, _) = stayer.on_group_key(&frame).unwrap();
+        assert_eq!(disp, Disposition::Accepted);
+        assert_eq!(stayer.epoch(), Some(2));
+        let tag = rsu.broadcast_tag(b"epoch 2 traffic");
+        stayer
+            .verify_broadcast(rsu.epoch(), b"epoch 2 traffic", &tag)
+            .unwrap();
     }
 
     #[test]

@@ -180,24 +180,28 @@ impl RekeyInitiator {
             trigger,
             fresh,
         });
-        LifecycleMessage::RekeyRequest {
+        channel.authenticate(LifecycleMessage::RekeyRequest {
             session_id: channel.session_id(),
             epoch: p.epoch,
             mode: p.mode,
             trigger: p.trigger,
             fresh: p.fresh,
-        }
+            mac: [0; 32],
+        })
     }
 
     /// The in-flight request frame, for timer-driven retransmission.
     #[must_use]
     pub fn request_frame(&self, channel: &SecureChannel) -> Option<LifecycleMessage> {
-        self.pending.map(|p| LifecycleMessage::RekeyRequest {
-            session_id: channel.session_id(),
-            epoch: p.epoch,
-            mode: p.mode,
-            trigger: p.trigger,
-            fresh: p.fresh,
+        self.pending.map(|p| {
+            channel.authenticate(LifecycleMessage::RekeyRequest {
+                session_id: channel.session_id(),
+                epoch: p.epoch,
+                mode: p.mode,
+                trigger: p.trigger,
+                fresh: p.fresh,
+                mac: [0; 32],
+            })
         })
     }
 
@@ -273,6 +277,8 @@ impl RekeyInitiator {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct OfferedRekey {
     epoch: u32,
+    mode: RekeyMode,
+    fresh_initiator: u64,
     candidate: [u8; 16],
 }
 
@@ -299,8 +305,13 @@ impl RekeyResponder {
     }
 
     /// Handle the initiator's `RekeyRequest`, producing the confirm to
-    /// send. Duplicated requests — for the epoch already offered or the
-    /// epoch already installed — are answered with the identical confirm.
+    /// send. Duplicated requests — the same `(epoch, mode, fresh)` as the
+    /// offer in flight, or a request for the epoch already installed —
+    /// are answered with the identical confirm. A request for the offered
+    /// epoch with *different* parameters **replaces** the never-acked
+    /// offer: the initiator evidently never saw (or could not match) the
+    /// old confirm, and pinning the first-seen offer forever would wedge
+    /// rotation for the session.
     ///
     /// # Errors
     ///
@@ -314,13 +325,13 @@ impl RekeyResponder {
         my_fresh: u64,
     ) -> Result<(Disposition, LifecycleMessage), LifecycleError> {
         if let Some(o) = self.offered {
-            if o.epoch == epoch {
+            if o.epoch == epoch && o.mode == mode && o.fresh_initiator == fresh_initiator {
                 if let Some(confirm) = &self.last_confirm {
                     return Ok((Disposition::Duplicate, confirm.clone()));
                 }
             }
         }
-        if epoch == channel.epoch() {
+        if self.offered.is_none() && epoch == channel.epoch() {
             // Request for an epoch we already installed: the initiator's
             // retransmission raced the install. Re-answer identically so
             // it can re-ack.
@@ -344,7 +355,12 @@ impl RekeyResponder {
             fresh: my_fresh,
             check: channel.confirm_tag_for(&candidate),
         };
-        self.offered = Some(OfferedRekey { epoch, candidate });
+        self.offered = Some(OfferedRekey {
+            epoch,
+            mode,
+            fresh_initiator,
+            candidate,
+        });
         self.last_confirm = Some(confirm.clone());
         Ok((Disposition::Accepted, confirm))
     }
@@ -520,6 +536,58 @@ mod tests {
         assert_eq!(dm, Disposition::Duplicate);
         let frame = alice.seal(b"still in sync").unwrap();
         assert_eq!(bob.open(&frame).unwrap().1, b"still in sync");
+    }
+
+    #[test]
+    fn differing_request_replaces_a_never_acked_offer() {
+        // REVIEW finding: the responder used to pin `offered` to the
+        // first request seen for an epoch and replay that confirm for
+        // every later same-epoch request, so an injected request with a
+        // foreign fresh nonce wedged rotation forever (the genuine
+        // initiator could never match the offered candidate). Control
+        // MACs stop the injection on the wire; this pins the state
+        // machine recovery for the same shape.
+        let (mut alice, mut bob) = peers();
+        let mut ledger = RekeyLedger::new(128, 0);
+        let mut init = RekeyInitiator::new();
+        let mut resp = RekeyResponder::new();
+        let req = init.begin(&alice, RekeyMode::Reprobe, RekeyTrigger::Manual, 111);
+        let LifecycleMessage::RekeyRequest { epoch, .. } = req else {
+            panic!("expected request")
+        };
+        // A divergent request (attacker-chosen fresh, flipped mode)
+        // reaches the responder first.
+        let (d0, poisoned) = resp
+            .on_request(&bob, epoch, RekeyMode::Ratchet, 0xBAAD, 9)
+            .unwrap();
+        assert_eq!(d0, Disposition::Accepted);
+        let (_, _, poisoned_check) = unpack_confirm(&poisoned);
+        // Its confirm cannot prove the initiator's candidate…
+        assert_eq!(
+            init.on_confirm(&mut alice, &mut ledger, epoch, 9, &poisoned_check),
+            Err(LifecycleError::MacMismatch)
+        );
+        // …but the genuine (retransmitted) request replaces the offer
+        // instead of replaying the stale confirm, and the handshake
+        // completes: rotation is not wedged.
+        let (d1, confirm) = resp
+            .on_request(&bob, epoch, RekeyMode::Reprobe, 111, 222)
+            .unwrap();
+        assert_eq!(d1, Disposition::Accepted, "replacement is a new offer");
+        let (ce, cf, cc) = unpack_confirm(&confirm);
+        let (d2, ack) = init
+            .on_confirm(&mut alice, &mut ledger, ce, cf, &cc)
+            .unwrap();
+        assert_eq!(d2, Disposition::Accepted);
+        let (ae, ac) = unpack_ack(&ack);
+        assert_eq!(
+            resp.on_ack(&mut bob, ae, &ac).unwrap(),
+            Disposition::Accepted
+        );
+        assert_eq!(alice.epoch(), 1);
+        assert_eq!(bob.epoch(), 1);
+        let frame = alice.seal(b"recovered").unwrap();
+        assert_eq!(bob.open(&frame).unwrap().1, b"recovered");
     }
 
     #[test]

@@ -95,6 +95,8 @@ pub enum LifecycleMessage {
         epoch: u32,
         /// Sequence number of the acknowledged frame.
         seq: u64,
+        /// Control MAC under the sender's direction control key.
+        mac: [u8; 32],
     },
     /// Initiator schedules a rotation to `epoch`.
     RekeyRequest {
@@ -108,6 +110,10 @@ pub enum LifecycleMessage {
         trigger: RekeyTrigger,
         /// Initiator's fresh nonce (feeds the re-probe derivation).
         fresh: u64,
+        /// Control MAC under the sender's direction control key; covers
+        /// mode, trigger, and the fresh nonce, so none can be flipped or
+        /// injected in flight.
+        mac: [u8; 32],
     },
     /// Responder proves it derived the same candidate root.
     RekeyConfirm {
@@ -153,16 +159,24 @@ pub enum LifecycleMessage {
         group_epoch: u32,
         /// The acknowledging member.
         member_id: u32,
+        /// `HMAC(group_material, "VK-GROUP-ACK" ‖ group_epoch ‖
+        /// member_id)`: proves the member actually installed the epoch's
+        /// key, so a forged ack cannot mark a member agreed.
+        mac: [u8; 32],
     },
     /// Member announces departure (graceful churn).
     Leave {
         /// Session identifier.
         session_id: u32,
+        /// Control MAC under the sender's direction control key.
+        mac: [u8; 32],
     },
     /// Coordinator confirms the departure; the member may disconnect.
     LeaveAck {
         /// Session identifier.
         session_id: u32,
+        /// Control MAC under the sender's direction control key.
+        mac: [u8; 32],
     },
 }
 
@@ -204,29 +218,12 @@ impl LifecycleMessage {
                 b.put_slice(ciphertext);
                 b.put_slice(mac);
             }
-            LifecycleMessage::AppAck {
-                session_id,
-                epoch,
-                seq,
-            } => {
-                b.put_u8(Self::TAG_APP_ACK);
-                b.put_u32(*session_id);
-                b.put_u32(*epoch);
-                b.put_u64(*seq);
-            }
-            LifecycleMessage::RekeyRequest {
-                session_id,
-                epoch,
-                mode,
-                trigger,
-                fresh,
-            } => {
-                b.put_u8(Self::TAG_REKEY_REQUEST);
-                b.put_u32(*session_id);
-                b.put_u32(*epoch);
-                b.put_u8(mode.to_u8());
-                b.put_u8(trigger.to_u8());
-                b.put_u64(*fresh);
+            LifecycleMessage::AppAck { mac, .. }
+            | LifecycleMessage::RekeyRequest { mac, .. }
+            | LifecycleMessage::Leave { mac, .. }
+            | LifecycleMessage::LeaveAck { mac, .. } => {
+                b.put_slice(&self.control_signable().expect("control frame"));
+                b.put_slice(mac);
             }
             LifecycleMessage::RekeyConfirm {
                 session_id,
@@ -271,22 +268,64 @@ impl LifecycleMessage {
                 session_id,
                 group_epoch,
                 member_id,
+                mac,
             } => {
                 b.put_u8(Self::TAG_GROUP_KEY_ACK);
                 b.put_u32(*session_id);
                 b.put_u32(*group_epoch);
                 b.put_u32(*member_id);
-            }
-            LifecycleMessage::Leave { session_id } => {
-                b.put_u8(Self::TAG_LEAVE);
-                b.put_u32(*session_id);
-            }
-            LifecycleMessage::LeaveAck { session_id } => {
-                b.put_u8(Self::TAG_LEAVE_ACK);
-                b.put_u32(*session_id);
+                b.put_slice(mac);
             }
         }
         b.freeze()
+    }
+
+    /// The authenticated portion of a control frame — everything the
+    /// frame carries except its trailing control MAC. `None` for frames
+    /// whose authentication lives elsewhere (`AppData` and the rekey
+    /// confirm/ack carry their own keyed tags; `GroupKey`/`GroupKeyAck`
+    /// are keyed on the wrap and the group material respectively).
+    #[must_use]
+    pub fn control_signable(&self) -> Option<Vec<u8>> {
+        let mut b = BytesMut::new();
+        match self {
+            LifecycleMessage::AppAck {
+                session_id,
+                epoch,
+                seq,
+                ..
+            } => {
+                b.put_u8(Self::TAG_APP_ACK);
+                b.put_u32(*session_id);
+                b.put_u32(*epoch);
+                b.put_u64(*seq);
+            }
+            LifecycleMessage::RekeyRequest {
+                session_id,
+                epoch,
+                mode,
+                trigger,
+                fresh,
+                ..
+            } => {
+                b.put_u8(Self::TAG_REKEY_REQUEST);
+                b.put_u32(*session_id);
+                b.put_u32(*epoch);
+                b.put_u8(mode.to_u8());
+                b.put_u8(trigger.to_u8());
+                b.put_u64(*fresh);
+            }
+            LifecycleMessage::Leave { session_id, .. } => {
+                b.put_u8(Self::TAG_LEAVE);
+                b.put_u32(*session_id);
+            }
+            LifecycleMessage::LeaveAck { session_id, .. } => {
+                b.put_u8(Self::TAG_LEAVE_ACK);
+                b.put_u32(*session_id);
+            }
+            _ => return None,
+        }
+        Some(b.freeze().to_vec())
     }
 
     /// Parse from wire bytes. Trailing bytes are ignored (the frame
@@ -335,17 +374,23 @@ impl LifecycleMessage {
                 })
             }
             Self::TAG_APP_ACK => {
-                if buf.remaining() < 16 {
+                if buf.remaining() < 48 {
                     return Err(LifecycleError::Malformed("truncated app ack"));
                 }
+                let session_id = buf.get_u32();
+                let epoch = buf.get_u32();
+                let seq = buf.get_u64();
+                let mut mac = [0u8; 32];
+                buf.copy_to_slice(&mut mac);
                 Ok(LifecycleMessage::AppAck {
-                    session_id: buf.get_u32(),
-                    epoch: buf.get_u32(),
-                    seq: buf.get_u64(),
+                    session_id,
+                    epoch,
+                    seq,
+                    mac,
                 })
             }
             Self::TAG_REKEY_REQUEST => {
-                if buf.remaining() < 18 {
+                if buf.remaining() < 50 {
                     return Err(LifecycleError::Malformed("truncated rekey request"));
                 }
                 let session_id = buf.get_u32();
@@ -353,12 +398,15 @@ impl LifecycleMessage {
                 let mode = RekeyMode::from_u8(buf.get_u8())?;
                 let trigger = RekeyTrigger::from_u8(buf.get_u8())?;
                 let fresh = buf.get_u64();
+                let mut mac = [0u8; 32];
+                buf.copy_to_slice(&mut mac);
                 Ok(LifecycleMessage::RekeyRequest {
                     session_id,
                     epoch,
                     mode,
                     trigger,
                     fresh,
+                    mac,
                 })
             }
             Self::TAG_REKEY_CONFIRM => {
@@ -420,24 +468,32 @@ impl LifecycleMessage {
                 })
             }
             Self::TAG_GROUP_KEY_ACK => {
-                if buf.remaining() < 12 {
+                if buf.remaining() < 44 {
                     return Err(LifecycleError::Malformed("truncated group key ack"));
                 }
+                let session_id = buf.get_u32();
+                let group_epoch = buf.get_u32();
+                let member_id = buf.get_u32();
+                let mut mac = [0u8; 32];
+                buf.copy_to_slice(&mut mac);
                 Ok(LifecycleMessage::GroupKeyAck {
-                    session_id: buf.get_u32(),
-                    group_epoch: buf.get_u32(),
-                    member_id: buf.get_u32(),
+                    session_id,
+                    group_epoch,
+                    member_id,
+                    mac,
                 })
             }
             Self::TAG_LEAVE | Self::TAG_LEAVE_ACK => {
-                if buf.remaining() < 4 {
+                if buf.remaining() < 36 {
                     return Err(LifecycleError::Malformed("truncated leave"));
                 }
                 let session_id = buf.get_u32();
+                let mut mac = [0u8; 32];
+                buf.copy_to_slice(&mut mac);
                 Ok(if tag == Self::TAG_LEAVE {
-                    LifecycleMessage::Leave { session_id }
+                    LifecycleMessage::Leave { session_id, mac }
                 } else {
-                    LifecycleMessage::LeaveAck { session_id }
+                    LifecycleMessage::LeaveAck { session_id, mac }
                 })
             }
             other => Err(LifecycleError::UnknownTag(other)),
@@ -462,6 +518,7 @@ mod tests {
                 session_id: 7,
                 epoch: 3,
                 seq: 99,
+                mac: [0x21; 32],
             },
             LifecycleMessage::RekeyRequest {
                 session_id: 7,
@@ -469,6 +526,7 @@ mod tests {
                 mode: RekeyMode::Reprobe,
                 trigger: RekeyTrigger::Leakage,
                 fresh: 0xDEAD_BEEF,
+                mac: [0x22; 32],
             },
             LifecycleMessage::RekeyConfirm {
                 session_id: 7,
@@ -493,10 +551,31 @@ mod tests {
                 session_id: 7,
                 group_epoch: 2,
                 member_id: 11,
+                mac: [0x23; 32],
             },
-            LifecycleMessage::Leave { session_id: 7 },
-            LifecycleMessage::LeaveAck { session_id: 7 },
+            LifecycleMessage::Leave {
+                session_id: 7,
+                mac: [0x24; 32],
+            },
+            LifecycleMessage::LeaveAck {
+                session_id: 7,
+                mac: [0x25; 32],
+            },
         ]
+    }
+
+    #[test]
+    fn control_signable_excludes_the_mac() {
+        for msg in all_messages() {
+            let Some(body) = msg.control_signable() else {
+                continue;
+            };
+            // The signable is a strict prefix of the encoding, and the
+            // remainder is exactly the 32-byte control MAC.
+            let bytes = msg.encode();
+            assert_eq!(&bytes[..body.len()], &body[..], "{msg:?}");
+            assert_eq!(bytes.len(), body.len() + 32, "{msg:?}");
+        }
     }
 
     #[test]

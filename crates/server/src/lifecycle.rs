@@ -157,10 +157,20 @@ impl GroupPlane {
         Some((g.epoch(), wrap))
     }
 
-    /// Record a member's epoch acknowledgement; the latency is present on
-    /// the ack completing the member set (see [`GroupCoordinator::on_ack`]).
-    pub fn on_ack(&self, member_id: u32, group_epoch: u32) -> (Disposition, Option<f64>) {
-        self.lock().on_ack(member_id, group_epoch)
+    /// Record a member's epoch acknowledgement; the ack tag must prove
+    /// the claimed epoch's group material. The latency is present on the
+    /// ack completing the member set (see [`GroupCoordinator::on_ack`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::MacMismatch`] for a forged ack.
+    pub fn on_ack(
+        &self,
+        member_id: u32,
+        group_epoch: u32,
+        mac: &[u8; 32],
+    ) -> Result<(Disposition, Option<f64>), LifecycleError> {
+        self.lock().on_ack(member_id, group_epoch, mac)
     }
 
     /// Has `member_id` acknowledged the current epoch?
@@ -474,11 +484,12 @@ fn serve_lifecycle_inner<T: Transport>(
             LifecycleMessage::AppData { epoch, seq, .. } => {
                 match channel.open(&msg) {
                     Ok((disposition, _payload)) => {
-                        let ack = LifecycleMessage::AppAck {
+                        let ack = channel.authenticate(LifecycleMessage::AppAck {
                             session_id,
                             epoch,
                             seq,
-                        };
+                            mac: [0; 32],
+                        });
                         crate::obs::send_traced(transport, &ack.encode())?;
                         if disposition == Disposition::Accepted {
                             outcome.app_frames += 1;
@@ -509,11 +520,12 @@ fn serve_lifecycle_inner<T: Transport>(
                     {
                         outcome.duplicate_frames += 1;
                         stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
-                        let ack = LifecycleMessage::AppAck {
+                        let ack = channel.authenticate(LifecycleMessage::AppAck {
                             session_id,
                             epoch,
                             seq,
-                        };
+                            mac: [0; 32],
+                        });
                         crate::obs::send_traced(transport, &ack.encode())?;
                     }
                     Err(_) => reject(&mut outcome, stats)?,
@@ -570,22 +582,34 @@ fn serve_lifecycle_inner<T: Transport>(
             LifecycleMessage::GroupKeyAck {
                 group_epoch,
                 member_id,
+                mac,
                 ..
             } => {
                 if let Some(plane) = plane {
-                    let (disposition, latency) = plane.on_ack(member_id, group_epoch);
-                    if disposition == Disposition::Duplicate {
-                        outcome.duplicate_frames += 1;
-                        stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
-                    }
-                    if let Some(ms) = latency {
-                        stats.record_agreement(ms);
+                    match plane.on_ack(member_id, group_epoch, &mac) {
+                        Ok((disposition, latency)) => {
+                            if disposition == Disposition::Duplicate {
+                                outcome.duplicate_frames += 1;
+                                stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if let Some(ms) = latency {
+                                stats.record_agreement(ms);
+                            }
+                        }
+                        // A forged ack must never count toward agreement.
+                        Err(_) => reject(&mut outcome, stats)?,
                     }
                 } else {
                     reject(&mut outcome, stats)?;
                 }
             }
             LifecycleMessage::Leave { .. } => {
+                // A forged Leave would evict a live member and force a
+                // group-wide rekey: verify before acting.
+                if channel.verify_control(&msg).is_err() {
+                    reject(&mut outcome, stats)?;
+                    continue;
+                }
                 if !outcome.left {
                     outcome.left = true;
                     stats.graceful_leaves.fetch_add(1, Ordering::Relaxed);
@@ -597,7 +621,10 @@ fn serve_lifecycle_inner<T: Transport>(
                     outcome.duplicate_frames += 1;
                     stats.duplicate_frames.fetch_add(1, Ordering::Relaxed);
                 }
-                let ack = LifecycleMessage::LeaveAck { session_id };
+                let ack = channel.authenticate(LifecycleMessage::LeaveAck {
+                    session_id,
+                    mac: [0; 32],
+                });
                 crate::obs::send_traced(transport, &ack.encode())?;
             }
             // Frames only the server originates (or acks meant for the
@@ -707,7 +734,12 @@ pub fn run_bob_lifecycle<T: Transport>(
         },
     }
     let mut phase = Phase::Data;
-    let leave_frame = LifecycleMessage::Leave { session_id }.encode();
+    let leave_frame = channel
+        .authenticate(LifecycleMessage::Leave {
+            session_id,
+            mac: [0; 32],
+        })
+        .encode();
 
     loop {
         let now = Instant::now();
@@ -809,6 +841,11 @@ pub fn run_bob_lifecycle<T: Transport>(
         };
         match msg {
             LifecycleMessage::AppAck { epoch, seq, .. } => {
+                // A forged ack would suppress retransmission of a frame
+                // the server never processed: drop it unless it verifies.
+                if channel.verify_control(&msg).is_err() {
+                    continue;
+                }
                 if pending
                     .as_ref()
                     .is_some_and(|p| p.epoch == epoch && p.seq == seq)
@@ -823,6 +860,12 @@ pub fn run_bob_lifecycle<T: Transport>(
                 fresh: fresh_initiator,
                 ..
             } => {
+                // An injected request (foreign fresh nonce, flipped mode)
+                // would make us offer a candidate the real initiator can
+                // never match: drop it unless it verifies.
+                if channel.verify_control(&msg).is_err() {
+                    continue;
+                }
                 let my_fresh = fresh.next_u64();
                 if let Ok((disposition, confirm)) =
                     responder.on_request(&channel, epoch, mode, fresh_initiator, my_fresh)
@@ -879,6 +922,11 @@ pub fn run_bob_lifecycle<T: Transport>(
                 }
             }
             LifecycleMessage::LeaveAck { .. } => {
+                // A forged ack would have us disconnect while the server
+                // still holds us live: drop it unless it verifies.
+                if channel.verify_control(&msg).is_err() {
+                    continue;
+                }
                 if matches!(phase, Phase::Leaving { .. }) {
                     outcome.left = true;
                     break;

@@ -200,22 +200,32 @@ fn lifecycle_message_strategy() -> impl Strategy<Value = LifecycleMessage> {
                     mac,
                 }
             }),
-        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(session_id, epoch, seq)| {
-            LifecycleMessage::AppAck {
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<[u8; 32]>()).prop_map(
+            |(session_id, epoch, seq, mac)| LifecycleMessage::AppAck {
                 session_id,
                 epoch,
                 seq,
-            }
-        }),
-        (any::<u32>(), any::<u32>(), mode, trigger, any::<u64>()).prop_map(
-            |(session_id, epoch, mode, trigger, fresh)| LifecycleMessage::RekeyRequest {
-                session_id,
-                epoch,
-                mode,
-                trigger,
-                fresh,
-            }
+                mac,
+            },
         ),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            mode,
+            trigger,
+            any::<u64>(),
+            any::<[u8; 32]>(),
+        )
+            .prop_map(|(session_id, epoch, mode, trigger, fresh, mac)| {
+                LifecycleMessage::RekeyRequest {
+                    session_id,
+                    epoch,
+                    mode,
+                    trigger,
+                    fresh,
+                    mac,
+                }
+            },),
         (any::<u32>(), any::<u32>(), any::<u64>(), any::<[u8; 32]>()).prop_map(
             |(session_id, epoch, fresh, check)| LifecycleMessage::RekeyConfirm {
                 session_id,
@@ -251,15 +261,18 @@ fn lifecycle_message_strategy() -> impl Strategy<Value = LifecycleMessage> {
                     }
                 }
             ),
-        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-            |(session_id, group_epoch, member_id)| LifecycleMessage::GroupKeyAck {
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<[u8; 32]>()).prop_map(
+            |(session_id, group_epoch, member_id, mac)| LifecycleMessage::GroupKeyAck {
                 session_id,
                 group_epoch,
                 member_id,
+                mac,
             }
         ),
-        any::<u32>().prop_map(|session_id| LifecycleMessage::Leave { session_id }),
-        any::<u32>().prop_map(|session_id| LifecycleMessage::LeaveAck { session_id }),
+        (any::<u32>(), any::<[u8; 32]>())
+            .prop_map(|(session_id, mac)| LifecycleMessage::Leave { session_id, mac }),
+        (any::<u32>(), any::<[u8; 32]>())
+            .prop_map(|(session_id, mac)| LifecycleMessage::LeaveAck { session_id, mac }),
     ]
 }
 
