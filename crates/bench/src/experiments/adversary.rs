@@ -1,0 +1,581 @@
+//! Adversary suite against the live wire: Eve, Mallory, and the flood.
+//!
+//! Beyond the paper's closed-form security argument — this experiment
+//! puts an attacker on the same TCP wire the fleet uses and measures,
+//! rather than assumes, the three security claims:
+//!
+//! * **Passive** (paper Figs. 15/16): Eve observes every public frame of
+//!   `SESSIONS` honest sessions through a wiretap, derives her own
+//!   correlated measurements at each swept separation via the
+//!   `J₀(2πd/λ)` spatial-decorrelation law, and runs them through the
+//!   *same* reconcile/amplify pipeline with the captured syndromes and
+//!   MAC oracle. Gates: key-bit agreement ≤ [`MAX_EVE_AGREEMENT`] at and
+//!   beyond λ/2, zero outright key recoveries there, zero duplicate keys
+//!   across ≥ [`MIN_UNIQUE_SESSIONS`] sessions, and the pooled key bits
+//!   must pass the full Table II NIST battery
+//!   ([`nist::KeyBattery`]).
+//! * **Active**: probe injection, full-session replay, a seeded bit-flip
+//!   storm ladder, and lifecycle-frame forgery against the PR 7 MACs.
+//!   Every attack must end in a typed server-side abort — zero
+//!   protocol-level acceptances, and at least one flight-recorder dump
+//!   annotated with the classified `attack_kind`.
+//! * **DoS**: a half-open flood plus a slowloris client against the
+//!   accept loop. Gates: the handshake deadline evicts held sockets,
+//!   backpressure leaves a counter trace, at least one honest client
+//!   confirms a key *during* the flood, and server memory and the live
+//!   session table stay bounded.
+//!
+//! The JSON lands in `$VK_OUT/BENCH_adversary.json` when `VK_OUT` is
+//! set, else `results/BENCH_adversary.json`.
+
+use super::rng_for;
+use crate::table::Table;
+use nist::KeyBattery;
+use reconcile::AutoencoderTrainer;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::{FlightRecorder, Json};
+use vk_server::{
+    attack_bitflip_storm, attack_lifecycle_inject, attack_probe_injection, attack_session_replay,
+    correlation_at, default_separations, eve_sweep_point, forged_app_frames, run_recorded_session,
+    slowloris, AttackOutcome, EveArm, FaultConfig, HalfOpenFlood, LifecycleConfig, RetryPolicy,
+    Server, ServerConfig, SessionCapture, SessionParams, StormOutcome, StormVerdict,
+};
+
+/// Honest sessions recorded for Eve's corpus; the uniqueness and NIST
+/// gates need at least [`MIN_UNIQUE_SESSIONS`] confirmed keys.
+pub const MIN_UNIQUE_SESSIONS: usize = 100;
+
+/// Eve's key-bit agreement ceiling at separations of λ/2 and beyond.
+pub const MAX_EVE_AGREEMENT: f64 = 0.55;
+
+/// Honest key-confirmation floor for the recorded corpus.
+pub const MIN_HONEST_RATE: f64 = 0.95;
+
+/// λ/2 at the 434 MHz carrier — the paper's decorrelation threshold.
+const HALF_LAMBDA_M: f64 = 2.997_924_58e8 / 434.0e6 / 2.0;
+
+/// Server RSS growth ceiling across the whole campaign, in KiB.
+const MAX_RSS_GROWTH_KIB: u64 = 131_072;
+
+/// Bit-flip storm ladder: the top rung must die in a typed error.
+/// Partial storms are absorbed (retransmission, the escalation ladder)
+/// or at worst end in a *detected* confirm mismatch; at 1.0 every frame
+/// in both directions carries a flipped bit, so no clean ack ever
+/// arrives and the retry budget aborts typed.
+const STORM_CORRUPT: [f64; 3] = [0.05, 0.25, 1.0];
+
+fn session_params() -> SessionParams {
+    SessionParams {
+        handshake_timeout: Duration::from_millis(300),
+        retry: RetryPolicy {
+            ack_timeout: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        },
+        ..SessionParams::default()
+    }
+}
+
+/// Resident-set size of this process in KiB, from `/proc/self/status`
+/// (0 where the procfs layout is unavailable).
+fn rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn out_dir() -> String {
+    match std::env::var("VK_OUT") {
+        Ok(dir) if !dir.is_empty() => dir,
+        _ => "results".to_string(),
+    }
+}
+
+/// Flight-recorder dumps under `dir` annotated with an attack
+/// classification.
+fn annotated_dumps(dir: &str) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().starts_with("flightrec-"))
+        .filter(|e| {
+            std::fs::read_to_string(e.path())
+                .map(|text| text.contains("attack_kind"))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+fn storm_label(v: &StormVerdict) -> String {
+    match v {
+        StormVerdict::Completed { key_matched: true } => "completed (matched)".into(),
+        StormVerdict::Completed { key_matched: false } => "completed (detected mismatch)".into(),
+        StormVerdict::TypedError(e) => format!("typed error: {e}"),
+    }
+}
+
+/// The adversary campaign: passive, active, and DoS arms with CI gates,
+/// recorded in `BENCH_adversary.json`.
+///
+/// # Errors
+///
+/// Returns a description of every violated gate, or a benchmark-file
+/// write failure; the report still renders inside the error so a failing
+/// run is diagnosable.
+///
+/// # Panics
+///
+/// Panics if the loopback server cannot start — a bench environment
+/// without loopback TCP is unusable anyway.
+pub fn adversary() -> Result<String, String> {
+    let mut rng = rng_for("adversary");
+    let reconciler = Arc::new(
+        AutoencoderTrainer::default()
+            .with_steps(6000)
+            .train(&mut rng),
+    );
+    let params = session_params();
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let rss_before = rss_kib();
+
+    let flight = Arc::new(FlightRecorder::new(8, 64));
+    let server = Server::start(
+        ServerConfig {
+            workers: 8,
+            params,
+            max_sessions: None,
+            nonce_seed: crate::base_seed(),
+            flight: Some(Arc::clone(&flight)),
+            flight_dir: dir.clone(),
+            pending_cap: Some(8),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&reconciler),
+    )
+    .expect("loopback server must start");
+    let addr = server.local_addr();
+    let poll = Duration::from_millis(5);
+    let connect = Duration::from_secs(5);
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---- Passive arm: record the corpus, then put Eve on it. ----------
+    let sessions = crate::scaled(120, MIN_UNIQUE_SESSIONS + 12);
+    let mut captures: Vec<(SessionCapture, [u8; 16])> = Vec::new();
+    let mut distinct: HashSet<[u8; 16]> = HashSet::new();
+    let mut battery = KeyBattery::new();
+    let mut session_errors = 0usize;
+    for index in 0..sessions {
+        let nonce_b = crate::base_seed() ^ (index as u64 + 1).rotate_left(17);
+        match run_recorded_session(addr, &reconciler, nonce_b, &params, poll, connect) {
+            Ok((capture, Some(confirmed))) => {
+                distinct.insert(confirmed);
+                battery.push_key(&confirmed, capture.entropy_bits);
+                captures.push((capture, confirmed));
+            }
+            Ok((_, None)) => session_errors += 1,
+            Err(_) => session_errors += 1,
+        }
+    }
+    let honest_ok = captures.len();
+    let honest_rate = honest_ok as f64 / sessions.max(1) as f64;
+    let unique_key_count = distinct.len();
+    if honest_rate < MIN_HONEST_RATE {
+        violations.push(format!(
+            "honest confirmation rate {honest_rate:.3} below {MIN_HONEST_RATE} \
+             ({honest_ok}/{sessions} confirmed, {session_errors} failed)"
+        ));
+    }
+    if honest_ok < MIN_UNIQUE_SESSIONS {
+        violations.push(format!(
+            "only {honest_ok} confirmed sessions — the uniqueness gate needs \
+             at least {MIN_UNIQUE_SESSIONS}"
+        ));
+    }
+    if unique_key_count != honest_ok {
+        violations.push(format!(
+            "duplicate session keys: {unique_key_count} distinct across {honest_ok} sessions"
+        ));
+    }
+    let battery_verdict = battery.verdict();
+    match &battery_verdict {
+        Ok(verdict) if !verdict.passed => violations.push(format!(
+            "pooled key bits failed the NIST battery (weakest: {})",
+            verdict
+                .weakest()
+                .map(|t| format!("{} p={:.4}", t.name, t.p_value))
+                .unwrap_or_else(|| "none ran".into())
+        )),
+        Ok(_) => {}
+        Err(e) => violations.push(format!("NIST battery unavailable: {e}")),
+    }
+
+    let eve: Vec<EveArm> = default_separations()
+        .into_iter()
+        .map(|separation_m| {
+            let rho = correlation_at(separation_m);
+            eve_sweep_point(
+                &captures,
+                &reconciler,
+                separation_m,
+                rho,
+                &params,
+                crate::base_seed() ^ separation_m.to_bits(),
+            )
+        })
+        .collect();
+    for arm in &eve {
+        if arm.separation_m >= HALF_LAMBDA_M - 1e-9 {
+            if arm.mean_key_bit_agreement > MAX_EVE_AGREEMENT {
+                violations.push(format!(
+                    "Eve at {:.3} m reaches key-bit agreement {:.3} (> {MAX_EVE_AGREEMENT})",
+                    arm.separation_m, arm.mean_key_bit_agreement
+                ));
+            }
+            if arm.recovered_key_count > 0 {
+                violations.push(format!(
+                    "Eve at {:.3} m recovered {} session key(s) outright",
+                    arm.separation_m, arm.recovered_key_count
+                ));
+            }
+        }
+    }
+
+    // ---- Active arm: Mallory speaks real framing. ---------------------
+    let mut attacks: Vec<AttackOutcome> = Vec::new();
+    match attack_probe_injection(addr, &reconciler, poll, connect) {
+        Ok(outcome) => attacks.push(outcome),
+        Err(e) => violations.push(format!("probe injection could not run: {e}")),
+    }
+    if let Some((capture, _)) = captures.first() {
+        match attack_session_replay(addr, capture, 10, poll, connect) {
+            Ok(outcome) => attacks.push(outcome),
+            Err(e) => violations.push(format!("session replay could not run: {e}")),
+        }
+    } else {
+        violations.push("no capture available for the replay attack".into());
+    }
+
+    // The storm is bidirectional: the client wraps its transport in a
+    // FaultyTransport, and a dedicated server instance corrupts its own
+    // replies at the same rate so honest corpus traffic stays clean.
+    let mut storms: Vec<(f64, StormOutcome)> = Vec::new();
+    for (rung, corrupt) in STORM_CORRUPT.iter().enumerate() {
+        let fault = FaultConfig {
+            corrupt: *corrupt,
+            seed: crate::base_seed() ^ 0x5707_14A1 ^ rung as u64,
+            ..FaultConfig::default()
+        };
+        let storm_server = Server::start(
+            ServerConfig {
+                workers: 2,
+                params,
+                max_sessions: Some(1),
+                nonce_seed: crate::base_seed() ^ 0x5707 ^ rung as u64,
+                fault: Some(FaultConfig {
+                    seed: fault.seed ^ 0xA11CE,
+                    ..fault
+                }),
+                ..ServerConfig::default()
+            },
+            Arc::clone(&reconciler),
+        )
+        .expect("loopback storm server must start");
+        match attack_bitflip_storm(
+            storm_server.local_addr(),
+            &reconciler,
+            crate::base_seed() ^ 0xB17_F11B ^ (rung as u64).rotate_left(23),
+            fault,
+            &params,
+            poll,
+            connect,
+        ) {
+            Ok(outcome) => storms.push((*corrupt, outcome)),
+            Err(e) => violations.push(format!("bit-flip storm at {corrupt} could not run: {e}")),
+        }
+        storm_server.shutdown();
+    }
+    if let Some((corrupt, top)) = storms.last() {
+        if !matches!(top.verdict, StormVerdict::TypedError(_)) {
+            violations.push(format!(
+                "storm at corruption {corrupt} did not die in a typed error: {}",
+                storm_label(&top.verdict)
+            ));
+        }
+    }
+
+    // Lifecycle forgery needs a lifecycle-enabled server; anchor it on a
+    // dedicated instance so the main corpus stays on the key plane.
+    let lifecycle_server = Server::start(
+        ServerConfig {
+            workers: 2,
+            params,
+            max_sessions: Some(1),
+            nonce_seed: crate::base_seed() ^ 0x11FE,
+            flight: Some(Arc::clone(&flight)),
+            flight_dir: dir.clone(),
+            lifecycle: Some(LifecycleConfig::default()),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&reconciler),
+    )
+    .expect("loopback lifecycle server must start");
+    match attack_lifecycle_inject(
+        lifecycle_server.local_addr(),
+        &reconciler,
+        crate::base_seed() ^ 0x00F0_96E5,
+        &params,
+        poll,
+        connect,
+        |session_id| forged_app_frames(session_id, 300),
+    ) {
+        Ok(outcome) => attacks.push(outcome),
+        Err(e) => violations.push(format!("lifecycle forgery could not run: {e}")),
+    }
+    let lifecycle_stats = lifecycle_server.shutdown();
+    for attack in &attacks {
+        if attack.accepted > 0 {
+            violations.push(format!(
+                "{} extracted {} protocol-level acceptance(s)",
+                attack.kind, attack.accepted
+            ));
+        }
+        if !attack.connection_closed {
+            violations.push(format!(
+                "{} was never disconnected — no typed abort observed",
+                attack.kind
+            ));
+        }
+    }
+
+    // ---- DoS arm: flood the accept loop, keep honest service alive. ---
+    let mut flood = HalfOpenFlood::open(addr, 32, connect);
+    let flood_held = flood.held();
+    let mut honest_during_flood = 0usize;
+    let attempted_during_flood = 5usize;
+    for attempt in 0..attempted_during_flood {
+        let nonce_b = crate::base_seed() ^ 0xD05 ^ (attempt as u64).rotate_left(51);
+        if let Ok((_, Some(_))) =
+            run_recorded_session(addr, &reconciler, nonce_b, &params, poll, connect)
+        {
+            honest_during_flood += 1;
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    std::thread::sleep(params.handshake_timeout + Duration::from_millis(250));
+    let flood_evicted = flood.closed_by_server();
+    flood.release();
+    let loris = slowloris(addr, connect, Duration::from_millis(25), 4096);
+    match &loris {
+        Ok(outcome) if !outcome.evicted => {
+            violations.push("slowloris client was never evicted".into());
+        }
+        Ok(_) => {}
+        Err(e) => violations.push(format!("slowloris could not run: {e}")),
+    }
+    if flood_evicted == 0 {
+        violations.push("no half-open socket was evicted by the handshake deadline".into());
+    }
+    if honest_during_flood == 0 {
+        violations.push("no honest session confirmed while the flood was held".into());
+    }
+
+    let live_sessions = server.session_table().live_len();
+    let stats = server.shutdown();
+    let rss_after = rss_kib();
+    let rss_growth = rss_after.saturating_sub(rss_before);
+    if stats.handshake_timeouts == 0 {
+        violations.push("server recorded zero handshake timeouts under the flood".into());
+    }
+    if stats.rejected_overload == 0 && stats.handshake_timeouts < flood_held as u64 {
+        violations.push(format!(
+            "backpressure left no trace: {} overload rejections, {} handshake timeouts \
+             against {flood_held} held sockets",
+            stats.rejected_overload, stats.handshake_timeouts
+        ));
+    }
+    if live_sessions > 2 * (flood_held + attempted_during_flood) {
+        violations.push(format!(
+            "session table still holds {live_sessions} live entries after the campaign"
+        ));
+    }
+    if rss_before > 0 && rss_growth > MAX_RSS_GROWTH_KIB {
+        violations.push(format!(
+            "server RSS grew {rss_growth} KiB across the campaign (cap {MAX_RSS_GROWTH_KIB})"
+        ));
+    }
+    let dumps = annotated_dumps(&dir);
+    if dumps == 0 {
+        violations.push("no flight-recorder dump carries an attack_kind annotation".into());
+    }
+
+    // ---- Manifest + report. -------------------------------------------
+    let battery_json = match &battery_verdict {
+        Ok(verdict) => Json::parse(&verdict.to_json()).unwrap_or(Json::Null),
+        Err(e) => Json::Str(e.clone()),
+    };
+    let json = Json::Obj(vec![
+        ("kind".into(), Json::Str("adversary_bench".into())),
+        ("seed".into(), Json::UInt(crate::base_seed())),
+        ("scale".into(), Json::Num(crate::scale())),
+        (
+            "passive".into(),
+            Json::Obj(vec![
+                ("sessions".into(), Json::UInt(sessions as u64)),
+                ("honest_ok".into(), Json::UInt(honest_ok as u64)),
+                ("honest_rate".into(), Json::Num(honest_rate)),
+                (
+                    "unique_key_count".into(),
+                    Json::UInt(unique_key_count as u64),
+                ),
+                ("nist".into(), battery_json),
+                (
+                    "eve".into(),
+                    Json::Arr(eve.iter().map(EveArm::to_json).collect()),
+                ),
+            ]),
+        ),
+        (
+            "active".into(),
+            Json::Obj(vec![
+                (
+                    "attacks".into(),
+                    Json::Arr(attacks.iter().map(AttackOutcome::to_json).collect()),
+                ),
+                (
+                    "storms".into(),
+                    Json::Arr(
+                        storms
+                            .iter()
+                            .map(|(corrupt, outcome)| {
+                                Json::Obj(vec![
+                                    ("corrupt".into(), Json::Num(*corrupt)),
+                                    ("verdict".into(), Json::Str(storm_label(&outcome.verdict))),
+                                    (
+                                        "frames_corrupted".into(),
+                                        Json::UInt(outcome.faults.corrupted),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "lifecycle_rejected_frames".into(),
+                    Json::UInt(lifecycle_stats.rejected_frames),
+                ),
+                ("annotated_flight_dumps".into(), Json::UInt(dumps as u64)),
+            ]),
+        ),
+        (
+            "dos".into(),
+            Json::Obj(vec![
+                ("flood_held".into(), Json::UInt(flood_held as u64)),
+                ("flood_evicted".into(), Json::UInt(flood_evicted as u64)),
+                (
+                    "honest_during_flood".into(),
+                    Json::UInt(honest_during_flood as u64),
+                ),
+                (
+                    "attempted_during_flood".into(),
+                    Json::UInt(attempted_during_flood as u64),
+                ),
+                (
+                    "slowloris".into(),
+                    match &loris {
+                        Ok(o) => Json::Obj(vec![
+                            ("bytes_sent".into(), Json::UInt(o.bytes_sent as u64)),
+                            ("evicted".into(), Json::Bool(o.evicted)),
+                            (
+                                "elapsed_ms".into(),
+                                Json::Num(o.elapsed.as_secs_f64() * 1e3),
+                            ),
+                        ]),
+                        Err(e) => Json::Str(e.clone()),
+                    },
+                ),
+                (
+                    "handshake_timeouts".into(),
+                    Json::UInt(stats.handshake_timeouts),
+                ),
+                (
+                    "rejected_overload".into(),
+                    Json::UInt(stats.rejected_overload),
+                ),
+                (
+                    "live_sessions_after".into(),
+                    Json::UInt(live_sessions as u64),
+                ),
+                ("rss_growth_kib".into(), Json::UInt(rss_growth)),
+            ]),
+        ),
+        (
+            "violations".into(),
+            Json::Arr(violations.iter().map(|v| Json::Str(v.clone())).collect()),
+        ),
+    ]);
+    let path = format!("{dir}/BENCH_adversary.json");
+    std::fs::write(&path, json.to_string() + "\n")
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+
+    let mut t = Table::new(
+        "Adversary: Eve's sweep over the recorded corpus",
+        &[
+            "separation (m)",
+            "rho",
+            "raw agree",
+            "key-bit agree",
+            "max",
+            "recovered",
+            "oracle",
+        ],
+    );
+    for arm in &eve {
+        t.row(&[
+            format!("{:.3}", arm.separation_m),
+            format!("{:.3}", arm.rho),
+            format!("{:.3}", arm.mean_raw_agreement),
+            format!("{:.3}", arm.mean_key_bit_agreement),
+            format!("{:.3}", arm.max_key_bit_agreement),
+            arm.recovered_key_count.to_string(),
+            format!("{:.3}", arm.oracle_block_rate),
+        ]);
+    }
+    let storm_lines: Vec<String> = storms
+        .iter()
+        .map(|(corrupt, outcome)| format!("{corrupt}: {}", storm_label(&outcome.verdict)))
+        .collect();
+    let report = t.render()
+        + &format!(
+            "\n{honest_ok}/{sessions} honest sessions confirmed ({unique_key_count} distinct \
+             keys, NIST battery {}), every active attack refused (0 acceptances across {} \
+             attacks; storms {}), flood: {flood_evicted}/{flood_held} evicted while \
+             {honest_during_flood}/{attempted_during_flood} honest clients confirmed, \
+             {} annotated flight dump(s); recorded in {path}.\n",
+            match &battery_verdict {
+                Ok(verdict) if verdict.passed => "passed".to_string(),
+                Ok(_) => "FAILED".to_string(),
+                Err(_) => "unavailable".to_string(),
+            },
+            attacks.len(),
+            storm_lines.join(", "),
+            dumps,
+        );
+
+    if violations.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!(
+            "adversary gate failed:\n  {}\n\n{report}",
+            violations.join("\n  ")
+        ))
+    }
+}

@@ -13,8 +13,10 @@
 //! | [`lifecycle`] | Beyond the paper: rekeying and platoon group keys under churn (`BENCH_lifecycle.json`) |
 //! | [`nnbench`] | Beyond the paper: compute-layer microbenchmarks (`BENCH_nn.json`) |
 //! | [`lintbench`] | Beyond the paper: static-analysis benchmark and gate (`BENCH_lint.json`) |
+//! | [`adversary`] | Beyond the paper: Eve/Mallory/DoS suite against the live wire (`BENCH_adversary.json`) |
 
 pub mod ablate;
+pub mod adversary;
 pub mod chaos;
 pub mod fleet;
 pub mod lifecycle;
@@ -80,6 +82,7 @@ pub const ALL: &[&str] = &[
     "lifecycle",
     "nnbench",
     "lintbench",
+    "adversary",
 ];
 
 /// Run one experiment by name; returns the rendered report.
@@ -114,6 +117,7 @@ pub fn run(name: &str) -> Result<String, String> {
         "lifecycle" => lifecycle::lifecycle(),
         "nnbench" => nnbench::nnbench(),
         "lintbench" => lintbench::lintbench(),
+        "adversary" => adversary::adversary(),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

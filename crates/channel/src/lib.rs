@@ -52,7 +52,7 @@ pub use pathloss::PathLoss;
 pub use shadowing::Shadowing;
 pub use theory::{
     bessel_j0, coherence_bandwidth_hz, coherence_time_fast, coherence_time_slow, doppler_shift_hz,
-    estimate_rice_k, lognormal_pdf, rayleigh_pdf,
+    estimate_rice_k, lognormal_pdf, rayleigh_pdf, sign_agreement_probability,
 };
 
 /// Propagation environment, controlling multipath richness.

@@ -1,0 +1,240 @@
+//! `KeyBattery` — the randomness battery as a reusable accumulator.
+//!
+//! [`run_all`](crate::run_all) judges one bit sequence; real workloads
+//! (the server fleet, the adversary suite) produce many short *keys*, each
+//! far below the test minimums. Feeding a single 128-bit key to the
+//! battery silently skips every test whose minimum is unmet — which reads
+//! as "all tests passed" to a caller that only counts failures. This
+//! module makes that misuse impossible: keys are pooled bit-by-bit until
+//! the sample is large enough for the full Table II battery, and asking
+//! for a verdict below that floor is an explicit error, never a silent
+//! skip.
+//!
+//! Amplified keys zero their tail bytes beyond the session's effective
+//! entropy, so [`KeyBattery::push_key`] takes the entropy bound and pools
+//! only the bits that are actually key material — padding zeros would
+//! otherwise bias the frequency tests toward failure for reasons that
+//! have nothing to do with the generator.
+
+use crate::tests::{run_all, TestResult};
+
+/// Every test in [`run_all`](crate::run_all) runs (none are skipped for
+/// length) once the pool holds at least this many bits: the binding
+/// minimum is Overlapping-Template at 5160, with Linear-Complexity at
+/// 2500 and Non-overlapping-Template at 800 below it — but `run_all`
+/// stops at Linear-Complexity, so 2500 clears the Table II battery.
+pub const MIN_POOLED_BITS: usize = 2500;
+
+/// Accumulates key bits across sessions and renders a battery verdict.
+#[derive(Debug, Clone, Default)]
+pub struct KeyBattery {
+    bits: Vec<bool>,
+    key_count: usize,
+}
+
+/// The outcome of running the pooled bits through the battery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryVerdict {
+    /// Bits pooled across all pushed keys.
+    pub bits: usize,
+    /// Keys pushed.
+    pub key_count: usize,
+    /// Per-test results, in the paper's Table II row order.
+    pub results: Vec<TestResult>,
+    /// Whether every test retained the randomness hypothesis at α = 0.01.
+    pub passed: bool,
+}
+
+impl BatteryVerdict {
+    /// The test with the smallest p-value (the battery's weakest link),
+    /// when any test ran.
+    #[must_use]
+    pub fn weakest(&self) -> Option<&TestResult> {
+        self.results
+            .iter()
+            .min_by(|a, b| a.p_value.total_cmp(&b.p_value))
+    }
+
+    /// Hand-rolled JSON object (this crate is dependency-free):
+    /// `{"bits": …, "keys": …, "passed": …, "tests": [{name, p_value,
+    /// passed}, …]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let tests: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\": \"{}\", \"p_value\": {:.6}, \"passed\": {}}}",
+                    r.name,
+                    r.p_value,
+                    r.passed()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bits\": {}, \"keys\": {}, \"passed\": {}, \"tests\": [{}]}}",
+            self.bits,
+            self.key_count,
+            self.passed,
+            tests.join(", ")
+        )
+    }
+}
+
+impl KeyBattery {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        KeyBattery::default()
+    }
+
+    /// Bits pooled so far.
+    #[must_use]
+    pub fn pooled_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Keys pushed so far.
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.key_count
+    }
+
+    /// Whether the pool has reached [`MIN_POOLED_BITS`].
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        self.bits.len() >= MIN_POOLED_BITS
+    }
+
+    /// Pool the first `effective_bits` bits of a 128-bit key, MSB first —
+    /// the bound under which amplification zeroed the tail.
+    pub fn push_key(&mut self, key: &[u8; 16], effective_bits: usize) {
+        self.push_bytes(key, effective_bits);
+    }
+
+    /// Pool the first `effective_bits` bits of `bytes`, MSB first.
+    pub fn push_bytes(&mut self, bytes: &[u8], effective_bits: usize) {
+        let limit = effective_bits.min(bytes.len() * 8);
+        for i in 0..limit {
+            let byte = bytes[i / 8];
+            self.bits.push((byte >> (7 - i % 8)) & 1 == 1);
+        }
+        self.key_count += 1;
+    }
+
+    /// Run the pooled bits through the full battery.
+    ///
+    /// # Errors
+    ///
+    /// When fewer than [`MIN_POOLED_BITS`] bits are pooled — the condition
+    /// under which `run_all` would silently skip tests.
+    pub fn verdict(&self) -> Result<BatteryVerdict, String> {
+        if !self.ready() {
+            return Err(format!(
+                "key battery needs >= {MIN_POOLED_BITS} pooled bits, got {} \
+                 across {} key(s); push more keys before asking for a verdict",
+                self.bits.len(),
+                self.key_count
+            ));
+        }
+        let results = run_all(&self.bits);
+        let passed = !results.is_empty() && results.iter().all(TestResult::passed);
+        Ok(BatteryVerdict {
+            bits: self.bits.len(),
+            key_count: self.key_count,
+            results,
+            passed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64, locally: the battery must judge a decent PRNG as
+    /// random without this crate growing a dependency for the test.
+    struct Mix(u64);
+
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn key(&mut self) -> [u8; 16] {
+            let mut k = [0u8; 16];
+            k[..8].copy_from_slice(&self.next().to_be_bytes());
+            k[8..].copy_from_slice(&self.next().to_be_bytes());
+            k
+        }
+    }
+
+    #[test]
+    fn short_pools_error_instead_of_silently_skipping() {
+        let mut battery = KeyBattery::new();
+        battery.push_key(&[0xA5; 16], 128);
+        assert!(!battery.ready());
+        let err = battery.verdict().unwrap_err();
+        assert!(err.contains("2500"), "{err}");
+        assert!(err.contains("128"), "{err}");
+    }
+
+    #[test]
+    fn pooled_random_keys_pass_the_battery() {
+        let mut rng = Mix(0x5EED);
+        let mut battery = KeyBattery::new();
+        while !battery.ready() {
+            battery.push_key(&rng.key(), 128);
+        }
+        let verdict = battery.verdict().expect("pool is large enough");
+        assert!(verdict.passed, "{}", verdict.to_json());
+        assert_eq!(verdict.key_count, battery.key_count());
+        assert_eq!(verdict.bits, battery.pooled_bits());
+        // Every Table II test actually ran — nothing was skipped.
+        assert!(verdict.results.len() >= 8, "{:?}", verdict.results);
+        let weakest = verdict.weakest().expect("tests ran");
+        assert!(weakest.p_value >= crate::ALPHA);
+    }
+
+    #[test]
+    fn constant_keys_fail_the_battery() {
+        let mut battery = KeyBattery::new();
+        while !battery.ready() {
+            battery.push_key(&[0xFF; 16], 128);
+        }
+        let verdict = battery.verdict().expect("pool is large enough");
+        assert!(!verdict.passed);
+        assert!(verdict.weakest().expect("tests ran").p_value < crate::ALPHA);
+    }
+
+    #[test]
+    fn effective_bits_bound_the_pooled_tail() {
+        let mut battery = KeyBattery::new();
+        // 96 effective bits: the zeroed 32-bit tail must stay out of the
+        // pool rather than biasing the frequency test.
+        battery.push_key(&[0x3C; 16], 96);
+        assert_eq!(battery.pooled_bits(), 96);
+        // An entropy bound beyond the key length clamps to the key.
+        battery.push_key(&[0x3C; 16], 4096);
+        assert_eq!(battery.pooled_bits(), 96 + 128);
+        assert_eq!(battery.key_count(), 2);
+    }
+
+    #[test]
+    fn verdict_json_is_parseable_shape() {
+        let mut rng = Mix(7);
+        let mut battery = KeyBattery::new();
+        while !battery.ready() {
+            battery.push_key(&rng.key(), 128);
+        }
+        let json = battery.verdict().expect("ready").to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"tests\": ["), "{json}");
+        assert!(json.contains("\"Frequency\""), "{json}");
+    }
+}

@@ -36,10 +36,12 @@
 //! assert!(r.p_value >= 0.01);
 //! ```
 
+pub mod battery;
 pub mod fft;
 pub mod special;
 pub mod tests;
 
+pub use battery::{BatteryVerdict, KeyBattery, MIN_POOLED_BITS};
 pub use tests::{run_all, run_extended, TestResult};
 
 /// The NIST significance level: p-values below this reject randomness.

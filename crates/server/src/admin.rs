@@ -308,6 +308,8 @@ fn route(
                 ("server.reprobes", s.reprobes),
                 ("server.exhausted_blocks", s.exhausted_blocks),
                 ("server.leaked_bits", s.leaked_bits),
+                ("server.handshake_timeouts", s.handshake_timeouts),
+                ("server.rejected_overload", s.rejected_overload),
             ];
             (
                 "200 OK",

@@ -8,7 +8,10 @@
 //! vkey nist    --pipeline pipeline.bin [--bits 4000]
 //! vkey serve   --addr 127.0.0.1:7400 [--workers 4] [--max-sessions 100]
 //!              [--admin 127.0.0.1:9100] [--flight-dir results]
+//!              [--max-pending 64] [--per-ip 16]
 //! vkey fleet   --addr 127.0.0.1:7400 --sessions 100 --concurrency 8
+//! vkey fleet   --addr 127.0.0.1:7400 --adversary [--separations 0.1,0.35,2]
+//!              [--flood 24] [--slowloris-bytes 48] [--lifecycle]
 //! vkey trace-merge --inputs alice.jsonl,bob.jsonl --out trace.merged.json
 //! vkey help
 //! ```
@@ -32,8 +35,8 @@ use telemetry::Json;
 use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
 use vehicle_key::RecoveryPolicy;
 use vk_server::{
-    run_fleet, AdminServer, ClientLifecycleCfg, FaultConfig, FleetConfig, LifecycleConfig,
-    RekeyPolicy, RetryPolicy, Server, ServerConfig, SessionParams,
+    run_adversary, run_fleet, AdminServer, AdversaryConfig, ClientLifecycleCfg, FaultConfig,
+    FleetConfig, LifecycleConfig, RekeyPolicy, RetryPolicy, Server, ServerConfig, SessionParams,
 };
 
 fn scenario_from(name: &str) -> Result<ScenarioKind, String> {
@@ -62,7 +65,7 @@ impl Args {
             };
             if matches!(
                 name,
-                "fast" | "no-recovery" | "json" | "self" | "lifecycle" | "group"
+                "fast" | "no-recovery" | "json" | "self" | "lifecycle" | "group" | "adversary"
             ) {
                 flags.insert(name.to_string(), "true".into());
                 i += 1;
@@ -269,6 +272,10 @@ fn session_params_from(args: &Args) -> Result<SessionParams, String> {
         session_timeout: Duration::from_secs(
             args.parsed("session-timeout-s", defaults.session_timeout.as_secs())?,
         ),
+        handshake_timeout: Duration::from_millis(args.parsed(
+            "handshake-timeout-ms",
+            defaults.handshake_timeout.as_millis() as u64,
+        )?),
         recovery,
     })
 }
@@ -332,6 +339,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         flight: Some(Arc::clone(&flight)),
         flight_dir: args.get("flight-dir").unwrap_or("results").to_string(),
         lifecycle: lifecycle_from(args)?,
+        pending_cap: match args.get("max-pending") {
+            None => None,
+            Some(raw) => Some(raw.parse().map_err(|e| format!("bad --max-pending: {e}"))?),
+        },
+        per_ip_cap: match args.get("per-ip") {
+            None => None,
+            Some(raw) => Some(raw.parse().map_err(|e| format!("bad --per-ip: {e}"))?),
+        },
         ..ServerConfig::default()
     };
     // Feed the flight recorder alongside whatever sink --telemetry
@@ -407,7 +422,59 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `vkey fleet --adversary` — run the Eve/Mallory/DoS campaign against a
+/// live server instead of the honest fleet. The passive arm records
+/// honest sessions and replays Eve's correlated observations through the
+/// full pipeline at every swept separation; the active and DoS arms then
+/// attack the same server. Exits nonzero when part of the campaign could
+/// not run (individual attack *outcomes* are data, not errors — gate on
+/// the manifest).
+fn cmd_adversary(args: &Args) -> Result<(), String> {
+    let addr: std::net::SocketAddr = args
+        .get("addr")
+        .unwrap_or("127.0.0.1:7400")
+        .parse()
+        .map_err(|e| format!("bad --addr: {e}"))?;
+    let mut cfg = AdversaryConfig::new(addr);
+    cfg.sessions = args.parsed("sessions", cfg.sessions)?;
+    cfg.params = session_params_from(args)?;
+    cfg.nonce_seed = args.seed() ^ 0xE7E;
+    cfg.lifecycle = args.get("lifecycle").is_some() || args.get("group").is_some();
+    cfg.flood = args.parsed("flood", cfg.flood)?;
+    cfg.slowloris_bytes = args.parsed("slowloris-bytes", cfg.slowloris_bytes)?;
+    if let Some(raw) = args.get("separations") {
+        cfg.separations_m = raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|e| format!("bad --separations: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(storm) = fault_from(args)? {
+        cfg.storm = storm;
+    }
+    let reconciler = reconciler_from(args)?;
+    let report = run_adversary(&cfg, &reconciler);
+    println!("{}", report.render());
+    let out = args.get("out").unwrap_or("adversary.manifest.json");
+    std::fs::write(out, report.to_json().to_string() + "\n")
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    if !report.errors.is_empty() {
+        return Err(format!(
+            "adversary campaign incomplete: {}",
+            report.errors.join("; ")
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_fleet(args: &Args) -> Result<(), String> {
+    if args.get("adversary").is_some() {
+        return cmd_adversary(args);
+    }
     let base = FleetConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7400").to_string(),
         sessions: args.parsed("sessions", 100)?,
@@ -587,6 +654,14 @@ Subcommands:
                   --flight-dir <dir>    directory for flight-recorder
                                         post-mortems written when a session
                                         aborts (default results)
+                  --max-pending <n>     refuse new connections while n are
+                                        accepted but not yet served — the
+                                        half-open-flood backpressure bound
+                                        (default: unbounded)
+                  --per-ip <n>          cap in-flight connections per client
+                                        IP; loopback fleets must set this at
+                                        least as high as their concurrency
+                                        (default: unbounded)
                   --lifecycle           after key confirmation, keep each
                                         session in the authenticated
                                         lifecycle plane (app traffic and
@@ -617,6 +692,21 @@ Subcommands:
                   --app-frames <n>      app frames per session (default 8)
                   --hold-ms <n>         linger after the last ack, receiving
                                         group rotations (default 200)
+                  --adversary           run the adversary campaign instead of
+                                        the honest fleet: record sessions,
+                                        sweep Eve's separations, then attack
+                                        (injection, replay, bit-flip storm,
+                                        half-open flood, slowloris); writes
+                                        adversary.manifest.json
+                  --separations <a,b,..> Eve separations in metres to sweep
+                                        (default: λ/32 .. 5 m at 434 MHz)
+                  --flood <n>           half-open sockets to hold (0 skips
+                                        the DoS arm; default 24)
+                  --slowloris-bytes <n> byte budget trickled one-at-a-time
+                                        (0 skips the probe; default 48)
+                  --lifecycle           also forge lifecycle-plane frames
+                                        (server must run with --lifecycle)
+                  --corrupt etc. set the storm fault rates (default 0.25)
   trace-merge   Merge JSON-lines telemetry traces into one Chrome trace
                   --inputs <a,b,...>    trace files to merge (required)
                   --out <file>          output path (default trace.merged.json)

@@ -30,12 +30,18 @@
 //! * [`obs`] — trace-context frame extensions stitching both peers of a
 //!   session into one exported causal trace;
 //! * [`admin`] — the hand-rolled HTTP/1.0 admin endpoint serving
-//!   `/metrics` (Prometheus text), `/healthz`, and `/sessions`.
+//!   `/metrics` (Prometheus text), `/healthz`, and `/sessions`;
+//! * [`adversary`] — Eve and Mallory as workloads: wire-level capture
+//!   ([`RecordingTransport`]), the passive key-recovery pipeline at
+//!   swept separations, active attacks (injection, replay, bit-flip
+//!   storms, lifecycle forgery), and DoS drivers (half-open floods,
+//!   slowloris) with the campaign umbrella [`run_adversary`].
 //!
 //! Everything is instrumented with `vk-telemetry` spans and counters under
 //! the `server.*` and `fleet.*` namespaces.
 
 pub mod admin;
+pub mod adversary;
 pub mod fault;
 pub mod fleet;
 pub mod framing;
@@ -47,6 +53,13 @@ pub mod session;
 pub mod sim;
 
 pub use admin::{AdminServer, SessionEntry, SessionTable};
+pub use adversary::{
+    attack_bitflip_storm, attack_lifecycle_inject, attack_probe_injection, attack_session_replay,
+    correlation_at, default_separations, eve_observe, eve_sweep_point, forged_app_frames,
+    run_adversary, run_recorded_session, slowloris, AdversaryConfig, AdversaryReport,
+    AttackOutcome, BlockCapture, EveArm, EveObservation, HalfOpenFlood, RecordingTransport,
+    SessionCapture, SlowlorisOutcome, StormOutcome, StormVerdict,
+};
 pub use fault::{FaultConfig, FaultStats, FaultyTransport};
 pub use fleet::{
     run_fleet, FleetConfig, FleetError, FleetLifecycleStats, FleetReport, LatencyStats,
@@ -61,6 +74,6 @@ pub use pipe::PipeTransport;
 pub use server::{Server, ServerConfig, ServerStats, StatsSnapshot};
 pub use session::{
     run_bob_session, run_bob_session_keyed, serve_session, serve_session_keyed, BobOutcome,
-    RetryPolicy, ServeOutcome, SessionError, SessionHandoff, SessionParams,
+    RetryPolicy, ServeOutcome, SessionError, SessionHandoff, SessionParams, GARBAGE_BUDGET,
 };
 pub use sim::{derive_block_keys, derive_session_keys, SplitMix64};

@@ -16,9 +16,10 @@ use crate::lifecycle::{serve_lifecycle, GroupPlane, LifecycleConfig, LifecycleSt
 use crate::session::{serve_session_keyed, ServeOutcome, SessionError, SessionParams};
 use crate::sim::SplitMix64;
 use reconcile::AutoencoderReconciler;
+use std::collections::HashMap;
 use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -54,6 +55,18 @@ pub struct ServerConfig {
     /// off into the authenticated lifecycle plane (app traffic, rekeying,
     /// and — with `group` — platoon group keys) until the client leaves.
     pub lifecycle: Option<LifecycleConfig>,
+    /// Bound on connections accepted but not yet picked up by a worker
+    /// (`None` = unbounded, the pre-backpressure behaviour). A half-open
+    /// flood past this bound is refused at accept time — the stream is
+    /// closed immediately and counted in `rejected_overload` — so the
+    /// pending queue, and with it server memory, stays bounded.
+    pub pending_cap: Option<usize>,
+    /// Bound on in-flight connections (queued or being served) per client
+    /// IP address (`None` = unbounded). On a real deployment this blunts
+    /// a single-source flood; benchmarks over loopback, where every peer
+    /// shares `127.0.0.1`, must set it at least as high as the honest
+    /// concurrency they expect.
+    pub per_ip_cap: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +82,60 @@ impl Default for ServerConfig {
             flight: None,
             flight_dir: "results".into(),
             lifecycle: None,
+            pending_cap: None,
+            per_ip_cap: None,
+        }
+    }
+}
+
+/// Admission control shared by the accept loop (admit) and the workers
+/// (drain/release): a pending-queue depth and a per-source-IP in-flight
+/// count, both checked before a connection is queued.
+#[derive(Debug, Default)]
+struct Backpressure {
+    /// Connections queued for a worker but not yet dequeued.
+    pending: AtomicUsize,
+    /// In-flight (queued or being served) connections per source IP.
+    per_ip: Mutex<HashMap<IpAddr, usize>>,
+}
+
+impl Backpressure {
+    /// Admit or refuse a fresh connection from `ip` under the configured
+    /// caps. On admission both counts are already taken, so a refused
+    /// sibling racing this one cannot sneak past the bound.
+    fn admit(&self, ip: IpAddr, pending_cap: Option<usize>, per_ip_cap: Option<usize>) -> bool {
+        // A poisoned map means a worker panicked holding it; refuse rather
+        // than serve with unknown accounting.
+        let Ok(mut per_ip) = self.per_ip.lock() else {
+            return false;
+        };
+        let inflight = per_ip.get(&ip).copied().unwrap_or(0);
+        if per_ip_cap.is_some_and(|cap| inflight >= cap) {
+            return false;
+        }
+        if pending_cap.is_some_and(|cap| self.pending.load(Ordering::Relaxed) >= cap) {
+            return false;
+        }
+        *per_ip.entry(ip).or_insert(0) += 1;
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// A worker dequeued a connection: it no longer occupies the queue.
+    fn dequeued(&self) {
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection finished (or was dropped): release its IP slot.
+    fn release(&self, ip: IpAddr) {
+        let Ok(mut per_ip) = self.per_ip.lock() else {
+            return;
+        };
+        if let Some(inflight) = per_ip.get_mut(&ip) {
+            *inflight = inflight.saturating_sub(1);
+            if *inflight == 0 {
+                per_ip.remove(&ip);
+            }
         }
     }
 }
@@ -96,6 +163,13 @@ pub struct ServerStats {
     pub exhausted_blocks: AtomicU64,
     /// Parity bits revealed by Cascade recovery, summed over sessions.
     pub leaked_bits: AtomicU64,
+    /// Connections evicted because they never completed the probe
+    /// handshake within [`SessionParams::handshake_timeout`] (half-open
+    /// or slowloris peers).
+    pub handshake_timeouts: AtomicU64,
+    /// Connections refused at accept time by the backpressure caps
+    /// ([`ServerConfig::pending_cap`] / [`ServerConfig::per_ip_cap`]).
+    pub rejected_overload: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -121,6 +195,10 @@ pub struct StatsSnapshot {
     pub exhausted_blocks: u64,
     /// Parity bits revealed by Cascade recovery.
     pub leaked_bits: u64,
+    /// Connections evicted at the handshake deadline.
+    pub handshake_timeouts: u64,
+    /// Connections refused by the backpressure caps.
+    pub rejected_overload: u64,
 }
 
 impl ServerStats {
@@ -137,6 +215,8 @@ impl ServerStats {
             reprobes: self.reprobes.load(Ordering::Relaxed),
             exhausted_blocks: self.exhausted_blocks.load(Ordering::Relaxed),
             leaked_bits: self.leaked_bits.load(Ordering::Relaxed),
+            handshake_timeouts: self.handshake_timeouts.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
         }
     }
 }
@@ -173,9 +253,10 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let sessions = Arc::new(SessionTable::new());
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, IpAddr)>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
         let session_ids = Arc::new(AtomicU32::new(1));
+        let backpressure = Arc::new(Backpressure::default());
         let lifecycle_stats = Arc::new(LifecycleStats::default());
         // The RSU group master is pinned to the nonce seed so a seeded run
         // is reproducible end-to-end, group keys included.
@@ -191,7 +272,10 @@ impl Server {
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let backpressure = Arc::clone(&backpressure);
             let max = config.max_sessions;
+            let pending_cap = config.pending_cap;
+            let per_ip_cap = config.per_ip_cap;
             std::thread::Builder::new()
                 .name("vk-accept".into())
                 .spawn(move || {
@@ -201,11 +285,21 @@ impl Server {
                             break;
                         }
                         match listener.accept() {
-                            Ok((stream, _peer)) => {
+                            Ok((stream, peer)) => {
+                                // Admission control first: a refused
+                                // connection is closed on the spot and never
+                                // counts toward the session bound, so a
+                                // flood cannot starve the honest quota.
+                                if !backpressure.admit(peer.ip(), pending_cap, per_ip_cap) {
+                                    stats.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                                    telemetry::counter("server.rejected_overload", 1);
+                                    drop(stream);
+                                    continue;
+                                }
                                 accepted += 1;
                                 stats.accepted.fetch_add(1, Ordering::Relaxed);
                                 telemetry::counter("server.accepted", 1);
-                                if conn_tx.send(stream).is_err() {
+                                if conn_tx.send((stream, peer.ip())).is_err() {
                                     break;
                                 }
                             }
@@ -233,21 +327,23 @@ impl Server {
             let reconciler = Arc::clone(&reconciler);
             let lifecycle_stats = Arc::clone(&lifecycle_stats);
             let group_plane = Arc::clone(&group_plane);
+            let backpressure = Arc::clone(&backpressure);
             let config = config.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("vk-worker-{i}"))
                     .spawn(move || loop {
-                        let stream = {
+                        let (stream, peer_ip) = {
                             // A poisoned lock means a sibling worker panicked
                             // mid-recv; shut this worker down rather than
                             // cascading the panic.
                             let Ok(rx) = conn_rx.lock() else { break };
                             match rx.recv() {
-                                Ok(stream) => stream,
+                                Ok(conn) => conn,
                                 Err(_) => break, // accept loop gone, queue drained
                             }
                         };
+                        backpressure.dequeued();
                         handle_connection(
                             stream,
                             &config,
@@ -258,6 +354,7 @@ impl Server {
                             &lifecycle_stats,
                             &group_plane,
                         );
+                        backpressure.release(peer_ip);
                     })?,
             );
         }
@@ -414,6 +511,19 @@ fn handle_connection(
         Err(e) => {
             stats.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("server.sessions_failed", 1);
+            if e == SessionError::Timeout("handshake") {
+                stats.handshake_timeouts.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("server.handshake_timeouts", 1);
+            }
+            if let Some(kind) = attack_kind(&e) {
+                telemetry::counter("server.attack_aborts", 1);
+                if telemetry::enabled() {
+                    telemetry::mark("server.attack_abort")
+                        .field("session_id", u64::from(session_id))
+                        .field("attack_kind", kind)
+                        .emit();
+                }
+            }
             if telemetry::enabled() {
                 telemetry::mark("server.session_error")
                     .field("session_id", u64::from(session_id))
@@ -442,14 +552,50 @@ fn flight_abort_reason(error: &SessionError) -> Option<&'static str> {
     }
 }
 
+/// Classify a typed abort that points at *hostile* traffic rather than a
+/// faulty peer or channel. The labels land on flight-recorder dumps (the
+/// `attack_kind` annotation) and the `server.attack_aborts` counter, so a
+/// post-mortem can tell a Mallory run from fault-injection noise.
+fn attack_kind(error: &SessionError) -> Option<&'static str> {
+    match error {
+        // A first frame that decodes but is not a probe: deliberate
+        // injection (corruption fails the decode and is retried instead).
+        SessionError::Protocol(ProtocolError::Malformed("expected probe")) => {
+            Some("probe_injection")
+        }
+        // Replayed or cross-wired frames past the rejection budget.
+        SessionError::Protocol(ProtocolError::Malformed("unexpected message for server")) => {
+            Some("protocol_violation")
+        }
+        // Persistently MAC-failing syndromes: tampered or replayed frames.
+        SessionError::Protocol(ProtocolError::Malformed("syndrome MAC mismatch")) => {
+            Some("frame_tamper")
+        }
+        // Forged lifecycle control frames exhausted the lifecycle budget.
+        SessionError::Protocol(ProtocolError::Malformed(
+            "lifecycle rejection budget exhausted",
+        )) => Some("lifecycle_forgery"),
+        // A stream of undecodable frames exhausted the garbage budget —
+        // sustained corruption at that volume is a flood, not a channel.
+        SessionError::Protocol(ProtocolError::Malformed("garbage flood")) => Some("frame_tamper"),
+        _ => None,
+    }
+}
+
 fn dump_flight(config: &ServerConfig, session_id: u32, error: &SessionError) {
     let Some(recorder) = &config.flight else {
         return;
     };
-    let Some(reason) = flight_abort_reason(error) else {
-        return;
+    // Protocol give-ups keep their typed reason; hostile-traffic aborts
+    // (which are not protocol failures) dump under a generic reason with
+    // the attack kind annotated.
+    let attack = attack_kind(error);
+    let reason = match (flight_abort_reason(error), attack) {
+        (Some(reason), _) => reason,
+        (None, Some(_)) => "hostile_traffic",
+        (None, None) => return,
     };
-    let doc = recorder.dump_json(u64::from(session_id), reason);
+    let doc = recorder.dump_json_annotated(u64::from(session_id), reason, attack);
     let path =
         std::path::Path::new(&config.flight_dir).join(format!("flightrec-{session_id}.json"));
     match std::fs::create_dir_all(&config.flight_dir)
@@ -518,7 +664,7 @@ fn serve_one<T: Transport>(
         // session.
         let fresh_seed =
             SplitMix64::new(config.nonce_seed ^ (u64::from(session_id) << 32)).next_u64();
-        let _ = serve_lifecycle(
+        if let Err(e) = serve_lifecycle(
             transport,
             session_id,
             &handoff,
@@ -529,7 +675,14 @@ fn serve_one<T: Transport>(
             lc.group.then_some(group_plane),
             lifecycle_stats,
             fresh_seed,
-        );
+        ) {
+            // Hostile lifecycle traffic still earns its post-mortem even
+            // though the (already confirmed) session is not failed.
+            if attack_kind(&e).is_some() {
+                telemetry::counter("server.attack_aborts", 1);
+                dump_flight(config, session_id, &e);
+            }
+        }
     }
     Ok(outcome)
 }
@@ -652,6 +805,94 @@ mod tests {
         for error in untyped {
             assert_eq!(flight_abort_reason(&error), None, "{error:?}");
         }
+    }
+
+    #[test]
+    fn attack_kinds_classify_hostile_aborts_only() {
+        let hostile = [
+            (
+                ProtocolError::Malformed("expected probe"),
+                "probe_injection",
+            ),
+            (
+                ProtocolError::Malformed("unexpected message for server"),
+                "protocol_violation",
+            ),
+            (
+                ProtocolError::Malformed("syndrome MAC mismatch"),
+                "frame_tamper",
+            ),
+            (
+                ProtocolError::Malformed("lifecycle rejection budget exhausted"),
+                "lifecycle_forgery",
+            ),
+            (ProtocolError::Malformed("garbage flood"), "frame_tamper"),
+        ];
+        for (error, kind) in hostile {
+            assert_eq!(
+                attack_kind(&SessionError::Protocol(error.clone())),
+                Some(kind),
+                "{error:?}"
+            );
+        }
+        let benign = [
+            SessionError::Transport(vehicle_key::TransportError::Closed),
+            SessionError::Protocol(ProtocolError::RecoveryExhausted(2)),
+            SessionError::Timeout("handshake"),
+        ];
+        for error in benign {
+            assert_eq!(attack_kind(&error), None, "{error:?}");
+        }
+    }
+
+    #[test]
+    fn backpressure_caps_pending_and_per_ip() {
+        let bp = Backpressure::default();
+        let ip: IpAddr = "10.0.0.1".parse().unwrap();
+        // Per-IP cap of 2: the third concurrent connection is refused.
+        assert!(bp.admit(ip, None, Some(2)));
+        assert!(bp.admit(ip, None, Some(2)));
+        assert!(!bp.admit(ip, None, Some(2)));
+        // Another source is unaffected.
+        let other: IpAddr = "10.0.0.2".parse().unwrap();
+        assert!(bp.admit(other, None, Some(2)));
+        // Releasing a slot readmits the first source.
+        bp.release(ip);
+        assert!(bp.admit(ip, None, Some(2)));
+        // Pending cap: four queued (none dequeued) refuses the fifth;
+        // draining below the cap readmits.
+        assert!(!bp.admit(other, Some(3), None));
+        bp.dequeued();
+        bp.dequeued();
+        assert!(bp.admit(other, Some(3), None));
+    }
+
+    #[test]
+    fn hostile_abort_dump_carries_the_attack_kind() {
+        let dir = std::env::temp_dir().join(format!("vk-attack-dump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = Arc::new(FlightRecorder::new(1, 8));
+        let config = ServerConfig {
+            flight: Some(Arc::clone(&recorder)),
+            flight_dir: dir.display().to_string(),
+            ..ServerConfig::default()
+        };
+        dump_flight(
+            &config,
+            11,
+            &SessionError::Protocol(ProtocolError::Malformed("expected probe")),
+        );
+        let text = std::fs::read_to_string(dir.join("flightrec-11.json")).expect("dump written");
+        let doc = Json::parse(text.trim()).expect("valid json");
+        assert_eq!(
+            doc.get("reason").and_then(Json::as_str),
+            Some("hostile_traffic")
+        );
+        assert_eq!(
+            doc.get("attack_kind").and_then(Json::as_str),
+            Some("probe_injection")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -46,6 +46,14 @@ use vehicle_key::{
 };
 use vk_crypto::amplify::amplify_with_leakage;
 
+/// Undecodable frames a session absorbs before aborting typed
+/// (`Malformed("garbage flood")`). Honest corruption resolves within the
+/// retry policy — a handful of mangled frames per stormy session — while
+/// a hostile peer streaming raw garbage would otherwise pin a worker
+/// until the session deadline without ever tripping the (smaller)
+/// rejection budget, which only counts frames that *decode*.
+pub const GARBAGE_BUDGET: u64 = 64;
+
 /// Retransmission policy for the client side.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
@@ -88,6 +96,12 @@ pub struct SessionParams {
     pub retry: RetryPolicy,
     /// Hard wall-clock bound on one session, handshake to confirmation.
     pub session_timeout: Duration,
+    /// Bound on how long a freshly accepted connection may sit without
+    /// completing its probe handshake. A peer that connects and then goes
+    /// silent (or trickles bytes — slowloris) is evicted after this long
+    /// with [`SessionError::Timeout`]`("handshake")` instead of pinning a
+    /// worker for the full `session_timeout`.
+    pub handshake_timeout: Duration,
     /// Escalation ladder budgets for blocks whose MAC check fails after
     /// decoding (both endpoints must enable/disable recovery together —
     /// a server that escalates against a client that only understands
@@ -102,6 +116,7 @@ impl Default for SessionParams {
             error_bits: 3,
             retry: RetryPolicy::default(),
             session_timeout: Duration::from_secs(30),
+            handshake_timeout: Duration::from_secs(5),
             recovery: RecoveryPolicy::default(),
         }
     }
@@ -259,8 +274,15 @@ pub fn serve_session_keyed<T: Transport>(
 
     // Handshake: wait for the client's probe. The session span opens only
     // after it arrives, so the span can join the trace the client's frame
-    // extension advertises and both peers export under one trace id.
+    // extension advertises and both peers export under one trace id. The
+    // wait is bounded by the (much shorter) handshake deadline so a
+    // half-open or slowloris connection cannot pin this worker for the
+    // whole session budget.
+    let handshake_deadline = Instant::now() + params.handshake_timeout.min(params.session_timeout);
     let (probe_seq, nonce_b, inbound_trace) = loop {
+        if Instant::now() >= handshake_deadline {
+            return Err(SessionError::Timeout("handshake"));
+        }
         if Instant::now() >= deadline {
             return Err(SessionError::Timeout("probe"));
         }
@@ -316,6 +338,7 @@ pub fn serve_session_keyed<T: Transport>(
     let mut confirm_reply: Option<Vec<u8>> = None;
     let mut linger_until: Option<Instant> = None;
     let mut rung_timer = RungTimer::default();
+    let mut undecodable = 0u64;
 
     // Stall watchdog: "progress" is block-level — an accepted block, a
     // ladder step, or the confirmation. Retransmissions and duplicates do
@@ -364,8 +387,17 @@ pub fn serve_session_keyed<T: Transport>(
             Ok(msg) => msg,
             Err(_) => {
                 // Undecodable (likely corrupted) frame: no ack, the client
-                // will retransmit.
+                // will retransmit. Honest corruption stays far below
+                // [`GARBAGE_BUDGET`] because retransmission resolves each
+                // frame within the retry policy; a peer streaming pure
+                // garbage aborts typed instead of pinning this worker
+                // until the session deadline.
                 outcome.rejected_frames += 1;
+                telemetry::counter("server.rejected_frames", 1);
+                undecodable += 1;
+                if undecodable > GARBAGE_BUDGET {
+                    return Err(ProtocolError::Malformed("garbage flood").into());
+                }
                 continue;
             }
         };
@@ -998,6 +1030,62 @@ mod tests {
             .and_then(|e| e.field("remote_parent"))
             .and_then(Value::as_u64);
         assert!(remote_parent.is_some_and(|p| p > 0), "{remote_parent:?}");
+    }
+
+    #[test]
+    fn garbage_flood_past_the_budget_aborts_typed() {
+        let (mut a, mut b) = PipeTransport::pair(Duration::from_millis(5));
+        let params = fast_params();
+        let server = std::thread::spawn(move || serve_session(&mut a, model(), 12, 77, &params));
+        // A valid probe gets us past the handshake; everything after is
+        // undecodable garbage that never resolves into a frame.
+        let probe = Message::Probe {
+            session_id: 0,
+            seq: 0,
+            nonce: 4242,
+        }
+        .encode();
+        b.send(&probe).unwrap();
+        for _ in 0..=GARBAGE_BUDGET {
+            b.send(&[0xFF; 24]).unwrap();
+        }
+        let err = server.join().expect("server thread must not panic");
+        assert_eq!(
+            err.unwrap_err(),
+            SessionError::Protocol(ProtocolError::Malformed("garbage flood"))
+        );
+    }
+
+    #[test]
+    fn half_open_peer_is_evicted_at_the_handshake_deadline() {
+        let (mut a, _b) = PipeTransport::pair(Duration::from_millis(5));
+        let params = SessionParams {
+            handshake_timeout: Duration::from_millis(60),
+            ..fast_params()
+        };
+        let started = Instant::now();
+        let err = serve_session(&mut a, model(), 9, 1, &params).unwrap_err();
+        assert_eq!(err, SessionError::Timeout("handshake"));
+        assert!(
+            started.elapsed() < params.session_timeout / 2,
+            "eviction must not wait for the session budget"
+        );
+    }
+
+    #[test]
+    fn handshake_deadline_never_exceeds_the_session_budget() {
+        let (mut a, _b) = PipeTransport::pair(Duration::from_millis(5));
+        // A handshake budget above the session budget is clamped: the
+        // session wall-clock stays the hard bound.
+        let params = SessionParams {
+            handshake_timeout: Duration::from_secs(300),
+            session_timeout: Duration::from_millis(60),
+            ..fast_params()
+        };
+        let started = Instant::now();
+        let err = serve_session(&mut a, model(), 9, 1, &params).unwrap_err();
+        assert_eq!(err, SessionError::Timeout("handshake"));
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

@@ -113,17 +113,34 @@ impl FlightRecorder {
     /// Render a post-mortem document for one aborted session: the abort
     /// reason plus the retained history as JSON event objects.
     pub fn dump_json(&self, session_id: u64, reason: &str) -> Json {
+        self.dump_json_annotated(session_id, reason, None)
+    }
+
+    /// [`FlightRecorder::dump_json`], optionally annotated with the kind
+    /// of attack that triggered the abort — so post-mortems from hostile
+    /// traffic are distinguishable from fault-injection noise without
+    /// parsing the event history.
+    pub fn dump_json_annotated(
+        &self,
+        session_id: u64,
+        reason: &str,
+        attack_kind: Option<&str>,
+    ) -> Json {
         let events = self.dump();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("kind".into(), Json::Str("flightrec".into())),
             ("session".into(), Json::UInt(session_id)),
             ("reason".into(), Json::Str(reason.to_string())),
-            ("dropped".into(), Json::UInt(self.dropped())),
-            (
-                "events".into(),
-                Json::Arr(events.iter().map(Event::to_json).collect()),
-            ),
-        ])
+        ];
+        if let Some(kind) = attack_kind {
+            fields.push(("attack_kind".into(), Json::Str(kind.to_string())));
+        }
+        fields.push(("dropped".into(), Json::UInt(self.dropped())));
+        fields.push((
+            "events".into(),
+            Json::Arr(events.iter().map(Event::to_json).collect()),
+        ));
+        Json::Obj(fields)
     }
 }
 
@@ -202,5 +219,23 @@ mod tests {
         );
         let events = doc.get("events").and_then(Json::items).unwrap();
         assert_eq!(events.len(), 1);
+        // The un-annotated form carries no attack marker at all.
+        assert!(doc.get("attack_kind").is_none());
+    }
+
+    #[test]
+    fn annotated_dump_carries_the_attack_kind() {
+        let rec = FlightRecorder::new(1, 8);
+        rec.emit(&event(5, "server.session_error"));
+        let doc = rec.dump_json_annotated(43, "hostile_traffic", Some("probe_injection"));
+        assert_eq!(
+            doc.get("attack_kind").and_then(Json::as_str),
+            Some("probe_injection")
+        );
+        assert_eq!(
+            doc.get("reason").and_then(Json::as_str),
+            Some("hostile_traffic")
+        );
+        assert_eq!(doc.get("session").and_then(Json::as_u64), Some(43));
     }
 }

@@ -276,6 +276,23 @@ fn lifecycle_message_strategy() -> impl Strategy<Value = LifecycleMessage> {
     ]
 }
 
+/// The frame mutations the adversarial fuzz battery applies — the moves
+/// Mallory actually has on the wire: a single-bit flip (tag, field, or
+/// MAC), a tag overwrite, a truncation, and trailing junk.
+fn mutate_frame(frame: &[u8], choice: usize, idx: u16, junk: &[u8]) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    match choice {
+        0 => {
+            let i = idx as usize % out.len();
+            out[i] ^= 1u8 << (idx % 8);
+        }
+        1 => out[0] = (idx & 0xFF) as u8,
+        2 => out.truncate(idx as usize % out.len()),
+        _ => out.extend_from_slice(junk),
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -671,6 +688,88 @@ proptest! {
             }
             None => prop_assert!(bob_final.is_none(), "Bob derived a key Alice could not"),
         }
+    }
+
+    #[test]
+    fn tampered_syndromes_never_accept_a_key(
+        seed in any::<u64>(),
+        choice in 0usize..4,
+        idx in any::<u16>(),
+        junk in prop::collection::vec(any::<u8>(), 1..48),
+    ) {
+        use vehicle_key::{AliceDriver, Disposition, Message, Session};
+
+        // A perfectly agreeing channel, so the *untampered* syndrome would
+        // accept on the first call — after mutation, acceptance is legal
+        // only if the reconciler corrected the tampering back onto exactly
+        // Bob's MAC-verified key. Landing anywhere else (Mallory steering
+        // the key) must surface as escalation or a typed error, and the
+        // decoder must never panic on the mutated bytes.
+        let model = escalation::model();
+        let sid = (seed % 1_000_000) as u32;
+        let (nonce_a, nonce_b) = (seed ^ 0xA, seed ^ 0xB);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kb: BitString = (0..64).map(|_| rng.random::<bool>()).collect();
+        let session = Session::new(sid, model.clone(), nonce_a, nonce_b);
+        let (code, mac) = session.bob_code_and_mac(&kb);
+        let frame = Message::Syndrome { session_id: sid, block: 0, code: code.clone(), mac }
+            .encode();
+        let mutated = mutate_frame(&frame, choice, idx, &junk);
+        let Ok(decoded) = Message::decode(&mutated) else { return Ok(()) };
+        let Message::Syndrome { session_id, block, code: mcode, mac: mmac } = decoded else {
+            // Mutated into some other frame type: the serve loop's
+            // rejection budget owns those, not the driver.
+            return Ok(());
+        };
+        if (session_id, block, &mcode, &mmac) == (sid, 0, &code, &mac) {
+            return Ok(()); // identity mutation (junk past a self-delimiting frame)
+        }
+        let mut alice = AliceDriver::new(sid, model.clone(), nonce_a, nonce_b, kb.clone());
+        match alice.handle_syndrome(session_id, block, &mcode, &mmac) {
+            Ok(Disposition::Accepted) => {
+                let (alice_key, _) = alice
+                    .final_key_with_entropy()
+                    .expect("accepted driver must expose its key");
+                let (bob_key, _) = vk_crypto::amplify::amplify_with_leakage(&kb.to_bools(), 0)
+                    .expect("no leakage yet");
+                prop_assert_eq!(alice_key, bob_key, "tampered syndrome steered the key");
+            }
+            Ok(_) => {}  // escalated or duplicate: tampering read as noise
+            Err(_) => {} // typed rejection
+        }
+    }
+
+    #[test]
+    fn tampered_lifecycle_frames_never_authenticate(
+        root in any::<[u8; 16]>(),
+        sid in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        choice in 0usize..4,
+        idx in any::<u16>(),
+        junk in prop::collection::vec(any::<u8>(), 1..48),
+    ) {
+        use vehicle_key::Disposition;
+
+        let mut tx = SecureChannel::new(root, sid, ChannelRole::Initiator);
+        let mut rx = SecureChannel::new(root, sid, ChannelRole::Responder);
+        let frame = tx.seal(&payload).expect("payload under frame cap");
+        let mutated_bytes = mutate_frame(&frame.encode(), choice, idx, &junk);
+        // A mutation the codec refuses outright never reaches the channel;
+        // one it cannot distinguish (junk past the end of a
+        // self-delimiting frame) is no forgery. Every other mutation must
+        // be thrown out by the epoch MAC — and the rejection must not
+        // poison the channel for the honest frame that follows.
+        if let Ok(mutated) = LifecycleMessage::decode(&mutated_bytes) {
+            if mutated != frame {
+                prop_assert!(
+                    rx.open(&mutated).is_err(),
+                    "tampered lifecycle frame authenticated"
+                );
+            }
+        }
+        let (disp, plain) = rx.open(&frame).expect("honest frame must still open");
+        prop_assert_eq!(disp, Disposition::Accepted);
+        prop_assert_eq!(plain, payload);
     }
 
     #[test]
