@@ -72,6 +72,18 @@ fn main() {
             rest.push(arg);
         }
     }
+    // Hidden helper for the fleet experiment's pooled tier: the bench
+    // re-execs itself so server and client each get their own process (and
+    // fd table). Not listed in `experiments::ALL` — not a user surface.
+    if rest.first().map(String::as_str) == Some("fleet-child") {
+        match experiments::fleet::fleet_child(&rest[1..]) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if rest.is_empty() || rest[0] == "help" || rest[0] == "--help" {
         eprintln!("usage: repro [--jobs N] [--telemetry <path>] <experiment|all|list> [...]");
         eprintln!("experiments: {}", experiments::ALL.join(", "));

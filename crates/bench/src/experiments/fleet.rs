@@ -17,7 +17,10 @@ use reconcile::{AutoencoderReconciler, AutoencoderTrainer};
 use std::sync::Arc;
 use std::time::Duration;
 use telemetry::Json;
-use vk_server::{run_fleet, FleetConfig, FleetReport, RetryPolicy, Server, ServerConfig};
+use vk_server::{
+    run_fleet, FleetConfig, FleetReport, RetryPolicy, Server, ServerConfig, ServerMode,
+    SessionParams,
+};
 
 /// Concurrency levels swept by the experiment.
 pub const CONCURRENCY_LEVELS: &[usize] = &[1, 8, 32];
@@ -27,6 +30,13 @@ const SESSIONS: u64 = 50;
 
 /// Concurrency used for the telemetry-overhead A/B runs.
 const OVERHEAD_CONCURRENCY: usize = 8;
+
+/// Nominal size of the pooled high-concurrency tier: this many sessions,
+/// all held in flight at once (scaled by `VK_SCALE`, floor 500). The
+/// reactor server and the pooled client engine each hold one socket per
+/// session, so the tier runs its client side in a child process — two
+/// processes of ~10k descriptors each instead of one of ~20k.
+const POOL_TIER_NOMINAL: usize = 10_000;
 
 fn session_params() -> vk_server::SessionParams {
     vk_server::SessionParams {
@@ -38,10 +48,58 @@ fn session_params() -> vk_server::SessionParams {
     }
 }
 
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Session parameters for the pooled tier. The server is saturated for
+/// the whole run — every session is queued behind thousands of others —
+/// so the retry budget and deadlines are sized for queueing delay, not
+/// for lossy-link recovery. Both processes derive these from the same
+/// function, which is what keeps the child in sync without flag plumbing.
+fn tier_params() -> SessionParams {
+    SessionParams {
+        retry: RetryPolicy {
+            max_retries: 12,
+            ack_timeout: Duration::from_millis(250),
+            backoff: 1.5,
+        },
+        session_timeout: Duration::from_secs(300),
+        handshake_timeout: Duration::from_secs(300),
+        ..SessionParams::default()
+    }
+}
+
+/// The machine the numbers were measured on — without this,
+/// `BENCH_fleet.json` files from different boxes are not comparable.
+fn machine_json() -> Json {
+    Json::Obj(vec![
+        ("cores".into(), Json::UInt(cores() as u64)),
+        (
+            "vk_jobs".into(),
+            Json::UInt(
+                std::env::var("VK_JOBS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+            ),
+        ),
+        ("os".into(), Json::Str(std::env::consts::OS.into())),
+        ("arch".into(), Json::Str(std::env::consts::ARCH.into())),
+    ])
+}
+
 fn run_level(reconciler: &Arc<AutoencoderReconciler>, concurrency: usize) -> FleetReport {
+    // `workers` is the reactor shard count (the sweep runs in `Auto` mode,
+    // which picks the reactor): shards follow the machine's cores, not the
+    // offered concurrency — multiplexing many sessions per shard is the
+    // point of the reactor, and oversubscribing shards on a small box only
+    // adds scheduler churn to the latency numbers.
     let server = Server::start(
         ServerConfig {
-            workers: concurrency.max(4),
+            workers: cores(),
             params: session_params(),
             ..ServerConfig::default()
         },
@@ -128,6 +186,99 @@ pub fn telemetry_overhead(
     (off, on)
 }
 
+fn out_dir() -> String {
+    match std::env::var("VK_OUT") {
+        Ok(dir) if !dir.is_empty() => dir,
+        _ => "results".to_string(),
+    }
+}
+
+/// The pooled high-concurrency tier: a reactor server in this process,
+/// the pooled client engine in a child process (each side owns ~one
+/// descriptor per session, and two half-full processes fit the fd limit
+/// where one full one would not). The child is this same binary invoked
+/// with the hidden `fleet-child` subcommand; the reconciler crosses via a
+/// temp file, the report comes back as JSON on the child's stdout.
+fn run_pool_tier(reconciler: &Arc<AutoencoderReconciler>) -> Result<(usize, Json), String> {
+    let sessions = crate::scaled(POOL_TIER_NOMINAL, 500);
+    let server = Server::start(
+        ServerConfig {
+            mode: ServerMode::Reactor,
+            workers: cores(),
+            params: tier_params(),
+            ..ServerConfig::default()
+        },
+        Arc::clone(reconciler),
+    )
+    .expect("loopback reactor server must start");
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let model_path = format!("{dir}/fleet_pool_model.tmp");
+    std::fs::write(&model_path, reconciler.to_bytes())
+        .map_err(|e| format!("cannot write {model_path}: {e}"))?;
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let output = std::process::Command::new(exe)
+        .arg("fleet-child")
+        .arg(server.local_addr().to_string())
+        .arg(sessions.to_string())
+        .arg(&model_path)
+        .output();
+    let _ = std::fs::remove_file(&model_path);
+    server.shutdown();
+    let output = output.map_err(|e| format!("cannot spawn fleet child: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "fleet child failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    let text = String::from_utf8_lossy(&output.stdout);
+    let json = Json::parse(text.trim())
+        .map_err(|e| format!("fleet child produced unparsable output ({e}): {text}"))?;
+    Ok((sessions, json))
+}
+
+/// Entry point for the hidden `repro fleet-child <addr> <sessions>
+/// <model-file>` subcommand: run the pooled client engine against an
+/// already-listening server and print the fleet report JSON on stdout.
+///
+/// # Errors
+///
+/// Returns an error on malformed arguments, an unreadable model file, or
+/// an unresolvable address.
+pub fn fleet_child(args: &[String]) -> Result<(), String> {
+    let (addr, sessions, model_path) = match args {
+        [addr, sessions, model] => (
+            addr.clone(),
+            sessions
+                .parse::<u64>()
+                .map_err(|e| format!("bad session count {sessions}: {e}"))?,
+            model,
+        ),
+        _ => return Err("usage: repro fleet-child <addr> <sessions> <model-file>".into()),
+    };
+    let bytes = std::fs::read(model_path).map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let reconciler = Arc::new(
+        AutoencoderReconciler::from_bytes(&bytes)
+            .map_err(|e| format!("bad model file {model_path}: {e}"))?,
+    );
+    let report = run_fleet(
+        &FleetConfig {
+            addr,
+            sessions,
+            concurrency: 1,
+            pool: Some(sessions as usize),
+            params: tier_params(),
+            connect_timeout: Duration::from_secs(60),
+            ..FleetConfig::default()
+        },
+        &reconciler,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{}", report.to_json());
+    Ok(())
+}
+
 /// Fleet throughput table across `CONCURRENCY_LEVELS`, the observability
 /// A/B, and the `BENCH_fleet.json` record of both.
 ///
@@ -146,12 +297,22 @@ pub fn fleet() -> Result<String, String> {
     } else {
         0.0
     };
+    let (pool_sessions, pool_report) = run_pool_tier(&reconciler)?;
 
     let json = Json::Obj(vec![
         ("kind".into(), Json::Str("fleet_bench".into())),
         ("seed".into(), Json::UInt(crate::base_seed())),
         ("scale".into(), Json::Num(crate::scale())),
+        ("machine".into(), machine_json()),
         ("sessions_per_level".into(), Json::UInt(SESSIONS)),
+        (
+            "pool_tier".into(),
+            Json::Obj(vec![
+                ("sessions".into(), Json::UInt(pool_sessions as u64)),
+                ("server_shards".into(), Json::UInt(cores() as u64)),
+                ("report".into(), pool_report.clone()),
+            ]),
+        ),
         (
             "runs".into(),
             Json::Arr(runs.iter().map(|(_, r)| r.to_json()).collect()),
@@ -169,10 +330,7 @@ pub fn fleet() -> Result<String, String> {
             ]),
         ),
     ]);
-    let dir = match std::env::var("VK_OUT") {
-        Ok(dir) if !dir.is_empty() => dir,
-        _ => "results".to_string(),
-    };
+    let dir = out_dir();
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
     let path = format!("{dir}/BENCH_fleet.json");
     std::fs::write(&path, json.to_string() + "\n")
@@ -188,6 +346,7 @@ pub fn fleet() -> Result<String, String> {
             "p50 (ms)",
             "p95 (ms)",
             "p99 (ms)",
+            "p99.9 (ms)",
         ],
     );
     for (concurrency, r) in &runs {
@@ -199,8 +358,41 @@ pub fn fleet() -> Result<String, String> {
             format!("{:.1}", r.latency.p50),
             format!("{:.1}", r.latency.p95),
             format!("{:.1}", r.latency.p99),
+            format!("{:.1}", r.latency.p999),
         ]);
     }
+
+    let field = |path: &[&str]| -> f64 {
+        let mut node = &pool_report;
+        for key in path {
+            match node.get(key) {
+                Some(next) => node = next,
+                None => return 0.0,
+            }
+        }
+        node.as_f64().unwrap_or(0.0)
+    };
+    let mut p = Table::new(
+        "Pooled tier: all sessions held in flight at once (reactor server, child-process client)",
+        &[
+            "in flight",
+            "sessions",
+            "match rate",
+            "sessions/s",
+            "p50 (ms)",
+            "p99.9 (ms)",
+            "client RSS (MiB)",
+        ],
+    );
+    p.row(&[
+        pool_sessions.to_string(),
+        format!("{:.0}", field(&["sessions"])),
+        format!("{:.1}%", field(&["key_match_rate"]) * 100.0),
+        format!("{:.1}", field(&["sessions_per_sec"])),
+        format!("{:.1}", field(&["latency_ms", "p50"])),
+        format!("{:.1}", field(&["latency_ms", "p999"])),
+        format!("{:.1}", field(&["max_rss_mb"])),
+    ]);
     let mut o = Table::new(
         "Observability overhead (fleet at fixed concurrency)",
         &["telemetry", "sessions/s", "p50 (ms)"],
@@ -218,6 +410,9 @@ pub fn fleet() -> Result<String, String> {
     Ok(t.render()
         + "\nOne in-process server (worker pool >= fleet concurrency); throughput should rise\n\
            with concurrency until the worker pool or loopback round-trips saturate.\n\n"
+        + &p.render()
+        + "\nEvery session is queued behind every other, so per-session latency is dominated\n\
+           by queueing delay; the tier demonstrates capacity, not per-session speed.\n\n"
         + &o.render()
         + &format!(
             "\nMetrics aggregation costs {throughput_cost_pct:.1}% throughput at concurrency {OVERHEAD_CONCURRENCY} (recorded in {path}).\n"

@@ -18,7 +18,7 @@ use crate::protocol::{Message, ProtocolError, Session};
 use crate::recovery::{EscalationCounters, RecoveryPolicy};
 use quantize::BitString;
 use reconcile::cascade::CascadeEngine;
-use reconcile::{AutoencoderReconciler, CascadeReconciler};
+use reconcile::{AutoencoderReconciler, CascadeReconciler, SharedReconciler};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -227,14 +227,17 @@ pub struct AliceDriver {
 
 impl AliceDriver {
     /// Create Alice's driver for a session. `k_alice` is truncated to a
-    /// whole number of reconciler blocks.
+    /// whole number of reconciler blocks. The model is accepted as anything
+    /// convertible to a [`SharedReconciler`], so scale paths can hand every
+    /// session the same `Arc` instead of cloning the weights.
     pub fn new(
         session_id: u32,
-        reconciler: AutoencoderReconciler,
+        reconciler: impl Into<SharedReconciler>,
         nonce_a: u64,
         nonce_b: u64,
         k_alice: BitString,
     ) -> Self {
+        let reconciler: SharedReconciler = reconciler.into();
         let seg = reconciler.key_len();
         let whole = (k_alice.len() / seg) * seg;
         AliceDriver {

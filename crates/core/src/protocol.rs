@@ -10,7 +10,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use quantize::BitString;
-use reconcile::AutoencoderReconciler;
+use reconcile::SharedReconciler;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -521,26 +521,34 @@ fn code_bytes(code: &[i16]) -> Vec<u8> {
 }
 
 /// Session-level operations binding messages to the reconciliation model.
+///
+/// The model is held through a [`SharedReconciler`]: the trained weights
+/// live behind one shared `Arc` while each session carries only its own
+/// mask seed, so cloning a `Session` (or holding 10k of them concurrently)
+/// never duplicates the network.
 #[derive(Debug, Clone)]
 pub struct Session {
     /// Session identifier (agreed in the probe exchange).
     pub session_id: u32,
     /// The trained (public) reconciliation model, mask seeded per session.
-    pub reconciler: AutoencoderReconciler,
+    pub reconciler: SharedReconciler,
 }
 
 impl Session {
     /// Create a session with the public model, deriving the mask seed from
-    /// the exchanged nonces.
+    /// the exchanged nonces. Accepts an owned model, a shared
+    /// `Arc<AutoencoderReconciler>`, or a prebuilt [`SharedReconciler`].
     pub fn new(
         session_id: u32,
-        reconciler: AutoencoderReconciler,
+        reconciler: impl Into<SharedReconciler>,
         nonce_a: u64,
         nonce_b: u64,
     ) -> Self {
         Session {
             session_id,
-            reconciler: reconciler.with_mask_seed(nonce_a ^ nonce_b.rotate_left(32)),
+            reconciler: reconciler
+                .into()
+                .with_mask_seed(nonce_a ^ nonce_b.rotate_left(32)),
         }
     }
 

@@ -83,6 +83,11 @@ impl AutoencoderReconciler {
         self
     }
 
+    /// The mask seed currently baked into the model.
+    pub fn mask_seed(&self) -> u64 {
+        self.mask_seed
+    }
+
     /// The mask in use.
     pub fn mask(&self) -> PositionPreservingMask {
         PositionPreservingMask::new(self.mask_seed, self.key_len)
@@ -94,8 +99,19 @@ impl AutoencoderReconciler {
     ///
     /// Panics if the key length differs from the model's.
     pub fn bob_syndrome(&self, k_bob: &BitString) -> Vec<f32> {
+        self.bob_syndrome_seeded(self.mask_seed, k_bob)
+    }
+
+    /// [`AutoencoderReconciler::bob_syndrome`] under an explicit mask seed —
+    /// lets many sessions share one immutable model
+    /// ([`SharedReconciler`]) while each keeps its own session mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key length differs from the model's.
+    pub fn bob_syndrome_seeded(&self, mask_seed: u64, k_bob: &BitString) -> Vec<f32> {
         assert_eq!(k_bob.len(), self.key_len, "key length mismatch");
-        let masked = self.mask().apply(k_bob);
+        let masked = PositionPreservingMask::new(mask_seed, self.key_len).apply(k_bob);
         let x = Matrix::from_vec(1, self.key_len, masked.to_floats());
         self.f1.infer(&x).data().to_vec()
     }
@@ -108,9 +124,24 @@ impl AutoencoderReconciler {
     ///
     /// Panics on length mismatches.
     pub fn alice_correct(&self, y_bob: &[f32], k_alice: &BitString) -> BitString {
+        self.alice_correct_seeded(self.mask_seed, y_bob, k_alice)
+    }
+
+    /// [`AutoencoderReconciler::alice_correct`] under an explicit mask seed
+    /// (see [`AutoencoderReconciler::bob_syndrome_seeded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn alice_correct_seeded(
+        &self,
+        mask_seed: u64,
+        y_bob: &[f32],
+        k_alice: &BitString,
+    ) -> BitString {
         assert_eq!(k_alice.len(), self.key_len, "key length mismatch");
         assert_eq!(y_bob.len(), self.code_dim, "syndrome length mismatch");
-        let mask = self.mask();
+        let mask = PositionPreservingMask::new(mask_seed, self.key_len);
         let masked = mask.apply(k_alice);
         let xa = Matrix::from_vec(1, self.key_len, masked.to_floats());
         let ya = self.f2.infer(&xa);
@@ -199,6 +230,101 @@ impl AutoencoderReconciler {
             g,
             mask_seed,
         })
+    }
+}
+
+/// A cheaply-cloneable per-session view of one shared trained model.
+///
+/// The MLP weights of an [`AutoencoderReconciler`] run to hundreds of
+/// kilobytes; cloning the model into every live session caps how many
+/// sessions one box can hold. `SharedReconciler` keeps the trained weights
+/// behind one immutable [`Arc`](std::sync::Arc) and carries only the
+/// per-session public mask seed by value, so a clone is two machine words —
+/// 10k concurrent sessions share a single copy of the weights.
+#[derive(Debug, Clone)]
+pub struct SharedReconciler {
+    model: std::sync::Arc<AutoencoderReconciler>,
+    mask_seed: u64,
+}
+
+impl SharedReconciler {
+    /// Key length `N` the model reconciles per segment.
+    pub fn key_len(&self) -> usize {
+        self.model.key_len()
+    }
+
+    /// Syndrome dimension `M`.
+    pub fn code_dim(&self) -> usize {
+        self.model.code_dim()
+    }
+
+    /// Decoder hidden width `U`.
+    pub fn hidden_units(&self) -> usize {
+        self.model.hidden_units()
+    }
+
+    /// The underlying shared model.
+    pub fn model(&self) -> &std::sync::Arc<AutoencoderReconciler> {
+        &self.model
+    }
+
+    /// Replace the per-session mask seed (the shared weights are untouched).
+    #[must_use]
+    pub fn with_mask_seed(mut self, seed: u64) -> Self {
+        self.mask_seed = seed;
+        self
+    }
+
+    /// The session mask in use.
+    pub fn mask(&self) -> PositionPreservingMask {
+        PositionPreservingMask::new(self.mask_seed, self.model.key_len())
+    }
+
+    /// **Bob's step** under this session's mask (see
+    /// [`AutoencoderReconciler::bob_syndrome`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key length differs from the model's.
+    pub fn bob_syndrome(&self, k_bob: &BitString) -> Vec<f32> {
+        self.model.bob_syndrome_seeded(self.mask_seed, k_bob)
+    }
+
+    /// **Alice's step** under this session's mask (see
+    /// [`AutoencoderReconciler::alice_correct`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn alice_correct(&self, y_bob: &[f32], k_alice: &BitString) -> BitString {
+        self.model
+            .alice_correct_seeded(self.mask_seed, y_bob, k_alice)
+    }
+}
+
+impl From<AutoencoderReconciler> for SharedReconciler {
+    /// Wrap an owned model, inheriting its baked-in mask seed. This is the
+    /// compatibility path for call sites that still clone the model per
+    /// session; scale paths should share one `Arc` instead.
+    fn from(model: AutoencoderReconciler) -> Self {
+        let mask_seed = model.mask_seed();
+        SharedReconciler {
+            model: std::sync::Arc::new(model),
+            mask_seed,
+        }
+    }
+}
+
+impl From<std::sync::Arc<AutoencoderReconciler>> for SharedReconciler {
+    fn from(model: std::sync::Arc<AutoencoderReconciler>) -> Self {
+        let mask_seed = model.mask_seed();
+        SharedReconciler { model, mask_seed }
+    }
+}
+
+impl From<&std::sync::Arc<AutoencoderReconciler>> for SharedReconciler {
+    fn from(model: &std::sync::Arc<AutoencoderReconciler>) -> Self {
+        SharedReconciler::from(std::sync::Arc::clone(model))
     }
 }
 

@@ -34,7 +34,7 @@ pub mod cascade;
 pub mod cs;
 pub mod linalg;
 
-pub use autoencoder::{AutoencoderReconciler, AutoencoderTrainer};
+pub use autoencoder::{AutoencoderReconciler, AutoencoderTrainer, SharedReconciler};
 pub use bch::BchReconciler;
 pub use bloom::PositionPreservingMask;
 pub use cascade::{CascadeEngine, CascadeReconciler};

@@ -43,6 +43,7 @@ use reconcile::AutoencoderReconciler;
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use telemetry::Json;
 use vehicle_key::{Message, Session, Transport, TransportError};
@@ -227,7 +228,7 @@ fn connect(
 /// A rendered message when the connection or the session itself fails.
 pub fn run_recorded_session(
     addr: SocketAddr,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     nonce_b: u64,
     params: &SessionParams,
     poll: Duration,
@@ -273,7 +274,7 @@ pub struct EveObservation {
 pub fn eve_observe(
     capture: &SessionCapture,
     session_key: &[u8; 16],
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     rho: f64,
     params: &SessionParams,
     seed: u64,
@@ -424,7 +425,7 @@ impl EveArm {
 /// Attack every capture at one correlation level and aggregate.
 pub fn eve_sweep_point(
     captures: &[(SessionCapture, [u8; 16])],
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     separation_m: f64,
     rho: f64,
     params: &SessionParams,
@@ -605,7 +606,7 @@ fn inject_frames<T: Transport>(
 /// A rendered message when the connection cannot be opened.
 pub fn attack_probe_injection(
     addr: SocketAddr,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     poll: Duration,
     connect_timeout: Duration,
 ) -> Result<AttackOutcome, String> {
@@ -691,7 +692,7 @@ pub struct StormOutcome {
 /// itself never errors — transport/protocol deaths are the verdict).
 pub fn attack_bitflip_storm(
     addr: SocketAddr,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     nonce_b: u64,
     fault: FaultConfig,
     params: &SessionParams,
@@ -742,7 +743,7 @@ pub fn forged_app_frames(session_id: u32, count: usize) -> Vec<Vec<u8>> {
 /// that should anchor the attack does not confirm a key.
 pub fn attack_lifecycle_inject(
     addr: SocketAddr,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     nonce_b: u64,
     params: &SessionParams,
     poll: Duration,
@@ -1187,7 +1188,10 @@ impl AdversaryReport {
 
 /// Run a full campaign: honest captures, the Eve sweep, the active arm,
 /// and the DoS arm, in that order, against one live server.
-pub fn run_adversary(cfg: &AdversaryConfig, reconciler: &AutoencoderReconciler) -> AdversaryReport {
+pub fn run_adversary(
+    cfg: &AdversaryConfig,
+    reconciler: &Arc<AutoencoderReconciler>,
+) -> AdversaryReport {
     let mut errors = Vec::new();
     let mut captures: Vec<(SessionCapture, [u8; 16])> = Vec::new();
     let mut honest_ok = 0usize;
@@ -1363,13 +1367,15 @@ mod tests {
     use reconcile::AutoencoderTrainer;
     use std::sync::{Arc, OnceLock};
 
-    fn model() -> &'static AutoencoderReconciler {
-        static MODEL: OnceLock<AutoencoderReconciler> = OnceLock::new();
+    fn model() -> &'static Arc<AutoencoderReconciler> {
+        static MODEL: OnceLock<Arc<AutoencoderReconciler>> = OnceLock::new();
         MODEL.get_or_init(|| {
             let mut rng = StdRng::seed_from_u64(7001);
-            AutoencoderTrainer::default()
-                .with_steps(6000)
-                .train(&mut rng)
+            Arc::new(
+                AutoencoderTrainer::default()
+                    .with_steps(6000)
+                    .train(&mut rng),
+            )
         })
     }
 
@@ -1386,7 +1392,7 @@ mod tests {
     }
 
     fn start_server(config: ServerConfig) -> Server {
-        Server::start(config, Arc::new(model().clone())).expect("server start")
+        Server::start(config, model().clone()).expect("server start")
     }
 
     const POLL: Duration = Duration::from_millis(10);

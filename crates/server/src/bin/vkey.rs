@@ -36,7 +36,8 @@ use vehicle_key::pipeline::{KeyPipeline, PipelineConfig};
 use vehicle_key::RecoveryPolicy;
 use vk_server::{
     run_adversary, run_fleet, AdminServer, AdversaryConfig, ClientLifecycleCfg, FaultConfig,
-    FleetConfig, LifecycleConfig, RekeyPolicy, RetryPolicy, Server, ServerConfig, SessionParams,
+    FleetConfig, LifecycleConfig, RekeyPolicy, RetryPolicy, Server, ServerConfig, ServerMode,
+    SessionParams,
 };
 
 fn scenario_from(name: &str) -> Result<ScenarioKind, String> {
@@ -326,6 +327,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let config = ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7400").to_string(),
         workers: args.parsed("workers", 4)?,
+        mode: match args.get("mode") {
+            None | Some("auto") => ServerMode::Auto,
+            Some("blocking") => ServerMode::Blocking,
+            Some("reactor") => ServerMode::Reactor,
+            Some(other) => {
+                return Err(format!(
+                    "bad --mode: {other} (expected auto, blocking, or reactor)"
+                ))
+            }
+        },
         params: session_params_from(args)?,
         fault: fault_from(args)?,
         max_sessions: match args.get("max-sessions") {
@@ -455,7 +466,7 @@ fn cmd_adversary(args: &Args) -> Result<(), String> {
     if let Some(storm) = fault_from(args)? {
         cfg.storm = storm;
     }
-    let reconciler = reconciler_from(args)?;
+    let reconciler = Arc::new(reconciler_from(args)?);
     let report = run_adversary(&cfg, &reconciler);
     println!("{}", report.render());
     let out = args.get("out").unwrap_or("adversary.manifest.json");
@@ -479,6 +490,10 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
         addr: args.get("addr").unwrap_or("127.0.0.1:7400").to_string(),
         sessions: args.parsed("sessions", 100)?,
         concurrency: args.parsed("concurrency", 8)?,
+        pool: match args.get("pool") {
+            None => None,
+            Some(raw) => Some(raw.parse().map_err(|e| format!("bad --pool: {e}"))?),
+        },
         params: session_params_from(args)?,
         fault: fault_from(args)?,
         nonce_seed: args.seed() ^ 0xB0B,
@@ -496,7 +511,7 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
     };
     let out = args.get("out").unwrap_or("fleet.manifest.json");
     let min_match_rate: f64 = args.parsed("min-match-rate", 0.0)?;
-    let reconciler = reconciler_from(args)?;
+    let reconciler = Arc::new(reconciler_from(args)?);
 
     let sweep: Vec<usize> = match args.get("sweep") {
         None => vec![base.concurrency],
@@ -646,7 +661,13 @@ Subcommands:
                   --bits <n>            minimum key bits to test (default 4000)
   serve         Run the concurrent key-establishment server (Alice side)
                   --addr <host:port>    bind address (default 127.0.0.1:7400)
-                  --workers <n>         worker threads (default 4)
+                  --workers <n>         worker threads — blocking-mode session
+                                        cap, reactor-mode shard count (default 4)
+                  --mode <m>            serving core: auto (default; reactor
+                                        unless --lifecycle is set), blocking
+                                        (thread per session), or reactor
+                                        (epoll/poll shards holding 10k+
+                                        sessions on a few threads)
                   --max-sessions <n>    exit after n sessions (default: run forever)
                   --admin <host:port>   also serve the admin endpoint there:
                                         GET /healthz, /metrics (Prometheus
@@ -679,7 +700,11 @@ Subcommands:
   fleet         Run a concurrent client fleet against a server (Bob side)
                   --addr <host:port>    server address (default 127.0.0.1:7400)
                   --sessions <n>        total sessions (default 100)
-                  --concurrency <n>     concurrent clients (default 8)
+                  --concurrency <n>     concurrent client threads (default 8)
+                  --pool <n>            pooled engine: hold n concurrent
+                                        sessions on one event-driven thread
+                                        instead of n threads (the 10k-scale
+                                        load path; ignored with --lifecycle)
                   --sweep <a,b,c>       run once per concurrency level
                   --out <file>          manifest path (default fleet.manifest.json)
                   --min-match-rate <p>  exit nonzero if the key-match rate

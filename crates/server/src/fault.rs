@@ -59,21 +59,27 @@ pub struct FaultStats {
     pub reordered: u64,
 }
 
-/// A [`Transport`] wrapper injecting faults into the send path.
+/// The fault-decision engine, factored out of the transport wrapper so
+/// the readiness-driven reactor (which owns raw sockets, not
+/// [`Transport`]s) can perturb its outbound frames with byte-identical
+/// semantics. Feed it one logical frame; it emits zero or more frames in
+/// the order they should hit the wire.
+///
+/// The decision order — and therefore the PRNG draw order, which pins the
+/// deterministic replay — is: drop, corrupt (one random bit), reorder
+/// (hold until the next frame), emit, flush any held frame, duplicate.
 #[derive(Debug)]
-pub struct FaultyTransport<T> {
-    inner: T,
+pub struct FaultLens {
     config: FaultConfig,
     rng: SplitMix64,
     held: Option<Vec<u8>>,
     stats: FaultStats,
 }
 
-impl<T: Transport> FaultyTransport<T> {
-    /// Wrap a transport.
-    pub fn new(inner: T, config: FaultConfig) -> Self {
-        FaultyTransport {
-            inner,
+impl FaultLens {
+    /// A lens drawing from `config.seed`.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultLens {
             config,
             rng: SplitMix64::new(config.seed),
             held: None,
@@ -86,21 +92,16 @@ impl<T: Transport> FaultyTransport<T> {
         self.stats
     }
 
-    /// Unwrap the inner transport.
-    pub fn into_inner(self) -> T {
-        self.inner
-    }
-
     fn chance(&mut self, p: f64) -> bool {
         p > 0.0 && self.rng.next_f64() < p
     }
-}
 
-impl<T: Transport> Transport for FaultyTransport<T> {
-    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+    /// Run one outgoing frame through the fault pipeline, appending what
+    /// should actually be emitted (0–3 frames) to `out` in wire order.
+    pub fn apply(&mut self, frame: &[u8], out: &mut Vec<Vec<u8>>) {
         if self.chance(self.config.drop) {
             self.stats.dropped += 1;
-            return Ok(());
+            return;
         }
         let mut frame = frame.to_vec();
         if !frame.is_empty() && self.chance(self.config.corrupt) {
@@ -111,15 +112,55 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         if self.chance(self.config.reorder) && self.held.is_none() {
             self.held = Some(frame);
             self.stats.reordered += 1;
-            return Ok(());
+            return;
         }
-        self.inner.send(&frame)?;
+        out.push(frame.clone());
         if let Some(late) = self.held.take() {
-            self.inner.send(&late)?;
+            out.push(late);
         }
         if self.chance(self.config.duplicate) {
             self.stats.duplicated += 1;
-            self.inner.send(&frame)?;
+            out.push(frame);
+        }
+    }
+}
+
+/// A [`Transport`] wrapper injecting faults into the send path.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    lens: FaultLens,
+    /// Scratch for the lens output, reused across sends.
+    emitted: Vec<Vec<u8>>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wrap a transport.
+    pub fn new(inner: T, config: FaultConfig) -> Self {
+        FaultyTransport {
+            inner,
+            lens: FaultLens::new(config),
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Injected-fault counts so far.
+    pub fn stats(&self) -> FaultStats {
+        self.lens.stats()
+    }
+
+    /// Unwrap the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.emitted.clear();
+        self.lens.apply(frame, &mut self.emitted);
+        for emitted in self.emitted.drain(..) {
+            self.inner.send(&emitted)?;
         }
         Ok(())
     }
@@ -210,6 +251,27 @@ mod tests {
                 .sum();
             assert_eq!(flipped, 1);
         }
+    }
+
+    #[test]
+    fn lens_emits_exactly_what_the_transport_sends() {
+        // The lens is the transport's engine; the two views of the same
+        // config and seed must produce byte-identical wire streams.
+        let cfg = FaultConfig {
+            drop: 0.2,
+            duplicate: 0.2,
+            corrupt: 0.2,
+            reorder: 0.2,
+            seed: 1234,
+        };
+        let (through_transport, t_stats) = sent_through(cfg, 200);
+        let mut lens = FaultLens::new(cfg);
+        let mut through_lens = Vec::new();
+        for i in 0..200usize {
+            lens.apply(&[i as u8; 8], &mut through_lens);
+        }
+        assert_eq!(through_lens, through_transport);
+        assert_eq!(lens.stats(), t_stats);
     }
 
     #[test]

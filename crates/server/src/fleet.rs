@@ -20,16 +20,22 @@
 //! }
 //! ```
 
-use crate::fault::{FaultConfig, FaultyTransport};
-use crate::framing::TcpTransport;
+use crate::fault::{FaultConfig, FaultLens, FaultyTransport};
+use crate::framing::{encode_frame, FrameBuf, TcpTransport};
 use crate::lifecycle::{run_bob_lifecycle, BobLifecycleOutcome, ClientLifecycleCfg};
-use crate::session::{run_bob_session, run_bob_session_keyed, SessionError, SessionParams};
+use crate::poll::{Interest, Poller, Token};
+use crate::session::{
+    run_bob_session, run_bob_session_keyed, BobCore, SessionError, SessionParams,
+};
 use crate::sim::SplitMix64;
+use crate::wheel::TimerWheel;
 use reconcile::AutoencoderReconciler;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -97,6 +103,15 @@ pub struct FleetConfig {
     /// phase with this client behaviour (the server must be running with
     /// [`ServerConfig::lifecycle`](crate::server::ServerConfig) set too).
     pub lifecycle: Option<ClientLifecycleCfg>,
+    /// When set, the fleet runs as a *pooled* client engine instead of
+    /// thread-per-slot: one event-driven thread (the client-side mirror
+    /// of the server reactor — [`BobCore`] state machines over a
+    /// [`Poller`] and a timer wheel) holds this many connections in
+    /// flight at once. This is what lets one box present 10k+ concurrent
+    /// sessions without 10k threads. Ignored when [`FleetConfig::lifecycle`]
+    /// is set — the lifecycle client is a blocking loop and keeps the
+    /// thread engine.
+    pub pool: Option<usize>,
 }
 
 impl Default for FleetConfig {
@@ -111,6 +126,7 @@ impl Default for FleetConfig {
             connect_timeout: Duration::from_secs(5),
             nonce_seed: 0xB0B,
             lifecycle: None,
+            pool: None,
         }
     }
 }
@@ -124,6 +140,9 @@ pub struct LatencyStats {
     pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// 99.9th percentile — the tail that matters at 10k sessions, where
+    /// p99 still hides a hundred stragglers.
+    pub p999: f64,
     /// Fastest session.
     pub min: f64,
     /// Slowest session.
@@ -148,6 +167,7 @@ impl LatencyStats {
             p50: rank(50.0),
             p95: rank(95.0),
             p99: rank(99.0),
+            p999: rank(99.9),
             min: samples[0],
             max: samples[samples.len() - 1],
             mean: samples.iter().sum::<f64>() / samples.len() as f64,
@@ -159,6 +179,7 @@ impl LatencyStats {
             ("p50".into(), Json::Num(self.p50)),
             ("p95".into(), Json::Num(self.p95)),
             ("p99".into(), Json::Num(self.p99)),
+            ("p999".into(), Json::Num(self.p999)),
             ("min".into(), Json::Num(self.min)),
             ("max".into(), Json::Num(self.max)),
             ("mean".into(), Json::Num(self.mean)),
@@ -234,6 +255,11 @@ pub struct FleetReport {
     pub leaked_bits: u64,
     /// Latency percentiles over successful sessions.
     pub latency: LatencyStats,
+    /// Peak resident set of this process over the run, in MiB (from
+    /// `/proc/self/status` `VmHWM`; 0 where procfs is unavailable). At
+    /// 10k concurrent sessions memory is as load-bearing a result as
+    /// latency.
+    pub max_rss_mb: f64,
     /// Lifecycle-phase aggregates (only when the run was configured with
     /// [`FleetConfig::lifecycle`]).
     pub lifecycle: Option<FleetLifecycleStats>,
@@ -290,6 +316,7 @@ impl FleetReport {
                 ),
             ),
             ("latency_ms".into(), self.latency.to_json()),
+            ("max_rss_mb".into(), Json::Num(self.max_rss_mb)),
         ]);
         if let (Json::Obj(fields), Some(lc)) = (&mut doc, self.lifecycle) {
             fields.push(("lifecycle".into(), lc.to_json()));
@@ -311,7 +338,8 @@ impl FleetReport {
         let mut out = format!(
             "fleet: {}/{} sessions ok ({:.1}%) in {:.2}s — {:.1} sessions/s, {} retransmissions\n\
              escalation: {} cascade rounds, {} reprobes, {} parity bits leaked\n\
-             latency ms: p50 {:.1}  p95 {:.1}  p99 {:.1}  (min {:.1}, mean {:.1}, max {:.1})",
+             latency ms: p50 {:.1}  p95 {:.1}  p99 {:.1}  p999 {:.1}  \
+             (min {:.1}, mean {:.1}, max {:.1}) — peak RSS {:.1} MiB",
             self.ok,
             self.sessions,
             self.key_match_rate() * 100.0,
@@ -324,9 +352,11 @@ impl FleetReport {
             self.latency.p50,
             self.latency.p95,
             self.latency.p99,
+            self.latency.p999,
             self.latency.min,
             self.latency.mean,
             self.latency.max,
+            self.max_rss_mb,
         );
         if let Some(lc) = self.lifecycle {
             out.push_str(&format!(
@@ -377,7 +407,7 @@ struct SessionRecord {
 fn drive_client<T: vehicle_key::Transport>(
     transport: &mut T,
     cfg: &FleetConfig,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     nonce_b: u64,
     index: u64,
     record: &mut SessionRecord,
@@ -433,7 +463,7 @@ fn drive_client<T: vehicle_key::Transport>(
 fn run_one(
     addr: &SocketAddr,
     cfg: &FleetConfig,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     index: u64,
 ) -> SessionRecord {
     let started = Instant::now();
@@ -480,6 +510,412 @@ fn run_one(
     record
 }
 
+/// Peak resident set of this process in MiB, read from
+/// `/proc/self/status` (`VmHWM`). Returns 0.0 where procfs is
+/// unavailable or unparsable, so reports degrade gracefully off-Linux.
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// One in-flight connection of the pooled client engine: the client-side
+/// mirror of the server reactor's per-connection state.
+struct PoolConn {
+    stream: TcpStream,
+    core: BobCore,
+    buf: FrameBuf,
+    outbound: Vec<u8>,
+    interest: Interest,
+    lens: Option<FaultLens>,
+    index: u64,
+    started: Instant,
+    gen: u64,
+}
+
+/// Frame one outbound client message (trace extension appended under the
+/// caller's trace scope, fault lens applied, length-prefixed) onto the
+/// connection's byte queue.
+fn pool_queue_frame(conn: &mut PoolConn, mut frame: Vec<u8>, emitted: &mut Vec<Vec<u8>>) {
+    if let Some(ext) = crate::obs::outbound_extension() {
+        frame.extend_from_slice(&ext);
+    }
+    match &mut conn.lens {
+        Some(lens) => {
+            emitted.clear();
+            lens.apply(&frame, emitted);
+            for wire in emitted.drain(..) {
+                conn.outbound.extend_from_slice(&encode_frame(&wire));
+            }
+        }
+        None => conn.outbound.extend_from_slice(&encode_frame(&frame)),
+    }
+}
+
+/// Write queued outbound bytes until done or the socket pushes back.
+fn pool_flush(conn: &mut PoolConn) -> std::io::Result<()> {
+    while !conn.outbound.is_empty() {
+        match (&conn.stream).write(conn.outbound.as_slice()) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ))
+            }
+            Ok(n) => {
+                conn.outbound.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn pool_failure_record(started: Instant, failure: &'static str) -> SessionRecord {
+    SessionRecord {
+        ok: false,
+        failure: Some(failure),
+        latency_ms: started.elapsed().as_secs_f64() * 1000.0,
+        retransmissions: 0,
+        cascade_rounds: 0,
+        reprobes: 0,
+        leaked_bits: 0,
+        lifecycle: None,
+    }
+}
+
+/// Close out one pooled session from its finished [`BobCore`].
+fn pool_finish_record(conn: &mut PoolConn) -> SessionRecord {
+    let mut record = pool_failure_record(conn.started, "engine");
+    record.failure = None;
+    let Some((o, _root)) = conn.core.take_finished() else {
+        record.failure = Some("engine");
+        return record;
+    };
+    record.retransmissions = o.retransmissions;
+    record.cascade_rounds = o.cascade_rounds;
+    record.reprobes = o.reprobes;
+    record.leaked_bits = o.leaked_bits;
+    if o.key_matched {
+        record.ok = true;
+    } else {
+        record.failure = Some("key_mismatch");
+    }
+    record
+}
+
+/// The pooled client engine: `pool` concurrent [`BobCore`] sessions
+/// multiplexed on this one thread over a [`Poller`], deadlines driven by
+/// a [`TimerWheel`] — the load-generator twin of the server reactor.
+/// Claims session indices from `cfg.sessions` and tops the pool back up
+/// as sessions retire, so the server sees a sustained `pool`-deep
+/// concurrency plateau rather than a thundering herd of threads.
+fn run_pool(
+    addr: &SocketAddr,
+    cfg: &FleetConfig,
+    reconciler: &Arc<AutoencoderReconciler>,
+    pool: usize,
+) -> Vec<SessionRecord> {
+    let mut records: Vec<SessionRecord> = Vec::with_capacity(cfg.sessions as usize);
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fleet: pooled engine cannot start ({e}); all sessions fail");
+            let now = Instant::now();
+            records.extend((0..cfg.sessions).map(|_| pool_failure_record(now, "engine")));
+            return records;
+        }
+    };
+    let mut wheel = TimerWheel::new(Instant::now());
+    let mut conns: HashMap<u64, PoolConn> = HashMap::new();
+    let mut next_index = 0u64;
+    let mut next_token = 0u64;
+    let mut events = Vec::new();
+    let mut expired = Vec::new();
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    let mut emitted: Vec<Vec<u8>> = Vec::new();
+    loop {
+        // Top up: open connections until the pool is full or the session
+        // budget is claimed. Connects are blocking but loopback-fast; the
+        // live sessions tolerate the pause as ordinary scheduling jitter.
+        while conns.len() < pool.max(1) && next_index < cfg.sessions {
+            let index = next_index;
+            next_index += 1;
+            let started = Instant::now();
+            let stream = match TcpStream::connect_timeout(addr, cfg.connect_timeout).and_then(|s| {
+                s.set_nonblocking(true)?;
+                s.set_nodelay(true)?;
+                Ok(s)
+            }) {
+                Ok(s) => s,
+                Err(_) => {
+                    records.push(pool_failure_record(started, "connect"));
+                    continue;
+                }
+            };
+            let nonce_b = SplitMix64::new(cfg.nonce_seed ^ index).next_u64();
+            let lens = cfg.fault.filter(|f| !f.is_noop()).map(|fault| {
+                FaultLens::new(FaultConfig {
+                    seed: SplitMix64::new(fault.seed ^ index).next_u64(),
+                    ..fault
+                })
+            });
+            let core = BobCore::new(reconciler, nonce_b, &cfg.params);
+            let token = next_token;
+            next_token += 1;
+            if poller
+                .register(stream.as_raw_fd(), Token(token), Interest::READABLE)
+                .is_err()
+            {
+                records.push(pool_failure_record(started, "engine"));
+                continue;
+            }
+            let mut conn = PoolConn {
+                stream,
+                core,
+                buf: FrameBuf::new(),
+                outbound: Vec::new(),
+                interest: Interest::READABLE,
+                lens,
+                index,
+                started,
+                gen: 0,
+            };
+            {
+                // The client originates the trace (same derivation as the
+                // blocking path); a short-lived session span marks the
+                // bob track, and the probe carries the extension.
+                let _trace = telemetry::enabled()
+                    .then(|| telemetry::push_trace(conn.core.trace_id(), "bob"));
+                let _span = telemetry::span("fleet.session")
+                    .field("session_index", index)
+                    .enter();
+                frames.clear();
+                conn.core.start(started, &mut frames);
+                for frame in frames.drain(..) {
+                    pool_queue_frame(&mut conn, frame, &mut emitted);
+                }
+            }
+            if pool_flush(&mut conn).is_err() {
+                let _ = poller.deregister(conn.stream.as_raw_fd());
+                records.push(pool_failure_record(started, "transport"));
+                continue;
+            }
+            if !conn.outbound.is_empty() {
+                conn.interest = Interest::BOTH;
+                let _ = poller.reregister(conn.stream.as_raw_fd(), Token(token), Interest::BOTH);
+            }
+            wheel.schedule(Token(token), 0, conn.core.next_deadline());
+            conns.insert(token, conn);
+        }
+        if conns.is_empty() && next_index >= cfg.sessions {
+            break;
+        }
+        let timeout = wheel
+            .next_deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()));
+        if let Err(e) = poller.wait(&mut events, timeout) {
+            eprintln!("fleet: pooled engine poll error: {e}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let now = Instant::now();
+        for ev in &events {
+            let Token(token) = ev.token;
+            let mut terminal: Option<&'static str> = None;
+            let mut eof = false;
+            let (finished, fd, deadline, want, have, gen) = {
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                if ev.writable && pool_flush(conn).is_err() {
+                    terminal = Some("transport");
+                }
+                if ev.readable && terminal.is_none() {
+                    loop {
+                        match conn.buf.fill_from(&mut conn.stream) {
+                            Ok(0) => {
+                                eof = true;
+                                break;
+                            }
+                            Ok(_) => {
+                                let res = pool_pump(conn, now, &mut frames, &mut emitted);
+                                if let Err(key) = res {
+                                    terminal = Some(key);
+                                    break;
+                                }
+                                if conn.core.is_finished() {
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            Err(_) => {
+                                terminal = Some("transport");
+                                break;
+                            }
+                        }
+                    }
+                }
+                if terminal.is_none() && !conn.outbound.is_empty() && pool_flush(conn).is_err() {
+                    terminal = Some("transport");
+                }
+                conn.gen += 1;
+                (
+                    conn.core.is_finished(),
+                    conn.stream.as_raw_fd(),
+                    conn.core.next_deadline(),
+                    if conn.outbound.is_empty() {
+                        Interest::READABLE
+                    } else {
+                        Interest::BOTH
+                    },
+                    conn.interest,
+                    conn.gen,
+                )
+            };
+            if let Some(key) = terminal {
+                if let Some(conn) = conns.remove(&token) {
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    records.push(pool_failure_record(conn.started, key));
+                }
+                continue;
+            }
+            if finished {
+                pool_retire(&mut conns, &mut poller, token, &mut records);
+                continue;
+            }
+            if eof {
+                if let Some(conn) = conns.remove(&token) {
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    records.push(pool_failure_record(conn.started, "transport_closed"));
+                }
+                continue;
+            }
+            if want != have {
+                let _ = poller.reregister(fd, Token(token), want);
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.interest = want;
+                }
+            }
+            wheel.schedule(Token(token), gen, deadline);
+        }
+        wheel.advance(now, &mut expired);
+        for (Token(token), gen) in expired.drain(..) {
+            let (result, finished, deadline) = {
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                if conn.gen != gen {
+                    continue;
+                }
+                frames.clear();
+                let res = {
+                    let _trace = telemetry::enabled()
+                        .then(|| telemetry::push_trace(conn.core.trace_id(), "bob"));
+                    let res = conn.core.on_tick(now, &mut frames);
+                    for frame in frames.drain(..) {
+                        pool_queue_frame(conn, frame, &mut emitted);
+                    }
+                    res
+                };
+                let flushed = if conn.outbound.is_empty() {
+                    Ok(())
+                } else {
+                    pool_flush(conn)
+                };
+                (
+                    res.map_err(|e| failure_key(&e))
+                        .and(flushed.map_err(|_| "transport")),
+                    conn.core.is_finished(),
+                    conn.core.next_deadline(),
+                )
+            };
+            match result {
+                Err(key) => {
+                    if let Some(conn) = conns.remove(&token) {
+                        let _ = poller.deregister(conn.stream.as_raw_fd());
+                        records.push(pool_failure_record(conn.started, key));
+                    }
+                }
+                Ok(()) if finished => pool_retire(&mut conns, &mut poller, token, &mut records),
+                Ok(()) => wheel.schedule(Token(token), gen, deadline),
+            }
+        }
+    }
+    records
+}
+
+/// Feed every complete inbound frame through the session core, queueing
+/// whatever it answers with.
+fn pool_pump(
+    conn: &mut PoolConn,
+    now: Instant,
+    frames: &mut Vec<Vec<u8>>,
+    emitted: &mut Vec<Vec<u8>>,
+) -> Result<(), &'static str> {
+    loop {
+        let range = match conn.buf.next_frame_range() {
+            Ok(Some(range)) => range,
+            Ok(None) => return Ok(()),
+            Err(_) => return Err("transport"),
+        };
+        frames.clear();
+        let res = {
+            let _trace =
+                telemetry::enabled().then(|| telemetry::push_trace(conn.core.trace_id(), "bob"));
+            let res = conn.core.on_frame(conn.buf.slice(range), now, frames);
+            for frame in frames.drain(..) {
+                pool_queue_frame(conn, frame, emitted);
+            }
+            res
+        };
+        if let Err(e) = res {
+            return Err(failure_key(&e));
+        }
+        if conn.core.is_finished() {
+            return Ok(());
+        }
+    }
+}
+
+/// A pooled session ran to completion: flush its tail blocking-with-
+/// timeout (the confirm ack must reach the server), record it, and free
+/// the pool slot.
+fn pool_retire(
+    conns: &mut HashMap<u64, PoolConn>,
+    poller: &mut Poller,
+    token: u64,
+    records: &mut Vec<SessionRecord>,
+) {
+    let Some(mut conn) = conns.remove(&token) else {
+        return;
+    };
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    if !conn.outbound.is_empty() {
+        let _ = conn.stream.set_nonblocking(false);
+        let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = conn.stream.write_all(conn.outbound.as_slice());
+        conn.outbound.clear();
+    }
+    let record = pool_finish_record(&mut conn);
+    telemetry::histogram("fleet.session_latency_ms", record.latency_ms);
+    records.push(record);
+}
+
 /// Run the load generator against a server and aggregate the results.
 ///
 /// # Errors
@@ -488,7 +924,7 @@ fn run_one(
 /// failures are *not* errors — they land in the report.
 pub fn run_fleet(
     cfg: &FleetConfig,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
 ) -> Result<FleetReport, FleetError> {
     let addr: SocketAddr = cfg
         .addr
@@ -502,11 +938,22 @@ pub fn run_fleet(
             addr: cfg.addr.clone(),
             source: None,
         })?;
+    let pooled = cfg.pool.filter(|_| cfg.lifecycle.is_none());
     let _span = telemetry::span("fleet.run")
         .field("sessions", cfg.sessions)
         .field("concurrency", cfg.concurrency as u64)
+        .field("pool", pooled.unwrap_or(0) as u64)
         .enter();
     let started = Instant::now();
+    if let Some(pool) = pooled {
+        let records = run_pool(&addr, cfg, reconciler, pool);
+        return Ok(aggregate(
+            cfg,
+            pool,
+            records,
+            started.elapsed().as_secs_f64(),
+        ));
+    }
     let next = Arc::new(AtomicU64::new(0));
     let records: Vec<SessionRecord> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.concurrency.max(1));
@@ -535,7 +982,18 @@ pub fn run_fleet(
             .collect()
     });
     let elapsed_s = started.elapsed().as_secs_f64();
+    Ok(aggregate(cfg, cfg.concurrency, records, elapsed_s))
+}
 
+/// Fold per-session records into the aggregate report (shared by the
+/// thread engine and the pooled engine; `concurrency` is the thread
+/// count for the former, the pool depth for the latter).
+fn aggregate(
+    cfg: &FleetConfig,
+    concurrency: usize,
+    records: Vec<SessionRecord>,
+    elapsed_s: f64,
+) -> FleetReport {
     let mut failed = BTreeMap::new();
     let mut latencies = Vec::new();
     let mut ok = 0u64;
@@ -568,11 +1026,11 @@ pub fn run_fleet(
         }
     }
     telemetry::counter("fleet.sessions_ok", ok);
-    telemetry::counter("fleet.sessions_failed", cfg.sessions - ok);
+    telemetry::counter("fleet.sessions_failed", cfg.sessions.saturating_sub(ok));
     telemetry::counter("fleet.leaked_bits", leaked_bits);
-    Ok(FleetReport {
+    FleetReport {
         sessions: cfg.sessions,
-        concurrency: cfg.concurrency,
+        concurrency,
         ok,
         failed,
         elapsed_s,
@@ -581,8 +1039,9 @@ pub fn run_fleet(
         reprobes,
         leaked_bits,
         latency: LatencyStats::from_samples(&mut latencies),
+        max_rss_mb: peak_rss_mb(),
         lifecycle,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -596,6 +1055,7 @@ mod tests {
         assert_eq!(stats.p50, 50.0);
         assert_eq!(stats.p95, 95.0);
         assert_eq!(stats.p99, 99.0);
+        assert_eq!(stats.p999, 100.0);
         assert_eq!(stats.min, 1.0);
         assert_eq!(stats.max, 100.0);
         assert!((stats.mean - 50.5).abs() < 1e-9);
@@ -607,6 +1067,28 @@ mod tests {
         let stats = LatencyStats::from_samples(&mut samples);
         assert_eq!(stats.p50, 7.5);
         assert_eq!(stats.p99, 7.5);
+        assert_eq!(stats.p999, 7.5);
+    }
+
+    #[test]
+    fn p999_separates_the_extreme_tail_from_p99() {
+        // 500 fast samples and one straggler: p99 stays fast, p999 (which
+        // under nearest-rank is the max for n <= 1000) finds the
+        // straggler.
+        let mut samples: Vec<f64> = vec![10.0; 500];
+        samples.push(5000.0);
+        let stats = LatencyStats::from_samples(&mut samples);
+        assert_eq!(stats.p99, 10.0);
+        assert_eq!(stats.p999, 5000.0);
+    }
+
+    #[test]
+    fn peak_rss_reads_as_a_positive_number_on_linux() {
+        let rss = peak_rss_mb();
+        assert!(rss >= 0.0);
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0.0, "VmHWM should be present on Linux: {rss}");
+        }
     }
 
     #[test]
@@ -651,10 +1133,12 @@ mod tests {
                 p50: 10.0,
                 p95: 20.0,
                 p99: 30.0,
+                p999: 30.5,
                 min: 5.0,
                 max: 31.0,
                 mean: 11.0,
             },
+            max_rss_mb: 42.5,
             lifecycle: None,
         };
         let json = report.to_json();
@@ -680,6 +1164,13 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(20.0)
         );
+        assert_eq!(
+            json.get("latency_ms")
+                .and_then(|l| l.get("p999"))
+                .and_then(Json::as_f64),
+            Some(30.5)
+        );
+        assert_eq!(json.get("max_rss_mb").and_then(Json::as_f64), Some(42.5));
         let escalation = json.get("escalation").expect("escalation block present");
         assert_eq!(
             escalation.get("cascade_rounds").and_then(Json::as_u64),
@@ -693,5 +1184,59 @@ mod tests {
         // Round-trips through the hand-rolled JSON layer.
         let parsed = Json::parse(&json.to_string()).unwrap();
         assert_eq!(parsed.get("ok").and_then(Json::as_u64), Some(97));
+    }
+
+    #[test]
+    fn pooled_engine_runs_a_fleet_against_the_reactor() {
+        use crate::server::{Server, ServerConfig, ServerMode};
+        use crate::session::RetryPolicy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use reconcile::AutoencoderTrainer;
+        let mut rng = StdRng::seed_from_u64(7002);
+        let reconciler = Arc::new(
+            AutoencoderTrainer::default()
+                .with_steps(6000)
+                .train(&mut rng),
+        );
+        let params = SessionParams {
+            retry: RetryPolicy {
+                max_retries: 8,
+                ack_timeout: Duration::from_millis(40),
+                backoff: 1.5,
+            },
+            session_timeout: Duration::from_secs(10),
+            ..SessionParams::default()
+        };
+        let server = Server::start(
+            ServerConfig {
+                mode: ServerMode::Reactor,
+                workers: 1,
+                params,
+                max_sessions: Some(12),
+                ..ServerConfig::default()
+            },
+            reconciler.clone(),
+        )
+        .expect("reactor server starts");
+        let report = run_fleet(
+            &FleetConfig {
+                addr: server.local_addr().to_string(),
+                sessions: 12,
+                concurrency: 1,
+                pool: Some(6),
+                params,
+                ..FleetConfig::default()
+            },
+            &reconciler,
+        )
+        .expect("fleet runs");
+        let stats = server.join();
+        assert_eq!(report.sessions, 12);
+        assert_eq!(report.concurrency, 6, "pooled runs report the pool depth");
+        assert_eq!(report.ok, 12, "all pooled sessions match: {report:?}");
+        assert!(report.latency.p999 >= report.latency.p99);
+        assert!(report.max_rss_mb > 0.0);
+        assert_eq!(stats.completed, 12, "{stats:?}");
     }
 }

@@ -48,9 +48,12 @@ pub mod framing;
 pub mod lifecycle;
 pub mod obs;
 pub mod pipe;
+pub mod poll;
+pub mod reactor;
 pub mod server;
 pub mod session;
 pub mod sim;
+pub mod wheel;
 
 pub use admin::{AdminServer, SessionEntry, SessionTable};
 pub use adversary::{
@@ -60,20 +63,23 @@ pub use adversary::{
     AttackOutcome, BlockCapture, EveArm, EveObservation, HalfOpenFlood, RecordingTransport,
     SessionCapture, SlowlorisOutcome, StormOutcome, StormVerdict,
 };
-pub use fault::{FaultConfig, FaultStats, FaultyTransport};
+pub use fault::{FaultConfig, FaultLens, FaultStats, FaultyTransport};
 pub use fleet::{
-    run_fleet, FleetConfig, FleetError, FleetLifecycleStats, FleetReport, LatencyStats,
+    peak_rss_mb, run_fleet, FleetConfig, FleetError, FleetLifecycleStats, FleetReport, LatencyStats,
 };
-pub use framing::{encode_frame, FrameDecoder, TcpTransport, MAX_FRAME_LEN};
+pub use framing::{encode_frame, FrameBuf, FrameDecoder, TcpTransport, MAX_FRAME_LEN};
 pub use lifecycle::{
     run_bob_lifecycle, serve_lifecycle, BobLifecycleOutcome, ClientLifecycleCfg, GroupPlane,
     LifecycleConfig, LifecycleServeOutcome, LifecycleStats, RekeyMode, RekeyPolicy, RekeyTrigger,
     AGREEMENT_PAYLOAD,
 };
 pub use pipe::PipeTransport;
-pub use server::{Server, ServerConfig, ServerStats, StatsSnapshot};
+pub use poll::{Event, Interest, Poller, Token, Waker};
+pub use server::{Server, ServerConfig, ServerMode, ServerStats, StatsSnapshot};
 pub use session::{
-    run_bob_session, run_bob_session_keyed, serve_session, serve_session_keyed, BobOutcome,
-    RetryPolicy, ServeOutcome, SessionError, SessionHandoff, SessionParams, GARBAGE_BUDGET,
+    run_bob_session, run_bob_session_keyed, serve_session, serve_session_keyed, BobCore,
+    BobOutcome, RetryPolicy, ServeOutcome, SessionCore, SessionError, SessionHandoff,
+    SessionParams, GARBAGE_BUDGET,
 };
 pub use sim::{derive_block_keys, derive_session_keys, SplitMix64};
+pub use wheel::TimerWheel;

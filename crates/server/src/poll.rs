@@ -1,0 +1,778 @@
+//! Readiness polling for the reactor core: a hand-rolled `epoll(7)` shim
+//! with a portable `poll(2)` fallback, std-only.
+//!
+//! The reactor in [`reactor`](crate::reactor) multiplexes thousands of
+//! non-blocking sockets per shard thread. Rust's standard library exposes
+//! no readiness API, and this workspace deliberately carries no external
+//! crates, so the two syscalls are declared directly against the C symbols
+//! the std runtime already links:
+//!
+//! * **epoll** (Linux): one `epoll_create1` instance per [`Poller`];
+//!   registrations are O(1) and `epoll_wait` returns only ready
+//!   descriptors, so a shard holding 10 000 idle sessions costs nothing
+//!   per wakeup. Level-triggered — the reactor reads until `WouldBlock`,
+//!   so a frame left half-consumed re-arms on the next wait.
+//! * **poll(2)** (everywhere else, and selectable for tests): the
+//!   registration table is replayed into a `pollfd` array per wait. O(n)
+//!   per call, but n is bounded by the shard's session count and the
+//!   semantics are identical.
+//!
+//! Both backends surface the same [`Event`] shape: a caller-chosen
+//! [`Token`] plus readable/writable/hangup edges. [`Waker`] gives other
+//! threads a way to interrupt a blocked `wait` — a nonblocking socketpair
+//! whose read side the poller drains internally before reporting the
+//! waker's token.
+//!
+//! Nothing here parses attacker bytes, but the module sits on the wire
+//! path, so it is in the `wire-safety` lint scope: casts at the FFI
+//! boundary go through `try_from` with saturation, and the event buffers
+//! are walked with iterators, never indexed.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::os::unix::io::RawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Caller-chosen identity attached to a registration and echoed back in
+/// every [`Event`] for it. The reactor packs a shard-local session slot
+/// into it; the poller never interprets the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub u64);
+
+/// Which readiness edges a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the descriptor has bytes (or a close) to read.
+    pub readable: bool,
+    /// Wake when the descriptor can accept writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-side readiness only — the steady state of a reactor session.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-side readiness only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both edges — used while a session has backlogged outbound frames.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: Token,
+    /// Bytes (or EOF) are available to read. Error and hangup conditions
+    /// set this too, so a reader discovers them as `read` results instead
+    /// of silently stalling.
+    pub readable: bool,
+    /// The descriptor can accept writes.
+    pub writable: bool,
+    /// The peer closed or the descriptor errored (`EPOLLHUP`/`EPOLLERR`,
+    /// `POLLHUP`/`POLLERR`).
+    pub hangup: bool,
+}
+
+/// Handle for interrupting a blocked [`Poller::wait`] from another
+/// thread. Cheap to clone-by-hand (it is one socket); `wake` is lossy on
+/// a full buffer by design — one pending byte is enough to wake.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Interrupt the poller this waker was created from. The blocked
+    /// `wait` returns an [`Event`] carrying the waker's token.
+    pub fn wake(&self) {
+        // A full pipe already guarantees a pending wakeup; losing the
+        // extra byte is the desired coalescing.
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// A second handle on the same wake channel (`dup(2)` underneath), so
+    /// several threads can each hold their own interruptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor duplication failure.
+    pub fn try_clone(&self) -> io::Result<Waker> {
+        Ok(Waker {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+mod sys_listen {
+    //! FFI surface for `listen(2)`, used to re-arm an already-listening
+    //! socket with a deeper accept backlog.
+
+    extern "C" {
+        pub fn listen(fd: i32, backlog: i32) -> i32;
+    }
+}
+
+/// Deepen the accept backlog of an already-listening socket.
+///
+/// `std::net::TcpListener::bind` hard-codes `listen(fd, 128)`. A reactor
+/// accepting thousands of near-simultaneous connections overflows that
+/// queue, and overflow on loopback means dropped SYNs and whole-second
+/// connect stalls while the peer's kernel retransmits. POSIX allows
+/// calling `listen` again on a listening socket to update the backlog, so
+/// this is a plain re-arm — no socket needs to be hand-built.
+///
+/// # Errors
+///
+/// Propagates the `listen(2)` failure.
+pub fn widen_backlog(fd: RawFd, backlog: u32) -> io::Result<()> {
+    let depth = i32::try_from(backlog).unwrap_or(i32::MAX);
+    // SAFETY: plain syscall on a caller-owned descriptor, no pointers.
+    let rc = unsafe { sys_listen::listen(fd, depth) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Round a timeout up to whole milliseconds for the syscalls (`None`
+/// blocks forever). Rounding *up* keeps a 100µs deadline from spinning
+/// through zero-timeout waits.
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_nanos().div_ceil(1_000_000);
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys_epoll {
+    //! FFI surface for `epoll(7)`, declared against the glibc symbols the
+    //! std runtime links. Constants match `<sys/epoll.h>`.
+
+    /// Kernel's event record. glibc packs it on x86-64 (the kernel ABI
+    /// there has no padding); field reads below copy by value, never by
+    /// reference, so the unaligned layout is safe to touch.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+mod sys_poll {
+    //! FFI surface for POSIX `poll(2)`. Constants match `<poll.h>` on
+    //! every platform this workspace targets.
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        // `nfds_t` is `unsigned long`; this workspace only targets 64-bit
+        // unix, where that is u64.
+        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+}
+
+/// Maximum events drained per `epoll_wait` call. Ready descriptors past
+/// this bound are reported on the next wait — level triggering keeps them
+/// armed.
+const EVENT_BATCH: usize = 1024;
+
+#[cfg(target_os = "linux")]
+struct EpollBackend {
+    epfd: RawFd,
+    /// Reused kernel-event buffer; the kernel overwrites the first `n`
+    /// entries each wait.
+    buf: Vec<sys_epoll::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = unsafe { sys_epoll::epoll_create1(sys_epoll::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollBackend {
+            epfd,
+            buf: vec![sys_epoll::EpollEvent { events: 0, data: 0 }; EVENT_BATCH],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = sys_epoll::EPOLLRDHUP;
+        if interest.readable {
+            m |= sys_epoll::EPOLLIN;
+        }
+        if interest.writable {
+            m |= sys_epoll::EPOLLOUT;
+        }
+        m
+    }
+
+    fn ctl(&mut self, op: i32, fd: RawFd, interest: Interest) -> io::Result<()> {
+        let mut ev = sys_epoll::EpollEvent {
+            events: Self::mask(interest),
+            data: 0,
+        };
+        // SAFETY: `ev` outlives the call; DEL ignores the event pointer
+        // on every kernel this runs on, but a valid one is passed anyway
+        // for pre-2.6.9 compatibility.
+        let rc = unsafe { sys_epoll::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = sys_epoll::EpollEvent {
+            events: Self::mask(interest),
+            data: token.0,
+        };
+        // SAFETY: `ev` outlives the call.
+        let rc = unsafe { sys_epoll::epoll_ctl(self.epfd, sys_epoll::EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = sys_epoll::EpollEvent {
+            events: Self::mask(interest),
+            data: token.0,
+        };
+        // SAFETY: `ev` outlives the call.
+        let rc = unsafe { sys_epoll::epoll_ctl(self.epfd, sys_epoll::EPOLL_CTL_MOD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let cap = i32::try_from(self.buf.len()).unwrap_or(i32::MAX);
+        // SAFETY: the buffer holds `buf.len()` initialized records and the
+        // kernel writes at most `cap` of them.
+        let n = unsafe {
+            sys_epoll::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                cap,
+                timeout_millis(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        let n = usize::try_from(n).unwrap_or(0);
+        for ev in self.buf.iter().take(n) {
+            // Copy fields by value — the struct is packed on x86-64 and
+            // references into it would be unaligned.
+            let bits = ev.events;
+            let data = ev.data;
+            let hangup =
+                bits & (sys_epoll::EPOLLHUP | sys_epoll::EPOLLERR | sys_epoll::EPOLLRDHUP) != 0;
+            events.push(Event {
+                token: Token(data),
+                readable: bits & sys_epoll::EPOLLIN != 0 || hangup,
+                writable: bits & sys_epoll::EPOLLOUT != 0,
+                hangup,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollBackend {
+    fn drop(&mut self) {
+        // SAFETY: `epfd` is a live descriptor owned by this struct.
+        unsafe { sys_epoll::close(self.epfd) };
+    }
+}
+
+/// Portable backend: registrations live in a map replayed into a `pollfd`
+/// array on each wait.
+#[derive(Default)]
+struct PollBackend {
+    table: BTreeMap<RawFd, (Token, Interest)>,
+    /// Reused `pollfd` scratch array.
+    fds: Vec<sys_poll::PollFd>,
+}
+
+impl PollBackend {
+    fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        if self.table.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        self.table.insert(fd, (token, interest));
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match self.table.get_mut(&fd) {
+            Some(slot) => {
+                *slot = (token, interest);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match self.table.remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.fds.clear();
+        for (&fd, &(_, interest)) in &self.table {
+            let mut mask = 0i16;
+            if interest.readable {
+                mask |= sys_poll::POLLIN;
+            }
+            if interest.writable {
+                mask |= sys_poll::POLLOUT;
+            }
+            self.fds.push(sys_poll::PollFd {
+                fd,
+                events: mask,
+                revents: 0,
+            });
+        }
+        let nfds = u64::try_from(self.fds.len()).unwrap_or(u64::MAX);
+        // SAFETY: the array holds `nfds` initialized records for the call's
+        // duration.
+        let n = unsafe { sys_poll::poll(self.fds.as_mut_ptr(), nfds, timeout_millis(timeout)) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for pfd in &self.fds {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let Some(&(token, _)) = self.table.get(&pfd.fd) else {
+                continue;
+            };
+            let hangup = pfd.revents & (sys_poll::POLLHUP | sys_poll::POLLERR) != 0;
+            events.push(Event {
+                token,
+                readable: pfd.revents & sys_poll::POLLIN != 0 || hangup,
+                writable: pfd.revents & sys_poll::POLLOUT != 0,
+                hangup,
+            });
+        }
+        Ok(())
+    }
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollBackend),
+    Poll(PollBackend),
+}
+
+/// Readiness selector over raw descriptors: epoll on Linux, `poll(2)`
+/// elsewhere (or explicitly via [`Poller::with_poll_fallback`]).
+pub struct Poller {
+    backend: Backend,
+    /// Read sides of waker socketpairs, drained internally when their
+    /// token fires.
+    wakers: Vec<(Token, UnixStream)>,
+}
+
+impl Poller {
+    /// Open a poller on the platform's best backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (descriptor exhaustion).
+    pub fn new() -> io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(Poller {
+                backend: Backend::Epoll(EpollBackend::new()?),
+                wakers: Vec::new(),
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Self::with_poll_fallback()
+        }
+    }
+
+    /// Open a poller on the portable `poll(2)` backend regardless of
+    /// platform — the fallback path, kept testable everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; the signature matches [`Poller::new`] so callers
+    /// can switch backends without restructuring.
+    pub fn with_poll_fallback() -> io::Result<Self> {
+        Ok(Poller {
+            backend: Backend::Poll(PollBackend::default()),
+            wakers: Vec::new(),
+        })
+    }
+
+    /// Name of the active backend, for telemetry and bench manifests.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => "epoll",
+            Backend::Poll(_) => "poll",
+        }
+    }
+
+    /// Start watching `fd` with the given token and interest. The caller
+    /// keeps ownership of the descriptor and must [`deregister`] before
+    /// closing it.
+    ///
+    /// [`deregister`]: Poller::deregister
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` when the descriptor is already registered;
+    /// propagates syscall failures.
+    pub fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.register(fd, token, interest),
+            Backend::Poll(b) => b.register(fd, token, interest),
+        }
+    }
+
+    /// Change an existing registration's token or interest.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the descriptor was never registered; propagates
+    /// syscall failures.
+    pub fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.reregister(fd, token, interest),
+            Backend::Poll(b) => b.reregister(fd, token, interest),
+        }
+    }
+
+    /// Stop watching `fd`. Must precede closing the descriptor — a closed
+    /// fd silently vanishes from epoll but would poison the fallback's
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the descriptor was never registered; propagates
+    /// syscall failures.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.ctl(sys_epoll::EPOLL_CTL_DEL, fd, Interest::default()),
+            Backend::Poll(b) => b.deregister(fd),
+        }
+    }
+
+    /// Create a [`Waker`] that interrupts this poller's `wait`, reporting
+    /// `token`. The socketpair's read side is registered and drained
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socketpair/registration failures.
+    pub fn add_waker(&mut self, token: Token) -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        {
+            use std::os::unix::io::AsRawFd;
+            self.register(rx.as_raw_fd(), token, Interest::READABLE)?;
+        }
+        self.wakers.push((token, rx));
+        Ok(Waker { tx })
+    }
+
+    /// Block until readiness, a waker, or the timeout (`None` blocks
+    /// indefinitely). `events` is cleared and refilled; an empty result
+    /// means the timeout elapsed (or a signal interrupted the wait).
+    ///
+    /// # Errors
+    ///
+    /// Propagates syscall failures other than `EINTR`.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.wait(events, timeout)?,
+            Backend::Poll(b) => b.wait(events, timeout)?,
+        }
+        // Drain any waker bytes so a level-triggered backend does not
+        // re-report a stale wake forever.
+        for ev in events.iter() {
+            if let Some((_, rx)) = self.wakers.iter().find(|(t, _)| *t == ev.token) {
+                let mut sink = [0u8; 64];
+                while matches!((&*rx).read(&mut sink), Ok(n) if n > 0) {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn backends() -> Vec<Poller> {
+        let mut v = vec![Poller::with_poll_fallback().unwrap()];
+        if cfg!(target_os = "linux") {
+            v.push(Poller::new().unwrap());
+        }
+        v
+    }
+
+    fn connected_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readable_event_carries_the_registered_token() {
+        for mut poller in backends() {
+            let (mut client, server) = connected_pair();
+            server.set_nonblocking(true).unwrap();
+            poller
+                .register(server.as_raw_fd(), Token(42), Interest::READABLE)
+                .unwrap();
+
+            let mut events = Vec::new();
+            // Nothing pending: the wait times out empty.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{}: spurious event",
+                poller.backend_name()
+            );
+
+            client.write_all(b"ping").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{}", poller.backend_name());
+            assert_eq!(events[0].token, Token(42));
+            assert!(events[0].readable);
+        }
+    }
+
+    #[test]
+    fn writable_interest_fires_on_a_fresh_socket() {
+        for mut poller in backends() {
+            let (_client, server) = connected_pair();
+            server.set_nonblocking(true).unwrap();
+            poller
+                .register(server.as_raw_fd(), Token(7), Interest::BOTH)
+                .unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.token == Token(7) && e.writable),
+                "{}: fresh socket must be writable",
+                poller.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_readable_hangup() {
+        for mut poller in backends() {
+            let (client, server) = connected_pair();
+            server.set_nonblocking(true).unwrap();
+            poller
+                .register(server.as_raw_fd(), Token(3), Interest::READABLE)
+                .unwrap();
+            drop(client);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            let ev = events.iter().find(|e| e.token == Token(3)).expect("event");
+            // A close is at minimum readable (read returns 0); epoll also
+            // flags RDHUP.
+            assert!(ev.readable);
+        }
+    }
+
+    #[test]
+    fn deregistered_fd_stays_silent() {
+        for mut poller in backends() {
+            let (mut client, server) = connected_pair();
+            server.set_nonblocking(true).unwrap();
+            poller
+                .register(server.as_raw_fd(), Token(9), Interest::READABLE)
+                .unwrap();
+            poller.deregister(server.as_raw_fd()).unwrap();
+            client.write_all(b"x").unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{}: deregistered fd produced an event",
+                poller.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        for mut poller in backends() {
+            let waker = poller.add_waker(Token(u64::MAX)).unwrap();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.wake();
+                waker
+            });
+            let started = Instant::now();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            let woke_after = started.elapsed();
+            assert_eq!(events.len(), 1, "{}", poller.backend_name());
+            assert_eq!(events[0].token, Token(u64::MAX));
+            assert!(
+                woke_after < Duration::from_secs(4),
+                "{}: wait ran to timeout instead of waking",
+                poller.backend_name()
+            );
+            // The wake byte was drained: the next wait is quiet again.
+            let _waker = handle.join().unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{}: stale waker byte re-fired",
+                poller.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_expires_close_to_the_requested_window() {
+        for mut poller in backends() {
+            let started = Instant::now();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(40)))
+                .unwrap();
+            assert!(events.is_empty());
+            assert!(
+                started.elapsed() >= Duration::from_millis(35),
+                "{}: returned early",
+                poller.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn double_register_is_rejected_and_reregister_swaps_the_token() {
+        // Semantics assertions on the table-backed fallback (epoll enforces
+        // the same through EEXIST/ENOENT).
+        let mut poller = Poller::with_poll_fallback().unwrap();
+        let (mut client, server) = connected_pair();
+        server.set_nonblocking(true).unwrap();
+        poller
+            .register(server.as_raw_fd(), Token(1), Interest::READABLE)
+            .unwrap();
+        assert!(poller
+            .register(server.as_raw_fd(), Token(2), Interest::READABLE)
+            .is_err());
+        poller
+            .reregister(server.as_raw_fd(), Token(2), Interest::READABLE)
+            .unwrap();
+        client.write_all(b"y").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events[0].token, Token(2));
+        assert!(poller.deregister(999_999).is_err());
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up_not_to_zero() {
+        assert_eq!(timeout_millis(None), -1);
+        assert_eq!(timeout_millis(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_millis(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_millis(Some(Duration::from_millis(8))), 8);
+        assert_eq!(timeout_millis(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}

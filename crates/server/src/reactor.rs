@@ -1,0 +1,1014 @@
+//! The readiness-driven serving core: N shard threads, each multiplexing
+//! thousands of non-blocking connections over one [`Poller`] and driving
+//! every deadline from one [`TimerWheel`].
+//!
+//! The blocking core ([`crate::server`]) spends one OS thread per live
+//! session and wakes its accept loop on a 5 ms sleep; both put a hard
+//! ceiling (and a permanent idle cost) on concurrency. The reactor
+//! removes both:
+//!
+//! * **Accept** is a readiness source like any other: shard 0 registers
+//!   the listener with its poller and drains `accept` until `WouldBlock`
+//!   when — and only when — the kernel reports a pending connection. An
+//!   idle server makes *zero* syscalls: every shard blocks in
+//!   `epoll_wait`/`poll` with an infinite timeout until a socket, a
+//!   timer, or a shutdown waker fires.
+//! * **Sessions** are [`SessionCore`] state machines keyed by a
+//!   shard-local connection token. Shard 0 distributes accepted streams
+//!   round-robin over per-shard channels and rings the target shard's
+//!   waker; from then on the connection's frames, timers, and teardown
+//!   all happen on its shard thread with no cross-thread handoff.
+//! * **Deadlines** (handshake/session budgets, the stall watchdog, the
+//!   post-confirmation linger) arm a hierarchical timer wheel at the
+//!   instant [`SessionCore::next_deadline`] reports. Re-arming on every
+//!   dispatch is O(1); cancellation is lazy via per-connection
+//!   generation counters, so a stale pop is recognised and dropped.
+//! * **Frames** reassemble incrementally in a per-connection
+//!   [`FrameBuf`]: bytes land in a reused buffer, `Message::decode` runs
+//!   only when a length prefix is satisfied, and outbound frames wait in
+//!   a per-connection byte queue flushed on writability.
+//!
+//! Everything the blocking core records — admission control, the stats
+//! counters, the admin session table, flight-recorder post-mortems,
+//! attack classification — goes through the same
+//! [`accumulate`]/[`record_outcome`] helpers, so the two cores are
+//! behaviourally interchangeable and the whole adversary suite runs
+//! against either.
+//!
+//! Lifecycle sessions ([`ServerConfig::lifecycle`]) hand off to a
+//! dedicated blocking thread after the key confirms: the lifecycle plane
+//! is a blocking loop by design, and confirmed sessions are long-lived
+//! and few relative to handshakes. `ServerMode::Auto` therefore prefers
+//! the blocking core when a lifecycle plane is configured; an explicit
+//! `ServerMode::Reactor` still serves it via the handoff threads.
+
+use crate::admin::SessionTable;
+use crate::fault::{FaultConfig, FaultLens};
+use crate::framing::{encode_frame, FrameBuf, TcpTransport};
+use crate::lifecycle::{serve_lifecycle, GroupPlane, LifecycleStats};
+use crate::poll::{Event, Interest, Poller, Token, Waker};
+use crate::server::{
+    accumulate, attack_kind, dump_flight, record_outcome, Backpressure, ServerConfig, ServerStats,
+};
+use crate::session::{ServeOutcome, SessionCore, SessionError, SessionHandoff};
+use crate::sim::SplitMix64;
+use crate::wheel::{Expired, TimerWheel};
+use reconcile::AutoencoderReconciler;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Write};
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vehicle_key::TransportError;
+
+/// Token reserved for the listener on shard 0.
+const LISTENER: Token = Token(u64::MAX);
+/// Token reserved for every shard's wakers.
+const WAKER: Token = Token(u64::MAX - 1);
+
+/// Handles every shard shares with the [`crate::server::Server`] facade.
+#[derive(Clone)]
+pub(crate) struct Shared {
+    pub(crate) shutdown: Arc<std::sync::atomic::AtomicBool>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) sessions: Arc<SessionTable>,
+    pub(crate) session_ids: Arc<AtomicU32>,
+    pub(crate) backpressure: Arc<Backpressure>,
+    pub(crate) lifecycle_stats: Arc<LifecycleStats>,
+    pub(crate) group_plane: Arc<GroupPlane>,
+}
+
+/// One live connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    peer_ip: IpAddr,
+    core: SessionCore,
+    /// Incremental inbound reassembly; reused across reads.
+    buf: FrameBuf,
+    /// Encoded outbound bytes not yet accepted by the socket.
+    outbound: Vec<u8>,
+    /// What the poller currently watches for this socket.
+    interest: Interest,
+    /// Per-session outbound fault injection, when configured.
+    lens: Option<FaultLens>,
+    /// Timer generation: bumped on every I/O dispatch so outstanding
+    /// wheel entries from before the dispatch become stale pops.
+    gen: u64,
+}
+
+/// Spin up the reactor: one shard thread per `config.workers`, shard 0
+/// owning the listener. Returns the shard join handles and one shutdown
+/// waker per shard.
+pub(crate) fn spawn_shards(
+    listener: TcpListener,
+    config: ServerConfig,
+    reconciler: Arc<AutoencoderReconciler>,
+    shared: Shared,
+) -> std::io::Result<(Vec<JoinHandle<()>>, Vec<Waker>)> {
+    let nshards = config.workers.max(1);
+    let mut pollers = Vec::with_capacity(nshards);
+    let mut server_wakers = Vec::with_capacity(nshards);
+    let mut peer_wakers = Vec::with_capacity(nshards);
+    let mut senders = Vec::with_capacity(nshards);
+    let mut receivers = Vec::with_capacity(nshards);
+    for _ in 0..nshards {
+        let mut poller = Poller::new()?;
+        let waker = poller.add_waker(WAKER)?;
+        server_wakers.push(waker.try_clone()?);
+        peer_wakers.push(waker);
+        pollers.push(poller);
+        let (tx, rx) = mpsc::channel::<(TcpStream, IpAddr)>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    if let Some(p0) = pollers.first_mut() {
+        p0.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+    }
+    telemetry::counter(
+        "server.reactor_shards",
+        u64::try_from(nshards).unwrap_or(u64::MAX),
+    );
+
+    let mut handles = Vec::with_capacity(nshards);
+    let mut listener = Some(listener);
+    let mut senders = Some(senders);
+    let mut peer_wakers = Some(peer_wakers);
+    for (id, (poller, rx)) in pollers.into_iter().zip(receivers).enumerate().rev() {
+        // Built in reverse so shard 0 — which takes the listener, the
+        // senders, and the peer wakers — pops them last.
+        let shard = Shard {
+            id,
+            poller,
+            wheel: TimerWheel::new(Instant::now()),
+            conns: HashMap::new(),
+            next_token: 0,
+            rx,
+            rx_closed: false,
+            config: config.clone(),
+            reconciler: Arc::clone(&reconciler),
+            shared: shared.clone(),
+            listener: if id == 0 { listener.take() } else { None },
+            senders: if id == 0 {
+                senders.take().unwrap_or_default()
+            } else {
+                Vec::new()
+            },
+            peer_wakers: if id == 0 {
+                peer_wakers.take().unwrap_or_default()
+            } else {
+                Vec::new()
+            },
+            accepted: 0,
+            rr: 0,
+            lifecycle_threads: Vec::new(),
+            events: Vec::new(),
+            expired: Vec::new(),
+            frames: Vec::new(),
+            emitted: Vec::new(),
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("vk-shard-{id}"))
+                .spawn(move || shard.run())?,
+        );
+    }
+    handles.reverse();
+    Ok((handles, server_wakers))
+}
+
+struct Shard {
+    id: usize,
+    poller: Poller,
+    wheel: TimerWheel,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    rx: mpsc::Receiver<(TcpStream, IpAddr)>,
+    rx_closed: bool,
+    config: ServerConfig,
+    reconciler: Arc<AutoencoderReconciler>,
+    shared: Shared,
+    /// Shard 0 only: the accept source, dropped when accepting ends.
+    listener: Option<TcpListener>,
+    /// Shard 0 only: distribution channels to every shard (own included).
+    senders: Vec<mpsc::Sender<(TcpStream, IpAddr)>>,
+    /// Shard 0 only: wakers for every shard, rung on distribution and
+    /// once more when the senders drop so peers observe the disconnect.
+    peer_wakers: Vec<Waker>,
+    accepted: u64,
+    /// Round-robin cursor over `senders`.
+    rr: usize,
+    /// Blocking lifecycle handoffs in flight; joined before shard exit.
+    lifecycle_threads: Vec<JoinHandle<()>>,
+    // Reused scratch buffers.
+    events: Vec<Event>,
+    expired: Vec<Expired>,
+    frames: Vec<Vec<u8>>,
+    emitted: Vec<Vec<u8>>,
+}
+
+impl Shard {
+    fn run(mut self) {
+        loop {
+            if self.shared.shutdown.load(Ordering::Relaxed) && self.listener.is_some() {
+                self.stop_accepting();
+            }
+            self.drain_incoming();
+            if self.rx_closed && self.conns.is_empty() && self.listener.is_none() {
+                break;
+            }
+            let timeout = self
+                .wheel
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            let mut events = std::mem::take(&mut self.events);
+            if let Err(e) = self.poller.wait(&mut events, timeout) {
+                telemetry::counter("server.reactor_wait_errors", 1);
+                eprintln!("vk-server: shard {} poll error: {e}", self.id);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let now = Instant::now();
+            for ev in &events {
+                match ev.token {
+                    LISTENER => self.accept_burst(),
+                    WAKER => {}
+                    Token(t) => self.dispatch_io(t, ev.readable, ev.writable, now),
+                }
+            }
+            self.events = events;
+            let mut expired = std::mem::take(&mut self.expired);
+            self.wheel.advance(now, &mut expired);
+            for (Token(t), gen) in expired.drain(..) {
+                self.dispatch_tick(t, gen, now);
+            }
+            self.expired = expired;
+        }
+        for handle in self.lifecycle_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Shard 0: drain the accept queue until the kernel runs dry, then go
+    /// back to sleep — no polling, no accept-loop thread.
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if !self.shared.backpressure.admit(
+                        peer.ip(),
+                        self.config.pending_cap,
+                        self.config.per_ip_cap,
+                    ) {
+                        self.shared
+                            .stats
+                            .rejected_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        telemetry::counter("server.rejected_overload", 1);
+                        drop(stream);
+                        continue;
+                    }
+                    self.accepted += 1;
+                    self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("server.accepted", 1);
+                    let target = self.rr % self.senders.len().max(1);
+                    self.rr = self.rr.wrapping_add(1);
+                    let delivered = self
+                        .senders
+                        .get(target)
+                        .is_some_and(|tx| tx.send((stream, peer.ip())).is_ok());
+                    if delivered {
+                        if let Some(waker) = self.peer_wakers.get(target) {
+                            waker.wake();
+                        }
+                    } else {
+                        // The target shard died; the stream is gone with
+                        // the failed send. Release its admission slots.
+                        self.shared.backpressure.dequeued();
+                        self.shared.backpressure.release(peer.ip());
+                    }
+                    if self.config.max_sessions.is_some_and(|m| self.accepted >= m) {
+                        self.stop_accepting();
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    telemetry::counter("server.accept_errors", 1);
+                    eprintln!("vk-server: accept error: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stop accepting: close the listener, drop every distribution
+    /// sender (peers see the disconnect), and ring every shard so one
+    /// blocked in an indefinite wait re-checks its exit condition.
+    fn stop_accepting(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        self.senders.clear();
+        for waker in &self.peer_wakers {
+            waker.wake();
+        }
+    }
+
+    fn drain_incoming(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok((stream, ip)) => self.setup_conn(stream, ip),
+                Err(mpsc::TryRecvError::Empty) => return,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    self.rx_closed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Adopt one accepted stream: session id, admin-table entry,
+    /// non-blocking registration, session core, first timer.
+    fn setup_conn(&mut self, stream: TcpStream, peer_ip: IpAddr) {
+        self.shared.backpressure.dequeued();
+        let session_id = self.shared.session_ids.fetch_add(1, Ordering::Relaxed);
+        self.shared.sessions.register(session_id);
+        telemetry::gauge(
+            "server.sessions_live",
+            self.shared.sessions.live_len() as f64,
+        );
+        if let Err(e) = stream
+            .set_nonblocking(true)
+            .and_then(|()| stream.set_nodelay(true))
+        {
+            let err =
+                SessionError::Transport(TransportError::Io(format!("socket setup failed: {e}")));
+            record_outcome(
+                &self.config,
+                session_id,
+                &self.shared.stats,
+                &self.shared.sessions,
+                &Err(err),
+            );
+            self.shared.backpressure.release(peer_ip);
+            return;
+        }
+        let now = Instant::now();
+        let nonce_a = SplitMix64::new(self.config.nonce_seed ^ u64::from(session_id)).next_u64();
+        let core = SessionCore::new(
+            &self.reconciler,
+            session_id,
+            nonce_a,
+            &self.config.params,
+            self.config.lifecycle.is_some(),
+            now,
+        );
+        let lens = self.config.fault.filter(|f| !f.is_noop()).map(|fault| {
+            FaultLens::new(FaultConfig {
+                seed: SplitMix64::new(fault.seed ^ u64::from(session_id)).next_u64(),
+                ..fault
+            })
+        });
+        let token = self.next_token;
+        self.next_token += 1;
+        if let Err(e) = self
+            .poller
+            .register(stream.as_raw_fd(), Token(token), Interest::READABLE)
+        {
+            let err = SessionError::Transport(TransportError::Io(format!(
+                "poller registration failed: {e}"
+            )));
+            record_outcome(
+                &self.config,
+                session_id,
+                &self.shared.stats,
+                &self.shared.sessions,
+                &Err(err),
+            );
+            self.shared.backpressure.release(peer_ip);
+            return;
+        }
+        let deadline = core.next_deadline();
+        self.wheel.schedule(Token(token), 0, deadline);
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                peer_ip,
+                core,
+                buf: FrameBuf::new(),
+                outbound: Vec::new(),
+                interest: Interest::READABLE,
+                lens,
+                gen: 0,
+            },
+        );
+    }
+
+    /// Socket readiness for one connection: flush on writable, read to
+    /// `WouldBlock` on readable, feed complete frames through the core,
+    /// then re-arm interest and the timer.
+    fn dispatch_io(&mut self, token: u64, readable: bool, writable: bool, now: Instant) {
+        let mut frames = std::mem::take(&mut self.frames);
+        let mut emitted = std::mem::take(&mut self.emitted);
+        let mut terminal: Option<SessionError> = None;
+        let mut eof = false;
+        let disposition = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                self.frames = frames;
+                self.emitted = emitted;
+                return;
+            };
+            if writable {
+                if let Err(e) = flush_outbound(conn) {
+                    terminal = Some(SessionError::Transport(TransportError::Io(e.to_string())));
+                }
+            }
+            if readable && terminal.is_none() {
+                loop {
+                    match conn.buf.fill_from(&mut conn.stream) {
+                        Ok(0) => {
+                            eof = true;
+                            break;
+                        }
+                        Ok(_) => {
+                            if let Err(e) = pump_frames(conn, now, &mut frames, &mut emitted) {
+                                terminal = Some(e);
+                                break;
+                            }
+                            if conn.core.is_finished() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            terminal =
+                                Some(SessionError::Transport(TransportError::Io(e.to_string())));
+                            break;
+                        }
+                    }
+                }
+            }
+            if terminal.is_none() && !conn.outbound.is_empty() {
+                if let Err(e) = flush_outbound(conn) {
+                    terminal = Some(SessionError::Transport(TransportError::Io(e.to_string())));
+                }
+            }
+            if eof && terminal.is_none() && !conn.core.is_finished() {
+                if let Err(e) = conn.core.on_closed() {
+                    terminal = Some(e);
+                }
+            }
+            conn.gen += 1;
+            Disposition {
+                finished: conn.core.is_finished(),
+                fd: conn.stream.as_raw_fd(),
+                gen: conn.gen,
+                deadline: conn.core.next_deadline(),
+                want: if conn.outbound.is_empty() {
+                    Interest::READABLE
+                } else {
+                    Interest::BOTH
+                },
+                have: conn.interest,
+            }
+        };
+        self.frames = frames;
+        self.emitted = emitted;
+        if let Some(e) = terminal {
+            self.finish_conn(token, Err(e));
+            return;
+        }
+        if disposition.finished {
+            self.complete_conn(token);
+            return;
+        }
+        if eof {
+            // `on_closed` returned Ok without finishing: the core was
+            // already done. Nothing further can arrive; tear down quietly.
+            self.finish_conn(token, Err(SessionError::Transport(TransportError::Closed)));
+            return;
+        }
+        if disposition.want != disposition.have {
+            let _ = self
+                .poller
+                .reregister(disposition.fd, Token(token), disposition.want);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.interest = disposition.want;
+            }
+        }
+        self.wheel
+            .schedule(Token(token), disposition.gen, disposition.deadline);
+    }
+
+    /// A timer popped for `token` at generation `gen`; stale generations
+    /// are lazily-cancelled entries and are dropped on the floor.
+    fn dispatch_tick(&mut self, token: u64, gen: u64, now: Instant) {
+        let (result, finished, deadline) = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.gen != gen {
+                return;
+            }
+            let result = conn.core.on_tick(now);
+            (result, conn.core.is_finished(), conn.core.next_deadline())
+        };
+        match result {
+            Err(e) => self.finish_conn(token, Err(e)),
+            Ok(()) if finished => self.complete_conn(token),
+            Ok(()) => self.wheel.schedule(Token(token), gen, deadline),
+        }
+    }
+
+    /// Tear down a connection with a terminal result, routing the stats,
+    /// admin-table, and post-mortem bookkeeping through the same helpers
+    /// the blocking core uses.
+    fn finish_conn(&mut self, token: u64, result: Result<ServeOutcome, SessionError>) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if let Ok(outcome) = &result {
+            accumulate(&self.shared.stats, outcome);
+        }
+        record_outcome(
+            &self.config,
+            conn.core.session_id(),
+            &self.shared.stats,
+            &self.shared.sessions,
+            &result,
+        );
+        self.shared.backpressure.release(conn.peer_ip);
+    }
+
+    /// A session ran to completion: count it, flush the tail of the
+    /// outbound queue, and either close or hand off to the lifecycle
+    /// plane on a dedicated blocking thread.
+    fn complete_conn(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        let session_id = conn.core.session_id();
+        let Some((outcome, handoff)) = conn.core.take_finished() else {
+            self.shared.backpressure.release(conn.peer_ip);
+            return;
+        };
+        accumulate(&self.shared.stats, &outcome);
+        record_outcome(
+            &self.config,
+            session_id,
+            &self.shared.stats,
+            &self.shared.sessions,
+            &Ok(outcome),
+        );
+        // The confirm reply (and any linger-window duplicates) may still
+        // be queued; switch to blocking with a bounded timeout so the
+        // final bytes reach the peer before the socket drops.
+        if !conn.outbound.is_empty() {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = conn.stream.write_all(conn.outbound.as_slice());
+            conn.outbound.clear();
+        }
+        match (self.config.lifecycle.clone(), handoff) {
+            (Some(lc), Some(handoff)) => {
+                let _ = conn.stream.set_nonblocking(false);
+                let config = self.config.clone();
+                let shared = self.shared.clone();
+                let peer_ip = conn.peer_ip;
+                let stream = conn.stream;
+                let spawned = std::thread::Builder::new()
+                    .name(format!("vk-lifecycle-{session_id}"))
+                    .spawn(move || {
+                        serve_handoff(
+                            stream, session_id, &handoff, &outcome, &lc, &config, &shared,
+                        );
+                        shared.backpressure.release(peer_ip);
+                    });
+                match spawned {
+                    Ok(handle) => self.lifecycle_threads.push(handle),
+                    Err(e) => {
+                        eprintln!("vk-server: lifecycle handoff spawn failed: {e}");
+                        self.shared.backpressure.release(peer_ip);
+                    }
+                }
+            }
+            _ => self.shared.backpressure.release(conn.peer_ip),
+        }
+    }
+}
+
+/// Interest/timer state computed while the connection was mutably
+/// borrowed, applied after the borrow ends.
+struct Disposition {
+    finished: bool,
+    fd: std::os::unix::io::RawFd,
+    gen: u64,
+    deadline: Instant,
+    want: Interest,
+    have: Interest,
+}
+
+/// Drain every complete frame out of the connection's reassembly buffer
+/// through its session core, queueing replies (trace extension appended,
+/// fault lens applied, length-prefix framed) onto the outbound buffer.
+fn pump_frames(
+    conn: &mut Conn,
+    now: Instant,
+    frames: &mut Vec<Vec<u8>>,
+    emitted: &mut Vec<Vec<u8>>,
+) -> Result<(), SessionError> {
+    loop {
+        let Some(range) = conn.buf.next_frame_range()? else {
+            return Ok(());
+        };
+        let was_handshaken = conn.core.handshaken();
+        frames.clear();
+        let res = conn.core.on_frame(conn.buf.slice(range), now, frames);
+        {
+            // Trace scope for this dispatch only: guards cannot outlive
+            // the call because the thread-local trace stack is shared by
+            // every session on this shard.
+            let _trace_guard = conn
+                .core
+                .trace()
+                .filter(|_| telemetry::enabled())
+                .map(|ctx| telemetry::push_trace(ctx.trace_id, "alice"));
+            if !was_handshaken && conn.core.handshaken() && telemetry::enabled() {
+                // One short-lived span marks the handshake on the alice
+                // track and records the client's span as remote parent —
+                // enough to stitch both peers into one exported trace.
+                let mut span = telemetry::span("server.session")
+                    .field("session_id", u64::from(conn.core.session_id()));
+                if let Some(ctx) = conn.core.trace() {
+                    span = span.field("remote_parent", ctx.parent_span);
+                }
+                let _span_guard = span.enter();
+            }
+            let ext = crate::obs::outbound_extension();
+            for frame in frames.drain(..) {
+                queue_frame(conn, frame, ext.as_deref(), emitted);
+            }
+        }
+        res?;
+        if conn.core.is_finished() {
+            return Ok(());
+        }
+    }
+}
+
+/// Frame one reply onto the connection's outbound byte queue: append the
+/// trace extension, run the fault lens (matching the blocking core's
+/// `FaultyTransport` byte-for-byte), then length-prefix each emission.
+fn queue_frame(
+    conn: &mut Conn,
+    mut frame: Vec<u8>,
+    ext: Option<&[u8]>,
+    emitted: &mut Vec<Vec<u8>>,
+) {
+    if let Some(ext) = ext {
+        frame.extend_from_slice(ext);
+    }
+    match &mut conn.lens {
+        Some(lens) => {
+            emitted.clear();
+            lens.apply(&frame, emitted);
+            for wire in emitted.drain(..) {
+                conn.outbound.extend_from_slice(&encode_frame(&wire));
+            }
+        }
+        None => conn.outbound.extend_from_slice(&encode_frame(&frame)),
+    }
+}
+
+/// Write queued outbound bytes until done or the socket pushes back.
+fn flush_outbound(conn: &mut Conn) -> std::io::Result<()> {
+    while !conn.outbound.is_empty() {
+        match (&conn.stream).write(conn.outbound.as_slice()) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ))
+            }
+            Ok(n) => {
+                conn.outbound.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Run the blocking lifecycle plane over a confirmed session's stream —
+/// the reactor's equivalent of the tail of the blocking core's
+/// `serve_one`.
+fn serve_handoff(
+    stream: TcpStream,
+    session_id: u32,
+    handoff: &SessionHandoff,
+    outcome: &ServeOutcome,
+    lc: &crate::lifecycle::LifecycleConfig,
+    config: &ServerConfig,
+    shared: &Shared,
+) {
+    let mut transport = match TcpTransport::new(stream, config.poll) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("vk-server: lifecycle socket setup failed: {e}");
+            return;
+        }
+    };
+    let fresh_seed = SplitMix64::new(config.nonce_seed ^ (u64::from(session_id) << 32)).next_u64();
+    if let Err(e) = serve_lifecycle(
+        &mut transport,
+        session_id,
+        handoff,
+        outcome.entropy_bits,
+        outcome.leaked_bits,
+        lc,
+        &config.params,
+        lc.group.then_some(&*shared.group_plane),
+        &shared.lifecycle_stats,
+        fresh_seed,
+    ) {
+        if attack_kind(&e).is_some() {
+            telemetry::counter("server.attack_aborts", 1);
+            dump_flight(config, session_id, &e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerMode};
+    use crate::session::{run_bob_session, RetryPolicy, SessionParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reconcile::AutoencoderTrainer;
+    use std::io::Read;
+    use std::sync::OnceLock;
+
+    fn model() -> &'static Arc<AutoencoderReconciler> {
+        static MODEL: OnceLock<Arc<AutoencoderReconciler>> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(7001);
+            Arc::new(
+                AutoencoderTrainer::default()
+                    .with_steps(6000)
+                    .train(&mut rng),
+            )
+        })
+    }
+
+    fn fast_params() -> SessionParams {
+        SessionParams {
+            retry: RetryPolicy {
+                max_retries: 8,
+                ack_timeout: Duration::from_millis(40),
+                backoff: 1.5,
+            },
+            session_timeout: Duration::from_secs(10),
+            ..SessionParams::default()
+        }
+    }
+
+    fn run_client(addr: std::net::SocketAddr, nonce_b: u64) -> crate::session::BobOutcome {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut transport =
+            TcpTransport::new(stream, Duration::from_millis(10)).expect("transport");
+        run_bob_session(&mut transport, model(), nonce_b, &fast_params()).expect("client session")
+    }
+
+    #[test]
+    fn reactor_serves_sequential_sessions_to_matching_keys() {
+        let server = Server::start(
+            crate::server::ServerConfig {
+                mode: ServerMode::Reactor,
+                workers: 2,
+                params: fast_params(),
+                max_sessions: Some(3),
+                ..crate::server::ServerConfig::default()
+            },
+            model().clone(),
+        )
+        .expect("reactor server starts");
+        let addr = server.local_addr();
+        for i in 0..3u64 {
+            let outcome = run_client(addr, 0xAB0 + i);
+            assert!(outcome.key_matched, "session {i} must match");
+        }
+        let stats = server.join();
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn reactor_multiplexes_concurrent_sessions_on_one_shard() {
+        let server = Server::start(
+            crate::server::ServerConfig {
+                mode: ServerMode::Reactor,
+                workers: 1,
+                params: fast_params(),
+                max_sessions: Some(8),
+                ..crate::server::ServerConfig::default()
+            },
+            model().clone(),
+        )
+        .expect("reactor server starts");
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|i| scope.spawn(move || run_client(addr, 0xC0DE + i)))
+                .collect();
+            for handle in handles {
+                assert!(handle.join().expect("client thread").key_matched);
+            }
+        });
+        let stats = server.join();
+        assert_eq!(stats.completed, 8, "{stats:?}");
+    }
+
+    #[test]
+    fn reactor_evicts_a_silent_connection_at_the_handshake_deadline() {
+        let server = Server::start(
+            crate::server::ServerConfig {
+                mode: ServerMode::Reactor,
+                workers: 1,
+                params: SessionParams {
+                    handshake_timeout: Duration::from_millis(120),
+                    ..fast_params()
+                },
+                max_sessions: Some(1),
+                ..crate::server::ServerConfig::default()
+            },
+            model().clone(),
+        )
+        .expect("reactor server starts");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        // Say nothing; the reactor's timer wheel must evict us.
+        let started = Instant::now();
+        let mut sink = [0u8; 16];
+        let n = stream.read(&mut sink).unwrap_or(0);
+        assert_eq!(n, 0, "server must close, not answer");
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "eviction too slow: {:?}",
+            started.elapsed()
+        );
+        let stats = server.join();
+        assert_eq!(stats.handshake_timeouts, 1, "{stats:?}");
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn reactor_applies_outbound_fault_injection() {
+        // A lossy server side still converges thanks to client retries —
+        // and the fault path (FaultLens on the reactor's outbound queue)
+        // is exercised end-to-end.
+        let server = Server::start(
+            crate::server::ServerConfig {
+                mode: ServerMode::Reactor,
+                workers: 1,
+                params: fast_params(),
+                fault: Some(FaultConfig {
+                    drop: 0.10,
+                    duplicate: 0.10,
+                    seed: 99,
+                    ..FaultConfig::default()
+                }),
+                max_sessions: Some(2),
+                ..crate::server::ServerConfig::default()
+            },
+            model().clone(),
+        )
+        .expect("reactor server starts");
+        let addr = server.local_addr();
+        for i in 0..2u64 {
+            let outcome = run_client(addr, 0xFA17 + i);
+            assert!(outcome.key_matched, "session {i} must survive the faults");
+        }
+        let stats = server.join();
+        assert_eq!(stats.completed, 2, "{stats:?}");
+    }
+
+    /// CPU ticks (utime + stime, in `_SC_CLK_TCK` units) burned by the
+    /// `vk-shard-*` threads of this process whose task ids are NOT in
+    /// `before` — i.e. shards spawned after the `before` snapshot was
+    /// taken. Returns the per-thread totals, smallest first.
+    #[cfg(target_os = "linux")]
+    fn new_shard_cpu_ticks(before: &std::collections::HashSet<String>) -> Vec<u64> {
+        let mut ticks = Vec::new();
+        for entry in std::fs::read_dir("/proc/self/task").expect("read task dir") {
+            let entry = entry.expect("task entry");
+            let tid = entry.file_name().to_string_lossy().into_owned();
+            if before.contains(&tid) {
+                continue;
+            }
+            let comm = std::fs::read_to_string(entry.path().join("comm")).unwrap_or_default();
+            if !comm.starts_with("vk-shard") {
+                continue;
+            }
+            let stat = std::fs::read_to_string(entry.path().join("stat")).unwrap_or_default();
+            // Fields after the parenthesised comm: state is field 3, so
+            // utime (field 14) and stime (field 15) sit at offsets 11/12.
+            let Some(tail) = stat.rsplit(')').next() else {
+                continue;
+            };
+            let fields: Vec<&str> = tail.split_whitespace().collect();
+            if fields.len() > 12 {
+                let utime: u64 = fields[11].parse().unwrap_or(0);
+                let stime: u64 = fields[12].parse().unwrap_or(0);
+                ticks.push(utime + stime);
+            }
+        }
+        ticks.sort_unstable();
+        ticks
+    }
+
+    /// The satellite smoke check for retiring the accept loop's 5 ms
+    /// sleep: an idle reactor server must burn ~0% CPU. Every shard —
+    /// including shard 0, which owns the listener as just another
+    /// readiness source — blocks in `Poller::wait` with no timeout, so
+    /// over an idle window the shard threads should accrue essentially
+    /// no clock ticks. Tick accounting is per-thread, so concurrent
+    /// tests in the same process cannot pollute the measurement; shards
+    /// they spawn are excluded by the `before` snapshot, and any that
+    /// race in during the window only ADD entries, which the
+    /// smallest-`WORKERS` selection below ignores.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn idle_reactor_burns_no_cpu() {
+        const WORKERS: usize = 3;
+        let before: std::collections::HashSet<String> = std::fs::read_dir("/proc/self/task")
+            .expect("read task dir")
+            .map(|e| {
+                e.expect("task entry")
+                    .file_name()
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .collect();
+        let server = Server::start(
+            crate::server::ServerConfig {
+                mode: ServerMode::Reactor,
+                workers: WORKERS,
+                params: fast_params(),
+                ..crate::server::ServerConfig::default()
+            },
+            model().clone(),
+        )
+        .expect("reactor server starts");
+        std::thread::sleep(Duration::from_millis(400));
+        let ticks = new_shard_cpu_ticks(&before);
+        let stats = server.shutdown();
+        assert!(
+            ticks.len() >= WORKERS,
+            "expected at least {WORKERS} fresh shard threads, saw {ticks:?}"
+        );
+        // Our shards are the idle ones: take the WORKERS smallest totals.
+        // 5 ticks = 50 ms of CPU over a 400 ms window — far below what the
+        // old 5 ms accept-poll loop burned, and generous enough for a
+        // loaded CI box.
+        let burned: u64 = ticks[..WORKERS].iter().sum();
+        assert!(
+            burned <= 5,
+            "idle shards burned {burned} clock ticks over 400 ms ({ticks:?})"
+        );
+        assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn auto_mode_picks_the_reactor_without_lifecycle_and_blocking_with() {
+        let plain = crate::server::ServerConfig::default();
+        assert!(plain.lifecycle.is_none());
+        let server = Server::start(plain, model().clone()).expect("server starts");
+        // The reactor registers shutdown wakers; exercise the prompt-
+        // shutdown path it enables (an idle blocked shard must exit).
+        let started = Instant::now();
+        let stats = server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "idle reactor shutdown stalled: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(stats.accepted, 0);
+    }
+}

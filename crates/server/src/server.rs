@@ -27,13 +27,34 @@ use std::time::Duration;
 use telemetry::FlightRecorder;
 use vehicle_key::{ProtocolError, Transport};
 
+/// Which serving core [`Server::start`] spins up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// Pick automatically: the readiness-driven reactor unless a
+    /// lifecycle plane is configured (the lifecycle loop is blocking by
+    /// design, so `Auto` keeps it on the thread-per-session core).
+    #[default]
+    Auto,
+    /// The original thread-per-session core: an accept thread feeding a
+    /// fixed worker pool, each worker blocking on one connection.
+    Blocking,
+    /// The readiness-driven reactor ([`crate::reactor`]): shard threads
+    /// multiplexing thousands of non-blocking connections each over
+    /// epoll/`poll(2)`, with timer wheels driving every deadline.
+    Reactor,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind (e.g. `127.0.0.1:7400`; port 0 picks a free port).
     pub addr: String,
-    /// Worker threads — the bound on concurrently served sessions.
+    /// Blocking mode: worker threads, the bound on concurrently served
+    /// sessions. Reactor mode: shard threads, each holding any number of
+    /// sessions (pick the core count).
     pub workers: usize,
+    /// Serving core selection; see [`ServerMode`].
+    pub mode: ServerMode,
     /// Parameters every session runs with (must match the clients').
     pub params: SessionParams,
     /// Optional fault injection on the server's outgoing frames.
@@ -74,6 +95,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
+            mode: ServerMode::Auto,
             params: SessionParams::default(),
             fault: None,
             poll: Duration::from_millis(25),
@@ -92,7 +114,7 @@ impl Default for ServerConfig {
 /// (drain/release): a pending-queue depth and a per-source-IP in-flight
 /// count, both checked before a connection is queued.
 #[derive(Debug, Default)]
-struct Backpressure {
+pub(crate) struct Backpressure {
     /// Connections queued for a worker but not yet dequeued.
     pending: AtomicUsize,
     /// In-flight (queued or being served) connections per source IP.
@@ -103,7 +125,12 @@ impl Backpressure {
     /// Admit or refuse a fresh connection from `ip` under the configured
     /// caps. On admission both counts are already taken, so a refused
     /// sibling racing this one cannot sneak past the bound.
-    fn admit(&self, ip: IpAddr, pending_cap: Option<usize>, per_ip_cap: Option<usize>) -> bool {
+    pub(crate) fn admit(
+        &self,
+        ip: IpAddr,
+        pending_cap: Option<usize>,
+        per_ip_cap: Option<usize>,
+    ) -> bool {
         // A poisoned map means a worker panicked holding it; refuse rather
         // than serve with unknown accounting.
         let Ok(mut per_ip) = self.per_ip.lock() else {
@@ -122,12 +149,12 @@ impl Backpressure {
     }
 
     /// A worker dequeued a connection: it no longer occupies the queue.
-    fn dequeued(&self) {
+    pub(crate) fn dequeued(&self) {
         self.pending.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// A connection finished (or was dropped): release its IP slot.
-    fn release(&self, ip: IpAddr) {
+    pub(crate) fn release(&self, ip: IpAddr) {
         let Ok(mut per_ip) = self.per_ip.lock() else {
             return;
         };
@@ -221,13 +248,18 @@ impl ServerStats {
     }
 }
 
-/// A running server: accept thread + worker pool.
+/// A running server: either an accept thread + worker pool (blocking
+/// mode) or a set of reactor shards.
 #[derive(Debug)]
 pub struct Server {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// One waker per reactor shard, fired on shutdown so a shard blocked
+    /// indefinitely in `Poller::wait` (the idle-CPU guarantee) still
+    /// observes the flag promptly. Empty in blocking mode.
+    reactor_wakers: Vec<crate::poll::Waker>,
     stats: Arc<ServerStats>,
     sessions: Arc<SessionTable>,
     lifecycle_stats: Arc<LifecycleStats>,
@@ -249,6 +281,14 @@ impl Server {
                 std::io::Error::new(ErrorKind::InvalidInput, "unresolvable addr")
             })?)?;
         listener.set_nonblocking(true)?;
+        // std's bind hard-codes a backlog of 128; a fleet ramping to 10k
+        // concurrent sessions overflows it and eats 1s+ SYN-retransmit
+        // stalls on every connect past the queue. Re-arm with a deeper
+        // queue (best-effort — some kernels clamp to `somaxconn`).
+        {
+            use std::os::unix::io::AsRawFd;
+            let _ = crate::poll::widen_backlog(listener.as_raw_fd(), 4096);
+        }
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
@@ -268,6 +308,36 @@ impl Server {
             }
             Arc::new(GroupPlane::new(master))
         };
+
+        let resolved = match config.mode {
+            ServerMode::Auto if config.lifecycle.is_none() => ServerMode::Reactor,
+            ServerMode::Auto => ServerMode::Blocking,
+            explicit => explicit,
+        };
+        if resolved == ServerMode::Reactor {
+            let shards = crate::reactor::Shared {
+                shutdown: Arc::clone(&shutdown),
+                stats: Arc::clone(&stats),
+                sessions: Arc::clone(&sessions),
+                session_ids: Arc::clone(&session_ids),
+                backpressure: Arc::clone(&backpressure),
+                lifecycle_stats: Arc::clone(&lifecycle_stats),
+                group_plane: Arc::clone(&group_plane),
+            };
+            let (workers, reactor_wakers) =
+                crate::reactor::spawn_shards(listener, config, reconciler, shards)?;
+            return Ok(Server {
+                local_addr,
+                shutdown,
+                accept_thread: None,
+                workers,
+                reactor_wakers,
+                stats,
+                sessions,
+                lifecycle_stats,
+                group_plane,
+            });
+        }
 
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
@@ -364,6 +434,7 @@ impl Server {
             shutdown,
             accept_thread: Some(accept_thread),
             workers,
+            reactor_wakers: Vec::new(),
             stats,
             sessions,
             lifecycle_stats,
@@ -408,6 +479,9 @@ impl Server {
     /// and return the final counters.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.shutdown.store(true, Ordering::Relaxed);
+        for waker in &self.reactor_wakers {
+            waker.wake();
+        }
         self.join_threads();
         self.stats.snapshot()
     }
@@ -435,6 +509,9 @@ impl Drop for Server {
         // A dropped handle must not leave detached threads accepting
         // connections forever.
         self.shutdown.store(true, Ordering::Relaxed);
+        for waker in &self.reactor_wakers {
+            waker.wake();
+        }
         self.join_threads();
     }
 }
@@ -443,7 +520,7 @@ impl Drop for Server {
 fn handle_connection(
     stream: TcpStream,
     config: &ServerConfig,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     session_ids: &AtomicU32,
     stats: &ServerStats,
     sessions: &SessionTable,
@@ -496,6 +573,21 @@ fn handle_connection(
             )))
         }
     };
+    record_outcome(config, session_id, stats, sessions, &outcome);
+}
+
+/// Record a session's terminal result: the admin session table entry, the
+/// failure/timeout/attack counters, the flight-recorder post-mortem, and
+/// the live-session gauge. Success counters (`completed` and friends) are
+/// *not* touched here — [`accumulate`] owns those — so the two serving
+/// cores split the bookkeeping identically.
+pub(crate) fn record_outcome(
+    config: &ServerConfig,
+    session_id: u32,
+    stats: &ServerStats,
+    sessions: &SessionTable,
+    outcome: &Result<ServeOutcome, SessionError>,
+) {
     match outcome {
         Ok(o) => sessions.finish(session_id, |entry| {
             entry.state = if o.key_matched {
@@ -511,11 +603,11 @@ fn handle_connection(
         Err(e) => {
             stats.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("server.sessions_failed", 1);
-            if e == SessionError::Timeout("handshake") {
+            if *e == SessionError::Timeout("handshake") {
                 stats.handshake_timeouts.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter("server.handshake_timeouts", 1);
             }
-            if let Some(kind) = attack_kind(&e) {
+            if let Some(kind) = attack_kind(e) {
                 telemetry::counter("server.attack_aborts", 1);
                 if telemetry::enabled() {
                     telemetry::mark("server.attack_abort")
@@ -530,7 +622,7 @@ fn handle_connection(
                     .field("error", e.to_string())
                     .emit();
             }
-            dump_flight(config, session_id, &e);
+            dump_flight(config, session_id, e);
             sessions.finish(session_id, |entry| {
                 entry.state = "failed";
                 entry.error = Some(e.to_string());
@@ -543,7 +635,7 @@ fn handle_connection(
 /// Map a session error to a flight-recorder dump reason: only the typed
 /// aborts that indicate the protocol itself gave up (as opposed to a peer
 /// vanishing) earn a post-mortem.
-fn flight_abort_reason(error: &SessionError) -> Option<&'static str> {
+pub(crate) fn flight_abort_reason(error: &SessionError) -> Option<&'static str> {
     match error {
         SessionError::Protocol(ProtocolError::RecoveryExhausted(_)) => Some("recovery_exhausted"),
         SessionError::Protocol(ProtocolError::DeadlineExpired(_)) => Some("deadline_expired"),
@@ -556,7 +648,7 @@ fn flight_abort_reason(error: &SessionError) -> Option<&'static str> {
 /// faulty peer or channel. The labels land on flight-recorder dumps (the
 /// `attack_kind` annotation) and the `server.attack_aborts` counter, so a
 /// post-mortem can tell a Mallory run from fault-injection noise.
-fn attack_kind(error: &SessionError) -> Option<&'static str> {
+pub(crate) fn attack_kind(error: &SessionError) -> Option<&'static str> {
     match error {
         // A first frame that decodes but is not a probe: deliberate
         // injection (corruption fails the decode and is retried instead).
@@ -582,7 +674,7 @@ fn attack_kind(error: &SessionError) -> Option<&'static str> {
     }
 }
 
-fn dump_flight(config: &ServerConfig, session_id: u32, error: &SessionError) {
+pub(crate) fn dump_flight(config: &ServerConfig, session_id: u32, error: &SessionError) {
     let Some(recorder) = &config.flight else {
         return;
     };
@@ -618,7 +710,7 @@ fn dump_flight(config: &ServerConfig, session_id: u32, error: &SessionError) {
 #[allow(clippy::too_many_arguments)]
 fn serve_one<T: Transport>(
     transport: &mut T,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     session_id: u32,
     nonce_a: u64,
     config: &ServerConfig,
@@ -634,29 +726,7 @@ fn serve_one<T: Transport>(
         &config.params,
         config.lifecycle.is_some(),
     )?;
-    stats
-        .duplicate_frames
-        .fetch_add(outcome.duplicate_frames, Ordering::Relaxed);
-    stats
-        .rejected_frames
-        .fetch_add(outcome.rejected_frames, Ordering::Relaxed);
-    stats
-        .cascade_rounds
-        .fetch_add(outcome.escalation.cascade_rounds, Ordering::Relaxed);
-    stats
-        .reprobes
-        .fetch_add(outcome.escalation.reprobes, Ordering::Relaxed);
-    stats
-        .exhausted_blocks
-        .fetch_add(outcome.escalation.exhausted, Ordering::Relaxed);
-    stats
-        .leaked_bits
-        .fetch_add(outcome.leaked_bits as u64, Ordering::Relaxed);
-    if outcome.key_matched {
-        stats.completed.fetch_add(1, Ordering::Relaxed);
-    } else {
-        stats.key_mismatches.fetch_add(1, Ordering::Relaxed);
-    }
+    accumulate(stats, &outcome);
     if let (Some(lc), Some(handoff)) = (config.lifecycle.as_ref(), handoff) {
         // The key exchange is already confirmed and counted above; a
         // lifecycle failure afterwards is recorded in its own counters
@@ -685,6 +755,35 @@ fn serve_one<T: Transport>(
         }
     }
     Ok(outcome)
+}
+
+/// Fold a confirmed session's counters into the server totals. Shared by
+/// both serving cores so a completed session is counted identically
+/// whichever core ran it.
+pub(crate) fn accumulate(stats: &ServerStats, outcome: &ServeOutcome) {
+    stats
+        .duplicate_frames
+        .fetch_add(outcome.duplicate_frames, Ordering::Relaxed);
+    stats
+        .rejected_frames
+        .fetch_add(outcome.rejected_frames, Ordering::Relaxed);
+    stats
+        .cascade_rounds
+        .fetch_add(outcome.escalation.cascade_rounds, Ordering::Relaxed);
+    stats
+        .reprobes
+        .fetch_add(outcome.escalation.reprobes, Ordering::Relaxed);
+    stats
+        .exhausted_blocks
+        .fetch_add(outcome.escalation.exhausted, Ordering::Relaxed);
+    stats
+        .leaked_bits
+        .fetch_add(outcome.leaked_bits as u64, Ordering::Relaxed);
+    if outcome.key_matched {
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.key_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

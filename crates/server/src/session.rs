@@ -34,12 +34,33 @@
 //! Escalation traffic follows the same discipline as the ack path: the
 //! client retransmits its latest message until the server's next
 //! instruction arrives, and the server answers duplicates idempotently.
+//!
+//! # Event-driven cores
+//!
+//! Both sides are implemented as poll-shaped state machines so the same
+//! logic serves two execution styles:
+//!
+//! * [`SessionCore`] (server) and [`BobCore`] (client) consume decoded
+//!   frames via `on_frame`, advance their clocks via `on_tick`, and queue
+//!   outbound frames into a caller-supplied buffer. They never block and
+//!   never touch a socket, which is what lets the reactor
+//!   ([`crate::reactor`]) multiplex thousands of them on a few threads,
+//!   with a timer wheel firing `on_tick` at each core's `next_deadline`.
+//! * [`serve_session`] / [`run_bob_session`] are thin blocking wrappers
+//!   that drive a core over one [`Transport`] — the compatibility surface
+//!   the pipe-based tests, the adversary suite, and the lifecycle plane
+//!   are written against. The wrappers poll the transport, feed the core,
+//!   and flush whatever it queued, so their observable wire behavior is
+//!   exactly the pre-reactor one.
 
 use crate::sim::{derive_block_keys, derive_session_keys};
-use reconcile::AutoencoderReconciler;
+use reconcile::{AutoencoderReconciler, SharedReconciler};
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use telemetry::TraceContext;
 use vehicle_key::{
     AliceDriver, Disposition, EscalationCounters, Message, ProtocolError, RecoveryPolicy, Session,
     Transport, TransportError,
@@ -234,6 +255,507 @@ pub struct BobOutcome {
     pub entropy_bits: usize,
 }
 
+/// Post-handshake server state: the protocol driver plus everything the
+/// dispatch loop needs that only exists once the probe has arrived.
+struct Running {
+    driver: AliceDriver,
+    session: Session,
+    probe_seq: u32,
+    probe_reply: Vec<u8>,
+    nonce_b: u64,
+    seg: usize,
+    error_rate: f64,
+}
+
+enum Phase {
+    AwaitProbe,
+    Running(Box<Running>),
+    Done,
+}
+
+/// The server (Alice) side of one session as a non-blocking state
+/// machine.
+///
+/// The core consumes raw inbound frames ([`SessionCore::on_frame`]) and
+/// clock ticks ([`SessionCore::on_tick`]), queues outbound frames into
+/// the caller's buffer, and reports completion through
+/// [`SessionCore::take_finished`]. It owns every piece of per-session
+/// policy the blocking loop used to enforce inline: the handshake and
+/// session deadlines, the garbage and rejection budgets, the stall
+/// watchdog, duplicate idempotency, the escalation ladder, and the
+/// post-confirmation linger window. Callers own the I/O: the blocking
+/// wrapper ([`serve_session`]) polls one transport, the reactor
+/// multiplexes many sockets and calls `on_tick` when the timer wheel
+/// fires at [`SessionCore::next_deadline`].
+///
+/// Any `Err` from `on_frame`/`on_tick`/`on_closed` is terminal: the core
+/// moves to its done state and must be discarded.
+pub struct SessionCore {
+    session_id: u32,
+    nonce_a: u64,
+    params: SessionParams,
+    handoff: bool,
+    model: SharedReconciler,
+    deadline: Instant,
+    handshake_deadline: Instant,
+    phase: Phase,
+    handshaken: bool,
+    outcome: ServeOutcome,
+    confirm_reply: Option<Vec<u8>>,
+    linger_until: Option<Instant>,
+    rung_timer: RungTimer,
+    undecodable: u64,
+    last_progress: Instant,
+    last_state: (u32, EscalationCounters, bool),
+    stall_flagged: bool,
+    inbound_trace: Option<TraceContext>,
+    finished: Option<(ServeOutcome, Option<SessionHandoff>)>,
+}
+
+impl SessionCore {
+    /// A fresh server-side session awaiting its probe. `now` anchors the
+    /// handshake and session deadlines.
+    pub fn new(
+        reconciler: impl Into<SharedReconciler>,
+        session_id: u32,
+        nonce_a: u64,
+        params: &SessionParams,
+        handoff: bool,
+        now: Instant,
+    ) -> Self {
+        SessionCore {
+            session_id,
+            nonce_a,
+            params: *params,
+            handoff,
+            model: reconciler.into(),
+            deadline: now + params.session_timeout,
+            handshake_deadline: now + params.handshake_timeout.min(params.session_timeout),
+            phase: Phase::AwaitProbe,
+            handshaken: false,
+            outcome: ServeOutcome {
+                session_id,
+                blocks: 0,
+                duplicate_frames: 0,
+                rejected_frames: 0,
+                key_matched: false,
+                escalation: EscalationCounters::default(),
+                leaked_bits: 0,
+                entropy_bits: 0,
+            },
+            confirm_reply: None,
+            linger_until: None,
+            rung_timer: RungTimer::default(),
+            undecodable: 0,
+            last_progress: now,
+            last_state: (0, EscalationCounters::default(), false),
+            stall_flagged: false,
+            inbound_trace: None,
+            finished: None,
+        }
+    }
+
+    /// The session id this core serves.
+    pub fn session_id(&self) -> u32 {
+        self.session_id
+    }
+
+    /// Whether the probe handshake has completed.
+    pub fn handshaken(&self) -> bool {
+        self.handshaken
+    }
+
+    /// The trace context the client's probe advertised, if any.
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.inbound_trace
+    }
+
+    /// Counters accumulated so far (for abort reporting before
+    /// [`SessionCore::take_finished`] would have fired).
+    pub fn outcome(&self) -> &ServeOutcome {
+        &self.outcome
+    }
+
+    /// Whether the session has ended successfully and the result is
+    /// waiting in [`SessionCore::take_finished`].
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// The completed outcome (at most once).
+    pub fn take_finished(&mut self) -> Option<(ServeOutcome, Option<SessionHandoff>)> {
+        self.finished.take()
+    }
+
+    /// When [`SessionCore::on_tick`] next needs to run: the nearest of
+    /// the handshake/session deadlines, the linger expiry, and the stall
+    /// watchdog. Drives the reactor's timer wheel; a blocking caller can
+    /// ignore it and tick every poll iteration.
+    pub fn next_deadline(&self) -> Instant {
+        match &self.phase {
+            Phase::AwaitProbe => self.handshake_deadline.min(self.deadline),
+            Phase::Running(_) => {
+                let mut d = self.linger_until.unwrap_or(self.deadline);
+                if !self.stall_flagged {
+                    // +1ms so a tick scheduled exactly at the watchdog
+                    // boundary lands strictly past it (the check is `>`).
+                    d = d.min(
+                        self.last_progress
+                            + self.params.recovery.block_deadline
+                            + Duration::from_millis(1),
+                    );
+                }
+                d
+            }
+            Phase::Done => self.deadline,
+        }
+    }
+
+    fn finish(&mut self, handoff: Option<SessionHandoff>) {
+        self.finished = Some((self.outcome, handoff));
+        self.phase = Phase::Done;
+    }
+
+    /// Advance the session's clocks to `now`: enforce the handshake,
+    /// session, and linger deadlines and run the stall watchdog.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Timeout`] when a deadline expired; terminal.
+    pub fn on_tick(&mut self, now: Instant) -> Result<(), SessionError> {
+        if self.finished.is_some() {
+            return Ok(());
+        }
+        match self.phase {
+            Phase::Done => return Ok(()),
+            Phase::AwaitProbe => {
+                if now >= self.handshake_deadline {
+                    self.phase = Phase::Done;
+                    return Err(SessionError::Timeout("handshake"));
+                }
+                if now >= self.deadline {
+                    self.phase = Phase::Done;
+                    return Err(SessionError::Timeout("probe"));
+                }
+                return Ok(());
+            }
+            Phase::Running(_) => {}
+        }
+        if let Some(t) = self.linger_until {
+            // Confirmation answered; stay only to re-answer duplicates of
+            // the client's final messages whose replies may have been lost.
+            if now >= t {
+                self.finish(None);
+                return Ok(());
+            }
+        } else if now >= self.deadline {
+            self.phase = Phase::Done;
+            return Err(SessionError::Timeout("syndromes"));
+        }
+        // Stall watchdog: "progress" is block-level — an accepted block, a
+        // ladder step, or the confirmation. Retransmissions and duplicates
+        // do not count, so a session grinding on one block past its
+        // `block_deadline` budget is flagged exactly once per stall
+        // episode.
+        let state = (
+            self.outcome.blocks,
+            self.outcome.escalation,
+            self.confirm_reply.is_some(),
+        );
+        if state != self.last_state {
+            self.last_state = state;
+            self.last_progress = now;
+            self.stall_flagged = false;
+        } else if !self.stall_flagged
+            && now.saturating_duration_since(self.last_progress)
+                > self.params.recovery.block_deadline
+        {
+            self.stall_flagged = true;
+            let recovering = match &self.phase {
+                Phase::Running(run) => run.driver.recovering_block(),
+                _ => None,
+            };
+            telemetry::counter("server.stalls", 1);
+            telemetry::mark("server.session_stalled")
+                .field("session_id", u64::from(self.session_id))
+                .field("block", recovering.map_or(-1i64, i64::from))
+                .field(
+                    "stalled_ms",
+                    u64::try_from(
+                        now.saturating_duration_since(self.last_progress)
+                            .as_millis(),
+                    )
+                    .unwrap_or(u64::MAX),
+                )
+                .emit();
+        }
+        Ok(())
+    }
+
+    /// The peer hung up.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Transport`]`(Closed)` unless the session was in
+    /// its post-confirmation linger — there a hangup is the normal end.
+    pub fn on_closed(&mut self) -> Result<(), SessionError> {
+        if self.finished.is_some() || matches!(self.phase, Phase::Done) {
+            return Ok(());
+        }
+        if self.linger_until.is_some() {
+            self.finish(None);
+            return Ok(());
+        }
+        self.phase = Phase::Done;
+        Err(SessionError::Transport(TransportError::Closed))
+    }
+
+    /// Feed one inbound frame; replies are queued into `out` (encoded,
+    /// without trace extension — the caller appends its own).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] when the peer misbehaves beyond the budgets;
+    /// terminal.
+    pub fn on_frame(
+        &mut self,
+        frame: &[u8],
+        now: Instant,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), SessionError> {
+        if self.finished.is_some() || matches!(self.phase, Phase::Done) {
+            return Ok(());
+        }
+        if matches!(self.phase, Phase::AwaitProbe) {
+            return self.on_handshake_frame(frame, out);
+        }
+        let res = self.on_session_frame(frame, now, out);
+        if res.is_err() {
+            self.phase = Phase::Done;
+        }
+        res
+    }
+
+    fn on_handshake_frame(
+        &mut self,
+        frame: &[u8],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), SessionError> {
+        match Message::decode(frame) {
+            Ok(Message::Probe { seq, nonce, .. }) => {
+                self.inbound_trace = crate::obs::extract_trace(frame);
+                let reply = Message::ProbeReply {
+                    session_id: self.session_id,
+                    seq,
+                    nonce: self.nonce_a,
+                }
+                .encode()
+                .to_vec();
+                let (k_alice, _) = derive_session_keys(
+                    self.session_id,
+                    self.nonce_a,
+                    nonce,
+                    self.params.key_bits,
+                    self.params.error_bits,
+                );
+                let driver = AliceDriver::new(
+                    self.session_id,
+                    self.model.clone(),
+                    self.nonce_a,
+                    nonce,
+                    k_alice,
+                )
+                .with_policy(self.params.recovery);
+                let session =
+                    Session::new(self.session_id, self.model.clone(), self.nonce_a, nonce);
+                out.push(reply.clone());
+                self.phase = Phase::Running(Box::new(Running {
+                    driver,
+                    session,
+                    probe_seq: seq,
+                    probe_reply: reply,
+                    nonce_b: nonce,
+                    seg: self.model.key_len(),
+                    error_rate: self.params.error_bits as f64 / self.params.key_bits.max(1) as f64,
+                }));
+                self.handshaken = true;
+                Ok(())
+            }
+            Ok(_) => {
+                self.phase = Phase::Done;
+                Err(ProtocolError::Malformed("expected probe").into())
+            }
+            Err(_) => Ok(()), // corrupted frame pre-handshake: let the client retry
+        }
+    }
+
+    fn on_session_frame(
+        &mut self,
+        frame: &[u8],
+        now: Instant,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), SessionError> {
+        let msg = match Message::decode(frame) {
+            Ok(msg) => msg,
+            Err(_) => {
+                // Undecodable (likely corrupted) frame: no ack, the client
+                // will retransmit. Honest corruption stays far below
+                // [`GARBAGE_BUDGET`] because retransmission resolves each
+                // frame within the retry policy; a peer streaming pure
+                // garbage aborts typed instead of pinning this worker
+                // until the session deadline.
+                self.outcome.rejected_frames += 1;
+                telemetry::counter("server.rejected_frames", 1);
+                self.undecodable += 1;
+                if self.undecodable > GARBAGE_BUDGET {
+                    return Err(ProtocolError::Malformed("garbage flood").into());
+                }
+                return Ok(());
+            }
+        };
+        let Phase::Running(run) = &mut self.phase else {
+            return Ok(());
+        };
+        let mut finish: Option<Option<SessionHandoff>> = None;
+        match msg {
+            Message::Probe { seq, .. } if seq == run.probe_seq => {
+                // Our ProbeReply was lost; answer again.
+                self.outcome.duplicate_frames += 1;
+                out.push(run.probe_reply.clone());
+            }
+            Message::Syndrome {
+                session_id: sid,
+                block,
+                ref code,
+                ref mac,
+            } => {
+                let disposition = run.driver.handle_syndrome(sid, block, code, mac);
+                reply_for_disposition(
+                    &mut run.driver,
+                    self.session_id,
+                    block,
+                    disposition,
+                    &mut self.outcome,
+                    &mut self.rung_timer,
+                    &self.params,
+                    out,
+                )?;
+            }
+            Message::CascadeParityReply {
+                session_id: sid,
+                block,
+                round,
+                ref parities,
+            } => {
+                let disposition = run.driver.handle_cascade_reply(sid, block, round, parities);
+                reply_for_disposition(
+                    &mut run.driver,
+                    self.session_id,
+                    block,
+                    disposition,
+                    &mut self.outcome,
+                    &mut self.rung_timer,
+                    &self.params,
+                    out,
+                )?;
+            }
+            Message::ReprobeReply {
+                session_id: sid,
+                block,
+                attempt,
+                ref code,
+                ref mac,
+            } => {
+                // Re-measure our side of the block for this attempt; the
+                // client derived its half from the same shared identity.
+                let (fresh_k_alice, _) = derive_block_keys(
+                    self.session_id,
+                    self.nonce_a,
+                    run.nonce_b,
+                    block,
+                    attempt,
+                    run.seg,
+                    run.error_rate,
+                );
+                let disposition =
+                    run.driver
+                        .handle_reprobe_reply(sid, block, attempt, code, mac, &fresh_k_alice);
+                reply_for_disposition(
+                    &mut run.driver,
+                    self.session_id,
+                    block,
+                    disposition,
+                    &mut self.outcome,
+                    &mut self.rung_timer,
+                    &self.params,
+                    out,
+                )?;
+            }
+            Message::Confirm { .. } => match &self.confirm_reply {
+                Some(reply) => {
+                    self.outcome.duplicate_frames += 1;
+                    out.push(reply.clone());
+                }
+                None => {
+                    self.outcome.key_matched = run.driver.handle_message(&msg).is_ok();
+                    telemetry::counter(
+                        if self.outcome.key_matched {
+                            "server.sessions_matched"
+                        } else {
+                            "server.sessions_mismatched"
+                        },
+                        1,
+                    );
+                    // Send our own confirmation either way: on a mismatch
+                    // the client sees differing checks and records the
+                    // failure symmetrically.
+                    let (key, entropy) = run
+                        .driver
+                        .final_key_with_entropy()
+                        .ok_or(ProtocolError::ConfirmMismatch)?;
+                    self.outcome.escalation = run.driver.counters();
+                    self.outcome.leaked_bits = run.driver.leaked_bits();
+                    self.outcome.entropy_bits = entropy;
+                    let reply = Message::Confirm {
+                        session_id: self.session_id,
+                        check: run.session.confirm_check(&key),
+                    }
+                    .encode()
+                    .to_vec();
+                    out.push(reply.clone());
+                    if self.handoff && self.outcome.key_matched {
+                        // The lifecycle plane takes over from here; it
+                        // re-answers duplicate Confirm frames itself, so
+                        // skipping the linger loses no idempotency.
+                        finish = Some(Some(SessionHandoff {
+                            root: key,
+                            confirm_reply: reply,
+                        }));
+                    } else {
+                        self.confirm_reply = Some(reply);
+                        self.linger_until = Some(now + 2 * self.params.retry.ack_timeout);
+                    }
+                }
+            },
+            // Anything else reaching the server (a reply meant for the
+            // client, a probe for another handshake) is either corruption
+            // or a hostile peer: withhold any reply and let the bounded
+            // rejection budget decide, exactly like a MAC failure.
+            _ => {
+                reject_frame(
+                    &mut self.outcome,
+                    &self.params,
+                    "unexpected message for server",
+                )?;
+            }
+        }
+        if let Some(handoff) = finish {
+            self.finish(handoff);
+        }
+        Ok(())
+    }
+}
+
 /// Run the server (Alice) side of one session over an established
 /// transport. `nonce_a` is the server's fresh handshake nonce.
 ///
@@ -243,7 +765,7 @@ pub struct BobOutcome {
 /// the retry budget, or the session times out.
 pub fn serve_session<T: Transport>(
     transport: &mut T,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     session_id: u32,
     nonce_a: u64,
     params: &SessionParams,
@@ -264,274 +786,65 @@ pub fn serve_session<T: Transport>(
 /// [`SessionError`], exactly as [`serve_session`].
 pub fn serve_session_keyed<T: Transport>(
     transport: &mut T,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     session_id: u32,
     nonce_a: u64,
     params: &SessionParams,
     handoff: bool,
 ) -> Result<(ServeOutcome, Option<SessionHandoff>), SessionError> {
-    let deadline = Instant::now() + params.session_timeout;
-
-    // Handshake: wait for the client's probe. The session span opens only
-    // after it arrives, so the span can join the trace the client's frame
-    // extension advertises and both peers export under one trace id. The
-    // wait is bounded by the (much shorter) handshake deadline so a
-    // half-open or slowloris connection cannot pin this worker for the
-    // whole session budget.
-    let handshake_deadline = Instant::now() + params.handshake_timeout.min(params.session_timeout);
-    let (probe_seq, nonce_b, inbound_trace) = loop {
-        if Instant::now() >= handshake_deadline {
-            return Err(SessionError::Timeout("handshake"));
-        }
-        if Instant::now() >= deadline {
-            return Err(SessionError::Timeout("probe"));
-        }
-        match transport.recv()? {
-            Some(frame) => match Message::decode(&frame) {
-                Ok(Message::Probe { seq, nonce, .. }) => {
-                    break (seq, nonce, crate::obs::extract_trace(&frame))
-                }
-                Ok(_) => return Err(ProtocolError::Malformed("expected probe").into()),
-                Err(_) => {} // corrupted frame pre-handshake: let the client retry
-            },
-            None => {}
-        }
-    };
-    let _trace = inbound_trace
-        .filter(|_| telemetry::enabled())
-        .map(|ctx| telemetry::push_trace(ctx.trace_id, "alice"));
-    let mut span = telemetry::span("server.session").field("session_id", u64::from(session_id));
-    if let Some(ctx) = inbound_trace {
-        span = span.field("remote_parent", ctx.parent_span);
-    }
-    let _span = span.enter();
-    let reply = Message::ProbeReply {
-        session_id,
-        seq: probe_seq,
-        nonce: nonce_a,
-    }
-    .encode();
-    crate::obs::send_traced(transport, &reply)?;
-
-    let (k_alice, _) = derive_session_keys(
+    let mut core = SessionCore::new(
+        reconciler,
         session_id,
         nonce_a,
-        nonce_b,
-        params.key_bits,
-        params.error_bits,
+        params,
+        handoff,
+        Instant::now(),
     );
-    let mut driver = AliceDriver::new(session_id, reconciler.clone(), nonce_a, nonce_b, k_alice)
-        .with_policy(params.recovery);
-    let session = Session::new(session_id, reconciler.clone(), nonce_a, nonce_b);
-    let error_rate = params.error_bits as f64 / params.key_bits.max(1) as f64;
-
-    let mut outcome = ServeOutcome {
-        session_id,
-        blocks: 0,
-        duplicate_frames: 0,
-        rejected_frames: 0,
-        key_matched: false,
-        escalation: EscalationCounters::default(),
-        leaked_bits: 0,
-        entropy_bits: 0,
-    };
-    let mut confirm_reply: Option<Vec<u8>> = None;
-    let mut linger_until: Option<Instant> = None;
-    let mut rung_timer = RungTimer::default();
-    let mut undecodable = 0u64;
-
-    // Stall watchdog: "progress" is block-level — an accepted block, a
-    // ladder step, or the confirmation. Retransmissions and duplicates do
-    // not count, so a session grinding on one block past its
-    // `block_deadline` budget is flagged exactly once per stall episode.
-    let mut last_progress = Instant::now();
-    let mut last_state = (outcome.blocks, outcome.escalation, false);
-    let mut stall_flagged = false;
-
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    // The session span opens only once the probe arrives, so it can join
+    // the trace the client's frame extension advertises and both peers
+    // export under one trace id. The guards live here (not in the core)
+    // because traces are thread-scoped: the blocking wrapper owns its
+    // thread for the whole session, which the reactor does not.
+    let mut _trace_guard: Option<telemetry::TraceGuard> = None;
+    let mut _span_guard: Option<telemetry::SpanGuard<'static>> = None;
     loop {
-        if let Some(t) = linger_until {
-            // Confirmation answered; stay only to re-answer duplicates of
-            // the client's final messages whose replies may have been lost.
-            if Instant::now() >= t {
-                return Ok((outcome, None));
-            }
-        } else if Instant::now() >= deadline {
-            return Err(SessionError::Timeout("syndromes"));
+        core.on_tick(Instant::now())?;
+        if let Some(result) = core.take_finished() {
+            return Ok(result);
         }
-        let state = (outcome.blocks, outcome.escalation, confirm_reply.is_some());
-        if state != last_state {
-            last_state = state;
-            last_progress = Instant::now();
-            stall_flagged = false;
-        } else if !stall_flagged && last_progress.elapsed() > params.recovery.block_deadline {
-            stall_flagged = true;
-            telemetry::counter("server.stalls", 1);
-            telemetry::mark("server.session_stalled")
-                .field("session_id", u64::from(session_id))
-                .field("block", driver.recovering_block().map_or(-1i64, i64::from))
-                .field(
-                    "stalled_ms",
-                    u64::try_from(last_progress.elapsed().as_millis()).unwrap_or(u64::MAX),
-                )
-                .emit();
-        }
-        let frame = match transport.recv() {
-            Ok(Some(frame)) => frame,
-            Ok(None) => continue,
-            // Once the confirmation is out, the client hanging up is the
-            // normal end of a session, not a failure.
-            Err(TransportError::Closed) if linger_until.is_some() => return Ok((outcome, None)),
-            Err(e) => return Err(e.into()),
-        };
-        let msg = match Message::decode(&frame) {
-            Ok(msg) => msg,
-            Err(_) => {
-                // Undecodable (likely corrupted) frame: no ack, the client
-                // will retransmit. Honest corruption stays far below
-                // [`GARBAGE_BUDGET`] because retransmission resolves each
-                // frame within the retry policy; a peer streaming pure
-                // garbage aborts typed instead of pinning this worker
-                // until the session deadline.
-                outcome.rejected_frames += 1;
-                telemetry::counter("server.rejected_frames", 1);
-                undecodable += 1;
-                if undecodable > GARBAGE_BUDGET {
-                    return Err(ProtocolError::Malformed("garbage flood").into());
+        match transport.recv() {
+            Ok(Some(frame)) => {
+                let was_handshaken = core.handshaken();
+                let res = core.on_frame(&frame, Instant::now(), &mut out);
+                if !was_handshaken && core.handshaken() {
+                    let ctx = core.trace();
+                    _trace_guard = ctx
+                        .filter(|_| telemetry::enabled())
+                        .map(|c| telemetry::push_trace(c.trace_id, "alice"));
+                    let mut span = telemetry::span("server.session")
+                        .field("session_id", u64::from(session_id));
+                    if let Some(c) = ctx {
+                        span = span.field("remote_parent", c.parent_span);
+                    }
+                    _span_guard = Some(span.enter());
                 }
-                continue;
+                for f in out.drain(..) {
+                    crate::obs::send_traced(transport, &f)?;
+                }
+                res?;
+                if let Some(result) = core.take_finished() {
+                    return Ok(result);
+                }
             }
-        };
-        match msg {
-            Message::Probe { seq, .. } if seq == probe_seq => {
-                // Our ProbeReply was lost; answer again.
-                outcome.duplicate_frames += 1;
-                crate::obs::send_traced(transport, &reply)?;
+            Ok(None) => {}
+            Err(TransportError::Closed) => {
+                core.on_closed()?;
+                if let Some(result) = core.take_finished() {
+                    return Ok(result);
+                }
             }
-            Message::Syndrome {
-                session_id: sid,
-                block,
-                ref code,
-                ref mac,
-            } => {
-                let disposition = driver.handle_syndrome(sid, block, code, mac);
-                reply_for_disposition(
-                    transport,
-                    &mut driver,
-                    session_id,
-                    block,
-                    disposition,
-                    &mut outcome,
-                    &mut rung_timer,
-                    params,
-                )?;
-            }
-            Message::CascadeParityReply {
-                session_id: sid,
-                block,
-                round,
-                ref parities,
-            } => {
-                let disposition = driver.handle_cascade_reply(sid, block, round, parities);
-                reply_for_disposition(
-                    transport,
-                    &mut driver,
-                    session_id,
-                    block,
-                    disposition,
-                    &mut outcome,
-                    &mut rung_timer,
-                    params,
-                )?;
-            }
-            Message::ReprobeReply {
-                session_id: sid,
-                block,
-                attempt,
-                ref code,
-                ref mac,
-            } => {
-                // Re-measure our side of the block for this attempt; the
-                // client derived its half from the same shared identity.
-                let (fresh_k_alice, _) = derive_block_keys(
-                    session_id,
-                    nonce_a,
-                    nonce_b,
-                    block,
-                    attempt,
-                    reconciler.key_len(),
-                    error_rate,
-                );
-                let disposition =
-                    driver.handle_reprobe_reply(sid, block, attempt, code, mac, &fresh_k_alice);
-                reply_for_disposition(
-                    transport,
-                    &mut driver,
-                    session_id,
-                    block,
-                    disposition,
-                    &mut outcome,
-                    &mut rung_timer,
-                    params,
-                )?;
-            }
-            Message::Confirm { .. } => {
-                let reply = match &confirm_reply {
-                    Some(reply) => {
-                        outcome.duplicate_frames += 1;
-                        reply.clone()
-                    }
-                    None => {
-                        outcome.key_matched = driver.handle_message(&msg).is_ok();
-                        telemetry::counter(
-                            if outcome.key_matched {
-                                "server.sessions_matched"
-                            } else {
-                                "server.sessions_mismatched"
-                            },
-                            1,
-                        );
-                        // Send our own confirmation either way: on a
-                        // mismatch the client sees differing checks and
-                        // records the failure symmetrically.
-                        let (key, entropy) = driver
-                            .final_key_with_entropy()
-                            .ok_or(ProtocolError::ConfirmMismatch)?;
-                        outcome.escalation = driver.counters();
-                        outcome.leaked_bits = driver.leaked_bits();
-                        outcome.entropy_bits = entropy;
-                        let reply = Message::Confirm {
-                            session_id,
-                            check: session.confirm_check(&key),
-                        }
-                        .encode()
-                        .to_vec();
-                        if handoff && outcome.key_matched {
-                            // The lifecycle plane takes over from here; it
-                            // re-answers duplicate Confirm frames itself,
-                            // so skipping the linger loses no idempotency.
-                            crate::obs::send_traced(transport, &reply)?;
-                            return Ok((
-                                outcome,
-                                Some(SessionHandoff {
-                                    root: key,
-                                    confirm_reply: reply,
-                                }),
-                            ));
-                        }
-                        confirm_reply = Some(reply.clone());
-                        linger_until = Some(Instant::now() + 2 * params.retry.ack_timeout);
-                        reply
-                    }
-                };
-                crate::obs::send_traced(transport, &reply)?;
-            }
-            // Anything else reaching the server (a reply meant for the
-            // client, a probe for another handshake) is either corruption
-            // or a hostile peer: withhold any reply and let the bounded
-            // rejection budget decide, exactly like a MAC failure.
-            _ => {
-                reject_frame(&mut outcome, params, "unexpected message for server")?;
-            }
+            Err(e) => return Err(e.into()),
         }
     }
 }
@@ -581,8 +894,8 @@ impl RungTimer {
 /// already-seen) blocks, forward the outstanding escalation query for
 /// blocks in recovery, and withhold any reply for rejected frames so the
 /// client's retransmission repairs in-flight damage.
-fn reply_for_disposition<T: Transport>(
-    transport: &mut T,
+#[allow(clippy::too_many_arguments)]
+fn reply_for_disposition(
     driver: &mut AliceDriver,
     session_id: u32,
     block: u32,
@@ -590,29 +903,29 @@ fn reply_for_disposition<T: Transport>(
     outcome: &mut ServeOutcome,
     rung_timer: &mut RungTimer,
     params: &SessionParams,
+    out: &mut Vec<Vec<u8>>,
 ) -> Result<(), SessionError> {
-    let ack = |transport: &mut T| {
-        crate::obs::send_traced(
-            transport,
-            &Message::Ack {
+    let ack = |out: &mut Vec<Vec<u8>>| {
+        out.push(
+            Message::Ack {
                 session_id,
                 seq: block,
             }
-            .encode(),
-        )
+            .encode()
+            .to_vec(),
+        );
     };
     match disposition {
         Ok(Disposition::Accepted) => {
             outcome.blocks += 1;
             rung_timer.on_accepted(block, &driver.counters());
-            ack(transport)?;
+            ack(out);
         }
         Ok(Disposition::Escalated) => {
             outcome.escalation = driver.counters();
             rung_timer.on_escalated(block, outcome.escalation);
             if let Some(query) = driver.pending_recovery() {
-                let frame = query.encode();
-                crate::obs::send_traced(transport, &frame)?;
+                out.push(query.encode().to_vec());
                 telemetry::counter("server.escalation_queries", 1);
             }
         }
@@ -622,11 +935,10 @@ fn reply_for_disposition<T: Transport>(
             if driver.recovering_block() == Some(block) {
                 // A stale reply raced our outstanding query: re-send it.
                 if let Some(query) = driver.pending_recovery() {
-                    let frame = query.encode();
-                    crate::obs::send_traced(transport, &frame)?;
+                    out.push(query.encode().to_vec());
                 }
             } else {
-                ack(transport)?;
+                ack(out);
             }
         }
         // MAC failure with escalation disabled, or a malformed frame
@@ -663,42 +975,437 @@ fn reject_frame(
     Ok(())
 }
 
-/// Send `frame` and poll for the reply `accept` recognizes, retransmitting
-/// per `policy`. Non-matching frames are handed to `stray` (the server may
-/// interleave duplicate replies to earlier steps).
-fn request_with_retry<T: Transport, R>(
-    transport: &mut T,
-    frame: &[u8],
-    policy: &RetryPolicy,
+/// The outbound request the client is currently retransmitting, with the
+/// retry engine's state: [`request_with_retry`]'s loop variables, made
+/// explicit so a poll-driven caller can resume them at any `now`.
+struct RequestState {
+    frame: Vec<u8>,
     what: &'static str,
-    retransmissions: &mut u32,
-    mut accept: impl FnMut(&Message) -> Option<R>,
-) -> Result<R, SessionError> {
-    let mut wait = policy.ack_timeout;
-    for attempt in 0..=policy.max_retries {
-        if attempt > 0 {
-            *retransmissions += 1;
-            telemetry::counter("fleet.retransmissions", 1);
+    attempt: u32,
+    wait: Duration,
+    resend_at: Instant,
+}
+
+/// Per-block client state while syndromes are in flight.
+struct BobRun {
+    session_id: u32,
+    nonce_a: u64,
+    session: Session,
+    k_bob: quantize::BitString,
+    seg: usize,
+    blocks: u32,
+    error_rate: f64,
+    block: u32,
+    kb: quantize::BitString,
+    bob_bits: quantize::BitString,
+    leaked_bits: usize,
+    cascade_rounds: u32,
+    reprobes: u32,
+    // Rounds already answered (and attempts already served): duplicates
+    // of the server's queries are re-answered without re-counting the
+    // leakage — mirroring the absorb-once accounting on Alice's side.
+    answered_rounds: HashSet<u32>,
+    served_attempts: HashSet<u32>,
+}
+
+enum BobPhase {
+    Idle,
+    Probe,
+    Blocks(Box<BobRun>),
+    Confirm {
+        session_id: u32,
+        check: [u8; 32],
+        key: [u8; 16],
+        blocks: u32,
+        leaked_bits: usize,
+        cascade_rounds: u32,
+        reprobes: u32,
+        entropy_bits: usize,
+    },
+    Done,
+}
+
+/// The client (Bob) side of one session as a non-blocking state machine —
+/// the event-driven mirror of [`SessionCore`], used by the pooled fleet
+/// load generator to hold thousands of client sessions on a few threads.
+///
+/// [`BobCore::start`] queues the probe; [`BobCore::on_frame`] consumes
+/// server replies and queues the next request; [`BobCore::on_tick`]
+/// drives the retransmission engine (same budgets and backoff as the
+/// blocking [`RetryPolicy`] path — `next_deadline` says when the next
+/// retransmission is due). Every `Err` is terminal.
+pub struct BobCore {
+    model: SharedReconciler,
+    nonce_b: u64,
+    params: SessionParams,
+    retransmissions: u32,
+    request: RequestState,
+    phase: BobPhase,
+    finished: Option<(BobOutcome, Option<[u8; 16]>)>,
+}
+
+impl BobCore {
+    /// A fresh client-side session; call [`BobCore::start`] to emit the
+    /// probe and arm the retry engine.
+    pub fn new(
+        reconciler: impl Into<SharedReconciler>,
+        nonce_b: u64,
+        params: &SessionParams,
+    ) -> Self {
+        BobCore {
+            model: reconciler.into(),
+            nonce_b,
+            params: *params,
+            retransmissions: 0,
+            request: RequestState {
+                frame: Vec::new(),
+                what: "probe reply",
+                attempt: 0,
+                wait: params.retry.ack_timeout,
+                resend_at: Instant::now() + params.retry.ack_timeout,
+            },
+            phase: BobPhase::Idle,
+            finished: None,
         }
-        crate::obs::send_traced(transport, frame)?;
-        let deadline = Instant::now() + wait;
-        while Instant::now() < deadline {
-            match transport.recv()? {
-                Some(reply) => {
-                    if let Ok(msg) = Message::decode(&reply) {
-                        if let Some(r) = accept(&msg) {
-                            return Ok(r);
-                        }
-                    }
+    }
+
+    /// The deterministic trace id this client advertises (derived from
+    /// its handshake nonce, exactly like the blocking path).
+    pub fn trace_id(&self) -> u128 {
+        crate::obs::trace_id_for_nonce(self.nonce_b)
+    }
+
+    /// Whether the session has completed and the outcome is waiting in
+    /// [`BobCore::take_finished`].
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// The completed outcome (at most once).
+    pub fn take_finished(&mut self) -> Option<(BobOutcome, Option<[u8; 16]>)> {
+        self.finished.take()
+    }
+
+    /// When the next retransmission is due — the timer-wheel deadline.
+    pub fn next_deadline(&self) -> Instant {
+        self.request.resend_at
+    }
+
+    /// Queue the opening probe and arm its retransmission timer.
+    pub fn start(&mut self, now: Instant, out: &mut Vec<Vec<u8>>) {
+        let probe = Message::Probe {
+            session_id: 0,
+            seq: 0,
+            nonce: self.nonce_b,
+        }
+        .encode()
+        .to_vec();
+        self.phase = BobPhase::Probe;
+        self.arm(probe, "probe reply", now, out);
+    }
+
+    /// Begin a fresh request: send `frame` now and reset the retry
+    /// engine, exactly like entering [`request_with_retry`] anew.
+    fn arm(&mut self, frame: Vec<u8>, what: &'static str, now: Instant, out: &mut Vec<Vec<u8>>) {
+        out.push(frame.clone());
+        self.request = RequestState {
+            frame,
+            what,
+            attempt: 0,
+            wait: self.params.retry.ack_timeout,
+            resend_at: now + self.params.retry.ack_timeout,
+        };
+    }
+
+    /// Advance the retry engine to `now`, queueing a retransmission when
+    /// the current wait expired.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Timeout`] naming the awaited step once the retry
+    /// budget is exhausted; terminal.
+    pub fn on_tick(&mut self, now: Instant, out: &mut Vec<Vec<u8>>) -> Result<(), SessionError> {
+        if self.finished.is_some() || matches!(self.phase, BobPhase::Idle | BobPhase::Done) {
+            return Ok(());
+        }
+        if now >= self.request.resend_at {
+            if self.request.attempt >= self.params.retry.max_retries {
+                self.phase = BobPhase::Done;
+                return Err(SessionError::Timeout(self.request.what));
+            }
+            self.request.attempt += 1;
+            self.retransmissions += 1;
+            telemetry::counter("fleet.retransmissions", 1);
+            out.push(self.request.frame.clone());
+            self.request.wait = self.request.wait.mul_f64(self.params.retry.backoff);
+            self.request.resend_at = now + self.request.wait;
+        }
+        Ok(())
+    }
+
+    /// Feed one inbound frame; non-matching or undecodable frames are
+    /// ignored (the server may interleave duplicate replies to earlier
+    /// steps), matching ones advance the session and queue the next
+    /// request into `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] when the session cannot continue (entropy
+    /// exhausted); terminal.
+    pub fn on_frame(
+        &mut self,
+        frame: &[u8],
+        now: Instant,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), SessionError> {
+        if self.finished.is_some() {
+            return Ok(());
+        }
+        let Ok(msg) = Message::decode(frame) else {
+            return Ok(());
+        };
+        match self.phase {
+            BobPhase::Idle | BobPhase::Done => Ok(()),
+            BobPhase::Probe => {
+                if let Message::ProbeReply {
+                    session_id, nonce, ..
+                } = msg
+                {
+                    self.on_probe_reply(session_id, nonce, now, out)
+                } else {
+                    Ok(())
                 }
-                // recv polls with the transport's own timeout; yield so a
-                // queue-backed transport doesn't spin.
-                None => std::thread::yield_now(),
+            }
+            BobPhase::Blocks(_) => self.on_block_msg(&msg, now, out),
+            BobPhase::Confirm { .. } => {
+                self.on_confirm_msg(&msg);
+                Ok(())
             }
         }
-        wait = wait.mul_f64(policy.backoff);
     }
-    Err(SessionError::Timeout(what))
+
+    fn on_probe_reply(
+        &mut self,
+        session_id: u32,
+        nonce_a: u64,
+        now: Instant,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), SessionError> {
+        let (_, k_bob) = derive_session_keys(
+            session_id,
+            nonce_a,
+            self.nonce_b,
+            self.params.key_bits,
+            self.params.error_bits,
+        );
+        let session = Session::new(session_id, self.model.clone(), nonce_a, self.nonce_b);
+        let seg = self.model.key_len();
+        let blocks = u32::try_from(k_bob.len() / seg).unwrap_or(u32::MAX);
+        let run = Box::new(BobRun {
+            session_id,
+            nonce_a,
+            kb: if blocks > 0 {
+                k_bob.slice(0, seg)
+            } else {
+                quantize::BitString::new()
+            },
+            session,
+            k_bob,
+            seg,
+            blocks,
+            error_rate: self.params.error_bits as f64 / self.params.key_bits.max(1) as f64,
+            block: 0,
+            bob_bits: quantize::BitString::new(),
+            leaked_bits: 0,
+            cascade_rounds: 0,
+            reprobes: 0,
+            answered_rounds: HashSet::new(),
+            served_attempts: HashSet::new(),
+        });
+        if blocks == 0 {
+            self.phase = BobPhase::Blocks(run);
+            return self.to_confirm(now, out);
+        }
+        let frame = run
+            .session
+            .bob_syndrome_message(0, &run.kb)
+            .encode()
+            .to_vec();
+        self.phase = BobPhase::Blocks(run);
+        self.arm(frame, "syndrome ack", now, out);
+        Ok(())
+    }
+
+    fn on_block_msg(
+        &mut self,
+        msg: &Message,
+        now: Instant,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), SessionError> {
+        let BobPhase::Blocks(run) = &mut self.phase else {
+            return Ok(());
+        };
+        match msg {
+            Message::Ack { seq, .. } if *seq == run.block => {
+                run.bob_bits.extend(&run.kb);
+                run.block += 1;
+                if run.block == run.blocks {
+                    return self.to_confirm(now, out);
+                }
+                run.kb = run.k_bob.slice(run.block as usize * run.seg, run.seg);
+                run.answered_rounds.clear();
+                run.served_attempts.clear();
+                let frame = run
+                    .session
+                    .bob_syndrome_message(run.block, &run.kb)
+                    .encode()
+                    .to_vec();
+                self.arm(frame, "syndrome ack", now, out);
+            }
+            Message::CascadeParity {
+                block: b,
+                round,
+                queries,
+                ..
+            } if *b == run.block => {
+                // Positions are block-relative; anything out of range is
+                // in-flight corruption — ignore the round, re-issue the
+                // outstanding request, and let the server's retransmission
+                // deliver the round intact.
+                let qs: Vec<Vec<usize>> = queries
+                    .iter()
+                    .map(|q| q.iter().map(|&p| usize::from(p)).collect())
+                    .collect();
+                if qs.iter().flatten().any(|&p| p >= run.kb.len()) {
+                    let frame = self.request.frame.clone();
+                    let what = self.request.what;
+                    self.arm(frame, what, now, out);
+                    return Ok(());
+                }
+                let answers = reconcile::cascade::parities(&run.kb, &qs);
+                if run.answered_rounds.insert(*round) {
+                    run.leaked_bits += answers.len();
+                    run.cascade_rounds += 1;
+                    telemetry::counter("fleet.cascade_rounds", 1);
+                }
+                let frame = Message::CascadeParityReply {
+                    session_id: run.session_id,
+                    block: run.block,
+                    round: *round,
+                    parities: answers,
+                }
+                .encode()
+                .to_vec();
+                self.arm(frame, "syndrome ack", now, out);
+            }
+            Message::ReprobeRequest {
+                block: b, attempt, ..
+            } if *b == run.block => {
+                // Re-measure the block: fresh material for this attempt,
+                // derived from the shared session identity exactly like
+                // the server's half.
+                let (_, fresh) = derive_block_keys(
+                    run.session_id,
+                    run.nonce_a,
+                    self.nonce_b,
+                    run.block,
+                    *attempt,
+                    run.seg,
+                    run.error_rate,
+                );
+                run.kb = fresh;
+                if run.served_attempts.insert(*attempt) {
+                    run.reprobes += 1;
+                    telemetry::counter("fleet.reprobes", 1);
+                }
+                let (code, mac) = run.session.bob_code_and_mac(&run.kb);
+                let frame = Message::ReprobeReply {
+                    session_id: run.session_id,
+                    block: run.block,
+                    attempt: *attempt,
+                    code,
+                    mac,
+                }
+                .encode()
+                .to_vec();
+                self.arm(frame, "syndrome ack", now, out);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn to_confirm(&mut self, now: Instant, out: &mut Vec<Vec<u8>>) -> Result<(), SessionError> {
+        let BobPhase::Blocks(run) = std::mem::replace(&mut self.phase, BobPhase::Done) else {
+            return Ok(());
+        };
+        // Every parity bit revealed during recovery is public knowledge
+        // now — debit it from the amplification input, as the server does
+        // on its side.
+        let (bob_key, entropy_bits) =
+            match amplify_with_leakage(&run.bob_bits.to_bools(), run.leaked_bits) {
+                Some(v) => v,
+                None => {
+                    return Err(SessionError::Protocol(ProtocolError::EntropyExhausted));
+                }
+            };
+        let check = run.session.confirm_check(&bob_key);
+        let frame = Message::Confirm {
+            session_id: run.session_id,
+            check,
+        }
+        .encode()
+        .to_vec();
+        self.phase = BobPhase::Confirm {
+            session_id: run.session_id,
+            check,
+            key: bob_key,
+            blocks: run.blocks,
+            leaked_bits: run.leaked_bits,
+            cascade_rounds: run.cascade_rounds,
+            reprobes: run.reprobes,
+            entropy_bits,
+        };
+        self.arm(frame, "server confirmation", now, out);
+        Ok(())
+    }
+
+    fn on_confirm_msg(&mut self, msg: &Message) {
+        let BobPhase::Confirm {
+            session_id,
+            check,
+            key,
+            blocks,
+            leaked_bits,
+            cascade_rounds,
+            reprobes,
+            entropy_bits,
+        } = &self.phase
+        else {
+            return;
+        };
+        let Message::Confirm {
+            check: server_check,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        let key_matched = server_check == check;
+        let outcome = BobOutcome {
+            session_id: *session_id,
+            key_matched,
+            retransmissions: self.retransmissions,
+            blocks: *blocks,
+            leaked_bits: *leaked_bits,
+            cascade_rounds: *cascade_rounds,
+            reprobes: *reprobes,
+            entropy_bits: *entropy_bits,
+        };
+        let key = *key;
+        self.finished = Some((outcome, key_matched.then_some(key)));
+        self.phase = BobPhase::Done;
+    }
 }
 
 /// Run the client (Bob) side of one session over an established transport.
@@ -710,7 +1417,7 @@ fn request_with_retry<T: Transport, R>(
 /// retry budget.
 pub fn run_bob_session<T: Transport>(
     transport: &mut T,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     nonce_b: u64,
     params: &SessionParams,
 ) -> Result<BobOutcome, SessionError> {
@@ -726,7 +1433,7 @@ pub fn run_bob_session<T: Transport>(
 /// [`SessionError`], exactly as [`run_bob_session`].
 pub fn run_bob_session_keyed<T: Transport>(
     transport: &mut T,
-    reconciler: &AutoencoderReconciler,
+    reconciler: &Arc<AutoencoderReconciler>,
     nonce_b: u64,
     params: &SessionParams,
 ) -> Result<(BobOutcome, Option<[u8; 16]>), SessionError> {
@@ -736,177 +1443,27 @@ pub fn run_bob_session_keyed<T: Transport>(
     let _trace = telemetry::enabled()
         .then(|| telemetry::push_trace(crate::obs::trace_id_for_nonce(nonce_b), "bob"));
     let _span = telemetry::span("fleet.session").enter();
-    let mut retransmissions = 0u32;
-
-    // Handshake.
-    let probe = Message::Probe {
-        session_id: 0,
-        seq: 0,
-        nonce: nonce_b,
-    }
-    .encode();
-    let (session_id, nonce_a) = request_with_retry(
-        transport,
-        &probe,
-        &params.retry,
-        "probe reply",
-        &mut retransmissions,
-        |msg| match msg {
-            Message::ProbeReply {
-                session_id, nonce, ..
-            } => Some((*session_id, *nonce)),
-            _ => None,
-        },
-    )?;
-
-    let (_, k_bob) = derive_session_keys(
-        session_id,
-        nonce_a,
-        nonce_b,
-        params.key_bits,
-        params.error_bits,
-    );
-    let session = Session::new(session_id, reconciler.clone(), nonce_a, nonce_b);
-    let seg = reconciler.key_len();
-    let blocks = u32::try_from(k_bob.len() / seg).unwrap_or(u32::MAX);
-    let error_rate = params.error_bits as f64 / params.key_bits.max(1) as f64;
-
-    /// The server's next instruction for the block in flight.
-    enum BlockStep {
-        Acked,
-        Cascade { round: u32, queries: Vec<Vec<u16>> },
-        Reprobe { attempt: u32 },
-    }
-
-    // Syndromes, each retransmitted until its ack arrives — possibly via
-    // the escalation ladder: the server may answer with parity queries or
-    // a re-probe request instead of the ack, and the block is only done
-    // once the ack lands.
-    let mut bob_bits = quantize::BitString::new();
-    let mut leaked_bits = 0usize;
-    let mut cascade_rounds = 0u32;
-    let mut reprobes = 0u32;
-    for block in 0..blocks {
-        let mut kb = k_bob.slice(block as usize * seg, seg);
-        let mut frame = session.bob_syndrome_message(block, &kb).encode();
-        // Rounds already answered (and attempts already served): duplicates
-        // of the server's queries are re-answered without re-counting the
-        // leakage — mirroring the absorb-once accounting on Alice's side.
-        let mut answered_rounds = std::collections::HashSet::new();
-        let mut served_attempts = std::collections::HashSet::new();
-        loop {
-            let step = request_with_retry(
-                transport,
-                &frame,
-                &params.retry,
-                "syndrome ack",
-                &mut retransmissions,
-                |msg| match msg {
-                    Message::Ack { seq, .. } if *seq == block => Some(BlockStep::Acked),
-                    Message::CascadeParity {
-                        block: b,
-                        round,
-                        queries,
-                        ..
-                    } if *b == block => Some(BlockStep::Cascade {
-                        round: *round,
-                        queries: queries.clone(),
-                    }),
-                    Message::ReprobeRequest {
-                        block: b, attempt, ..
-                    } if *b == block => Some(BlockStep::Reprobe { attempt: *attempt }),
-                    _ => None,
-                },
-            )?;
-            match step {
-                BlockStep::Acked => break,
-                BlockStep::Cascade { round, queries } => {
-                    // Positions are block-relative; anything out of range is
-                    // in-flight corruption — ignore the round and let the
-                    // server's retransmission deliver it intact.
-                    let qs: Vec<Vec<usize>> = queries
-                        .iter()
-                        .map(|q| q.iter().map(|&p| usize::from(p)).collect())
-                        .collect();
-                    if qs.iter().flatten().any(|&p| p >= kb.len()) {
-                        continue;
-                    }
-                    let answers = reconcile::cascade::parities(&kb, &qs);
-                    if answered_rounds.insert(round) {
-                        leaked_bits += answers.len();
-                        cascade_rounds += 1;
-                        telemetry::counter("fleet.cascade_rounds", 1);
-                    }
-                    frame = Message::CascadeParityReply {
-                        session_id,
-                        block,
-                        round,
-                        parities: answers,
-                    }
-                    .encode();
-                }
-                BlockStep::Reprobe { attempt } => {
-                    // Re-measure the block: fresh material for this attempt,
-                    // derived from the shared session identity exactly like
-                    // the server's half.
-                    let (_, fresh) = derive_block_keys(
-                        session_id, nonce_a, nonce_b, block, attempt, seg, error_rate,
-                    );
-                    kb = fresh;
-                    if served_attempts.insert(attempt) {
-                        reprobes += 1;
-                        telemetry::counter("fleet.reprobes", 1);
-                    }
-                    let (code, mac) = session.bob_code_and_mac(&kb);
-                    frame = Message::ReprobeReply {
-                        session_id,
-                        block,
-                        attempt,
-                        code,
-                        mac,
-                    }
-                    .encode();
-                }
-            }
+    let mut core = BobCore::new(reconciler, nonce_b, params);
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    core.start(Instant::now(), &mut out);
+    loop {
+        for f in out.drain(..) {
+            crate::obs::send_traced(transport, &f)?;
         }
-        bob_bits.extend(&kb);
+        if let Some(result) = core.take_finished() {
+            return Ok(result);
+        }
+        match transport.recv() {
+            Ok(Some(frame)) => core.on_frame(&frame, Instant::now(), &mut out)?,
+            Ok(None) => {
+                core.on_tick(Instant::now(), &mut out)?;
+                // recv polls with the transport's own timeout; yield so a
+                // queue-backed transport doesn't spin.
+                std::thread::yield_now();
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
-
-    // Confirmation exchange. Every parity bit revealed during recovery is
-    // public knowledge now — debit it from the amplification input, as the
-    // server does on its side.
-    let (bob_key, entropy_bits) = amplify_with_leakage(&bob_bits.to_bools(), leaked_bits)
-        .ok_or(SessionError::Protocol(ProtocolError::EntropyExhausted))?;
-    let check = session.confirm_check(&bob_key);
-    let confirm = Message::Confirm { session_id, check }.encode();
-    let key_matched = request_with_retry(
-        transport,
-        &confirm,
-        &params.retry,
-        "server confirmation",
-        &mut retransmissions,
-        |msg| match msg {
-            Message::Confirm {
-                check: server_check,
-                ..
-            } => Some(*server_check == check),
-            _ => None,
-        },
-    )?;
-
-    Ok((
-        BobOutcome {
-            session_id,
-            key_matched,
-            retransmissions,
-            blocks,
-            leaked_bits,
-            cascade_rounds,
-            reprobes,
-            entropy_bits,
-        },
-        key_matched.then_some(bob_key),
-    ))
 }
 
 #[cfg(test)]
@@ -918,13 +1475,15 @@ mod tests {
     use reconcile::AutoencoderTrainer;
     use std::sync::OnceLock;
 
-    pub(crate) fn model() -> &'static AutoencoderReconciler {
-        static MODEL: OnceLock<AutoencoderReconciler> = OnceLock::new();
+    pub(crate) fn model() -> &'static Arc<AutoencoderReconciler> {
+        static MODEL: OnceLock<Arc<AutoencoderReconciler>> = OnceLock::new();
         MODEL.get_or_init(|| {
             let mut rng = StdRng::seed_from_u64(7001);
-            AutoencoderTrainer::default()
-                .with_steps(6000)
-                .train(&mut rng)
+            Arc::new(
+                AutoencoderTrainer::default()
+                    .with_steps(6000)
+                    .train(&mut rng),
+            )
         })
     }
 
@@ -1110,5 +1669,88 @@ mod tests {
         let server_ok = alice.as_ref().map(|o| o.key_matched).unwrap_or(false);
         assert!(!client_ok, "client must not report success: {bob:?}");
         assert!(!server_ok, "server must not report success: {alice:?}");
+    }
+
+    #[test]
+    fn cores_complete_a_session_without_any_transport() {
+        // The event-driven cores exchange queued frames directly: the
+        // purest form of the reactor's dispatch loop, with no sockets, no
+        // pipes, and no threads.
+        let params = fast_params();
+        let now = Instant::now();
+        let mut alice = SessionCore::new(model(), 501, 7070, &params, false, now);
+        let mut bob = BobCore::new(model(), 7071, &params);
+        let mut to_alice: Vec<Vec<u8>> = Vec::new();
+        let mut to_bob: Vec<Vec<u8>> = Vec::new();
+        bob.start(now, &mut to_alice);
+        for _ in 0..200 {
+            if bob.is_finished() && (alice.is_finished() || alice.linger_until.is_some()) {
+                break;
+            }
+            for f in std::mem::take(&mut to_alice) {
+                alice.on_frame(&f, now, &mut to_bob).unwrap();
+            }
+            for f in std::mem::take(&mut to_bob) {
+                bob.on_frame(&f, now, &mut to_alice).unwrap();
+            }
+        }
+        let (bob_out, bob_key) = bob.take_finished().expect("bob must finish");
+        assert!(bob_out.key_matched);
+        assert!(bob_key.is_some());
+        assert_eq!(bob_out.blocks, 2);
+        assert_eq!(bob_out.retransmissions, 0);
+        // Alice lingers for duplicates; her linger expiry completes her.
+        alice.on_tick(now + 3 * params.retry.ack_timeout).unwrap();
+        let (alice_out, _) = alice.take_finished().expect("alice must finish");
+        assert!(alice_out.key_matched);
+        assert_eq!(alice_out.blocks, 2);
+        assert_eq!(alice_out.session_id, 501);
+    }
+
+    #[test]
+    fn bob_core_retransmits_on_ticks_and_times_out_typed() {
+        let params = SessionParams {
+            retry: RetryPolicy {
+                max_retries: 3,
+                ack_timeout: Duration::from_millis(10),
+                backoff: 2.0,
+            },
+            ..fast_params()
+        };
+        let mut bob = BobCore::new(model(), 99, &params);
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        let start = Instant::now();
+        bob.start(start, &mut out);
+        assert_eq!(out.len(), 1, "probe queued");
+        let probe = out[0].clone();
+        out.clear();
+        // Walk time past each backoff window: 10ms, then 20ms, then 40ms.
+        let mut t = start;
+        for expected_wait in [10u64, 20, 40] {
+            t += Duration::from_millis(expected_wait);
+            bob.on_tick(t, &mut out).unwrap();
+            assert_eq!(out.len(), 1, "one retransmission per expired window");
+            assert_eq!(out[0], probe, "retransmits the same frame");
+            out.clear();
+        }
+        // Budget exhausted: the next expiry is a typed timeout.
+        t += Duration::from_millis(80);
+        let err = bob.on_tick(t, &mut out).unwrap_err();
+        assert_eq!(err, SessionError::Timeout("probe reply"));
+    }
+
+    #[test]
+    fn session_core_deadlines_fire_in_order() {
+        let params = SessionParams {
+            handshake_timeout: Duration::from_millis(50),
+            session_timeout: Duration::from_secs(10),
+            ..fast_params()
+        };
+        let now = Instant::now();
+        let mut core = SessionCore::new(model(), 1, 2, &params, false, now);
+        assert!(core.next_deadline() <= now + Duration::from_millis(50));
+        core.on_tick(now + Duration::from_millis(49)).unwrap();
+        let err = core.on_tick(now + Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err, SessionError::Timeout("handshake"));
     }
 }

@@ -1,0 +1,381 @@
+//! Hierarchical timer wheel driving the reactor's deadlines.
+//!
+//! A reactor shard owns thousands of sessions, each carrying several live
+//! deadlines at once (retransmission backoff, `block_deadline`, handshake
+//! and session budgets, the stall watchdog). A `BinaryHeap` of deadlines
+//! would pay `O(log n)` per re-arm and has no cheap cancellation; the
+//! classic hashed hierarchical wheel (Varghese & Lauck) makes arm,
+//! cancel, and expiry amortized `O(1)`:
+//!
+//! * **L0** — 64 slots × 8 ms ticks (512 ms span): the hot level, where
+//!   every ack-timeout and poll deadline lives.
+//! * **L1** — 64 slots × 512 ms (32.8 s span): session/handshake budgets.
+//! * **L2** — 64 slots × 32.8 s (≈35 min span): long lingers and anything
+//!   an operator sets with a big `--session-timeout`.
+//! * **overflow** — a plain list for deadlines past L2's horizon,
+//!   re-examined when L2 wraps.
+//!
+//! When L0 wraps, the next L1 slot *cascades*: its entries re-insert at
+//! finer granularity (likewise L1←L2←overflow). A timer therefore fires
+//! on the first [`advance`](TimerWheel::advance) whose wall-clock tick
+//! reaches its (tick-rounded-up) deadline — never early, at most one
+//! 8 ms tick late.
+//!
+//! **Cancellation is lazy.** The wheel never removes entries; each entry
+//! carries the `(token, gen)` pair it was armed with, and the caller
+//! bumps its generation counter to cancel. Expired entries whose `gen` no
+//! longer matches the caller's current generation are stale pops to be
+//! ignored. This is what makes re-arming a retransmission timer on every
+//! frame O(1) instead of a heap surgery.
+
+use crate::poll::Token;
+use std::time::{Duration, Instant};
+
+/// Milliseconds per L0 tick — the wheel's resolution. 8 ms is well under
+/// the shortest production retry timeout (250 ms) while keeping an idle
+/// shard's timer wakeups under 125/s.
+pub const TICK_MS: u64 = 8;
+
+/// Slots per level.
+const SLOTS: u64 = 64;
+/// Ticks spanned by one L1 slot.
+const L1_SPAN: u64 = SLOTS;
+/// Ticks spanned by one L2 slot.
+const L2_SPAN: u64 = SLOTS * SLOTS;
+/// Ticks spanned by the whole L2 level — the overflow horizon.
+const L2_HORIZON: u64 = SLOTS * SLOTS * SLOTS;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: Token,
+    gen: u64,
+    /// Absolute due time in ticks since the wheel's epoch.
+    due: u64,
+}
+
+/// A timer that popped: the token and the generation it was armed with.
+/// Compare `gen` against the owner's current generation to detect a
+/// lazily-cancelled (stale) pop.
+pub type Expired = (Token, u64);
+
+/// Hierarchical timing wheel. See the module docs for the level layout.
+pub struct TimerWheel {
+    /// Wall-clock epoch; tick 0 starts here.
+    start: Instant,
+    /// Last fully processed tick.
+    tick: u64,
+    l0: Vec<Vec<Entry>>,
+    l1: Vec<Vec<Entry>>,
+    l2: Vec<Vec<Entry>>,
+    overflow: Vec<Entry>,
+    /// Live entries across all levels (stale ones included until they
+    /// pop — lazy cancellation keeps them in place).
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel whose tick 0 is `start`.
+    pub fn new(start: Instant) -> Self {
+        let level = || (0..SLOTS).map(|_| Vec::new()).collect::<Vec<_>>();
+        TimerWheel {
+            start,
+            tick: 0,
+            l0: level(),
+            l1: level(),
+            l2: level(),
+            overflow: Vec::new(),
+            armed: 0,
+        }
+    }
+
+    /// Entries currently stored (armed plus not-yet-popped stale ones).
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    fn ticks_at(&self, at: Instant) -> u64 {
+        let ms = at.saturating_duration_since(self.start).as_millis();
+        u64::try_from(ms / u128::from(TICK_MS)).unwrap_or(u64::MAX)
+    }
+
+    fn instant_of(&self, tick: u64) -> Instant {
+        self.start + Duration::from_millis(tick.saturating_mul(TICK_MS))
+    }
+
+    /// Arm a timer for `at`. Deadlines already in the past fire on the
+    /// next [`advance`](TimerWheel::advance). `gen` is echoed back on
+    /// expiry so the caller can detect stale pops.
+    pub fn schedule(&mut self, token: Token, gen: u64, at: Instant) {
+        // Round the deadline *up* to a tick so timers never fire early,
+        // and never behind the wheel's cursor so they land in a live slot.
+        let ms = at.saturating_duration_since(self.start).as_millis();
+        let due_tick = u64::try_from(ms.div_ceil(u128::from(TICK_MS))).unwrap_or(u64::MAX);
+        let due = due_tick.max(self.tick + 1);
+        self.armed += 1;
+        self.place(Entry { token, gen, due });
+    }
+
+    /// File an entry into the level matching its remaining delta. Callers
+    /// guarantee `due > self.tick`.
+    fn place(&mut self, e: Entry) {
+        let delta = e.due - self.tick;
+        let slot_list = if delta <= L1_SPAN {
+            self.l0.get_mut(usize::try_from(e.due % SLOTS).unwrap_or(0))
+        } else if delta <= L2_SPAN {
+            self.l1
+                .get_mut(usize::try_from((e.due / L1_SPAN) % SLOTS).unwrap_or(0))
+        } else if delta <= L2_HORIZON {
+            self.l2
+                .get_mut(usize::try_from((e.due / L2_SPAN) % SLOTS).unwrap_or(0))
+        } else {
+            self.overflow.push(e);
+            return;
+        };
+        if let Some(list) = slot_list {
+            list.push(e);
+        }
+    }
+
+    /// Advance wall-clock time to `now`, pushing every expired `(token,
+    /// gen)` onto `expired` in firing-tick order.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<Expired>) {
+        let target = self.ticks_at(now);
+        while self.tick < target {
+            self.tick += 1;
+            // Cascade coarser levels *before* draining L0: a cascaded
+            // entry due this very tick must land in the slot about to be
+            // drained. Coarsest first, so L2 entries can pass through L1.
+            if self.tick % L2_HORIZON == 0 {
+                let pending = std::mem::take(&mut self.overflow);
+                for e in pending {
+                    self.place(e);
+                }
+            }
+            if self.tick % L2_SPAN == 0 {
+                let slot = usize::try_from((self.tick / L2_SPAN) % SLOTS).unwrap_or(0);
+                let pending = self
+                    .l2
+                    .get_mut(slot)
+                    .map(std::mem::take)
+                    .unwrap_or_default();
+                for e in pending {
+                    self.place(e);
+                }
+            }
+            if self.tick % L1_SPAN == 0 {
+                let slot = usize::try_from((self.tick / L1_SPAN) % SLOTS).unwrap_or(0);
+                let pending = self
+                    .l1
+                    .get_mut(slot)
+                    .map(std::mem::take)
+                    .unwrap_or_default();
+                for e in pending {
+                    self.place(e);
+                }
+            }
+            let slot = usize::try_from(self.tick % SLOTS).unwrap_or(0);
+            let due_now = self
+                .l0
+                .get_mut(slot)
+                .map(std::mem::take)
+                .unwrap_or_default();
+            for e in due_now {
+                if e.due <= self.tick {
+                    self.armed -= 1;
+                    expired.push((e.token, e.gen));
+                } else {
+                    // A later lap of the same slot: re-file.
+                    self.place(e);
+                }
+            }
+        }
+    }
+
+    /// Earliest instant a timer could fire, for sizing the poll timeout.
+    /// Exact when the next timer lives in L0; for coarser levels it
+    /// returns the next *cascade* boundary instead — conservatively
+    /// early, so a wakeup there re-files entries and the next call is
+    /// exact. `None` when nothing is armed (the reactor then blocks
+    /// indefinitely — the idle-CPU guarantee).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.armed == 0 {
+            return None;
+        }
+        // L0: the first non-empty slot ahead holds entries due exactly at
+        // that tick (one lap at most, checked via due).
+        for dt in 1..=SLOTS {
+            let tick = self.tick + dt;
+            if let Some(list) = self.l0.get(usize::try_from(tick % SLOTS).unwrap_or(0)) {
+                if let Some(due) = list.iter().map(|e| e.due).min() {
+                    return Some(self.instant_of(due.min(tick)));
+                }
+            }
+        }
+        // L1/L2: first upcoming cascade whose slot is populated.
+        for dl in 1..=SLOTS {
+            let boundary = (self.tick / L1_SPAN + dl) * L1_SPAN;
+            let slot = usize::try_from((boundary / L1_SPAN) % SLOTS).unwrap_or(0);
+            if self.l1.get(slot).is_some_and(|l| !l.is_empty()) {
+                return Some(self.instant_of(boundary));
+            }
+        }
+        for dl in 1..=SLOTS {
+            let boundary = (self.tick / L2_SPAN + dl) * L2_SPAN;
+            let slot = usize::try_from((boundary / L2_SPAN) % SLOTS).unwrap_or(0);
+            if self.l2.get(slot).is_some_and(|l| !l.is_empty()) {
+                return Some(self.instant_of(boundary));
+            }
+        }
+        // Overflow: entries re-file at the L2 wrap before their due time,
+        // so their own due instants are safe (and exact) wake targets.
+        self.overflow
+            .iter()
+            .map(|e| e.due)
+            .min()
+            .map(|due| self.instant_of(due))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> (TimerWheel, Instant) {
+        let start = Instant::now();
+        (TimerWheel::new(start), start)
+    }
+
+    fn at(start: Instant, ms: u64) -> Instant {
+        start + Duration::from_millis(ms)
+    }
+
+    fn fired(w: &mut TimerWheel, start: Instant, ms: u64) -> Vec<Expired> {
+        let mut out = Vec::new();
+        w.advance(at(start, ms), &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_at_the_rounded_tick_never_early() {
+        let (mut w, start) = wheel();
+        w.schedule(Token(1), 0, at(start, 100));
+        // 100 ms rounds up to tick 13 = 104 ms.
+        assert!(fired(&mut w, start, 99).is_empty());
+        assert!(fired(&mut w, start, 103).is_empty());
+        let hits = fired(&mut w, start, 104);
+        assert_eq!(hits, vec![(Token(1), 0)]);
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_advance() {
+        let (mut w, start) = wheel();
+        let _ = fired(&mut w, start, 1000);
+        w.schedule(Token(2), 7, at(start, 500)); // already past
+        let hits = fired(&mut w, start, 1016);
+        assert_eq!(hits, vec![(Token(2), 7)]);
+    }
+
+    #[test]
+    fn levels_cascade_and_fire_in_order() {
+        let (mut w, start) = wheel();
+        w.schedule(Token(10), 0, at(start, 200)); // L0
+        w.schedule(Token(11), 0, at(start, 5_000)); // L1
+        w.schedule(Token(12), 0, at(start, 60_000)); // L2
+        w.schedule(Token(13), 0, at(start, 3_000_000)); // overflow (50 min)
+        assert_eq!(w.armed(), 4);
+
+        let mut all = Vec::new();
+        // Sweep forward in coarse steps; order of expiry must follow the
+        // deadlines regardless of which level each lived in.
+        for ms in [100u64, 1_000, 10_000, 100_000, 400_000, 3_000_100] {
+            w.advance(at(start, ms), &mut all);
+        }
+        assert_eq!(
+            all,
+            vec![
+                (Token(10), 0),
+                (Token(11), 0),
+                (Token(12), 0),
+                (Token(13), 0),
+            ]
+        );
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
+    fn same_slot_different_laps_do_not_cross_fire() {
+        let (mut w, start) = wheel();
+        // Two deadlines 512 ms apart share an L0 slot index.
+        w.schedule(Token(1), 0, at(start, 64));
+        w.schedule(Token(2), 0, at(start, 64 + 512));
+        assert_eq!(fired(&mut w, start, 64), vec![(Token(1), 0)]);
+        assert!(fired(&mut w, start, 100).is_empty());
+        assert_eq!(fired(&mut w, start, 576), vec![(Token(2), 0)]);
+    }
+
+    #[test]
+    fn lazy_cancellation_surfaces_as_a_stale_generation() {
+        let (mut w, start) = wheel();
+        // The caller arms gen 3, then re-arms (cancelling) with gen 4.
+        w.schedule(Token(5), 3, at(start, 40));
+        w.schedule(Token(5), 4, at(start, 80));
+        let first = fired(&mut w, start, 48);
+        // The stale entry still pops — with the old gen, which the caller
+        // compares against its current (4) and ignores.
+        assert_eq!(first, vec![(Token(5), 3)]);
+        let second = fired(&mut w, start, 88);
+        assert_eq!(second, vec![(Token(5), 4)]);
+    }
+
+    #[test]
+    fn next_deadline_is_exact_for_l0_and_conservative_for_coarse_levels() {
+        let (mut w, start) = wheel();
+        assert_eq!(w.next_deadline(), None);
+
+        w.schedule(Token(1), 0, at(start, 100));
+        // Exact: tick 13 = 104 ms.
+        assert_eq!(w.next_deadline(), Some(at(start, 104)));
+
+        let _ = fired(&mut w, start, 104);
+        w.schedule(Token(2), 0, at(start, 10_000));
+        // Coarse: some boundary at or before the real deadline, never
+        // after it, and never at-or-behind the cursor.
+        let hint = w.next_deadline().expect("armed wheel yields a deadline");
+        assert!(hint <= at(start, 10_000 + TICK_MS));
+        assert!(hint > at(start, 104));
+        // Following the hints eventually fires the timer.
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while out.is_empty() {
+            let next = w.next_deadline().expect("still armed");
+            w.advance(next, &mut out);
+            guard += 1;
+            assert!(guard < 100, "next_deadline hints must make progress");
+        }
+        assert_eq!(out, vec![(Token(2), 0)]);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn dense_same_tick_timers_all_fire_once() {
+        let (mut w, start) = wheel();
+        for i in 0..1000u64 {
+            w.schedule(Token(i), i, at(start, 96));
+        }
+        let hits = fired(&mut w, start, 104);
+        assert_eq!(hits.len(), 1000);
+        assert_eq!(w.armed(), 0);
+        let mut tokens: Vec<u64> = hits.iter().map(|(t, _)| t.0).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn big_idle_gaps_advance_cheaply_and_correctly() {
+        let (mut w, start) = wheel();
+        w.schedule(Token(1), 0, at(start, 120_000)); // 2 min out, L2
+        assert!(fired(&mut w, start, 119_000).is_empty());
+        assert_eq!(fired(&mut w, start, 120_008), vec![(Token(1), 0)]);
+    }
+}

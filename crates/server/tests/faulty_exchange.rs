@@ -6,7 +6,7 @@
 //! duplicates idempotently, and the driver's replay rejection keeps
 //! re-delivered syndromes from corrupting state.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 use vk_server::{
     run_bob_session, serve_session, FaultConfig, FaultyTransport, PipeTransport, RetryPolicy,
@@ -18,13 +18,15 @@ use rand::SeedableRng;
 use reconcile::{AutoencoderReconciler, AutoencoderTrainer};
 use vehicle_key::{AliceDriver, ProtocolError, Session};
 
-fn model() -> &'static AutoencoderReconciler {
-    static MODEL: OnceLock<AutoencoderReconciler> = OnceLock::new();
+fn model() -> &'static Arc<AutoencoderReconciler> {
+    static MODEL: OnceLock<Arc<AutoencoderReconciler>> = OnceLock::new();
     MODEL.get_or_init(|| {
         let mut rng = StdRng::seed_from_u64(9001);
-        AutoencoderTrainer::default()
-            .with_steps(6000)
-            .train(&mut rng)
+        Arc::new(
+            AutoencoderTrainer::default()
+                .with_steps(6000)
+                .train(&mut rng),
+        )
     })
 }
 

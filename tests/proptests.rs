@@ -293,8 +293,121 @@ fn mutate_frame(frame: &[u8], choice: usize, idx: u16, junk: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Reader that hands out at most `chunk` bytes per `read` call — a socket
+/// dribbling data at whatever granularity the kernel felt like.
+struct ChunkedReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl std::io::Read for ChunkedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_reassembly_is_chunking_invariant(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..96), 1..12),
+        chunk in 1usize..24,
+    ) {
+        use vk_server::{encode_frame, FrameBuf, FrameDecoder};
+        // The reactor's read path (FrameBuf fed by partial reads of
+        // arbitrary size, 1 byte included) must hand out byte-identical
+        // frames, in order, to the blocking path's whole-stream decoder.
+        let stream: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+        let mut whole = FrameDecoder::new();
+        whole.push(&stream);
+        let mut reader = ChunkedReader { data: &stream, pos: 0, chunk };
+        let mut buf = FrameBuf::new();
+        let mut reassembled: Vec<Vec<u8>> = Vec::new();
+        loop {
+            let n = buf.fill_from(&mut reader).expect("in-memory reader");
+            while let Some(range) = buf.next_frame_range().expect("honest stream stays framed") {
+                reassembled.push(buf.slice(range).to_vec());
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(&reassembled, &payloads);
+        for want in &payloads {
+            let got = whole
+                .next_frame()
+                .expect("reference decoder accepts the honest stream")
+                .expect("reference decoder yields the same frame count");
+            prop_assert_eq!(&got, want);
+        }
+        prop_assert_eq!(whole.next_frame().expect("drained decoder stays clean"), None);
+        prop_assert_eq!(buf.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefixes_die_typed_in_both_decoders(
+        len in (vk_server::MAX_FRAME_LEN as u32 + 1)..=u32::MAX,
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        use vehicle_key::TransportError;
+        use vk_server::{FrameBuf, FrameDecoder};
+        // A hostile length prefix must surface as a typed transport error
+        // from both decoders — before any allocation of the stated size,
+        // and never as a panic or a silent stall.
+        let mut bytes = len.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        let mut whole = FrameDecoder::new();
+        whole.push(&bytes);
+        prop_assert!(matches!(whole.next_frame(), Err(TransportError::Io(_))));
+        let mut buf = FrameBuf::new();
+        buf.push(&bytes);
+        prop_assert!(matches!(buf.next_frame_range(), Err(TransportError::Io(_))));
+    }
+
+    #[test]
+    fn garbage_floods_abort_typed_within_the_budget(
+        seed in any::<u64>(),
+        garbage in prop::collection::vec(any::<u8>(), 0..40)
+            .prop_filter("undecodable", |g| Message::decode(g).is_err()),
+    ) {
+        use vk_server::{SessionCore, SessionError, SessionParams, GARBAGE_BUDGET};
+        // Past the handshake, a peer streaming frames that never decode
+        // must be cut off with a typed protocol error within the garbage
+        // budget — not served until its session deadline.
+        let now = std::time::Instant::now();
+        let mut core = SessionCore::new(
+            escalation::model().clone(),
+            7,
+            seed,
+            &SessionParams::default(),
+            false,
+            now,
+        );
+        let mut out = Vec::new();
+        let probe = Message::Probe { session_id: 7, seq: 0, nonce: seed ^ 1 }.encode();
+        core.on_frame(&probe, now, &mut out).expect("probe handshake");
+        prop_assert!(core.handshaken());
+        let mut delivered = 0u64;
+        let err = loop {
+            delivered += 1;
+            prop_assert!(delivered <= GARBAGE_BUDGET + 1, "garbage budget overshot");
+            match core.on_frame(&garbage, now, &mut out) {
+                Ok(()) => {}
+                Err(e) => break e,
+            }
+        };
+        prop_assert!(
+            matches!(err, SessionError::Protocol(_)),
+            "garbage flood died untyped: {:?}",
+            err
+        );
+        prop_assert_eq!(delivered, GARBAGE_BUDGET + 1);
+    }
 
     #[test]
     fn bitstring_xor_is_involutive(a in bits_strategy(256)) {
