@@ -6,10 +6,14 @@
 //!
 //! * **Scan time** — best-of-3 wall time of a full workspace scan
 //!   (lex + all rules + suppression resolution) and derived files/sec.
-//! * **Finding profile** — per-rule hit counts, warn/deny totals, and
-//!   honored suppressions at the committed `lint.toml` severities.
+//! * **Finding profile** — per-rule hit counts, warn/deny totals,
+//!   honored suppressions at the committed `lint.toml` severities,
+//!   per-pass wall time (`pass_ms`, so a slow rule is attributable run
+//!   over run), and the wire-tag space the protocol-exhaustiveness
+//!   checker accounted for (`protocol_tags`).
 //! * **Gate** — the experiment **fails** (nonzero `repro` exit) if the
-//!   scan reports any deny-level finding or cannot run at all, so
+//!   scan reports any deny-level finding, accounts for fewer wire tags
+//!   than the protocol defines, or cannot run at all, so
 //!   `repro lintbench` doubles as the CI lint gate.
 //!
 //! The JSON lands in `$VK_OUT/BENCH_lint.json` when `VK_OUT` is set, else
@@ -30,6 +34,11 @@ fn render_json(report: &LintReport, best_s: f64) -> Json {
         .iter()
         .map(|(id, n)| (id.clone(), Json::UInt(*n as u64)))
         .collect();
+    let pass_ms = report
+        .pass_timings
+        .iter()
+        .map(|(id, ms)| (id.clone(), Json::Num(*ms)))
+        .collect();
     Json::Obj(vec![
         ("bench".into(), Json::Str("lint".into())),
         ("files".into(), Json::UInt(report.files as u64)),
@@ -40,6 +49,11 @@ fn render_json(report: &LintReport, best_s: f64) -> Json {
             Json::UInt(report.suppressions_used as u64),
         ),
         ("rule_hits".into(), Json::Obj(rule_hits)),
+        (
+            "protocol_tags".into(),
+            Json::UInt(report.protocol_tags as u64),
+        ),
+        ("pass_ms".into(), Json::Obj(pass_ms)),
         ("scan_s".into(), Json::Num(best_s)),
         (
             "files_per_s".into(),
@@ -47,6 +61,11 @@ fn render_json(report: &LintReport, best_s: f64) -> Json {
         ),
     ])
 }
+
+/// Wire tag values the protocol defines (0..=24: core handshake tags 1–9,
+/// lifecycle tags 16–24): the exhaustiveness pass must account for the
+/// whole space, or the checker is scanning the wrong files.
+const EXPECTED_PROTOCOL_TAGS: usize = 25;
 
 /// Run the workspace scan, write `BENCH_lint.json`, and gate on deny
 /// findings.
@@ -93,6 +112,13 @@ pub fn lintbench() -> Result<String, String> {
     for (rule, hits) in &report.rule_hits {
         t.row(&[format!("hits [{rule}]"), hits.to_string()]);
     }
+    t.row(&[
+        "protocol tags accounted".to_string(),
+        report.protocol_tags.to_string(),
+    ]);
+    for (pass, ms) in &report.pass_timings {
+        t.row(&[format!("pass ms [{pass}]"), format!("{ms:.2}")]);
+    }
     t.row(&["best scan time (s)".to_string(), format!("{best_s:.3}")]);
     t.row(&[
         "files/sec".to_string(),
@@ -106,6 +132,15 @@ pub fn lintbench() -> Result<String, String> {
             report.deny_count()
         ));
     }
-    out.push_str("\nlint gate: clean (0 deny findings)\n");
+    if report.protocol_tags != EXPECTED_PROTOCOL_TAGS {
+        return Err(format!(
+            "lint gate: protocol-exhaustiveness accounted {} wire tags, expected \
+             {EXPECTED_PROTOCOL_TAGS} — tag extraction lost part of the wire space",
+            report.protocol_tags
+        ));
+    }
+    out.push_str(&format!(
+        "\nlint gate: clean (0 deny findings, {EXPECTED_PROTOCOL_TAGS} wire tags accounted)\n"
+    ));
     Ok(out)
 }

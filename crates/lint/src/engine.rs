@@ -1,10 +1,13 @@
-//! The analysis driver: walk the workspace, run every rule on every file,
-//! resolve severities, apply suppressions.
+//! The analysis driver: walk the workspace, run every per-file rule on
+//! every file, build the item graph, run the workspace passes, resolve
+//! severities, apply suppressions.
 
 use crate::config::{ConfigError, LintConfig, Severity};
-use crate::rules::{self, RawFinding, Rule};
+use crate::graph::ItemGraph;
+use crate::rules::{self, exhaustiveness, interproc, reactor_safety, RawFinding, Rule};
 use crate::source::SourceFile;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// A resolved finding.
 #[derive(Debug, Clone)]
@@ -34,6 +37,13 @@ pub struct LintReport {
     pub suppressions_used: usize,
     /// Per-rule hit counts (post-suppression), in rule order.
     pub rule_hits: Vec<(String, usize)>,
+    /// Per-pass wall time in milliseconds: one entry per per-file rule
+    /// (accumulated across files), then `item-graph`, then each workspace
+    /// pass, in execution order.
+    pub pass_timings: Vec<(String, f64)>,
+    /// Wire tags accounted for by protocol-exhaustiveness (the size of the
+    /// `0..=max` tag space; 0 when the scan saw no tag constants).
+    pub protocol_tags: usize,
 }
 
 impl LintReport {
@@ -161,6 +171,27 @@ pub fn load_config(root: &Path) -> Result<LintConfig, LintError> {
         &[
             "crates/server/src/framing.rs",
             "crates/server/src/session.rs",
+            "crates/server/src/poll.rs",
+            "crates/server/src/reactor.rs",
+            "crates/server/src/wheel.rs",
+            "crates/server/src/lifecycle.rs",
+        ],
+    );
+    cfg.set_default_paths(
+        "reactor-blocking",
+        &[
+            "crates/server/src/reactor.rs",
+            "crates/server/src/poll.rs",
+            "crates/server/src/wheel.rs",
+            "crates/server/src/session.rs",
+        ],
+    );
+    cfg.set_default_paths(
+        "protocol-exhaustiveness",
+        &[
+            "crates/server/src/session.rs",
+            "crates/server/src/lifecycle.rs",
+            "crates/server/src/reactor.rs",
         ],
     );
     Ok(cfg)
@@ -177,18 +208,14 @@ pub fn lint_workspace(
     cfg: &LintConfig,
     opts: &LintOptions,
 ) -> Result<LintReport, LintError> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
+    let mut rel_paths = Vec::new();
+    collect_rs_files(root, root, &mut rel_paths)?;
+    rel_paths.sort();
 
-    let rule_set = rules::all_rules();
-    let mut report = LintReport::default();
-    let mut hits: Vec<(String, usize)> = rules::rule_ids()
-        .into_iter()
-        .map(|id| (id.to_string(), 0))
-        .collect();
-
-    for rel in files {
+    // Parse every file up front: the per-file rules and the workspace
+    // passes share one token model.
+    let mut files: Vec<SourceFile> = Vec::new();
+    for rel in rel_paths {
         if let Some(prefix) = &opts.only_prefix {
             if !rel.starts_with(prefix.as_str()) {
                 continue;
@@ -202,8 +229,21 @@ pub fn lint_workspace(
             path: rel.clone(),
             message: e.to_string(),
         })?;
-        report.files += 1;
+        files.push(file);
+    }
 
+    let rule_set = rules::all_rules();
+    let mut report = LintReport {
+        files: files.len(),
+        ..LintReport::default()
+    };
+    let mut hits: Vec<(String, usize)> = rules::rule_ids()
+        .into_iter()
+        .map(|id| (id.to_string(), 0))
+        .collect();
+    let mut rule_ms = vec![0.0_f64; rule_set.len()];
+
+    for file in &files {
         // Engine-emitted rule: malformed suppressions are always deny —
         // a suppression that does not parse must never look like it works.
         for bad in &file.bad_suppressions {
@@ -213,7 +253,7 @@ pub fn lint_workspace(
                 opts,
                 Finding {
                     rule: "bad-suppression".to_string(),
-                    path: rel.clone(),
+                    path: file.rel_path.clone(),
                     line: bad.line,
                     col: bad.col,
                     severity: Severity::Deny,
@@ -223,13 +263,15 @@ pub fn lint_workspace(
         }
 
         let mut raw: Vec<RawFinding> = Vec::new();
-        for rule in &rule_set {
-            if !rule_applies(rule.as_ref(), cfg, &rel) {
+        for (ri, rule) in rule_set.iter().enumerate() {
+            if !rule_applies(rule.as_ref(), cfg, &file.rel_path) {
                 continue;
             }
+            let t0 = Instant::now();
             let before = raw.len();
-            rule.check(&file, &mut raw);
-            let severity = cfg.severity(rule.id(), &crate_id, rule.default_severity());
+            rule.check(file, &mut raw);
+            rule_ms[ri] += t0.elapsed().as_secs_f64() * 1e3;
+            let severity = cfg.severity(rule.id(), &file.crate_id, rule.default_severity());
             let new = raw.split_off(before);
             for f in new {
                 if severity == Severity::Allow {
@@ -245,7 +287,7 @@ pub fn lint_workspace(
                     opts,
                     Finding {
                         rule: f.rule.to_string(),
-                        path: rel.clone(),
+                        path: file.rel_path.clone(),
                         line: f.line,
                         col: f.col,
                         severity,
@@ -255,12 +297,94 @@ pub fn lint_workspace(
             }
         }
     }
+    for (rule, ms) in rule_set.iter().zip(&rule_ms) {
+        report.pass_timings.push((rule.id().to_string(), *ms));
+    }
+
+    // Workspace passes on the item graph.
+    let t0 = Instant::now();
+    let graph = ItemGraph::build(&files);
+    report
+        .pass_timings
+        .push(("item-graph".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
+    let mut ws: Vec<(usize, RawFinding)> = Vec::new();
+
+    let t0 = Instant::now();
+    interproc::check(&graph, &files, &mut ws);
+    report
+        .pass_timings
+        .push((interproc::ID.to_string(), t0.elapsed().as_secs_f64() * 1e3));
+    resolve_workspace(&mut report, &mut hits, opts, cfg, &files, &mut ws);
+
+    let t0 = Instant::now();
+    reactor_safety::check_lock_order(&graph, &files, &mut ws);
+    report
+        .pass_timings
+        .push(("lock-order".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+    resolve_workspace(&mut report, &mut hits, opts, cfg, &files, &mut ws);
+
+    let t0 = Instant::now();
+    reactor_safety::check_guard_across_send(&graph, &mut ws);
+    report.pass_timings.push((
+        "guard-across-send".to_string(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    ));
+    resolve_workspace(&mut report, &mut hits, opts, cfg, &files, &mut ws);
+
+    let t0 = Instant::now();
+    let in_scope = |f: &SourceFile| {
+        cfg.rule_paths(exhaustiveness::ID)
+            .is_some_and(|paths| paths.iter().any(|p| p == &f.rel_path))
+    };
+    report.protocol_tags = exhaustiveness::check(&graph, &files, &in_scope, &mut ws);
+    report.pass_timings.push((
+        exhaustiveness::ID.to_string(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    ));
+    resolve_workspace(&mut report, &mut hits, opts, cfg, &files, &mut ws);
 
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
     report.rule_hits = hits;
     Ok(report)
+}
+
+/// Resolve severity and suppressions for workspace-pass findings (which
+/// arrive as `(file index, raw finding)`), draining `ws`.
+fn resolve_workspace(
+    report: &mut LintReport,
+    hits: &mut [(String, usize)],
+    opts: &LintOptions,
+    cfg: &LintConfig,
+    files: &[SourceFile],
+    ws: &mut Vec<(usize, RawFinding)>,
+) {
+    for (idx, f) in ws.drain(..) {
+        let file = &files[idx];
+        let severity = cfg.severity(f.rule, &file.crate_id, Severity::Deny);
+        if severity == Severity::Allow {
+            continue;
+        }
+        if file.suppressed(f.rule, f.line).is_some() {
+            report.suppressions_used += 1;
+            continue;
+        }
+        push_finding(
+            report,
+            hits,
+            opts,
+            Finding {
+                rule: f.rule.to_string(),
+                path: file.rel_path.clone(),
+                line: f.line,
+                col: f.col,
+                severity,
+                message: f.message,
+            },
+        );
+    }
 }
 
 fn rule_applies(rule: &dyn Rule, cfg: &LintConfig, rel_path: &str) -> bool {

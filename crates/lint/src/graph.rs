@@ -1,0 +1,717 @@
+//! Workspace item graph — the substrate for the interprocedural passes.
+//!
+//! A lightweight parse of every [`SourceFile`] into *items*: functions (with
+//! their impl owner, parameter names, and body token range), call sites with
+//! per-argument identifier lists, lock acquisitions (`.lock()` with receiver
+//! path and guard binding), channel sends, wire-tag constants, and `match`
+//! expressions. Calls are resolved workspace-wide by **simple name
+//! matching** — no type inference, in the spirit of the repo's hand-rolled
+//! lexer/JSON/TOML layers. Where several functions share a name the graph
+//! unions them, which over-approximates; DESIGN.md §18 records the
+//! false-positive/false-negative envelope this buys.
+//!
+//! The graph walks the comment-free `code` token stream only, so call edges
+//! can never be conjured out of string literals or comments — the graph
+//! proptests pin that property.
+
+use crate::source::SourceFile;
+use std::collections::HashMap;
+
+/// One `fn` item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Index into the engine's file list.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type name, when the fn is a method.
+    pub owner: Option<String>,
+    /// Parameter names in declaration order, `self` excluded.
+    pub params: Vec<String>,
+    /// Code-token index range of the body: `(open brace, close brace)`.
+    /// `None` for bodyless declarations (trait methods, extern).
+    pub body: Option<(usize, usize)>,
+    /// Whether the fn lives in test code.
+    pub in_test: bool,
+}
+
+/// One call site `callee(args…)` / `recv.callee(args…)` inside a fn body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Index into the engine's file list.
+    pub file: usize,
+    /// Index of the enclosing fn in [`ItemGraph::fns`].
+    pub caller: usize,
+    /// Bare callee name (last path segment).
+    pub callee: String,
+    /// Whether the call is method-style (`x.f(…)`).
+    pub is_method: bool,
+    /// Identifiers appearing in each argument position.
+    pub args: Vec<Vec<String>>,
+    /// Byte offset / 1-based line / 1-based column of the callee ident.
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+    /// Whether the call sits in test code.
+    pub in_test: bool,
+}
+
+/// One `.lock()` acquisition.
+#[derive(Debug)]
+pub struct LockSite {
+    pub file: usize,
+    /// Index of the enclosing fn in [`ItemGraph::fns`].
+    pub caller: usize,
+    /// Crate-qualified lock identity (see [`ItemGraph::build`] docs).
+    /// `None` when the receiver is an expression the name matcher cannot
+    /// identify (e.g. `make_mutex().lock()`); such sites never contribute
+    /// order edges.
+    pub lock_id: Option<String>,
+    /// Guard binding name when the acquisition is `let g = ….lock()…;`
+    /// (the guard is then held until `drop(g)`, scope exit, or fn end).
+    pub binding: Option<String>,
+    /// Byte offset where the acquisition's enclosing brace scope closes —
+    /// the guard cannot outlive this point.
+    pub scope_end: usize,
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+}
+
+/// One explicit `drop(binding)` call.
+#[derive(Debug)]
+pub struct DropSite {
+    pub caller: usize,
+    pub binding: String,
+    /// Byte offset of the `drop` ident (ordering vs locks/sends).
+    pub offset: usize,
+}
+
+/// One `.send(…)` call (channel send — can block on a bounded channel).
+#[derive(Debug)]
+pub struct SendSite {
+    pub file: usize,
+    pub caller: usize,
+    /// Code-token index of the `send` ident.
+    pub at: usize,
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+}
+
+/// One wire-tag constant `const TAG_X: u8 = N;` inside an `impl Family`.
+#[derive(Debug)]
+pub struct TagConst {
+    pub file: usize,
+    /// The impl owner — the wire enum family (`Message`,
+    /// `LifecycleMessage`).
+    pub family: String,
+    /// Constant name (`TAG_PROBE_REPLY`).
+    pub name: String,
+    /// Derived variant name (`ProbeReply`).
+    pub variant: String,
+    /// Tag value.
+    pub value: u32,
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One `match` expression (body range recorded; arm parsing is done by the
+/// protocol-exhaustiveness rule).
+#[derive(Debug)]
+pub struct MatchSite {
+    pub file: usize,
+    /// Code-token index of the `match` keyword.
+    pub at: usize,
+    /// Code-token index range of the body braces.
+    pub body: (usize, usize),
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+}
+
+/// The workspace item graph.
+#[derive(Debug, Default)]
+pub struct ItemGraph {
+    pub fns: Vec<FnItem>,
+    pub calls: Vec<CallSite>,
+    pub locks: Vec<LockSite>,
+    pub drops: Vec<DropSite>,
+    pub sends: Vec<SendSite>,
+    pub tags: Vec<TagConst>,
+    pub matches: Vec<MatchSite>,
+    /// Name → fn indices (all same-named fns, unioned).
+    pub fn_by_name: HashMap<String, Vec<usize>>,
+}
+
+/// Identifiers that look like calls but are control-flow / item keywords.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "in", "as", "move", "ref", "mut", "pub", "use", "mod", "impl", "struct", "enum", "trait",
+    "type", "where", "unsafe", "dyn", "const", "static", "crate", "super",
+];
+
+/// Guard-producing tails allowed between `.lock()` and the statement end
+/// without the binding losing the guard.
+const GUARD_TAILS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Pattern wrappers that are not the binding name in `let Ok(mut g) = …`.
+const PAT_WRAPPERS: &[&str] = &["Ok", "Err", "Some", "mut", "ref"];
+
+impl ItemGraph {
+    /// Build the graph over every parsed file.
+    ///
+    /// Lock identities are crate-qualified strings: `self.f.lock()` inside
+    /// `impl T` becomes `crate:T.f`, a bare `self.lock()` (lock-wrapper
+    /// method) becomes `crate:T`, and a plain `v.lock()` becomes `crate:v`.
+    /// Identity never crosses crates, so a cross-crate inversion (a server
+    /// lock held into a telemetry lock and vice versa) is a documented
+    /// false-negative class.
+    pub fn build(files: &[SourceFile]) -> ItemGraph {
+        let mut g = ItemGraph::default();
+        for (fi, file) in files.iter().enumerate() {
+            scan_file(&mut g, fi, file);
+        }
+        for (i, f) in g.fns.iter().enumerate() {
+            g.fn_by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        g
+    }
+
+    /// Fns with the given bare name (empty when unknown).
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.fn_by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Resolve a bare name to a fn index, only when the name is
+    /// unambiguous — with several same-named fns the union
+    /// over-approximates so badly (every `new`, every `parse`) that the
+    /// analyses treat ambiguity as an unresolved call instead.
+    pub fn resolve(&self, name: &str) -> Option<usize> {
+        match self.fns_named(name) {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+/// Per-file scan state: impl-owner stack and enclosing-fn stack, both keyed
+/// by the code-token index where the block closes.
+struct Scope {
+    impls: Vec<(String, usize)>,
+    fns: Vec<(usize, usize)>,
+}
+
+fn scan_file(g: &mut ItemGraph, fi: usize, file: &SourceFile) {
+    let code = &file.code;
+    let mut scope = Scope {
+        impls: Vec::new(),
+        fns: Vec::new(),
+    };
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < code.len() {
+        // Pop scopes whose close brace we have passed.
+        scope.impls.retain(|&(_, close)| i <= close);
+        scope.fns.retain(|&(_, close)| i <= close);
+
+        match file.punct_at(i) {
+            Some(b'{') => depth += 1,
+            Some(b'}') => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        let Some(name) = file.ident_at(i) else {
+            i += 1;
+            continue;
+        };
+        let tok = code[i];
+        let in_test = file.in_test_code(tok.start);
+        let cur_fn = scope.fns.last().map(|&(f, _)| f);
+
+        match name {
+            "impl" => {
+                if let Some((owner, open)) = parse_impl_header(file, i) {
+                    let close = file.matching_close(open);
+                    scope.impls.push((owner, close));
+                    i = open + 1;
+                    depth += 1;
+                    continue;
+                }
+            }
+            "fn" => {
+                let owner = scope.impls.last().map(|(o, _)| o.clone());
+                if let Some((item, next)) = parse_fn(file, fi, i, owner, in_test) {
+                    let body = item.body;
+                    g.fns.push(item);
+                    if let Some((open, close)) = body {
+                        scope.fns.push((g.fns.len() - 1, close));
+                        i = open + 1;
+                        depth += 1;
+                        continue;
+                    }
+                    i = next;
+                    continue;
+                }
+            }
+            "const" => {
+                if let Some(owner) = scope.impls.last().map(|(o, _)| o.clone()) {
+                    if !in_test {
+                        if let Some(tag) = parse_tag_const(file, fi, i, &owner) {
+                            g.tags.push(tag);
+                        }
+                    }
+                }
+            }
+            "match" => {
+                if let Some(open) = match_body_open(file, i) {
+                    let close = file.matching_close(open);
+                    g.matches.push(MatchSite {
+                        file: fi,
+                        at: i,
+                        body: (open, close),
+                        offset: tok.start,
+                        line: tok.line,
+                        col: tok.col,
+                        in_test,
+                    });
+                }
+            }
+            "lock"
+                if file.is_punct(i.wrapping_sub(1), b'.')
+                    && file.is_punct(i + 1, b'(')
+                    && file.is_punct(i + 2, b')') =>
+            {
+                if let Some(caller) = cur_fn {
+                    let owner = scope.impls.last().map(|(o, _)| o.as_str());
+                    let site = parse_lock(file, fi, i, caller, owner, in_test);
+                    g.locks.push(site);
+                }
+            }
+            "drop" if file.is_punct(i + 1, b'(') => {
+                if let (Some(caller), Some(b)) = (cur_fn, file.ident_at(i + 2)) {
+                    if file.is_punct(i + 3, b')') {
+                        g.drops.push(DropSite {
+                            caller,
+                            binding: b.to_string(),
+                            offset: tok.start,
+                        });
+                    }
+                }
+            }
+            "send" if file.is_punct(i.wrapping_sub(1), b'.') && file.is_punct(i + 1, b'(') => {
+                if let Some(caller) = cur_fn {
+                    g.sends.push(SendSite {
+                        file: fi,
+                        caller,
+                        at: i,
+                        offset: tok.start,
+                        line: tok.line,
+                        col: tok.col,
+                        in_test,
+                    });
+                }
+            }
+            _ => {}
+        }
+
+        // Call site: `name(` that is not a definition, keyword, or macro.
+        if file.is_punct(i + 1, b'(')
+            && !KEYWORDS.contains(&name)
+            && !(i >= 1 && file.is_ident(i - 1, "fn"))
+        {
+            if let Some(caller) = cur_fn {
+                let close = file.matching_close(i + 1);
+                g.calls.push(CallSite {
+                    file: fi,
+                    caller,
+                    callee: name.to_string(),
+                    is_method: i >= 1 && file.is_punct(i - 1, b'.'),
+                    args: split_args(file, i + 1, close),
+                    offset: tok.start,
+                    line: tok.line,
+                    col: tok.col,
+                    in_test,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parse `impl [<…>] [Trait for] Type … {` → (type name, body-open index).
+fn parse_impl_header(file: &SourceFile, at: usize) -> Option<(String, usize)> {
+    let mut j = at + 1;
+    // Skip the generic parameter group, minding `->` inside bounds.
+    if file.is_punct(j, b'<') {
+        j = skip_angles(file, j);
+    }
+    // Find the body `{`, remembering the last path ident seen at angle
+    // depth 0 — and, when a `for` appears, restarting the record after it
+    // (so `impl Trait for Type {` yields `Type`).
+    let mut angle = 0usize;
+    let mut owner: Option<String> = None;
+    while j < file.code.len() {
+        if let Some(p) = file.punct_at(j) {
+            match p {
+                b'{' if angle == 0 => return owner.map(|o| (o, j)),
+                b';' if angle == 0 => return None,
+                b'<' => angle += 1,
+                b'>' if angle > 0 && !(j >= 1 && file.is_punct(j - 1, b'-')) => angle -= 1,
+                _ => {}
+            }
+        } else if let Some(id) = file.ident_at(j) {
+            if angle == 0 {
+                if id == "for" {
+                    owner = None;
+                } else if id != "where" && !id.starts_with(char::is_lowercase) {
+                    owner = Some(id.to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skip a `<…>` group starting at `open`, tolerating `->` inside bounds.
+fn skip_angles(file: &SourceFile, open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < file.code.len() {
+        match file.punct_at(j) {
+            Some(b'<') => depth += 1,
+            Some(b'>') if !(j >= 1 && file.is_punct(j - 1, b'-')) => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parse a fn header starting at the `fn` keyword. Returns the item plus
+/// the index to resume scanning from when the fn has no body.
+fn parse_fn(
+    file: &SourceFile,
+    fi: usize,
+    at: usize,
+    owner: Option<String>,
+    in_test: bool,
+) -> Option<(FnItem, usize)> {
+    let name = file.ident_at(at + 1)?;
+    let mut j = at + 2;
+    if file.is_punct(j, b'<') {
+        j = skip_angles(file, j);
+    }
+    if !file.is_punct(j, b'(') {
+        return None;
+    }
+    let pclose = file.matching_close(j);
+    let params = parse_params(file, j, pclose);
+    // Body: first `{` before a `;` (return types and where clauses carry
+    // no braces in this codebase's grammar subset).
+    let mut k = pclose + 1;
+    let mut body = None;
+    while k < file.code.len() {
+        match file.punct_at(k) {
+            Some(b'{') => {
+                body = Some((k, file.matching_close(k)));
+                break;
+            }
+            Some(b';') => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((
+        FnItem {
+            file: fi,
+            name: name.to_string(),
+            owner,
+            params,
+            body,
+            in_test,
+        },
+        k + 1,
+    ))
+}
+
+/// Parameter names between `(open+1 .. close)`, `self` segments skipped.
+fn parse_params(file: &SourceFile, open: usize, close: usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut seg_start = open + 1;
+    let mut j = open + 1;
+    while j <= close {
+        let at_end = j == close;
+        let top_comma = depth == 0 && file.is_punct(j, b',');
+        if at_end || top_comma {
+            if let Some(p) = param_name(file, seg_start, j) {
+                params.push(p);
+            }
+            seg_start = j + 1;
+        } else {
+            match file.punct_at(j) {
+                Some(b'(') | Some(b'[') | Some(b'{') | Some(b'<') => depth += 1,
+                Some(b')') | Some(b']') | Some(b'}') => depth = depth.saturating_sub(1),
+                Some(b'>') if depth > 0 && !(j >= 1 && file.is_punct(j - 1, b'-')) => depth -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    params
+}
+
+/// The binding name of one parameter segment (None for `self` receivers).
+fn param_name(file: &SourceFile, start: usize, end: usize) -> Option<String> {
+    for j in start..end {
+        let Some(id) = file.ident_at(j) else { continue };
+        if id == "self" {
+            return None;
+        }
+        if matches!(id, "mut" | "ref") {
+            continue;
+        }
+        return Some(id.to_string());
+    }
+    None
+}
+
+/// Scrutinee scan: the body `{` of `match expr {` is the first brace at
+/// delimiter depth 0 after the keyword.
+fn match_body_open(file: &SourceFile, at: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = at + 1;
+    while j < file.code.len() {
+        match file.punct_at(j) {
+            Some(b'(') | Some(b'[') => depth += 1,
+            Some(b')') | Some(b']') => depth = depth.saturating_sub(1),
+            Some(b'{') if depth == 0 => return Some(j),
+            Some(b';') if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse `const TAG_X: u8 = N;` at the `const` keyword, inside `impl F`.
+fn parse_tag_const(file: &SourceFile, fi: usize, at: usize, family: &str) -> Option<TagConst> {
+    let name = file.ident_at(at + 1)?;
+    if !name.starts_with("TAG_") {
+        return None;
+    }
+    if !(file.is_punct(at + 2, b':') && file.is_ident(at + 3, "u8") && file.is_punct(at + 4, b'='))
+    {
+        return None;
+    }
+    let num = file.code.get(at + 5)?;
+    if num.kind != crate::lexer::TokenKind::Number || !file.is_punct(at + 6, b';') {
+        return None;
+    }
+    let text = file.tok(num).replace('_', "");
+    let value = match text.strip_prefix("0x") {
+        Some(hex) => u32::from_str_radix(hex, 16).ok()?,
+        None => text.parse::<u32>().ok()?,
+    };
+    // TAG_PROBE_REPLY → ProbeReply.
+    let variant: String = name
+        .trim_start_matches("TAG_")
+        .split('_')
+        .map(|seg| {
+            let lower = seg.to_ascii_lowercase();
+            let mut chars = lower.chars();
+            match chars.next() {
+                Some(c) => c.to_ascii_uppercase().to_string() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect();
+    let tok = file.code[at + 1];
+    Some(TagConst {
+        file: fi,
+        family: family.to_string(),
+        name: name.to_string(),
+        variant,
+        value,
+        offset: tok.start,
+        line: tok.line,
+        col: tok.col,
+    })
+}
+
+/// Parse one `.lock()` site at code index `i` (the `lock` ident).
+fn parse_lock(
+    file: &SourceFile,
+    fi: usize,
+    i: usize,
+    caller: usize,
+    owner: Option<&str>,
+    in_test: bool,
+) -> LockSite {
+    let tok = file.code[i];
+    // Receiver chain, walked backwards hop by hop from the dot:
+    // `self.per_ip.lock()` yields ["self", "per_ip"].
+    let mut chain: Vec<String> = Vec::new();
+    let mut k = i.wrapping_sub(1); // index of the `.` before `lock`
+    while k >= 1 {
+        let Some(id) = file.ident_at(k - 1) else {
+            break;
+        };
+        chain.insert(0, id.to_string());
+        if k >= 2 && file.is_punct(k - 2, b'.') {
+            k -= 2;
+        } else {
+            break;
+        }
+    }
+    let crate_id = &file.crate_id;
+    let lock_id = match chain.as_slice() {
+        [] => None,
+        [only] if only == "self" => owner.map(|o| format!("{crate_id}:{o}")),
+        parts => {
+            let last = &parts[parts.len() - 1];
+            if parts[0] == "self" {
+                match owner {
+                    Some(o) => Some(format!("{crate_id}:{o}.{last}")),
+                    None => Some(format!("{crate_id}:{last}")),
+                }
+            } else {
+                Some(format!("{crate_id}:{last}"))
+            }
+        }
+    };
+    // Guard binding: the receiver chain must be the RHS of a `let`.
+    let binding = lock_binding(file, i, chain.len()).filter(|_| guard_held_to_stmt_end(file, i));
+    LockSite {
+        file: fi,
+        caller,
+        lock_id,
+        binding,
+        scope_end: scope_end_offset(file, i),
+        offset: tok.start,
+        line: tok.line,
+        col: tok.col,
+        in_test,
+    }
+}
+
+/// Byte offset of the `}` closing the brace scope enclosing code index `i`
+/// (end of text when unbalanced).
+fn scope_end_offset(file: &SourceFile, i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < file.code.len() {
+        match file.punct_at(j) {
+            Some(b'{') => depth += 1,
+            Some(b'}') => {
+                if depth == 0 {
+                    return file.code[j].start;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    file.text.len()
+}
+
+/// When `.lock()` at code index `i` sits on a `let`-statement RHS, return
+/// the bound guard name (`let g = …`, `let Ok(mut g) = … else …`).
+fn lock_binding(file: &SourceFile, i: usize, chain_len: usize) -> Option<String> {
+    // Start of the receiver chain: each hop is `ident .`.
+    let chain_start = i.checked_sub(2 * chain_len.max(1))?;
+    if !file.is_punct(chain_start + 2 * chain_len - 1, b'.') {
+        return None;
+    }
+    let mut k = chain_start;
+    // Expect `=` immediately before the receiver.
+    let eq = k.checked_sub(1)?;
+    if !file.is_punct(eq, b'=') {
+        return None;
+    }
+    // Walk back over the pattern to `let`, collecting candidate idents.
+    let mut candidates: Vec<&str> = Vec::new();
+    k = eq;
+    let floor = eq.saturating_sub(10);
+    while k > floor {
+        k -= 1;
+        if file.is_ident(k, "let") {
+            return candidates
+                .iter()
+                .find(|c| !PAT_WRAPPERS.contains(*c))
+                .map(|c| (*c).to_string());
+        }
+        if let Some(id) = file.ident_at(k) {
+            candidates.push(id);
+        } else if !matches!(file.punct_at(k), Some(b'(') | Some(b')') | Some(b'&')) {
+            return None;
+        }
+    }
+    None
+}
+
+/// Whether the value of `.lock()` at `i` survives to the statement end
+/// (only `.unwrap()` / `.expect(…)` tails and a `let-else` block allowed) —
+/// otherwise the guard is a chained temporary, dropped within the
+/// statement.
+fn guard_held_to_stmt_end(file: &SourceFile, i: usize) -> bool {
+    let mut t = i + 3; // past `lock ( )`
+    loop {
+        if file.is_punct(t, b';') {
+            return true;
+        }
+        if file.is_punct(t, b'.') {
+            let Some(m) = file.ident_at(t + 1) else {
+                return false;
+            };
+            if !GUARD_TAILS.contains(&m) || !file.is_punct(t + 2, b'(') {
+                return false;
+            }
+            t = file.matching_close(t + 2) + 1;
+            continue;
+        }
+        if file.is_ident(t, "else") && file.is_punct(t + 1, b'{') {
+            t = file.matching_close(t + 1) + 1;
+            continue;
+        }
+        return false;
+    }
+}
+
+/// Identifiers per argument position of a call group `(open .. close)`.
+fn split_args(file: &SourceFile, open: usize, close: usize) -> Vec<Vec<String>> {
+    let mut args: Vec<Vec<String>> = Vec::new();
+    let mut cur: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut any = false;
+    for j in open + 1..close {
+        match file.punct_at(j) {
+            Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+            Some(b')') | Some(b']') | Some(b'}') => depth = depth.saturating_sub(1),
+            Some(b',') if depth == 0 => {
+                args.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        any = true;
+        if let Some(id) = file.ident_at(j) {
+            cur.push(id.to_string());
+        }
+    }
+    if any || !args.is_empty() {
+        args.push(cur);
+    }
+    args
+}

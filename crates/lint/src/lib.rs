@@ -12,9 +12,14 @@
 //!   nested block comments, lifetimes vs char literals, raw identifiers
 //! * [`source`] — per-file model: test regions, `vk-lint: allow` comments
 //! * [`config`] — `lint.toml`: per-crate severities, rule path scopes
-//! * [`rules`] — the catalogue (L1 panic-freedom … L5 leakage accounting)
+//! * [`graph`] — the workspace item graph: fns, calls, locks, sends, wire
+//!   tags, matches — resolved by name matching, no type inference
+//! * [`rules`] — the catalogue: per-file rules (L1 panic-freedom … L6
+//!   reactor safety) plus the workspace passes (interprocedural secret
+//!   hygiene, lock-order, guard-across-send, protocol exhaustiveness)
 //! * [`engine`] — workspace walker + severity/suppression resolution
-//! * [`report`] — human and JSON-lines rendering (vk-telemetry's `Json`)
+//! * [`report`] — human and JSON-lines rendering (vk-telemetry's `Json`),
+//!   with stable finding ids and fingerprints for CI baseline diffing
 //!
 //! Entry points: [`run`] (whole workspace) and [`run_self`] (the linter
 //! linting itself — `vkey lint --self`; the analyzer is not exempt from
@@ -23,6 +28,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;

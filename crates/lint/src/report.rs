@@ -38,10 +38,39 @@ pub fn render_human(report: &LintReport) -> String {
     out
 }
 
+/// Stable id for CI diffing: `<rule>@<workspace-relative path>:<line>`.
+/// Stable across reruns and across machines (paths are workspace-relative
+/// and `/`-separated); moves within a file change the id, which is what a
+/// baseline diff wants to see.
+pub fn finding_id(f: &Finding) -> String {
+    format!("{}@{}:{}", f.rule, f.path, f.line)
+}
+
+/// FNV-1a 64 fingerprint over `rule|path|message` — line-insensitive, so
+/// pure code motion above a finding does not churn the baseline while any
+/// change to what is being reported does.
+pub fn finding_fingerprint(f: &Finding) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in f
+        .rule
+        .bytes()
+        .chain([b'|'])
+        .chain(f.path.bytes())
+        .chain([b'|'])
+        .chain(f.message.bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 /// One JSON object per finding.
 pub fn finding_json(f: &Finding) -> Json {
     Json::Obj(vec![
         ("kind".into(), Json::Str("finding".into())),
+        ("id".into(), Json::Str(finding_id(f))),
+        ("fingerprint".into(), Json::Str(finding_fingerprint(f))),
         ("rule".into(), Json::Str(f.rule.clone())),
         ("severity".into(), Json::Str(f.severity.name().into())),
         ("path".into(), Json::Str(f.path.clone())),
@@ -69,6 +98,20 @@ pub fn summary_json(report: &LintReport, elapsed_ms: f64) -> Json {
                     .rule_hits
                     .iter()
                     .map(|(id, n)| (id.clone(), Json::Num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "protocol_tags".into(),
+            Json::Num(report.protocol_tags as f64),
+        ),
+        (
+            "pass_ms".into(),
+            Json::Obj(
+                report
+                    .pass_timings
+                    .iter()
+                    .map(|(id, ms)| (id.clone(), Json::Num(*ms)))
                     .collect(),
             ),
         ),

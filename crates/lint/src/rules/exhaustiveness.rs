@@ -1,0 +1,227 @@
+//! L7 — the protocol-exhaustiveness checker.
+//!
+//! The wire tag space is extracted from the item graph: every
+//! `const TAG_X: u8 = N;` inside an `impl Family` block (in practice
+//! `Message` in `crates/core/src/protocol.rs` and `LifecycleMessage` in
+//! `crates/server/src/wire.rs`) becomes a (family, variant, tag) triple.
+//! The space runs `0..=max_tag` — currently 25 values, of which 18 carry a
+//! message and 7 are unassigned (decode rejects them before any `match`
+//! sees a message, so only assigned tags need handler arms).
+//!
+//! Every `match` in the configured handler files (session.rs, lifecycle.rs,
+//! reactor.rs by default) whose arms name **two or more variants of one
+//! family** is treated as a protocol handler. A handler that fails to name
+//! every variant of that family is a deny finding — whether the rest fall
+//! into a `_` wildcard (silently swallowed on the wire) or are simply
+//! absent. rustc's own exhaustiveness check does not help here: a `_` arm
+//! satisfies the compiler while dropping a protocol message on the floor,
+//! which is exactly the bug class this rule exists for.
+//!
+//! Two tag constants sharing one value is also deny: a collision makes
+//! decode ambiguous regardless of handler coverage.
+
+use super::RawFinding;
+use crate::graph::{ItemGraph, TagConst};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const ID: &str = "protocol-exhaustiveness";
+
+/// Run the pass. `in_scope` gates which files' `match` expressions are
+/// examined (tag extraction is always workspace-wide). Returns the number
+/// of wire tags accounted for — the size of the `0..=max` tag space, which
+/// callers surface as `protocol_tags` in the report.
+pub fn check(
+    graph: &ItemGraph,
+    files: &[SourceFile],
+    in_scope: &dyn Fn(&SourceFile) -> bool,
+    out: &mut Vec<(usize, RawFinding)>,
+) -> usize {
+    // Family → variant → tag const, plus the collision check.
+    let mut families: BTreeMap<&str, BTreeMap<&str, &TagConst>> = BTreeMap::new();
+    let mut by_value: BTreeMap<u32, Vec<&TagConst>> = BTreeMap::new();
+    for t in &graph.tags {
+        families
+            .entry(t.family.as_str())
+            .or_default()
+            .insert(t.variant.as_str(), t);
+        by_value.entry(t.value).or_default().push(t);
+    }
+    for (value, consts) in &by_value {
+        for dup in &consts[1..] {
+            let first = consts[0];
+            out.push((
+                dup.file,
+                RawFinding {
+                    rule: ID,
+                    offset: dup.offset,
+                    line: dup.line,
+                    col: dup.col,
+                    message: format!(
+                        "wire tag collision: {}::{} reuses tag {value} already assigned to \
+                         {}::{} ({})",
+                        dup.family, dup.name, first.family, first.name, files[first.file].rel_path
+                    ),
+                },
+            ));
+        }
+    }
+    let tags_accounted = graph
+        .tags
+        .iter()
+        .map(|t| t.value as usize + 1)
+        .max()
+        .unwrap_or(0);
+
+    for m in &graph.matches {
+        let file = &files[m.file];
+        if m.in_test || !in_scope(file) {
+            continue;
+        }
+        let arms = parse_arms(file, m.body);
+        // Variants named per family across all arm patterns.
+        let mut named: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let mut wildcard = false;
+        for arm in &arms {
+            if arm.wildcard {
+                wildcard = true;
+            }
+            for (fam, var) in &arm.refs {
+                if let Some(variants) = families.get(fam.as_str()) {
+                    if let Some(t) = variants.get(var.as_str()) {
+                        named
+                            .entry(fam.as_str())
+                            .or_default()
+                            .insert(t.variant.as_str());
+                    }
+                }
+            }
+        }
+        // The handler family: the one with the most distinct named variants,
+        // requiring at least two (a single-variant match is a peek, not a
+        // dispatch).
+        let mut best: Option<(&str, &BTreeSet<&str>)> = None;
+        for (f, vs) in &named {
+            let better = match best {
+                None => true,
+                Some((bf, bvs)) => (vs.len(), *f) > (bvs.len(), bf),
+            };
+            if better {
+                best = Some((*f, vs));
+            }
+        }
+        let Some((fam, seen)) = best.filter(|(_, vs)| vs.len() >= 2) else {
+            continue;
+        };
+        let variants = &families[fam];
+        let missing: Vec<&&TagConst> = variants
+            .iter()
+            .filter(|(v, _)| !seen.contains(*v))
+            .map(|(_, t)| t)
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let listing: Vec<String> = missing
+            .iter()
+            .map(|t| format!("{}::{} (tag {})", fam, t.variant, t.value))
+            .collect();
+        let fate = if wildcard {
+            "swallowed by a `_` arm"
+        } else {
+            "not handled by any arm"
+        };
+        out.push((
+            m.file,
+            RawFinding {
+                rule: ID,
+                offset: m.offset,
+                line: m.line,
+                col: m.col,
+                message: format!(
+                    "protocol match over `{fam}` is not exhaustive: {} {fate} — name every \
+                     variant so new wire messages cannot be dropped silently",
+                    listing.join(", ")
+                ),
+            },
+        ));
+    }
+    tags_accounted
+}
+
+/// One parsed match arm.
+struct Arm {
+    /// `Family::Variant` path references in the pattern.
+    refs: Vec<(String, String)>,
+    /// Whether the pattern is exactly the single token `_`.
+    wildcard: bool,
+}
+
+/// Split a match body (code-token brace range) into arms. The pattern runs
+/// to the first `=>` at delimiter depth 0; a braced arm expression is
+/// skipped via its matching close, an unbraced one runs to the next
+/// top-level `,`.
+fn parse_arms(file: &SourceFile, body: (usize, usize)) -> Vec<Arm> {
+    let (open, close) = body;
+    let mut arms = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // Pattern region [j, arrow).
+        let mut depth = 0usize;
+        let mut k = j;
+        let mut arrow = None;
+        while k < close {
+            match file.punct_at(k) {
+                Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                Some(b')') | Some(b']') | Some(b'}') => depth = depth.saturating_sub(1),
+                Some(b'=') if depth == 0 && file.is_punct(k + 1, b'>') => {
+                    arrow = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let mut refs = Vec::new();
+        let mut pattern_tokens = 0usize;
+        let mut lone = None;
+        for p in j..arrow {
+            pattern_tokens += 1;
+            if let Some(id) = file.ident_at(p) {
+                lone = Some(id);
+                if file.is_path_sep(p + 1) {
+                    if let Some(var) = file.ident_at(p + 3) {
+                        refs.push((id.to_string(), var.to_string()));
+                    }
+                }
+            }
+        }
+        arms.push(Arm {
+            refs,
+            wildcard: pattern_tokens == 1 && lone == Some("_"),
+        });
+        // Skip the arm expression.
+        let e = arrow + 2;
+        if file.is_punct(e, b'{') {
+            j = file.matching_close(e) + 1;
+            if file.is_punct(j, b',') {
+                j += 1;
+            }
+        } else {
+            let mut depth = 0usize;
+            let mut t = e;
+            while t < close {
+                match file.punct_at(t) {
+                    Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                    Some(b')') | Some(b']') | Some(b'}') => depth = depth.saturating_sub(1),
+                    Some(b',') if depth == 0 => break,
+                    _ => {}
+                }
+                t += 1;
+            }
+            j = t + 1;
+        }
+    }
+    arms
+}

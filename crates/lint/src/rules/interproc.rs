@@ -1,0 +1,634 @@
+//! L2b — interprocedural secret hygiene (`secret-hygiene-interproc`).
+//!
+//! The file-local rule (L2) stops at function boundaries: a helper that
+//! logs its `buf: &[u8]` parameter is invisible to it, because nothing in
+//! the helper's own file names key material. This pass closes that hole on
+//! the [`ItemGraph`]:
+//!
+//! 1. **Leaky parameters.** For every fn, each parameter is traced through
+//!    the body (let-propagation, as in L2) to the same sink families L2
+//!    knows (format macros, `telemetry::*`, the observability exports,
+//!    `.to_string()`). A parameter that reaches a sink — directly or by
+//!    being passed onward to another fn's leaky parameter, computed to a
+//!    workspace fixpoint — is *leaky*.
+//! 2. **Call-site findings.** Every non-test call passing key material
+//!    (a secret-named identifier, a file-tainted binding, or a value
+//!    derived from a secret-returning call) into a leaky parameter is a
+//!    finding *at the call site*, naming the callee, the parameter, and
+//!    where the sink is.
+//! 3. **Return taint.** A fn whose `return` statements or tail expression
+//!    carry key material is *secret-returning*; bindings of its call
+//!    results are traced to sinks in the caller. Only flows the local rule
+//!    cannot see are reported (the binding is not itself secret-named).
+//!
+//! Callees resolve by bare name, and **only when the name is unambiguous**
+//! (exactly one fn in the workspace carries it). Popular names (`new`,
+//! `from`, `open`, `run`) resolve to nothing and propagate nothing — with
+//! a dozen unrelated `new`s unioned, one leaky constructor parameter would
+//! taint every constructor call in the workspace. Ambiguous names are the
+//! documented false-negative class (DESIGN.md §18), aborting sinks
+//! (`panic!`/`assert!` families) and `.to_string()` are likewise excluded
+//! from *parameter* leakiness: they mark secret-named material locally
+//! (the L2 rule), but as interprocedural leak evidence they are almost
+//! always metadata formatting.
+
+use super::secret_hygiene::{
+    has_benign_segment, inline_captures, is_secret_name, propagate_taint, BENIGN_METHODS,
+    OBS_SINKS, TELEMETRY_SINKS,
+};
+use super::RawFinding;
+use crate::graph::ItemGraph;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::collections::{HashMap, HashSet};
+
+pub const ID: &str = "secret-hygiene-interproc";
+
+/// Display sinks considered leak evidence for *parameters*: the format
+/// macros that print (not the aborting `panic!`/`assert!` families — those
+/// fire on the error path and overwhelmingly format metadata).
+const DISPLAY_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "log",
+    "trace",
+    "debug",
+    "info",
+    "warn",
+    "error",
+];
+
+/// One sink call group inside a fn body.
+struct Sink {
+    /// Sink label for messages (`println!`, `telemetry`, …).
+    label: String,
+    /// Code-token range of the argument group `(open, close)`.
+    group: (usize, usize),
+    line: u32,
+    col: u32,
+    offset: usize,
+}
+
+/// Per-fn facts computed once.
+struct Facts {
+    /// Sinks in the body.
+    sinks: Vec<Sink>,
+    /// Identifiers reaching each sink, parallel to `sinks` (computed once
+    /// — the leaky fixpoint revisits sinks every round).
+    sink_ids: Vec<HashSet<String>>,
+    /// Per-parameter derived-identifier sets (param itself included).
+    derived: Vec<HashSet<String>>,
+    /// Why each parameter is leaky, once established.
+    leaky: Vec<Option<String>>,
+}
+
+/// Run the pass; findings are `(file index, raw finding)`.
+pub fn check(graph: &ItemGraph, files: &[SourceFile], out: &mut Vec<(usize, RawFinding)>) {
+    // Fn indices worth analyzing: real bodies, non-test.
+    let live: Vec<usize> = (0..graph.fns.len())
+        .filter(|&f| graph.fns[f].body.is_some() && !graph.fns[f].in_test)
+        .collect();
+
+    let mut facts: HashMap<usize, Facts> = HashMap::new();
+    for &f in &live {
+        let item = &graph.fns[f];
+        let Some(body) = item.body else { continue };
+        let file = &files[item.file];
+        let sinks = sink_sites(file, body);
+        let sink_ids: Vec<HashSet<String>> = sinks
+            .iter()
+            .map(|s| idents_reaching_sink(file, s).into_iter().collect())
+            .collect();
+        let derived: Vec<HashSet<String>> = item
+            .params
+            .iter()
+            .map(|p| {
+                let mut d = derive_set(file, body, &|id| id == p, &HashSet::new());
+                // The param itself, always: a body may use it only inside a
+                // format string's inline capture, where it is no ident token.
+                d.insert(p.clone());
+                d
+            })
+            .collect();
+        let leaky = vec![None; item.params.len()];
+        facts.insert(
+            f,
+            Facts {
+                sinks,
+                sink_ids,
+                derived,
+                leaky,
+            },
+        );
+    }
+
+    // Calls indexed by caller: the leaky fixpoint asks "what does fn `f`
+    // call" once per fn per round, and a linear scan of every call in the
+    // workspace each time turns the pass quadratic.
+    let mut calls_by_caller: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (ci, call) in graph.calls.iter().enumerate() {
+        calls_by_caller.entry(call.caller).or_default().push(ci);
+    }
+
+    // Leaky-parameter fixpoint: local sinks first, then propagation
+    // through call arguments until nothing changes.
+    loop {
+        let mut changed = false;
+        for &f in &live {
+            let item = &graph.fns[f];
+            let file = &files[item.file];
+            for p in 0..item.params.len() {
+                // Benign-named parameters (`counters`, `key_len`, `tag`)
+                // are metadata by the same naming convention the local
+                // rule trusts — a chain through them is noise.
+                if has_benign_segment(&item.params[p]) {
+                    continue;
+                }
+                if facts.get(&f).and_then(|x| x.leaky[p].as_ref()).is_some() {
+                    continue;
+                }
+                let note = leak_note_for_param(graph, files, file, f, p, &facts, &calls_by_caller);
+                if let Some(note) = note {
+                    if let Some(x) = facts.get_mut(&f) {
+                        x.leaky[p] = Some(note);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Secret-returning fixpoint. Only unambiguous names enter the set: a
+    // shared name (`new`, `get`) would smear one secret-returning fn over
+    // every same-named call in the workspace.
+    let unambiguous = |f: usize| graph.fns_named(&graph.fns[f].name).len() == 1;
+    let mut ret_hot: HashSet<usize> = HashSet::new();
+    let mut ret_names: HashSet<String> = HashSet::new();
+    // Every fn gets one full look with no call propagation; later rounds
+    // re-examine only fns that free-call a name that just became hot —
+    // anything else cannot change its answer, and rescanning every body
+    // every round is the difference between linear and rounds-times-linear.
+    let mut pending: Vec<usize> = live.clone();
+    loop {
+        let mut newly: Vec<String> = Vec::new();
+        for &f in &pending {
+            if ret_hot.contains(&f) || !unambiguous(f) {
+                continue;
+            }
+            let item = &graph.fns[f];
+            let Some(body) = item.body else { continue };
+            let file = &files[item.file];
+            if returns_material(file, body, &ret_names) {
+                ret_hot.insert(f);
+                newly.push(item.name.clone());
+            }
+        }
+        if newly.is_empty() {
+            break;
+        }
+        let newset: HashSet<&String> = newly.iter().collect();
+        ret_names.extend(newly.iter().cloned());
+        pending = live
+            .iter()
+            .copied()
+            .filter(|f| {
+                !ret_hot.contains(f)
+                    && calls_by_caller.get(f).into_iter().flatten().any(|&ci| {
+                        let c = &graph.calls[ci];
+                        !c.is_method && newset.contains(&c.callee)
+                    })
+            })
+            .collect();
+    }
+
+    // File-level taint (what the local rule already sees), computed lazily:
+    // only files holding a ret-derived binding near a sink ever ask, and a
+    // full per-file propagation pass doubles the local rule's cost.
+    let mut file_taint: HashMap<usize, HashSet<String>> = HashMap::new();
+
+    // Findings (a): key material into a leaky parameter, at the call site.
+    let mut hot_cache: HashMap<usize, HashSet<String>> = HashMap::new();
+    for call in &graph.calls {
+        if call.in_test || graph.fns[call.caller].in_test {
+            continue;
+        }
+        let caller = &graph.fns[call.caller];
+        let file = &files[caller.file];
+        let Some(callee) = graph.resolve(&call.callee) else {
+            continue;
+        };
+        let Some(x) = facts.get(&callee) else {
+            continue;
+        };
+        if !x.leaky.iter().any(Option::is_some) {
+            continue;
+        }
+        // Hot material is resolved per *caller body*, not per file: the
+        // file-level taint set merges unrelated same-named bindings from
+        // other fns (a `let a = key…` in one fn must not make `Ok(a)` hot
+        // in another). Memoized, and derived only once a leaky callee is
+        // actually in front of us — leaky fns are rare.
+        let caller_hot = hot_cache.entry(call.caller).or_insert_with(|| {
+            caller.body.map_or_else(HashSet::new, |body| {
+                derive_set(file, body, &is_secret_name, &ret_names)
+            })
+        });
+        let hot = |id: &str| is_secret_name(id) || caller_hot.contains(id);
+        for (j, arg_idents) in call.args.iter().enumerate() {
+            let Some(Some(note)) = x.leaky.get(j) else {
+                continue;
+            };
+            let Some(material) = arg_idents.iter().find(|id| hot(id)) else {
+                continue;
+            };
+            let pname = graph.fns[callee].params.get(j).map_or("_", String::as_str);
+            out.push((
+                caller.file,
+                RawFinding {
+                    rule: ID,
+                    offset: call.offset,
+                    line: call.line,
+                    col: call.col,
+                    message: format!(
+                        "key material `{material}` passed to `{}` whose parameter `{pname}` {note}",
+                        call.callee
+                    ),
+                },
+            ));
+            break; // one finding per call site
+        }
+    }
+
+    // Findings (b): material from a secret-returning call reaches a sink
+    // in the caller, through a binding the local rule cannot see.
+    for &f in &live {
+        let item = &graph.fns[f];
+        let Some(body) = item.body else { continue };
+        let file = &files[item.file];
+        let ret_derived = derive_set(file, body, &|_| false, &ret_names);
+        if ret_derived.is_empty() {
+            continue;
+        }
+        let Some(x) = facts.get(&f) else { continue };
+        for (si, sink) in x.sinks.iter().enumerate() {
+            let mut distinct: Vec<&String> = x.sink_ids[si].iter().collect();
+            distinct.sort();
+            for id in distinct {
+                if !ret_derived.contains(id) {
+                    continue;
+                }
+                let taint = file_taint
+                    .entry(item.file)
+                    .or_insert_with(|| propagate_taint(file));
+                let visible_locally = is_secret_name(id) || taint.contains(id);
+                if !visible_locally {
+                    out.push((
+                        item.file,
+                        RawFinding {
+                            rule: ID,
+                            offset: sink.offset,
+                            line: sink.line,
+                            col: sink.col,
+                            message: format!(
+                                "key material from a secret-returning call (binding `{id}`) flows into {} sink",
+                                sink.label
+                            ),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Whether fn `f`'s parameter `p` leaks: into a local sink, or onward into
+/// another fn's leaky parameter. Returns the explanatory note.
+fn leak_note_for_param(
+    graph: &ItemGraph,
+    files: &[SourceFile],
+    file: &SourceFile,
+    f: usize,
+    p: usize,
+    facts: &HashMap<usize, Facts>,
+    calls_by_caller: &HashMap<usize, Vec<usize>>,
+) -> Option<String> {
+    let x = facts.get(&f)?;
+    let derived = x.derived.get(p)?;
+    // Local sinks.
+    for (si, sink) in x.sinks.iter().enumerate() {
+        if x.sink_ids[si].iter().any(|id| derived.contains(id)) {
+            return Some(format!(
+                "reaches a {} sink ({}:{})",
+                sink.label, file.rel_path, sink.line
+            ));
+        }
+    }
+    // Onward calls into leaky parameters.
+    for &ci in calls_by_caller.get(&f).into_iter().flatten() {
+        let call = &graph.calls[ci];
+        if call.in_test {
+            continue;
+        }
+        let Some(callee) = graph.resolve(&call.callee) else {
+            continue;
+        };
+        let Some(y) = facts.get(&callee) else {
+            continue;
+        };
+        for (j, arg_idents) in call.args.iter().enumerate() {
+            let Some(Some(_)) = y.leaky.get(j) else {
+                continue;
+            };
+            if arg_idents.iter().any(|id| derived.contains(id)) {
+                let pname = graph.fns[callee].params.get(j).map_or("_", String::as_str);
+                let fpath = &files[graph.fns[callee].file].rel_path;
+                return Some(format!(
+                    "flows into `{}`'s leaky parameter `{pname}` ({fpath})",
+                    call.callee
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Forward let-propagation inside one body: the set of identifiers derived
+/// from seeds (`is_seed`) or from calls to secret-returning fns
+/// (`ret_names`). Seeds themselves are included.
+fn derive_set(
+    file: &SourceFile,
+    body: (usize, usize),
+    is_seed: &dyn Fn(&str) -> bool,
+    ret_names: &HashSet<String>,
+) -> HashSet<String> {
+    let mut derived: HashSet<String> = HashSet::new();
+    let (open, close) = body;
+    let mut i = open + 1;
+    while i < close {
+        if !file.is_ident(i, "let") {
+            i += 1;
+            continue;
+        }
+        // Pattern idents up to `=` / `;`.
+        let mut j = i + 1;
+        let mut pat: Vec<String> = Vec::new();
+        while j < close && !file.is_punct(j, b'=') && !file.is_punct(j, b';') {
+            if let Some(id) = file.ident_at(j) {
+                let after_colon =
+                    j >= 1 && file.is_punct(j - 1, b':') && !(j >= 2 && file.is_punct(j - 2, b':'));
+                if !after_colon && !matches!(id, "mut" | "ref") {
+                    pat.push(id.to_string());
+                }
+            }
+            j += 1;
+        }
+        if j >= close || file.is_punct(j, b';') {
+            i = j + 1;
+            continue;
+        }
+        // A closure RHS is a function definition, not a data flow into the
+        // binding: `let run = |a, b| { … ka … }` binds code that *mentions*
+        // key material, while the values it later returns are governed by
+        // what the call site does with them. Mirrors the local rule's
+        // closure exemption.
+        if file.is_punct(j + 1, b'|') || file.is_ident(j + 1, "move") {
+            let mut k = j + 1;
+            let mut depth = 0usize;
+            while k < close {
+                if depth == 0 && file.is_punct(k, b';') {
+                    break;
+                }
+                match file.punct_at(k) {
+                    Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                    Some(b')') | Some(b']') | Some(b'}') => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+                k += 1;
+            }
+            i = k + 1;
+            continue;
+        }
+        // RHS scan to the statement end (`;` at delimiter depth 0).
+        let mut k = j + 1;
+        let mut depth = 0usize;
+        let mut hot = false;
+        while k < close {
+            if depth == 0 && file.is_punct(k, b';') {
+                break;
+            }
+            // A benign-method group is metadata, arguments included.
+            if file.is_punct(k, b'.')
+                && file
+                    .ident_at(k + 1)
+                    .is_some_and(|m| BENIGN_METHODS.contains(&m))
+                && file.is_punct(k + 2, b'(')
+            {
+                k = file.matching_close(k + 2) + 1;
+                continue;
+            }
+            match file.punct_at(k) {
+                Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                Some(b')') | Some(b']') | Some(b'}') => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            if let Some(id) = file.ident_at(k) {
+                // Path qualifiers (`secret_hygiene::SecretHygiene`) are
+                // compile-time vocabulary, not values.
+                let path_prefix = file.is_path_sep(k + 1);
+                // Secret-returning calls propagate in free-function
+                // position only: `.contains(…)` would otherwise match a
+                // same-named std method on every receiver in the
+                // workspace. Secret-NAMED methods (`.session_key()`) still
+                // propagate through the seed channel.
+                let from_ret = ret_names.contains(id)
+                    && file.is_punct(k + 1, b'(')
+                    && !(k >= 1 && file.is_punct(k - 1, b'.'));
+                if !path_prefix && (is_seed(id) || derived.contains(id) || from_ret) {
+                    let benign = file.is_punct(k + 1, b'.')
+                        && file
+                            .ident_at(k + 2)
+                            .is_some_and(|m| BENIGN_METHODS.contains(&m));
+                    if !benign {
+                        hot = true;
+                    }
+                }
+            }
+            k += 1;
+        }
+        if hot {
+            for id in pat {
+                if !has_benign_segment(&id) {
+                    derived.insert(id);
+                }
+            }
+        }
+        i = k + 1;
+    }
+    // Seeds are always part of the derived set.
+    let mut with_seeds = derived;
+    for j in open + 1..close {
+        if let Some(id) = file.ident_at(j) {
+            if is_seed(id) {
+                with_seeds.insert(id.to_string());
+            }
+        }
+    }
+    with_seeds
+}
+
+/// Sink call groups inside one body — the display subset of the local
+/// rule's sink families (see [`DISPLAY_MACROS`]).
+fn sink_sites(file: &SourceFile, body: (usize, usize)) -> Vec<Sink> {
+    let mut sinks = Vec::new();
+    let (open, close) = body;
+    let mut i = open + 1;
+    while i < close {
+        let Some(name) = file.ident_at(i) else {
+            i += 1;
+            continue;
+        };
+        let tok = file.code[i];
+        if DISPLAY_MACROS.contains(&name)
+            && file.is_punct(i + 1, b'!')
+            && matches!(file.punct_at(i + 2), Some(b'(') | Some(b'[') | Some(b'{'))
+        {
+            let c = file.matching_close(i + 2);
+            sinks.push(Sink {
+                label: format!("{name}!"),
+                group: (i + 2, c),
+                line: tok.line,
+                col: tok.col,
+                offset: tok.start,
+            });
+            i = c + 1;
+            continue;
+        }
+        if name == "telemetry" && file.is_path_sep(i + 1) {
+            if let Some(method) = file.ident_at(i + 3) {
+                if TELEMETRY_SINKS.contains(&method) && file.is_punct(i + 4, b'(') {
+                    let c = file.matching_close(i + 4);
+                    sinks.push(Sink {
+                        label: "telemetry".to_string(),
+                        group: (i + 4, c),
+                        line: tok.line,
+                        col: tok.col,
+                        offset: tok.start,
+                    });
+                    i = c + 1;
+                    continue;
+                }
+            }
+        }
+        if OBS_SINKS.contains(&name) && file.is_punct(i + 1, b'(') {
+            let c = file.matching_close(i + 1);
+            sinks.push(Sink {
+                label: name.to_string(),
+                group: (i + 1, c),
+                line: tok.line,
+                col: tok.col,
+                offset: tok.start,
+            });
+            i = c + 1;
+            continue;
+        }
+        i += 1;
+    }
+    sinks
+}
+
+/// Identifiers whose value reaches a sink's argument group (benign-method
+/// receivers and groups excluded), inline format captures included.
+fn idents_reaching_sink(file: &SourceFile, sink: &Sink) -> Vec<String> {
+    let (open, close) = sink.group;
+    let mut ids = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        if file.is_punct(j, b'.')
+            && file
+                .ident_at(j + 1)
+                .is_some_and(|m| BENIGN_METHODS.contains(&m))
+            && file.is_punct(j + 2, b'(')
+        {
+            j = file.matching_close(j + 2) + 1;
+            continue;
+        }
+        let Some(t) = file.code.get(j) else { break };
+        if t.kind == TokenKind::Ident {
+            let name = file.tok(t);
+            let benign = file.is_punct(j + 1, b'.')
+                && file
+                    .ident_at(j + 2)
+                    .is_some_and(|m| BENIGN_METHODS.contains(&m));
+            if !benign {
+                ids.push(name.to_string());
+            }
+        } else if matches!(t.kind, TokenKind::Str | TokenKind::RawStr) {
+            ids.extend(inline_captures(file.tok(t)));
+        }
+        j += 1;
+    }
+    ids
+}
+
+/// Whether a body's `return` statements or tail expression carry material:
+/// a secret-named identifier, a derived binding, or a call to a
+/// secret-returning fn.
+fn returns_material(file: &SourceFile, body: (usize, usize), ret_names: &HashSet<String>) -> bool {
+    let derived = derive_set(file, body, &is_secret_name, ret_names);
+    let hot = |j: usize| {
+        file.ident_at(j).is_some_and(|id| {
+            if file.is_path_sep(j + 1) {
+                return false; // path qualifier, not a value
+            }
+            derived.contains(id)
+                || is_secret_name(id)
+                || (ret_names.contains(id)
+                    && file.is_punct(j + 1, b'(')
+                    && !(j >= 1 && file.is_punct(j - 1, b'.')))
+        })
+    };
+    let (open, close) = body;
+    // Explicit `return <expr>;` statements.
+    let mut i = open + 1;
+    while i < close {
+        if file.is_ident(i, "return") {
+            let mut j = i + 1;
+            while j < close && !file.is_punct(j, b';') {
+                if hot(j) {
+                    return true;
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    // Tail expression: tokens after the last top-level `;`, considered
+    // only when brace-free (a trailing `if`/`for` block is skipped — the
+    // over-approximation would drown the rule; DESIGN.md §18).
+    let mut depth = 0usize;
+    let mut last_semi = open;
+    for j in open + 1..close {
+        match file.punct_at(j) {
+            Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+            Some(b')') | Some(b']') | Some(b'}') => depth = depth.saturating_sub(1),
+            Some(b';') if depth == 0 => last_semi = j,
+            _ => {}
+        }
+    }
+    let tail = last_semi + 1..close;
+    if tail.is_empty() {
+        return false;
+    }
+    let tail_has_brace = tail.clone().any(|j| file.is_punct(j, b'{'));
+    !tail_has_brace && tail.clone().any(hot)
+}

@@ -1,22 +1,35 @@
 //! The rule catalogue.
 //!
-//! Every rule is a pure function over one [`SourceFile`]: it emits raw
+//! Most rules are pure functions over one [`SourceFile`]: they emit raw
 //! findings (no severity — the engine resolves severity from `lint.toml`
 //! and applies suppressions afterwards). Rules never look at test code
 //! except where explicitly documented (leakage accounting is file-scoped).
+//! The *workspace passes* (marked ⊕ below) additionally see the
+//! [`crate::graph::ItemGraph`] and reason across files; they live in the
+//! same catalogue for config/suppression purposes but are dispatched by the
+//! engine after the per-file loop.
 //!
 //! | id | invariant |
 //! |---|---|
 //! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/`assert!` family in non-test code |
 //! | `secret-hygiene` | key-material identifiers must not flow into format/log/telemetry sinks |
+//! | `secret-hygiene-interproc` ⊕ | key material must not flow into a leaky parameter or out of a secret-returning fn into a sink, across files |
 //! | `determinism` | no wall-clock, thread-id, or unordered reductions in bit-reproducible compute paths |
 //! | `wire-safety` | no truncating `as` casts or unchecked indexing in the wire codec |
 //! | `leakage-accounting` | modules touching Cascade parity must reference the leakage debit |
+//! | `reactor-blocking` | no blocking calls (sleep/recv/wait/completion-loop IO) on reactor paths |
+//! | `lock-order` ⊕ | the workspace lock-order graph stays acyclic (no inverted Mutex pairs) |
+//! | `guard-across-send` ⊕ | no mutex guard held across a channel `.send()` |
+//! | `unsafe-safety-comment` | every `unsafe` block carries a `// SAFETY:` audit; unsafe outside poll.rs is deny |
+//! | `protocol-exhaustiveness` ⊕ | every protocol handler match names every wire variant (no `_`-swallowed tags) |
 //! | `bad-suppression` | suppressions must parse and carry a reason (engine-emitted) |
 
 pub mod determinism;
+pub mod exhaustiveness;
+pub mod interproc;
 pub mod leakage;
 pub mod panic_freedom;
+pub mod reactor_safety;
 pub mod secret_hygiene;
 pub mod wire_safety;
 
@@ -62,12 +75,28 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(determinism::Determinism),
         Box::new(wire_safety::WireSafety),
         Box::new(leakage::LeakageAccounting),
+        Box::new(reactor_safety::ReactorBlocking),
+        Box::new(reactor_safety::UnsafeSafetyComment),
     ]
 }
 
-/// Ids of every rule, including the engine-emitted `bad-suppression`.
+/// Ids of the workspace passes (dispatched on the item graph, not per
+/// file). They participate in config severity and suppressions like any
+/// other rule.
+pub fn workspace_pass_ids() -> Vec<&'static str> {
+    vec![
+        interproc::ID,
+        "lock-order",
+        "guard-across-send",
+        exhaustiveness::ID,
+    ]
+}
+
+/// Ids of every rule, including the workspace passes and the
+/// engine-emitted `bad-suppression`.
 pub fn rule_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
+    ids.extend(workspace_pass_ids());
     ids.push("bad-suppression");
     ids
 }

@@ -1,0 +1,464 @@
+//! L6 — the reactor-safety rule pack.
+//!
+//! PR 9 replaced thread-per-session with a hand-rolled readiness reactor:
+//! shard threads multiplex thousands of sessions over epoll, a timer wheel,
+//! and eventfd wakers. Three invariants keep that core sound, none of which
+//! rustc checks:
+//!
+//! * **`reactor-blocking`** (path-scoped to the reactor files): a shard
+//!   thread must never block. `thread::sleep`, a channel `recv()` without a
+//!   timeout, a condvar `wait()`, or a completion-loop I/O call
+//!   (`read_exact`, `read_to_end`, `read_to_string`, `write_all`) parks
+//!   every session on the shard. Each is a deny finding; the handful of
+//!   sanctioned sites (the blocking-transport compat path, an error-path
+//!   backoff) carry reasoned suppressions.
+//! * **`lock-order`** (workspace pass on the [`ItemGraph`]): a lock-order
+//!   graph is built from every acquisition made while another guard is
+//!   held — directly, or through a call whose (transitively computed)
+//!   acquisition set is known. Any strongly-connected component is a
+//!   potential deadlock and a deny finding.
+//! * **`guard-across-send`** (workspace pass): holding a mutex guard across
+//!   a channel `.send()` couples the lock to the receiver's progress — on a
+//!   bounded channel the send blocks with the lock held. Deny.
+//! * **`unsafe-safety-comment`**: every `unsafe` block needs a `// SAFETY:`
+//!   justification within the three lines above it, and `unsafe` outside
+//!   `crates/server/src/poll.rs` (the epoll shim, the repo's only
+//!   sanctioned unsafe surface) is deny regardless of comments.
+
+use super::{RawFinding, Rule};
+use crate::config::Severity;
+use crate::graph::ItemGraph;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Blocking completion-loop I/O methods (they retry until done — on a
+/// shard thread that means spinning or blocking with sessions parked).
+const BLOCKING_IO: &[&str] = &["read_exact", "read_to_end", "read_to_string", "write_all"];
+
+/// See module docs.
+pub struct ReactorBlocking;
+
+impl Rule for ReactorBlocking {
+    fn id(&self) -> &'static str {
+        "reactor-blocking"
+    }
+
+    fn description(&self) -> &'static str {
+        "no blocking calls (sleep/recv/wait/completion-loop IO) on reactor paths"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn path_scoped(&self) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let code = &file.code;
+        let mut i = 0;
+        while i < code.len() {
+            let t = code[i];
+            if file.in_test_code(t.start) {
+                i += 1;
+                continue;
+            }
+            let Some(name) = file.ident_at(i) else {
+                i += 1;
+                continue;
+            };
+            let method = i >= 1 && file.is_punct(i - 1, b'.');
+            let push = |out: &mut Vec<RawFinding>, message: String| {
+                out.push(RawFinding {
+                    rule: "reactor-blocking",
+                    offset: t.start,
+                    line: t.line,
+                    col: t.col,
+                    message,
+                });
+            };
+            match name {
+                "sleep"
+                    if i >= 3
+                        && file.is_ident(i - 3, "thread")
+                        && file.is_path_sep(i - 2)
+                        && file.is_punct(i + 1, b'(') =>
+                {
+                    push(out, "thread::sleep blocks the shard thread".to_string());
+                }
+                "recv" if method && file.is_punct(i + 1, b'(') && file.is_punct(i + 2, b')') => {
+                    push(
+                        out,
+                        "channel recv() without a timeout blocks the shard thread \
+                         (use try_recv or recv_timeout)"
+                            .to_string(),
+                    );
+                }
+                "wait" if method && file.is_punct(i + 1, b'(') => {
+                    push(
+                        out,
+                        "condvar wait() blocks the shard thread (use wait_timeout)".to_string(),
+                    );
+                }
+                m if method && BLOCKING_IO.contains(&m) && file.is_punct(i + 1, b'(') => {
+                    push(
+                        out,
+                        format!("{m}() loops until completion — it blocks (or busy-spins) a nonblocking reactor path"),
+                    );
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// The one file where `unsafe` is sanctioned.
+const UNSAFE_SANCTUARY: &str = "crates/server/src/poll.rs";
+
+/// How many lines above an `unsafe` block its `// SAFETY:` comment may sit.
+const SAFETY_WINDOW: u32 = 3;
+
+/// See module docs.
+pub struct UnsafeSafetyComment;
+
+impl Rule for UnsafeSafetyComment {
+    fn id(&self) -> &'static str {
+        "unsafe-safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block carries a // SAFETY: audit; unsafe outside poll.rs is deny"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let code = &file.code;
+        for i in 0..code.len() {
+            let t = code[i];
+            if file.in_test_code(t.start) {
+                continue;
+            }
+            if !file.is_ident(i, "unsafe") || !file.is_punct(i + 1, b'{') {
+                continue;
+            }
+            if file.rel_path != UNSAFE_SANCTUARY {
+                out.push(RawFinding {
+                    rule: "unsafe-safety-comment",
+                    offset: t.start,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "unsafe block outside {UNSAFE_SANCTUARY} — the epoll shim is the only \
+                         sanctioned unsafe surface"
+                    ),
+                });
+                continue;
+            }
+            let lo = t.line.saturating_sub(SAFETY_WINDOW);
+            let justified = file.tokens.iter().any(|c| {
+                c.kind.is_comment()
+                    && c.line >= lo
+                    && c.line <= t.line
+                    && file.tok(c).contains("SAFETY:")
+            });
+            if !justified {
+                out.push(RawFinding {
+                    rule: "unsafe-safety-comment",
+                    offset: t.start,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "unsafe block without a `// SAFETY:` comment within {SAFETY_WINDOW} lines \
+                         above it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// An event inside one fn body, ordered by byte offset.
+#[derive(Clone, Copy)]
+enum Ev<'g> {
+    Lock(&'g crate::graph::LockSite),
+    Drop(&'g crate::graph::DropSite),
+    Send(&'g crate::graph::SendSite),
+    Call(&'g crate::graph::CallSite),
+}
+
+impl Ev<'_> {
+    fn offset(&self) -> usize {
+        match self {
+            Ev::Lock(l) => l.offset,
+            Ev::Drop(d) => d.offset,
+            Ev::Send(s) => s.offset,
+            Ev::Call(c) => c.offset,
+        }
+    }
+}
+
+/// Events grouped by fn, each list in body order. Built in one pass over
+/// the site tables — filtering the whole workspace per fn is quadratic.
+fn events_by_fn(graph: &ItemGraph) -> Vec<Vec<Ev<'_>>> {
+    let mut evs: Vec<Vec<Ev<'_>>> = vec![Vec::new(); graph.fns.len()];
+    for l in &graph.locks {
+        evs[l.caller].push(Ev::Lock(l));
+    }
+    for d in &graph.drops {
+        evs[d.caller].push(Ev::Drop(d));
+    }
+    for s in &graph.sends {
+        evs[s.caller].push(Ev::Send(s));
+    }
+    for c in &graph.calls {
+        evs[c.caller].push(Ev::Call(c));
+    }
+    for v in &mut evs {
+        v.sort_by_key(Ev::offset);
+    }
+    evs
+}
+
+/// A held guard during the linear walk.
+struct Held<'g> {
+    site: &'g crate::graph::LockSite,
+}
+
+/// Drop guards that died before `offset` (scope exits) or match `binding`.
+fn release<'g>(held: &mut Vec<Held<'g>>, offset: usize, binding: Option<&str>) {
+    held.retain(|h| {
+        if h.site.scope_end <= offset {
+            return false;
+        }
+        match (binding, &h.site.binding) {
+            (Some(b), Some(hb)) => b != hb,
+            _ => true,
+        }
+    });
+}
+
+/// Transitive lock-acquisition sets per fn (by lock id), resolved through
+/// name-matched calls. The `lock` name itself is excluded from resolution —
+/// `.lock()` is the acquisition primitive, not a call edge.
+fn acquired_sets(graph: &ItemGraph) -> Vec<BTreeSet<String>> {
+    let mut acq: Vec<BTreeSet<String>> = vec![BTreeSet::new(); graph.fns.len()];
+    for l in &graph.locks {
+        if l.in_test {
+            continue;
+        }
+        if let Some(id) = &l.lock_id {
+            acq[l.caller].insert(id.clone());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for c in &graph.calls {
+            if c.in_test || c.callee == "lock" {
+                continue;
+            }
+            let Some(callee) = graph.resolve(&c.callee) else {
+                continue;
+            };
+            if callee == c.caller {
+                continue;
+            }
+            let add: Vec<String> = acq[callee]
+                .iter()
+                .filter(|id| !acq[c.caller].contains(*id))
+                .cloned()
+                .collect();
+            if !add.is_empty() {
+                acq[c.caller].extend(add);
+                changed = true;
+            }
+        }
+        if !changed {
+            return acq;
+        }
+    }
+}
+
+/// One directed lock-order edge with a representative site.
+struct Edge {
+    file: usize,
+    offset: usize,
+    line: u32,
+    col: u32,
+    /// Line where the held (source) guard was acquired.
+    held_line: u32,
+}
+
+/// Workspace lock-order pass: build the order graph, report every
+/// strongly-connected component (the deadlock candidates).
+pub fn check_lock_order(
+    graph: &ItemGraph,
+    files: &[SourceFile],
+    out: &mut Vec<(usize, RawFinding)>,
+) {
+    let acq = acquired_sets(graph);
+    let evs_by_fn = events_by_fn(graph);
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for f in 0..graph.fns.len() {
+        if graph.fns[f].in_test {
+            continue;
+        }
+        let mut held: Vec<Held> = Vec::new();
+        for &ev in &evs_by_fn[f] {
+            release(&mut held, ev.offset(), None);
+            match ev {
+                Ev::Drop(d) => release(&mut held, d.offset, Some(&d.binding)),
+                Ev::Lock(l) => {
+                    if l.in_test {
+                        continue;
+                    }
+                    if let Some(to) = &l.lock_id {
+                        for h in &held {
+                            if let Some(from) = &h.site.lock_id {
+                                if from != to {
+                                    edges.entry((from.clone(), to.clone())).or_insert(Edge {
+                                        file: l.file,
+                                        offset: l.offset,
+                                        line: l.line,
+                                        col: l.col,
+                                        held_line: h.site.line,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    if l.binding.is_some() {
+                        held.push(Held { site: l });
+                    }
+                }
+                Ev::Call(c) => {
+                    if c.in_test || c.callee == "lock" || held.is_empty() {
+                        continue;
+                    }
+                    let Some(callee) = graph.resolve(&c.callee) else {
+                        continue;
+                    };
+                    for to in &acq[callee] {
+                        for h in &held {
+                            if let Some(from) = &h.site.lock_id {
+                                if from != to {
+                                    edges.entry((from.clone(), to.clone())).or_insert(Edge {
+                                        file: c.file,
+                                        offset: c.offset,
+                                        line: c.line,
+                                        col: c.col,
+                                        held_line: h.site.line,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Ev::Send(_) => {}
+            }
+        }
+    }
+    // Cycle detection: a pair (a, b) with edges both ways is the minimal
+    // inversion; longer cycles reduce to reachability both ways, checked
+    // with a simple transitive closure over the (small) lock-id universe.
+    let ids: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let reach = |from: &String, to: &String| -> bool {
+        let mut seen: BTreeSet<&String> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            for ((a, b), _) in edges.iter() {
+                if a == n && !seen.contains(b) {
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    };
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for ((a, b), e) in &edges {
+        if reported.contains(&(b.clone(), a.clone())) || reported.contains(&(a.clone(), b.clone()))
+        {
+            continue;
+        }
+        // Self-edges never form (guarded above); an inversion exists when
+        // b can reach a again.
+        if ids.contains(b) && reach(b, a) {
+            let back = edges
+                .get(&(b.clone(), a.clone()))
+                .map(|r| format!("{}:{}", files[r.file].rel_path, r.line))
+                .unwrap_or_else(|| "via intermediate locks".to_string());
+            out.push((
+                e.file,
+                RawFinding {
+                    rule: "lock-order",
+                    offset: e.offset,
+                    line: e.line,
+                    col: e.col,
+                    message: format!(
+                        "lock-order inversion: `{a}` (held since line {}) then `{b}` here, but \
+                         the opposite order also exists ({back}) — deadlock candidate",
+                        e.held_line
+                    ),
+                },
+            ));
+            reported.insert((a.clone(), b.clone()));
+        }
+    }
+}
+
+/// Workspace held-guard-across-send pass.
+pub fn check_guard_across_send(graph: &ItemGraph, out: &mut Vec<(usize, RawFinding)>) {
+    let evs_by_fn = events_by_fn(graph);
+    for f in 0..graph.fns.len() {
+        if graph.fns[f].in_test {
+            continue;
+        }
+        let mut held: Vec<Held> = Vec::new();
+        for &ev in &evs_by_fn[f] {
+            release(&mut held, ev.offset(), None);
+            match ev {
+                Ev::Drop(d) => release(&mut held, d.offset, Some(&d.binding)),
+                Ev::Lock(l) => {
+                    if !l.in_test && l.binding.is_some() {
+                        held.push(Held { site: l });
+                    }
+                }
+                Ev::Send(s) => {
+                    if s.in_test {
+                        continue;
+                    }
+                    if let Some(h) = held.first() {
+                        let guard = h.site.binding.as_deref().map_or("_", |b| b);
+                        let lock = h.site.lock_id.as_deref().map_or("?", |l| l);
+                        out.push((
+                            s.file,
+                            RawFinding {
+                                rule: "guard-across-send",
+                                offset: s.offset,
+                                line: s.line,
+                                col: s.col,
+                                message: format!(
+                                    "channel send while holding guard `{guard}` (lock `{lock}`, \
+                                     acquired line {}) — a bounded-channel send can block with \
+                                     the lock held",
+                                    h.site.line
+                                ),
+                            },
+                        ));
+                    }
+                }
+                Ev::Call(_) => {}
+            }
+        }
+    }
+}

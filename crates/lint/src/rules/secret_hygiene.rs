@@ -66,7 +66,7 @@ use std::collections::HashSet;
 /// See module docs.
 pub struct SecretHygiene;
 
-const FORMAT_MACROS: &[&str] = &[
+pub(crate) const FORMAT_MACROS: &[&str] = &[
     "format",
     "format_args",
     "print",
@@ -92,14 +92,15 @@ const FORMAT_MACROS: &[&str] = &[
     "error",
 ];
 
-const TELEMETRY_SINKS: &[&str] = &["counter", "gauge", "histogram", "mark", "span", "event"];
+pub(crate) const TELEMETRY_SINKS: &[&str] =
+    &["counter", "gauge", "histogram", "mark", "span", "event"];
 
 /// Export surfaces of the observability plane. Anything passed to these
 /// ends up in `/metrics` responses, Chrome trace files, or flight-recorder
 /// dumps — all operator-visible, none leakage-accounted. Matched as a bare
 /// call (`render_metrics(…)`) so both free-function and method spellings
 /// (`recorder.dump_json(…)`) are caught.
-const OBS_SINKS: &[&str] = &["render_metrics", "chrome_trace", "dump_json"];
+pub(crate) const OBS_SINKS: &[&str] = &["render_metrics", "chrome_trace", "dump_json"];
 
 /// Segments that make a `key`-bearing identifier metadata, not material.
 const BENIGN_SEGMENTS: &[&str] = &[
@@ -108,6 +109,8 @@ const BENIGN_SEGMENTS: &[&str] = &[
     "bit",
     "rate",
     "count",
+    "counter",
+    "counters",
     "match",
     "matches",
     "matched",
@@ -141,7 +144,7 @@ const EXACT_SECRETS: &[&str] = &[
 /// paper's designed observables. A call to one of these neutralizes the
 /// receiver *and* its arguments (`a.hamming(&kb)` is a count, even though
 /// `kb` is key material).
-const BENIGN_METHODS: &[&str] = &["len", "is_empty", "capacity", "hamming", "agreement"];
+pub(crate) const BENIGN_METHODS: &[&str] = &["len", "is_empty", "capacity", "hamming", "agreement"];
 
 /// Whether an identifier names key material.
 pub fn is_secret_name(name: &str) -> bool {
@@ -164,7 +167,7 @@ pub fn is_secret_name(name: &str) -> bool {
 }
 
 /// Whether any snake_case segment of `name` marks it as metadata.
-fn has_benign_segment(name: &str) -> bool {
+pub(crate) fn has_benign_segment(name: &str) -> bool {
     let lower = name.to_ascii_lowercase();
     lower.split('_').any(|s| BENIGN_SEGMENTS.contains(&s))
 }
@@ -440,7 +443,7 @@ fn scan_sink_args(
 }
 
 /// Extract identifiers from `{ident…}` captures in a format string.
-fn inline_captures(s: &str) -> Vec<String> {
+pub(crate) fn inline_captures(s: &str) -> Vec<String> {
     let mut caps = Vec::new();
     let bytes = s.as_bytes();
     let mut i = 0;

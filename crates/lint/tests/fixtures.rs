@@ -437,3 +437,351 @@ fn path_scoped_rules_only_fire_in_scope() {
         report.findings
     );
 }
+
+// ---- workspace passes (item graph) --------------------------------------
+
+#[test]
+fn cross_file_taint_through_helper_is_deny_at_call_site() {
+    // The helper's parameter has an innocent name, so only the
+    // interprocedural pass can connect the caller's key to the sink.
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/audit.rs",
+        "pub fn audit(buf: &[u8]) {\n    println!(\"{buf:?}\");\n}\n",
+    );
+    fx.file(
+        "crates/core/src/run.rs",
+        "pub fn run(session_key: &[u8]) {\n    crate::audit::audit(session_key);\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "secret-hygiene-interproc")
+        .expect("interproc finding");
+    assert_eq!(
+        f.path, "crates/core/src/run.rs",
+        "reported at the call site"
+    );
+    assert_eq!(f.severity, Severity::Deny);
+    assert!(
+        f.message.contains("audit") && f.message.contains("buf"),
+        "{f:?}"
+    );
+    assert_eq!(report::exit_code(&report), 1);
+}
+
+#[test]
+fn ambiguous_helper_names_do_not_propagate() {
+    // Two fns named `emit`: resolution refuses to guess, so no finding —
+    // the documented false-negative class (DESIGN.md §18).
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/a.rs",
+        "pub fn emit(buf: &[u8]) {\n    println!(\"{buf:?}\");\n}\n",
+    );
+    fx.file(
+        "crates/core/src/b.rs",
+        "pub fn emit(n: usize) {\n    let _ = n;\n}\n",
+    );
+    fx.file(
+        "crates/core/src/run.rs",
+        "pub fn run(session_key: &[u8]) {\n    emit(session_key);\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == "secret-hygiene-interproc"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn secret_returning_helper_taints_caller_binding() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/derive.rs",
+        "pub fn refresh_material(seed: u64) -> Vec<u8> {\n    let ratchet = [seed as u8; 16];\n    ratchet.to_vec()\n}\n",
+    );
+    fx.file(
+        "crates/core/src/run.rs",
+        "pub fn run() {\n    let out = refresh_material(7);\n    println!(\"{out:?}\");\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "secret-hygiene-interproc")
+        .expect("ret-taint finding");
+    assert_eq!(f.path, "crates/core/src/run.rs");
+    assert!(f.message.contains("out"), "{f:?}");
+}
+
+#[test]
+fn lock_order_cycle_both_ways_is_deny() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/locks.rs",
+        concat!(
+            "pub fn ab(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) {\n",
+            "    let ga = a.lock().expect(\"a\");\n",
+            "    let gb = b.lock().expect(\"b\");\n",
+            "    drop(gb);\n    drop(ga);\n}\n",
+            "pub fn ba(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) {\n",
+            "    let gb = b.lock().expect(\"b\");\n",
+            "    let ga = a.lock().expect(\"a\");\n",
+            "    drop(ga);\n    drop(gb);\n}\n",
+        ),
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "lock-order")
+        .expect("lock-order finding");
+    assert_eq!(f.severity, Severity::Deny);
+    assert!(
+        f.message.contains("inversion") && f.message.contains("deadlock"),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/locks.rs",
+        concat!(
+            "pub fn one(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) {\n",
+            "    let ga = a.lock().expect(\"a\");\n",
+            "    let gb = b.lock().expect(\"b\");\n",
+            "    drop(gb);\n    drop(ga);\n}\n",
+            "pub fn two(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) {\n",
+            "    let ga = a.lock().expect(\"a\");\n",
+            "    let gb = b.lock().expect(\"b\");\n",
+            "    drop(gb);\n    drop(ga);\n}\n",
+        ),
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        !report.findings.iter().any(|f| f.rule == "lock-order"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn send_under_held_guard_is_deny() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/chan.rs",
+        concat!(
+            "pub fn bad(m: &std::sync::Mutex<u8>, tx: &std::sync::mpsc::Sender<u8>) {\n",
+            "    let g = m.lock().expect(\"m\");\n",
+            "    let _ = tx.send(*g);\n",
+            "    drop(g);\n}\n",
+        ),
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "guard-across-send")
+        .expect("guard-across-send finding");
+    assert!(f.message.contains('g'), "{f:?}");
+}
+
+#[test]
+fn send_after_guard_dropped_is_clean() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/chan.rs",
+        concat!(
+            "pub fn ok(m: &std::sync::Mutex<u8>, tx: &std::sync::mpsc::Sender<u8>) {\n",
+            "    let g = m.lock().expect(\"m\");\n",
+            "    let v = *g;\n",
+            "    drop(g);\n",
+            "    let _ = tx.send(v);\n}\n",
+        ),
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == "guard-across-send"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn blocking_calls_fire_only_in_reactor_scope() {
+    let src = "pub fn nap() {\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n";
+    let fx = Fixture::new();
+    fx.file("crates/server/src/wheel.rs", src);
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "reactor-blocking")
+        .expect("reactor-blocking finding");
+    assert_eq!(f.severity, Severity::Deny);
+
+    let fx2 = Fixture::new();
+    fx2.file("crates/server/src/other.rs", src);
+    let report = fx2.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        !report.findings.iter().any(|f| f.rule == "reactor-blocking"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn unsafe_needs_safety_comment_in_sanctuary_and_is_banned_outside() {
+    // Inside the sanctuary with a SAFETY comment: clean.
+    let fx = Fixture::new();
+    fx.file(
+        "crates/server/src/poll.rs",
+        "pub fn a(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n",
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == "unsafe-safety-comment"),
+        "{:?}",
+        report.findings
+    );
+
+    // Inside the sanctuary without the comment: deny.
+    let fx2 = Fixture::new();
+    fx2.file(
+        "crates/server/src/poll.rs",
+        "pub fn a(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    let report = fx2.run(&LintOptions::default()).expect("lint runs");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "unsafe-safety-comment")
+        .expect("missing-SAFETY finding");
+    assert!(f.message.contains("SAFETY"), "{f:?}");
+
+    // Outside the sanctuary even a commented block is deny.
+    let fx3 = Fixture::new();
+    fx3.file(
+        "crates/core/src/lib.rs",
+        "pub fn a(p: *const u8) -> u8 {\n    // SAFETY: fine elsewhere\n    unsafe { *p }\n}\n",
+    );
+    let report = fx3.run(&LintOptions::default()).expect("lint runs");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "unsafe-safety-comment")
+        .expect("outside-sanctuary finding");
+    assert_eq!(f.severity, Severity::Deny);
+}
+
+#[test]
+fn unhandled_wire_tag_is_deny_and_tags_are_counted() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/protocol.rs",
+        concat!(
+            "pub struct Message;\n",
+            "impl Message {\n",
+            "    pub const TAG_ALPHA: u8 = 1;\n",
+            "    pub const TAG_BETA: u8 = 2;\n",
+            "    pub const TAG_GAMMA: u8 = 3;\n",
+            "}\n",
+        ),
+    );
+    fx.file(
+        "crates/server/src/session.rs",
+        concat!(
+            "pub fn dispatch(msg: Message) {\n",
+            "    match msg {\n",
+            "        Message::Alpha { .. } => {}\n",
+            "        Message::Beta { .. } => {}\n",
+            "        _ => {}\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert_eq!(report.protocol_tags, 4, "max tag value 3 accounts 0..=3");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "protocol-exhaustiveness")
+        .expect("exhaustiveness finding");
+    assert_eq!(f.severity, Severity::Deny);
+    assert!(
+        f.message.contains("Gamma") && f.message.contains("swallowed"),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn fully_enumerated_wire_match_is_clean() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/protocol.rs",
+        concat!(
+            "pub struct Message;\n",
+            "impl Message {\n",
+            "    pub const TAG_ALPHA: u8 = 1;\n",
+            "    pub const TAG_BETA: u8 = 2;\n",
+            "}\n",
+        ),
+    );
+    fx.file(
+        "crates/server/src/session.rs",
+        concat!(
+            "pub fn dispatch(msg: Message) {\n",
+            "    match msg {\n",
+            "        Message::Alpha { .. } => {}\n",
+            "        Message::Beta { .. } => {}\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run(&LintOptions::default()).expect("lint runs");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == "protocol-exhaustiveness"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn finding_ids_and_fingerprints_are_stable() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let a = fx.run(&LintOptions::default()).expect("lint runs");
+    let b = fx.run(&LintOptions::default()).expect("lint runs");
+    assert_eq!(a.findings.len(), 1);
+    let (fa, fb) = (&a.findings[0], &b.findings[0]);
+    assert_eq!(report::finding_id(fa), report::finding_id(fb));
+    assert_eq!(
+        report::finding_fingerprint(fa),
+        report::finding_fingerprint(fb)
+    );
+    assert_eq!(
+        report::finding_id(fa),
+        "panic-freedom@crates/core/src/lib.rs:1"
+    );
+    assert_eq!(report::finding_fingerprint(fa).len(), 16, "fnv64 hex");
+}

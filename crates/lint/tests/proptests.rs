@@ -147,3 +147,91 @@ proptest! {
         }
     }
 }
+
+// ---- item graph ---------------------------------------------------------
+
+/// Names that only ever appear inside strings or comments in the generated
+/// programs below. If any graph entity references one, the parser conjured
+/// it out of non-code.
+const GHOST_NAMES: &[&str] = &["ghost_call", "ghost_fn", "ghost_lock", "ghost_send"];
+
+/// Code fragments (real items) interleaved with literal/comment fragments
+/// that mention the ghost names in call-shaped positions.
+fn graph_fragment() -> impl Strategy<Value = String> {
+    let fixed: Vec<String> = [
+        "fn alpha() { beta(); }",
+        "fn beta() { let g = m.lock(); drop(g); }",
+        "fn gamma(tx: T) { tx.send(1); }",
+        "\"ghost_call(x)\"",
+        "// ghost_fn() and ghost_lock.lock()\n",
+        "/* fn ghost_fn() { ghost_send.send(2); } */",
+        "r#\"match ghost_call { _ => ghost_lock.lock() }\"#",
+        "struct S;",
+        "impl S { fn delta(&self) { self.f.lock(); } }",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    proptest::sample::select(fixed)
+}
+
+fn graph_program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(graph_fragment(), 0..24).prop_map(|frags| frags.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The item graph never conjures calls, fns, locks, or sends from
+    /// identifiers that exist only inside strings and comments.
+    #[test]
+    fn graph_never_conjures_edges_from_literals(src in graph_program()) {
+        let file = vk_lint::source::SourceFile::parse("crates/core/src/gen.rs", "core", src)
+            .expect("fragment programs parse");
+        let files = vec![file];
+        let graph = vk_lint::graph::ItemGraph::build(&files);
+        for f in &graph.fns {
+            prop_assert!(!GHOST_NAMES.contains(&f.name.as_str()), "fn {}", f.name);
+        }
+        for c in &graph.calls {
+            prop_assert!(!GHOST_NAMES.contains(&c.callee.as_str()), "call {}", c.callee);
+            for ids in &c.args {
+                for id in ids {
+                    prop_assert!(!GHOST_NAMES.contains(&id.as_str()), "arg {id}");
+                }
+            }
+        }
+        for l in &graph.locks {
+            if let Some(id) = &l.lock_id {
+                prop_assert!(
+                    !GHOST_NAMES.iter().any(|g| id.contains(g)),
+                    "lock {id}"
+                );
+            }
+        }
+    }
+
+    /// Building the graph over arbitrary lexable input never panics, and
+    /// every recorded site indexes a real fn.
+    #[test]
+    fn graph_build_is_total_over_lexable_input(src in ".{0,300}") {
+        let Ok(file) = vk_lint::source::SourceFile::parse("crates/core/src/gen.rs", "core", src)
+        else {
+            return Ok(());
+        };
+        let files = vec![file];
+        let graph = vk_lint::graph::ItemGraph::build(&files);
+        for c in &graph.calls {
+            prop_assert!(c.caller < graph.fns.len());
+        }
+        for l in &graph.locks {
+            prop_assert!(l.caller < graph.fns.len());
+        }
+        for s in &graph.sends {
+            prop_assert!(s.caller < graph.fns.len());
+        }
+        for m in &graph.matches {
+            prop_assert!(m.file < files.len());
+        }
+    }
+}

@@ -560,7 +560,9 @@ impl Poller {
         events.clear();
         match &mut self.backend {
             #[cfg(target_os = "linux")]
+            // vk-lint: allow(reactor-blocking, "Poller::wait IS the reactor's single sanctioned blocking point; the shard passes a wheel-derived timeout")
             Backend::Epoll(b) => b.wait(events, timeout)?,
+            // vk-lint: allow(reactor-blocking, "portable backend of the same sanctioned blocking point")
             Backend::Poll(b) => b.wait(events, timeout)?,
         }
         // Drain any waker bytes so a level-triggered backend does not

@@ -224,9 +224,11 @@ impl Shard {
                 .next_deadline()
                 .map(|d| d.saturating_duration_since(Instant::now()));
             let mut events = std::mem::take(&mut self.events);
+            // vk-lint: allow(reactor-blocking, "the shard's one sanctioned block: Poller::wait with the wheel's next deadline as timeout")
             if let Err(e) = self.poller.wait(&mut events, timeout) {
                 telemetry::counter("server.reactor_wait_errors", 1);
                 eprintln!("vk-server: shard {} poll error: {e}", self.id);
+                // vk-lint: allow(reactor-blocking, "error backoff: a persistently failing poller would otherwise spin the core at 100%")
                 std::thread::sleep(Duration::from_millis(10));
             }
             let now = Instant::now();
@@ -576,6 +578,7 @@ impl Shard {
         if !conn.outbound.is_empty() {
             let _ = conn.stream.set_nonblocking(false);
             let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(2)));
+            // vk-lint: allow(reactor-blocking, "teardown flush, bounded by the 2s write timeout set on the line above")
             let _ = conn.stream.write_all(conn.outbound.as_slice());
             conn.outbound.clear();
         }

@@ -738,10 +738,17 @@ impl SessionCore {
                 }
             },
             // Anything else reaching the server (a reply meant for the
-            // client, a probe for another handshake) is either corruption
+            // client, a probe for another handshake, an out-of-sequence
+            // probe falling through the guard above) is either corruption
             // or a hostile peer: withhold any reply and let the bounded
-            // rejection budget decide, exactly like a MAC failure.
-            _ => {
+            // rejection budget decide, exactly like a MAC failure. The
+            // variants are named so a new wire message is a compile-time
+            // and lint-time event, not a silent drop.
+            Message::Probe { .. }
+            | Message::ProbeReply { .. }
+            | Message::Ack { .. }
+            | Message::CascadeParity { .. }
+            | Message::ReprobeRequest { .. } => {
                 reject_frame(
                     &mut self.outcome,
                     &self.params,
@@ -813,6 +820,7 @@ pub fn serve_session_keyed<T: Transport>(
         if let Some(result) = core.take_finished() {
             return Ok(result);
         }
+        // vk-lint: allow(reactor-blocking, "thread-per-connection compat driver, not shard code; the transport's own recv timeout bounds the wait")
         match transport.recv() {
             Ok(Some(frame)) => {
                 let was_handshaken = core.handshaken();
@@ -1330,7 +1338,18 @@ impl BobCore {
                 .to_vec();
                 self.arm(frame, "syndrome ack", now, out);
             }
-            _ => {}
+            // Frames for other blocks or the wrong direction: ignored, but
+            // named — a new wire message must be triaged here explicitly
+            // rather than vanish into a wildcard.
+            Message::Ack { .. }
+            | Message::CascadeParity { .. }
+            | Message::ReprobeRequest { .. }
+            | Message::Probe { .. }
+            | Message::ProbeReply { .. }
+            | Message::Syndrome { .. }
+            | Message::CascadeParityReply { .. }
+            | Message::ReprobeReply { .. }
+            | Message::Confirm { .. } => {}
         }
         Ok(())
     }
@@ -1453,6 +1472,7 @@ pub fn run_bob_session_keyed<T: Transport>(
         if let Some(result) = core.take_finished() {
             return Ok(result);
         }
+        // vk-lint: allow(reactor-blocking, "thread-per-connection compat driver, not shard code; recv polls with the transport's own timeout")
         match transport.recv() {
             Ok(Some(frame)) => core.on_frame(&frame, Instant::now(), &mut out)?,
             Ok(None) => {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Diff a `vkey lint --json` run against the committed finding baseline.
+
+The linter emits one JSON line per finding with a stable `id`
+(`rule@path:line`) and a content `fingerprint` (FNV-1a over
+rule|path|message, so the id survives unrelated line drift while the
+fingerprint pins the message). The baseline file records the warn-level
+findings the workspace is allowed to carry; deny findings are never
+baselined — the gate holds them at zero.
+
+Usage:
+    vkey lint --json | scripts/lint_baseline.py check results/lint_baseline.json
+    vkey lint --json | scripts/lint_baseline.py update results/lint_baseline.json
+
+`check` exits nonzero when a finding appears that is not in the baseline
+(new warn) or when a baselined finding changed its message (fingerprint
+mismatch). Findings that disappeared are reported as fixable baseline
+staleness but do not fail the check — deleting them is `update`'s job.
+"""
+
+import json
+import sys
+
+
+def read_report(stream):
+    findings, summary = [], None
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        doc = json.loads(line)
+        if doc.get("kind") == "finding":
+            findings.append(doc)
+        elif doc.get("kind") == "summary":
+            summary = doc
+    if summary is None:
+        raise SystemExit("lint_baseline: no summary line — is this `vkey lint --json`?")
+    return findings, summary
+
+
+def baseline_entry(finding):
+    return {
+        "id": finding["id"],
+        "fingerprint": finding["fingerprint"],
+        "rule": finding["rule"],
+        "severity": finding["severity"],
+    }
+
+
+def cmd_update(findings, summary, path):
+    entries = sorted((baseline_entry(f) for f in findings), key=lambda e: e["id"])
+    doc = {
+        "files": int(summary["files"]),
+        "protocol_tags": int(summary.get("protocol_tags", 0)),
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(doc, out, indent=2, sort_keys=True)
+        out.write("\n")
+    print(f"lint_baseline: wrote {len(entries)} finding(s) to {path}")
+    return 0
+
+
+def cmd_check(findings, summary, path):
+    with open(path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    known = {e["id"]: e["fingerprint"] for e in baseline["findings"]}
+    current = {f["id"]: f["fingerprint"] for f in findings}
+
+    deny = [f for f in findings if f["severity"] == "deny"]
+    fresh = sorted(i for i in current if i not in known)
+    drifted = sorted(i for i in current if i in known and current[i] != known[i])
+    stale = sorted(i for i in known if i not in current)
+
+    rc = 0
+    for f in deny:
+        print(f"DENY     {f['id']}: {f['message']}")
+        rc = 1
+    for i in fresh:
+        print(f"NEW      {i}")
+        rc = 1
+    for i in drifted:
+        print(f"CHANGED  {i} (message fingerprint drifted)")
+        rc = 1
+    for i in stale:
+        print(f"stale    {i} (fixed — run update to drop it)")
+    tags = int(summary.get("protocol_tags", 0))
+    want = int(baseline.get("protocol_tags", tags))
+    if tags != want:
+        print(f"TAGS     protocol_tags {tags} != baseline {want}")
+        rc = 1
+    if rc == 0:
+        print(
+            f"lint_baseline: clean — {len(current)} finding(s) all baselined, "
+            f"{tags} wire tags accounted"
+        )
+    return rc
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in {"check", "update"}:
+        print(__doc__, file=sys.stderr)
+        return 2
+    findings, summary = read_report(sys.stdin)
+    if argv[1] == "update":
+        return cmd_update(findings, summary, argv[2])
+    return cmd_check(findings, summary, argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
